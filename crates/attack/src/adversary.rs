@@ -1,0 +1,211 @@
+//! Adversary composition: which attack runs when, and how it renders into
+//! the radar channel each simulation step.
+
+use serde::{Deserialize, Serialize};
+
+use argus_radar::receiver::{ChannelState, Radar};
+use argus_radar::target::RadarTarget;
+use argus_sim::time::Step;
+
+use crate::delay::DelaySpoofer;
+use crate::jammer::Jammer;
+use crate::schedule::AttackWindow;
+
+/// The attack technique mounted by the adversary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AttackKind {
+    /// No attack — the benign baseline.
+    None,
+    /// Denial of Service by barrage jamming (Eqns 10–11).
+    Dos(Jammer),
+    /// Delay-injection spoofing (replayed counterfeit echoes).
+    DelayInjection(DelaySpoofer),
+}
+
+/// An adversary: an attack plus the window during which it is live.
+///
+/// ```
+/// use argus_attack::Adversary;
+/// use argus_sim::time::Step;
+///
+/// let adv = Adversary::paper_dos();
+/// assert!(!adv.active(Step(181)));
+/// assert!(adv.active(Step(182))); // the paper's DoS onset
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Adversary {
+    kind: AttackKind,
+    window: AttackWindow,
+}
+
+impl Adversary {
+    /// Creates an adversary running `kind` during `window`.
+    pub fn new(kind: AttackKind, window: AttackWindow) -> Self {
+        Self { kind, window }
+    }
+
+    /// A benign "adversary" that never does anything.
+    pub fn benign() -> Self {
+        Self {
+            kind: AttackKind::None,
+            window: AttackWindow::new(Step(0), Step(0)),
+        }
+    }
+
+    /// The paper's DoS adversary: the reference jammer, live k = 182…300.
+    pub fn paper_dos() -> Self {
+        Self::new(AttackKind::Dos(Jammer::paper()), AttackWindow::paper_dos())
+    }
+
+    /// The paper's delay-injection adversary: +6 m from k = 180.
+    pub fn paper_delay() -> Self {
+        Self::new(
+            AttackKind::DelayInjection(DelaySpoofer::paper()),
+            AttackWindow::paper_delay(),
+        )
+    }
+
+    /// Attack kind.
+    pub fn kind(&self) -> &AttackKind {
+        &self.kind
+    }
+
+    /// Attack window.
+    pub fn window(&self) -> AttackWindow {
+        self.window
+    }
+
+    /// `true` while the attack is live at step `k`.
+    pub fn active(&self, k: Step) -> bool {
+        !matches!(self.kind, AttackKind::None) && self.window.active(k)
+    }
+
+    /// Renders the adversary's channel contribution at step `k`.
+    ///
+    /// * `tx_on` — whether the victim radar is transmitting this instant
+    ///   (false at CRA challenge instants). A delay spoofer with zero
+    ///   reaction latency mutes when the radar is silent (the §7 evasion);
+    ///   any physical spoofer keeps replaying through the challenge.
+    /// * `target` — ground truth, used for the self-screening jammer's link
+    ///   distance and the spoofer's counterfeit parameters.
+    pub fn channel_at(
+        &self,
+        k: Step,
+        tx_on: bool,
+        target: Option<&RadarTarget>,
+        radar: &Radar,
+    ) -> ChannelState {
+        if !self.active(k) {
+            return ChannelState::clean();
+        }
+        match &self.kind {
+            AttackKind::None => ChannelState::clean(),
+            AttackKind::Dos(jammer) => {
+                let d = jammer.link_distance(target);
+                ChannelState::jammed(jammer.received_power(radar.config(), d))
+            }
+            AttackKind::DelayInjection(spoofer) => {
+                if spoofer.evades_challenges() && !tx_on {
+                    return ChannelState::clean();
+                }
+                match target {
+                    Some(t) => {
+                        let true_power = radar.echo_power(t);
+                        ChannelState::spoofed(spoofer.counterfeit(t, true_power))
+                    }
+                    None => ChannelState::clean(),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argus_radar::config::RadarConfig;
+    use argus_sim::units::{Meters, MetersPerSecond, Seconds, Watts};
+
+    fn radar() -> Radar {
+        Radar::new(RadarConfig::bosch_lrr2())
+    }
+
+    fn target() -> RadarTarget {
+        RadarTarget::new(Meters(100.0), MetersPerSecond(-2.0), 10.0)
+    }
+
+    #[test]
+    fn benign_is_always_clean() {
+        let adv = Adversary::benign();
+        let ch = adv.channel_at(Step(0), true, Some(&target()), &radar());
+        assert_eq!(ch, ChannelState::clean());
+        assert!(!adv.active(Step(0)));
+    }
+
+    #[test]
+    fn dos_renders_interference_inside_window() {
+        let adv = Adversary::paper_dos();
+        let ch = adv.channel_at(Step(200), true, Some(&target()), &radar());
+        assert!(ch.interference.value() > 0.0);
+        assert!(ch.echoes.is_empty());
+    }
+
+    #[test]
+    fn dos_is_silent_outside_window() {
+        let adv = Adversary::paper_dos();
+        let ch = adv.channel_at(Step(100), true, Some(&target()), &radar());
+        assert_eq!(ch, ChannelState::clean());
+    }
+
+    #[test]
+    fn dos_persists_through_challenges() {
+        // tx off (challenge instant) — jamming continues → detectable.
+        let adv = Adversary::paper_dos();
+        let ch = adv.channel_at(Step(200), false, Some(&target()), &radar());
+        assert!(ch.interference.value() > 0.0);
+    }
+
+    #[test]
+    fn delay_renders_shifted_echo() {
+        let adv = Adversary::paper_delay();
+        let ch = adv.channel_at(Step(200), true, Some(&target()), &radar());
+        assert_eq!(ch.echoes.len(), 1);
+        assert!((ch.echoes[0].distance.value() - 106.0).abs() < 1e-9);
+        assert_eq!(ch.interference, Watts(0.0));
+    }
+
+    #[test]
+    fn physical_spoofer_persists_through_challenges() {
+        let adv = Adversary::paper_delay();
+        let ch = adv.channel_at(Step(200), false, Some(&target()), &radar());
+        assert_eq!(ch.echoes.len(), 1, "latency > 0 → replay keeps playing");
+    }
+
+    #[test]
+    fn zero_latency_spoofer_evades_challenges() {
+        let mut spoofer = DelaySpoofer::paper();
+        spoofer.reaction_latency = Seconds(0.0);
+        let adv = Adversary::new(
+            AttackKind::DelayInjection(spoofer),
+            AttackWindow::paper_delay(),
+        );
+        let during_tx = adv.channel_at(Step(200), true, Some(&target()), &radar());
+        let during_challenge = adv.channel_at(Step(200), false, Some(&target()), &radar());
+        assert_eq!(during_tx.echoes.len(), 1);
+        assert!(during_challenge.echoes.is_empty(), "evaded the challenge");
+    }
+
+    #[test]
+    fn delay_without_target_is_clean() {
+        let adv = Adversary::paper_delay();
+        let ch = adv.channel_at(Step(200), true, None, &radar());
+        assert_eq!(ch, ChannelState::clean());
+    }
+
+    #[test]
+    fn accessors() {
+        let adv = Adversary::paper_dos();
+        assert!(matches!(adv.kind(), AttackKind::Dos(_)));
+        assert_eq!(adv.window().start(), Step(182));
+    }
+}

@@ -1,0 +1,122 @@
+//! Delay-injection spoofing (paper §4.1).
+//!
+//! The attacker records the victim radar's chirp and replays it with an
+//! additional physical delay τ, creating the illusion that the target is
+//! `c·τ/2` farther away. The counterfeit "has similar characteristics as the
+//! original reflected signal, except with more delay" — we model it as an
+//! [`Echo`] at the shifted distance with a configurable power advantage over
+//! the genuine return (the replay hardware transmits actively, so it easily
+//! out-powers a passive reflection).
+//!
+//! Crucially, the attacker's receive–process–retransmit chain has a
+//! **non-zero reaction latency**: when the radar goes silent at a CRA
+//! challenge instant, the replay keeps playing for at least that latency.
+//! This is the §5.2 property the detector exploits. A hypothetical
+//! zero-latency adversary (the §7 limitation) can mute instantly and evade.
+
+use serde::{Deserialize, Serialize};
+
+use argus_radar::fmcw::FmcwWaveform;
+use argus_radar::target::{Echo, RadarTarget};
+use argus_sim::units::{Meters, Seconds, Watts};
+
+/// A replay spoofer injecting extra delay.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DelaySpoofer {
+    /// Extra apparent distance injected (paper: +6 m after k = 180).
+    pub extra_distance: Meters,
+    /// Power of the counterfeit relative to the genuine echo (linear).
+    pub power_advantage: f64,
+    /// Receive–process–retransmit latency of the attacker hardware. Must be
+    /// positive for a physical adversary; `0` models the paper's §7
+    /// limitation (an adversary faster than the defender).
+    pub reaction_latency: Seconds,
+}
+
+impl DelaySpoofer {
+    /// The paper's delay attack: +6 m illusion, comfortably stronger than
+    /// the true echo, with a 1 µs reaction latency.
+    pub fn paper() -> Self {
+        Self {
+            extra_distance: Meters(6.0),
+            power_advantage: 10.0,
+            reaction_latency: Seconds(1e-6),
+        }
+    }
+
+    /// The injected physical delay `τ = 2·Δd/c` for a given waveform.
+    pub fn injected_delay(&self, waveform: &FmcwWaveform) -> Seconds {
+        waveform.distance_to_delay(self.extra_distance)
+    }
+
+    /// `true` when this adversary reacts faster than the per-instant
+    /// challenge (zero latency) and can therefore mute during challenges.
+    pub fn evades_challenges(&self) -> bool {
+        self.reaction_latency.value() <= 0.0
+    }
+
+    /// Builds the counterfeit echo for the current true target.
+    ///
+    /// `true_echo_power` is the power of the genuine reflection (Eqn 9),
+    /// which the replay out-powers by `power_advantage`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power_advantage` is not strictly positive.
+    pub fn counterfeit(&self, target: &RadarTarget, true_echo_power: Watts) -> Echo {
+        assert!(
+            self.power_advantage > 0.0,
+            "power advantage must be positive"
+        );
+        Echo::new(
+            target.distance() + self.extra_distance,
+            target.range_rate(),
+            Watts(true_echo_power.value() * self.power_advantage),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argus_sim::units::MetersPerSecond;
+
+    #[test]
+    fn paper_spoofer_shifts_by_six_meters() {
+        let s = DelaySpoofer::paper();
+        let t = RadarTarget::new(Meters(100.0), MetersPerSecond(-2.0), 10.0);
+        let fake = s.counterfeit(&t, Watts(1e-12));
+        assert!((fake.distance.value() - 106.0).abs() < 1e-12);
+        assert_eq!(fake.range_rate.value(), -2.0);
+        assert!((fake.power.value() - 1e-11).abs() < 1e-24);
+    }
+
+    #[test]
+    fn injected_delay_matches_distance() {
+        let s = DelaySpoofer::paper();
+        let tau = s.injected_delay(&FmcwWaveform::paper());
+        // 6 m → 2·6/c = 40 ns.
+        assert!((tau.value() - 4.0e-8).abs() < 1e-10);
+    }
+
+    #[test]
+    fn physical_adversary_cannot_evade() {
+        assert!(!DelaySpoofer::paper().evades_challenges());
+    }
+
+    #[test]
+    fn zero_latency_adversary_evades() {
+        let mut s = DelaySpoofer::paper();
+        s.reaction_latency = Seconds(0.0);
+        assert!(s.evades_challenges());
+    }
+
+    #[test]
+    #[should_panic(expected = "power advantage must be positive")]
+    fn zero_power_advantage_rejected() {
+        let mut s = DelaySpoofer::paper();
+        s.power_advantage = 0.0;
+        let t = RadarTarget::new(Meters(50.0), MetersPerSecond(0.0), 10.0);
+        let _ = s.counterfeit(&t, Watts(1e-12));
+    }
+}

@@ -1,0 +1,180 @@
+//! Denial-of-Service by self-screening jamming (paper Eqns 10–11).
+//!
+//! The jammer rides on (or near) the target vehicle and floods the victim
+//! radar's band. Its power at the victim receiver follows the one-way link
+//! budget
+//!
+//! ```text
+//! P_jammer = P_J·G_J·λ²·G·B / ((4π)²·d²·B_J·L_J)      (Eqn 10)
+//! ```
+//!
+//! and the attack succeeds — the receiver is captured — when
+//! `P_r / P_jammer < 1` (Eqn 11).
+
+use serde::{Deserialize, Serialize};
+
+use argus_radar::config::RadarConfig;
+use argus_radar::target::RadarTarget;
+use argus_sim::units::{Decibels, Hertz, Meters, Watts};
+
+/// A self-screening barrage jammer.
+///
+/// ```
+/// use argus_attack::Jammer;
+/// use argus_radar::RadarConfig;
+/// use argus_sim::units::Meters;
+///
+/// // The paper's jammer captures the LRR2 at the 100 m engagement range.
+/// let jammer = Jammer::paper();
+/// let radar = RadarConfig::bosch_lrr2();
+/// assert!(jammer.succeeds(&radar, Meters(100.0), 10.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Jammer {
+    /// Peak transmit power `P_J` (paper: 100 mW).
+    pub power: Watts,
+    /// Antenna gain `G_J` (paper: 10 dBi).
+    pub antenna_gain: Decibels,
+    /// Operating bandwidth `B_J` (paper: 155 MHz).
+    pub bandwidth: Hertz,
+    /// Losses `L_J` (paper: 0.10 dB).
+    pub losses: Decibels,
+    /// Fallback jammer–victim distance when no target is present.
+    pub standoff: Meters,
+}
+
+impl Jammer {
+    /// The paper's jammer: `P_J` = 100 mW, `G_J` = 10 dBi,
+    /// `B_J` = 155 MHz, `L_J` = 0.10 dB.
+    pub fn paper() -> Self {
+        Self {
+            power: Watts::from_milliwatts(100.0),
+            antenna_gain: Decibels(10.0),
+            bandwidth: Hertz::from_mhz(155.0),
+            losses: Decibels(0.10),
+            standoff: Meters(100.0),
+        }
+    }
+
+    /// Jammer power delivered into the victim receiver at distance `d`
+    /// (Eqn 10). `radar` supplies λ, the victim antenna gain `G` and the
+    /// victim bandwidth `B`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d` is not strictly positive.
+    pub fn received_power(&self, radar: &RadarConfig, d: Meters) -> Watts {
+        assert!(d.value() > 0.0, "jammer distance must be positive");
+        let lambda = radar.waveform.wavelength().value();
+        let g_victim = radar.antenna_gain.to_linear();
+        let g_jam = self.antenna_gain.to_linear();
+        let four_pi_sq = (4.0 * std::f64::consts::PI).powi(2);
+        let num = self.power.value()
+            * g_jam
+            * lambda
+            * lambda
+            * g_victim
+            * radar.waveform.sweep_bandwidth().value();
+        let den = four_pi_sq
+            * d.value()
+            * d.value()
+            * self.bandwidth.value()
+            * self.losses.to_linear();
+        Watts(num / den)
+    }
+
+    /// The Eqn 11 ratio `P_r / P_jammer` for a target of cross-section
+    /// `rcs` at distance `d`. Below unity the attack captures the receiver.
+    pub fn power_ratio(&self, radar: &RadarConfig, d: Meters, rcs: f64) -> f64 {
+        let echo = argus_radar::power::received_power(
+            radar.tx_power,
+            radar.antenna_gain,
+            radar.waveform.wavelength(),
+            rcs,
+            d,
+            radar.losses,
+        );
+        echo.value() / self.received_power(radar, d).value()
+    }
+
+    /// `true` when jamming a target at `d` succeeds per Eqn 11.
+    pub fn succeeds(&self, radar: &RadarConfig, d: Meters, rcs: f64) -> bool {
+        self.power_ratio(radar, d, rcs) < 1.0
+    }
+
+    /// Distance used for the jammer–victim link given an optional target
+    /// (self-screening: the jammer rides on the target vehicle).
+    pub fn link_distance(&self, target: Option<&RadarTarget>) -> Meters {
+        target.map_or(self.standoff, |t| t.distance())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_jammer_overwhelms_echo_at_100m() {
+        let j = Jammer::paper();
+        let radar = RadarConfig::bosch_lrr2();
+        let ratio = j.power_ratio(&radar, Meters(100.0), 10.0);
+        assert!(ratio < 1.0, "ratio {ratio} should be < 1 (attack succeeds)");
+        assert!(j.succeeds(&radar, Meters(100.0), 10.0));
+    }
+
+    #[test]
+    fn jammer_power_magnitude() {
+        // Order of magnitude with the paper's parameters at 100 m: nanowatts.
+        let j = Jammer::paper();
+        let radar = RadarConfig::bosch_lrr2();
+        let p = j.received_power(&radar, Meters(100.0));
+        assert!(
+            p.value() > 1e-10 && p.value() < 1e-7,
+            "P_jammer = {:e}",
+            p.value()
+        );
+    }
+
+    #[test]
+    fn inverse_square_law() {
+        let j = Jammer::paper();
+        let radar = RadarConfig::bosch_lrr2();
+        let p50 = j.received_power(&radar, Meters(50.0));
+        let p100 = j.received_power(&radar, Meters(100.0));
+        assert!((p50.value() / p100.value() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_improves_for_radar_at_close_range() {
+        // Echo falls as d⁻⁴ but jamming only as d⁻²: the echo *gains* on the
+        // jammer as range shrinks (classic burn-through behaviour).
+        let j = Jammer::paper();
+        let radar = RadarConfig::bosch_lrr2();
+        let near = j.power_ratio(&radar, Meters(5.0), 10.0);
+        let far = j.power_ratio(&radar, Meters(150.0), 10.0);
+        assert!(near > far);
+    }
+
+    #[test]
+    fn weak_jammer_fails() {
+        let mut j = Jammer::paper();
+        j.power = Watts(1e-9);
+        let radar = RadarConfig::bosch_lrr2();
+        assert!(!j.succeeds(&radar, Meters(10.0), 10.0));
+    }
+
+    #[test]
+    fn link_distance_prefers_target() {
+        let j = Jammer::paper();
+        let t = RadarTarget::new(Meters(42.0), argus_sim::units::MetersPerSecond(0.0), 10.0);
+        assert_eq!(j.link_distance(Some(&t)).value(), 42.0);
+        assert_eq!(j.link_distance(None).value(), 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "jammer distance must be positive")]
+    fn zero_distance_rejected() {
+        let j = Jammer::paper();
+        let _ = j.received_power(&RadarConfig::bosch_lrr2(), Meters(0.0));
+    }
+}

@@ -1,0 +1,28 @@
+//! # argus-attack — adversary models for active automotive sensors
+//!
+//! Implements the paper's §4 attack model: a non-invasive remote attacker in
+//! the vicinity of the victim vehicle who targets the external active
+//! sensors.
+//!
+//! * [`jammer`] — Denial-of-Service by self-screening jamming: jammer
+//!   received power (Eqn 10) and the success criterion `P_r/P_jammer < 1`
+//!   (Eqn 11).
+//! * [`delay`] — delay-injection spoofing: a counterfeit echo with extra
+//!   physical delay that makes the target appear farther away, including the
+//!   attacker's unavoidable reaction latency that CRA exploits (§5.2).
+//! * [`schedule`] — attack windows `[k₁, kₙ]` over the simulation timeline.
+//! * [`adversary`] — composition: which attack, when, and how it renders
+//!   into the radar's [`ChannelState`](argus_radar::ChannelState) each step.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod adversary;
+pub mod delay;
+pub mod jammer;
+pub mod schedule;
+
+pub use adversary::{Adversary, AttackKind};
+pub use delay::DelaySpoofer;
+pub use jammer::Jammer;
+pub use schedule::AttackWindow;

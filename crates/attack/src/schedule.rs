@@ -1,0 +1,120 @@
+//! Attack windows over the simulation timeline.
+//!
+//! The paper's problem definition (§5.1) considers attacks over a finite
+//! interval `[k₁, kₙ]`, `k₁ ≠ 0`, `kₙ < ∞`; the case study attacks from
+//! k = 182 s (DoS) / 180 s (delay onset) to the end of the 300 s run.
+
+use serde::{Deserialize, Serialize};
+
+use argus_sim::time::Step;
+
+/// An inclusive step interval `[start, end]` during which an attack is live.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AttackWindow {
+    start: Step,
+    end: Step,
+}
+
+impl AttackWindow {
+    /// Creates a window covering `[start, end]` inclusive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end`.
+    pub fn new(start: Step, end: Step) -> Self {
+        assert!(start <= end, "attack window inverted: {start} > {end}");
+        Self { start, end }
+    }
+
+    /// An open-ended window starting at `start`.
+    pub fn from_step(start: Step) -> Self {
+        Self {
+            start,
+            end: Step(u64::MAX),
+        }
+    }
+
+    /// The paper's DoS window: k = 182 … 300.
+    pub fn paper_dos() -> Self {
+        Self::new(Step(182), Step(300))
+    }
+
+    /// The paper's delay-injection window: counterfeit returns begin at
+    /// k = 180 (detected at the next challenge, k = 182).
+    pub fn paper_delay() -> Self {
+        Self::new(Step(180), Step(300))
+    }
+
+    /// First attacked step.
+    pub fn start(&self) -> Step {
+        self.start
+    }
+
+    /// Last attacked step.
+    pub fn end(&self) -> Step {
+        self.end
+    }
+
+    /// `true` while the attack is live.
+    pub fn active(&self, k: Step) -> bool {
+        k >= self.start && k <= self.end
+    }
+
+    /// Number of steps in the window (saturating for open-ended windows).
+    pub fn len(&self) -> u64 {
+        self.end.0.saturating_sub(self.start.0).saturating_add(1)
+    }
+
+    /// Windows are never empty by construction.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership() {
+        let w = AttackWindow::new(Step(10), Step(20));
+        assert!(!w.active(Step(9)));
+        assert!(w.active(Step(10)));
+        assert!(w.active(Step(15)));
+        assert!(w.active(Step(20)));
+        assert!(!w.active(Step(21)));
+    }
+
+    #[test]
+    fn paper_windows() {
+        let dos = AttackWindow::paper_dos();
+        assert!(dos.active(Step(182)));
+        assert!(!dos.active(Step(181)));
+        assert!(dos.active(Step(300)));
+        assert_eq!(dos.len(), 119);
+
+        let delay = AttackWindow::paper_delay();
+        assert!(delay.active(Step(180)));
+    }
+
+    #[test]
+    fn open_ended() {
+        let w = AttackWindow::from_step(Step(5));
+        assert!(w.active(Step(1_000_000)));
+        assert!(!w.active(Step(4)));
+    }
+
+    #[test]
+    fn single_step_window() {
+        let w = AttackWindow::new(Step(7), Step(7));
+        assert!(w.active(Step(7)));
+        assert_eq!(w.len(), 1);
+        assert!(!w.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "attack window inverted")]
+    fn inverted_window_rejected() {
+        let _ = AttackWindow::new(Step(10), Step(5));
+    }
+}

@@ -1,0 +1,65 @@
+//! End-to-end cost of the closed loop: a full 301-step scenario run
+//! (vehicles + radar + attacker + defense) and the per-observation radar
+//! cost at both measurement fidelities.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use argus_attack::Adversary;
+use argus_core::scenario::{Scenario, ScenarioConfig};
+use argus_radar::prelude::*;
+use argus_sim::prelude::*;
+use argus_vehicle::LeaderProfile;
+
+fn bench_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenario_301_steps");
+    group.sample_size(20);
+    let cases = [
+        ("benign_defended", Adversary::benign(), true),
+        ("dos_defended", Adversary::paper_dos(), true),
+        ("dos_undefended", Adversary::paper_dos(), false),
+        ("delay_defended", Adversary::paper_delay(), true),
+    ];
+    for (name, adversary, defended) in cases {
+        group.bench_function(name, |b| {
+            let scenario = Scenario::new(ScenarioConfig::paper(
+                LeaderProfile::paper_constant_decel(),
+                adversary,
+                defended,
+            ));
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                black_box(scenario.run(black_box(seed)))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_radar_observe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("radar_observe");
+    let target = RadarTarget::new(Meters(100.0), MetersPerSecond(-2.0), 10.0);
+    group.bench_function("analytic", |b| {
+        let radar = Radar::new(RadarConfig::bosch_lrr2());
+        let mut rng = SimRng::seed_from(1);
+        b.iter(|| {
+            black_box(radar.observe(true, Some(&target), &ChannelState::clean(), &mut rng))
+        });
+    });
+    group.bench_function("signal_rootmusic", |b| {
+        let radar = Radar::new(RadarConfig::bosch_lrr2_signal());
+        let mut rng = SimRng::seed_from(1);
+        b.iter(|| {
+            black_box(radar.observe(true, Some(&target), &ChannelState::clean(), &mut rng))
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_scenarios, bench_radar_observe
+}
+criterion_main!(benches);

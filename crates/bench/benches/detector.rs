@@ -1,0 +1,59 @@
+//! Throughput of the detection layer: CRA comparator updates, LFSR bit
+//! generation, challenge-schedule membership, and the χ² baseline detector.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use argus_cra::{ChallengeSchedule, CraDetector, Lfsr};
+use argus_estim::ChiSquareDetector;
+use argus_sim::time::Step;
+use argus_sim::units::Watts;
+
+fn bench_cra(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cra");
+    group.bench_function("detector_update", |b| {
+        let mut det = CraDetector::new(ChallengeSchedule::paper(), Watts(1e-13));
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % 301;
+            black_box(det.update(Step(k), black_box(Watts(1e-16))))
+        });
+    });
+    group.bench_function("schedule_membership", |b| {
+        let sched = ChallengeSchedule::paper();
+        let mut k = 0u64;
+        b.iter(|| {
+            k = (k + 1) % 301;
+            black_box(sched.is_challenge(Step(k)))
+        });
+    });
+    group.bench_function("lfsr16_bit", |b| {
+        let mut lfsr = Lfsr::maximal(16, 0xACE1).unwrap();
+        b.iter(|| black_box(lfsr.next_bit()));
+    });
+    group.bench_function("pseudorandom_schedule_10k", |b| {
+        b.iter(|| {
+            let lfsr = Lfsr::maximal(32, 12345).unwrap();
+            black_box(ChallengeSchedule::pseudorandom(lfsr, 10_000, 0.05))
+        });
+    });
+    group.finish();
+}
+
+fn bench_chi2(c: &mut Criterion) {
+    c.bench_function("chi2_detector_push", |b| {
+        let mut det = ChiSquareDetector::with_false_alarm_rate(20, 1.0, 1e-3).unwrap();
+        let mut x = 0.0f64;
+        b.iter(|| {
+            x += 0.001;
+            black_box(det.push(black_box(x.sin())))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(60);
+    targets = bench_cra, bench_chi2
+}
+criterion_main!(benches);

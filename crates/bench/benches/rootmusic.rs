@@ -1,0 +1,87 @@
+//! Cost of the radar's beat-frequency extraction chain: sample covariance,
+//! Hermitian eigendecomposition, root-MUSIC polynomial rooting, and the
+//! FFT-periodogram baseline it is compared against.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use argus_dsp::prelude::*;
+use nalgebra::Complex;
+
+fn tone_signal(n: usize) -> Vec<Complex<f64>> {
+    (0..n)
+        .map(|t| {
+            Complex::from_polar(1.0, 1.283 * t as f64)
+                + Complex::new(
+                    0.01 * (t as f64 * 0.37).sin(),
+                    0.01 * (t as f64 * 0.73).cos(),
+                )
+        })
+        .collect()
+}
+
+fn bench_extraction(c: &mut Criterion) {
+    let signal = tone_signal(128);
+    let mut group = c.benchmark_group("beat_extraction");
+    for window in [6usize, 8, 12, 16] {
+        group.bench_with_input(BenchmarkId::new("rootmusic", window), &window, |b, &m| {
+            b.iter(|| {
+                let cov = SampleCovariance::builder(m)
+                    .build(black_box(&signal))
+                    .unwrap();
+                black_box(RootMusic::new(1).estimate(&cov).unwrap())
+            });
+        });
+    }
+    group.bench_function("periodogram_1024", |b| {
+        b.iter(|| {
+            let pg = Periodogram::compute(black_box(&signal), Window::Hann, 1024).unwrap();
+            black_box(pg.estimate_frequencies(1, 4).unwrap())
+        });
+    });
+    group.bench_function("music_grid_4096", |b| {
+        let cov = SampleCovariance::builder(8).build(&signal).unwrap();
+        b.iter(|| {
+            let spectrum = MusicSpectrum::compute(black_box(&cov), 1, 4096).unwrap();
+            black_box(spectrum.peaks())
+        });
+    });
+    group.finish();
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let signal = tone_signal(128);
+    let cov = SampleCovariance::builder(8).build(&signal).unwrap();
+    let mut group = c.benchmark_group("dsp_kernels");
+    group.bench_function("covariance_m8_n128", |b| {
+        b.iter(|| {
+            black_box(
+                SampleCovariance::builder(8)
+                    .build(black_box(&signal))
+                    .unwrap(),
+            )
+        });
+    });
+    group.bench_function("hermitian_eigen_8x8", |b| {
+        b.iter(|| black_box(HermitianEigen::new(black_box(cov.matrix()), 1e-6).unwrap()));
+    });
+    group.bench_function("fft_1024", |b| {
+        let buf: Vec<Complex<f64>> = tone_signal(1024);
+        b.iter(|| black_box(argus_dsp::fft::fft(black_box(&buf)).unwrap()));
+    });
+    group.bench_function("polynomial_roots_deg14", |b| {
+        let roots: Vec<Complex<f64>> = (0..14)
+            .map(|k| Complex::from_polar(0.7 + 0.02 * k as f64, 0.43 * k as f64))
+            .collect();
+        let poly = Polynomial::from_roots(&roots);
+        b.iter(|| black_box(poly.roots().unwrap()));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(40);
+    targets = bench_extraction, bench_kernels
+}
+criterion_main!(benches);

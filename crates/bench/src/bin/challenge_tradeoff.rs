@@ -1,0 +1,79 @@
+//! Challenge-rate trade-off: detection latency vs. sensing availability.
+//!
+//! Every challenge instant costs one radar sample (the transmitter is
+//! silent), but the worst-case detection latency is the largest gap
+//! between consecutive challenges. This harness sweeps the pseudo-random
+//! challenge rate and reports both sides of the trade — the design
+//! dimension behind the paper's choice of "random times" for probing.
+//!
+//! ```sh
+//! cargo run -p argus-bench --bin challenge_tradeoff
+//! ```
+
+use argus_attack::{Adversary, AttackKind, AttackWindow, Jammer};
+use argus_cra::{ChallengeSchedule, CraDetector, Lfsr};
+use argus_radar::prelude::*;
+use argus_sim::prelude::*;
+use argus_sim::time::Step;
+
+const HORIZON: u64 = 300;
+
+fn measured_latency(schedule: &ChallengeSchedule, onset: u64, seed: u64) -> Option<u64> {
+    let radar = Radar::new(RadarConfig::bosch_lrr2());
+    let mut detector = CraDetector::new(schedule.clone(), radar.config().detection_threshold);
+    let adversary = Adversary::new(
+        AttackKind::Dos(Jammer::paper()),
+        AttackWindow::from_step(Step(onset)),
+    );
+    let target = RadarTarget::new(Meters(90.0), MetersPerSecond(-1.0), 10.0);
+    let mut rng = SimRng::seed_from(seed);
+    for k in 0..HORIZON {
+        let k = Step(k);
+        let tx_on = detector.tx_on(k);
+        let channel = adversary.channel_at(k, tx_on, Some(&target), &radar);
+        let obs = radar.observe(tx_on, Some(&target), &channel, &mut rng);
+        detector.update(k, obs.received_power);
+    }
+    detector.first_detection().map(|d| d.0 - onset)
+}
+
+fn main() {
+    println!(
+        "{:>8} {:>12} {:>16} {:>16} {:>18}",
+        "rate", "challenges", "avail. loss", "worst-case lat.", "mean measured lat."
+    );
+    for rate in [0.01, 0.02, 0.05, 0.10, 0.20, 0.40] {
+        let schedule = ChallengeSchedule::pseudorandom(
+            Lfsr::maximal(32, 0xC0FFEE).unwrap(),
+            HORIZON as usize,
+            rate,
+        );
+        let worst = schedule
+            .max_detection_latency(Step(HORIZON))
+            .unwrap_or(HORIZON);
+        // Measure actual latency over many onsets.
+        let mut total = 0u64;
+        let mut n = 0u64;
+        for onset in (10..250).step_by(7) {
+            if let Some(l) = measured_latency(&schedule, onset, onset * 3 + 1) {
+                total += l;
+                n += 1;
+            }
+        }
+        println!(
+            "{:>8.2} {:>12} {:>15.1}% {:>14} s {:>16.1} s",
+            rate,
+            schedule.len(),
+            100.0 * schedule.len() as f64 / HORIZON as f64,
+            worst,
+            total as f64 / n.max(1) as f64,
+        );
+    }
+    println!(
+        "\nAvailability loss is the fraction of samples sacrificed to \n\
+         challenges; the mean measured latency tracks ~1/(2·rate) and the \n\
+         worst case is the largest inter-challenge gap. The paper's figure \n\
+         schedule (11 challenges / 301 s ≈ 3.7%) detects its k=182 attacks \n\
+         within 0–2 s because a challenge lands at k=182."
+    );
+}

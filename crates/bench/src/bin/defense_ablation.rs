@@ -1,0 +1,58 @@
+//! Defense ablation (experiment E8 of DESIGN.md): minimum true gap and
+//! collision outcome with the CRA + RLS defense on vs. off, for both attack
+//! types and both leader profiles, plus the §7 limitation — a hypothetical
+//! zero-latency adversary evades CRA.
+//!
+//! ```sh
+//! cargo run -p argus-bench --bin defense_ablation
+//! ```
+
+use argus_attack::{Adversary, AttackKind, AttackWindow, DelaySpoofer};
+use argus_core::scenario::{Scenario, ScenarioConfig};
+use argus_core::Experiment;
+use argus_sim::units::Seconds;
+
+fn main() {
+    println!(
+        "{:<8} {:<11} {:>14} {:>12} {:>14} {:>12}",
+        "exp", "attack", "min gap (def)", "collided", "min gap (raw)", "collided"
+    );
+    for exp in Experiment::all() {
+        let outcome = exp.run(42);
+        let attack = match exp.adversary().kind() {
+            AttackKind::Dos(_) => "DoS",
+            AttackKind::DelayInjection(_) => "delay",
+            AttackKind::None => "none",
+        };
+        println!(
+            "{:<8} {:<11} {:>12.2} m {:>12} {:>12.2} m {:>12}",
+            exp.id,
+            attack,
+            outcome.defended.metrics.min_gap,
+            outcome.defended.metrics.collided,
+            outcome.undefended.metrics.min_gap,
+            outcome.undefended.metrics.collided,
+        );
+    }
+
+    // §7 limitation: an adversary faster than the defender (zero reaction
+    // latency) mutes during challenges and is never detected.
+    let mut spoofer = DelaySpoofer::paper();
+    spoofer.reaction_latency = Seconds(0.0);
+    let evader = Adversary::new(
+        AttackKind::DelayInjection(spoofer),
+        AttackWindow::paper_delay(),
+    );
+    let result = Scenario::new(ScenarioConfig::paper(
+        argus_vehicle::LeaderProfile::paper_constant_decel(),
+        evader,
+        true,
+    ))
+    .run(42);
+    println!(
+        "\n§7 limitation — zero-latency spoofer vs CRA: detection = {:?} \
+         (expected none), false negatives at challenges = {}",
+        result.metrics.detection_step.map(|s| s.0),
+        result.metrics.confusion.false_negatives
+    );
+}

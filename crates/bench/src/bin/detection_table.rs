@@ -1,0 +1,76 @@
+//! Regenerates the paper's §6.2 detection results as a table: detection
+//! step, latency, and false-positive / false-negative counts for every
+//! figure experiment, Monte-Carlo'd over 20 seeds (experiment E5 of
+//! DESIGN.md — the paper's "no false positives or false negatives" claim).
+//!
+//! ```sh
+//! cargo run -p argus-bench --bin detection_table
+//! ```
+
+use argus_bench::MONTE_CARLO_SEEDS;
+use argus_core::Experiment;
+
+fn main() {
+    println!(
+        "{:<8} {:>6} {:>10} {:>9} {:>6} {:>6} {:>10} {:>12}",
+        "exp", "seeds", "detect@", "latency", "FP", "FN", "collisions", "worst rmse"
+    );
+    let mut total_fp = 0;
+    let mut total_fn = 0;
+    for exp in Experiment::all() {
+        let mut detect_steps = Vec::new();
+        let mut latencies = Vec::new();
+        let mut fp = 0;
+        let mut fne = 0;
+        let mut collisions = 0;
+        let mut worst_rmse: f64 = 0.0;
+        for &seed in &MONTE_CARLO_SEEDS {
+            let outcome = exp.run(seed);
+            let m = &outcome.defended.metrics;
+            if let Some(s) = m.detection_step {
+                detect_steps.push(s.0);
+            }
+            if let Some(l) = m.detection_latency {
+                latencies.push(l);
+            }
+            fp += m.confusion.false_positives;
+            fne += m.confusion.false_negatives;
+            collisions += u64::from(m.collided);
+            if let Some(r) = m.attack_window_distance_rmse {
+                worst_rmse = worst_rmse.max(r);
+            }
+        }
+        detect_steps.sort_unstable();
+        detect_steps.dedup();
+        let detect = if detect_steps.len() == 1 {
+            format!("k={}", detect_steps[0])
+        } else {
+            format!("{detect_steps:?}")
+        };
+        let latency = if latencies.is_empty() {
+            "-".to_string()
+        } else {
+            format!(
+                "{}..{} s",
+                latencies.iter().min().unwrap(),
+                latencies.iter().max().unwrap()
+            )
+        };
+        println!(
+            "{:<8} {:>6} {:>10} {:>9} {:>6} {:>6} {:>10} {:>10.2} m",
+            exp.id,
+            MONTE_CARLO_SEEDS.len(),
+            detect,
+            latency,
+            fp,
+            fne,
+            collisions,
+            worst_rmse
+        );
+        total_fp += fp;
+        total_fn += fne;
+    }
+    println!(
+        "\npaper claim: zero false positives and zero false negatives — measured FP={total_fp} FN={total_fn}"
+    );
+}

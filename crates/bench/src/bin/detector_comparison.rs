@@ -1,0 +1,118 @@
+//! CRA vs. χ²-residual detection (the paper's §2 comparison against
+//! PyCRA-style detectors \[10\]).
+//!
+//! CRA decides instantly and perfectly at challenge instants but needs the
+//! transmitter modification and only decides *at* challenges; the χ²
+//! detector needs no hardware change but trades detection latency against
+//! false alarms through its threshold. This harness measures both on the
+//! same delay-injection scenario across seeds and χ² false-alarm settings.
+//!
+//! ```sh
+//! cargo run -p argus-bench --bin detector_comparison
+//! ```
+
+use argus_attack::Adversary;
+use argus_bench::MONTE_CARLO_SEEDS;
+use argus_core::scenario::{Scenario, ScenarioConfig};
+use argus_estim::ChiSquareDetector;
+use argus_vehicle::LeaderProfile;
+
+fn main() {
+    println!("Delay-injection attack (+6 m from k = 180), 20 seeds\n");
+
+    // CRA row: from the defended scenario runs.
+    let mut cra_latencies = Vec::new();
+    let mut cra_fp = 0u64;
+    for &seed in &MONTE_CARLO_SEEDS {
+        let r = Scenario::new(ScenarioConfig::paper(
+            LeaderProfile::paper_constant_decel(),
+            Adversary::paper_delay(),
+            true,
+        ))
+        .run(seed);
+        if let Some(l) = r.metrics.detection_latency {
+            cra_latencies.push(l as f64);
+        }
+        cra_fp += r.metrics.confusion.false_positives;
+    }
+    let cra_mean =
+        cra_latencies.iter().sum::<f64>() / cra_latencies.len().max(1) as f64;
+    println!(
+        "{:<28} {:>14} {:>16} {:>18}",
+        "detector", "mean latency", "detection rate", "false alarms/run"
+    );
+    println!(
+        "{:<28} {:>12.1} s {:>15.0}% {:>18.2}",
+        "CRA (paper)",
+        cra_mean,
+        100.0 * cra_latencies.len() as f64 / MONTE_CARLO_SEEDS.len() as f64,
+        cra_fp as f64 / MONTE_CARLO_SEEDS.len() as f64,
+    );
+
+    // χ² rows: the PyCRA recipe — monitor the *innovations* of an estimator
+    // tracking the measured distance stream (no oracle access to truth).
+    for fa in [1e-2, 1e-3, 1e-4] {
+        let mut latencies = Vec::new();
+        let mut detections = 0usize;
+        let mut false_alarms = 0u64;
+        for &seed in &MONTE_CARLO_SEEDS {
+            let r = Scenario::new(ScenarioConfig::paper(
+                LeaderProfile::paper_constant_decel(),
+                Adversary::paper_delay(),
+                false,
+            ))
+            .run(seed);
+            let d = r.series("d_radar");
+            let sigma = 0.5; // the scenario's distance-noise σ
+            // Innovation variance ≈ R + tracking slack; calibrated on the
+            // clean prefix would give ~1.3·σ², we use that factor.
+            let innovation_var = 1.3 * sigma * sigma;
+            let mut chi =
+                ChiSquareDetector::with_false_alarm_rate(10, innovation_var, fa).unwrap();
+            let mut kf = argus_estim::KalmanFilter::constant_velocity(
+                1.0,
+                1e-3,
+                sigma * sigma,
+                d[0],
+                -0.5,
+            )
+            .unwrap();
+            let mut detected = None;
+            for (k, &y) in d.iter().enumerate() {
+                if y == 0.0 {
+                    continue; // challenge spike (no sample)
+                }
+                kf.predict(&nalgebra::DVector::zeros(1));
+                let innovation = y - kf.predicted_measurement()[0];
+                kf.update(&nalgebra::DVector::from_vec(vec![y]));
+                let alarm = chi.push(innovation);
+                if alarm {
+                    if k < 180 {
+                        false_alarms += 1;
+                        chi.reset();
+                    } else if detected.is_none() {
+                        detected = Some(k);
+                    }
+                }
+            }
+            if let Some(k) = detected {
+                detections += 1;
+                latencies.push((k as f64 - 180.0).max(0.0));
+            }
+        }
+        let mean = latencies.iter().sum::<f64>() / latencies.len().max(1) as f64;
+        println!(
+            "{:<28} {:>12.1} s {:>15.0}% {:>18.2}",
+            format!("chi-square (Pfa={fa:.0e})"),
+            mean,
+            100.0 * detections as f64 / MONTE_CARLO_SEEDS.len() as f64,
+            false_alarms as f64 / MONTE_CARLO_SEEDS.len() as f64,
+        );
+    }
+    println!(
+        "\nShape: CRA detects at the first challenge (bounded by the schedule, \n\
+         here 2 s) with zero false alarms; the χ² baseline's latency and \n\
+         false-alarm rate move together with its threshold — the trade-off \n\
+         the paper's related-work section draws."
+    );
+}

@@ -1,0 +1,152 @@
+//! Estimator ablation (DESIGN.md §3 "RLS regressor"): free-run accuracy of
+//! the candidate predictors over the paper's attack windows.
+//!
+//! Compares the pipeline's RLS local-trend fit against the AR(4) RLS
+//! predictor and a constant-velocity Kalman tracker on the two leader
+//! profiles, measuring worst velocity error and worst integrated distance
+//! error over the 118-step free run (the quantity that decides collision
+//! or no collision).
+//!
+//! ```sh
+//! cargo run -p argus-bench --bin estimator_ablation
+//! ```
+
+use argus_estim::predictor::StreamPredictor;
+use argus_estim::{HoltPredictor, KalmanFilter, SensorPredictor, TrendPredictor};
+use argus_sim::prelude::*;
+use nalgebra::DVector;
+
+/// Leader-speed truth for the two figure profiles.
+fn truth(profile: &str, k: f64) -> f64 {
+    match profile {
+        "fig2 (constant decel)" => (29.06 - 0.1082 * k).max(0.0),
+        _ => {
+            if k < 100.0 {
+                29.06 - 0.1082 * k
+            } else {
+                (29.06 - 10.82) + 0.012 * (k - 100.0)
+            }
+        }
+    }
+}
+
+/// Worst velocity error and worst |integrated| distance error over the
+/// free-run window 182..300.
+fn score(mut predict: impl FnMut() -> f64, profile: &str) -> (f64, f64) {
+    let mut worst_v = 0.0f64;
+    let mut d_err = 0.0f64;
+    let mut worst_d = 0.0f64;
+    for k in 182..300 {
+        let e = predict().max(0.0) - truth(profile, k as f64);
+        worst_v = worst_v.max(e.abs());
+        d_err += e;
+        worst_d = worst_d.max(d_err.abs());
+    }
+    (worst_v, worst_d)
+}
+
+fn main() {
+    println!(
+        "{:<24} {:<18} {:>12} {:>14}",
+        "profile", "estimator", "worst v err", "worst d drift"
+    );
+    for profile in ["fig2 (constant decel)", "fig3 (decel+accel)"] {
+        for seed in [1u64] {
+            let mut rng = SimRng::seed_from(seed).substream("ablation");
+            let noise = Gaussian::new(0.0, 0.02);
+            let samples: Vec<f64> = (0..182)
+                .map(|k| truth(profile, k as f64) + noise.sample(&mut rng))
+                .collect();
+
+            // RLS local trend (the pipeline's choice).
+            let mut trend = TrendPredictor::paper().unwrap();
+            for &y in &samples {
+                trend.observe(y);
+            }
+            let (v, d) = score(|| trend.predict_next().unwrap(), profile);
+            println!("{profile:<24} {:<18} {v:>10.3} m/s {d:>12.2} m", "RLS trend");
+
+            // AR(4) RLS free-run.
+            let mut ar = SensorPredictor::paper().unwrap();
+            for &y in &samples {
+                ar.observe(y);
+            }
+            let (v, d) = score(|| ar.predict_next().unwrap(), profile);
+            println!("{profile:<24} {:<18} {v:>10.3} m/s {d:>12.2} m", "RLS AR(4)");
+
+            // Holt double exponential smoothing.
+            let mut holt = HoltPredictor::paper_equivalent().unwrap();
+            for &y in &samples {
+                holt.observe(y);
+            }
+            let (v, d) = score(|| holt.predict_next().unwrap(), profile);
+            println!("{profile:<24} {:<18} {v:>10.3} m/s {d:>12.2} m", "Holt (α,β)");
+
+            // Constant-velocity Kalman tracker, then pure prediction.
+            let mut kf =
+                KalmanFilter::constant_velocity(1.0, 1e-5, 0.02 * 0.02, samples[0], -0.1)
+                    .unwrap();
+            for &y in &samples {
+                kf.predict(&DVector::zeros(1));
+                kf.update(&DVector::from_vec(vec![y]));
+            }
+            let (v, d) = score(
+                || {
+                    kf.predict(&DVector::zeros(1));
+                    kf.state()[0]
+                },
+                profile,
+            );
+            println!("{profile:<24} {:<18} {v:>10.3} m/s {d:>12.2} m", "Kalman CV");
+        }
+        println!();
+    }
+    println!(
+        "The pipeline uses the RLS trend fit: the AR free-run can destabilize \n\
+         on noisy data and the Kalman CV tracker trades slope-noise against \n\
+         break-adaptation exactly like the trend fit, without being the \n\
+         paper's RLS.\n"
+    );
+
+    // Closed-loop consequences: run the defended DoS scenarios with each
+    // pluggable predictor.
+    use argus_attack::Adversary;
+    use argus_core::scenario::{Scenario, ScenarioConfig};
+    use argus_core::PredictorKind;
+    use argus_vehicle::LeaderProfile;
+
+    println!(
+        "Closed loop (DoS, 5 seeds): {:<10} {:>12} {:>12} {:>12}",
+        "predictor", "collisions", "worst rmse", "min gap"
+    );
+    for (name, profile) in [
+        ("fig2a", LeaderProfile::paper_constant_decel()),
+        ("fig3a", LeaderProfile::paper_decel_then_accel(argus_sim::Step(100))),
+    ] {
+        for kind in [
+            PredictorKind::RlsTrend,
+            PredictorKind::RlsAr4,
+            PredictorKind::Holt,
+        ] {
+            let mut collisions = 0u32;
+            let mut worst_rmse: f64 = 0.0;
+            let mut min_gap = f64::MAX;
+            for seed in [1u64, 7, 42, 101, 9999] {
+                let r = Scenario::new(
+                    ScenarioConfig::paper(profile.clone(), Adversary::paper_dos(), true)
+                        .with_predictor(kind),
+                )
+                .run(seed);
+                collisions += u32::from(r.metrics.collided);
+                if let Some(e) = r.metrics.attack_window_distance_rmse {
+                    worst_rmse = worst_rmse.max(e);
+                }
+                min_gap = min_gap.min(r.metrics.min_gap);
+            }
+            println!(
+                "{name} closed loop:        {:<10?} {collisions:>12} {worst_rmse:>10.2} m {min_gap:>10.2} m",
+                kind
+            );
+        }
+    }
+}

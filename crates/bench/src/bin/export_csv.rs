@@ -1,0 +1,36 @@
+//! Exports every figure experiment's full trace set as CSV for external
+//! plotting (one file per run, `argus_<exp>_<run>.csv` in the working
+//! directory or the directory given as the first argument).
+//!
+//! ```sh
+//! cargo run -p argus-bench --bin export_csv -- /tmp
+//! ```
+
+use std::fs::File;
+use std::io::BufWriter;
+use std::path::PathBuf;
+
+use argus_core::Experiment;
+
+fn main() -> std::io::Result<()> {
+    let dir: PathBuf = std::env::args().nth(1).unwrap_or_else(|| ".".into()).into();
+    std::fs::create_dir_all(&dir)?;
+    for exp in Experiment::all() {
+        let outcome = exp.run(42);
+        for (run, result) in [
+            ("benign", &outcome.benign),
+            ("defended", &outcome.defended),
+            ("undefended", &outcome.undefended),
+        ] {
+            let path = dir.join(format!("argus_{}_{run}.csv", exp.id));
+            let file = BufWriter::new(File::create(&path)?);
+            result.traces.write_csv(file)?;
+            println!(
+                "wrote {} ({} steps)",
+                path.display(),
+                result.series("gap_true").len()
+            );
+        }
+    }
+    Ok(())
+}

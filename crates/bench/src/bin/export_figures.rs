@@ -1,0 +1,43 @@
+//! Renders the paper's Figures 2–3 as SVG files (distance and velocity
+//! panels per experiment) into the working directory or the directory
+//! given as the first argument.
+//!
+//! ```sh
+//! cargo run --release -p argus-bench --bin export_figures -- /tmp/figures
+//! ```
+
+use std::path::PathBuf;
+
+use argus_core::plot::figure_svg;
+use argus_core::Experiment;
+
+fn main() -> std::io::Result<()> {
+    let dir: PathBuf = std::env::args().nth(1).unwrap_or_else(|| ".".into()).into();
+    std::fs::create_dir_all(&dir)?;
+    for exp in Experiment::all() {
+        let outcome = exp.run(42);
+        let panels = [
+            (
+                "distance",
+                "Relative Distance (m)",
+                outcome.distance_series(),
+            ),
+            (
+                "velocity",
+                "Relative Velocity (m/s)",
+                outcome.velocity_series(),
+            ),
+        ];
+        for (panel, y_label, series) in panels {
+            let svg = figure_svg(
+                &format!("{} — {}", exp.id, exp.description),
+                y_label,
+                &series,
+            );
+            let path = dir.join(format!("argus_{}_{panel}.svg", exp.id));
+            std::fs::write(&path, svg)?;
+            println!("wrote {}", path.display());
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's Figure 2a series (experiment fig2a).
+//!
+//! ```sh
+//! cargo run -p argus-bench --bin fig2a
+//! ```
+
+fn main() {
+    argus_bench::print_figure(&argus_core::Experiment::fig2a(), 42, 10);
+}

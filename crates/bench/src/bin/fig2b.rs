@@ -1,0 +1,9 @@
+//! Regenerates the paper's Figure 2b series (experiment fig2b).
+//!
+//! ```sh
+//! cargo run -p argus-bench --bin fig2b
+//! ```
+
+fn main() {
+    argus_bench::print_figure(&argus_core::Experiment::fig2b(), 42, 10);
+}

@@ -1,0 +1,9 @@
+//! Regenerates the paper's Figure 3a series (experiment fig3a).
+//!
+//! ```sh
+//! cargo run -p argus-bench --bin fig3a
+//! ```
+
+fn main() {
+    argus_bench::print_figure(&argus_core::Experiment::fig3a(), 42, 10);
+}

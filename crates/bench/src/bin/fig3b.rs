@@ -1,0 +1,9 @@
+//! Regenerates the paper's Figure 3b series (experiment fig3b).
+//!
+//! ```sh
+//! cargo run -p argus-bench --bin fig3b
+//! ```
+
+fn main() {
+    argus_bench::print_figure(&argus_core::Experiment::fig3b(), 42, 10);
+}

@@ -1,0 +1,54 @@
+//! Regenerates the Eqn 11 jammer-success analysis (experiment E7 of
+//! DESIGN.md): the power ratio `P_r / P_jammer` across target distance and
+//! jammer power, locating the burn-through crossover where the attack
+//! stops succeeding.
+//!
+//! ```sh
+//! cargo run -p argus-bench --bin jammer_sweep
+//! ```
+
+use argus_attack::Jammer;
+use argus_radar::RadarConfig;
+use argus_sim::units::{Meters, Watts};
+
+fn main() {
+    let radar = RadarConfig::bosch_lrr2();
+    let rcs = 10.0;
+
+    println!("Power ratio P_r/P_jammer (Eqn 11); attack succeeds below 1.0");
+    print!("{:>8}", "d (m)");
+    let powers_mw = [10.0, 50.0, 100.0, 500.0];
+    for p in powers_mw {
+        print!(" {:>12}", format!("Pj={p} mW"));
+    }
+    println!();
+    for d in [2.0, 3.0, 5.0, 10.0, 20.0, 50.0, 100.0, 150.0, 200.0] {
+        print!("{d:>8.0}");
+        for p in powers_mw {
+            let mut jammer = Jammer::paper();
+            jammer.power = Watts::from_milliwatts(p);
+            let ratio = jammer.power_ratio(&radar, Meters(d), rcs);
+            print!(" {ratio:>12.5}");
+        }
+        println!();
+    }
+
+    // Burn-through range: where the paper's jammer stops winning.
+    let jammer = Jammer::paper();
+    let mut lo = 0.5;
+    let mut hi = 200.0;
+    for _ in 0..60 {
+        let mid = 0.5 * (lo + hi);
+        if jammer.power_ratio(&radar, Meters(mid), rcs) < 1.0 {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    println!(
+        "\nburn-through range for the paper's jammer (100 mW): {:.2} m — \
+         jamming succeeds everywhere beyond it, including the whole 2–200 m \
+         operating band beyond {:.2} m",
+        hi, hi
+    );
+}

@@ -1,0 +1,50 @@
+//! Shared helpers for the Argus benchmark and figure-regeneration harness.
+//!
+//! The binaries in `src/bin/` regenerate every figure and in-text result of
+//! the paper's evaluation (see `EXPERIMENTS.md` at the workspace root for
+//! the index); the Criterion benches in `benches/` measure the runtime
+//! results (§6.2) and the cost of the DSP/estimation kernels.
+
+#![warn(missing_docs)]
+
+/// Seeds used for Monte-Carlo tables; fixed so reported tables are
+/// reproducible.
+pub const MONTE_CARLO_SEEDS: [u64; 20] = [
+    1, 2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67,
+];
+
+/// Renders one figure experiment (series tables + outcome block) to stdout.
+pub fn print_figure(experiment: &argus_core::Experiment, seed: u64, stride: usize) {
+    use argus_core::report;
+    let outcome = experiment.run(seed);
+    print!("{}", report::render_outcome(&outcome));
+    println!();
+    print!(
+        "{}",
+        report::render_series(
+            &format!("{} — relative distance (m)", outcome.id),
+            &outcome.distance_series(),
+            stride,
+        )
+    );
+    println!();
+    print!(
+        "{}",
+        report::render_series(
+            &format!("{} — relative velocity (m/s)", outcome.id),
+            &outcome.velocity_series(),
+            stride,
+        )
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn seeds_are_unique() {
+        let mut s = super::MONTE_CARLO_SEEDS.to_vec();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 20);
+    }
+}

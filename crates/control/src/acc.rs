@@ -1,0 +1,395 @@
+//! Hierarchical adaptive-cruise-control (paper §6.1, Eqns 12–14).
+//!
+//! The upper level is a constant-time-headway (CTH) output-feedback law: in
+//! **spacing mode** the desired acceleration is proportional to the relative
+//! speed and the clearance error,
+//!
+//! ```text
+//! d_des = d₀ + t_h·v_F                      (Eqn 12)
+//! a_des = (Δv + k_p·(d − d_des)) / t_h      (CTH law of Eqn 13)
+//! ```
+//!
+//! and in **speed mode** the vehicle regulates to the set speed
+//! `a_des = k_v·(v_set − v_F)`. The lower level tracks `a_des` through the
+//! first-order loop `K₁/(T₁s + 1)` (Eqn 14). Mode switching follows the
+//! paper: spacing control engages when the measured gap falls below the
+//! desired distance (with a small hysteresis to avoid chattering).
+
+use argus_sim::units::{Meters, MetersPerSecond, MetersPerSecondSquared, Seconds};
+
+use crate::firstorder::FirstOrderLag;
+use crate::limits::Saturation;
+use crate::ControlError;
+
+/// Which control objective the ACC is pursuing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccMode {
+    /// Regulating to the driver-set speed (no close target ahead).
+    SpeedControl,
+    /// Maintaining the desired spacing behind a detected target.
+    SpacingControl,
+}
+
+impl std::fmt::Display for AccMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AccMode::SpeedControl => f.write_str("speed"),
+            AccMode::SpacingControl => f.write_str("spacing"),
+        }
+    }
+}
+
+/// ACC configuration; defaults are the paper's parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccConfig {
+    /// Driver-set cruise speed `v_set` (paper: 67 mph).
+    pub set_speed: MetersPerSecond,
+    /// Constant time headway `t_h` (paper: 3 s).
+    pub headway: Seconds,
+    /// Minimum stopping distance `d₀` (paper: 5 m).
+    pub standstill_distance: Meters,
+    /// Lower-level loop gain `K₁` (paper: 1.0).
+    pub gain: f64,
+    /// Lower-level time constant `T₁` (paper: 1.008 s).
+    pub time_constant: Seconds,
+    /// Clearance-error gain `k_p` of the CTH law.
+    pub spacing_gain: f64,
+    /// Speed-error gain `k_v` of the cruise law.
+    pub speed_gain: f64,
+    /// Hysteresis factor for returning from spacing to speed mode: the gap
+    /// must exceed `hysteresis · d_des`.
+    pub hysteresis: f64,
+    /// Hold the vehicle at standstill when it is stopped inside the desired
+    /// gap: measurement noise must not ratchet it forward (it cannot back
+    /// up, so only positive noise would act).
+    pub standstill_hold: bool,
+    /// Optional acceleration envelope applied to the upper-level command.
+    pub saturation: Option<Saturation>,
+    /// Sample period.
+    pub dt: Seconds,
+}
+
+impl AccConfig {
+    /// The paper's configuration at a given set speed and 1 s sampling.
+    pub fn paper(set_speed: MetersPerSecond) -> Self {
+        Self {
+            set_speed,
+            headway: Seconds(3.0),
+            standstill_distance: Meters(5.0),
+            gain: 1.0,
+            time_constant: Seconds(1.008),
+            spacing_gain: 0.3,
+            speed_gain: 0.3,
+            hysteresis: 1.05,
+            standstill_hold: true,
+            saturation: Some(Saturation::acc_envelope()),
+            dt: Seconds(1.0),
+        }
+    }
+
+    /// Desired (safe) inter-vehicle distance at follower speed `v` (Eqn 12).
+    pub fn desired_distance(&self, v: MetersPerSecond) -> Meters {
+        self.standstill_distance + self.headway * v
+    }
+
+    fn validate(&self) -> Result<(), ControlError> {
+        if !(self.headway.value() > 0.0) {
+            return Err(ControlError::BadParameter {
+                name: "headway",
+                message: "must be positive".to_string(),
+            });
+        }
+        if self.standstill_distance.value() < 0.0 {
+            return Err(ControlError::BadParameter {
+                name: "standstill_distance",
+                message: "must be non-negative".to_string(),
+            });
+        }
+        if !(self.spacing_gain > 0.0) || !(self.speed_gain > 0.0) {
+            return Err(ControlError::BadParameter {
+                name: "gains",
+                message: "spacing_gain and speed_gain must be positive".to_string(),
+            });
+        }
+        if self.hysteresis < 1.0 {
+            return Err(ControlError::BadParameter {
+                name: "hysteresis",
+                message: format!("must be >= 1.0, got {}", self.hysteresis),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One step of controller output.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccOutput {
+    /// Active control mode this step.
+    pub mode: AccMode,
+    /// Desired inter-vehicle distance `d_des` (Eqn 12).
+    pub desired_distance: Meters,
+    /// Upper-level desired acceleration `a_des` (after saturation).
+    pub desired_accel: MetersPerSecondSquared,
+    /// Actual acceleration after the lower-level first-order loop (Eqn 14).
+    pub actual_accel: MetersPerSecondSquared,
+}
+
+/// The hierarchical ACC controller.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccController {
+    config: AccConfig,
+    lower_level: FirstOrderLag,
+    mode: AccMode,
+}
+
+impl AccController {
+    /// Creates a controller from a configuration, starting in speed-control
+    /// mode from rest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::BadParameter`] for invalid configuration
+    /// values (see [`AccConfig`] field docs).
+    pub fn new(config: AccConfig) -> Result<Self, ControlError> {
+        config.validate()?;
+        let lower_level = FirstOrderLag::new(config.gain, config.time_constant, config.dt)?;
+        Ok(Self {
+            config,
+            lower_level,
+            mode: AccMode::SpeedControl,
+        })
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &AccConfig {
+        &self.config
+    }
+
+    /// The currently active mode.
+    pub fn mode(&self) -> AccMode {
+        self.mode
+    }
+
+    /// Computes one control step.
+    ///
+    /// * `distance` — measured gap to the target (`None` when the radar
+    ///   reports no target; forces speed mode).
+    /// * `relative_speed` — measured `Δv = v_L − v_F` (ignored without a
+    ///   target).
+    /// * `own_speed` — trusted ego-vehicle speed `v_F`.
+    pub fn step(
+        &mut self,
+        distance: Option<Meters>,
+        relative_speed: MetersPerSecond,
+        own_speed: MetersPerSecond,
+    ) -> AccOutput {
+        let d_des = self.config.desired_distance(own_speed);
+
+        // Mode switching with hysteresis (paper: spacing when d < d_des).
+        self.mode = match (distance, self.mode) {
+            (None, _) => AccMode::SpeedControl,
+            (Some(d), AccMode::SpeedControl) => {
+                if d.value() < d_des.value() {
+                    AccMode::SpacingControl
+                } else {
+                    AccMode::SpeedControl
+                }
+            }
+            (Some(d), AccMode::SpacingControl) => {
+                if d.value() > self.config.hysteresis * d_des.value() {
+                    AccMode::SpeedControl
+                } else {
+                    AccMode::SpacingControl
+                }
+            }
+        };
+
+        let mut raw = match self.mode {
+            AccMode::SpeedControl => {
+                self.config.speed_gain * (self.config.set_speed - own_speed).value()
+            }
+            AccMode::SpacingControl => {
+                let d = distance.expect("spacing mode requires a target");
+                let clearance_error = (d - d_des).value();
+                (relative_speed.value() + self.config.spacing_gain * clearance_error)
+                    / self.config.headway.value()
+            }
+        };
+        // Standstill hold: a stopped vehicle inside the desired gap must not
+        // creep forward on noise.
+        if self.config.standstill_hold
+            && self.mode == AccMode::SpacingControl
+            && own_speed.value() < 2.0
+        {
+            if let Some(d) = distance {
+                if d.value() < d_des.value() {
+                    raw = raw.min(0.0);
+                }
+            }
+        }
+        let desired = match &self.config.saturation {
+            Some(sat) => sat.apply(raw),
+            None => raw,
+        };
+        let actual = self.lower_level.step(desired);
+        AccOutput {
+            mode: self.mode,
+            desired_distance: d_des,
+            desired_accel: MetersPerSecondSquared(desired),
+            actual_accel: MetersPerSecondSquared(actual),
+        }
+    }
+
+    /// Resets the controller to speed mode with zero actuator state.
+    pub fn reset(&mut self) {
+        self.mode = AccMode::SpeedControl;
+        self.lower_level.reset_to(0.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn controller() -> AccController {
+        AccController::new(AccConfig::paper(MetersPerSecond::from_mph(67.0))).unwrap()
+    }
+
+    #[test]
+    fn desired_distance_formula() {
+        let cfg = AccConfig::paper(MetersPerSecond(30.0));
+        let d = cfg.desired_distance(MetersPerSecond(29.0));
+        assert!((d.value() - (5.0 + 3.0 * 29.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn starts_in_speed_mode() {
+        assert_eq!(controller().mode(), AccMode::SpeedControl);
+    }
+
+    #[test]
+    fn no_target_stays_speed_mode() {
+        let mut c = controller();
+        let out = c.step(None, MetersPerSecond(0.0), MetersPerSecond(20.0));
+        assert_eq!(out.mode, AccMode::SpeedControl);
+        assert!(out.desired_accel.value() > 0.0, "below set speed → accelerate");
+    }
+
+    #[test]
+    fn at_set_speed_no_accel() {
+        let mut c = controller();
+        let v_set = c.config().set_speed;
+        let out = c.step(None, MetersPerSecond(0.0), v_set);
+        assert!(out.desired_accel.value().abs() < 1e-12);
+    }
+
+    #[test]
+    fn close_target_switches_to_spacing() {
+        let mut c = controller();
+        let v = MetersPerSecond(29.0);
+        let d_des = c.config().desired_distance(v);
+        let out = c.step(Some(d_des - Meters(10.0)), MetersPerSecond(-1.0), v);
+        assert_eq!(out.mode, AccMode::SpacingControl);
+        assert!(
+            out.desired_accel.value() < 0.0,
+            "too close and closing → brake, got {}",
+            out.desired_accel.value()
+        );
+    }
+
+    #[test]
+    fn far_target_stays_speed_mode() {
+        let mut c = controller();
+        let v = MetersPerSecond(29.0);
+        let out = c.step(Some(Meters(500.0)), MetersPerSecond(0.0), v);
+        assert_eq!(out.mode, AccMode::SpeedControl);
+    }
+
+    #[test]
+    fn hysteresis_prevents_chatter() {
+        let mut c = controller();
+        let v = MetersPerSecond(29.0);
+        let d_des = c.config().desired_distance(v);
+        // Enter spacing mode.
+        c.step(Some(d_des - Meters(1.0)), MetersPerSecond(0.0), v);
+        assert_eq!(c.mode(), AccMode::SpacingControl);
+        // Slightly above d_des but below hysteresis — stays in spacing.
+        let out = c.step(Some(d_des + Meters(1.0)), MetersPerSecond(0.0), v);
+        assert_eq!(out.mode, AccMode::SpacingControl);
+        // Well above hysteresis — returns to speed mode.
+        let out = c.step(Some(d_des * 1.2), MetersPerSecond(0.0), v);
+        assert_eq!(out.mode, AccMode::SpeedControl);
+    }
+
+    #[test]
+    fn lower_level_lags_command() {
+        let mut c = controller();
+        let v = MetersPerSecond(20.0);
+        let out1 = c.step(None, MetersPerSecond(0.0), v);
+        // Actual acceleration starts below the desired command (first-order rise).
+        assert!(out1.actual_accel.value() < out1.desired_accel.value());
+        assert!(out1.actual_accel.value() > 0.0);
+    }
+
+    #[test]
+    fn saturation_limits_command() {
+        let mut c = controller();
+        // Huge speed deficit would command > 2.5 m/s² without the envelope.
+        let out = c.step(None, MetersPerSecond(0.0), MetersPerSecond(0.0));
+        assert!(out.desired_accel.value() <= 2.5 + 1e-12);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut c = controller();
+        c.step(Some(Meters(10.0)), MetersPerSecond(-5.0), MetersPerSecond(30.0));
+        c.reset();
+        assert_eq!(c.mode(), AccMode::SpeedControl);
+        let out = c.step(None, MetersPerSecond(0.0), c.config().set_speed);
+        assert!(out.actual_accel.value().abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let mut cfg = AccConfig::paper(MetersPerSecond(30.0));
+        cfg.headway = Seconds(0.0);
+        assert!(AccController::new(cfg).is_err());
+
+        let mut cfg = AccConfig::paper(MetersPerSecond(30.0));
+        cfg.hysteresis = 0.9;
+        assert!(AccController::new(cfg).is_err());
+
+        let mut cfg = AccConfig::paper(MetersPerSecond(30.0));
+        cfg.spacing_gain = 0.0;
+        assert!(AccController::new(cfg).is_err());
+    }
+
+    #[test]
+    fn mode_display() {
+        assert_eq!(AccMode::SpeedControl.to_string(), "speed");
+        assert_eq!(AccMode::SpacingControl.to_string(), "spacing");
+    }
+
+    #[test]
+    fn spacing_regulation_converges_in_closed_loop() {
+        // Tiny closed-loop sanity: follower behind a constant-speed leader
+        // should converge to d_des and match the leader's speed.
+        let mut c = controller();
+        let dt = 1.0;
+        let v_leader = 25.0;
+        let mut v_f = 29.0;
+        let mut gap = 60.0; // below d_des ≈ 92 m → spacing mode
+        for _ in 0..400 {
+            let out = c.step(
+                Some(Meters(gap)),
+                MetersPerSecond(v_leader - v_f),
+                MetersPerSecond(v_f),
+            );
+            v_f += out.actual_accel.value() * dt;
+            gap += (v_leader - v_f) * dt;
+        }
+        let d_des = 5.0 + 3.0 * v_f;
+        assert!((v_f - v_leader).abs() < 0.3, "speed mismatch: {v_f}");
+        assert!((gap - d_des).abs() < 2.0, "gap {gap} vs desired {d_des}");
+    }
+}

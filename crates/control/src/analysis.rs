@@ -1,0 +1,183 @@
+//! Controllability and observability analysis.
+//!
+//! Related work cited by the paper (\[1\] Chong et al.) characterizes when a
+//! system remains observable under attack; these rank tests are the
+//! building block and also validate our car-following plant models.
+
+use nalgebra::DMatrix;
+
+use crate::statespace::StateSpace;
+use crate::ControlError;
+
+/// Numerical rank of a matrix by singular-value thresholding.
+///
+/// The threshold is `max(nrows, ncols) · σ_max · ε` (the usual LAPACK-style
+/// default) unless `tol` is given.
+pub fn rank(m: &DMatrix<f64>, tol: Option<f64>) -> usize {
+    if m.is_empty() {
+        return 0;
+    }
+    let svd = m.clone().svd(false, false);
+    let smax = svd.singular_values.iter().cloned().fold(0.0f64, f64::max);
+    let threshold =
+        tol.unwrap_or(m.nrows().max(m.ncols()) as f64 * smax * f64::EPSILON);
+    svd.singular_values.iter().filter(|&&s| s > threshold).count()
+}
+
+/// Builds the controllability matrix `[B, AB, A²B, …, Aⁿ⁻¹B]`.
+pub fn controllability_matrix(sys: &StateSpace) -> DMatrix<f64> {
+    let n = sys.state_dim();
+    let m = sys.input_dim();
+    let mut result = DMatrix::<f64>::zeros(n, n * m);
+    let mut block = sys.b().clone();
+    for i in 0..n {
+        result.view_mut((0, i * m), (n, m)).copy_from(&block);
+        block = sys.a() * &block;
+    }
+    result
+}
+
+/// Builds the observability matrix `[C; CA; CA²; …; CAⁿ⁻¹]`.
+pub fn observability_matrix(sys: &StateSpace) -> DMatrix<f64> {
+    let n = sys.state_dim();
+    let p = sys.output_dim();
+    let mut result = DMatrix::<f64>::zeros(n * p, n);
+    let mut block = sys.c().clone();
+    for i in 0..n {
+        result.view_mut((i * p, 0), (p, n)).copy_from(&block);
+        block = &block * sys.a();
+    }
+    result
+}
+
+/// `true` when the system is completely controllable.
+pub fn is_controllable(sys: &StateSpace) -> bool {
+    rank(&controllability_matrix(sys), None) == sys.state_dim()
+}
+
+/// `true` when the system is completely observable.
+pub fn is_observable(sys: &StateSpace) -> bool {
+    rank(&observability_matrix(sys), None) == sys.state_dim()
+}
+
+/// Spectral radius (largest eigenvalue magnitude) of the `A` matrix; a
+/// discrete-time system is asymptotically stable iff it is below 1.
+///
+/// # Errors
+///
+/// Returns [`ControlError::BadParameter`] if the eigenvalue iteration fails
+/// (practically unreachable for finite matrices).
+pub fn spectral_radius(sys: &StateSpace) -> Result<f64, ControlError> {
+    let eigs = sys
+        .a()
+        .clone()
+        .complex_eigenvalues();
+    eigs.iter()
+        .map(|c| c.norm())
+        .fold(None, |acc: Option<f64>, x| {
+            Some(acc.map_or(x, |a| a.max(x)))
+        })
+        .ok_or(ControlError::BadParameter {
+            name: "system",
+            message: "no eigenvalues for empty system".to_string(),
+        })
+}
+
+/// `true` when every eigenvalue of `A` lies strictly inside the unit circle.
+pub fn is_stable(sys: &StateSpace) -> bool {
+    spectral_radius(sys).map(|r| r < 1.0).unwrap_or(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn double_integrator() -> StateSpace {
+        StateSpace::new(
+            DMatrix::from_row_slice(2, 2, &[1.0, 1.0, 0.0, 1.0]),
+            DMatrix::from_row_slice(2, 1, &[0.5, 1.0]),
+            DMatrix::from_row_slice(1, 2, &[1.0, 0.0]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn rank_of_identity() {
+        assert_eq!(rank(&DMatrix::<f64>::identity(4, 4), None), 4);
+    }
+
+    #[test]
+    fn rank_of_rank_one() {
+        let m = DMatrix::from_row_slice(3, 3, &[1.0, 2.0, 3.0, 2.0, 4.0, 6.0, 3.0, 6.0, 9.0]);
+        assert_eq!(rank(&m, None), 1);
+    }
+
+    #[test]
+    fn rank_of_zero() {
+        assert_eq!(rank(&DMatrix::<f64>::zeros(3, 2), None), 0);
+    }
+
+    #[test]
+    fn double_integrator_is_controllable_and_observable() {
+        let sys = double_integrator();
+        assert!(is_controllable(&sys));
+        assert!(is_observable(&sys));
+    }
+
+    #[test]
+    fn unobservable_when_measuring_nothing() {
+        // Measure only velocity of a double integrator where position never
+        // feeds back into velocity → position unobservable.
+        let sys = StateSpace::new(
+            DMatrix::from_row_slice(2, 2, &[1.0, 1.0, 0.0, 1.0]),
+            DMatrix::from_row_slice(2, 1, &[0.5, 1.0]),
+            DMatrix::from_row_slice(1, 2, &[0.0, 1.0]),
+        )
+        .unwrap();
+        assert!(!is_observable(&sys));
+    }
+
+    #[test]
+    fn uncontrollable_with_zero_b() {
+        let sys = StateSpace::new(
+            DMatrix::from_row_slice(2, 2, &[1.0, 1.0, 0.0, 1.0]),
+            DMatrix::zeros(2, 1),
+            DMatrix::from_row_slice(1, 2, &[1.0, 0.0]),
+        )
+        .unwrap();
+        assert!(!is_controllable(&sys));
+    }
+
+    #[test]
+    fn controllability_matrix_shape() {
+        let sys = double_integrator();
+        let cm = controllability_matrix(&sys);
+        assert_eq!((cm.nrows(), cm.ncols()), (2, 2));
+        // [B, AB] = [[0.5, 1.5], [1.0, 1.0]]
+        assert!((cm[(0, 1)] - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observability_matrix_shape() {
+        let sys = double_integrator();
+        let om = observability_matrix(&sys);
+        assert_eq!((om.nrows(), om.ncols()), (2, 2));
+        // [C; CA] = [[1, 0], [1, 1]]
+        assert!((om[(1, 1)] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stability_checks() {
+        let stable = StateSpace::new(
+            DMatrix::from_row_slice(2, 2, &[0.5, 0.1, 0.0, 0.3]),
+            DMatrix::zeros(2, 1),
+            DMatrix::identity(2, 2),
+        )
+        .unwrap();
+        assert!(is_stable(&stable));
+        assert!((spectral_radius(&stable).unwrap() - 0.5).abs() < 1e-9);
+
+        let marginal = double_integrator();
+        assert!(!is_stable(&marginal)); // eigenvalues at 1
+    }
+}

@@ -1,0 +1,226 @@
+//! Matrix exponential and zero-order-hold discretization.
+//!
+//! The paper's plant models are stated in continuous time (the lower-level
+//! loop is `K₁/(T₁s + 1)`, Eqn 14) but simulated in discrete time. ZOH
+//! discretization needs `e^{A·dt}`; we implement the classic
+//! scaling-and-squaring algorithm with a (6,6) Padé approximant from
+//! scratch — no external linear-algebra solvers beyond dense LU.
+
+use nalgebra::DMatrix;
+
+use crate::ControlError;
+
+/// Matrix exponential `e^M` via scaling-and-squaring with a (6,6) Padé
+/// approximant.
+///
+/// # Errors
+///
+/// Returns [`ControlError::DimensionMismatch`] for a non-square or empty
+/// matrix, and [`ControlError::BadParameter`] if entries are non-finite or
+/// the Padé denominator is singular (does not happen for finite input).
+///
+/// ```
+/// use argus_control::expm;
+/// use nalgebra::DMatrix;
+/// let zero = DMatrix::<f64>::zeros(3, 3);
+/// let e = expm(&zero).unwrap();
+/// assert!((e - DMatrix::<f64>::identity(3, 3)).norm() < 1e-14);
+/// ```
+pub fn expm(m: &DMatrix<f64>) -> Result<DMatrix<f64>, ControlError> {
+    let n = m.nrows();
+    if n == 0 || m.ncols() != n {
+        return Err(ControlError::DimensionMismatch {
+            message: format!("expm needs a square matrix, got {}x{}", m.nrows(), m.ncols()),
+        });
+    }
+    if m.iter().any(|x| !x.is_finite()) {
+        return Err(ControlError::BadParameter {
+            name: "matrix",
+            message: "entries must be finite".to_string(),
+        });
+    }
+
+    // Scale so that ||M/2^s|| is comfortably small for the Padé series.
+    let norm = m.amax() * n as f64; // cheap upper bound on the 1-norm
+    let s = if norm > 0.5 {
+        (norm / 0.5).log2().ceil() as u32
+    } else {
+        0
+    };
+    let scaled = m / 2f64.powi(s as i32);
+
+    // (6,6) Padé approximant of e^X: N(X)/D(X) with
+    //   N = Σ c_k X^k,  D = Σ c_k (−X)^k,
+    //   c_k = 6!·(12−k)! / (12!·k!·(6−k)!)
+    let mut c = [0.0f64; 7];
+    c[0] = 1.0;
+    for k in 1..=6usize {
+        c[k] = c[k - 1] * (7.0 - k as f64) / ((13.0 - k as f64) * k as f64);
+    }
+    let identity = DMatrix::<f64>::identity(n, n);
+    let mut num = identity.clone() * c[0];
+    let mut den = identity.clone() * c[0];
+    let mut power = identity.clone();
+    for (k, &ck) in c.iter().enumerate().skip(1) {
+        power = &power * &scaled;
+        num += &power * ck;
+        if k % 2 == 0 {
+            den += &power * ck;
+        } else {
+            den -= &power * ck;
+        }
+    }
+
+    let lu = den.lu();
+    let mut result = lu.solve(&num).ok_or(ControlError::BadParameter {
+        name: "matrix",
+        message: "Padé denominator is singular".to_string(),
+    })?;
+
+    for _ in 0..s {
+        result = &result * &result;
+    }
+    Ok(result)
+}
+
+/// Zero-order-hold discretization of `ẋ = A x + B u`:
+/// returns `(A_d, B_d)` with `A_d = e^{A·dt}` and
+/// `B_d = ∫₀^dt e^{Aτ} dτ · B`, computed with the augmented-matrix trick
+/// `exp([[A, B], [0, 0]]·dt) = [[A_d, B_d], [0, I]]`.
+///
+/// # Errors
+///
+/// * [`ControlError::DimensionMismatch`] — `B` row count differs from `A`.
+/// * [`ControlError::BadParameter`] — `dt` is not strictly positive.
+pub fn zoh_discretize(
+    a: &DMatrix<f64>,
+    b: &DMatrix<f64>,
+    dt: f64,
+) -> Result<(DMatrix<f64>, DMatrix<f64>), ControlError> {
+    let n = a.nrows();
+    if a.ncols() != n || b.nrows() != n {
+        return Err(ControlError::DimensionMismatch {
+            message: format!(
+                "A is {}x{}, B is {}x{}",
+                a.nrows(),
+                a.ncols(),
+                b.nrows(),
+                b.ncols()
+            ),
+        });
+    }
+    if !(dt > 0.0) || !dt.is_finite() {
+        return Err(ControlError::BadParameter {
+            name: "dt",
+            message: format!("sample period must be positive and finite, got {dt}"),
+        });
+    }
+    let m = b.ncols();
+    let mut aug = DMatrix::<f64>::zeros(n + m, n + m);
+    aug.view_mut((0, 0), (n, n)).copy_from(&(a * dt));
+    aug.view_mut((0, n), (n, m)).copy_from(&(b * dt));
+    let e = expm(&aug)?;
+    let ad = e.view((0, 0), (n, n)).into_owned();
+    let bd = e.view((0, n), (n, m)).into_owned();
+    Ok((ad, bd))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_exponential() {
+        for x in [-3.0, -0.1, 0.0, 0.5, 2.0, 10.0] {
+            let m = DMatrix::from_element(1, 1, x);
+            let e = expm(&m).unwrap();
+            assert!((e[(0, 0)] - x.exp()).abs() < 1e-10 * x.exp().max(1.0), "x={x}");
+        }
+    }
+
+    #[test]
+    fn diagonal_exponential() {
+        let m = DMatrix::from_partial_diagonal(3, 3, &[1.0, -2.0, 0.3]);
+        let e = expm(&m).unwrap();
+        assert!((e[(0, 0)] - 1f64.exp()).abs() < 1e-12);
+        assert!((e[(1, 1)] - (-2f64).exp()).abs() < 1e-12);
+        assert!((e[(2, 2)] - 0.3f64.exp()).abs() < 1e-12);
+        assert!(e[(0, 1)].abs() < 1e-14);
+    }
+
+    #[test]
+    fn nilpotent_exponential_is_polynomial() {
+        // For N = [[0,1],[0,0]], e^N = I + N exactly.
+        let m = DMatrix::from_row_slice(2, 2, &[0.0, 1.0, 0.0, 0.0]);
+        let e = expm(&m).unwrap();
+        assert!((e[(0, 0)] - 1.0).abs() < 1e-14);
+        assert!((e[(0, 1)] - 1.0).abs() < 1e-14);
+        assert!(e[(1, 0)].abs() < 1e-14);
+        assert!((e[(1, 1)] - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn rotation_generator() {
+        // exp([[0, -θ], [θ, 0]]) is a rotation by θ.
+        let theta = 0.7;
+        let m = DMatrix::from_row_slice(2, 2, &[0.0, -theta, theta, 0.0]);
+        let e = expm(&m).unwrap();
+        assert!((e[(0, 0)] - theta.cos()).abs() < 1e-12);
+        assert!((e[(1, 0)] - theta.sin()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_property() {
+        let m = DMatrix::from_row_slice(3, 3, &[0.1, 0.5, -0.3, 0.2, -0.4, 0.1, 0.0, 0.3, 0.2]);
+        let e_pos = expm(&m).unwrap();
+        let e_neg = expm(&(-&m)).unwrap();
+        let prod = &e_pos * &e_neg;
+        assert!((prod - DMatrix::<f64>::identity(3, 3)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn large_norm_uses_scaling() {
+        let m = DMatrix::from_row_slice(2, 2, &[0.0, 30.0, -30.0, 0.0]);
+        let e = expm(&m).unwrap();
+        // exp of a rotation generator stays orthogonal.
+        let prod = &e * e.transpose();
+        assert!((prod - DMatrix::<f64>::identity(2, 2)).norm() < 1e-9);
+    }
+
+    #[test]
+    fn zoh_first_order_lag_matches_closed_form() {
+        // ẏ = (-1/T)y + (K/T)u discretizes to
+        // y⁺ = e^{-dt/T} y + K(1 − e^{-dt/T}) u.
+        let (k_gain, t_const, dt) = (1.0, 1.008, 1.0);
+        let a = DMatrix::from_element(1, 1, -1.0 / t_const);
+        let b = DMatrix::from_element(1, 1, k_gain / t_const);
+        let (ad, bd) = zoh_discretize(&a, &b, dt).unwrap();
+        let phi = (-dt / t_const).exp();
+        assert!((ad[(0, 0)] - phi).abs() < 1e-12);
+        assert!((bd[(0, 0)] - k_gain * (1.0 - phi)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zoh_double_integrator() {
+        // ẋ = [[0,1],[0,0]]x + [0,1]u with dt → A_d = [[1,dt],[0,1]],
+        // B_d = [dt²/2, dt].
+        let a = DMatrix::from_row_slice(2, 2, &[0.0, 1.0, 0.0, 0.0]);
+        let b = DMatrix::from_row_slice(2, 1, &[0.0, 1.0]);
+        let dt = 0.5;
+        let (ad, bd) = zoh_discretize(&a, &b, dt).unwrap();
+        assert!((ad[(0, 1)] - dt).abs() < 1e-12);
+        assert!((bd[(0, 0)] - dt * dt / 2.0).abs() < 1e-12);
+        assert!((bd[(1, 0)] - dt).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(expm(&DMatrix::zeros(2, 3)).is_err());
+        assert!(expm(&DMatrix::from_element(1, 1, f64::NAN)).is_err());
+        let a = DMatrix::identity(2, 2);
+        let b = DMatrix::zeros(2, 1);
+        assert!(zoh_discretize(&a, &b, 0.0).is_err());
+        assert!(zoh_discretize(&a, &b, -1.0).is_err());
+        assert!(zoh_discretize(&a, &DMatrix::zeros(3, 1), 1.0).is_err());
+    }
+}

@@ -1,0 +1,178 @@
+//! First-order lag — the paper's lower-level ACC loop (Eqn 14).
+//!
+//! The closed-loop transfer function from desired to actual acceleration is
+//! `a_F / a_des = K₁ / (T₁ s + 1)` with `K₁ = 1.0`, `T₁ = 1.008 s`. The
+//! discrete implementation is the **exact** zero-order-hold equivalent
+//! `y⁺ = e^{−dt/T₁}·y + K₁(1 − e^{−dt/T₁})·u`, not an Euler approximation.
+
+use argus_sim::units::Seconds;
+
+use crate::ControlError;
+
+/// Exact ZOH-discretized first-order lag `K/(Ts + 1)`.
+///
+/// ```
+/// use argus_control::FirstOrderLag;
+/// use argus_sim::units::Seconds;
+///
+/// let mut lag = FirstOrderLag::new(1.0, Seconds(1.008), Seconds(1.0)).unwrap();
+/// // Step response rises monotonically toward K·u.
+/// let y1 = lag.step(1.0);
+/// let y2 = lag.step(1.0);
+/// assert!(y1 > 0.0 && y2 > y1 && y2 < 1.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FirstOrderLag {
+    gain: f64,
+    phi: f64,
+    state: f64,
+}
+
+impl FirstOrderLag {
+    /// Creates a lag with DC gain `gain`, time constant `time_constant`, and
+    /// sample period `dt`, starting from rest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::BadParameter`] if the time constant or sample
+    /// period is not strictly positive, or the gain is non-finite.
+    pub fn new(gain: f64, time_constant: Seconds, dt: Seconds) -> Result<Self, ControlError> {
+        if !(time_constant.value() > 0.0) {
+            return Err(ControlError::BadParameter {
+                name: "time_constant",
+                message: format!("must be positive, got {time_constant}"),
+            });
+        }
+        if !(dt.value() > 0.0) {
+            return Err(ControlError::BadParameter {
+                name: "dt",
+                message: format!("must be positive, got {dt}"),
+            });
+        }
+        if !gain.is_finite() {
+            return Err(ControlError::BadParameter {
+                name: "gain",
+                message: "must be finite".to_string(),
+            });
+        }
+        Ok(Self {
+            gain,
+            phi: (-dt.value() / time_constant.value()).exp(),
+            state: 0.0,
+        })
+    }
+
+    /// The paper's lower-level loop: `K₁ = 1.0`, `T₁ = 1.008 s`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::BadParameter`] if `dt` is not positive.
+    pub fn paper_lower_level(dt: Seconds) -> Result<Self, ControlError> {
+        Self::new(1.0, Seconds(1.008), dt)
+    }
+
+    /// Advances one sample with input `u`, returning the new output.
+    pub fn step(&mut self, u: f64) -> f64 {
+        self.state = self.phi * self.state + self.gain * (1.0 - self.phi) * u;
+        self.state
+    }
+
+    /// Current output.
+    pub fn output(&self) -> f64 {
+        self.state
+    }
+
+    /// Resets the internal state to `value`.
+    pub fn reset_to(&mut self, value: f64) {
+        self.state = value;
+    }
+
+    /// The discrete pole `e^{−dt/T}`.
+    pub fn pole(&self) -> f64 {
+        self.phi
+    }
+
+    /// DC gain `K`.
+    pub fn gain(&self) -> f64 {
+        self.gain
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_response_converges_to_gain() {
+        let mut lag = FirstOrderLag::new(2.5, Seconds(0.5), Seconds(0.1)).unwrap();
+        let mut y = 0.0;
+        for _ in 0..200 {
+            y = lag.step(1.0);
+        }
+        assert!((y - 2.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_constant_meaning() {
+        // After exactly T seconds the step response reaches 1 − 1/e.
+        let dt = 0.001;
+        let t_const = 0.7;
+        let mut lag = FirstOrderLag::new(1.0, Seconds(t_const), Seconds(dt)).unwrap();
+        let steps = (t_const / dt).round() as usize;
+        let mut y = 0.0;
+        for _ in 0..steps {
+            y = lag.step(1.0);
+        }
+        assert!((y - (1.0 - (-1.0f64).exp())).abs() < 2e-3, "y = {y}");
+    }
+
+    #[test]
+    fn paper_parameters() {
+        let lag = FirstOrderLag::paper_lower_level(Seconds(1.0)).unwrap();
+        assert_eq!(lag.gain(), 1.0);
+        assert!((lag.pole() - (-1.0f64 / 1.008).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_input_decays() {
+        let mut lag = FirstOrderLag::new(1.0, Seconds(1.0), Seconds(0.5)).unwrap();
+        lag.reset_to(4.0);
+        let y1 = lag.step(0.0);
+        let y2 = lag.step(0.0);
+        assert!(y1 < 4.0 && y2 < y1 && y2 > 0.0);
+    }
+
+    #[test]
+    fn matches_zoh_discretization() {
+        // Cross-check against the general-purpose discretizer.
+        let (k, t, dt) = (1.0, 1.008, 1.0);
+        let a = nalgebra::DMatrix::from_element(1, 1, -1.0 / t);
+        let b = nalgebra::DMatrix::from_element(1, 1, k / t);
+        let (ad, bd) = crate::discretize::zoh_discretize(&a, &b, dt).unwrap();
+        let mut lag = FirstOrderLag::new(k, Seconds(t), Seconds(dt)).unwrap();
+        let mut x = 0.0;
+        for step in 0..10 {
+            let u = (step as f64 * 0.3).sin();
+            x = ad[(0, 0)] * x + bd[(0, 0)] * u;
+            let y = lag.step(u);
+            assert!((x - y).abs() < 1e-12, "diverged at step {step}");
+        }
+    }
+
+    #[test]
+    fn negative_gain_allowed() {
+        let mut lag = FirstOrderLag::new(-1.0, Seconds(1.0), Seconds(0.1)).unwrap();
+        let mut y = 0.0;
+        for _ in 0..200 {
+            y = lag.step(1.0);
+        }
+        assert!((y + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        assert!(FirstOrderLag::new(1.0, Seconds(0.0), Seconds(0.1)).is_err());
+        assert!(FirstOrderLag::new(1.0, Seconds(1.0), Seconds(0.0)).is_err());
+        assert!(FirstOrderLag::new(f64::NAN, Seconds(1.0), Seconds(0.1)).is_err());
+    }
+}

@@ -1,0 +1,67 @@
+//! # argus-control — LTI models and ACC control laws
+//!
+//! Implements the paper's §3 system model and §6.1 controller stack:
+//!
+//! * [`statespace`] — discrete-time LTI systems `x⁺ = A x + B u`,
+//!   `y = C x + v` (paper Eqns 1–2), with simulation and Gaussian
+//!   measurement noise.
+//! * [`discretize`] — zero-order-hold discretization of continuous models
+//!   via a from-scratch scaling-and-squaring matrix exponential.
+//! * [`analysis`] — controllability/observability rank tests.
+//! * [`firstorder`] — the exact ZOH discretization of `K/(Ts+1)`, the
+//!   paper's lower-level ACC loop (Eqn 14, K₁ = 1.0, T₁ = 1.008 s).
+//! * [`acc`] — the hierarchical ACC controller: constant-time-headway
+//!   upper level (Eqns 12–13) and first-order lower level, with
+//!   speed-control / spacing-control mode switching.
+//! * [`limits`] — actuator saturation and rate limiting.
+
+// `!(x > 0.0)`-style checks deliberately reject NaN along with
+// non-positive values; clippy's suggested `x <= 0.0` would accept NaN.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod acc;
+pub mod analysis;
+pub mod discretize;
+pub mod firstorder;
+pub mod limits;
+pub mod statespace;
+
+pub use acc::{AccConfig, AccController, AccMode};
+pub use discretize::{expm, zoh_discretize};
+pub use firstorder::FirstOrderLag;
+pub use limits::{RateLimiter, Saturation};
+pub use statespace::StateSpace;
+
+/// Errors produced by control routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ControlError {
+    /// Matrix dimensions are inconsistent.
+    DimensionMismatch {
+        /// Description of the inconsistency.
+        message: String,
+    },
+    /// A parameter was out of range.
+    BadParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint violated.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ControlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ControlError::DimensionMismatch { message } => {
+                write!(f, "dimension mismatch: {message}")
+            }
+            ControlError::BadParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ControlError {}

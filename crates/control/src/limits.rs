@@ -1,0 +1,184 @@
+//! Actuator limits: saturation and rate limiting.
+//!
+//! Real ACC actuators cannot command arbitrary acceleration; production
+//! systems clamp to roughly `[−5, +2.5] m/s²` (service braking vs. comfort
+//! acceleration). The paper neglects these at the upper level but notes the
+//! lower level compensates nonlinearities — we expose them so experiments
+//! can run both idealized and saturated.
+
+use crate::ControlError;
+
+/// Symmetric-or-asymmetric output clamp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Saturation {
+    lo: f64,
+    hi: f64,
+}
+
+impl Saturation {
+    /// Creates a clamp to `[lo, hi]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::BadParameter`] when `lo > hi` or a bound is
+    /// NaN.
+    pub fn new(lo: f64, hi: f64) -> Result<Self, ControlError> {
+        if !(lo <= hi) {
+            return Err(ControlError::BadParameter {
+                name: "bounds",
+                message: format!("need lo <= hi, got [{lo}, {hi}]"),
+            });
+        }
+        Ok(Self { lo, hi })
+    }
+
+    /// Typical ground-vehicle longitudinal acceleration envelope:
+    /// `[−5.0, +2.5] m/s²`.
+    pub fn acc_envelope() -> Self {
+        Self { lo: -5.0, hi: 2.5 }
+    }
+
+    /// Clamps a value.
+    #[inline]
+    pub fn apply(&self, x: f64) -> f64 {
+        x.clamp(self.lo, self.hi)
+    }
+
+    /// `true` if `x` would be modified by the clamp.
+    #[inline]
+    pub fn saturates(&self, x: f64) -> bool {
+        x < self.lo || x > self.hi
+    }
+
+    /// Lower bound.
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound.
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+}
+
+/// Limits the per-step change of a signal (slew-rate limit).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimiter {
+    max_delta: f64,
+    state: Option<f64>,
+}
+
+impl RateLimiter {
+    /// Creates a limiter allowing at most `max_delta` change per step.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::BadParameter`] when `max_delta` is not
+    /// strictly positive.
+    pub fn new(max_delta: f64) -> Result<Self, ControlError> {
+        if !(max_delta > 0.0) {
+            return Err(ControlError::BadParameter {
+                name: "max_delta",
+                message: format!("must be positive, got {max_delta}"),
+            });
+        }
+        Ok(Self {
+            max_delta,
+            state: None,
+        })
+    }
+
+    /// Pushes a target value; returns the rate-limited output. The first
+    /// sample passes through unchanged.
+    pub fn push(&mut self, target: f64) -> f64 {
+        let out = match self.state {
+            None => target,
+            Some(prev) => prev + (target - prev).clamp(-self.max_delta, self.max_delta),
+        };
+        self.state = Some(out);
+        out
+    }
+
+    /// Last output, if any.
+    pub fn current(&self) -> Option<f64> {
+        self.state
+    }
+
+    /// Clears the limiter history.
+    pub fn reset(&mut self) {
+        self.state = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturation_clamps() {
+        let s = Saturation::new(-1.0, 2.0).unwrap();
+        assert_eq!(s.apply(-3.0), -1.0);
+        assert_eq!(s.apply(0.5), 0.5);
+        assert_eq!(s.apply(9.0), 2.0);
+        assert!(s.saturates(-3.0));
+        assert!(!s.saturates(1.0));
+        assert_eq!(s.lo(), -1.0);
+        assert_eq!(s.hi(), 2.0);
+    }
+
+    #[test]
+    fn acc_envelope_is_asymmetric() {
+        let s = Saturation::acc_envelope();
+        assert_eq!(s.apply(-10.0), -5.0);
+        assert_eq!(s.apply(10.0), 2.5);
+    }
+
+    #[test]
+    fn degenerate_point_clamp_allowed() {
+        let s = Saturation::new(1.0, 1.0).unwrap();
+        assert_eq!(s.apply(0.0), 1.0);
+    }
+
+    #[test]
+    fn inverted_bounds_rejected() {
+        assert!(Saturation::new(2.0, 1.0).is_err());
+        assert!(Saturation::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn rate_limiter_first_sample_passthrough() {
+        let mut r = RateLimiter::new(0.5).unwrap();
+        assert_eq!(r.push(10.0), 10.0);
+    }
+
+    #[test]
+    fn rate_limiter_limits_slew() {
+        let mut r = RateLimiter::new(1.0).unwrap();
+        r.push(0.0);
+        assert_eq!(r.push(5.0), 1.0);
+        assert_eq!(r.push(5.0), 2.0);
+        assert_eq!(r.push(-5.0), 1.0);
+    }
+
+    #[test]
+    fn rate_limiter_tracks_slow_signal() {
+        let mut r = RateLimiter::new(10.0).unwrap();
+        r.push(0.0);
+        assert_eq!(r.push(3.0), 3.0);
+        assert_eq!(r.current(), Some(3.0));
+    }
+
+    #[test]
+    fn rate_limiter_reset() {
+        let mut r = RateLimiter::new(0.1).unwrap();
+        r.push(100.0);
+        r.reset();
+        assert_eq!(r.current(), None);
+        assert_eq!(r.push(-50.0), -50.0);
+    }
+
+    #[test]
+    fn zero_rate_rejected() {
+        assert!(RateLimiter::new(0.0).is_err());
+    }
+}

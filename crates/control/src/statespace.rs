@@ -1,0 +1,324 @@
+//! Discrete-time LTI state-space models (paper §3, Eqns 1–2).
+//!
+//! ```text
+//! x[k+1] = A·x[k] + B·u[k]
+//! y[k]   = C·x[k] + v[k],   v ~ N(0, R)
+//! ```
+
+use nalgebra::{DMatrix, DVector};
+
+use argus_sim::noise::Gaussian;
+use argus_sim::rng::SimRng;
+
+use crate::ControlError;
+
+/// A discrete-time LTI system with optional Gaussian measurement noise.
+///
+/// ```
+/// use argus_control::StateSpace;
+/// use nalgebra::{DMatrix, DVector};
+///
+/// // Double integrator sampled at dt = 1 s.
+/// let sys = StateSpace::new(
+///     DMatrix::from_row_slice(2, 2, &[1.0, 1.0, 0.0, 1.0]),
+///     DMatrix::from_row_slice(2, 1, &[0.5, 1.0]),
+///     DMatrix::from_row_slice(1, 2, &[1.0, 0.0]),
+/// ).unwrap();
+/// let x0 = DVector::from_vec(vec![0.0, 0.0]);
+/// let u = DVector::from_vec(vec![2.0]);
+/// let x1 = sys.step(&x0, &u);
+/// assert_eq!(x1[0], 1.0); // position after one step of a = 2
+/// assert_eq!(x1[1], 2.0); // velocity
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateSpace {
+    a: DMatrix<f64>,
+    b: DMatrix<f64>,
+    c: DMatrix<f64>,
+    noise_std: Vec<f64>,
+}
+
+impl StateSpace {
+    /// Creates a system from its `A`, `B`, `C` matrices (no measurement
+    /// noise).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::DimensionMismatch`] when `A` is not square or
+    /// `B`/`C` row/column counts do not line up with the state dimension.
+    pub fn new(
+        a: DMatrix<f64>,
+        b: DMatrix<f64>,
+        c: DMatrix<f64>,
+    ) -> Result<Self, ControlError> {
+        let n = a.nrows();
+        if n == 0 || a.ncols() != n {
+            return Err(ControlError::DimensionMismatch {
+                message: format!("A must be square and non-empty, got {}x{}", a.nrows(), a.ncols()),
+            });
+        }
+        if b.nrows() != n {
+            return Err(ControlError::DimensionMismatch {
+                message: format!("B has {} rows, state dimension is {n}", b.nrows()),
+            });
+        }
+        if c.ncols() != n {
+            return Err(ControlError::DimensionMismatch {
+                message: format!("C has {} columns, state dimension is {n}", c.ncols()),
+            });
+        }
+        let outputs = c.nrows();
+        Ok(Self {
+            a,
+            b,
+            c,
+            noise_std: vec![0.0; outputs],
+        })
+    }
+
+    /// Sets per-output Gaussian measurement noise standard deviations
+    /// (the `R` of Eqn 2, assumed diagonal).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ControlError::DimensionMismatch`] if the length differs from
+    /// the number of outputs, or [`ControlError::BadParameter`] for negative
+    /// values.
+    pub fn with_measurement_noise(mut self, std_devs: &[f64]) -> Result<Self, ControlError> {
+        if std_devs.len() != self.c.nrows() {
+            return Err(ControlError::DimensionMismatch {
+                message: format!(
+                    "{} noise entries for {} outputs",
+                    std_devs.len(),
+                    self.c.nrows()
+                ),
+            });
+        }
+        if std_devs.iter().any(|&s| s < 0.0 || !s.is_finite()) {
+            return Err(ControlError::BadParameter {
+                name: "std_devs",
+                message: "must be finite and non-negative".to_string(),
+            });
+        }
+        self.noise_std = std_devs.to_vec();
+        Ok(self)
+    }
+
+    /// State dimension `n`.
+    pub fn state_dim(&self) -> usize {
+        self.a.nrows()
+    }
+
+    /// Input dimension `m`.
+    pub fn input_dim(&self) -> usize {
+        self.b.ncols()
+    }
+
+    /// Output dimension `p`.
+    pub fn output_dim(&self) -> usize {
+        self.c.nrows()
+    }
+
+    /// System matrix `A`.
+    pub fn a(&self) -> &DMatrix<f64> {
+        &self.a
+    }
+
+    /// Control matrix `B`.
+    pub fn b(&self) -> &DMatrix<f64> {
+        &self.b
+    }
+
+    /// Output matrix `C`.
+    pub fn c(&self) -> &DMatrix<f64> {
+        &self.c
+    }
+
+    /// Advances the state one step: `x⁺ = A x + B u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` or `u` have the wrong dimension.
+    pub fn step(&self, x: &DVector<f64>, u: &DVector<f64>) -> DVector<f64> {
+        assert_eq!(x.len(), self.state_dim(), "state dimension mismatch");
+        assert_eq!(u.len(), self.input_dim(), "input dimension mismatch");
+        &self.a * x + &self.b * u
+    }
+
+    /// Noise-free output `y = C x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` has the wrong dimension.
+    pub fn output(&self, x: &DVector<f64>) -> DVector<f64> {
+        assert_eq!(x.len(), self.state_dim(), "state dimension mismatch");
+        &self.c * x
+    }
+
+    /// Noisy measurement `y = C x + v` with `v ~ N(0, diag(noise²))`.
+    pub fn measure(&self, x: &DVector<f64>, rng: &mut SimRng) -> DVector<f64> {
+        let mut y = self.output(x);
+        for (i, &std) in self.noise_std.iter().enumerate() {
+            if std > 0.0 {
+                y[i] += Gaussian::new(0.0, std).sample(rng);
+            }
+        }
+        y
+    }
+
+    /// Simulates the system over a sequence of inputs, returning the state
+    /// trajectory (`inputs.len() + 1` states including `x0`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any input has the wrong dimension.
+    pub fn simulate(&self, x0: &DVector<f64>, inputs: &[DVector<f64>]) -> Vec<DVector<f64>> {
+        let mut states = Vec::with_capacity(inputs.len() + 1);
+        states.push(x0.clone());
+        let mut x = x0.clone();
+        for u in inputs {
+            x = self.step(&x, u);
+            states.push(x.clone());
+        }
+        states
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn double_integrator() -> StateSpace {
+        StateSpace::new(
+            DMatrix::from_row_slice(2, 2, &[1.0, 1.0, 0.0, 1.0]),
+            DMatrix::from_row_slice(2, 1, &[0.5, 1.0]),
+            DMatrix::from_row_slice(1, 2, &[1.0, 0.0]),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dimensions_reported() {
+        let sys = double_integrator();
+        assert_eq!(sys.state_dim(), 2);
+        assert_eq!(sys.input_dim(), 1);
+        assert_eq!(sys.output_dim(), 1);
+    }
+
+    #[test]
+    fn step_constant_acceleration() {
+        let sys = double_integrator();
+        let mut x = DVector::from_vec(vec![0.0, 0.0]);
+        let u = DVector::from_vec(vec![1.0]);
+        for _ in 0..3 {
+            x = sys.step(&x, &u);
+        }
+        // After 3 steps of unit acceleration: v = 3, p = 0.5+1.5+2.5 = 4.5.
+        assert!((x[1] - 3.0).abs() < 1e-12);
+        assert!((x[0] - 4.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn superposition_holds() {
+        // Linearity: response to (u1 + u2) equals sum of responses.
+        let sys = double_integrator();
+        let x0 = DVector::from_vec(vec![1.0, -1.0]);
+        let zero = DVector::from_vec(vec![0.0, 0.0]);
+        let u1: Vec<DVector<f64>> = (0..5).map(|k| DVector::from_vec(vec![k as f64])).collect();
+        let u2: Vec<DVector<f64>> =
+            (0..5).map(|k| DVector::from_vec(vec![-2.0 * k as f64 + 1.0])).collect();
+        let usum: Vec<DVector<f64>> = u1.iter().zip(&u2).map(|(a, b)| a + b).collect();
+
+        let y_x0 = sys.simulate(&x0, &vec![DVector::zeros(1); 5]);
+        let y_u1 = sys.simulate(&zero, &u1);
+        let y_u2 = sys.simulate(&zero, &u2);
+        let y_all = sys.simulate(&x0, &usum);
+        for k in 0..6 {
+            let expect = &y_x0[k] + &y_u1[k] + &y_u2[k];
+            assert!((&y_all[k] - expect).norm() < 1e-12, "step {k}");
+        }
+    }
+
+    #[test]
+    fn output_extracts_measured_state() {
+        let sys = double_integrator();
+        let x = DVector::from_vec(vec![7.0, 3.0]);
+        let y = sys.output(&x);
+        assert_eq!(y.len(), 1);
+        assert_eq!(y[0], 7.0);
+    }
+
+    #[test]
+    fn noisy_measurement_statistics() {
+        let sys = double_integrator()
+            .with_measurement_noise(&[0.5])
+            .unwrap();
+        let x = DVector::from_vec(vec![10.0, 0.0]);
+        let mut rng = SimRng::seed_from(7);
+        let n = 5000;
+        let mean: f64 = (0..n).map(|_| sys.measure(&x, &mut rng)[0]).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn zero_noise_measurement_is_exact() {
+        let sys = double_integrator();
+        let x = DVector::from_vec(vec![4.0, 2.0]);
+        let mut rng = SimRng::seed_from(1);
+        assert_eq!(sys.measure(&x, &mut rng)[0], 4.0);
+    }
+
+    #[test]
+    fn simulate_length() {
+        let sys = double_integrator();
+        let x0 = DVector::zeros(2);
+        let inputs = vec![DVector::from_vec(vec![1.0]); 10];
+        let traj = sys.simulate(&x0, &inputs);
+        assert_eq!(traj.len(), 11);
+    }
+
+    #[test]
+    fn non_square_a_rejected() {
+        let r = StateSpace::new(
+            DMatrix::zeros(2, 3),
+            DMatrix::zeros(2, 1),
+            DMatrix::zeros(1, 2),
+        );
+        assert!(matches!(r, Err(ControlError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn mismatched_b_rejected() {
+        let r = StateSpace::new(
+            DMatrix::identity(2, 2),
+            DMatrix::zeros(3, 1),
+            DMatrix::zeros(1, 2),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn mismatched_c_rejected() {
+        let r = StateSpace::new(
+            DMatrix::identity(2, 2),
+            DMatrix::zeros(2, 1),
+            DMatrix::zeros(1, 3),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn noise_vector_validated() {
+        let sys = double_integrator();
+        assert!(sys.clone().with_measurement_noise(&[0.1, 0.2]).is_err());
+        assert!(sys.clone().with_measurement_noise(&[-0.1]).is_err());
+        assert!(sys.with_measurement_noise(&[0.1]).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "input dimension mismatch")]
+    fn step_checks_input_dim() {
+        let sys = double_integrator();
+        let _ = sys.step(&DVector::zeros(2), &DVector::zeros(2));
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the control substrate.
+
+use argus_control::{expm, zoh_discretize, AccConfig, AccController, RateLimiter, Saturation};
+use argus_control::statespace::StateSpace;
+use argus_sim::units::{Meters, MetersPerSecond, Seconds};
+use nalgebra::{DMatrix, DVector};
+use proptest::prelude::*;
+
+fn small_matrix(n: usize) -> impl Strategy<Value = DMatrix<f64>> {
+    proptest::collection::vec(-1.0f64..1.0, n * n)
+        .prop_map(move |v| DMatrix::from_vec(n, n, v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// e^A · e^{−A} = I for arbitrary (small-norm) matrices.
+    #[test]
+    fn expm_inverse(a in small_matrix(3)) {
+        let pos = expm(&a).unwrap();
+        let neg = expm(&(-&a)).unwrap();
+        let err = (&pos * &neg - DMatrix::<f64>::identity(3, 3)).norm();
+        prop_assert!(err < 1e-9, "err {err:e}");
+    }
+
+    /// Semigroup property on commuting arguments: e^{A}·e^{A} = e^{2A}.
+    #[test]
+    fn expm_semigroup(a in small_matrix(3)) {
+        let once = expm(&a).unwrap();
+        let twice = expm(&(&a * 2.0)).unwrap();
+        let err = (&once * &once - twice).norm();
+        prop_assert!(err < 1e-8 * (1.0 + once.norm().powi(2)));
+    }
+
+    /// ZOH discretization of a stable scalar system matches the closed form
+    /// for arbitrary pole/gain/dt.
+    #[test]
+    fn zoh_scalar_closed_form(pole in -5.0f64..-0.01, gain in -4.0f64..4.0, dt in 0.01f64..3.0) {
+        let a = DMatrix::from_element(1, 1, pole);
+        let b = DMatrix::from_element(1, 1, gain);
+        let (ad, bd) = zoh_discretize(&a, &b, dt).unwrap();
+        let phi = (pole * dt).exp();
+        prop_assert!((ad[(0, 0)] - phi).abs() < 1e-10);
+        let expected_b = gain / pole * (phi - 1.0);
+        prop_assert!((bd[(0, 0)] - expected_b).abs() < 1e-9);
+    }
+
+    /// Saturation output is always within bounds and idempotent.
+    #[test]
+    fn saturation_idempotent(lo in -10.0f64..0.0, hi in 0.0f64..10.0, x in -100.0f64..100.0) {
+        let s = Saturation::new(lo, hi).unwrap();
+        let y = s.apply(x);
+        prop_assert!(y >= lo && y <= hi);
+        prop_assert_eq!(s.apply(y), y);
+    }
+
+    /// Rate limiter never exceeds the configured slew per step.
+    #[test]
+    fn rate_limiter_slew_bound(
+        max_delta in 0.01f64..5.0,
+        targets in proptest::collection::vec(-50.0f64..50.0, 2..50),
+    ) {
+        let mut rl = RateLimiter::new(max_delta).unwrap();
+        let mut prev = rl.push(targets[0]);
+        for &t in &targets[1..] {
+            let y = rl.push(t);
+            prop_assert!((y - prev).abs() <= max_delta + 1e-12);
+            prev = y;
+        }
+    }
+
+    /// LTI simulation is linear: scaling the input scales the zero-state
+    /// response.
+    #[test]
+    fn statespace_homogeneity(scale in -3.0f64..3.0, inputs in proptest::collection::vec(-2.0f64..2.0, 5)) {
+        let sys = StateSpace::new(
+            DMatrix::from_row_slice(2, 2, &[0.9, 0.2, -0.1, 0.8]),
+            DMatrix::from_row_slice(2, 1, &[0.5, 1.0]),
+            DMatrix::from_row_slice(1, 2, &[1.0, 0.0]),
+        )
+        .unwrap();
+        let x0 = DVector::zeros(2);
+        let u1: Vec<DVector<f64>> = inputs.iter().map(|&u| DVector::from_vec(vec![u])).collect();
+        let u2: Vec<DVector<f64>> =
+            inputs.iter().map(|&u| DVector::from_vec(vec![scale * u])).collect();
+        let t1 = sys.simulate(&x0, &u1);
+        let t2 = sys.simulate(&x0, &u2);
+        for (a, b) in t1.iter().zip(&t2) {
+            prop_assert!((a * scale - b).norm() < 1e-9);
+        }
+    }
+
+    /// The ACC never commands acceleration outside its envelope, whatever
+    /// garbage measurements it receives (the attack-facing invariant).
+    #[test]
+    fn acc_respects_envelope(
+        d in proptest::option::of(-500.0f64..500.0),
+        dv in -200.0f64..200.0,
+        v in 0.0f64..60.0,
+    ) {
+        let mut acc = AccController::new(AccConfig::paper(MetersPerSecond(30.0))).unwrap();
+        let out = acc.step(d.map(Meters), MetersPerSecond(dv), MetersPerSecond(v));
+        prop_assert!(out.desired_accel.value() <= 2.5 + 1e-12);
+        prop_assert!(out.desired_accel.value() >= -5.0 - 1e-12);
+        prop_assert!(out.actual_accel.value().is_finite());
+    }
+
+    /// Desired distance grows affinely with speed (Eqn 12) for any headway.
+    #[test]
+    fn desired_distance_affine(v in 0.0f64..60.0, headway in 0.5f64..5.0) {
+        let mut cfg = AccConfig::paper(MetersPerSecond(30.0));
+        cfg.headway = Seconds(headway);
+        let d = cfg.desired_distance(MetersPerSecond(v));
+        prop_assert!((d.value() - (5.0 + headway * v)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,10 @@
+use argus_core::Experiment;
+fn main() {
+    let o = Experiment::fig2b().run(42);
+    let gap = o.defended.series("gap_true");
+    let d_radar = o.defended.series("d_radar");
+    let power = o.defended.series("received_power");
+    for k in 185..215 {
+        println!("k={k} gap={:8.2} d_radar={:8.2} P={:.2e}", gap[k], d_radar[k], power[k]);
+    }
+}

@@ -1,0 +1,272 @@
+//! Ready-made experiment definitions reproducing the paper's evaluation.
+//!
+//! The paper's figures each combine three series for distance and relative
+//! velocity: *RadarData-Without-Attack* (a benign run), *RadarData-With-
+//! Attack* (the raw, corrupted radar output of a defended run — including
+//! the zero spikes at challenge instants), and *Estimated Radar Data* (the
+//! values the RLS estimator hands the controller). An
+//! [`ExperimentOutcome`] carries all three runs plus an undefended run for
+//! the safety ablation.
+
+use argus_attack::Adversary;
+use argus_sim::time::Step;
+use argus_vehicle::leader::LeaderProfile;
+
+use crate::scenario::{Scenario, ScenarioConfig, ScenarioResult};
+
+/// Step at which Figure 3's leader switches from braking to accelerating.
+/// The paper does not state the instant; we place it well before the attack
+/// onset so the estimator's local trend fit has converged on the new phase.
+const FIG3_SWITCH: Step = Step(100);
+
+/// One of the paper's evaluation experiments.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Short identifier (`fig2a`, …).
+    pub id: &'static str,
+    /// Human-readable description.
+    pub description: &'static str,
+    profile: LeaderProfile,
+    adversary: Adversary,
+}
+
+impl Experiment {
+    /// Figure 2a: DoS attack, leader decelerating at −0.1082 m/s².
+    pub fn fig2a() -> Self {
+        Self {
+            id: "fig2a",
+            description: "DoS attack under constant leader deceleration",
+            profile: LeaderProfile::paper_constant_decel(),
+            adversary: Adversary::paper_dos(),
+        }
+    }
+
+    /// Figure 2b: delay-injection attack, constant deceleration.
+    pub fn fig2b() -> Self {
+        Self {
+            id: "fig2b",
+            description: "Delay-injection attack under constant leader deceleration",
+            profile: LeaderProfile::paper_constant_decel(),
+            adversary: Adversary::paper_delay(),
+        }
+    }
+
+    /// Figure 3a: DoS attack, leader decelerates then accelerates.
+    pub fn fig3a() -> Self {
+        Self {
+            id: "fig3a",
+            description: "DoS attack with leader deceleration then acceleration",
+            profile: LeaderProfile::paper_decel_then_accel(FIG3_SWITCH),
+            adversary: Adversary::paper_dos(),
+        }
+    }
+
+    /// Figure 3b: delay-injection attack, decelerate-then-accelerate.
+    pub fn fig3b() -> Self {
+        Self {
+            id: "fig3b",
+            description: "Delay-injection attack with leader deceleration then acceleration",
+            profile: LeaderProfile::paper_decel_then_accel(FIG3_SWITCH),
+            adversary: Adversary::paper_delay(),
+        }
+    }
+
+    /// All four figure experiments.
+    pub fn all() -> Vec<Experiment> {
+        vec![
+            Self::fig2a(),
+            Self::fig2b(),
+            Self::fig3a(),
+            Self::fig3b(),
+        ]
+    }
+
+    /// The adversary of this experiment.
+    pub fn adversary(&self) -> &Adversary {
+        &self.adversary
+    }
+
+    /// The leader profile of this experiment.
+    pub fn profile(&self) -> &LeaderProfile {
+        &self.profile
+    }
+
+    /// Runs the benign reference, the defended attacked run, and the
+    /// undefended attacked run (all with the same seed).
+    pub fn run(&self, seed: u64) -> ExperimentOutcome {
+        let benign = Scenario::new(ScenarioConfig::paper(
+            self.profile.clone(),
+            Adversary::benign(),
+            false,
+        ))
+        .run(seed);
+        let defended = Scenario::new(ScenarioConfig::paper(
+            self.profile.clone(),
+            self.adversary,
+            true,
+        ))
+        .run(seed);
+        let undefended = Scenario::new(ScenarioConfig::paper(
+            self.profile.clone(),
+            self.adversary,
+            false,
+        ))
+        .run(seed);
+        ExperimentOutcome {
+            id: self.id,
+            description: self.description,
+            benign,
+            defended,
+            undefended,
+        }
+    }
+}
+
+/// The three runs of one experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutcome {
+    /// Experiment identifier.
+    pub id: &'static str,
+    /// Experiment description.
+    pub description: &'static str,
+    /// Attack-free reference run (no CRA modulation: the smooth dashed
+    /// "RadarData-Without-Attack" series).
+    pub benign: ScenarioResult,
+    /// Attacked run with the CRA + RLS defense active.
+    pub defended: ScenarioResult,
+    /// Attacked run with no defense (safety ablation).
+    pub undefended: ScenarioResult,
+}
+
+/// The three aligned series of one figure panel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigureSeries {
+    /// Time axis in seconds.
+    pub time: Vec<f64>,
+    /// Benign radar data ("RadarData-Without-Attack").
+    pub without_attack: Vec<f64>,
+    /// Raw radar data under attack, zero spikes included
+    /// ("RadarData-With-Attack").
+    pub with_attack: Vec<f64>,
+    /// RLS-estimated values consumed by the controller
+    /// ("Estimated Radar Data").
+    pub estimated: Vec<f64>,
+}
+
+impl FigureSeries {
+    fn build(outcome: &ExperimentOutcome, radar: &str, used: &str) -> Self {
+        let clean = outcome.benign.series(radar);
+        let attacked = outcome.defended.series(radar);
+        let estimated = outcome.defended.series(used);
+        let n = clean.len().min(attacked.len()).min(estimated.len());
+        FigureSeries {
+            time: (0..n).map(|k| k as f64).collect(),
+            without_attack: clean[..n].to_vec(),
+            with_attack: attacked[..n].to_vec(),
+            estimated: estimated[..n].to_vec(),
+        }
+    }
+
+    /// Number of aligned samples.
+    pub fn len(&self) -> usize {
+        self.time.len()
+    }
+
+    /// `true` when no samples are present.
+    pub fn is_empty(&self) -> bool {
+        self.time.is_empty()
+    }
+}
+
+impl ExperimentOutcome {
+    /// Relative-distance panel of the figure.
+    pub fn distance_series(&self) -> FigureSeries {
+        FigureSeries::build(self, "d_radar", "d_used")
+    }
+
+    /// Relative-velocity panel of the figure.
+    pub fn velocity_series(&self) -> FigureSeries {
+        FigureSeries::build(self, "v_radar", "v_used")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_has_four_unique_experiments() {
+        let all = Experiment::all();
+        assert_eq!(all.len(), 4);
+        let mut ids: Vec<_> = all.iter().map(|e| e.id).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), 4);
+    }
+
+    #[test]
+    fn fig2a_reproduces_headline_results() {
+        let outcome = Experiment::fig2a().run(11);
+        // Detection at k = 182 with a perfect confusion matrix.
+        assert_eq!(outcome.defended.metrics.detection_step, Some(Step(182)));
+        assert!(outcome.defended.metrics.confusion.is_perfect());
+        // Defense keeps the vehicle safe; no defense does not.
+        assert!(!outcome.defended.metrics.collided);
+        assert!(
+            outcome.undefended.metrics.collided
+                || outcome.undefended.metrics.min_gap < outcome.defended.metrics.min_gap
+        );
+    }
+
+    #[test]
+    fn fig2b_delay_attack_detected() {
+        let outcome = Experiment::fig2b().run(11);
+        assert_eq!(outcome.defended.metrics.detection_step, Some(Step(182)));
+        assert!(outcome.defended.metrics.confusion.is_perfect());
+        assert!(!outcome.defended.metrics.collided);
+    }
+
+    #[test]
+    fn figure_series_are_aligned() {
+        let outcome = Experiment::fig2a().run(3);
+        let d = outcome.distance_series();
+        assert!(!d.is_empty());
+        assert_eq!(d.time.len(), d.without_attack.len());
+        assert_eq!(d.time.len(), d.with_attack.len());
+        assert_eq!(d.time.len(), d.estimated.len());
+        let v = outcome.velocity_series();
+        assert_eq!(v.len(), v.estimated.len());
+    }
+
+    #[test]
+    fn attacked_series_deviates_only_after_onset() {
+        let outcome = Experiment::fig2b().run(5);
+        let d = outcome.distance_series();
+        // Before the attack (and away from challenge spikes), attacked and
+        // clean series track each other.
+        for k in 60..170 {
+            let spike = d.with_attack[k] == 0.0 || d.without_attack[k] == 0.0;
+            if !spike {
+                assert!(
+                    (d.with_attack[k] - d.without_attack[k]).abs() < 8.0,
+                    "premature divergence at k={k}"
+                );
+            }
+        }
+        // After onset the delay attack shifts distance by ≈ +6 m (visible
+        // against a gap whose defended trajectory matches the benign one).
+        let deviated = (185..260)
+            .filter(|&k| d.with_attack[k] != 0.0)
+            .filter(|&k| (d.with_attack[k] - d.estimated[k]) > 3.0)
+            .count();
+        assert!(deviated > 30, "delay shift not visible ({deviated} steps)");
+    }
+
+    #[test]
+    fn fig3_profiles_switch_mid_run() {
+        let outcome = Experiment::fig3a().run(2);
+        let v_leader = outcome.benign.series("v_leader");
+        // Leader speed falls until the switch (k = 100), then rises.
+        assert!(v_leader[99] < v_leader[50]);
+        assert!(v_leader[250] > v_leader[110]);
+    }
+}

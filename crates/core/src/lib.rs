@@ -1,0 +1,63 @@
+//! # argus-core — the secure-sensing pipeline and the paper's experiments
+//!
+//! This crate assembles every Argus substrate into the closed loop of the
+//! paper's Figure 1:
+//!
+//! ```text
+//!                 ┌──────────────  ACC system  ─────────────┐
+//! leader ──► radar (CRA-modulated) ──► detector ──► RLS ──► │ upper + lower
+//!    ▲        ▲                                 estimates   │ controllers
+//!    │        └── attacker (DoS jamming / delay injection)  │
+//!    └────────────────── follower vehicle dynamics ◄────────┘
+//! ```
+//!
+//! * [`pipeline`] — the defense stack: CRA detection gating an RLS
+//!   free-running predictor per measurement stream.
+//! * [`scenario`] — the full closed-loop simulation: vehicles, radar,
+//!   attacker, defense, controller, with trace recording.
+//! * [`metrics`] — detection latency, confusion matrix, estimation RMSE,
+//!   minimum gap / collision outcome.
+//! * [`experiments`] — ready-made configurations reproducing Figures 2–3
+//!   and the §6.2 results.
+//! * [`report`] — plain-text table/series rendering for the bench harness.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use argus_core::prelude::*;
+//!
+//! // The paper's Figure 2a: DoS attack, constant leader deceleration.
+//! let outcome = Experiment::fig2a().run(42);
+//! assert_eq!(outcome.defended.metrics.detection_step, Some(argus_sim::Step(182)));
+//! assert!(outcome.defended.metrics.confusion.is_perfect());
+//! assert!(!outcome.defended.metrics.collided);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod metrics;
+pub mod pipeline;
+pub mod plot;
+pub mod report;
+pub mod scenario;
+pub mod tracker;
+
+pub use experiments::{Experiment, ExperimentOutcome, FigureSeries};
+pub use metrics::RunMetrics;
+pub use pipeline::{MeasurementSource, PipelineOutput, PredictorKind, SecurePipeline};
+pub use scenario::{Scenario, ScenarioConfig, ScenarioResult};
+pub use tracker::{MultiTargetTracker, Track, TrackerConfig, TrackId};
+
+/// Convenient glob import for downstream binaries and tests.
+pub mod prelude {
+    pub use crate::experiments::{Experiment, ExperimentOutcome, FigureSeries};
+    pub use crate::metrics::RunMetrics;
+    pub use crate::pipeline::{MeasurementSource, PipelineOutput, SecurePipeline};
+    pub use crate::scenario::{Scenario, ScenarioConfig, ScenarioResult};
+    pub use argus_attack::{Adversary, AttackKind};
+    pub use argus_cra::{ChallengeSchedule, CraDetector};
+    pub use argus_radar::{MeasurementMode, RadarConfig};
+    pub use argus_vehicle::LeaderProfile;
+}

@@ -1,0 +1,90 @@
+//! Run-level metrics: what the paper's §6.2 "Results" paragraph reports.
+
+use argus_cra::detector::ConfusionMatrix;
+use argus_sim::time::Step;
+
+/// Outcome metrics of one closed-loop run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunMetrics {
+    /// Smallest true inter-vehicle gap seen (m).
+    pub min_gap: f64,
+    /// Whether the vehicles collided (gap reached zero).
+    pub collided: bool,
+    /// Step of the first attack detection, if any.
+    pub detection_step: Option<Step>,
+    /// Steps between attack onset and detection, if both happened.
+    pub detection_latency: Option<u64>,
+    /// Steps served from the RLS estimator.
+    pub estimation_steps: u64,
+    /// Wall-clock nanoseconds spent inside the detection + estimation
+    /// pipeline while an attack was latched (the paper's "run-time of the
+    /// algorithm" for the attack duration).
+    pub estimation_time_ns: u128,
+    /// Challenge-instant confusion matrix versus ground truth.
+    pub confusion: ConfusionMatrix,
+    /// RMSE of the controller-consumed distance against the true gap over
+    /// the attack window (`None` when no attack steps ran).
+    pub attack_window_distance_rmse: Option<f64>,
+}
+
+impl RunMetrics {
+    /// `true` when the run had no collision and (if an attack ran) the
+    /// detector was perfect.
+    pub fn is_safe_and_sound(&self) -> bool {
+        !self.collided && self.confusion.is_perfect()
+    }
+}
+
+impl std::fmt::Display for RunMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "min_gap={:.2} m, collided={}, detection={:?}, latency={:?}, \
+             est_steps={}, est_time={} ns, confusion=[{}]",
+            self.min_gap,
+            self.collided,
+            self.detection_step.map(|s| s.0),
+            self.detection_latency,
+            self.estimation_steps,
+            self.estimation_time_ns,
+            self.confusion
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn metrics() -> RunMetrics {
+        RunMetrics {
+            min_gap: 42.0,
+            collided: false,
+            detection_step: Some(Step(182)),
+            detection_latency: Some(0),
+            estimation_steps: 118,
+            estimation_time_ns: 12_000_000,
+            confusion: ConfusionMatrix::new(),
+            attack_window_distance_rmse: Some(1.5),
+        }
+    }
+
+    #[test]
+    fn safe_and_sound() {
+        let m = metrics();
+        assert!(m.is_safe_and_sound());
+        let mut bad = m;
+        bad.collided = true;
+        assert!(!bad.is_safe_and_sound());
+        let mut missed = m;
+        missed.confusion.record(true, false);
+        assert!(!missed.is_safe_and_sound());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let text = metrics().to_string();
+        assert!(text.contains("min_gap=42.00"));
+        assert!(text.contains("detection=Some(182)"));
+    }
+}

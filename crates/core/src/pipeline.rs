@@ -1,0 +1,549 @@
+//! The secure-sensing pipeline (detection + estimation, §5).
+//!
+//! [`SecurePipeline::process`] implements Algorithm 2's control flow over
+//! the radar's per-step observation:
+//!
+//! 1. the CRA detector inspects the received power (decisive at challenge
+//!    instants, latched in between);
+//! 2. while the channel is deemed clean, fresh measurements flow through to
+//!    the controller *and* train the RLS predictor;
+//! 3. while an attack is latched, measurements are **estimated**: the RLS
+//!    predictor free-runs on the leader-speed stream and the distance is
+//!    dead-reckoned through the trusted ego speed — corrupted data never
+//!    reaches the controller or the model.
+//!
+//! The estimation structure exploits the paper's own assumption that "the
+//! sensor measuring velocity of the follower vehicle is trusted": the radar
+//! streams `(d, Δv)` are equivalent to `(d, v_L)` given `v_F`, and the
+//! leader's speed is the smooth physical signal an AR model extrapolates
+//! well, while the distance follows by integrating `Δv̂` (Eqn 17's
+//! kinematics) from the last clean range.
+
+use argus_cra::detector::{CraDetector, Verdict};
+use argus_estim::holt::HoltPredictor;
+use argus_estim::predictor::{SensorPredictor, StreamPredictor};
+use argus_estim::trend::TrendPredictor;
+use argus_estim::EstimError;
+use argus_radar::receiver::RadarObservation;
+use argus_sim::time::Step;
+use argus_sim::units::{Meters, MetersPerSecond, Seconds};
+
+/// Which estimator free-runs the leader-speed stream during attacks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PredictorKind {
+    /// RLS local-trend fit (the paper configuration; see DESIGN.md §3).
+    #[default]
+    RlsTrend,
+    /// RLS AR(4) lag predictor (the naive Algorithm 1 instantiation).
+    RlsAr4,
+    /// Holt double-exponential smoothing baseline.
+    Holt,
+}
+
+impl PredictorKind {
+    /// Builds the predictor.
+    ///
+    /// # Errors
+    ///
+    /// Propagates constructor errors (none for the built-in
+    /// configurations).
+    pub fn build(self) -> Result<Box<dyn StreamPredictor + Send>, EstimError> {
+        Ok(match self {
+            PredictorKind::RlsTrend => Box::new(TrendPredictor::paper()?),
+            PredictorKind::RlsAr4 => Box::new(SensorPredictor::paper()?),
+            PredictorKind::Holt => Box::new(HoltPredictor::paper_equivalent()?),
+        })
+    }
+}
+
+/// Where the pipeline's output measurement came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MeasurementSource {
+    /// Passed through from the radar (clean channel).
+    Radar,
+    /// RLS free-run + dead reckoning (attack latched, or challenge instant).
+    Estimated,
+    /// Nothing available (no target, predictor not yet trained).
+    Unavailable,
+}
+
+/// The pipeline's per-step output — what the ACC controller consumes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelineOutput {
+    /// Detector verdict this step.
+    pub verdict: Verdict,
+    /// Best distance estimate (`None` = no target known). This is the
+    /// "Estimated Radar Data" series of the figures.
+    pub distance: Option<Meters>,
+    /// Relative-speed measurement `Δv = v_L − v_F` for the controller.
+    pub relative_speed: MetersPerSecond,
+    /// Distance the controller should act on. Equal to [`Self::distance`]
+    /// on clean radar data; while free-running it subtracts a safety margin
+    /// that grows with time-on-estimates (dead-reckoning uncertainty grows
+    /// with the attack duration — degraded-mode headway inflation).
+    pub control_distance: Option<Meters>,
+    /// Provenance of the measurement.
+    pub source: MeasurementSource,
+}
+
+/// Snapshot of the estimation state taken at an authenticated instant.
+#[derive(Debug)]
+struct Checkpoint {
+    predictor: Box<dyn StreamPredictor + Send>,
+    last_distance: Option<f64>,
+}
+
+/// CRA detection gating RLS estimation for the radar measurement streams.
+///
+/// The pipeline is *rewind-sound* against attacks that begin between
+/// challenges: at every passed challenge it checkpoints the predictor and
+/// the dead-reckoning anchor, and on a detection it discards everything
+/// learned since (which may be attacker-controlled) and replays forward
+/// from the checkpoint using the trusted ego-speed history.
+#[derive(Debug)]
+pub struct SecurePipeline {
+    detector: CraDetector,
+    leader_speed_predictor: Box<dyn StreamPredictor + Send>,
+    last_distance: Option<f64>,
+    dt: Seconds,
+    estimation_steps: u64,
+    checkpoint: Option<Checkpoint>,
+    speeds_since_checkpoint: Vec<f64>,
+    was_attacked: bool,
+    consecutive_estimates: u64,
+}
+
+/// Quadratic growth coefficient of the control-distance safety margin
+/// (m/step²). A slope error ε in the fitted leader-speed trend integrates
+/// into a distance error ε·n²/2 after n free-run steps; with the paper
+/// configuration the 2σ slope error is ≈ 1.6 × 10⁻³ m/s per step, so the
+/// margin n²·2σ_slope/2 bounds the drift with ~98 % confidence.
+const MARGIN_QUAD: f64 = 0.0016;
+
+/// Cap on the control-distance safety margin (m).
+const MARGIN_CAP: f64 = 12.0;
+
+impl SecurePipeline {
+    /// Creates a pipeline from a detector, a predictor for the leader-speed
+    /// stream, and the sample period used for dead reckoning.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not strictly positive.
+    pub fn new(
+        detector: CraDetector,
+        predictor: Box<dyn StreamPredictor + Send>,
+        dt: Seconds,
+    ) -> Self {
+        assert!(dt.value() > 0.0, "sample period must be positive");
+        Self {
+            detector,
+            leader_speed_predictor: predictor,
+            last_distance: None,
+            dt,
+            estimation_steps: 0,
+            checkpoint: None,
+            speeds_since_checkpoint: Vec::new(),
+            was_attacked: false,
+            consecutive_estimates: 0,
+        }
+    }
+
+    /// The paper's configuration: RLS local-trend fit (λ = 0.95) over the
+    /// leader speed, 1 s sampling.
+    ///
+    /// # Errors
+    ///
+    /// Propagates predictor construction errors.
+    pub fn paper(detector: CraDetector) -> Result<Self, EstimError> {
+        Ok(Self::new(
+            detector,
+            Box::new(TrendPredictor::paper()?),
+            Seconds(1.0),
+        ))
+    }
+
+    /// Whether the radar should transmit at step `k` (the CRA modulation).
+    pub fn tx_on(&self, k: Step) -> bool {
+        self.detector.tx_on(k)
+    }
+
+    /// The embedded detector.
+    pub fn detector(&self) -> &CraDetector {
+        &self.detector
+    }
+
+    /// How many steps were served from the estimator.
+    pub fn estimation_steps(&self) -> u64 {
+        self.estimation_steps
+    }
+
+    /// Processes one radar observation given the trusted ego speed `v_F`.
+    pub fn process(
+        &mut self,
+        k: Step,
+        obs: &RadarObservation,
+        own_speed: MetersPerSecond,
+    ) -> PipelineOutput {
+        let verdict = self.detector.update(k, obs.received_power);
+
+        if verdict.under_attack() {
+            // Rising edge: everything consumed since the last authenticated
+            // instant may be attacker-controlled — rewind and replay.
+            if !self.was_attacked {
+                self.rewind_to_checkpoint();
+            }
+            self.was_attacked = true;
+            let out = self.estimated_output(verdict, own_speed);
+            self.record_speed(own_speed);
+            return out;
+        }
+        self.was_attacked = false;
+
+        // Clean channel. At a challenge instant the radar was silent, so
+        // there is no fresh sample — bridge the gap with one estimated step;
+        // this instant is authenticated, so checkpoint first.
+        if self.detector.schedule().is_challenge(k) {
+            self.checkpoint = Some(Checkpoint {
+                predictor: self.leader_speed_predictor.clone_box(),
+                last_distance: self.last_distance,
+            });
+            self.speeds_since_checkpoint.clear();
+            let out = self.estimated_output(verdict, own_speed);
+            self.record_speed(own_speed);
+            return out;
+        }
+
+        let out = match obs.measurement {
+            Some(m) => {
+                let leader_speed = m.range_rate.value() + own_speed.value();
+                self.leader_speed_predictor.observe(leader_speed);
+                self.last_distance = Some(m.distance.value());
+                self.consecutive_estimates = 0;
+                PipelineOutput {
+                    verdict,
+                    distance: Some(m.distance),
+                    relative_speed: MetersPerSecond(m.range_rate.value()),
+                    control_distance: Some(m.distance),
+                    source: MeasurementSource::Radar,
+                }
+            }
+            None => PipelineOutput {
+                verdict,
+                distance: None,
+                relative_speed: MetersPerSecond(0.0),
+                control_distance: None,
+                source: MeasurementSource::Unavailable,
+            },
+        };
+        self.record_speed(own_speed);
+        out
+    }
+
+    /// Remembers the trusted ego speed so a later rewind can replay the
+    /// dead reckoning over the discarded interval.
+    fn record_speed(&mut self, own_speed: MetersPerSecond) {
+        if self.checkpoint.is_some() {
+            self.speeds_since_checkpoint.push(own_speed.value());
+        }
+    }
+
+    /// Discards all estimation state learned since the last authenticated
+    /// instant and replays the free-run forward over the trusted ego-speed
+    /// history.
+    fn rewind_to_checkpoint(&mut self) {
+        let Some(cp) = self.checkpoint.take() else {
+            return; // attack before the first authenticated instant
+        };
+        self.leader_speed_predictor = cp.predictor;
+        self.last_distance = cp.last_distance;
+        let speeds = std::mem::take(&mut self.speeds_since_checkpoint);
+        for v_f in speeds {
+            if let (Ok(v_l), Some(d_prev)) = (
+                self.leader_speed_predictor.predict_next(),
+                self.last_distance,
+            ) {
+                let dv = v_l.max(0.0) - v_f;
+                self.last_distance = Some(d_prev + dv * self.dt.value());
+            }
+        }
+    }
+
+    fn estimated_output(
+        &mut self,
+        verdict: Verdict,
+        own_speed: MetersPerSecond,
+    ) -> PipelineOutput {
+        let prediction = self.leader_speed_predictor.predict_next();
+        match (prediction, self.last_distance) {
+            (Ok(v_leader_raw), Some(d_prev)) => {
+                // Ground vehicles do not reverse; clamp the extrapolated
+                // leader speed at zero (it otherwise continues a braking
+                // trend below zero once the leader has stopped).
+                let v_leader = v_leader_raw.max(0.0);
+                let dv = v_leader - own_speed.value();
+                let d_new = d_prev + dv * self.dt.value();
+                self.last_distance = Some(d_new);
+                self.estimation_steps += 1;
+                self.consecutive_estimates += 1;
+                let n = self.consecutive_estimates as f64;
+                let margin = (MARGIN_QUAD * n * n).min(MARGIN_CAP);
+                PipelineOutput {
+                    verdict,
+                    distance: Some(Meters(d_new)),
+                    relative_speed: MetersPerSecond(dv),
+                    control_distance: Some(Meters(d_new - margin)),
+                    source: MeasurementSource::Estimated,
+                }
+            }
+            _ => PipelineOutput {
+                verdict,
+                distance: None,
+                relative_speed: MetersPerSecond(0.0),
+                control_distance: None,
+                source: MeasurementSource::Unavailable,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argus_cra::challenge::ChallengeSchedule;
+    use argus_radar::fmcw::BeatPair;
+    use argus_radar::receiver::RadarMeasurement;
+    use argus_sim::units::{Hertz, Watts};
+
+    fn detector() -> CraDetector {
+        CraDetector::new(ChallengeSchedule::paper(), Watts(1e-14))
+    }
+
+    fn pipeline() -> SecurePipeline {
+        SecurePipeline::paper(detector()).unwrap()
+    }
+
+    fn clean_obs(d: f64, dv: f64) -> RadarObservation {
+        RadarObservation {
+            measurement: Some(RadarMeasurement {
+                distance: Meters(d),
+                range_rate: MetersPerSecond(dv),
+                beats: BeatPair {
+                    up: Hertz(0.0),
+                    down: Hertz(0.0),
+                },
+                snr: 1000.0,
+            }),
+            received_power: Watts(1e-12),
+            jammed: false,
+        }
+    }
+
+    fn silent_obs() -> RadarObservation {
+        RadarObservation {
+            measurement: None,
+            received_power: Watts(1e-16),
+            jammed: false,
+        }
+    }
+
+    fn hot_obs() -> RadarObservation {
+        RadarObservation {
+            measurement: Some(RadarMeasurement {
+                distance: Meters(400.0),
+                range_rate: MetersPerSecond(120.0),
+                beats: BeatPair {
+                    up: Hertz(0.0),
+                    down: Hertz(0.0),
+                },
+                snr: 0.001,
+            }),
+            received_power: Watts(1e-9),
+            jammed: true,
+        }
+    }
+
+    const V_OWN: MetersPerSecond = MetersPerSecond(20.0);
+
+    /// Feeds one clean-channel step: a measurement at ordinary instants, a
+    /// silent observation at challenge instants (the radar did not
+    /// transmit, and an honest channel returns nothing).
+    fn feed_clean(p: &mut SecurePipeline, k: u64, d: f64, dv: f64) {
+        if ChallengeSchedule::paper().is_challenge(Step(k)) {
+            p.process(Step(k), &silent_obs(), V_OWN);
+        } else {
+            p.process(Step(k), &clean_obs(d, dv), V_OWN);
+        }
+    }
+
+    #[test]
+    fn clean_measurements_pass_through() {
+        let mut p = pipeline();
+        let out = p.process(Step(0), &clean_obs(100.0, -1.0), V_OWN);
+        assert_eq!(out.source, MeasurementSource::Radar);
+        assert_eq!(out.distance, Some(Meters(100.0)));
+        assert_eq!(out.relative_speed.value(), -1.0);
+        assert!(!out.verdict.under_attack());
+    }
+
+    #[test]
+    fn clean_challenge_bridged_by_estimate() {
+        let mut p = pipeline();
+        for k in 0..15 {
+            p.process(Step(k), &clean_obs(100.0 - k as f64, -1.0), V_OWN);
+        }
+        // k = 15 is a paper challenge instant; the channel is silent & clean.
+        let out = p.process(Step(15), &silent_obs(), V_OWN);
+        assert!(!out.verdict.under_attack());
+        assert_eq!(out.source, MeasurementSource::Estimated);
+        let d = out.distance.unwrap().value();
+        assert!((d - 85.0).abs() < 0.5, "bridge estimate {d}");
+        assert!((out.relative_speed.value() + 1.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn attack_at_challenge_switches_to_estimation() {
+        let mut p = pipeline();
+        for k in 0..50 {
+            feed_clean(&mut p, k, 100.0 - 0.5 * k as f64, -0.5);
+        }
+        // Hot signal at challenge k = 50 → detect, serve estimates.
+        let out = p.process(Step(50), &hot_obs(), V_OWN);
+        assert!(out.verdict.under_attack());
+        assert_eq!(out.source, MeasurementSource::Estimated);
+        let d = out.distance.unwrap().value();
+        assert!((d - 75.0).abs() < 0.5, "estimate {d} vs truth ≈ 75");
+        // Subsequent (non-challenge) steps stay estimated while latched.
+        let out2 = p.process(Step(51), &hot_obs(), V_OWN);
+        assert_eq!(out2.source, MeasurementSource::Estimated);
+        // One bridge at the clean challenge k = 15, plus k = 50 and k = 51.
+        assert_eq!(p.estimation_steps(), 3);
+    }
+
+    #[test]
+    fn long_free_run_stays_accurate() {
+        // The paper's window: 118 estimation steps under a steady trend.
+        let mut p = pipeline();
+        for k in 0..182 {
+            feed_clean(&mut p, k, 100.0 - 0.3 * k as f64, -0.3);
+        }
+        p.process(Step(182), &hot_obs(), V_OWN);
+        let mut worst: f64 = 0.0;
+        for k in 183..300 {
+            let out = p.process(Step(k), &hot_obs(), V_OWN);
+            if let Some(d) = out.distance {
+                let truth = 100.0 - 0.3 * k as f64;
+                worst = worst.max((d.value() - truth).abs());
+            }
+        }
+        assert!(worst < 3.0, "free-run divergence {worst}");
+    }
+
+    #[test]
+    fn corrupted_values_never_reach_output_during_attack() {
+        let mut p = pipeline();
+        for k in 0..50 {
+            feed_clean(&mut p, k, 100.0, 0.0);
+        }
+        p.process(Step(50), &hot_obs(), V_OWN); // detected
+        for k in 51..80 {
+            let out = p.process(Step(k), &hot_obs(), V_OWN);
+            let d = out.distance.unwrap().value();
+            assert!(
+                (d - 100.0).abs() < 5.0,
+                "output {d} leaked corrupted data at k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn recovery_after_clean_challenge() {
+        let mut p = pipeline();
+        for k in 0..50 {
+            feed_clean(&mut p, k, 100.0, 0.0);
+        }
+        p.process(Step(50), &hot_obs(), V_OWN); // attack detected
+        for k in 51..85 {
+            p.process(Step(k), &hot_obs(), V_OWN);
+        }
+        // k = 85 is a challenge; channel now clean → latch released.
+        let out = p.process(Step(85), &silent_obs(), V_OWN);
+        assert!(!out.verdict.under_attack());
+        // Next ordinary step passes radar data through again.
+        let out = p.process(Step(86), &clean_obs(99.0, 0.0), V_OWN);
+        assert_eq!(out.source, MeasurementSource::Radar);
+    }
+
+    #[test]
+    fn leader_speed_estimate_clamped_at_zero() {
+        // Leader braking to a stop: the free-run must not predict reversing.
+        let mut p = pipeline();
+        for k in 0..60 {
+            // Leader speed 6 − 0.5k: hits zero at k = 12, clamped by truth.
+            let v_leader = (6.0 - 0.5 * k as f64).max(0.0);
+            let dv = v_leader - V_OWN.value();
+            feed_clean(&mut p, k, 100.0, dv);
+        }
+        // During free-run the relative speed must never go below −v_F.
+        p.process(Step(85), &hot_obs(), V_OWN);
+        for k in 86..110 {
+            let out = p.process(Step(k), &hot_obs(), V_OWN);
+            assert!(
+                out.relative_speed.value() >= -V_OWN.value() - 1e-9,
+                "estimated leader reversed at k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn rewind_discards_pre_detection_corruption() {
+        // Delay attack begins mid-gap (k = 40): the samples at k = 40…49
+        // carry a +20 m illusion, but detection at the k = 50 challenge
+        // must rewind to the k = 15 checkpoint — the corrupted distances
+        // never influence the estimates.
+        let mut p = pipeline();
+        for k in 0..40 {
+            feed_clean(&mut p, k, 100.0, 0.0);
+        }
+        for k in 40..50 {
+            // Corrupted but plausible-looking samples (replay with +20 m).
+            p.process(Step(k), &clean_obs(120.0, 0.0), V_OWN);
+        }
+        // Challenge at k = 50: the spoofer is still transmitting → detect.
+        let out = p.process(Step(50), &hot_obs(), V_OWN);
+        assert!(out.verdict.under_attack());
+        let d = out.distance.unwrap().value();
+        assert!(
+            (d - 100.0).abs() < 1.0,
+            "estimate {d} should come from the authenticated state (100 m), \
+             not the spoofed 120 m"
+        );
+    }
+
+    #[test]
+    fn unavailable_when_predictor_cold() {
+        let mut p = pipeline();
+        // Immediate attack at the first challenge with no training data.
+        let out = p.process(Step(15), &hot_obs(), V_OWN);
+        assert!(out.verdict.under_attack());
+        assert_eq!(out.source, MeasurementSource::Unavailable);
+        assert_eq!(out.distance, None);
+    }
+
+    #[test]
+    fn no_target_reports_unavailable() {
+        let mut p = pipeline();
+        let out = p.process(Step(0), &silent_obs(), V_OWN);
+        assert_eq!(out.source, MeasurementSource::Unavailable);
+    }
+
+    #[test]
+    #[should_panic(expected = "sample period must be positive")]
+    fn zero_dt_rejected() {
+        let _ = SecurePipeline::new(
+            detector(),
+            Box::new(TrendPredictor::paper().unwrap()),
+            Seconds(0.0),
+        );
+    }
+}

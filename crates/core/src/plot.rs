@@ -1,0 +1,289 @@
+//! Minimal SVG line-chart rendering for the figure harness.
+//!
+//! Dependency-free: emits a self-contained SVG with axes, tick labels, a
+//! legend, and one polyline per series — enough to regenerate the paper's
+//! Figures 2–3 as image files from
+//! [`FigureSeries`] data.
+
+use crate::experiments::FigureSeries;
+
+/// Plot dimensions and margins.
+const WIDTH: f64 = 860.0;
+const HEIGHT: f64 = 520.0;
+const MARGIN_LEFT: f64 = 70.0;
+const MARGIN_RIGHT: f64 = 30.0;
+const MARGIN_TOP: f64 = 50.0;
+const MARGIN_BOTTOM: f64 = 60.0;
+
+/// A single series to draw.
+#[derive(Debug, Clone)]
+pub struct PlotSeries<'a> {
+    /// Legend label.
+    pub label: &'a str,
+    /// Stroke colour (any SVG colour string).
+    pub color: &'a str,
+    /// Dash pattern (empty = solid).
+    pub dash: &'a str,
+    /// Y values (x is the sample index).
+    pub values: &'a [f64],
+}
+
+/// Renders a line chart to an SVG string.
+///
+/// # Panics
+///
+/// Panics if no series is given or all series are empty.
+pub fn render_svg(title: &str, y_label: &str, series: &[PlotSeries<'_>]) -> String {
+    assert!(!series.is_empty(), "need at least one series");
+    let n = series.iter().map(|s| s.values.len()).max().unwrap_or(0);
+    assert!(n > 1, "series must have at least two points");
+
+    let finite = series
+        .iter()
+        .flat_map(|s| s.values.iter().copied())
+        .filter(|v| v.is_finite());
+    let (mut y_min, mut y_max) = (f64::MAX, f64::MIN);
+    for v in finite {
+        y_min = y_min.min(v);
+        y_max = y_max.max(v);
+    }
+    if y_min == f64::MAX {
+        y_min = 0.0;
+        y_max = 1.0;
+    }
+    if (y_max - y_min).abs() < 1e-12 {
+        y_max = y_min + 1.0;
+    }
+    // Pad the range by 5 %.
+    let pad = 0.05 * (y_max - y_min);
+    let (y_min, y_max) = (y_min - pad, y_max + pad);
+
+    let plot_w = WIDTH - MARGIN_LEFT - MARGIN_RIGHT;
+    let plot_h = HEIGHT - MARGIN_TOP - MARGIN_BOTTOM;
+    let x_of = |i: usize| MARGIN_LEFT + plot_w * i as f64 / (n - 1) as f64;
+    let y_of = |v: f64| MARGIN_TOP + plot_h * (1.0 - (v - y_min) / (y_max - y_min));
+
+    let mut svg = String::with_capacity(16 * 1024);
+    svg.push_str(&format!(
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{WIDTH}" height="{HEIGHT}" viewBox="0 0 {WIDTH} {HEIGHT}">"#
+    ));
+    svg.push_str(r#"<rect width="100%" height="100%" fill="white"/>"#);
+    svg.push_str(&format!(
+        r#"<text x="{}" y="28" font-family="sans-serif" font-size="18" text-anchor="middle">{}</text>"#,
+        WIDTH / 2.0,
+        escape(title)
+    ));
+
+    // Axes.
+    svg.push_str(&format!(
+        r#"<line x1="{MARGIN_LEFT}" y1="{}" x2="{}" y2="{}" stroke="black"/>"#,
+        HEIGHT - MARGIN_BOTTOM,
+        WIDTH - MARGIN_RIGHT,
+        HEIGHT - MARGIN_BOTTOM
+    ));
+    svg.push_str(&format!(
+        r#"<line x1="{MARGIN_LEFT}" y1="{MARGIN_TOP}" x2="{MARGIN_LEFT}" y2="{}" stroke="black"/>"#,
+        HEIGHT - MARGIN_BOTTOM
+    ));
+
+    // Ticks: 6 on each axis.
+    for t in 0..=5 {
+        let frac = t as f64 / 5.0;
+        let x = MARGIN_LEFT + plot_w * frac;
+        let x_value = (n - 1) as f64 * frac;
+        svg.push_str(&format!(
+            r#"<line x1="{x}" y1="{}" x2="{x}" y2="{}" stroke="black"/>"#,
+            HEIGHT - MARGIN_BOTTOM,
+            HEIGHT - MARGIN_BOTTOM + 5.0
+        ));
+        svg.push_str(&format!(
+            r#"<text x="{x}" y="{}" font-family="sans-serif" font-size="12" text-anchor="middle">{:.0}</text>"#,
+            HEIGHT - MARGIN_BOTTOM + 20.0,
+            x_value
+        ));
+        let y = MARGIN_TOP + plot_h * (1.0 - frac);
+        let y_value = y_min + (y_max - y_min) * frac;
+        svg.push_str(&format!(
+            r#"<line x1="{}" y1="{y}" x2="{MARGIN_LEFT}" y2="{y}" stroke="black"/>"#,
+            MARGIN_LEFT - 5.0
+        ));
+        svg.push_str(&format!(
+            r#"<text x="{}" y="{}" font-family="sans-serif" font-size="12" text-anchor="end">{:.1}</text>"#,
+            MARGIN_LEFT - 9.0,
+            y + 4.0,
+            y_value
+        ));
+    }
+    // Axis labels.
+    svg.push_str(&format!(
+        r#"<text x="{}" y="{}" font-family="sans-serif" font-size="14" text-anchor="middle">Time (s)</text>"#,
+        WIDTH / 2.0,
+        HEIGHT - 15.0
+    ));
+    svg.push_str(&format!(
+        r#"<text x="18" y="{}" font-family="sans-serif" font-size="14" text-anchor="middle" transform="rotate(-90 18 {})">{}</text>"#,
+        HEIGHT / 2.0,
+        HEIGHT / 2.0,
+        escape(y_label)
+    ));
+
+    // Series.
+    for s in series {
+        let mut points = String::new();
+        for (i, &v) in s.values.iter().enumerate() {
+            if v.is_finite() {
+                points.push_str(&format!("{:.2},{:.2} ", x_of(i), y_of(v)));
+            }
+        }
+        let dash_attr = if s.dash.is_empty() {
+            String::new()
+        } else {
+            format!(r#" stroke-dasharray="{}""#, s.dash)
+        };
+        svg.push_str(&format!(
+            r#"<polyline fill="none" stroke="{}" stroke-width="1.6"{} points="{}"/>"#,
+            s.color,
+            dash_attr,
+            points.trim_end()
+        ));
+    }
+
+    // Legend.
+    for (i, s) in series.iter().enumerate() {
+        let y = MARGIN_TOP + 18.0 * i as f64 + 8.0;
+        let x = WIDTH - MARGIN_RIGHT - 230.0;
+        let dash_attr = if s.dash.is_empty() {
+            String::new()
+        } else {
+            format!(r#" stroke-dasharray="{}""#, s.dash)
+        };
+        svg.push_str(&format!(
+            r#"<line x1="{x}" y1="{y}" x2="{}" y2="{y}" stroke="{}" stroke-width="2"{}/>"#,
+            x + 28.0,
+            s.color,
+            dash_attr
+        ));
+        svg.push_str(&format!(
+            r#"<text x="{}" y="{}" font-family="sans-serif" font-size="13">{}</text>"#,
+            x + 34.0,
+            y + 4.0,
+            escape(s.label)
+        ));
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+/// Renders a figure panel (the paper's three-series layout) to SVG.
+pub fn figure_svg(title: &str, y_label: &str, series: &FigureSeries) -> String {
+    render_svg(
+        title,
+        y_label,
+        &[
+            PlotSeries {
+                label: "RadarData-Without-Attack",
+                color: "#555555",
+                dash: "6 4",
+                values: &series.without_attack,
+            },
+            PlotSeries {
+                label: "RadarData-With-Attack",
+                color: "#c23b22",
+                dash: "",
+                values: &series.with_attack,
+            },
+            PlotSeries {
+                label: "Estimated Radar Data",
+                color: "#1f6fb2",
+                dash: "",
+                values: &series.estimated,
+            },
+        ],
+    )
+}
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_series() -> FigureSeries {
+        FigureSeries {
+            time: (0..50).map(|k| k as f64).collect(),
+            without_attack: (0..50).map(|k| 100.0 - k as f64).collect(),
+            with_attack: (0..50).map(|k| if k == 25 { 0.0 } else { 100.0 - k as f64 }).collect(),
+            estimated: (0..50).map(|k| 100.0 - k as f64).collect(),
+        }
+    }
+
+    #[test]
+    fn svg_structure() {
+        let svg = figure_svg("fig2a — distance", "Relative Distance (m)", &sample_series());
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>"));
+        assert_eq!(svg.matches("<polyline").count(), 3);
+        assert!(svg.contains("RadarData-Without-Attack"));
+        assert!(svg.contains("Estimated Radar Data"));
+        assert!(svg.contains("Time (s)"));
+    }
+
+    #[test]
+    fn title_is_escaped() {
+        let values = [1.0, 2.0];
+        let svg = render_svg(
+            "a < b & c",
+            "y",
+            &[PlotSeries {
+                label: "s",
+                color: "black",
+                dash: "",
+                values: &values,
+            }],
+        );
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn non_finite_points_skipped() {
+        let values = [1.0, f64::NAN, 3.0];
+        let svg = render_svg(
+            "t",
+            "y",
+            &[PlotSeries {
+                label: "s",
+                color: "black",
+                dash: "",
+                values: &values,
+            }],
+        );
+        // Two points survive.
+        let poly = svg.split("points=\"").nth(1).unwrap();
+        let coords = poly.split('"').next().unwrap();
+        assert_eq!(coords.split_whitespace().count(), 2);
+    }
+
+    #[test]
+    fn constant_series_gets_padded_range() {
+        let values = [5.0, 5.0, 5.0];
+        let svg = render_svg(
+            "flat",
+            "y",
+            &[PlotSeries {
+                label: "s",
+                color: "black",
+                dash: "",
+                values: &values,
+            }],
+        );
+        assert!(svg.contains("<polyline"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one series")]
+    fn empty_series_list_rejected() {
+        let _ = render_svg("t", "y", &[]);
+    }
+}

@@ -1,0 +1,93 @@
+//! Plain-text rendering of experiment outputs — the "same rows the paper
+//! reports" for the bench harness binaries.
+
+use crate::experiments::{ExperimentOutcome, FigureSeries};
+use crate::metrics::RunMetrics;
+
+/// Renders a figure panel as an aligned table, sampling every `stride`
+/// steps (stride 1 = every step).
+///
+/// # Panics
+///
+/// Panics if `stride` is zero.
+pub fn render_series(title: &str, series: &FigureSeries, stride: usize) -> String {
+    assert!(stride > 0, "stride must be positive");
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    out.push_str(&format!(
+        "{:>6} {:>18} {:>18} {:>18}\n",
+        "t(s)", "without-attack", "with-attack", "estimated"
+    ));
+    for k in (0..series.len()).step_by(stride) {
+        out.push_str(&format!(
+            "{:>6.0} {:>18.3} {:>18.3} {:>18.3}\n",
+            series.time[k], series.without_attack[k], series.with_attack[k], series.estimated[k]
+        ));
+    }
+    out
+}
+
+/// Renders the §6.2-style result block for one experiment.
+pub fn render_outcome(outcome: &ExperimentOutcome) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {} — {}\n\n", outcome.id, outcome.description));
+    out.push_str(&render_metrics_row("defended", &outcome.defended.metrics));
+    out.push_str(&render_metrics_row(
+        "undefended",
+        &outcome.undefended.metrics,
+    ));
+    out.push_str(&render_metrics_row("benign", &outcome.benign.metrics));
+    out
+}
+
+/// One metrics row with a label.
+pub fn render_metrics_row(label: &str, m: &RunMetrics) -> String {
+    format!(
+        "{label:>12}: detect={:<12} latency={:<8} min_gap={:>8.2} m  collided={:<5} \
+         est_steps={:<4} est_time={:>12} ns  FP={} FN={}\n",
+        m.detection_step
+            .map_or("none".to_string(), |s| format!("k={}", s.0)),
+        m.detection_latency
+            .map_or("-".to_string(), |l| format!("{l} s")),
+        m.min_gap,
+        m.collided,
+        m.estimation_steps,
+        m.estimation_time_ns,
+        m.confusion.false_positives,
+        m.confusion.false_negatives,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::Experiment;
+
+    #[test]
+    fn series_table_has_expected_rows() {
+        let outcome = Experiment::fig2a().run(1);
+        let table = render_series("fig2a distance", &outcome.distance_series(), 50);
+        let lines: Vec<_> = table.lines().collect();
+        // Title + header + ceil(301/50) = 7 rows.
+        assert_eq!(lines.len(), 2 + 7);
+        assert!(lines[0].contains("fig2a distance"));
+        assert!(lines[1].contains("without-attack"));
+    }
+
+    #[test]
+    fn outcome_report_contains_all_rows() {
+        let outcome = Experiment::fig2b().run(1);
+        let text = render_outcome(&outcome);
+        assert!(text.contains("defended"));
+        assert!(text.contains("undefended"));
+        assert!(text.contains("benign"));
+        assert!(text.contains("k=182"));
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn zero_stride_rejected() {
+        let outcome = Experiment::fig2a().run(1);
+        let _ = render_series("x", &outcome.distance_series(), 0);
+    }
+}

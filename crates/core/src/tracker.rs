@@ -1,0 +1,325 @@
+//! Multi-target tracking over radar measurements.
+//!
+//! Production radar stacks do not hand raw detections to the controller:
+//! they maintain *tracks* — per-target Kalman filters associated to new
+//! measurements by gating — and the ACC follows the most relevant track.
+//! This module provides that layer on top of
+//! [`Radar::observe_multi`](argus_radar::receiver::Radar::observe_multi):
+//! nearest-neighbour association with a gate, track spawning after
+//! consecutive hits, and track deletion after consecutive misses.
+
+use argus_estim::KalmanFilter;
+use argus_radar::receiver::RadarMeasurement;
+use argus_sim::units::{Meters, MetersPerSecond};
+use nalgebra::DVector;
+
+/// Stable identifier of a track.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TrackId(pub u64);
+
+/// One maintained target track.
+#[derive(Debug, Clone)]
+pub struct Track {
+    id: TrackId,
+    filter: KalmanFilter,
+    hits: u32,
+    misses: u32,
+}
+
+impl Track {
+    /// Track identifier.
+    pub fn id(&self) -> TrackId {
+        self.id
+    }
+
+    /// Estimated distance.
+    pub fn distance(&self) -> Meters {
+        Meters(self.filter.state()[0])
+    }
+
+    /// Estimated range rate.
+    pub fn range_rate(&self) -> MetersPerSecond {
+        MetersPerSecond(self.filter.state()[1])
+    }
+
+    /// Consecutive updates received.
+    pub fn hits(&self) -> u32 {
+        self.hits
+    }
+
+    /// `true` once the track has enough history to be trusted.
+    pub fn confirmed(&self, confirm_after: u32) -> bool {
+        self.hits >= confirm_after
+    }
+}
+
+/// Tracker configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrackerConfig {
+    /// Association gate: a measurement joins a track only within this
+    /// distance of the track's prediction.
+    pub gate: Meters,
+    /// Hits needed before a track is reported as confirmed.
+    pub confirm_after: u32,
+    /// Consecutive misses before a track is dropped.
+    pub drop_after: u32,
+    /// Measurement noise variance fed to the per-track filters (m²).
+    pub measurement_variance: f64,
+    /// Process (manoeuvre) noise intensity.
+    pub process_noise: f64,
+    /// Sample period in seconds.
+    pub dt: f64,
+}
+
+impl Default for TrackerConfig {
+    fn default() -> Self {
+        Self {
+            gate: Meters(5.0),
+            confirm_after: 3,
+            drop_after: 3,
+            measurement_variance: 0.25,
+            process_noise: 0.05,
+            dt: 1.0,
+        }
+    }
+}
+
+/// Nearest-neighbour multi-target tracker.
+///
+/// ```
+/// use argus_core::tracker::{MultiTargetTracker, TrackerConfig};
+/// use argus_radar::prelude::*;
+/// use argus_sim::prelude::*;
+///
+/// let radar = Radar::new(RadarConfig::bosch_lrr2());
+/// let targets = [RadarTarget::new(Meters(80.0), MetersPerSecond(-2.0), 10.0)];
+/// let mut tracker = MultiTargetTracker::new(TrackerConfig::default());
+/// let mut rng = SimRng::seed_from(1);
+/// for _ in 0..3 {
+///     let obs = radar.observe_multi(true, &targets, &ChannelState::clean(), 2, &mut rng);
+///     tracker.update(&obs.measurements);
+/// }
+/// let primary = tracker.primary().expect("confirmed after three hits");
+/// assert!((primary.distance().value() - 80.0).abs() < 3.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MultiTargetTracker {
+    config: TrackerConfig,
+    tracks: Vec<Track>,
+    next_id: u64,
+}
+
+impl MultiTargetTracker {
+    /// Creates an empty tracker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gate, variances, or dt are not strictly positive.
+    pub fn new(config: TrackerConfig) -> Self {
+        assert!(config.gate.value() > 0.0, "gate must be positive");
+        assert!(
+            config.measurement_variance > 0.0 && config.process_noise > 0.0,
+            "noise parameters must be positive"
+        );
+        assert!(config.dt > 0.0, "dt must be positive");
+        Self {
+            config,
+            tracks: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// All live tracks (confirmed or tentative).
+    pub fn tracks(&self) -> &[Track] {
+        &self.tracks
+    }
+
+    /// Confirmed tracks only, nearest first.
+    pub fn confirmed(&self) -> Vec<&Track> {
+        let mut out: Vec<&Track> = self
+            .tracks
+            .iter()
+            .filter(|t| t.confirmed(self.config.confirm_after))
+            .collect();
+        out.sort_by(|a, b| {
+            a.distance()
+                .value()
+                .partial_cmp(&b.distance().value())
+                .expect("finite distances")
+        });
+        out
+    }
+
+    /// The nearest confirmed track — the ACC's primary target.
+    pub fn primary(&self) -> Option<&Track> {
+        self.confirmed().first().copied()
+    }
+
+    /// Consumes one scan of measurements: predicts every track, associates
+    /// measurements nearest-first within the gate, spawns tentative tracks
+    /// for the leftovers, and drops stale tracks.
+    pub fn update(&mut self, measurements: &[RadarMeasurement]) {
+        // Predict.
+        for t in &mut self.tracks {
+            t.filter.predict(&DVector::zeros(1));
+        }
+
+        // Greedy nearest-neighbour association.
+        let mut unused: Vec<&RadarMeasurement> = measurements.iter().collect();
+        for t in &mut self.tracks {
+            let predicted = t.filter.state()[0];
+            let best = unused
+                .iter()
+                .enumerate()
+                .map(|(i, m)| (i, (m.distance.value() - predicted).abs()))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+            match best {
+                Some((i, dist)) if dist <= self.config.gate.value() => {
+                    let m = unused.swap_remove(i);
+                    t.filter
+                        .update(&DVector::from_vec(vec![m.distance.value()]));
+                    // Blend the measured range rate directly into the rate
+                    // state (the radar measures it, unlike a position-only
+                    // sensor).
+                    let blended = 0.5 * t.filter.state()[1] + 0.5 * m.range_rate.value();
+                    let d = t.filter.state()[0];
+                    t.filter.set_state(DVector::from_vec(vec![d, blended]));
+                    t.hits += 1;
+                    t.misses = 0;
+                }
+                _ => {
+                    // Coast: keep the confirmation history so an established
+                    // track survives brief occlusions (and challenge
+                    // instants, which yield no measurements).
+                    t.misses += 1;
+                }
+            }
+        }
+        let drop_after = self.config.drop_after;
+        self.tracks.retain(|t| t.misses < drop_after);
+
+        // Spawn tentative tracks for unassociated measurements.
+        for m in unused {
+            let filter = KalmanFilter::constant_velocity(
+                self.config.dt,
+                self.config.process_noise,
+                self.config.measurement_variance,
+                m.distance.value(),
+                m.range_rate.value(),
+            )
+            .expect("valid tracker filter parameters");
+            self.tracks.push(Track {
+                id: TrackId(self.next_id),
+                filter,
+                hits: 1,
+                misses: 0,
+            });
+            self.next_id += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argus_radar::fmcw::BeatPair;
+    use argus_sim::units::Hertz;
+
+    fn meas(d: f64, v: f64) -> RadarMeasurement {
+        RadarMeasurement {
+            distance: Meters(d),
+            range_rate: MetersPerSecond(v),
+            beats: BeatPair {
+                up: Hertz(0.0),
+                down: Hertz(0.0),
+            },
+            snr: 100.0,
+        }
+    }
+
+    fn tracker() -> MultiTargetTracker {
+        MultiTargetTracker::new(TrackerConfig::default())
+    }
+
+    #[test]
+    fn track_confirms_after_hits() {
+        let mut t = tracker();
+        for k in 0..3 {
+            t.update(&[meas(100.0 - k as f64, -1.0)]);
+        }
+        assert_eq!(t.tracks().len(), 1);
+        let primary = t.primary().expect("confirmed track");
+        assert!((primary.distance().value() - 98.0).abs() < 1.0);
+        assert!((primary.range_rate().value() + 1.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn tentative_track_not_reported() {
+        let mut t = tracker();
+        t.update(&[meas(50.0, 0.0)]);
+        assert_eq!(t.tracks().len(), 1);
+        assert!(t.primary().is_none(), "single-hit track must be tentative");
+    }
+
+    #[test]
+    fn two_targets_two_tracks() {
+        let mut t = tracker();
+        for k in 0..4 {
+            t.update(&[meas(40.0 - k as f64, -1.0), meas(120.0 + k as f64, 1.0)]);
+        }
+        let confirmed = t.confirmed();
+        assert_eq!(confirmed.len(), 2);
+        assert!(confirmed[0].distance().value() < confirmed[1].distance().value());
+        assert_eq!(t.primary().unwrap().id(), confirmed[0].id());
+    }
+
+    #[test]
+    fn track_dropped_after_misses() {
+        let mut t = tracker();
+        for _ in 0..3 {
+            t.update(&[meas(60.0, 0.0)]);
+        }
+        assert_eq!(t.tracks().len(), 1);
+        for _ in 0..3 {
+            t.update(&[]);
+        }
+        assert!(t.tracks().is_empty());
+    }
+
+    #[test]
+    fn coasting_through_a_single_miss() {
+        let mut t = tracker();
+        for k in 0..3 {
+            t.update(&[meas(80.0 - 2.0 * k as f64, -2.0)]);
+        }
+        let id = t.tracks()[0].id();
+        t.update(&[]); // one missed scan — coast on prediction
+        assert_eq!(t.tracks().len(), 1);
+        t.update(&[meas(72.0, -2.0)]); // re-acquire (prediction ≈ 72)
+        assert_eq!(t.tracks().len(), 1, "should re-associate, not spawn");
+        assert_eq!(t.tracks()[0].id(), id);
+    }
+
+    #[test]
+    fn far_measurement_spawns_instead_of_corrupting() {
+        let mut t = tracker();
+        for _ in 0..3 {
+            t.update(&[meas(50.0, 0.0)]);
+        }
+        // A measurement far outside the gate must not drag the track.
+        t.update(&[meas(50.0, 0.0), meas(150.0, 0.0)]);
+        assert_eq!(t.tracks().len(), 2);
+        let d0 = t.primary().unwrap().distance().value();
+        assert!((d0 - 50.0).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gate must be positive")]
+    fn zero_gate_rejected() {
+        let cfg = TrackerConfig {
+            gate: Meters(0.0),
+            ..TrackerConfig::default()
+        };
+        let _ = MultiTargetTracker::new(cfg);
+    }
+}

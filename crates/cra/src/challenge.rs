@@ -1,0 +1,182 @@
+//! Challenge schedules: the instants `T_c` at which the radar suppresses
+//! its probe (`m(t) = 0`).
+//!
+//! The schedule must be unpredictable to the attacker (hence the LFSR
+//! source) but is of course known to the detector. Figures 2–3 of the paper
+//! show challenges at k = 15, 50, 175 "etc." with detection at k = 182 — the
+//! [`ChallengeSchedule::paper`] constructor reproduces that timeline.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use argus_sim::time::Step;
+
+use crate::lfsr::Lfsr;
+
+/// A set of challenge instants over a simulation horizon.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChallengeSchedule {
+    instants: BTreeSet<u64>,
+}
+
+impl ChallengeSchedule {
+    /// Builds a schedule from explicit steps.
+    pub fn from_steps<I: IntoIterator<Item = Step>>(steps: I) -> Self {
+        Self {
+            instants: steps.into_iter().map(|s| s.0).collect(),
+        }
+    }
+
+    /// The paper's figure timeline: challenges at k = 15, 50, 175 (visible
+    /// as zero-spikes in Figures 2–3), k = 182 (the detection instant) and
+    /// periodically thereafter so recovery/end-of-attack can be observed.
+    pub fn paper() -> Self {
+        Self::from_steps(
+            [15u64, 50, 85, 120, 150, 175, 182, 210, 240, 270, 295]
+                .into_iter()
+                .map(Step),
+        )
+    }
+
+    /// Builds a pseudo-random schedule over `[0, horizon)` where each step
+    /// is (independently, per LFSR bits) a challenge with probability
+    /// `rate`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is outside `(0, 1)`.
+    pub fn pseudorandom(mut lfsr: Lfsr, horizon: usize, rate: f64) -> Self {
+        assert!(
+            rate > 0.0 && rate < 1.0,
+            "challenge rate {rate} outside (0, 1)"
+        );
+        let instants = (0..horizon as u64)
+            .filter(|_| lfsr.next_fraction() < rate)
+            .collect();
+        Self { instants }
+    }
+
+    /// `true` when step `k` is a challenge instant (`k ∈ T_c`).
+    pub fn is_challenge(&self, k: Step) -> bool {
+        self.instants.contains(&k.0)
+    }
+
+    /// Whether the radar transmits at step `k` (the modulation signal
+    /// `m(k)`): the complement of [`ChallengeSchedule::is_challenge`].
+    pub fn tx_on(&self, k: Step) -> bool {
+        !self.is_challenge(k)
+    }
+
+    /// The first challenge instant at or after `k`, if any.
+    pub fn next_at_or_after(&self, k: Step) -> Option<Step> {
+        self.instants.range(k.0..).next().map(|&v| Step(v))
+    }
+
+    /// All challenge instants in order.
+    pub fn instants(&self) -> impl Iterator<Item = Step> + '_ {
+        self.instants.iter().map(|&v| Step(v))
+    }
+
+    /// Number of challenge instants.
+    pub fn len(&self) -> usize {
+        self.instants.len()
+    }
+
+    /// `true` when the schedule has no challenges.
+    pub fn is_empty(&self) -> bool {
+        self.instants.is_empty()
+    }
+
+    /// Worst-case detection latency if an attack can begin at any step
+    /// within `[0, horizon)`: the largest gap between consecutive
+    /// challenges (attack onset just after a challenge waits the whole gap).
+    pub fn max_detection_latency(&self, horizon: Step) -> Option<u64> {
+        if self.instants.is_empty() {
+            return None;
+        }
+        let mut prev = 0u64;
+        let mut worst = 0u64;
+        for &c in &self.instants {
+            worst = worst.max(c - prev);
+            prev = c;
+        }
+        worst = worst.max(horizon.0.saturating_sub(prev));
+        Some(worst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_schedule_contains_figure_instants() {
+        let s = ChallengeSchedule::paper();
+        for k in [15, 50, 175, 182] {
+            assert!(s.is_challenge(Step(k)), "k={k}");
+        }
+        assert!(!s.is_challenge(Step(0)));
+        assert!(!s.is_challenge(Step(100)));
+    }
+
+    #[test]
+    fn tx_is_complement_of_challenge() {
+        let s = ChallengeSchedule::paper();
+        for k in 0..300 {
+            assert_ne!(s.is_challenge(Step(k)), s.tx_on(Step(k)));
+        }
+    }
+
+    #[test]
+    fn next_at_or_after() {
+        let s = ChallengeSchedule::paper();
+        assert_eq!(s.next_at_or_after(Step(0)), Some(Step(15)));
+        assert_eq!(s.next_at_or_after(Step(15)), Some(Step(15)));
+        assert_eq!(s.next_at_or_after(Step(176)), Some(Step(182)));
+        assert_eq!(s.next_at_or_after(Step(296)), None);
+    }
+
+    #[test]
+    fn pseudorandom_rate_is_respected() {
+        let lfsr = Lfsr::maximal(32, 12345).unwrap();
+        let s = ChallengeSchedule::pseudorandom(lfsr, 10_000, 0.1);
+        let rate = s.len() as f64 / 10_000.0;
+        assert!((rate - 0.1).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn pseudorandom_is_deterministic() {
+        let a = ChallengeSchedule::pseudorandom(Lfsr::maximal(16, 7).unwrap(), 1000, 0.05);
+        let b = ChallengeSchedule::pseudorandom(Lfsr::maximal(16, 7).unwrap(), 1000, 0.05);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn detection_latency_bound() {
+        let s = ChallengeSchedule::from_steps([Step(10), Step(20), Step(50)]);
+        // Largest gap: 20→50 is 30; 50→horizon(60) is 10; 0→10 is 10.
+        assert_eq!(s.max_detection_latency(Step(60)), Some(30));
+        assert_eq!(
+            ChallengeSchedule::from_steps(std::iter::empty::<Step>())
+                .max_detection_latency(Step(60)),
+            None
+        );
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let s = ChallengeSchedule::from_steps([Step(1), Step(2), Step(2)]);
+        assert_eq!(s.len(), 2); // set semantics
+        assert!(!s.is_empty());
+        let instants: Vec<_> = s.instants().collect();
+        assert_eq!(instants, vec![Step(1), Step(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1)")]
+    fn silly_rate_rejected() {
+        let _ =
+            ChallengeSchedule::pseudorandom(Lfsr::maximal(16, 1).unwrap(), 100, 1.5);
+    }
+}

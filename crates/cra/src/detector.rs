@@ -1,0 +1,359 @@
+//! The Algorithm 2 comparator: detection and latching.
+//!
+//! At every challenge instant `k ∈ T_c` the radar transmitted nothing, so an
+//! honest channel delivers (at most) thermal noise. The detector compares
+//! the received in-band power against a threshold sitting well above the
+//! noise floor and well below any plausible attack signal:
+//!
+//! * power above threshold at a challenge instant → **attack detected**
+//!   (latched until a later challenge passes cleanly);
+//! * power below threshold at a challenge instant → channel is clean; any
+//!   previously latched detection is released (attack over).
+//!
+//! Between challenges the verdict simply reports the latched state.
+
+use serde::{Deserialize, Serialize};
+
+use argus_sim::time::Step;
+use argus_sim::units::Watts;
+
+use crate::challenge::ChallengeSchedule;
+
+/// Per-step detector verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Verdict {
+    /// Not a challenge instant; latched state unchanged.
+    NotChallenged {
+        /// Whether an attack is currently latched.
+        under_attack: bool,
+    },
+    /// Challenge instant, received power below threshold — channel clean.
+    ChallengePassed,
+    /// Challenge instant, received power above threshold — attack!
+    AttackDetected,
+}
+
+impl Verdict {
+    /// `true` when the detector currently believes an attack is live.
+    pub fn under_attack(&self) -> bool {
+        match self {
+            Verdict::NotChallenged { under_attack } => *under_attack,
+            Verdict::ChallengePassed => false,
+            Verdict::AttackDetected => true,
+        }
+    }
+}
+
+/// The CRA detector (lines 7–16 of Algorithm 2).
+///
+/// ```
+/// use argus_cra::{ChallengeSchedule, CraDetector, Verdict};
+/// use argus_sim::{time::Step, units::Watts};
+///
+/// let mut det = CraDetector::new(ChallengeSchedule::paper(), Watts(1e-13));
+/// // Clean challenge at k = 15: nothing received.
+/// assert_eq!(det.update(Step(15), Watts(1e-15)), Verdict::ChallengePassed);
+/// // Attacker energy at the k = 182 challenge: detected.
+/// assert_eq!(det.update(Step(182), Watts(1e-9)), Verdict::AttackDetected);
+/// assert_eq!(det.first_detection(), Some(Step(182)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CraDetector {
+    schedule: ChallengeSchedule,
+    threshold: Watts,
+    latched: bool,
+    first_detection: Option<Step>,
+    detections: Vec<Step>,
+}
+
+impl CraDetector {
+    /// Creates a detector over a schedule with a power threshold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the threshold is not strictly positive.
+    pub fn new(schedule: ChallengeSchedule, threshold: Watts) -> Self {
+        assert!(
+            threshold.value() > 0.0,
+            "detection threshold must be positive"
+        );
+        Self {
+            schedule,
+            threshold,
+            latched: false,
+            first_detection: None,
+            detections: Vec::new(),
+        }
+    }
+
+    /// The challenge schedule in use.
+    pub fn schedule(&self) -> &ChallengeSchedule {
+        &self.schedule
+    }
+
+    /// The power threshold.
+    pub fn threshold(&self) -> Watts {
+        self.threshold
+    }
+
+    /// Whether the radar should transmit at step `k` (drives the CRA
+    /// modulation of the radar front-end).
+    pub fn tx_on(&self, k: Step) -> bool {
+        self.schedule.tx_on(k)
+    }
+
+    /// Processes the received power at step `k` and returns the verdict.
+    pub fn update(&mut self, k: Step, received_power: Watts) -> Verdict {
+        if !self.schedule.is_challenge(k) {
+            return Verdict::NotChallenged {
+                under_attack: self.latched,
+            };
+        }
+        if received_power.value() > self.threshold.value() {
+            if !self.latched {
+                self.detections.push(k);
+                if self.first_detection.is_none() {
+                    self.first_detection = Some(k);
+                }
+            }
+            self.latched = true;
+            Verdict::AttackDetected
+        } else {
+            self.latched = false;
+            Verdict::ChallengePassed
+        }
+    }
+
+    /// `true` while an attack is latched.
+    pub fn under_attack(&self) -> bool {
+        self.latched
+    }
+
+    /// Step of the first detection, if any (`t_ad` of Algorithm 2).
+    pub fn first_detection(&self) -> Option<Step> {
+        self.first_detection
+    }
+
+    /// Steps at which a *new* attack was detected (rising edges).
+    pub fn detections(&self) -> &[Step] {
+        &self.detections
+    }
+
+    /// Clears all detector state (schedule retained).
+    pub fn reset(&mut self) {
+        self.latched = false;
+        self.first_detection = None;
+        self.detections.clear();
+    }
+}
+
+/// Confusion-matrix scoring of detector verdicts against ground truth,
+/// evaluated **at challenge instants** (the only instants at which the CRA
+/// method renders a decision).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    /// Challenge instants where an attack was live and flagged.
+    pub true_positives: u64,
+    /// Challenge instants where no attack was live but one was flagged.
+    pub false_positives: u64,
+    /// Challenge instants where no attack was live and none flagged.
+    pub true_negatives: u64,
+    /// Challenge instants where an attack was live but not flagged.
+    pub false_negatives: u64,
+}
+
+impl ConfusionMatrix {
+    /// Creates an empty matrix.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one challenge-instant outcome.
+    pub fn record(&mut self, attack_live: bool, flagged: bool) {
+        match (attack_live, flagged) {
+            (true, true) => self.true_positives += 1,
+            (false, true) => self.false_positives += 1,
+            (false, false) => self.true_negatives += 1,
+            (true, false) => self.false_negatives += 1,
+        }
+    }
+
+    /// Total challenge instants scored.
+    pub fn total(&self) -> u64 {
+        self.true_positives + self.false_positives + self.true_negatives + self.false_negatives
+    }
+
+    /// False-positive rate (0 when no negatives were seen).
+    pub fn false_positive_rate(&self) -> f64 {
+        let negatives = self.false_positives + self.true_negatives;
+        if negatives == 0 {
+            0.0
+        } else {
+            self.false_positives as f64 / negatives as f64
+        }
+    }
+
+    /// False-negative rate (0 when no positives were seen).
+    pub fn false_negative_rate(&self) -> f64 {
+        let positives = self.true_positives + self.false_negatives;
+        if positives == 0 {
+            0.0
+        } else {
+            self.false_negatives as f64 / positives as f64
+        }
+    }
+
+    /// `true` when the detector made no mistakes — the paper's headline
+    /// claim ("does not produce any false positives or false negatives").
+    pub fn is_perfect(&self) -> bool {
+        self.false_positives == 0 && self.false_negatives == 0
+    }
+}
+
+impl std::fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "TP={} FP={} TN={} FN={} (FPR={:.3}, FNR={:.3})",
+            self.true_positives,
+            self.false_positives,
+            self.true_negatives,
+            self.false_negatives,
+            self.false_positive_rate(),
+            self.false_negative_rate()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector() -> CraDetector {
+        CraDetector::new(ChallengeSchedule::paper(), Watts(1e-14))
+    }
+
+    #[test]
+    fn clean_challenge_passes() {
+        let mut d = detector();
+        let v = d.update(Step(15), Watts(1e-16));
+        assert_eq!(v, Verdict::ChallengePassed);
+        assert!(!v.under_attack());
+        assert!(d.first_detection().is_none());
+    }
+
+    #[test]
+    fn hot_challenge_detects() {
+        let mut d = detector();
+        let v = d.update(Step(182), Watts(1e-9));
+        assert_eq!(v, Verdict::AttackDetected);
+        assert!(v.under_attack());
+        assert_eq!(d.first_detection(), Some(Step(182)));
+    }
+
+    #[test]
+    fn non_challenge_steps_do_not_decide() {
+        let mut d = detector();
+        // Attack power at a non-challenge step is invisible to CRA.
+        let v = d.update(Step(100), Watts(1e-9));
+        assert_eq!(v, Verdict::NotChallenged { under_attack: false });
+    }
+
+    #[test]
+    fn latch_holds_between_challenges() {
+        let mut d = detector();
+        d.update(Step(182), Watts(1e-9));
+        let v = d.update(Step(183), Watts(1e-16)); // power irrelevant here
+        assert_eq!(v, Verdict::NotChallenged { under_attack: true });
+        assert!(d.under_attack());
+    }
+
+    #[test]
+    fn clean_challenge_releases_latch() {
+        let mut d = detector();
+        d.update(Step(182), Watts(1e-9));
+        assert!(d.under_attack());
+        let v = d.update(Step(210), Watts(1e-16));
+        assert_eq!(v, Verdict::ChallengePassed);
+        assert!(!d.under_attack());
+    }
+
+    #[test]
+    fn rising_edges_recorded_once() {
+        let mut d = detector();
+        d.update(Step(182), Watts(1e-9));
+        d.update(Step(210), Watts(1e-9)); // still latched, not a new edge
+        assert_eq!(d.detections(), &[Step(182)]);
+        d.update(Step(240), Watts(1e-16)); // released
+        d.update(Step(270), Watts(1e-9)); // new attack edge
+        assert_eq!(d.detections(), &[Step(182), Step(270)]);
+        assert_eq!(d.first_detection(), Some(Step(182)));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut d = detector();
+        d.update(Step(182), Watts(1e-9));
+        d.reset();
+        assert!(!d.under_attack());
+        assert!(d.first_detection().is_none());
+        assert!(d.detections().is_empty());
+    }
+
+    #[test]
+    fn threshold_boundary_exclusive() {
+        let mut d = detector();
+        // Exactly at the threshold does NOT trigger (strictly above).
+        let v = d.update(Step(15), Watts(1e-14));
+        assert_eq!(v, Verdict::ChallengePassed);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let mut m = ConfusionMatrix::new();
+        m.record(true, true);
+        m.record(true, true);
+        m.record(false, false);
+        m.record(false, true);
+        m.record(true, false);
+        assert_eq!(m.true_positives, 2);
+        assert_eq!(m.false_positives, 1);
+        assert_eq!(m.true_negatives, 1);
+        assert_eq!(m.false_negatives, 1);
+        assert_eq!(m.total(), 5);
+        assert!((m.false_positive_rate() - 0.5).abs() < 1e-12);
+        assert!((m.false_negative_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert!(!m.is_perfect());
+    }
+
+    #[test]
+    fn perfect_matrix() {
+        let mut m = ConfusionMatrix::new();
+        m.record(true, true);
+        m.record(false, false);
+        assert!(m.is_perfect());
+        assert_eq!(m.false_positive_rate(), 0.0);
+        assert_eq!(m.false_negative_rate(), 0.0);
+    }
+
+    #[test]
+    fn empty_matrix_rates_are_zero() {
+        let m = ConfusionMatrix::new();
+        assert_eq!(m.false_positive_rate(), 0.0);
+        assert_eq!(m.false_negative_rate(), 0.0);
+        assert_eq!(m.total(), 0);
+    }
+
+    #[test]
+    fn display_contains_counts() {
+        let mut m = ConfusionMatrix::new();
+        m.record(true, true);
+        assert!(m.to_string().contains("TP=1"));
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn zero_threshold_rejected() {
+        let _ = CraDetector::new(ChallengeSchedule::paper(), Watts(0.0));
+    }
+}

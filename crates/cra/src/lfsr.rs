@@ -1,0 +1,242 @@
+//! Fibonacci linear-feedback shift registers.
+//!
+//! The pseudo-random binary modulation signal `m(t)` of §5.2 needs a
+//! deterministic, hardware-friendly bit source; maximal-length LFSRs are the
+//! standard choice. Tap sets below are primitive polynomials, giving period
+//! `2ⁿ − 1`.
+
+use serde::{Deserialize, Serialize};
+
+/// A Fibonacci LFSR over up to 64 bits.
+///
+/// ```
+/// use argus_cra::lfsr::Lfsr;
+/// let mut l = Lfsr::maximal(8, 1).unwrap();
+/// let first: Vec<u8> = (0..8).map(|_| l.next_bit()).collect();
+/// assert_eq!(first.len(), 8);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Lfsr {
+    state: u64,
+    taps: Vec<u32>,
+    width: u32,
+}
+
+/// Error returned for unsupported LFSR configurations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LfsrError(pub String);
+
+impl std::fmt::Display for LfsrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid LFSR configuration: {}", self.0)
+    }
+}
+
+impl std::error::Error for LfsrError {}
+
+impl Lfsr {
+    /// Creates an LFSR of `width` bits with explicit feedback `taps`
+    /// (1-indexed from the output end, as in the standard polynomial
+    /// notation, e.g. `x⁸+x⁶+x⁵+x⁴+1` ⇒ `[8, 6, 5, 4]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LfsrError`] when the width is 0 or above 64, the seed is
+    /// zero (the LFSR would lock up), or a tap is out of range.
+    pub fn new(width: u32, taps: Vec<u32>, seed: u64) -> Result<Self, LfsrError> {
+        if width == 0 || width > 64 {
+            return Err(LfsrError(format!("width {width} outside 1..=64")));
+        }
+        let mask = if width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << width) - 1
+        };
+        if seed & mask == 0 {
+            return Err(LfsrError("seed must be non-zero in the register".into()));
+        }
+        if taps.is_empty() || taps.iter().any(|&t| t == 0 || t > width) {
+            return Err(LfsrError(format!("taps {taps:?} invalid for width {width}")));
+        }
+        if !taps.contains(&width) {
+            return Err(LfsrError(format!(
+                "taps {taps:?} must include the leading term {width} (the x^{width} \
+                 coefficient of the feedback polynomial)"
+            )));
+        }
+        Ok(Self {
+            state: seed & mask,
+            taps,
+            width,
+        })
+    }
+
+    /// Creates a maximal-length LFSR for a supported width using a known
+    /// primitive polynomial.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LfsrError`] for widths without a built-in polynomial or a
+    /// zero seed.
+    pub fn maximal(width: u32, seed: u64) -> Result<Self, LfsrError> {
+        let taps: &[u32] = match width {
+            3 => &[3, 2],
+            4 => &[4, 3],
+            5 => &[5, 3],
+            7 => &[7, 6],
+            8 => &[8, 6, 5, 4],
+            16 => &[16, 14, 13, 11],
+            24 => &[24, 23, 22, 17],
+            32 => &[32, 22, 2, 1],
+            _ => {
+                return Err(LfsrError(format!(
+                    "no built-in primitive polynomial for width {width}"
+                )))
+            }
+        };
+        Self::new(width, taps.to_vec(), seed)
+    }
+
+    /// Current register contents.
+    pub fn state(&self) -> u64 {
+        self.state
+    }
+
+    /// Register width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Produces the next output bit (0 or 1) and advances the register.
+    pub fn next_bit(&mut self) -> u8 {
+        let out = (self.state & 1) as u8;
+        // Feedback taps: a term x^t of the polynomial reads register bit
+        // (width − t); the leading term reads bit 0 (the outgoing bit),
+        // which keeps the state-transition map bijective.
+        let mut feedback = 0u64;
+        for &t in &self.taps {
+            feedback ^= (self.state >> (self.width - t)) & 1;
+        }
+        self.state >>= 1;
+        self.state |= feedback << (self.width - 1);
+        out
+    }
+
+    /// Produces the next `n ≤ 64` bits packed LSB-first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or above 64.
+    pub fn next_bits(&mut self, n: u32) -> u64 {
+        assert!((1..=64).contains(&n), "bit count {n} outside 1..=64");
+        let mut v = 0u64;
+        for i in 0..n {
+            v |= u64::from(self.next_bit()) << i;
+        }
+        v
+    }
+
+    /// Produces a uniform-ish value in `[0, 1)` from the next 32 bits.
+    pub fn next_fraction(&mut self) -> f64 {
+        self.next_bits(32) as f64 / (1u64 << 32) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn period(mut l: Lfsr) -> u64 {
+        let start = l.state();
+        let mut n = 0u64;
+        loop {
+            l.next_bit();
+            n += 1;
+            if l.state() == start {
+                return n;
+            }
+            assert!(n < 1 << 20, "runaway period search");
+        }
+    }
+
+    #[test]
+    fn maximal_periods() {
+        for width in [3u32, 4, 5, 7, 8] {
+            let l = Lfsr::maximal(width, 1).unwrap();
+            assert_eq!(period(l), (1 << width) - 1, "width {width}");
+        }
+    }
+
+    #[test]
+    fn sixteen_bit_period() {
+        let l = Lfsr::maximal(16, 0xACE1).unwrap();
+        assert_eq!(period(l), 65_535);
+    }
+
+    #[test]
+    fn bit_balance_is_near_half() {
+        let mut l = Lfsr::maximal(16, 0xBEEF).unwrap();
+        let n = 65_535;
+        let ones: u32 = (0..n).map(|_| u32::from(l.next_bit())).sum();
+        // A maximal LFSR of width w outputs 2^(w-1) ones per period.
+        assert_eq!(ones, 32_768);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = Lfsr::maximal(16, 7).unwrap();
+        let mut b = Lfsr::maximal(16, 7).unwrap();
+        for _ in 0..1000 {
+            assert_eq!(a.next_bit(), b.next_bit());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = Lfsr::maximal(16, 7).unwrap();
+        let mut b = Lfsr::maximal(16, 1234).unwrap();
+        let equal = (0..64).filter(|_| a.next_bit() == b.next_bit()).count();
+        assert!(equal < 64);
+    }
+
+    #[test]
+    fn next_bits_packs_lsb_first() {
+        let mut a = Lfsr::maximal(8, 3).unwrap();
+        let mut b = Lfsr::maximal(8, 3).unwrap();
+        let bits: Vec<u8> = (0..8).map(|_| a.next_bit()).collect();
+        let packed = b.next_bits(8);
+        for (i, &bit) in bits.iter().enumerate() {
+            assert_eq!((packed >> i) & 1, u64::from(bit));
+        }
+    }
+
+    #[test]
+    fn fraction_in_unit_interval() {
+        let mut l = Lfsr::maximal(32, 99).unwrap();
+        for _ in 0..100 {
+            let f = l.next_fraction();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn zero_seed_rejected() {
+        assert!(Lfsr::maximal(8, 0).is_err());
+        assert!(Lfsr::new(8, vec![8, 6, 5, 4], 0x100).is_err()); // 0 in-register
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(Lfsr::new(0, vec![1], 1).is_err());
+        assert!(Lfsr::new(65, vec![1], 1).is_err());
+        assert!(Lfsr::new(8, vec![], 1).is_err());
+        assert!(Lfsr::new(8, vec![9], 1).is_err());
+        assert!(Lfsr::maximal(6, 1).is_err()); // no built-in polynomial
+    }
+
+    #[test]
+    fn error_display() {
+        let e = Lfsr::maximal(8, 0).unwrap_err();
+        assert!(e.to_string().contains("invalid LFSR configuration"));
+    }
+}

@@ -1,0 +1,29 @@
+//! # argus-cra — challenge–response authentication for active sensors
+//!
+//! The paper's detection method (§5.2): the radar's modulation unit is
+//! extended with a pseudo-random binary modulation `p'(t) = m(t)·p(t)`. At
+//! the (secret, pseudo-random) instants where `m(t) = 0` the radar transmits
+//! nothing, so an honest environment returns nothing; any received energy at
+//! those instants betrays an attacker. The method produces no false
+//! positives or false negatives against physical adversaries, because an
+//! attacker's receive–replay chain cannot react with zero latency.
+//!
+//! * [`lfsr`] — maximal-length Fibonacci LFSRs, the pseudo-random bit source
+//!   for the modulation.
+//! * [`challenge`] — challenge schedules: the paper's fixed instants, or
+//!   LFSR-driven schedules at a configurable rate.
+//! * [`detector`] — Algorithm 2's comparator with detection latching and a
+//!   confusion-matrix scorer.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod challenge;
+pub mod detector;
+pub mod lfsr;
+pub mod modulation;
+
+pub use challenge::ChallengeSchedule;
+pub use detector::{ConfusionMatrix, CraDetector, Verdict};
+pub use lfsr::Lfsr;
+pub use modulation::{ChannelBehavior, ChipModulator, ProbeVerdict};

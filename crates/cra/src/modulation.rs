@@ -1,0 +1,305 @@
+//! Chip-level pseudo-random binary modulation (§5.2's `p'(t) = m(t)·p(t)`).
+//!
+//! The step-level challenge schedule models whole probes being suppressed;
+//! this module models the mechanism one level deeper: each probe is divided
+//! into `n` chips, an LFSR draws the binary mask `m`, the transmitter emits
+//! only on mask-1 chips, and the verifier compares per-chip received energy
+//! against the expected pattern.
+//!
+//! The physical-latency argument appears at this resolution too: an honest
+//! echo reproduces the mask exactly (round-trip delay ≤ 1.3 µs at 200 m is
+//! negligible against millisecond chips), a non-adaptive attacker lights up
+//! mask-0 chips, and an adaptive attacker that needs `L ≥ 1` chips to react
+//! still leaks energy into the first mask-0 chip after each 1→0 transition.
+//! Only the hypothetical zero-latency adversary (§7) matches the mask
+//! perfectly.
+
+use serde::{Deserialize, Serialize};
+
+use argus_sim::noise::Gaussian;
+use argus_sim::rng::SimRng;
+use argus_sim::units::Watts;
+
+use crate::lfsr::Lfsr;
+
+/// Per-probe binary modulation mask generator.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChipModulator {
+    lfsr: Lfsr,
+    chips: usize,
+}
+
+impl ChipModulator {
+    /// Creates a modulator drawing `chips` mask bits per probe from `lfsr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chips` is zero.
+    pub fn new(lfsr: Lfsr, chips: usize) -> Self {
+        assert!(chips > 0, "need at least one chip per probe");
+        Self { lfsr, chips }
+    }
+
+    /// Chips per probe.
+    pub fn chips(&self) -> usize {
+        self.chips
+    }
+
+    /// Draws the next probe's mask. Guaranteed to contain at least one `0`
+    /// and one `1` (a flat mask authenticates nothing), by redrawing the
+    /// pathological all-equal patterns.
+    pub fn next_mask(&mut self) -> Vec<bool> {
+        loop {
+            let mask: Vec<bool> = (0..self.chips).map(|_| self.lfsr.next_bit() == 1).collect();
+            let ones = mask.iter().filter(|&&b| b).count();
+            if ones > 0 && ones < self.chips {
+                return mask;
+            }
+        }
+    }
+}
+
+/// How the channel answers a masked probe.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ChannelBehavior {
+    /// Honest reflection: energy exactly on the mask-1 chips.
+    Honest {
+        /// Echo power on active chips.
+        echo: Watts,
+    },
+    /// Non-adaptive attacker (jammer or free-running replay): energy on
+    /// every chip.
+    ContinuousAttacker {
+        /// Attacker power per chip.
+        power: Watts,
+    },
+    /// Adaptive attacker that mirrors the observed mask with a reaction
+    /// latency of `latency_chips` chips (0 = the §7 zero-latency adversary).
+    AdaptiveAttacker {
+        /// Attacker power on the chips it transmits.
+        power: Watts,
+        /// Reaction latency in chips.
+        latency_chips: usize,
+    },
+}
+
+/// Simulates the per-chip received energies for a mask and a channel
+/// behaviour, with Gaussian-distributed noise energy per chip.
+pub fn chip_energies(
+    mask: &[bool],
+    behavior: ChannelBehavior,
+    noise_floor: Watts,
+    rng: &mut SimRng,
+) -> Vec<f64> {
+    let noise = Gaussian::new(noise_floor.value(), noise_floor.value() / 4.0);
+    mask.iter()
+        .enumerate()
+        .map(|(i, &tx)| {
+            let mut e = noise.sample(rng).max(0.0);
+            match behavior {
+                ChannelBehavior::Honest { echo } => {
+                    if tx {
+                        e += echo.value();
+                    }
+                }
+                ChannelBehavior::ContinuousAttacker { power } => {
+                    e += power.value();
+                    if tx {
+                        // The genuine reflection may still be present too.
+                        e += power.value() * 0.1;
+                    }
+                }
+                ChannelBehavior::AdaptiveAttacker {
+                    power,
+                    latency_chips,
+                } => {
+                    // The attacker replays what it observed `latency` chips
+                    // ago (transmitting before the probe starts is modelled
+                    // as following the previous probe's trailing 1s — we
+                    // conservatively assume silence before chip 0).
+                    let observed = if i >= latency_chips {
+                        mask[i - latency_chips]
+                    } else {
+                        false
+                    };
+                    if observed {
+                        e += power.value();
+                    }
+                }
+            }
+            e
+        })
+        .collect()
+}
+
+/// Verdict of one probe verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ProbeVerdict {
+    /// Energy pattern matches the mask.
+    Authentic,
+    /// Energy present on suppressed chips — attack.
+    EnergyOnSilentChips,
+    /// No energy on active chips — the target echo is missing (DoS by
+    /// absorption, or no target); treated as suspicious.
+    MissingEcho,
+}
+
+/// Compares per-chip energies against the transmitted mask.
+///
+/// `threshold` separates "energy present" from noise.
+///
+/// # Panics
+///
+/// Panics if lengths differ or the threshold is not positive.
+pub fn verify_probe(mask: &[bool], energies: &[f64], threshold: f64) -> ProbeVerdict {
+    assert_eq!(mask.len(), energies.len(), "mask/energy length mismatch");
+    assert!(threshold > 0.0, "threshold must be positive");
+    let hot_on_silent = mask
+        .iter()
+        .zip(energies)
+        .any(|(&tx, &e)| !tx && e > threshold);
+    if hot_on_silent {
+        return ProbeVerdict::EnergyOnSilentChips;
+    }
+    let echo_present = mask
+        .iter()
+        .zip(energies)
+        .any(|(&tx, &e)| tx && e > threshold);
+    if echo_present {
+        ProbeVerdict::Authentic
+    } else {
+        ProbeVerdict::MissingEcho
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn modulator() -> ChipModulator {
+        ChipModulator::new(Lfsr::maximal(16, 0xBEEF).unwrap(), 16)
+    }
+
+    const ECHO: Watts = Watts(1e-12);
+    const NOISE: Watts = Watts(1e-14);
+    const THRESHOLD: f64 = 1e-13;
+
+    #[test]
+    fn masks_are_mixed_and_deterministic() {
+        let mut a = modulator();
+        let mut b = modulator();
+        for _ in 0..50 {
+            let mask = a.next_mask();
+            assert_eq!(mask, b.next_mask());
+            let ones = mask.iter().filter(|&&x| x).count();
+            assert!(ones > 0 && ones < mask.len());
+        }
+    }
+
+    #[test]
+    fn honest_channel_authenticates() {
+        let mut m = modulator();
+        let mut rng = SimRng::seed_from(1);
+        for _ in 0..100 {
+            let mask = m.next_mask();
+            let e = chip_energies(&mask, ChannelBehavior::Honest { echo: ECHO }, NOISE, &mut rng);
+            assert_eq!(verify_probe(&mask, &e, THRESHOLD), ProbeVerdict::Authentic);
+        }
+    }
+
+    #[test]
+    fn continuous_attacker_always_caught() {
+        let mut m = modulator();
+        let mut rng = SimRng::seed_from(2);
+        for _ in 0..100 {
+            let mask = m.next_mask();
+            let e = chip_energies(
+                &mask,
+                ChannelBehavior::ContinuousAttacker { power: Watts(1e-11) },
+                NOISE,
+                &mut rng,
+            );
+            assert_eq!(
+                verify_probe(&mask, &e, THRESHOLD),
+                ProbeVerdict::EnergyOnSilentChips
+            );
+        }
+    }
+
+    #[test]
+    fn adaptive_attacker_with_latency_leaks_at_transitions() {
+        // With one-chip latency the attacker lights the first silent chip
+        // after every 1→0 transition; over enough probes it is caught with
+        // certainty.
+        let mut m = modulator();
+        let mut rng = SimRng::seed_from(3);
+        let mut caught = 0;
+        let probes = 100;
+        for _ in 0..probes {
+            let mask = m.next_mask();
+            let e = chip_energies(
+                &mask,
+                ChannelBehavior::AdaptiveAttacker {
+                    power: Watts(1e-11),
+                    latency_chips: 1,
+                },
+                NOISE,
+                &mut rng,
+            );
+            if verify_probe(&mask, &e, THRESHOLD) == ProbeVerdict::EnergyOnSilentChips {
+                caught += 1;
+            }
+        }
+        // Every mask with a 1→0 transition betrays the attacker; masks are
+        // guaranteed mixed, so a 1→0 transition exists unless the single
+        // block of ones ends exactly at the probe boundary.
+        assert!(caught > probes * 8 / 10, "caught only {caught}/{probes}");
+    }
+
+    #[test]
+    fn zero_latency_attacker_evades_chip_verification() {
+        // The §7 limitation at chip resolution: a zero-latency adversary
+        // mirrors the mask perfectly and authenticates as if honest.
+        let mut m = modulator();
+        let mut rng = SimRng::seed_from(4);
+        for _ in 0..50 {
+            let mask = m.next_mask();
+            let e = chip_energies(
+                &mask,
+                ChannelBehavior::AdaptiveAttacker {
+                    power: Watts(1e-11),
+                    latency_chips: 0,
+                },
+                NOISE,
+                &mut rng,
+            );
+            assert_eq!(verify_probe(&mask, &e, THRESHOLD), ProbeVerdict::Authentic);
+        }
+    }
+
+    #[test]
+    fn missing_echo_flagged() {
+        let mut m = modulator();
+        let mut rng = SimRng::seed_from(5);
+        let mask = m.next_mask();
+        let e = chip_energies(
+            &mask,
+            ChannelBehavior::Honest { echo: Watts(1e-16) }, // below threshold
+            NOISE,
+            &mut rng,
+        );
+        assert_eq!(verify_probe(&mask, &e, THRESHOLD), ProbeVerdict::MissingEcho);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn verify_checks_lengths() {
+        let _ = verify_probe(&[true], &[1.0, 2.0], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one chip")]
+    fn zero_chips_rejected() {
+        let _ = ChipModulator::new(Lfsr::maximal(8, 1).unwrap(), 0);
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the CRA layer.
+
+use argus_cra::{ChallengeSchedule, CraDetector, Lfsr};
+use argus_sim::time::Step;
+use argus_sim::units::Watts;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// LFSR streams are deterministic in the seed and never stall (the
+    /// register never reaches the all-zero lockup state).
+    #[test]
+    fn lfsr_never_locks_up(width in prop::sample::select(vec![3u32, 4, 5, 7, 8, 16]), seed in 1u64..0xFFFF) {
+        let mask = (1u64 << width) - 1;
+        prop_assume!(seed & mask != 0);
+        let mut l = Lfsr::maximal(width, seed).unwrap();
+        for _ in 0..1000 {
+            l.next_bit();
+            prop_assert!(l.state() & mask != 0, "LFSR locked up");
+        }
+    }
+
+    /// Schedule membership agrees with the instants iterator.
+    #[test]
+    fn schedule_membership_consistent(steps in proptest::collection::btree_set(0u64..500, 0..40)) {
+        let schedule = ChallengeSchedule::from_steps(steps.iter().map(|&s| Step(s)));
+        for k in 0..500u64 {
+            prop_assert_eq!(schedule.is_challenge(Step(k)), steps.contains(&k));
+        }
+        prop_assert_eq!(schedule.len(), steps.len());
+    }
+
+    /// next_at_or_after returns the minimum qualifying instant.
+    #[test]
+    fn next_at_or_after_is_min(
+        steps in proptest::collection::btree_set(0u64..300, 1..30),
+        from in 0u64..300,
+    ) {
+        let schedule = ChallengeSchedule::from_steps(steps.iter().map(|&s| Step(s)));
+        let expected = steps.iter().find(|&&s| s >= from).map(|&s| Step(s));
+        prop_assert_eq!(schedule.next_at_or_after(Step(from)), expected);
+    }
+
+    /// Detector invariant: after any power sequence, `under_attack()` holds
+    /// iff the most recent *challenge* instant saw power above threshold.
+    #[test]
+    fn detector_state_is_last_challenge_outcome(
+        challenge_steps in proptest::collection::btree_set(0u64..100, 1..20),
+        powers in proptest::collection::vec(0.0f64..2e-13, 100),
+    ) {
+        let schedule = ChallengeSchedule::from_steps(challenge_steps.iter().map(|&s| Step(s)));
+        let threshold = Watts(1e-13);
+        let mut det = CraDetector::new(schedule, threshold);
+        let mut expected = false;
+        for (k, &p) in powers.iter().enumerate() {
+            let verdict = det.update(Step(k as u64), Watts(p));
+            if challenge_steps.contains(&(k as u64)) {
+                expected = p > threshold.value();
+            }
+            prop_assert_eq!(verdict.under_attack(), expected, "at k={}", k);
+        }
+    }
+
+    /// The first detection step is always a challenge instant with power
+    /// above threshold.
+    #[test]
+    fn first_detection_is_a_hot_challenge(
+        challenge_steps in proptest::collection::btree_set(0u64..80, 1..15),
+        powers in proptest::collection::vec(0.0f64..3e-13, 80),
+    ) {
+        let schedule = ChallengeSchedule::from_steps(challenge_steps.iter().map(|&s| Step(s)));
+        let threshold = Watts(1e-13);
+        let mut det = CraDetector::new(schedule, threshold);
+        for (k, &p) in powers.iter().enumerate() {
+            det.update(Step(k as u64), Watts(p));
+        }
+        if let Some(first) = det.first_detection() {
+            prop_assert!(challenge_steps.contains(&first.0));
+            prop_assert!(powers[first.index()] > threshold.value());
+        } else {
+            // No detection ⇒ every challenge saw sub-threshold power.
+            for &c in &challenge_steps {
+                prop_assert!(powers[c as usize] <= threshold.value());
+            }
+        }
+    }
+
+    /// Pseudorandom schedules are reproducible and respect the horizon.
+    #[test]
+    fn pseudorandom_schedule_bounds(seed in 1u64..100_000, rate in 0.01f64..0.5) {
+        let a = ChallengeSchedule::pseudorandom(Lfsr::maximal(32, seed).unwrap(), 200, rate);
+        let b = ChallengeSchedule::pseudorandom(Lfsr::maximal(32, seed).unwrap(), 200, rate);
+        prop_assert_eq!(&a, &b);
+        for s in a.instants() {
+            prop_assert!(s.0 < 200);
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! Sample covariance estimation for subspace methods.
+//!
+//! MUSIC and root-MUSIC operate on the `M×M` covariance of length-`M`
+//! sliding-window snapshots of the receiver output. Forward–backward
+//! averaging (exploiting the persymmetry of the true covariance of complex
+//! exponentials in noise) halves the variance of the estimate and is on by
+//! default, as in MATLAB's `rootmusic`.
+
+use nalgebra::{Complex, DMatrix, DVector};
+
+use crate::DspError;
+
+/// Sample covariance matrix of sliding-window snapshots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleCovariance {
+    matrix: DMatrix<Complex<f64>>,
+    snapshots: usize,
+}
+
+/// Builder for [`SampleCovariance`] (window size, forward–backward option).
+#[derive(Debug, Clone)]
+pub struct SampleCovarianceBuilder {
+    window: usize,
+    forward_backward: bool,
+}
+
+impl SampleCovariance {
+    /// Starts building a covariance with snapshot window length `window`
+    /// (the `M` of the subspace method). Forward–backward averaging is
+    /// enabled by default.
+    pub fn builder(window: usize) -> SampleCovarianceBuilder {
+        SampleCovarianceBuilder {
+            window,
+            forward_backward: true,
+        }
+    }
+
+    /// Wraps an existing covariance matrix (e.g. a theoretical one in tests).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::BadLength`] if `matrix` is not square or is empty.
+    pub fn from_matrix(matrix: DMatrix<Complex<f64>>) -> Result<Self, DspError> {
+        if matrix.nrows() == 0 || matrix.nrows() != matrix.ncols() {
+            return Err(DspError::BadLength {
+                expected: "non-empty square matrix".to_string(),
+                actual: matrix.ncols().max(matrix.nrows()),
+            });
+        }
+        Ok(Self {
+            snapshots: 0,
+            matrix,
+        })
+    }
+
+    /// The covariance matrix.
+    pub fn matrix(&self) -> &DMatrix<Complex<f64>> {
+        &self.matrix
+    }
+
+    /// Window length `M` (matrix dimension).
+    pub fn window(&self) -> usize {
+        self.matrix.nrows()
+    }
+
+    /// Number of snapshots averaged (0 when wrapped from an explicit matrix).
+    pub fn snapshots(&self) -> usize {
+        self.snapshots
+    }
+}
+
+impl SampleCovarianceBuilder {
+    /// Enables or disables forward–backward averaging.
+    pub fn forward_backward(mut self, enabled: bool) -> Self {
+        self.forward_backward = enabled;
+        self
+    }
+
+    /// Estimates the covariance from a signal.
+    ///
+    /// # Errors
+    ///
+    /// * [`DspError::BadParameter`] — window length < 2.
+    /// * [`DspError::BadLength`] — signal shorter than the window.
+    pub fn build(&self, signal: &[Complex<f64>]) -> Result<SampleCovariance, DspError> {
+        let m = self.window;
+        if m < 2 {
+            return Err(DspError::BadParameter {
+                name: "window",
+                message: format!("window must be at least 2, got {m}"),
+            });
+        }
+        if signal.len() < m {
+            return Err(DspError::BadLength {
+                expected: format!("at least {m} samples"),
+                actual: signal.len(),
+            });
+        }
+        let n_snap = signal.len() - m + 1;
+        let mut r = DMatrix::<Complex<f64>>::zeros(m, m);
+        for s in 0..n_snap {
+            let x = DVector::from_iterator(m, signal[s..s + m].iter().copied());
+            // r += x xᴴ (only upper triangle, mirrored below).
+            for i in 0..m {
+                for j in i..m {
+                    r[(i, j)] += x[i] * x[j].conj();
+                }
+            }
+        }
+        let scale = Complex::new(1.0 / n_snap as f64, 0.0);
+        for i in 0..m {
+            for j in i..m {
+                r[(i, j)] *= scale;
+                if i != j {
+                    r[(j, i)] = r[(i, j)].conj();
+                }
+            }
+        }
+
+        if self.forward_backward {
+            // R ← (R + J·conj(R)·J)/2 with J the exchange matrix.
+            let mut fb = DMatrix::<Complex<f64>>::zeros(m, m);
+            for i in 0..m {
+                for j in 0..m {
+                    fb[(i, j)] = (r[(i, j)] + r[(m - 1 - i, m - 1 - j)].conj())
+                        * Complex::new(0.5, 0.0);
+                }
+            }
+            r = fb;
+        }
+
+        Ok(SampleCovariance {
+            matrix: r,
+            snapshots: n_snap,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(n: usize, omega: f64, amp: f64) -> Vec<Complex<f64>> {
+        (0..n)
+            .map(|t| Complex::from_polar(amp, omega * t as f64))
+            .collect()
+    }
+
+    #[test]
+    fn covariance_is_hermitian() {
+        let sig = tone(64, 0.9, 1.0);
+        let cov = SampleCovariance::builder(6).build(&sig).unwrap();
+        let r = cov.matrix();
+        for i in 0..6 {
+            for j in 0..6 {
+                assert!((r[(i, j)] - r[(j, i)].conj()).norm() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_equals_signal_power() {
+        let amp = 2.0;
+        let sig = tone(256, 1.1, amp);
+        let cov = SampleCovariance::builder(4)
+            .forward_backward(false)
+            .build(&sig)
+            .unwrap();
+        for i in 0..4 {
+            assert!((cov.matrix()[(i, i)].re - amp * amp).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pure_tone_covariance_structure() {
+        // For x[t] = e^{jωt}: R[i][j] = e^{jω(i-j)}.
+        let omega = 0.7;
+        let sig = tone(512, omega, 1.0);
+        let cov = SampleCovariance::builder(5)
+            .forward_backward(false)
+            .build(&sig)
+            .unwrap();
+        for i in 0..5 {
+            for j in 0..5 {
+                let expected = Complex::from_polar(1.0, omega * (i as f64 - j as f64));
+                assert!(
+                    (cov.matrix()[(i, j)] - expected).norm() < 1e-9,
+                    "({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn forward_backward_preserves_hermitian_and_persymmetry() {
+        let sig: Vec<Complex<f64>> = (0..128)
+            .map(|t| {
+                Complex::from_polar(1.0, 0.5 * t as f64)
+                    + Complex::from_polar(0.4, 1.9 * t as f64 + 0.3)
+            })
+            .collect();
+        let cov = SampleCovariance::builder(6).build(&sig).unwrap();
+        let r = cov.matrix();
+        let m = 6;
+        for i in 0..m {
+            for j in 0..m {
+                assert!((r[(i, j)] - r[(j, i)].conj()).norm() < 1e-12, "hermitian");
+                // Persymmetry: R = J conj(R) J, i.e. R[i][j] = conj(R[M-1-i][M-1-j]).
+                assert!(
+                    (r[(i, j)] - r[(m - 1 - i, m - 1 - j)].conj()).norm() < 1e-12,
+                    "persymmetric"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_count() {
+        let sig = tone(64, 0.9, 1.0);
+        let cov = SampleCovariance::builder(8).build(&sig).unwrap();
+        assert_eq!(cov.snapshots(), 64 - 8 + 1);
+        assert_eq!(cov.window(), 8);
+    }
+
+    #[test]
+    fn rejects_short_signal() {
+        let sig = tone(4, 0.9, 1.0);
+        assert!(matches!(
+            SampleCovariance::builder(8).build(&sig),
+            Err(DspError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_tiny_window() {
+        let sig = tone(16, 0.9, 1.0);
+        assert!(matches!(
+            SampleCovariance::builder(1).build(&sig),
+            Err(DspError::BadParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn from_matrix_validates_shape() {
+        assert!(SampleCovariance::from_matrix(DMatrix::zeros(0, 0)).is_err());
+        assert!(SampleCovariance::from_matrix(DMatrix::zeros(2, 3)).is_err());
+        let ok = SampleCovariance::from_matrix(DMatrix::identity(3, 3));
+        assert_eq!(ok.unwrap().window(), 3);
+    }
+}

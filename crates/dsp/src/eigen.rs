@@ -1,0 +1,402 @@
+//! Complex Hermitian eigendecomposition via the cyclic Jacobi method.
+//!
+//! MUSIC and root-MUSIC need the eigenvectors of the (Hermitian) sample
+//! covariance matrix to split signal from noise subspaces. The solver here is
+//! a two-sided unitary Jacobi iteration: each sweep annihilates every
+//! off-diagonal pair `(p, q)` with a complex Givens rotation, converging
+//! quadratically once the matrix is nearly diagonal.
+
+use nalgebra::{Complex, DMatrix};
+
+use crate::DspError;
+
+/// Maximum number of full Jacobi sweeps before reporting non-convergence.
+const MAX_SWEEPS: usize = 64;
+
+/// Eigendecomposition `A = V Λ Vᴴ` of a complex Hermitian matrix, with real
+/// eigenvalues sorted in **descending** order (largest first — the order
+/// subspace methods want).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HermitianEigen {
+    eigenvalues: Vec<f64>,
+    eigenvectors: DMatrix<Complex<f64>>,
+}
+
+impl HermitianEigen {
+    /// Computes the eigendecomposition of a Hermitian matrix.
+    ///
+    /// The input is validated to be square and Hermitian within `tol_herm`
+    /// (absolute, per entry).
+    ///
+    /// # Errors
+    ///
+    /// * [`DspError::BadLength`] — non-square or empty matrix.
+    /// * [`DspError::BadParameter`] — matrix is not Hermitian.
+    /// * [`DspError::NoConvergence`] — Jacobi sweeps did not converge
+    ///   (practically unreachable for Hermitian input).
+    pub fn new(matrix: &DMatrix<Complex<f64>>, tol_herm: f64) -> Result<Self, DspError> {
+        let n = matrix.nrows();
+        if n == 0 || matrix.ncols() != n {
+            return Err(DspError::BadLength {
+                expected: "non-empty square matrix".to_string(),
+                actual: matrix.ncols().max(matrix.nrows()),
+            });
+        }
+        for i in 0..n {
+            for j in 0..n {
+                let delta = (matrix[(i, j)] - matrix[(j, i)].conj()).norm();
+                if delta > tol_herm {
+                    return Err(DspError::BadParameter {
+                        name: "matrix",
+                        message: format!(
+                            "not Hermitian: |A[{i}][{j}] - conj(A[{j}][{i}])| = {delta:e}"
+                        ),
+                    });
+                }
+            }
+        }
+
+        let mut a = matrix.clone();
+        // Symmetrize exactly to avoid drift from tiny Hermitian violations.
+        for i in 0..n {
+            a[(i, i)] = Complex::new(a[(i, i)].re, 0.0);
+            for j in (i + 1)..n {
+                let avg = (a[(i, j)] + a[(j, i)].conj()) * Complex::new(0.5, 0.0);
+                a[(i, j)] = avg;
+                a[(j, i)] = avg.conj();
+            }
+        }
+
+        let mut v = DMatrix::<Complex<f64>>::identity(n, n);
+        let frob = a.iter().map(|c| c.norm_sqr()).sum::<f64>().sqrt();
+        let stop = (frob * 1e-14).max(f64::MIN_POSITIVE);
+
+        let mut converged = false;
+        for _sweep in 0..MAX_SWEEPS {
+            let off: f64 = off_diagonal_norm(&a);
+            if off <= stop {
+                converged = true;
+                break;
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    rotate(&mut a, &mut v, p, q);
+                }
+            }
+        }
+        if !converged && off_diagonal_norm(&a) > stop {
+            return Err(DspError::NoConvergence {
+                routine: "hermitian Jacobi",
+                iterations: MAX_SWEEPS,
+            });
+        }
+
+        // Extract and sort descending.
+        let mut order: Vec<usize> = (0..n).collect();
+        let eig_raw: Vec<f64> = (0..n).map(|i| a[(i, i)].re).collect();
+        order.sort_by(|&i, &j| eig_raw[j].partial_cmp(&eig_raw[i]).unwrap());
+
+        let eigenvalues: Vec<f64> = order.iter().map(|&i| eig_raw[i]).collect();
+        let mut eigenvectors = DMatrix::<Complex<f64>>::zeros(n, n);
+        for (dst, &src) in order.iter().enumerate() {
+            eigenvectors.set_column(dst, &v.column(src));
+        }
+        Ok(Self {
+            eigenvalues,
+            eigenvectors,
+        })
+    }
+
+    /// Eigenvalues, descending.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Unitary matrix whose columns are the eigenvectors, ordered to match
+    /// [`HermitianEigen::eigenvalues`].
+    pub fn eigenvectors(&self) -> &DMatrix<Complex<f64>> {
+        &self.eigenvectors
+    }
+
+    /// Dimension of the decomposed matrix.
+    pub fn dim(&self) -> usize {
+        self.eigenvalues.len()
+    }
+
+    /// The noise subspace: eigenvector columns `signal_count..n`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::BadParameter`] when `signal_count >= n`.
+    pub fn noise_subspace(&self, signal_count: usize) -> Result<DMatrix<Complex<f64>>, DspError> {
+        let n = self.dim();
+        if signal_count >= n {
+            return Err(DspError::BadParameter {
+                name: "signal_count",
+                message: format!("must be < matrix dimension {n}, got {signal_count}"),
+            });
+        }
+        Ok(self
+            .eigenvectors
+            .columns(signal_count, n - signal_count)
+            .into_owned())
+    }
+
+    /// Reconstructs `V Λ Vᴴ`; used by tests to bound the decomposition error.
+    pub fn reconstruct(&self) -> DMatrix<Complex<f64>> {
+        let n = self.dim();
+        let lambda = DMatrix::from_diagonal(&nalgebra::DVector::from_iterator(
+            n,
+            self.eigenvalues.iter().map(|&l| Complex::new(l, 0.0)),
+        ));
+        &self.eigenvectors * lambda * self.eigenvectors.adjoint()
+    }
+}
+
+fn off_diagonal_norm(a: &DMatrix<Complex<f64>>) -> f64 {
+    let n = a.nrows();
+    let mut sum = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                sum += a[(i, j)].norm_sqr();
+            }
+        }
+    }
+    sum.sqrt()
+}
+
+/// Applies the complex Jacobi rotation annihilating `a[(p, q)]`.
+///
+/// With `a_pq = |a_pq| e^{iφ}`, the phase transform `D = diag(1, e^{-iφ})`
+/// makes the 2×2 pivot real-symmetric, then the classic symmetric Schur
+/// rotation (Golub & Van Loan §8.4) zeroes it. The combined unitary update is
+/// accumulated into the eigenvector matrix.
+fn rotate(a: &mut DMatrix<Complex<f64>>, v: &mut DMatrix<Complex<f64>>, p: usize, q: usize) {
+    let apq = a[(p, q)];
+    let abs = apq.norm();
+    if abs == 0.0 {
+        return;
+    }
+    let app = a[(p, p)].re;
+    let aqq = a[(q, q)].re;
+    let phase = apq / Complex::new(abs, 0.0); // e^{iφ}
+
+    // Real symmetric Schur rotation for [[app, abs], [abs, aqq]].
+    let tau = (aqq - app) / (2.0 * abs);
+    let t = if tau >= 0.0 {
+        1.0 / (tau + (1.0 + tau * tau).sqrt())
+    } else {
+        -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+    };
+    let c = 1.0 / (1.0 + t * t).sqrt();
+    let s = t * c;
+
+    // Combined unitary U = D·J with D = diag(1, conj(phase)):
+    //   U[p][p] = c            U[p][q] = s
+    //   U[q][p] = -s·conj(phase)   U[q][q] = c·conj(phase)
+    let upp = Complex::new(c, 0.0);
+    let upq = Complex::new(s, 0.0);
+    let uqp = -phase.conj() * s;
+    let uqq = phase.conj() * c;
+
+    let n = a.nrows();
+    // A ← Uᴴ A U: first columns (A ← A·U), then rows (A ← Uᴴ·A).
+    for i in 0..n {
+        let aip = a[(i, p)];
+        let aiq = a[(i, q)];
+        a[(i, p)] = aip * upp + aiq * uqp;
+        a[(i, q)] = aip * upq + aiq * uqq;
+    }
+    for j in 0..n {
+        let apj = a[(p, j)];
+        let aqj = a[(q, j)];
+        a[(p, j)] = upp.conj() * apj + uqp.conj() * aqj;
+        a[(q, j)] = upq.conj() * apj + uqq.conj() * aqj;
+    }
+    // Clean up the pivot numerically.
+    a[(p, q)] = Complex::new(0.0, 0.0);
+    a[(q, p)] = Complex::new(0.0, 0.0);
+    a[(p, p)] = Complex::new(a[(p, p)].re, 0.0);
+    a[(q, q)] = Complex::new(a[(q, q)].re, 0.0);
+
+    // V ← V·U.
+    for i in 0..n {
+        let vip = v[(i, p)];
+        let viq = v[(i, q)];
+        v[(i, p)] = vip * upp + viq * uqp;
+        v[(i, q)] = vip * upq + viq * uqq;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nalgebra::DVector;
+
+    fn random_hermitian(n: usize, seed: u64) -> DMatrix<Complex<f64>> {
+        // Simple deterministic LCG so tests need no rand dependency here.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let g = DMatrix::from_fn(n, n, |_, _| Complex::new(next(), next()));
+        let h = &g * g.adjoint(); // Hermitian positive semidefinite
+        let d = DMatrix::from_fn(n, n, |i, j| {
+            if i == j {
+                Complex::new(next(), 0.0)
+            } else {
+                Complex::new(0.0, 0.0)
+            }
+        });
+        h + d * Complex::new(0.1, 0.0) + DMatrix::identity(n, n) * Complex::new(0.01, 0.0)
+    }
+
+    #[test]
+    fn diagonal_matrix_is_its_own_decomposition() {
+        let a = DMatrix::from_diagonal(&DVector::from_vec(vec![
+            Complex::new(3.0, 0.0),
+            Complex::new(1.0, 0.0),
+            Complex::new(2.0, 0.0),
+        ]));
+        let e = HermitianEigen::new(&a, 1e-12).unwrap();
+        assert_eq!(e.eigenvalues(), &[3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn known_2x2_real_symmetric() {
+        // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+        let a = DMatrix::from_row_slice(
+            2,
+            2,
+            &[
+                Complex::new(2.0, 0.0),
+                Complex::new(1.0, 0.0),
+                Complex::new(1.0, 0.0),
+                Complex::new(2.0, 0.0),
+            ],
+        );
+        let e = HermitianEigen::new(&a, 1e-12).unwrap();
+        assert!((e.eigenvalues()[0] - 3.0).abs() < 1e-12);
+        assert!((e.eigenvalues()[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2_complex_hermitian() {
+        // [[1, i], [-i, 1]] has eigenvalues 2 and 0.
+        let a = DMatrix::from_row_slice(
+            2,
+            2,
+            &[
+                Complex::new(1.0, 0.0),
+                Complex::new(0.0, 1.0),
+                Complex::new(0.0, -1.0),
+                Complex::new(1.0, 0.0),
+            ],
+        );
+        let e = HermitianEigen::new(&a, 1e-12).unwrap();
+        assert!((e.eigenvalues()[0] - 2.0).abs() < 1e-12);
+        assert!(e.eigenvalues()[1].abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_error_is_tiny() {
+        for seed in [1, 2, 3, 4] {
+            for n in [2, 3, 5, 8, 12] {
+                let a = random_hermitian(n, seed);
+                let e = HermitianEigen::new(&a, 1e-9).unwrap();
+                let err = (&a - e.reconstruct()).norm() / a.norm();
+                assert!(err < 1e-11, "n={n} seed={seed} err={err:e}");
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvectors_are_unitary() {
+        let a = random_hermitian(7, 42);
+        let e = HermitianEigen::new(&a, 1e-9).unwrap();
+        let v = e.eigenvectors();
+        let gram = v.adjoint() * v;
+        let err = (&gram - DMatrix::<Complex<f64>>::identity(7, 7)).norm();
+        assert!(err < 1e-11, "unitarity error {err:e}");
+    }
+
+    #[test]
+    fn eigenvalues_sorted_descending() {
+        let a = random_hermitian(9, 7);
+        let e = HermitianEigen::new(&a, 1e-9).unwrap();
+        for w in e.eigenvalues().windows(2) {
+            assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        let a = random_hermitian(6, 11);
+        let trace: f64 = (0..6).map(|i| a[(i, i)].re).sum();
+        let e = HermitianEigen::new(&a, 1e-9).unwrap();
+        let sum: f64 = e.eigenvalues().iter().sum();
+        assert!((trace - sum).abs() < 1e-10);
+    }
+
+    #[test]
+    fn noise_subspace_is_orthogonal_to_signal_vectors() {
+        // Rank-1 + εI: top eigenvector is the signal; noise subspace must be
+        // orthogonal to it.
+        let n = 6;
+        let s = DVector::from_fn(n, |i, _| Complex::from_polar(1.0, 0.9 * i as f64));
+        let a = &s * s.adjoint() * Complex::new(5.0, 0.0)
+            + DMatrix::<Complex<f64>>::identity(n, n) * Complex::new(0.1, 0.0);
+        let e = HermitianEigen::new(&a, 1e-9).unwrap();
+        let en = e.noise_subspace(1).unwrap();
+        assert_eq!(en.ncols(), n - 1);
+        let proj = en.adjoint() * &s;
+        assert!(proj.norm() < 1e-9, "projection norm {}", proj.norm());
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = DMatrix::<Complex<f64>>::zeros(2, 3);
+        assert!(matches!(
+            HermitianEigen::new(&a, 1e-12),
+            Err(DspError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_hermitian() {
+        let a = DMatrix::from_row_slice(
+            2,
+            2,
+            &[
+                Complex::new(1.0, 0.0),
+                Complex::new(2.0, 0.0),
+                Complex::new(5.0, 0.0),
+                Complex::new(1.0, 0.0),
+            ],
+        );
+        assert!(matches!(
+            HermitianEigen::new(&a, 1e-12),
+            Err(DspError::BadParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn noise_subspace_bounds_checked() {
+        let a = random_hermitian(4, 3);
+        let e = HermitianEigen::new(&a, 1e-9).unwrap();
+        assert!(e.noise_subspace(4).is_err());
+        assert!(e.noise_subspace(3).is_ok());
+    }
+
+    #[test]
+    fn one_by_one_matrix() {
+        let a = DMatrix::from_element(1, 1, Complex::new(4.2, 0.0));
+        let e = HermitianEigen::new(&a, 1e-12).unwrap();
+        assert_eq!(e.eigenvalues(), &[4.2]);
+        assert_eq!(e.dim(), 1);
+    }
+}

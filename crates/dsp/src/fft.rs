@@ -1,0 +1,279 @@
+//! Radix-2 fast Fourier transform.
+//!
+//! Iterative decimation-in-time Cooley–Tukey with bit-reversal permutation.
+//! A direct `O(n²)` [`dft`] is kept as the test oracle. The radar receiver
+//! uses the FFT both for the periodogram baseline and for validating the
+//! root-MUSIC extractor.
+
+use nalgebra::Complex;
+
+use crate::DspError;
+
+/// Returns `true` when `n` is a power of two (and non-zero).
+#[inline]
+pub fn is_power_of_two(n: usize) -> bool {
+    n != 0 && (n & (n - 1)) == 0
+}
+
+/// Smallest power of two `>= n` (minimum 1).
+///
+/// ```
+/// assert_eq!(argus_dsp::fft::next_power_of_two(100), 128);
+/// assert_eq!(argus_dsp::fft::next_power_of_two(128), 128);
+/// assert_eq!(argus_dsp::fft::next_power_of_two(0), 1);
+/// ```
+#[inline]
+pub fn next_power_of_two(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// In-place forward FFT.
+///
+/// # Errors
+///
+/// Returns [`DspError::BadLength`] if the length is not a power of two and
+/// [`DspError::EmptyInput`] for an empty buffer.
+pub fn fft_in_place(data: &mut [Complex<f64>]) -> Result<(), DspError> {
+    transform(data, false)
+}
+
+/// In-place inverse FFT (includes the `1/n` normalization).
+///
+/// # Errors
+///
+/// Returns [`DspError::BadLength`] if the length is not a power of two and
+/// [`DspError::EmptyInput`] for an empty buffer.
+pub fn ifft_in_place(data: &mut [Complex<f64>]) -> Result<(), DspError> {
+    transform(data, true)?;
+    let scale = 1.0 / data.len() as f64;
+    for x in data.iter_mut() {
+        *x *= scale;
+    }
+    Ok(())
+}
+
+/// Forward FFT returning a new buffer, zero-padding the input to the next
+/// power of two.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] for an empty input.
+pub fn fft(input: &[Complex<f64>]) -> Result<Vec<Complex<f64>>, DspError> {
+    if input.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    let n = next_power_of_two(input.len());
+    let mut buf = vec![Complex::new(0.0, 0.0); n];
+    buf[..input.len()].copy_from_slice(input);
+    fft_in_place(&mut buf)?;
+    Ok(buf)
+}
+
+/// Inverse FFT returning a new buffer.
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] for an empty input and
+/// [`DspError::BadLength`] if the length is not a power of two.
+pub fn ifft(input: &[Complex<f64>]) -> Result<Vec<Complex<f64>>, DspError> {
+    if input.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    let mut buf = input.to_vec();
+    ifft_in_place(&mut buf)?;
+    Ok(buf)
+}
+
+/// Direct `O(n²)` DFT; the correctness oracle for [`fft`].
+///
+/// # Errors
+///
+/// Returns [`DspError::EmptyInput`] for an empty input.
+pub fn dft(input: &[Complex<f64>]) -> Result<Vec<Complex<f64>>, DspError> {
+    if input.is_empty() {
+        return Err(DspError::EmptyInput);
+    }
+    let n = input.len();
+    let mut out = vec![Complex::new(0.0, 0.0); n];
+    for (k, out_k) in out.iter_mut().enumerate() {
+        let mut acc = Complex::new(0.0, 0.0);
+        for (t, &x) in input.iter().enumerate() {
+            let angle = -2.0 * std::f64::consts::PI * (k * t) as f64 / n as f64;
+            acc += x * Complex::from_polar(1.0, angle);
+        }
+        *out_k = acc;
+    }
+    Ok(out)
+}
+
+fn transform(data: &mut [Complex<f64>], inverse: bool) -> Result<(), DspError> {
+    let n = data.len();
+    if n == 0 {
+        return Err(DspError::EmptyInput);
+    }
+    if !is_power_of_two(n) {
+        return Err(DspError::BadLength {
+            expected: "a power of two".to_string(),
+            actual: n,
+        });
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::from_polar(1.0, ang);
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2] * w;
+                data[start + k] = u + v;
+                data[start + k + len / 2] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+    Ok(())
+}
+
+/// Converts a real signal into the complex buffer [`fft`] expects.
+pub fn complexify(real: &[f64]) -> Vec<Complex<f64>> {
+    real.iter().map(|&x| Complex::new(x, 0.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex<f64>, b: Complex<f64>, tol: f64) -> bool {
+        (a - b).norm() <= tol
+    }
+
+    #[test]
+    fn matches_dft_oracle() {
+        let input: Vec<Complex<f64>> = (0..32)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+            .collect();
+        let fast = fft(&input).unwrap();
+        let slow = dft(&input).unwrap();
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!(close(*a, *b, 1e-9), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn round_trip_recovers_signal() {
+        let input: Vec<Complex<f64>> = (0..64)
+            .map(|i| Complex::new(i as f64, -(i as f64) * 0.5))
+            .collect();
+        let spectrum = fft(&input).unwrap();
+        let back = ifft(&spectrum).unwrap();
+        for (a, b) in input.iter().zip(&back) {
+            assert!(close(*a, *b, 1e-9));
+        }
+    }
+
+    #[test]
+    fn impulse_has_flat_spectrum() {
+        let mut input = vec![Complex::new(0.0, 0.0); 16];
+        input[0] = Complex::new(1.0, 0.0);
+        let spectrum = fft(&input).unwrap();
+        for s in &spectrum {
+            assert!(close(*s, Complex::new(1.0, 0.0), 1e-12));
+        }
+    }
+
+    #[test]
+    fn pure_tone_lands_in_one_bin() {
+        let n = 64;
+        let bin = 5;
+        let input: Vec<Complex<f64>> = (0..n)
+            .map(|t| {
+                Complex::from_polar(1.0, 2.0 * std::f64::consts::PI * (bin * t) as f64 / n as f64)
+            })
+            .collect();
+        let spectrum = fft(&input).unwrap();
+        for (k, s) in spectrum.iter().enumerate() {
+            if k == bin {
+                assert!((s.norm() - n as f64).abs() < 1e-9);
+            } else {
+                assert!(s.norm() < 1e-9, "leak at bin {k}: {}", s.norm());
+            }
+        }
+    }
+
+    #[test]
+    fn parseval_energy_identity() {
+        let input: Vec<Complex<f64>> = (0..128)
+            .map(|i| Complex::new((i as f64).sin(), (i as f64 * 0.2).cos()))
+            .collect();
+        let spectrum = fft(&input).unwrap();
+        let time_energy: f64 = input.iter().map(|x| x.norm_sqr()).sum();
+        let freq_energy: f64 =
+            spectrum.iter().map(|x| x.norm_sqr()).sum::<f64>() / input.len() as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_padding_applied() {
+        let input = vec![Complex::new(1.0, 0.0); 100];
+        let spectrum = fft(&input).unwrap();
+        assert_eq!(spectrum.len(), 128);
+    }
+
+    #[test]
+    fn linearity() {
+        let a: Vec<Complex<f64>> = (0..16).map(|i| Complex::new(i as f64, 0.0)).collect();
+        let b: Vec<Complex<f64>> = (0..16).map(|i| Complex::new(0.0, -(i as f64))).collect();
+        let sum: Vec<Complex<f64>> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let fa = fft(&a).unwrap();
+        let fb = fft(&b).unwrap();
+        let fsum = fft(&sum).unwrap();
+        for ((x, y), z) in fa.iter().zip(&fb).zip(&fsum) {
+            assert!(close(x + y, *z, 1e-9));
+        }
+    }
+
+    #[test]
+    fn rejects_empty_input() {
+        assert_eq!(fft(&[]), Err(DspError::EmptyInput));
+        assert_eq!(dft(&[]), Err(DspError::EmptyInput));
+        assert_eq!(ifft(&[]), Err(DspError::EmptyInput));
+    }
+
+    #[test]
+    fn in_place_rejects_non_power_of_two() {
+        let mut buf = vec![Complex::new(0.0, 0.0); 12];
+        assert!(matches!(
+            fft_in_place(&mut buf),
+            Err(DspError::BadLength { .. })
+        ));
+    }
+
+    #[test]
+    fn complexify_maps_reals() {
+        let c = complexify(&[1.0, -2.0]);
+        assert_eq!(c[0], Complex::new(1.0, 0.0));
+        assert_eq!(c[1], Complex::new(-2.0, 0.0));
+    }
+
+    #[test]
+    fn power_of_two_helpers() {
+        assert!(is_power_of_two(1));
+        assert!(is_power_of_two(1024));
+        assert!(!is_power_of_two(0));
+        assert!(!is_power_of_two(12));
+        assert_eq!(next_power_of_two(1), 1);
+        assert_eq!(next_power_of_two(3), 4);
+    }
+}

@@ -1,0 +1,201 @@
+//! Simple smoothing filters used on measurement streams.
+
+use std::collections::VecDeque;
+
+/// Causal moving-average filter over the last `window` samples.
+///
+/// ```
+/// use argus_dsp::filter::MovingAverage;
+/// let mut f = MovingAverage::new(2);
+/// assert_eq!(f.push(2.0), 2.0);       // only one sample so far
+/// assert_eq!(f.push(4.0), 3.0);       // (2+4)/2
+/// assert_eq!(f.push(6.0), 5.0);       // (4+6)/2
+/// ```
+#[derive(Debug, Clone)]
+pub struct MovingAverage {
+    window: usize,
+    buf: VecDeque<f64>,
+    sum: f64,
+}
+
+impl MovingAverage {
+    /// Creates a filter averaging over `window` samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        Self {
+            window,
+            buf: VecDeque::with_capacity(window),
+            sum: 0.0,
+        }
+    }
+
+    /// Pushes a sample and returns the current average.
+    pub fn push(&mut self, x: f64) -> f64 {
+        self.buf.push_back(x);
+        self.sum += x;
+        if self.buf.len() > self.window {
+            self.sum -= self.buf.pop_front().expect("non-empty buffer");
+        }
+        self.sum / self.buf.len() as f64
+    }
+
+    /// Current average without pushing (`None` before any sample).
+    pub fn current(&self) -> Option<f64> {
+        if self.buf.is_empty() {
+            None
+        } else {
+            Some(self.sum / self.buf.len() as f64)
+        }
+    }
+
+    /// Clears all state.
+    pub fn reset(&mut self) {
+        self.buf.clear();
+        self.sum = 0.0;
+    }
+}
+
+/// Single-pole IIR low-pass: `y[k] = α·x[k] + (1−α)·y[k−1]`.
+#[derive(Debug, Clone, Copy)]
+pub struct SinglePoleIir {
+    alpha: f64,
+    state: Option<f64>,
+}
+
+impl SinglePoleIir {
+    /// Creates the filter with smoothing factor `alpha ∈ (0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0, 1], got {alpha}"
+        );
+        Self { alpha, state: None }
+    }
+
+    /// Creates a filter whose time constant is `tau` seconds at sample
+    /// period `dt` seconds (`α = dt / (τ + dt)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tau < 0` or `dt <= 0`.
+    pub fn from_time_constant(tau: f64, dt: f64) -> Self {
+        assert!(tau >= 0.0, "time constant must be non-negative");
+        assert!(dt > 0.0, "sample period must be positive");
+        Self::new(dt / (tau + dt))
+    }
+
+    /// Pushes a sample and returns the filtered output. The first sample
+    /// initializes the state directly.
+    pub fn push(&mut self, x: f64) -> f64 {
+        let y = match self.state {
+            None => x,
+            Some(prev) => self.alpha * x + (1.0 - self.alpha) * prev,
+        };
+        self.state = Some(y);
+        y
+    }
+
+    /// Last output, if any.
+    pub fn current(&self) -> Option<f64> {
+        self.state
+    }
+
+    /// Clears the filter state.
+    pub fn reset(&mut self) {
+        self.state = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moving_average_steady_state() {
+        let mut f = MovingAverage::new(4);
+        for _ in 0..10 {
+            f.push(3.0);
+        }
+        assert_eq!(f.current(), Some(3.0));
+    }
+
+    #[test]
+    fn moving_average_window_drops_old() {
+        let mut f = MovingAverage::new(2);
+        f.push(100.0);
+        f.push(0.0);
+        let avg = f.push(0.0);
+        assert_eq!(avg, 0.0, "the 100 should have fallen out of the window");
+    }
+
+    #[test]
+    fn moving_average_reset() {
+        let mut f = MovingAverage::new(3);
+        f.push(5.0);
+        f.reset();
+        assert_eq!(f.current(), None);
+    }
+
+    #[test]
+    fn iir_first_sample_passthrough() {
+        let mut f = SinglePoleIir::new(0.1);
+        assert_eq!(f.push(7.0), 7.0);
+    }
+
+    #[test]
+    fn iir_converges_to_constant_input() {
+        let mut f = SinglePoleIir::new(0.3);
+        f.push(0.0);
+        let mut y = 0.0;
+        for _ in 0..100 {
+            y = f.push(10.0);
+        }
+        assert!((y - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn iir_alpha_one_is_identity() {
+        let mut f = SinglePoleIir::new(1.0);
+        f.push(3.0);
+        assert_eq!(f.push(-8.0), -8.0);
+    }
+
+    #[test]
+    fn iir_from_time_constant() {
+        let f = SinglePoleIir::from_time_constant(1.008, 1.0);
+        // α = 1 / (1.008 + 1)
+        let mut f2 = f;
+        f2.push(0.0);
+        let y = f2.push(1.0);
+        assert!((y - 1.0 / 2.008).abs() < 1e-12);
+    }
+
+    #[test]
+    fn iir_reset_clears_state() {
+        let mut f = SinglePoleIir::new(0.5);
+        f.push(4.0);
+        f.reset();
+        assert_eq!(f.current(), None);
+        assert_eq!(f.push(9.0), 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn iir_rejects_zero_alpha() {
+        let _ = SinglePoleIir::new(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn moving_average_rejects_zero_window() {
+        let _ = MovingAverage::new(0);
+    }
+}

@@ -1,0 +1,125 @@
+//! # argus-dsp — signal processing for the Argus radar front-end
+//!
+//! The paper extracts FMCW beat frequencies with the root-MUSIC algorithm
+//! (§6.2, via MATLAB's Phased Array System Toolbox). This crate rebuilds that
+//! entire path from first principles:
+//!
+//! * [`fft`] — radix-2 iterative FFT/IFFT with an `O(n²)` DFT reference.
+//! * [`window`] — Hann / Hamming / Blackman / rectangular tapers.
+//! * [`spectrum`] — periodogram and FFT-peak frequency estimation (the
+//!   baseline extractor root-MUSIC is compared against).
+//! * [`covariance`] — sliding-window sample covariance with optional
+//!   forward–backward averaging.
+//! * [`eigen`] — complex Hermitian eigendecomposition (cyclic Jacobi),
+//!   implemented from scratch and validated against reconstruction
+//!   invariants.
+//! * [`polynomial`] — complex polynomials and a Durand–Kerner root finder.
+//! * [`music`] — MUSIC pseudospectrum search.
+//! * [`rootmusic`] — root-MUSIC frequency estimation (the paper's extractor).
+//! * [`filter`] — moving-average and single-pole IIR smoothing.
+//!
+//! # Example: recover two tones with root-MUSIC
+//!
+//! ```
+//! use argus_dsp::prelude::*;
+//! use nalgebra::Complex;
+//!
+//! // Two complex exponentials at normalized frequencies 0.5 and 1.4 rad/sample.
+//! let n = 128;
+//! let signal: Vec<Complex<f64>> = (0..n)
+//!     .map(|t| {
+//!         Complex::from_polar(1.0, 0.5 * t as f64)
+//!             + Complex::from_polar(0.8, 1.4 * t as f64)
+//!     })
+//!     .collect();
+//! let cov = SampleCovariance::builder(8).build(&signal).unwrap();
+//! let freqs = RootMusic::new(2).estimate(&cov).unwrap();
+//! let mut f: Vec<f64> = freqs.iter().map(|e| e.frequency).collect();
+//! f.sort_by(|a, b| a.partial_cmp(b).unwrap());
+//! assert!((f[0] - 0.5).abs() < 1e-6);
+//! assert!((f[1] - 1.4).abs() < 1e-6);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod covariance;
+pub mod eigen;
+pub mod fft;
+pub mod filter;
+pub mod music;
+pub mod polynomial;
+pub mod rootmusic;
+pub mod spectrum;
+pub mod window;
+
+pub use covariance::SampleCovariance;
+pub use eigen::HermitianEigen;
+pub use music::MusicSpectrum;
+pub use polynomial::Polynomial;
+pub use rootmusic::{FrequencyEstimate, RootMusic};
+pub use spectrum::Periodogram;
+pub use window::Window;
+
+/// Errors produced by DSP routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DspError {
+    /// Input was empty where data is required.
+    EmptyInput,
+    /// Input length does not satisfy the routine's requirement.
+    BadLength {
+        /// What the routine needed.
+        expected: String,
+        /// What it received.
+        actual: usize,
+    },
+    /// A numeric parameter was out of its valid range.
+    BadParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Human-readable constraint violated.
+        message: String,
+    },
+    /// An iterative routine failed to converge.
+    NoConvergence {
+        /// Which routine failed.
+        routine: &'static str,
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+}
+
+impl std::fmt::Display for DspError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DspError::EmptyInput => write!(f, "input is empty"),
+            DspError::BadLength { expected, actual } => {
+                write!(f, "bad input length {actual}, expected {expected}")
+            }
+            DspError::BadParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            DspError::NoConvergence {
+                routine,
+                iterations,
+            } => {
+                write!(f, "{routine} did not converge after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DspError {}
+
+/// Convenient glob import of the main DSP types.
+pub mod prelude {
+    pub use crate::covariance::SampleCovariance;
+    pub use crate::eigen::HermitianEigen;
+    pub use crate::fft::{fft, ifft};
+    pub use crate::music::MusicSpectrum;
+    pub use crate::polynomial::Polynomial;
+    pub use crate::rootmusic::{FrequencyEstimate, RootMusic};
+    pub use crate::spectrum::Periodogram;
+    pub use crate::window::Window;
+    pub use crate::DspError;
+}

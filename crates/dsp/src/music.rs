@@ -1,0 +1,192 @@
+//! MUSIC pseudospectrum estimation.
+//!
+//! MUSIC (MUltiple SIgnal Classification) evaluates
+//! `P(ω) = 1 / ‖Eₙᴴ a(ω)‖²` over a frequency grid, where `Eₙ` is the noise
+//! subspace of the covariance and `a(ω)` the Vandermonde steering vector.
+//! Argus uses it both as an alternative extractor and as a cross-check of the
+//! root-MUSIC implementation (their estimates must agree to grid resolution).
+
+use nalgebra::{Complex, DMatrix, DVector};
+
+use crate::covariance::SampleCovariance;
+use crate::eigen::HermitianEigen;
+use crate::DspError;
+
+/// The MUSIC pseudospectrum over `[0, 2π)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MusicSpectrum {
+    frequencies: Vec<f64>,
+    pseudospectrum: Vec<f64>,
+    signal_count: usize,
+}
+
+impl MusicSpectrum {
+    /// Computes the pseudospectrum on a uniform grid of `grid_points`
+    /// frequencies for `signal_count` assumed tones.
+    ///
+    /// # Errors
+    ///
+    /// * [`DspError::BadParameter`] — `signal_count` is 0 or ≥ the window,
+    ///   or `grid_points < 8`.
+    /// * Errors from the eigendecomposition are propagated.
+    pub fn compute(
+        cov: &SampleCovariance,
+        signal_count: usize,
+        grid_points: usize,
+    ) -> Result<Self, DspError> {
+        if signal_count == 0 {
+            return Err(DspError::BadParameter {
+                name: "signal_count",
+                message: "must assume at least one signal".to_string(),
+            });
+        }
+        if grid_points < 8 {
+            return Err(DspError::BadParameter {
+                name: "grid_points",
+                message: format!("grid too coarse: {grid_points} < 8"),
+            });
+        }
+        let eigen = HermitianEigen::new(cov.matrix(), 1e-8)?;
+        let noise = eigen.noise_subspace(signal_count)?;
+        let m = cov.window();
+
+        let mut frequencies = Vec::with_capacity(grid_points);
+        let mut pseudospectrum = Vec::with_capacity(grid_points);
+        for g in 0..grid_points {
+            let omega = 2.0 * std::f64::consts::PI * g as f64 / grid_points as f64;
+            let a = steering_vector(m, omega);
+            let proj = noise.adjoint() * &a;
+            let denom = proj.norm_squared().max(f64::MIN_POSITIVE);
+            frequencies.push(omega);
+            pseudospectrum.push(1.0 / denom);
+        }
+        Ok(Self {
+            frequencies,
+            pseudospectrum,
+            signal_count,
+        })
+    }
+
+    /// Grid frequencies (rad/sample).
+    pub fn frequencies(&self) -> &[f64] {
+        &self.frequencies
+    }
+
+    /// Pseudospectrum values aligned with [`MusicSpectrum::frequencies`].
+    pub fn pseudospectrum(&self) -> &[f64] {
+        &self.pseudospectrum
+    }
+
+    /// The `signal_count` largest local maxima of the pseudospectrum,
+    /// strongest first.
+    pub fn peaks(&self) -> Vec<f64> {
+        let n = self.pseudospectrum.len();
+        let mut candidates: Vec<usize> = (0..n)
+            .filter(|&k| {
+                let prev = self.pseudospectrum[(k + n - 1) % n];
+                let next = self.pseudospectrum[(k + 1) % n];
+                self.pseudospectrum[k] > prev && self.pseudospectrum[k] >= next
+            })
+            .collect();
+        candidates
+            .sort_by(|&a, &b| self.pseudospectrum[b].partial_cmp(&self.pseudospectrum[a]).unwrap());
+        candidates
+            .into_iter()
+            .take(self.signal_count)
+            .map(|k| self.frequencies[k])
+            .collect()
+    }
+}
+
+/// The Vandermonde steering vector `a(ω) = [1, e^{jω}, …, e^{j(M−1)ω}]ᵀ`.
+pub fn steering_vector(m: usize, omega: f64) -> DVector<Complex<f64>> {
+    DVector::from_fn(m, |i, _| Complex::from_polar(1.0, omega * i as f64))
+}
+
+/// Builds the noise-subspace projector `C = Eₙ Eₙᴴ` used by root-MUSIC.
+pub(crate) fn noise_projector(noise: &DMatrix<Complex<f64>>) -> DMatrix<Complex<f64>> {
+    noise * noise.adjoint()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_tone_signal(n: usize, w1: f64, w2: f64) -> Vec<Complex<f64>> {
+        (0..n)
+            .map(|t| {
+                Complex::from_polar(1.0, w1 * t as f64)
+                    + Complex::from_polar(0.8, w2 * t as f64 + 0.4)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn peaks_at_tone_frequencies() {
+        let (w1, w2) = (0.6, 1.8);
+        let sig = two_tone_signal(256, w1, w2);
+        let cov = SampleCovariance::builder(8).build(&sig).unwrap();
+        let music = MusicSpectrum::compute(&cov, 2, 4096).unwrap();
+        let mut peaks = music.peaks();
+        peaks.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(peaks.len(), 2);
+        let grid = 2.0 * std::f64::consts::PI / 4096.0;
+        assert!((peaks[0] - w1).abs() < 2.0 * grid, "peak {}", peaks[0]);
+        assert!((peaks[1] - w2).abs() < 2.0 * grid, "peak {}", peaks[1]);
+    }
+
+    #[test]
+    fn pseudospectrum_is_positive() {
+        let sig = two_tone_signal(128, 0.6, 1.8);
+        let cov = SampleCovariance::builder(6).build(&sig).unwrap();
+        let music = MusicSpectrum::compute(&cov, 2, 512).unwrap();
+        assert!(music.pseudospectrum().iter().all(|&p| p > 0.0));
+        assert_eq!(music.frequencies().len(), 512);
+    }
+
+    #[test]
+    fn steering_vector_structure() {
+        let a = steering_vector(4, 0.5);
+        assert_eq!(a.len(), 4);
+        assert!((a[0] - Complex::new(1.0, 0.0)).norm() < 1e-15);
+        assert!((a[2] - Complex::from_polar(1.0, 1.0)).norm() < 1e-15);
+    }
+
+    #[test]
+    fn projector_is_idempotent() {
+        let sig = two_tone_signal(128, 0.6, 1.8);
+        let cov = SampleCovariance::builder(6).build(&sig).unwrap();
+        let eigen = HermitianEigen::new(cov.matrix(), 1e-8).unwrap();
+        let en = eigen.noise_subspace(2).unwrap();
+        let c = noise_projector(&en);
+        let c2 = &c * &c;
+        assert!((&c2 - &c).norm() < 1e-9, "projector not idempotent");
+    }
+
+    #[test]
+    fn zero_signal_count_rejected() {
+        let sig = two_tone_signal(64, 0.6, 1.8);
+        let cov = SampleCovariance::builder(6).build(&sig).unwrap();
+        assert!(matches!(
+            MusicSpectrum::compute(&cov, 0, 512),
+            Err(DspError::BadParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn coarse_grid_rejected() {
+        let sig = two_tone_signal(64, 0.6, 1.8);
+        let cov = SampleCovariance::builder(6).build(&sig).unwrap();
+        assert!(matches!(
+            MusicSpectrum::compute(&cov, 2, 4),
+            Err(DspError::BadParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn signal_count_must_leave_noise_space() {
+        let sig = two_tone_signal(64, 0.6, 1.8);
+        let cov = SampleCovariance::builder(4).build(&sig).unwrap();
+        assert!(MusicSpectrum::compute(&cov, 4, 512).is_err());
+    }
+}

@@ -1,0 +1,324 @@
+//! Complex polynomials and root finding.
+//!
+//! root-MUSIC turns the noise-subspace projector into a degree `2(M−1)`
+//! polynomial whose roots near the unit circle encode the tone frequencies.
+//! Roots are found with the Durand–Kerner (Weierstrass) simultaneous
+//! iteration, which needs no derivative bookkeeping and finds all roots at
+//! once.
+
+use nalgebra::Complex;
+
+use crate::DspError;
+
+/// Maximum Durand–Kerner iterations.
+const MAX_ITERS: usize = 500;
+
+/// A polynomial with complex coefficients, stored lowest degree first:
+/// `p(z) = c[0] + c[1] z + … + c[n] zⁿ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Polynomial {
+    coeffs: Vec<Complex<f64>>,
+}
+
+impl Polynomial {
+    /// Creates a polynomial from coefficients (lowest degree first).
+    /// Trailing (highest-degree) zero coefficients are trimmed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs` is empty or contains non-finite values.
+    pub fn new(coeffs: Vec<Complex<f64>>) -> Self {
+        assert!(!coeffs.is_empty(), "polynomial needs at least one coefficient");
+        assert!(
+            coeffs.iter().all(|c| c.re.is_finite() && c.im.is_finite()),
+            "polynomial coefficients must be finite"
+        );
+        let mut coeffs = coeffs;
+        while coeffs.len() > 1 && coeffs.last().map(|c| c.norm()) == Some(0.0) {
+            coeffs.pop();
+        }
+        Self { coeffs }
+    }
+
+    /// Creates a polynomial from real coefficients (lowest degree first).
+    pub fn from_real(coeffs: &[f64]) -> Self {
+        Self::new(coeffs.iter().map(|&c| Complex::new(c, 0.0)).collect())
+    }
+
+    /// Builds the monic polynomial `(z - r_0)(z - r_1)…` with given roots.
+    pub fn from_roots(roots: &[Complex<f64>]) -> Self {
+        let mut coeffs = vec![Complex::new(1.0, 0.0)];
+        for &r in roots {
+            // Multiply by (z - r).
+            let mut next = vec![Complex::new(0.0, 0.0); coeffs.len() + 1];
+            for (i, &c) in coeffs.iter().enumerate() {
+                next[i + 1] += c;
+                next[i] -= c * r;
+            }
+            coeffs = next;
+        }
+        Self::new(coeffs)
+    }
+
+    /// Coefficients, lowest degree first.
+    pub fn coefficients(&self) -> &[Complex<f64>] {
+        &self.coeffs
+    }
+
+    /// Degree of the polynomial (0 for constants).
+    pub fn degree(&self) -> usize {
+        self.coeffs.len() - 1
+    }
+
+    /// Evaluates the polynomial at `z` (Horner's rule).
+    pub fn eval(&self, z: Complex<f64>) -> Complex<f64> {
+        let mut acc = Complex::new(0.0, 0.0);
+        for &c in self.coeffs.iter().rev() {
+            acc = acc * z + c;
+        }
+        acc
+    }
+
+    /// The formal derivative.
+    pub fn derivative(&self) -> Polynomial {
+        if self.coeffs.len() == 1 {
+            return Polynomial::new(vec![Complex::new(0.0, 0.0)]);
+        }
+        let coeffs = self
+            .coeffs
+            .iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, &c)| c * i as f64)
+            .collect();
+        Polynomial::new(coeffs)
+    }
+
+    /// Finds all roots with the Durand–Kerner simultaneous iteration.
+    ///
+    /// # Errors
+    ///
+    /// * [`DspError::BadParameter`] — degree 0, or the leading coefficient
+    ///   is (numerically) zero.
+    /// * [`DspError::NoConvergence`] — iteration stalled; extremely rare for
+    ///   the well-scaled polynomials root-MUSIC produces.
+    pub fn roots(&self) -> Result<Vec<Complex<f64>>, DspError> {
+        let n = self.degree();
+        if n == 0 {
+            return Err(DspError::BadParameter {
+                name: "polynomial",
+                message: "constant polynomial has no roots".to_string(),
+            });
+        }
+        let lead = self.coeffs[n];
+        if lead.norm() < 1e-300 {
+            return Err(DspError::BadParameter {
+                name: "polynomial",
+                message: "leading coefficient is zero".to_string(),
+            });
+        }
+        // Monic normalization.
+        let monic: Vec<Complex<f64>> = self.coeffs.iter().map(|&c| c / lead).collect();
+        let poly = Polynomial { coeffs: monic };
+
+        // Initial guesses on a circle of radius related to the coefficient
+        // magnitudes (Cauchy-like bound), with irrational angular spacing so
+        // no guess starts symmetric with another.
+        let radius = 1.0
+            + poly.coeffs[..n]
+                .iter()
+                .map(|c| c.norm())
+                .fold(0.0f64, f64::max);
+        let mut roots: Vec<Complex<f64>> = (0..n)
+            .map(|k| Complex::from_polar(radius.min(2.0), 0.4 + 2.4 * k as f64))
+            .collect();
+
+        let tol = 1e-13;
+        for iter in 0..MAX_ITERS {
+            let mut max_step = 0.0f64;
+            for i in 0..n {
+                let zi = roots[i];
+                let mut denom = Complex::new(1.0, 0.0);
+                for (j, &zj) in roots.iter().enumerate() {
+                    if j != i {
+                        denom *= zi - zj;
+                    }
+                }
+                if denom.norm() < 1e-280 {
+                    // Perturb colliding estimates apart.
+                    roots[i] += Complex::new(1e-6 * (i as f64 + 1.0), 1e-6);
+                    max_step = f64::MAX;
+                    continue;
+                }
+                let delta = poly.eval(zi) / denom;
+                roots[i] = zi - delta;
+                max_step = max_step.max(delta.norm());
+            }
+            if max_step < tol {
+                return Ok(roots);
+            }
+            // Occasional shake if wildly stalled (keeps determinism).
+            if iter == MAX_ITERS / 2 && max_step > 1.0 {
+                for (k, r) in roots.iter_mut().enumerate() {
+                    *r += Complex::from_polar(0.01, 1.7 * k as f64);
+                }
+            }
+        }
+        // Accept if residuals are already small relative to coefficient scale.
+        let scale = poly.coeffs.iter().map(|c| c.norm()).fold(1.0f64, f64::max);
+        if roots
+            .iter()
+            .all(|&r| poly.eval(r).norm() <= 1e-8 * scale * (1.0 + r.norm().powi(n as i32)))
+        {
+            return Ok(roots);
+        }
+        Err(DspError::NoConvergence {
+            routine: "Durand-Kerner",
+            iterations: MAX_ITERS,
+        })
+    }
+}
+
+impl std::fmt::Display for Polynomial {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "poly(degree={})", self.degree())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sort_roots(mut r: Vec<Complex<f64>>) -> Vec<Complex<f64>> {
+        r.sort_by(|a, b| {
+            (a.re, a.im)
+                .partial_cmp(&(b.re, b.im))
+                .expect("finite roots")
+        });
+        r
+    }
+
+    #[test]
+    fn eval_horner() {
+        // p(z) = 1 + 2z + 3z²
+        let p = Polynomial::from_real(&[1.0, 2.0, 3.0]);
+        let v = p.eval(Complex::new(2.0, 0.0));
+        assert!((v.re - 17.0).abs() < 1e-12);
+        assert_eq!(p.degree(), 2);
+    }
+
+    #[test]
+    fn trailing_zeros_trimmed() {
+        let p = Polynomial::from_real(&[1.0, 2.0, 0.0, 0.0]);
+        assert_eq!(p.degree(), 1);
+    }
+
+    #[test]
+    fn derivative_rule() {
+        let p = Polynomial::from_real(&[5.0, 3.0, 2.0, 1.0]); // 5+3z+2z²+z³
+        let d = p.derivative();
+        assert_eq!(
+            d.coefficients(),
+            &[
+                Complex::new(3.0, 0.0),
+                Complex::new(4.0, 0.0),
+                Complex::new(3.0, 0.0)
+            ]
+        );
+        let c = Polynomial::from_real(&[7.0]);
+        assert_eq!(c.derivative().coefficients(), &[Complex::new(0.0, 0.0)]);
+    }
+
+    #[test]
+    fn quadratic_roots() {
+        // z² - 3z + 2 = (z-1)(z-2)
+        let p = Polynomial::from_real(&[2.0, -3.0, 1.0]);
+        let r = sort_roots(p.roots().unwrap());
+        assert!((r[0] - Complex::new(1.0, 0.0)).norm() < 1e-9);
+        assert!((r[1] - Complex::new(2.0, 0.0)).norm() < 1e-9);
+    }
+
+    #[test]
+    fn complex_conjugate_roots() {
+        // z² + 1 = (z-i)(z+i)
+        let p = Polynomial::from_real(&[1.0, 0.0, 1.0]);
+        let r = sort_roots(p.roots().unwrap());
+        assert!((r[0] - Complex::new(0.0, -1.0)).norm() < 1e-9);
+        assert!((r[1] - Complex::new(0.0, 1.0)).norm() < 1e-9);
+    }
+
+    #[test]
+    fn from_roots_round_trip() {
+        let wanted = vec![
+            Complex::new(0.5, 0.3),
+            Complex::new(-1.2, 0.0),
+            Complex::new(0.0, -0.8),
+            Complex::new(2.0, 1.0),
+        ];
+        let p = Polynomial::from_roots(&wanted);
+        assert_eq!(p.degree(), 4);
+        let got = p.roots().unwrap();
+        for w in &wanted {
+            let best = got.iter().map(|g| (g - w).norm()).fold(f64::MAX, f64::min);
+            assert!(best < 1e-8, "missing root {w}, best distance {best:e}");
+        }
+    }
+
+    #[test]
+    fn unit_circle_roots_like_rootmusic() {
+        // Roots in conjugate-reciprocal pairs exactly as root-MUSIC produces.
+        let inside: Vec<Complex<f64>> = [0.5f64, 1.4, 2.4]
+            .iter()
+            .map(|&w| Complex::from_polar(0.95, w))
+            .collect();
+        let outside: Vec<Complex<f64>> = inside
+            .iter()
+            .map(|z| Complex::from_polar(1.0 / z.norm(), z.arg()))
+            .collect();
+        let all: Vec<Complex<f64>> = inside.iter().chain(&outside).copied().collect();
+        let p = Polynomial::from_roots(&all);
+        let got = p.roots().unwrap();
+        for w in &all {
+            let best = got.iter().map(|g| (g - w).norm()).fold(f64::MAX, f64::min);
+            assert!(best < 1e-7, "missing root {w}");
+        }
+    }
+
+    #[test]
+    fn residuals_are_small_for_high_degree() {
+        // Degree 30, the size root-MUSIC with M = 16 would produce.
+        let roots: Vec<Complex<f64>> = (0..30)
+            .map(|k| Complex::from_polar(0.5 + 0.02 * k as f64, 0.21 * k as f64))
+            .collect();
+        let p = Polynomial::from_roots(&roots);
+        let found = p.roots().unwrap();
+        for r in &found {
+            assert!(p.eval(*r).norm() < 1e-6, "residual {:e}", p.eval(*r).norm());
+        }
+        assert_eq!(found.len(), 30);
+    }
+
+    #[test]
+    fn constant_rejected() {
+        let p = Polynomial::from_real(&[3.0]);
+        assert!(matches!(p.roots(), Err(DspError::BadParameter { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one coefficient")]
+    fn empty_coefficients_panic() {
+        let _ = Polynomial::new(vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_coefficients_panic() {
+        let _ = Polynomial::from_real(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn display_shows_degree() {
+        let p = Polynomial::from_real(&[1.0, 0.0, 2.0]);
+        assert_eq!(p.to_string(), "poly(degree=2)");
+    }
+}

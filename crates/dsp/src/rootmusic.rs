@@ -1,0 +1,279 @@
+//! root-MUSIC frequency estimation — the paper's beat-frequency extractor.
+//!
+//! Instead of scanning a grid like MUSIC, root-MUSIC forms the polynomial
+//!
+//! ```text
+//! D(z) = aᵀ(1/z) · EₙEₙᴴ · a(z) ,  a(z) = [1, z, …, z^{M−1}]ᵀ
+//! ```
+//!
+//! whose `2(M−1)` roots come in conjugate-reciprocal pairs; the `K` roots
+//! inside (and closest to) the unit circle give the tone frequencies
+//! `ω = arg(z)`. This matches MATLAB's `rootmusic`, which the paper uses via
+//! the Phased Array System Toolbox.
+
+use nalgebra::Complex;
+
+use crate::covariance::SampleCovariance;
+use crate::eigen::HermitianEigen;
+use crate::music::noise_projector;
+use crate::polynomial::Polynomial;
+use crate::DspError;
+
+/// One estimated complex exponential.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrequencyEstimate {
+    /// Normalized angular frequency in `[0, 2π)` rad/sample.
+    pub frequency: f64,
+    /// Magnitude of the corresponding root; 1.0 means "exactly on the unit
+    /// circle" (noise pushes it inward). A quality indicator.
+    pub root_magnitude: f64,
+}
+
+/// root-MUSIC estimator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RootMusic {
+    signal_count: usize,
+}
+
+impl RootMusic {
+    /// Creates an estimator that assumes `signal_count` complex exponentials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `signal_count == 0`.
+    pub fn new(signal_count: usize) -> Self {
+        assert!(signal_count > 0, "signal count must be positive");
+        Self { signal_count }
+    }
+
+    /// Assumed number of signals.
+    pub fn signal_count(&self) -> usize {
+        self.signal_count
+    }
+
+    /// Estimates the tone frequencies from a sample covariance, strongest
+    /// (closest-to-unit-circle) first.
+    ///
+    /// # Errors
+    ///
+    /// * [`DspError::BadParameter`] — `signal_count >= window`.
+    /// * Eigendecomposition or root-finding failures are propagated.
+    pub fn estimate(
+        &self,
+        cov: &SampleCovariance,
+    ) -> Result<Vec<FrequencyEstimate>, DspError> {
+        let m = cov.window();
+        if self.signal_count >= m {
+            return Err(DspError::BadParameter {
+                name: "signal_count",
+                message: format!(
+                    "signal count {} must be below covariance window {m}",
+                    self.signal_count
+                ),
+            });
+        }
+        let eigen = HermitianEigen::new(cov.matrix(), 1e-6)?;
+        let noise = eigen.noise_subspace(self.signal_count)?;
+        let c = noise_projector(&noise);
+
+        // With z = e^{jω}, aᴴ(ω)·C·a(ω) = Σ_{i,j} C[i][j] z^{j−i}; the
+        // coefficient of z^l is therefore the sum of the l-th superdiagonal.
+        // Multiplying by z^{M−1} gives an ordinary polynomial of degree
+        // 2(M−1).
+        let mut coeffs = vec![Complex::new(0.0, 0.0); 2 * m - 1];
+        for l in 0..m {
+            // d_l = Σ_n C[n][n+l]  (sum of l-th superdiagonal)
+            let mut d = Complex::new(0.0, 0.0);
+            for n in 0..(m - l) {
+                d += c[(n, n + l)];
+            }
+            coeffs[m - 1 + l] = d;
+            coeffs[m - 1 - l] = d.conj();
+        }
+        let poly = Polynomial::new(coeffs);
+        let roots = poly.roots()?;
+
+        // Rank all roots by distance from the unit circle. (Noiseless data
+        // puts the signal roots *exactly* on the circle, where rounding can
+        // push them a hair outside — filtering to |z| ≤ 1 would then drop
+        // them entirely, so no inside-filter is applied; the angle dedup
+        // below collapses each conjugate-reciprocal pair instead.)
+        let mut candidates = roots;
+        candidates.sort_by(|a, b| {
+            (1.0 - a.norm())
+                .abs()
+                .partial_cmp(&(1.0 - b.norm()).abs())
+                .expect("finite root magnitudes")
+        });
+        let mut picked: Vec<Complex<f64>> = Vec::with_capacity(self.signal_count);
+        for z in candidates {
+            let duplicate = picked.iter().any(|p| {
+                let mut d = (p.arg() - z.arg()).abs();
+                d = d.min(2.0 * std::f64::consts::PI - d);
+                d < 1e-6
+            });
+            if !duplicate {
+                picked.push(z);
+                if picked.len() == self.signal_count {
+                    break;
+                }
+            }
+        }
+        if picked.len() < self.signal_count {
+            return Err(DspError::BadParameter {
+                name: "covariance",
+                message: format!(
+                    "only {} of {} roots found near the unit circle",
+                    picked.len(),
+                    self.signal_count
+                ),
+            });
+        }
+        Ok(picked
+            .into_iter()
+            .map(|z| FrequencyEstimate {
+                frequency: z.arg().rem_euclid(2.0 * std::f64::consts::PI),
+                root_magnitude: z.norm(),
+            })
+            .collect())
+    }
+
+    /// Convenience: estimate directly from a signal with window length `m`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates covariance and estimation errors.
+    pub fn estimate_from_signal(
+        &self,
+        signal: &[Complex<f64>],
+        window: usize,
+    ) -> Result<Vec<FrequencyEstimate>, DspError> {
+        let cov = SampleCovariance::builder(window).build(signal)?;
+        self.estimate(&cov)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tones(n: usize, specs: &[(f64, f64)]) -> Vec<Complex<f64>> {
+        (0..n)
+            .map(|t| {
+                specs
+                    .iter()
+                    .map(|&(amp, w)| Complex::from_polar(amp, w * t as f64))
+                    .sum()
+            })
+            .collect()
+    }
+
+    fn sorted_freqs(estimates: &[FrequencyEstimate]) -> Vec<f64> {
+        let mut f: Vec<f64> = estimates.iter().map(|e| e.frequency).collect();
+        f.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        f
+    }
+
+    #[test]
+    fn single_noiseless_tone_is_exact() {
+        let w = 1.234;
+        let sig = tones(64, &[(1.0, w)]);
+        let est = RootMusic::new(1).estimate_from_signal(&sig, 6).unwrap();
+        assert_eq!(est.len(), 1);
+        // Noiseless data puts conjugate-reciprocal root pairs exactly on the
+        // unit circle (double roots), where iterative root finders are
+        // limited to ~sqrt(machine-eps) accuracy.
+        assert!((est[0].frequency - w).abs() < 1e-6, "{}", est[0].frequency);
+        assert!((est[0].root_magnitude - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn two_noiseless_tones_exact() {
+        let (w1, w2) = (0.5, 1.4);
+        let sig = tones(128, &[(1.0, w1), (0.8, w2)]);
+        let est = RootMusic::new(2).estimate_from_signal(&sig, 8).unwrap();
+        let f = sorted_freqs(&est);
+        assert!((f[0] - w1).abs() < 1e-6);
+        assert!((f[1] - w2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn three_tones_recovered() {
+        let sig = tones(256, &[(1.0, 0.4), (0.9, 1.2), (0.7, 2.5)]);
+        let est = RootMusic::new(3).estimate_from_signal(&sig, 10).unwrap();
+        let f = sorted_freqs(&est);
+        assert!((f[0] - 0.4).abs() < 1e-5);
+        assert!((f[1] - 1.2).abs() < 1e-5);
+        assert!((f[2] - 2.5).abs() < 1e-5);
+    }
+
+    #[test]
+    fn noisy_tone_recovered_to_good_accuracy() {
+        // Deterministic pseudo-noise (LCG), SNR ≈ 20 dB.
+        let w = 0.9;
+        let mut state: u64 = 12345;
+        let mut noise = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 0.28
+        };
+        let sig: Vec<Complex<f64>> = (0..256)
+            .map(|t| Complex::from_polar(1.0, w * t as f64) + Complex::new(noise(), noise()))
+            .collect();
+        let est = RootMusic::new(1).estimate_from_signal(&sig, 8).unwrap();
+        assert!(
+            (est[0].frequency - w).abs() < 5e-3,
+            "estimate {}",
+            est[0].frequency
+        );
+    }
+
+    #[test]
+    fn close_tones_separated_beyond_fft_resolution() {
+        // Δω = 0.04 rad/sample over 128 samples is below the FFT's natural
+        // resolution (2π/128 ≈ 0.049) — the subspace method still splits them.
+        let (w1, w2) = (1.00, 1.04);
+        let sig = tones(128, &[(1.0, w1), (1.0, w2)]);
+        let est = RootMusic::new(2).estimate_from_signal(&sig, 16).unwrap();
+        let f = sorted_freqs(&est);
+        assert!((f[0] - w1).abs() < 5e-3, "{f:?}");
+        assert!((f[1] - w2).abs() < 5e-3, "{f:?}");
+    }
+
+    #[test]
+    fn agrees_with_music_grid_search() {
+        let sig = tones(200, &[(1.0, 0.7), (0.6, 2.1)]);
+        let cov = SampleCovariance::builder(8).build(&sig).unwrap();
+        let rm = RootMusic::new(2).estimate(&cov).unwrap();
+        let music = crate::music::MusicSpectrum::compute(&cov, 2, 8192).unwrap();
+        let mut grid_peaks = music.peaks();
+        grid_peaks.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rm_freqs = sorted_freqs(&rm);
+        let resolution = 2.0 * std::f64::consts::PI / 8192.0;
+        for (a, b) in rm_freqs.iter().zip(&grid_peaks) {
+            assert!((a - b).abs() < 2.0 * resolution, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn signal_count_must_fit_window() {
+        let sig = tones(64, &[(1.0, 0.5)]);
+        let cov = SampleCovariance::builder(4).build(&sig).unwrap();
+        assert!(matches!(
+            RootMusic::new(4).estimate(&cov),
+            Err(DspError::BadParameter { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_signals_panics() {
+        let _ = RootMusic::new(0);
+    }
+
+    #[test]
+    fn accessor_returns_count() {
+        assert_eq!(RootMusic::new(3).signal_count(), 3);
+    }
+}

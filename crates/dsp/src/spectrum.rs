@@ -1,0 +1,244 @@
+//! Periodogram spectral estimation and FFT-peak frequency extraction.
+//!
+//! This is the conventional beat-frequency extractor that root-MUSIC is
+//! compared against: windowed FFT, magnitude-squared, peak pick with
+//! quadratic (parabolic) interpolation between bins.
+
+use nalgebra::Complex;
+
+use crate::fft::{fft, next_power_of_two};
+use crate::window::Window;
+use crate::DspError;
+
+/// A power spectrum estimate over normalized frequency `[0, 2π)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Periodogram {
+    power: Vec<f64>,
+    n_fft: usize,
+}
+
+impl Periodogram {
+    /// Computes a windowed periodogram, zero-padded to at least `min_bins`
+    /// FFT points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::EmptyInput`] if `signal` is empty.
+    pub fn compute(
+        signal: &[Complex<f64>],
+        window: Window,
+        min_bins: usize,
+    ) -> Result<Self, DspError> {
+        if signal.is_empty() {
+            return Err(DspError::EmptyInput);
+        }
+        let mut buf = signal.to_vec();
+        window.apply(&mut buf);
+        let n_fft = next_power_of_two(buf.len().max(min_bins));
+        buf.resize(n_fft, Complex::new(0.0, 0.0));
+        let spectrum = fft(&buf)?;
+        let norm = 1.0 / (signal.len() as f64);
+        let power = spectrum.iter().map(|s| s.norm_sqr() * norm * norm).collect();
+        Ok(Self { power, n_fft })
+    }
+
+    /// Power at each FFT bin.
+    pub fn power(&self) -> &[f64] {
+        &self.power
+    }
+
+    /// Number of FFT bins.
+    pub fn len(&self) -> usize {
+        self.n_fft
+    }
+
+    /// `true` if there are no bins (never happens for a valid periodogram).
+    pub fn is_empty(&self) -> bool {
+        self.power.is_empty()
+    }
+
+    /// Normalized angular frequency (rad/sample, in `[0, 2π)`) of bin `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of range.
+    pub fn frequency_of_bin(&self, k: usize) -> f64 {
+        assert!(k < self.n_fft, "bin {k} out of range");
+        2.0 * std::f64::consts::PI * k as f64 / self.n_fft as f64
+    }
+
+    /// Indices of the `count` largest local maxima, strongest first.
+    ///
+    /// A bin is a local maximum when strictly greater than both circular
+    /// neighbours. Peaks closer than `min_separation_bins` to an already
+    /// selected stronger peak are suppressed.
+    pub fn peak_bins(&self, count: usize, min_separation_bins: usize) -> Vec<usize> {
+        let n = self.power.len();
+        if n < 3 || count == 0 {
+            return Vec::new();
+        }
+        let mut candidates: Vec<usize> = (0..n)
+            .filter(|&k| {
+                let prev = self.power[(k + n - 1) % n];
+                let next = self.power[(k + 1) % n];
+                self.power[k] > prev && self.power[k] >= next
+            })
+            .collect();
+        candidates.sort_by(|&a, &b| self.power[b].partial_cmp(&self.power[a]).unwrap());
+        let mut chosen: Vec<usize> = Vec::new();
+        for k in candidates {
+            let far_enough = chosen.iter().all(|&c| {
+                let d = k.abs_diff(c);
+                d.min(n - d) >= min_separation_bins
+            });
+            if far_enough {
+                chosen.push(k);
+                if chosen.len() == count {
+                    break;
+                }
+            }
+        }
+        chosen
+    }
+
+    /// Estimates the `count` strongest tone frequencies (rad/sample) using
+    /// peak picking plus quadratic interpolation on log power.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::BadParameter`] when `count == 0`.
+    pub fn estimate_frequencies(
+        &self,
+        count: usize,
+        min_separation_bins: usize,
+    ) -> Result<Vec<f64>, DspError> {
+        if count == 0 {
+            return Err(DspError::BadParameter {
+                name: "count",
+                message: "must estimate at least one frequency".to_string(),
+            });
+        }
+        let n = self.power.len();
+        let bins = self.peak_bins(count, min_separation_bins);
+        let mut freqs = Vec::with_capacity(bins.len());
+        for k in bins {
+            let p_prev = self.power[(k + n - 1) % n].max(f64::MIN_POSITIVE);
+            let p_here = self.power[k].max(f64::MIN_POSITIVE);
+            let p_next = self.power[(k + 1) % n].max(f64::MIN_POSITIVE);
+            // Parabolic interpolation on log-magnitude.
+            let (a, b, c) = (p_prev.ln(), p_here.ln(), p_next.ln());
+            let denom = a - 2.0 * b + c;
+            let delta = if denom.abs() < 1e-300 {
+                0.0
+            } else {
+                0.5 * (a - c) / denom
+            };
+            let delta = delta.clamp(-0.5, 0.5);
+            let freq =
+                2.0 * std::f64::consts::PI * (k as f64 + delta) / self.n_fft as f64;
+            freqs.push(freq.rem_euclid(2.0 * std::f64::consts::PI));
+        }
+        Ok(freqs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(n: usize, omega: f64, amp: f64) -> Vec<Complex<f64>> {
+        (0..n)
+            .map(|t| Complex::from_polar(amp, omega * t as f64))
+            .collect()
+    }
+
+    #[test]
+    fn single_tone_peak_matches_frequency() {
+        let omega = 0.7;
+        let sig = tone(256, omega, 1.0);
+        let pg = Periodogram::compute(&sig, Window::Hann, 4096).unwrap();
+        let f = pg.estimate_frequencies(1, 4).unwrap();
+        assert_eq!(f.len(), 1);
+        assert!((f[0] - omega).abs() < 2e-3, "estimate {}", f[0]);
+    }
+
+    #[test]
+    fn off_bin_tone_interpolated() {
+        // Frequency deliberately between FFT bins.
+        let n_fft = 1024;
+        let omega = 2.0 * std::f64::consts::PI * 100.37 / n_fft as f64;
+        let sig = tone(256, omega, 2.0);
+        let pg = Periodogram::compute(&sig, Window::Hann, n_fft).unwrap();
+        let f = pg.estimate_frequencies(1, 4).unwrap();
+        assert!((f[0] - omega).abs() < 3e-3);
+    }
+
+    #[test]
+    fn two_tones_both_found() {
+        let n = 256;
+        let (w1, w2) = (0.5, 1.9);
+        let sig: Vec<Complex<f64>> = (0..n)
+            .map(|t| {
+                Complex::from_polar(1.0, w1 * t as f64) + Complex::from_polar(0.7, w2 * t as f64)
+            })
+            .collect();
+        let pg = Periodogram::compute(&sig, Window::Hann, 2048).unwrap();
+        let mut f = pg.estimate_frequencies(2, 8).unwrap();
+        f.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(f.len(), 2);
+        assert!((f[0] - w1).abs() < 5e-3);
+        assert!((f[1] - w2).abs() < 5e-3);
+    }
+
+    #[test]
+    fn strongest_peak_first() {
+        let n = 256;
+        let sig: Vec<Complex<f64>> = (0..n)
+            .map(|t| {
+                Complex::from_polar(0.3, 0.5 * t as f64) + Complex::from_polar(2.0, 1.9 * t as f64)
+            })
+            .collect();
+        let pg = Periodogram::compute(&sig, Window::Hann, 2048).unwrap();
+        let f = pg.estimate_frequencies(2, 8).unwrap();
+        assert!((f[0] - 1.9).abs() < 5e-3, "strongest should come first");
+    }
+
+    #[test]
+    fn bin_frequency_mapping() {
+        let sig = tone(64, 0.3, 1.0);
+        let pg = Periodogram::compute(&sig, Window::Rectangular, 64).unwrap();
+        assert_eq!(pg.len(), 64);
+        assert_eq!(pg.frequency_of_bin(0), 0.0);
+        assert!((pg.frequency_of_bin(32) - std::f64::consts::PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_signal_rejected() {
+        assert_eq!(
+            Periodogram::compute(&[], Window::Hann, 64),
+            Err(DspError::EmptyInput)
+        );
+    }
+
+    #[test]
+    fn zero_count_rejected() {
+        let pg = Periodogram::compute(&tone(64, 0.3, 1.0), Window::Hann, 64).unwrap();
+        assert!(matches!(
+            pg.estimate_frequencies(0, 1),
+            Err(DspError::BadParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn peak_bins_respect_separation() {
+        let sig = tone(128, 1.0, 1.0);
+        let pg = Periodogram::compute(&sig, Window::Hann, 1024).unwrap();
+        let peaks = pg.peak_bins(5, 50);
+        for (i, &a) in peaks.iter().enumerate() {
+            for &b in &peaks[i + 1..] {
+                let d = a.abs_diff(b);
+                assert!(d.min(1024 - d) >= 50);
+            }
+        }
+    }
+}

@@ -1,0 +1,190 @@
+//! Window (taper) functions for spectral analysis.
+
+use nalgebra::Complex;
+
+/// A spectral analysis window.
+///
+/// ```
+/// use argus_dsp::window::Window;
+/// let coeffs = Window::Hann.coefficients(8);
+/// assert_eq!(coeffs.len(), 8);
+/// assert!(coeffs[0].abs() < 1e-12); // Hann tapers to zero at the edges
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Window {
+    /// No taper (all ones).
+    #[default]
+    Rectangular,
+    /// Hann (raised cosine) window.
+    Hann,
+    /// Hamming window.
+    Hamming,
+    /// Blackman window.
+    Blackman,
+}
+
+impl Window {
+    /// Window coefficient at sample `i` of an `n`-point window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n` or `n == 0`.
+    pub fn coefficient(self, i: usize, n: usize) -> f64 {
+        assert!(n > 0, "window length must be positive");
+        assert!(i < n, "sample index {i} out of range for {n}-point window");
+        if n == 1 {
+            return 1.0;
+        }
+        let x = i as f64 / (n - 1) as f64;
+        let tau = 2.0 * std::f64::consts::PI;
+        match self {
+            Window::Rectangular => 1.0,
+            Window::Hann => 0.5 - 0.5 * (tau * x).cos(),
+            Window::Hamming => 0.54 - 0.46 * (tau * x).cos(),
+            Window::Blackman => {
+                0.42 - 0.5 * (tau * x).cos() + 0.08 * (2.0 * tau * x).cos()
+            }
+        }
+    }
+
+    /// All coefficients of an `n`-point window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn coefficients(self, n: usize) -> Vec<f64> {
+        (0..n).map(|i| self.coefficient(i, n)).collect()
+    }
+
+    /// Applies the window to a complex signal in place.
+    pub fn apply(self, signal: &mut [Complex<f64>]) {
+        let n = signal.len();
+        if n == 0 {
+            return;
+        }
+        for (i, x) in signal.iter_mut().enumerate() {
+            *x *= self.coefficient(i, n);
+        }
+    }
+
+    /// Coherent gain: mean of the coefficients. Used to correct amplitude
+    /// estimates taken from windowed spectra.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn coherent_gain(self, n: usize) -> f64 {
+        let c = self.coefficients(n);
+        c.iter().sum::<f64>() / n as f64
+    }
+}
+
+impl std::fmt::Display for Window {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Window::Rectangular => "rectangular",
+            Window::Hann => "hann",
+            Window::Hamming => "hamming",
+            Window::Blackman => "blackman",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangular_is_all_ones() {
+        assert!(Window::Rectangular
+            .coefficients(16)
+            .iter()
+            .all(|&c| c == 1.0));
+    }
+
+    #[test]
+    fn windows_are_symmetric() {
+        for w in [Window::Hann, Window::Hamming, Window::Blackman] {
+            let c = w.coefficients(33);
+            for i in 0..c.len() {
+                assert!(
+                    (c[i] - c[c.len() - 1 - i]).abs() < 1e-12,
+                    "{w} asymmetric at {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn peak_is_at_center() {
+        for w in [Window::Hann, Window::Hamming, Window::Blackman] {
+            let c = w.coefficients(65);
+            let (imax, _) = c
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap();
+            assert_eq!(imax, 32, "{w}");
+        }
+    }
+
+    #[test]
+    fn hann_edges_are_zero() {
+        let c = Window::Hann.coefficients(32);
+        assert!(c[0].abs() < 1e-12);
+        assert!(c[31].abs() < 1e-12);
+    }
+
+    #[test]
+    fn hamming_edges_are_nonzero() {
+        let c = Window::Hamming.coefficients(32);
+        assert!((c[0] - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_point_window_is_one() {
+        for w in [
+            Window::Rectangular,
+            Window::Hann,
+            Window::Hamming,
+            Window::Blackman,
+        ] {
+            assert_eq!(w.coefficients(1), vec![1.0]);
+        }
+    }
+
+    #[test]
+    fn apply_scales_signal() {
+        let mut sig = vec![Complex::new(2.0, 0.0); 8];
+        Window::Hann.apply(&mut sig);
+        assert!(sig[0].norm() < 1e-12);
+        assert!(sig[4].norm() > 1.0);
+    }
+
+    #[test]
+    fn apply_to_empty_is_noop() {
+        let mut sig: Vec<Complex<f64>> = vec![];
+        Window::Blackman.apply(&mut sig);
+        assert!(sig.is_empty());
+    }
+
+    #[test]
+    fn coherent_gain_of_rect_is_one() {
+        assert!((Window::Rectangular.coherent_gain(64) - 1.0).abs() < 1e-12);
+        let hann = Window::Hann.coherent_gain(4096);
+        assert!((hann - 0.5).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn coefficient_bounds_checked() {
+        let _ = Window::Hann.coefficient(8, 8);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Window::Hann.to_string(), "hann");
+        assert_eq!(Window::default(), Window::Rectangular);
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for the DSP substrate.
+
+use argus_dsp::covariance::SampleCovariance;
+use argus_dsp::eigen::HermitianEigen;
+use argus_dsp::fft::{dft, fft, ifft};
+use argus_dsp::polynomial::Polynomial;
+use argus_dsp::rootmusic::RootMusic;
+use nalgebra::{Complex, DMatrix};
+use proptest::prelude::*;
+
+fn complex_signal(len: usize) -> impl Strategy<Value = Vec<Complex<f64>>> {
+    proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), len)
+        .prop_map(|v| v.into_iter().map(|(re, im)| Complex::new(re, im)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// FFT → IFFT is the identity.
+    #[test]
+    fn fft_round_trip(signal in complex_signal(64)) {
+        let spectrum = fft(&signal).unwrap();
+        let back = ifft(&spectrum).unwrap();
+        for (a, b) in signal.iter().zip(&back) {
+            prop_assert!((a - b).norm() < 1e-9);
+        }
+    }
+
+    /// Parseval: time-domain and frequency-domain energies agree.
+    #[test]
+    fn fft_parseval(signal in complex_signal(128)) {
+        let spectrum = fft(&signal).unwrap();
+        let e_time: f64 = signal.iter().map(|x| x.norm_sqr()).sum();
+        let e_freq: f64 =
+            spectrum.iter().map(|x| x.norm_sqr()).sum::<f64>() / spectrum.len() as f64;
+        prop_assert!((e_time - e_freq).abs() <= 1e-6 * (1.0 + e_time));
+    }
+
+    /// FFT matches the O(n²) DFT oracle on arbitrary data.
+    #[test]
+    fn fft_matches_dft(signal in complex_signal(32)) {
+        let fast = fft(&signal).unwrap();
+        let slow = dft(&signal).unwrap();
+        for (a, b) in fast.iter().zip(&slow) {
+            prop_assert!((a - b).norm() < 1e-7);
+        }
+    }
+
+    /// Durand–Kerner recovers well-separated random roots.
+    #[test]
+    fn polynomial_roots_recovered(
+        seeds in proptest::collection::vec((0.3f64..2.0, 0.0f64..std::f64::consts::TAU), 3..7)
+    ) {
+        // Separate roots on distinct rings/angles to avoid near-multiples.
+        let roots: Vec<Complex<f64>> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &(r, th))| Complex::from_polar(r + 0.7 * i as f64, th + i as f64))
+            .collect();
+        let poly = Polynomial::from_roots(&roots);
+        let found = poly.roots().unwrap();
+        for r in &roots {
+            let best = found.iter().map(|f| (f - r).norm()).fold(f64::MAX, f64::min);
+            prop_assert!(best < 1e-5, "missing root {r}, best {best:e}");
+        }
+    }
+
+    /// Polynomial evaluation at found roots gives (near-)zero residuals.
+    #[test]
+    fn polynomial_root_residuals(coeffs in proptest::collection::vec(-3.0f64..3.0, 3..9)) {
+        prop_assume!(coeffs.last().map(|c| c.abs() > 0.1).unwrap_or(false));
+        let poly = Polynomial::from_real(&coeffs);
+        if let Ok(roots) = poly.roots() {
+            let scale: f64 = coeffs.iter().map(|c| c.abs()).fold(1.0, f64::max);
+            for r in roots {
+                let residual = poly.eval(r).norm();
+                let headroom = 1.0 + r.norm().powi(poly.degree() as i32);
+                prop_assert!(residual < 1e-6 * scale * headroom);
+            }
+        }
+    }
+
+    /// Hermitian eigendecomposition reconstructs the input and keeps the
+    /// eigenvector matrix unitary.
+    #[test]
+    fn eigen_reconstruction(entries in proptest::collection::vec((-2.0f64..2.0, -2.0f64..2.0), 16)) {
+        let g = DMatrix::from_fn(4, 4, |i, j| {
+            let (re, im) = entries[4 * i + j];
+            Complex::new(re, im)
+        });
+        let a = &g * g.adjoint() + DMatrix::identity(4, 4) * Complex::new(0.1, 0.0);
+        let e = HermitianEigen::new(&a, 1e-8).unwrap();
+        let err = (&a - e.reconstruct()).norm();
+        prop_assert!(err < 1e-9 * (1.0 + a.norm()));
+        let v = e.eigenvectors();
+        let unitary_err = (v.adjoint() * v - DMatrix::<Complex<f64>>::identity(4, 4)).norm();
+        prop_assert!(unitary_err < 1e-10);
+        // Eigenvalues of a PSD + 0.1 I matrix are ≥ 0.1 (up to numerics).
+        for &l in e.eigenvalues() {
+            prop_assert!(l > 0.099);
+        }
+    }
+
+    /// Sample covariance is always Hermitian PSD.
+    #[test]
+    fn covariance_hermitian_psd(signal in complex_signal(48)) {
+        let cov = SampleCovariance::builder(6).build(&signal).unwrap();
+        let r = cov.matrix();
+        for i in 0..6 {
+            for j in 0..6 {
+                prop_assert!((r[(i, j)] - r[(j, i)].conj()).norm() < 1e-10);
+            }
+        }
+        let e = HermitianEigen::new(r, 1e-8).unwrap();
+        for &l in e.eigenvalues() {
+            prop_assert!(l > -1e-8, "negative eigenvalue {l}");
+        }
+    }
+
+    /// root-MUSIC recovers a random single tone. Noiseless data places the
+    /// conjugate-reciprocal root pairs exactly on the unit circle (double
+    /// roots), where any iterative root finder is limited to roughly
+    /// √machine-ε accuracy — hence the modest tolerance; with noise the
+    /// roots separate and accuracy improves (covered by the noisy unit
+    /// tests in the crate).
+    #[test]
+    fn rootmusic_single_tone(omega in 0.05f64..3.0, amp in 0.2f64..4.0) {
+        let signal: Vec<Complex<f64>> = (0..96)
+            .map(|t| Complex::from_polar(amp, omega * t as f64))
+            .collect();
+        let est = RootMusic::new(1).estimate_from_signal(&signal, 6).unwrap();
+        prop_assert!(
+            (est[0].frequency - omega).abs() < 1e-3,
+            "estimate {} vs {omega}",
+            est[0].frequency
+        );
+    }
+}

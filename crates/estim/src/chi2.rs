@@ -1,0 +1,288 @@
+//! χ² residual detector — the PyCRA-style baseline (\[10\] in the paper).
+//!
+//! Shoukry et al. detect spoofing by monitoring the normalized innovation
+//! statistic `Σ r²/σ²` over a sliding window against a χ² quantile. Unlike
+//! CRA this needs no transmitter modification, but it trades detection
+//! latency against false alarms — the contrast the paper draws in §2 ("they
+//! did not provide any solution for recovery … but only detection").
+
+use std::collections::VecDeque;
+
+use crate::EstimError;
+
+/// Sliding-window χ² detector over scalar residuals.
+///
+/// ```
+/// use argus_estim::ChiSquareDetector;
+///
+/// // 10-sample window, unit residual variance, 99.9 % quantile threshold.
+/// let mut det = ChiSquareDetector::with_false_alarm_rate(10, 1.0, 1e-3).unwrap();
+/// for _ in 0..50 {
+///     assert!(!det.push(0.1)); // small residuals: no alarm
+/// }
+/// for _ in 0..10 {
+///     det.push(5.0); // grossly biased residuals
+/// }
+/// assert!(det.alarmed());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChiSquareDetector {
+    window: usize,
+    variance: f64,
+    threshold: f64,
+    residuals: VecDeque<f64>,
+    statistic: f64,
+    alarmed: bool,
+    alarms: u64,
+}
+
+impl ChiSquareDetector {
+    /// Creates a detector with an explicit χ² threshold.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimError::BadParameter`] for a zero window, non-positive
+    /// variance, or non-positive threshold.
+    pub fn new(window: usize, variance: f64, threshold: f64) -> Result<Self, EstimError> {
+        if window == 0 {
+            return Err(EstimError::BadParameter {
+                name: "window",
+                message: "must be at least 1".to_string(),
+            });
+        }
+        if !(variance > 0.0) {
+            return Err(EstimError::BadParameter {
+                name: "variance",
+                message: format!("must be positive, got {variance}"),
+            });
+        }
+        if !(threshold > 0.0) {
+            return Err(EstimError::BadParameter {
+                name: "threshold",
+                message: format!("must be positive, got {threshold}"),
+            });
+        }
+        Ok(Self {
+            window,
+            variance,
+            threshold,
+            residuals: VecDeque::with_capacity(window),
+            statistic: 0.0,
+            alarmed: false,
+            alarms: 0,
+        })
+    }
+
+    /// Creates a detector whose threshold is the `1 − false_alarm_rate`
+    /// quantile of the χ² distribution with `window` degrees of freedom
+    /// (Wilson–Hilferty approximation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimError::BadParameter`] for rates outside `(0, 0.5)` or
+    /// the window/variance errors of [`ChiSquareDetector::new`].
+    pub fn with_false_alarm_rate(
+        window: usize,
+        variance: f64,
+        false_alarm_rate: f64,
+    ) -> Result<Self, EstimError> {
+        if !(false_alarm_rate > 0.0 && false_alarm_rate < 0.5) {
+            return Err(EstimError::BadParameter {
+                name: "false_alarm_rate",
+                message: format!("must be in (0, 0.5), got {false_alarm_rate}"),
+            });
+        }
+        let threshold = chi_square_quantile(window as f64, 1.0 - false_alarm_rate);
+        Self::new(window, variance, threshold)
+    }
+
+    /// Pushes a residual and returns whether the detector is (now) alarmed.
+    pub fn push(&mut self, residual: f64) -> bool {
+        let term = residual * residual / self.variance;
+        self.residuals.push_back(term);
+        self.statistic += term;
+        if self.residuals.len() > self.window {
+            self.statistic -= self.residuals.pop_front().expect("non-empty");
+        }
+        let now = self.residuals.len() == self.window && self.statistic > self.threshold;
+        if now && !self.alarmed {
+            self.alarms += 1;
+        }
+        self.alarmed = now;
+        now
+    }
+
+    /// Current windowed statistic.
+    pub fn statistic(&self) -> f64 {
+        self.statistic
+    }
+
+    /// The alarm threshold in use.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Whether the detector is currently alarmed.
+    pub fn alarmed(&self) -> bool {
+        self.alarmed
+    }
+
+    /// Number of distinct alarm onsets seen.
+    pub fn alarm_count(&self) -> u64 {
+        self.alarms
+    }
+
+    /// Clears the window and alarm state.
+    pub fn reset(&mut self) {
+        self.residuals.clear();
+        self.statistic = 0.0;
+        self.alarmed = false;
+        self.alarms = 0;
+    }
+}
+
+/// Wilson–Hilferty approximation of the χ² quantile with `k` degrees of
+/// freedom at probability `p`.
+fn chi_square_quantile(k: f64, p: f64) -> f64 {
+    let z = normal_quantile(p);
+    let a = 2.0 / (9.0 * k);
+    k * (1.0 - a + z * a.sqrt()).powi(3)
+}
+
+/// Acklam-style rational approximation of the standard normal quantile.
+fn normal_quantile(p: f64) -> f64 {
+    debug_assert!(p > 0.0 && p < 1.0);
+    // Beasley-Springer-Moro coefficients.
+    const A: [f64; 4] = [2.50662823884, -18.61500062529, 41.39119773534, -25.44106049637];
+    const B: [f64; 4] = [-8.47351093090, 23.08336743743, -21.06224101826, 3.13082909833];
+    const C: [f64; 9] = [
+        0.3374754822726147,
+        0.9761690190917186,
+        0.1607979714918209,
+        0.0276438810333863,
+        0.0038405729373609,
+        0.0003951896511919,
+        0.0000321767881768,
+        0.0000002888167364,
+        0.0000003960315187,
+    ];
+    let y = p - 0.5;
+    if y.abs() < 0.42 {
+        let r = y * y;
+        y * (((A[3] * r + A[2]) * r + A[1]) * r + A[0])
+            / ((((B[3] * r + B[2]) * r + B[1]) * r + B[0]) * r + 1.0)
+    } else {
+        let mut r = if y > 0.0 { 1.0 - p } else { p };
+        r = (-r.ln()).ln();
+        let mut x = C[0];
+        let mut pow = 1.0;
+        for &c in &C[1..] {
+            pow *= r;
+            x += c * pow;
+        }
+        if y < 0.0 {
+            -x
+        } else {
+            x
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_quantile_sanity() {
+        assert!((normal_quantile(0.5)).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.96).abs() < 0.01);
+        assert!((normal_quantile(0.999) - 3.09).abs() < 0.02);
+        assert!((normal_quantile(0.025) + 1.96).abs() < 0.01);
+    }
+
+    #[test]
+    fn chi_square_quantile_sanity() {
+        // χ²₁₀ at 0.95 ≈ 18.31; at 0.99 ≈ 23.21.
+        assert!((chi_square_quantile(10.0, 0.95) - 18.31).abs() < 0.3);
+        assert!((chi_square_quantile(10.0, 0.99) - 23.21).abs() < 0.4);
+    }
+
+    #[test]
+    fn clean_residuals_do_not_alarm() {
+        // Deterministic pseudo-Gaussian residuals with unit variance.
+        let mut det = ChiSquareDetector::with_false_alarm_rate(20, 1.0, 1e-4).unwrap();
+        let mut lcg: u64 = 77;
+        let mut gauss = move || {
+            // Sum of 12 uniforms − 6 ≈ N(0,1).
+            let mut s = 0.0;
+            for _ in 0..12 {
+                lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+                s += (lcg >> 11) as f64 / (1u64 << 53) as f64;
+            }
+            s - 6.0
+        };
+        let mut alarms = 0;
+        for _ in 0..2000 {
+            if det.push(gauss()) {
+                alarms += 1;
+            }
+        }
+        assert!(alarms <= 2, "{alarms} false alarms at 1e-4 rate");
+    }
+
+    #[test]
+    fn biased_residuals_alarm() {
+        let mut det = ChiSquareDetector::with_false_alarm_rate(10, 1.0, 1e-3).unwrap();
+        for _ in 0..10 {
+            det.push(0.0);
+        }
+        assert!(!det.alarmed());
+        // A +3σ persistent bias (like a 6 m spoof over a 2 m-σ channel).
+        let mut steps_to_alarm = 0;
+        for k in 1..=20 {
+            if det.push(3.0) {
+                steps_to_alarm = k;
+                break;
+            }
+        }
+        assert!(steps_to_alarm > 0, "never alarmed");
+        assert!(
+            steps_to_alarm > 1,
+            "χ² needs several samples — that's its latency disadvantage vs CRA"
+        );
+    }
+
+    #[test]
+    fn alarm_count_counts_onsets() {
+        let mut det = ChiSquareDetector::new(2, 1.0, 5.0).unwrap();
+        det.push(10.0);
+        det.push(10.0); // alarm onset
+        det.push(10.0); // still alarmed, same episode
+        assert_eq!(det.alarm_count(), 1);
+        det.push(0.0);
+        det.push(0.0); // released
+        assert!(!det.alarmed());
+        det.push(10.0);
+        det.push(10.0); // second onset
+        assert_eq!(det.alarm_count(), 2);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut det = ChiSquareDetector::new(2, 1.0, 1.0).unwrap();
+        det.push(10.0);
+        det.push(10.0);
+        det.reset();
+        assert!(!det.alarmed());
+        assert_eq!(det.statistic(), 0.0);
+        assert_eq!(det.alarm_count(), 0);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(ChiSquareDetector::new(0, 1.0, 1.0).is_err());
+        assert!(ChiSquareDetector::new(5, 0.0, 1.0).is_err());
+        assert!(ChiSquareDetector::new(5, 1.0, 0.0).is_err());
+        assert!(ChiSquareDetector::with_false_alarm_rate(5, 1.0, 0.7).is_err());
+    }
+}

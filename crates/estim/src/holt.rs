@@ -1,0 +1,186 @@
+//! Holt's linear (double exponential) smoothing — the classical forecasting
+//! baseline for level + trend streams.
+//!
+//! Included as an ablation point against the RLS trend fit: Holt adapts the
+//! level and trend with *separate* bandwidths (α, β), which sidesteps the
+//! slope-memory coupling of exponentially-weighted least squares (see
+//! `TrendPredictor`'s docs), at the cost of not being the paper's RLS.
+
+use serde::{Deserialize, Serialize};
+
+use crate::predictor::StreamPredictor;
+use crate::EstimError;
+
+/// Holt's linear trend smoother: `l ← α·y + (1−α)(l + b)`,
+/// `b ← β(l − l_prev) + (1−β)·b`; free-run forecast `l + n·b`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HoltPredictor {
+    alpha: f64,
+    beta: f64,
+    level: f64,
+    trend: f64,
+    samples: u64,
+    min_samples: u64,
+}
+
+impl HoltPredictor {
+    /// Creates a smoother with level bandwidth `alpha` and trend bandwidth
+    /// `beta`, both in `(0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimError::BadParameter`] for out-of-range bandwidths.
+    pub fn new(alpha: f64, beta: f64) -> Result<Self, EstimError> {
+        for (name, v) in [("alpha", alpha), ("beta", beta)] {
+            if !(v > 0.0 && v <= 1.0) {
+                return Err(EstimError::BadParameter {
+                    name: if name == "alpha" { "alpha" } else { "beta" },
+                    message: format!("bandwidth must be in (0, 1], got {v}"),
+                });
+            }
+        }
+        Ok(Self {
+            alpha,
+            beta,
+            level: 0.0,
+            trend: 0.0,
+            samples: 0,
+            min_samples: 4,
+        })
+    }
+
+    /// A configuration matched to the pipeline's trend fit: level window
+    /// ≈ 5 samples, trend window ≈ 20.
+    ///
+    /// # Errors
+    ///
+    /// Never fails in practice; propagates constructor errors.
+    pub fn paper_equivalent() -> Result<Self, EstimError> {
+        Self::new(0.2, 0.05)
+    }
+
+    /// Current `(level, trend)`.
+    pub fn state(&self) -> (f64, f64) {
+        (self.level, self.trend)
+    }
+}
+
+impl StreamPredictor for HoltPredictor {
+    fn observe(&mut self, y: f64) {
+        if self.samples == 0 {
+            self.level = y;
+            self.trend = 0.0;
+        } else {
+            let prev_level = self.level;
+            self.level = self.alpha * y + (1.0 - self.alpha) * (self.level + self.trend);
+            self.trend =
+                self.beta * (self.level - prev_level) + (1.0 - self.beta) * self.trend;
+        }
+        self.samples += 1;
+    }
+
+    fn predict_next(&mut self) -> Result<f64, EstimError> {
+        if !self.is_ready() {
+            return Err(EstimError::NotReady {
+                message: format!(
+                    "Holt smoother needs {} samples, has {}",
+                    self.min_samples, self.samples
+                ),
+            });
+        }
+        // Free-run: roll the state forward one step without new data.
+        self.level += self.trend;
+        self.samples += 1;
+        Ok(self.level)
+    }
+
+    fn is_ready(&self) -> bool {
+        self.samples >= self.min_samples
+    }
+
+    fn reset(&mut self) {
+        self.level = 0.0;
+        self.trend = 0.0;
+        self.samples = 0;
+    }
+
+    fn clone_box(&self) -> Box<dyn StreamPredictor + Send> {
+        Box::new(*self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_on_linear_trend() {
+        let mut h = HoltPredictor::new(0.3, 0.1).unwrap();
+        for k in 0..300 {
+            h.observe(10.0 + 0.5 * k as f64);
+        }
+        let (_, trend) = h.state();
+        assert!((trend - 0.5).abs() < 0.01, "trend {trend}");
+        let next = h.predict_next().unwrap();
+        assert!((next - (10.0 + 0.5 * 300.0)).abs() < 0.5, "{next}");
+    }
+
+    #[test]
+    fn free_run_extrapolates_affinely() {
+        let mut h = HoltPredictor::new(0.3, 0.1).unwrap();
+        for k in 0..300 {
+            h.observe(-2.0 * k as f64);
+        }
+        let first = h.predict_next().unwrap();
+        let mut last = first;
+        for _ in 0..9 {
+            last = h.predict_next().unwrap();
+        }
+        // 9 further steps at slope ≈ −2.
+        assert!((last - (first - 18.0)).abs() < 0.2);
+    }
+
+    #[test]
+    fn constant_stream_zero_trend() {
+        let mut h = HoltPredictor::paper_equivalent().unwrap();
+        for _ in 0..100 {
+            h.observe(42.0);
+        }
+        let (level, trend) = h.state();
+        assert!((level - 42.0).abs() < 1e-6);
+        assert!(trend.abs() < 1e-6);
+        assert!((h.predict_next().unwrap() - 42.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn not_ready_until_min_samples() {
+        let mut h = HoltPredictor::paper_equivalent().unwrap();
+        h.observe(1.0);
+        assert!(!h.is_ready());
+        assert!(h.predict_next().is_err());
+        for _ in 0..4 {
+            h.observe(1.0);
+        }
+        assert!(h.is_ready());
+    }
+
+    #[test]
+    fn reset_and_clone_box() {
+        let mut h = HoltPredictor::paper_equivalent().unwrap();
+        for k in 0..10 {
+            h.observe(k as f64);
+        }
+        let mut copy = h.clone_box();
+        assert!(copy.is_ready());
+        h.reset();
+        assert!(!h.is_ready());
+        assert!(copy.predict_next().is_ok());
+    }
+
+    #[test]
+    fn bandwidth_validation() {
+        assert!(HoltPredictor::new(0.0, 0.1).is_err());
+        assert!(HoltPredictor::new(0.5, 1.5).is_err());
+        assert!(HoltPredictor::new(1.0, 1.0).is_ok());
+    }
+}

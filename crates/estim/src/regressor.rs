@@ -1,0 +1,151 @@
+//! Lag (autoregressive) regressor construction.
+//!
+//! Algorithm 1 is generic in the "entries of the measurement matrix" `h_k`;
+//! for predicting a sensor stream the natural choice is the AR regressor
+//! `h_k = [y_{k−1}, …, y_{k−p}, (1)]` over the most recent values, with an
+//! optional bias term.
+
+use std::collections::VecDeque;
+
+use nalgebra::DVector;
+
+use crate::EstimError;
+
+/// Builds AR regressors from a sliding history of scalar samples.
+///
+/// ```
+/// use argus_estim::LagRegressor;
+///
+/// let mut reg = LagRegressor::new(2, false).unwrap();
+/// assert!(reg.vector().is_none()); // not enough history yet
+/// reg.push(1.0);
+/// reg.push(2.0);
+/// let h = reg.vector().unwrap();
+/// assert_eq!(h.as_slice(), &[2.0, 1.0]); // most recent first
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LagRegressor {
+    order: usize,
+    include_bias: bool,
+    history: VecDeque<f64>,
+}
+
+impl LagRegressor {
+    /// Creates a regressor of `order` lags, optionally with a trailing bias
+    /// (constant 1) entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimError::BadParameter`] for `order == 0`.
+    pub fn new(order: usize, include_bias: bool) -> Result<Self, EstimError> {
+        if order == 0 {
+            return Err(EstimError::BadParameter {
+                name: "order",
+                message: "lag order must be at least 1".to_string(),
+            });
+        }
+        Ok(Self {
+            order,
+            include_bias,
+            history: VecDeque::with_capacity(order),
+        })
+    }
+
+    /// Number of lags.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Length of the regressor vector (`order` plus one if biased).
+    pub fn dim(&self) -> usize {
+        self.order + usize::from(self.include_bias)
+    }
+
+    /// `true` once enough samples are buffered to form a regressor.
+    pub fn is_ready(&self) -> bool {
+        self.history.len() == self.order
+    }
+
+    /// Pushes the newest sample (dropping the oldest when full).
+    pub fn push(&mut self, y: f64) {
+        if self.history.len() == self.order {
+            self.history.pop_back();
+        }
+        self.history.push_front(y);
+    }
+
+    /// The current regressor `[y_{k−1}, …, y_{k−p}, (1)]`, or `None` until
+    /// `order` samples have been pushed.
+    pub fn vector(&self) -> Option<DVector<f64>> {
+        if !self.is_ready() {
+            return None;
+        }
+        let mut v = Vec::with_capacity(self.dim());
+        v.extend(self.history.iter().copied());
+        if self.include_bias {
+            v.push(1.0);
+        }
+        Some(DVector::from_vec(v))
+    }
+
+    /// Most recent sample, if any.
+    pub fn latest(&self) -> Option<f64> {
+        self.history.front().copied()
+    }
+
+    /// Clears the history.
+    pub fn reset(&mut self) {
+        self.history.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_then_slides() {
+        let mut r = LagRegressor::new(3, false).unwrap();
+        for y in [1.0, 2.0, 3.0] {
+            r.push(y);
+        }
+        assert_eq!(r.vector().unwrap().as_slice(), &[3.0, 2.0, 1.0]);
+        r.push(4.0);
+        assert_eq!(r.vector().unwrap().as_slice(), &[4.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn not_ready_until_full() {
+        let mut r = LagRegressor::new(2, false).unwrap();
+        assert!(!r.is_ready());
+        r.push(1.0);
+        assert!(r.vector().is_none());
+        r.push(2.0);
+        assert!(r.is_ready());
+    }
+
+    #[test]
+    fn bias_term_appended() {
+        let mut r = LagRegressor::new(2, true).unwrap();
+        assert_eq!(r.dim(), 3);
+        r.push(5.0);
+        r.push(6.0);
+        assert_eq!(r.vector().unwrap().as_slice(), &[6.0, 5.0, 1.0]);
+    }
+
+    #[test]
+    fn latest_and_reset() {
+        let mut r = LagRegressor::new(2, false).unwrap();
+        assert_eq!(r.latest(), None);
+        r.push(9.0);
+        assert_eq!(r.latest(), Some(9.0));
+        r.reset();
+        assert_eq!(r.latest(), None);
+        assert!(!r.is_ready());
+    }
+
+    #[test]
+    fn zero_order_rejected() {
+        assert!(LagRegressor::new(0, true).is_err());
+    }
+}

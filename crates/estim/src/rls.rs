@@ -1,0 +1,335 @@
+//! Recursive least squares — the paper's Algorithm 1.
+//!
+//! Exponentially-weighted RLS (Haykin, *Adaptive Filter Theory*): at each
+//! step `k` with regressor `h_k` and measurement `y_k`,
+//!
+//! ```text
+//! π  = P_{k−1} h_k
+//! γ  = λ + h_kᵀ π                 (conversion factor)
+//! g  = π / γ                      (gain vector)
+//! e  = y_k − w_{k−1}ᵀ h_k         (a-priori error)
+//! w  = w_{k−1} + g·e
+//! P  = (P_{k−1} − g·πᵀ) / λ
+//! ```
+//!
+//! with `w₀ = 0` and `P₀ = δ·I` (the paper takes δ = 1). The per-step cost
+//! is `O(p²)` in the regressor order `p` — the complexity the paper quotes.
+
+use nalgebra::{DMatrix, DVector};
+
+use crate::EstimError;
+
+/// Result of one RLS update.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RlsUpdate {
+    /// A-priori prediction `w_{k−1}ᵀ h_k` (the estimated measurement).
+    pub prediction: f64,
+    /// A-priori error `e = y − prediction`.
+    pub error: f64,
+    /// Conversion factor γ of this step.
+    pub conversion: f64,
+}
+
+/// Exponentially-weighted recursive least squares (Algorithm 1).
+///
+/// ```
+/// use argus_estim::Rls;
+/// use nalgebra::DVector;
+///
+/// // Identify y = 2·x₁ − 3·x₂ from noiseless data.
+/// let mut rls = Rls::new(2, 1.0, 1e8).unwrap();
+/// for k in 0..50 {
+///     let h = DVector::from_vec(vec![(k as f64 * 0.7).sin(), (k as f64 * 1.3).cos()]);
+///     let y = 2.0 * h[0] - 3.0 * h[1];
+///     rls.update(&h, y);
+/// }
+/// assert!((rls.weights()[0] - 2.0).abs() < 1e-6);
+/// assert!((rls.weights()[1] + 3.0).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rls {
+    weights: DVector<f64>,
+    p: DMatrix<f64>,
+    lambda: f64,
+    updates: u64,
+}
+
+impl Rls {
+    /// Creates an RLS estimator of order `order` with forgetting factor
+    /// `lambda ∈ (0, 1]` and initial covariance `δ·I`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimError::BadParameter`] for `order == 0`,
+    /// `lambda ∉ (0, 1]`, or non-positive `delta`.
+    pub fn new(order: usize, lambda: f64, delta: f64) -> Result<Self, EstimError> {
+        if order == 0 {
+            return Err(EstimError::BadParameter {
+                name: "order",
+                message: "must be at least 1".to_string(),
+            });
+        }
+        if !(lambda > 0.0 && lambda <= 1.0) {
+            return Err(EstimError::BadParameter {
+                name: "lambda",
+                message: format!("forgetting factor must be in (0, 1], got {lambda}"),
+            });
+        }
+        if !(delta > 0.0) || !delta.is_finite() {
+            return Err(EstimError::BadParameter {
+                name: "delta",
+                message: format!("initial covariance scale must be positive, got {delta}"),
+            });
+        }
+        Ok(Self {
+            weights: DVector::zeros(order),
+            p: DMatrix::identity(order, order) * delta,
+            lambda,
+            updates: 0,
+        })
+    }
+
+    /// The paper's configuration: δ = 1, λ close to but below 1 (we default
+    /// to 0.98, a standard choice for slowly-varying vehicle dynamics).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Rls::new`] errors.
+    pub fn paper(order: usize) -> Result<Self, EstimError> {
+        Self::new(order, 0.98, 1.0)
+    }
+
+    /// Regressor order `p`.
+    pub fn order(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Forgetting factor λ.
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+
+    /// Current weight vector `w`.
+    pub fn weights(&self) -> &DVector<f64> {
+        &self.weights
+    }
+
+    /// Current inverse-correlation matrix `P`.
+    pub fn covariance(&self) -> &DMatrix<f64> {
+        &self.p
+    }
+
+    /// Number of updates performed.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// A-priori prediction `wᵀ h` without updating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` has the wrong length.
+    pub fn predict(&self, h: &DVector<f64>) -> f64 {
+        assert_eq!(h.len(), self.order(), "regressor length mismatch");
+        self.weights.dot(h)
+    }
+
+    /// Performs one RLS step with regressor `h` and measurement `y`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` has the wrong length or contains non-finite values.
+    pub fn update(&mut self, h: &DVector<f64>, y: f64) -> RlsUpdate {
+        assert_eq!(h.len(), self.order(), "regressor length mismatch");
+        assert!(
+            h.iter().all(|x| x.is_finite()) && y.is_finite(),
+            "non-finite input to RLS update"
+        );
+        let pi = &self.p * h;
+        let gamma = self.lambda + h.dot(&pi);
+        let g = &pi / gamma;
+        let prediction = self.weights.dot(h);
+        let error = y - prediction;
+        self.weights += &g * error;
+        self.p = (&self.p - &g * pi.transpose()) / self.lambda;
+        // Enforce symmetry against numerical drift.
+        let pt = self.p.transpose();
+        self.p = (&self.p + pt) * 0.5;
+        self.updates += 1;
+        RlsUpdate {
+            prediction,
+            error,
+            conversion: gamma,
+        }
+    }
+
+    /// Resets weights and covariance to the initial state (`w = 0`,
+    /// `P = δ·I` with the given δ).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delta` is not strictly positive.
+    pub fn reset(&mut self, delta: f64) {
+        assert!(delta > 0.0, "delta must be positive");
+        let n = self.order();
+        self.weights = DVector::zeros(n);
+        self.p = DMatrix::identity(n, n) * delta;
+        self.updates = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn regressor(k: usize) -> DVector<f64> {
+        DVector::from_vec(vec![
+            (k as f64 * 0.7).sin(),
+            (k as f64 * 1.3).cos(),
+            (k as f64 * 0.4).sin() * (k as f64 * 0.2).cos(),
+        ])
+    }
+
+    #[test]
+    fn identifies_static_weights_exactly() {
+        // Large δ = weak prior, so the estimate matches plain least squares.
+        let truth = [1.5, -0.7, 3.2];
+        let mut rls = Rls::new(3, 1.0, 1e8).unwrap();
+        for k in 0..100 {
+            let h = regressor(k);
+            let y: f64 = truth.iter().zip(h.iter()).map(|(w, x)| w * x).sum();
+            rls.update(&h, y);
+        }
+        for (i, &w) in truth.iter().enumerate() {
+            assert!(
+                (rls.weights()[i] - w).abs() < 1e-8,
+                "weight {i}: {} vs {w}",
+                rls.weights()[i]
+            );
+        }
+    }
+
+    #[test]
+    fn prediction_error_shrinks() {
+        let mut rls = Rls::paper(3).unwrap();
+        let mut early = 0.0;
+        let mut late = 0.0;
+        for k in 0..200 {
+            let h = regressor(k);
+            let y = 2.0 * h[0] - h[1] + 0.5 * h[2];
+            let upd = rls.update(&h, y);
+            if k < 10 {
+                early += upd.error.abs();
+            }
+            if k >= 190 {
+                late += upd.error.abs();
+            }
+        }
+        assert!(late < early / 100.0, "early {early} late {late}");
+    }
+
+    #[test]
+    fn forgetting_tracks_weight_change() {
+        // Weights flip mid-stream; λ < 1 re-converges, λ = 1 averages and lags.
+        let run = |lambda: f64| {
+            let mut rls = Rls::new(1, lambda, 1.0).unwrap();
+            let mut final_w = 0.0;
+            for k in 0..400 {
+                let h = DVector::from_vec(vec![1.0 + 0.5 * (k as f64 * 0.9).sin()]);
+                let w_true = if k < 200 { 1.0 } else { -1.0 };
+                rls.update(&h, w_true * h[0]);
+                final_w = rls.weights()[0];
+            }
+            final_w
+        };
+        let adaptive = run(0.9);
+        let growing_memory = run(1.0);
+        assert!((adaptive + 1.0).abs() < 1e-6, "λ=0.9 tracked: {adaptive}");
+        assert!(
+            (growing_memory + 1.0).abs() > 0.05,
+            "λ=1.0 should lag: {growing_memory}"
+        );
+    }
+
+    #[test]
+    fn covariance_stays_symmetric_positive() {
+        let mut rls = Rls::paper(3).unwrap();
+        for k in 0..500 {
+            let h = regressor(k);
+            rls.update(&h, h[0] - h[2]);
+            let p = rls.covariance();
+            for i in 0..3 {
+                assert!(p[(i, i)] > 0.0, "P[{i}][{i}] not positive at k={k}");
+                for j in 0..3 {
+                    assert!(
+                        (p[(i, j)] - p[(j, i)]).abs() < 1e-10,
+                        "asymmetry at k={k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_identification_is_consistent() {
+        // With zero-mean noise the weight estimate converges near the truth.
+        let mut rls = Rls::new(2, 1.0, 100.0).unwrap();
+        let mut lcg: u64 = 999;
+        let mut noise = move || {
+            lcg = lcg.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((lcg >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 0.2
+        };
+        for k in 0..3000 {
+            let h = DVector::from_vec(vec![(k as f64 * 0.7).sin(), (k as f64 * 1.3).cos()]);
+            let y = 4.0 * h[0] + 1.0 * h[1] + noise();
+            rls.update(&h, y);
+        }
+        assert!((rls.weights()[0] - 4.0).abs() < 0.02);
+        assert!((rls.weights()[1] - 1.0).abs() < 0.02);
+    }
+
+    #[test]
+    fn update_reports_a_priori_values() {
+        let mut rls = Rls::new(1, 1.0, 1.0).unwrap();
+        let h = DVector::from_vec(vec![2.0]);
+        let upd = rls.update(&h, 10.0);
+        // First prediction is 0 (w₀ = 0), so error is the full measurement.
+        assert_eq!(upd.prediction, 0.0);
+        assert_eq!(upd.error, 10.0);
+        assert!(upd.conversion > 1.0); // λ + hᵀPh = 1 + 4
+        assert_eq!(rls.updates(), 1);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut rls = Rls::paper(2).unwrap();
+        rls.update(&DVector::from_vec(vec![1.0, 1.0]), 3.0);
+        rls.reset(1.0);
+        assert_eq!(rls.weights().as_slice(), &[0.0, 0.0]);
+        assert_eq!(rls.updates(), 0);
+        assert_eq!(rls.covariance()[(0, 0)], 1.0);
+    }
+
+    #[test]
+    fn parameter_validation() {
+        assert!(Rls::new(0, 0.9, 1.0).is_err());
+        assert!(Rls::new(2, 0.0, 1.0).is_err());
+        assert!(Rls::new(2, 1.1, 1.0).is_err());
+        assert!(Rls::new(2, 0.9, 0.0).is_err());
+        assert!(Rls::new(2, 0.9, f64::NAN).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "regressor length mismatch")]
+    fn wrong_regressor_length_panics() {
+        let mut rls = Rls::paper(2).unwrap();
+        rls.update(&DVector::from_vec(vec![1.0]), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite input")]
+    fn non_finite_measurement_panics() {
+        let mut rls = Rls::paper(1).unwrap();
+        rls.update(&DVector::from_vec(vec![1.0]), f64::NAN);
+    }
+}

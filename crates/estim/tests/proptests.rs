@@ -1,0 +1,124 @@
+//! Property-based tests for the estimation crate.
+
+use argus_estim::predictor::StreamPredictor;
+use argus_estim::{ChiSquareDetector, LagRegressor, Lms, Rls, TrendPredictor};
+use nalgebra::DVector;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// RLS with λ = 1 and a weak prior identifies arbitrary static weights
+    /// from persistently exciting data.
+    #[test]
+    fn rls_identifies_random_weights(w in proptest::collection::vec(-5.0f64..5.0, 2..5)) {
+        let p = w.len();
+        let mut rls = Rls::new(p, 1.0, 1e8).unwrap();
+        for k in 0..120 {
+            let h = DVector::from_fn(p, |i, _| ((k * (i + 1)) as f64 * 0.7).sin() + 0.1 * i as f64);
+            let y: f64 = w.iter().zip(h.iter()).map(|(a, b)| a * b).sum();
+            rls.update(&h, y);
+        }
+        for (i, &wi) in w.iter().enumerate() {
+            prop_assert!((rls.weights()[i] - wi).abs() < 1e-5, "weight {i}");
+        }
+    }
+
+    /// The RLS covariance stays symmetric with positive diagonal under any
+    /// bounded data stream.
+    #[test]
+    fn rls_covariance_well_formed(
+        data in proptest::collection::vec((-5.0f64..5.0, -5.0f64..5.0, -10.0f64..10.0), 1..80),
+        lambda in 0.9f64..1.0,
+    ) {
+        let mut rls = Rls::new(2, lambda, 1.0).unwrap();
+        for &(h1, h2, y) in &data {
+            rls.update(&DVector::from_vec(vec![h1, h2]), y);
+            let p = rls.covariance();
+            prop_assert!((p[(0, 1)] - p[(1, 0)]).abs() < 1e-9);
+            prop_assert!(p[(0, 0)] > 0.0 && p[(1, 1)] > 0.0);
+        }
+    }
+
+    /// One-step predictions after convergence are unbiased on noiseless
+    /// linear-trend streams for the trend predictor.
+    #[test]
+    fn trend_predictor_linear_exactness(intercept in -50.0f64..50.0, slope in -2.0f64..2.0) {
+        let mut p = TrendPredictor::new(1.0).unwrap();
+        for k in 0..60 {
+            p.observe(intercept + slope * k as f64);
+        }
+        // Exact up to the residual δ⁻¹ regularization bias, whose scale is
+        // set by the magnitude of the data (not of the prediction).
+        let scale = 1.0 + intercept.abs() + 80.0 * slope.abs();
+        for k in 60..80 {
+            let y = p.predict_next().unwrap();
+            let truth = intercept + slope * k as f64;
+            prop_assert!((y - truth).abs() < 1e-3 * scale, "{y} vs {truth}");
+        }
+    }
+
+    /// NLMS error is non-increasing in the long run on a stationary problem
+    /// (final error far below initial error).
+    #[test]
+    fn lms_reduces_error(w0 in -3.0f64..3.0, w1 in -3.0f64..3.0) {
+        prop_assume!(w0.abs() + w1.abs() > 0.5);
+        let mut lms = Lms::new(2, 0.5, true).unwrap();
+        let mut first = 0.0;
+        let mut last = 0.0;
+        for k in 0..600 {
+            let h = DVector::from_vec(vec![(k as f64 * 0.7).sin(), (k as f64 * 1.3).cos()]);
+            let e = lms.update(&h, w0 * h[0] + w1 * h[1]);
+            if k == 0 {
+                first = e.abs().max(1e-6);
+            }
+            last = e.abs();
+        }
+        prop_assert!(last < first, "no improvement: {first} → {last}");
+        prop_assert!(last < 1e-2);
+    }
+
+    /// Lag regressors always present the most recent sample first.
+    #[test]
+    fn lag_regressor_ordering(values in proptest::collection::vec(-10.0f64..10.0, 4..30)) {
+        let mut reg = LagRegressor::new(3, false).unwrap();
+        for &v in &values {
+            reg.push(v);
+        }
+        let h = reg.vector().unwrap();
+        let n = values.len();
+        prop_assert_eq!(h[0], values[n - 1]);
+        prop_assert_eq!(h[1], values[n - 2]);
+        prop_assert_eq!(h[2], values[n - 3]);
+    }
+
+    /// The χ² statistic is non-negative, bounded by window·max(r²)/σ², and
+    /// resets cleanly.
+    #[test]
+    fn chi2_statistic_bounds(residuals in proptest::collection::vec(-10.0f64..10.0, 1..60)) {
+        let mut det = ChiSquareDetector::new(8, 2.0, 50.0).unwrap();
+        let mut max_sq: f64 = 0.0;
+        for &r in &residuals {
+            det.push(r);
+            max_sq = max_sq.max(r * r);
+            prop_assert!(det.statistic() >= 0.0);
+            prop_assert!(det.statistic() <= 8.0 * max_sq / 2.0 + 1e-9);
+        }
+        det.reset();
+        prop_assert_eq!(det.statistic(), 0.0);
+    }
+
+    /// Free-running the trend predictor never produces NaN/inf, whatever
+    /// (finite) data it was trained on.
+    #[test]
+    fn trend_free_run_finite(data in proptest::collection::vec(-1e3f64..1e3, 5..60)) {
+        let mut p = TrendPredictor::paper().unwrap();
+        for &y in &data {
+            p.observe(y);
+        }
+        for _ in 0..200 {
+            let y = p.predict_next().unwrap();
+            prop_assert!(y.is_finite());
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Radar configuration and the Bosch LRR2 preset.
+
+use serde::{Deserialize, Serialize};
+
+use argus_sim::units::{Decibels, Hertz, Meters, Seconds, Watts};
+
+use crate::fmcw::FmcwWaveform;
+
+/// Fidelity of the measurement extraction path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum MeasurementMode {
+    /// Beat-frequency math plus CRLB-scaled Gaussian frequency error.
+    /// Fast; used inside closed-loop tests and long parameter sweeps.
+    #[default]
+    Analytic,
+    /// Full complex-baseband synthesis and root-MUSIC extraction — the
+    /// paper's processing chain. Slower but exercises the whole DSP stack.
+    Signal,
+    /// Complex-baseband synthesis with interpolated FFT-peak extraction —
+    /// the conventional chain root-MUSIC is compared against.
+    FftPeak,
+}
+
+/// Complete radar configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RadarConfig {
+    /// Waveform parameters (carrier, sweep bandwidth, sweep time).
+    pub waveform: FmcwWaveform,
+    /// Transmit power `P_t` (paper: 10 mW).
+    pub tx_power: Watts,
+    /// Antenna gain `G` (paper: 28 dBi).
+    pub antenna_gain: Decibels,
+    /// System losses `L` (paper: 0.10 dB).
+    pub losses: Decibels,
+    /// Receiver noise figure.
+    pub noise_figure: Decibels,
+    /// Complex baseband sample rate of the dechirped signal.
+    pub sample_rate: Hertz,
+    /// Samples collected per sweep half for frequency extraction.
+    pub samples_per_sweep: usize,
+    /// Covariance window M for the root-MUSIC extractor.
+    pub music_window: usize,
+    /// Minimum operating range (paper LRR2: 2 m).
+    pub min_range: Meters,
+    /// Maximum operating range (paper LRR2: 200 m).
+    pub max_range: Meters,
+    /// Received-power threshold above which the receiver declares "signal
+    /// present" (the comparator of the CRA detector).
+    pub detection_threshold: Watts,
+    /// Extraction fidelity.
+    pub mode: MeasurementMode,
+}
+
+impl RadarConfig {
+    /// The Bosch LRR2 long-range radar as parameterized in the paper's case
+    /// study (§6): 77 GHz FMCW, `B_s` = 150 MHz, `T_s` = 2 ms,
+    /// `P_t` = 10 mW, `G` = 28 dBi, `L` = 0.10 dB, 2–200 m.
+    pub fn bosch_lrr2() -> Self {
+        Self {
+            waveform: FmcwWaveform::paper(),
+            tx_power: Watts::from_milliwatts(10.0),
+            antenna_gain: Decibels(28.0),
+            losses: Decibels(0.10),
+            noise_figure: Decibels(10.0),
+            sample_rate: Hertz(250e3),
+            samples_per_sweep: 128,
+            music_window: 8,
+            min_range: Meters(2.0),
+            max_range: Meters(200.0),
+            // 10 dB above the ~1e-14 W thermal floor, ~13 dB below the
+            // weakest in-range echo (200 m, 10 m² target).
+            detection_threshold: Watts(1e-13),
+            mode: MeasurementMode::Analytic,
+        }
+    }
+
+    /// Same radar with the full signal-level (root-MUSIC) extraction path.
+    pub fn bosch_lrr2_signal() -> Self {
+        Self {
+            mode: MeasurementMode::Signal,
+            ..Self::bosch_lrr2()
+        }
+    }
+
+    /// Switches the measurement mode.
+    pub fn with_mode(mut self, mode: MeasurementMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sweep duration per triangular ramp half.
+    pub fn sweep_time(&self) -> Seconds {
+        self.waveform.sweep_time()
+    }
+
+    /// `true` when `d` lies inside the radar's operating range.
+    pub fn in_range(&self, d: Meters) -> bool {
+        d.value() >= self.min_range.value() && d.value() <= self.max_range.value()
+    }
+
+    /// The largest distance representable without aliasing at the configured
+    /// sample rate (ignoring Doppler).
+    pub fn unambiguous_range(&self) -> Meters {
+        self.waveform
+            .beat_to_distance(self.waveform.max_beat(self.sample_rate))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lrr2_parameters_match_paper() {
+        let c = RadarConfig::bosch_lrr2();
+        assert!((c.tx_power.value() - 0.01).abs() < 1e-12);
+        assert_eq!(c.antenna_gain.value(), 28.0);
+        assert_eq!(c.losses.value(), 0.10);
+        assert_eq!(c.min_range.value(), 2.0);
+        assert_eq!(c.max_range.value(), 200.0);
+        assert!((c.waveform.sweep_bandwidth().value() - 150e6).abs() < 1.0);
+        assert!((c.waveform.sweep_time().value() - 2e-3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn in_range_boundaries() {
+        let c = RadarConfig::bosch_lrr2();
+        assert!(!c.in_range(Meters(1.0)));
+        assert!(c.in_range(Meters(2.0)));
+        assert!(c.in_range(Meters(200.0)));
+        assert!(!c.in_range(Meters(201.0)));
+    }
+
+    #[test]
+    fn unambiguous_range_covers_operating_range() {
+        let c = RadarConfig::bosch_lrr2();
+        assert!(
+            c.unambiguous_range().value() > c.max_range.value(),
+            "sample rate too low: unambiguous range {} < 200 m",
+            c.unambiguous_range().value()
+        );
+    }
+
+    #[test]
+    fn signal_preset_differs_only_in_mode() {
+        let a = RadarConfig::bosch_lrr2();
+        let s = RadarConfig::bosch_lrr2_signal();
+        assert_eq!(a.mode, MeasurementMode::Analytic);
+        assert_eq!(s.mode, MeasurementMode::Signal);
+        assert_eq!(a.tx_power, s.tx_power);
+    }
+
+    #[test]
+    fn with_mode_switches() {
+        let c = RadarConfig::bosch_lrr2().with_mode(MeasurementMode::Signal);
+        assert_eq!(c.mode, MeasurementMode::Signal);
+    }
+
+    #[test]
+    fn default_mode_is_analytic() {
+        assert_eq!(MeasurementMode::default(), MeasurementMode::Analytic);
+    }
+}

@@ -1,0 +1,244 @@
+//! Triangular FMCW waveform and the beat-frequency equations (Eqns 5–8).
+//!
+//! A triangular FMCW radar mixes the received echo with the transmitted
+//! chirp; the positive- and negative-slope halves of the sweep yield two
+//! beat frequencies
+//!
+//! ```text
+//! f_b+ = (2d/c)·(B_s/T_s) − 2·ṙ/λ        (Eqn 5)
+//! f_b− = (2d/c)·(B_s/T_s) + 2·ṙ/λ        (Eqn 6)
+//! ```
+//!
+//! (`ṙ` = range rate, positive when the gap opens) which invert to
+//!
+//! ```text
+//! d  = c·T_s/(4·B_s) · (f_b+ + f_b−)      (Eqn 7)
+//! ṙ  = λ/4 · (f_b− − f_b+)               (Eqn 8)
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+use argus_sim::units::{Hertz, Meters, MetersPerSecond, Seconds, SPEED_OF_LIGHT};
+
+/// The two beat frequencies extracted from one triangular sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BeatPair {
+    /// Beat frequency of the positive-slope (up-chirp) half.
+    pub up: Hertz,
+    /// Beat frequency of the negative-slope (down-chirp) half.
+    pub down: Hertz,
+}
+
+/// Triangular FMCW waveform parameters.
+///
+/// ```
+/// use argus_radar::fmcw::FmcwWaveform;
+/// use argus_sim::units::*;
+///
+/// let w = FmcwWaveform::paper(); // 77 GHz, 150 MHz sweep, 2 ms
+/// let beats = w.beat_frequencies(Meters(100.0), MetersPerSecond(0.0));
+/// // 2·d·Bs/(c·Ts) = 2·100·150e6/(3e8·2e-3) ≈ 50 kHz
+/// assert!((beats.up.value() - 50_031.0).abs() < 50.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FmcwWaveform {
+    carrier: Hertz,
+    sweep_bandwidth: Hertz,
+    sweep_time: Seconds,
+}
+
+impl FmcwWaveform {
+    /// Creates a waveform description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is not strictly positive.
+    pub fn new(carrier: Hertz, sweep_bandwidth: Hertz, sweep_time: Seconds) -> Self {
+        assert!(carrier.value() > 0.0, "carrier must be positive");
+        assert!(
+            sweep_bandwidth.value() > 0.0,
+            "sweep bandwidth must be positive"
+        );
+        assert!(sweep_time.value() > 0.0, "sweep time must be positive");
+        Self {
+            carrier,
+            sweep_bandwidth,
+            sweep_time,
+        }
+    }
+
+    /// The paper's waveform: 77 GHz carrier, `B_s` = 150 MHz,
+    /// `T_s` = 2 ms (λ ≈ 3.89 mm).
+    pub fn paper() -> Self {
+        Self::new(
+            Hertz::from_ghz(77.0),
+            Hertz::from_mhz(150.0),
+            Seconds::from_millis(2.0),
+        )
+    }
+
+    /// Carrier frequency.
+    pub fn carrier(&self) -> Hertz {
+        self.carrier
+    }
+
+    /// Sweep bandwidth `B_s`.
+    pub fn sweep_bandwidth(&self) -> Hertz {
+        self.sweep_bandwidth
+    }
+
+    /// Sweep time `T_s`.
+    pub fn sweep_time(&self) -> Seconds {
+        self.sweep_time
+    }
+
+    /// Carrier wavelength λ.
+    pub fn wavelength(&self) -> Meters {
+        self.carrier.wavelength()
+    }
+
+    /// Chirp slope `B_s / T_s` in Hz/s.
+    pub fn slope(&self) -> f64 {
+        self.sweep_bandwidth.value() / self.sweep_time.value()
+    }
+
+    /// Round-trip delay of an echo at distance `d`: `τ = 2d/c`.
+    pub fn round_trip_delay(&self, distance: Meters) -> Seconds {
+        Seconds(2.0 * distance.value() / SPEED_OF_LIGHT)
+    }
+
+    /// Forward mapping (Eqns 5–6): beat frequencies for a target at
+    /// `distance` with `range_rate` (positive = gap opening).
+    pub fn beat_frequencies(
+        &self,
+        distance: Meters,
+        range_rate: MetersPerSecond,
+    ) -> BeatPair {
+        let range_term = 2.0 * distance.value() * self.slope() / SPEED_OF_LIGHT;
+        let doppler = 2.0 * range_rate.value() / self.wavelength().value();
+        BeatPair {
+            up: Hertz(range_term - doppler),
+            down: Hertz(range_term + doppler),
+        }
+    }
+
+    /// Inverse mapping (Eqns 7–8): `(d, ṙ)` from a beat pair.
+    pub fn invert(&self, beats: BeatPair) -> (Meters, MetersPerSecond) {
+        let d = SPEED_OF_LIGHT * self.sweep_time.value()
+            / (4.0 * self.sweep_bandwidth.value())
+            * (beats.up.value() + beats.down.value());
+        let v = self.wavelength().value() / 4.0 * (beats.down.value() - beats.up.value());
+        (Meters(d), MetersPerSecond(v))
+    }
+
+    /// Extra distance perceived when an attacker injects an additional
+    /// physical delay `τ` (the delay-injection attack of §4.1):
+    /// `Δd = c·τ/2`.
+    pub fn delay_to_distance(&self, extra_delay: Seconds) -> Meters {
+        Meters(SPEED_OF_LIGHT * extra_delay.value() / 2.0)
+    }
+
+    /// The delay an attacker must inject to fake an extra distance `Δd`.
+    pub fn distance_to_delay(&self, extra_distance: Meters) -> Seconds {
+        Seconds(2.0 * extra_distance.value() / SPEED_OF_LIGHT)
+    }
+
+    /// Maximum unambiguous beat frequency representable at complex sample
+    /// rate `fs` (half the sample rate, before aliasing).
+    pub fn max_beat(&self, sample_rate: Hertz) -> Hertz {
+        Hertz(sample_rate.value() / 2.0)
+    }
+
+    /// Distance corresponding to a pure range beat `f` (zero Doppler).
+    pub fn beat_to_distance(&self, beat: Hertz) -> Meters {
+        Meters(beat.value() * SPEED_OF_LIGHT / (2.0 * self.slope()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_wavelength() {
+        let w = FmcwWaveform::paper();
+        assert!((w.wavelength().value() - 3.89e-3).abs() < 1e-5);
+    }
+
+    #[test]
+    fn forward_inverse_round_trip() {
+        let w = FmcwWaveform::paper();
+        for d in [2.0, 10.0, 50.0, 100.0, 200.0] {
+            for v in [-30.0, -1.0, 0.0, 2.5, 30.0] {
+                let beats = w.beat_frequencies(Meters(d), MetersPerSecond(v));
+                let (d2, v2) = w.invert(beats);
+                assert!((d2.value() - d).abs() < 1e-9, "d={d}");
+                assert!((v2.value() - v).abs() < 1e-9, "v={v}");
+            }
+        }
+    }
+
+    #[test]
+    fn stationary_target_has_equal_beats() {
+        let w = FmcwWaveform::paper();
+        let beats = w.beat_frequencies(Meters(80.0), MetersPerSecond(0.0));
+        assert!((beats.up.value() - beats.down.value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn closing_target_raises_up_beat() {
+        // Gap closing (range rate negative) → Doppler adds to the up beat.
+        let w = FmcwWaveform::paper();
+        let closing = w.beat_frequencies(Meters(80.0), MetersPerSecond(-5.0));
+        let still = w.beat_frequencies(Meters(80.0), MetersPerSecond(0.0));
+        assert!(closing.up.value() > still.up.value());
+        assert!(closing.down.value() < still.down.value());
+    }
+
+    #[test]
+    fn range_term_magnitude() {
+        // 100 m → ≈ 50 kHz with the paper's parameters.
+        let w = FmcwWaveform::paper();
+        let beats = w.beat_frequencies(Meters(100.0), MetersPerSecond(0.0));
+        assert!((beats.up.value() - 50_034.6).abs() < 1.0);
+    }
+
+    #[test]
+    fn doppler_magnitude() {
+        // 1 m/s → 2/λ ≈ 514 Hz shift at 77 GHz.
+        let w = FmcwWaveform::paper();
+        let b0 = w.beat_frequencies(Meters(100.0), MetersPerSecond(0.0));
+        let b1 = w.beat_frequencies(Meters(100.0), MetersPerSecond(1.0));
+        let shift = b0.up.value() - b1.up.value();
+        assert!((shift - 513.6).abs() < 1.0, "shift {shift}");
+    }
+
+    #[test]
+    fn delay_distance_round_trip() {
+        let w = FmcwWaveform::paper();
+        let tau = w.distance_to_delay(Meters(6.0)); // the paper's +6 m attack
+        assert!((tau.value() - 4.0e-8).abs() < 1e-10);
+        let back = w.delay_to_distance(tau);
+        assert!((back.value() - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_trip_delay_at_150m() {
+        let w = FmcwWaveform::paper();
+        let tau = w.round_trip_delay(Meters(150.0));
+        assert!((tau.value() - 1e-6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn beat_to_distance_inverse_of_range_term() {
+        let w = FmcwWaveform::paper();
+        let beats = w.beat_frequencies(Meters(42.0), MetersPerSecond(0.0));
+        assert!((w.beat_to_distance(beats.up).value() - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "sweep time must be positive")]
+    fn zero_sweep_time_rejected() {
+        let _ = FmcwWaveform::new(Hertz::from_ghz(77.0), Hertz::from_mhz(150.0), Seconds(0.0));
+    }
+}

@@ -1,0 +1,56 @@
+//! # argus-radar — FMCW mm-wave automotive radar model
+//!
+//! Reproduces the paper's §4.1 radar: a 77 GHz triangular-FMCW long-range
+//! radar with Bosch LRR2 parameters, including
+//!
+//! * [`fmcw`] — waveform parameters and the beat-frequency equations
+//!   (Eqns 5–8): forward mapping `(d, Δv) → (f_b+, f_b−)` and its inverse.
+//! * [`power`] — the radar range equation (Eqn 9) and thermal noise floor.
+//! * [`target`] — targets and the echoes (own reflections or attacker
+//!   transmissions) arriving at the receiver.
+//! * [`config`] — full radar configuration with the Bosch LRR2 preset used
+//!   in the paper's case study.
+//! * [`receiver`] — the measurement pipeline, at two fidelities:
+//!   `Analytic` (beat-frequency math + CRLB-scaled Gaussian frequency
+//!   error) and `Signal` (complex-baseband synthesis + root-MUSIC
+//!   extraction, the paper's path).
+//!
+//! The transmitter exposes an on/off hook ([`receiver::Radar::observe`]'s
+//! `tx_on` flag) which the CRA layer drives with its pseudo-random
+//! challenge schedule (§5.2).
+//!
+//! # Example
+//!
+//! ```
+//! use argus_radar::prelude::*;
+//! use argus_sim::prelude::*;
+//!
+//! let radar = Radar::new(RadarConfig::bosch_lrr2());
+//! let target = RadarTarget::new(Meters(100.0), MetersPerSecond(-2.0), 10.0);
+//! let mut rng = SimRng::seed_from(7);
+//! let obs = radar.observe(true, Some(&target), &ChannelState::clean(), &mut rng);
+//! let m = obs.measurement.expect("target is in range");
+//! assert!((m.distance.value() - 100.0).abs() < 2.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod fmcw;
+pub mod power;
+pub mod receiver;
+pub mod target;
+
+pub use config::{MeasurementMode, RadarConfig};
+pub use fmcw::{BeatPair, FmcwWaveform};
+pub use receiver::{ChannelState, Radar, RadarMeasurement, RadarMultiObservation, RadarObservation};
+pub use target::{Echo, RadarTarget};
+
+/// Convenient glob import of the main radar types.
+pub mod prelude {
+    pub use crate::config::{MeasurementMode, RadarConfig};
+    pub use crate::fmcw::{BeatPair, FmcwWaveform};
+    pub use crate::receiver::{ChannelState, Radar, RadarMeasurement, RadarObservation};
+    pub use crate::target::{Echo, RadarTarget};
+}

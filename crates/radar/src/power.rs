@@ -1,0 +1,162 @@
+//! Radar link budget: the range equation (Eqn 9) and the thermal noise
+//! floor of the dechirped receiver.
+
+use argus_sim::units::{Decibels, Hertz, Meters, Watts};
+
+/// Boltzmann constant, J/K.
+pub const BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Reference temperature for noise calculations, K.
+pub const REFERENCE_TEMPERATURE: f64 = 290.0;
+
+/// Received echo power from the radar range equation (Eqn 9):
+///
+/// ```text
+/// P_r = P_t · G² · λ² · σ / ((4π)³ · d⁴ · L)
+/// ```
+///
+/// * `tx_power` — transmitted power `P_t`
+/// * `antenna_gain` — antenna gain `G` (same antenna for TX and RX)
+/// * `wavelength` — carrier wavelength λ
+/// * `rcs` — scattering cross-section σ of the target (m²)
+/// * `distance` — target distance `d`
+/// * `losses` — system losses `L`
+///
+/// # Panics
+///
+/// Panics if `distance` or `rcs` is not strictly positive.
+pub fn received_power(
+    tx_power: Watts,
+    antenna_gain: Decibels,
+    wavelength: Meters,
+    rcs: f64,
+    distance: Meters,
+    losses: Decibels,
+) -> Watts {
+    assert!(distance.value() > 0.0, "distance must be positive");
+    assert!(rcs > 0.0, "radar cross-section must be positive");
+    let g = antenna_gain.to_linear();
+    let l = losses.to_linear();
+    let four_pi_cubed = (4.0 * std::f64::consts::PI).powi(3);
+    let num = tx_power.value() * g * g * wavelength.value().powi(2) * rcs;
+    let den = four_pi_cubed * distance.value().powi(4) * l;
+    Watts(num / den)
+}
+
+/// Thermal noise power `k·T₀·B·F` over bandwidth `B` with noise figure `F`.
+///
+/// For a dechirped (stretch-processing) FMCW receiver the relevant `B` is
+/// the baseband sampling bandwidth, *not* the RF sweep bandwidth — the mixer
+/// compresses each echo to a beat tone and the ADC low-pass sets the noise.
+///
+/// # Panics
+///
+/// Panics if `bandwidth` is not strictly positive.
+pub fn thermal_noise(bandwidth: Hertz, noise_figure: Decibels) -> Watts {
+    assert!(bandwidth.value() > 0.0, "bandwidth must be positive");
+    Watts(BOLTZMANN * REFERENCE_TEMPERATURE * bandwidth.value() * noise_figure.to_linear())
+}
+
+/// Linear signal-to-noise ratio.
+///
+/// # Panics
+///
+/// Panics if `noise` is not strictly positive.
+pub fn snr(signal: Watts, noise: Watts) -> f64 {
+    assert!(noise.value() > 0.0, "noise power must be positive");
+    signal.value() / noise.value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_power_at(d: f64) -> Watts {
+        received_power(
+            Watts::from_milliwatts(10.0),
+            Decibels(28.0),
+            Meters(3.893e-3),
+            10.0,
+            Meters(d),
+            Decibels(0.10),
+        )
+    }
+
+    #[test]
+    fn inverse_fourth_power_law() {
+        let p50 = paper_power_at(50.0);
+        let p100 = paper_power_at(100.0);
+        let ratio = p50.value() / p100.value();
+        assert!((ratio - 16.0).abs() < 1e-9, "ratio {ratio}");
+    }
+
+    #[test]
+    fn magnitude_at_100m_is_picowatts() {
+        // Order-of-magnitude check with the paper's LRR2 parameters.
+        let p = paper_power_at(100.0);
+        assert!(
+            p.value() > 1e-13 && p.value() < 1e-11,
+            "P_r = {:e} W",
+            p.value()
+        );
+    }
+
+    #[test]
+    fn gain_increase_raises_power() {
+        let lo = received_power(
+            Watts(0.01),
+            Decibels(20.0),
+            Meters(3.9e-3),
+            10.0,
+            Meters(100.0),
+            Decibels(0.1),
+        );
+        let hi = received_power(
+            Watts(0.01),
+            Decibels(26.0),
+            Meters(3.9e-3),
+            10.0,
+            Meters(100.0),
+            Decibels(0.1),
+        );
+        // +6 dB on G appears squared → ×(10^0.6)² ≈ 15.85.
+        let ratio = hi.value() / lo.value();
+        assert!((ratio - 10f64.powf(1.2)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn thermal_noise_ktb() {
+        // kTB at 250 kHz, 0 dB NF ≈ 1.0e-15 W.
+        let n = thermal_noise(Hertz(250e3), Decibels(0.0));
+        assert!((n.value() - 1.0009e-15).abs() < 1e-18);
+        // 10 dB noise figure is 10×.
+        let nf = thermal_noise(Hertz(250e3), Decibels(10.0));
+        assert!((nf.value() / n.value() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snr_is_healthy_at_100m() {
+        // With baseband noise bandwidth the paper's radar sees a strong echo.
+        let p = paper_power_at(100.0);
+        let n = thermal_noise(Hertz(250e3), Decibels(10.0));
+        let s = snr(p, n);
+        assert!(s > 100.0, "SNR {s} too low for reliable extraction");
+    }
+
+    #[test]
+    fn snr_division() {
+        assert_eq!(snr(Watts(4.0), Watts(2.0)), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "distance must be positive")]
+    fn zero_distance_rejected() {
+        let _ = paper_power_at(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = thermal_noise(Hertz(0.0), Decibels(0.0));
+    }
+}

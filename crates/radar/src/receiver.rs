@@ -1,0 +1,856 @@
+//! The radar measurement pipeline.
+//!
+//! [`Radar::observe`] turns the physical situation (true target, attacker
+//! transmissions, jamming) into what the sensing unit reports: a received
+//! in-band power (what the CRA comparator checks at challenge instants) and,
+//! when a signal is present, extracted distance / relative-velocity
+//! measurements.
+//!
+//! Two extraction fidelities are supported (see
+//! [`MeasurementMode`]): `Analytic` applies
+//! the beat-frequency equations with a CRLB-scaled Gaussian frequency error,
+//! while `Signal` synthesizes the complex-baseband beat signal of both sweep
+//! halves and runs the root-MUSIC extractor over it — the exact processing
+//! chain the paper uses (root MUSIC over Phased-Array-Toolbox data).
+
+use nalgebra::Complex;
+use serde::{Deserialize, Serialize};
+
+use argus_dsp::covariance::SampleCovariance;
+use argus_dsp::rootmusic::RootMusic;
+use argus_dsp::spectrum::Periodogram;
+use argus_dsp::window::Window;
+use argus_sim::noise::Gaussian;
+use argus_sim::rng::SimRng;
+use argus_sim::units::{Hertz, Meters, MetersPerSecond, Watts};
+
+use crate::config::{MeasurementMode, RadarConfig};
+use crate::fmcw::BeatPair;
+use crate::power::{received_power, snr, thermal_noise};
+use crate::target::{Echo, RadarTarget};
+
+/// Signals present in the channel that the radar does not generate itself:
+/// attacker echoes (counterfeit reflections) and broadband interference.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ChannelState {
+    /// Counterfeit echoes injected by an attacker.
+    pub echoes: Vec<Echo>,
+    /// Broadband in-band interference power (jamming).
+    pub interference: Watts,
+}
+
+impl ChannelState {
+    /// A channel with no attacker activity.
+    pub fn clean() -> Self {
+        Self::default()
+    }
+
+    /// A channel with only broadband jamming.
+    pub fn jammed(power: Watts) -> Self {
+        Self {
+            echoes: Vec::new(),
+            interference: power,
+        }
+    }
+
+    /// A channel with one counterfeit echo.
+    pub fn spoofed(echo: Echo) -> Self {
+        Self {
+            echoes: vec![echo],
+            interference: Watts(0.0),
+        }
+    }
+}
+
+/// A successfully extracted radar measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RadarMeasurement {
+    /// Measured distance to the (apparent) target.
+    pub distance: Meters,
+    /// Measured range rate (positive = gap opening).
+    pub range_rate: MetersPerSecond,
+    /// The beat pair the measurement was derived from.
+    pub beats: BeatPair,
+    /// Linear SNR of the strongest echo against noise + interference.
+    pub snr: f64,
+}
+
+/// Everything the sensing unit reports for one sample instant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RadarObservation {
+    /// Extracted measurement (`None` when no signal exceeded the detection
+    /// threshold — e.g. at an unanswered challenge instant).
+    pub measurement: Option<RadarMeasurement>,
+    /// Total received in-band power (echoes + interference). This is the
+    /// quantity the CRA detector compares against its threshold.
+    pub received_power: Watts,
+    /// `true` when the receiver was captured by interference stronger than
+    /// every echo (Eqn 11 ratio below unity) and the measurement is garbage.
+    pub jammed: bool,
+}
+
+impl RadarObservation {
+    /// `true` when the receiver saw power above the detection threshold.
+    pub fn signal_present(&self, threshold: Watts) -> bool {
+        self.received_power.value() > threshold.value()
+    }
+}
+
+/// The FMCW radar sensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Radar {
+    config: RadarConfig,
+}
+
+impl Radar {
+    /// Creates a radar from a configuration.
+    pub fn new(config: RadarConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &RadarConfig {
+        &self.config
+    }
+
+    /// Echo power of a genuine reflection from `target` (Eqn 9).
+    pub fn echo_power(&self, target: &RadarTarget) -> Watts {
+        received_power(
+            self.config.tx_power,
+            self.config.antenna_gain,
+            self.config.waveform.wavelength(),
+            target.rcs(),
+            target.distance(),
+            self.config.losses,
+        )
+    }
+
+    /// Thermal noise floor of the dechirped receiver.
+    pub fn noise_floor(&self) -> Watts {
+        thermal_noise(self.config.sample_rate, self.config.noise_figure)
+    }
+
+    /// Performs one observation.
+    ///
+    /// * `tx_on` — whether the transmitter is active this instant. The CRA
+    ///   layer sets this `false` at challenge instants; genuine reflections
+    ///   then vanish, while attacker signals (which have their own source)
+    ///   persist.
+    /// * `target` — ground-truth target, if one is physically present.
+    /// * `channel` — attacker contributions.
+    pub fn observe(
+        &self,
+        tx_on: bool,
+        target: Option<&RadarTarget>,
+        channel: &ChannelState,
+        rng: &mut SimRng,
+    ) -> RadarObservation {
+        let mut echoes: Vec<Echo> = Vec::with_capacity(channel.echoes.len() + 1);
+        if tx_on {
+            if let Some(t) = target {
+                if self.config.in_range(t.distance()) {
+                    echoes.push(Echo::new(
+                        t.distance(),
+                        t.range_rate(),
+                        self.echo_power(t),
+                    ));
+                }
+            }
+        }
+        echoes.extend(channel.echoes.iter().copied());
+
+        let echo_power: f64 = echoes.iter().map(|e| e.power.value()).sum();
+        // The receiver always sees at least its own thermal noise floor.
+        let total = Watts(
+            echo_power + channel.interference.value() + self.noise_floor().value(),
+        );
+        if !total
+            .value()
+            .is_finite()
+        {
+            // Defensive: attacker models should never produce non-finite
+            // powers, but a corrupted channel must not poison the pipeline.
+            return RadarObservation {
+                measurement: None,
+                received_power: Watts(f64::MAX),
+                jammed: true,
+            };
+        }
+
+        if total.value() <= self.config.detection_threshold.value() {
+            return RadarObservation {
+                measurement: None,
+                received_power: total,
+                jammed: false,
+            };
+        }
+
+        let strongest = echoes
+            .iter()
+            .copied()
+            .max_by(|a, b| a.power.value().partial_cmp(&b.power.value()).expect("finite"));
+
+        let noise = self.noise_floor();
+        let jammed = match &strongest {
+            Some(e) => channel.interference.value() > e.power.value(),
+            None => channel.interference.value() > 0.0,
+        };
+
+        let measurement = match strongest {
+            Some(echo) if !jammed => {
+                let effective_noise = Watts(noise.value() + channel.interference.value());
+                match self.config.mode {
+                    MeasurementMode::Analytic => {
+                        Some(self.measure_analytic(&echo, effective_noise, rng))
+                    }
+                    MeasurementMode::Signal | MeasurementMode::FftPeak => {
+                        Some(self.measure_signal(&echoes, effective_noise, rng))
+                    }
+                }
+            }
+            _ => Some(self.garbage_measurement(rng, channel.interference, noise)),
+        };
+
+        RadarObservation {
+            measurement,
+            received_power: total,
+            jammed,
+        }
+    }
+
+    /// Analytic extraction: true beat frequencies plus a Gaussian error with
+    /// the single-tone CRLB standard deviation
+    /// `σ_f = fs·√(12/(SNR·N³))/(2π)`.
+    fn measure_analytic(
+        &self,
+        echo: &Echo,
+        noise: Watts,
+        rng: &mut SimRng,
+    ) -> RadarMeasurement {
+        let ratio = snr(echo.power, noise);
+        let n = self.config.samples_per_sweep as f64;
+        let sigma_f = self.config.sample_rate.value() * (12.0 / (ratio * n * n * n)).sqrt()
+            / (2.0 * std::f64::consts::PI);
+        let noise_gen = Gaussian::new(0.0, sigma_f);
+        let true_beats = self
+            .config
+            .waveform
+            .beat_frequencies(echo.distance, echo.range_rate);
+        let beats = BeatPair {
+            up: Hertz(true_beats.up.value() + noise_gen.sample(rng)),
+            down: Hertz(true_beats.down.value() + noise_gen.sample(rng)),
+        };
+        let (distance, range_rate) = self.config.waveform.invert(beats);
+        RadarMeasurement {
+            distance,
+            range_rate,
+            beats,
+            snr: ratio,
+        }
+    }
+
+    /// Signal-level extraction: synthesize the dechirped complex baseband of
+    /// both sweep halves from every echo, then extract each half's beat
+    /// frequency with root-MUSIC (periodogram fallback on degenerate data).
+    fn measure_signal(
+        &self,
+        echoes: &[Echo],
+        noise: Watts,
+        rng: &mut SimRng,
+    ) -> RadarMeasurement {
+        let strongest = echoes
+            .iter()
+            .map(|e| e.power.value())
+            .fold(0.0f64, f64::max);
+        let ratio = snr(Watts(strongest), noise);
+
+        let up = self.synthesize(echoes, noise, SweepHalf::Up, rng);
+        let down = self.synthesize(echoes, noise, SweepHalf::Down, rng);
+        let fs = self.config.sample_rate.value();
+        let f_up = self.extract_frequency(&up) * fs / (2.0 * std::f64::consts::PI);
+        let f_down = self.extract_frequency(&down) * fs / (2.0 * std::f64::consts::PI);
+        let beats = BeatPair {
+            up: Hertz(f_up),
+            down: Hertz(f_down),
+        };
+        let (distance, range_rate) = self.config.waveform.invert(beats);
+        RadarMeasurement {
+            distance,
+            range_rate,
+            beats,
+            snr: ratio,
+        }
+    }
+
+    fn synthesize(
+        &self,
+        echoes: &[Echo],
+        noise: Watts,
+        half: SweepHalf,
+        rng: &mut SimRng,
+    ) -> Vec<Complex<f64>> {
+        let n = self.config.samples_per_sweep;
+        let fs = self.config.sample_rate.value();
+        let mut signal = vec![Complex::new(0.0, 0.0); n];
+        for echo in echoes {
+            let beats = self
+                .config
+                .waveform
+                .beat_frequencies(echo.distance, echo.range_rate);
+            let f = match half {
+                SweepHalf::Up => beats.up.value(),
+                SweepHalf::Down => beats.down.value(),
+            };
+            let omega = 2.0 * std::f64::consts::PI * f / fs;
+            let amp = echo.power.value().sqrt();
+            let phase = rng.uniform(0.0, 2.0 * std::f64::consts::PI);
+            for (t, s) in signal.iter_mut().enumerate() {
+                *s += Complex::from_polar(amp, omega * t as f64 + phase);
+            }
+        }
+        // Complex white noise: variance noise_power split across components.
+        let comp = Gaussian::new(0.0, (noise.value() / 2.0).sqrt());
+        for s in signal.iter_mut() {
+            let (re, im) = comp.sample_pair(rng);
+            *s += Complex::new(re, im);
+        }
+        signal
+    }
+
+    /// Extracts the dominant normalized frequency (rad/sample) of a signal
+    /// with the configured extractor (root-MUSIC, or the interpolated
+    /// periodogram peak in `FftPeak` mode).
+    fn extract_frequency(&self, signal: &[Complex<f64>]) -> f64 {
+        if self.config.mode == MeasurementMode::FftPeak {
+            return Periodogram::compute(signal, Window::Hann, 4096)
+                .ok()
+                .and_then(|p| p.estimate_frequencies(1, 4).ok())
+                .and_then(|f| f.first().copied())
+                .unwrap_or(0.0);
+        }
+        let window = self.config.music_window;
+        let extracted = SampleCovariance::builder(window)
+            .build(signal)
+            .ok()
+            .and_then(|cov| RootMusic::new(1).estimate(&cov).ok())
+            .and_then(|est| est.first().copied());
+        match extracted {
+            Some(e) => e.frequency,
+            None => {
+                // Degenerate covariance (e.g. captured receiver): fall back
+                // to the periodogram peak.
+                Periodogram::compute(signal, Window::Hann, 1024)
+                    .ok()
+                    .and_then(|p| p.estimate_frequencies(1, 4).ok())
+                    .and_then(|f| f.first().copied())
+                    .unwrap_or(0.0)
+            }
+        }
+    }
+
+    /// Measurement produced by a captured receiver: the extractor locks onto
+    /// noise, yielding beat frequencies uniform over the unambiguous band —
+    /// the paper's "very high value of corrupted distance and velocity".
+    fn garbage_measurement(
+        &self,
+        rng: &mut SimRng,
+        interference: Watts,
+        noise: Watts,
+    ) -> RadarMeasurement {
+        let half_band = self.config.sample_rate.value() / 2.0;
+        let beats = BeatPair {
+            up: Hertz(rng.uniform(0.0, half_band)),
+            down: Hertz(rng.uniform(0.0, half_band)),
+        };
+        let (distance, range_rate) = self.config.waveform.invert(beats);
+        RadarMeasurement {
+            distance,
+            range_rate,
+            beats,
+            snr: snr(interference, noise).max(f64::MIN_POSITIVE),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum SweepHalf {
+    Up,
+    Down,
+}
+
+/// Observation of a multi-target scene.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RadarMultiObservation {
+    /// Extracted measurements, strongest first (analytic mode) or paired by
+    /// beat order (signal mode).
+    pub measurements: Vec<RadarMeasurement>,
+    /// Total received in-band power (echoes + interference + noise floor).
+    pub received_power: Watts,
+    /// `true` when interference captured the receiver.
+    pub jammed: bool,
+}
+
+impl Radar {
+    /// Observes a scene of several targets, extracting up to `max_targets`
+    /// measurements.
+    ///
+    /// In `Analytic` mode each of the strongest `max_targets` echoes is
+    /// measured individually. In `Signal` mode the dechirped sum signal of
+    /// all echoes is synthesized and root-MUSIC extracts `K` beat tones per
+    /// sweep half; the up/down tones are paired **in frequency order** (the
+    /// standard triangular-FMCW pairing, valid while Doppler shifts are
+    /// small against the beat separation) and implausible pairs (outside
+    /// the unambiguous range or at unphysical closing speeds) are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_targets` is zero.
+    pub fn observe_multi(
+        &self,
+        tx_on: bool,
+        targets: &[RadarTarget],
+        channel: &ChannelState,
+        max_targets: usize,
+        rng: &mut SimRng,
+    ) -> RadarMultiObservation {
+        assert!(max_targets > 0, "must extract at least one target");
+        let mut echoes: Vec<Echo> = Vec::with_capacity(targets.len() + channel.echoes.len());
+        if tx_on {
+            for t in targets {
+                if self.config.in_range(t.distance()) {
+                    echoes.push(Echo::new(t.distance(), t.range_rate(), self.echo_power(t)));
+                }
+            }
+        }
+        echoes.extend(channel.echoes.iter().copied());
+
+        let echo_power: f64 = echoes.iter().map(|e| e.power.value()).sum();
+        let total =
+            Watts(echo_power + channel.interference.value() + self.noise_floor().value());
+        if total.value() <= self.config.detection_threshold.value() || echoes.is_empty() {
+            return RadarMultiObservation {
+                measurements: Vec::new(),
+                received_power: total,
+                jammed: channel.interference.value() > echo_power,
+            };
+        }
+        let strongest = echoes
+            .iter()
+            .map(|e| e.power.value())
+            .fold(0.0f64, f64::max);
+        let jammed = channel.interference.value() > strongest;
+        let noise = Watts(self.noise_floor().value() + channel.interference.value());
+
+        if jammed {
+            return RadarMultiObservation {
+                measurements: vec![self.garbage_measurement(
+                    rng,
+                    channel.interference,
+                    self.noise_floor(),
+                )],
+                received_power: total,
+                jammed,
+            };
+        }
+
+        let measurements = match self.config.mode {
+            MeasurementMode::Analytic => {
+                let mut sorted = echoes.clone();
+                sorted.sort_by(|a, b| {
+                    b.power
+                        .value()
+                        .partial_cmp(&a.power.value())
+                        .expect("finite powers")
+                });
+                sorted
+                    .iter()
+                    .take(max_targets)
+                    .map(|e| self.measure_analytic(e, noise, rng))
+                    .collect()
+            }
+            // Multi-target scenes need the subspace separation regardless
+            // of the single-target extractor choice.
+            MeasurementMode::Signal | MeasurementMode::FftPeak => {
+                self.extract_multi_signal(&echoes, noise, max_targets, rng)
+            }
+        };
+
+        RadarMultiObservation {
+            measurements,
+            received_power: total,
+            jammed,
+        }
+    }
+
+    fn extract_multi_signal(
+        &self,
+        echoes: &[Echo],
+        noise: Watts,
+        max_targets: usize,
+        rng: &mut SimRng,
+    ) -> Vec<RadarMeasurement> {
+        let k = max_targets.min(echoes.len()).min(self.config.music_window - 1);
+        let up = self.synthesize(echoes, noise, SweepHalf::Up, rng);
+        let down = self.synthesize(echoes, noise, SweepHalf::Down, rng);
+        let fs = self.config.sample_rate.value();
+        let to_hz = |omega: f64| omega * fs / (2.0 * std::f64::consts::PI);
+
+        let extract = |signal: &[Complex<f64>]| -> Vec<f64> {
+            SampleCovariance::builder(self.config.music_window)
+                .build(signal)
+                .ok()
+                .and_then(|cov| RootMusic::new(k).estimate(&cov).ok())
+                .map(|ests| ests.iter().map(|e| to_hz(e.frequency)).collect())
+                .unwrap_or_default()
+        };
+        let mut f_up = extract(&up);
+        let mut f_down = extract(&down);
+        f_up.sort_by(|a, b| a.partial_cmp(b).expect("finite frequencies"));
+        f_down.sort_by(|a, b| a.partial_cmp(b).expect("finite frequencies"));
+
+        let strongest = echoes
+            .iter()
+            .map(|e| e.power.value())
+            .fold(0.0f64, f64::max);
+        let ratio = snr(Watts(strongest), noise);
+        let max_speed = 70.0; // m/s — far above any automotive closing speed
+        f_up.iter()
+            .zip(&f_down)
+            .map(|(&fu, &fd)| {
+                let beats = BeatPair {
+                    up: Hertz(fu),
+                    down: Hertz(fd),
+                };
+                let (distance, range_rate) = self.config.waveform.invert(beats);
+                RadarMeasurement {
+                    distance,
+                    range_rate,
+                    beats,
+                    snr: ratio,
+                }
+            })
+            .filter(|m| {
+                m.distance.value() > 0.0
+                    && m.distance.value() < 1.5 * self.config.max_range.value()
+                    && m.range_rate.value().abs() < max_speed
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argus_sim::units::Seconds;
+
+    fn radar() -> Radar {
+        Radar::new(RadarConfig::bosch_lrr2())
+    }
+
+    fn target_at(d: f64, v: f64) -> RadarTarget {
+        RadarTarget::new(Meters(d), MetersPerSecond(v), 10.0)
+    }
+
+    #[test]
+    fn clean_observation_is_accurate() {
+        let r = radar();
+        let t = target_at(100.0, -2.0);
+        let mut rng = SimRng::seed_from(1);
+        let obs = r.observe(true, Some(&t), &ChannelState::clean(), &mut rng);
+        let m = obs.measurement.expect("target in range");
+        assert!((m.distance.value() - 100.0).abs() < 0.5, "{}", m.distance);
+        assert!((m.range_rate.value() + 2.0).abs() < 0.5, "{}", m.range_rate);
+        assert!(!obs.jammed);
+        assert!(m.snr > 10.0);
+    }
+
+    #[test]
+    fn signal_mode_matches_analytic_closely() {
+        let analytic = Radar::new(RadarConfig::bosch_lrr2());
+        let signal = Radar::new(RadarConfig::bosch_lrr2_signal());
+        let t = target_at(80.0, -3.0);
+        let mut rng1 = SimRng::seed_from(5);
+        let mut rng2 = SimRng::seed_from(5);
+        let ma = analytic
+            .observe(true, Some(&t), &ChannelState::clean(), &mut rng1)
+            .measurement
+            .unwrap();
+        let ms = signal
+            .observe(true, Some(&t), &ChannelState::clean(), &mut rng2)
+            .measurement
+            .unwrap();
+        assert!((ma.distance.value() - ms.distance.value()).abs() < 1.0);
+        assert!((ma.range_rate.value() - ms.range_rate.value()).abs() < 1.0);
+    }
+
+    #[test]
+    fn tx_off_with_clean_channel_sees_nothing() {
+        let r = radar();
+        let t = target_at(100.0, 0.0);
+        let mut rng = SimRng::seed_from(3);
+        let obs = r.observe(false, Some(&t), &ChannelState::clean(), &mut rng);
+        assert!(obs.measurement.is_none());
+        assert!(!obs.signal_present(r.config().detection_threshold));
+    }
+
+    #[test]
+    fn tx_off_still_sees_attacker_echo() {
+        // The CRA detection principle: attacker transmissions persist when
+        // the radar goes silent.
+        let r = radar();
+        let fake = Echo::new(Meters(106.0), MetersPerSecond(0.0), Watts(1e-12));
+        let mut rng = SimRng::seed_from(4);
+        let obs = r.observe(false, None, &ChannelState::spoofed(fake), &mut rng);
+        assert!(obs.signal_present(r.config().detection_threshold));
+        let m = obs.measurement.expect("spoofed echo measured");
+        assert!((m.distance.value() - 106.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn out_of_range_target_not_detected() {
+        let r = radar();
+        let t = target_at(300.0, 0.0);
+        let mut rng = SimRng::seed_from(5);
+        let obs = r.observe(true, Some(&t), &ChannelState::clean(), &mut rng);
+        assert!(obs.measurement.is_none());
+    }
+
+    #[test]
+    fn strong_jamming_captures_receiver() {
+        let r = radar();
+        let t = target_at(100.0, -2.0);
+        let mut rng = SimRng::seed_from(6);
+        // Interference far above the ~3 pW echo.
+        let obs = r.observe(
+            true,
+            Some(&t),
+            &ChannelState::jammed(Watts(1e-9)),
+            &mut rng,
+        );
+        assert!(obs.jammed);
+        let m = obs.measurement.expect("captured receiver yields garbage");
+        // Garbage is wildly off the truth with overwhelming probability.
+        assert!(
+            (m.distance.value() - 100.0).abs() > 2.0,
+            "garbage suspiciously accurate: {}",
+            m.distance
+        );
+    }
+
+    #[test]
+    fn weak_jamming_degrades_but_does_not_capture() {
+        let r = radar();
+        let t = target_at(50.0, 0.0);
+        let mut rng = SimRng::seed_from(7);
+        let echo_power = r.echo_power(&t);
+        let obs = r.observe(
+            true,
+            Some(&t),
+            &ChannelState::jammed(Watts(echo_power.value() / 10.0)),
+            &mut rng,
+        );
+        assert!(!obs.jammed);
+        let m = obs.measurement.unwrap();
+        assert!((m.distance.value() - 50.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn spoofed_echo_stronger_than_true_one_wins() {
+        let r = radar();
+        let t = target_at(100.0, -2.0);
+        let true_power = r.echo_power(&t);
+        let fake = Echo::new(
+            Meters(106.0),
+            MetersPerSecond(-2.0),
+            Watts(true_power.value() * 10.0),
+        );
+        let mut rng = SimRng::seed_from(8);
+        let obs = r.observe(true, Some(&t), &ChannelState::spoofed(fake), &mut rng);
+        let m = obs.measurement.unwrap();
+        assert!(
+            (m.distance.value() - 106.0).abs() < 1.0,
+            "should report the counterfeit distance, got {}",
+            m.distance
+        );
+    }
+
+    #[test]
+    fn received_power_accumulates() {
+        let r = radar();
+        let t = target_at(100.0, 0.0);
+        let mut rng = SimRng::seed_from(9);
+        let clean = r.observe(true, Some(&t), &ChannelState::clean(), &mut rng);
+        let jammed = r.observe(
+            true,
+            Some(&t),
+            &ChannelState::jammed(Watts(1e-10)),
+            &mut rng,
+        );
+        assert!(jammed.received_power.value() > clean.received_power.value());
+    }
+
+    #[test]
+    fn signal_mode_with_spoof_echo() {
+        let r = Radar::new(RadarConfig::bosch_lrr2_signal());
+        let t = target_at(100.0, -2.0);
+        let true_power = r.echo_power(&t);
+        let fake = Echo::new(
+            Meters(106.0),
+            MetersPerSecond(-2.0),
+            Watts(true_power.value() * 20.0),
+        );
+        let mut rng = SimRng::seed_from(10);
+        let obs = r.observe(true, Some(&t), &ChannelState::spoofed(fake), &mut rng);
+        let m = obs.measurement.unwrap();
+        // The dominant tone is the counterfeit one.
+        assert!(
+            (m.distance.value() - 106.0).abs() < 3.0,
+            "distance {}",
+            m.distance
+        );
+    }
+
+    #[test]
+    fn delay_injection_shifts_distance_by_expected_amount() {
+        // Attacker adds the delay equivalent of +6 m (paper's scenario).
+        let r = radar();
+        let t = target_at(100.0, -2.0);
+        let extra = r.config().waveform.distance_to_delay(Meters(6.0));
+        let spoof_distance =
+            t.distance() + r.config().waveform.delay_to_distance(Seconds(extra.value()));
+        let fake = Echo::new(spoof_distance, t.range_rate(), Watts(1e-11));
+        let mut rng = SimRng::seed_from(11);
+        let obs = r.observe(true, Some(&t), &ChannelState::spoofed(fake), &mut rng);
+        let m = obs.measurement.unwrap();
+        assert!((m.distance.value() - 106.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn no_target_no_attack_reports_noise_floor() {
+        let r = radar();
+        let mut rng = SimRng::seed_from(12);
+        let obs = r.observe(true, None, &ChannelState::clean(), &mut rng);
+        assert!(obs.measurement.is_none());
+        assert!(obs.received_power.value() < r.config().detection_threshold.value());
+    }
+
+    #[test]
+    fn fft_peak_mode_measures_accurately() {
+        let r = Radar::new(RadarConfig::bosch_lrr2().with_mode(MeasurementMode::FftPeak));
+        let t = target_at(100.0, -2.0);
+        let mut rng = SimRng::seed_from(31);
+        let m = r
+            .observe(true, Some(&t), &ChannelState::clean(), &mut rng)
+            .measurement
+            .unwrap();
+        assert!((m.distance.value() - 100.0).abs() < 2.0, "{}", m.distance);
+        assert!((m.range_rate.value() + 2.0).abs() < 2.0, "{}", m.range_rate);
+    }
+
+    #[test]
+    fn rootmusic_at_least_as_accurate_as_fft_peak() {
+        // Average absolute distance error over repeated observations at the
+        // band edge (worst SNR): the subspace extractor should not lose to
+        // the interpolated periodogram.
+        let truth = 180.0;
+        let t = target_at(truth, -1.0);
+        let err = |mode: MeasurementMode, seed: u64| -> f64 {
+            let r = Radar::new(RadarConfig::bosch_lrr2().with_mode(mode));
+            let mut rng = SimRng::seed_from(seed);
+            let mut total = 0.0;
+            for _ in 0..20 {
+                let m = r
+                    .observe(true, Some(&t), &ChannelState::clean(), &mut rng)
+                    .measurement
+                    .unwrap();
+                total += (m.distance.value() - truth).abs();
+            }
+            total / 20.0
+        };
+        let music = err(MeasurementMode::Signal, 5);
+        let fft = err(MeasurementMode::FftPeak, 5);
+        assert!(
+            music <= fft * 1.5 + 0.05,
+            "root-MUSIC {music:.3} m vs FFT {fft:.3} m"
+        );
+    }
+
+    #[test]
+    fn multi_target_analytic_measures_each() {
+        let r = radar();
+        let targets = [
+            target_at(40.0, -3.0),
+            target_at(120.0, 2.0),
+        ];
+        let mut rng = SimRng::seed_from(21);
+        let obs = r.observe_multi(true, &targets, &ChannelState::clean(), 2, &mut rng);
+        assert_eq!(obs.measurements.len(), 2);
+        assert!(!obs.jammed);
+        // Strongest (closest) first in analytic mode.
+        assert!((obs.measurements[0].distance.value() - 40.0).abs() < 1.0);
+        assert!((obs.measurements[1].distance.value() - 120.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn multi_target_signal_mode_recovers_both() {
+        let r = Radar::new(RadarConfig::bosch_lrr2_signal());
+        let targets = [
+            target_at(40.0, -3.0),
+            target_at(120.0, 2.0),
+        ];
+        let mut rng = SimRng::seed_from(22);
+        let obs = r.observe_multi(true, &targets, &ChannelState::clean(), 2, &mut rng);
+        assert_eq!(obs.measurements.len(), 2, "{:?}", obs.measurements);
+        let mut distances: Vec<f64> =
+            obs.measurements.iter().map(|m| m.distance.value()).collect();
+        distances.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert!((distances[0] - 40.0).abs() < 2.0, "{distances:?}");
+        assert!((distances[1] - 120.0).abs() < 2.0, "{distances:?}");
+    }
+
+    #[test]
+    fn multi_target_respects_max() {
+        let r = radar();
+        let targets = [
+            target_at(30.0, 0.0),
+            target_at(60.0, 0.0),
+            target_at(90.0, 0.0),
+        ];
+        let mut rng = SimRng::seed_from(23);
+        let obs = r.observe_multi(true, &targets, &ChannelState::clean(), 2, &mut rng);
+        assert_eq!(obs.measurements.len(), 2);
+    }
+
+    #[test]
+    fn multi_target_empty_scene() {
+        let r = radar();
+        let mut rng = SimRng::seed_from(24);
+        let obs = r.observe_multi(true, &[], &ChannelState::clean(), 3, &mut rng);
+        assert!(obs.measurements.is_empty());
+        assert!(!obs.jammed);
+    }
+
+    #[test]
+    fn multi_target_jammed_yields_garbage() {
+        let r = radar();
+        let targets = [target_at(50.0, 0.0)];
+        let mut rng = SimRng::seed_from(25);
+        let obs = r.observe_multi(
+            true,
+            &targets,
+            &ChannelState::jammed(Watts(1e-8)),
+            3,
+            &mut rng,
+        );
+        assert!(obs.jammed);
+        assert_eq!(obs.measurements.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one target")]
+    fn multi_target_zero_max_panics() {
+        let r = radar();
+        let mut rng = SimRng::seed_from(26);
+        let _ = r.observe_multi(true, &[], &ChannelState::clean(), 0, &mut rng);
+    }
+}

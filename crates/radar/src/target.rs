@@ -1,0 +1,119 @@
+//! Targets and echoes.
+//!
+//! A [`RadarTarget`] is the physical truth (where the leader vehicle is);
+//! an [`Echo`] is a signal arriving at the receiver that *parameterizes
+//! like* a reflection — either a genuine return or an attacker's counterfeit
+//! transmission (§4's delay-injection model).
+
+use serde::{Deserialize, Serialize};
+
+use argus_sim::units::{Meters, MetersPerSecond, Watts};
+
+/// Ground-truth target state as seen from the radar.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RadarTarget {
+    distance: Meters,
+    range_rate: MetersPerSecond,
+    rcs: f64,
+}
+
+impl RadarTarget {
+    /// Creates a target at `distance` with `range_rate` (positive = gap
+    /// opening) and radar cross-section `rcs` in m² (a passenger car is
+    /// roughly 10 m²).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance` or `rcs` is not strictly positive.
+    pub fn new(distance: Meters, range_rate: MetersPerSecond, rcs: f64) -> Self {
+        assert!(distance.value() > 0.0, "target distance must be positive");
+        assert!(rcs > 0.0, "radar cross-section must be positive");
+        Self {
+            distance,
+            range_rate,
+            rcs,
+        }
+    }
+
+    /// Distance to the target.
+    pub fn distance(&self) -> Meters {
+        self.distance
+    }
+
+    /// Range rate (positive when the gap is opening).
+    pub fn range_rate(&self) -> MetersPerSecond {
+        self.range_rate
+    }
+
+    /// Radar cross-section in m².
+    pub fn rcs(&self) -> f64 {
+        self.rcs
+    }
+}
+
+/// A signal arriving at the radar receiver that demodulates like an echo
+/// from distance `distance` with the given range rate and in-band power.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Echo {
+    /// Apparent distance encoded in the signal's delay.
+    pub distance: Meters,
+    /// Apparent range rate encoded in the Doppler shift.
+    pub range_rate: MetersPerSecond,
+    /// Received in-band power.
+    pub power: Watts,
+}
+
+impl Echo {
+    /// Creates an echo.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `distance` or `power` is not strictly positive.
+    pub fn new(distance: Meters, range_rate: MetersPerSecond, power: Watts) -> Self {
+        assert!(distance.value() > 0.0, "echo distance must be positive");
+        assert!(power.value() > 0.0, "echo power must be positive");
+        Self {
+            distance,
+            range_rate,
+            power,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_accessors() {
+        let t = RadarTarget::new(Meters(80.0), MetersPerSecond(-3.0), 10.0);
+        assert_eq!(t.distance().value(), 80.0);
+        assert_eq!(t.range_rate().value(), -3.0);
+        assert_eq!(t.rcs(), 10.0);
+    }
+
+    #[test]
+    fn echo_construction() {
+        let e = Echo::new(Meters(90.0), MetersPerSecond(1.0), Watts(1e-12));
+        assert_eq!(e.distance.value(), 90.0);
+        assert_eq!(e.power.value(), 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "target distance must be positive")]
+    fn zero_distance_target_rejected() {
+        let _ = RadarTarget::new(Meters(0.0), MetersPerSecond(0.0), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "radar cross-section must be positive")]
+    fn zero_rcs_rejected() {
+        let _ = RadarTarget::new(Meters(10.0), MetersPerSecond(0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "echo power must be positive")]
+    fn zero_power_echo_rejected() {
+        let _ = Echo::new(Meters(10.0), MetersPerSecond(0.0), Watts(0.0));
+    }
+}

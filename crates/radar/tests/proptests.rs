@@ -1,0 +1,115 @@
+//! Property-based tests for the radar model.
+
+use argus_radar::power::{received_power, snr, thermal_noise};
+use argus_radar::prelude::*;
+use argus_sim::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The beat-frequency mapping is a bijection over the operating
+    /// envelope (already covered at integration level; kept here so the
+    /// radar crate is self-checking).
+    #[test]
+    fn beat_bijection(d in 2.0f64..200.0, v in -50.0f64..50.0) {
+        let w = FmcwWaveform::paper();
+        let (d2, v2) = w.invert(w.beat_frequencies(Meters(d), MetersPerSecond(v)));
+        prop_assert!((d2.value() - d).abs() < 1e-9);
+        prop_assert!((v2.value() - v).abs() < 1e-9);
+    }
+
+    /// Received echo power strictly decreases with distance (d⁻⁴ law).
+    #[test]
+    fn echo_power_monotone(d1 in 2.0f64..199.0, delta in 0.1f64..50.0, rcs in 0.5f64..100.0) {
+        let w = FmcwWaveform::paper();
+        let p_near = received_power(
+            Watts(0.01), Decibels(28.0), w.wavelength(), rcs, Meters(d1), Decibels(0.1),
+        );
+        let p_far = received_power(
+            Watts(0.01), Decibels(28.0), w.wavelength(), rcs, Meters(d1 + delta), Decibels(0.1),
+        );
+        prop_assert!(p_near.value() > p_far.value());
+        // Exact fourth-power scaling.
+        let expected = ((d1 + delta) / d1).powi(4);
+        prop_assert!((p_near.value() / p_far.value() - expected).abs() < 1e-6 * expected);
+    }
+
+    /// SNR is linear in signal power and inverse in noise power.
+    #[test]
+    fn snr_scaling(s in 1e-15f64..1e-6, n in 1e-16f64..1e-9, f in 1.1f64..100.0) {
+        prop_assert!((snr(Watts(s * f), Watts(n)) - f * snr(Watts(s), Watts(n))).abs()
+            < 1e-9 * snr(Watts(s * f), Watts(n)));
+        prop_assert!(snr(Watts(s), Watts(n * f)) < snr(Watts(s), Watts(n)));
+    }
+
+    /// Thermal noise is linear in bandwidth.
+    #[test]
+    fn noise_linear_in_bandwidth(b in 1e3f64..1e9, f in 1.5f64..100.0) {
+        let n1 = thermal_noise(Hertz(b), Decibels(10.0));
+        let n2 = thermal_noise(Hertz(b * f), Decibels(10.0));
+        prop_assert!((n2.value() / n1.value() - f).abs() < 1e-9 * f);
+    }
+
+    /// An in-range target is always measured on a clean channel, and the
+    /// measurement never reports a nonsense (negative) distance.
+    #[test]
+    fn clean_channel_always_measures(
+        d in 2.5f64..199.5,
+        v in -30.0f64..30.0,
+        seed in any::<u64>(),
+    ) {
+        let radar = Radar::new(RadarConfig::bosch_lrr2());
+        let target = RadarTarget::new(Meters(d), MetersPerSecond(v), 10.0);
+        let mut rng = SimRng::seed_from(seed);
+        let obs = radar.observe(true, Some(&target), &ChannelState::clean(), &mut rng);
+        let m = obs.measurement.expect("in-range target");
+        prop_assert!(m.distance.value() > 0.0);
+        prop_assert!(m.snr > 1.0);
+        prop_assert!(!obs.jammed);
+    }
+
+    /// Silence invariant: with the transmitter off and no attacker, the
+    /// receiver never crosses the detection threshold — the zero-false-
+    /// positive property of CRA at the physical layer.
+    #[test]
+    fn silent_channel_never_triggers(d in 2.0f64..200.0, seed in any::<u64>()) {
+        let radar = Radar::new(RadarConfig::bosch_lrr2());
+        let target = RadarTarget::new(Meters(d), MetersPerSecond(0.0), 10.0);
+        let mut rng = SimRng::seed_from(seed);
+        let obs = radar.observe(false, Some(&target), &ChannelState::clean(), &mut rng);
+        prop_assert!(!obs.signal_present(radar.config().detection_threshold));
+        prop_assert!(obs.measurement.is_none());
+    }
+
+    /// Capture is decided by the interference/echo balance: stronger
+    /// interference than the strongest echo ⇒ jammed, and vice versa.
+    #[test]
+    fn capture_threshold(d in 5.0f64..150.0, ratio in 0.01f64..100.0, seed in any::<u64>()) {
+        prop_assume!((ratio - 1.0).abs() > 0.05); // avoid the exact boundary
+        let radar = Radar::new(RadarConfig::bosch_lrr2());
+        let target = RadarTarget::new(Meters(d), MetersPerSecond(0.0), 10.0);
+        let echo = radar.echo_power(&target);
+        let channel = ChannelState::jammed(Watts(echo.value() * ratio));
+        let mut rng = SimRng::seed_from(seed);
+        let obs = radar.observe(true, Some(&target), &channel, &mut rng);
+        prop_assert_eq!(obs.jammed, ratio > 1.0);
+    }
+
+    /// Delay-injected echoes shift the measurement by exactly the configured
+    /// illusion (to within noise), for any extra distance.
+    #[test]
+    fn spoof_shift_controllable(d in 10.0f64..150.0, extra in 1.0f64..40.0, seed in any::<u64>()) {
+        let radar = Radar::new(RadarConfig::bosch_lrr2());
+        let target = RadarTarget::new(Meters(d), MetersPerSecond(-1.0), 10.0);
+        let fake = Echo::new(
+            Meters(d + extra),
+            MetersPerSecond(-1.0),
+            Watts(radar.echo_power(&target).value() * 10.0),
+        );
+        let mut rng = SimRng::seed_from(seed);
+        let obs = radar.observe(true, Some(&target), &ChannelState::spoofed(fake), &mut rng);
+        let m = obs.measurement.expect("spoof measured");
+        prop_assert!((m.distance.value() - (d + extra)).abs() < 1.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! # argus-sim — simulation substrate for the Argus workspace
+//!
+//! This crate provides the foundation every other Argus crate builds on:
+//!
+//! * [`units`] — zero-cost SI unit newtypes ([`Meters`], [`MetersPerSecond`],
+//!   [`Seconds`], [`Hertz`], [`Watts`], …) and decibel conversions, so that
+//!   radar link budgets and vehicle kinematics cannot silently mix units.
+//! * [`time`] — a discrete [`TimeBase`] (sample period `dt`) and [`Step`]
+//!   counter shared by the controller, radar, attacker and detector.
+//! * [`rng`] — a deterministic, seedable [`SimRng`] so every experiment in
+//!   the paper reproduction is replayable bit-for-bit.
+//! * [`noise`] — Gaussian measurement noise (Box–Muller, implemented from
+//!   first principles) and SNR helpers used by the radar receiver model.
+//! * [`trace`] — time-series recording ([`Trace`], [`TraceSet`]) with summary
+//!   statistics and CSV export, used to regenerate the paper's figures.
+//!
+//! # Example
+//!
+//! ```
+//! use argus_sim::prelude::*;
+//!
+//! let tb = TimeBase::new(Seconds(1.0));
+//! let mut rng = SimRng::seed_from(42);
+//! let noise = Gaussian::new(0.0, 0.1);
+//! let mut trace = Trace::new("speed", tb);
+//! for _step in tb.steps(10) {
+//!     trace.push(29.0 + noise.sample(&mut rng));
+//! }
+//! assert_eq!(trace.len(), 10);
+//! assert!((trace.mean() - 29.0).abs() < 0.2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod noise;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+pub mod units;
+
+pub use noise::{Gaussian, Uniform};
+pub use rng::SimRng;
+pub use stats::{RunningStats, Summary};
+pub use time::{Step, TimeBase};
+pub use trace::{Trace, TraceSet};
+pub use units::{
+    Decibels, Hertz, Meters, MetersPerSecond, MetersPerSecondSquared, Radians, Seconds, Watts,
+};
+
+/// Convenient glob import of the most common simulation types.
+pub mod prelude {
+    pub use crate::noise::{Gaussian, Uniform};
+    pub use crate::rng::SimRng;
+    pub use crate::stats::{RunningStats, Summary};
+    pub use crate::time::{Step, TimeBase};
+    pub use crate::trace::{Trace, TraceSet};
+    pub use crate::units::{
+        Decibels, Hertz, Meters, MetersPerSecond, MetersPerSecondSquared, Radians, Seconds, Watts,
+    };
+}

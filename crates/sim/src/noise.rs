@@ -1,0 +1,247 @@
+//! Noise sources for sensor and channel models.
+//!
+//! The paper's measurement model (Eqn 2) adds zero-mean Gaussian noise
+//! `v_k ~ N(0, R)` to every sensor sample; the radar receiver model needs
+//! complex white noise at a power set by the link budget. The Gaussian
+//! sampler is implemented from first principles (Box–Muller) so the substrate
+//! has no hidden distribution dependencies.
+
+use serde::{Deserialize, Serialize};
+
+use crate::rng::SimRng;
+
+/// Zero-mean-capable Gaussian (normal) noise source using the Box–Muller
+/// transform.
+///
+/// ```
+/// use argus_sim::{noise::Gaussian, rng::SimRng};
+/// let mut rng = SimRng::seed_from(1);
+/// let n = Gaussian::new(0.0, 2.0);
+/// let mean: f64 = (0..4000).map(|_| n.sample(&mut rng)).sum::<f64>() / 4000.0;
+/// assert!(mean.abs() < 0.15);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Gaussian {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Gaussian {
+    /// Creates a Gaussian source with the given mean and standard deviation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `std_dev` is negative or either parameter is non-finite.
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(
+            std_dev >= 0.0 && std_dev.is_finite() && mean.is_finite(),
+            "invalid gaussian parameters mean={mean} std={std_dev}"
+        );
+        Self { mean, std_dev }
+    }
+
+    /// A standard normal `N(0, 1)` source.
+    pub fn standard() -> Self {
+        Self::new(0.0, 1.0)
+    }
+
+    /// Creates a zero-mean source from a variance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variance` is negative or non-finite.
+    pub fn from_variance(variance: f64) -> Self {
+        assert!(
+            variance >= 0.0 && variance.is_finite(),
+            "invalid variance {variance}"
+        );
+        Self::new(0.0, variance.sqrt())
+    }
+
+    /// Mean of the distribution.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Standard deviation of the distribution.
+    pub fn std_dev(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+
+    /// Draws a pair of independent samples (one Box–Muller invocation yields
+    /// two independent normals; this exposes both).
+    pub fn sample_pair(&self, rng: &mut SimRng) -> (f64, f64) {
+        let (z0, z1) = standard_normal_pair(rng);
+        (
+            self.mean + self.std_dev * z0,
+            self.mean + self.std_dev * z1,
+        )
+    }
+
+    /// Fills a buffer with independent samples.
+    pub fn fill(&self, rng: &mut SimRng, out: &mut [f64]) {
+        for x in out {
+            *x = self.sample(rng);
+        }
+    }
+}
+
+/// One standard-normal draw via Box–Muller.
+fn standard_normal(rng: &mut SimRng) -> f64 {
+    standard_normal_pair(rng).0
+}
+
+/// Two independent standard-normal draws via the Box–Muller transform.
+fn standard_normal_pair(rng: &mut SimRng) -> (f64, f64) {
+    // u1 in (0, 1] so that ln(u1) is finite.
+    let u1 = 1.0 - rng.next_f64();
+    let u2 = rng.next_f64();
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f64::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+/// Uniform noise on `[lo, hi)`; used for the jammer's corrupted measurement
+/// model ("very high value of corrupted distance and velocity").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Uniform {
+    lo: f64,
+    hi: f64,
+}
+
+impl Uniform {
+    /// Creates a uniform source on `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or either bound is non-finite.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        assert!(
+            lo < hi && lo.is_finite() && hi.is_finite(),
+            "invalid uniform bounds [{lo}, {hi})"
+        );
+        Self { lo, hi }
+    }
+
+    /// Lower bound (inclusive).
+    pub fn lo(&self) -> f64 {
+        self.lo
+    }
+
+    /// Upper bound (exclusive).
+    pub fn hi(&self) -> f64 {
+        self.hi
+    }
+
+    /// Draws one sample.
+    pub fn sample(&self, rng: &mut SimRng) -> f64 {
+        rng.uniform(self.lo, self.hi)
+    }
+}
+
+/// Converts a signal power and an SNR (linear) into the implied noise
+/// variance: `var = signal_power / snr`.
+///
+/// # Panics
+///
+/// Panics if `snr_linear` is not strictly positive or `signal_power` is
+/// negative.
+pub fn noise_variance_for_snr(signal_power: f64, snr_linear: f64) -> f64 {
+    assert!(snr_linear > 0.0, "SNR must be positive, got {snr_linear}");
+    assert!(
+        signal_power >= 0.0,
+        "signal power must be non-negative, got {signal_power}"
+    );
+    signal_power / snr_linear
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_moments_match() {
+        let mut rng = SimRng::seed_from(42);
+        let g = Gaussian::new(3.0, 2.0);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        assert!((mean - 3.0).abs() < 0.06, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "var {var}");
+    }
+
+    #[test]
+    fn sample_pair_components_uncorrelated() {
+        let mut rng = SimRng::seed_from(9);
+        let g = Gaussian::standard();
+        let n = 20_000;
+        let mut sum_xy = 0.0;
+        for _ in 0..n {
+            let (x, y) = g.sample_pair(&mut rng);
+            sum_xy += x * y;
+        }
+        let corr = sum_xy / n as f64;
+        assert!(corr.abs() < 0.03, "correlation {corr}");
+    }
+
+    #[test]
+    fn zero_std_is_constant() {
+        let mut rng = SimRng::seed_from(1);
+        let g = Gaussian::new(5.0, 0.0);
+        for _ in 0..10 {
+            assert_eq!(g.sample(&mut rng), 5.0);
+        }
+    }
+
+    #[test]
+    fn from_variance_squares() {
+        let g = Gaussian::from_variance(9.0);
+        assert_eq!(g.std_dev(), 3.0);
+        assert_eq!(g.mean(), 0.0);
+    }
+
+    #[test]
+    fn fill_fills_everything() {
+        let mut rng = SimRng::seed_from(3);
+        let g = Gaussian::standard();
+        let mut buf = [0.0; 64];
+        g.fill(&mut rng, &mut buf);
+        assert!(buf.iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn uniform_bounds_hold() {
+        let mut rng = SimRng::seed_from(8);
+        let u = Uniform::new(100.0, 250.0);
+        for _ in 0..1000 {
+            let x = u.sample(&mut rng);
+            assert!((100.0..250.0).contains(&x));
+        }
+        assert_eq!(u.lo(), 100.0);
+        assert_eq!(u.hi(), 250.0);
+    }
+
+    #[test]
+    fn snr_variance_helper() {
+        let var = noise_variance_for_snr(2.0, 4.0);
+        assert_eq!(var, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "SNR must be positive")]
+    fn snr_zero_rejected() {
+        let _ = noise_variance_for_snr(1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid gaussian parameters")]
+    fn negative_std_rejected() {
+        let _ = Gaussian::new(0.0, -1.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Discrete time base shared by all Argus components.
+//!
+//! The paper simulates the car-following scenario at a 1 s sample period for
+//! 300 s with attack onset at k = 182; every component (controller, radar,
+//! attacker, detector, estimator) advances on the same [`Step`] counter.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::units::Seconds;
+
+/// A discrete simulation step index `k`.
+#[derive(
+    Debug, Default, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Step(pub u64);
+
+impl Step {
+    /// First step of a simulation.
+    pub const ZERO: Self = Self(0);
+
+    /// The index as `usize` for slice addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The next step.
+    #[inline]
+    pub fn next(self) -> Self {
+        Self(self.0 + 1)
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "k={}", self.0)
+    }
+}
+
+impl From<u64> for Step {
+    fn from(k: u64) -> Self {
+        Self(k)
+    }
+}
+
+/// A fixed-rate discrete time base: sample period `dt` plus conversions
+/// between step indices and wall-clock seconds.
+///
+/// ```
+/// use argus_sim::{time::TimeBase, units::Seconds};
+/// let tb = TimeBase::new(Seconds(0.5));
+/// assert_eq!(tb.time_of(4.into()).value(), 2.0);
+/// assert_eq!(tb.step_of(Seconds(2.0)).0, 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimeBase {
+    dt: Seconds,
+}
+
+impl TimeBase {
+    /// Creates a time base with the given sample period.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not strictly positive and finite.
+    pub fn new(dt: Seconds) -> Self {
+        assert!(
+            dt.value() > 0.0 && dt.is_finite(),
+            "sample period must be positive and finite, got {dt}"
+        );
+        Self { dt }
+    }
+
+    /// The paper's car-following time base: one-second samples.
+    pub fn per_second() -> Self {
+        Self::new(Seconds(1.0))
+    }
+
+    /// Sample period.
+    #[inline]
+    pub fn dt(self) -> Seconds {
+        self.dt
+    }
+
+    /// Wall-clock time of step `k`.
+    #[inline]
+    pub fn time_of(self, k: Step) -> Seconds {
+        Seconds(self.dt.value() * k.0 as f64)
+    }
+
+    /// The step whose start time is closest to (and not after) `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is negative.
+    #[inline]
+    pub fn step_of(self, t: Seconds) -> Step {
+        assert!(t.value() >= 0.0, "negative time {t} has no step index");
+        // A time produced as dt·k can land one ulp below the exact multiple;
+        // nudge by a relative epsilon so exact boundaries floor to k, not
+        // k − 1.
+        let ratio = t.value() / self.dt.value();
+        Step((ratio + ratio.abs() * 1e-12 + 1e-12).floor() as u64)
+    }
+
+    /// Number of steps needed to cover a duration (rounded up).
+    pub fn steps_in(self, duration: Seconds) -> usize {
+        (duration.value() / self.dt.value()).ceil() as usize
+    }
+
+    /// Iterator over the first `n` steps.
+    pub fn steps(self, n: usize) -> Steps {
+        Steps {
+            next: 0,
+            end: n as u64,
+        }
+    }
+}
+
+impl Default for TimeBase {
+    fn default() -> Self {
+        Self::per_second()
+    }
+}
+
+/// Iterator over consecutive [`Step`]s produced by [`TimeBase::steps`].
+#[derive(Debug, Clone)]
+pub struct Steps {
+    next: u64,
+    end: u64,
+}
+
+impl Iterator for Steps {
+    type Item = Step;
+
+    fn next(&mut self) -> Option<Step> {
+        if self.next < self.end {
+            let s = Step(self.next);
+            self.next += 1;
+            Some(s)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = (self.end - self.next) as usize;
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for Steps {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_time_round_trip() {
+        let tb = TimeBase::new(Seconds(0.25));
+        for k in 0..100u64 {
+            let t = tb.time_of(Step(k));
+            assert_eq!(tb.step_of(t), Step(k));
+        }
+    }
+
+    #[test]
+    fn steps_iterator_is_exact() {
+        let tb = TimeBase::per_second();
+        let steps: Vec<_> = tb.steps(5).collect();
+        assert_eq!(steps.len(), 5);
+        assert_eq!(steps[0], Step::ZERO);
+        assert_eq!(steps[4], Step(4));
+        assert_eq!(tb.steps(5).len(), 5);
+    }
+
+    #[test]
+    fn steps_in_rounds_up() {
+        let tb = TimeBase::new(Seconds(2.0));
+        assert_eq!(tb.steps_in(Seconds(5.0)), 3);
+        assert_eq!(tb.steps_in(Seconds(4.0)), 2);
+    }
+
+    #[test]
+    fn step_next_and_display() {
+        let k = Step(181);
+        assert_eq!(k.next(), Step(182));
+        assert_eq!(format!("{}", k.next()), "k=182");
+        assert_eq!(Step::from(7u64).index(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_dt_rejected() {
+        let _ = TimeBase::new(Seconds(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative time")]
+    fn negative_time_rejected() {
+        let _ = TimeBase::per_second().step_of(Seconds(-1.0));
+    }
+}

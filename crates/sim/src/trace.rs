@@ -1,0 +1,367 @@
+//! Time-series recording for figure regeneration and metrics.
+//!
+//! Every experiment records its signals (relative velocity, distance,
+//! attacked measurements, RLS estimates, …) into [`Trace`]s grouped in a
+//! [`TraceSet`]; the figure harnesses in `argus-bench` print or export these
+//! as the series shown in the paper's Figures 2 and 3.
+
+use std::fmt;
+use std::io::{self, Write};
+
+use serde::{Deserialize, Serialize};
+
+use crate::stats::{RunningStats, Summary};
+use crate::time::{Step, TimeBase};
+use crate::units::Seconds;
+
+/// A named, uniformly-sampled time series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    name: String,
+    time_base: TimeBase,
+    values: Vec<f64>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new(name: impl Into<String>, time_base: TimeBase) -> Self {
+        Self {
+            name: name.into(),
+            time_base,
+            values: Vec::new(),
+        }
+    }
+
+    /// Creates a trace from pre-recorded samples.
+    pub fn from_values(
+        name: impl Into<String>,
+        time_base: TimeBase,
+        values: Vec<f64>,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            time_base,
+            values,
+        }
+    }
+
+    /// Series name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The sampling time base.
+    pub fn time_base(&self) -> TimeBase {
+        self.time_base
+    }
+
+    /// Appends a sample at the next step.
+    pub fn push(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when no samples are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Recorded samples.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Sample at a step, if recorded.
+    pub fn get(&self, k: Step) -> Option<f64> {
+        self.values.get(k.index()).copied()
+    }
+
+    /// Time axis (seconds) matching [`Trace::values`].
+    pub fn times(&self) -> Vec<f64> {
+        (0..self.values.len())
+            .map(|k| self.time_base.time_of(Step(k as u64)).value())
+            .collect()
+    }
+
+    /// Iterator over `(time, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (Seconds, f64)> + '_ {
+        self.values
+            .iter()
+            .enumerate()
+            .map(move |(k, &v)| (self.time_base.time_of(Step(k as u64)), v))
+    }
+
+    /// Sample mean.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    pub fn mean(&self) -> f64 {
+        assert!(!self.values.is_empty(), "mean of empty trace");
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Minimum sample (`None` when empty).
+    pub fn min(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::min)
+    }
+
+    /// Maximum sample (`None` when empty).
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::max)
+    }
+
+    /// Full summary statistics.
+    pub fn summary(&self) -> Summary {
+        let mut s = RunningStats::new();
+        for &v in &self.values {
+            s.push(v);
+        }
+        s.summary()
+    }
+
+    /// RMSE against another trace over their common prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either trace is empty.
+    pub fn rmse(&self, other: &Trace) -> f64 {
+        let n = self.len().min(other.len());
+        assert!(n > 0, "rmse of empty traces");
+        crate::stats::rmse(&self.values[..n], &other.values[..n])
+    }
+
+    /// Sub-trace over the step range `[start, end)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > end` or `end` exceeds the recorded length.
+    pub fn slice(&self, start: Step, end: Step) -> Trace {
+        assert!(start <= end, "inverted slice range");
+        assert!(end.index() <= self.values.len(), "slice beyond trace end");
+        Trace {
+            name: self.name.clone(),
+            time_base: self.time_base,
+            values: self.values[start.index()..end.index()].to_vec(),
+        }
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} samples)", self.name, self.values.len())
+    }
+}
+
+/// A group of traces sharing one time base; what an experiment returns.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TraceSet {
+    traces: Vec<Trace>,
+}
+
+impl TraceSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a trace; replaces any existing trace with the same name.
+    pub fn insert(&mut self, trace: Trace) {
+        if let Some(existing) = self.traces.iter_mut().find(|t| t.name() == trace.name()) {
+            *existing = trace;
+        } else {
+            self.traces.push(trace);
+        }
+    }
+
+    /// Looks up a trace by name.
+    pub fn get(&self, name: &str) -> Option<&Trace> {
+        self.traces.iter().find(|t| t.name() == name)
+    }
+
+    /// Number of traces.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// `true` when no traces are stored.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Iterator over the traces in insertion order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Trace> {
+        self.traces.iter()
+    }
+
+    /// Writes all traces as CSV: a `time` column followed by one column per
+    /// trace (rows truncated to the shortest trace).
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from the writer.
+    pub fn write_csv<W: Write>(&self, mut w: W) -> io::Result<()> {
+        if self.traces.is_empty() {
+            return Ok(());
+        }
+        write!(w, "time")?;
+        for t in &self.traces {
+            write!(w, ",{}", t.name())?;
+        }
+        writeln!(w)?;
+        let rows = self.traces.iter().map(Trace::len).min().unwrap_or(0);
+        let tb = self.traces[0].time_base();
+        for k in 0..rows {
+            write!(w, "{}", tb.time_of(Step(k as u64)).value())?;
+            for t in &self.traces {
+                write!(w, ",{}", t.values()[k])?;
+            }
+            writeln!(w)?;
+        }
+        Ok(())
+    }
+
+    /// Renders the set as a CSV string.
+    pub fn to_csv(&self) -> String {
+        let mut buf = Vec::new();
+        self.write_csv(&mut buf).expect("writing to Vec cannot fail");
+        String::from_utf8(buf).expect("CSV output is valid UTF-8")
+    }
+}
+
+impl<'a> IntoIterator for &'a TraceSet {
+    type Item = &'a Trace;
+    type IntoIter = std::slice::Iter<'a, Trace>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.traces.iter()
+    }
+}
+
+impl FromIterator<Trace> for TraceSet {
+    fn from_iter<I: IntoIterator<Item = Trace>>(iter: I) -> Self {
+        let mut set = TraceSet::new();
+        for t in iter {
+            set.insert(t);
+        }
+        set
+    }
+}
+
+impl Extend<Trace> for TraceSet {
+    fn extend<I: IntoIterator<Item = Trace>>(&mut self, iter: I) {
+        for t in iter {
+            self.insert(t);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let tb = TimeBase::per_second();
+        Trace::from_values("d", tb, vec![100.0, 99.0, 97.5, 95.0])
+    }
+
+    #[test]
+    fn push_and_get() {
+        let mut t = Trace::new("v", TimeBase::per_second());
+        assert!(t.is_empty());
+        t.push(1.0);
+        t.push(2.0);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(Step(1)), Some(2.0));
+        assert_eq!(t.get(Step(2)), None);
+    }
+
+    #[test]
+    fn times_match_time_base() {
+        let tb = TimeBase::new(Seconds(0.5));
+        let t = Trace::from_values("x", tb, vec![0.0; 4]);
+        assert_eq!(t.times(), vec![0.0, 0.5, 1.0, 1.5]);
+    }
+
+    #[test]
+    fn iter_yields_pairs() {
+        let t = sample_trace();
+        let pairs: Vec<_> = t.iter().collect();
+        assert_eq!(pairs[2], (Seconds(2.0), 97.5));
+    }
+
+    #[test]
+    fn statistics() {
+        let t = sample_trace();
+        assert!((t.mean() - 97.875).abs() < 1e-12);
+        assert_eq!(t.min(), Some(95.0));
+        assert_eq!(t.max(), Some(100.0));
+        let s = t.summary();
+        assert_eq!(s.count, 4);
+    }
+
+    #[test]
+    fn rmse_of_identical_traces_is_zero() {
+        let t = sample_trace();
+        assert_eq!(t.rmse(&t), 0.0);
+    }
+
+    #[test]
+    fn slice_extracts_window() {
+        let t = sample_trace();
+        let w = t.slice(Step(1), Step(3));
+        assert_eq!(w.values(), &[99.0, 97.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "slice beyond trace end")]
+    fn slice_out_of_range_panics() {
+        let _ = sample_trace().slice(Step(0), Step(10));
+    }
+
+    #[test]
+    fn trace_set_insert_replace_and_lookup() {
+        let tb = TimeBase::per_second();
+        let mut set = TraceSet::new();
+        set.insert(Trace::from_values("a", tb, vec![1.0]));
+        set.insert(Trace::from_values("b", tb, vec![2.0]));
+        set.insert(Trace::from_values("a", tb, vec![3.0]));
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.get("a").unwrap().values(), &[3.0]);
+        assert!(set.get("missing").is_none());
+    }
+
+    #[test]
+    fn csv_export_shape() {
+        let tb = TimeBase::per_second();
+        let set: TraceSet = [
+            Trace::from_values("x", tb, vec![1.0, 2.0]),
+            Trace::from_values("y", tb, vec![10.0, 20.0, 30.0]),
+        ]
+        .into_iter()
+        .collect();
+        let csv = set.to_csv();
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines[0], "time,x,y");
+        assert_eq!(lines.len(), 3); // header + 2 rows (shortest trace)
+        assert_eq!(lines[1], "0,1,10");
+    }
+
+    #[test]
+    fn empty_set_csv_is_empty() {
+        assert_eq!(TraceSet::new().to_csv(), "");
+    }
+
+    #[test]
+    fn extend_and_into_iterator() {
+        let tb = TimeBase::per_second();
+        let mut set = TraceSet::new();
+        set.extend([Trace::from_values("x", tb, vec![1.0])]);
+        let names: Vec<_> = (&set).into_iter().map(|t| t.name().to_string()).collect();
+        assert_eq!(names, vec!["x"]);
+    }
+}

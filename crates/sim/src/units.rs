@@ -1,0 +1,486 @@
+//! SI unit newtypes and decibel conversions.
+//!
+//! The radar link budget (paper Eqns 9–11) mixes milliwatts, dBi antenna
+//! gains, dB losses and metre-scale geometry; the vehicle model mixes
+//! miles-per-hour initial conditions with m/s dynamics. Each quantity gets a
+//! newtype so the compiler rejects unit confusion (`C-NEWTYPE`).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// Implements arithmetic, `Display` and accessors shared by all scalar units.
+macro_rules! scalar_unit {
+    ($(#[$meta:meta])* $name:ident, $suffix:expr) => {
+        $(#[$meta])*
+        #[derive(
+            Debug, Default, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize,
+        )]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero value of this unit.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Raw `f64` value in base SI units.
+            #[inline]
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Absolute value.
+            #[inline]
+            pub fn abs(self) -> Self {
+                Self(self.0.abs())
+            }
+
+            /// Returns the larger of `self` and `other`.
+            #[inline]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns the smaller of `self` and `other`.
+            #[inline]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Clamps the value into `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi`.
+            #[inline]
+            pub fn clamp(self, lo: Self, hi: Self) -> Self {
+                assert!(lo.0 <= hi.0, "clamp bounds inverted");
+                Self(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// `true` if the underlying value is finite (not NaN/inf).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl Add for $name {
+            type Output = Self;
+            #[inline]
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = Self;
+            #[inline]
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: Self) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Neg for $name {
+            type Output = Self;
+            #[inline]
+            fn neg(self) -> Self {
+                Self(-self.0)
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = Self;
+            #[inline]
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        impl Div<$name> for $name {
+            /// Ratio of two like quantities is dimensionless.
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl From<f64> for $name {
+            #[inline]
+            fn from(v: f64) -> Self {
+                Self(v)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{} {}", self.0, $suffix)
+            }
+        }
+    };
+}
+
+scalar_unit!(
+    /// Distance in metres.
+    Meters,
+    "m"
+);
+scalar_unit!(
+    /// Speed in metres per second.
+    MetersPerSecond,
+    "m/s"
+);
+scalar_unit!(
+    /// Acceleration in metres per second squared.
+    MetersPerSecondSquared,
+    "m/s^2"
+);
+scalar_unit!(
+    /// Time in seconds.
+    Seconds,
+    "s"
+);
+scalar_unit!(
+    /// Frequency in hertz.
+    Hertz,
+    "Hz"
+);
+scalar_unit!(
+    /// Power in watts.
+    Watts,
+    "W"
+);
+scalar_unit!(
+    /// Angle in radians.
+    Radians,
+    "rad"
+);
+scalar_unit!(
+    /// Logarithmic power ratio in decibels.
+    Decibels,
+    "dB"
+);
+
+/// Speed of light in vacuum, m/s. Used by the FMCW beat-frequency equations.
+pub const SPEED_OF_LIGHT: f64 = 299_792_458.0;
+
+/// Metres per mile; used to convert the paper's mph initial conditions.
+pub const METERS_PER_MILE: f64 = 1_609.344;
+
+impl MetersPerSecond {
+    /// Converts from miles per hour (the paper quotes 65 mph / 67 mph).
+    ///
+    /// ```
+    /// use argus_sim::units::MetersPerSecond;
+    /// let v = MetersPerSecond::from_mph(65.0);
+    /// assert!((v.value() - 29.0574).abs() < 1e-3);
+    /// ```
+    #[inline]
+    pub fn from_mph(mph: f64) -> Self {
+        Self(mph * METERS_PER_MILE / 3600.0)
+    }
+
+    /// Converts to miles per hour.
+    #[inline]
+    pub fn to_mph(self) -> f64 {
+        self.0 * 3600.0 / METERS_PER_MILE
+    }
+
+    /// Converts from kilometres per hour.
+    #[inline]
+    pub fn from_kmh(kmh: f64) -> Self {
+        Self(kmh / 3.6)
+    }
+}
+
+// Cross-unit products that arise in kinematics.
+
+impl Mul<Seconds> for MetersPerSecond {
+    type Output = Meters;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Meters {
+        Meters(self.0 * rhs.0)
+    }
+}
+
+impl Mul<MetersPerSecond> for Seconds {
+    type Output = Meters;
+    #[inline]
+    fn mul(self, rhs: MetersPerSecond) -> Meters {
+        Meters(self.0 * rhs.0)
+    }
+}
+
+impl Mul<Seconds> for MetersPerSecondSquared {
+    type Output = MetersPerSecond;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> MetersPerSecond {
+        MetersPerSecond(self.0 * rhs.0)
+    }
+}
+
+impl Mul<MetersPerSecondSquared> for Seconds {
+    type Output = MetersPerSecond;
+    #[inline]
+    fn mul(self, rhs: MetersPerSecondSquared) -> MetersPerSecond {
+        MetersPerSecond(self.0 * rhs.0)
+    }
+}
+
+impl Div<Seconds> for Meters {
+    type Output = MetersPerSecond;
+    #[inline]
+    fn div(self, rhs: Seconds) -> MetersPerSecond {
+        MetersPerSecond(self.0 / rhs.0)
+    }
+}
+
+impl Div<Seconds> for MetersPerSecond {
+    type Output = MetersPerSecondSquared;
+    #[inline]
+    fn div(self, rhs: Seconds) -> MetersPerSecondSquared {
+        MetersPerSecondSquared(self.0 / rhs.0)
+    }
+}
+
+impl Div<Hertz> for f64 {
+    type Output = Seconds;
+    #[inline]
+    fn div(self, rhs: Hertz) -> Seconds {
+        Seconds(self / rhs.0)
+    }
+}
+
+impl Seconds {
+    /// Reciprocal: period → frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the period is zero.
+    #[inline]
+    pub fn recip(self) -> Hertz {
+        assert!(self.0 != 0.0, "cannot invert a zero period");
+        Hertz(1.0 / self.0)
+    }
+
+    /// Converts from milliseconds (the radar sweep time is quoted in ms).
+    #[inline]
+    pub fn from_millis(ms: f64) -> Self {
+        Self(ms * 1e-3)
+    }
+}
+
+impl Hertz {
+    /// Converts from megahertz (sweep bandwidths are quoted in MHz).
+    #[inline]
+    pub fn from_mhz(mhz: f64) -> Self {
+        Self(mhz * 1e6)
+    }
+
+    /// Converts from gigahertz (carrier frequencies are quoted in GHz).
+    #[inline]
+    pub fn from_ghz(ghz: f64) -> Self {
+        Self(ghz * 1e9)
+    }
+
+    /// Free-space wavelength of a carrier at this frequency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is zero.
+    #[inline]
+    pub fn wavelength(self) -> Meters {
+        assert!(self.0 != 0.0, "zero frequency has no wavelength");
+        Meters(SPEED_OF_LIGHT / self.0)
+    }
+}
+
+impl Watts {
+    /// Converts from milliwatts (transmit powers are quoted in mW).
+    #[inline]
+    pub fn from_milliwatts(mw: f64) -> Self {
+        Self(mw * 1e-3)
+    }
+
+    /// Converts to dBm (decibels referenced to one milliwatt).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the power is not strictly positive.
+    #[inline]
+    pub fn to_dbm(self) -> Decibels {
+        assert!(self.0 > 0.0, "dBm of non-positive power is undefined");
+        Decibels(10.0 * (self.0 / 1e-3).log10())
+    }
+
+    /// Constructs from dBm.
+    #[inline]
+    pub fn from_dbm(dbm: Decibels) -> Self {
+        Self(1e-3 * 10f64.powf(dbm.0 / 10.0))
+    }
+}
+
+impl Decibels {
+    /// Linear power ratio represented by this decibel value.
+    ///
+    /// ```
+    /// use argus_sim::units::Decibels;
+    /// assert!((Decibels(3.0).to_linear() - 1.9953).abs() < 1e-3);
+    /// assert!((Decibels(0.0).to_linear() - 1.0).abs() < 1e-12);
+    /// ```
+    #[inline]
+    pub fn to_linear(self) -> f64 {
+        10f64.powf(self.0 / 10.0)
+    }
+
+    /// Converts a linear power ratio to decibels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is not strictly positive.
+    #[inline]
+    pub fn from_linear(ratio: f64) -> Self {
+        assert!(ratio > 0.0, "decibels of non-positive ratio is undefined");
+        Self(10.0 * ratio.log10())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_behaves_like_f64() {
+        let a = Meters(3.0);
+        let b = Meters(4.5);
+        assert_eq!((a + b).value(), 7.5);
+        assert_eq!((b - a).value(), 1.5);
+        assert_eq!((-a).value(), -3.0);
+        assert_eq!((a * 2.0).value(), 6.0);
+        assert_eq!((2.0 * a).value(), 6.0);
+        assert_eq!((b / 1.5).value(), 3.0);
+        assert_eq!(b / a, 1.5);
+    }
+
+    #[test]
+    fn add_assign_and_sub_assign() {
+        let mut v = MetersPerSecond(10.0);
+        v += MetersPerSecond(2.0);
+        v -= MetersPerSecond(1.0);
+        assert_eq!(v.value(), 11.0);
+    }
+
+    #[test]
+    fn kinematic_products() {
+        let v = MetersPerSecond(10.0);
+        let t = Seconds(3.0);
+        assert_eq!((v * t).value(), 30.0);
+        assert_eq!((t * v).value(), 30.0);
+        let a = MetersPerSecondSquared(2.0);
+        assert_eq!((a * t).value(), 6.0);
+        assert_eq!((Meters(30.0) / t).value(), 10.0);
+        assert_eq!((v / Seconds(5.0)).value(), 2.0);
+    }
+
+    #[test]
+    fn mph_round_trip() {
+        let v = MetersPerSecond::from_mph(65.0);
+        assert!((v.to_mph() - 65.0).abs() < 1e-12);
+        // Paper: 65 mph ≈ 29.06 m/s
+        assert!((v.value() - 29.057).abs() < 1e-2);
+    }
+
+    #[test]
+    fn wavelength_of_77ghz_carrier() {
+        // Paper §4.1: λ = 3.89 mm at 77 GHz.
+        let lambda = Hertz::from_ghz(77.0).wavelength();
+        assert!((lambda.value() - 3.893e-3).abs() < 1e-5);
+    }
+
+    #[test]
+    fn decibel_round_trip() {
+        for db in [-30.0, -3.0, 0.0, 3.0, 10.0, 28.0] {
+            let lin = Decibels(db).to_linear();
+            assert!((Decibels::from_linear(lin).value() - db).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dbm_round_trip() {
+        let p = Watts::from_milliwatts(10.0); // paper's Pt
+        let dbm = p.to_dbm();
+        assert!((dbm.value() - 10.0).abs() < 1e-9);
+        assert!((Watts::from_dbm(dbm).value() - p.value()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn clamp_and_minmax() {
+        let v = MetersPerSecondSquared(5.0);
+        assert_eq!(
+            v.clamp(MetersPerSecondSquared(-2.0), MetersPerSecondSquared(2.0))
+                .value(),
+            2.0
+        );
+        assert_eq!(v.max(MetersPerSecondSquared(7.0)).value(), 7.0);
+        assert_eq!(v.min(MetersPerSecondSquared(1.0)).value(), 1.0);
+        assert_eq!(MetersPerSecondSquared(-5.0).abs().value(), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "clamp bounds inverted")]
+    fn clamp_rejects_inverted_bounds() {
+        let _ = Meters(1.0).clamp(Meters(2.0), Meters(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-positive")]
+    fn decibels_of_zero_ratio_panics() {
+        let _ = Decibels::from_linear(0.0);
+    }
+
+    #[test]
+    fn display_includes_suffix() {
+        assert_eq!(format!("{}", Meters(2.5)), "2.5 m");
+        assert_eq!(format!("{}", Hertz(60.0)), "60 Hz");
+    }
+
+    #[test]
+    fn seconds_frequency_inverse() {
+        let period = Seconds::from_millis(2.0); // paper's sweep time
+        let f = period.recip();
+        assert!((f.value() - 500.0).abs() < 1e-9);
+        let back = 1.0 / f;
+        assert!((back.value() - 2e-3).abs() < 1e-15);
+    }
+}

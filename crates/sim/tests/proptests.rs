@@ -1,0 +1,114 @@
+//! Property-based tests for the simulation substrate.
+
+use argus_sim::prelude::*;
+use argus_sim::stats::{mae, percentile, rmse};
+use argus_sim::units::Decibels;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// dB ↔ linear round trip.
+    #[test]
+    fn decibel_round_trip(db in -80.0f64..80.0) {
+        let lin = Decibels(db).to_linear();
+        prop_assert!((Decibels::from_linear(lin).value() - db).abs() < 1e-9);
+    }
+
+    /// mph ↔ m/s round trip.
+    #[test]
+    fn mph_round_trip(mph in 0.0f64..200.0) {
+        let v = MetersPerSecond::from_mph(mph);
+        prop_assert!((v.to_mph() - mph).abs() < 1e-9);
+    }
+
+    /// Welford merge equals concatenation for arbitrary splits.
+    #[test]
+    fn stats_merge_associative(
+        a in proptest::collection::vec(-100.0f64..100.0, 1..40),
+        b in proptest::collection::vec(-100.0f64..100.0, 1..40),
+    ) {
+        let mut sa = RunningStats::new();
+        let mut sb = RunningStats::new();
+        let mut whole = RunningStats::new();
+        for &x in &a {
+            sa.push(x);
+            whole.push(x);
+        }
+        for &x in &b {
+            sb.push(x);
+            whole.push(x);
+        }
+        sa.merge(&sb);
+        prop_assert_eq!(sa.count(), whole.count());
+        prop_assert!((sa.mean() - whole.mean()).abs() < 1e-9);
+        prop_assert!((sa.variance() - whole.variance()).abs() < 1e-7 * (1.0 + whole.variance()));
+    }
+
+    /// Percentiles are monotone in p and bounded by min/max.
+    #[test]
+    fn percentile_monotone(
+        data in proptest::collection::vec(-50.0f64..50.0, 2..60),
+        p1 in 0.0f64..100.0,
+        p2 in 0.0f64..100.0,
+    ) {
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let v_lo = percentile(&data, lo);
+        let v_hi = percentile(&data, hi);
+        prop_assert!(v_lo <= v_hi + 1e-12);
+        let min = data.iter().cloned().fold(f64::MAX, f64::min);
+        let max = data.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(v_lo >= min - 1e-12 && v_hi <= max + 1e-12);
+    }
+
+    /// RMSE dominates MAE and both are zero only for identical data.
+    #[test]
+    fn rmse_dominates_mae(data in proptest::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 1..50)) {
+        let a: Vec<f64> = data.iter().map(|&(x, _)| x).collect();
+        let b: Vec<f64> = data.iter().map(|&(_, y)| y).collect();
+        prop_assert!(rmse(&a, &b) + 1e-12 >= mae(&a, &b));
+        prop_assert!((rmse(&a, &a)).abs() < 1e-12);
+    }
+
+    /// Substreams with the same label are identical; the parent stream is
+    /// unaffected by deriving them.
+    #[test]
+    fn substreams_stable(seed in any::<u64>(), label in "[a-z]{1,12}") {
+        let parent = SimRng::seed_from(seed);
+        let mut s1 = parent.substream(&label);
+        let mut s2 = parent.substream(&label);
+        for _ in 0..16 {
+            prop_assert_eq!(s1.next_f64(), s2.next_f64());
+        }
+    }
+
+    /// Gaussian sampling respects the configured moments loosely even for
+    /// arbitrary parameters (sanity against unit/scale bugs).
+    #[test]
+    fn gaussian_scaling(mean in -100.0f64..100.0, std in 0.01f64..50.0, seed in any::<u64>()) {
+        let mut rng = SimRng::seed_from(seed);
+        let g = Gaussian::new(mean, std);
+        let n = 2000;
+        let m: f64 = (0..n).map(|_| g.sample(&mut rng)).sum::<f64>() / n as f64;
+        prop_assert!((m - mean).abs() < 6.0 * std / (n as f64).sqrt() + 1e-9);
+    }
+
+    /// Time base: step/time round trip for arbitrary dt.
+    #[test]
+    fn timebase_round_trip(dt in 1e-3f64..10.0, k in 0u64..10_000) {
+        let tb = TimeBase::new(Seconds(dt));
+        let t = tb.time_of(Step(k));
+        prop_assert_eq!(tb.step_of(t), Step(k));
+    }
+
+    /// Trace summary min/max bound every recorded value.
+    #[test]
+    fn trace_summary_bounds(values in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+        let trace = Trace::from_values("x", TimeBase::per_second(), values.clone());
+        let s = trace.summary();
+        for v in values {
+            prop_assert!(v >= s.min - 1e-12 && v <= s.max + 1e-12);
+        }
+        prop_assert!(s.mean >= s.min - 1e-12 && s.mean <= s.max + 1e-12);
+    }
+}

@@ -1,0 +1,139 @@
+//! The ACC-equipped follower vehicle.
+//!
+//! Wires the hierarchical ACC controller (`argus-control`) to the
+//! longitudinal plant: each step the controller consumes the (possibly
+//! estimated, possibly corrupted) radar measurements plus the trusted own
+//! speed, and its lower-level output drives the kinematics.
+
+use argus_control::acc::{AccConfig, AccController, AccOutput};
+use argus_control::ControlError;
+use argus_sim::units::{Meters, MetersPerSecond, Seconds};
+
+use crate::kinematics::LongitudinalState;
+
+/// An ACC-controlled follower.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AccFollower {
+    controller: AccController,
+    state: LongitudinalState,
+    dt: Seconds,
+}
+
+impl AccFollower {
+    /// Creates a follower at `position` with initial `velocity` using the
+    /// given ACC configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates controller configuration errors.
+    pub fn new(
+        config: AccConfig,
+        position: Meters,
+        velocity: MetersPerSecond,
+    ) -> Result<Self, ControlError> {
+        let dt = config.dt;
+        Ok(Self {
+            controller: AccController::new(config)?,
+            state: LongitudinalState::new(position, velocity),
+            dt,
+        })
+    }
+
+    /// Current longitudinal state.
+    pub fn state(&self) -> &LongitudinalState {
+        &self.state
+    }
+
+    /// Own (trusted) speed `v_F` — the paper assumes the ego speed sensor
+    /// is not attackable.
+    pub fn speed(&self) -> MetersPerSecond {
+        self.state.velocity
+    }
+
+    /// The embedded controller.
+    pub fn controller(&self) -> &AccController {
+        &self.controller
+    }
+
+    /// Advances one step given the radar-reported gap and relative speed
+    /// (`None` gap = no target). Returns the controller diagnostics.
+    pub fn step(
+        &mut self,
+        measured_gap: Option<Meters>,
+        measured_relative_speed: MetersPerSecond,
+    ) -> AccOutput {
+        let own = self.speed();
+        let out = self
+            .controller
+            .step(measured_gap, measured_relative_speed, own);
+        self.state.step(out.actual_accel, self.dt);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argus_sim::units::MetersPerSecondSquared;
+
+    fn follower(v_mph: f64) -> AccFollower {
+        let v = MetersPerSecond::from_mph(v_mph);
+        AccFollower::new(
+            AccConfig::paper(MetersPerSecond::from_mph(67.0)),
+            Meters(0.0),
+            v,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn cruises_to_set_speed_without_target() {
+        let mut f = follower(60.0);
+        for _ in 0..200 {
+            f.step(None, MetersPerSecond(0.0));
+        }
+        let v_set = MetersPerSecond::from_mph(67.0).value();
+        assert!(
+            (f.speed().value() - v_set).abs() < 0.1,
+            "converged to {} vs {v_set}",
+            f.speed().value()
+        );
+    }
+
+    #[test]
+    fn follows_decelerating_leader_without_collision() {
+        // The paper's nominal (attack-free) scenario: leader at 65 mph
+        // braking at −0.1082 m/s², follower set to 67 mph, initial gap 100 m.
+        let mut leader = LongitudinalState::new(
+            Meters(100.0),
+            MetersPerSecond::from_mph(65.0),
+        );
+        let mut f = follower(65.0);
+        let mut min_gap = f64::MAX;
+        for _ in 0..300 {
+            let gap = leader.position - f.state().position;
+            let dv = leader.velocity - f.speed();
+            f.step(Some(gap), dv);
+            leader.step(MetersPerSecondSquared(-0.1082), Seconds(1.0));
+            min_gap = min_gap.min((leader.position - f.state().position).value());
+        }
+        assert!(min_gap > 5.0, "minimum gap {min_gap} too small");
+        // Follower must have slowed well below its set speed.
+        assert!(f.speed().value() < MetersPerSecond::from_mph(60.0).value());
+    }
+
+    #[test]
+    fn fake_large_gap_keeps_speed_mode() {
+        let mut f = follower(65.0);
+        let out = f.step(Some(Meters(250.0)), MetersPerSecond(0.0));
+        assert_eq!(out.mode, argus_control::acc::AccMode::SpeedControl);
+    }
+
+    #[test]
+    fn state_advances_each_step() {
+        let mut f = follower(65.0);
+        let x0 = f.state().position;
+        f.step(None, MetersPerSecond(0.0));
+        assert!(f.state().position > x0);
+    }
+}

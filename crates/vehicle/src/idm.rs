@@ -1,0 +1,179 @@
+//! The Intelligent Driver Model (IDM).
+//!
+//! The paper builds its traffic-flow layer "by enhancing the
+//! intelligent-driver model (IDM) with the hierarchical control model of
+//! \[the\] ACC equipped follower". IDM gives the acceleration of a human-like
+//! driver:
+//!
+//! ```text
+//! a = a_max · [1 − (v/v₀)^δ − (s*/s)²]
+//! s* = s₀ + v·T + v·Δv_closing / (2·√(a_max·b))
+//! ```
+//!
+//! where `s` is the gap, `v` the own speed, `Δv_closing = v − v_lead` the
+//! closing speed, `v₀` the desired speed, `T` the time headway, `s₀` the
+//! jam distance, and `b` the comfortable braking deceleration.
+
+use serde::{Deserialize, Serialize};
+
+use argus_sim::units::{Meters, MetersPerSecond, MetersPerSecondSquared, Seconds};
+
+/// IDM parameter set.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IdmParams {
+    /// Desired (free-flow) speed `v₀`.
+    pub desired_speed: MetersPerSecond,
+    /// Safe time headway `T`.
+    pub time_headway: Seconds,
+    /// Maximum acceleration `a_max`.
+    pub max_accel: MetersPerSecondSquared,
+    /// Comfortable braking deceleration `b` (positive).
+    pub comfortable_brake: MetersPerSecondSquared,
+    /// Minimum (jam) distance `s₀`.
+    pub jam_distance: Meters,
+    /// Acceleration exponent δ.
+    pub exponent: f64,
+}
+
+impl IdmParams {
+    /// Typical passenger-car parameters (Treiber's reference values) at the
+    /// given desired speed.
+    pub fn passenger_car(desired_speed: MetersPerSecond) -> Self {
+        Self {
+            desired_speed,
+            time_headway: Seconds(1.5),
+            max_accel: MetersPerSecondSquared(1.4),
+            comfortable_brake: MetersPerSecondSquared(2.0),
+            jam_distance: Meters(2.0),
+            exponent: 4.0,
+        }
+    }
+
+    /// Desired dynamic gap `s*` at own speed `v` against a leader at
+    /// `v_lead`.
+    pub fn desired_gap(&self, v: MetersPerSecond, v_lead: MetersPerSecond) -> Meters {
+        let closing = v.value() - v_lead.value();
+        let dynamic = v.value() * closing
+            / (2.0 * (self.max_accel.value() * self.comfortable_brake.value()).sqrt());
+        Meters(
+            (self.jam_distance.value() + v.value() * self.time_headway.value() + dynamic)
+                .max(self.jam_distance.value()),
+        )
+    }
+
+    /// IDM acceleration with a leader at gap `s` and speed `v_lead`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gap is not strictly positive.
+    pub fn acceleration(
+        &self,
+        v: MetersPerSecond,
+        gap: Meters,
+        v_lead: MetersPerSecond,
+    ) -> MetersPerSecondSquared {
+        assert!(gap.value() > 0.0, "gap must be positive (collision?)");
+        let free = (v.value() / self.desired_speed.value()).powf(self.exponent);
+        let interaction = (self.desired_gap(v, v_lead).value() / gap.value()).powi(2);
+        MetersPerSecondSquared(self.max_accel.value() * (1.0 - free - interaction))
+    }
+
+    /// IDM acceleration on an empty road (no leader).
+    pub fn free_road_acceleration(&self, v: MetersPerSecond) -> MetersPerSecondSquared {
+        let free = (v.value() / self.desired_speed.value()).powf(self.exponent);
+        MetersPerSecondSquared(self.max_accel.value() * (1.0 - free))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> IdmParams {
+        IdmParams::passenger_car(MetersPerSecond(30.0))
+    }
+
+    #[test]
+    fn accelerates_from_standstill_on_free_road() {
+        let p = params();
+        let a = p.free_road_acceleration(MetersPerSecond(0.0));
+        assert!((a.value() - 1.4).abs() < 1e-12, "full a_max from rest");
+    }
+
+    #[test]
+    fn no_acceleration_at_desired_speed_on_free_road() {
+        let p = params();
+        let a = p.free_road_acceleration(MetersPerSecond(30.0));
+        assert!(a.value().abs() < 1e-12);
+    }
+
+    #[test]
+    fn brakes_when_tailgating() {
+        let p = params();
+        let a = p.acceleration(MetersPerSecond(30.0), Meters(5.0), MetersPerSecond(30.0));
+        assert!(a.value() < -2.0, "severe braking expected, got {}", a.value());
+    }
+
+    #[test]
+    fn at_desired_gap_matched_speed_idm_identity_holds() {
+        // At s = s* with matched speeds, IDM gives exactly
+        // a = a_max·(1 − (v/v₀)^δ − 1) = −a_max·(v/v₀)^δ.
+        let p = params();
+        let v = MetersPerSecond(25.0);
+        let gap = p.desired_gap(v, v);
+        let a = p.acceleration(v, gap, v);
+        let expected = -1.4 * (25.0f64 / 30.0).powi(4);
+        assert!((a.value() - expected).abs() < 1e-12, "a = {}", a.value());
+    }
+
+    #[test]
+    fn closing_speed_increases_desired_gap() {
+        let p = params();
+        let v = MetersPerSecond(30.0);
+        let approaching = p.desired_gap(v, MetersPerSecond(20.0));
+        let matched = p.desired_gap(v, MetersPerSecond(30.0));
+        assert!(approaching.value() > matched.value());
+    }
+
+    #[test]
+    fn desired_gap_never_below_jam_distance() {
+        let p = params();
+        // Receding leader (negative closing term) must not shrink s* below s₀.
+        let g = p.desired_gap(MetersPerSecond(1.0), MetersPerSecond(30.0));
+        assert!(g.value() >= p.jam_distance.value());
+    }
+
+    #[test]
+    fn equilibrium_following_in_closed_loop() {
+        // A single IDM car behind a constant-speed leader settles at a
+        // stable gap with matched speed.
+        let p = params();
+        let v_lead = 22.0;
+        let mut v = 30.0f64;
+        let mut gap = 100.0f64;
+        let dt = 0.5;
+        for _ in 0..2000 {
+            let a = p.acceleration(
+                MetersPerSecond(v),
+                Meters(gap.max(0.1)),
+                MetersPerSecond(v_lead),
+            );
+            v = (v + a.value() * dt).max(0.0);
+            gap += (v_lead - v) * dt;
+        }
+        assert!((v - v_lead).abs() < 0.1, "speed {v}");
+        let eq_gap = p
+            .desired_gap(MetersPerSecond(v_lead), MetersPerSecond(v_lead))
+            .value();
+        assert!((gap - eq_gap / (1.0 - (v_lead / 30.0f64).powi(4)).sqrt()).abs() < 8.0,
+            "gap {gap} vs equilibrium ≈ {eq_gap}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "gap must be positive")]
+    fn zero_gap_rejected() {
+        let p = params();
+        let _ = p.acceleration(MetersPerSecond(10.0), Meters(0.0), MetersPerSecond(10.0));
+    }
+}

@@ -1,0 +1,135 @@
+//! Discrete longitudinal kinematics (paper Eqns 15–17).
+//!
+//! ```text
+//! v[k+1] = v[k] + a[k]·dt                      (Eqn 15/16)
+//! x[k+1] = x[k] + v[k]·dt + ½·a[k]·dt²         (Eqn 17)
+//! ```
+//!
+//! Speeds are clamped at zero — the paper's ground vehicles do not reverse.
+
+use serde::{Deserialize, Serialize};
+
+use argus_sim::units::{Meters, MetersPerSecond, MetersPerSecondSquared, Seconds};
+
+/// Longitudinal state of one vehicle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LongitudinalState {
+    /// Position along the lane.
+    pub position: Meters,
+    /// Forward speed (never negative).
+    pub velocity: MetersPerSecond,
+    /// Commanded/actual acceleration applied over the next step.
+    pub acceleration: MetersPerSecondSquared,
+}
+
+impl LongitudinalState {
+    /// Creates a state at `position` with `velocity` and zero acceleration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the velocity is negative.
+    pub fn new(position: Meters, velocity: MetersPerSecond) -> Self {
+        assert!(
+            velocity.value() >= 0.0,
+            "initial velocity must be non-negative"
+        );
+        Self {
+            position,
+            velocity,
+            acceleration: MetersPerSecondSquared(0.0),
+        }
+    }
+
+    /// Advances one step of `dt` under acceleration `a` (Eqns 15–17),
+    /// clamping the speed at zero (and zeroing the distance contribution of
+    /// the clamped part of the step).
+    pub fn step(&mut self, a: MetersPerSecondSquared, dt: Seconds) {
+        let dt_v = dt.value();
+        let v0 = self.velocity.value();
+        let v1 = v0 + a.value() * dt_v;
+        if v1 >= 0.0 {
+            self.position += Meters(v0 * dt_v + 0.5 * a.value() * dt_v * dt_v);
+            self.velocity = MetersPerSecond(v1);
+        } else {
+            // Vehicle stops partway through the step: integrate only until
+            // v = 0 (time v0/|a|), then hold.
+            let t_stop = if a.value() != 0.0 { -v0 / a.value() } else { 0.0 };
+            self.position += Meters(v0 * t_stop + 0.5 * a.value() * t_stop * t_stop);
+            self.velocity = MetersPerSecond(0.0);
+        }
+        self.acceleration = a;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_velocity_motion() {
+        let mut s = LongitudinalState::new(Meters(0.0), MetersPerSecond(10.0));
+        for _ in 0..5 {
+            s.step(MetersPerSecondSquared(0.0), Seconds(1.0));
+        }
+        assert!((s.position.value() - 50.0).abs() < 1e-12);
+        assert!((s.velocity.value() - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_acceleration_motion() {
+        let mut s = LongitudinalState::new(Meters(0.0), MetersPerSecond(0.0));
+        s.step(MetersPerSecondSquared(2.0), Seconds(1.0));
+        // x = ½·a·t² = 1, v = 2.
+        assert!((s.position.value() - 1.0).abs() < 1e-12);
+        assert!((s.velocity.value() - 2.0).abs() < 1e-12);
+        assert_eq!(s.acceleration.value(), 2.0);
+    }
+
+    #[test]
+    fn paper_deceleration_profile() {
+        // 65 mph decelerating at −0.1082 m/s² for 118 s (the attack window).
+        let v0 = MetersPerSecond::from_mph(65.0);
+        let mut s = LongitudinalState::new(Meters(0.0), v0);
+        for _ in 0..118 {
+            s.step(MetersPerSecondSquared(-0.1082), Seconds(1.0));
+        }
+        let expected_v = v0.value() - 0.1082 * 118.0;
+        assert!((s.velocity.value() - expected_v).abs() < 1e-9);
+        assert!(s.velocity.value() > 0.0, "still moving at end of window");
+    }
+
+    #[test]
+    fn speed_clamps_at_zero() {
+        let mut s = LongitudinalState::new(Meters(0.0), MetersPerSecond(1.0));
+        s.step(MetersPerSecondSquared(-5.0), Seconds(1.0));
+        assert_eq!(s.velocity.value(), 0.0);
+        // Stopped after 0.2 s: x = 1·0.2 − ½·5·0.04 = 0.1.
+        assert!((s.position.value() - 0.1).abs() < 1e-12);
+        // Further braking keeps it parked.
+        s.step(MetersPerSecondSquared(-5.0), Seconds(1.0));
+        assert_eq!(s.velocity.value(), 0.0);
+        assert!((s.position.value() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smaller_dt_converges_to_continuous_solution() {
+        // Integrating v̇ = a with the exact per-step update is exact for
+        // constant a regardless of dt; check consistency across dt choices.
+        let run = |dt: f64, steps: usize| {
+            let mut s = LongitudinalState::new(Meters(0.0), MetersPerSecond(20.0));
+            for _ in 0..steps {
+                s.step(MetersPerSecondSquared(-1.0), Seconds(dt));
+            }
+            s.position.value()
+        };
+        let coarse = run(1.0, 10);
+        let fine = run(0.01, 1000);
+        assert!((coarse - fine).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_initial_velocity_rejected() {
+        let _ = LongitudinalState::new(Meters(0.0), MetersPerSecond(-1.0));
+    }
+}

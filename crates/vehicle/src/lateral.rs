@@ -1,0 +1,299 @@
+//! Lateral (planar) vehicle dynamics — the paper's §7 future work
+//! ("extend our case study … to include a non-linear system model with
+//! lateral dynamics"), implemented as the standard kinematic bicycle model:
+//!
+//! ```text
+//! ẋ = v·cos(ψ)        ψ̇ = v·tan(δ)/L
+//! ẏ = v·sin(ψ)        v̇ = a
+//! ```
+//!
+//! with position `(x, y)`, heading ψ, speed `v`, wheelbase `L` and front
+//! steering angle δ. Integration is explicit Euler at the simulation step —
+//! adequate at automotive speeds and the 1–100 ms steps used here.
+
+use serde::{Deserialize, Serialize};
+
+use argus_sim::units::{Meters, MetersPerSecond, MetersPerSecondSquared, Radians, Seconds};
+
+/// Planar pose and motion state of a bicycle-model vehicle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlanarState {
+    /// Longitudinal world position.
+    pub x: Meters,
+    /// Lateral world position.
+    pub y: Meters,
+    /// Heading angle (0 = along +x).
+    pub heading: Radians,
+    /// Forward speed (never negative).
+    pub speed: MetersPerSecond,
+}
+
+/// Kinematic bicycle model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BicycleModel {
+    wheelbase: Meters,
+    max_steer: Radians,
+    state: PlanarState,
+}
+
+impl BicycleModel {
+    /// Creates a vehicle with the given wheelbase and steering limit,
+    /// starting from `state`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the wheelbase or steering limit is not strictly positive,
+    /// or the initial speed is negative.
+    pub fn new(wheelbase: Meters, max_steer: Radians, state: PlanarState) -> Self {
+        assert!(wheelbase.value() > 0.0, "wheelbase must be positive");
+        assert!(
+            max_steer.value() > 0.0 && max_steer.value() < std::f64::consts::FRAC_PI_2,
+            "steering limit must be in (0, π/2)"
+        );
+        assert!(state.speed.value() >= 0.0, "speed must be non-negative");
+        Self {
+            wheelbase,
+            max_steer,
+            state,
+        }
+    }
+
+    /// A typical passenger car: 2.7 m wheelbase, ±30° steering.
+    pub fn passenger_car(state: PlanarState) -> Self {
+        Self::new(Meters(2.7), Radians(30f64.to_radians()), state)
+    }
+
+    /// Current state.
+    pub fn state(&self) -> &PlanarState {
+        &self.state
+    }
+
+    /// Wheelbase `L`.
+    pub fn wheelbase(&self) -> Meters {
+        self.wheelbase
+    }
+
+    /// Steering limit.
+    pub fn max_steer(&self) -> Radians {
+        self.max_steer
+    }
+
+    /// Advances one step with steering angle `steer` (clamped to the limit)
+    /// and longitudinal acceleration `accel`; speed clamps at zero.
+    pub fn step(
+        &mut self,
+        steer: Radians,
+        accel: MetersPerSecondSquared,
+        dt: Seconds,
+    ) -> &PlanarState {
+        let delta = steer
+            .value()
+            .clamp(-self.max_steer.value(), self.max_steer.value());
+        let v = self.state.speed.value();
+        let psi = self.state.heading.value();
+        let dt_v = dt.value();
+        self.state.x += Meters(v * psi.cos() * dt_v);
+        self.state.y += Meters(v * psi.sin() * dt_v);
+        self.state.heading =
+            Radians(wrap_angle(psi + v * delta.tan() / self.wheelbase.value() * dt_v));
+        self.state.speed = MetersPerSecond((v + accel.value() * dt_v).max(0.0));
+        &self.state
+    }
+
+    /// Turning radius at a given steering angle: `R = L / tan(δ)`
+    /// (`None` for straight-ahead steering).
+    pub fn turning_radius(&self, steer: Radians) -> Option<Meters> {
+        let t = steer.value().tan();
+        if t.abs() < 1e-12 {
+            None
+        } else {
+            Some(Meters(self.wheelbase.value() / t.abs()))
+        }
+    }
+}
+
+/// Wraps an angle to `(-π, π]`.
+fn wrap_angle(a: f64) -> f64 {
+    let mut a = (a + std::f64::consts::PI).rem_euclid(2.0 * std::f64::consts::PI)
+        - std::f64::consts::PI;
+    if a <= -std::f64::consts::PI {
+        a += 2.0 * std::f64::consts::PI;
+    }
+    a
+}
+
+/// Stanley lane-keeping controller: steers to cancel the heading error plus
+/// the cross-track error term `atan(k·e/v)` against a straight lane along
+/// `y = lane_center`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LaneKeeping {
+    gain: f64,
+    lane_center: Meters,
+    softening: f64,
+}
+
+impl LaneKeeping {
+    /// Creates a controller with cross-track gain `gain` for a lane centred
+    /// at `lane_center`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gain is not strictly positive.
+    pub fn new(gain: f64, lane_center: Meters) -> Self {
+        assert!(gain > 0.0, "gain must be positive");
+        Self {
+            gain,
+            lane_center,
+            softening: 1.0,
+        }
+    }
+
+    /// Lane centre being tracked.
+    pub fn lane_center(&self) -> Meters {
+        self.lane_center
+    }
+
+    /// Retargets the controller to a new lane centre (lane change).
+    pub fn set_lane_center(&mut self, center: Meters) {
+        self.lane_center = center;
+    }
+
+    /// Steering command for the current vehicle state.
+    pub fn steer(&self, state: &PlanarState) -> Radians {
+        let heading_error = -state.heading.value(); // lane runs along +x
+        let cross_track = self.lane_center.value() - state.y.value();
+        let speed = state.speed.value().max(0.0);
+        let correction = (self.gain * cross_track / (self.softening + speed)).atan();
+        Radians(wrap_angle(heading_error + correction))
+    }
+
+    /// Absolute cross-track error of a state.
+    pub fn cross_track_error(&self, state: &PlanarState) -> Meters {
+        Meters((self.lane_center.value() - state.y.value()).abs())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cruising(y: f64, heading: f64, speed: f64) -> PlanarState {
+        PlanarState {
+            x: Meters(0.0),
+            y: Meters(y),
+            heading: Radians(heading),
+            speed: MetersPerSecond(speed),
+        }
+    }
+
+    #[test]
+    fn straight_line_motion() {
+        let mut car = BicycleModel::passenger_car(cruising(0.0, 0.0, 20.0));
+        for _ in 0..10 {
+            car.step(Radians(0.0), MetersPerSecondSquared(0.0), Seconds(0.1));
+        }
+        assert!((car.state().x.value() - 20.0).abs() < 1e-9);
+        assert!(car.state().y.value().abs() < 1e-12);
+        assert!(car.state().heading.value().abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_steer_traces_a_circle() {
+        let mut car = BicycleModel::passenger_car(cruising(0.0, 0.0, 10.0));
+        let steer = Radians(0.1);
+        let radius = car.turning_radius(steer).unwrap().value();
+        // Drive half the circumference in small steps.
+        let dt = 0.001;
+        let steps = (std::f64::consts::PI * radius / 10.0 / dt) as usize;
+        for _ in 0..steps {
+            car.step(steer, MetersPerSecondSquared(0.0), Seconds(dt));
+        }
+        // After half a turn the heading flipped and y ≈ 2R.
+        assert!(
+            (car.state().heading.value().abs() - std::f64::consts::PI).abs() < 0.05,
+            "heading {}",
+            car.state().heading.value()
+        );
+        assert!(
+            (car.state().y.value() - 2.0 * radius).abs() < 0.5,
+            "y {} vs 2R {}",
+            car.state().y.value(),
+            2.0 * radius
+        );
+    }
+
+    #[test]
+    fn steering_is_clamped() {
+        let mut car = BicycleModel::passenger_car(cruising(0.0, 0.0, 10.0));
+        let mut clamped = car;
+        car.step(Radians(0.5), MetersPerSecondSquared(0.0), Seconds(0.1));
+        clamped.step(Radians(10.0), MetersPerSecondSquared(0.0), Seconds(0.1));
+        // 0.5 rad < 30° is false (30° ≈ 0.524), so 0.5 passes; 10 clamps to
+        // the limit, which is larger than 0.5 → more yaw.
+        assert!(clamped.state().heading.value() > car.state().heading.value());
+        let limit = BicycleModel::passenger_car(cruising(0.0, 0.0, 10.0))
+            .max_steer()
+            .value();
+        assert!(limit < 0.53 && limit > 0.52);
+    }
+
+    #[test]
+    fn lane_keeping_converges_from_offset() {
+        let mut car = BicycleModel::passenger_car(cruising(2.5, 0.0, 25.0));
+        let ctrl = LaneKeeping::new(2.0, Meters(0.0));
+        for _ in 0..600 {
+            let steer = ctrl.steer(car.state());
+            car.step(steer, MetersPerSecondSquared(0.0), Seconds(0.02));
+        }
+        assert!(
+            ctrl.cross_track_error(car.state()).value() < 0.05,
+            "cross-track {}",
+            ctrl.cross_track_error(car.state()).value()
+        );
+        assert!(car.state().heading.value().abs() < 0.02);
+    }
+
+    #[test]
+    fn lane_change_tracks_new_center() {
+        let mut car = BicycleModel::passenger_car(cruising(0.0, 0.0, 20.0));
+        let mut ctrl = LaneKeeping::new(2.0, Meters(0.0));
+        ctrl.set_lane_center(Meters(3.5)); // one lane to the left
+        for _ in 0..800 {
+            let steer = ctrl.steer(car.state());
+            car.step(steer, MetersPerSecondSquared(0.0), Seconds(0.02));
+        }
+        assert!((car.state().y.value() - 3.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn speed_clamps_at_zero() {
+        let mut car = BicycleModel::passenger_car(cruising(0.0, 0.0, 1.0));
+        for _ in 0..30 {
+            car.step(Radians(0.0), MetersPerSecondSquared(-2.0), Seconds(0.1));
+        }
+        assert_eq!(car.state().speed.value(), 0.0);
+    }
+
+    #[test]
+    fn angle_wrapping() {
+        assert!((wrap_angle(3.0 * std::f64::consts::PI) - std::f64::consts::PI).abs() < 1e-12);
+        assert!((wrap_angle(-3.0 * std::f64::consts::PI) - std::f64::consts::PI).abs() < 1e-12);
+        assert_eq!(wrap_angle(0.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "wheelbase must be positive")]
+    fn zero_wheelbase_rejected() {
+        let _ = BicycleModel::new(
+            Meters(0.0),
+            Radians(0.5),
+            cruising(0.0, 0.0, 0.0),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "gain must be positive")]
+    fn zero_gain_rejected() {
+        let _ = LaneKeeping::new(0.0, Meters(0.0));
+    }
+}

@@ -1,0 +1,119 @@
+//! Leader-vehicle speed profiles.
+//!
+//! The paper's two scenarios (§6.2):
+//!
+//! 1. constant deceleration at −0.1082 m/s² (Figure 2);
+//! 2. deceleration at −0.1082 m/s² followed by acceleration at
+//!    +0.012 m/s² (Figure 3).
+
+use serde::{Deserialize, Serialize};
+
+use argus_sim::time::Step;
+use argus_sim::units::MetersPerSecondSquared;
+
+/// A deterministic acceleration schedule for the leader vehicle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LeaderProfile {
+    /// Hold the initial speed.
+    ConstantSpeed,
+    /// Apply one constant acceleration for the whole run.
+    ConstantAccel(MetersPerSecondSquared),
+    /// Piecewise-constant: each `(from_step, accel)` entry applies from its
+    /// step (inclusive) until the next entry. Entries must be sorted by
+    /// step.
+    Phased(Vec<(Step, MetersPerSecondSquared)>),
+}
+
+impl LeaderProfile {
+    /// Figure 2's profile: constant −0.1082 m/s².
+    pub fn paper_constant_decel() -> Self {
+        LeaderProfile::ConstantAccel(MetersPerSecondSquared(-0.1082))
+    }
+
+    /// Figure 3's profile: −0.1082 m/s² until `switch`, +0.012 m/s² after.
+    pub fn paper_decel_then_accel(switch: Step) -> Self {
+        LeaderProfile::Phased(vec![
+            (Step(0), MetersPerSecondSquared(-0.1082)),
+            (switch, MetersPerSecondSquared(0.012)),
+        ])
+    }
+
+    /// Acceleration commanded at step `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for a [`LeaderProfile::Phased`] profile whose entries are
+    /// unsorted or which does not start at step 0.
+    pub fn acceleration_at(&self, k: Step) -> MetersPerSecondSquared {
+        match self {
+            LeaderProfile::ConstantSpeed => MetersPerSecondSquared(0.0),
+            LeaderProfile::ConstantAccel(a) => *a,
+            LeaderProfile::Phased(phases) => {
+                assert!(
+                    phases.first().map(|(s, _)| *s) == Some(Step(0)),
+                    "phased profile must start at step 0"
+                );
+                assert!(
+                    phases.windows(2).all(|w| w[0].0 < w[1].0),
+                    "phased profile must be sorted by step"
+                );
+                phases
+                    .iter()
+                    .rev()
+                    .find(|(from, _)| k >= *from)
+                    .map(|(_, a)| *a)
+                    .expect("profile covers step 0 onward")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_speed_is_zero_accel() {
+        let p = LeaderProfile::ConstantSpeed;
+        assert_eq!(p.acceleration_at(Step(0)).value(), 0.0);
+        assert_eq!(p.acceleration_at(Step(299)).value(), 0.0);
+    }
+
+    #[test]
+    fn paper_constant_decel_value() {
+        let p = LeaderProfile::paper_constant_decel();
+        assert_eq!(p.acceleration_at(Step(100)).value(), -0.1082);
+    }
+
+    #[test]
+    fn phased_switches_at_boundary() {
+        let p = LeaderProfile::paper_decel_then_accel(Step(150));
+        assert_eq!(p.acceleration_at(Step(149)).value(), -0.1082);
+        assert_eq!(p.acceleration_at(Step(150)).value(), 0.012);
+        assert_eq!(p.acceleration_at(Step(299)).value(), 0.012);
+    }
+
+    #[test]
+    fn phased_first_entry_applies_from_zero() {
+        let p = LeaderProfile::paper_decel_then_accel(Step(150));
+        assert_eq!(p.acceleration_at(Step(0)).value(), -0.1082);
+    }
+
+    #[test]
+    #[should_panic(expected = "must start at step 0")]
+    fn phased_must_cover_zero() {
+        let p = LeaderProfile::Phased(vec![(Step(10), MetersPerSecondSquared(1.0))]);
+        let _ = p.acceleration_at(Step(20));
+    }
+
+    #[test]
+    #[should_panic(expected = "sorted")]
+    fn phased_must_be_sorted() {
+        let p = LeaderProfile::Phased(vec![
+            (Step(0), MetersPerSecondSquared(1.0)),
+            (Step(50), MetersPerSecondSquared(2.0)),
+            (Step(20), MetersPerSecondSquared(3.0)),
+        ]);
+        let _ = p.acceleration_at(Step(20));
+    }
+}

@@ -1,0 +1,32 @@
+//! # argus-vehicle — car-following models (paper §6.1)
+//!
+//! The longitudinal vehicle substrate for the case study:
+//!
+//! * [`kinematics`] — discrete longitudinal integration (Eqns 15–17).
+//! * [`idm`] — the Intelligent Driver Model the paper's traffic-flow layer
+//!   builds on.
+//! * [`leader`] — leader-vehicle speed profiles: constant deceleration
+//!   (Figure 2) and deceleration-then-acceleration (Figure 3).
+//! * [`follower`] — the ACC-equipped follower: hierarchical controller
+//!   (from `argus-control`) driving the plant kinematics.
+//! * [`pair`] — a leader/follower pair advanced in lockstep, exposing the
+//!   ground-truth gap and relative speed the radar measures.
+//! * [`lateral`] — the paper's §7 future work: a kinematic bicycle model
+//!   with a Stanley lane-keeping controller for planar scenarios.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod follower;
+pub mod idm;
+pub mod kinematics;
+pub mod lateral;
+pub mod leader;
+pub mod pair;
+
+pub use follower::AccFollower;
+pub use idm::IdmParams;
+pub use kinematics::LongitudinalState;
+pub use lateral::{BicycleModel, LaneKeeping, PlanarState};
+pub use leader::LeaderProfile;
+pub use pair::VehiclePair;

@@ -1,0 +1,185 @@
+//! A leader/follower pair advanced in lockstep — the physical ground truth
+//! the radar observes and the attacker manipulates.
+
+use argus_control::acc::{AccConfig, AccOutput};
+use argus_control::ControlError;
+use argus_sim::time::Step;
+use argus_sim::units::{Meters, MetersPerSecond, Seconds};
+
+use crate::follower::AccFollower;
+use crate::kinematics::LongitudinalState;
+use crate::leader::LeaderProfile;
+
+/// The paper's initial conditions: leader at 65 mph, follower set-speed
+/// 67 mph, 100 m initial gap.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VehiclePair {
+    leader: LongitudinalState,
+    follower: AccFollower,
+    profile: LeaderProfile,
+    dt: Seconds,
+    step: Step,
+}
+
+impl VehiclePair {
+    /// Creates a pair with explicit initial conditions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ACC configuration errors.
+    pub fn new(
+        acc: AccConfig,
+        profile: LeaderProfile,
+        initial_gap: Meters,
+        leader_speed: MetersPerSecond,
+        follower_speed: MetersPerSecond,
+    ) -> Result<Self, ControlError> {
+        if initial_gap.value() <= 0.0 {
+            return Err(ControlError::BadParameter {
+                name: "initial_gap",
+                message: format!("must be positive, got {initial_gap}"),
+            });
+        }
+        let dt = acc.dt;
+        Ok(Self {
+            leader: LongitudinalState::new(initial_gap, leader_speed),
+            follower: AccFollower::new(acc, Meters(0.0), follower_speed)?,
+            profile,
+            dt,
+            step: Step::ZERO,
+        })
+    }
+
+    /// The paper's case-study setup with a given leader profile:
+    /// 65 mph leader, 67 mph set speed, 100 m gap, 1 s sampling.
+    ///
+    /// # Errors
+    ///
+    /// Propagates ACC configuration errors.
+    pub fn paper(profile: LeaderProfile) -> Result<Self, ControlError> {
+        Self::new(
+            AccConfig::paper(MetersPerSecond::from_mph(67.0)),
+            profile,
+            Meters(100.0),
+            MetersPerSecond::from_mph(65.0),
+            MetersPerSecond::from_mph(65.0),
+        )
+    }
+
+    /// Current step index.
+    pub fn step_index(&self) -> Step {
+        self.step
+    }
+
+    /// True inter-vehicle gap (leader position − follower position).
+    pub fn gap(&self) -> Meters {
+        self.leader.position - self.follower.state().position
+    }
+
+    /// True relative speed `Δv = v_L − v_F` (positive = gap opening).
+    pub fn relative_speed(&self) -> MetersPerSecond {
+        self.leader.velocity - self.follower.speed()
+    }
+
+    /// Leader state.
+    pub fn leader(&self) -> &LongitudinalState {
+        &self.leader
+    }
+
+    /// Follower vehicle.
+    pub fn follower(&self) -> &AccFollower {
+        &self.follower
+    }
+
+    /// `true` once the vehicles have collided (gap ≤ 0).
+    pub fn collided(&self) -> bool {
+        self.gap().value() <= 0.0
+    }
+
+    /// Advances both vehicles one step. The follower's controller consumes
+    /// the supplied measurements (which may be clean, corrupted, or
+    /// estimated); the leader follows its profile.
+    pub fn advance(
+        &mut self,
+        measured_gap: Option<Meters>,
+        measured_relative_speed: MetersPerSecond,
+    ) -> AccOutput {
+        let out = self.follower.step(measured_gap, measured_relative_speed);
+        let a_leader = self.profile.acceleration_at(self.step);
+        self.leader.step(a_leader, self.dt);
+        self.step = self.step.next();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_initial_conditions() {
+        let p = VehiclePair::paper(LeaderProfile::ConstantSpeed).unwrap();
+        assert!((p.gap().value() - 100.0).abs() < 1e-12);
+        assert!((p.leader().velocity.value() - 29.0574).abs() < 1e-3);
+        assert_eq!(p.relative_speed().value(), 0.0);
+        assert!(!p.collided());
+    }
+
+    #[test]
+    fn truth_fed_follower_avoids_collision_in_both_scenarios() {
+        for profile in [
+            LeaderProfile::paper_constant_decel(),
+            LeaderProfile::paper_decel_then_accel(Step(150)),
+        ] {
+            let mut pair = VehiclePair::paper(profile.clone()).unwrap();
+            let mut min_gap = f64::MAX;
+            for _ in 0..300 {
+                let gap = pair.gap();
+                let dv = pair.relative_speed();
+                pair.advance(Some(gap), dv);
+                min_gap = min_gap.min(pair.gap().value());
+            }
+            assert!(min_gap > 4.0, "{profile:?}: min gap {min_gap}");
+        }
+    }
+
+    #[test]
+    fn frozen_fake_measurements_cause_collision_course() {
+        // Feed the follower a permanently huge gap: it cruises at set speed
+        // while the leader brakes → the true gap collapses (this is what an
+        // undetected attack does).
+        let mut pair = VehiclePair::paper(LeaderProfile::paper_constant_decel()).unwrap();
+        let mut min_gap = f64::MAX;
+        for _ in 0..300 {
+            pair.advance(Some(Meters(190.0)), MetersPerSecond(0.0));
+            min_gap = min_gap.min(pair.gap().value());
+            if pair.collided() {
+                break;
+            }
+        }
+        assert!(
+            pair.collided() || min_gap < 5.0,
+            "expected a (near-)collision, min gap {min_gap}"
+        );
+    }
+
+    #[test]
+    fn step_counter_advances() {
+        let mut pair = VehiclePair::paper(LeaderProfile::ConstantSpeed).unwrap();
+        assert_eq!(pair.step_index(), Step(0));
+        pair.advance(None, MetersPerSecond(0.0));
+        assert_eq!(pair.step_index(), Step(1));
+    }
+
+    #[test]
+    fn zero_gap_rejected() {
+        let r = VehiclePair::new(
+            AccConfig::paper(MetersPerSecond(30.0)),
+            LeaderProfile::ConstantSpeed,
+            Meters(0.0),
+            MetersPerSecond(29.0),
+            MetersPerSecond(29.0),
+        );
+        assert!(r.is_err());
+    }
+}

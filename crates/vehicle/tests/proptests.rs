@@ -1,0 +1,93 @@
+//! Property-based tests for the vehicle models.
+
+use argus_sim::time::Step;
+use argus_sim::units::*;
+use argus_vehicle::idm::IdmParams;
+use argus_vehicle::kinematics::LongitudinalState;
+use argus_vehicle::leader::LeaderProfile;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Position never decreases and speed never goes negative, whatever
+    /// acceleration sequence is applied.
+    #[test]
+    fn kinematics_forward_only(
+        v0 in 0.0f64..40.0,
+        accels in proptest::collection::vec(-8.0f64..4.0, 1..100),
+    ) {
+        let mut s = LongitudinalState::new(Meters(0.0), MetersPerSecond(v0));
+        let mut prev_pos = 0.0;
+        for &a in &accels {
+            s.step(MetersPerSecondSquared(a), Seconds(1.0));
+            prop_assert!(s.velocity.value() >= 0.0);
+            prop_assert!(s.position.value() >= prev_pos - 1e-12);
+            prev_pos = s.position.value();
+        }
+    }
+
+    /// Constant-acceleration kinematics match the closed form while the
+    /// vehicle keeps moving.
+    #[test]
+    fn kinematics_closed_form(v0 in 1.0f64..40.0, a in -0.2f64..2.0, n in 1usize..50) {
+        let mut s = LongitudinalState::new(Meters(0.0), MetersPerSecond(v0));
+        prop_assume!(v0 + a * n as f64 > 0.0);
+        for _ in 0..n {
+            s.step(MetersPerSecondSquared(a), Seconds(1.0));
+        }
+        let t = n as f64;
+        prop_assert!((s.velocity.value() - (v0 + a * t)).abs() < 1e-9);
+        prop_assert!((s.position.value() - (v0 * t + 0.5 * a * t * t)).abs() < 1e-9);
+    }
+
+    /// The IDM desired gap is never below the jam distance and grows with
+    /// closing speed.
+    #[test]
+    fn idm_desired_gap_properties(v in 0.0f64..40.0, v_lead in 0.0f64..40.0) {
+        let p = IdmParams::passenger_car(MetersPerSecond(33.0));
+        let gap = p.desired_gap(MetersPerSecond(v), MetersPerSecond(v_lead));
+        prop_assert!(gap.value() >= p.jam_distance.value() - 1e-12);
+        // Slower leader (more closing) at same own speed ⇒ larger s*.
+        if v_lead >= 1.0 {
+            let tighter = p.desired_gap(MetersPerSecond(v), MetersPerSecond(v_lead - 1.0));
+            prop_assert!(tighter.value() >= gap.value() - 1e-9);
+        }
+    }
+
+    /// IDM acceleration is bounded above by a_max and decreases as the gap
+    /// shrinks.
+    #[test]
+    fn idm_acceleration_monotone_in_gap(
+        v in 0.5f64..35.0,
+        g1 in 5.0f64..200.0,
+        extra in 1.0f64..100.0,
+    ) {
+        let p = IdmParams::passenger_car(MetersPerSecond(33.0));
+        let tight = p.acceleration(MetersPerSecond(v), Meters(g1), MetersPerSecond(v));
+        let loose = p.acceleration(MetersPerSecond(v), Meters(g1 + extra), MetersPerSecond(v));
+        prop_assert!(tight.value() <= loose.value() + 1e-12);
+        prop_assert!(loose.value() <= p.max_accel.value() + 1e-12);
+    }
+
+    /// Phased leader profiles select the phase whose start is the largest
+    /// one not exceeding k.
+    #[test]
+    fn leader_profile_phase_selection(
+        breaks in proptest::collection::btree_set(1u64..299, 1..5),
+        k in 0u64..300,
+    ) {
+        let mut phases = vec![(Step(0), MetersPerSecondSquared(0.0))];
+        for (i, &b) in breaks.iter().enumerate() {
+            phases.push((Step(b), MetersPerSecondSquared(i as f64 + 1.0)));
+        }
+        let profile = LeaderProfile::Phased(phases.clone());
+        let expected = phases
+            .iter()
+            .rev()
+            .find(|(from, _)| Step(k) >= *from)
+            .map(|(_, a)| a.value())
+            .unwrap();
+        prop_assert_eq!(profile.acceleration_at(Step(k)).value(), expected);
+    }
+}

@@ -1,0 +1,48 @@
+//! DoS (jamming) attack walkthrough.
+//!
+//! Shows the link-budget mathematics of the paper's Eqns 9–11 — when does a
+//! self-screening jammer capture the victim radar? — and then runs the
+//! closed-loop scenario to show the consequences with and without the
+//! CRA + RLS defense.
+//!
+//! ```sh
+//! cargo run --example dos_attack
+//! ```
+
+use argus_attack::Jammer;
+use argus_core::prelude::*;
+use argus_core::scenario::{Scenario, ScenarioConfig};
+use argus_sim::units::Meters;
+
+fn main() {
+    let radar = RadarConfig::bosch_lrr2();
+    let jammer = Jammer::paper();
+
+    println!("Eqn 11 power ratio P_r / P_jammer vs distance (RCS 10 m²):");
+    println!("{:>10} {:>14} {:>10}", "d (m)", "ratio", "captured?");
+    for d in [2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 150.0, 200.0] {
+        let ratio = jammer.power_ratio(&radar, Meters(d), 10.0);
+        println!(
+            "{d:>10.0} {ratio:>14.6} {:>10}",
+            if ratio < 1.0 { "yes" } else { "no" }
+        );
+    }
+
+    println!("\nClosed loop, Figure 2a conditions (leader braking, DoS from k=182):");
+    for defended in [true, false] {
+        let result = Scenario::new(ScenarioConfig::paper(
+            LeaderProfile::paper_constant_decel(),
+            Adversary::paper_dos(),
+            defended,
+        ))
+        .run(7);
+        let m = &result.metrics;
+        println!(
+            "  defense {:>3}: min gap {:>7.2} m, collided: {:>5}, detection: {:?}",
+            if defended { "ON" } else { "OFF" },
+            m.min_gap,
+            m.collided,
+            m.detection_step.map(|s| s.0)
+        );
+    }
+}

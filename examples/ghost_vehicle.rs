@@ -1,0 +1,75 @@
+//! Ghost-vehicle attack demo (extension beyond the paper's two attacks):
+//! the replay attacker injects a counterfeit echo at 45 m — a "ghost car"
+//! cutting in — to make the ACC brake for a vehicle that does not exist.
+//! The multi-target tracker confirms the ghost like any real target, but
+//! CRA catches the attacker's transmission at the first challenge.
+//!
+//! ```sh
+//! cargo run --example ghost_vehicle
+//! ```
+
+use argus_core::tracker::{MultiTargetTracker, TrackerConfig};
+use argus_cra::{ChallengeSchedule, CraDetector};
+use argus_radar::prelude::*;
+use argus_sim::prelude::*;
+use argus_sim::time::Step;
+
+fn main() {
+    let radar = Radar::new(RadarConfig::bosch_lrr2());
+    let schedule = ChallengeSchedule::from_steps([5u64, 17, 29, 41].map(Step));
+    let mut detector = CraDetector::new(schedule, radar.config().detection_threshold);
+    let mut tracker = MultiTargetTracker::new(TrackerConfig::default());
+    let mut rng = SimRng::seed_from(7);
+
+    // One real leader at 100 m; the ghost appears from k = 20.
+    let real = RadarTarget::new(Meters(100.0), MetersPerSecond(-1.0), 10.0);
+    let ghost_power = Watts(radar.echo_power(&real).value() * 3.0);
+
+    println!(
+        "{:>4} {:>6} {:>9} {:>22} {:>10}",
+        "k", "tx", "tracks", "primary (d, v)", "verdict"
+    );
+    for k in 0..48u64 {
+        let step = Step(k);
+        let tx_on = detector.tx_on(step);
+        let channel = if k >= 20 {
+            // The ghost "cuts in" at 60 m and closes at 1 m/s.
+            ChannelState::spoofed(Echo::new(
+                Meters(60.0 - (k - 20) as f64),
+                MetersPerSecond(-1.0),
+                ghost_power,
+            ))
+        } else {
+            ChannelState::clean()
+        };
+        let obs = radar.observe_multi(tx_on, &[real], &channel, 3, &mut rng);
+        let verdict = detector.update(step, obs.received_power);
+        tracker.update(&obs.measurements);
+
+        if k % 4 == 0 || verdict.under_attack() && k < 32 {
+            let primary = tracker
+                .primary()
+                .map(|t| {
+                    format!(
+                        "({:.1} m, {:+.1} m/s)",
+                        t.distance().value(),
+                        t.range_rate().value()
+                    )
+                })
+                .unwrap_or_else(|| "-".into());
+            println!(
+                "{k:>4} {:>6} {:>9} {:>22} {:>10}",
+                if tx_on { "on" } else { "OFF" },
+                tracker.tracks().len(),
+                primary,
+                if verdict.under_attack() { "ATTACK" } else { "clean" }
+            );
+        }
+    }
+    println!(
+        "\nThe ghost becomes the primary track (the ACC would brake \n\
+         for it) — but the detector flags the channel at the first challenge \n\
+         after k = 20 (k = 29), detection step {:?}.",
+        detector.first_detection().map(|s| s.0)
+    );
+}

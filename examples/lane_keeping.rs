@@ -1,0 +1,61 @@
+//! Lateral-dynamics demo (the paper's §7 future work): a kinematic bicycle
+//! model recovering from a lane offset and executing a lane change under a
+//! Stanley lane-keeping controller, while the longitudinal ACC holds speed.
+//!
+//! ```sh
+//! cargo run --example lane_keeping
+//! ```
+
+use argus_control::acc::{AccConfig, AccController};
+use argus_sim::units::*;
+use argus_vehicle::lateral::{BicycleModel, LaneKeeping, PlanarState};
+
+fn main() {
+    let dt = Seconds(0.05);
+    let mut acc_cfg = AccConfig::paper(MetersPerSecond(25.0));
+    acc_cfg.dt = dt;
+    let mut acc = AccController::new(acc_cfg).unwrap();
+
+    let mut car = BicycleModel::passenger_car(PlanarState {
+        x: Meters(0.0),
+        y: Meters(1.8), // starts half a lane off-centre
+        heading: Radians(0.0),
+        speed: MetersPerSecond(20.0),
+    });
+    let mut lane = LaneKeeping::new(2.5, Meters(0.0));
+
+    println!(
+        "{:>7} {:>9} {:>9} {:>9} {:>9}",
+        "t (s)", "x (m)", "y (m)", "ψ (deg)", "v (m/s)"
+    );
+    for step in 0..1200 {
+        let t = step as f64 * dt.value();
+        if step == 600 {
+            lane.set_lane_center(Meters(3.5)); // commanded lane change
+            println!("--- lane change commanded: centre → 3.5 m ---");
+        }
+        let steer = lane.steer(car.state());
+        let accel = acc
+            .step(None, MetersPerSecond(0.0), car.state().speed)
+            .actual_accel;
+        car.step(steer, accel, dt);
+        if step % 120 == 0 {
+            let s = car.state();
+            println!(
+                "{t:>7.1} {:>9.1} {:>9.2} {:>9.2} {:>9.2}",
+                s.x.value(),
+                s.y.value(),
+                s.heading.value().to_degrees(),
+                s.speed.value()
+            );
+        }
+    }
+    let s = car.state();
+    println!(
+        "\nfinal: y = {:.3} m (target 3.5), heading = {:.3}°, speed = {:.2} m/s \
+         (set 25.0)",
+        s.y.value(),
+        s.heading.value().to_degrees(),
+        s.speed.value()
+    );
+}

@@ -1,0 +1,32 @@
+//! Quickstart: reproduce the paper's headline experiment in a few lines.
+//!
+//! Runs Figure 2a (DoS attack on the follower's radar while the leader
+//! brakes) three ways — benign, attacked-with-defense, attacked-without —
+//! and prints the §6.2-style result block.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use argus_core::prelude::*;
+use argus_core::report;
+
+fn main() {
+    let experiment = Experiment::fig2a();
+    println!("Running {} — {}\n", experiment.id, experiment.description);
+
+    let outcome = experiment.run(42);
+    print!("{}", report::render_outcome(&outcome));
+
+    let metrics = &outcome.defended.metrics;
+    println!("\nDetection step : {:?}", metrics.detection_step.map(|s| s.0));
+    println!("False pos/neg  : {}/{}",
+        metrics.confusion.false_positives, metrics.confusion.false_negatives);
+    println!("Min gap (def.) : {:.1} m", metrics.min_gap);
+    println!("Min gap (none) : {:.1} m{}",
+        outcome.undefended.metrics.min_gap,
+        if outcome.undefended.metrics.collided { "  ← COLLISION" } else { "" });
+
+    println!("\nDistance panel (every 25 s):");
+    print!("{}", report::render_series("relative distance (m)", &outcome.distance_series(), 25));
+}

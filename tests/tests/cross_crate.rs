@@ -1,0 +1,111 @@
+//! Cross-crate wiring tests: assemble the pipeline by hand from the
+//! individual substrates (no `argus-core`) and verify the pieces compose.
+
+use argus_attack::{Adversary, AttackKind, AttackWindow, DelaySpoofer, Jammer};
+use argus_cra::{ChallengeSchedule, CraDetector};
+use argus_radar::prelude::*;
+use argus_sim::prelude::*;
+use argus_sim::time::Step;
+
+#[test]
+fn radar_attack_detector_compose_manually() {
+    let radar = Radar::new(RadarConfig::bosch_lrr2());
+    let schedule = ChallengeSchedule::from_steps([Step(5), Step(12), Step(20)]);
+    let mut detector = CraDetector::new(schedule, radar.config().detection_threshold);
+    let adversary = Adversary::new(
+        AttackKind::Dos(Jammer::paper()),
+        AttackWindow::new(Step(10), Step(30)),
+    );
+    let target = RadarTarget::new(Meters(80.0), MetersPerSecond(-1.0), 10.0);
+    let mut rng = SimRng::seed_from(5);
+
+    let mut detected_at = None;
+    for k in 0..32u64 {
+        let k = Step(k);
+        let tx_on = detector.tx_on(k);
+        let channel = adversary.channel_at(k, tx_on, Some(&target), &radar);
+        let obs = radar.observe(tx_on, Some(&target), &channel, &mut rng);
+        detector.update(k, obs.received_power);
+        if detected_at.is_none() {
+            detected_at = detector.first_detection();
+        }
+    }
+    // Attack starts at k = 10; the first challenge at or after is k = 12.
+    assert_eq!(detected_at, Some(Step(12)));
+}
+
+#[test]
+fn delay_attack_measurement_shift_matches_spoofer_parameter() {
+    let radar = Radar::new(RadarConfig::bosch_lrr2());
+    let spoofer = DelaySpoofer::paper();
+    let target = RadarTarget::new(Meters(100.0), MetersPerSecond(-2.0), 10.0);
+    let mut rng = SimRng::seed_from(9);
+
+    let clean = radar
+        .observe(true, Some(&target), &ChannelState::clean(), &mut rng)
+        .measurement
+        .unwrap();
+    let fake = spoofer.counterfeit(&target, radar.echo_power(&target));
+    let spoofed = radar
+        .observe(true, Some(&target), &ChannelState::spoofed(fake), &mut rng)
+        .measurement
+        .unwrap();
+    let shift = spoofed.distance.value() - clean.distance.value();
+    assert!(
+        (shift - spoofer.extra_distance.value()).abs() < 1.0,
+        "shift {shift} vs configured {}",
+        spoofer.extra_distance.value()
+    );
+}
+
+#[test]
+fn signal_mode_radar_feeds_detector_identically() {
+    // The CRA decision must not depend on the measurement fidelity path.
+    for config in [RadarConfig::bosch_lrr2(), RadarConfig::bosch_lrr2_signal()] {
+        let radar = Radar::new(config);
+        let mut rng = SimRng::seed_from(3);
+        let target = RadarTarget::new(Meters(60.0), MetersPerSecond(0.0), 10.0);
+        // Challenge instant, clean channel: silence.
+        let obs = radar.observe(false, Some(&target), &ChannelState::clean(), &mut rng);
+        assert!(!obs.signal_present(radar.config().detection_threshold));
+        // Challenge instant, jammed: loud.
+        let obs = radar.observe(
+            false,
+            Some(&target),
+            &ChannelState::jammed(Watts(1e-9)),
+            &mut rng,
+        );
+        assert!(obs.signal_present(radar.config().detection_threshold));
+    }
+}
+
+#[test]
+fn estimator_chain_without_core() {
+    // LagRegressor → Rls manually, mirroring Algorithm 2's listy′ flow.
+    use argus_estim::{LagRegressor, Rls};
+    let mut lags = LagRegressor::new(3, true).unwrap();
+    let mut rls = Rls::new(4, 0.98, 1e4).unwrap();
+    let series = |k: f64| 100.0 - 0.9 * k;
+    let mut last_err = f64::MAX;
+    for k in 0..60 {
+        if let Some(h) = lags.vector() {
+            let upd = rls.update(&h, series(k as f64));
+            last_err = upd.error.abs();
+        }
+        lags.push(series(k as f64));
+    }
+    assert!(last_err < 0.01, "one-step error {last_err}");
+}
+
+#[test]
+fn units_flow_through_the_whole_stack() {
+    // A smoke test that the unit newtypes are consistent across crates:
+    // beat pair of the true target inverts to the true kinematics.
+    let radar = RadarConfig::bosch_lrr2();
+    let d = Meters(123.0);
+    let v = MetersPerSecond(-4.2);
+    let beats = radar.waveform.beat_frequencies(d, v);
+    let (d2, v2) = radar.waveform.invert(beats);
+    assert!((d2.value() - d.value()).abs() < 1e-9);
+    assert!((v2.value() - v.value()).abs() < 1e-9);
+}

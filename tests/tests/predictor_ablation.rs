@@ -1,0 +1,58 @@
+//! Closed-loop consequences of the estimator choice (DESIGN.md §3): the
+//! trend-fit pipeline stays safe where the naive AR(4) free-run does not.
+
+use argus_attack::Adversary;
+use argus_core::scenario::{Scenario, ScenarioConfig};
+use argus_core::PredictorKind;
+use argus_sim::Step;
+use argus_vehicle::LeaderProfile;
+
+fn run(kind: PredictorKind, profile: LeaderProfile, seed: u64) -> argus_core::RunMetrics {
+    Scenario::new(
+        ScenarioConfig::paper(profile, Adversary::paper_dos(), true).with_predictor(kind),
+    )
+    .run(seed)
+    .metrics
+}
+
+#[test]
+fn trend_and_holt_stay_safe_across_seeds() {
+    for kind in [PredictorKind::RlsTrend, PredictorKind::Holt] {
+        for seed in [1u64, 7, 42, 101, 9999] {
+            let m = run(kind, LeaderProfile::paper_constant_decel(), seed);
+            assert!(!m.collided, "{kind:?} seed {seed} collided");
+            assert!(m.confusion.is_perfect());
+        }
+    }
+}
+
+#[test]
+fn ar4_free_run_is_visibly_worse_on_trend_breaks() {
+    // fig3's trend break: the AR(4) free-run drifts an order of magnitude
+    // further than the trend fit (its fitted poles extrapolate the noisy
+    // micro-dynamics, not the macroscopic trend).
+    let profile = LeaderProfile::paper_decel_then_accel(Step(100));
+    let trend = run(PredictorKind::RlsTrend, profile.clone(), 42)
+        .attack_window_distance_rmse
+        .unwrap();
+    let ar4 = run(PredictorKind::RlsAr4, profile, 42)
+        .attack_window_distance_rmse
+        .unwrap();
+    assert!(
+        ar4 > 3.0 * trend,
+        "expected AR(4) to drift far more: trend {trend:.2} m vs ar4 {ar4:.2} m"
+    );
+}
+
+#[test]
+fn detection_is_independent_of_the_estimator() {
+    // The estimator only shapes recovery; detection timing must not move.
+    for kind in [
+        PredictorKind::RlsTrend,
+        PredictorKind::RlsAr4,
+        PredictorKind::Holt,
+    ] {
+        let m = run(kind, LeaderProfile::paper_constant_decel(), 7);
+        assert_eq!(m.detection_step, Some(Step(182)), "{kind:?}");
+    }
+}

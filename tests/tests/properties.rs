@@ -1,0 +1,161 @@
+//! Property-based integration tests over the detection and estimation
+//! stack: invariants that must hold for *any* attack timing, schedule, or
+//! noise realization.
+
+use argus_attack::{Adversary, AttackKind, AttackWindow, DelaySpoofer, Jammer};
+use argus_cra::{ChallengeSchedule, CraDetector, Lfsr};
+use argus_radar::prelude::*;
+use argus_sim::prelude::*;
+use argus_sim::time::Step;
+use proptest::prelude::*;
+
+/// Drives radar + adversary + detector over `horizon` steps; returns the
+/// detection step, if any.
+fn run_detector(
+    schedule: &ChallengeSchedule,
+    adversary: &Adversary,
+    horizon: u64,
+    seed: u64,
+) -> Option<Step> {
+    let radar = Radar::new(RadarConfig::bosch_lrr2());
+    let mut detector = CraDetector::new(schedule.clone(), radar.config().detection_threshold);
+    let target = RadarTarget::new(Meters(90.0), MetersPerSecond(-1.0), 10.0);
+    let mut rng = SimRng::seed_from(seed);
+    for k in 0..horizon {
+        let k = Step(k);
+        let tx_on = detector.tx_on(k);
+        let channel = adversary.channel_at(k, tx_on, Some(&target), &radar);
+        let obs = radar.observe(tx_on, Some(&target), &channel, &mut rng);
+        detector.update(k, obs.received_power);
+    }
+    detector.first_detection()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Detection happens at exactly the first challenge instant at or after
+    /// attack onset — for any onset and any pseudo-random schedule.
+    #[test]
+    fn detection_at_first_challenge_after_onset(
+        onset in 1u64..250,
+        lfsr_seed in 1u64..10_000,
+        dos in proptest::bool::ANY,
+    ) {
+        let schedule = ChallengeSchedule::pseudorandom(
+            Lfsr::maximal(32, lfsr_seed).unwrap(),
+            300,
+            0.08,
+        );
+        let kind = if dos {
+            AttackKind::Dos(Jammer::paper())
+        } else {
+            AttackKind::DelayInjection(DelaySpoofer::paper())
+        };
+        let adversary = Adversary::new(kind, AttackWindow::from_step(Step(onset)));
+        let detected = run_detector(&schedule, &adversary, 300, onset ^ lfsr_seed);
+        let expected = schedule.next_at_or_after(Step(onset));
+        prop_assert_eq!(detected, expected);
+    }
+
+    /// No attack ⇒ no detection, for any schedule and noise seed
+    /// (the paper's zero-false-positive claim).
+    #[test]
+    fn no_attack_never_detects(
+        lfsr_seed in 1u64..10_000,
+        noise_seed in 0u64..1_000_000,
+        rate in 0.02f64..0.3,
+    ) {
+        let schedule = ChallengeSchedule::pseudorandom(
+            Lfsr::maximal(32, lfsr_seed).unwrap(),
+            300,
+            rate,
+        );
+        let detected = run_detector(&schedule, &Adversary::benign(), 300, noise_seed);
+        prop_assert_eq!(detected, None);
+    }
+
+    /// An attack while it is live is always flagged at a challenge instant
+    /// (zero false negatives), regardless of the attack window placement.
+    #[test]
+    fn attack_flagged_at_every_challenge_inside_window(
+        start in 1u64..200,
+        len in 1u64..100,
+        lfsr_seed in 1u64..10_000,
+    ) {
+        let schedule = ChallengeSchedule::pseudorandom(
+            Lfsr::maximal(32, lfsr_seed).unwrap(),
+            300,
+            0.1,
+        );
+        let window = AttackWindow::new(Step(start), Step(start + len));
+        let adversary = Adversary::new(AttackKind::Dos(Jammer::paper()), window);
+        let radar = Radar::new(RadarConfig::bosch_lrr2());
+        let mut detector =
+            CraDetector::new(schedule.clone(), radar.config().detection_threshold);
+        let target = RadarTarget::new(Meters(90.0), MetersPerSecond(-1.0), 10.0);
+        let mut rng = SimRng::seed_from(start * 31 + lfsr_seed);
+        for k in 0..300u64 {
+            let k = Step(k);
+            let tx_on = detector.tx_on(k);
+            let channel = adversary.channel_at(k, tx_on, Some(&target), &radar);
+            let obs = radar.observe(tx_on, Some(&target), &channel, &mut rng);
+            let verdict = detector.update(k, obs.received_power);
+            if schedule.is_challenge(k) && adversary.active(k) {
+                prop_assert!(
+                    verdict.under_attack(),
+                    "missed attack at challenge {k}"
+                );
+            }
+        }
+    }
+
+    /// The beat-frequency mapping round-trips for any in-range kinematics.
+    #[test]
+    fn beat_mapping_round_trips(
+        d in 2.0f64..200.0,
+        v in -40.0f64..40.0,
+    ) {
+        let waveform = argus_radar::fmcw::FmcwWaveform::paper();
+        let beats = waveform.beat_frequencies(Meters(d), MetersPerSecond(v));
+        let (d2, v2) = waveform.invert(beats);
+        prop_assert!((d2.value() - d).abs() < 1e-9);
+        prop_assert!((v2.value() - v).abs() < 1e-9);
+    }
+
+    /// Eqn 11 monotonicity: more jammer power can only lower the ratio.
+    #[test]
+    fn jammer_ratio_monotone_in_power(
+        d in 2.0f64..200.0,
+        p1 in 1e-3f64..1.0,
+        p2 in 1e-3f64..1.0,
+    ) {
+        let radar = RadarConfig::bosch_lrr2();
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        let mut weak = Jammer::paper();
+        weak.power = Watts(lo);
+        let mut strong = Jammer::paper();
+        strong.power = Watts(hi);
+        prop_assert!(
+            strong.power_ratio(&radar, Meters(d), 10.0)
+                <= weak.power_ratio(&radar, Meters(d), 10.0) + 1e-12
+        );
+    }
+
+    /// Clean radar measurements stay within physical error bounds for any
+    /// in-range target (no wild outliers from the extraction path).
+    #[test]
+    fn clean_measurement_accuracy(
+        d in 5.0f64..195.0,
+        v in -30.0f64..30.0,
+        seed in 0u64..100_000,
+    ) {
+        let radar = Radar::new(RadarConfig::bosch_lrr2());
+        let target = RadarTarget::new(Meters(d), MetersPerSecond(v), 10.0);
+        let mut rng = SimRng::seed_from(seed);
+        let obs = radar.observe(true, Some(&target), &ChannelState::clean(), &mut rng);
+        let m = obs.measurement.expect("in-range target must be measured");
+        prop_assert!((m.distance.value() - d).abs() < 2.0, "d error too large");
+        prop_assert!((m.range_rate.value() - v).abs() < 2.0, "v error too large");
+    }
+}

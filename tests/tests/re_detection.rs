@@ -1,0 +1,82 @@
+//! Recovery and re-detection: the latch releases at the first clean
+//! challenge after an attack ends, measurements flow again, and a second
+//! attack episode is detected independently.
+
+use argus_attack::{Adversary, AttackKind, AttackWindow, Jammer};
+use argus_core::pipeline::{MeasurementSource, SecurePipeline};
+use argus_cra::{ChallengeSchedule, CraDetector};
+use argus_radar::prelude::*;
+use argus_sim::prelude::*;
+use argus_sim::time::Step;
+
+/// Drives a pipeline against two separate DoS episodes.
+fn run_two_episodes() -> (SecurePipeline, Vec<(u64, MeasurementSource)>) {
+    let radar = Radar::new(RadarConfig::bosch_lrr2());
+    let schedule = ChallengeSchedule::from_steps((0..30).map(|i| Step(10 * i + 5)));
+    let detector = CraDetector::new(schedule, radar.config().detection_threshold);
+    let mut pipeline = SecurePipeline::paper(detector).unwrap();
+
+    let first = Adversary::new(
+        AttackKind::Dos(Jammer::paper()),
+        AttackWindow::new(Step(60), Step(100)),
+    );
+    let second = Adversary::new(
+        AttackKind::Dos(Jammer::paper()),
+        AttackWindow::new(Step(180), Step(220)),
+    );
+
+    let mut rng = SimRng::seed_from(11);
+    let mut sources = Vec::new();
+    for k in 0..280u64 {
+        let step = Step(k);
+        let tx_on = pipeline.tx_on(step);
+        // Constant-speed target so the estimates are easy to validate.
+        let target = RadarTarget::new(Meters(90.0), MetersPerSecond(0.0), 10.0);
+        let mut channel = first.channel_at(step, tx_on, Some(&target), &radar);
+        let ch2 = second.channel_at(step, tx_on, Some(&target), &radar);
+        channel.interference += ch2.interference;
+        channel.echoes.extend(ch2.echoes);
+        let obs = radar.observe(tx_on, Some(&target), &channel, &mut rng);
+        let out = pipeline.process(step, &obs, MetersPerSecond(20.0));
+        sources.push((k, out.source));
+    }
+    (pipeline, sources)
+}
+
+#[test]
+fn both_episodes_detected_with_recovery_between() {
+    let (pipeline, sources) = run_two_episodes();
+    let detections = pipeline.detector().detections();
+    // First challenge ≥ 60 is k = 65; first ≥ 180 is k = 185.
+    assert_eq!(detections, &[Step(65), Step(185)], "{detections:?}");
+
+    // Between the episodes (after the clean challenge at 105) radar data
+    // flows again.
+    let radar_between = sources
+        .iter()
+        .filter(|(k, _)| (106..180).contains(k))
+        .filter(|(_, s)| *s == MeasurementSource::Radar)
+        .count();
+    assert!(radar_between > 60, "only {radar_between} pass-through steps");
+
+    // During both attack windows everything served is estimated.
+    for (k, s) in &sources {
+        if (65..=100).contains(k) || (185..=220).contains(k) {
+            assert_eq!(
+                *s,
+                MeasurementSource::Estimated,
+                "k={k} served {s:?} during an attack"
+            );
+        }
+    }
+}
+
+#[test]
+fn latch_release_is_prompt() {
+    let (pipeline, sources) = run_two_episodes();
+    // The first attack ends at k = 100; the next challenge is k = 105 and
+    // must release the latch, so k = 106 is already radar-sourced.
+    let (_, s) = sources.iter().find(|(k, _)| *k == 106).unwrap();
+    assert_eq!(*s, MeasurementSource::Radar);
+    assert!(!pipeline.detector().under_attack(), "final state clean");
+}

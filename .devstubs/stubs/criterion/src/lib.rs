@@ -1,0 +1,167 @@
+//! Minimal `criterion` work-alike (offline stub): runs each benchmark
+//! body a handful of times and prints nothing fancy. Exists so bench
+//! targets type-check and can be smoke-run without the real crate.
+
+use std::time::Instant;
+
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { iters: 10 }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    parent: &'a mut Criterion,
+}
+
+pub struct Bencher {
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut body: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(body());
+        }
+        let _elapsed = start.elapsed();
+    }
+
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut body: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.iters {
+            let input = setup();
+            std::hint::black_box(body(input));
+        }
+    }
+}
+
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            parent: self,
+        }
+    }
+
+    pub fn bench_function(&mut self, name: &str, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher { iters: self.iters };
+        let start = Instant::now();
+        f(&mut b);
+        println!("bench {name}: ran ({:?} total)", start.elapsed());
+        self
+    }
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function(&mut self, id: impl IdLike, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.parent.iters,
+        };
+        let start = Instant::now();
+        f(&mut b);
+        println!("bench {}/{}: ran ({:?} total)", self.name, id.render(), start.elapsed());
+        self
+    }
+
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: impl IdLike,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let mut b = Bencher {
+            iters: self.parent.iters,
+        };
+        f(&mut b, input);
+        let _ = id.render();
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Accepts both `&str` names and `BenchmarkId`s.
+pub trait IdLike {
+    fn render(&self) -> String;
+}
+
+impl IdLike for &str {
+    fn render(&self) -> String {
+        (*self).to_string()
+    }
+}
+
+impl IdLike for String {
+    fn render(&self) -> String {
+        self.clone()
+    }
+}
+
+impl IdLike for BenchmarkId {
+    fn render(&self) -> String {
+        self.0.clone()
+    }
+}
+
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(group: impl std::fmt::Display, param: impl std::fmt::Display) -> Self {
+        Self(format!("{group}/{param}"))
+    }
+
+    pub fn from_parameter(param: impl std::fmt::Display) -> Self {
+        Self(format!("{param}"))
+    }
+}
+
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

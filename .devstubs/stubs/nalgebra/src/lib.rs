@@ -1,0 +1,1297 @@
+//! Minimal `nalgebra` subset (offline stub).
+//!
+//! Implements exactly the surface the argus workspace uses: dynamically
+//! sized column-major matrices/vectors over `f64` or `Complex<f64>`,
+//! basic arithmetic, Frobenius norms, LU solve / inverse, singular values
+//! (via symmetric Jacobi on AᵀA), and complex eigenvalues (shifted QR).
+//! Numerics are honest but unoptimised; this is a type-check and logic
+//! harness, not a replacement for the real crate.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Index, IndexMut, Mul, Neg, Sub};
+
+// ---------------------------------------------------------------------------
+// Scalar field abstraction
+// ---------------------------------------------------------------------------
+
+/// Field of matrix elements: `f64` or `Complex<f64>`.
+pub trait Field:
+    Copy
+    + PartialEq
+    + fmt::Debug
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + 'static
+{
+    fn zero() -> Self;
+    fn one() -> Self;
+    fn conjugate(self) -> Self;
+    /// Squared modulus as a real number.
+    fn abs_sq(self) -> f64;
+}
+
+impl Field for f64 {
+    fn zero() -> Self {
+        0.0
+    }
+    fn one() -> Self {
+        1.0
+    }
+    fn conjugate(self) -> Self {
+        self
+    }
+    fn abs_sq(self) -> f64 {
+        self * self
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Complex
+// ---------------------------------------------------------------------------
+
+/// Complex number (subset of `num_complex::Complex` re-exported by nalgebra).
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct Complex<T> {
+    pub re: T,
+    pub im: T,
+}
+
+impl Complex<f64> {
+    pub fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Self::new(r * theta.cos(), r * theta.sin())
+    }
+
+    pub fn i() -> Self {
+        Self::new(0.0, 1.0)
+    }
+
+    pub fn conj(self) -> Self {
+        Self::new(self.re, -self.im)
+    }
+
+    pub fn norm(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    pub fn exp(self) -> Self {
+        Self::from_polar(self.re.exp(), self.im)
+    }
+
+    pub fn ln(self) -> Self {
+        Self::new(self.norm().ln(), self.arg())
+    }
+
+    pub fn sqrt(self) -> Self {
+        Self::from_polar(self.norm().sqrt(), self.arg() / 2.0)
+    }
+
+    pub fn scale(self, k: f64) -> Self {
+        Self::new(self.re * k, self.im * k)
+    }
+
+    pub fn powi(self, n: i32) -> Self {
+        Self::from_polar(self.norm().powi(n), self.arg() * f64::from(n))
+    }
+}
+
+impl Field for Complex<f64> {
+    fn zero() -> Self {
+        Self::new(0.0, 0.0)
+    }
+    fn one() -> Self {
+        Self::new(1.0, 0.0)
+    }
+    fn conjugate(self) -> Self {
+        self.conj()
+    }
+    fn abs_sq(self) -> f64 {
+        self.norm_sqr()
+    }
+}
+
+impl Add for Complex<f64> {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex<f64> {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex<f64> {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex<f64> {
+    type Output = Self;
+    fn div(self, rhs: Self) -> Self {
+        let d = rhs.norm_sqr();
+        Self::new(
+            (self.re * rhs.re + self.im * rhs.im) / d,
+            (self.im * rhs.re - self.re * rhs.im) / d,
+        )
+    }
+}
+
+impl<'a, 'b> Add<&'b Complex<f64>> for &'a Complex<f64> {
+    type Output = Complex<f64>;
+    fn add(self, rhs: &'b Complex<f64>) -> Complex<f64> {
+        *self + *rhs
+    }
+}
+
+impl<'a, 'b> Sub<&'b Complex<f64>> for &'a Complex<f64> {
+    type Output = Complex<f64>;
+    fn sub(self, rhs: &'b Complex<f64>) -> Complex<f64> {
+        *self - *rhs
+    }
+}
+
+impl<'a, 'b> Mul<&'b Complex<f64>> for &'a Complex<f64> {
+    type Output = Complex<f64>;
+    fn mul(self, rhs: &'b Complex<f64>) -> Complex<f64> {
+        *self * *rhs
+    }
+}
+
+impl<'a> Sub<Complex<f64>> for &'a Complex<f64> {
+    type Output = Complex<f64>;
+    fn sub(self, rhs: Complex<f64>) -> Complex<f64> {
+        *self - rhs
+    }
+}
+
+impl<'a> Add<Complex<f64>> for &'a Complex<f64> {
+    type Output = Complex<f64>;
+    fn add(self, rhs: Complex<f64>) -> Complex<f64> {
+        *self + rhs
+    }
+}
+
+impl<'a> Sub<&'a Complex<f64>> for Complex<f64> {
+    type Output = Complex<f64>;
+    fn sub(self, rhs: &'a Complex<f64>) -> Complex<f64> {
+        self - *rhs
+    }
+}
+
+impl<'a> Add<&'a Complex<f64>> for Complex<f64> {
+    type Output = Complex<f64>;
+    fn add(self, rhs: &'a Complex<f64>) -> Complex<f64> {
+        self + *rhs
+    }
+}
+
+impl Neg for Complex<f64> {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Self::new(-self.re, -self.im)
+    }
+}
+
+impl AddAssign for Complex<f64> {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl std::ops::SubAssign for Complex<f64> {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl std::ops::MulAssign for Complex<f64> {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl std::ops::MulAssign<f64> for Complex<f64> {
+    fn mul_assign(&mut self, rhs: f64) {
+        *self = *self * rhs;
+    }
+}
+
+impl std::ops::DivAssign<f64> for Complex<f64> {
+    fn div_assign(&mut self, rhs: f64) {
+        *self = *self / rhs;
+    }
+}
+
+impl Mul<f64> for Complex<f64> {
+    type Output = Self;
+    fn mul(self, rhs: f64) -> Self {
+        Self::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl Div<f64> for Complex<f64> {
+    type Output = Self;
+    fn div(self, rhs: f64) -> Self {
+        Self::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl Mul<Complex<f64>> for f64 {
+    type Output = Complex<f64>;
+    fn mul(self, rhs: Complex<f64>) -> Complex<f64> {
+        Complex::new(self * rhs.re, self * rhs.im)
+    }
+}
+
+impl Add<f64> for Complex<f64> {
+    type Output = Self;
+    fn add(self, rhs: f64) -> Self {
+        Self::new(self.re + rhs, self.im)
+    }
+}
+
+impl Sub<f64> for Complex<f64> {
+    type Output = Self;
+    fn sub(self, rhs: f64) -> Self {
+        Self::new(self.re - rhs, self.im)
+    }
+}
+
+impl std::iter::Sum for Complex<f64> {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Complex::new(0.0, 0.0), |a, b| a + b)
+    }
+}
+
+impl<'a> std::iter::Sum<&'a Complex<f64>> for Complex<f64> {
+    fn sum<I: Iterator<Item = &'a Complex<f64>>>(iter: I) -> Self {
+        iter.fold(Complex::new(0.0, 0.0), |a, b| a + *b)
+    }
+}
+
+impl fmt::Display for Complex<f64> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}+{}i", self.re, self.im)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DMatrix
+// ---------------------------------------------------------------------------
+
+/// Dynamically sized column-major matrix.
+#[derive(Clone, PartialEq, Debug)]
+pub struct DMatrix<T> {
+    nrows: usize,
+    ncols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Field> DMatrix<T> {
+    pub fn zeros(nrows: usize, ncols: usize) -> Self {
+        Self {
+            nrows,
+            ncols,
+            data: vec![T::zero(); nrows * ncols],
+        }
+    }
+
+    pub fn identity(nrows: usize, ncols: usize) -> Self {
+        let mut m = Self::zeros(nrows, ncols);
+        for i in 0..nrows.min(ncols) {
+            m[(i, i)] = T::one();
+        }
+        m
+    }
+
+    pub fn from_element(nrows: usize, ncols: usize, value: T) -> Self {
+        Self {
+            nrows,
+            ncols,
+            data: vec![value; nrows * ncols],
+        }
+    }
+
+    /// Column-major data vector, like nalgebra's `from_vec`.
+    pub fn from_vec(nrows: usize, ncols: usize, data: Vec<T>) -> Self {
+        assert_eq!(data.len(), nrows * ncols, "element count mismatch");
+        Self { nrows, ncols, data }
+    }
+
+    pub fn from_row_slice(nrows: usize, ncols: usize, rows: &[T]) -> Self {
+        assert_eq!(rows.len(), nrows * ncols, "element count mismatch");
+        let mut m = Self::zeros(nrows, ncols);
+        for i in 0..nrows {
+            for j in 0..ncols {
+                m[(i, j)] = rows[i * ncols + j];
+            }
+        }
+        m
+    }
+
+    pub fn from_fn(nrows: usize, ncols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut m = Self::zeros(nrows, ncols);
+        for j in 0..ncols {
+            for i in 0..nrows {
+                m[(i, j)] = f(i, j);
+            }
+        }
+        m
+    }
+
+    pub fn from_iterator(nrows: usize, ncols: usize, iter: impl IntoIterator<Item = T>) -> Self {
+        let data: Vec<T> = iter.into_iter().take(nrows * ncols).collect();
+        Self::from_vec(nrows, ncols, data)
+    }
+
+    pub fn from_diagonal(diag: &DVector<T>) -> Self {
+        let n = diag.len();
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = diag[i];
+        }
+        m
+    }
+
+    pub fn from_partial_diagonal(nrows: usize, ncols: usize, diag: &[T]) -> Self {
+        let mut m = Self::zeros(nrows, ncols);
+        for (i, &d) in diag.iter().enumerate().take(nrows.min(ncols)) {
+            m[(i, i)] = d;
+        }
+        m
+    }
+
+    pub fn nrows(&self) -> usize {
+        self.nrows
+    }
+
+    pub fn ncols(&self) -> usize {
+        self.ncols
+    }
+
+    pub fn shape(&self) -> (usize, usize) {
+        (self.nrows, self.ncols)
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.data.iter()
+    }
+
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    pub fn map<U: Field>(&self, mut f: impl FnMut(T) -> U) -> DMatrix<U> {
+        DMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    pub fn fill(&mut self, value: T) {
+        for x in &mut self.data {
+            *x = value;
+        }
+    }
+
+    pub fn transpose(&self) -> DMatrix<T> {
+        DMatrix::from_fn(self.ncols, self.nrows, |i, j| self[(j, i)])
+    }
+
+    pub fn adjoint(&self) -> DMatrix<T> {
+        DMatrix::from_fn(self.ncols, self.nrows, |i, j| self[(j, i)].conjugate())
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|&x| x.abs_sq()).sum::<f64>().sqrt()
+    }
+
+    pub fn norm_squared(&self) -> f64 {
+        self.data.iter().map(|&x| x.abs_sq()).sum::<f64>()
+    }
+
+    /// Maximum absolute value of the elements.
+    pub fn amax(&self) -> f64 {
+        self.data.iter().map(|&x| x.abs_sq().sqrt()).fold(0.0, f64::max)
+    }
+
+    pub fn column(&self, j: usize) -> DVector<T> {
+        assert!(j < self.ncols, "column out of bounds");
+        DVector {
+            data: self.data[j * self.nrows..(j + 1) * self.nrows].to_vec(),
+        }
+    }
+
+    pub fn columns(&self, first: usize, count: usize) -> DMatrix<T> {
+        assert!(first + count <= self.ncols, "columns out of bounds");
+        DMatrix {
+            nrows: self.nrows,
+            ncols: count,
+            data: self.data[first * self.nrows..(first + count) * self.nrows].to_vec(),
+        }
+    }
+
+    pub fn set_column(&mut self, j: usize, col: &DVector<T>) {
+        assert!(j < self.ncols && col.len() == self.nrows, "bad column");
+        self.data[j * self.nrows..(j + 1) * self.nrows].copy_from_slice(col.as_slice());
+    }
+
+    pub fn row(&self, i: usize) -> DMatrix<T> {
+        assert!(i < self.nrows, "row out of bounds");
+        DMatrix::from_fn(1, self.ncols, |_, j| self[(i, j)])
+    }
+
+    /// Owned copy of a sub-view (real nalgebra returns a borrow; callers
+    /// here always follow with `.into_owned()` or read-only use).
+    pub fn view(&self, start: (usize, usize), shape: (usize, usize)) -> DMatrix<T> {
+        let (r0, c0) = start;
+        let (nr, nc) = shape;
+        assert!(r0 + nr <= self.nrows && c0 + nc <= self.ncols, "view out of bounds");
+        DMatrix::from_fn(nr, nc, |i, j| self[(r0 + i, c0 + j)])
+    }
+
+    pub fn view_mut(&mut self, start: (usize, usize), shape: (usize, usize)) -> ViewMut<'_, T> {
+        let (r0, c0) = start;
+        let (nr, nc) = shape;
+        assert!(r0 + nr <= self.nrows && c0 + nc <= self.ncols, "view out of bounds");
+        ViewMut {
+            target: self,
+            r0,
+            c0,
+            nr,
+            nc,
+        }
+    }
+
+    /// Identity on owned matrices (mirrors view -> owned conversion).
+    pub fn into_owned(self) -> DMatrix<T> {
+        self
+    }
+
+    pub fn clone_owned(&self) -> DMatrix<T> {
+        self.clone()
+    }
+
+    pub fn scale(&self, k: f64) -> DMatrix<T>
+    where
+        T: Mul<f64, Output = T>,
+    {
+        self.map(|x| x * k)
+    }
+
+    fn mul_mat(&self, rhs: &DMatrix<T>) -> DMatrix<T> {
+        assert_eq!(self.ncols, rhs.nrows, "dimension mismatch in matrix product");
+        let mut out = DMatrix::zeros(self.nrows, rhs.ncols);
+        for j in 0..rhs.ncols {
+            for k in 0..self.ncols {
+                let r = rhs[(k, j)];
+                if r == T::zero() {
+                    continue;
+                }
+                for i in 0..self.nrows {
+                    let v = self[(i, k)] * r;
+                    out[(i, j)] += v;
+                }
+            }
+        }
+        out
+    }
+
+    fn mul_vec(&self, rhs: &DVector<T>) -> DVector<T> {
+        assert_eq!(self.ncols, rhs.len(), "dimension mismatch in matrix-vector product");
+        let mut out = DVector::zeros(self.nrows);
+        for k in 0..self.ncols {
+            let r = rhs[k];
+            for i in 0..self.nrows {
+                let v = self[(i, k)] * r;
+                out[i] += v;
+            }
+        }
+        out
+    }
+
+    fn zip_with(&self, rhs: &DMatrix<T>, f: impl Fn(T, T) -> T) -> DMatrix<T> {
+        assert_eq!(self.shape(), rhs.shape(), "dimension mismatch");
+        DMatrix {
+            nrows: self.nrows,
+            ncols: self.ncols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+}
+
+/// Mutable sub-view proxy supporting `copy_from`.
+pub struct ViewMut<'a, T> {
+    target: &'a mut DMatrix<T>,
+    r0: usize,
+    c0: usize,
+    nr: usize,
+    nc: usize,
+}
+
+impl<T: Field> ViewMut<'_, T> {
+    pub fn copy_from(&mut self, src: &DMatrix<T>) {
+        assert_eq!((self.nr, self.nc), src.shape(), "copy_from shape mismatch");
+        for j in 0..self.nc {
+            for i in 0..self.nr {
+                self.target[(self.r0 + i, self.c0 + j)] = src[(i, j)];
+            }
+        }
+    }
+}
+
+impl<T> Index<(usize, usize)> for DMatrix<T> {
+    type Output = T;
+    fn index(&self, (i, j): (usize, usize)) -> &T {
+        assert!(i < self.nrows && j < self.ncols, "index out of bounds");
+        &self.data[j * self.nrows + i]
+    }
+}
+
+impl<T> IndexMut<(usize, usize)> for DMatrix<T> {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut T {
+        assert!(i < self.nrows && j < self.ncols, "index out of bounds");
+        &mut self.data[j * self.nrows + i]
+    }
+}
+
+// f64-only numerical routines.
+impl DMatrix<f64> {
+    pub fn try_inverse(&self) -> Option<DMatrix<f64>> {
+        let n = self.nrows;
+        if n != self.ncols {
+            return None;
+        }
+        self.lu().solve(&DMatrix::identity(n, n))
+    }
+
+    pub fn lu(&self) -> Lu {
+        Lu::new(self.clone())
+    }
+
+    pub fn svd(&self, _compute_u: bool, _compute_v: bool) -> Svd {
+        // One-sided Jacobi: orthogonalize column pairs; singular values are
+        // the final column norms. Keeps small singular values accurate.
+        let mut a = if self.nrows >= self.ncols {
+            self.clone()
+        } else {
+            self.transpose()
+        };
+        let n = a.ncols();
+        for _sweep in 0..60 {
+            let mut rotated = false;
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    let mut app = 0.0;
+                    let mut aqq = 0.0;
+                    let mut apq = 0.0;
+                    for i in 0..a.nrows() {
+                        app += a[(i, p)] * a[(i, p)];
+                        aqq += a[(i, q)] * a[(i, q)];
+                        apq += a[(i, p)] * a[(i, q)];
+                    }
+                    if apq.abs() <= 1e-30 + 1e-15 * (app * aqq).sqrt() {
+                        continue;
+                    }
+                    rotated = true;
+                    let theta = (aqq - app) / (2.0 * apq);
+                    let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                    let c = 1.0 / (t * t + 1.0).sqrt();
+                    let s = t * c;
+                    for i in 0..a.nrows() {
+                        let aip = a[(i, p)];
+                        let aiq = a[(i, q)];
+                        a[(i, p)] = c * aip - s * aiq;
+                        a[(i, q)] = s * aip + c * aiq;
+                    }
+                }
+            }
+            if !rotated {
+                break;
+            }
+        }
+        let mut sv: Vec<f64> = (0..n).map(|j| a.column(j).norm()).collect();
+        sv.sort_by(|x, y| y.partial_cmp(x).unwrap());
+        Svd {
+            singular_values: DVector::from_vec(sv),
+        }
+    }
+
+    /// All eigenvalues of a general square matrix via shifted complex QR
+    /// iteration with deflation. Good enough for the small systems here.
+    pub fn complex_eigenvalues(&self) -> DVector<Complex<f64>> {
+        assert_eq!(self.nrows, self.ncols, "eigenvalues need a square matrix");
+        let n = self.nrows;
+        let mut a = self.map(|x| Complex::new(x, 0.0));
+        let mut eigs: Vec<Complex<f64>> = Vec::with_capacity(n);
+        let mut m = n;
+        let scale = self.amax().max(1.0);
+        let tol = 1e-13 * scale;
+        let mut iters = 0usize;
+        while m > 0 {
+            if m == 1 {
+                eigs.push(a[(0, 0)]);
+                break;
+            }
+            // Deflate when the last sub-diagonal entry is negligible.
+            if a[(m - 1, m - 2)].norm() < tol {
+                eigs.push(a[(m - 1, m - 1)]);
+                a = a.view((0, 0), (m - 1, m - 1));
+                m -= 1;
+                continue;
+            }
+            if iters > 200 * n {
+                // Bail out: report remaining diagonal as-is.
+                for i in 0..m {
+                    eigs.push(a[(i, i)]);
+                }
+                break;
+            }
+            iters += 1;
+            // Wilkinson-style shift from the trailing 2x2 block.
+            let t = a[(m - 2, m - 2)] + a[(m - 1, m - 1)];
+            let d = a[(m - 2, m - 2)] * a[(m - 1, m - 1)]
+                - a[(m - 2, m - 1)] * a[(m - 1, m - 2)];
+            let disc = (t * t - d * Complex::new(4.0, 0.0)).sqrt();
+            let l1 = (t + disc) * Complex::new(0.5, 0.0);
+            let l2 = (t - disc) * Complex::new(0.5, 0.0);
+            let last = a[(m - 1, m - 1)];
+            let mu = if (l1 - last).norm() <= (l2 - last).norm() {
+                l1
+            } else {
+                l2
+            };
+            // Perturb exact shifts slightly to avoid rank-deficient QR.
+            let mu = mu + Complex::new(1e-12 * scale, 0.0);
+            let shifted = a.zip_with(
+                &DMatrix::<Complex<f64>>::identity(m, m).map(|x| x * mu),
+                |x, s| x - s,
+            );
+            let (q, r) = qr_complex(&shifted);
+            a = r
+                .mul_mat(&q)
+                .zip_with(&DMatrix::<Complex<f64>>::identity(m, m).map(|x| x * mu), |x, s| {
+                    x + s
+                });
+        }
+        DVector::from_vec(eigs)
+    }
+}
+
+fn qr_complex(a: &DMatrix<Complex<f64>>) -> (DMatrix<Complex<f64>>, DMatrix<Complex<f64>>) {
+    // Modified Gram-Schmidt.
+    let n = a.nrows();
+    let m = a.ncols();
+    let mut q = a.clone();
+    let mut r = DMatrix::<Complex<f64>>::zeros(m, m);
+    for j in 0..m {
+        let mut col = q.column(j);
+        for k in 0..j {
+            let qk = q.column(k);
+            let mut proj = Complex::new(0.0, 0.0);
+            for i in 0..n {
+                proj += qk[i].conj() * col[i];
+            }
+            r[(k, j)] = proj;
+            for i in 0..n {
+                let v = qk[i] * proj;
+                col[i] = col[i] - v;
+            }
+        }
+        let nrm = col.norm();
+        if nrm < 1e-300 {
+            r[(j, j)] = Complex::new(0.0, 0.0);
+            // Degenerate direction: use a unit basis vector to keep Q sane.
+            let mut e = DVector::<Complex<f64>>::zeros(n);
+            if j < n {
+                e[j] = Complex::new(1.0, 0.0);
+            }
+            q.set_column(j, &e);
+        } else {
+            r[(j, j)] = Complex::new(nrm, 0.0);
+            let inv = 1.0 / nrm;
+            let unit = DVector::from_vec(col.iter().map(|&x| x * inv).collect());
+            q.set_column(j, &unit);
+        }
+    }
+    (q, r)
+}
+
+/// LU decomposition with partial pivoting (f64 only).
+pub struct Lu {
+    lu: DMatrix<f64>,
+    perm: Vec<usize>,
+    singular: bool,
+}
+
+impl Lu {
+    fn new(mut a: DMatrix<f64>) -> Self {
+        let n = a.nrows();
+        assert_eq!(n, a.ncols(), "LU needs a square matrix");
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut singular = false;
+        for k in 0..n {
+            let mut piv = k;
+            let mut max = a[(k, k)].abs();
+            for i in (k + 1)..n {
+                if a[(i, k)].abs() > max {
+                    max = a[(i, k)].abs();
+                    piv = i;
+                }
+            }
+            if max < 1e-300 {
+                singular = true;
+                continue;
+            }
+            if piv != k {
+                perm.swap(piv, k);
+                for j in 0..n {
+                    let tmp = a[(k, j)];
+                    a[(k, j)] = a[(piv, j)];
+                    a[(piv, j)] = tmp;
+                }
+            }
+            for i in (k + 1)..n {
+                let f = a[(i, k)] / a[(k, k)];
+                a[(i, k)] = f;
+                for j in (k + 1)..n {
+                    let v = f * a[(k, j)];
+                    a[(i, j)] -= v;
+                }
+            }
+        }
+        Self {
+            lu: a,
+            perm,
+            singular,
+        }
+    }
+
+    pub fn solve(&self, b: &DMatrix<f64>) -> Option<DMatrix<f64>> {
+        if self.singular {
+            return None;
+        }
+        let n = self.lu.nrows();
+        assert_eq!(b.nrows(), n, "rhs dimension mismatch");
+        let mut x = DMatrix::zeros(n, b.ncols());
+        for col in 0..b.ncols() {
+            // Forward substitution on P·b.
+            let mut y = vec![0.0f64; n];
+            for i in 0..n {
+                let mut s = b[(self.perm[i], col)];
+                for j in 0..i {
+                    s -= self.lu[(i, j)] * y[j];
+                }
+                y[i] = s;
+            }
+            // Back substitution.
+            for i in (0..n).rev() {
+                let mut s = y[i];
+                for j in (i + 1)..n {
+                    s -= self.lu[(i, j)] * x[(j, col)];
+                }
+                let d = self.lu[(i, i)];
+                if d.abs() < 1e-300 {
+                    return None;
+                }
+                x[(i, col)] = s / d;
+            }
+        }
+        Some(x)
+    }
+}
+
+/// SVD result carrying only what the workspace reads.
+pub struct Svd {
+    pub singular_values: DVector<f64>,
+}
+
+// ---------------------------------------------------------------------------
+// DVector
+// ---------------------------------------------------------------------------
+
+/// Dynamically sized column vector.
+#[derive(Clone, PartialEq, Debug)]
+pub struct DVector<T> {
+    data: Vec<T>,
+}
+
+impl<T: Field> DVector<T> {
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            data: vec![T::zero(); n],
+        }
+    }
+
+    pub fn from_vec(data: Vec<T>) -> Self {
+        Self { data }
+    }
+
+    pub fn from_element(n: usize, value: T) -> Self {
+        Self {
+            data: vec![value; n],
+        }
+    }
+
+    pub fn from_fn(n: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        Self {
+            data: (0..n).map(|i| f(i, 0)).collect(),
+        }
+    }
+
+    pub fn from_iterator(n: usize, iter: impl IntoIterator<Item = T>) -> Self {
+        let data: Vec<T> = iter.into_iter().take(n).collect();
+        assert_eq!(data.len(), n, "iterator too short");
+        Self { data }
+    }
+
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub fn nrows(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn ncols(&self) -> usize {
+        1
+    }
+
+    pub fn iter(&self) -> std::slice::Iter<'_, T> {
+        self.data.iter()
+    }
+
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, T> {
+        self.data.iter_mut()
+    }
+
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    pub fn map<U: Field>(&self, mut f: impl FnMut(T) -> U) -> DVector<U> {
+        DVector {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    pub fn dot(&self, rhs: &DVector<T>) -> T {
+        assert_eq!(self.len(), rhs.len(), "dot dimension mismatch");
+        let mut acc = T::zero();
+        for (&a, &b) in self.data.iter().zip(&rhs.data) {
+            acc += a * b;
+        }
+        acc
+    }
+
+    pub fn norm(&self) -> f64 {
+        self.norm_squared().sqrt()
+    }
+
+    pub fn norm_squared(&self) -> f64 {
+        self.data.iter().map(|&x| x.abs_sq()).sum()
+    }
+
+    pub fn amax(&self) -> f64 {
+        self.data.iter().map(|&x| x.abs_sq().sqrt()).fold(0.0, f64::max)
+    }
+
+    /// Transpose of a column vector: a row vector.
+    pub fn transpose(&self) -> RowDVector<T> {
+        RowDVector {
+            data: self.data.clone(),
+        }
+    }
+
+    /// Conjugate transpose of a column vector: a conjugated row vector.
+    pub fn adjoint(&self) -> RowDVector<T> {
+        RowDVector {
+            data: self.data.iter().map(|&x| x.conjugate()).collect(),
+        }
+    }
+
+    pub fn into_owned(self) -> DVector<T> {
+        self
+    }
+
+    pub fn fill(&mut self, value: T) {
+        for x in &mut self.data {
+            *x = value;
+        }
+    }
+
+    pub fn push(&mut self, value: T) {
+        self.data.push(value);
+    }
+}
+
+impl<T> Index<usize> for DVector<T> {
+    type Output = T;
+    fn index(&self, i: usize) -> &T {
+        &self.data[i]
+    }
+}
+
+impl<T> IndexMut<usize> for DVector<T> {
+    fn index_mut(&mut self, i: usize) -> &mut T {
+        &mut self.data[i]
+    }
+}
+
+/// Row vector, produced by `DVector::transpose` (outer products only).
+#[derive(Clone, PartialEq, Debug)]
+pub struct RowDVector<T> {
+    data: Vec<T>,
+}
+
+impl<T: Field> RowDVector<T> {
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Operator impls (owned and reference combinations via macros)
+// ---------------------------------------------------------------------------
+
+macro_rules! forward_binop {
+    ($Op:ident, $method:ident, $Lhs:ty, $Rhs:ty, $Out:ty) => {
+        impl<T: Field> $Op<$Rhs> for $Lhs {
+            type Output = $Out;
+            fn $method(self, rhs: $Rhs) -> $Out {
+                (&self).$method(&rhs)
+            }
+        }
+        impl<'a, T: Field> $Op<&'a $Rhs> for $Lhs {
+            type Output = $Out;
+            fn $method(self, rhs: &'a $Rhs) -> $Out {
+                (&self).$method(rhs)
+            }
+        }
+        impl<'a, T: Field> $Op<$Rhs> for &'a $Lhs {
+            type Output = $Out;
+            fn $method(self, rhs: $Rhs) -> $Out {
+                self.$method(&rhs)
+            }
+        }
+    };
+}
+
+// Matrix + Matrix
+impl<'a, 'b, T: Field> Add<&'b DMatrix<T>> for &'a DMatrix<T> {
+    type Output = DMatrix<T>;
+    fn add(self, rhs: &'b DMatrix<T>) -> DMatrix<T> {
+        self.zip_with(rhs, |a, b| a + b)
+    }
+}
+forward_binop!(Add, add, DMatrix<T>, DMatrix<T>, DMatrix<T>);
+
+// Matrix - Matrix
+impl<'a, 'b, T: Field> Sub<&'b DMatrix<T>> for &'a DMatrix<T> {
+    type Output = DMatrix<T>;
+    fn sub(self, rhs: &'b DMatrix<T>) -> DMatrix<T> {
+        self.zip_with(rhs, |a, b| a - b)
+    }
+}
+forward_binop!(Sub, sub, DMatrix<T>, DMatrix<T>, DMatrix<T>);
+
+// Matrix * Matrix
+impl<'a, 'b, T: Field> Mul<&'b DMatrix<T>> for &'a DMatrix<T> {
+    type Output = DMatrix<T>;
+    fn mul(self, rhs: &'b DMatrix<T>) -> DMatrix<T> {
+        self.mul_mat(rhs)
+    }
+}
+forward_binop!(Mul, mul, DMatrix<T>, DMatrix<T>, DMatrix<T>);
+
+// Matrix * Vector
+impl<'a, 'b, T: Field> Mul<&'b DVector<T>> for &'a DMatrix<T> {
+    type Output = DVector<T>;
+    fn mul(self, rhs: &'b DVector<T>) -> DVector<T> {
+        self.mul_vec(rhs)
+    }
+}
+forward_binop!(Mul, mul, DMatrix<T>, DVector<T>, DVector<T>);
+
+// Vector + Vector
+impl<'a, 'b, T: Field> Add<&'b DVector<T>> for &'a DVector<T> {
+    type Output = DVector<T>;
+    fn add(self, rhs: &'b DVector<T>) -> DVector<T> {
+        assert_eq!(self.len(), rhs.len(), "dimension mismatch");
+        DVector {
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| a + b)
+                .collect(),
+        }
+    }
+}
+forward_binop!(Add, add, DVector<T>, DVector<T>, DVector<T>);
+
+// Vector - Vector
+impl<'a, 'b, T: Field> Sub<&'b DVector<T>> for &'a DVector<T> {
+    type Output = DVector<T>;
+    fn sub(self, rhs: &'b DVector<T>) -> DVector<T> {
+        assert_eq!(self.len(), rhs.len(), "dimension mismatch");
+        DVector {
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| a - b)
+                .collect(),
+        }
+    }
+}
+forward_binop!(Sub, sub, DVector<T>, DVector<T>, DVector<T>);
+
+// Vector * RowVector = outer-product Matrix
+impl<'a, 'b, T: Field> Mul<&'b RowDVector<T>> for &'a DVector<T> {
+    type Output = DMatrix<T>;
+    fn mul(self, rhs: &'b RowDVector<T>) -> DMatrix<T> {
+        DMatrix::from_fn(self.len(), rhs.len(), |i, j| self.data[i] * rhs.data[j])
+    }
+}
+forward_binop!(Mul, mul, DVector<T>, RowDVector<T>, DMatrix<T>);
+
+// Scalar ops: Matrix * T, Matrix / T, Vector * T, Vector / T
+macro_rules! scalar_ops {
+    ($Container:ident) => {
+        impl<T: Field> Mul<T> for $Container<T> {
+            type Output = $Container<T>;
+            fn mul(self, rhs: T) -> $Container<T> {
+                self.map(|x| x * rhs)
+            }
+        }
+        impl<'a, T: Field> Mul<T> for &'a $Container<T> {
+            type Output = $Container<T>;
+            fn mul(self, rhs: T) -> $Container<T> {
+                self.map(|x| x * rhs)
+            }
+        }
+        impl<T: Field> Div<T> for $Container<T> {
+            type Output = $Container<T>;
+            fn div(self, rhs: T) -> $Container<T> {
+                self.map(|x| x / rhs)
+            }
+        }
+        impl<'a, T: Field> Div<T> for &'a $Container<T> {
+            type Output = $Container<T>;
+            fn div(self, rhs: T) -> $Container<T> {
+                self.map(|x| x / rhs)
+            }
+        }
+        impl<T: Field> Neg for $Container<T> {
+            type Output = $Container<T>;
+            fn neg(self) -> $Container<T> {
+                self.map(|x| -x)
+            }
+        }
+        impl<'a, T: Field> Neg for &'a $Container<T> {
+            type Output = $Container<T>;
+            fn neg(self) -> $Container<T> {
+                self.map(|x| -x)
+            }
+        }
+    };
+}
+
+scalar_ops!(DMatrix);
+scalar_ops!(DVector);
+
+// Scalar * Matrix / Scalar * Vector (f64 on the left).
+impl Mul<DMatrix<f64>> for f64 {
+    type Output = DMatrix<f64>;
+    fn mul(self, rhs: DMatrix<f64>) -> DMatrix<f64> {
+        rhs.map(|x| self * x)
+    }
+}
+
+impl<'a> Mul<&'a DMatrix<f64>> for f64 {
+    type Output = DMatrix<f64>;
+    fn mul(self, rhs: &'a DMatrix<f64>) -> DMatrix<f64> {
+        rhs.map(|x| self * x)
+    }
+}
+
+impl Mul<DVector<f64>> for f64 {
+    type Output = DVector<f64>;
+    fn mul(self, rhs: DVector<f64>) -> DVector<f64> {
+        rhs.map(|x| self * x)
+    }
+}
+
+impl<'a> Mul<&'a DVector<f64>> for f64 {
+    type Output = DVector<f64>;
+    fn mul(self, rhs: &'a DVector<f64>) -> DVector<f64> {
+        rhs.map(|x| self * x)
+    }
+}
+
+// Compound assignment on vectors/matrices.
+impl<T: Field> AddAssign<DVector<T>> for DVector<T> {
+    fn add_assign(&mut self, rhs: DVector<T>) {
+        assert_eq!(self.len(), rhs.len(), "dimension mismatch");
+        for (a, b) in self.data.iter_mut().zip(rhs.data) {
+            *a += b;
+        }
+    }
+}
+
+impl<'a, T: Field> AddAssign<&'a DVector<T>> for DVector<T> {
+    fn add_assign(&mut self, rhs: &'a DVector<T>) {
+        assert_eq!(self.len(), rhs.len(), "dimension mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+}
+
+impl<T: Field> AddAssign<DMatrix<T>> for DMatrix<T> {
+    fn add_assign(&mut self, rhs: DMatrix<T>) {
+        assert_eq!(self.shape(), rhs.shape(), "dimension mismatch");
+        for (a, b) in self.data.iter_mut().zip(rhs.data) {
+            *a += b;
+        }
+    }
+}
+
+impl<'a, T: Field> AddAssign<&'a DMatrix<T>> for DMatrix<T> {
+    fn add_assign(&mut self, rhs: &'a DMatrix<T>) {
+        assert_eq!(self.shape(), rhs.shape(), "dimension mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+}
+
+impl<T: Field> std::ops::SubAssign<DMatrix<T>> for DMatrix<T> {
+    fn sub_assign(&mut self, rhs: DMatrix<T>) {
+        assert_eq!(self.shape(), rhs.shape(), "dimension mismatch");
+        for (a, b) in self.data.iter_mut().zip(rhs.data) {
+            *a = *a - b;
+        }
+    }
+}
+
+impl<'a, T: Field> std::ops::SubAssign<&'a DMatrix<T>> for DMatrix<T> {
+    fn sub_assign(&mut self, rhs: &'a DMatrix<T>) {
+        assert_eq!(self.shape(), rhs.shape(), "dimension mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a = *a - b;
+        }
+    }
+}
+
+impl<T: Field> std::ops::SubAssign<DVector<T>> for DVector<T> {
+    fn sub_assign(&mut self, rhs: DVector<T>) {
+        assert_eq!(self.len(), rhs.len(), "dimension mismatch");
+        for (a, b) in self.data.iter_mut().zip(rhs.data) {
+            *a = *a - b;
+        }
+    }
+}
+
+impl<'a, T: Field> std::ops::SubAssign<&'a DVector<T>> for DVector<T> {
+    fn sub_assign(&mut self, rhs: &'a DVector<T>) {
+        assert_eq!(self.len(), rhs.len(), "dimension mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a = *a - b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lu_solve_identity() {
+        let a = DMatrix::from_row_slice(2, 2, &[4.0, 3.0, 6.0, 3.0]);
+        let inv = a.try_inverse().unwrap();
+        let prod = &a * &inv;
+        assert!((prod - DMatrix::<f64>::identity(2, 2)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn eigenvalues_of_triangular() {
+        let a = DMatrix::from_row_slice(2, 2, &[3.0, 1.0, 0.0, 2.0]);
+        let mut eigs: Vec<f64> = a.complex_eigenvalues().iter().map(|c| c.re).collect();
+        eigs.sort_by(|x, y| x.partial_cmp(y).unwrap());
+        assert!((eigs[0] - 2.0).abs() < 1e-8, "{eigs:?}");
+        assert!((eigs[1] - 3.0).abs() < 1e-8, "{eigs:?}");
+    }
+
+    #[test]
+    fn rotation_eigenvalues_complex() {
+        let a = DMatrix::from_row_slice(2, 2, &[0.0, -1.0, 1.0, 0.0]);
+        let eigs = a.complex_eigenvalues();
+        assert_eq!(eigs.len(), 2);
+        for e in eigs.iter() {
+            assert!((e.norm() - 1.0).abs() < 1e-8);
+            assert!(e.re.abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn svd_rank_one() {
+        let m = DMatrix::from_row_slice(3, 3, &[1.0, 2.0, 3.0, 2.0, 4.0, 6.0, 3.0, 6.0, 9.0]);
+        let sv = m.svd(false, false).singular_values;
+        let big = sv.iter().filter(|&&s| s > 1e-9).count();
+        assert_eq!(big, 1, "{sv:?}");
+    }
+
+    #[test]
+    fn outer_product_shape() {
+        let g = DVector::from_vec(vec![1.0, 2.0]);
+        let p = DVector::from_vec(vec![3.0, 4.0]);
+        let m = &g * p.transpose();
+        assert_eq!(m.shape(), (2, 2));
+        assert_eq!(m[(1, 0)], 6.0);
+    }
+}

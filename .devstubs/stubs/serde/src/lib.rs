@@ -1,0 +1,9 @@
+//! Minimal serde facade (offline stub): marker traits + no-op derives.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait matching serde's `Serialize` in name only.
+pub trait Serialize {}
+
+/// Marker trait matching serde's `Deserialize` in name only.
+pub trait Deserialize<'de> {}

@@ -75,11 +75,8 @@ impl Jammer {
             * lambda
             * g_victim
             * radar.waveform.sweep_bandwidth().value();
-        let den = four_pi_sq
-            * d.value()
-            * d.value()
-            * self.bandwidth.value()
-            * self.losses.to_linear();
+        let den =
+            four_pi_sq * d.value() * d.value() * self.bandwidth.value() * self.losses.to_linear();
         Watts(num / den)
     }
 

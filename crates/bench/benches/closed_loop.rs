@@ -43,16 +43,12 @@ fn bench_radar_observe(c: &mut Criterion) {
     group.bench_function("analytic", |b| {
         let radar = Radar::new(RadarConfig::bosch_lrr2());
         let mut rng = SimRng::seed_from(1);
-        b.iter(|| {
-            black_box(radar.observe(true, Some(&target), &ChannelState::clean(), &mut rng))
-        });
+        b.iter(|| black_box(radar.observe(true, Some(&target), &ChannelState::clean(), &mut rng)));
     });
     group.bench_function("signal_rootmusic", |b| {
         let radar = Radar::new(RadarConfig::bosch_lrr2_signal());
         let mut rng = SimRng::seed_from(1);
-        b.iter(|| {
-            black_box(radar.observe(true, Some(&target), &ChannelState::clean(), &mut rng))
-        });
+        b.iter(|| black_box(radar.observe(true, Some(&target), &ChannelState::clean(), &mut rng)));
     });
     group.finish();
 }

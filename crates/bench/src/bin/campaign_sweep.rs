@@ -1,0 +1,153 @@
+//! Monte-Carlo campaign sweep over attack kind, jammer power, initial gap
+//! and noise seeds, exercising the campaign runner's determinism contract:
+//! the same campaign runs serially and in parallel, and the two canonical
+//! summaries must be **byte-identical** — only the timing may differ.
+//!
+//! ```sh
+//! cargo run --release -p argus-bench --bin campaign_sweep [threads] [n_seeds]
+//! ```
+//!
+//! Writes the canonical JSON and CSV traces under `target/campaign/` and
+//! exits non-zero if the serial and parallel summaries diverge.
+
+use std::time::Duration;
+
+use argus_core::campaign::{
+    campaign_to_csv, campaign_to_json, resolve_threads, AttackAxis, AxisGrid, Campaign, CampaignRun,
+};
+use argus_vehicle::LeaderProfile;
+
+fn sweep_campaign(n_seeds: u64) -> Campaign {
+    Campaign::new(
+        "sweep",
+        LeaderProfile::paper_constant_decel(),
+        AxisGrid {
+            attacks: vec![
+                AttackAxis::Benign,
+                AttackAxis::paper_dos(),
+                AttackAxis::paper_delay(),
+                AttackAxis::Dos {
+                    onset: 182,
+                    duration: 119,
+                    power_scale: 0.25,
+                },
+                AttackAxis::Delay {
+                    onset: 180,
+                    duration: 121,
+                    extra_distance: 12.0,
+                },
+            ],
+            initial_gaps_m: vec![90.0, 100.0],
+            initial_speeds_mph: vec![65.0],
+            seeds: (1..=n_seeds).collect(),
+        },
+    )
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn print_timing(tag: &str, run: &CampaignRun) {
+    let slowest = run
+        .trials
+        .iter()
+        .max_by_key(|t| t.duration)
+        .map(|t| format!("{} ({:.2} ms)", t.label, ms(t.duration)))
+        .unwrap_or_else(|| "-".to_string());
+    println!(
+        "{tag:>9}: threads={:<2} wall={:>8.1} ms busy={:>8.1} ms speedup={:>5.2}x \
+         mean/trial={:.2} ms slowest={slowest}",
+        run.threads,
+        ms(run.wall),
+        ms(run.busy),
+        run.speedup(),
+        ms(run.busy) / run.trials.len().max(1) as f64,
+    );
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let threads = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or_else(|| resolve_threads(None).max(2));
+    let n_seeds: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(20);
+
+    let machine = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let campaign = sweep_campaign(n_seeds);
+    println!(
+        "machine parallelism: {machine} core(s) — wall-clock gains cap there, \
+         regardless of worker count"
+    );
+    println!(
+        "campaign `{}`: {} trials ({} attacks x {} gaps x {} speeds x {} seeds)\n",
+        campaign.name,
+        campaign.len(),
+        campaign.grid.attacks.len(),
+        campaign.grid.initial_gaps_m.len(),
+        campaign.grid.initial_speeds_mph.len(),
+        campaign.grid.seeds.len(),
+    );
+
+    let serial = campaign.run(Some(1));
+    print_timing("serial", &serial);
+    let parallel = campaign.run(Some(threads));
+    print_timing("parallel", &parallel);
+
+    let canon_serial = campaign_to_json(&serial).to_canonical();
+    let canon_parallel = campaign_to_json(&parallel).to_canonical();
+    let identical = canon_serial == canon_parallel;
+    println!(
+        "\ncanonical summaries byte-identical across schedules: {identical} \
+         ({} bytes)",
+        canon_serial.len()
+    );
+    println!(
+        "parallel wall {:.1} ms vs serial wall {:.1} ms — {:.2}x faster\n",
+        ms(parallel.wall),
+        ms(serial.wall),
+        serial.wall.as_secs_f64() / parallel.wall.as_secs_f64().max(1e-9),
+    );
+
+    println!(
+        "{:<22} {:>6} {:>8} {:>8} {:>6} {:>6} {:>10} {:>9}",
+        "attack", "trials", "crash", "detect", "FP", "FN", "min gap p5", "rmse p95"
+    );
+    for (attack, stats) in parallel.group_stats(|t| CampaignRun::attack_of(t).to_string()) {
+        println!(
+            "{:<22} {:>6} {:>8.3} {:>8.3} {:>6} {:>6} {:>8.2} m {:>9}",
+            attack,
+            stats.trials,
+            stats.crash_rate(),
+            stats.detection_rate(),
+            stats.false_positives,
+            stats.false_negatives,
+            stats.min_gap_percentile(5.0).unwrap_or(f64::NAN),
+            stats
+                .rmse_percentile(95.0)
+                .map(|r| format!("{r:.2} m"))
+                .unwrap_or_else(|| "-".to_string()),
+        );
+    }
+
+    let out_dir = std::path::Path::new("target/campaign");
+    if std::fs::create_dir_all(out_dir).is_ok() {
+        let json_path = out_dir.join("sweep.json");
+        let csv_path = out_dir.join("sweep.csv");
+        let _ = std::fs::write(&json_path, campaign_to_json(&parallel).to_pretty());
+        let _ = std::fs::write(&csv_path, campaign_to_csv(&parallel));
+        println!(
+            "\ntraces written: {} and {}",
+            json_path.display(),
+            csv_path.display()
+        );
+    }
+
+    if !identical {
+        eprintln!("DETERMINISM VIOLATION: serial and parallel summaries differ");
+        std::process::exit(1);
+    }
+}

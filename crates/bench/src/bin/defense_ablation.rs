@@ -1,6 +1,7 @@
 //! Defense ablation (experiment E8 of DESIGN.md): minimum true gap and
 //! collision outcome with the CRA + RLS defense on vs. off, for both attack
-//! types and both leader profiles, plus the §7 limitation — a hypothetical
+//! types and both leader profiles — run as paired Monte-Carlo campaigns on
+//! the parallel runner — plus the §7 limitation: a hypothetical
 //! zero-latency adversary evades CRA.
 //!
 //! ```sh
@@ -8,9 +9,19 @@
 //! ```
 
 use argus_attack::{Adversary, AttackKind, AttackWindow, DelaySpoofer};
+use argus_core::campaign::{AttackAxis, AxisGrid, Campaign};
 use argus_core::scenario::{Scenario, ScenarioConfig};
 use argus_core::Experiment;
 use argus_sim::units::Seconds;
+
+/// The campaign attack axis matching one figure experiment.
+fn attack_axis(exp: &Experiment) -> AttackAxis {
+    match exp.adversary().kind() {
+        AttackKind::Dos(_) => AttackAxis::paper_dos(),
+        AttackKind::DelayInjection(_) => AttackAxis::paper_delay(),
+        AttackKind::None => AttackAxis::Benign,
+    }
+}
 
 fn main() {
     println!(
@@ -18,7 +29,15 @@ fn main() {
         "exp", "attack", "min gap (def)", "collided", "min gap (raw)", "collided"
     );
     for exp in Experiment::all() {
-        let outcome = exp.run(42);
+        let grid = AxisGrid {
+            attacks: vec![attack_axis(&exp)],
+            initial_gaps_m: vec![100.0],
+            initial_speeds_mph: vec![65.0],
+            seeds: vec![42],
+        };
+        let base = Campaign::new(exp.id, exp.profile().clone(), grid);
+        let defended = base.clone().run(None);
+        let raw = base.with_defense(false).run(None);
         let attack = match exp.adversary().kind() {
             AttackKind::Dos(_) => "DoS",
             AttackKind::DelayInjection(_) => "delay",
@@ -28,10 +47,10 @@ fn main() {
             "{:<8} {:<11} {:>12.2} m {:>12} {:>12.2} m {:>12}",
             exp.id,
             attack,
-            outcome.defended.metrics.min_gap,
-            outcome.defended.metrics.collided,
-            outcome.undefended.metrics.min_gap,
-            outcome.undefended.metrics.collided,
+            defended.stats.min_gap_percentile(0.0).unwrap_or(f64::NAN),
+            defended.stats.collisions > 0,
+            raw.stats.min_gap_percentile(0.0).unwrap_or(f64::NAN),
+            raw.stats.collisions > 0,
         );
     }
 

@@ -1,45 +1,58 @@
 //! Regenerates the paper's §6.2 detection results as a table: detection
 //! step, latency, and false-positive / false-negative counts for every
-//! figure experiment, Monte-Carlo'd over 20 seeds (experiment E5 of
-//! DESIGN.md — the paper's "no false positives or false negatives" claim).
+//! figure experiment, Monte-Carlo'd over 20 seed-axis points (experiment
+//! E5 of DESIGN.md — the paper's "no false positives or false negatives"
+//! claim), executed in parallel on the campaign runner.
 //!
 //! ```sh
 //! cargo run -p argus-bench --bin detection_table
 //! ```
 
+use std::time::Duration;
+
 use argus_bench::MONTE_CARLO_SEEDS;
+use argus_core::campaign::{AttackAxis, AxisGrid, Campaign};
 use argus_core::Experiment;
+
+/// The campaign attack axis matching one figure experiment.
+fn attack_axis(exp: &Experiment) -> AttackAxis {
+    use argus_attack::AttackKind;
+    match exp.adversary().kind() {
+        AttackKind::Dos(_) => AttackAxis::paper_dos(),
+        AttackKind::DelayInjection(_) => AttackAxis::paper_delay(),
+        AttackKind::None => AttackAxis::Benign,
+    }
+}
 
 fn main() {
     println!(
         "{:<8} {:>6} {:>10} {:>9} {:>6} {:>6} {:>10} {:>12}",
-        "exp", "seeds", "detect@", "latency", "FP", "FN", "collisions", "worst rmse"
+        "exp", "trials", "detect@", "latency", "FP", "FN", "collisions", "worst rmse"
     );
     let mut total_fp = 0;
     let mut total_fn = 0;
+    let mut total_wall = Duration::ZERO;
+    let mut total_busy = Duration::ZERO;
     for exp in Experiment::all() {
-        let mut detect_steps = Vec::new();
-        let mut latencies = Vec::new();
-        let mut fp = 0;
-        let mut fne = 0;
-        let mut collisions = 0;
-        let mut worst_rmse: f64 = 0.0;
-        for &seed in &MONTE_CARLO_SEEDS {
-            let outcome = exp.run(seed);
-            let m = &outcome.defended.metrics;
-            if let Some(s) = m.detection_step {
-                detect_steps.push(s.0);
-            }
-            if let Some(l) = m.detection_latency {
-                latencies.push(l);
-            }
-            fp += m.confusion.false_positives;
-            fne += m.confusion.false_negatives;
-            collisions += u64::from(m.collided);
-            if let Some(r) = m.attack_window_distance_rmse {
-                worst_rmse = worst_rmse.max(r);
-            }
-        }
+        let campaign = Campaign::new(
+            exp.id,
+            exp.profile().clone(),
+            AxisGrid {
+                attacks: vec![attack_axis(&exp)],
+                initial_gaps_m: vec![100.0],
+                initial_speeds_mph: vec![65.0],
+                seeds: MONTE_CARLO_SEEDS.to_vec(),
+            },
+        );
+        let run = campaign.run(None);
+        total_wall += run.wall;
+        total_busy += run.busy;
+
+        let mut detect_steps: Vec<u64> = run
+            .trials
+            .iter()
+            .filter_map(|t| t.metrics.detection_step.map(|s| s.0))
+            .collect();
         detect_steps.sort_unstable();
         detect_steps.dedup();
         let detect = if detect_steps.len() == 1 {
@@ -47,30 +60,35 @@ fn main() {
         } else {
             format!("{detect_steps:?}")
         };
-        let latency = if latencies.is_empty() {
-            "-".to_string()
-        } else {
-            format!(
-                "{}..{} s",
-                latencies.iter().min().unwrap(),
-                latencies.iter().max().unwrap()
-            )
+        let stats = &run.stats;
+        let latency = match (
+            stats.latency_percentile(0.0),
+            stats.latency_percentile(100.0),
+        ) {
+            (Some(lo), Some(hi)) => format!("{lo}..{hi} s"),
+            _ => "-".to_string(),
         };
         println!(
             "{:<8} {:>6} {:>10} {:>9} {:>6} {:>6} {:>10} {:>10.2} m",
             exp.id,
-            MONTE_CARLO_SEEDS.len(),
+            stats.trials,
             detect,
             latency,
-            fp,
-            fne,
-            collisions,
-            worst_rmse
+            stats.false_positives,
+            stats.false_negatives,
+            stats.collisions,
+            stats.rmse_percentile(100.0).unwrap_or(0.0),
         );
-        total_fp += fp;
-        total_fn += fne;
+        total_fp += stats.false_positives;
+        total_fn += stats.false_negatives;
     }
     println!(
         "\npaper claim: zero false positives and zero false negatives — measured FP={total_fp} FN={total_fn}"
+    );
+    println!(
+        "campaign runner: busy {:.1} ms in {:.1} ms wall ({:.2}x parallel)",
+        total_busy.as_secs_f64() * 1e3,
+        total_wall.as_secs_f64() * 1e3,
+        total_busy.as_secs_f64() / total_wall.as_secs_f64().max(1e-9),
     );
 }

@@ -35,8 +35,7 @@ fn main() {
         }
         cra_fp += r.metrics.confusion.false_positives;
     }
-    let cra_mean =
-        cra_latencies.iter().sum::<f64>() / cra_latencies.len().max(1) as f64;
+    let cra_mean = cra_latencies.iter().sum::<f64>() / cra_latencies.len().max(1) as f64;
     println!(
         "{:<28} {:>14} {:>16} {:>18}",
         "detector", "mean latency", "detection rate", "false alarms/run"
@@ -64,19 +63,13 @@ fn main() {
             .run(seed);
             let d = r.series("d_radar");
             let sigma = 0.5; // the scenario's distance-noise σ
-            // Innovation variance ≈ R + tracking slack; calibrated on the
-            // clean prefix would give ~1.3·σ², we use that factor.
+                             // Innovation variance ≈ R + tracking slack; calibrated on the
+                             // clean prefix would give ~1.3·σ², we use that factor.
             let innovation_var = 1.3 * sigma * sigma;
-            let mut chi =
-                ChiSquareDetector::with_false_alarm_rate(10, innovation_var, fa).unwrap();
-            let mut kf = argus_estim::KalmanFilter::constant_velocity(
-                1.0,
-                1e-3,
-                sigma * sigma,
-                d[0],
-                -0.5,
-            )
-            .unwrap();
+            let mut chi = ChiSquareDetector::with_false_alarm_rate(10, innovation_var, fa).unwrap();
+            let mut kf =
+                argus_estim::KalmanFilter::constant_velocity(1.0, 1e-3, sigma * sigma, d[0], -0.5)
+                    .unwrap();
             let mut detected = None;
             for (k, &y) in d.iter().enumerate() {
                 if y == 0.0 {

@@ -64,7 +64,10 @@ fn main() {
                 trend.observe(y);
             }
             let (v, d) = score(|| trend.predict_next().unwrap(), profile);
-            println!("{profile:<24} {:<18} {v:>10.3} m/s {d:>12.2} m", "RLS trend");
+            println!(
+                "{profile:<24} {:<18} {v:>10.3} m/s {d:>12.2} m",
+                "RLS trend"
+            );
 
             // AR(4) RLS free-run.
             let mut ar = SensorPredictor::paper().unwrap();
@@ -72,7 +75,10 @@ fn main() {
                 ar.observe(y);
             }
             let (v, d) = score(|| ar.predict_next().unwrap(), profile);
-            println!("{profile:<24} {:<18} {v:>10.3} m/s {d:>12.2} m", "RLS AR(4)");
+            println!(
+                "{profile:<24} {:<18} {v:>10.3} m/s {d:>12.2} m",
+                "RLS AR(4)"
+            );
 
             // Holt double exponential smoothing.
             let mut holt = HoltPredictor::paper_equivalent().unwrap();
@@ -80,12 +86,14 @@ fn main() {
                 holt.observe(y);
             }
             let (v, d) = score(|| holt.predict_next().unwrap(), profile);
-            println!("{profile:<24} {:<18} {v:>10.3} m/s {d:>12.2} m", "Holt (α,β)");
+            println!(
+                "{profile:<24} {:<18} {v:>10.3} m/s {d:>12.2} m",
+                "Holt (α,β)"
+            );
 
             // Constant-velocity Kalman tracker, then pure prediction.
             let mut kf =
-                KalmanFilter::constant_velocity(1.0, 1e-5, 0.02 * 0.02, samples[0], -0.1)
-                    .unwrap();
+                KalmanFilter::constant_velocity(1.0, 1e-5, 0.02 * 0.02, samples[0], -0.1).unwrap();
             for &y in &samples {
                 kf.predict(&DVector::zeros(1));
                 kf.update(&DVector::from_vec(vec![y]));
@@ -97,7 +105,10 @@ fn main() {
                 },
                 profile,
             );
-            println!("{profile:<24} {:<18} {v:>10.3} m/s {d:>12.2} m", "Kalman CV");
+            println!(
+                "{profile:<24} {:<18} {v:>10.3} m/s {d:>12.2} m",
+                "Kalman CV"
+            );
         }
         println!();
     }
@@ -108,10 +119,9 @@ fn main() {
          paper's RLS.\n"
     );
 
-    // Closed-loop consequences: run the defended DoS scenarios with each
-    // pluggable predictor.
-    use argus_attack::Adversary;
-    use argus_core::scenario::{Scenario, ScenarioConfig};
+    // Closed-loop consequences: one parallel Monte-Carlo campaign per
+    // (profile, predictor) with the defended DoS scenario.
+    use argus_core::campaign::{AttackAxis, AxisGrid, Campaign};
     use argus_core::PredictorKind;
     use argus_vehicle::LeaderProfile;
 
@@ -121,31 +131,35 @@ fn main() {
     );
     for (name, profile) in [
         ("fig2a", LeaderProfile::paper_constant_decel()),
-        ("fig3a", LeaderProfile::paper_decel_then_accel(argus_sim::Step(100))),
+        (
+            "fig3a",
+            LeaderProfile::paper_decel_then_accel(argus_sim::Step(100)),
+        ),
     ] {
         for kind in [
             PredictorKind::RlsTrend,
             PredictorKind::RlsAr4,
             PredictorKind::Holt,
         ] {
-            let mut collisions = 0u32;
-            let mut worst_rmse: f64 = 0.0;
-            let mut min_gap = f64::MAX;
-            for seed in [1u64, 7, 42, 101, 9999] {
-                let r = Scenario::new(
-                    ScenarioConfig::paper(profile.clone(), Adversary::paper_dos(), true)
-                        .with_predictor(kind),
-                )
-                .run(seed);
-                collisions += u32::from(r.metrics.collided);
-                if let Some(e) = r.metrics.attack_window_distance_rmse {
-                    worst_rmse = worst_rmse.max(e);
-                }
-                min_gap = min_gap.min(r.metrics.min_gap);
-            }
+            let run = Campaign::new(
+                format!("{name}-{kind:?}"),
+                profile.clone(),
+                AxisGrid {
+                    attacks: vec![AttackAxis::paper_dos()],
+                    initial_gaps_m: vec![100.0],
+                    initial_speeds_mph: vec![65.0],
+                    seeds: vec![1, 7, 42, 101, 9999],
+                },
+            )
+            .with_predictor(kind)
+            .run(None);
+            let stats = &run.stats;
             println!(
-                "{name} closed loop:        {:<10?} {collisions:>12} {worst_rmse:>10.2} m {min_gap:>10.2} m",
-                kind
+                "{name} closed loop:        {:<10?} {:>12} {:>10.2} m {:>10.2} m",
+                kind,
+                stats.collisions,
+                stats.rmse_percentile(100.0).unwrap_or(0.0),
+                stats.min_gap_percentile(0.0).unwrap_or(f64::NAN),
             );
         }
     }

@@ -1,15 +1,18 @@
 //! Regenerates the Eqn 11 jammer-success analysis (experiment E7 of
 //! DESIGN.md): the power ratio `P_r / P_jammer` across target distance and
 //! jammer power, locating the burn-through crossover where the attack
-//! stops succeeding.
+//! stops succeeding — then closes the loop with a Monte-Carlo campaign
+//! over the jammer-power axis.
 //!
 //! ```sh
 //! cargo run -p argus-bench --bin jammer_sweep
 //! ```
 
 use argus_attack::Jammer;
+use argus_core::campaign::{AttackAxis, AxisGrid, Campaign, CampaignRun};
 use argus_radar::RadarConfig;
 use argus_sim::units::{Meters, Watts};
+use argus_vehicle::LeaderProfile;
 
 fn main() {
     let radar = RadarConfig::bosch_lrr2();
@@ -50,5 +53,59 @@ fn main() {
          jamming succeeds everywhere beyond it, including the whole 2–200 m \
          operating band beyond {:.2} m",
         hi, hi
+    );
+
+    // Closed loop: sweep the jammer-power axis (relative to the paper's
+    // 100 mW) in one parallel Monte-Carlo campaign, 10 seeds per point.
+    let power_scales = [1e-7, 1e-5, 0.05, 0.25, 1.0, 2.0];
+    let campaign = Campaign::new(
+        "jammer-inr",
+        LeaderProfile::paper_constant_decel(),
+        AxisGrid {
+            attacks: power_scales
+                .iter()
+                .map(|&power_scale| AttackAxis::Dos {
+                    onset: 182,
+                    duration: 119,
+                    power_scale,
+                })
+                .collect(),
+            initial_gaps_m: vec![100.0],
+            initial_speeds_mph: vec![65.0],
+            seeds: (1..=10).collect(),
+        },
+    );
+    let run = campaign.run(None);
+    println!(
+        "\nClosed loop over jammer power ({} trials, {} threads, wall {:.1} ms, {:.2}x):",
+        run.trials.len(),
+        run.threads,
+        run.wall.as_secs_f64() * 1e3,
+        run.speedup(),
+    );
+    println!(
+        "{:<18} {:>8} {:>8} {:>10} {:>10} {:>6} {:>6}",
+        "jammer", "trials", "detect", "latency", "min gap", "FP", "FN"
+    );
+    for (attack, stats) in run.group_stats(|t| CampaignRun::attack_of(t).to_string()) {
+        println!(
+            "{:<18} {:>8} {:>8.2} {:>8} s {:>8.2} m {:>6} {:>6}",
+            attack,
+            stats.trials,
+            stats.detection_rate(),
+            stats
+                .latency_percentile(50.0)
+                .map(|l| format!("{l:.0}"))
+                .unwrap_or_else(|| "-".to_string()),
+            stats.min_gap_percentile(0.0).unwrap_or(f64::NAN),
+            stats.false_positives,
+            stats.false_negatives,
+        );
+    }
+    println!(
+        "\nany jammer within orders of magnitude of the paper's 100 mW budget \
+         is caught at the first challenge (latency 0); only a jammer many \
+         orders weaker slips early challenges (false negatives) and is \
+         detected late, once the closing gap pushes it past burn-through"
     );
 }

@@ -204,17 +204,30 @@ impl AccController {
             }
         };
 
+        let spacing_law = |d: Meters| {
+            let clearance_error = (d - d_des).value();
+            (relative_speed.value() + self.config.spacing_gain * clearance_error)
+                / self.config.headway.value()
+        };
         let mut raw = match self.mode {
             AccMode::SpeedControl => {
                 self.config.speed_gain * (self.config.set_speed - own_speed).value()
             }
             AccMode::SpacingControl => {
-                let d = distance.expect("spacing mode requires a target");
-                let clearance_error = (d - d_des).value();
-                (relative_speed.value() + self.config.spacing_gain * clearance_error)
-                    / self.config.headway.value()
+                spacing_law(distance.expect("spacing mode requires a target"))
             }
         };
+        // Min-law arbitration: with a target in view, the cruise law may
+        // never command more acceleration than the spacing law allows.
+        // Without this, measurement noise around the mode boundary (the
+        // hysteresis band is only 5% of d_des, below one noise std-dev at
+        // low speed) flips the controller into speed mode right behind a
+        // slower leader and produces full-throttle surges toward it.
+        if self.mode == AccMode::SpeedControl {
+            if let Some(d) = distance {
+                raw = raw.min(spacing_law(d));
+            }
+        }
         // Standstill hold: a stopped vehicle inside the desired gap must not
         // creep forward on noise.
         if self.config.standstill_hold
@@ -272,7 +285,10 @@ mod tests {
         let mut c = controller();
         let out = c.step(None, MetersPerSecond(0.0), MetersPerSecond(20.0));
         assert_eq!(out.mode, AccMode::SpeedControl);
-        assert!(out.desired_accel.value() > 0.0, "below set speed → accelerate");
+        assert!(
+            out.desired_accel.value() > 0.0,
+            "below set speed → accelerate"
+        );
     }
 
     #[test]
@@ -342,7 +358,11 @@ mod tests {
     #[test]
     fn reset_restores_initial_state() {
         let mut c = controller();
-        c.step(Some(Meters(10.0)), MetersPerSecond(-5.0), MetersPerSecond(30.0));
+        c.step(
+            Some(Meters(10.0)),
+            MetersPerSecond(-5.0),
+            MetersPerSecond(30.0),
+        );
         c.reset();
         assert_eq!(c.mode(), AccMode::SpeedControl);
         let out = c.step(None, MetersPerSecond(0.0), c.config().set_speed);

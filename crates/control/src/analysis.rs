@@ -19,9 +19,11 @@ pub fn rank(m: &DMatrix<f64>, tol: Option<f64>) -> usize {
     }
     let svd = m.clone().svd(false, false);
     let smax = svd.singular_values.iter().cloned().fold(0.0f64, f64::max);
-    let threshold =
-        tol.unwrap_or(m.nrows().max(m.ncols()) as f64 * smax * f64::EPSILON);
-    svd.singular_values.iter().filter(|&&s| s > threshold).count()
+    let threshold = tol.unwrap_or(m.nrows().max(m.ncols()) as f64 * smax * f64::EPSILON);
+    svd.singular_values
+        .iter()
+        .filter(|&&s| s > threshold)
+        .count()
 }
 
 /// Builds the controllability matrix `[B, AB, A²B, …, Aⁿ⁻¹B]`.
@@ -68,10 +70,7 @@ pub fn is_observable(sys: &StateSpace) -> bool {
 /// Returns [`ControlError::BadParameter`] if the eigenvalue iteration fails
 /// (practically unreachable for finite matrices).
 pub fn spectral_radius(sys: &StateSpace) -> Result<f64, ControlError> {
-    let eigs = sys
-        .a()
-        .clone()
-        .complex_eigenvalues();
+    let eigs = sys.a().clone().complex_eigenvalues();
     eigs.iter()
         .map(|c| c.norm())
         .fold(None, |acc: Option<f64>, x| {

@@ -30,7 +30,11 @@ pub fn expm(m: &DMatrix<f64>) -> Result<DMatrix<f64>, ControlError> {
     let n = m.nrows();
     if n == 0 || m.ncols() != n {
         return Err(ControlError::DimensionMismatch {
-            message: format!("expm needs a square matrix, got {}x{}", m.nrows(), m.ncols()),
+            message: format!(
+                "expm needs a square matrix, got {}x{}",
+                m.nrows(),
+                m.ncols()
+            ),
         });
     }
     if m.iter().any(|x| !x.is_finite()) {
@@ -134,7 +138,10 @@ mod tests {
         for x in [-3.0, -0.1, 0.0, 0.5, 2.0, 10.0] {
             let m = DMatrix::from_element(1, 1, x);
             let e = expm(&m).unwrap();
-            assert!((e[(0, 0)] - x.exp()).abs() < 1e-10 * x.exp().max(1.0), "x={x}");
+            assert!(
+                (e[(0, 0)] - x.exp()).abs() < 1e-10 * x.exp().max(1.0),
+                "x={x}"
+            );
         }
     }
 

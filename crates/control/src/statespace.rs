@@ -46,15 +46,15 @@ impl StateSpace {
     ///
     /// Returns [`ControlError::DimensionMismatch`] when `A` is not square or
     /// `B`/`C` row/column counts do not line up with the state dimension.
-    pub fn new(
-        a: DMatrix<f64>,
-        b: DMatrix<f64>,
-        c: DMatrix<f64>,
-    ) -> Result<Self, ControlError> {
+    pub fn new(a: DMatrix<f64>, b: DMatrix<f64>, c: DMatrix<f64>) -> Result<Self, ControlError> {
         let n = a.nrows();
         if n == 0 || a.ncols() != n {
             return Err(ControlError::DimensionMismatch {
-                message: format!("A must be square and non-empty, got {}x{}", a.nrows(), a.ncols()),
+                message: format!(
+                    "A must be square and non-empty, got {}x{}",
+                    a.nrows(),
+                    a.ncols()
+                ),
             });
         }
         if b.nrows() != n {
@@ -225,8 +225,9 @@ mod tests {
         let x0 = DVector::from_vec(vec![1.0, -1.0]);
         let zero = DVector::from_vec(vec![0.0, 0.0]);
         let u1: Vec<DVector<f64>> = (0..5).map(|k| DVector::from_vec(vec![k as f64])).collect();
-        let u2: Vec<DVector<f64>> =
-            (0..5).map(|k| DVector::from_vec(vec![-2.0 * k as f64 + 1.0])).collect();
+        let u2: Vec<DVector<f64>> = (0..5)
+            .map(|k| DVector::from_vec(vec![-2.0 * k as f64 + 1.0]))
+            .collect();
         let usum: Vec<DVector<f64>> = u1.iter().zip(&u2).map(|(a, b)| a + b).collect();
 
         let y_x0 = sys.simulate(&x0, &vec![DVector::zeros(1); 5]);
@@ -250,9 +251,7 @@ mod tests {
 
     #[test]
     fn noisy_measurement_statistics() {
-        let sys = double_integrator()
-            .with_measurement_noise(&[0.5])
-            .unwrap();
+        let sys = double_integrator().with_measurement_noise(&[0.5]).unwrap();
         let x = DVector::from_vec(vec![10.0, 0.0]);
         let mut rng = SimRng::seed_from(7);
         let n = 5000;

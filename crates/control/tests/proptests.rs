@@ -1,14 +1,13 @@
 //! Property-based tests for the control substrate.
 
-use argus_control::{expm, zoh_discretize, AccConfig, AccController, RateLimiter, Saturation};
 use argus_control::statespace::StateSpace;
+use argus_control::{expm, zoh_discretize, AccConfig, AccController, RateLimiter, Saturation};
 use argus_sim::units::{Meters, MetersPerSecond, Seconds};
 use nalgebra::{DMatrix, DVector};
 use proptest::prelude::*;
 
 fn small_matrix(n: usize) -> impl Strategy<Value = DMatrix<f64>> {
-    proptest::collection::vec(-1.0f64..1.0, n * n)
-        .prop_map(move |v| DMatrix::from_vec(n, n, v))
+    proptest::collection::vec(-1.0f64..1.0, n * n).prop_map(move |v| DMatrix::from_vec(n, n, v))
 }
 
 proptest! {

@@ -5,6 +5,9 @@ fn main() {
     let d_radar = o.defended.series("d_radar");
     let power = o.defended.series("received_power");
     for k in 185..215 {
-        println!("k={k} gap={:8.2} d_radar={:8.2} P={:.2e}", gap[k], d_radar[k], power[k]);
+        println!(
+            "k={k} gap={:8.2} d_radar={:8.2} P={:.2e}",
+            gap[k], d_radar[k], power[k]
+        );
     }
 }

@@ -1,0 +1,237 @@
+//! Campaign parameter axes and their expansion into trial specs.
+
+use argus_attack::{Adversary, AttackKind, AttackWindow, DelaySpoofer, Jammer};
+use argus_sim::time::Step;
+use argus_sim::units::{Meters, Watts};
+
+use crate::scenario::ScenarioConfig;
+
+/// One point on the attack axis.
+///
+/// The label of every variant is stable text — it seeds the trial RNG, so
+/// its format is part of the replay contract and must not depend on
+/// anything but the axis coordinates themselves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum AttackAxis {
+    /// No attack.
+    Benign,
+    /// DoS jamming from `onset` for `duration` steps, with the jammer
+    /// transmit power scaled by `power_scale` relative to the paper's
+    /// 100 mW jammer (the jammer-INR axis).
+    Dos {
+        /// First attacked step.
+        onset: u64,
+        /// Number of attacked steps.
+        duration: u64,
+        /// Multiplier on the paper jammer's transmit power.
+        power_scale: f64,
+    },
+    /// Delay injection from `onset` for `duration` steps, spoofing the
+    /// range `extra_distance` metres long.
+    Delay {
+        /// First attacked step.
+        onset: u64,
+        /// Number of attacked steps.
+        duration: u64,
+        /// Injected range elongation in metres.
+        extra_distance: f64,
+    },
+}
+
+impl AttackAxis {
+    /// The paper's DoS attack: onset 182, through the end of the 301-step
+    /// horizon, nominal 100 mW jammer.
+    pub fn paper_dos() -> Self {
+        AttackAxis::Dos {
+            onset: 182,
+            duration: 119,
+            power_scale: 1.0,
+        }
+    }
+
+    /// The paper's delay-injection attack: onset 180, +6 m illusion.
+    pub fn paper_delay() -> Self {
+        AttackAxis::Delay {
+            onset: 180,
+            duration: 121,
+            extra_distance: 6.0,
+        }
+    }
+
+    /// Stable text form used in trial labels (and hence trial seeds).
+    pub fn label(&self) -> String {
+        match self {
+            AttackAxis::Benign => "benign".to_string(),
+            AttackAxis::Dos {
+                onset,
+                duration,
+                power_scale,
+            } => format!("dos@{onset}+{duration}x{power_scale}"),
+            AttackAxis::Delay {
+                onset,
+                duration,
+                extra_distance,
+            } => format!("delay@{onset}+{duration}+{extra_distance}m"),
+        }
+    }
+
+    /// Builds the adversary for this axis point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an attacked variant has `duration == 0`.
+    pub fn adversary(&self) -> Adversary {
+        match *self {
+            AttackAxis::Benign => Adversary::benign(),
+            AttackAxis::Dos {
+                onset,
+                duration,
+                power_scale,
+            } => {
+                assert!(duration > 0, "DoS duration must be positive");
+                let mut jammer = Jammer::paper();
+                jammer.power = Watts(jammer.power.value() * power_scale);
+                Adversary::new(AttackKind::Dos(jammer), window(onset, duration))
+            }
+            AttackAxis::Delay {
+                onset,
+                duration,
+                extra_distance,
+            } => {
+                assert!(duration > 0, "delay duration must be positive");
+                let mut spoofer = DelaySpoofer::paper();
+                spoofer.extra_distance = Meters(extra_distance);
+                Adversary::new(AttackKind::DelayInjection(spoofer), window(onset, duration))
+            }
+        }
+    }
+}
+
+fn window(onset: u64, duration: u64) -> AttackWindow {
+    AttackWindow::new(Step(onset), Step(onset + duration - 1))
+}
+
+/// The cartesian grid of swept axes.
+///
+/// An axis with a single entry is simply held fixed; an empty axis makes
+/// the campaign empty.
+#[derive(Debug, Clone)]
+pub struct AxisGrid {
+    /// Attack kind / onset / duration / strength points.
+    pub attacks: Vec<AttackAxis>,
+    /// Initial inter-vehicle gaps in metres (target-range axis).
+    pub initial_gaps_m: Vec<f64>,
+    /// Initial common speeds in mph (target-velocity axis).
+    pub initial_speeds_mph: Vec<f64>,
+    /// Measurement-noise seeds (the Monte-Carlo axis).
+    pub seeds: Vec<u64>,
+}
+
+impl AxisGrid {
+    /// The paper's nominal operating point with `n` Monte-Carlo seeds.
+    pub fn paper(n_seeds: u64) -> Self {
+        Self {
+            attacks: vec![AttackAxis::paper_dos()],
+            initial_gaps_m: vec![100.0],
+            initial_speeds_mph: vec![65.0],
+            seeds: (1..=n_seeds).collect(),
+        }
+    }
+
+    /// Number of trials this grid expands to.
+    pub fn len(&self) -> usize {
+        self.attacks.len()
+            * self.initial_gaps_m.len()
+            * self.initial_speeds_mph.len()
+            * self.seeds.len()
+    }
+
+    /// `true` when any axis is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One fully-specified trial: a scenario configuration plus the derived
+/// RNG seed and the stable label it came from.
+#[derive(Debug, Clone)]
+pub struct TrialSpec {
+    /// Position in the expansion order (stable across runs).
+    pub index: usize,
+    /// Stable axis-coordinate label (seeds the trial RNG).
+    pub label: String,
+    /// Scenario seed derived from the master seed and the label.
+    pub seed: u64,
+    /// The concrete scenario configuration.
+    pub config: ScenarioConfig,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_axes_match_paper_windows() {
+        let dos = AttackAxis::paper_dos().adversary();
+        assert_eq!(dos.window().start(), Step(182));
+        assert_eq!(dos.window().end(), Step(300));
+        let delay = AttackAxis::paper_delay().adversary();
+        assert_eq!(delay.window().start(), Step(180));
+        assert_eq!(delay.window().end(), Step(300));
+    }
+
+    #[test]
+    fn labels_are_distinct_and_stable() {
+        let points = [
+            AttackAxis::Benign,
+            AttackAxis::paper_dos(),
+            AttackAxis::paper_delay(),
+            AttackAxis::Dos {
+                onset: 182,
+                duration: 119,
+                power_scale: 0.5,
+            },
+            AttackAxis::Dos {
+                onset: 150,
+                duration: 119,
+                power_scale: 1.0,
+            },
+        ];
+        let labels: Vec<String> = points.iter().map(AttackAxis::label).collect();
+        assert_eq!(labels[1], "dos@182+119x1");
+        assert_eq!(labels[2], "delay@180+121+6m");
+        let mut unique = labels.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), labels.len());
+    }
+
+    #[test]
+    fn power_scale_scales_the_jammer() {
+        let weak = AttackAxis::Dos {
+            onset: 182,
+            duration: 10,
+            power_scale: 0.25,
+        }
+        .adversary();
+        match weak.kind() {
+            AttackKind::Dos(j) => {
+                assert!((j.power.value() - 0.25 * Jammer::paper().power.value()).abs() < 1e-12)
+            }
+            _ => panic!("expected DoS"),
+        }
+    }
+
+    #[test]
+    fn grid_len_is_product() {
+        let g = AxisGrid {
+            attacks: vec![AttackAxis::Benign, AttackAxis::paper_dos()],
+            initial_gaps_m: vec![80.0, 100.0, 120.0],
+            initial_speeds_mph: vec![55.0, 65.0],
+            seeds: vec![1, 2, 3, 4, 5],
+        };
+        assert_eq!(g.len(), 2 * 3 * 2 * 5);
+        assert!(!g.is_empty());
+        assert!(AxisGrid { seeds: vec![], ..g }.is_empty());
+    }
+}

@@ -1,0 +1,231 @@
+//! A small std-only work-stealing thread pool for embarrassingly-parallel
+//! trial execution.
+//!
+//! Tasks are pre-distributed round-robin over per-worker deques; an idle
+//! worker pops from the front of its own deque and steals from the *back*
+//! of the busiest other deque. Because the task set is fixed up front (no
+//! task spawns tasks), a worker may exit as soon as a full scan finds
+//! every deque empty.
+//!
+//! The pool makes **no ordering promises** about execution — determinism
+//! is the caller's job (results are returned indexed by task id, and the
+//! campaign runner aggregates them in task order).
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Wall-clock accounting of one pool invocation.
+#[derive(Debug, Clone)]
+pub struct PoolTiming {
+    /// Number of worker threads used.
+    pub threads: usize,
+    /// End-to-end wall-clock time of the pool run.
+    pub wall: Duration,
+    /// Per-task execution times, indexed like the results.
+    pub per_task: Vec<Duration>,
+}
+
+impl PoolTiming {
+    /// Total busy time: the sum of all task times.
+    pub fn busy(&self) -> Duration {
+        self.per_task.iter().sum()
+    }
+
+    /// Parallel speedup actually achieved (busy time over wall time).
+    pub fn speedup(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall > 0.0 {
+            self.busy().as_secs_f64() / wall
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Resolves the worker count: explicit request, then the `ARGUS_THREADS`
+/// environment variable, then `RAYON_NUM_THREADS` (honoured for habit),
+/// then the machine's available parallelism.
+pub fn resolve_threads(requested: Option<usize>) -> usize {
+    requested
+        .or_else(|| env_threads("ARGUS_THREADS"))
+        .or_else(|| env_threads("RAYON_NUM_THREADS"))
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+fn env_threads(var: &str) -> Option<usize> {
+    std::env::var(var)
+        .ok()?
+        .trim()
+        .parse()
+        .ok()
+        .filter(|&n| n > 0)
+}
+
+/// Runs `f(0..n)` across `threads` workers and returns the results in
+/// task order together with timing.
+///
+/// The output is a pure function of `f`: thread count and scheduling
+/// affect only `PoolTiming`, never the result vector.
+pub fn map_indexed<T, F>(n: usize, threads: usize, f: F) -> (Vec<T>, PoolTiming)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let started = Instant::now();
+    if n == 0 {
+        return (
+            Vec::new(),
+            PoolTiming {
+                threads: 0,
+                wall: started.elapsed(),
+                per_task: Vec::new(),
+            },
+        );
+    }
+    let workers = threads.clamp(1, n);
+
+    // Round-robin pre-distribution over per-worker deques.
+    let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((w..n).step_by(workers).collect()))
+        .collect();
+
+    let (tx, rx) = mpsc::channel::<(usize, T, Duration)>();
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let tx = tx.clone();
+            let deques = &deques;
+            let f = &f;
+            scope.spawn(move || loop {
+                let task = claim(deques, w);
+                match task {
+                    Some(i) => {
+                        let t0 = Instant::now();
+                        let out = f(i);
+                        let dt = t0.elapsed();
+                        // The receiver outlives the scope; a send failure
+                        // means the main thread panicked — nothing to do.
+                        let _ = tx.send((i, out, dt));
+                    }
+                    None => break,
+                }
+            });
+        }
+        drop(tx);
+    });
+
+    let mut results: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    let mut per_task = vec![Duration::ZERO; n];
+    for (i, out, dt) in rx {
+        results[i] = Some(out);
+        per_task[i] = dt;
+    }
+    let results: Vec<T> = results
+        .into_iter()
+        .map(|r| r.expect("every task runs exactly once"))
+        .collect();
+    (
+        results,
+        PoolTiming {
+            threads: workers,
+            wall: started.elapsed(),
+            per_task,
+        },
+    )
+}
+
+/// Pops the next task: front of our own deque, else steal from the back
+/// of the fullest other deque. Returns `None` when all deques are empty
+/// (no new tasks ever appear, so that means the pool is done).
+fn claim(deques: &[Mutex<VecDeque<usize>>], own: usize) -> Option<usize> {
+    if let Some(i) = deques[own].lock().expect("pool deque poisoned").pop_front() {
+        return Some(i);
+    }
+    // Steal from the victim with the most remaining work.
+    let mut best: Option<(usize, usize)> = None;
+    for (v, deque) in deques.iter().enumerate() {
+        if v == own {
+            continue;
+        }
+        let len = deque.lock().expect("pool deque poisoned").len();
+        if len > 0 && best.map_or(true, |(_, blen)| len > blen) {
+            best = Some((v, len));
+        }
+    }
+    let (victim, _) = best?;
+    deques[victim]
+        .lock()
+        .expect("pool deque poisoned")
+        .pop_back()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_are_in_task_order() {
+        for threads in [1, 2, 8] {
+            let (out, timing) = map_indexed(100, threads, |i| i * i);
+            assert_eq!(out.len(), 100);
+            for (i, &x) in out.iter().enumerate() {
+                assert_eq!(x, i * i);
+            }
+            assert_eq!(timing.per_task.len(), 100);
+        }
+    }
+
+    #[test]
+    fn every_task_runs_exactly_once() {
+        let counter = AtomicUsize::new(0);
+        let (out, _) = map_indexed(257, 8, |i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 257);
+        assert_eq!(out, (0..257).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let (out, timing) = map_indexed(0, 4, |i| i);
+        assert!(out.is_empty());
+        assert_eq!(timing.threads, 0);
+        let (out, timing) = map_indexed(1, 16, |i| i + 1);
+        assert_eq!(out, vec![1]);
+        assert_eq!(timing.threads, 1, "workers are clamped to the task count");
+    }
+
+    #[test]
+    fn uneven_tasks_get_stolen() {
+        // One long task pinned to worker 0's deque; the rest are quick.
+        // With stealing, total wall time stays well under serial time.
+        let (out, timing) = map_indexed(32, 4, |i| {
+            if i == 0 {
+                std::thread::sleep(Duration::from_millis(30));
+            } else {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            i
+        });
+        assert_eq!(out.len(), 32);
+        assert!(
+            timing.speedup() > 1.5,
+            "expected parallel speedup, got {:.2}",
+            timing.speedup()
+        );
+    }
+
+    #[test]
+    fn resolve_threads_prefers_explicit() {
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert!(resolve_threads(None) >= 1);
+    }
+}

@@ -1,0 +1,168 @@
+//! Campaign execution: trials on the pool, aggregation in trial order.
+
+use std::time::Duration;
+
+use crate::metrics::{CampaignStats, RunMetrics};
+use crate::scenario::Scenario;
+
+use super::pool::{map_indexed, resolve_threads};
+use super::Campaign;
+
+/// Outcome of one trial, stripped to its deterministic metrics plus the
+/// (non-canonical) wall-clock cost of running it.
+#[derive(Debug, Clone)]
+pub struct TrialResult {
+    /// Position in the expansion order.
+    pub index: usize,
+    /// Stable axis-coordinate label.
+    pub label: String,
+    /// Derived scenario seed.
+    pub seed: u64,
+    /// Run metrics.
+    pub metrics: RunMetrics,
+    /// Wall-clock time this trial took. Excluded from canonical traces.
+    pub duration: Duration,
+}
+
+/// Result of running a whole campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignRun {
+    /// Campaign name.
+    pub name: String,
+    /// Master seed the trial seeds derived from.
+    pub master_seed: u64,
+    /// Per-trial results in expansion order, independent of schedule.
+    pub trials: Vec<TrialResult>,
+    /// Aggregate statistics, folded in trial order.
+    pub stats: CampaignStats,
+    /// Worker threads used.
+    pub threads: usize,
+    /// End-to-end wall-clock time.
+    pub wall: Duration,
+    /// Summed per-trial wall-clock time (serial-equivalent cost).
+    pub busy: Duration,
+}
+
+impl CampaignRun {
+    /// Parallel speedup actually achieved (busy over wall).
+    pub fn speedup(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall > 0.0 {
+            self.busy.as_secs_f64() / wall
+        } else {
+            1.0
+        }
+    }
+
+    /// Aggregates per-group statistics, keyed by `key`, folding trials in
+    /// expansion order (groups appear in first-seen order).
+    pub fn group_stats<K, F>(&self, key: F) -> Vec<(K, CampaignStats)>
+    where
+        K: PartialEq,
+        F: Fn(&TrialResult) -> K,
+    {
+        let mut groups: Vec<(K, CampaignStats)> = Vec::new();
+        for t in &self.trials {
+            let k = key(t);
+            match groups.iter_mut().find(|(g, _)| *g == k) {
+                Some((_, stats)) => stats.record(&t.metrics),
+                None => {
+                    let mut stats = CampaignStats::new();
+                    stats.record(&t.metrics);
+                    groups.push((k, stats));
+                }
+            }
+        }
+        groups
+    }
+
+    /// The attack component of a trial label (text before the first `/`).
+    pub fn attack_of(t: &TrialResult) -> &str {
+        t.label.split('/').next().unwrap_or(&t.label)
+    }
+}
+
+impl Campaign {
+    /// Runs every trial of the campaign on `threads` workers (`None`
+    /// resolves via `ARGUS_THREADS` / `RAYON_NUM_THREADS` / the machine).
+    ///
+    /// The returned trials, statistics and canonical traces are
+    /// bit-identical for any thread count; only the timing fields differ.
+    pub fn run(&self, threads: Option<usize>) -> CampaignRun {
+        let specs = self.trials();
+        let threads = resolve_threads(threads);
+        let (metrics, timing) = map_indexed(specs.len(), threads, |i| {
+            let spec = &specs[i];
+            Scenario::new(spec.config.clone()).run(spec.seed).metrics
+        });
+
+        let mut stats = CampaignStats::new();
+        let mut trials = Vec::with_capacity(specs.len());
+        for (spec, m) in specs.into_iter().zip(metrics) {
+            stats.record(&m);
+            trials.push(TrialResult {
+                duration: timing.per_task[spec.index],
+                index: spec.index,
+                label: spec.label,
+                seed: spec.seed,
+                metrics: m,
+            });
+        }
+
+        CampaignRun {
+            name: self.name.clone(),
+            master_seed: self.master_seed,
+            trials,
+            stats,
+            threads: timing.threads,
+            wall: timing.wall,
+            busy: timing.busy(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{AttackAxis, AxisGrid};
+    use argus_vehicle::leader::LeaderProfile;
+
+    fn small_campaign() -> Campaign {
+        Campaign::new(
+            "unit",
+            LeaderProfile::paper_constant_decel(),
+            AxisGrid {
+                attacks: vec![AttackAxis::paper_dos()],
+                initial_gaps_m: vec![100.0],
+                initial_speeds_mph: vec![65.0],
+                seeds: vec![1, 2, 3, 4],
+            },
+        )
+    }
+
+    #[test]
+    fn run_aggregates_every_trial() {
+        let run = small_campaign().run(Some(2));
+        assert_eq!(run.trials.len(), 4);
+        assert_eq!(run.stats.trials, 4);
+        assert_eq!(run.threads, 2);
+        for (i, t) in run.trials.iter().enumerate() {
+            assert_eq!(t.index, i);
+            assert!(t.metrics.detection_step.is_some(), "{}", t.label);
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let serial = small_campaign().run(Some(1));
+        let parallel = small_campaign().run(Some(4));
+        assert_eq!(serial.trials.len(), parallel.trials.len());
+        for (a, b) in serial.trials.iter().zip(&parallel.trials) {
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.metrics.min_gap.to_bits(), b.metrics.min_gap.to_bits());
+            assert_eq!(a.metrics.detection_step, b.metrics.detection_step);
+        }
+        assert_eq!(serial.stats.min_gaps(), parallel.stats.min_gaps());
+    }
+}

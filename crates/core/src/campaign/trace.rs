@@ -1,0 +1,359 @@
+//! Canonical trace encoding: campaign summaries and per-scenario golden
+//! traces, in the dependency-free JSON of [`argus_sim::json`].
+//!
+//! The canonical encodings deliberately exclude every wall-clock quantity
+//! (`estimation_time_ns`, per-trial durations, thread counts): two runs of
+//! the same campaign must produce byte-identical canonical output on any
+//! machine with any scheduling. Timing is reported separately.
+
+use argus_sim::json::{parse, Json, JsonError};
+
+use crate::metrics::RunMetrics;
+use crate::scenario::ScenarioResult;
+
+use super::runner::CampaignRun;
+
+/// Format tag of campaign documents.
+pub const CAMPAIGN_FORMAT: &str = "argus-campaign-v1";
+/// Format tag of per-scenario golden traces.
+pub const GOLDEN_FORMAT: &str = "argus-golden-v1";
+
+/// Canonical JSON document for a campaign run (deterministic fields only).
+pub fn campaign_to_json(run: &CampaignRun) -> Json {
+    let trials: Vec<Json> = run.trials.iter().map(trial_to_json).collect();
+    let s = &run.stats;
+    let summary = Json::Obj(vec![
+        ("trials".into(), Json::num(s.trials as f64)),
+        ("collisions".into(), Json::num(s.collisions as f64)),
+        ("detected".into(), Json::num(s.detected as f64)),
+        (
+            "false_positives".into(),
+            Json::num(s.false_positives as f64),
+        ),
+        (
+            "false_negatives".into(),
+            Json::num(s.false_negatives as f64),
+        ),
+        ("crash_rate".into(), Json::num(s.crash_rate())),
+        ("detection_rate".into(), Json::num(s.detection_rate())),
+        ("min_gap_p5".into(), opt_num(s.min_gap_percentile(5.0))),
+        ("min_gap_p50".into(), opt_num(s.min_gap_percentile(50.0))),
+        ("latency_p50".into(), opt_num(s.latency_percentile(50.0))),
+        ("latency_p95".into(), opt_num(s.latency_percentile(95.0))),
+        ("latency_max".into(), opt_num(s.latency_percentile(100.0))),
+        ("rmse_p50".into(), opt_num(s.rmse_percentile(50.0))),
+        ("rmse_p95".into(), opt_num(s.rmse_percentile(95.0))),
+    ]);
+    Json::Obj(vec![
+        ("format".into(), Json::str(CAMPAIGN_FORMAT)),
+        ("name".into(), Json::str(&run.name)),
+        // Seeds are full-width u64 values (> 2^53 is common for derived
+        // trial seeds), so they are carried as strings to avoid f64 loss.
+        ("master_seed".into(), Json::str(run.master_seed.to_string())),
+        ("summary".into(), summary),
+        ("trials".into(), Json::Arr(trials)),
+    ])
+}
+
+fn trial_to_json(t: &super::runner::TrialResult) -> Json {
+    let mut members = vec![
+        ("index".into(), Json::num(t.index as f64)),
+        ("label".into(), Json::str(&t.label)),
+        ("seed".into(), Json::str(t.seed.to_string())),
+    ];
+    members.extend(metrics_members(&t.metrics));
+    Json::Obj(members)
+}
+
+/// The deterministic members of [`RunMetrics`] (everything except the
+/// wall-clock `estimation_time_ns`).
+fn metrics_members(m: &RunMetrics) -> Vec<(String, Json)> {
+    vec![
+        ("min_gap".into(), Json::num(m.min_gap)),
+        ("collided".into(), Json::Bool(m.collided)),
+        (
+            "detection_step".into(),
+            opt_num(m.detection_step.map(|s| s.0 as f64)),
+        ),
+        (
+            "detection_latency".into(),
+            opt_num(m.detection_latency.map(|l| l as f64)),
+        ),
+        (
+            "estimation_steps".into(),
+            Json::num(m.estimation_steps as f64),
+        ),
+        (
+            "confusion".into(),
+            Json::Obj(vec![
+                ("tp".into(), Json::num(m.confusion.true_positives as f64)),
+                ("fp".into(), Json::num(m.confusion.false_positives as f64)),
+                ("tn".into(), Json::num(m.confusion.true_negatives as f64)),
+                ("fn".into(), Json::num(m.confusion.false_negatives as f64)),
+            ]),
+        ),
+        ("rmse".into(), opt_num(m.attack_window_distance_rmse)),
+    ]
+}
+
+fn opt_num(x: Option<f64>) -> Json {
+    match x {
+        Some(v) => Json::num(v),
+        None => Json::Null,
+    }
+}
+
+/// CSV encoding of the per-trial rows (same fields as the JSON trials).
+pub fn campaign_to_csv(run: &CampaignRun) -> String {
+    let mut out = String::from(
+        "index,label,seed,min_gap,collided,detection_step,detection_latency,\
+         estimation_steps,tp,fp,tn,fn,rmse\n",
+    );
+    for t in &run.trials {
+        let m = &t.metrics;
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            t.index,
+            t.label,
+            t.seed,
+            Json::num(m.min_gap).to_canonical(),
+            m.collided,
+            opt_num(m.detection_step.map(|s| s.0 as f64)).to_canonical(),
+            opt_num(m.detection_latency.map(|l| l as f64)).to_canonical(),
+            m.estimation_steps,
+            m.confusion.true_positives,
+            m.confusion.false_positives,
+            m.confusion.true_negatives,
+            m.confusion.false_negatives,
+            opt_num(m.attack_window_distance_rmse).to_canonical(),
+        ));
+    }
+    out
+}
+
+/// Golden-trace document for one scenario run: deterministic metrics plus
+/// every recorded time series.
+pub fn scenario_to_json(id: &str, seed: u64, result: &ScenarioResult) -> Json {
+    let traces: Vec<(String, Json)> = result
+        .traces
+        .iter()
+        .map(|t| {
+            (
+                t.name().to_string(),
+                Json::Arr(t.values().iter().map(|&v| Json::num(v)).collect()),
+            )
+        })
+        .collect();
+    Json::Obj(vec![
+        ("format".into(), Json::str(GOLDEN_FORMAT)),
+        ("id".into(), Json::str(id)),
+        ("seed".into(), Json::str(seed.to_string())),
+        (
+            "metrics".into(),
+            Json::Obj(metrics_members(&result.metrics)),
+        ),
+        ("traces".into(), Json::Obj(traces)),
+    ])
+}
+
+/// Outcome of comparing a current scenario trace against a golden one.
+#[derive(Debug, Clone, Default)]
+pub struct TraceDiff {
+    /// Human-readable mismatch descriptions (empty means a match).
+    pub mismatches: Vec<String>,
+    /// Largest relative sample error seen across all traces.
+    pub worst_error: f64,
+}
+
+impl TraceDiff {
+    /// `true` when the documents matched within tolerance.
+    pub fn matches(&self) -> bool {
+        self.mismatches.is_empty()
+    }
+
+    fn push(&mut self, msg: String) {
+        // Keep the report loud but bounded.
+        if self.mismatches.len() < 32 {
+            self.mismatches.push(msg);
+        }
+    }
+}
+
+impl std::fmt::Display for TraceDiff {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.matches() {
+            return write!(f, "traces match (worst error {:.3e})", self.worst_error);
+        }
+        writeln!(
+            f,
+            "{} mismatch(es), worst relative error {:.3e}:",
+            self.mismatches.len(),
+            self.worst_error
+        )?;
+        for m in &self.mismatches {
+            writeln!(f, "  - {m}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Compares a golden scenario document against a freshly produced one.
+///
+/// Numbers match when `|a - b| <= tol * max(1, |a|, |b|)`; everything
+/// else (structure, strings, booleans, trace names and lengths) must be
+/// exactly equal. Returns a [`TraceDiff`] whose `Display` is the failure
+/// report.
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] if `golden_text` is not valid JSON.
+pub fn compare_scenario_json(
+    golden_text: &str,
+    current: &Json,
+    tol: f64,
+) -> Result<TraceDiff, JsonError> {
+    let golden = parse(golden_text)?;
+    let mut diff = TraceDiff::default();
+    compare_values("$", &golden, current, tol, &mut diff);
+    Ok(diff)
+}
+
+fn compare_values(path: &str, golden: &Json, current: &Json, tol: f64, diff: &mut TraceDiff) {
+    match (golden, current) {
+        (Json::Num(a), Json::Num(b)) => {
+            let scale = 1f64.max(a.abs()).max(b.abs());
+            let err = (a - b).abs() / scale;
+            if err.is_nan() || err > tol {
+                diff.push(format!(
+                    "{path}: golden {a} vs current {b} (rel err {err:.3e})"
+                ));
+            }
+            if err.is_finite() {
+                diff.worst_error = diff.worst_error.max(err);
+            }
+        }
+        (Json::Arr(a), Json::Arr(b)) => {
+            if a.len() != b.len() {
+                diff.push(format!(
+                    "{path}: length {} in golden vs {} in current",
+                    a.len(),
+                    b.len()
+                ));
+                return;
+            }
+            for (i, (x, y)) in a.iter().zip(b).enumerate() {
+                compare_values(&format!("{path}[{i}]"), x, y, tol, diff);
+            }
+        }
+        (Json::Obj(a), Json::Obj(b)) => {
+            let a_keys: Vec<&str> = a.iter().map(|(k, _)| k.as_str()).collect();
+            let b_keys: Vec<&str> = b.iter().map(|(k, _)| k.as_str()).collect();
+            if a_keys != b_keys {
+                diff.push(format!(
+                    "{path}: keys differ — golden {a_keys:?} vs current {b_keys:?}"
+                ));
+                return;
+            }
+            for ((k, x), (_, y)) in a.iter().zip(b) {
+                compare_values(&format!("{path}.{k}"), x, y, tol, diff);
+            }
+        }
+        (a, b) if a == b => {}
+        (a, b) => diff.push(format!("{path}: golden {a:?} vs current {b:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{AttackAxis, AxisGrid, Campaign};
+    use crate::scenario::{Scenario, ScenarioConfig};
+    use argus_attack::Adversary;
+    use argus_vehicle::leader::LeaderProfile;
+
+    fn tiny_run() -> CampaignRun {
+        Campaign::new(
+            "trace-unit",
+            LeaderProfile::paper_constant_decel(),
+            AxisGrid {
+                attacks: vec![AttackAxis::paper_dos()],
+                initial_gaps_m: vec![100.0],
+                initial_speeds_mph: vec![65.0],
+                seeds: vec![1, 2],
+            },
+        )
+        .run(Some(2))
+    }
+
+    #[test]
+    fn campaign_json_is_canonical_and_parses() {
+        let run = tiny_run();
+        let doc = campaign_to_json(&run);
+        let text = doc.to_canonical();
+        assert_eq!(argus_sim::json::parse(&text).unwrap(), doc);
+        assert_eq!(doc.get("format").unwrap().as_str(), Some(CAMPAIGN_FORMAT));
+        assert_eq!(
+            doc.get("summary").unwrap().get("trials").unwrap().as_u64(),
+            Some(2)
+        );
+        assert_eq!(doc.get("trials").unwrap().as_arr().unwrap().len(), 2);
+        // No wall-clock field anywhere in the canonical document.
+        assert!(!text.contains("time_ns") && !text.contains("duration"));
+    }
+
+    #[test]
+    fn campaign_csv_has_one_row_per_trial() {
+        let run = tiny_run();
+        let csv = campaign_to_csv(&run);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 1 + run.trials.len());
+        assert!(lines[0].starts_with("index,label,seed"));
+        assert!(lines[1].contains("dos@182+119x1"));
+    }
+
+    #[test]
+    fn golden_round_trip_matches_itself() {
+        let result = Scenario::new(ScenarioConfig::paper(
+            LeaderProfile::paper_constant_decel(),
+            Adversary::benign(),
+            true,
+        ))
+        .run(3);
+        let doc = scenario_to_json("fig0", 3, &result);
+        let text = doc.to_pretty();
+        let diff = compare_scenario_json(&text, &doc, 1e-9).unwrap();
+        assert!(diff.matches(), "{diff}");
+        assert_eq!(diff.worst_error, 0.0);
+    }
+
+    #[test]
+    fn golden_compare_reports_drift() {
+        let result = Scenario::new(ScenarioConfig::paper(
+            LeaderProfile::paper_constant_decel(),
+            Adversary::benign(),
+            true,
+        ))
+        .run(3);
+        let doc = scenario_to_json("fig0", 3, &result);
+        let text = doc.to_pretty();
+
+        let mut drifted = result.clone();
+        drifted.metrics.min_gap += 0.5;
+        let diff =
+            compare_scenario_json(&text, &scenario_to_json("fig0", 3, &drifted), 1e-9).unwrap();
+        assert!(!diff.matches());
+        let report = diff.to_string();
+        assert!(report.contains("min_gap"), "{report}");
+    }
+
+    #[test]
+    fn golden_compare_reports_shape_changes() {
+        let golden = r#"{"format":"argus-golden-v1","traces":{"gap":[1,2,3]}}"#;
+        let current =
+            argus_sim::json::parse(r#"{"format":"argus-golden-v1","traces":{"gap":[1,2]}}"#)
+                .unwrap();
+        let diff = compare_scenario_json(golden, &current, 1e-9).unwrap();
+        assert!(!diff.matches());
+        assert!(diff.to_string().contains("length 3"), "{diff}");
+    }
+}

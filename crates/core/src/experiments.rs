@@ -73,12 +73,7 @@ impl Experiment {
 
     /// All four figure experiments.
     pub fn all() -> Vec<Experiment> {
-        vec![
-            Self::fig2a(),
-            Self::fig2b(),
-            Self::fig3a(),
-            Self::fig3b(),
-        ]
+        vec![Self::fig2a(), Self::fig2b(), Self::fig3a(), Self::fig3b()]
     }
 
     /// The adversary of this experiment.

@@ -19,6 +19,8 @@
 //!   minimum gap / collision outcome.
 //! * [`experiments`] — ready-made configurations reproducing Figures 2–3
 //!   and the §6.2 results.
+//! * [`campaign`] — parallel Monte-Carlo campaign runner with
+//!   deterministic replay, aggregate statistics and canonical traces.
 //! * [`report`] — plain-text table/series rendering for the bench harness.
 //!
 //! # Quickstart
@@ -36,6 +38,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod campaign;
 pub mod experiments;
 pub mod metrics;
 pub mod pipeline;
@@ -44,16 +47,18 @@ pub mod report;
 pub mod scenario;
 pub mod tracker;
 
+pub use campaign::{AttackAxis, AxisGrid, Campaign, CampaignRun, TrialResult};
 pub use experiments::{Experiment, ExperimentOutcome, FigureSeries};
-pub use metrics::RunMetrics;
+pub use metrics::{CampaignStats, RunMetrics};
 pub use pipeline::{MeasurementSource, PipelineOutput, PredictorKind, SecurePipeline};
 pub use scenario::{Scenario, ScenarioConfig, ScenarioResult};
-pub use tracker::{MultiTargetTracker, Track, TrackerConfig, TrackId};
+pub use tracker::{MultiTargetTracker, Track, TrackId, TrackerConfig};
 
 /// Convenient glob import for downstream binaries and tests.
 pub mod prelude {
+    pub use crate::campaign::{AttackAxis, AxisGrid, Campaign, CampaignRun, TrialResult};
     pub use crate::experiments::{Experiment, ExperimentOutcome, FigureSeries};
-    pub use crate::metrics::RunMetrics;
+    pub use crate::metrics::{CampaignStats, RunMetrics};
     pub use crate::pipeline::{MeasurementSource, PipelineOutput, SecurePipeline};
     pub use crate::scenario::{Scenario, ScenarioConfig, ScenarioResult};
     pub use argus_attack::{Adversary, AttackKind};

@@ -1,6 +1,8 @@
-//! Run-level metrics: what the paper's §6.2 "Results" paragraph reports.
+//! Run-level metrics: what the paper's §6.2 "Results" paragraph reports,
+//! plus campaign-level aggregation across Monte-Carlo trials.
 
 use argus_cra::detector::ConfusionMatrix;
+use argus_sim::stats::percentile;
 use argus_sim::time::Step;
 
 /// Outcome metrics of one closed-loop run.
@@ -52,6 +54,144 @@ impl std::fmt::Display for RunMetrics {
     }
 }
 
+/// Aggregated outcome statistics over a set of Monte-Carlo trials.
+///
+/// Recording order is significant only through floating-point summation;
+/// the campaign runner always records in trial-index order, which is what
+/// makes campaign summaries bit-identical across thread counts. `merge`
+/// concatenates sample lists, so `a.merge(b); a.merge(c)` equals
+/// `b.merge(c); a.merge(b∪c)` exactly (merge is associative).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CampaignStats {
+    /// Number of trials recorded.
+    pub trials: u64,
+    /// Trials that ended in a collision.
+    pub collisions: u64,
+    /// Trials where the detector fired at least once.
+    pub detected: u64,
+    /// Total false positives across all trials' challenge instants.
+    pub false_positives: u64,
+    /// Total false negatives across all trials' challenge instants.
+    pub false_negatives: u64,
+    min_gaps: Vec<f64>,
+    latencies: Vec<f64>,
+    rmses: Vec<f64>,
+}
+
+impl CampaignStats {
+    /// An empty aggregate.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one trial's metrics into the aggregate.
+    pub fn record(&mut self, m: &RunMetrics) {
+        self.trials += 1;
+        self.collisions += u64::from(m.collided);
+        self.detected += u64::from(m.detection_step.is_some());
+        self.false_positives += m.confusion.false_positives;
+        self.false_negatives += m.confusion.false_negatives;
+        self.min_gaps.push(m.min_gap);
+        if let Some(l) = m.detection_latency {
+            self.latencies.push(l as f64);
+        }
+        if let Some(r) = m.attack_window_distance_rmse {
+            self.rmses.push(r);
+        }
+    }
+
+    /// Merges another aggregate into this one (sample concatenation).
+    pub fn merge(&mut self, other: &CampaignStats) {
+        self.trials += other.trials;
+        self.collisions += other.collisions;
+        self.detected += other.detected;
+        self.false_positives += other.false_positives;
+        self.false_negatives += other.false_negatives;
+        self.min_gaps.extend_from_slice(&other.min_gaps);
+        self.latencies.extend_from_slice(&other.latencies);
+        self.rmses.extend_from_slice(&other.rmses);
+    }
+
+    /// Fraction of trials that collided.
+    pub fn crash_rate(&self) -> f64 {
+        rate(self.collisions, self.trials)
+    }
+
+    /// Fraction of trials with at least one detection.
+    pub fn detection_rate(&self) -> f64 {
+        rate(self.detected, self.trials)
+    }
+
+    /// Minimum-gap samples, one per trial, in recording order.
+    pub fn min_gaps(&self) -> &[f64] {
+        &self.min_gaps
+    }
+
+    /// Detection-latency samples (trials that detected a live attack).
+    pub fn latencies(&self) -> &[f64] {
+        &self.latencies
+    }
+
+    /// Attack-window RMSE samples (trials with estimation steps).
+    pub fn rmses(&self) -> &[f64] {
+        &self.rmses
+    }
+
+    /// Linear-interpolated percentile of the minimum gap (`None` when no
+    /// trials were recorded).
+    pub fn min_gap_percentile(&self, p: f64) -> Option<f64> {
+        percentile_of(&self.min_gaps, p)
+    }
+
+    /// Percentile of detection latency over detecting trials.
+    pub fn latency_percentile(&self, p: f64) -> Option<f64> {
+        percentile_of(&self.latencies, p)
+    }
+
+    /// Percentile of attack-window distance RMSE over estimating trials.
+    pub fn rmse_percentile(&self, p: f64) -> Option<f64> {
+        percentile_of(&self.rmses, p)
+    }
+}
+
+fn rate(part: u64, whole: u64) -> f64 {
+    if whole == 0 {
+        0.0
+    } else {
+        part as f64 / whole as f64
+    }
+}
+
+fn percentile_of(samples: &[f64], p: f64) -> Option<f64> {
+    if samples.is_empty() {
+        None
+    } else {
+        Some(percentile(samples, p))
+    }
+}
+
+impl std::fmt::Display for CampaignStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "trials={} crash_rate={:.3} detection_rate={:.3} FP={} FN={} \
+             min_gap[p5={:.2} p50={:.2}] latency[p50={:.1} p95={:.1}] \
+             rmse[p50={:.2} p95={:.2}]",
+            self.trials,
+            self.crash_rate(),
+            self.detection_rate(),
+            self.false_positives,
+            self.false_negatives,
+            self.min_gap_percentile(5.0).unwrap_or(f64::NAN),
+            self.min_gap_percentile(50.0).unwrap_or(f64::NAN),
+            self.latency_percentile(50.0).unwrap_or(f64::NAN),
+            self.latency_percentile(95.0).unwrap_or(f64::NAN),
+            self.rmse_percentile(50.0).unwrap_or(f64::NAN),
+            self.rmse_percentile(95.0).unwrap_or(f64::NAN),
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,5 +226,54 @@ mod tests {
         let text = metrics().to_string();
         assert!(text.contains("min_gap=42.00"));
         assert!(text.contains("detection=Some(182)"));
+    }
+
+    #[test]
+    fn campaign_stats_record_and_rates() {
+        let mut s = CampaignStats::new();
+        let good = metrics();
+        let mut bad = metrics();
+        bad.collided = true;
+        bad.detection_step = None;
+        bad.detection_latency = None;
+        bad.attack_window_distance_rmse = None;
+        s.record(&good);
+        s.record(&good);
+        s.record(&bad);
+        assert_eq!(s.trials, 3);
+        assert!((s.crash_rate() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((s.detection_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s.latencies().len(), 2);
+        assert_eq!(s.latency_percentile(50.0), Some(0.0));
+        assert_eq!(s.rmse_percentile(100.0), Some(1.5));
+        assert_eq!(s.min_gaps().len(), 3);
+    }
+
+    #[test]
+    fn campaign_stats_merge_is_concatenation() {
+        let mut a = CampaignStats::new();
+        let mut b = CampaignStats::new();
+        let mut whole = CampaignStats::new();
+        let mut m = metrics();
+        for i in 0..7 {
+            m.min_gap = f64::from(i) * 3.0;
+            whole.record(&m);
+            if i < 3 {
+                a.record(&m)
+            } else {
+                b.record(&m)
+            }
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn empty_stats_have_no_percentiles() {
+        let s = CampaignStats::new();
+        assert_eq!(s.trials, 0);
+        assert_eq!(s.crash_rate(), 0.0);
+        assert!(s.latency_percentile(50.0).is_none());
+        assert!(s.min_gap_percentile(50.0).is_none());
     }
 }

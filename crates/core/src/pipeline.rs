@@ -269,11 +269,7 @@ impl SecurePipeline {
         }
     }
 
-    fn estimated_output(
-        &mut self,
-        verdict: Verdict,
-        own_speed: MetersPerSecond,
-    ) -> PipelineOutput {
+    fn estimated_output(&mut self, verdict: Verdict, own_speed: MetersPerSecond) -> PipelineOutput {
         let prediction = self.leader_speed_predictor.predict_next();
         match (prediction, self.last_distance) {
             (Ok(v_leader_raw), Some(d_prev)) => {

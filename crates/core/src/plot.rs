@@ -203,7 +203,9 @@ pub fn figure_svg(title: &str, y_label: &str, series: &FigureSeries) -> String {
 }
 
 fn escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -214,14 +216,20 @@ mod tests {
         FigureSeries {
             time: (0..50).map(|k| k as f64).collect(),
             without_attack: (0..50).map(|k| 100.0 - k as f64).collect(),
-            with_attack: (0..50).map(|k| if k == 25 { 0.0 } else { 100.0 - k as f64 }).collect(),
+            with_attack: (0..50)
+                .map(|k| if k == 25 { 0.0 } else { 100.0 - k as f64 })
+                .collect(),
             estimated: (0..50).map(|k| 100.0 - k as f64).collect(),
         }
     }
 
     #[test]
     fn svg_structure() {
-        let svg = figure_svg("fig2a — distance", "Relative Distance (m)", &sample_series());
+        let svg = figure_svg(
+            "fig2a — distance",
+            "Relative Distance (m)",
+            &sample_series(),
+        );
         assert!(svg.starts_with("<svg"));
         assert!(svg.ends_with("</svg>"));
         assert_eq!(svg.matches("<polyline").count(), 3);

@@ -48,6 +48,13 @@ pub struct ScenarioConfig {
     pub speed_noise: f64,
     /// Which estimator free-runs during attacks (defense enabled only).
     pub predictor: crate::pipeline::PredictorKind,
+    /// Initial inter-vehicle gap (the paper uses 100 m).
+    pub initial_gap: Meters,
+    /// Initial speed of both vehicles (the paper starts follower and
+    /// leader at 65 mph).
+    pub initial_speed: MetersPerSecond,
+    /// ACC set speed of the follower (the paper uses 67 mph).
+    pub set_speed: MetersPerSecond,
 }
 
 impl ScenarioConfig {
@@ -70,6 +77,9 @@ impl ScenarioConfig {
             // what bounds the estimation drift in Figures 2–3.
             speed_noise: 0.02,
             predictor: crate::pipeline::PredictorKind::RlsTrend,
+            initial_gap: Meters(100.0),
+            initial_speed: MetersPerSecond::from_mph(65.0),
+            set_speed: MetersPerSecond::from_mph(67.0),
         }
     }
 
@@ -170,11 +180,16 @@ impl Scenario {
         let v_noise = Gaussian::new(0.0, cfg.speed_noise);
 
         let radar = Radar::new(cfg.radar);
-        let mut pair =
-            VehiclePair::paper(cfg.profile.clone()).expect("paper ACC config is valid");
+        let mut pair = VehiclePair::new(
+            argus_control::acc::AccConfig::paper(cfg.set_speed),
+            cfg.profile.clone(),
+            cfg.initial_gap,
+            cfg.initial_speed,
+            cfg.initial_speed,
+        )
+        .expect("scenario initial conditions are valid");
         let mut pipeline = if cfg.defended {
-            let detector =
-                CraDetector::new(cfg.schedule.clone(), cfg.radar.detection_threshold);
+            let detector = CraDetector::new(cfg.schedule.clone(), cfg.radar.detection_threshold);
             let predictor = cfg
                 .predictor
                 .build()
@@ -214,9 +229,7 @@ impl Scenario {
                 Some(p) => p.tx_on(k),
                 None => true,
             };
-            let channel = cfg
-                .adversary
-                .channel_at(k, tx_on, target.as_ref(), &radar);
+            let channel = cfg.adversary.channel_at(k, tx_on, target.as_ref(), &radar);
             let mut obs = radar.observe(tx_on, target.as_ref(), &channel, &mut radar_rng);
             // Eqn 2: additive Gaussian measurement noise v_k on the sampled
             // outputs.
@@ -227,8 +240,7 @@ impl Scenario {
 
             let (d_radar, v_radar) = raw_series_values(&obs);
 
-            let (d_used, d_control, v_used, under_attack, estimated) = match pipeline.as_mut()
-            {
+            let (d_used, d_control, v_used, under_attack, estimated) = match pipeline.as_mut() {
                 Some(p) => {
                     let own_speed = pair.follower().speed();
                     let t0 = Instant::now();
@@ -374,7 +386,11 @@ mod tests {
         assert!(!result.metrics.collided);
         // The run ends with both vehicles stopped; the CTH law holds a small
         // positive standing gap (d₀ minus the low-speed creep).
-        assert!(result.metrics.min_gap > 1.5, "min gap {}", result.metrics.min_gap);
+        assert!(
+            result.metrics.min_gap > 1.5,
+            "min gap {}",
+            result.metrics.min_gap
+        );
         assert!(result.metrics.detection_step.is_none());
         assert!(result.metrics.confusion.is_perfect());
         assert_eq!(result.metrics.confusion.false_positives, 0);

@@ -1,0 +1,136 @@
+//! Property-based tests for campaign-level metrics aggregation.
+
+use argus_core::metrics::{CampaignStats, RunMetrics};
+use argus_cra::detector::ConfusionMatrix;
+use argus_sim::time::Step;
+use proptest::prelude::*;
+
+/// Strategy for one plausible trial outcome.
+fn run_metrics() -> impl Strategy<Value = RunMetrics> {
+    (
+        0.0f64..200.0,                      // min_gap
+        any::<bool>(),                      // collided
+        proptest::option::of(0u64..300),    // detection step
+        proptest::option::of(0u64..50),     // detection latency
+        0u64..300,                          // estimation steps
+        proptest::option::of(0.0f64..50.0), // rmse
+        proptest::collection::vec((any::<bool>(), any::<bool>()), 0..12),
+    )
+        .prop_map(
+            |(min_gap, collided, det, latency, steps, rmse, challenges)| {
+                let mut confusion = ConfusionMatrix::new();
+                for (live, flagged) in challenges {
+                    confusion.record(live, flagged);
+                }
+                RunMetrics {
+                    min_gap,
+                    collided,
+                    detection_step: det.map(Step),
+                    detection_latency: latency,
+                    estimation_steps: steps,
+                    estimation_time_ns: 0,
+                    confusion,
+                    attack_window_distance_rmse: rmse,
+                }
+            },
+        )
+}
+
+fn fold(metrics: &[RunMetrics]) -> CampaignStats {
+    let mut stats = CampaignStats::new();
+    for m in metrics {
+        stats.record(m);
+    }
+    stats
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Percentiles are monotone in `p` for every sample list.
+    #[test]
+    fn percentiles_are_monotone(
+        ms in proptest::collection::vec(run_metrics(), 1..40),
+        p1 in 0.0f64..100.0,
+        p2 in 0.0f64..100.0,
+    ) {
+        let stats = fold(&ms);
+        let (lo, hi) = if p1 <= p2 { (p1, p2) } else { (p2, p1) };
+        if let (Some(a), Some(b)) = (stats.min_gap_percentile(lo), stats.min_gap_percentile(hi)) {
+            prop_assert!(a <= b + 1e-12, "min_gap p{lo}={a} > p{hi}={b}");
+        }
+        if let (Some(a), Some(b)) = (stats.latency_percentile(lo), stats.latency_percentile(hi)) {
+            prop_assert!(a <= b + 1e-12);
+        }
+        if let (Some(a), Some(b)) = (stats.rmse_percentile(lo), stats.rmse_percentile(hi)) {
+            prop_assert!(a <= b + 1e-12);
+        }
+    }
+
+    /// Aggregates stay inside their domains: rates in [0, 1], RMSE and
+    /// latency percentiles non-negative, counters consistent.
+    #[test]
+    fn aggregates_stay_in_domain(ms in proptest::collection::vec(run_metrics(), 0..40)) {
+        let stats = fold(&ms);
+        prop_assert_eq!(stats.trials, ms.len() as u64);
+        prop_assert!((0.0..=1.0).contains(&stats.crash_rate()));
+        prop_assert!((0.0..=1.0).contains(&stats.detection_rate()));
+        prop_assert!(stats.collisions <= stats.trials);
+        prop_assert!(stats.detected <= stats.trials);
+        for p in [0.0, 25.0, 50.0, 95.0, 100.0] {
+            if let Some(r) = stats.rmse_percentile(p) {
+                prop_assert!(r >= 0.0);
+            }
+            if let Some(l) = stats.latency_percentile(p) {
+                prop_assert!(l >= 0.0);
+            }
+        }
+        prop_assert!(stats.latencies().len() <= ms.len());
+        prop_assert!(stats.rmses().len() <= ms.len());
+        prop_assert_eq!(stats.min_gaps().len(), ms.len());
+    }
+
+    /// Merging is associative and equals folding the concatenation —
+    /// exactly, not just within tolerance, because merge concatenates the
+    /// underlying sample lists.
+    #[test]
+    fn merge_is_associative(
+        a in proptest::collection::vec(run_metrics(), 0..12),
+        b in proptest::collection::vec(run_metrics(), 0..12),
+        c in proptest::collection::vec(run_metrics(), 0..12),
+    ) {
+        let (sa, sb, sc) = (fold(&a), fold(&b), fold(&c));
+
+        // (a ⊕ b) ⊕ c
+        let mut left = sa.clone();
+        left.merge(&sb);
+        left.merge(&sc);
+
+        // a ⊕ (b ⊕ c)
+        let mut bc = sb.clone();
+        bc.merge(&sc);
+        let mut right = sa.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(&left, &right);
+
+        // Both equal the order-preserving fold of the concatenation.
+        let mut whole: Vec<RunMetrics> = Vec::new();
+        whole.extend(a.iter().copied());
+        whole.extend(b.iter().copied());
+        whole.extend(c.iter().copied());
+        prop_assert_eq!(&left, &fold(&whole));
+    }
+
+    /// The empty aggregate is a two-sided identity for merge.
+    #[test]
+    fn empty_is_merge_identity(ms in proptest::collection::vec(run_metrics(), 0..20)) {
+        let stats = fold(&ms);
+        let mut left = CampaignStats::new();
+        left.merge(&stats);
+        let mut right = stats.clone();
+        right.merge(&CampaignStats::new());
+        prop_assert_eq!(&left, &stats);
+        prop_assert_eq!(&right, &stats);
+    }
+}

@@ -176,7 +176,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "outside (0, 1)")]
     fn silly_rate_rejected() {
-        let _ =
-            ChallengeSchedule::pseudorandom(Lfsr::maximal(16, 1).unwrap(), 100, 1.5);
+        let _ = ChallengeSchedule::pseudorandom(Lfsr::maximal(16, 1).unwrap(), 100, 1.5);
     }
 }

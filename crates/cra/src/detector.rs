@@ -256,7 +256,12 @@ mod tests {
         let mut d = detector();
         // Attack power at a non-challenge step is invisible to CRA.
         let v = d.update(Step(100), Watts(1e-9));
-        assert_eq!(v, Verdict::NotChallenged { under_attack: false });
+        assert_eq!(
+            v,
+            Verdict::NotChallenged {
+                under_attack: false
+            }
+        );
     }
 
     #[test]

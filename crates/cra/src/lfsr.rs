@@ -56,7 +56,9 @@ impl Lfsr {
             return Err(LfsrError("seed must be non-zero in the register".into()));
         }
         if taps.is_empty() || taps.iter().any(|&t| t == 0 || t > width) {
-            return Err(LfsrError(format!("taps {taps:?} invalid for width {width}")));
+            return Err(LfsrError(format!(
+                "taps {taps:?} invalid for width {width}"
+            )));
         }
         if !taps.contains(&width) {
             return Err(LfsrError(format!(

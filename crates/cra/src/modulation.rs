@@ -202,7 +202,12 @@ mod tests {
         let mut rng = SimRng::seed_from(1);
         for _ in 0..100 {
             let mask = m.next_mask();
-            let e = chip_energies(&mask, ChannelBehavior::Honest { echo: ECHO }, NOISE, &mut rng);
+            let e = chip_energies(
+                &mask,
+                ChannelBehavior::Honest { echo: ECHO },
+                NOISE,
+                &mut rng,
+            );
             assert_eq!(verify_probe(&mask, &e, THRESHOLD), ProbeVerdict::Authentic);
         }
     }
@@ -215,7 +220,9 @@ mod tests {
             let mask = m.next_mask();
             let e = chip_energies(
                 &mask,
-                ChannelBehavior::ContinuousAttacker { power: Watts(1e-11) },
+                ChannelBehavior::ContinuousAttacker {
+                    power: Watts(1e-11),
+                },
                 NOISE,
                 &mut rng,
             );
@@ -288,7 +295,10 @@ mod tests {
             NOISE,
             &mut rng,
         );
-        assert_eq!(verify_probe(&mask, &e, THRESHOLD), ProbeVerdict::MissingEcho);
+        assert_eq!(
+            verify_probe(&mask, &e, THRESHOLD),
+            ProbeVerdict::MissingEcho
+        );
     }
 
     #[test]

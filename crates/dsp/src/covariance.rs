@@ -122,8 +122,8 @@ impl SampleCovarianceBuilder {
             let mut fb = DMatrix::<Complex<f64>>::zeros(m, m);
             for i in 0..m {
                 for j in 0..m {
-                    fb[(i, j)] = (r[(i, j)] + r[(m - 1 - i, m - 1 - j)].conj())
-                        * Complex::new(0.5, 0.0);
+                    fb[(i, j)] =
+                        (r[(i, j)] + r[(m - 1 - i, m - 1 - j)].conj()) * Complex::new(0.5, 0.0);
                 }
             }
             r = fb;
@@ -183,10 +183,7 @@ mod tests {
         for i in 0..5 {
             for j in 0..5 {
                 let expected = Complex::from_polar(1.0, omega * (i as f64 - j as f64));
-                assert!(
-                    (cov.matrix()[(i, j)] - expected).norm() < 1e-9,
-                    "({i},{j})"
-                );
+                assert!((cov.matrix()[(i, j)] - expected).norm() < 1e-9, "({i},{j})");
             }
         }
     }

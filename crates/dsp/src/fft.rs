@@ -199,7 +199,10 @@ mod tests {
         let bin = 5;
         let input: Vec<Complex<f64>> = (0..n)
             .map(|t| {
-                Complex::from_polar(1.0, 2.0 * std::f64::consts::PI * (bin * t) as f64 / n as f64)
+                Complex::from_polar(
+                    1.0,
+                    2.0 * std::f64::consts::PI * (bin * t) as f64 / n as f64,
+                )
             })
             .collect();
         let spectrum = fft(&input).unwrap();

@@ -103,7 +103,10 @@ impl std::fmt::Display for DspError {
                 routine,
                 iterations,
             } => {
-                write!(f, "{routine} did not converge after {iterations} iterations")
+                write!(
+                    f,
+                    "{routine} did not converge after {iterations} iterations"
+                )
             }
         }
     }

@@ -88,8 +88,11 @@ impl MusicSpectrum {
                 self.pseudospectrum[k] > prev && self.pseudospectrum[k] >= next
             })
             .collect();
-        candidates
-            .sort_by(|&a, &b| self.pseudospectrum[b].partial_cmp(&self.pseudospectrum[a]).unwrap());
+        candidates.sort_by(|&a, &b| {
+            self.pseudospectrum[b]
+                .partial_cmp(&self.pseudospectrum[a])
+                .unwrap()
+        });
         candidates
             .into_iter()
             .take(self.signal_count)

@@ -28,7 +28,10 @@ impl Polynomial {
     ///
     /// Panics if `coeffs` is empty or contains non-finite values.
     pub fn new(coeffs: Vec<Complex<f64>>) -> Self {
-        assert!(!coeffs.is_empty(), "polynomial needs at least one coefficient");
+        assert!(
+            !coeffs.is_empty(),
+            "polynomial needs at least one coefficient"
+        );
         assert!(
             coeffs.iter().all(|c| c.re.is_finite() && c.im.is_finite()),
             "polynomial coefficients must be finite"

@@ -58,10 +58,7 @@ impl RootMusic {
     ///
     /// * [`DspError::BadParameter`] — `signal_count >= window`.
     /// * Eigendecomposition or root-finding failures are propagated.
-    pub fn estimate(
-        &self,
-        cov: &SampleCovariance,
-    ) -> Result<Vec<FrequencyEstimate>, DspError> {
+    pub fn estimate(&self, cov: &SampleCovariance) -> Result<Vec<FrequencyEstimate>, DspError> {
         let m = cov.window();
         if self.signal_count >= m {
             return Err(DspError::BadParameter {

@@ -38,7 +38,10 @@ impl Periodogram {
         buf.resize(n_fft, Complex::new(0.0, 0.0));
         let spectrum = fft(&buf)?;
         let norm = 1.0 / (signal.len() as f64);
-        let power = spectrum.iter().map(|s| s.norm_sqr() * norm * norm).collect();
+        let power = spectrum
+            .iter()
+            .map(|s| s.norm_sqr() * norm * norm)
+            .collect();
         Ok(Self { power, n_fft })
     }
 
@@ -134,8 +137,7 @@ impl Periodogram {
                 0.5 * (a - c) / denom
             };
             let delta = delta.clamp(-0.5, 0.5);
-            let freq =
-                2.0 * std::f64::consts::PI * (k as f64 + delta) / self.n_fft as f64;
+            let freq = 2.0 * std::f64::consts::PI * (k as f64 + delta) / self.n_fft as f64;
             freqs.push(freq.rem_euclid(2.0 * std::f64::consts::PI));
         }
         Ok(freqs)

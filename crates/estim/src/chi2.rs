@@ -153,8 +153,18 @@ fn chi_square_quantile(k: f64, p: f64) -> f64 {
 fn normal_quantile(p: f64) -> f64 {
     debug_assert!(p > 0.0 && p < 1.0);
     // Beasley-Springer-Moro coefficients.
-    const A: [f64; 4] = [2.50662823884, -18.61500062529, 41.39119773534, -25.44106049637];
-    const B: [f64; 4] = [-8.47351093090, 23.08336743743, -21.06224101826, 3.13082909833];
+    const A: [f64; 4] = [
+        2.50662823884,
+        -18.61500062529,
+        41.39119773534,
+        -25.44106049637,
+    ];
+    const B: [f64; 4] = [
+        -8.47351093090,
+        23.08336743743,
+        -21.06224101826,
+        3.13082909833,
+    ];
     const C: [f64; 9] = [
         0.3374754822726147,
         0.9761690190917186,

@@ -73,8 +73,7 @@ impl StreamPredictor for HoltPredictor {
         } else {
             let prev_level = self.level;
             self.level = self.alpha * y + (1.0 - self.alpha) * (self.level + self.trend);
-            self.trend =
-                self.beta * (self.level - prev_level) + (1.0 - self.beta) * self.trend;
+            self.trend = self.beta * (self.level - prev_level) + (1.0 - self.beta) * self.trend;
         }
         self.samples += 1;
     }

@@ -47,10 +47,7 @@ impl KalmanFilter {
             (b.nrows() == n, "B rows must match state dim"),
             (c.ncols() == n, "C columns must match state dim"),
             (q.nrows() == n && q.ncols() == n, "Q must be n×n"),
-            (
-                r.nrows() == p_out && r.ncols() == p_out,
-                "R must be p×p",
-            ),
+            (r.nrows() == p_out && r.ncols() == p_out, "R must be p×p"),
             (x0.len() == n, "x0 must have state dim"),
             (p0.nrows() == n && p0.ncols() == n, "P0 must be n×n"),
         ];

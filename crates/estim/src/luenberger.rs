@@ -56,7 +56,13 @@ impl LuenbergerObserver {
                 ),
             });
         }
-        Ok(Self { a, b, c, l, x_hat: x0 })
+        Ok(Self {
+            a,
+            b,
+            c,
+            l,
+            x_hat: x0,
+        })
     }
 
     /// Current state estimate.
@@ -131,8 +137,8 @@ mod tests {
             x = &a * &x + &b * &u;
         }
         // Compare against the true state advanced in lockstep.
-        let err = (&x - &(&a * obs.estimate().clone()
-            + &b * DVector::from_vec(vec![(59f64 * 0.3).sin()])))
+        let err = (&x
+            - &(&a * obs.estimate().clone() + &b * DVector::from_vec(vec![(59f64 * 0.3).sin()])))
             .norm();
         // Simpler check: output estimate matches true position closely.
         assert!(err.is_finite());

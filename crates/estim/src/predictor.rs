@@ -94,10 +94,7 @@ impl SensorPredictor {
     /// update (when enough history exists) and appends the sample to the
     /// lag buffer. Returns the update diagnostics once training has begun.
     pub fn observe(&mut self, y: f64) -> Option<RlsUpdate> {
-        let update = self
-            .lags
-            .vector()
-            .map(|h| self.rls.update(&h, y));
+        let update = self.lags.vector().map(|h| self.rls.update(&h, y));
         self.lags.push(y);
         update
     }
@@ -213,10 +210,7 @@ mod tests {
         p.observe(1.0);
         p.observe(2.0);
         assert!(!p.is_ready());
-        assert!(matches!(
-            p.predict_next(),
-            Err(EstimError::NotReady { .. })
-        ));
+        assert!(matches!(p.predict_next(), Err(EstimError::NotReady { .. })));
     }
 
     #[test]

@@ -261,10 +261,7 @@ mod tests {
             for i in 0..3 {
                 assert!(p[(i, i)] > 0.0, "P[{i}][{i}] not positive at k={k}");
                 for j in 0..3 {
-                    assert!(
-                        (p[(i, j)] - p[(j, i)]).abs() < 1e-10,
-                        "asymmetry at k={k}"
-                    );
+                    assert!((p[(i, j)] - p[(j, i)]).abs() < 1e-10, "asymmetry at k={k}");
                 }
             }
         }

@@ -109,11 +109,7 @@ impl FmcwWaveform {
 
     /// Forward mapping (Eqns 5–6): beat frequencies for a target at
     /// `distance` with `range_rate` (positive = gap opening).
-    pub fn beat_frequencies(
-        &self,
-        distance: Meters,
-        range_rate: MetersPerSecond,
-    ) -> BeatPair {
+    pub fn beat_frequencies(&self, distance: Meters, range_rate: MetersPerSecond) -> BeatPair {
         let range_term = 2.0 * distance.value() * self.slope() / SPEED_OF_LIGHT;
         let doppler = 2.0 * range_rate.value() / self.wavelength().value();
         BeatPair {
@@ -124,8 +120,7 @@ impl FmcwWaveform {
 
     /// Inverse mapping (Eqns 7–8): `(d, ṙ)` from a beat pair.
     pub fn invert(&self, beats: BeatPair) -> (Meters, MetersPerSecond) {
-        let d = SPEED_OF_LIGHT * self.sweep_time.value()
-            / (4.0 * self.sweep_bandwidth.value())
+        let d = SPEED_OF_LIGHT * self.sweep_time.value() / (4.0 * self.sweep_bandwidth.value())
             * (beats.up.value() + beats.down.value());
         let v = self.wavelength().value() / 4.0 * (beats.down.value() - beats.up.value());
         (Meters(d), MetersPerSecond(v))

@@ -44,7 +44,9 @@ pub mod target;
 
 pub use config::{MeasurementMode, RadarConfig};
 pub use fmcw::{BeatPair, FmcwWaveform};
-pub use receiver::{ChannelState, Radar, RadarMeasurement, RadarMultiObservation, RadarObservation};
+pub use receiver::{
+    ChannelState, Radar, RadarMeasurement, RadarMultiObservation, RadarObservation,
+};
 pub use target::{Echo, RadarTarget};
 
 /// Convenient glob import of the main radar types.

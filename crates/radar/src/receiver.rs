@@ -149,11 +149,7 @@ impl Radar {
         if tx_on {
             if let Some(t) = target {
                 if self.config.in_range(t.distance()) {
-                    echoes.push(Echo::new(
-                        t.distance(),
-                        t.range_rate(),
-                        self.echo_power(t),
-                    ));
+                    echoes.push(Echo::new(t.distance(), t.range_rate(), self.echo_power(t)));
                 }
             }
         }
@@ -161,13 +157,8 @@ impl Radar {
 
         let echo_power: f64 = echoes.iter().map(|e| e.power.value()).sum();
         // The receiver always sees at least its own thermal noise floor.
-        let total = Watts(
-            echo_power + channel.interference.value() + self.noise_floor().value(),
-        );
-        if !total
-            .value()
-            .is_finite()
-        {
+        let total = Watts(echo_power + channel.interference.value() + self.noise_floor().value());
+        if !total.value().is_finite() {
             // Defensive: attacker models should never produce non-finite
             // powers, but a corrupted channel must not poison the pipeline.
             return RadarObservation {
@@ -185,10 +176,12 @@ impl Radar {
             };
         }
 
-        let strongest = echoes
-            .iter()
-            .copied()
-            .max_by(|a, b| a.power.value().partial_cmp(&b.power.value()).expect("finite"));
+        let strongest = echoes.iter().copied().max_by(|a, b| {
+            a.power
+                .value()
+                .partial_cmp(&b.power.value())
+                .expect("finite")
+        });
 
         let noise = self.noise_floor();
         let jammed = match &strongest {
@@ -221,12 +214,7 @@ impl Radar {
     /// Analytic extraction: true beat frequencies plus a Gaussian error with
     /// the single-tone CRLB standard deviation
     /// `σ_f = fs·√(12/(SNR·N³))/(2π)`.
-    fn measure_analytic(
-        &self,
-        echo: &Echo,
-        noise: Watts,
-        rng: &mut SimRng,
-    ) -> RadarMeasurement {
+    fn measure_analytic(&self, echo: &Echo, noise: Watts, rng: &mut SimRng) -> RadarMeasurement {
         let ratio = snr(echo.power, noise);
         let n = self.config.samples_per_sweep as f64;
         let sigma_f = self.config.sample_rate.value() * (12.0 / (ratio * n * n * n)).sqrt()
@@ -252,12 +240,7 @@ impl Radar {
     /// Signal-level extraction: synthesize the dechirped complex baseband of
     /// both sweep halves from every echo, then extract each half's beat
     /// frequency with root-MUSIC (periodogram fallback on degenerate data).
-    fn measure_signal(
-        &self,
-        echoes: &[Echo],
-        noise: Watts,
-        rng: &mut SimRng,
-    ) -> RadarMeasurement {
+    fn measure_signal(&self, echoes: &[Echo], noise: Watts, rng: &mut SimRng) -> RadarMeasurement {
         let strongest = echoes
             .iter()
             .map(|e| e.power.value())
@@ -425,8 +408,7 @@ impl Radar {
         echoes.extend(channel.echoes.iter().copied());
 
         let echo_power: f64 = echoes.iter().map(|e| e.power.value()).sum();
-        let total =
-            Watts(echo_power + channel.interference.value() + self.noise_floor().value());
+        let total = Watts(echo_power + channel.interference.value() + self.noise_floor().value());
         if total.value() <= self.config.detection_threshold.value() || echoes.is_empty() {
             return RadarMultiObservation {
                 measurements: Vec::new(),
@@ -489,7 +471,9 @@ impl Radar {
         max_targets: usize,
         rng: &mut SimRng,
     ) -> Vec<RadarMeasurement> {
-        let k = max_targets.min(echoes.len()).min(self.config.music_window - 1);
+        let k = max_targets
+            .min(echoes.len())
+            .min(self.config.music_window - 1);
         let up = self.synthesize(echoes, noise, SweepHalf::Up, rng);
         let down = self.synthesize(echoes, noise, SweepHalf::Down, rng);
         let fs = self.config.sample_rate.value();
@@ -621,12 +605,7 @@ mod tests {
         let t = target_at(100.0, -2.0);
         let mut rng = SimRng::seed_from(6);
         // Interference far above the ~3 pW echo.
-        let obs = r.observe(
-            true,
-            Some(&t),
-            &ChannelState::jammed(Watts(1e-9)),
-            &mut rng,
-        );
+        let obs = r.observe(true, Some(&t), &ChannelState::jammed(Watts(1e-9)), &mut rng);
         assert!(obs.jammed);
         let m = obs.measurement.expect("captured receiver yields garbage");
         // Garbage is wildly off the truth with overwhelming probability.
@@ -716,8 +695,10 @@ mod tests {
         let r = radar();
         let t = target_at(100.0, -2.0);
         let extra = r.config().waveform.distance_to_delay(Meters(6.0));
-        let spoof_distance =
-            t.distance() + r.config().waveform.delay_to_distance(Seconds(extra.value()));
+        let spoof_distance = t.distance()
+            + r.config()
+                .waveform
+                .delay_to_distance(Seconds(extra.value()));
         let fake = Echo::new(spoof_distance, t.range_rate(), Watts(1e-11));
         let mut rng = SimRng::seed_from(11);
         let obs = r.observe(true, Some(&t), &ChannelState::spoofed(fake), &mut rng);
@@ -778,10 +759,7 @@ mod tests {
     #[test]
     fn multi_target_analytic_measures_each() {
         let r = radar();
-        let targets = [
-            target_at(40.0, -3.0),
-            target_at(120.0, 2.0),
-        ];
+        let targets = [target_at(40.0, -3.0), target_at(120.0, 2.0)];
         let mut rng = SimRng::seed_from(21);
         let obs = r.observe_multi(true, &targets, &ChannelState::clean(), 2, &mut rng);
         assert_eq!(obs.measurements.len(), 2);
@@ -794,15 +772,15 @@ mod tests {
     #[test]
     fn multi_target_signal_mode_recovers_both() {
         let r = Radar::new(RadarConfig::bosch_lrr2_signal());
-        let targets = [
-            target_at(40.0, -3.0),
-            target_at(120.0, 2.0),
-        ];
+        let targets = [target_at(40.0, -3.0), target_at(120.0, 2.0)];
         let mut rng = SimRng::seed_from(22);
         let obs = r.observe_multi(true, &targets, &ChannelState::clean(), 2, &mut rng);
         assert_eq!(obs.measurements.len(), 2, "{:?}", obs.measurements);
-        let mut distances: Vec<f64> =
-            obs.measurements.iter().map(|m| m.distance.value()).collect();
+        let mut distances: Vec<f64> = obs
+            .measurements
+            .iter()
+            .map(|m| m.distance.value())
+            .collect();
         distances.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert!((distances[0] - 40.0).abs() < 2.0, "{distances:?}");
         assert!((distances[1] - 120.0).abs() < 2.0, "{distances:?}");

@@ -1,0 +1,529 @@
+//! A minimal, dependency-free JSON document model with a **canonical**
+//! serializer and a strict parser.
+//!
+//! The campaign runner uses this as its trace/golden-file format, so the
+//! encoder must be *deterministic*: the same document always serializes to
+//! the same bytes, regardless of thread schedule, platform, or hash-map
+//! iteration order. To that end:
+//!
+//! * objects are ordered sequences of `(key, value)` pairs — insertion
+//!   order is preserved and **is** the canonical order (writers emit keys
+//!   in a fixed order by construction);
+//! * numbers are formatted with Rust's shortest round-trip `f64` display,
+//!   with integral values printed without a fractional part;
+//! * non-finite numbers serialize as `null` (JSON has no NaN/∞).
+//!
+//! This is intentionally *not* a serde replacement: it models exactly the
+//! documents Argus writes and reads back (golden traces, campaign
+//! summaries) and nothing more.
+
+use std::fmt::Write as _;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number (stored as `f64`; JSON has a single number type).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object: insertion-ordered `(key, value)` pairs.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Convenience constructor for a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// A number from anything convertible to `f64`.
+    pub fn num(x: impl Into<f64>) -> Json {
+        Json::Num(x.into())
+    }
+
+    /// An object member lookup (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64`, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64`, if it is a non-negative integral number.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= 2f64.powi(53) => Some(*x as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The value as object members, if it is one.
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// `true` for `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// Canonical compact encoding (no whitespace).
+    pub fn to_canonical(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        out
+    }
+
+    /// Canonical pretty encoding (two-space indent, one member per line).
+    ///
+    /// Pretty output is just as deterministic as the compact form; golden
+    /// files use it so that regressions produce readable line diffs.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, Some(2), 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(x) => out.push_str(&format_number(*x)),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                    items[i].write(out, indent, depth + 1);
+                });
+            }
+            Json::Obj(members) => {
+                write_seq(out, indent, depth, '{', '}', members.len(), |out, i| {
+                    let (k, v) = &members[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1);
+                });
+            }
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    n: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if n == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..n {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(step) = indent {
+            out.push('\n');
+            for _ in 0..step * (depth + 1) {
+                out.push(' ');
+            }
+        }
+        item(out, i);
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        for _ in 0..step * depth {
+            out.push(' ');
+        }
+    }
+    out.push(close);
+}
+
+/// Canonical number formatting: integral values without a fractional part,
+/// everything else via Rust's shortest round-trip display, non-finite as
+/// `null`.
+fn format_number(x: f64) -> String {
+    if !x.is_finite() {
+        return "null".to_string();
+    }
+    if x == 0.0 {
+        // Normalize -0.0 so canonical output has a single zero.
+        return "0".to_string();
+    }
+    if x.fract() == 0.0 && x.abs() < 9.007_199_254_740_992e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parse failure with byte offset and message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset of the failure in the input.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for JsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parses a complete JSON document (trailing whitespace allowed).
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] on malformed input or trailing garbage.
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.error("trailing characters after document"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.error(format!("unexpected `{}`", c as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.error("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(self.error("expected `,` or `}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.error("bad escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'u' => {
+                            let code = self.hex4()?;
+                            // Surrogate pairs are not produced by our own
+                            // encoder; accept lone BMP code points only.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.error("invalid \\u escape"))?;
+                            out.push(c);
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is valid UTF-8 by
+                    // construction: we were handed a &str).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.error("invalid UTF-8"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(self.error("truncated \\u escape"));
+        }
+        let chunk = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| self.error("invalid \\u escape"))?;
+        let code = u32::from_str_radix(chunk, 16).map_err(|_| self.error("invalid \\u escape"))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.error(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_number_formatting() {
+        assert_eq!(Json::Num(1.0).to_canonical(), "1");
+        assert_eq!(Json::Num(-0.0).to_canonical(), "0");
+        assert_eq!(Json::Num(0.5).to_canonical(), "0.5");
+        assert_eq!(Json::Num(f64::NAN).to_canonical(), "null");
+        let huge = Json::Num(1e300).to_canonical();
+        assert_eq!(parse(&huge).unwrap().as_f64(), Some(1e300));
+    }
+
+    #[test]
+    fn round_trip_document() {
+        let doc = Json::Obj(vec![
+            ("name".into(), Json::str("fig2a")),
+            ("ok".into(), Json::Bool(true)),
+            ("none".into(), Json::Null),
+            (
+                "xs".into(),
+                Json::Arr(vec![Json::Num(1.0), Json::Num(2.5), Json::Num(-3.0)]),
+            ),
+            ("esc\"aped\n".into(), Json::str("tab\there")),
+        ]);
+        let compact = doc.to_canonical();
+        assert_eq!(parse(&compact).unwrap(), doc);
+        let pretty = doc.to_pretty();
+        assert_eq!(parse(&pretty).unwrap(), doc);
+    }
+
+    #[test]
+    fn object_order_is_preserved() {
+        let doc = parse(r#"{"b": 1, "a": 2}"#).unwrap();
+        let members = doc.as_obj().unwrap();
+        assert_eq!(members[0].0, "b");
+        assert_eq!(members[1].0, "a");
+        assert_eq!(doc.to_canonical(), r#"{"b":1,"a":2}"#);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("12 34").is_err());
+        assert!(parse("nul").is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let doc = parse(r#"{"n": 3, "s": "x", "b": false, "a": [1]}"#).unwrap();
+        assert_eq!(doc.get("n").unwrap().as_u64(), Some(3));
+        assert_eq!(doc.get("s").unwrap().as_str(), Some("x"));
+        assert_eq!(doc.get("b").unwrap().as_bool(), Some(false));
+        assert_eq!(doc.get("a").unwrap().as_arr().unwrap().len(), 1);
+        assert!(doc.get("missing").is_none());
+    }
+
+    #[test]
+    fn shortest_round_trip_floats_survive() {
+        for &x in &[0.1, 1.0 / 3.0, 29.0576, -0.1082, 2.2250738585072014e-308] {
+            let text = Json::Num(x).to_canonical();
+            let back = parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{text}");
+        }
+    }
+}

@@ -13,6 +13,8 @@
 //!   first principles) and SNR helpers used by the radar receiver model.
 //! * [`trace`] — time-series recording ([`Trace`], [`TraceSet`]) with summary
 //!   statistics and CSV export, used to regenerate the paper's figures.
+//! * [`json`] — a dependency-free canonical JSON encoder/parser used by the
+//!   Monte-Carlo campaign traces and the golden-file regression suite.
 //!
 //! # Example
 //!
@@ -33,6 +35,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod json;
 pub mod noise;
 pub mod rng;
 pub mod stats;
@@ -40,6 +43,7 @@ pub mod time;
 pub mod trace;
 pub mod units;
 
+pub use json::Json;
 pub use noise::{Gaussian, Uniform};
 pub use rng::SimRng;
 pub use stats::{RunningStats, Summary};

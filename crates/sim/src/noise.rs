@@ -77,10 +77,7 @@ impl Gaussian {
     /// two independent normals; this exposes both).
     pub fn sample_pair(&self, rng: &mut SimRng) -> (f64, f64) {
         let (z0, z1) = standard_normal_pair(rng);
-        (
-            self.mean + self.std_dev * z0,
-            self.mean + self.std_dev * z1,
-        )
+        (self.mean + self.std_dev * z0, self.mean + self.std_dev * z1)
     }
 
     /// Fills a buffer with independent samples.

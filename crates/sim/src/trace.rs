@@ -33,11 +33,7 @@ impl Trace {
     }
 
     /// Creates a trace from pre-recorded samples.
-    pub fn from_values(
-        name: impl Into<String>,
-        time_base: TimeBase,
-        values: Vec<f64>,
-    ) -> Self {
+    pub fn from_values(name: impl Into<String>, time_base: TimeBase, values: Vec<f64>) -> Self {
         Self {
             name: name.into(),
             time_base,
@@ -228,7 +224,8 @@ impl TraceSet {
     /// Renders the set as a CSV string.
     pub fn to_csv(&self) -> String {
         let mut buf = Vec::new();
-        self.write_csv(&mut buf).expect("writing to Vec cannot fail");
+        self.write_csv(&mut buf)
+            .expect("writing to Vec cannot fail");
         String::from_utf8(buf).expect("CSV output is valid UTF-8")
     }
 }

@@ -111,4 +111,82 @@ proptest! {
         }
         prop_assert!(s.mean >= s.min - 1e-12 && s.mean <= s.max + 1e-12);
     }
+
+    /// Substream derivation depends only on the parent *seed*, never on how
+    /// much the parent has already been drawn from — the property the
+    /// campaign runner's trial seeding rests on.
+    #[test]
+    fn substreams_ignore_parent_draw_position(
+        seed in any::<u64>(),
+        label in "[a-z]{1,12}",
+        draws in 0usize..32,
+    ) {
+        let fresh = SimRng::seed_from(seed);
+        let mut drained = SimRng::seed_from(seed);
+        for _ in 0..draws {
+            let _ = drained.next_f64();
+        }
+        let mut a = fresh.substream(&label);
+        let mut b = drained.substream(&label);
+        for _ in 0..8 {
+            prop_assert_eq!(a.next_f64(), b.next_f64());
+        }
+    }
+
+    /// Distinct labels derive distinct streams (seed collision would make
+    /// two campaign trials share noise).
+    #[test]
+    fn substreams_distinct_labels_distinct_seeds(
+        seed in any::<u64>(),
+        l1 in "[a-z0-9/@+]{1,16}",
+        l2 in "[a-z0-9/@+]{1,16}",
+    ) {
+        prop_assume!(l1 != l2);
+        let parent = SimRng::seed_from(seed);
+        prop_assert_ne!(parent.substream(&l1).seed(), parent.substream(&l2).seed());
+    }
+
+    /// Chained substream derivation is stable: the same label path always
+    /// reaches the same stream.
+    #[test]
+    fn substream_chains_stable(seed in any::<u64>(), l1 in "[a-z]{1,8}", l2 in "[a-z]{1,8}") {
+        let p = SimRng::seed_from(seed);
+        let a = p.substream(&l1).substream(&l2).seed();
+        let b = SimRng::seed_from(seed).substream(&l1).substream(&l2).seed();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Canonical JSON round-trips finite numbers bit-exactly — the property
+    /// golden traces rely on.
+    #[test]
+    fn json_numbers_round_trip(values in proptest::collection::vec(-1e9f64..1e9, 0..64)) {
+        use argus_sim::json::{parse, Json};
+        let doc = Json::Arr(values.iter().map(|&v| Json::num(v)).collect());
+        let parsed = parse(&doc.to_canonical()).unwrap();
+        let back = parsed.as_arr().unwrap();
+        prop_assert_eq!(back.len(), values.len());
+        for (x, v) in back.iter().zip(&values) {
+            prop_assert_eq!(x.as_f64().unwrap().to_bits(), v.to_bits());
+        }
+    }
+
+    /// Canonical JSON string escaping round-trips arbitrary text, and the
+    /// pretty and compact encodings parse to the same document.
+    #[test]
+    fn json_strings_round_trip(
+        chars in proptest::collection::vec(
+            proptest::sample::select(vec![
+                'a', 'Z', '0', ' ', '"', '\\', '/', '\n', '\r', '\t', '\u{0007}', 'é', '→',
+            ]),
+            0..40,
+        )
+    ) {
+        use argus_sim::json::{parse, Json};
+        let text: String = chars.into_iter().collect();
+        let doc = Json::Obj(vec![("k".to_string(), Json::str(text.clone()))]);
+        let compact = parse(&doc.to_canonical()).unwrap();
+        let pretty = parse(&doc.to_pretty()).unwrap();
+        prop_assert_eq!(compact.get("k").unwrap().as_str(), Some(text.as_str()));
+        prop_assert_eq!(compact, pretty);
+    }
 }

@@ -104,10 +104,7 @@ mod tests {
     fn follows_decelerating_leader_without_collision() {
         // The paper's nominal (attack-free) scenario: leader at 65 mph
         // braking at −0.1082 m/s², follower set to 67 mph, initial gap 100 m.
-        let mut leader = LongitudinalState::new(
-            Meters(100.0),
-            MetersPerSecond::from_mph(65.0),
-        );
+        let mut leader = LongitudinalState::new(Meters(100.0), MetersPerSecond::from_mph(65.0));
         let mut f = follower(65.0);
         let mut min_gap = f64::MAX;
         for _ in 0..300 {

@@ -111,7 +111,11 @@ mod tests {
     fn brakes_when_tailgating() {
         let p = params();
         let a = p.acceleration(MetersPerSecond(30.0), Meters(5.0), MetersPerSecond(30.0));
-        assert!(a.value() < -2.0, "severe braking expected, got {}", a.value());
+        assert!(
+            a.value() < -2.0,
+            "severe braking expected, got {}",
+            a.value()
+        );
     }
 
     #[test]
@@ -165,7 +169,8 @@ mod tests {
         let eq_gap = p
             .desired_gap(MetersPerSecond(v_lead), MetersPerSecond(v_lead))
             .value();
-        assert!((gap - eq_gap / (1.0 - (v_lead / 30.0f64).powi(4)).sqrt()).abs() < 8.0,
+        assert!(
+            (gap - eq_gap / (1.0 - (v_lead / 30.0f64).powi(4)).sqrt()).abs() < 8.0,
             "gap {gap} vs equilibrium ≈ {eq_gap}"
         );
     }

@@ -53,7 +53,11 @@ impl LongitudinalState {
         } else {
             // Vehicle stops partway through the step: integrate only until
             // v = 0 (time v0/|a|), then hold.
-            let t_stop = if a.value() != 0.0 { -v0 / a.value() } else { 0.0 };
+            let t_stop = if a.value() != 0.0 {
+                -v0 / a.value()
+            } else {
+                0.0
+            };
             self.position += Meters(v0 * t_stop + 0.5 * a.value() * t_stop * t_stop);
             self.velocity = MetersPerSecond(0.0);
         }

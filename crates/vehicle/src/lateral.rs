@@ -94,8 +94,9 @@ impl BicycleModel {
         let dt_v = dt.value();
         self.state.x += Meters(v * psi.cos() * dt_v);
         self.state.y += Meters(v * psi.sin() * dt_v);
-        self.state.heading =
-            Radians(wrap_angle(psi + v * delta.tan() / self.wheelbase.value() * dt_v));
+        self.state.heading = Radians(wrap_angle(
+            psi + v * delta.tan() / self.wheelbase.value() * dt_v,
+        ));
         self.state.speed = MetersPerSecond((v + accel.value() * dt_v).max(0.0));
         &self.state
     }
@@ -114,8 +115,8 @@ impl BicycleModel {
 
 /// Wraps an angle to `(-π, π]`.
 fn wrap_angle(a: f64) -> f64 {
-    let mut a = (a + std::f64::consts::PI).rem_euclid(2.0 * std::f64::consts::PI)
-        - std::f64::consts::PI;
+    let mut a =
+        (a + std::f64::consts::PI).rem_euclid(2.0 * std::f64::consts::PI) - std::f64::consts::PI;
     if a <= -std::f64::consts::PI {
         a += 2.0 * std::f64::consts::PI;
     }
@@ -284,11 +285,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "wheelbase must be positive")]
     fn zero_wheelbase_rejected() {
-        let _ = BicycleModel::new(
-            Meters(0.0),
-            Radians(0.5),
-            cruising(0.0, 0.0, 0.0),
-        );
+        let _ = BicycleModel::new(Meters(0.0), Radians(0.5), cruising(0.0, 0.0, 0.0));
     }
 
     #[test]

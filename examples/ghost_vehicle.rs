@@ -62,7 +62,11 @@ fn main() {
                 if tx_on { "on" } else { "OFF" },
                 tracker.tracks().len(),
                 primary,
-                if verdict.under_attack() { "ATTACK" } else { "clean" }
+                if verdict.under_attack() {
+                    "ATTACK"
+                } else {
+                    "clean"
+                }
             );
         }
     }

@@ -19,14 +19,28 @@ fn main() {
     print!("{}", report::render_outcome(&outcome));
 
     let metrics = &outcome.defended.metrics;
-    println!("\nDetection step : {:?}", metrics.detection_step.map(|s| s.0));
-    println!("False pos/neg  : {}/{}",
-        metrics.confusion.false_positives, metrics.confusion.false_negatives);
+    println!(
+        "\nDetection step : {:?}",
+        metrics.detection_step.map(|s| s.0)
+    );
+    println!(
+        "False pos/neg  : {}/{}",
+        metrics.confusion.false_positives, metrics.confusion.false_negatives
+    );
     println!("Min gap (def.) : {:.1} m", metrics.min_gap);
-    println!("Min gap (none) : {:.1} m{}",
+    println!(
+        "Min gap (none) : {:.1} m{}",
         outcome.undefended.metrics.min_gap,
-        if outcome.undefended.metrics.collided { "  ← COLLISION" } else { "" });
+        if outcome.undefended.metrics.collided {
+            "  ← COLLISION"
+        } else {
+            ""
+        }
+    );
 
     println!("\nDistance panel (every 25 s):");
-    print!("{}", report::render_series("relative distance (m)", &outcome.distance_series(), 25));
+    print!(
+        "{}",
+        report::render_series("relative distance (m)", &outcome.distance_series(), 25)
+    );
 }

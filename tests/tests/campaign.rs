@@ -1,0 +1,99 @@
+//! Campaign-runner determinism: thread count and scheduling must never
+//! change a campaign's results — only its timing.
+
+use argus_core::campaign::{
+    campaign_to_csv, campaign_to_json, resolve_threads, AttackAxis, AxisGrid, Campaign,
+};
+use argus_vehicle::LeaderProfile;
+
+fn mixed_campaign(seeds: u64) -> Campaign {
+    Campaign::new(
+        "determinism",
+        LeaderProfile::paper_constant_decel(),
+        AxisGrid {
+            attacks: vec![AttackAxis::paper_dos(), AttackAxis::paper_delay()],
+            initial_gaps_m: vec![100.0],
+            initial_speeds_mph: vec![65.0],
+            seeds: (1..=seeds).collect(),
+        },
+    )
+}
+
+#[test]
+fn one_and_eight_threads_yield_byte_identical_traces() {
+    let campaign = mixed_campaign(8);
+    let serial = campaign.run(Some(1));
+    let parallel = campaign.run(Some(8));
+    assert_eq!(serial.threads, 1);
+    assert_eq!(parallel.threads, 8);
+    assert_eq!(
+        campaign_to_json(&serial).to_canonical(),
+        campaign_to_json(&parallel).to_canonical(),
+        "canonical JSON must not depend on the thread count"
+    );
+    assert_eq!(
+        campaign_to_csv(&serial),
+        campaign_to_csv(&parallel),
+        "CSV rows must not depend on the thread count"
+    );
+}
+
+#[test]
+fn intermediate_thread_counts_agree_too() {
+    let campaign = mixed_campaign(5);
+    let reference = campaign_to_json(&campaign.run(Some(1))).to_canonical();
+    for threads in [2, 3, 5] {
+        let run = campaign_to_json(&campaign.run(Some(threads))).to_canonical();
+        assert_eq!(run, reference, "{threads} threads diverged from serial");
+    }
+}
+
+#[test]
+fn reruns_are_reproducible() {
+    let campaign = mixed_campaign(4);
+    let a = campaign_to_json(&campaign.run(Some(4))).to_canonical();
+    let b = campaign_to_json(&campaign.run(Some(4))).to_canonical();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn trial_results_match_standalone_scenario_runs() {
+    use argus_core::scenario::Scenario;
+    let campaign = mixed_campaign(2);
+    let run = campaign.run(None);
+    for (spec, trial) in campaign.trials().iter().zip(&run.trials) {
+        let standalone = Scenario::new(spec.config.clone()).run(spec.seed);
+        assert_eq!(
+            standalone.metrics.min_gap.to_bits(),
+            trial.metrics.min_gap.to_bits(),
+            "replaying trial `{}` alone must reproduce the campaign result",
+            trial.label
+        );
+        assert_eq!(
+            standalone.metrics.detection_step,
+            trial.metrics.detection_step
+        );
+        assert_eq!(
+            standalone.metrics.attack_window_distance_rmse,
+            trial.metrics.attack_window_distance_rmse
+        );
+    }
+}
+
+#[test]
+fn stats_aggregate_in_trial_order() {
+    use argus_core::CampaignStats;
+    let run = mixed_campaign(4).run(Some(8));
+    let mut expected = CampaignStats::new();
+    for t in &run.trials {
+        expected.record(&t.metrics);
+    }
+    assert_eq!(run.stats, expected);
+}
+
+#[test]
+fn thread_resolution_honours_environment() {
+    // Explicit request always wins; the fallback is at least one worker.
+    assert_eq!(resolve_threads(Some(5)), 5);
+    assert!(resolve_threads(None) >= 1);
+}

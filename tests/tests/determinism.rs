@@ -17,10 +17,7 @@ fn experiments_are_bit_for_bit_reproducible() {
                 exp.id
             );
         }
-        assert_eq!(
-            a.defended.metrics.min_gap,
-            b.defended.metrics.min_gap
-        );
+        assert_eq!(a.defended.metrics.min_gap, b.defended.metrics.min_gap);
         assert_eq!(
             a.defended.metrics.detection_step,
             b.defended.metrics.detection_step

@@ -1,0 +1,128 @@
+//! Golden-trace regression tests for the four figure scenarios.
+//!
+//! Each test runs the defended scenario of one figure experiment at a
+//! pinned seed, encodes it with the canonical golden format
+//! (`argus-golden-v1`), and compares it sample-by-sample against the
+//! stored trace in `tests/golden/`. Any numeric drift beyond `TOLERANCE`
+//! fails loudly with a per-path diff summary.
+//!
+//! Golden files are machine-generated, not hand-written:
+//!
+//! * if a golden file is **missing**, the test bootstraps it (writes the
+//!   current trace) and passes with a warning on stderr — rerun to get a
+//!   real comparison;
+//! * set `ARGUS_GOLDEN=regen` to rewrite all golden files after an
+//!   *intentional* behaviour change.
+
+use std::path::PathBuf;
+
+use argus_core::campaign::{compare_scenario_json, scenario_to_json};
+use argus_core::scenario::{Scenario, ScenarioConfig};
+use argus_core::Experiment;
+
+/// Seed pinned for golden traces (arbitrary, fixed forever).
+const GOLDEN_SEED: u64 = 7;
+
+/// Relative tolerance for sample comparison. Goldens round-trip through
+/// shortest-representation decimal, so a same-code re-run compares exactly;
+/// the tolerance only absorbs deliberate cross-platform libm differences.
+const TOLERANCE: f64 = 1e-9;
+
+fn golden_path(id: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("golden")
+        .join(format!("{id}.json"))
+}
+
+fn regen_requested() -> bool {
+    std::env::var("ARGUS_GOLDEN")
+        .map(|v| v == "regen")
+        .unwrap_or(false)
+}
+
+fn check_golden(exp: &Experiment) {
+    let result = Scenario::new(ScenarioConfig::paper(
+        exp.profile().clone(),
+        *exp.adversary(),
+        true,
+    ))
+    .run(GOLDEN_SEED);
+    let current = scenario_to_json(exp.id, GOLDEN_SEED, &result);
+    let path = golden_path(exp.id);
+
+    if regen_requested() || !path.exists() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, current.to_pretty()).unwrap();
+        eprintln!(
+            "WARNING: golden trace for `{}` (re)generated at {} — this run \
+             compared nothing; rerun without ARGUS_GOLDEN=regen to verify",
+            exp.id,
+            path.display()
+        );
+        return;
+    }
+
+    let golden_text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let diff = compare_scenario_json(&golden_text, &current, TOLERANCE)
+        .unwrap_or_else(|e| panic!("golden file {} is not valid JSON: {e}", path.display()));
+    assert!(
+        diff.matches(),
+        "golden trace drift for `{}` ({}):\n{}\n\
+         If this change is intentional, regenerate with ARGUS_GOLDEN=regen.",
+        exp.id,
+        path.display(),
+        diff
+    );
+}
+
+#[test]
+fn golden_fig2a() {
+    check_golden(&Experiment::fig2a());
+}
+
+#[test]
+fn golden_fig2b() {
+    check_golden(&Experiment::fig2b());
+}
+
+#[test]
+fn golden_fig3a() {
+    check_golden(&Experiment::fig3a());
+}
+
+#[test]
+fn golden_fig3b() {
+    check_golden(&Experiment::fig3b());
+}
+
+/// The comparator itself must catch drift: perturb one sample of a fresh
+/// trace and require a loud, path-labelled failure report.
+#[test]
+fn golden_comparator_flags_single_sample_drift() {
+    let exp = Experiment::fig2a();
+    let result = Scenario::new(ScenarioConfig::paper(
+        exp.profile().clone(),
+        *exp.adversary(),
+        true,
+    ))
+    .run(GOLDEN_SEED);
+    let golden_text = scenario_to_json(exp.id, GOLDEN_SEED, &result).to_pretty();
+
+    let mut drifted = result.clone();
+    let mut values = drifted.traces.get("gap_true").unwrap().values().to_vec();
+    values[150] += 1e-6;
+    let tb = drifted.traces.get("gap_true").unwrap().time_base();
+    drifted
+        .traces
+        .insert(argus_sim::Trace::from_values("gap_true", tb, values));
+    let current = scenario_to_json(exp.id, GOLDEN_SEED, &drifted);
+
+    let diff = compare_scenario_json(&golden_text, &current, TOLERANCE).unwrap();
+    assert!(!diff.matches(), "1e-6 sample drift must be detected");
+    let report = diff.to_string();
+    assert!(
+        report.contains("gap_true") && report.contains("[150]"),
+        "diff report should name the drifting sample:\n{report}"
+    );
+}

@@ -14,7 +14,11 @@ fn scene() -> Vec<RadarTarget> {
 }
 
 fn sorted_distances(obs: &RadarMultiObservation) -> Vec<f64> {
-    let mut d: Vec<f64> = obs.measurements.iter().map(|m| m.distance.value()).collect();
+    let mut d: Vec<f64> = obs
+        .measurements
+        .iter()
+        .map(|m| m.distance.value())
+        .collect();
     d.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     d
 }

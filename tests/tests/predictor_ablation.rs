@@ -8,11 +8,9 @@ use argus_sim::Step;
 use argus_vehicle::LeaderProfile;
 
 fn run(kind: PredictorKind, profile: LeaderProfile, seed: u64) -> argus_core::RunMetrics {
-    Scenario::new(
-        ScenarioConfig::paper(profile, Adversary::paper_dos(), true).with_predictor(kind),
-    )
-    .run(seed)
-    .metrics
+    Scenario::new(ScenarioConfig::paper(profile, Adversary::paper_dos(), true).with_predictor(kind))
+        .run(seed)
+        .metrics
 }
 
 #[test]

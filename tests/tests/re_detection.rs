@@ -57,7 +57,10 @@ fn both_episodes_detected_with_recovery_between() {
         .filter(|(k, _)| (106..180).contains(k))
         .filter(|(_, s)| *s == MeasurementSource::Radar)
         .count();
-    assert!(radar_between > 60, "only {radar_between} pass-through steps");
+    assert!(
+        radar_between > 60,
+        "only {radar_between} pass-through steps"
+    );
 
     // During both attack windows everything served is estimated.
     for (k, s) in &sources {

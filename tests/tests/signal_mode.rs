@@ -9,11 +9,7 @@ use argus_sim::time::Step;
 use argus_vehicle::LeaderProfile;
 
 fn signal_config(adversary: Adversary, defended: bool) -> ScenarioConfig {
-    let mut cfg = ScenarioConfig::paper(
-        LeaderProfile::paper_constant_decel(),
-        adversary,
-        defended,
-    );
+    let mut cfg = ScenarioConfig::paper(LeaderProfile::paper_constant_decel(), adversary, defended);
     cfg.radar = RadarConfig::bosch_lrr2_signal();
     cfg
 }

@@ -1,3 +1,4 @@
+#![allow(clippy::all)]
 //! Minimal `criterion` work-alike (offline stub): runs each benchmark
 //! body a handful of times and prints nothing fancy. Exists so bench
 //! targets type-check and can be smoke-run without the real crate.
@@ -51,6 +52,10 @@ pub enum BatchSize {
 }
 
 impl Criterion {
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
             name: name.into(),
@@ -76,13 +81,22 @@ impl BenchmarkGroup<'_> {
         self
     }
 
-    pub fn bench_function(&mut self, id: impl IdLike, mut f: impl FnMut(&mut Bencher)) -> &mut Self {
+    pub fn bench_function(
+        &mut self,
+        id: impl IdLike,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
         let mut b = Bencher {
             iters: self.parent.iters,
         };
         let start = Instant::now();
         f(&mut b);
-        println!("bench {}/{}: ran ({:?} total)", self.name, id.render(), start.elapsed());
+        println!(
+            "bench {}/{}: ran ({:?} total)",
+            self.name,
+            id.render(),
+            start.elapsed()
+        );
         self
     }
 
@@ -152,6 +166,12 @@ macro_rules! criterion_group {
     ($name:ident, $($target:path),+ $(,)?) => {
         fn $name() {
             let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $config;
             $($target(&mut c);)+
         }
     };

@@ -1,3 +1,4 @@
+#![allow(clippy::all)]
 //! Minimal `nalgebra` subset (offline stub).
 //!
 //! Implements exactly the surface the argus workspace uses: dynamically
@@ -442,7 +443,10 @@ impl<T: Field> DMatrix<T> {
 
     /// Maximum absolute value of the elements.
     pub fn amax(&self) -> f64 {
-        self.data.iter().map(|&x| x.abs_sq().sqrt()).fold(0.0, f64::max)
+        self.data
+            .iter()
+            .map(|&x| x.abs_sq().sqrt())
+            .fold(0.0, f64::max)
     }
 
     pub fn column(&self, j: usize) -> DVector<T> {
@@ -476,14 +480,20 @@ impl<T: Field> DMatrix<T> {
     pub fn view(&self, start: (usize, usize), shape: (usize, usize)) -> DMatrix<T> {
         let (r0, c0) = start;
         let (nr, nc) = shape;
-        assert!(r0 + nr <= self.nrows && c0 + nc <= self.ncols, "view out of bounds");
+        assert!(
+            r0 + nr <= self.nrows && c0 + nc <= self.ncols,
+            "view out of bounds"
+        );
         DMatrix::from_fn(nr, nc, |i, j| self[(r0 + i, c0 + j)])
     }
 
     pub fn view_mut(&mut self, start: (usize, usize), shape: (usize, usize)) -> ViewMut<'_, T> {
         let (r0, c0) = start;
         let (nr, nc) = shape;
-        assert!(r0 + nr <= self.nrows && c0 + nc <= self.ncols, "view out of bounds");
+        assert!(
+            r0 + nr <= self.nrows && c0 + nc <= self.ncols,
+            "view out of bounds"
+        );
         ViewMut {
             target: self,
             r0,
@@ -502,6 +512,25 @@ impl<T: Field> DMatrix<T> {
         self.clone()
     }
 
+    pub fn copy_from(&mut self, src: &DMatrix<T>) {
+        assert_eq!(self.shape(), src.shape(), "copy_from shape mismatch");
+        self.data.copy_from_slice(&src.data);
+    }
+
+    pub fn resize_mut(&mut self, new_nrows: usize, new_ncols: usize, val: T) {
+        // Matches nalgebra: existing entries keep their (i, j) positions,
+        // new entries are filled with `val`.
+        let mut data = vec![val; new_nrows * new_ncols];
+        for j in 0..self.ncols.min(new_ncols) {
+            for i in 0..self.nrows.min(new_nrows) {
+                data[j * new_nrows + i] = self.data[j * self.nrows + i];
+            }
+        }
+        self.nrows = new_nrows;
+        self.ncols = new_ncols;
+        self.data = data;
+    }
+
     pub fn scale(&self, k: f64) -> DMatrix<T>
     where
         T: Mul<f64, Output = T>,
@@ -510,7 +539,10 @@ impl<T: Field> DMatrix<T> {
     }
 
     fn mul_mat(&self, rhs: &DMatrix<T>) -> DMatrix<T> {
-        assert_eq!(self.ncols, rhs.nrows, "dimension mismatch in matrix product");
+        assert_eq!(
+            self.ncols, rhs.nrows,
+            "dimension mismatch in matrix product"
+        );
         let mut out = DMatrix::zeros(self.nrows, rhs.ncols);
         for j in 0..rhs.ncols {
             for k in 0..self.ncols {
@@ -528,7 +560,11 @@ impl<T: Field> DMatrix<T> {
     }
 
     fn mul_vec(&self, rhs: &DVector<T>) -> DVector<T> {
-        assert_eq!(self.ncols, rhs.len(), "dimension mismatch in matrix-vector product");
+        assert_eq!(
+            self.ncols,
+            rhs.len(),
+            "dimension mismatch in matrix-vector product"
+        );
         let mut out = DVector::zeros(self.nrows);
         for k in 0..self.ncols {
             let r = rhs[k];
@@ -685,8 +721,7 @@ impl DMatrix<f64> {
             iters += 1;
             // Wilkinson-style shift from the trailing 2x2 block.
             let t = a[(m - 2, m - 2)] + a[(m - 1, m - 1)];
-            let d = a[(m - 2, m - 2)] * a[(m - 1, m - 1)]
-                - a[(m - 2, m - 1)] * a[(m - 1, m - 2)];
+            let d = a[(m - 2, m - 2)] * a[(m - 1, m - 1)] - a[(m - 2, m - 1)] * a[(m - 1, m - 2)];
             let disc = (t * t - d * Complex::new(4.0, 0.0)).sqrt();
             let l1 = (t + disc) * Complex::new(0.5, 0.0);
             let l2 = (t - disc) * Complex::new(0.5, 0.0);
@@ -703,11 +738,10 @@ impl DMatrix<f64> {
                 |x, s| x - s,
             );
             let (q, r) = qr_complex(&shifted);
-            a = r
-                .mul_mat(&q)
-                .zip_with(&DMatrix::<Complex<f64>>::identity(m, m).map(|x| x * mu), |x, s| {
-                    x + s
-                });
+            a = r.mul_mat(&q).zip_with(
+                &DMatrix::<Complex<f64>>::identity(m, m).map(|x| x * mu),
+                |x, s| x + s,
+            );
         }
         DVector::from_vec(eigs)
     }
@@ -932,7 +966,10 @@ impl<T: Field> DVector<T> {
     }
 
     pub fn amax(&self) -> f64 {
-        self.data.iter().map(|&x| x.abs_sq().sqrt()).fold(0.0, f64::max)
+        self.data
+            .iter()
+            .map(|&x| x.abs_sq().sqrt())
+            .fold(0.0, f64::max)
     }
 
     /// Transpose of a column vector: a row vector.

@@ -1,3 +1,4 @@
+#![allow(clippy::all)]
 //! Minimal `proptest` work-alike (offline stub).
 //!
 //! Deterministic random testing without shrinking: each `proptest!` test
@@ -91,7 +92,10 @@ impl TestRunner {
 
     pub fn next_rng(&mut self) -> TestRng {
         self.case += 1;
-        TestRng::new(self.base_seed.wrapping_add(self.case.wrapping_mul(0x9E37_79B9)))
+        TestRng::new(
+            self.base_seed
+                .wrapping_add(self.case.wrapping_mul(0x9E37_79B9)),
+        )
     }
 }
 
@@ -276,7 +280,10 @@ impl Strategy for &'static str {
                 let spec: String = chars[i + 1..close].iter().collect();
                 i = close + 1;
                 if let Some((a, b)) = spec.split_once(',') {
-                    (a.trim().parse::<usize>().unwrap(), b.trim().parse::<usize>().unwrap())
+                    (
+                        a.trim().parse::<usize>().unwrap(),
+                        b.trim().parse::<usize>().unwrap(),
+                    )
                 } else {
                     let n = spec.trim().parse::<usize>().unwrap();
                     (n, n)

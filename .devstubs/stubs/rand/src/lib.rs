@@ -1,3 +1,4 @@
+#![allow(clippy::all)]
 //! Minimal `rand` facade (offline stub).
 //!
 //! Deterministic and seedable, but **not** bit-compatible with the real

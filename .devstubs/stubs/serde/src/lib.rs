@@ -1,3 +1,4 @@
+#![allow(clippy::all)]
 //! Minimal serde facade (offline stub): marker traits + no-op derives.
 
 pub use serde_derive::{Deserialize, Serialize};

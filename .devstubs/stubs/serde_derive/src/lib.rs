@@ -1,3 +1,4 @@
+#![allow(clippy::all)]
 //! No-op stand-ins for serde's derive macros (offline stub).
 
 use proc_macro::TokenStream;

@@ -1,0 +1,193 @@
+//! The zero-allocation DSP fast path against the retained naive wrappers,
+//! at the Bosch LRR2 operating point (128 samples/sweep, MUSIC window 8,
+//! 4096-bin periodogram).
+//!
+//! Every pairing benches the same kernel twice: the allocating baseline
+//! kept for API compatibility, and the planned/scratch variant the
+//! pipeline actually runs. `bench_report` (a plain binary, same kernels)
+//! writes the machine-readable `BENCH_dsp.json` trajectory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use argus_dsp::fft::{fft_in_place, fft_in_place_naive, FftPlan};
+use argus_dsp::prelude::*;
+use argus_dsp::scratch::{KernelScratch, ScratchOptions};
+use argus_radar::receiver::{ChannelState, Radar, RadarScratch};
+use argus_radar::target::RadarTarget;
+use argus_radar::RadarConfig;
+use argus_sim::rng::SimRng;
+use argus_sim::units::{Meters, MetersPerSecond};
+use nalgebra::Complex;
+
+/// LRR2 sweep-half length.
+const SWEEP: usize = 128;
+/// LRR2 MUSIC window.
+const WINDOW: usize = 8;
+/// Periodogram size used by the FFT-peak extractor.
+const FFT_BINS: usize = 4096;
+
+fn tone_signal(n: usize) -> Vec<Complex<f64>> {
+    (0..n)
+        .map(|t| {
+            Complex::from_polar(1.0, 1.283 * t as f64)
+                + Complex::new(
+                    0.01 * (t as f64 * 0.37).sin(),
+                    0.01 * (t as f64 * 0.73).cos(),
+                )
+        })
+        .collect()
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    for n in [SWEEP, 1024, FFT_BINS] {
+        let signal = tone_signal(n);
+        group.bench_with_input(BenchmarkId::new("naive", n), &signal, |b, s| {
+            let mut buf = s.clone();
+            b.iter(|| {
+                buf.copy_from_slice(s);
+                fft_in_place_naive(black_box(&mut buf)).unwrap();
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("planned", n), &signal, |b, s| {
+            let mut buf = s.clone();
+            b.iter(|| {
+                buf.copy_from_slice(s);
+                fft_in_place(black_box(&mut buf)).unwrap();
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("plan_direct", n), &signal, |b, s| {
+            let plan = FftPlan::new(s.len()).unwrap();
+            let mut buf = s.clone();
+            b.iter(|| {
+                buf.copy_from_slice(s);
+                plan.forward(black_box(&mut buf)).unwrap();
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_covariance(c: &mut Criterion) {
+    let signal = tone_signal(SWEEP);
+    let mut group = c.benchmark_group("covariance");
+    group.bench_function("alloc", |b| {
+        b.iter(|| {
+            black_box(
+                SampleCovariance::builder(WINDOW)
+                    .build(black_box(&signal))
+                    .unwrap(),
+            )
+        });
+    });
+    group.bench_function("scratch_direct", |b| {
+        let mut out = SampleCovariance::zeros(WINDOW);
+        b.iter(|| {
+            SampleCovariance::builder(WINDOW)
+                .build_into(black_box(&signal), &mut out)
+                .unwrap();
+            black_box(&out);
+        });
+    });
+    group.bench_function("scratch_incremental", |b| {
+        let mut out = SampleCovariance::zeros(WINDOW);
+        b.iter(|| {
+            SampleCovariance::builder(WINDOW)
+                .incremental(true)
+                .build_into(black_box(&signal), &mut out)
+                .unwrap();
+            black_box(&out);
+        });
+    });
+    group.finish();
+}
+
+fn bench_eigen(c: &mut Criterion) {
+    let signal = tone_signal(SWEEP);
+    let cov = SampleCovariance::builder(WINDOW).build(&signal).unwrap();
+    let mut group = c.benchmark_group("eigen");
+    group.bench_function("cold_alloc", |b| {
+        b.iter(|| black_box(HermitianEigen::new(black_box(cov.matrix()), 1e-6).unwrap()));
+    });
+    group.bench_function("warm_workspace", |b| {
+        let mut ws = EigenWorkspace::new();
+        ws.decompose(cov.matrix(), 1e-6, false).unwrap();
+        b.iter(|| {
+            ws.decompose(black_box(cov.matrix()), 1e-6, true).unwrap();
+            black_box(ws.eigenvalues());
+        });
+    });
+    group.finish();
+}
+
+fn bench_rootmusic(c: &mut Criterion) {
+    let signal = tone_signal(SWEEP);
+    let cov = SampleCovariance::builder(WINDOW).build(&signal).unwrap();
+    let mut group = c.benchmark_group("rootmusic");
+    group.bench_function("alloc", |b| {
+        b.iter(|| black_box(RootMusic::new(1).estimate(black_box(&cov)).unwrap()));
+    });
+    group.bench_function("scratch_warm", |b| {
+        let mut scratch = KernelScratch::new(ScratchOptions::fast());
+        let mut out = Vec::new();
+        b.iter(|| {
+            RootMusic::new(1)
+                .estimate_into(black_box(&cov), &mut scratch, &mut out)
+                .unwrap();
+            black_box(&out);
+        });
+    });
+    group.finish();
+}
+
+fn bench_frame(c: &mut Criterion) {
+    // End-to-end signal-mode frame: echo synthesis of both sweep halves,
+    // covariance, eigendecomposition and root-MUSIC — the per-step work of
+    // every Monte-Carlo trial in signal mode.
+    let radar = Radar::new(RadarConfig::bosch_lrr2_signal());
+    let target = RadarTarget::new(Meters(100.0), MetersPerSecond(-2.0), 10.0);
+    let channel = ChannelState::clean();
+    let mut group = c.benchmark_group("frame");
+    group.bench_function("observe_alloc", |b| {
+        let mut rng = SimRng::seed_from(1);
+        b.iter(|| black_box(radar.observe(true, Some(&target), &channel, &mut rng)));
+    });
+    group.bench_function("observe_scratch_bit_exact", |b| {
+        let mut rng = SimRng::seed_from(1);
+        let mut scratch = RadarScratch::new(ScratchOptions::bit_exact());
+        b.iter(|| {
+            black_box(radar.observe_with_scratch(
+                true,
+                Some(&target),
+                &channel,
+                &mut rng,
+                &mut scratch,
+            ))
+        });
+    });
+    group.bench_function("observe_scratch_fast", |b| {
+        let mut rng = SimRng::seed_from(1);
+        let mut scratch = RadarScratch::new(ScratchOptions::fast());
+        b.iter(|| {
+            black_box(radar.observe_with_scratch(
+                true,
+                Some(&target),
+                &channel,
+                &mut rng,
+                &mut scratch,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fft,
+    bench_covariance,
+    bench_eigen,
+    bench_rootmusic,
+    bench_frame
+);
+criterion_main!(benches);

@@ -1,0 +1,255 @@
+//! Machine-readable perf trajectory of the DSP hot path.
+//!
+//! Times every fast-path kernel against its retained allocating baseline
+//! (median of repeated timed batches, `std::time` only — no external
+//! harness) and writes `BENCH_dsp.json`:
+//!
+//! ```json
+//! {
+//!   "schema": "argus-bench-dsp/1",
+//!   "kernels": {
+//!     "<name>": {"baseline_ns": ..., "fast_ns": ..., "speedup": ...},
+//!     ...
+//!   },
+//!   "end_to_end_speedup": ...
+//! }
+//! ```
+//!
+//! Exits non-zero if the end-to-end signal-mode frame is not at least 2×
+//! faster through the scratch path than through the allocating wrappers,
+//! so perf regressions fail loudly in CI and sweeps.
+//!
+//! ```sh
+//! cargo run --release -p argus-bench --bin bench_report [out.json]
+//! ```
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use argus_dsp::fft::{fft_in_place, fft_in_place_naive};
+use argus_dsp::prelude::*;
+use argus_dsp::scratch::{KernelScratch, ScratchOptions};
+use argus_radar::receiver::{ChannelState, Radar, RadarScratch};
+use argus_radar::target::RadarTarget;
+use argus_radar::RadarConfig;
+use argus_sim::json::Json;
+use argus_sim::rng::SimRng;
+use argus_sim::units::{Meters, MetersPerSecond};
+use nalgebra::Complex;
+
+/// LRR2 sweep-half length.
+const SWEEP: usize = 128;
+/// LRR2 MUSIC window.
+const WINDOW: usize = 8;
+
+fn tone_signal(n: usize) -> Vec<Complex<f64>> {
+    (0..n)
+        .map(|t| {
+            Complex::from_polar(1.0, 1.283 * t as f64)
+                + Complex::new(
+                    0.01 * (t as f64 * 0.37).sin(),
+                    0.01 * (t as f64 * 0.73).cos(),
+                )
+        })
+        .collect()
+}
+
+/// Median ns/op over `batches` timed batches of `per_batch` calls each.
+fn median_ns(batches: usize, per_batch: usize, mut body: impl FnMut()) -> f64 {
+    // One untimed warm-up batch (plan registry, scratch sizing, caches).
+    for _ in 0..per_batch {
+        body();
+    }
+    let mut samples: Vec<f64> = (0..batches)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..per_batch {
+                body();
+            }
+            t0.elapsed().as_nanos() as f64 / per_batch as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+struct Kernel {
+    name: &'static str,
+    baseline_ns: f64,
+    fast_ns: f64,
+}
+
+impl Kernel {
+    fn speedup(&self) -> f64 {
+        self.baseline_ns / self.fast_ns.max(1e-9)
+    }
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_dsp.json".to_string());
+    let mut kernels: Vec<Kernel> = Vec::new();
+
+    // FFT at the periodogram size: cached plan vs per-call recomputation.
+    {
+        let signal = tone_signal(4096);
+        let mut buf = signal.clone();
+        let baseline_ns = median_ns(15, 50, || {
+            buf.copy_from_slice(&signal);
+            fft_in_place_naive(black_box(&mut buf)).unwrap();
+        });
+        let fast_ns = median_ns(15, 50, || {
+            buf.copy_from_slice(&signal);
+            fft_in_place(black_box(&mut buf)).unwrap();
+        });
+        kernels.push(Kernel {
+            name: "fft_4096",
+            baseline_ns,
+            fast_ns,
+        });
+    }
+
+    // Forward–backward covariance: allocating direct vs scratch incremental.
+    {
+        let signal = tone_signal(SWEEP);
+        let builder = SampleCovariance::builder(WINDOW);
+        let baseline_ns = median_ns(15, 200, || {
+            black_box(builder.build(black_box(&signal)).unwrap());
+        });
+        let mut out = SampleCovariance::zeros(WINDOW);
+        let incr = SampleCovariance::builder(WINDOW).incremental(true);
+        let fast_ns = median_ns(15, 200, || {
+            incr.build_into(black_box(&signal), &mut out).unwrap();
+            black_box(&out);
+        });
+        kernels.push(Kernel {
+            name: "covariance_m8_n128",
+            baseline_ns,
+            fast_ns,
+        });
+    }
+
+    // Hermitian eigensolver: cold allocating vs warm-started workspace.
+    {
+        let signal = tone_signal(SWEEP);
+        let cov = SampleCovariance::builder(WINDOW).build(&signal).unwrap();
+        let baseline_ns = median_ns(15, 100, || {
+            black_box(HermitianEigen::new(black_box(cov.matrix()), 1e-6).unwrap());
+        });
+        let mut ws = EigenWorkspace::new();
+        ws.decompose(cov.matrix(), 1e-6, false).unwrap();
+        let fast_ns = median_ns(15, 100, || {
+            ws.decompose(black_box(cov.matrix()), 1e-6, true).unwrap();
+            black_box(ws.eigenvalues());
+        });
+        kernels.push(Kernel {
+            name: "eigen_m8",
+            baseline_ns,
+            fast_ns,
+        });
+    }
+
+    // root-MUSIC: allocating vs warm scratch (eigen + polynomial roots).
+    {
+        let signal = tone_signal(SWEEP);
+        let cov = SampleCovariance::builder(WINDOW).build(&signal).unwrap();
+        let rm = RootMusic::new(1);
+        let baseline_ns = median_ns(15, 100, || {
+            black_box(rm.estimate(black_box(&cov)).unwrap());
+        });
+        let mut scratch = KernelScratch::new(ScratchOptions::fast());
+        let mut out = Vec::new();
+        let fast_ns = median_ns(15, 100, || {
+            rm.estimate_into(black_box(&cov), &mut scratch, &mut out)
+                .unwrap();
+            black_box(&out);
+        });
+        kernels.push(Kernel {
+            name: "rootmusic_m8",
+            baseline_ns,
+            fast_ns,
+        });
+    }
+
+    // End-to-end signal-mode frame: synthesis of both sweep halves plus two
+    // full extractions — the acceptance benchmark for this PR. The baseline
+    // is `observe` through the retained allocating wrappers; the fast path
+    // reuses one arena with every optimisation enabled. Both paths consume
+    // the RNG identically, so they do the same physical work.
+    let end_to_end = {
+        let radar = Radar::new(RadarConfig::bosch_lrr2_signal());
+        let target = RadarTarget::new(Meters(100.0), MetersPerSecond(-2.0), 10.0);
+        let channel = ChannelState::clean();
+        let mut rng = SimRng::seed_from(1);
+        let baseline_ns = median_ns(15, 30, || {
+            black_box(radar.observe(true, Some(&target), &channel, &mut rng));
+        });
+        let mut scratch = RadarScratch::new(ScratchOptions::fast());
+        let fast_ns = median_ns(15, 30, || {
+            black_box(radar.observe_with_scratch(
+                true,
+                Some(&target),
+                &channel,
+                &mut rng,
+                &mut scratch,
+            ));
+        });
+        Kernel {
+            name: "frame_signal_mode",
+            baseline_ns,
+            fast_ns,
+        }
+    };
+
+    println!(
+        "{:<20} {:>14} {:>14} {:>9}",
+        "kernel", "baseline ns/op", "fast ns/op", "speedup"
+    );
+    for k in kernels.iter().chain(std::iter::once(&end_to_end)) {
+        println!(
+            "{:<20} {:>14.0} {:>14.0} {:>8.2}x",
+            k.name,
+            k.baseline_ns,
+            k.fast_ns,
+            k.speedup()
+        );
+    }
+
+    let end_to_end_speedup = end_to_end.speedup();
+    let json = Json::Obj(vec![
+        ("schema".to_string(), Json::str("argus-bench-dsp/1")),
+        (
+            "kernels".to_string(),
+            Json::Obj(
+                kernels
+                    .iter()
+                    .chain(std::iter::once(&end_to_end))
+                    .map(|k| {
+                        (
+                            k.name.to_string(),
+                            Json::Obj(vec![
+                                ("baseline_ns".to_string(), Json::num(k.baseline_ns)),
+                                ("fast_ns".to_string(), Json::num(k.fast_ns)),
+                                ("speedup".to_string(), Json::num(k.speedup())),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "end_to_end_speedup".to_string(),
+            Json::num(end_to_end_speedup),
+        ),
+    ]);
+    std::fs::write(&out_path, json.to_pretty()).expect("write BENCH_dsp.json");
+    println!("\nreport written: {out_path}");
+
+    if end_to_end_speedup < 2.0 {
+        eprintln!(
+            "PERF REGRESSION: end-to-end frame speedup {end_to_end_speedup:.2}x < 2.0x target"
+        );
+        std::process::exit(1);
+    }
+}

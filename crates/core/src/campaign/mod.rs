@@ -168,7 +168,7 @@ mod tests {
     fn expansion_is_cartesian_and_ordered() {
         let c = Campaign::new("t", LeaderProfile::paper_constant_decel(), grid());
         let specs = c.trials();
-        assert_eq!(specs.len(), 2 * 2 * 1 * 3);
+        assert_eq!(specs.len(), 2 * 2 * 3); // attacks x gaps x seeds (one speed)
         assert_eq!(specs.len(), c.len());
         for (i, s) in specs.iter().enumerate() {
             assert_eq!(s.index, i);

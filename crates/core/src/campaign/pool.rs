@@ -154,7 +154,7 @@ fn claim(deques: &[Mutex<VecDeque<usize>>], own: usize) -> Option<usize> {
             continue;
         }
         let len = deque.lock().expect("pool deque poisoned").len();
-        if len > 0 && best.map_or(true, |(_, blen)| len > blen) {
+        if len > 0 && best.is_none_or(|(_, blen)| len > blen) {
             best = Some((v, len));
         }
     }

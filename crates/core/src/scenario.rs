@@ -10,7 +10,7 @@ use std::time::Instant;
 use argus_attack::Adversary;
 use argus_cra::challenge::ChallengeSchedule;
 use argus_cra::detector::{ConfusionMatrix, CraDetector};
-use argus_radar::receiver::{Radar, RadarObservation};
+use argus_radar::receiver::{Radar, RadarObservation, RadarScratch};
 use argus_radar::target::RadarTarget;
 use argus_radar::RadarConfig;
 use argus_sim::noise::Gaussian;
@@ -180,6 +180,11 @@ impl Scenario {
         let v_noise = Gaussian::new(0.0, cfg.speed_noise);
 
         let radar = Radar::new(cfg.radar);
+        // One scratch arena for the whole run: the signal-mode DSP chain
+        // (beat buffers, covariance, eigensolver, root finder) stops
+        // allocating after the first frame. Bit-exact options keep the run
+        // byte-identical to the plain `observe` path (golden traces).
+        let mut radar_scratch = RadarScratch::new(argus_dsp::scratch::ScratchOptions::bit_exact());
         let mut pair = VehiclePair::new(
             argus_control::acc::AccConfig::paper(cfg.set_speed),
             cfg.profile.clone(),
@@ -230,7 +235,13 @@ impl Scenario {
                 None => true,
             };
             let channel = cfg.adversary.channel_at(k, tx_on, target.as_ref(), &radar);
-            let mut obs = radar.observe(tx_on, target.as_ref(), &channel, &mut radar_rng);
+            let mut obs = radar.observe_with_scratch(
+                tx_on,
+                target.as_ref(),
+                &channel,
+                &mut radar_rng,
+                &mut radar_scratch,
+            );
             // Eqn 2: additive Gaussian measurement noise v_k on the sampled
             // outputs.
             if let Some(m) = obs.measurement.as_mut() {

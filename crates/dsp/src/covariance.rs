@@ -5,8 +5,25 @@
 //! averaging (exploiting the persymmetry of the true covariance of complex
 //! exponentials in noise) halves the variance of the estimate and is on by
 //! default, as in MATLAB's `rootmusic`.
+//!
+//! # Fast path
+//!
+//! [`SampleCovarianceBuilder::build_into`] writes into a caller-owned
+//! [`SampleCovariance`], so per-frame estimation allocates nothing; the
+//! allocating [`SampleCovarianceBuilder::build`] is a thin wrapper around it.
+//! Both exploit Hermitian symmetry (only the upper triangle is accumulated,
+//! the lower is mirrored) and the forward–backward average is applied in
+//! place, pair by persymmetric pair — bit-identical to averaging into a
+//! separate matrix because IEEE addition commutes.
+//!
+//! The opt-in [`SampleCovarianceBuilder::incremental`] mode replaces the
+//! `O(M²·S)` direct accumulation with an `O(M·S + M²)` sliding update along
+//! each diagonal: consecutive entries of the `l`-th diagonal share all but
+//! two of their `S` products, so `r[i][i+l]` is obtained from `r[i-1][i-1+l]`
+//! by adding one product and subtracting another. The different summation
+//! order changes rounding at the 1e-15 level, so the mode is off by default.
 
-use nalgebra::{Complex, DMatrix, DVector};
+use nalgebra::{Complex, DMatrix};
 
 use crate::DspError;
 
@@ -17,11 +34,13 @@ pub struct SampleCovariance {
     snapshots: usize,
 }
 
-/// Builder for [`SampleCovariance`] (window size, forward–backward option).
+/// Builder for [`SampleCovariance`] (window size, forward–backward option,
+/// incremental accumulation).
 #[derive(Debug, Clone)]
 pub struct SampleCovarianceBuilder {
     window: usize,
     forward_backward: bool,
+    incremental: bool,
 }
 
 impl SampleCovariance {
@@ -32,6 +51,16 @@ impl SampleCovariance {
         SampleCovarianceBuilder {
             window,
             forward_backward: true,
+            incremental: false,
+        }
+    }
+
+    /// An all-zero covariance placeholder, e.g. as the initial value of a
+    /// scratch arena that [`SampleCovarianceBuilder::build_into`] will fill.
+    pub fn zeros(window: usize) -> Self {
+        Self {
+            matrix: DMatrix::zeros(window, window),
+            snapshots: 0,
         }
     }
 
@@ -76,13 +105,37 @@ impl SampleCovarianceBuilder {
         self
     }
 
-    /// Estimates the covariance from a signal.
+    /// Enables or disables the incremental sliding-window accumulation
+    /// (`O(M·S)` instead of `O(M²·S)`; rounding differs at ~1e-15).
+    pub fn incremental(mut self, enabled: bool) -> Self {
+        self.incremental = enabled;
+        self
+    }
+
+    /// Estimates the covariance from a signal (allocating wrapper around
+    /// [`SampleCovarianceBuilder::build_into`]).
     ///
     /// # Errors
     ///
     /// * [`DspError::BadParameter`] — window length < 2.
     /// * [`DspError::BadLength`] — signal shorter than the window.
     pub fn build(&self, signal: &[Complex<f64>]) -> Result<SampleCovariance, DspError> {
+        let mut out = SampleCovariance::zeros(self.window);
+        self.build_into(signal, &mut out)?;
+        Ok(out)
+    }
+
+    /// Estimates the covariance, writing into a caller-owned
+    /// [`SampleCovariance`] (resized if needed) without allocating.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SampleCovarianceBuilder::build`].
+    pub fn build_into(
+        &self,
+        signal: &[Complex<f64>],
+        out: &mut SampleCovariance,
+    ) -> Result<(), DspError> {
         let m = self.window;
         if m < 2 {
             return Err(DspError::BadParameter {
@@ -97,16 +150,42 @@ impl SampleCovarianceBuilder {
             });
         }
         let n_snap = signal.len() - m + 1;
-        let mut r = DMatrix::<Complex<f64>>::zeros(m, m);
-        for s in 0..n_snap {
-            let x = DVector::from_iterator(m, signal[s..s + m].iter().copied());
-            // r += x xᴴ (only upper triangle, mirrored below).
-            for i in 0..m {
-                for j in i..m {
-                    r[(i, j)] += x[i] * x[j].conj();
+        if out.matrix.nrows() != m || out.matrix.ncols() != m {
+            out.matrix.resize_mut(m, m, Complex::new(0.0, 0.0));
+        }
+        let r = &mut out.matrix;
+
+        if self.incremental {
+            // Per-diagonal sliding update. The first entry of diagonal `l`
+            // is the full S-term sum; each subsequent entry drops the
+            // oldest product and adds the newest.
+            for l in 0..m {
+                let mut g = Complex::new(0.0, 0.0);
+                for s in 0..n_snap {
+                    g += signal[s] * signal[s + l].conj();
+                }
+                r[(0, l)] = g;
+                for i in 1..(m - l) {
+                    g += signal[i - 1 + n_snap] * signal[i - 1 + n_snap + l].conj()
+                        - signal[i - 1] * signal[i - 1 + l].conj();
+                    r[(i, i + l)] = g;
+                }
+            }
+            // Entries off the sliding diagonals (i > 0, j < i) are covered
+            // by the Hermitian mirror below; nothing else to zero.
+        } else {
+            r.fill(Complex::new(0.0, 0.0));
+            for s in 0..n_snap {
+                let x = &signal[s..s + m];
+                // r += x xᴴ (only upper triangle, mirrored below).
+                for i in 0..m {
+                    for j in i..m {
+                        r[(i, j)] += x[i] * x[j].conj();
+                    }
                 }
             }
         }
+
         let scale = Complex::new(1.0 / n_snap as f64, 0.0);
         for i in 0..m {
             for j in i..m {
@@ -118,21 +197,30 @@ impl SampleCovarianceBuilder {
         }
 
         if self.forward_backward {
-            // R ← (R + J·conj(R)·J)/2 with J the exchange matrix.
-            let mut fb = DMatrix::<Complex<f64>>::zeros(m, m);
+            // R ← (R + J·conj(R)·J)/2 with J the exchange matrix, applied in
+            // place: each entry pairs with its persymmetric partner
+            // (i', j') = (M-1-i, M-1-j), and the two averaged values are
+            // exact conjugate transposes of each other in IEEE arithmetic,
+            // so both can be written from values read before overwriting.
+            let half = Complex::new(0.5, 0.0);
             for i in 0..m {
                 for j in 0..m {
-                    fb[(i, j)] =
-                        (r[(i, j)] + r[(m - 1 - i, m - 1 - j)].conj()) * Complex::new(0.5, 0.0);
+                    let (pi, pj) = (m - 1 - i, m - 1 - j);
+                    if (pi, pj) < (i, j) {
+                        continue; // partner already processed this pair
+                    }
+                    let a = r[(i, j)];
+                    let b = r[(pi, pj)];
+                    r[(i, j)] = (a + b.conj()) * half;
+                    if (pi, pj) != (i, j) {
+                        r[(pi, pj)] = (b + a.conj()) * half;
+                    }
                 }
             }
-            r = fb;
         }
 
-        Ok(SampleCovariance {
-            matrix: r,
-            snapshots: n_snap,
-        })
+        out.snapshots = n_snap;
+        Ok(())
     }
 }
 
@@ -143,6 +231,15 @@ mod tests {
     fn tone(n: usize, omega: f64, amp: f64) -> Vec<Complex<f64>> {
         (0..n)
             .map(|t| Complex::from_polar(amp, omega * t as f64))
+            .collect()
+    }
+
+    fn two_tone(n: usize) -> Vec<Complex<f64>> {
+        (0..n)
+            .map(|t| {
+                Complex::from_polar(1.0, 0.5 * t as f64)
+                    + Complex::from_polar(0.4, 1.9 * t as f64 + 0.3)
+            })
             .collect()
     }
 
@@ -190,12 +287,7 @@ mod tests {
 
     #[test]
     fn forward_backward_preserves_hermitian_and_persymmetry() {
-        let sig: Vec<Complex<f64>> = (0..128)
-            .map(|t| {
-                Complex::from_polar(1.0, 0.5 * t as f64)
-                    + Complex::from_polar(0.4, 1.9 * t as f64 + 0.3)
-            })
-            .collect();
+        let sig = two_tone(128);
         let cov = SampleCovariance::builder(6).build(&sig).unwrap();
         let r = cov.matrix();
         let m = 6;
@@ -243,5 +335,65 @@ mod tests {
         assert!(SampleCovariance::from_matrix(DMatrix::zeros(2, 3)).is_err());
         let ok = SampleCovariance::from_matrix(DMatrix::identity(3, 3));
         assert_eq!(ok.unwrap().window(), 3);
+    }
+
+    #[test]
+    fn build_into_matches_build_bit_exactly() {
+        let sig = two_tone(128);
+        for fb in [false, true] {
+            let builder = SampleCovariance::builder(8).forward_backward(fb);
+            let fresh = builder.build(&sig).unwrap();
+            // Dirty, wrongly-sized scratch must not influence the result.
+            let mut scratch =
+                SampleCovariance::from_matrix(DMatrix::from_element(3, 3, Complex::new(7.0, -2.0)))
+                    .unwrap();
+            builder.build_into(&sig, &mut scratch).unwrap();
+            assert_eq!(scratch, fresh, "fb={fb}");
+        }
+    }
+
+    #[test]
+    fn incremental_matches_direct_to_tolerance() {
+        let sig = two_tone(128);
+        for fb in [false, true] {
+            let direct = SampleCovariance::builder(8)
+                .forward_backward(fb)
+                .build(&sig)
+                .unwrap();
+            let incr = SampleCovariance::builder(8)
+                .forward_backward(fb)
+                .incremental(true)
+                .build(&sig)
+                .unwrap();
+            let scale = direct.matrix().norm();
+            let err = (direct.matrix() - incr.matrix()).norm();
+            assert!(err <= 1e-12 * scale, "fb={fb} err={err:e}");
+            assert_eq!(incr.snapshots(), direct.snapshots());
+        }
+    }
+
+    #[test]
+    fn incremental_is_hermitian_and_persymmetric() {
+        let sig = two_tone(96);
+        let cov = SampleCovariance::builder(7)
+            .incremental(true)
+            .build(&sig)
+            .unwrap();
+        let r = cov.matrix();
+        let m = 7;
+        for i in 0..m {
+            for j in 0..m {
+                assert!((r[(i, j)] - r[(j, i)].conj()).norm() < 1e-12);
+                assert!((r[(i, j)] - r[(m - 1 - i, m - 1 - j)].conj()).norm() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn zeros_placeholder_shape() {
+        let z = SampleCovariance::zeros(5);
+        assert_eq!(z.window(), 5);
+        assert_eq!(z.snapshots(), 0);
+        assert!(z.matrix().iter().all(|c| c.norm() == 0.0));
     }
 }

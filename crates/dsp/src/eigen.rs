@@ -5,6 +5,18 @@
 //! a two-sided unitary Jacobi iteration: each sweep annihilates every
 //! off-diagonal pair `(p, q)` with a complex Givens rotation, converging
 //! quadratically once the matrix is nearly diagonal.
+//!
+//! # Reusable state and warm starting
+//!
+//! [`EigenWorkspace`] owns every buffer the iteration needs, so repeated
+//! decompositions (one per radar frame) allocate nothing. It can also **warm
+//! start**: consecutive radar frames produce nearly identical covariance
+//! matrices, so rotating the new matrix into the previous frame's eigenbasis
+//! (`B = Vᵏ⁻¹ᴴ A Vᵏ⁻¹`) leaves it almost diagonal and the sweep loop
+//! early-exits on its off-diagonal-norm threshold after far fewer sweeps.
+//! Warm starting changes the rounding of the result (≈1e-15 relative), so it
+//! is opt-in; the cold path is the single source of truth and
+//! [`HermitianEigen::new`] is a thin allocating wrapper around it.
 
 use nalgebra::{Complex, DMatrix};
 
@@ -26,7 +38,8 @@ impl HermitianEigen {
     /// Computes the eigendecomposition of a Hermitian matrix.
     ///
     /// The input is validated to be square and Hermitian within `tol_herm`
-    /// (absolute, per entry).
+    /// (absolute, per entry). This is a thin allocating wrapper around
+    /// [`EigenWorkspace::decompose`] (cold start).
     ///
     /// # Errors
     ///
@@ -35,75 +48,11 @@ impl HermitianEigen {
     /// * [`DspError::NoConvergence`] — Jacobi sweeps did not converge
     ///   (practically unreachable for Hermitian input).
     pub fn new(matrix: &DMatrix<Complex<f64>>, tol_herm: f64) -> Result<Self, DspError> {
-        let n = matrix.nrows();
-        if n == 0 || matrix.ncols() != n {
-            return Err(DspError::BadLength {
-                expected: "non-empty square matrix".to_string(),
-                actual: matrix.ncols().max(matrix.nrows()),
-            });
-        }
-        for i in 0..n {
-            for j in 0..n {
-                let delta = (matrix[(i, j)] - matrix[(j, i)].conj()).norm();
-                if delta > tol_herm {
-                    return Err(DspError::BadParameter {
-                        name: "matrix",
-                        message: format!(
-                            "not Hermitian: |A[{i}][{j}] - conj(A[{j}][{i}])| = {delta:e}"
-                        ),
-                    });
-                }
-            }
-        }
-
-        let mut a = matrix.clone();
-        // Symmetrize exactly to avoid drift from tiny Hermitian violations.
-        for i in 0..n {
-            a[(i, i)] = Complex::new(a[(i, i)].re, 0.0);
-            for j in (i + 1)..n {
-                let avg = (a[(i, j)] + a[(j, i)].conj()) * Complex::new(0.5, 0.0);
-                a[(i, j)] = avg;
-                a[(j, i)] = avg.conj();
-            }
-        }
-
-        let mut v = DMatrix::<Complex<f64>>::identity(n, n);
-        let frob = a.iter().map(|c| c.norm_sqr()).sum::<f64>().sqrt();
-        let stop = (frob * 1e-14).max(f64::MIN_POSITIVE);
-
-        let mut converged = false;
-        for _sweep in 0..MAX_SWEEPS {
-            let off: f64 = off_diagonal_norm(&a);
-            if off <= stop {
-                converged = true;
-                break;
-            }
-            for p in 0..n {
-                for q in (p + 1)..n {
-                    rotate(&mut a, &mut v, p, q);
-                }
-            }
-        }
-        if !converged && off_diagonal_norm(&a) > stop {
-            return Err(DspError::NoConvergence {
-                routine: "hermitian Jacobi",
-                iterations: MAX_SWEEPS,
-            });
-        }
-
-        // Extract and sort descending.
-        let mut order: Vec<usize> = (0..n).collect();
-        let eig_raw: Vec<f64> = (0..n).map(|i| a[(i, i)].re).collect();
-        order.sort_by(|&i, &j| eig_raw[j].partial_cmp(&eig_raw[i]).unwrap());
-
-        let eigenvalues: Vec<f64> = order.iter().map(|&i| eig_raw[i]).collect();
-        let mut eigenvectors = DMatrix::<Complex<f64>>::zeros(n, n);
-        for (dst, &src) in order.iter().enumerate() {
-            eigenvectors.set_column(dst, &v.column(src));
-        }
+        let mut ws = EigenWorkspace::new();
+        ws.decompose(matrix, tol_herm, false)?;
         Ok(Self {
-            eigenvalues,
-            eigenvectors,
+            eigenvalues: ws.eigenvalues.clone(),
+            eigenvectors: ws.eigenvectors.clone(),
         })
     }
 
@@ -150,6 +99,256 @@ impl HermitianEigen {
             self.eigenvalues.iter().map(|&l| Complex::new(l, 0.0)),
         ));
         &self.eigenvectors * lambda * self.eigenvectors.adjoint()
+    }
+}
+
+/// Reusable buffers (and optional warm-start state) for the Jacobi
+/// eigensolver.
+///
+/// All matrices are sized lazily on first use and resized automatically if
+/// the input dimension changes (which also discards any warm-start state).
+#[derive(Debug, Clone)]
+pub struct EigenWorkspace {
+    /// Working copy that the sweeps diagonalize.
+    a: DMatrix<Complex<f64>>,
+    /// Rotation accumulator.
+    v: DMatrix<Complex<f64>>,
+    /// Intermediate product for the warm-start similarity transform.
+    tmp: DMatrix<Complex<f64>>,
+    /// Eigenvector matrix of the previous decomposition (warm-start basis).
+    prev_v: DMatrix<Complex<f64>>,
+    has_prev: bool,
+    eigenvalues: Vec<f64>,
+    eigenvectors: DMatrix<Complex<f64>>,
+    eig_raw: Vec<f64>,
+    order: Vec<usize>,
+    last_sweeps: usize,
+}
+
+impl Default for EigenWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EigenWorkspace {
+    /// Creates an empty workspace; buffers are sized on first decomposition.
+    pub fn new() -> Self {
+        Self {
+            a: DMatrix::zeros(0, 0),
+            v: DMatrix::zeros(0, 0),
+            tmp: DMatrix::zeros(0, 0),
+            prev_v: DMatrix::zeros(0, 0),
+            has_prev: false,
+            eigenvalues: Vec::new(),
+            eigenvectors: DMatrix::zeros(0, 0),
+            eig_raw: Vec::new(),
+            order: Vec::new(),
+            last_sweeps: 0,
+        }
+    }
+
+    /// Dimension of the last decomposed matrix (0 before first use).
+    pub fn dim(&self) -> usize {
+        self.eigenvalues.len()
+    }
+
+    /// Discards warm-start state; the next decomposition runs cold.
+    pub fn reset(&mut self) {
+        self.has_prev = false;
+        self.last_sweeps = 0;
+    }
+
+    /// Number of Jacobi sweeps the last decomposition performed.
+    pub fn last_sweeps(&self) -> usize {
+        self.last_sweeps
+    }
+
+    /// Eigenvalues of the last decomposition, descending.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Eigenvectors of the last decomposition, columns aligned with
+    /// [`EigenWorkspace::eigenvalues`].
+    pub fn eigenvectors(&self) -> &DMatrix<Complex<f64>> {
+        &self.eigenvectors
+    }
+
+    /// Decomposes a Hermitian matrix in place, reusing all buffers.
+    ///
+    /// With `warm == true` and a previous decomposition of the same
+    /// dimension available, the iteration starts from the previous frame's
+    /// rotation accumulator; otherwise it starts cold (bit-identical to
+    /// [`HermitianEigen::new`]).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`HermitianEigen::new`].
+    pub fn decompose(
+        &mut self,
+        matrix: &DMatrix<Complex<f64>>,
+        tol_herm: f64,
+        warm: bool,
+    ) -> Result<(), DspError> {
+        let n = matrix.nrows();
+        if n == 0 || matrix.ncols() != n {
+            return Err(DspError::BadLength {
+                expected: "non-empty square matrix".to_string(),
+                actual: matrix.ncols().max(matrix.nrows()),
+            });
+        }
+        for i in 0..n {
+            for j in 0..n {
+                let delta = (matrix[(i, j)] - matrix[(j, i)].conj()).norm();
+                if delta > tol_herm {
+                    return Err(DspError::BadParameter {
+                        name: "matrix",
+                        message: format!(
+                            "not Hermitian: |A[{i}][{j}] - conj(A[{j}][{i}])| = {delta:e}"
+                        ),
+                    });
+                }
+            }
+        }
+        if self.a.nrows() != n {
+            let zero = Complex::new(0.0, 0.0);
+            self.a.resize_mut(n, n, zero);
+            self.v.resize_mut(n, n, zero);
+            self.tmp.resize_mut(n, n, zero);
+            self.prev_v.resize_mut(n, n, zero);
+            self.eigenvectors.resize_mut(n, n, zero);
+            self.eigenvalues.resize(n, 0.0);
+            self.eig_raw.resize(n, 0.0);
+            self.has_prev = false;
+        }
+
+        self.a.copy_from(matrix);
+        symmetrize(&mut self.a);
+
+        let warm_start = warm && self.has_prev;
+        if warm_start {
+            // B = Vᵖʳᵉᵛᴴ · A · Vᵖʳᵉᵛ is nearly diagonal when the matrix
+            // changed little since the previous frame.
+            for j in 0..n {
+                for i in 0..n {
+                    let mut acc = Complex::new(0.0, 0.0);
+                    for k in 0..n {
+                        acc += self.a[(i, k)] * self.prev_v[(k, j)];
+                    }
+                    self.tmp[(i, j)] = acc;
+                }
+            }
+            for j in 0..n {
+                for i in 0..n {
+                    let mut acc = Complex::new(0.0, 0.0);
+                    for k in 0..n {
+                        acc += self.prev_v[(k, i)].conj() * self.tmp[(k, j)];
+                    }
+                    self.a[(i, j)] = acc;
+                }
+            }
+            // The similarity transform is Hermitian only up to rounding.
+            symmetrize(&mut self.a);
+            self.v.copy_from(&self.prev_v);
+        } else {
+            self.v.fill(Complex::new(0.0, 0.0));
+            for i in 0..n {
+                self.v[(i, i)] = Complex::new(1.0, 0.0);
+            }
+        }
+
+        let frob = self.a.iter().map(|c| c.norm_sqr()).sum::<f64>().sqrt();
+        let stop = (frob * 1e-14).max(f64::MIN_POSITIVE);
+        let mut converged = false;
+        let mut sweeps = 0;
+        for _sweep in 0..MAX_SWEEPS {
+            let off: f64 = off_diagonal_norm(&self.a);
+            if off <= stop {
+                converged = true;
+                break;
+            }
+            for p in 0..n {
+                for q in (p + 1)..n {
+                    rotate(&mut self.a, &mut self.v, p, q);
+                }
+            }
+            sweeps += 1;
+        }
+        if !converged && off_diagonal_norm(&self.a) > stop {
+            return Err(DspError::NoConvergence {
+                routine: "hermitian Jacobi",
+                iterations: MAX_SWEEPS,
+            });
+        }
+        self.last_sweeps = sweeps;
+
+        // Extract and sort descending (stable, like the original solver).
+        self.order.clear();
+        self.order.extend(0..n);
+        for i in 0..n {
+            self.eig_raw[i] = self.a[(i, i)].re;
+        }
+        let eig_raw = &self.eig_raw;
+        self.order
+            .sort_by(|&i, &j| eig_raw[j].partial_cmp(&eig_raw[i]).unwrap());
+        for (dst, &src) in self.order.iter().enumerate() {
+            self.eigenvalues[dst] = self.eig_raw[src];
+            self.eigenvectors.set_column(dst, &self.v.column(src));
+        }
+        self.prev_v.copy_from(&self.eigenvectors);
+        self.has_prev = true;
+        Ok(())
+    }
+
+    /// Writes the noise-subspace projector `C = Eₙ Eₙᴴ` of the last
+    /// decomposition into `out` (resized as needed).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::BadParameter`] when `signal_count >= n`.
+    pub fn noise_projector_into(
+        &self,
+        signal_count: usize,
+        out: &mut DMatrix<Complex<f64>>,
+    ) -> Result<(), DspError> {
+        let n = self.dim();
+        if signal_count >= n {
+            return Err(DspError::BadParameter {
+                name: "signal_count",
+                message: format!("must be < matrix dimension {n}, got {signal_count}"),
+            });
+        }
+        if out.nrows() != n || out.ncols() != n {
+            out.resize_mut(n, n, Complex::new(0.0, 0.0));
+        }
+        for i in 0..n {
+            for j in i..n {
+                let mut acc = Complex::new(0.0, 0.0);
+                for k in signal_count..n {
+                    acc += self.eigenvectors[(i, k)] * self.eigenvectors[(j, k)].conj();
+                }
+                out[(i, j)] = acc;
+                if i != j {
+                    out[(j, i)] = acc.conj();
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Forces exact Hermitian symmetry: real diagonal, conjugate-averaged
+/// off-diagonal pairs.
+fn symmetrize(a: &mut DMatrix<Complex<f64>>) {
+    let n = a.nrows();
+    for i in 0..n {
+        a[(i, i)] = Complex::new(a[(i, i)].re, 0.0);
+        for j in (i + 1)..n {
+            let avg = (a[(i, j)] + a[(j, i)].conj()) * Complex::new(0.5, 0.0);
+            a[(i, j)] = avg;
+            a[(j, i)] = avg.conj();
+        }
     }
 }
 
@@ -398,5 +597,101 @@ mod tests {
         let e = HermitianEigen::new(&a, 1e-12).unwrap();
         assert_eq!(e.eigenvalues(), &[4.2]);
         assert_eq!(e.dim(), 1);
+    }
+
+    #[test]
+    fn workspace_cold_matches_wrapper_bit_exactly() {
+        for seed in [1, 9, 17] {
+            let a = random_hermitian(8, seed);
+            let e = HermitianEigen::new(&a, 1e-9).unwrap();
+            let mut ws = EigenWorkspace::new();
+            ws.decompose(&a, 1e-9, false).unwrap();
+            assert_eq!(ws.eigenvalues(), e.eigenvalues());
+            assert_eq!(ws.eigenvectors(), e.eigenvectors());
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_pure() {
+        // A dirty workspace (previous decomposition of a different matrix)
+        // must not change a cold decomposition.
+        let a = random_hermitian(6, 5);
+        let b = random_hermitian(6, 99);
+        let mut clean = EigenWorkspace::new();
+        clean.decompose(&a, 1e-9, false).unwrap();
+        let mut dirty = EigenWorkspace::new();
+        dirty.decompose(&b, 1e-9, false).unwrap();
+        dirty.decompose(&a, 1e-9, false).unwrap();
+        assert_eq!(clean.eigenvalues(), dirty.eigenvalues());
+        assert_eq!(clean.eigenvectors(), dirty.eigenvectors());
+    }
+
+    #[test]
+    fn warm_start_converges_faster_and_matches() {
+        let a = random_hermitian(8, 13);
+        // Small Hermitian perturbation, like consecutive radar frames.
+        let delta = random_hermitian(8, 14) * Complex::new(1e-6, 0.0);
+        let perturbed = &a + delta;
+
+        let mut cold = EigenWorkspace::new();
+        cold.decompose(&perturbed, 1e-9, false).unwrap();
+        let cold_sweeps = cold.last_sweeps();
+
+        let mut warm = EigenWorkspace::new();
+        warm.decompose(&a, 1e-9, false).unwrap();
+        warm.decompose(&perturbed, 1e-9, true).unwrap();
+        let warm_sweeps = warm.last_sweeps();
+
+        assert!(
+            warm_sweeps < cold_sweeps,
+            "warm {warm_sweeps} sweeps vs cold {cold_sweeps}"
+        );
+        let scale = perturbed.norm();
+        for (w, c) in warm.eigenvalues().iter().zip(cold.eigenvalues()) {
+            assert!((w - c).abs() <= 1e-12 * scale, "{w} vs {c}");
+        }
+    }
+
+    #[test]
+    fn warm_start_on_identical_matrix_takes_zero_sweeps() {
+        let a = random_hermitian(8, 21);
+        let mut ws = EigenWorkspace::new();
+        ws.decompose(&a, 1e-9, false).unwrap();
+        ws.decompose(&a, 1e-9, true).unwrap();
+        assert_eq!(ws.last_sweeps(), 0);
+    }
+
+    #[test]
+    fn warm_flag_without_history_runs_cold() {
+        let a = random_hermitian(5, 3);
+        let mut ws = EigenWorkspace::new();
+        ws.decompose(&a, 1e-9, true).unwrap();
+        let e = HermitianEigen::new(&a, 1e-9).unwrap();
+        assert_eq!(ws.eigenvalues(), e.eigenvalues());
+    }
+
+    #[test]
+    fn workspace_handles_dimension_change() {
+        let mut ws = EigenWorkspace::new();
+        ws.decompose(&random_hermitian(4, 1), 1e-9, false).unwrap();
+        assert_eq!(ws.dim(), 4);
+        ws.decompose(&random_hermitian(7, 2), 1e-9, true).unwrap();
+        assert_eq!(ws.dim(), 7);
+        let e = HermitianEigen::new(&random_hermitian(7, 2), 1e-9).unwrap();
+        assert_eq!(ws.eigenvalues(), e.eigenvalues());
+    }
+
+    #[test]
+    fn noise_projector_matches_explicit_product() {
+        let a = random_hermitian(6, 77);
+        let mut ws = EigenWorkspace::new();
+        ws.decompose(&a, 1e-9, false).unwrap();
+        let mut proj = DMatrix::zeros(0, 0);
+        ws.noise_projector_into(2, &mut proj).unwrap();
+        let e = HermitianEigen::new(&a, 1e-9).unwrap();
+        let en = e.noise_subspace(2).unwrap();
+        let explicit = &en * en.adjoint();
+        assert!((&proj - &explicit).norm() < 1e-13);
+        assert!(ws.noise_projector_into(6, &mut proj).is_err());
     }
 }

@@ -1,9 +1,27 @@
 //! Radix-2 fast Fourier transform.
 //!
 //! Iterative decimation-in-time Cooley–Tukey with bit-reversal permutation.
-//! A direct `O(n²)` [`dft`] is kept as the test oracle. The radar receiver
-//! uses the FFT both for the periodogram baseline and for validating the
-//! root-MUSIC extractor.
+//! A direct `O(n²)` [`dft`] is kept as the test oracle.
+//!
+//! # Planned execution
+//!
+//! The twiddle factors and bit-reversal permutation of a radix-2 FFT depend
+//! only on the transform size, yet the naive path recomputes both on every
+//! call. [`FftPlan`] precomputes them once per size; [`plan_for`] memoizes
+//! plans in a process-wide registry keyed by size, so repeated transforms —
+//! the per-frame periodogram of the radar receiver, Monte-Carlo sweeps —
+//! pay the trigonometry exactly once. Planned execution is **bit-exact**
+//! with the naive path: the twiddle tables are built with the same
+//! `w ← w·w_len` recurrence the naive butterflies use, and the butterfly
+//! order is unchanged.
+//!
+//! [`fft_in_place`] and [`ifft_in_place`] route through the registry; the
+//! recompute-everything reference implementations remain available as
+//! [`fft_in_place_naive`] / [`ifft_in_place_naive`] for equivalence tests
+//! and benchmarks.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use nalgebra::Complex;
 
@@ -27,23 +45,211 @@ pub fn next_power_of_two(n: usize) -> usize {
     n.max(1).next_power_of_two()
 }
 
-/// In-place forward FFT.
+/// A precomputed radix-2 FFT plan for one transform size.
+///
+/// Holds the bit-reversal permutation (as swap pairs) and the per-stage
+/// twiddle-factor tables for both transform directions. Executing a plan
+/// performs no allocation and no trigonometry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FftPlan {
+    n: usize,
+    /// Bit-reversal index pairs `(i, j)` with `i < j`.
+    swaps: Vec<(u32, u32)>,
+    /// Forward twiddles, flattened stage-major: stage `len` contributes
+    /// `len/2` factors built with the `w ← w·w_len` recurrence.
+    fwd: Vec<Complex<f64>>,
+    /// Inverse twiddles (same layout, opposite rotation sign).
+    inv: Vec<Complex<f64>>,
+}
+
+impl FftPlan {
+    /// Builds a plan for transforms of length `n`.
+    ///
+    /// # Errors
+    ///
+    /// * [`DspError::EmptyInput`] — `n == 0`.
+    /// * [`DspError::NonPowerOfTwo`] — `n` is not a power of two.
+    pub fn new(n: usize) -> Result<Self, DspError> {
+        if n == 0 {
+            return Err(DspError::EmptyInput);
+        }
+        if !is_power_of_two(n) {
+            return Err(DspError::NonPowerOfTwo { len: n });
+        }
+        let bits = n.trailing_zeros();
+        let mut swaps = Vec::new();
+        if n > 1 {
+            for i in 0..n {
+                let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+                if i < j {
+                    swaps.push((i as u32, j as u32));
+                }
+            }
+        }
+        let build = |sign: f64| {
+            let mut table = Vec::with_capacity(n.saturating_sub(1));
+            let mut len = 2;
+            while len <= n {
+                // Same recurrence as the naive butterflies, so planned
+                // execution reproduces the naive rounding bit-for-bit.
+                let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+                let wlen = Complex::from_polar(1.0, ang);
+                let mut w = Complex::new(1.0, 0.0);
+                for _ in 0..len / 2 {
+                    table.push(w);
+                    w *= wlen;
+                }
+                len <<= 1;
+            }
+            table
+        };
+        Ok(Self {
+            n,
+            swaps,
+            fwd: build(-1.0),
+            inv: build(1.0),
+        })
+    }
+
+    /// Transform size this plan was built for.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always `false`: plans of size zero cannot be constructed.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// In-place forward FFT using the precomputed tables.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::BadLength`] if `data.len()` differs from the
+    /// plan size.
+    pub fn forward(&self, data: &mut [Complex<f64>]) -> Result<(), DspError> {
+        self.check(data)?;
+        self.run(data, &self.fwd);
+        Ok(())
+    }
+
+    /// In-place inverse FFT (includes the `1/n` normalization).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DspError::BadLength`] if `data.len()` differs from the
+    /// plan size.
+    pub fn inverse(&self, data: &mut [Complex<f64>]) -> Result<(), DspError> {
+        self.check(data)?;
+        self.run(data, &self.inv);
+        let scale = 1.0 / self.n as f64;
+        for x in data.iter_mut() {
+            *x *= scale;
+        }
+        Ok(())
+    }
+
+    fn check(&self, data: &[Complex<f64>]) -> Result<(), DspError> {
+        if data.len() != self.n {
+            return Err(DspError::BadLength {
+                expected: format!("plan size {}", self.n),
+                actual: data.len(),
+            });
+        }
+        Ok(())
+    }
+
+    fn run(&self, data: &mut [Complex<f64>], table: &[Complex<f64>]) {
+        for &(i, j) in &self.swaps {
+            data.swap(i as usize, j as usize);
+        }
+        let n = self.n;
+        let mut off = 0;
+        let mut len = 2;
+        while len <= n {
+            let half = len / 2;
+            let stage = &table[off..off + half];
+            for start in (0..n).step_by(len) {
+                for (k, &w) in stage.iter().enumerate() {
+                    let u = data[start + k];
+                    let v = data[start + k + half] * w;
+                    data[start + k] = u + v;
+                    data[start + k + half] = u - v;
+                }
+            }
+            off += half;
+            len <<= 1;
+        }
+    }
+}
+
+/// Process-wide FFT plan registry, keyed by transform size.
+fn registry() -> &'static Mutex<HashMap<usize, Arc<FftPlan>>> {
+    static REGISTRY: OnceLock<Mutex<HashMap<usize, Arc<FftPlan>>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Returns the cached plan for size `n`, building it on first use.
 ///
 /// # Errors
 ///
-/// Returns [`DspError::BadLength`] if the length is not a power of two and
-/// [`DspError::EmptyInput`] for an empty buffer.
+/// Same as [`FftPlan::new`].
+pub fn plan_for(n: usize) -> Result<Arc<FftPlan>, DspError> {
+    if let Some(plan) = registry()
+        .lock()
+        .expect("FFT plan registry poisoned")
+        .get(&n)
+    {
+        return Ok(Arc::clone(plan));
+    }
+    // Build outside the lock: plan construction does real work.
+    let plan = Arc::new(FftPlan::new(n)?);
+    let mut map = registry().lock().expect("FFT plan registry poisoned");
+    Ok(Arc::clone(map.entry(n).or_insert(plan)))
+}
+
+/// In-place forward FFT (planned: twiddles and permutation come from the
+/// process-wide plan registry).
+///
+/// # Errors
+///
+/// Returns [`DspError::NonPowerOfTwo`] if the length is not a power of two
+/// and [`DspError::EmptyInput`] for an empty buffer.
 pub fn fft_in_place(data: &mut [Complex<f64>]) -> Result<(), DspError> {
+    plan_for(data.len())?.forward(data)
+}
+
+/// In-place inverse FFT (planned; includes the `1/n` normalization).
+///
+/// # Errors
+///
+/// Returns [`DspError::NonPowerOfTwo`] if the length is not a power of two
+/// and [`DspError::EmptyInput`] for an empty buffer.
+pub fn ifft_in_place(data: &mut [Complex<f64>]) -> Result<(), DspError> {
+    plan_for(data.len())?.inverse(data)
+}
+
+/// In-place forward FFT, recomputing twiddles and permutation on every call.
+///
+/// The reference path [`fft_in_place`] is compared against; kept for
+/// equivalence tests and benchmarks.
+///
+/// # Errors
+///
+/// Returns [`DspError::NonPowerOfTwo`] if the length is not a power of two
+/// and [`DspError::EmptyInput`] for an empty buffer.
+pub fn fft_in_place_naive(data: &mut [Complex<f64>]) -> Result<(), DspError> {
     transform(data, false)
 }
 
-/// In-place inverse FFT (includes the `1/n` normalization).
+/// In-place inverse FFT, recomputing twiddles and permutation on every call
+/// (includes the `1/n` normalization).
 ///
 /// # Errors
 ///
-/// Returns [`DspError::BadLength`] if the length is not a power of two and
-/// [`DspError::EmptyInput`] for an empty buffer.
-pub fn ifft_in_place(data: &mut [Complex<f64>]) -> Result<(), DspError> {
+/// Returns [`DspError::NonPowerOfTwo`] if the length is not a power of two
+/// and [`DspError::EmptyInput`] for an empty buffer.
+pub fn ifft_in_place_naive(data: &mut [Complex<f64>]) -> Result<(), DspError> {
     transform(data, true)?;
     let scale = 1.0 / data.len() as f64;
     for x in data.iter_mut() {
@@ -74,7 +280,7 @@ pub fn fft(input: &[Complex<f64>]) -> Result<Vec<Complex<f64>>, DspError> {
 /// # Errors
 ///
 /// Returns [`DspError::EmptyInput`] for an empty input and
-/// [`DspError::BadLength`] if the length is not a power of two.
+/// [`DspError::NonPowerOfTwo`] if the length is not a power of two.
 pub fn ifft(input: &[Complex<f64>]) -> Result<Vec<Complex<f64>>, DspError> {
     if input.is_empty() {
         return Err(DspError::EmptyInput);
@@ -112,10 +318,12 @@ fn transform(data: &mut [Complex<f64>], inverse: bool) -> Result<(), DspError> {
         return Err(DspError::EmptyInput);
     }
     if !is_power_of_two(n) {
-        return Err(DspError::BadLength {
-            expected: "a power of two".to_string(),
-            actual: n,
-        });
+        return Err(DspError::NonPowerOfTwo { len: n });
+    }
+    if n == 1 {
+        // A length-1 transform is the identity; the generic bit-reversal
+        // below would shift by the full word width (0 significant bits).
+        return Ok(());
     }
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
@@ -255,12 +463,83 @@ mod tests {
     }
 
     #[test]
-    fn in_place_rejects_non_power_of_two() {
+    fn in_place_rejects_non_power_of_two_with_length() {
         let mut buf = vec![Complex::new(0.0, 0.0); 12];
-        assert!(matches!(
+        assert_eq!(
             fft_in_place(&mut buf),
+            Err(DspError::NonPowerOfTwo { len: 12 })
+        );
+        assert_eq!(
+            ifft_in_place(&mut buf),
+            Err(DspError::NonPowerOfTwo { len: 12 })
+        );
+        assert_eq!(
+            fft_in_place_naive(&mut buf),
+            Err(DspError::NonPowerOfTwo { len: 12 })
+        );
+        assert_eq!(FftPlan::new(12), Err(DspError::NonPowerOfTwo { len: 12 }));
+    }
+
+    #[test]
+    fn length_zero_rejected_in_place() {
+        let mut buf: Vec<Complex<f64>> = Vec::new();
+        assert_eq!(fft_in_place(&mut buf), Err(DspError::EmptyInput));
+        assert_eq!(ifft_in_place(&mut buf), Err(DspError::EmptyInput));
+        assert_eq!(fft_in_place_naive(&mut buf), Err(DspError::EmptyInput));
+        assert_eq!(ifft_in_place_naive(&mut buf), Err(DspError::EmptyInput));
+        assert_eq!(FftPlan::new(0), Err(DspError::EmptyInput));
+    }
+
+    #[test]
+    fn length_one_is_identity() {
+        let x = Complex::new(3.5, -1.25);
+        let mut buf = vec![x];
+        fft_in_place(&mut buf).unwrap();
+        assert_eq!(buf[0], x);
+        ifft_in_place(&mut buf).unwrap();
+        assert_eq!(buf[0], x);
+        let mut naive = vec![x];
+        fft_in_place_naive(&mut naive).unwrap();
+        assert_eq!(naive[0], x);
+        ifft_in_place_naive(&mut naive).unwrap();
+        assert_eq!(naive[0], x);
+    }
+
+    #[test]
+    fn planned_matches_naive_bit_exactly() {
+        for n in [1usize, 2, 4, 8, 64, 256, 1024] {
+            let input: Vec<Complex<f64>> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.31).sin(), (i as f64 * 0.77).cos()))
+                .collect();
+            let plan = plan_for(n).unwrap();
+            let mut planned = input.clone();
+            let mut naive = input.clone();
+            plan.forward(&mut planned).unwrap();
+            fft_in_place_naive(&mut naive).unwrap();
+            assert_eq!(planned, naive, "forward n={n}");
+            plan.inverse(&mut planned).unwrap();
+            ifft_in_place_naive(&mut naive).unwrap();
+            assert_eq!(planned, naive, "inverse n={n}");
+        }
+    }
+
+    #[test]
+    fn plan_rejects_wrong_length_buffer() {
+        let plan = FftPlan::new(8).unwrap();
+        let mut buf = vec![Complex::new(0.0, 0.0); 4];
+        assert!(matches!(
+            plan.forward(&mut buf),
             Err(DspError::BadLength { .. })
         ));
+        assert_eq!(plan.len(), 8);
+        assert!(!plan.is_empty());
+    }
+
+    #[test]
+    fn registry_returns_shared_plan() {
+        let a = plan_for(32).unwrap();
+        let b = plan_for(32).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "registry must memoize plans");
     }
 
     #[test]

@@ -50,14 +50,17 @@ pub mod filter;
 pub mod music;
 pub mod polynomial;
 pub mod rootmusic;
+pub mod scratch;
 pub mod spectrum;
 pub mod window;
 
 pub use covariance::SampleCovariance;
-pub use eigen::HermitianEigen;
+pub use eigen::{EigenWorkspace, HermitianEigen};
+pub use fft::FftPlan;
 pub use music::MusicSpectrum;
 pub use polynomial::Polynomial;
 pub use rootmusic::{FrequencyEstimate, RootMusic};
+pub use scratch::{FrameScratch, KernelScratch, ScratchOptions};
 pub use spectrum::Periodogram;
 pub use window::Window;
 
@@ -66,6 +69,12 @@ pub use window::Window;
 pub enum DspError {
     /// Input was empty where data is required.
     EmptyInput,
+    /// A radix-2 transform was asked to process a buffer whose length is
+    /// not a power of two.
+    NonPowerOfTwo {
+        /// The offending buffer length.
+        len: usize,
+    },
     /// Input length does not satisfy the routine's requirement.
     BadLength {
         /// What the routine needed.
@@ -93,6 +102,9 @@ impl std::fmt::Display for DspError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DspError::EmptyInput => write!(f, "input is empty"),
+            DspError::NonPowerOfTwo { len } => {
+                write!(f, "buffer length {len} is not a power of two")
+            }
             DspError::BadLength { expected, actual } => {
                 write!(f, "bad input length {actual}, expected {expected}")
             }
@@ -117,11 +129,12 @@ impl std::error::Error for DspError {}
 /// Convenient glob import of the main DSP types.
 pub mod prelude {
     pub use crate::covariance::SampleCovariance;
-    pub use crate::eigen::HermitianEigen;
-    pub use crate::fft::{fft, ifft};
+    pub use crate::eigen::{EigenWorkspace, HermitianEigen};
+    pub use crate::fft::{fft, ifft, FftPlan};
     pub use crate::music::MusicSpectrum;
     pub use crate::polynomial::Polynomial;
     pub use crate::rootmusic::{FrequencyEstimate, RootMusic};
+    pub use crate::scratch::{FrameScratch, KernelScratch, ScratchOptions};
     pub use crate::spectrum::Periodogram;
     pub use crate::window::Window;
     pub use crate::DspError;

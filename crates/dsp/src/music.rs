@@ -6,10 +6,10 @@
 //! Argus uses it both as an alternative extractor and as a cross-check of the
 //! root-MUSIC implementation (their estimates must agree to grid resolution).
 
-use nalgebra::{Complex, DMatrix, DVector};
+use nalgebra::{Complex, DVector};
 
 use crate::covariance::SampleCovariance;
-use crate::eigen::HermitianEigen;
+use crate::scratch::{KernelScratch, ScratchOptions};
 use crate::DspError;
 
 /// The MUSIC pseudospectrum over `[0, 2π)`.
@@ -22,7 +22,8 @@ pub struct MusicSpectrum {
 
 impl MusicSpectrum {
     /// Computes the pseudospectrum on a uniform grid of `grid_points`
-    /// frequencies for `signal_count` assumed tones.
+    /// frequencies for `signal_count` assumed tones. Thin allocating wrapper
+    /// around [`MusicSpectrum::compute_into`].
     ///
     /// # Errors
     ///
@@ -34,6 +35,29 @@ impl MusicSpectrum {
         signal_count: usize,
         grid_points: usize,
     ) -> Result<Self, DspError> {
+        let mut scratch = KernelScratch::new(ScratchOptions::bit_exact());
+        let mut out = Self {
+            frequencies: Vec::new(),
+            pseudospectrum: Vec::new(),
+            signal_count,
+        };
+        Self::compute_into(cov, signal_count, grid_points, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Computes the pseudospectrum into a caller-owned spectrum, reusing the
+    /// eigensolver workspace and steering buffer from `scratch`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MusicSpectrum::compute`].
+    pub fn compute_into(
+        cov: &SampleCovariance,
+        signal_count: usize,
+        grid_points: usize,
+        scratch: &mut KernelScratch,
+        out: &mut Self,
+    ) -> Result<(), DspError> {
         if signal_count == 0 {
             return Err(DspError::BadParameter {
                 name: "signal_count",
@@ -46,25 +70,42 @@ impl MusicSpectrum {
                 message: format!("grid too coarse: {grid_points} < 8"),
             });
         }
-        let eigen = HermitianEigen::new(cov.matrix(), 1e-8)?;
-        let noise = eigen.noise_subspace(signal_count)?;
         let m = cov.window();
+        if signal_count >= m {
+            return Err(DspError::BadParameter {
+                name: "signal_count",
+                message: format!("must be < matrix dimension {m}, got {signal_count}"),
+            });
+        }
+        scratch
+            .eigen
+            .decompose(cov.matrix(), 1e-8, scratch.options.warm_eigen)?;
+        let ev = scratch.eigen.eigenvectors();
 
-        let mut frequencies = Vec::with_capacity(grid_points);
-        let mut pseudospectrum = Vec::with_capacity(grid_points);
+        out.frequencies.clear();
+        out.pseudospectrum.clear();
+        out.frequencies.reserve(grid_points);
+        out.pseudospectrum.reserve(grid_points);
+        out.signal_count = signal_count;
         for g in 0..grid_points {
             let omega = 2.0 * std::f64::consts::PI * g as f64 / grid_points as f64;
-            let a = steering_vector(m, omega);
-            let proj = noise.adjoint() * &a;
-            let denom = proj.norm_squared().max(f64::MIN_POSITIVE);
-            frequencies.push(omega);
-            pseudospectrum.push(1.0 / denom);
+            scratch.steering.clear();
+            scratch
+                .steering
+                .extend((0..m).map(|i| Complex::from_polar(1.0, omega * i as f64)));
+            // ‖Eₙᴴ a(ω)‖² accumulated column by column, no subspace copy.
+            let mut denom = 0.0;
+            for k in signal_count..m {
+                let mut acc = Complex::new(0.0, 0.0);
+                for (i, &a_i) in scratch.steering.iter().enumerate() {
+                    acc += ev[(i, k)].conj() * a_i;
+                }
+                denom += acc.norm_sqr();
+            }
+            out.frequencies.push(omega);
+            out.pseudospectrum.push(1.0 / denom.max(f64::MIN_POSITIVE));
         }
-        Ok(Self {
-            frequencies,
-            pseudospectrum,
-            signal_count,
-        })
+        Ok(())
     }
 
     /// Grid frequencies (rad/sample).
@@ -104,11 +145,6 @@ impl MusicSpectrum {
 /// The Vandermonde steering vector `a(ω) = [1, e^{jω}, …, e^{j(M−1)ω}]ᵀ`.
 pub fn steering_vector(m: usize, omega: f64) -> DVector<Complex<f64>> {
     DVector::from_fn(m, |i, _| Complex::from_polar(1.0, omega * i as f64))
-}
-
-/// Builds the noise-subspace projector `C = Eₙ Eₙᴴ` used by root-MUSIC.
-pub(crate) fn noise_projector(noise: &DMatrix<Complex<f64>>) -> DMatrix<Complex<f64>> {
-    noise * noise.adjoint()
 }
 
 #[cfg(test)]
@@ -159,11 +195,25 @@ mod tests {
     fn projector_is_idempotent() {
         let sig = two_tone_signal(128, 0.6, 1.8);
         let cov = SampleCovariance::builder(6).build(&sig).unwrap();
-        let eigen = HermitianEigen::new(cov.matrix(), 1e-8).unwrap();
+        let eigen = crate::eigen::HermitianEigen::new(cov.matrix(), 1e-8).unwrap();
         let en = eigen.noise_subspace(2).unwrap();
-        let c = noise_projector(&en);
+        let c = &en * en.adjoint();
         let c2 = &c * &c;
         assert!((&c2 - &c).norm() < 1e-9, "projector not idempotent");
+    }
+
+    #[test]
+    fn compute_into_matches_compute() {
+        let sig = two_tone_signal(128, 0.6, 1.8);
+        let cov = SampleCovariance::builder(6).build(&sig).unwrap();
+        let direct = MusicSpectrum::compute(&cov, 2, 512).unwrap();
+        let mut scratch = KernelScratch::new(ScratchOptions::bit_exact());
+        let mut out = MusicSpectrum::compute(&cov, 1, 64).unwrap(); // dirty
+        MusicSpectrum::compute_into(&cov, 2, 512, &mut scratch, &mut out).unwrap();
+        assert_eq!(out, direct);
+        // Reuse again on the now-dirty scratch.
+        MusicSpectrum::compute_into(&cov, 2, 512, &mut scratch, &mut out).unwrap();
+        assert_eq!(out, direct);
     }
 
     #[test]

@@ -28,19 +28,38 @@ impl Polynomial {
     ///
     /// Panics if `coeffs` is empty or contains non-finite values.
     pub fn new(coeffs: Vec<Complex<f64>>) -> Self {
+        let mut poly = Self { coeffs };
+        poly.validate_and_trim();
+        poly
+    }
+
+    /// Replaces the coefficients in place, reusing the existing allocation
+    /// (lowest degree first; trailing zeros trimmed as in
+    /// [`Polynomial::new`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs` is empty or contains non-finite values.
+    pub fn set_coefficients(&mut self, coeffs: &[Complex<f64>]) {
+        self.coeffs.clear();
+        self.coeffs.extend_from_slice(coeffs);
+        self.validate_and_trim();
+    }
+
+    fn validate_and_trim(&mut self) {
         assert!(
-            !coeffs.is_empty(),
+            !self.coeffs.is_empty(),
             "polynomial needs at least one coefficient"
         );
         assert!(
-            coeffs.iter().all(|c| c.re.is_finite() && c.im.is_finite()),
+            self.coeffs
+                .iter()
+                .all(|c| c.re.is_finite() && c.im.is_finite()),
             "polynomial coefficients must be finite"
         );
-        let mut coeffs = coeffs;
-        while coeffs.len() > 1 && coeffs.last().map(|c| c.norm()) == Some(0.0) {
-            coeffs.pop();
+        while self.coeffs.len() > 1 && self.coeffs.last().map(|c| c.norm()) == Some(0.0) {
+            self.coeffs.pop();
         }
-        Self { coeffs }
     }
 
     /// Creates a polynomial from real coefficients (lowest degree first).
@@ -97,7 +116,8 @@ impl Polynomial {
         Polynomial::new(coeffs)
     }
 
-    /// Finds all roots with the Durand–Kerner simultaneous iteration.
+    /// Finds all roots with the Durand–Kerner simultaneous iteration
+    /// (allocating wrapper around [`Polynomial::roots_into`], cold start).
     ///
     /// # Errors
     ///
@@ -106,6 +126,27 @@ impl Polynomial {
     /// * [`DspError::NoConvergence`] — iteration stalled; extremely rare for
     ///   the well-scaled polynomials root-MUSIC produces.
     pub fn roots(&self) -> Result<Vec<Complex<f64>>, DspError> {
+        let mut out = Vec::new();
+        self.roots_into(None, &mut out)?;
+        Ok(out)
+    }
+
+    /// Finds all roots into a caller-owned buffer, optionally warm-starting
+    /// the iteration from a previous frame's roots.
+    ///
+    /// Warm guesses are used only when exactly `degree` finite values are
+    /// supplied; if the warm iteration fails to converge, the standard cold
+    /// initial guesses are retried before reporting failure, so a bad warm
+    /// start can cost iterations but never an answer.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Polynomial::roots`].
+    pub fn roots_into(
+        &self,
+        warm_start: Option<&[Complex<f64>]>,
+        out: &mut Vec<Complex<f64>>,
+    ) -> Result<(), DspError> {
         let n = self.degree();
         if n == 0 {
             return Err(DspError::BadParameter {
@@ -120,9 +161,20 @@ impl Polynomial {
                 message: "leading coefficient is zero".to_string(),
             });
         }
-        // Monic normalization.
+        // Monic normalization (the one allocation on this path; degree ≤ 31
+        // for every covariance window Argus uses).
         let monic: Vec<Complex<f64>> = self.coeffs.iter().map(|&c| c / lead).collect();
         let poly = Polynomial { coeffs: monic };
+
+        let usable_warm = warm_start
+            .filter(|w| w.len() == n && w.iter().all(|c| c.re.is_finite() && c.im.is_finite()));
+        if let Some(w) = usable_warm {
+            out.clear();
+            out.extend_from_slice(w);
+            if durand_kerner(&poly, out).is_ok() {
+                return Ok(());
+            }
+        }
 
         // Initial guesses on a circle of radius related to the coefficient
         // magnitudes (Cauchy-like bound), with irrational angular spacing so
@@ -132,54 +184,71 @@ impl Polynomial {
                 .iter()
                 .map(|c| c.norm())
                 .fold(0.0f64, f64::max);
-        let mut roots: Vec<Complex<f64>> = (0..n)
-            .map(|k| Complex::from_polar(radius.min(2.0), 0.4 + 2.4 * k as f64))
-            .collect();
-
-        let tol = 1e-13;
-        for iter in 0..MAX_ITERS {
-            let mut max_step = 0.0f64;
-            for i in 0..n {
-                let zi = roots[i];
-                let mut denom = Complex::new(1.0, 0.0);
-                for (j, &zj) in roots.iter().enumerate() {
-                    if j != i {
-                        denom *= zi - zj;
-                    }
-                }
-                if denom.norm() < 1e-280 {
-                    // Perturb colliding estimates apart.
-                    roots[i] += Complex::new(1e-6 * (i as f64 + 1.0), 1e-6);
-                    max_step = f64::MAX;
-                    continue;
-                }
-                let delta = poly.eval(zi) / denom;
-                roots[i] = zi - delta;
-                max_step = max_step.max(delta.norm());
-            }
-            if max_step < tol {
-                return Ok(roots);
-            }
-            // Occasional shake if wildly stalled (keeps determinism).
-            if iter == MAX_ITERS / 2 && max_step > 1.0 {
-                for (k, r) in roots.iter_mut().enumerate() {
-                    *r += Complex::from_polar(0.01, 1.7 * k as f64);
-                }
-            }
-        }
-        // Accept if residuals are already small relative to coefficient scale.
-        let scale = poly.coeffs.iter().map(|c| c.norm()).fold(1.0f64, f64::max);
-        if roots
-            .iter()
-            .all(|&r| poly.eval(r).norm() <= 1e-8 * scale * (1.0 + r.norm().powi(n as i32)))
-        {
-            return Ok(roots);
-        }
-        Err(DspError::NoConvergence {
-            routine: "Durand-Kerner",
-            iterations: MAX_ITERS,
-        })
+        out.clear();
+        out.extend((0..n).map(|k| Complex::from_polar(radius.min(2.0), 0.4 + 2.4 * k as f64)));
+        durand_kerner(&poly, out)
     }
+}
+
+/// Runs the Durand–Kerner iteration on a **monic** polynomial, refining the
+/// root estimates in `roots` in place.
+fn durand_kerner(poly: &Polynomial, roots: &mut [Complex<f64>]) -> Result<(), DspError> {
+    let n = roots.len();
+    let tol = 1e-13;
+    let scale = poly.coeffs.iter().map(|c| c.norm()).fold(1.0f64, f64::max);
+    for iter in 0..MAX_ITERS {
+        let mut max_step = 0.0f64;
+        // Near-multiple roots (root-MUSIC's conjugate-reciprocal pairs hug
+        // the unit circle) make the update oscillate at the √ε floor and the
+        // step criterion alone never fires; once every residual sits at the
+        // evaluation noise floor the roots cannot improve, so stop. The
+        // `p(zᵢ)` values are already computed for the update — the check is
+        // free, and it is what lets a warm start exit after one sweep.
+        let mut residuals_converged = true;
+        for i in 0..n {
+            let zi = roots[i];
+            let mut denom = Complex::new(1.0, 0.0);
+            for (j, &zj) in roots.iter().enumerate() {
+                if j != i {
+                    denom *= zi - zj;
+                }
+            }
+            if denom.norm() < 1e-280 {
+                // Perturb colliding estimates apart.
+                roots[i] += Complex::new(1e-6 * (i as f64 + 1.0), 1e-6);
+                max_step = f64::MAX;
+                residuals_converged = false;
+                continue;
+            }
+            let p_zi = poly.eval(zi);
+            if p_zi.norm() > 1e-13 * scale * (1.0 + zi.norm().powi(n as i32)) {
+                residuals_converged = false;
+            }
+            let delta = p_zi / denom;
+            roots[i] = zi - delta;
+            max_step = max_step.max(delta.norm());
+        }
+        if max_step < tol || residuals_converged {
+            return Ok(());
+        }
+        // Occasional shake if wildly stalled (keeps determinism).
+        if iter == MAX_ITERS / 2 && max_step > 1.0 {
+            for (k, r) in roots.iter_mut().enumerate() {
+                *r += Complex::from_polar(0.01, 1.7 * k as f64);
+            }
+        }
+    }
+    // Accept if residuals are already small relative to coefficient scale.
+    if roots
+        .iter()
+        .all(|&r| poly.eval(r).norm() <= 1e-8 * scale * (1.0 + r.norm().powi(n as i32)))
+    {
+        return Ok(());
+    }
+    Err(DspError::NoConvergence {
+        routine: "Durand-Kerner",
+        iterations: MAX_ITERS,
+    })
 }
 
 impl std::fmt::Display for Polynomial {
@@ -317,6 +386,77 @@ mod tests {
     #[should_panic(expected = "finite")]
     fn non_finite_coefficients_panic() {
         let _ = Polynomial::from_real(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn set_coefficients_reuses_buffer_and_trims() {
+        let mut p = Polynomial::from_real(&[1.0, 2.0, 3.0]);
+        p.set_coefficients(&[
+            Complex::new(4.0, 0.0),
+            Complex::new(5.0, 0.0),
+            Complex::new(0.0, 0.0),
+        ]);
+        assert_eq!(p.degree(), 1);
+        assert_eq!(
+            p.coefficients(),
+            &[Complex::new(4.0, 0.0), Complex::new(5.0, 0.0)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn set_coefficients_rejects_non_finite() {
+        let mut p = Polynomial::from_real(&[1.0]);
+        p.set_coefficients(&[Complex::new(f64::INFINITY, 0.0)]);
+    }
+
+    #[test]
+    fn roots_into_cold_matches_roots_exactly() {
+        let p = Polynomial::from_roots(&[
+            Complex::new(0.5, 0.3),
+            Complex::new(-1.2, 0.0),
+            Complex::new(0.0, -0.8),
+        ]);
+        let direct = p.roots().unwrap();
+        let mut buf = vec![Complex::new(9.0, 9.0); 17]; // dirty, wrong size
+        p.roots_into(None, &mut buf).unwrap();
+        assert_eq!(buf, direct);
+    }
+
+    #[test]
+    fn warm_start_converges_to_same_roots() {
+        let wanted = [
+            Complex::new(0.5, 0.3),
+            Complex::new(-1.2, 0.0),
+            Complex::new(0.0, -0.8),
+            Complex::new(2.0, 1.0),
+        ];
+        let p = Polynomial::from_roots(&wanted);
+        let cold = p.roots().unwrap();
+        // Guesses near (but not at) the true roots — the previous-frame case.
+        let guesses: Vec<Complex<f64>> =
+            cold.iter().map(|r| r + Complex::new(1e-3, -1e-3)).collect();
+        let mut warm = Vec::new();
+        p.roots_into(Some(&guesses), &mut warm).unwrap();
+        for w in &wanted {
+            let best = warm.iter().map(|g| (g - w).norm()).fold(f64::MAX, f64::min);
+            assert!(best < 1e-8, "missing root {w}, best {best:e}");
+        }
+    }
+
+    #[test]
+    fn mismatched_warm_start_falls_back_to_cold() {
+        let p = Polynomial::from_real(&[2.0, -3.0, 1.0]);
+        let cold = p.roots().unwrap();
+        let mut out = Vec::new();
+        // Wrong length: must be ignored, yielding the exact cold result.
+        p.roots_into(Some(&[Complex::new(1.0, 0.0)]), &mut out)
+            .unwrap();
+        assert_eq!(out, cold);
+        // Non-finite warm guesses likewise.
+        let bad = vec![Complex::new(f64::NAN, 0.0); 2];
+        p.roots_into(Some(&bad), &mut out).unwrap();
+        assert_eq!(out, cold);
     }
 
     #[test]

@@ -11,13 +11,131 @@
 //! `ω = arg(z)`. This matches MATLAB's `rootmusic`, which the paper uses via
 //! the Phased Array System Toolbox.
 
-use nalgebra::Complex;
+use nalgebra::{Complex, DMatrix};
 
 use crate::covariance::SampleCovariance;
-use crate::eigen::HermitianEigen;
-use crate::music::noise_projector;
-use crate::polynomial::Polynomial;
+use crate::scratch::{KernelScratch, ScratchOptions};
 use crate::DspError;
+
+/// Iteration cap for the warm subspace refresh. Consecutive radar frames
+/// certify within a couple of iterations; hitting the cap means the spectrum
+/// moved too far, and the caller falls back to the full Jacobi path.
+const MAX_SUBSPACE_ITERS: usize = 32;
+
+/// Tries to refresh the noise projector `I − V Vᴴ` by orthogonal iteration
+/// of the previous frame's `p`-column signal basis on `a`, certifying the
+/// iterate with a per-column invariance residual `‖A vₖ − V(VᴴA vₖ)‖ ≤
+/// 1e-13·‖A‖_F` — the same accuracy the Jacobi path delivers. Warm starting
+/// from the previous frame keeps the iterate locked onto the *dominant*
+/// subspace. Returns `false` (projector untouched) when no usable basis
+/// exists or certification fails within [`MAX_SUBSPACE_ITERS`].
+fn warm_noise_projector(a: &DMatrix<Complex<f64>>, p: usize, scratch: &mut KernelScratch) -> bool {
+    let m = a.nrows();
+    if !scratch.has_basis || scratch.signal_basis.nrows() != m || scratch.signal_basis.ncols() != p
+    {
+        return false;
+    }
+    let frob = a.norm();
+    if !frob.is_finite() || frob <= 0.0 {
+        return false;
+    }
+    let tol_sq = (1e-13 * frob).powi(2);
+    let zero = Complex::new(0.0, 0.0);
+    let KernelScratch {
+        signal_basis: v,
+        basis_tmp: w,
+        proj,
+        picked: s,
+        ..
+    } = scratch;
+    w.resize_mut(m, p, zero);
+    s.clear();
+    s.resize(p, zero);
+    for _ in 0..MAX_SUBSPACE_ITERS {
+        // w = A · V — needed both for the residual check and the update.
+        for k in 0..p {
+            for i in 0..m {
+                let mut acc = zero;
+                for j in 0..m {
+                    acc += a[(i, j)] * v[(j, k)];
+                }
+                w[(i, k)] = acc;
+            }
+        }
+        // Invariance residual of the *current* basis: rₖ = wₖ − V(Vᴴwₖ).
+        let mut certified = true;
+        for k in 0..p {
+            for (l, sl) in s.iter_mut().enumerate() {
+                let mut acc = zero;
+                for j in 0..m {
+                    acc += v[(j, l)].conj() * w[(j, k)];
+                }
+                *sl = acc;
+            }
+            let mut res_sq = 0.0;
+            for i in 0..m {
+                let mut vs = zero;
+                for (l, sl) in s.iter().enumerate() {
+                    vs += v[(i, l)] * *sl;
+                }
+                res_sq += (w[(i, k)] - vs).norm_sqr();
+            }
+            // NaN residuals must fail certification too.
+            if res_sq.is_nan() || res_sq > tol_sq {
+                certified = false;
+                break;
+            }
+        }
+        if certified {
+            // proj = I − V Vᴴ (Hermitian; fill the upper triangle, mirror).
+            if proj.nrows() != m || proj.ncols() != m {
+                proj.resize_mut(m, m, zero);
+            }
+            for i in 0..m {
+                for j in i..m {
+                    let mut acc = if i == j { Complex::new(1.0, 0.0) } else { zero };
+                    for k in 0..p {
+                        acc -= v[(i, k)] * v[(j, k)].conj();
+                    }
+                    proj[(i, j)] = acc;
+                    if i != j {
+                        proj[(j, i)] = acc.conj();
+                    }
+                }
+            }
+            return true;
+        }
+        // Power step: orthonormalize w in place (modified Gram–Schmidt) and
+        // make it the new basis.
+        for k in 0..p {
+            for l in 0..k {
+                let mut dot = zero;
+                for i in 0..m {
+                    dot += w[(i, l)].conj() * w[(i, k)];
+                }
+                for i in 0..m {
+                    let correction = w[(i, l)] * dot;
+                    w[(i, k)] -= correction;
+                }
+            }
+            let norm = (0..m).map(|i| w[(i, k)].norm_sqr()).sum::<f64>().sqrt();
+            if norm.is_nan() || norm <= frob * 1e-15 {
+                // Collapsed column — basis lost rank; let Jacobi rebuild it.
+                return false;
+            }
+            let inv = Complex::new(1.0 / norm, 0.0);
+            for i in 0..m {
+                w[(i, k)] *= inv;
+            }
+        }
+        for k in 0..p {
+            for i in 0..m {
+                v[(i, k)] = w[(i, k)];
+            }
+        }
+    }
+    false
+}
 
 /// One estimated complex exponential.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,13 +170,38 @@ impl RootMusic {
     }
 
     /// Estimates the tone frequencies from a sample covariance, strongest
-    /// (closest-to-unit-circle) first.
+    /// (closest-to-unit-circle) first. Thin allocating wrapper around
+    /// [`RootMusic::estimate_into`] with a cold, bit-exact scratch.
     ///
     /// # Errors
     ///
     /// * [`DspError::BadParameter`] — `signal_count >= window`.
     /// * Eigendecomposition or root-finding failures are propagated.
     pub fn estimate(&self, cov: &SampleCovariance) -> Result<Vec<FrequencyEstimate>, DspError> {
+        let mut scratch = KernelScratch::new(ScratchOptions::bit_exact());
+        let mut out = Vec::new();
+        self.estimate_into(cov, &mut scratch, &mut out)?;
+        Ok(out)
+    }
+
+    /// Estimates the tone frequencies into a caller-owned buffer, reusing
+    /// every intermediate (eigensolver workspace, noise projector,
+    /// polynomial, root buffers) from `scratch`.
+    ///
+    /// Depending on [`ScratchOptions`], the eigensolver and the root finder
+    /// warm-start from the previous call on this scratch — consecutive radar
+    /// frames are nearly identical, so both converge in a fraction of their
+    /// cold iteration counts.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RootMusic::estimate`].
+    pub fn estimate_into(
+        &self,
+        cov: &SampleCovariance,
+        scratch: &mut KernelScratch,
+        out: &mut Vec<FrequencyEstimate>,
+    ) -> Result<(), DspError> {
         let m = cov.window();
         if self.signal_count >= m {
             return Err(DspError::BadParameter {
@@ -69,70 +212,106 @@ impl RootMusic {
                 ),
             });
         }
-        let eigen = HermitianEigen::new(cov.matrix(), 1e-6)?;
-        let noise = eigen.noise_subspace(self.signal_count)?;
-        let c = noise_projector(&noise);
+        // Warm path: root-MUSIC only needs the noise projector, and the
+        // projector only needs the dominant signal subspace — orthogonal
+        // iteration from the previous frame's basis certifies it in a few
+        // m²-cost matvecs, skipping the full Jacobi decomposition. Any
+        // failure (no basis yet, spectrum moved, lost rank) falls back to
+        // Jacobi, which also reseeds the basis for the next frame.
+        let warm_projector = scratch.options.warm_eigen
+            && warm_noise_projector(cov.matrix(), self.signal_count, scratch);
+        if !warm_projector {
+            scratch
+                .eigen
+                .decompose(cov.matrix(), 1e-6, scratch.options.warm_eigen)?;
+            scratch
+                .eigen
+                .noise_projector_into(self.signal_count, &mut scratch.proj)?;
+            if scratch.options.warm_eigen {
+                let ev = scratch.eigen.eigenvectors();
+                scratch
+                    .signal_basis
+                    .resize_mut(m, self.signal_count, Complex::new(0.0, 0.0));
+                for k in 0..self.signal_count {
+                    for i in 0..m {
+                        scratch.signal_basis[(i, k)] = ev[(i, k)];
+                    }
+                }
+                scratch.has_basis = true;
+            }
+        }
+        let c = &scratch.proj;
 
         // With z = e^{jω}, aᴴ(ω)·C·a(ω) = Σ_{i,j} C[i][j] z^{j−i}; the
         // coefficient of z^l is therefore the sum of the l-th superdiagonal.
         // Multiplying by z^{M−1} gives an ordinary polynomial of degree
         // 2(M−1).
-        let mut coeffs = vec![Complex::new(0.0, 0.0); 2 * m - 1];
+        scratch.coeffs.clear();
+        scratch.coeffs.resize(2 * m - 1, Complex::new(0.0, 0.0));
         for l in 0..m {
             // d_l = Σ_n C[n][n+l]  (sum of l-th superdiagonal)
             let mut d = Complex::new(0.0, 0.0);
             for n in 0..(m - l) {
                 d += c[(n, n + l)];
             }
-            coeffs[m - 1 + l] = d;
-            coeffs[m - 1 - l] = d.conj();
+            scratch.coeffs[m - 1 + l] = d;
+            scratch.coeffs[m - 1 - l] = d.conj();
         }
-        let poly = Polynomial::new(coeffs);
-        let roots = poly.roots()?;
+        scratch.poly.set_coefficients(&scratch.coeffs);
+        let warm = if scratch.options.warm_roots && scratch.has_prev_roots {
+            Some(scratch.prev_roots.as_slice())
+        } else {
+            None
+        };
+        scratch.poly.roots_into(warm, &mut scratch.roots)?;
+        if scratch.options.warm_roots {
+            scratch.prev_roots.clear();
+            scratch.prev_roots.extend_from_slice(&scratch.roots);
+            scratch.has_prev_roots = true;
+        }
 
         // Rank all roots by distance from the unit circle. (Noiseless data
         // puts the signal roots *exactly* on the circle, where rounding can
         // push them a hair outside — filtering to |z| ≤ 1 would then drop
         // them entirely, so no inside-filter is applied; the angle dedup
         // below collapses each conjugate-reciprocal pair instead.)
-        let mut candidates = roots;
-        candidates.sort_by(|a, b| {
+        scratch.roots.sort_by(|a, b| {
             (1.0 - a.norm())
                 .abs()
                 .partial_cmp(&(1.0 - b.norm()).abs())
                 .expect("finite root magnitudes")
         });
-        let mut picked: Vec<Complex<f64>> = Vec::with_capacity(self.signal_count);
-        for z in candidates {
-            let duplicate = picked.iter().any(|p| {
+        scratch.picked.clear();
+        for idx in 0..scratch.roots.len() {
+            let z = scratch.roots[idx];
+            let duplicate = scratch.picked.iter().any(|p| {
                 let mut d = (p.arg() - z.arg()).abs();
                 d = d.min(2.0 * std::f64::consts::PI - d);
                 d < 1e-6
             });
             if !duplicate {
-                picked.push(z);
-                if picked.len() == self.signal_count {
+                scratch.picked.push(z);
+                if scratch.picked.len() == self.signal_count {
                     break;
                 }
             }
         }
-        if picked.len() < self.signal_count {
+        if scratch.picked.len() < self.signal_count {
             return Err(DspError::BadParameter {
                 name: "covariance",
                 message: format!(
                     "only {} of {} roots found near the unit circle",
-                    picked.len(),
+                    scratch.picked.len(),
                     self.signal_count
                 ),
             });
         }
-        Ok(picked
-            .into_iter()
-            .map(|z| FrequencyEstimate {
-                frequency: z.arg().rem_euclid(2.0 * std::f64::consts::PI),
-                root_magnitude: z.norm(),
-            })
-            .collect())
+        out.clear();
+        out.extend(scratch.picked.iter().map(|z| FrequencyEstimate {
+            frequency: z.arg().rem_euclid(2.0 * std::f64::consts::PI),
+            root_magnitude: z.norm(),
+        }));
+        Ok(())
     }
 
     /// Convenience: estimate directly from a signal with window length `m`.
@@ -272,5 +451,43 @@ mod tests {
     #[test]
     fn accessor_returns_count() {
         assert_eq!(RootMusic::new(3).signal_count(), 3);
+    }
+
+    #[test]
+    fn scratch_path_matches_allocating_path_bit_exactly() {
+        let sig = tones(128, &[(1.0, 0.5), (0.8, 1.4)]);
+        let cov = SampleCovariance::builder(8).build(&sig).unwrap();
+        let rm = RootMusic::new(2);
+        let direct = rm.estimate(&cov).unwrap();
+        let mut scratch = KernelScratch::new(ScratchOptions::bit_exact());
+        let mut out = Vec::new();
+        // Twice on the same dirty scratch: reuse must be pure.
+        rm.estimate_into(&cov, &mut scratch, &mut out).unwrap();
+        assert_eq!(out, direct);
+        rm.estimate_into(&cov, &mut scratch, &mut out).unwrap();
+        assert_eq!(out, direct);
+    }
+
+    #[test]
+    fn warm_scratch_agrees_with_cold_across_frames() {
+        // Simulate consecutive frames: same tones, tiny amplitude drift.
+        let rm = RootMusic::new(2);
+        let mut warm = KernelScratch::new(ScratchOptions::fast());
+        let mut warm_out = Vec::new();
+        for frame in 0..5 {
+            let drift = 1.0 + 1e-4 * frame as f64;
+            let sig = tones(128, &[(drift, 0.5), (0.8, 1.4)]);
+            let cov = SampleCovariance::builder(8).build(&sig).unwrap();
+            let cold = rm.estimate(&cov).unwrap();
+            rm.estimate_into(&cov, &mut warm, &mut warm_out).unwrap();
+            assert_eq!(warm_out.len(), cold.len());
+            // Compare as sorted frequency sets: the closest-to-circle
+            // ranking can swap two near-circle roots between paths. The
+            // tolerance reflects the √eps sensitivity of the (noiseless)
+            // double roots on the unit circle, not the warm-start error.
+            for (w, c) in sorted_freqs(&warm_out).iter().zip(&sorted_freqs(&cold)) {
+                assert!((w - c).abs() < 1e-6, "frame {frame}: {w} vs {c}");
+            }
+        }
     }
 }

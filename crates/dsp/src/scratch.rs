@@ -1,0 +1,252 @@
+//! Reusable per-frame scratch arenas for the DSP hot path.
+//!
+//! Every estimator in this crate has an allocating entry point (ergonomic,
+//! used by one-shot callers and tests) and a `_into`/`_with_scratch` variant
+//! that writes into caller-owned buffers. The types here bundle those
+//! buffers so a pipeline allocates once and reuses the memory across frames:
+//!
+//! * [`KernelScratch`] — state for one estimator chain (eigensolver
+//!   workspace, noise projector, polynomial coefficients and roots,
+//!   steering buffer).
+//! * [`FrameScratch`] — a full radar-frame arena: two beat-signal buffers,
+//!   a covariance slot, a kernel scratch and an estimate output vector.
+//!
+//! # Ownership rules
+//!
+//! Arenas are plain data: fields are public and independently borrowable, so
+//! a caller can hold `&scratch.up` while mutating `scratch.kernel`. Nothing
+//! in an arena is an input — every routine fully overwrites the state it
+//! reads, so a *dirty* arena (left over from any previous frame, any
+//! previous size) never changes a result produced with bit-exact options.
+//!
+//! # Bit-exact vs fast numerics
+//!
+//! [`ScratchOptions`] selects between two numerical contracts.
+//! [`ScratchOptions::bit_exact`] (the default) makes every scratch call
+//! produce exactly the bytes of its allocating wrapper — reuse only saves
+//! allocations. [`ScratchOptions::fast`] additionally enables cross-frame
+//! warm starting (eigensolver, root finder), incremental covariance
+//! accumulation and phasor-recurrence synthesis; results then agree with the
+//! bit-exact path only to ≈1e-12, which is plenty for Monte-Carlo sweeps but
+//! would break golden-trace byte identity.
+
+use nalgebra::{Complex, DMatrix};
+
+use crate::covariance::SampleCovariance;
+use crate::eigen::EigenWorkspace;
+use crate::polynomial::Polynomial;
+use crate::rootmusic::FrequencyEstimate;
+
+/// Selects which reuse strategies a scratch-based call may apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScratchOptions {
+    /// Warm-start the Jacobi eigensolver from the previous frame's rotation
+    /// accumulator.
+    pub warm_eigen: bool,
+    /// Accumulate the sample covariance with the incremental sliding-window
+    /// update instead of the direct sum.
+    pub incremental_covariance: bool,
+    /// Warm-start the Durand–Kerner root finder from the previous frame's
+    /// roots (with automatic cold retry on non-convergence).
+    pub warm_roots: bool,
+    /// Synthesize beat signals with a rotating-phasor recurrence instead of
+    /// one `sin`/`cos` pair per sample.
+    pub phasor_synthesis: bool,
+}
+
+impl ScratchOptions {
+    /// Every optimization that changes rounding is off: scratch calls
+    /// reproduce their allocating wrappers bit for bit.
+    pub fn bit_exact() -> Self {
+        Self {
+            warm_eigen: false,
+            incremental_covariance: false,
+            warm_roots: false,
+            phasor_synthesis: false,
+        }
+    }
+
+    /// All cross-frame reuse on; results match the bit-exact path to ≈1e-12.
+    pub fn fast() -> Self {
+        Self {
+            warm_eigen: true,
+            incremental_covariance: true,
+            warm_roots: true,
+            phasor_synthesis: true,
+        }
+    }
+}
+
+impl Default for ScratchOptions {
+    fn default() -> Self {
+        Self::bit_exact()
+    }
+}
+
+/// Reusable state for one estimator chain (eigendecomposition → noise
+/// projector → polynomial rooting / pseudospectrum scan).
+///
+/// Buffers are sized lazily on first use and resize themselves when the
+/// problem dimensions change.
+#[derive(Debug, Clone)]
+pub struct KernelScratch {
+    pub(crate) options: ScratchOptions,
+    pub(crate) eigen: EigenWorkspace,
+    pub(crate) proj: DMatrix<Complex<f64>>,
+    pub(crate) coeffs: Vec<Complex<f64>>,
+    pub(crate) poly: Polynomial,
+    pub(crate) roots: Vec<Complex<f64>>,
+    pub(crate) prev_roots: Vec<Complex<f64>>,
+    pub(crate) has_prev_roots: bool,
+    pub(crate) picked: Vec<Complex<f64>>,
+    pub(crate) steering: Vec<Complex<f64>>,
+    /// Previous frame's dominant (signal) subspace basis, used by the warm
+    /// orthogonal-iteration projector refresh in root-MUSIC.
+    pub(crate) signal_basis: DMatrix<Complex<f64>>,
+    pub(crate) basis_tmp: DMatrix<Complex<f64>>,
+    pub(crate) has_basis: bool,
+}
+
+impl KernelScratch {
+    /// Creates an empty kernel scratch with the given options.
+    pub fn new(options: ScratchOptions) -> Self {
+        Self {
+            options,
+            eigen: EigenWorkspace::new(),
+            proj: DMatrix::zeros(0, 0),
+            coeffs: Vec::new(),
+            poly: Polynomial::new(vec![Complex::new(1.0, 0.0)]),
+            roots: Vec::new(),
+            prev_roots: Vec::new(),
+            has_prev_roots: false,
+            picked: Vec::new(),
+            steering: Vec::new(),
+            signal_basis: DMatrix::zeros(0, 0),
+            basis_tmp: DMatrix::zeros(0, 0),
+            has_basis: false,
+        }
+    }
+
+    /// The options this scratch was configured with.
+    pub fn options(&self) -> ScratchOptions {
+        self.options
+    }
+
+    /// Number of Jacobi sweeps the last eigendecomposition performed.
+    pub fn last_eigen_sweeps(&self) -> usize {
+        self.eigen.last_sweeps()
+    }
+
+    /// Discards all warm-start state; the next call runs cold.
+    pub fn reset(&mut self) {
+        self.eigen.reset();
+        self.has_prev_roots = false;
+        self.prev_roots.clear();
+        self.has_basis = false;
+    }
+}
+
+impl Default for KernelScratch {
+    fn default() -> Self {
+        Self::new(ScratchOptions::default())
+    }
+}
+
+/// A full radar-frame arena: beat-signal buffers, covariance slot, kernel
+/// scratches and estimate output, allocated once per pipeline and reused
+/// every frame.
+///
+/// The up and down sweep halves carry **separate** kernel scratches: warm
+/// starting only pays off against the previous frame of the *same* stream —
+/// the two halves beat at different frequencies, so sharing one scratch
+/// would feed each half the other's eigenbasis and roots and warm starts
+/// would stall (or fall back cold) every call.
+#[derive(Debug, Clone)]
+pub struct FrameScratch {
+    /// Up-sweep complex baseband buffer.
+    pub up: Vec<Complex<f64>>,
+    /// Down-sweep complex baseband buffer.
+    pub down: Vec<Complex<f64>>,
+    /// Covariance slot filled by
+    /// [`SampleCovarianceBuilder::build_into`](crate::covariance::SampleCovarianceBuilder::build_into).
+    /// Shared between the halves — it is fully overwritten per call and
+    /// carries no cross-frame state.
+    pub cov: SampleCovariance,
+    /// Estimator-chain scratch for the up sweep half.
+    pub kernel: KernelScratch,
+    /// Estimator-chain scratch for the down sweep half.
+    pub kernel_down: KernelScratch,
+    /// Frequency-estimate output buffer.
+    pub estimates: Vec<FrequencyEstimate>,
+}
+
+impl FrameScratch {
+    /// Creates an empty frame arena; buffers grow to their steady-state
+    /// sizes during the first frame and are reused afterwards.
+    pub fn new(options: ScratchOptions) -> Self {
+        Self {
+            up: Vec::new(),
+            down: Vec::new(),
+            cov: SampleCovariance::zeros(0),
+            kernel: KernelScratch::new(options),
+            kernel_down: KernelScratch::new(options),
+            estimates: Vec::new(),
+        }
+    }
+
+    /// The options the embedded kernel scratches were configured with.
+    pub fn options(&self) -> ScratchOptions {
+        self.kernel.options
+    }
+
+    /// Discards all warm-start state; the next frame runs cold.
+    pub fn reset(&mut self) {
+        self.kernel.reset();
+        self.kernel_down.reset();
+    }
+}
+
+impl Default for FrameScratch {
+    fn default() -> Self {
+        Self::new(ScratchOptions::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_are_bit_exact() {
+        let o = ScratchOptions::default();
+        assert_eq!(o, ScratchOptions::bit_exact());
+        assert!(!o.warm_eigen && !o.incremental_covariance);
+        assert!(!o.warm_roots && !o.phasor_synthesis);
+    }
+
+    #[test]
+    fn fast_options_enable_everything() {
+        let o = ScratchOptions::fast();
+        assert!(o.warm_eigen && o.incremental_covariance);
+        assert!(o.warm_roots && o.phasor_synthesis);
+    }
+
+    #[test]
+    fn frame_scratch_starts_empty() {
+        let fs = FrameScratch::new(ScratchOptions::fast());
+        assert!(fs.up.is_empty() && fs.down.is_empty());
+        assert_eq!(fs.cov.window(), 0);
+        assert_eq!(fs.options(), ScratchOptions::fast());
+    }
+
+    #[test]
+    fn reset_clears_warm_state() {
+        let mut ks = KernelScratch::new(ScratchOptions::fast());
+        ks.prev_roots.push(Complex::new(1.0, 0.0));
+        ks.has_prev_roots = true;
+        ks.reset();
+        assert!(!ks.has_prev_roots);
+        assert!(ks.prev_roots.is_empty());
+        assert_eq!(ks.last_eigen_sweeps(), 0);
+    }
+}

@@ -1,0 +1,166 @@
+//! Equivalence contracts of the zero-allocation fast path.
+//!
+//! The scratch/planned variants of every DSP kernel must agree with the
+//! retained allocating APIs: **bit-exactly** where the arithmetic is
+//! unchanged (planned FFT, cold scratch kernels), and to tight analytic
+//! tolerances where it legitimately differs (warm-started eigensolver,
+//! incremental covariance).
+
+use argus_dsp::covariance::SampleCovariance;
+use argus_dsp::eigen::{EigenWorkspace, HermitianEigen};
+use argus_dsp::fft::{
+    fft_in_place, fft_in_place_naive, ifft_in_place, ifft_in_place_naive, FftPlan,
+};
+use argus_dsp::rootmusic::RootMusic;
+use argus_dsp::scratch::{KernelScratch, ScratchOptions};
+use nalgebra::{Complex, DMatrix};
+
+fn test_signal(n: usize) -> Vec<Complex<f64>> {
+    (0..n)
+        .map(|t| {
+            let t = t as f64;
+            Complex::from_polar(1.0, 0.31 * t)
+                + Complex::from_polar(0.6, 1.27 * t + 0.5)
+                + Complex::new((0.037 * t).sin() * 0.01, (0.051 * t).cos() * 0.01)
+        })
+        .collect()
+}
+
+fn random_hermitian(n: usize, seed: u64) -> DMatrix<Complex<f64>> {
+    // Simple splitmix-style generator: deterministic, no external deps.
+    let mut state = seed;
+    let mut next = move || {
+        state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z = z ^ (z >> 31);
+        (z >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let g = DMatrix::from_fn(n, n, |_, _| Complex::new(next(), next()));
+    &g * g.adjoint() + DMatrix::identity(n, n) * Complex::new(0.5, 0.0)
+}
+
+/// Planned forward and inverse FFTs are bit-exact with the naive per-call
+/// transforms at every power-of-two size up to the periodogram's 4096.
+#[test]
+fn planned_fft_bit_exact_across_sizes() {
+    for log2 in 0..=12u32 {
+        let n = 1usize << log2;
+        let signal = test_signal(n);
+
+        let mut planned = signal.clone();
+        let mut naive = signal.clone();
+        fft_in_place(&mut planned).unwrap();
+        fft_in_place_naive(&mut naive).unwrap();
+        assert_eq!(planned, naive, "forward FFT diverged at n={n}");
+
+        ifft_in_place(&mut planned).unwrap();
+        ifft_in_place_naive(&mut naive).unwrap();
+        assert_eq!(planned, naive, "inverse FFT diverged at n={n}");
+    }
+}
+
+/// A directly constructed plan agrees with the registry path.
+#[test]
+fn explicit_plan_matches_registry_path() {
+    let signal = test_signal(512);
+    let plan = FftPlan::new(512).unwrap();
+    let mut direct = signal.clone();
+    let mut registry = signal.clone();
+    plan.forward(&mut direct).unwrap();
+    fft_in_place(&mut registry).unwrap();
+    assert_eq!(direct, registry);
+}
+
+/// Warm-started Jacobi agrees with the cold decomposition to 1e-12 on the
+/// eigenvalues and reconstructs the matrix equally well.
+#[test]
+fn warm_eigen_matches_cold_to_1e12() {
+    let base = random_hermitian(8, 11);
+    let mut ws = EigenWorkspace::new();
+    ws.decompose(&base, 1e-8, false).unwrap();
+
+    // Drift the matrix slightly, as consecutive radar frames do.
+    let drift = random_hermitian(8, 12) * Complex::new(1e-6, 0.0);
+    let perturbed = &base + &drift;
+
+    let cold = HermitianEigen::new(&perturbed, 1e-8).unwrap();
+    ws.decompose(&perturbed, 1e-8, true).unwrap();
+
+    let scale = cold
+        .eigenvalues()
+        .iter()
+        .fold(1.0f64, |m, &l| m.max(l.abs()));
+    for (w, c) in ws.eigenvalues().iter().zip(cold.eigenvalues()) {
+        assert!(
+            (w - c).abs() <= 1e-12 * scale,
+            "eigenvalue mismatch: warm {w} vs cold {c}"
+        );
+    }
+    // The warm eigenvectors still diagonalize the matrix.
+    let v = ws.eigenvectors();
+    let mut reconstructed = DMatrix::zeros(8, 8);
+    for k in 0..8 {
+        let lambda = ws.eigenvalues()[k];
+        for i in 0..8 {
+            for j in 0..8 {
+                reconstructed[(i, j)] += v[(i, k)] * v[(j, k)].conj() * Complex::new(lambda, 0.0);
+            }
+        }
+    }
+    assert!(
+        (&reconstructed - &perturbed).norm() < 1e-10 * (1.0 + perturbed.norm()),
+        "warm eigenvectors do not reconstruct the input"
+    );
+}
+
+/// The scratch covariance builder reproduces the allocating builder
+/// bit-for-bit, and the incremental variant agrees to rounding.
+#[test]
+fn covariance_paths_agree() {
+    let signal = test_signal(128);
+    let builder = SampleCovariance::builder(8);
+    let reference = builder.build(&signal).unwrap();
+
+    let mut out = SampleCovariance::zeros(3); // deliberately wrong size
+    builder.build_into(&signal, &mut out).unwrap();
+    assert_eq!(
+        out.matrix(),
+        reference.matrix(),
+        "direct path not bit-exact"
+    );
+
+    let mut incr = SampleCovariance::zeros(8);
+    SampleCovariance::builder(8)
+        .incremental(true)
+        .build_into(&signal, &mut incr)
+        .unwrap();
+    let scale = reference.matrix().norm();
+    assert!(
+        (incr.matrix() - reference.matrix()).norm() <= 1e-12 * scale,
+        "incremental covariance drifted"
+    );
+}
+
+/// A cold bit-exact scratch drives root-MUSIC to the identical estimates of
+/// the allocating API, frame after frame on the same dirty arena.
+#[test]
+fn rootmusic_scratch_equivalence_across_frames() {
+    let rm = RootMusic::new(2);
+    let mut scratch = KernelScratch::new(ScratchOptions::bit_exact());
+    let mut out = Vec::new();
+    for frame in 0..4 {
+        let signal: Vec<Complex<f64>> = (0..96)
+            .map(|t| {
+                let t = t as f64;
+                Complex::from_polar(1.0 + 0.01 * frame as f64, 0.7 * t)
+                    + Complex::from_polar(0.5, 1.9 * t + 0.2)
+            })
+            .collect();
+        let cov = SampleCovariance::builder(8).build(&signal).unwrap();
+        let reference = rm.estimate(&cov).unwrap();
+        rm.estimate_into(&cov, &mut scratch, &mut out).unwrap();
+        assert_eq!(out, reference, "frame {frame} diverged");
+    }
+}

@@ -45,7 +45,7 @@ pub mod target;
 pub use config::{MeasurementMode, RadarConfig};
 pub use fmcw::{BeatPair, FmcwWaveform};
 pub use receiver::{
-    ChannelState, Radar, RadarMeasurement, RadarMultiObservation, RadarObservation,
+    ChannelState, Radar, RadarMeasurement, RadarMultiObservation, RadarObservation, RadarScratch,
 };
 pub use target::{Echo, RadarTarget};
 
@@ -53,6 +53,8 @@ pub use target::{Echo, RadarTarget};
 pub mod prelude {
     pub use crate::config::{MeasurementMode, RadarConfig};
     pub use crate::fmcw::{BeatPair, FmcwWaveform};
-    pub use crate::receiver::{ChannelState, Radar, RadarMeasurement, RadarObservation};
+    pub use crate::receiver::{
+        ChannelState, Radar, RadarMeasurement, RadarObservation, RadarScratch,
+    };
     pub use crate::target::{Echo, RadarTarget};
 }

@@ -17,7 +17,8 @@ use nalgebra::Complex;
 use serde::{Deserialize, Serialize};
 
 use argus_dsp::covariance::SampleCovariance;
-use argus_dsp::rootmusic::RootMusic;
+use argus_dsp::rootmusic::{FrequencyEstimate, RootMusic};
+use argus_dsp::scratch::{FrameScratch, KernelScratch, ScratchOptions};
 use argus_dsp::spectrum::Periodogram;
 use argus_dsp::window::Window;
 use argus_sim::noise::Gaussian;
@@ -138,6 +139,10 @@ impl Radar {
     ///   persist.
     /// * `target` — ground-truth target, if one is physically present.
     /// * `channel` — attacker contributions.
+    ///
+    /// Thin allocating wrapper around [`Radar::observe_with_scratch`] using a
+    /// fresh bit-exact scratch. [`RadarScratch`] buffers are lazily sized, so
+    /// this stays cheap in `Analytic` mode where the DSP chain never runs.
     pub fn observe(
         &self,
         tx_on: bool,
@@ -145,7 +150,25 @@ impl Radar {
         channel: &ChannelState,
         rng: &mut SimRng,
     ) -> RadarObservation {
-        let mut echoes: Vec<Echo> = Vec::with_capacity(channel.echoes.len() + 1);
+        let mut scratch = RadarScratch::new(ScratchOptions::bit_exact());
+        self.observe_with_scratch(tx_on, target, channel, rng, &mut scratch)
+    }
+
+    /// Performs one observation reusing caller-owned scratch buffers.
+    ///
+    /// With [`ScratchOptions::bit_exact`] (the default) the result is
+    /// bit-identical to [`Radar::observe`]; the RNG draw order is identical
+    /// on every path regardless of options.
+    pub fn observe_with_scratch(
+        &self,
+        tx_on: bool,
+        target: Option<&RadarTarget>,
+        channel: &ChannelState,
+        rng: &mut SimRng,
+        scratch: &mut RadarScratch,
+    ) -> RadarObservation {
+        let RadarScratch { echoes, frame } = scratch;
+        echoes.clear();
         if tx_on {
             if let Some(t) = target {
                 if self.config.in_range(t.distance()) {
@@ -197,7 +220,7 @@ impl Radar {
                         Some(self.measure_analytic(&echo, effective_noise, rng))
                     }
                     MeasurementMode::Signal | MeasurementMode::FftPeak => {
-                        Some(self.measure_signal(&echoes, effective_noise, rng))
+                        Some(self.measure_signal_with_scratch(echoes, effective_noise, rng, frame))
                     }
                 }
             }
@@ -240,18 +263,55 @@ impl Radar {
     /// Signal-level extraction: synthesize the dechirped complex baseband of
     /// both sweep halves from every echo, then extract each half's beat
     /// frequency with root-MUSIC (periodogram fallback on degenerate data).
+    /// Thin allocating wrapper around
+    /// [`Radar::measure_signal_with_scratch`].
+    #[allow(dead_code)]
     fn measure_signal(&self, echoes: &[Echo], noise: Watts, rng: &mut SimRng) -> RadarMeasurement {
+        let mut frame = FrameScratch::new(ScratchOptions::bit_exact());
+        self.measure_signal_with_scratch(echoes, noise, rng, &mut frame)
+    }
+
+    /// Signal-level extraction into caller-owned frame buffers: beat signals,
+    /// covariance, eigen workspace and root buffers all live in `frame` and
+    /// are reused across frames.
+    fn measure_signal_with_scratch(
+        &self,
+        echoes: &[Echo],
+        noise: Watts,
+        rng: &mut SimRng,
+        frame: &mut FrameScratch,
+    ) -> RadarMeasurement {
         let strongest = echoes
             .iter()
             .map(|e| e.power.value())
             .fold(0.0f64, f64::max);
         let ratio = snr(Watts(strongest), noise);
 
-        let up = self.synthesize(echoes, noise, SweepHalf::Up, rng);
-        let down = self.synthesize(echoes, noise, SweepHalf::Down, rng);
+        let options = frame.kernel.options();
+        self.synthesize_into(echoes, noise, SweepHalf::Up, rng, &mut frame.up, options);
+        self.synthesize_into(
+            echoes,
+            noise,
+            SweepHalf::Down,
+            rng,
+            &mut frame.down,
+            options,
+        );
         let fs = self.config.sample_rate.value();
-        let f_up = self.extract_frequency(&up) * fs / (2.0 * std::f64::consts::PI);
-        let f_down = self.extract_frequency(&down) * fs / (2.0 * std::f64::consts::PI);
+        let f_up = self.extract_frequency_with_scratch(
+            &frame.up,
+            &mut frame.cov,
+            &mut frame.kernel,
+            &mut frame.estimates,
+        ) * fs
+            / (2.0 * std::f64::consts::PI);
+        let f_down = self.extract_frequency_with_scratch(
+            &frame.down,
+            &mut frame.cov,
+            &mut frame.kernel_down,
+            &mut frame.estimates,
+        ) * fs
+            / (2.0 * std::f64::consts::PI);
         let beats = BeatPair {
             up: Hertz(f_up),
             down: Hertz(f_down),
@@ -272,9 +332,34 @@ impl Radar {
         half: SweepHalf,
         rng: &mut SimRng,
     ) -> Vec<Complex<f64>> {
+        let mut signal = Vec::new();
+        self.synthesize_into(
+            echoes,
+            noise,
+            half,
+            rng,
+            &mut signal,
+            ScratchOptions::bit_exact(),
+        );
+        signal
+    }
+
+    /// Synthesizes one sweep half into a caller-owned buffer. The RNG draw
+    /// order (one phase per echo, then one complex Gaussian pair per sample)
+    /// is identical for both tone-accumulation strategies.
+    fn synthesize_into(
+        &self,
+        echoes: &[Echo],
+        noise: Watts,
+        half: SweepHalf,
+        rng: &mut SimRng,
+        out: &mut Vec<Complex<f64>>,
+        options: ScratchOptions,
+    ) {
         let n = self.config.samples_per_sweep;
         let fs = self.config.sample_rate.value();
-        let mut signal = vec![Complex::new(0.0, 0.0); n];
+        out.clear();
+        out.resize(n, Complex::new(0.0, 0.0));
         for echo in echoes {
             let beats = self
                 .config
@@ -287,23 +372,51 @@ impl Radar {
             let omega = 2.0 * std::f64::consts::PI * f / fs;
             let amp = echo.power.value().sqrt();
             let phase = rng.uniform(0.0, 2.0 * std::f64::consts::PI);
-            for (t, s) in signal.iter_mut().enumerate() {
-                *s += Complex::from_polar(amp, omega * t as f64 + phase);
+            if options.phasor_synthesis {
+                // Phasor recurrence: one complex multiply per sample instead
+                // of a sin/cos pair. Rounding drifts ~1e-13 over a sweep, so
+                // this is opt-in (not bit-exact with the polar evaluation).
+                let step = Complex::from_polar(1.0, omega);
+                let mut phasor = Complex::from_polar(amp, phase);
+                for s in out.iter_mut() {
+                    *s += phasor;
+                    phasor *= step;
+                }
+            } else {
+                for (t, s) in out.iter_mut().enumerate() {
+                    *s += Complex::from_polar(amp, omega * t as f64 + phase);
+                }
             }
         }
         // Complex white noise: variance noise_power split across components.
         let comp = Gaussian::new(0.0, (noise.value() / 2.0).sqrt());
-        for s in signal.iter_mut() {
+        for s in out.iter_mut() {
             let (re, im) = comp.sample_pair(rng);
             *s += Complex::new(re, im);
         }
-        signal
     }
 
     /// Extracts the dominant normalized frequency (rad/sample) of a signal
     /// with the configured extractor (root-MUSIC, or the interpolated
     /// periodogram peak in `FftPeak` mode).
+    #[allow(dead_code)]
     fn extract_frequency(&self, signal: &[Complex<f64>]) -> f64 {
+        let mut cov = SampleCovariance::zeros(self.config.music_window);
+        let mut kernel = KernelScratch::new(ScratchOptions::bit_exact());
+        let mut estimates = Vec::new();
+        self.extract_frequency_with_scratch(signal, &mut cov, &mut kernel, &mut estimates)
+    }
+
+    /// Scratch-based extraction: the covariance, eigensolver and root-finder
+    /// buffers are caller-owned. The periodogram fallback (degenerate data
+    /// only) still allocates its FFT buffer.
+    fn extract_frequency_with_scratch(
+        &self,
+        signal: &[Complex<f64>],
+        cov: &mut SampleCovariance,
+        kernel: &mut KernelScratch,
+        estimates: &mut Vec<FrequencyEstimate>,
+    ) -> f64 {
         if self.config.mode == MeasurementMode::FftPeak {
             return Periodogram::compute(signal, Window::Hann, 4096)
                 .ok()
@@ -312,11 +425,13 @@ impl Radar {
                 .unwrap_or(0.0);
         }
         let window = self.config.music_window;
+        let incremental = kernel.options().incremental_covariance;
         let extracted = SampleCovariance::builder(window)
-            .build(signal)
+            .incremental(incremental)
+            .build_into(signal, cov)
             .ok()
-            .and_then(|cov| RootMusic::new(1).estimate(&cov).ok())
-            .and_then(|est| est.first().copied());
+            .and_then(|()| RootMusic::new(1).estimate_into(cov, kernel, estimates).ok())
+            .and_then(|()| estimates.first().copied());
         match extracted {
             Some(e) => e.frequency,
             None => {
@@ -359,6 +474,43 @@ impl Radar {
 enum SweepHalf {
     Up,
     Down,
+}
+
+/// Reusable buffers for the full observation pipeline: the per-instant echo
+/// list plus the DSP [`FrameScratch`] (beat signals, covariance, eigensolver
+/// and root-finder state).
+///
+/// Hold one per simulation run and pass it to every
+/// [`Radar::observe_with_scratch`] call; after the first signal-mode frame no
+/// further heap allocation occurs on the extraction path.
+#[derive(Debug, Clone)]
+pub struct RadarScratch {
+    echoes: Vec<Echo>,
+    /// DSP frame arena, exposed for inspection (e.g. eigensolver sweep
+    /// counts via `frame.kernel.last_eigen_sweeps()`).
+    pub frame: FrameScratch,
+}
+
+impl RadarScratch {
+    /// Creates an empty scratch; buffers are sized lazily on first use.
+    pub fn new(options: ScratchOptions) -> Self {
+        Self {
+            echoes: Vec::new(),
+            frame: FrameScratch::new(options),
+        }
+    }
+
+    /// The options the scratch was built with.
+    pub fn options(&self) -> ScratchOptions {
+        self.frame.options()
+    }
+
+    /// Clears buffered state (capacity is retained) and drops warm-start
+    /// history, so the next frame behaves like the first.
+    pub fn reset(&mut self) {
+        self.echoes.clear();
+        self.frame.reset();
+    }
 }
 
 /// Observation of a multi-target scene.

@@ -1,0 +1,127 @@
+//! Batched trial engine: phase-rotator synthesis, plan-amortized trial
+//! execution, and streaming campaign aggregation, each against its
+//! retained baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use argus_attack::Adversary;
+use argus_core::campaign::{AttackAxis, AxisGrid, Campaign};
+use argus_core::plan::{ScenarioPlan, TrialScratch};
+use argus_core::scenario::{Scenario, ScenarioConfig};
+use argus_dsp::rotator::PhaseRotator;
+use argus_dsp::scratch::ScratchOptions;
+use argus_radar::RadarConfig;
+use argus_vehicle::LeaderProfile;
+use nalgebra::Complex;
+
+/// One LRR2 sweep half.
+const SWEEP: usize = 128;
+
+fn bench_synthesis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("beat_synthesis_128");
+    let (amp, phase, omega) = (3.2e-7, 1.234, 0.815);
+    let mut out = vec![Complex::new(0.0, 0.0); SWEEP];
+    group.bench_function("polar_per_sample", |b| {
+        b.iter(|| {
+            for (t, s) in out.iter_mut().enumerate() {
+                *s = Complex::from_polar(black_box(amp), omega * t as f64 + phase);
+            }
+            black_box(&out);
+        });
+    });
+    group.bench_function("phase_rotator", |b| {
+        b.iter(|| {
+            let mut rot = PhaseRotator::new(black_box(amp), phase, omega);
+            for s in out.iter_mut() {
+                *s = rot.next_sample();
+            }
+            black_box(&out);
+        });
+    });
+    group.finish();
+}
+
+fn bench_plan_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trial_engine");
+    group.sample_size(20);
+    let cfg = ScenarioConfig::paper(
+        LeaderProfile::paper_constant_decel(),
+        Adversary::paper_dos(),
+        true,
+    );
+    group.bench_function("scenario_per_trial_analytic", |b| {
+        let cfg = cfg.clone();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(Scenario::new(cfg.clone()).run(black_box(seed)).metrics)
+        });
+    });
+    group.bench_function("plan_amortized_analytic", |b| {
+        let plan = ScenarioPlan::new(cfg.clone());
+        let mut scratch = TrialScratch::for_plan(&plan);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(plan.run_metrics(black_box(seed), &mut scratch))
+        });
+    });
+    let mut signal_cfg = cfg.clone();
+    signal_cfg.radar = RadarConfig::bosch_lrr2_signal();
+    group.bench_function("scenario_per_trial_signal", |b| {
+        let cfg = signal_cfg.clone();
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(Scenario::new(cfg.clone()).run(black_box(seed)).metrics)
+        });
+    });
+    group.bench_function("plan_amortized_signal_fast", |b| {
+        let plan = ScenarioPlan::with_options(signal_cfg.clone(), ScratchOptions::fast());
+        let mut scratch = TrialScratch::for_plan(&plan);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            black_box(plan.run_metrics(black_box(seed), &mut scratch))
+        });
+    });
+    group.finish();
+}
+
+fn bench_campaign_aggregation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign_aggregation");
+    group.sample_size(10);
+    let campaign = || {
+        Campaign::new(
+            "bench",
+            LeaderProfile::paper_constant_decel(),
+            AxisGrid {
+                attacks: vec![AttackAxis::paper_dos(), AttackAxis::Benign],
+                initial_gaps_m: vec![100.0],
+                initial_speeds_mph: vec![65.0],
+                seeds: (1..=6).collect(),
+            },
+        )
+    };
+    group.bench_function("stored_serial", |b| {
+        let campaign = campaign();
+        b.iter(|| black_box(campaign.run(Some(1))));
+    });
+    group.bench_function("streaming_serial", |b| {
+        let campaign = campaign();
+        b.iter(|| black_box(campaign.run_streaming(Some(1))));
+    });
+    group.bench_function("streaming_serial_fast", |b| {
+        let campaign = campaign();
+        b.iter(|| black_box(campaign.run_streaming_with_options(Some(1), ScratchOptions::fast())));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = bench_synthesis, bench_plan_reuse, bench_campaign_aggregation
+}
+criterion_main!(benches);

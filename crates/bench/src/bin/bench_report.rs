@@ -1,33 +1,37 @@
-//! Machine-readable perf trajectory of the DSP hot path.
+//! Machine-readable perf trajectory of the DSP hot path and the batched
+//! trial engine.
 //!
 //! Times every fast-path kernel against its retained allocating baseline
 //! (median of repeated timed batches, `std::time` only — no external
-//! harness) and writes `BENCH_dsp.json`:
+//! harness) and writes two reports:
 //!
-//! ```json
-//! {
-//!   "schema": "argus-bench-dsp/1",
-//!   "kernels": {
-//!     "<name>": {"baseline_ns": ..., "fast_ns": ..., "speedup": ...},
-//!     ...
-//!   },
-//!   "end_to_end_speedup": ...
-//! }
-//! ```
+//! * `BENCH_dsp.json` (`argus-bench-dsp/1`) — the PR 2 DSP kernels, gated
+//!   on the end-to-end signal-mode *frame* staying ≥ 2× faster through the
+//!   scratch path.
+//! * `BENCH_sim.json` (`argus-bench-sim/1`) — the trial-engine kernels:
+//!   phase-rotator synthesis, plan-amortized trial setup, streaming
+//!   campaign aggregation, gated on end-to-end *per-trial* throughput
+//!   (plan reuse + rotator + no trace materialization) staying ≥ 2× the
+//!   per-trial `Scenario::run` baseline.
 //!
-//! Exits non-zero if the end-to-end signal-mode frame is not at least 2×
-//! faster through the scratch path than through the allocating wrappers,
-//! so perf regressions fail loudly in CI and sweeps.
+//! Exits non-zero if either gate fails, so perf regressions fail loudly in
+//! CI and sweeps.
 //!
 //! ```sh
-//! cargo run --release -p argus-bench --bin bench_report [out.json]
+//! cargo run --release -p argus-bench --bin bench_report [--quick] [dsp.json] [sim.json]
 //! ```
+//!
+//! `--quick` cuts iteration counts ~5× for CI; the gates are unchanged.
 
 use std::hint::black_box;
 use std::time::Instant;
 
+use argus_core::campaign::{AttackAxis, AxisGrid, Campaign};
+use argus_core::plan::{ScenarioPlan, TrialScratch};
+use argus_core::scenario::{Scenario, ScenarioConfig};
 use argus_dsp::fft::{fft_in_place, fft_in_place_naive};
 use argus_dsp::prelude::*;
+use argus_dsp::rotator::PhaseRotator;
 use argus_dsp::scratch::{KernelScratch, ScratchOptions};
 use argus_radar::receiver::{ChannelState, Radar, RadarScratch};
 use argus_radar::target::RadarTarget;
@@ -35,6 +39,7 @@ use argus_radar::RadarConfig;
 use argus_sim::json::Json;
 use argus_sim::rng::SimRng;
 use argus_sim::units::{Meters, MetersPerSecond};
+use argus_vehicle::LeaderProfile;
 use nalgebra::Complex;
 
 /// LRR2 sweep-half length.
@@ -85,146 +90,55 @@ impl Kernel {
     }
 }
 
-fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_dsp.json".to_string());
-    let mut kernels: Vec<Kernel> = Vec::new();
+/// Iteration plan: full by default, ~5× lighter with `--quick`.
+#[derive(Clone, Copy)]
+struct Iters {
+    quick: bool,
+}
 
-    // FFT at the periodogram size: cached plan vs per-call recomputation.
-    {
-        let signal = tone_signal(4096);
-        let mut buf = signal.clone();
-        let baseline_ns = median_ns(15, 50, || {
-            buf.copy_from_slice(&signal);
-            fft_in_place_naive(black_box(&mut buf)).unwrap();
-        });
-        let fast_ns = median_ns(15, 50, || {
-            buf.copy_from_slice(&signal);
-            fft_in_place(black_box(&mut buf)).unwrap();
-        });
-        kernels.push(Kernel {
-            name: "fft_4096",
-            baseline_ns,
-            fast_ns,
-        });
-    }
-
-    // Forward–backward covariance: allocating direct vs scratch incremental.
-    {
-        let signal = tone_signal(SWEEP);
-        let builder = SampleCovariance::builder(WINDOW);
-        let baseline_ns = median_ns(15, 200, || {
-            black_box(builder.build(black_box(&signal)).unwrap());
-        });
-        let mut out = SampleCovariance::zeros(WINDOW);
-        let incr = SampleCovariance::builder(WINDOW).incremental(true);
-        let fast_ns = median_ns(15, 200, || {
-            incr.build_into(black_box(&signal), &mut out).unwrap();
-            black_box(&out);
-        });
-        kernels.push(Kernel {
-            name: "covariance_m8_n128",
-            baseline_ns,
-            fast_ns,
-        });
-    }
-
-    // Hermitian eigensolver: cold allocating vs warm-started workspace.
-    {
-        let signal = tone_signal(SWEEP);
-        let cov = SampleCovariance::builder(WINDOW).build(&signal).unwrap();
-        let baseline_ns = median_ns(15, 100, || {
-            black_box(HermitianEigen::new(black_box(cov.matrix()), 1e-6).unwrap());
-        });
-        let mut ws = EigenWorkspace::new();
-        ws.decompose(cov.matrix(), 1e-6, false).unwrap();
-        let fast_ns = median_ns(15, 100, || {
-            ws.decompose(black_box(cov.matrix()), 1e-6, true).unwrap();
-            black_box(ws.eigenvalues());
-        });
-        kernels.push(Kernel {
-            name: "eigen_m8",
-            baseline_ns,
-            fast_ns,
-        });
-    }
-
-    // root-MUSIC: allocating vs warm scratch (eigen + polynomial roots).
-    {
-        let signal = tone_signal(SWEEP);
-        let cov = SampleCovariance::builder(WINDOW).build(&signal).unwrap();
-        let rm = RootMusic::new(1);
-        let baseline_ns = median_ns(15, 100, || {
-            black_box(rm.estimate(black_box(&cov)).unwrap());
-        });
-        let mut scratch = KernelScratch::new(ScratchOptions::fast());
-        let mut out = Vec::new();
-        let fast_ns = median_ns(15, 100, || {
-            rm.estimate_into(black_box(&cov), &mut scratch, &mut out)
-                .unwrap();
-            black_box(&out);
-        });
-        kernels.push(Kernel {
-            name: "rootmusic_m8",
-            baseline_ns,
-            fast_ns,
-        });
-    }
-
-    // End-to-end signal-mode frame: synthesis of both sweep halves plus two
-    // full extractions — the acceptance benchmark for this PR. The baseline
-    // is `observe` through the retained allocating wrappers; the fast path
-    // reuses one arena with every optimisation enabled. Both paths consume
-    // the RNG identically, so they do the same physical work.
-    let end_to_end = {
-        let radar = Radar::new(RadarConfig::bosch_lrr2_signal());
-        let target = RadarTarget::new(Meters(100.0), MetersPerSecond(-2.0), 10.0);
-        let channel = ChannelState::clean();
-        let mut rng = SimRng::seed_from(1);
-        let baseline_ns = median_ns(15, 30, || {
-            black_box(radar.observe(true, Some(&target), &channel, &mut rng));
-        });
-        let mut scratch = RadarScratch::new(ScratchOptions::fast());
-        let fast_ns = median_ns(15, 30, || {
-            black_box(radar.observe_with_scratch(
-                true,
-                Some(&target),
-                &channel,
-                &mut rng,
-                &mut scratch,
-            ));
-        });
-        Kernel {
-            name: "frame_signal_mode",
-            baseline_ns,
-            fast_ns,
+impl Iters {
+    fn batches(&self, full: usize) -> usize {
+        if self.quick {
+            (full / 3).max(3)
+        } else {
+            full
         }
-    };
+    }
 
+    fn per_batch(&self, full: usize) -> usize {
+        if self.quick {
+            (full / 5).max(1)
+        } else {
+            full
+        }
+    }
+}
+
+fn print_table(title: &str, kernels: &[Kernel]) {
+    println!("\n{title}");
     println!(
-        "{:<20} {:>14} {:>14} {:>9}",
+        "{:<24} {:>14} {:>14} {:>9}",
         "kernel", "baseline ns/op", "fast ns/op", "speedup"
     );
-    for k in kernels.iter().chain(std::iter::once(&end_to_end)) {
+    for k in kernels {
         println!(
-            "{:<20} {:>14.0} {:>14.0} {:>8.2}x",
+            "{:<24} {:>14.0} {:>14.0} {:>8.2}x",
             k.name,
             k.baseline_ns,
             k.fast_ns,
             k.speedup()
         );
     }
+}
 
-    let end_to_end_speedup = end_to_end.speedup();
-    let json = Json::Obj(vec![
-        ("schema".to_string(), Json::str("argus-bench-dsp/1")),
+fn report_json(schema: &str, kernels: &[Kernel], end_to_end_speedup: f64) -> Json {
+    Json::Obj(vec![
+        ("schema".to_string(), Json::str(schema)),
         (
             "kernels".to_string(),
             Json::Obj(
                 kernels
                     .iter()
-                    .chain(std::iter::once(&end_to_end))
                     .map(|k| {
                         (
                             k.name.to_string(),
@@ -242,14 +156,301 @@ fn main() {
             "end_to_end_speedup".to_string(),
             Json::num(end_to_end_speedup),
         ),
-    ]);
-    std::fs::write(&out_path, json.to_pretty()).expect("write BENCH_dsp.json");
-    println!("\nreport written: {out_path}");
+    ])
+}
 
-    if end_to_end_speedup < 2.0 {
-        eprintln!(
-            "PERF REGRESSION: end-to-end frame speedup {end_to_end_speedup:.2}x < 2.0x target"
+/// The PR 2 DSP kernel suite; returns the kernels with the gated
+/// `frame_signal_mode` last.
+fn dsp_kernels(it: Iters) -> Vec<Kernel> {
+    let mut kernels: Vec<Kernel> = Vec::new();
+
+    // FFT at the periodogram size: cached plan vs per-call recomputation.
+    {
+        let signal = tone_signal(4096);
+        let mut buf = signal.clone();
+        let baseline_ns = median_ns(it.batches(15), it.per_batch(50), || {
+            buf.copy_from_slice(&signal);
+            fft_in_place_naive(black_box(&mut buf)).unwrap();
+        });
+        let fast_ns = median_ns(it.batches(15), it.per_batch(50), || {
+            buf.copy_from_slice(&signal);
+            fft_in_place(black_box(&mut buf)).unwrap();
+        });
+        kernels.push(Kernel {
+            name: "fft_4096",
+            baseline_ns,
+            fast_ns,
+        });
+    }
+
+    // Forward–backward covariance: allocating direct vs scratch incremental.
+    {
+        let signal = tone_signal(SWEEP);
+        let builder = SampleCovariance::builder(WINDOW);
+        let baseline_ns = median_ns(it.batches(15), it.per_batch(200), || {
+            black_box(builder.build(black_box(&signal)).unwrap());
+        });
+        let mut out = SampleCovariance::zeros(WINDOW);
+        let incr = SampleCovariance::builder(WINDOW).incremental(true);
+        let fast_ns = median_ns(it.batches(15), it.per_batch(200), || {
+            incr.build_into(black_box(&signal), &mut out).unwrap();
+            black_box(&out);
+        });
+        kernels.push(Kernel {
+            name: "covariance_m8_n128",
+            baseline_ns,
+            fast_ns,
+        });
+    }
+
+    // Hermitian eigensolver: cold allocating vs warm-started workspace.
+    {
+        let signal = tone_signal(SWEEP);
+        let cov = SampleCovariance::builder(WINDOW).build(&signal).unwrap();
+        let baseline_ns = median_ns(it.batches(15), it.per_batch(100), || {
+            black_box(HermitianEigen::new(black_box(cov.matrix()), 1e-6).unwrap());
+        });
+        let mut ws = EigenWorkspace::new();
+        ws.decompose(cov.matrix(), 1e-6, false).unwrap();
+        let fast_ns = median_ns(it.batches(15), it.per_batch(100), || {
+            ws.decompose(black_box(cov.matrix()), 1e-6, true).unwrap();
+            black_box(ws.eigenvalues());
+        });
+        kernels.push(Kernel {
+            name: "eigen_m8",
+            baseline_ns,
+            fast_ns,
+        });
+    }
+
+    // root-MUSIC: allocating vs warm scratch (eigen + polynomial roots).
+    {
+        let signal = tone_signal(SWEEP);
+        let cov = SampleCovariance::builder(WINDOW).build(&signal).unwrap();
+        let rm = RootMusic::new(1);
+        let baseline_ns = median_ns(it.batches(15), it.per_batch(100), || {
+            black_box(rm.estimate(black_box(&cov)).unwrap());
+        });
+        let mut scratch = KernelScratch::new(ScratchOptions::fast());
+        let mut out = Vec::new();
+        let fast_ns = median_ns(it.batches(15), it.per_batch(100), || {
+            rm.estimate_into(black_box(&cov), &mut scratch, &mut out)
+                .unwrap();
+            black_box(&out);
+        });
+        kernels.push(Kernel {
+            name: "rootmusic_m8",
+            baseline_ns,
+            fast_ns,
+        });
+    }
+
+    // End-to-end signal-mode frame: synthesis of both sweep halves plus two
+    // full extractions. The baseline is `observe` through the retained
+    // allocating wrappers; the fast path reuses one arena with every
+    // optimisation enabled. Both paths consume the RNG identically, so they
+    // do the same physical work.
+    {
+        let radar = Radar::new(RadarConfig::bosch_lrr2_signal());
+        let target = RadarTarget::new(Meters(100.0), MetersPerSecond(-2.0), 10.0);
+        let channel = ChannelState::clean();
+        let mut rng = SimRng::seed_from(1);
+        let baseline_ns = median_ns(it.batches(15), it.per_batch(30), || {
+            black_box(radar.observe(true, Some(&target), &channel, &mut rng));
+        });
+        let mut scratch = RadarScratch::new(ScratchOptions::fast());
+        let fast_ns = median_ns(it.batches(15), it.per_batch(30), || {
+            black_box(radar.observe_with_scratch(
+                true,
+                Some(&target),
+                &channel,
+                &mut rng,
+                &mut scratch,
+            ));
+        });
+        kernels.push(Kernel {
+            name: "frame_signal_mode",
+            baseline_ns,
+            fast_ns,
+        });
+    }
+
+    kernels
+}
+
+/// The trial-engine kernel suite; returns the kernels with the gated
+/// `trial_signal_mode` last.
+fn sim_kernels(it: Iters) -> Vec<Kernel> {
+    let mut kernels: Vec<Kernel> = Vec::new();
+
+    // Beat-tone synthesis over one LRR2 sweep half: per-sample `from_polar`
+    // vs the phase-rotator recurrence (the two branches of
+    // `Radar::synthesize_into`, measured in isolation).
+    {
+        let (amp, phase, omega) = (3.2e-7, 1.234, 0.815);
+        let mut out = vec![Complex::new(0.0, 0.0); SWEEP];
+        let baseline_ns = median_ns(it.batches(15), it.per_batch(2000), || {
+            for (t, s) in out.iter_mut().enumerate() {
+                *s = Complex::from_polar(black_box(amp), omega * t as f64 + phase);
+            }
+            black_box(&out);
+        });
+        let fast_ns = median_ns(it.batches(15), it.per_batch(2000), || {
+            let mut rot = PhaseRotator::new(black_box(amp), phase, omega);
+            for s in out.iter_mut() {
+                *s = rot.next_sample();
+            }
+            black_box(&out);
+        });
+        kernels.push(Kernel {
+            name: "synthesis_sweep128",
+            baseline_ns,
+            fast_ns,
+        });
+    }
+
+    // Analytic-mode trial: per-trial `Scenario::run` (fresh radar, vehicle
+    // validation, trace materialization) vs one shared plan + warm scratch
+    // emitting metrics only. Measures setup amortization alone — no DSP
+    // chain runs in analytic mode.
+    {
+        let cfg = ScenarioConfig::paper(
+            LeaderProfile::paper_constant_decel(),
+            argus_attack::Adversary::paper_dos(),
+            true,
         );
+        let mut seed = 0u64;
+        let cfg_base = cfg.clone();
+        let baseline_ns = median_ns(it.batches(11), it.per_batch(10), || {
+            seed += 1;
+            black_box(Scenario::new(cfg_base.clone()).run(seed).metrics);
+        });
+        let plan = ScenarioPlan::new(cfg);
+        let mut scratch = TrialScratch::for_plan(&plan);
+        let fast_ns = median_ns(it.batches(11), it.per_batch(10), || {
+            seed += 1;
+            black_box(plan.run_metrics(seed, &mut scratch));
+        });
+        kernels.push(Kernel {
+            name: "trial_analytic_amortized",
+            baseline_ns,
+            fast_ns,
+        });
+    }
+
+    // Campaign aggregation: stored specs + result buffering + batch
+    // percentiles vs streaming fold into O(labels) accumulators. Single
+    // worker on both sides so this measures per-trial cost, not parallelism.
+    {
+        let campaign = Campaign::new(
+            "bench",
+            LeaderProfile::paper_constant_decel(),
+            AxisGrid {
+                attacks: vec![AttackAxis::paper_dos(), AttackAxis::Benign],
+                initial_gaps_m: vec![100.0],
+                initial_speeds_mph: vec![65.0],
+                seeds: (1..=6).collect(),
+            },
+        );
+        let trials = campaign.len() as f64;
+        let baseline_ns = median_ns(it.batches(7), it.per_batch(2), || {
+            black_box(campaign.run(Some(1)));
+        }) / trials;
+        let fast_ns = median_ns(it.batches(7), it.per_batch(2), || {
+            black_box(campaign.run_streaming_with_options(Some(1), ScratchOptions::fast()));
+        }) / trials;
+        kernels.push(Kernel {
+            name: "campaign_trial_analytic",
+            baseline_ns,
+            fast_ns,
+        });
+    }
+
+    // End-to-end signal-mode trial — the acceptance benchmark for this PR.
+    // Baseline: a fresh `Scenario::run` per trial, bit-exact options, full
+    // trace materialization (the PR 3 campaign path). Fast: one shared
+    // `ScenarioPlan` + reused `TrialScratch` with every optimisation on
+    // (rotator synthesis, warm eigen/roots, incremental covariance, no
+    // traces). Distinct seeds per iteration keep the work honest.
+    {
+        let mut cfg = ScenarioConfig::paper(
+            LeaderProfile::paper_constant_decel(),
+            argus_attack::Adversary::paper_dos(),
+            true,
+        );
+        cfg.radar = RadarConfig::bosch_lrr2_signal();
+        let mut seed = 0u64;
+        let cfg_base = cfg.clone();
+        let baseline_ns = median_ns(it.batches(9), it.per_batch(1), || {
+            seed += 1;
+            black_box(Scenario::new(cfg_base.clone()).run(seed).metrics);
+        });
+        let plan = ScenarioPlan::with_options(cfg, ScratchOptions::fast());
+        let mut scratch = TrialScratch::for_plan(&plan);
+        let fast_ns = median_ns(it.batches(9), it.per_batch(1), || {
+            seed += 1;
+            black_box(plan.run_metrics(seed, &mut scratch));
+        });
+        kernels.push(Kernel {
+            name: "trial_signal_mode",
+            baseline_ns,
+            fast_ns,
+        });
+    }
+
+    kernels
+}
+
+fn main() {
+    let mut quick = false;
+    let mut paths: Vec<String> = Vec::new();
+    for arg in std::env::args().skip(1) {
+        if arg == "--quick" {
+            quick = true;
+        } else {
+            paths.push(arg);
+        }
+    }
+    let dsp_path = paths
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "BENCH_dsp.json".into());
+    let sim_path = paths
+        .get(1)
+        .cloned()
+        .unwrap_or_else(|| "BENCH_sim.json".into());
+    let it = Iters { quick };
+
+    let dsp = dsp_kernels(it);
+    let dsp_gate = dsp.last().expect("dsp suite is non-empty").speedup();
+    print_table("DSP hot path (BENCH_dsp.json)", &dsp);
+    std::fs::write(
+        &dsp_path,
+        report_json("argus-bench-dsp/1", &dsp, dsp_gate).to_pretty(),
+    )
+    .expect("write BENCH_dsp.json");
+
+    let sim = sim_kernels(it);
+    let sim_gate = sim.last().expect("sim suite is non-empty").speedup();
+    print_table("Trial engine (BENCH_sim.json)", &sim);
+    std::fs::write(
+        &sim_path,
+        report_json("argus-bench-sim/1", &sim, sim_gate).to_pretty(),
+    )
+    .expect("write BENCH_sim.json");
+
+    println!("\nreports written: {dsp_path}, {sim_path}");
+
+    let mut failed = false;
+    if dsp_gate < 2.0 {
+        eprintln!("PERF REGRESSION: end-to-end frame speedup {dsp_gate:.2}x < 2.0x target");
+        failed = true;
+    }
+    if sim_gate < 2.0 {
+        eprintln!("PERF REGRESSION: end-to-end trial speedup {sim_gate:.2}x < 2.0x target");
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
 }

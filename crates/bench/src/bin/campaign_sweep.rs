@@ -5,15 +5,22 @@
 //!
 //! ```sh
 //! cargo run --release -p argus-bench --bin campaign_sweep [threads] [n_seeds]
+//! cargo run --release -p argus-bench --bin campaign_sweep -- --smoke [trials]
 //! ```
 //!
 //! Writes the canonical JSON and CSV traces under `target/campaign/` and
-//! exits non-zero if the serial and parallel summaries diverge.
+//! exits non-zero if the serial and parallel summaries diverge — for both
+//! the stored and the streaming aggregation paths.
+//!
+//! `--smoke` runs a large streaming-only campaign (default 100 000 trials)
+//! and reports peak RSS, demonstrating that streaming campaign state is
+//! O(labels), not O(trials · horizon).
 
 use std::time::{Duration, Instant};
 
 use argus_core::campaign::{
-    campaign_to_csv, campaign_to_json, resolve_threads, AttackAxis, AxisGrid, Campaign, CampaignRun,
+    campaign_to_csv, campaign_to_json, resolve_threads, stream_to_json, AttackAxis, AxisGrid,
+    Campaign, CampaignRun,
 };
 use argus_dsp::scratch::ScratchOptions;
 use argus_radar::receiver::{ChannelState, Radar, RadarScratch};
@@ -61,15 +68,72 @@ fn print_timing(tag: &str, run: &CampaignRun) {
         .max_by_key(|t| t.duration)
         .map(|t| format!("{} ({:.2} ms)", t.label, ms(t.duration)))
         .unwrap_or_else(|| "-".to_string());
+    // A single worker has no parallelism to report — calling it a
+    // "speedup" over itself is noise.
+    let schedule = if run.threads <= 1 {
+        "serial baseline".to_string()
+    } else {
+        format!("speedup={:>5.2}x", run.speedup())
+    };
     println!(
-        "{tag:>9}: threads={:<2} wall={:>8.1} ms busy={:>8.1} ms speedup={:>5.2}x \
+        "{tag:>9}: threads={:<2} wall={:>8.1} ms busy={:>8.1} ms {schedule} \
          mean/trial={:.2} ms slowest={slowest}",
         run.threads,
         ms(run.wall),
         ms(run.busy),
-        run.speedup(),
         ms(run.busy) / run.trials.len().max(1) as f64,
     );
+}
+
+/// Peak resident set size (VmHWM) in kilobytes, from `/proc/self/status`.
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Streaming-only large campaign: memory stays O(labels) no matter how many
+/// trials run, which `VmHWM` after a six-figure trial count makes visible.
+fn streaming_smoke(trials: u64, threads: usize) {
+    let n_seeds = (trials / 2).max(1);
+    let campaign = Campaign::new(
+        "smoke",
+        LeaderProfile::paper_constant_decel(),
+        AxisGrid {
+            attacks: vec![AttackAxis::paper_dos(), AttackAxis::Benign],
+            initial_gaps_m: vec![100.0],
+            initial_speeds_mph: vec![65.0],
+            seeds: (1..=n_seeds).collect(),
+        },
+    );
+    println!(
+        "streaming smoke: {} trials across {} workers (analytic mode, fast options)",
+        campaign.len(),
+        threads
+    );
+    let t0 = Instant::now();
+    let run = campaign.run_streaming_with_options(Some(threads), ScratchOptions::fast());
+    let wall = t0.elapsed();
+    println!(
+        "{} trials in {:.1} s — {:.0} trials/s, {} label accumulator(s), \
+         reorder-buffer high-water {}",
+        run.trials,
+        wall.as_secs_f64(),
+        run.throughput(),
+        run.groups.len(),
+        run.max_pending,
+    );
+    match peak_rss_kb() {
+        Some(kb) => println!(
+            "peak RSS (VmHWM): {:.1} MiB — campaign state is O(labels), \
+             not O(trials x horizon)",
+            kb as f64 / 1024.0
+        ),
+        None => println!("peak RSS unavailable (no /proc/self/status)"),
+    }
 }
 
 /// Before/after wall clock of the zero-allocation DSP fast path: the same
@@ -115,7 +179,16 @@ fn dsp_fast_path_comparison(frames: usize) {
 }
 
 fn main() {
-    let mut args = std::env::args().skip(1);
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = raw.iter().position(|a| a == "--smoke") {
+        let trials: u64 = raw
+            .get(pos + 1)
+            .and_then(|a| a.parse().ok())
+            .unwrap_or(100_000);
+        streaming_smoke(trials, resolve_threads(None).max(2));
+        return;
+    }
+    let mut args = raw.into_iter();
     let threads = args
         .next()
         .and_then(|a| a.parse().ok())
@@ -181,23 +254,59 @@ fn main() {
         );
     }
 
+    // Streaming aggregation: the same determinism contract, O(labels)
+    // memory, and the before/after per-trial throughput of the batched
+    // engine (shared plans + reused scratch + no stored trials).
+    let stream_serial = campaign.run_streaming(Some(1));
+    let stream_parallel = campaign.run_streaming(Some(threads));
+    let stream_fast = campaign.run_streaming_with_options(Some(threads), ScratchOptions::fast());
+    let stream_identical = stream_to_json(&stream_serial).to_canonical()
+        == stream_to_json(&stream_parallel).to_canonical();
+    let stored_rate =
+        |run: &CampaignRun| run.trials.len() as f64 / run.wall.as_secs_f64().max(1e-9);
+    println!("\ntrial throughput (before -> after):");
+    println!(
+        "  stored serial      {:>8.0} trials/s   (PR 3 baseline path)",
+        stored_rate(&serial)
+    );
+    println!(
+        "  streaming serial   {:>8.0} trials/s   ({:.2}x)",
+        stream_serial.throughput(),
+        stream_serial.throughput() / stored_rate(&serial).max(1e-9)
+    );
+    println!(
+        "  streaming x{:<2} fast {:>8.0} trials/s   ({:.2}x, reorder high-water {})",
+        stream_fast.threads,
+        stream_fast.throughput(),
+        stream_fast.throughput() / stored_rate(&serial).max(1e-9),
+        stream_fast.max_pending,
+    );
+    println!("streaming canonical summaries byte-identical across schedules: {stream_identical}");
+
     dsp_fast_path_comparison(2000);
 
     let out_dir = std::path::Path::new("target/campaign");
     if std::fs::create_dir_all(out_dir).is_ok() {
         let json_path = out_dir.join("sweep.json");
         let csv_path = out_dir.join("sweep.csv");
+        let stream_path = out_dir.join("stream.json");
         let _ = std::fs::write(&json_path, campaign_to_json(&parallel).to_pretty());
         let _ = std::fs::write(&csv_path, campaign_to_csv(&parallel));
+        let _ = std::fs::write(&stream_path, stream_to_json(&stream_parallel).to_pretty());
         println!(
-            "\ntraces written: {} and {}",
+            "\ntraces written: {}, {} and {}",
             json_path.display(),
-            csv_path.display()
+            csv_path.display(),
+            stream_path.display()
         );
     }
 
     if !identical {
         eprintln!("DETERMINISM VIOLATION: serial and parallel summaries differ");
+        std::process::exit(1);
+    }
+    if !stream_identical {
+        eprintln!("DETERMINISM VIOLATION: streaming serial and parallel summaries differ");
         std::process::exit(1);
     }
 }

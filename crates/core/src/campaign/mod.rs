@@ -28,11 +28,13 @@
 pub mod axes;
 pub mod pool;
 pub mod runner;
+pub mod stream;
 pub mod trace;
 
 pub use axes::{AttackAxis, AxisGrid, TrialSpec};
-pub use pool::{map_indexed, resolve_threads, PoolTiming};
+pub use pool::{fold_indexed, map_indexed, resolve_threads, FoldTiming, PoolTiming};
 pub use runner::{CampaignRun, TrialResult};
+pub use stream::{stream_to_json, CampaignStream, STREAM_FORMAT};
 pub use trace::{
     campaign_to_csv, campaign_to_json, compare_scenario_json, scenario_to_json, TraceDiff,
 };

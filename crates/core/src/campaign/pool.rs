@@ -11,7 +11,7 @@
 //! is the caller's job (results are returned indexed by task id, and the
 //! campaign runner aggregates them in task order).
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::mpsc;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -140,6 +140,125 @@ where
     )
 }
 
+/// Timing of one [`fold_indexed`] invocation.
+///
+/// Unlike [`PoolTiming`] there is no per-task vector — the whole point of
+/// the folding pool is O(1) bookkeeping per task — so busy time is
+/// accumulated directly.
+#[derive(Debug, Clone, Copy)]
+pub struct FoldTiming {
+    /// Number of worker threads used.
+    pub threads: usize,
+    /// End-to-end wall-clock time of the pool run.
+    pub wall: Duration,
+    /// Total task execution time summed over all workers.
+    pub busy: Duration,
+    /// High-water mark of the reorder buffer (results waiting for an
+    /// earlier index to finish). Bounded by scheduling skew, not by `n`.
+    pub max_pending: usize,
+}
+
+impl FoldTiming {
+    /// Parallel speedup actually achieved (busy time over wall time).
+    pub fn speedup(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall > 0.0 {
+            self.busy.as_secs_f64() / wall
+        } else {
+            1.0
+        }
+    }
+}
+
+/// Runs `task(0..n)` across `threads` workers — each carrying a reusable
+/// per-worker state built by `init` — and folds every result **in strict
+/// index order** on the calling thread, concurrently with execution.
+///
+/// This is the streaming complement of [`map_indexed`]: no result vector is
+/// materialized, so memory is O(workers + scheduling skew) instead of O(n).
+/// Out-of-order completions wait in a reorder buffer until the next index
+/// arrives; `fold` therefore sees exactly the sequence a serial run would
+/// produce, which is what keeps order-dependent accumulators (Welford sums,
+/// P² quantile markers) byte-identical across thread counts.
+pub fn fold_indexed<T, S, Init, Task, Fold>(
+    n: usize,
+    threads: usize,
+    init: Init,
+    task: Task,
+    mut fold: Fold,
+) -> FoldTiming
+where
+    T: Send,
+    Init: Fn() -> S + Sync,
+    Task: Fn(&mut S, usize) -> T + Sync,
+    Fold: FnMut(usize, T),
+{
+    let started = Instant::now();
+    if n == 0 {
+        return FoldTiming {
+            threads: 0,
+            wall: started.elapsed(),
+            busy: Duration::ZERO,
+            max_pending: 0,
+        };
+    }
+    let workers = threads.clamp(1, n);
+
+    let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((w..n).step_by(workers).collect()))
+        .collect();
+
+    let (tx, rx) = mpsc::channel::<(usize, T, Duration)>();
+    let mut busy = Duration::ZERO;
+    let mut max_pending = 0usize;
+    std::thread::scope(|scope| {
+        for w in 0..workers {
+            let tx = tx.clone();
+            let deques = &deques;
+            let init = &init;
+            let task = &task;
+            scope.spawn(move || {
+                let mut state = init();
+                while let Some(i) = claim(deques, w) {
+                    let t0 = Instant::now();
+                    let out = task(&mut state, i);
+                    let dt = t0.elapsed();
+                    let _ = tx.send((i, out, dt));
+                }
+            });
+        }
+        drop(tx);
+
+        // Drain the channel *while the workers run*, folding in strict index
+        // order. Results arriving early are parked in a reorder buffer keyed
+        // by index; its size tracks scheduling skew, never the task count.
+        let mut pending: BTreeMap<usize, T> = BTreeMap::new();
+        let mut next = 0usize;
+        for (i, out, dt) in rx {
+            busy += dt;
+            if i == next {
+                fold(i, out);
+                next += 1;
+                while let Some(out) = pending.remove(&next) {
+                    fold(next, out);
+                    next += 1;
+                }
+            } else {
+                pending.insert(i, out);
+                max_pending = max_pending.max(pending.len());
+            }
+        }
+        debug_assert!(pending.is_empty(), "every task folds exactly once");
+    });
+
+    FoldTiming {
+        threads: workers,
+        wall: started.elapsed(),
+        busy,
+        max_pending,
+    }
+}
+
 /// Pops the next task: front of our own deque, else steal from the back
 /// of the fullest other deque. Returns `None` when all deques are empty
 /// (no new tasks ever appear, so that means the pool is done).
@@ -227,5 +346,73 @@ mod tests {
     fn resolve_threads_prefers_explicit() {
         assert_eq!(resolve_threads(Some(3)), 3);
         assert!(resolve_threads(None) >= 1);
+    }
+
+    #[test]
+    fn fold_sees_strict_index_order() {
+        for threads in [1, 2, 8] {
+            let mut seen = Vec::new();
+            let timing = fold_indexed(
+                200,
+                threads,
+                || (),
+                |(), i| i * 3,
+                |i, x| {
+                    assert_eq!(x, i * 3);
+                    seen.push(i);
+                },
+            );
+            assert_eq!(seen, (0..200).collect::<Vec<_>>());
+            assert!(timing.threads >= 1);
+        }
+    }
+
+    #[test]
+    fn fold_reuses_per_worker_state() {
+        // Each worker's state counts its own tasks; the grand total must be
+        // exactly n, and a worker that ran more than one task proves reuse.
+        let totals = Mutex::new(Vec::new());
+        fold_indexed(
+            64,
+            4,
+            || 0usize,
+            |count, _i| {
+                *count += 1;
+                *count
+            },
+            |_i, c| totals.lock().unwrap().push(c),
+        );
+        let totals = totals.into_inner().unwrap();
+        assert_eq!(totals.len(), 64);
+        assert!(
+            totals.iter().any(|&c| c > 1),
+            "per-worker state was rebuilt for every task"
+        );
+    }
+
+    #[test]
+    fn fold_empty_is_a_no_op() {
+        let timing = fold_indexed(0, 4, || (), |(), i| i, |_, _| panic!("no tasks"));
+        assert_eq!(timing.threads, 0);
+        assert_eq!(timing.max_pending, 0);
+    }
+
+    #[test]
+    fn fold_matches_map_for_order_dependent_accumulation() {
+        // An order-sensitive checksum: fold(i, x) = 31·acc + x. Any
+        // out-of-order fold changes the result.
+        let reference =
+            (0..500usize).fold(0u64, |acc, i| acc.wrapping_mul(31).wrapping_add(i as u64));
+        for threads in [1, 3, 8] {
+            let mut acc = 0u64;
+            fold_indexed(
+                500,
+                threads,
+                || (),
+                |(), i| i as u64,
+                |_i, x| acc = acc.wrapping_mul(31).wrapping_add(x),
+            );
+            assert_eq!(acc, reference, "threads={threads}");
+        }
     }
 }

@@ -1,0 +1,358 @@
+//! Streaming campaign execution: O(labels) memory at any trial count.
+//!
+//! [`Campaign::run`] materializes every [`TrialSpec`] up front and buffers
+//! every trial's result before aggregating — O(trials) memory twice over,
+//! which caps campaigns well short of the ROADMAP's million-trial target.
+//! [`Campaign::run_streaming`] removes both buffers:
+//!
+//! * Trial coordinates are **decomposed from the trial index** by div/mod
+//!   over the axis lengths (the same nesting order as [`Campaign::trials`]),
+//!   so no spec list exists. Labels — and from them the trial seeds — are
+//!   formatted on demand and match the stored-spec path character for
+//!   character.
+//! * One immutable [`ScenarioPlan`] per campaign **axis point** (attack ×
+//!   gap × speed) is built before the pool starts and shared `Arc`-style
+//!   across the workers; per-trial cost is RNG derivation + stepping.
+//! * Results stream through [`fold_indexed`] into
+//!   [`StreamingCampaignStats`] accumulators — overall and per attack label
+//!   — in **strict trial-index order**, so the canonical output is
+//!   byte-identical at any thread count even though the P² quantile markers
+//!   are order-dependent.
+//!
+//! [`TrialSpec`]: super::axes::TrialSpec
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use argus_dsp::scratch::ScratchOptions;
+use argus_sim::json::Json;
+use argus_sim::rng::SimRng;
+use argus_sim::stats::RunningStats;
+
+use crate::metrics::StreamingCampaignStats;
+use crate::plan::{ScenarioPlan, TrialScratch};
+
+use super::pool::{fold_indexed, resolve_threads};
+use super::Campaign;
+
+/// Format tag of streaming campaign documents.
+pub const STREAM_FORMAT: &str = "argus-campaign-stream-v1";
+
+/// Result of a streaming campaign run: aggregates only, no per-trial rows.
+#[derive(Debug, Clone)]
+pub struct CampaignStream {
+    /// Campaign name.
+    pub name: String,
+    /// Master seed the trial seeds derived from.
+    pub master_seed: u64,
+    /// Number of trials executed.
+    pub trials: u64,
+    /// Aggregate statistics over all trials, folded in trial order.
+    pub stats: StreamingCampaignStats,
+    /// Per-attack-label statistics, in axis declaration order.
+    pub groups: Vec<(String, StreamingCampaignStats)>,
+    /// Worker threads used.
+    pub threads: usize,
+    /// End-to-end wall-clock time.
+    pub wall: Duration,
+    /// Summed per-trial execution time (serial-equivalent cost).
+    pub busy: Duration,
+    /// High-water mark of the reorder buffer (scheduling skew, not O(n)).
+    pub max_pending: usize,
+}
+
+impl CampaignStream {
+    /// Parallel speedup actually achieved (busy over wall).
+    pub fn speedup(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall > 0.0 {
+            self.busy.as_secs_f64() / wall
+        } else {
+            1.0
+        }
+    }
+
+    /// Trials executed per wall-clock second.
+    pub fn throughput(&self) -> f64 {
+        let wall = self.wall.as_secs_f64();
+        if wall > 0.0 {
+            self.trials as f64 / wall
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Per-worker state: the DSP/record arena plus the root RNG that trial
+/// seeds derive from (substream derivation is read-only on the parent).
+struct WorkerState {
+    scratch: TrialScratch,
+    root: SimRng,
+}
+
+impl Campaign {
+    /// Runs the campaign with streaming aggregation and bit-exact DSP
+    /// options: same per-trial results as [`Campaign::run`], O(labels)
+    /// memory instead of O(trials·horizon).
+    pub fn run_streaming(&self, threads: Option<usize>) -> CampaignStream {
+        self.run_streaming_with_options(threads, ScratchOptions::bit_exact())
+    }
+
+    /// Streaming run with explicit DSP options (`fast` for large sweeps).
+    ///
+    /// Determinism holds for any options: every trial starts from a reset
+    /// scratch, so results never depend on which worker ran which trial,
+    /// and folding happens in trial-index order on the calling thread.
+    pub fn run_streaming_with_options(
+        &self,
+        threads: Option<usize>,
+        options: ScratchOptions,
+    ) -> CampaignStream {
+        let n = self.grid.len();
+        let threads = resolve_threads(threads);
+        let n_gaps = self.grid.initial_gaps_m.len();
+        let n_speeds = self.grid.initial_speeds_mph.len();
+        let n_seeds = self.grid.seeds.len();
+
+        // One plan per axis point, trial-invariant work done exactly once.
+        // The Arc'd slice is shared by every worker thread.
+        let mut plans = Vec::with_capacity(self.grid.attacks.len() * n_gaps * n_speeds);
+        for attack in &self.grid.attacks {
+            for &gap in &self.grid.initial_gaps_m {
+                for &speed in &self.grid.initial_speeds_mph {
+                    plans.push(ScenarioPlan::with_options(
+                        self.scenario_config(*attack, gap, speed),
+                        options,
+                    ));
+                }
+            }
+        }
+        let plans: Arc<[ScenarioPlan]> = plans.into();
+
+        let mut stats = StreamingCampaignStats::new();
+        let mut groups: Vec<(String, StreamingCampaignStats)> = self
+            .grid
+            .attacks
+            .iter()
+            .map(|a| (a.label(), StreamingCampaignStats::new()))
+            .collect();
+
+        let grid = &self.grid;
+        let master_seed = self.master_seed;
+        let plans_ref = Arc::clone(&plans);
+        let timing = fold_indexed(
+            n,
+            threads,
+            || WorkerState {
+                scratch: TrialScratch::new(options),
+                root: SimRng::seed_from(master_seed),
+            },
+            move |state, i| {
+                // Invert the expansion order of `Campaign::trials`:
+                // attack → gap → speed → seed, seeds innermost.
+                let seed_i = i % n_seeds;
+                let rest = i / n_seeds;
+                let speed_i = rest % n_speeds;
+                let rest = rest / n_speeds;
+                let gap_i = rest % n_gaps;
+                let attack_i = rest / n_gaps;
+
+                let label = format!(
+                    "{}/gap{}/v{}/seed{}",
+                    grid.attacks[attack_i].label(),
+                    grid.initial_gaps_m[gap_i],
+                    grid.initial_speeds_mph[speed_i],
+                    grid.seeds[seed_i],
+                );
+                let seed = state.root.substream(&label).seed();
+                let plan = &plans_ref[(attack_i * n_gaps + gap_i) * n_speeds + speed_i];
+                let metrics = plan.run_metrics(seed, &mut state.scratch);
+                (attack_i, metrics)
+            },
+            |_i, (attack_i, metrics)| {
+                stats.record(&metrics);
+                groups[attack_i].1.record(&metrics);
+            },
+        );
+
+        CampaignStream {
+            name: self.name.clone(),
+            master_seed: self.master_seed,
+            trials: n as u64,
+            stats,
+            groups,
+            threads: timing.threads,
+            wall: timing.wall,
+            busy: timing.busy,
+            max_pending: timing.max_pending,
+        }
+    }
+}
+
+/// Canonical JSON document for a streaming run: summary and per-group
+/// aggregates only — the document size is O(labels), independent of the
+/// trial count, and excludes every wall-clock quantity.
+pub fn stream_to_json(run: &CampaignStream) -> Json {
+    let groups: Vec<Json> = run
+        .groups
+        .iter()
+        .map(|(label, s)| {
+            let mut members = vec![("label".into(), Json::str(label))];
+            members.extend(stats_members(s));
+            Json::Obj(members)
+        })
+        .collect();
+    Json::Obj(vec![
+        ("format".into(), Json::str(STREAM_FORMAT)),
+        ("name".into(), Json::str(&run.name)),
+        ("master_seed".into(), Json::str(run.master_seed.to_string())),
+        ("summary".into(), Json::Obj(stats_members(&run.stats))),
+        ("groups".into(), Json::Arr(groups)),
+    ])
+}
+
+fn stats_members(s: &StreamingCampaignStats) -> Vec<(String, Json)> {
+    vec![
+        ("trials".into(), Json::num(s.trials as f64)),
+        ("collisions".into(), Json::num(s.collisions as f64)),
+        ("detected".into(), Json::num(s.detected as f64)),
+        (
+            "false_positives".into(),
+            Json::num(s.false_positives as f64),
+        ),
+        (
+            "false_negatives".into(),
+            Json::num(s.false_negatives as f64),
+        ),
+        ("crash_rate".into(), Json::num(s.crash_rate())),
+        ("detection_rate".into(), Json::num(s.detection_rate())),
+        ("min_gap_mean".into(), running_mean(s.min_gap_stats())),
+        ("min_gap_p5".into(), opt_num(s.min_gap_p5())),
+        ("min_gap_p50".into(), opt_num(s.min_gap_p50())),
+        ("latency_p50".into(), opt_num(s.latency_p50())),
+        ("latency_p95".into(), opt_num(s.latency_p95())),
+        ("latency_max".into(), opt_num(s.latency_max())),
+        ("rmse_p50".into(), opt_num(s.rmse_p50())),
+        ("rmse_p95".into(), opt_num(s.rmse_p95())),
+    ]
+}
+
+fn running_mean(s: &RunningStats) -> Json {
+    if s.count() == 0 {
+        Json::Null
+    } else {
+        Json::num(s.mean())
+    }
+}
+
+fn opt_num(x: Option<f64>) -> Json {
+    match x {
+        Some(v) => Json::num(v),
+        None => Json::Null,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{AttackAxis, AxisGrid};
+    use argus_vehicle::leader::LeaderProfile;
+
+    fn small_campaign() -> Campaign {
+        Campaign::new(
+            "stream-unit",
+            LeaderProfile::paper_constant_decel(),
+            AxisGrid {
+                attacks: vec![AttackAxis::paper_dos(), AttackAxis::Benign],
+                initial_gaps_m: vec![100.0, 90.0],
+                initial_speeds_mph: vec![65.0],
+                seeds: vec![1, 2, 3],
+            },
+        )
+    }
+
+    #[test]
+    fn streaming_matches_stored_run_counts() {
+        let stored = small_campaign().run(Some(2));
+        let streamed = small_campaign().run_streaming(Some(2));
+        assert_eq!(streamed.trials, stored.trials.len() as u64);
+        assert_eq!(streamed.stats.trials, stored.stats.trials);
+        assert_eq!(streamed.stats.collisions, stored.stats.collisions);
+        assert_eq!(streamed.stats.detected, stored.stats.detected);
+        assert_eq!(streamed.stats.false_positives, stored.stats.false_positives);
+        assert_eq!(streamed.stats.false_negatives, stored.stats.false_negatives);
+        // The Welford mean over min gaps must agree with the stored samples.
+        let exact: f64 =
+            stored.stats.min_gaps().iter().sum::<f64>() / stored.stats.min_gaps().len() as f64;
+        assert!((streamed.stats.min_gap_stats().mean() - exact).abs() < 1e-9);
+    }
+
+    #[test]
+    fn serial_and_parallel_streams_are_byte_identical() {
+        let serial = small_campaign().run_streaming(Some(1));
+        let parallel = small_campaign().run_streaming(Some(4));
+        assert_eq!(
+            stream_to_json(&serial).to_canonical(),
+            stream_to_json(&parallel).to_canonical()
+        );
+    }
+
+    #[test]
+    fn groups_follow_attack_declaration_order() {
+        let run = small_campaign().run_streaming(Some(2));
+        assert_eq!(run.groups.len(), 2);
+        assert_eq!(run.groups[0].0, "dos@182+119x1");
+        assert_eq!(run.groups[1].0, "benign");
+        // 2 gaps × 1 speed × 3 seeds per attack point.
+        assert_eq!(run.groups[0].1.trials, 6);
+        assert_eq!(run.groups[1].1.trials, 6);
+        // The DoS group detects; the benign group must not.
+        assert_eq!(run.groups[0].1.detected, 6);
+        assert_eq!(run.groups[1].1.detected, 0);
+    }
+
+    #[test]
+    fn stream_json_is_canonical_and_label_sized() {
+        let run = small_campaign().run_streaming(Some(2));
+        let doc = stream_to_json(&run);
+        let text = doc.to_canonical();
+        assert_eq!(argus_sim::json::parse(&text).unwrap(), doc);
+        assert_eq!(doc.get("format").unwrap().as_str(), Some(STREAM_FORMAT));
+        // No per-trial rows and no wall-clock quantity in the document.
+        assert!(doc.get("trials").is_none());
+        assert!(!text.contains("time_ns") && !text.contains("duration"));
+    }
+
+    #[test]
+    fn fast_options_stay_deterministic_across_thread_counts() {
+        let opts = ScratchOptions::fast();
+        let a = small_campaign().run_streaming_with_options(Some(1), opts);
+        let b = small_campaign().run_streaming_with_options(Some(4), opts);
+        assert_eq!(
+            stream_to_json(&a).to_canonical(),
+            stream_to_json(&b).to_canonical()
+        );
+    }
+
+    #[test]
+    fn streaming_seeds_match_stored_spec_seeds() {
+        // The on-demand label/seed derivation must agree with the
+        // materialized spec list — same labels, same substream seeds.
+        let c = small_campaign();
+        let specs = c.trials();
+        let stored = c.run(Some(1));
+        let streamed = c.run_streaming(Some(1));
+        assert_eq!(specs.len() as u64, streamed.trials);
+        // Detection counts and the min-gap mean coincide because each trial
+        // consumed the same derived seed in both paths (the mean is exact in
+        // both aggregates; only quantiles are approximated by P²).
+        assert_eq!(stored.stats.detected, streamed.stats.detected);
+        let mean_stored: f64 =
+            stored.stats.min_gaps().iter().sum::<f64>() / stored.stats.min_gaps().len() as f64;
+        let mean_streamed = streamed.stats.min_gap_stats().mean();
+        assert!(
+            (mean_stored - mean_streamed).abs() < 1e-9,
+            "{mean_stored} vs {mean_streamed}"
+        );
+    }
+}

@@ -42,24 +42,29 @@ pub mod campaign;
 pub mod experiments;
 pub mod metrics;
 pub mod pipeline;
+pub mod plan;
 pub mod plot;
 pub mod report;
 pub mod scenario;
 pub mod tracker;
 
-pub use campaign::{AttackAxis, AxisGrid, Campaign, CampaignRun, TrialResult};
+pub use campaign::{AttackAxis, AxisGrid, Campaign, CampaignRun, CampaignStream, TrialResult};
 pub use experiments::{Experiment, ExperimentOutcome, FigureSeries};
-pub use metrics::{CampaignStats, RunMetrics};
+pub use metrics::{CampaignStats, RunMetrics, StreamingCampaignStats};
 pub use pipeline::{MeasurementSource, PipelineOutput, PredictorKind, SecurePipeline};
+pub use plan::{ScenarioPlan, TrialScratch};
 pub use scenario::{Scenario, ScenarioConfig, ScenarioResult};
 pub use tracker::{MultiTargetTracker, Track, TrackId, TrackerConfig};
 
 /// Convenient glob import for downstream binaries and tests.
 pub mod prelude {
-    pub use crate::campaign::{AttackAxis, AxisGrid, Campaign, CampaignRun, TrialResult};
+    pub use crate::campaign::{
+        AttackAxis, AxisGrid, Campaign, CampaignRun, CampaignStream, TrialResult,
+    };
     pub use crate::experiments::{Experiment, ExperimentOutcome, FigureSeries};
-    pub use crate::metrics::{CampaignStats, RunMetrics};
+    pub use crate::metrics::{CampaignStats, RunMetrics, StreamingCampaignStats};
     pub use crate::pipeline::{MeasurementSource, PipelineOutput, SecurePipeline};
+    pub use crate::plan::{ScenarioPlan, TrialScratch};
     pub use crate::scenario::{Scenario, ScenarioConfig, ScenarioResult};
     pub use argus_attack::{Adversary, AttackKind};
     pub use argus_cra::{ChallengeSchedule, CraDetector};

@@ -2,7 +2,7 @@
 //! plus campaign-level aggregation across Monte-Carlo trials.
 
 use argus_cra::detector::ConfusionMatrix;
-use argus_sim::stats::percentile;
+use argus_sim::stats::{percentile, P2Quantile, RunningStats};
 use argus_sim::time::Step;
 
 /// Outcome metrics of one closed-loop run.
@@ -154,6 +154,174 @@ impl CampaignStats {
     }
 }
 
+/// Constant-memory aggregate over a stream of Monte-Carlo trials.
+///
+/// The storing [`CampaignStats`] keeps every sample, so a campaign's memory
+/// grows O(trials). This variant replaces the sample lists with Welford
+/// accumulators and P² quantile markers for exactly the percentiles the
+/// canonical campaign summary reports — memory is O(1) per label regardless
+/// of trial count, which is what unlocks million-trial runs.
+///
+/// The P² markers are order-dependent, so the estimate is a deterministic
+/// pure function of the *recording sequence*: the streaming campaign runner
+/// folds trials in index order on one thread, making serial and parallel
+/// runs byte-identical.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamingCampaignStats {
+    /// Number of trials recorded.
+    pub trials: u64,
+    /// Trials that ended in a collision.
+    pub collisions: u64,
+    /// Trials where the detector fired at least once.
+    pub detected: u64,
+    /// Total false positives across all trials' challenge instants.
+    pub false_positives: u64,
+    /// Total false negatives across all trials' challenge instants.
+    pub false_negatives: u64,
+    min_gap: RunningStats,
+    min_gap_p5: P2Quantile,
+    min_gap_p50: P2Quantile,
+    latency: RunningStats,
+    latency_p50: P2Quantile,
+    latency_p95: P2Quantile,
+    rmse: RunningStats,
+    rmse_p50: P2Quantile,
+    rmse_p95: P2Quantile,
+}
+
+impl Default for StreamingCampaignStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamingCampaignStats {
+    /// An empty aggregate.
+    pub fn new() -> Self {
+        Self {
+            trials: 0,
+            collisions: 0,
+            detected: 0,
+            false_positives: 0,
+            false_negatives: 0,
+            min_gap: RunningStats::new(),
+            min_gap_p5: P2Quantile::new(5.0),
+            min_gap_p50: P2Quantile::new(50.0),
+            latency: RunningStats::new(),
+            latency_p50: P2Quantile::new(50.0),
+            latency_p95: P2Quantile::new(95.0),
+            rmse: RunningStats::new(),
+            rmse_p50: P2Quantile::new(50.0),
+            rmse_p95: P2Quantile::new(95.0),
+        }
+    }
+
+    /// Folds one trial's metrics into the aggregate.
+    pub fn record(&mut self, m: &RunMetrics) {
+        self.trials += 1;
+        self.collisions += u64::from(m.collided);
+        self.detected += u64::from(m.detection_step.is_some());
+        self.false_positives += m.confusion.false_positives;
+        self.false_negatives += m.confusion.false_negatives;
+        self.min_gap.push(m.min_gap);
+        self.min_gap_p5.push(m.min_gap);
+        self.min_gap_p50.push(m.min_gap);
+        if let Some(l) = m.detection_latency {
+            let l = l as f64;
+            self.latency.push(l);
+            self.latency_p50.push(l);
+            self.latency_p95.push(l);
+        }
+        if let Some(r) = m.attack_window_distance_rmse {
+            self.rmse.push(r);
+            self.rmse_p50.push(r);
+            self.rmse_p95.push(r);
+        }
+    }
+
+    /// Fraction of trials that collided.
+    pub fn crash_rate(&self) -> f64 {
+        rate(self.collisions, self.trials)
+    }
+
+    /// Fraction of trials with at least one detection.
+    pub fn detection_rate(&self) -> f64 {
+        rate(self.detected, self.trials)
+    }
+
+    /// Welford summary of the minimum gap.
+    pub fn min_gap_stats(&self) -> &RunningStats {
+        &self.min_gap
+    }
+
+    /// Welford summary of detection latency over detecting trials.
+    pub fn latency_stats(&self) -> &RunningStats {
+        &self.latency
+    }
+
+    /// Welford summary of attack-window RMSE over estimating trials.
+    pub fn rmse_stats(&self) -> &RunningStats {
+        &self.rmse
+    }
+
+    /// P² estimate of the 5th percentile of the minimum gap.
+    pub fn min_gap_p5(&self) -> Option<f64> {
+        self.min_gap_p5.estimate()
+    }
+
+    /// P² estimate of the median minimum gap.
+    pub fn min_gap_p50(&self) -> Option<f64> {
+        self.min_gap_p50.estimate()
+    }
+
+    /// P² estimate of the median detection latency.
+    pub fn latency_p50(&self) -> Option<f64> {
+        self.latency_p50.estimate()
+    }
+
+    /// P² estimate of the 95th-percentile detection latency.
+    pub fn latency_p95(&self) -> Option<f64> {
+        self.latency_p95.estimate()
+    }
+
+    /// Largest observed detection latency (`None` before any detection).
+    pub fn latency_max(&self) -> Option<f64> {
+        (self.latency.count() > 0).then(|| self.latency.max())
+    }
+
+    /// P² estimate of the median attack-window RMSE.
+    pub fn rmse_p50(&self) -> Option<f64> {
+        self.rmse_p50.estimate()
+    }
+
+    /// P² estimate of the 95th-percentile attack-window RMSE.
+    pub fn rmse_p95(&self) -> Option<f64> {
+        self.rmse_p95.estimate()
+    }
+}
+
+impl std::fmt::Display for StreamingCampaignStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "trials={} crash_rate={:.3} detection_rate={:.3} FP={} FN={} \
+             min_gap[p5={:.2} p50={:.2}] latency[p50={:.1} p95={:.1}] \
+             rmse[p50={:.2} p95={:.2}]",
+            self.trials,
+            self.crash_rate(),
+            self.detection_rate(),
+            self.false_positives,
+            self.false_negatives,
+            self.min_gap_p5().unwrap_or(f64::NAN),
+            self.min_gap_p50().unwrap_or(f64::NAN),
+            self.latency_p50().unwrap_or(f64::NAN),
+            self.latency_p95().unwrap_or(f64::NAN),
+            self.rmse_p50().unwrap_or(f64::NAN),
+            self.rmse_p95().unwrap_or(f64::NAN),
+        )
+    }
+}
+
 fn rate(part: u64, whole: u64) -> f64 {
     if whole == 0 {
         0.0
@@ -275,5 +443,89 @@ mod tests {
         assert_eq!(s.crash_rate(), 0.0);
         assert!(s.latency_percentile(50.0).is_none());
         assert!(s.min_gap_percentile(50.0).is_none());
+    }
+
+    #[test]
+    fn streaming_counts_match_storing_stats_exactly() {
+        let mut storing = CampaignStats::new();
+        let mut streaming = StreamingCampaignStats::new();
+        let mut m = metrics();
+        for i in 0..50u32 {
+            m.min_gap = 20.0 + f64::from(i % 13);
+            m.collided = i % 7 == 0;
+            m.detection_latency = (i % 3 == 0).then(|| u64::from(i % 5));
+            m.detection_step = m.detection_latency.map(|_| Step(182));
+            storing.record(&m);
+            streaming.record(&m);
+        }
+        assert_eq!(streaming.trials, storing.trials);
+        assert_eq!(streaming.collisions, storing.collisions);
+        assert_eq!(streaming.detected, storing.detected);
+        assert_eq!(streaming.false_positives, storing.false_positives);
+        assert_eq!(streaming.false_negatives, storing.false_negatives);
+        assert_eq!(streaming.crash_rate(), storing.crash_rate());
+        assert_eq!(
+            streaming.latency_stats().count(),
+            storing.latencies().len() as u64
+        );
+        assert_eq!(
+            streaming.latency_max(),
+            storing
+                .latencies()
+                .iter()
+                .cloned()
+                .fold(None, |acc: Option<f64>, x| Some(
+                    acc.map_or(x, |a| a.max(x))
+                ))
+        );
+    }
+
+    #[test]
+    fn streaming_percentiles_track_exact_ones() {
+        let mut storing = CampaignStats::new();
+        let mut streaming = StreamingCampaignStats::new();
+        let mut m = metrics();
+        // A spread of min gaps wide enough for quantiles to matter.
+        for i in 0..2_000u32 {
+            let x = f64::from((i * 37) % 1000) / 10.0;
+            m.min_gap = x;
+            m.attack_window_distance_rmse = Some(x / 50.0);
+            storing.record(&m);
+            streaming.record(&m);
+        }
+        let exact = storing.min_gap_percentile(50.0).unwrap();
+        let approx = streaming.min_gap_p50().unwrap();
+        assert!((exact - approx).abs() < 1.0, "{exact} vs {approx}");
+        let exact5 = storing.min_gap_percentile(5.0).unwrap();
+        let approx5 = streaming.min_gap_p5().unwrap();
+        assert!((exact5 - approx5).abs() < 1.0, "{exact5} vs {approx5}");
+        let exact_r = storing.rmse_percentile(95.0).unwrap();
+        let approx_r = streaming.rmse_p95().unwrap();
+        assert!((exact_r - approx_r).abs() < 0.1, "{exact_r} vs {approx_r}");
+    }
+
+    #[test]
+    fn streaming_stats_are_order_deterministic() {
+        let m = metrics();
+        let run = || {
+            let mut s = StreamingCampaignStats::new();
+            let mut m2 = m;
+            for i in 0..500u32 {
+                m2.min_gap = f64::from((i * 7919) % 997);
+                s.record(&m2);
+            }
+            s.min_gap_p50().unwrap()
+        };
+        assert_eq!(run().to_bits(), run().to_bits());
+    }
+
+    #[test]
+    fn empty_streaming_stats_are_safe() {
+        let s = StreamingCampaignStats::new();
+        assert_eq!(s.trials, 0);
+        assert_eq!(s.crash_rate(), 0.0);
+        assert!(s.min_gap_p50().is_none());
+        assert!(s.latency_max().is_none());
+        assert!(s.to_string().contains("trials=0"));
     }
 }

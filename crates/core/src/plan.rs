@@ -1,0 +1,496 @@
+//! Amortized trial execution: the [`ScenarioPlan`].
+//!
+//! [`Scenario::run`](crate::scenario::Scenario::run) is convenient but pays
+//! for trial-invariant work on every call: the radar link budget (a `powf`
+//! chain), controller-gain validation inside [`VehiclePair`], the detector's
+//! challenge schedule, and a fresh scratch arena. A campaign repeats all of
+//! it thousands to millions of times with identical inputs.
+//!
+//! A `ScenarioPlan` hoists everything that depends only on the
+//! [`ScenarioConfig`] into one immutable, `Sync` value built **once per
+//! campaign axis point** and shared `Arc`-style across pool workers. What
+//! remains per trial is exactly what must differ per trial: the RNG streams,
+//! the vehicle state, the detector/estimator state, and the stepping itself.
+//!
+//! The plan owns the single implementation of the closed loop —
+//! `Scenario::run` is now a thin wrapper that builds a transient plan with
+//! bit-exact options, so the two paths cannot drift apart.
+//!
+//! Determinism: a [`TrialScratch`] is reset at the start of every trial, so
+//! warm-start state (eigen basis, root seeds) never leaks across trials and
+//! results are independent of which worker ran which trial, even with
+//! [`ScratchOptions::fast`].
+
+use std::time::Instant;
+
+use argus_cra::detector::{ConfusionMatrix, CraDetector};
+use argus_dsp::scratch::ScratchOptions;
+use argus_radar::receiver::{Radar, RadarObservation, RadarScratch};
+use argus_radar::target::RadarTarget;
+use argus_sim::noise::Gaussian;
+use argus_sim::rng::SimRng;
+use argus_sim::time::{Step, TimeBase};
+use argus_sim::trace::{Trace, TraceSet};
+use argus_sim::units::{Meters, MetersPerSecond, Seconds};
+use argus_vehicle::pair::VehiclePair;
+
+use crate::metrics::RunMetrics;
+use crate::pipeline::{MeasurementSource, SecurePipeline};
+use crate::scenario::{ScenarioConfig, ScenarioResult};
+
+/// Radar cross-section of the leader vehicle (a passenger car ≈ 10 m²).
+const LEADER_RCS: f64 = 10.0;
+
+/// Per-step record of everything observable in the loop.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct StepRecord {
+    gap_true: f64,
+    v_rel_true: f64,
+    d_radar: f64,
+    v_radar: f64,
+    d_used: f64,
+    v_used: f64,
+    v_follower: f64,
+    v_leader: f64,
+    received_power: f64,
+    under_attack: f64,
+    estimated: f64,
+}
+
+/// Reusable per-worker state for plan-driven trials.
+///
+/// Holds the radar DSP arena and the step-record buffer; both keep their
+/// capacity across trials so a warm worker allocates nothing per trial.
+#[derive(Debug)]
+pub struct TrialScratch {
+    radar: RadarScratch,
+    records: Vec<StepRecord>,
+}
+
+impl TrialScratch {
+    /// Creates a scratch with the given DSP options.
+    pub fn new(options: ScratchOptions) -> Self {
+        Self {
+            radar: RadarScratch::new(options),
+            records: Vec::new(),
+        }
+    }
+
+    /// Scratch matching a plan's options.
+    pub fn for_plan(plan: &ScenarioPlan) -> Self {
+        Self::new(plan.options())
+    }
+
+    /// The DSP options this scratch was built with.
+    pub fn options(&self) -> ScratchOptions {
+        self.radar.options()
+    }
+}
+
+/// All trial-invariant state of a scenario, precomputed.
+///
+/// ```
+/// use argus_core::plan::{ScenarioPlan, TrialScratch};
+/// use argus_core::scenario::ScenarioConfig;
+/// use argus_attack::Adversary;
+/// use argus_vehicle::LeaderProfile;
+///
+/// let plan = ScenarioPlan::new(ScenarioConfig::paper(
+///     LeaderProfile::paper_constant_decel(),
+///     Adversary::paper_dos(),
+///     true,
+/// ));
+/// let mut scratch = TrialScratch::for_plan(&plan);
+/// let metrics = plan.run_metrics(7, &mut scratch);
+/// assert_eq!(metrics.detection_step.unwrap().0, 182);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioPlan {
+    config: ScenarioConfig,
+    options: ScratchOptions,
+    /// Radar with the link budget (noise floor) baked in at construction.
+    radar: Radar,
+    d_noise: Gaussian,
+    v_noise: Gaussian,
+    /// Validated initial vehicle state; cloned per trial.
+    pair_proto: VehiclePair,
+    /// Fresh detector (schedule + threshold checked once); cloned per trial.
+    detector_proto: Option<CraDetector>,
+}
+
+impl ScenarioPlan {
+    /// Builds a plan with bit-exact DSP options (the golden-trace default).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the horizon is zero, a noise std-dev is negative, or the
+    /// initial conditions are invalid — the same contract as
+    /// [`Scenario::new`](crate::scenario::Scenario::new), but paid once per
+    /// plan instead of once per trial.
+    pub fn new(config: ScenarioConfig) -> Self {
+        Self::with_options(config, ScratchOptions::bit_exact())
+    }
+
+    /// Builds a plan with explicit DSP options (`fast` for sweeps).
+    pub fn with_options(config: ScenarioConfig, options: ScratchOptions) -> Self {
+        assert!(config.horizon > 0, "horizon must be positive");
+        assert!(
+            config.distance_noise >= 0.0 && config.speed_noise >= 0.0,
+            "noise std-devs must be non-negative"
+        );
+        let radar = Radar::new(config.radar);
+        let d_noise = Gaussian::new(0.0, config.distance_noise);
+        let v_noise = Gaussian::new(0.0, config.speed_noise);
+        let pair_proto = VehiclePair::new(
+            argus_control::acc::AccConfig::paper(config.set_speed),
+            config.profile.clone(),
+            config.initial_gap,
+            config.initial_speed,
+            config.initial_speed,
+        )
+        .expect("scenario initial conditions are valid");
+        let detector_proto = config
+            .defended
+            .then(|| CraDetector::new(config.schedule.clone(), config.radar.detection_threshold));
+        Self {
+            config,
+            options,
+            radar,
+            d_noise,
+            v_noise,
+            pair_proto,
+            detector_proto,
+        }
+    }
+
+    /// The configuration this plan was built from.
+    pub fn config(&self) -> &ScenarioConfig {
+        &self.config
+    }
+
+    /// The DSP options trials run with.
+    pub fn options(&self) -> ScratchOptions {
+        self.options
+    }
+
+    /// Runs one trial and returns only its metrics — the campaign hot path.
+    ///
+    /// No trace is recorded and nothing is allocated once `scratch` is warm.
+    pub fn run_metrics(&self, seed: u64, scratch: &mut TrialScratch) -> RunMetrics {
+        self.run_inner(seed, scratch, false)
+    }
+
+    /// Runs one trial and returns the full trace set plus metrics.
+    pub fn run_traced(&self, seed: u64, scratch: &mut TrialScratch) -> ScenarioResult {
+        let metrics = self.run_inner(seed, scratch, true);
+        ScenarioResult {
+            traces: build_traces(&scratch.records),
+            metrics,
+        }
+    }
+
+    /// The closed loop of the paper's Figure 1 — the only implementation.
+    fn run_inner(&self, seed: u64, scratch: &mut TrialScratch, record: bool) -> RunMetrics {
+        let cfg = &self.config;
+        // Warm-start state must never leak across trials: results stay
+        // independent of worker scheduling even with fast options.
+        scratch.radar.reset();
+        scratch.records.clear();
+
+        let root_rng = SimRng::seed_from(seed);
+        let mut radar_rng = root_rng.substream("radar");
+        let mut noise_rng = root_rng.substream("measurement-noise");
+
+        let mut pair = self.pair_proto.clone();
+        let mut pipeline = self.detector_proto.as_ref().map(|detector| {
+            let predictor = cfg
+                .predictor
+                .build()
+                .expect("built-in predictor configs are valid");
+            SecurePipeline::new(detector.clone(), predictor, Seconds(1.0))
+        });
+
+        let mut confusion = ConfusionMatrix::new();
+        let mut estimation_time_ns: u128 = 0;
+        let mut estimation_steps: u64 = 0;
+        let mut detection_step: Option<Step> = None;
+        let mut collided = false;
+        let mut min_gap = f64::MAX;
+        let mut attack_err_sq = 0.0;
+        let mut attack_err_n = 0u64;
+
+        for k_idx in 0..cfg.horizon {
+            let k = Step(k_idx as u64);
+            if pair.collided() {
+                collided = true;
+                break;
+            }
+            let gap = pair.gap();
+            let v_rel = pair.relative_speed();
+            min_gap = min_gap.min(gap.value());
+
+            let target = if gap.value() > 0.0 {
+                Some(RadarTarget::new(gap, v_rel, LEADER_RCS))
+            } else {
+                None
+            };
+
+            let tx_on = match &pipeline {
+                Some(p) => p.tx_on(k),
+                None => true,
+            };
+            let channel = cfg
+                .adversary
+                .channel_at(k, tx_on, target.as_ref(), &self.radar);
+            let mut obs = self.radar.observe_with_scratch(
+                tx_on,
+                target.as_ref(),
+                &channel,
+                &mut radar_rng,
+                &mut scratch.radar,
+            );
+            // Eqn 2: additive Gaussian measurement noise v_k on the sampled
+            // outputs.
+            if let Some(m) = obs.measurement.as_mut() {
+                m.distance += Meters(self.d_noise.sample(&mut noise_rng));
+                m.range_rate += MetersPerSecond(self.v_noise.sample(&mut noise_rng));
+            }
+
+            let (d_radar, v_radar) = raw_series_values(&obs);
+
+            let (d_used, d_control, v_used, under_attack, estimated) = match pipeline.as_mut() {
+                Some(p) => {
+                    let own_speed = pair.follower().speed();
+                    let t0 = Instant::now();
+                    let out = p.process(k, &obs, own_speed);
+                    let dt_ns = t0.elapsed().as_nanos();
+                    let attacked = out.verdict.under_attack();
+                    if attacked {
+                        estimation_time_ns += dt_ns;
+                        estimation_steps += 1;
+                        if detection_step.is_none() {
+                            detection_step = p.detector().first_detection();
+                        }
+                    }
+                    if cfg.schedule.is_challenge(k) {
+                        confusion.record(cfg.adversary.active(k), attacked);
+                    }
+                    let est = matches!(out.source, MeasurementSource::Estimated);
+                    (
+                        out.distance,
+                        out.control_distance,
+                        out.relative_speed,
+                        attacked,
+                        est,
+                    )
+                }
+                None => {
+                    let d = obs.measurement.map(|m| m.distance);
+                    let v = obs
+                        .measurement
+                        .map(|m| MetersPerSecond(m.range_rate.value()))
+                        .unwrap_or(MetersPerSecond(0.0));
+                    (d, d, v, false, false)
+                }
+            };
+
+            if under_attack {
+                if let Some(d) = d_used {
+                    attack_err_sq += (d.value() - gap.value()).powi(2);
+                    attack_err_n += 1;
+                }
+            }
+
+            if record {
+                scratch.records.push(StepRecord {
+                    gap_true: gap.value(),
+                    v_rel_true: v_rel.value(),
+                    d_radar,
+                    v_radar,
+                    d_used: d_used.map_or(0.0, |d| d.value()),
+                    v_used: v_used.value(),
+                    v_follower: pair.follower().speed().value(),
+                    v_leader: pair.leader().velocity.value(),
+                    received_power: obs.received_power.value(),
+                    under_attack: f64::from(u8::from(under_attack)),
+                    estimated: f64::from(u8::from(estimated)),
+                });
+            }
+
+            pair.advance(d_control, v_used);
+        }
+        if pair.collided() {
+            collided = true;
+            min_gap = min_gap.min(0.0);
+        }
+
+        let detection_latency = match (detection_step, &cfg.adversary) {
+            (Some(det), adv) if adv.active(det) => {
+                Some(det.0.saturating_sub(adv.window().start().0))
+            }
+            _ => None,
+        };
+
+        RunMetrics {
+            min_gap,
+            collided,
+            detection_step,
+            detection_latency,
+            estimation_steps,
+            estimation_time_ns,
+            confusion,
+            attack_window_distance_rmse: if attack_err_n > 0 {
+                Some((attack_err_sq / attack_err_n as f64).sqrt())
+            } else {
+                None
+            },
+        }
+    }
+}
+
+fn raw_series_values(obs: &RadarObservation) -> (f64, f64) {
+    match obs.measurement {
+        // Paper figures plot the radar output directly; at challenge
+        // instants with a clean channel the output is zero (the spikes in
+        // Figures 2–3).
+        None => (0.0, 0.0),
+        Some(m) => (m.distance.value(), m.range_rate.value()),
+    }
+}
+
+fn build_traces(records: &[StepRecord]) -> TraceSet {
+    let tb = TimeBase::new(Seconds(1.0));
+    let mut set = TraceSet::new();
+    let mut push = |name: &str, f: fn(&StepRecord) -> f64| {
+        set.insert(Trace::from_values(
+            name,
+            tb,
+            records.iter().map(f).collect(),
+        ));
+    };
+    push("gap_true", |r| r.gap_true);
+    push("v_rel_true", |r| r.v_rel_true);
+    push("d_radar", |r| r.d_radar);
+    push("v_radar", |r| r.v_radar);
+    push("d_used", |r| r.d_used);
+    push("v_used", |r| r.v_used);
+    push("v_follower", |r| r.v_follower);
+    push("v_leader", |r| r.v_leader);
+    push("received_power", |r| r.received_power);
+    push("under_attack", |r| r.under_attack);
+    push("estimated", |r| r.estimated);
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Scenario;
+    use argus_attack::Adversary;
+    use argus_vehicle::leader::LeaderProfile;
+
+    fn dos_config() -> ScenarioConfig {
+        ScenarioConfig::paper(
+            LeaderProfile::paper_constant_decel(),
+            Adversary::paper_dos(),
+            true,
+        )
+    }
+
+    #[test]
+    fn plan_is_sync_and_send() {
+        fn assert_sync_send<T: Sync + Send>() {}
+        assert_sync_send::<ScenarioPlan>();
+    }
+
+    #[test]
+    fn plan_matches_scenario_run_exactly() {
+        let plan = ScenarioPlan::new(dos_config());
+        let mut scratch = TrialScratch::for_plan(&plan);
+        let via_plan = plan.run_traced(7, &mut scratch);
+        let via_scenario = Scenario::new(dos_config()).run(7);
+        assert_eq!(via_plan.series("gap_true"), via_scenario.series("gap_true"));
+        assert_eq!(via_plan.series("d_radar"), via_scenario.series("d_radar"));
+        assert_eq!(
+            via_plan.metrics.detection_step,
+            via_scenario.metrics.detection_step
+        );
+        assert_eq!(via_plan.metrics.min_gap, via_scenario.metrics.min_gap);
+    }
+
+    #[test]
+    fn run_metrics_equals_traced_metrics() {
+        let plan = ScenarioPlan::new(dos_config());
+        let mut scratch = TrialScratch::for_plan(&plan);
+        let only_metrics = plan.run_metrics(7, &mut scratch);
+        let traced = plan.run_traced(7, &mut scratch);
+        assert_eq!(only_metrics.min_gap, traced.metrics.min_gap);
+        assert_eq!(only_metrics.detection_step, traced.metrics.detection_step);
+        assert_eq!(only_metrics.confusion, traced.metrics.confusion);
+        assert_eq!(
+            only_metrics.attack_window_distance_rmse,
+            traced.metrics.attack_window_distance_rmse
+        );
+    }
+
+    #[test]
+    fn scratch_reuse_does_not_leak_across_trials() {
+        let plan = ScenarioPlan::new(dos_config());
+        let mut warm = TrialScratch::for_plan(&plan);
+        // Warm the scratch on unrelated seeds, then compare against a cold
+        // scratch: per-trial results must be identical.
+        for seed in 100..104 {
+            let _ = plan.run_metrics(seed, &mut warm);
+        }
+        let mut cold = TrialScratch::for_plan(&plan);
+        let a = plan.run_metrics(7, &mut warm);
+        let b = plan.run_metrics(7, &mut cold);
+        assert_eq!(a.min_gap, b.min_gap);
+        assert_eq!(a.detection_step, b.detection_step);
+        assert_eq!(a.confusion, b.confusion);
+    }
+
+    #[test]
+    fn fast_options_keep_trial_isolation_in_signal_mode() {
+        let mut cfg = dos_config();
+        cfg.radar = argus_radar::RadarConfig::bosch_lrr2_signal();
+        cfg.horizon = 40;
+        let plan = ScenarioPlan::with_options(cfg, ScratchOptions::fast());
+        let mut warm = TrialScratch::for_plan(&plan);
+        for seed in 200..203 {
+            let _ = plan.run_metrics(seed, &mut warm);
+        }
+        let mut cold = TrialScratch::for_plan(&plan);
+        let a = plan.run_metrics(5, &mut warm);
+        let b = plan.run_metrics(5, &mut cold);
+        // The reset at trial start makes warm-vs-cold scratch bit-identical
+        // even on the rounding-sensitive fast path.
+        assert_eq!(a.min_gap.to_bits(), b.min_gap.to_bits());
+    }
+
+    #[test]
+    fn fast_plan_stays_close_to_bit_exact_plan() {
+        let mut cfg = dos_config();
+        cfg.radar = argus_radar::RadarConfig::bosch_lrr2_signal();
+        cfg.horizon = 60;
+        let exact = ScenarioPlan::new(cfg.clone());
+        let fast = ScenarioPlan::with_options(cfg, ScratchOptions::fast());
+        let a = exact.run_metrics(7, &mut TrialScratch::for_plan(&exact));
+        let b = fast.run_metrics(7, &mut TrialScratch::for_plan(&fast));
+        assert_eq!(a.collided, b.collided);
+        assert!(
+            (a.min_gap - b.min_gap).abs() < 0.1,
+            "{} vs {}",
+            a.min_gap,
+            b.min_gap
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "horizon must be positive")]
+    fn zero_horizon_panics_at_plan_build() {
+        let mut cfg = dos_config();
+        cfg.horizon = 0;
+        let _ = ScenarioPlan::new(cfg);
+    }
+}

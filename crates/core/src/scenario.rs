@@ -5,27 +5,15 @@
 //! defense. Running it produces the complete trace set behind Figures 2–3
 //! plus the §6.2 result metrics.
 
-use std::time::Instant;
-
 use argus_attack::Adversary;
 use argus_cra::challenge::ChallengeSchedule;
-use argus_cra::detector::{ConfusionMatrix, CraDetector};
-use argus_radar::receiver::{Radar, RadarObservation, RadarScratch};
-use argus_radar::target::RadarTarget;
 use argus_radar::RadarConfig;
-use argus_sim::noise::Gaussian;
-use argus_sim::rng::SimRng;
-use argus_sim::time::{Step, TimeBase};
-use argus_sim::trace::{Trace, TraceSet};
-use argus_sim::units::{Meters, MetersPerSecond, Seconds};
+use argus_sim::trace::TraceSet;
+use argus_sim::units::{Meters, MetersPerSecond};
 use argus_vehicle::leader::LeaderProfile;
-use argus_vehicle::pair::VehiclePair;
 
 use crate::metrics::RunMetrics;
-use crate::pipeline::{MeasurementSource, SecurePipeline};
-
-/// Radar cross-section of the leader vehicle (a passenger car ≈ 10 m²).
-const LEADER_RCS: f64 = 10.0;
+use crate::plan::{ScenarioPlan, TrialScratch};
 
 /// Configuration of one closed-loop run.
 #[derive(Debug, Clone)]
@@ -88,22 +76,6 @@ impl ScenarioConfig {
         self.predictor = predictor;
         self
     }
-}
-
-/// Per-step record of everything observable in the loop.
-#[derive(Debug, Clone, Copy)]
-struct StepRecord {
-    gap_true: f64,
-    v_rel_true: f64,
-    d_radar: f64,
-    v_radar: f64,
-    d_used: f64,
-    v_used: f64,
-    v_follower: f64,
-    v_leader: f64,
-    received_power: f64,
-    under_attack: f64,
-    estimated: f64,
 }
 
 /// Result of one run: traces + metrics.
@@ -171,217 +143,23 @@ impl Scenario {
     }
 
     /// Runs the closed loop with a fixed seed; fully deterministic.
+    ///
+    /// Convenience wrapper: builds a transient bit-exact [`ScenarioPlan`]
+    /// and runs one traced trial through it. The stepping loop lives in
+    /// [`ScenarioPlan::run_traced`] — there is exactly one implementation,
+    /// so this path cannot drift from the amortized campaign path.
     pub fn run(&self, seed: u64) -> ScenarioResult {
-        let cfg = &self.config;
-        let root_rng = SimRng::seed_from(seed);
-        let mut radar_rng = root_rng.substream("radar");
-        let mut noise_rng = root_rng.substream("measurement-noise");
-        let d_noise = Gaussian::new(0.0, cfg.distance_noise);
-        let v_noise = Gaussian::new(0.0, cfg.speed_noise);
-
-        let radar = Radar::new(cfg.radar);
-        // One scratch arena for the whole run: the signal-mode DSP chain
-        // (beat buffers, covariance, eigensolver, root finder) stops
-        // allocating after the first frame. Bit-exact options keep the run
-        // byte-identical to the plain `observe` path (golden traces).
-        let mut radar_scratch = RadarScratch::new(argus_dsp::scratch::ScratchOptions::bit_exact());
-        let mut pair = VehiclePair::new(
-            argus_control::acc::AccConfig::paper(cfg.set_speed),
-            cfg.profile.clone(),
-            cfg.initial_gap,
-            cfg.initial_speed,
-            cfg.initial_speed,
-        )
-        .expect("scenario initial conditions are valid");
-        let mut pipeline = if cfg.defended {
-            let detector = CraDetector::new(cfg.schedule.clone(), cfg.radar.detection_threshold);
-            let predictor = cfg
-                .predictor
-                .build()
-                .expect("built-in predictor configs are valid");
-            Some(SecurePipeline::new(detector, predictor, Seconds(1.0)))
-        } else {
-            None
-        };
-
-        let mut records: Vec<StepRecord> = Vec::with_capacity(cfg.horizon);
-        let mut confusion = ConfusionMatrix::new();
-        let mut estimation_time_ns: u128 = 0;
-        let mut estimation_steps: u64 = 0;
-        let mut detection_step: Option<Step> = None;
-        let mut collided = false;
-        let mut min_gap = f64::MAX;
-        let mut attack_err_sq = 0.0;
-        let mut attack_err_n = 0u64;
-
-        for k_idx in 0..cfg.horizon {
-            let k = Step(k_idx as u64);
-            if pair.collided() {
-                collided = true;
-                break;
-            }
-            let gap = pair.gap();
-            let v_rel = pair.relative_speed();
-            min_gap = min_gap.min(gap.value());
-
-            let target = if gap.value() > 0.0 {
-                Some(RadarTarget::new(gap, v_rel, LEADER_RCS))
-            } else {
-                None
-            };
-
-            let tx_on = match &pipeline {
-                Some(p) => p.tx_on(k),
-                None => true,
-            };
-            let channel = cfg.adversary.channel_at(k, tx_on, target.as_ref(), &radar);
-            let mut obs = radar.observe_with_scratch(
-                tx_on,
-                target.as_ref(),
-                &channel,
-                &mut radar_rng,
-                &mut radar_scratch,
-            );
-            // Eqn 2: additive Gaussian measurement noise v_k on the sampled
-            // outputs.
-            if let Some(m) = obs.measurement.as_mut() {
-                m.distance += Meters(d_noise.sample(&mut noise_rng));
-                m.range_rate += MetersPerSecond(v_noise.sample(&mut noise_rng));
-            }
-
-            let (d_radar, v_radar) = raw_series_values(&obs);
-
-            let (d_used, d_control, v_used, under_attack, estimated) = match pipeline.as_mut() {
-                Some(p) => {
-                    let own_speed = pair.follower().speed();
-                    let t0 = Instant::now();
-                    let out = p.process(k, &obs, own_speed);
-                    let dt_ns = t0.elapsed().as_nanos();
-                    let attacked = out.verdict.under_attack();
-                    if attacked {
-                        estimation_time_ns += dt_ns;
-                        estimation_steps += 1;
-                        if detection_step.is_none() {
-                            detection_step = p.detector().first_detection();
-                        }
-                    }
-                    if cfg.schedule.is_challenge(k) {
-                        confusion.record(cfg.adversary.active(k), attacked);
-                    }
-                    let est = matches!(out.source, MeasurementSource::Estimated);
-                    (
-                        out.distance,
-                        out.control_distance,
-                        out.relative_speed,
-                        attacked,
-                        est,
-                    )
-                }
-                None => {
-                    let d = obs.measurement.map(|m| m.distance);
-                    let v = obs
-                        .measurement
-                        .map(|m| MetersPerSecond(m.range_rate.value()))
-                        .unwrap_or(MetersPerSecond(0.0));
-                    (d, d, v, false, false)
-                }
-            };
-
-            if under_attack {
-                if let Some(d) = d_used {
-                    attack_err_sq += (d.value() - gap.value()).powi(2);
-                    attack_err_n += 1;
-                }
-            }
-
-            records.push(StepRecord {
-                gap_true: gap.value(),
-                v_rel_true: v_rel.value(),
-                d_radar,
-                v_radar,
-                d_used: d_used.map_or(0.0, |d| d.value()),
-                v_used: v_used.value(),
-                v_follower: pair.follower().speed().value(),
-                v_leader: pair.leader().velocity.value(),
-                received_power: obs.received_power.value(),
-                under_attack: f64::from(u8::from(under_attack)),
-                estimated: f64::from(u8::from(estimated)),
-            });
-
-            pair.advance(d_control, v_used);
-        }
-        if pair.collided() {
-            collided = true;
-            min_gap = min_gap.min(0.0);
-        }
-
-        let detection_latency = match (detection_step, &cfg.adversary) {
-            (Some(det), adv) if adv.active(det) => {
-                Some(det.0.saturating_sub(adv.window().start().0))
-            }
-            _ => None,
-        };
-
-        let metrics = RunMetrics {
-            min_gap,
-            collided,
-            detection_step,
-            detection_latency,
-            estimation_steps,
-            estimation_time_ns,
-            confusion,
-            attack_window_distance_rmse: if attack_err_n > 0 {
-                Some((attack_err_sq / attack_err_n as f64).sqrt())
-            } else {
-                None
-            },
-        };
-
-        ScenarioResult {
-            traces: build_traces(&records),
-            metrics,
-        }
+        let plan = ScenarioPlan::new(self.config.clone());
+        let mut scratch = TrialScratch::for_plan(&plan);
+        plan.run_traced(seed, &mut scratch)
     }
-}
-
-fn raw_series_values(obs: &RadarObservation) -> (f64, f64) {
-    match obs.measurement {
-        // Paper figures plot the radar output directly; at challenge
-        // instants with a clean channel the output is zero (the spikes in
-        // Figures 2–3).
-        None => (0.0, 0.0),
-        Some(m) => (m.distance.value(), m.range_rate.value()),
-    }
-}
-
-fn build_traces(records: &[StepRecord]) -> TraceSet {
-    let tb = TimeBase::new(Seconds(1.0));
-    let mut set = TraceSet::new();
-    let mut push = |name: &str, f: fn(&StepRecord) -> f64| {
-        set.insert(Trace::from_values(
-            name,
-            tb,
-            records.iter().map(f).collect(),
-        ));
-    };
-    push("gap_true", |r| r.gap_true);
-    push("v_rel_true", |r| r.v_rel_true);
-    push("d_radar", |r| r.d_radar);
-    push("v_radar", |r| r.v_radar);
-    push("d_used", |r| r.d_used);
-    push("v_used", |r| r.v_used);
-    push("v_follower", |r| r.v_follower);
-    push("v_leader", |r| r.v_leader);
-    push("received_power", |r| r.received_power);
-    push("under_attack", |r| r.under_attack);
-    push("estimated", |r| r.estimated);
-    set
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use argus_attack::Adversary;
+    use argus_sim::time::Step;
 
     fn benign(defended: bool) -> Scenario {
         Scenario::new(ScenarioConfig::paper(

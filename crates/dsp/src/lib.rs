@@ -50,6 +50,7 @@ pub mod filter;
 pub mod music;
 pub mod polynomial;
 pub mod rootmusic;
+pub mod rotator;
 pub mod scratch;
 pub mod spectrum;
 pub mod window;
@@ -60,6 +61,7 @@ pub use fft::FftPlan;
 pub use music::MusicSpectrum;
 pub use polynomial::Polynomial;
 pub use rootmusic::{FrequencyEstimate, RootMusic};
+pub use rotator::PhaseRotator;
 pub use scratch::{FrameScratch, KernelScratch, ScratchOptions};
 pub use spectrum::Periodogram;
 pub use window::Window;
@@ -134,6 +136,7 @@ pub mod prelude {
     pub use crate::music::MusicSpectrum;
     pub use crate::polynomial::Polynomial;
     pub use crate::rootmusic::{FrequencyEstimate, RootMusic};
+    pub use crate::rotator::PhaseRotator;
     pub use crate::scratch::{FrameScratch, KernelScratch, ScratchOptions};
     pub use crate::spectrum::Periodogram;
     pub use crate::window::Window;

@@ -1,0 +1,190 @@
+//! Incremental complex-exponential synthesis (phase rotator).
+//!
+//! Evaluating `A·exp(i(ωt + φ))` sample by sample costs a `sin`/`cos` pair
+//! per sample. The rotator replaces that with the recurrence
+//!
+//! ```text
+//! z₀ = A·exp(iφ),    z_{t+1} = z_t · exp(iω)
+//! ```
+//!
+//! — one complex multiply per sample. Rounding makes the recurrence drift
+//! away from the direct evaluation; the drift is *bounded* and *certified*:
+//!
+//! * Each complex multiply is backward-stable with relative error at most
+//!   `√5·ε` (Brent–Percival bound for complex multiplication), and the step
+//!   constant `exp(iω)` itself carries at most `√2·ε` from `from_polar`.
+//! * Errors compound multiplicatively, so after `t` samples the relative
+//!   deviation is at most `t·(√5+√2)·ε + O(ε²)` — see
+//!   [`PhaseRotator::drift_bound`].
+//! * Every [`RENORM_INTERVAL`] samples the rotator rescales its phasor back
+//!   to magnitude `A`, pinning the *amplitude* error near machine precision;
+//!   only the phase component of the bound keeps accumulating.
+//!
+//! For the radar's 128-sample sweeps the certified bound is ≈ 1.2e-13
+//! relative — four orders of magnitude below the 1e-9 budget the fast path
+//! promises — and the recurrence stays inside 1e-9 for sweeps up to about a
+//! million samples.
+
+use nalgebra::Complex;
+
+/// Samples between magnitude renormalizations.
+///
+/// 64 keeps the amortized cost of the renorm (one `sqrt` + two divides)
+/// under 2% of the multiply loop while bounding amplitude drift at
+/// `64·√5·ε ≈ 3.2e-14` relative.
+pub const RENORM_INTERVAL: u32 = 64;
+
+/// Per-sample relative error constant: one complex multiply (`√5·ε`) by a
+/// step factor that is itself `√2·ε` from the exact `exp(iω)`.
+fn per_sample_eps() -> f64 {
+    (5.0_f64.sqrt() + 2.0_f64.sqrt()) * f64::EPSILON
+}
+
+/// An incremental generator of `A·exp(i(ωt + φ))` for `t = 0, 1, 2, …`.
+///
+/// ```
+/// use argus_dsp::rotator::PhaseRotator;
+/// use nalgebra::Complex;
+///
+/// let (amp, phase, omega) = (2.0, 0.3, 0.11);
+/// let mut rot = PhaseRotator::new(amp, phase, omega);
+/// for t in 0..1000u32 {
+///     let direct = Complex::from_polar(amp, omega * t as f64 + phase);
+///     let err = (rot.next_sample() - direct).norm();
+///     assert!(err <= amp * PhaseRotator::drift_bound(t as u64));
+/// }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseRotator {
+    phasor: Complex<f64>,
+    step: Complex<f64>,
+    amp: f64,
+    since_renorm: u32,
+}
+
+impl PhaseRotator {
+    /// Starts a rotator at `A·exp(iφ)` advancing by `ω` radians per sample.
+    pub fn new(amp: f64, phase: f64, omega: f64) -> Self {
+        Self {
+            phasor: Complex::from_polar(amp, phase),
+            step: Complex::from_polar(1.0, omega),
+            amp,
+            since_renorm: 0,
+        }
+    }
+
+    /// Returns the current sample and advances the recurrence by one step.
+    #[inline]
+    pub fn next_sample(&mut self) -> Complex<f64> {
+        let out = self.phasor;
+        self.phasor *= self.step;
+        self.since_renorm += 1;
+        if self.since_renorm >= RENORM_INTERVAL {
+            self.renormalize();
+        }
+        out
+    }
+
+    /// Rescales the phasor magnitude back to the nominal amplitude.
+    ///
+    /// A pure radial rescale: the phase is untouched, so the certified phase
+    /// bound still holds, while the amplitude error resets to one rounding.
+    fn renormalize(&mut self) {
+        self.since_renorm = 0;
+        let norm = self.phasor.norm();
+        if norm > 0.0 && self.amp > 0.0 {
+            let scale = self.amp / norm;
+            self.phasor = Complex::new(self.phasor.re * scale, self.phasor.im * scale);
+        }
+    }
+
+    /// Certified drift bound after `samples` steps, **relative to the
+    /// amplitude**: `|z_t − A·exp(i(ωt+φ))| ≤ A·drift_bound(t)`.
+    ///
+    /// First-order bound `t·(√5+√2)·ε`; the quadratic term is negligible for
+    /// every `t` where the bound itself is meaningful (< 1e-3).
+    pub fn drift_bound(samples: u64) -> f64 {
+        samples as f64 * per_sample_eps()
+    }
+
+    /// Largest sample count for which [`drift_bound`](Self::drift_bound)
+    /// stays at or below `tol` (relative to amplitude).
+    pub fn samples_within(tol: f64) -> u64 {
+        (tol / per_sample_eps()) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn max_rel_err(amp: f64, phase: f64, omega: f64, n: u64) -> f64 {
+        let mut rot = PhaseRotator::new(amp, phase, omega);
+        let mut worst = 0.0f64;
+        for t in 0..n {
+            let direct = Complex::from_polar(amp, omega * t as f64 + phase);
+            let err = (rot.next_sample() - direct).norm() / amp;
+            worst = worst.max(err);
+        }
+        worst
+    }
+
+    #[test]
+    fn tracks_direct_evaluation_over_radar_sweep() {
+        // The radar's sweep half is 128 samples; certified bound ≈ 1.2e-13.
+        let worst = max_rel_err(3.7e-7, 1.234, 0.815, 128);
+        assert!(worst <= PhaseRotator::drift_bound(128), "drift {worst:e}");
+        assert!(worst < 1e-12, "drift {worst:e}");
+    }
+
+    #[test]
+    fn certified_bound_holds_over_long_runs() {
+        for &omega in &[1e-4, 0.1, 0.815, 2.9, -1.3] {
+            let n = 100_000;
+            let worst = max_rel_err(2.0, 0.3, omega, n);
+            assert!(
+                worst <= PhaseRotator::drift_bound(n),
+                "omega {omega}: drift {worst:e} exceeds bound {:e}",
+                PhaseRotator::drift_bound(n)
+            );
+        }
+    }
+
+    #[test]
+    fn stays_within_fast_path_budget() {
+        // The fast-path promise: ≤ 1e-9 per-sample drift. 100k samples is
+        // ~800 radar sweeps chained end to end.
+        let worst = max_rel_err(1.0, 0.0, 0.5, 100_000);
+        assert!(worst < 1e-9, "drift {worst:e}");
+    }
+
+    #[test]
+    fn renormalization_pins_amplitude() {
+        let mut rot = PhaseRotator::new(5.0, 0.7, 1.1);
+        let mut worst_amp = 0.0f64;
+        for _ in 0..50_000 {
+            let z = rot.next_sample();
+            worst_amp = worst_amp.max((z.norm() - 5.0).abs() / 5.0);
+        }
+        // Amplitude drift is held near one renorm interval's rounding, far
+        // tighter than the phase bound at this sample count.
+        assert!(worst_amp < 1e-12, "amplitude drift {worst_amp:e}");
+    }
+
+    #[test]
+    fn zero_amplitude_is_inert() {
+        let mut rot = PhaseRotator::new(0.0, 0.4, 0.5);
+        for _ in 0..200 {
+            assert_eq!(rot.next_sample(), Complex::new(0.0, 0.0));
+        }
+    }
+
+    #[test]
+    fn samples_within_matches_bound() {
+        let n = PhaseRotator::samples_within(1e-9);
+        assert!(PhaseRotator::drift_bound(n) <= 1e-9);
+        assert!(PhaseRotator::drift_bound(n + 2) > 1e-9);
+        // Sanity: the 1e-9 budget covers about a million samples.
+        assert!(n > 500_000, "{n}");
+    }
+}

@@ -18,6 +18,7 @@ use serde::{Deserialize, Serialize};
 
 use argus_dsp::covariance::SampleCovariance;
 use argus_dsp::rootmusic::{FrequencyEstimate, RootMusic};
+use argus_dsp::rotator::PhaseRotator;
 use argus_dsp::scratch::{FrameScratch, KernelScratch, ScratchOptions};
 use argus_dsp::spectrum::Periodogram;
 use argus_dsp::window::Window;
@@ -101,12 +102,20 @@ impl RadarObservation {
 #[derive(Debug, Clone, PartialEq)]
 pub struct Radar {
     config: RadarConfig,
+    /// Thermal noise floor, fixed by the link budget. Cached here so the
+    /// per-observation hot path never recomputes the `powf` inside
+    /// [`thermal_noise`].
+    noise_floor: Watts,
 }
 
 impl Radar {
     /// Creates a radar from a configuration.
     pub fn new(config: RadarConfig) -> Self {
-        Self { config }
+        let noise_floor = thermal_noise(config.sample_rate, config.noise_figure);
+        Self {
+            config,
+            noise_floor,
+        }
     }
 
     /// The configuration in use.
@@ -126,9 +135,10 @@ impl Radar {
         )
     }
 
-    /// Thermal noise floor of the dechirped receiver.
+    /// Thermal noise floor of the dechirped receiver (precomputed at
+    /// construction — the link budget is trial-invariant).
     pub fn noise_floor(&self) -> Watts {
-        thermal_noise(self.config.sample_rate, self.config.noise_figure)
+        self.noise_floor
     }
 
     /// Performs one observation.
@@ -373,14 +383,14 @@ impl Radar {
             let amp = echo.power.value().sqrt();
             let phase = rng.uniform(0.0, 2.0 * std::f64::consts::PI);
             if options.phasor_synthesis {
-                // Phasor recurrence: one complex multiply per sample instead
-                // of a sin/cos pair. Rounding drifts ~1e-13 over a sweep, so
-                // this is opt-in (not bit-exact with the polar evaluation).
-                let step = Complex::from_polar(1.0, omega);
-                let mut phasor = Complex::from_polar(amp, phase);
+                // Phase-rotator recurrence: one complex multiply per sample
+                // instead of a sin/cos pair, with periodic renormalization
+                // and a certified drift bound (`PhaseRotator::drift_bound`,
+                // ~1.2e-13 relative over a 128-sample sweep). Opt-in: not
+                // bit-exact with the polar evaluation.
+                let mut rotator = PhaseRotator::new(amp, phase, omega);
                 for s in out.iter_mut() {
-                    *s += phasor;
-                    phasor *= step;
+                    *s += rotator.next_sample();
                 }
             } else {
                 for (t, s) in out.iter_mut().enumerate() {

@@ -182,6 +182,141 @@ pub fn percentile(samples: &[f64], p: f64) -> f64 {
     }
 }
 
+/// Streaming quantile estimator (the P² algorithm of Jain & Chlamtac).
+///
+/// Tracks one quantile with five markers in O(1) memory — no sample is
+/// retained. The first five observations are stored exactly (and the
+/// estimate below five samples falls back to the exact interpolated
+/// [`percentile`]); from the sixth observation on, the markers move by the
+/// piecewise-parabolic update. The estimate is a deterministic pure function
+/// of the insertion sequence, so campaign aggregation that folds trials in
+/// index order reproduces byte-identical output at any worker count.
+///
+/// ```
+/// use argus_sim::stats::P2Quantile;
+/// let mut q = P2Quantile::new(50.0);
+/// for x in 1..=1001 {
+///     q.push(x as f64);
+/// }
+/// let med = q.estimate().unwrap();
+/// assert!((med - 501.0).abs() < 5.0, "{med}");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct P2Quantile {
+    /// Target quantile as a fraction in `[0, 1]`.
+    p: f64,
+    count: u64,
+    /// Marker heights (the first five observations, sorted, until warm).
+    q: [f64; 5],
+    /// Marker positions (1-based observation ranks).
+    n: [f64; 5],
+    /// Desired marker positions.
+    np: [f64; 5],
+    /// Per-observation increments of the desired positions.
+    dn: [f64; 5],
+}
+
+impl P2Quantile {
+    /// Creates an estimator for percentile `p` (in `[0, 100]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+        let f = p / 100.0;
+        Self {
+            p: f,
+            count: 0,
+            q: [0.0; 5],
+            n: [1.0, 2.0, 3.0, 4.0, 5.0],
+            np: [1.0, 1.0 + 2.0 * f, 1.0 + 4.0 * f, 3.0 + 2.0 * f, 5.0],
+            dn: [0.0, f / 2.0, f, (1.0 + f) / 2.0, 1.0],
+        }
+    }
+
+    /// Number of observations pushed so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Adds an observation.
+    pub fn push(&mut self, x: f64) {
+        if self.count < 5 {
+            self.q[self.count as usize] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.q
+                    .sort_by(|a, b| a.partial_cmp(b).expect("NaN pushed into P2Quantile"));
+            }
+            return;
+        }
+        self.count += 1;
+
+        // Locate the cell and clamp the extreme markers.
+        let k = if x < self.q[0] {
+            self.q[0] = x;
+            0
+        } else if x >= self.q[4] {
+            self.q[4] = self.q[4].max(x);
+            3
+        } else {
+            let mut cell = 0;
+            while cell < 3 && x >= self.q[cell + 1] {
+                cell += 1;
+            }
+            cell
+        };
+
+        for i in (k + 1)..5 {
+            self.n[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.np[i] += self.dn[i];
+        }
+
+        // Move the three interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.np[i] - self.n[i];
+            if (d >= 1.0 && self.n[i + 1] - self.n[i] > 1.0)
+                || (d <= -1.0 && self.n[i - 1] - self.n[i] < -1.0)
+            {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                self.q[i] = if self.q[i - 1] < candidate && candidate < self.q[i + 1] {
+                    candidate
+                } else {
+                    self.linear(i, d)
+                };
+                self.n[i] += d;
+            }
+        }
+    }
+
+    /// Piecewise-parabolic marker prediction (P² formula 1).
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let (q, n) = (&self.q, &self.n);
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    /// Linear fallback when the parabola would reorder the markers.
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.q[i] + d * (self.q[j] - self.q[i]) / (self.n[j] - self.n[i])
+    }
+
+    /// Current quantile estimate, `None` when no observation has arrived.
+    pub fn estimate(&self) -> Option<f64> {
+        match self.count {
+            0 => None,
+            c if c < 5 => Some(percentile(&self.q[..c as usize], self.p * 100.0)),
+            _ => Some(self.q[2]),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,5 +409,86 @@ mod tests {
     #[should_panic(expected = "equal-length")]
     fn rmse_length_mismatch_panics() {
         let _ = rmse(&[1.0], &[1.0, 2.0]);
+    }
+
+    /// Deterministic pseudo-random stream for P² accuracy tests (no rand
+    /// dependency in unit tests: splitmix64 → uniform [0,1)).
+    fn uniform_stream(seed: u64, n: usize) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                (z >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    #[test]
+    fn p2_matches_exact_percentile_on_uniform_data() {
+        let data = uniform_stream(7, 20_000);
+        for &p in &[5.0, 50.0, 95.0] {
+            let mut est = P2Quantile::new(p);
+            for &x in &data {
+                est.push(x);
+            }
+            let exact = percentile(&data, p);
+            let approx = est.estimate().unwrap();
+            assert!(
+                (approx - exact).abs() < 0.01,
+                "p{p}: P² {approx} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn p2_is_exact_below_five_samples() {
+        let mut est = P2Quantile::new(50.0);
+        assert_eq!(est.estimate(), None);
+        for &x in &[3.0, 1.0, 2.0] {
+            est.push(x);
+        }
+        assert_eq!(est.estimate(), Some(2.0));
+        assert_eq!(est.count(), 3);
+    }
+
+    #[test]
+    fn p2_is_deterministic_in_insertion_order() {
+        let data = uniform_stream(11, 5_000);
+        let run = || {
+            let mut est = P2Quantile::new(95.0);
+            for &x in &data {
+                est.push(x);
+            }
+            est.estimate().unwrap()
+        };
+        // Same sequence → bit-identical estimate (the serial-vs-parallel
+        // campaign identity rests on this).
+        assert_eq!(run().to_bits(), run().to_bits());
+    }
+
+    #[test]
+    fn p2_extremes_track_min_and_max() {
+        let data = uniform_stream(3, 2_000);
+        let mut lo = P2Quantile::new(0.0);
+        let mut hi = P2Quantile::new(100.0);
+        for &x in &data {
+            lo.push(x);
+            hi.push(x);
+        }
+        let exact_min = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let exact_max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        // The extreme markers clamp to the running min/max exactly.
+        assert!((lo.estimate().unwrap() - exact_min).abs() < 0.01);
+        assert!((hi.estimate().unwrap() - exact_max).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn p2_rejects_out_of_range_percentile() {
+        let _ = P2Quantile::new(101.0);
     }
 }

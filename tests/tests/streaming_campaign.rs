@@ -1,0 +1,130 @@
+//! Cross-crate contracts of the batched trial engine: plan-amortized
+//! execution must be indistinguishable from the per-trial `Scenario` path,
+//! and streaming aggregation must stay byte-identical across thread counts
+//! while holding only O(labels) state.
+
+use argus_core::campaign::stream::{stream_to_json, STREAM_FORMAT};
+use argus_core::campaign::{AttackAxis, AxisGrid, Campaign};
+use argus_core::plan::{ScenarioPlan, TrialScratch};
+use argus_core::scenario::{Scenario, ScenarioConfig};
+use argus_dsp::scratch::ScratchOptions;
+use argus_sim::time::Step;
+use argus_vehicle::LeaderProfile;
+
+fn campaign() -> Campaign {
+    Campaign::new(
+        "stream-integration",
+        LeaderProfile::paper_constant_decel(),
+        AxisGrid {
+            attacks: vec![
+                AttackAxis::paper_dos(),
+                AttackAxis::paper_delay(),
+                AttackAxis::Benign,
+            ],
+            initial_gaps_m: vec![100.0, 90.0],
+            initial_speeds_mph: vec![65.0],
+            seeds: vec![1, 2, 3, 4],
+        },
+    )
+}
+
+#[test]
+fn plan_reuse_matches_fresh_scenarios_bit_exactly() {
+    // One shared plan + one reused scratch across many seeds must equal a
+    // fresh Scenario per seed — the amortization is free of cross-trial
+    // contamination.
+    let cfg = ScenarioConfig::paper(
+        LeaderProfile::paper_constant_decel(),
+        argus_attack::Adversary::paper_dos(),
+        true,
+    );
+    let plan = ScenarioPlan::new(cfg.clone());
+    let mut scratch = TrialScratch::for_plan(&plan);
+    for seed in [1, 7, 42, 1234] {
+        let amortized = plan.run_metrics(seed, &mut scratch);
+        let fresh = Scenario::new(cfg.clone()).run(seed).metrics;
+        assert_eq!(amortized.min_gap.to_bits(), fresh.min_gap.to_bits());
+        assert_eq!(amortized.detection_step, fresh.detection_step);
+        assert_eq!(amortized.detection_latency, fresh.detection_latency);
+        assert_eq!(amortized.confusion, fresh.confusion);
+        assert_eq!(
+            amortized.attack_window_distance_rmse.map(f64::to_bits),
+            fresh.attack_window_distance_rmse.map(f64::to_bits)
+        );
+    }
+}
+
+#[test]
+fn streaming_campaign_is_byte_identical_across_thread_counts() {
+    let serial = campaign().run_streaming(Some(1));
+    let parallel = campaign().run_streaming(Some(8));
+    let a = stream_to_json(&serial).to_canonical();
+    let b = stream_to_json(&parallel).to_canonical();
+    assert_eq!(a, b, "streaming canonical output diverged across schedules");
+    assert!(a.contains(STREAM_FORMAT));
+}
+
+#[test]
+fn streaming_counts_equal_stored_aggregation() {
+    let stored = campaign().run(Some(4));
+    let streamed = campaign().run_streaming(Some(4));
+    assert_eq!(streamed.trials, stored.trials.len() as u64);
+    assert_eq!(streamed.stats.trials, stored.stats.trials);
+    assert_eq!(streamed.stats.collisions, stored.stats.collisions);
+    assert_eq!(streamed.stats.detected, stored.stats.detected);
+    assert_eq!(streamed.stats.false_positives, stored.stats.false_positives);
+    assert_eq!(streamed.stats.false_negatives, stored.stats.false_negatives);
+    // Latency max is exact in both paths (running max vs batch max).
+    let batch_max = stored
+        .stats
+        .latencies()
+        .iter()
+        .cloned()
+        .fold(f64::NEG_INFINITY, f64::max);
+    assert_eq!(streamed.stats.latency_max(), Some(batch_max));
+}
+
+#[test]
+fn streaming_detects_dos_at_paper_onset() {
+    let run = campaign().run_streaming(Some(2));
+    let dos = &run.groups[0];
+    assert_eq!(dos.0, "dos@182+119x1");
+    // Every DoS trial detects; the paper's detection instant is k = 182,
+    // i.e. zero latency from the first post-onset challenge.
+    assert_eq!(dos.1.detected, dos.1.trials);
+    assert_eq!(dos.1.latency_p50(), Some(0.0));
+    let benign = run.groups.iter().find(|(l, _)| l == "benign").unwrap();
+    assert_eq!(benign.1.detected, 0);
+    assert_eq!(benign.1.false_positives, 0);
+}
+
+#[test]
+fn fast_streaming_agrees_with_bit_exact_on_outcomes() {
+    // Fast DSP options change rounding, not physics: detection behaviour
+    // and safety outcomes must be the same as the bit-exact path on the
+    // analytic-mode campaign (where no DSP chain runs at all, results are
+    // identical; this guards the option plumbing).
+    let exact = campaign().run_streaming(Some(2));
+    let fast = campaign().run_streaming_with_options(Some(2), ScratchOptions::fast());
+    assert_eq!(exact.stats.detected, fast.stats.detected);
+    assert_eq!(exact.stats.collisions, fast.stats.collisions);
+    assert_eq!(exact.stats.false_positives, fast.stats.false_positives);
+}
+
+#[test]
+fn signal_mode_plan_detects_like_analytic() {
+    // The full DSP chain (synthesis → covariance → eigen → root-MUSIC)
+    // through a reused plan + fast scratch still detects the DoS attack at
+    // the paper's instant.
+    let mut cfg = ScenarioConfig::paper(
+        LeaderProfile::paper_constant_decel(),
+        argus_attack::Adversary::paper_dos(),
+        true,
+    );
+    cfg.radar = argus_radar::RadarConfig::bosch_lrr2_signal();
+    cfg.horizon = 200;
+    let plan = ScenarioPlan::with_options(cfg, ScratchOptions::fast());
+    let mut scratch = TrialScratch::for_plan(&plan);
+    let m = plan.run_metrics(7, &mut scratch);
+    assert_eq!(m.detection_step, Some(Step(182)));
+}

@@ -24,8 +24,8 @@
 //! `--quick` cuts iteration counts ~5× for CI; the gates are unchanged.
 
 use std::hint::black_box;
-use std::time::Instant;
 
+use argus_bench::report::{kernel_report, median_ns, print_table, write_report, Iters, Kernel};
 use argus_core::campaign::{AttackAxis, AxisGrid, Campaign};
 use argus_core::plan::{ScenarioPlan, TrialScratch};
 use argus_core::scenario::{Scenario, ScenarioConfig};
@@ -36,7 +36,6 @@ use argus_dsp::scratch::{KernelScratch, ScratchOptions};
 use argus_radar::receiver::{ChannelState, Radar, RadarScratch};
 use argus_radar::target::RadarTarget;
 use argus_radar::RadarConfig;
-use argus_sim::json::Json;
 use argus_sim::rng::SimRng;
 use argus_sim::units::{Meters, MetersPerSecond};
 use argus_vehicle::LeaderProfile;
@@ -57,106 +56,6 @@ fn tone_signal(n: usize) -> Vec<Complex<f64>> {
                 )
         })
         .collect()
-}
-
-/// Median ns/op over `batches` timed batches of `per_batch` calls each.
-fn median_ns(batches: usize, per_batch: usize, mut body: impl FnMut()) -> f64 {
-    // One untimed warm-up batch (plan registry, scratch sizing, caches).
-    for _ in 0..per_batch {
-        body();
-    }
-    let mut samples: Vec<f64> = (0..batches)
-        .map(|_| {
-            let t0 = Instant::now();
-            for _ in 0..per_batch {
-                body();
-            }
-            t0.elapsed().as_nanos() as f64 / per_batch as f64
-        })
-        .collect();
-    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
-    samples[samples.len() / 2]
-}
-
-struct Kernel {
-    name: &'static str,
-    baseline_ns: f64,
-    fast_ns: f64,
-}
-
-impl Kernel {
-    fn speedup(&self) -> f64 {
-        self.baseline_ns / self.fast_ns.max(1e-9)
-    }
-}
-
-/// Iteration plan: full by default, ~5× lighter with `--quick`.
-#[derive(Clone, Copy)]
-struct Iters {
-    quick: bool,
-}
-
-impl Iters {
-    fn batches(&self, full: usize) -> usize {
-        if self.quick {
-            (full / 3).max(3)
-        } else {
-            full
-        }
-    }
-
-    fn per_batch(&self, full: usize) -> usize {
-        if self.quick {
-            (full / 5).max(1)
-        } else {
-            full
-        }
-    }
-}
-
-fn print_table(title: &str, kernels: &[Kernel]) {
-    println!("\n{title}");
-    println!(
-        "{:<24} {:>14} {:>14} {:>9}",
-        "kernel", "baseline ns/op", "fast ns/op", "speedup"
-    );
-    for k in kernels {
-        println!(
-            "{:<24} {:>14.0} {:>14.0} {:>8.2}x",
-            k.name,
-            k.baseline_ns,
-            k.fast_ns,
-            k.speedup()
-        );
-    }
-}
-
-fn report_json(schema: &str, kernels: &[Kernel], end_to_end_speedup: f64) -> Json {
-    Json::Obj(vec![
-        ("schema".to_string(), Json::str(schema)),
-        (
-            "kernels".to_string(),
-            Json::Obj(
-                kernels
-                    .iter()
-                    .map(|k| {
-                        (
-                            k.name.to_string(),
-                            Json::Obj(vec![
-                                ("baseline_ns".to_string(), Json::num(k.baseline_ns)),
-                                ("fast_ns".to_string(), Json::num(k.fast_ns)),
-                                ("speedup".to_string(), Json::num(k.speedup())),
-                            ]),
-                        )
-                    })
-                    .collect(),
-            ),
-        ),
-        (
-            "end_to_end_speedup".to_string(),
-            Json::num(end_to_end_speedup),
-        ),
-    ])
 }
 
 /// The PR 2 DSP kernel suite; returns the kernels with the gated
@@ -424,22 +323,18 @@ fn main() {
     let dsp = dsp_kernels(it);
     let dsp_gate = dsp.last().expect("dsp suite is non-empty").speedup();
     print_table("DSP hot path (BENCH_dsp.json)", &dsp);
-    std::fs::write(
+    write_report(
         &dsp_path,
-        report_json("argus-bench-dsp/1", &dsp, dsp_gate).to_pretty(),
-    )
-    .expect("write BENCH_dsp.json");
+        &kernel_report("argus-bench-dsp/1", &dsp, dsp_gate),
+    );
 
     let sim = sim_kernels(it);
     let sim_gate = sim.last().expect("sim suite is non-empty").speedup();
     print_table("Trial engine (BENCH_sim.json)", &sim);
-    std::fs::write(
+    write_report(
         &sim_path,
-        report_json("argus-bench-sim/1", &sim, sim_gate).to_pretty(),
-    )
-    .expect("write BENCH_sim.json");
-
-    println!("\nreports written: {dsp_path}, {sim_path}");
+        &kernel_report("argus-bench-sim/1", &sim, sim_gate),
+    );
 
     let mut failed = false;
     if dsp_gate < 2.0 {

@@ -16,8 +16,9 @@
 //! and reports peak RSS, demonstrating that streaming campaign state is
 //! O(labels), not O(trials · horizon).
 
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
+use argus_bench::report::{ms, peak_rss_kb};
 use argus_core::campaign::{
     campaign_to_csv, campaign_to_json, resolve_threads, stream_to_json, AttackAxis, AxisGrid,
     Campaign, CampaignRun,
@@ -57,10 +58,6 @@ fn sweep_campaign(n_seeds: u64) -> Campaign {
     )
 }
 
-fn ms(d: Duration) -> f64 {
-    d.as_secs_f64() * 1e3
-}
-
 fn print_timing(tag: &str, run: &CampaignRun) {
     let slowest = run
         .trials
@@ -83,16 +80,6 @@ fn print_timing(tag: &str, run: &CampaignRun) {
         ms(run.busy),
         ms(run.busy) / run.trials.len().max(1) as f64,
     );
-}
-
-/// Peak resident set size (VmHWM) in kilobytes, from `/proc/self/status`.
-fn peak_rss_kb() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    status
-        .lines()
-        .find(|l| l.starts_with("VmHWM:"))
-        .and_then(|l| l.split_whitespace().nth(1))
-        .and_then(|v| v.parse().ok())
 }
 
 /// Streaming-only large campaign: memory stays O(labels) no matter how many

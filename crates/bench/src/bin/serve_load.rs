@@ -1,0 +1,341 @@
+//! Loopback load generator for the argus-serve gateway.
+//!
+//! Boots an in-process [`Gateway`], then replays `ScenarioPlan`-generated
+//! observation streams over TCP from hundreds of concurrent closed-loop
+//! sessions — DoS and delay attacks mixed, predictor kinds rotated, and a
+//! slice of sessions shipping raw FMCW baseband for server-side DSP offload.
+//! Every session verifies the gateway's answers byte-for-byte against a
+//! locally driven `SecurePipeline`, so the throughput numbers are only
+//! reported if the served outputs are bit-identical to direct execution.
+//!
+//! Reports sessions/sec, frames/sec and p50/p99 per-frame round-trip
+//! latency (P² estimators folded in deterministic session order) and writes
+//! `BENCH_serve.json` (`argus-bench-serve/1`) through the shared report
+//! writer. Exits non-zero on any identity mismatch.
+//!
+//! ```sh
+//! cargo run --release -p argus-bench --bin serve_load [sessions] [steps] [out.json]
+//! cargo run --release -p argus-bench --bin serve_load -- --smoke
+//! ```
+//!
+//! `--smoke` runs 8 sessions (raw-baseband included) — the CI gate.
+
+use std::time::Instant;
+
+use argus_bench::report::write_report;
+use argus_core::{PredictorKind, ScenarioConfig, ScenarioPlan};
+use argus_radar::RadarConfig;
+use argus_serve::harness::{drive_session, DriveReport, Transport};
+use argus_serve::server::{Gateway, GatewayConfig};
+use argus_sim::json::Json;
+use argus_sim::stats::{P2Quantile, RunningStats};
+use argus_vehicle::LeaderProfile;
+
+const PREDICTORS: [PredictorKind; 3] = [
+    PredictorKind::RlsTrend,
+    PredictorKind::RlsAr4,
+    PredictorKind::Holt,
+];
+
+/// Every 8th session ships raw baseband instead of extracted values.
+const RAW_STRIDE: u64 = 8;
+
+struct SessionSpec {
+    vehicle_id: u64,
+    kind: PredictorKind,
+    transport: Transport,
+    /// Index into the plan set: 0 = DoS, 1 = delay, 2 = DoS signal-mode.
+    plan: usize,
+}
+
+fn session_specs(sessions: u64) -> Vec<SessionSpec> {
+    (0..sessions)
+        .map(|i| {
+            let raw = i % RAW_STRIDE == RAW_STRIDE - 1;
+            SessionSpec {
+                vehicle_id: i,
+                kind: PREDICTORS[(i % 3) as usize],
+                transport: if raw {
+                    Transport::RawBaseband
+                } else {
+                    Transport::Extracted
+                },
+                // Raw transport needs the signal-mode plan; extracted
+                // sessions alternate DoS and delay in analytic mode.
+                plan: if raw { 2 } else { (i % 2) as usize },
+            }
+        })
+        .collect()
+}
+
+fn build_plans() -> [ScenarioPlan; 3] {
+    let dos = ScenarioConfig::paper(
+        LeaderProfile::paper_constant_decel(),
+        argus_attack::Adversary::paper_dos(),
+        true,
+    );
+    let delay = ScenarioConfig::paper(
+        LeaderProfile::paper_constant_decel(),
+        argus_attack::Adversary::paper_delay(),
+        true,
+    );
+    let mut dos_signal = dos.clone();
+    dos_signal.radar = RadarConfig::bosch_lrr2_signal();
+    [
+        ScenarioPlan::new(dos),
+        ScenarioPlan::new(delay),
+        ScenarioPlan::new(dos_signal),
+    ]
+}
+
+struct LoadResult {
+    sessions: u64,
+    failed_sessions: u64,
+    frames: u64,
+    mismatches: u64,
+    snapshot_failures: u64,
+    raw_sessions: u64,
+    wall_s: f64,
+    latency_p50: P2Quantile,
+    latency_p99: P2Quantile,
+    latency: RunningStats,
+}
+
+impl LoadResult {
+    fn identical(&self) -> bool {
+        self.failed_sessions == 0 && self.mismatches == 0 && self.snapshot_failures == 0
+    }
+
+    fn sessions_per_sec(&self) -> f64 {
+        self.sessions as f64 / self.wall_s.max(1e-9)
+    }
+
+    fn frames_per_sec(&self) -> f64 {
+        self.frames as f64 / self.wall_s.max(1e-9)
+    }
+}
+
+fn run_load(sessions: u64, steps: u64, config: &GatewayConfig) -> LoadResult {
+    let gateway = Gateway::bind("127.0.0.1:0", config.clone()).expect("bind loopback gateway");
+    let addr = gateway.local_addr();
+    let plans = build_plans();
+    let specs = session_specs(sessions);
+    let session_cfg = config.session.clone();
+
+    let t0 = Instant::now();
+    let reports: Vec<Result<DriveReport, String>> = std::thread::scope(|scope| {
+        // The intermediate collect is what makes the sessions concurrent:
+        // a lazy spawn→join chain would serialize them.
+        #[allow(clippy::needless_collect)]
+        let handles: Vec<_> = specs
+            .iter()
+            .map(|spec| {
+                let plan = &plans[spec.plan];
+                let cfg = &session_cfg;
+                scope.spawn(move || {
+                    drive_session(
+                        addr,
+                        plan,
+                        spec.kind,
+                        cfg,
+                        spec.vehicle_id,
+                        // Distinct noise streams per session.
+                        0xA5 + spec.vehicle_id,
+                        steps,
+                        spec.transport,
+                    )
+                    .map_err(|e| format!("session {}: {e}", spec.vehicle_id))
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("session thread panicked"))
+            .collect()
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+    gateway.shutdown();
+
+    let mut out = LoadResult {
+        sessions,
+        failed_sessions: 0,
+        frames: 0,
+        mismatches: 0,
+        snapshot_failures: 0,
+        raw_sessions: specs
+            .iter()
+            .filter(|s| s.transport == Transport::RawBaseband)
+            .count() as u64,
+        wall_s,
+        latency_p50: P2Quantile::new(50.0),
+        latency_p99: P2Quantile::new(99.0),
+        latency: RunningStats::new(),
+    };
+    // Fold in session order so the report is deterministic for a given
+    // machine run, regardless of thread completion order.
+    for (spec, report) in specs.iter().zip(&reports) {
+        match report {
+            Ok(r) => {
+                out.frames += r.frames;
+                out.mismatches += r.mismatches;
+                if !r.snapshot_matches {
+                    out.snapshot_failures += 1;
+                    eprintln!(
+                        "IDENTITY: session {} final snapshot diverged",
+                        spec.vehicle_id
+                    );
+                }
+                if r.mismatches > 0 {
+                    eprintln!(
+                        "IDENTITY: session {} diverged on {} of {} frames",
+                        spec.vehicle_id, r.mismatches, r.frames
+                    );
+                }
+                for &l in &r.latencies {
+                    out.latency_p50.push(l);
+                    out.latency_p99.push(l);
+                    out.latency.push(l);
+                }
+            }
+            Err(e) => {
+                out.failed_sessions += 1;
+                eprintln!("SESSION FAILURE: {e}");
+            }
+        }
+    }
+    out
+}
+
+fn us(x: f64) -> f64 {
+    x * 1e6
+}
+
+fn us_q(x: Option<f64>) -> f64 {
+    us(x.unwrap_or(f64::NAN))
+}
+
+fn report_json(r: &LoadResult, steps: u64, workers: usize) -> Json {
+    Json::Obj(vec![
+        ("schema".to_string(), Json::str("argus-bench-serve/1")),
+        (
+            "load".to_string(),
+            Json::Obj(vec![
+                ("sessions".to_string(), Json::num(r.sessions as f64)),
+                ("raw_sessions".to_string(), Json::num(r.raw_sessions as f64)),
+                ("steps_per_session".to_string(), Json::num(steps as f64)),
+                ("workers".to_string(), Json::num(workers as f64)),
+            ]),
+        ),
+        (
+            "throughput".to_string(),
+            Json::Obj(vec![
+                ("wall_s".to_string(), Json::num(r.wall_s)),
+                ("frames".to_string(), Json::num(r.frames as f64)),
+                (
+                    "sessions_per_sec".to_string(),
+                    Json::num(r.sessions_per_sec()),
+                ),
+                ("frames_per_sec".to_string(), Json::num(r.frames_per_sec())),
+            ]),
+        ),
+        (
+            "latency_us".to_string(),
+            Json::Obj(vec![
+                ("p50".to_string(), Json::num(us_q(r.latency_p50.estimate()))),
+                ("p99".to_string(), Json::num(us_q(r.latency_p99.estimate()))),
+                ("mean".to_string(), Json::num(us(r.latency.mean()))),
+                ("min".to_string(), Json::num(us(r.latency.min()))),
+                ("max".to_string(), Json::num(us(r.latency.max()))),
+            ]),
+        ),
+        (
+            "identity".to_string(),
+            Json::Obj(vec![
+                (
+                    "failed_sessions".to_string(),
+                    Json::num(r.failed_sessions as f64),
+                ),
+                (
+                    "mismatch_frames".to_string(),
+                    Json::num(r.mismatches as f64),
+                ),
+                (
+                    "snapshot_failures".to_string(),
+                    Json::num(r.snapshot_failures as f64),
+                ),
+                ("identical".to_string(), Json::Bool(r.identical())),
+            ]),
+        ),
+    ])
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = raw.iter().any(|a| a == "--smoke");
+    let positional: Vec<&String> = raw.iter().filter(|a| !a.starts_with("--")).collect();
+    let sessions: u64 = positional
+        .first()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(if smoke { 8 } else { 128 });
+    let steps: u64 = positional
+        .get(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(if smoke { 40 } else { 150 });
+    let path = positional
+        .get(2)
+        .map(|s| s.as_str())
+        .unwrap_or("BENCH_serve.json")
+        .to_string();
+
+    let mut config = GatewayConfig::paper();
+    config.workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .clamp(2, 16);
+
+    println!(
+        "serve_load: {sessions} concurrent sessions x {steps} steps over loopback \
+         ({} raw-baseband, {} shard workers){}",
+        sessions.div_ceil(RAW_STRIDE),
+        config.workers,
+        if smoke { " [smoke]" } else { "" },
+    );
+
+    let result = run_load(sessions, steps, &config);
+
+    println!(
+        "{} sessions ({} raw) in {:.2} s — {:.1} sessions/s, {:.0} frames/s",
+        result.sessions,
+        result.raw_sessions,
+        result.wall_s,
+        result.sessions_per_sec(),
+        result.frames_per_sec(),
+    );
+    println!(
+        "per-frame round-trip: p50 {:.0} us, p99 {:.0} us, mean {:.0} us \
+         ({} frames)",
+        us_q(result.latency_p50.estimate()),
+        us_q(result.latency_p99.estimate()),
+        us(result.latency.mean()),
+        result.frames,
+    );
+    println!(
+        "byte-identity vs direct pipeline: {}",
+        if result.identical() { "PASS" } else { "FAIL" }
+    );
+
+    write_report(&path, &report_json(&result, steps, config.workers));
+
+    if !result.identical() {
+        eprintln!(
+            "IDENTITY VIOLATION: {} failed sessions, {} mismatched frames, \
+             {} snapshot failures",
+            result.failed_sessions, result.mismatches, result.snapshot_failures
+        );
+        std::process::exit(1);
+    }
+    if result.frames == 0 {
+        eprintln!("NO TRAFFIC: gateway served zero frames");
+        std::process::exit(1);
+    }
+}

@@ -7,6 +7,8 @@
 
 #![warn(missing_docs)]
 
+pub mod report;
+
 /// Seeds used for Monte-Carlo tables; fixed so reported tables are
 /// reproducible.
 pub const MONTE_CARLO_SEEDS: [u64; 20] = [

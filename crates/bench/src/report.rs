@@ -1,0 +1,178 @@
+//! Shared machinery for the benchmark report binaries: kernel timing,
+//! before/after tables, and the JSON report files (`BENCH_*.json`) the CI
+//! gates consume. Every `src/bin/` report routes its artifacts through
+//! [`write_report`] so the on-disk format and the "report written" breadcrumb
+//! stay uniform across suites.
+
+use std::time::{Duration, Instant};
+
+use argus_sim::json::Json;
+
+/// One before/after kernel measurement.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// Stable kernel name — doubles as the JSON key.
+    pub name: &'static str,
+    /// Median ns/op of the retained baseline path.
+    pub baseline_ns: f64,
+    /// Median ns/op of the fast path.
+    pub fast_ns: f64,
+}
+
+impl Kernel {
+    /// Baseline-over-fast ratio; guarded against a zero denominator.
+    pub fn speedup(&self) -> f64 {
+        self.baseline_ns / self.fast_ns.max(1e-9)
+    }
+}
+
+/// Iteration plan: full by default, ~5× lighter with `--quick`.
+#[derive(Debug, Clone, Copy)]
+pub struct Iters {
+    /// CI mode — fewer iterations, identical gates.
+    pub quick: bool,
+}
+
+impl Iters {
+    /// Timed batches to run for a kernel that wants `full` of them.
+    pub fn batches(&self, full: usize) -> usize {
+        if self.quick {
+            (full / 3).max(3)
+        } else {
+            full
+        }
+    }
+
+    /// Calls per timed batch for a kernel that wants `full` of them.
+    pub fn per_batch(&self, full: usize) -> usize {
+        if self.quick {
+            (full / 5).max(1)
+        } else {
+            full
+        }
+    }
+}
+
+/// Median ns/op over `batches` timed batches of `per_batch` calls each.
+pub fn median_ns(batches: usize, per_batch: usize, mut body: impl FnMut()) -> f64 {
+    // One untimed warm-up batch (plan registry, scratch sizing, caches).
+    for _ in 0..per_batch {
+        body();
+    }
+    let mut samples: Vec<f64> = (0..batches)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..per_batch {
+                body();
+            }
+            t0.elapsed().as_nanos() as f64 / per_batch as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+/// Milliseconds of a [`Duration`], for human-readable timing lines.
+pub fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Peak resident set size (VmHWM) in kilobytes, from `/proc/self/status`.
+pub fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    status
+        .lines()
+        .find(|l| l.starts_with("VmHWM:"))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Prints the standard before/after kernel table.
+pub fn print_table(title: &str, kernels: &[Kernel]) {
+    println!("\n{title}");
+    println!(
+        "{:<24} {:>14} {:>14} {:>9}",
+        "kernel", "baseline ns/op", "fast ns/op", "speedup"
+    );
+    for k in kernels {
+        println!(
+            "{:<24} {:>14.0} {:>14.0} {:>8.2}x",
+            k.name,
+            k.baseline_ns,
+            k.fast_ns,
+            k.speedup()
+        );
+    }
+}
+
+/// The canonical kernel-suite report body shared by the DSP and trial-engine
+/// suites: per-kernel timings plus the gated end-to-end speedup.
+pub fn kernel_report(schema: &str, kernels: &[Kernel], end_to_end_speedup: f64) -> Json {
+    Json::Obj(vec![
+        ("schema".to_string(), Json::str(schema)),
+        (
+            "kernels".to_string(),
+            Json::Obj(
+                kernels
+                    .iter()
+                    .map(|k| {
+                        (
+                            k.name.to_string(),
+                            Json::Obj(vec![
+                                ("baseline_ns".to_string(), Json::num(k.baseline_ns)),
+                                ("fast_ns".to_string(), Json::num(k.fast_ns)),
+                                ("speedup".to_string(), Json::num(k.speedup())),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "end_to_end_speedup".to_string(),
+            Json::num(end_to_end_speedup),
+        ),
+    ])
+}
+
+/// Writes one pretty-printed JSON report and prints the breadcrumb CI greps
+/// for. Panics on I/O failure — a missing artifact must fail the run.
+pub fn write_report(path: &str, report: &Json) {
+    std::fs::write(path, report.to_pretty()).unwrap_or_else(|e| panic!("write report {path}: {e}"));
+    println!("report written: {path}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_guards_zero_denominator() {
+        let k = Kernel {
+            name: "k",
+            baseline_ns: 10.0,
+            fast_ns: 0.0,
+        };
+        assert!(k.speedup().is_finite());
+    }
+
+    #[test]
+    fn quick_iters_shrink_but_stay_positive() {
+        let it = Iters { quick: true };
+        assert!(it.batches(15) >= 3 && it.batches(15) < 15);
+        assert_eq!(it.per_batch(1), 1);
+    }
+
+    #[test]
+    fn kernel_report_carries_schema_and_gate() {
+        let kernels = vec![Kernel {
+            name: "fft",
+            baseline_ns: 100.0,
+            fast_ns: 25.0,
+        }];
+        let json = kernel_report("argus-bench-test/1", &kernels, 4.0).to_canonical();
+        assert!(json.contains("argus-bench-test/1"));
+        assert!(json.contains("\"fft\""));
+        assert!(json.contains("end_to_end_speedup"));
+    }
+}

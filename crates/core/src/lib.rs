@@ -51,8 +51,16 @@ pub mod tracker;
 pub use campaign::{AttackAxis, AxisGrid, Campaign, CampaignRun, CampaignStream, TrialResult};
 pub use experiments::{Experiment, ExperimentOutcome, FigureSeries};
 pub use metrics::{CampaignStats, RunMetrics, StreamingCampaignStats};
-pub use pipeline::{MeasurementSource, PipelineOutput, PredictorKind, SecurePipeline};
-pub use plan::{ScenarioPlan, TrialScratch};
+pub use pipeline::{
+    CheckpointState, MeasurementSource, PipelineOutput, PipelineSnapshot, PredictorKind,
+    SecurePipeline,
+};
+pub use plan::{NoiseDraw, ScenarioPlan, TrialScratch, VehicleSim};
+
+/// State PODs referenced by [`PipelineSnapshot`], re-exported so wire
+/// codecs can name them without depending on the estimator/detector crates.
+pub use argus_cra::DetectorState;
+pub use argus_estim::PredictorState;
 pub use scenario::{Scenario, ScenarioConfig, ScenarioResult};
 pub use tracker::{MultiTargetTracker, Track, TrackId, TrackerConfig};
 

@@ -19,9 +19,9 @@
 //! well, while the distance follows by integrating `Δv̂` (Eqn 17's
 //! kinematics) from the last clean range.
 
-use argus_cra::detector::{CraDetector, Verdict};
+use argus_cra::detector::{CraDetector, DetectorState, Verdict};
 use argus_estim::holt::HoltPredictor;
-use argus_estim::predictor::{SensorPredictor, StreamPredictor};
+use argus_estim::predictor::{PredictorState, SensorPredictor, StreamPredictor};
 use argus_estim::trend::TrendPredictor;
 use argus_estim::EstimError;
 use argus_radar::receiver::RadarObservation;
@@ -91,6 +91,44 @@ pub struct PipelineOutput {
 struct Checkpoint {
     predictor: Box<dyn StreamPredictor + Send>,
     last_distance: Option<f64>,
+}
+
+/// Plain-old-data export of the rewind checkpoint inside a
+/// [`PipelineSnapshot`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CheckpointState {
+    /// Predictor state at the last authenticated instant.
+    pub predictor: PredictorState,
+    /// Dead-reckoning anchor at the last authenticated instant.
+    pub last_distance: Option<f64>,
+}
+
+/// Plain-old-data export of **all** mutable [`SecurePipeline`] state.
+///
+/// Configuration (the challenge schedule, detection threshold, predictor
+/// kind, and `dt`) is *not* part of the snapshot — a restore applies onto a
+/// pipeline built with the same configuration (e.g. renegotiated at a
+/// gateway `Hello`). After [`SecurePipeline::restore`] the pipeline steps
+/// bit-identically to the one that was snapshotted, including a later
+/// rewind to the captured checkpoint.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PipelineSnapshot {
+    /// Detector latch + detection log.
+    pub detector: DetectorState,
+    /// Live predictor state.
+    pub predictor: PredictorState,
+    /// Dead-reckoning anchor (last trusted or estimated distance).
+    pub last_distance: Option<f64>,
+    /// Total steps served from the estimator.
+    pub estimation_steps: u64,
+    /// Consecutive estimated steps (drives the control-distance margin).
+    pub consecutive_estimates: u64,
+    /// Whether the previous step was under attack.
+    pub was_attacked: bool,
+    /// Rewind checkpoint from the last authenticated instant, if any.
+    pub checkpoint: Option<CheckpointState>,
+    /// Trusted ego speeds recorded since the checkpoint (replay buffer).
+    pub speeds_since_checkpoint: Vec<f64>,
 }
 
 /// CRA detection gating RLS estimation for the radar measurement streams.
@@ -176,6 +214,72 @@ impl SecurePipeline {
     /// How many steps were served from the estimator.
     pub fn estimation_steps(&self) -> u64 {
         self.estimation_steps
+    }
+
+    /// Exports all mutable state as plain old data (wire snapshots,
+    /// reconnect-surviving sessions).
+    pub fn snapshot(&self) -> PipelineSnapshot {
+        PipelineSnapshot {
+            detector: self.detector.save_state(),
+            predictor: self.leader_speed_predictor.save_state(),
+            last_distance: self.last_distance,
+            estimation_steps: self.estimation_steps,
+            consecutive_estimates: self.consecutive_estimates,
+            was_attacked: self.was_attacked,
+            checkpoint: self.checkpoint.as_ref().map(|cp| CheckpointState {
+                predictor: cp.predictor.save_state(),
+                last_distance: cp.last_distance,
+            }),
+            speeds_since_checkpoint: self.speeds_since_checkpoint.clone(),
+        }
+    }
+
+    /// Restores state saved by [`Self::snapshot`] onto a pipeline of the
+    /// same configuration; stepping afterwards is bit-identical to stepping
+    /// the snapshotted pipeline without interruption.
+    ///
+    /// # Errors
+    ///
+    /// Propagates predictor state-shape errors (a snapshot from a different
+    /// [`PredictorKind`]); the pipeline is left unchanged on error.
+    pub fn restore(&mut self, snap: &PipelineSnapshot) -> Result<(), EstimError> {
+        let mut predictor = self.leader_speed_predictor.clone_box();
+        predictor.load_state(&snap.predictor)?;
+        let checkpoint = match &snap.checkpoint {
+            Some(cp) => {
+                let mut cp_predictor = self.leader_speed_predictor.clone_box();
+                cp_predictor.load_state(&cp.predictor)?;
+                Some(Checkpoint {
+                    predictor: cp_predictor,
+                    last_distance: cp.last_distance,
+                })
+            }
+            None => None,
+        };
+        self.detector.restore_state(&snap.detector);
+        self.leader_speed_predictor = predictor;
+        self.last_distance = snap.last_distance;
+        self.estimation_steps = snap.estimation_steps;
+        self.consecutive_estimates = snap.consecutive_estimates;
+        self.was_attacked = snap.was_attacked;
+        self.checkpoint = checkpoint;
+        self.speeds_since_checkpoint.clear();
+        self.speeds_since_checkpoint
+            .extend_from_slice(&snap.speeds_since_checkpoint);
+        Ok(())
+    }
+
+    /// Clears all mutable state back to the just-constructed pipeline
+    /// (configuration retained).
+    pub fn reset(&mut self) {
+        self.detector.reset();
+        self.leader_speed_predictor.reset();
+        self.last_distance = None;
+        self.estimation_steps = 0;
+        self.consecutive_estimates = 0;
+        self.was_attacked = false;
+        self.checkpoint = None;
+        self.speeds_since_checkpoint.clear();
     }
 
     /// Processes one radar observation given the trusted ego speed `v_F`.
@@ -531,6 +635,99 @@ mod tests {
         let mut p = pipeline();
         let out = p.process(Step(0), &silent_obs(), V_OWN);
         assert_eq!(out.source, MeasurementSource::Unavailable);
+    }
+
+    /// One deterministic step mixing clean, silent and hot observations:
+    /// challenge instants are silent while clean, hot inside the attack
+    /// window `[a0, a1)`.
+    fn feed_step(p: &mut SecurePipeline, k: u64, a0: u64, a1: u64) -> PipelineOutput {
+        let obs = if (a0..a1).contains(&k) {
+            hot_obs()
+        } else if ChallengeSchedule::paper().is_challenge(Step(k)) {
+            silent_obs()
+        } else {
+            clean_obs(100.0 - 0.2 * k as f64, -0.2)
+        };
+        p.process(Step(k), &obs, V_OWN)
+    }
+
+    fn pipeline_of(kind: PredictorKind) -> SecurePipeline {
+        SecurePipeline::new(detector(), kind.build().unwrap(), Seconds(1.0))
+    }
+
+    #[test]
+    fn restore_then_step_equals_uninterrupted_stepping() {
+        for kind in [
+            PredictorKind::RlsTrend,
+            PredictorKind::RlsAr4,
+            PredictorKind::Holt,
+        ] {
+            let mut original = pipeline_of(kind);
+            for k in 0..60 {
+                feed_step(&mut original, k, 80, 100);
+            }
+            let snap = original.snapshot();
+            let mut restored = pipeline_of(kind);
+            restored.restore(&snap).unwrap();
+            // The attack window 80..100 exercises the rewind path (the
+            // checkpoint + replay buffer captured in the snapshot).
+            for k in 60..140 {
+                let a = feed_step(&mut original, k, 80, 100);
+                let b = feed_step(&mut restored, k, 80, 100);
+                assert_eq!(a, b, "{kind:?} diverged at k={k}");
+            }
+            assert_eq!(original.snapshot(), restored.snapshot(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn restore_mid_attack_matches() {
+        let mut original = pipeline();
+        for k in 0..90 {
+            feed_step(&mut original, k, 85, 120);
+        }
+        let snap = original.snapshot();
+        assert!(snap.was_attacked, "snapshot should capture the latch");
+        let mut restored = pipeline();
+        restored.restore(&snap).unwrap();
+        for k in 90..160 {
+            let a = feed_step(&mut original, k, 85, 120);
+            let b = feed_step(&mut restored, k, 85, 120);
+            assert_eq!(a, b, "diverged at k={k}");
+        }
+        assert_eq!(original.estimation_steps(), restored.estimation_steps());
+    }
+
+    #[test]
+    fn restore_rejects_cross_kind_snapshot() {
+        let mut trend = pipeline_of(PredictorKind::RlsTrend);
+        for k in 0..40 {
+            feed_step(&mut trend, k, u64::MAX, u64::MAX);
+        }
+        let snap = trend.snapshot();
+        let mut holt = pipeline_of(PredictorKind::Holt);
+        for k in 0..10 {
+            feed_step(&mut holt, k, u64::MAX, u64::MAX);
+        }
+        let before = holt.snapshot();
+        assert!(holt.restore(&snap).is_err());
+        assert_eq!(holt.snapshot(), before, "failed restore must not mutate");
+    }
+
+    #[test]
+    fn reset_behaves_like_fresh() {
+        let mut p = pipeline();
+        for k in 0..120 {
+            feed_step(&mut p, k, 80, 110);
+        }
+        p.reset();
+        let mut fresh = pipeline();
+        assert_eq!(p.snapshot(), fresh.snapshot());
+        for k in 0..60 {
+            let a = feed_step(&mut p, k, 30, 50);
+            let b = feed_step(&mut fresh, k, 30, 50);
+            assert_eq!(a, b, "diverged at k={k}");
+        }
     }
 
     #[test]

@@ -85,6 +85,131 @@ impl TrialScratch {
     pub fn options(&self) -> ScratchOptions {
         self.radar.options()
     }
+
+    /// Clears buffered state and warm-start history (capacity retained), so
+    /// the next trial behaves like the first.
+    pub fn reset(&mut self) {
+        self.radar.reset();
+        self.records.clear();
+    }
+
+    /// Read access to the radar DSP arena. After a signal-mode observation
+    /// `frame.up` / `frame.down` hold the last frame's dechirped baseband —
+    /// the raw samples a DSP-offload client ships over the wire.
+    pub fn radar_scratch(&self) -> &RadarScratch {
+        &self.radar
+    }
+}
+
+/// One sampled measurement-noise realization (Eqn 2): the additive terms
+/// applied to an extracted measurement, exposed by
+/// [`VehicleSim::observe_traced`] for raw-baseband gateway clients.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseDraw {
+    /// Additive distance noise (m).
+    pub distance: f64,
+    /// Additive range-rate noise (m/s).
+    pub range_rate: f64,
+}
+
+/// The client side of one trial: the vehicle plant, radar front-end,
+/// measurement noise and adversary — everything in the closed loop *except*
+/// the defense, which may run in-process ([`ScenarioPlan::run_metrics`]) or
+/// behind a gateway (a serving client steps the sim, ships each observation,
+/// and feeds the returned safe measurement back into [`VehicleSim::advance`]).
+///
+/// Splitting the loop here is what makes gateway byte-identity checkable:
+/// the same `VehicleSim` code produces the observation stream on both paths,
+/// so any divergence is attributable to the pipeline transport.
+#[derive(Debug, Clone)]
+pub struct VehicleSim<'p> {
+    plan: &'p ScenarioPlan,
+    pair: VehiclePair,
+    radar_rng: SimRng,
+    noise_rng: SimRng,
+}
+
+impl VehicleSim<'_> {
+    /// Whether the vehicles have collided.
+    pub fn collided(&self) -> bool {
+        self.pair.collided()
+    }
+
+    /// The vehicle pair (ground truth).
+    pub fn pair(&self) -> &VehiclePair {
+        &self.pair
+    }
+
+    /// Trusted ego (follower) speed — the input the pipeline receives
+    /// alongside each observation.
+    pub fn own_speed(&self) -> MetersPerSecond {
+        self.pair.follower().speed()
+    }
+
+    /// Produces the radar observation for step `k` (target from the current
+    /// ground truth, adversary channel, radar front-end, additive
+    /// measurement noise — Eqn 2). `tx_on` is the CRA modulation decision
+    /// for this instant (`schedule.tx_on(k)` when defended).
+    pub fn observe(
+        &mut self,
+        k: Step,
+        tx_on: bool,
+        scratch: &mut TrialScratch,
+    ) -> RadarObservation {
+        self.observe_traced(k, tx_on, scratch).0
+    }
+
+    /// [`VehicleSim::observe`] plus the sampled measurement-noise
+    /// realization. A raw-baseband gateway client ships the realization
+    /// alongside the frame: the server re-extracts the measurement from the
+    /// samples and applies the same additive draws, so the post-noise values
+    /// stay bit-identical to local extraction.
+    pub fn observe_traced(
+        &mut self,
+        k: Step,
+        tx_on: bool,
+        scratch: &mut TrialScratch,
+    ) -> (RadarObservation, Option<NoiseDraw>) {
+        let gap = self.pair.gap();
+        let v_rel = self.pair.relative_speed();
+        let target = if gap.value() > 0.0 {
+            Some(RadarTarget::new(gap, v_rel, LEADER_RCS))
+        } else {
+            None
+        };
+        let channel =
+            self.plan
+                .config
+                .adversary
+                .channel_at(k, tx_on, target.as_ref(), &self.plan.radar);
+        let mut obs = self.plan.radar.observe_with_scratch(
+            tx_on,
+            target.as_ref(),
+            &channel,
+            &mut self.radar_rng,
+            &mut scratch.radar,
+        );
+        // Eqn 2: additive Gaussian measurement noise v_k on the sampled
+        // outputs.
+        let mut draw = None;
+        if let Some(m) = obs.measurement.as_mut() {
+            let nd = self.plan.d_noise.sample(&mut self.noise_rng);
+            let nv = self.plan.v_noise.sample(&mut self.noise_rng);
+            m.distance += Meters(nd);
+            m.range_rate += MetersPerSecond(nv);
+            draw = Some(NoiseDraw {
+                distance: nd,
+                range_rate: nv,
+            });
+        }
+        (obs, draw)
+    }
+
+    /// Advances the plant one step on the controller inputs (the safe
+    /// measurement's control distance and relative speed).
+    pub fn advance(&mut self, control_distance: Option<Meters>, relative_speed: MetersPerSecond) {
+        self.pair.advance(control_distance, relative_speed);
+    }
 }
 
 /// All trial-invariant state of a scenario, precomputed.
@@ -173,6 +298,20 @@ impl ScenarioPlan {
         self.options
     }
 
+    /// Builds the client half of a trial: plant + radar + adversary with the
+    /// trial's RNG streams. [`Self::run_metrics`] drives the same object, so
+    /// an external defense (e.g. a gateway session) fed this sim's
+    /// observations sees byte-identical inputs to the in-process pipeline.
+    pub fn vehicle_sim(&self, seed: u64) -> VehicleSim<'_> {
+        let root_rng = SimRng::seed_from(seed);
+        VehicleSim {
+            plan: self,
+            pair: self.pair_proto.clone(),
+            radar_rng: root_rng.substream("radar"),
+            noise_rng: root_rng.substream("measurement-noise"),
+        }
+    }
+
     /// Runs one trial and returns only its metrics — the campaign hot path.
     ///
     /// No trace is recorded and nothing is allocated once `scratch` is warm.
@@ -194,14 +333,9 @@ impl ScenarioPlan {
         let cfg = &self.config;
         // Warm-start state must never leak across trials: results stay
         // independent of worker scheduling even with fast options.
-        scratch.radar.reset();
-        scratch.records.clear();
+        scratch.reset();
 
-        let root_rng = SimRng::seed_from(seed);
-        let mut radar_rng = root_rng.substream("radar");
-        let mut noise_rng = root_rng.substream("measurement-noise");
-
-        let mut pair = self.pair_proto.clone();
+        let mut sim = self.vehicle_sim(seed);
         let mut pipeline = self.detector_proto.as_ref().map(|detector| {
             let predictor = cfg
                 .predictor
@@ -221,46 +355,25 @@ impl ScenarioPlan {
 
         for k_idx in 0..cfg.horizon {
             let k = Step(k_idx as u64);
-            if pair.collided() {
+            if sim.collided() {
                 collided = true;
                 break;
             }
-            let gap = pair.gap();
-            let v_rel = pair.relative_speed();
+            let gap = sim.pair().gap();
+            let v_rel = sim.pair().relative_speed();
             min_gap = min_gap.min(gap.value());
-
-            let target = if gap.value() > 0.0 {
-                Some(RadarTarget::new(gap, v_rel, LEADER_RCS))
-            } else {
-                None
-            };
 
             let tx_on = match &pipeline {
                 Some(p) => p.tx_on(k),
                 None => true,
             };
-            let channel = cfg
-                .adversary
-                .channel_at(k, tx_on, target.as_ref(), &self.radar);
-            let mut obs = self.radar.observe_with_scratch(
-                tx_on,
-                target.as_ref(),
-                &channel,
-                &mut radar_rng,
-                &mut scratch.radar,
-            );
-            // Eqn 2: additive Gaussian measurement noise v_k on the sampled
-            // outputs.
-            if let Some(m) = obs.measurement.as_mut() {
-                m.distance += Meters(self.d_noise.sample(&mut noise_rng));
-                m.range_rate += MetersPerSecond(self.v_noise.sample(&mut noise_rng));
-            }
+            let obs = sim.observe(k, tx_on, scratch);
 
             let (d_radar, v_radar) = raw_series_values(&obs);
 
             let (d_used, d_control, v_used, under_attack, estimated) = match pipeline.as_mut() {
                 Some(p) => {
-                    let own_speed = pair.follower().speed();
+                    let own_speed = sim.own_speed();
                     let t0 = Instant::now();
                     let out = p.process(k, &obs, own_speed);
                     let dt_ns = t0.elapsed().as_nanos();
@@ -309,17 +422,17 @@ impl ScenarioPlan {
                     v_radar,
                     d_used: d_used.map_or(0.0, |d| d.value()),
                     v_used: v_used.value(),
-                    v_follower: pair.follower().speed().value(),
-                    v_leader: pair.leader().velocity.value(),
+                    v_follower: sim.own_speed().value(),
+                    v_leader: sim.pair().leader().velocity.value(),
                     received_power: obs.received_power.value(),
                     under_attack: f64::from(u8::from(under_attack)),
                     estimated: f64::from(u8::from(estimated)),
                 });
             }
 
-            pair.advance(d_control, v_used);
+            sim.advance(d_control, v_used);
         }
-        if pair.collided() {
+        if sim.collided() {
             collided = true;
             min_gap = min_gap.min(0.0);
         }
@@ -484,6 +597,40 @@ mod tests {
             a.min_gap,
             b.min_gap
         );
+    }
+
+    #[test]
+    fn vehicle_sim_split_loop_matches_run_traced() {
+        // Driving VehicleSim + a local SecurePipeline by hand must replay
+        // run_traced exactly — the invariant the gateway's byte-identity
+        // anchor stands on.
+        let plan = ScenarioPlan::new(dos_config());
+        let mut scratch = TrialScratch::for_plan(&plan);
+        let reference = plan.run_traced(7, &mut scratch);
+
+        let cfg = plan.config().clone();
+        let mut sim = plan.vehicle_sim(7);
+        let mut scratch2 = TrialScratch::for_plan(&plan);
+        let detector = CraDetector::new(cfg.schedule.clone(), cfg.radar.detection_threshold);
+        let mut pipeline =
+            SecurePipeline::new(detector, cfg.predictor.build().unwrap(), Seconds(1.0));
+        let mut d_used = Vec::new();
+        for k_idx in 0..cfg.horizon {
+            let k = Step(k_idx as u64);
+            if sim.collided() {
+                break;
+            }
+            let tx_on = pipeline.tx_on(k);
+            let obs = sim.observe(k, tx_on, &mut scratch2);
+            let out = pipeline.process(k, &obs, sim.own_speed());
+            d_used.push(out.distance.map_or(0.0, |d| d.value()));
+            sim.advance(out.control_distance, out.relative_speed);
+        }
+        let reference_d_used = reference.series("d_used");
+        assert_eq!(d_used.len(), reference_d_used.len());
+        for (i, (a, b)) in d_used.iter().zip(reference_d_used).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "d_used diverged at step {i}");
+        }
     }
 
     #[test]

@@ -44,6 +44,19 @@ impl Verdict {
     }
 }
 
+/// Plain-old-data export of a detector's mutable state (the latch and the
+/// detection log). The schedule and threshold are configuration, not state:
+/// a restored detector keeps whatever it was constructed with.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DetectorState {
+    /// Whether an attack is currently latched.
+    pub latched: bool,
+    /// Step index of the first detection, if any.
+    pub first_detection: Option<u64>,
+    /// Step indices of all rising-edge detections.
+    pub detections: Vec<u64>,
+}
+
 /// The CRA detector (lines 7–16 of Algorithm 2).
 ///
 /// ```
@@ -144,6 +157,25 @@ impl CraDetector {
         self.latched = false;
         self.first_detection = None;
         self.detections.clear();
+    }
+
+    /// Exports the mutable state (latch + detection log) as plain old data.
+    pub fn save_state(&self) -> DetectorState {
+        DetectorState {
+            latched: self.latched,
+            first_detection: self.first_detection.map(|s| s.0),
+            detections: self.detections.iter().map(|s| s.0).collect(),
+        }
+    }
+
+    /// Restores state saved by [`Self::save_state`]; after the restore the
+    /// detector behaves identically to the one that was saved.
+    pub fn restore_state(&mut self, state: &DetectorState) {
+        self.latched = state.latched;
+        self.first_detection = state.first_detection.map(Step);
+        self.detections.clear();
+        self.detections
+            .extend(state.detections.iter().map(|&s| Step(s)));
     }
 }
 
@@ -303,6 +335,24 @@ mod tests {
         assert!(!d.under_attack());
         assert!(d.first_detection().is_none());
         assert!(d.detections().is_empty());
+    }
+
+    #[test]
+    fn state_roundtrip() {
+        let mut d = detector();
+        d.update(Step(182), Watts(1e-9));
+        d.update(Step(183), Watts(1e-16));
+        let state = d.save_state();
+        assert!(state.latched);
+        assert_eq!(state.first_detection, Some(182));
+        let mut fresh = detector();
+        fresh.restore_state(&state);
+        assert_eq!(fresh, d);
+        // Restored latch behaves identically on subsequent updates.
+        let a = d.update(Step(210), Watts(1e-16));
+        let b = fresh.update(Step(210), Watts(1e-16));
+        assert_eq!(a, b);
+        assert_eq!(fresh, d);
     }
 
     #[test]

@@ -24,6 +24,6 @@ pub mod lfsr;
 pub mod modulation;
 
 pub use challenge::ChallengeSchedule;
-pub use detector::{ConfusionMatrix, CraDetector, Verdict};
+pub use detector::{ConfusionMatrix, CraDetector, DetectorState, Verdict};
 pub use lfsr::Lfsr;
 pub use modulation::{ChannelBehavior, ChipModulator, ProbeVerdict};

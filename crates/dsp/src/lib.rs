@@ -55,6 +55,11 @@ pub mod scratch;
 pub mod spectrum;
 pub mod window;
 
+/// The complex sample type every DSP buffer is made of, re-exported so
+/// downstream crates that only fill buffers (e.g. the serving gateway's
+/// raw-baseband path) need no direct linear-algebra dependency.
+pub use nalgebra::Complex;
+
 pub use covariance::SampleCovariance;
 pub use eigen::{EigenWorkspace, HermitianEigen};
 pub use fft::FftPlan;

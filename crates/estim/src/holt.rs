@@ -8,7 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::predictor::StreamPredictor;
+use crate::predictor::{PredictorState, StreamPredictor};
 use crate::EstimError;
 
 /// Holt's linear trend smoother: `l ← α·y + (1−α)(l + b)`,
@@ -106,6 +106,37 @@ impl StreamPredictor for HoltPredictor {
     fn clone_box(&self) -> Box<dyn StreamPredictor + Send> {
         Box::new(*self)
     }
+
+    /// State layout: `counters = [samples]`, `values = [level, trend]`.
+    fn save_state(&self) -> PredictorState {
+        PredictorState {
+            counters: vec![self.samples],
+            values: vec![self.level, self.trend],
+        }
+    }
+
+    fn load_state(&mut self, state: &PredictorState) -> Result<(), EstimError> {
+        let [samples] = state.counters[..] else {
+            return Err(EstimError::DimensionMismatch {
+                message: format!("Holt state needs 1 counter, got {}", state.counters.len()),
+            });
+        };
+        let [level, trend] = state.values[..] else {
+            return Err(EstimError::DimensionMismatch {
+                message: format!("Holt state needs 2 values, got {}", state.values.len()),
+            });
+        };
+        if !(level.is_finite() && trend.is_finite()) {
+            return Err(EstimError::BadParameter {
+                name: "state",
+                message: "Holt state contains non-finite values".to_string(),
+            });
+        }
+        self.level = level;
+        self.trend = trend;
+        self.samples = samples;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -174,6 +205,40 @@ mod tests {
         h.reset();
         assert!(!h.is_ready());
         assert!(copy.predict_next().is_ok());
+    }
+
+    #[test]
+    fn state_roundtrip_is_bit_exact() {
+        let mut h = HoltPredictor::paper_equivalent().unwrap();
+        for k in 0..30 {
+            h.observe(10.0 + 0.4 * k as f64);
+        }
+        let state = h.save_state();
+        let mut g = HoltPredictor::paper_equivalent().unwrap();
+        g.load_state(&state).unwrap();
+        assert_eq!(h, g);
+        for _ in 0..10 {
+            assert_eq!(
+                h.predict_next().unwrap().to_bits(),
+                g.predict_next().unwrap().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn load_state_rejects_bad_shapes() {
+        let mut h = HoltPredictor::paper_equivalent().unwrap();
+        let bad = PredictorState {
+            counters: vec![],
+            values: vec![0.0, 0.0],
+        };
+        assert!(h.load_state(&bad).is_err());
+        let nan = PredictorState {
+            counters: vec![1],
+            values: vec![f64::NAN, 0.0],
+        };
+        assert!(h.load_state(&nan).is_err());
+        assert_eq!(h.state(), (0.0, 0.0));
     }
 
     #[test]

@@ -38,7 +38,7 @@ pub use holt::HoltPredictor;
 pub use kalman::KalmanFilter;
 pub use lms::Lms;
 pub use luenberger::LuenbergerObserver;
-pub use predictor::{SensorPredictor, StreamPredictor};
+pub use predictor::{PredictorState, SensorPredictor, StreamPredictor};
 pub use regressor::LagRegressor;
 pub use rls::{Rls, RlsUpdate};
 pub use trend::TrendPredictor;

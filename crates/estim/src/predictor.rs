@@ -12,6 +12,23 @@ use crate::regressor::LagRegressor;
 use crate::rls::{Rls, RlsUpdate};
 use crate::EstimError;
 
+/// Plain-old-data export of a predictor's mutable state.
+///
+/// The layout is implementor-defined (each documents its own `counters` /
+/// `values` packing), but the contract is uniform: feeding a state back into
+/// [`StreamPredictor::load_state`] on a predictor of the *same configuration*
+/// reproduces the saved predictor bit-for-bit. Configuration (orders,
+/// forgetting factors, bandwidths) is **not** part of the state — it travels
+/// out of band (e.g. a gateway `Hello` negotiation) and the two sides must
+/// agree on it before exchanging states.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PredictorState {
+    /// Integer state (sample clocks, update counts, history lengths).
+    pub counters: Vec<u64>,
+    /// Floating-point state (weights, covariances, histories, levels).
+    pub values: Vec<f64>,
+}
+
 /// A scalar stream predictor: train on clean samples, free-run during an
 /// attack window. Implemented by the AR-based [`SensorPredictor`] and the
 /// trend-based [`TrendPredictor`](crate::trend::TrendPredictor).
@@ -34,6 +51,21 @@ pub trait StreamPredictor: std::fmt::Debug {
 
     /// Snapshots the predictor (used for checkpoint/rewind recovery).
     fn clone_box(&self) -> Box<dyn StreamPredictor + Send>;
+
+    /// Exports the mutable model state as plain old data.
+    fn save_state(&self) -> PredictorState;
+
+    /// Restores state previously produced by [`Self::save_state`] on a
+    /// predictor of the same configuration. After a successful load the
+    /// predictor behaves bit-identically to the one that was saved.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimError::DimensionMismatch`] when the state's shape does
+    /// not fit this predictor's configuration, or
+    /// [`EstimError::BadParameter`] on non-finite values. On error the
+    /// predictor is left unchanged.
+    fn load_state(&mut self, state: &PredictorState) -> Result<(), EstimError>;
 }
 
 /// One-step-ahead AR predictor over a scalar sensor stream.
@@ -129,6 +161,72 @@ impl SensorPredictor {
         self.rls.reset(1.0);
         self.lags.reset();
     }
+
+    /// State layout: `counters = [rls_updates, history_len]`, `values =
+    /// [weights (dim), covariance row-major (dim²), history newest-first
+    /// (history_len)]`.
+    pub fn save_state(&self) -> PredictorState {
+        let dim = self.lags.dim();
+        let mut values = Vec::with_capacity(dim + dim * dim + self.lags.order());
+        values.extend_from_slice(self.rls.weights().as_slice());
+        let cov = self.rls.covariance();
+        for i in 0..dim {
+            for j in 0..dim {
+                values.push(cov[(i, j)]);
+            }
+        }
+        values.extend(self.lags.history());
+        PredictorState {
+            counters: vec![self.rls.updates(), self.lags.history().count() as u64],
+            values,
+        }
+    }
+
+    /// Restores a state saved by [`Self::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimError::DimensionMismatch`] when the shape does not fit
+    /// this predictor's order, [`EstimError::BadParameter`] on non-finite
+    /// values. The predictor is unchanged on error.
+    pub fn load_state(&mut self, state: &PredictorState) -> Result<(), EstimError> {
+        let dim = self.lags.dim();
+        let [updates, hist_len] = state.counters[..] else {
+            return Err(EstimError::DimensionMismatch {
+                message: format!(
+                    "AR predictor state needs 2 counters, got {}",
+                    state.counters.len()
+                ),
+            });
+        };
+        let hist_len = hist_len as usize;
+        if hist_len > self.lags.order() {
+            return Err(EstimError::DimensionMismatch {
+                message: format!(
+                    "history length {hist_len} exceeds lag order {}",
+                    self.lags.order()
+                ),
+            });
+        }
+        let expected = dim + dim * dim + hist_len;
+        if state.values.len() != expected {
+            return Err(EstimError::DimensionMismatch {
+                message: format!(
+                    "AR predictor state needs {expected} values, got {}",
+                    state.values.len()
+                ),
+            });
+        }
+        let (weights, rest) = state.values.split_at(dim);
+        let (covariance, history) = rest.split_at(dim * dim);
+        let mut rls = self.rls.clone();
+        rls.restore(weights, covariance, updates)?;
+        let mut lags = self.lags.clone();
+        lags.restore_history(history)?;
+        self.rls = rls;
+        self.lags = lags;
+        Ok(())
+    }
 }
 
 impl StreamPredictor for SensorPredictor {
@@ -150,6 +248,14 @@ impl StreamPredictor for SensorPredictor {
 
     fn clone_box(&self) -> Box<dyn StreamPredictor + Send> {
         Box::new(self.clone())
+    }
+
+    fn save_state(&self) -> PredictorState {
+        SensorPredictor::save_state(self)
+    }
+
+    fn load_state(&mut self, state: &PredictorState) -> Result<(), EstimError> {
+        SensorPredictor::load_state(self, state)
     }
 }
 
@@ -247,5 +353,65 @@ mod tests {
         p.reset();
         assert!(!p.is_ready());
         assert_eq!(p.training_updates(), 0);
+    }
+
+    #[test]
+    fn state_roundtrip_is_bit_exact() {
+        let mut p = SensorPredictor::paper().unwrap();
+        for k in 0..40 {
+            p.observe(100.0 - 0.5 * k as f64 + (k as f64 * 0.3).sin());
+        }
+        let state = p.save_state();
+        let mut q = SensorPredictor::paper().unwrap();
+        q.load_state(&state).unwrap();
+        assert_eq!(p, q);
+        // Restore-then-step equals uninterrupted stepping, bit for bit.
+        for _ in 0..30 {
+            let a = p.predict_next().unwrap();
+            let b = q.predict_next().unwrap();
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        p.observe(55.0);
+        q.observe(55.0);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn partial_history_state_roundtrip() {
+        let mut p = SensorPredictor::paper().unwrap();
+        p.observe(1.0);
+        p.observe(2.0); // history not yet full
+        let state = p.save_state();
+        assert_eq!(state.counters, vec![0, 2]);
+        let mut q = SensorPredictor::paper().unwrap();
+        q.load_state(&state).unwrap();
+        assert_eq!(p, q);
+        assert!(!q.is_ready());
+    }
+
+    #[test]
+    fn load_state_rejects_bad_shapes() {
+        let mut p = SensorPredictor::paper().unwrap();
+        let pristine = p.clone();
+        let bad = PredictorState {
+            counters: vec![0],
+            values: vec![],
+        };
+        assert!(matches!(
+            p.load_state(&bad),
+            Err(EstimError::DimensionMismatch { .. })
+        ));
+        let too_much_history = PredictorState {
+            counters: vec![0, 99],
+            values: vec![0.0; 200],
+        };
+        assert!(p.load_state(&too_much_history).is_err());
+        let wrong_len = PredictorState {
+            counters: vec![0, 0],
+            values: vec![0.0; 3],
+        };
+        assert!(p.load_state(&wrong_len).is_err());
+        // Failed loads leave the predictor untouched.
+        assert_eq!(p, pristine);
     }
 }

@@ -93,6 +93,30 @@ impl LagRegressor {
         self.history.front().copied()
     }
 
+    /// Buffered samples, most recent first (state export).
+    pub fn history(&self) -> impl Iterator<Item = f64> + '_ {
+        self.history.iter().copied()
+    }
+
+    /// Replaces the buffered history with `samples` (most recent first),
+    /// as produced by [`Self::history`]. Fewer than `order` samples model a
+    /// partially-filled buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimError::DimensionMismatch`] when more than `order`
+    /// samples are given; the history is unchanged on error.
+    pub fn restore_history(&mut self, samples: &[f64]) -> Result<(), EstimError> {
+        if samples.len() > self.order {
+            return Err(EstimError::DimensionMismatch {
+                message: format!("{} samples exceed lag order {}", samples.len(), self.order),
+            });
+        }
+        self.history.clear();
+        self.history.extend(samples.iter().copied());
+        Ok(())
+    }
+
     /// Clears the history.
     pub fn reset(&mut self) {
         self.history.clear();
@@ -147,5 +171,25 @@ mod tests {
     #[test]
     fn zero_order_rejected() {
         assert!(LagRegressor::new(0, true).is_err());
+    }
+
+    #[test]
+    fn history_roundtrip() {
+        let mut r = LagRegressor::new(3, false).unwrap();
+        for y in [1.0, 2.0, 3.0, 4.0] {
+            r.push(y);
+        }
+        let saved: Vec<f64> = r.history().collect();
+        assert_eq!(saved, vec![4.0, 3.0, 2.0]);
+        let mut fresh = LagRegressor::new(3, false).unwrap();
+        fresh.restore_history(&saved).unwrap();
+        assert_eq!(fresh, r);
+        // Oversized history is rejected without clobbering state.
+        assert!(fresh.restore_history(&[0.0; 4]).is_err());
+        assert_eq!(fresh, r);
+        // Partial history restores a partially-filled buffer.
+        fresh.restore_history(&[9.0]).unwrap();
+        assert!(!fresh.is_ready());
+        assert_eq!(fresh.latest(), Some(9.0));
     }
 }

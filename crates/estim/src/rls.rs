@@ -163,6 +163,45 @@ impl Rls {
         }
     }
 
+    /// Restores the estimator to an externally saved state: weight vector
+    /// `weights`, inverse-correlation matrix `covariance` in row-major
+    /// order, and the update count. Order and λ are configuration, not
+    /// state, and stay as constructed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EstimError::DimensionMismatch`] when the slice lengths do
+    /// not match the estimator's order, or [`EstimError::BadParameter`] on
+    /// non-finite values. The estimator is unchanged on error.
+    pub fn restore(
+        &mut self,
+        weights: &[f64],
+        covariance: &[f64],
+        updates: u64,
+    ) -> Result<(), EstimError> {
+        let n = self.order();
+        if weights.len() != n || covariance.len() != n * n {
+            return Err(EstimError::DimensionMismatch {
+                message: format!(
+                    "RLS order {n} needs {n} weights and {} covariance entries, got {} and {}",
+                    n * n,
+                    weights.len(),
+                    covariance.len()
+                ),
+            });
+        }
+        if !weights.iter().chain(covariance).all(|x| x.is_finite()) {
+            return Err(EstimError::BadParameter {
+                name: "state",
+                message: "RLS state contains non-finite values".to_string(),
+            });
+        }
+        self.weights = DVector::from_fn(n, |i, _| weights[i]);
+        self.p = DMatrix::from_fn(n, n, |i, j| covariance[i * n + j]);
+        self.updates = updates;
+        Ok(())
+    }
+
     /// Resets weights and covariance to the initial state (`w = 0`,
     /// `P = δ·I` with the given δ).
     ///
@@ -305,6 +344,42 @@ mod tests {
         assert_eq!(rls.weights().as_slice(), &[0.0, 0.0]);
         assert_eq!(rls.updates(), 0);
         assert_eq!(rls.covariance()[(0, 0)], 1.0);
+    }
+
+    #[test]
+    fn restore_roundtrips_exactly() {
+        let mut rls = Rls::paper(2).unwrap();
+        for k in 0..30 {
+            let h = DVector::from_vec(vec![(k as f64 * 0.7).sin(), 1.0]);
+            rls.update(&h, 2.0 * h[0] - 1.0);
+        }
+        let n = rls.order();
+        let weights: Vec<f64> = rls.weights().as_slice().to_vec();
+        let mut cov = Vec::with_capacity(n * n);
+        for i in 0..n {
+            for j in 0..n {
+                cov.push(rls.covariance()[(i, j)]);
+            }
+        }
+        let mut fresh = Rls::paper(2).unwrap();
+        fresh.restore(&weights, &cov, rls.updates()).unwrap();
+        assert_eq!(fresh, rls);
+        // Same update stream after restore stays bit-identical.
+        let h = DVector::from_vec(vec![0.4, 1.0]);
+        let a = rls.update(&h, 0.9);
+        let b = fresh.update(&h, 0.9);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn restore_validates_input() {
+        let mut rls = Rls::paper(2).unwrap();
+        assert!(rls.restore(&[1.0], &[0.0; 4], 0).is_err());
+        assert!(rls.restore(&[1.0, 2.0], &[0.0; 3], 0).is_err());
+        assert!(rls.restore(&[f64::NAN, 0.0], &[0.0; 4], 0).is_err());
+        // Unchanged after failures.
+        assert_eq!(rls.weights().as_slice(), &[0.0, 0.0]);
+        assert_eq!(rls.updates(), 0);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use nalgebra::DVector;
 
-use crate::predictor::StreamPredictor;
+use crate::predictor::{PredictorState, StreamPredictor};
 use crate::rls::Rls;
 use crate::EstimError;
 
@@ -109,6 +109,35 @@ impl StreamPredictor for TrendPredictor {
     fn clone_box(&self) -> Box<dyn StreamPredictor + Send> {
         Box::new(self.clone())
     }
+
+    /// State layout: `counters = [t, rls_updates]`, `values = [w₀, w₁,
+    /// P₀₀, P₀₁, P₁₀, P₁₁]`.
+    fn save_state(&self) -> PredictorState {
+        let w = self.rls.weights();
+        let p = self.rls.covariance();
+        PredictorState {
+            counters: vec![self.t, self.rls.updates()],
+            values: vec![w[0], w[1], p[(0, 0)], p[(0, 1)], p[(1, 0)], p[(1, 1)]],
+        }
+    }
+
+    fn load_state(&mut self, state: &PredictorState) -> Result<(), EstimError> {
+        let [t, updates] = state.counters[..] else {
+            return Err(EstimError::DimensionMismatch {
+                message: format!("trend state needs 2 counters, got {}", state.counters.len()),
+            });
+        };
+        if state.values.len() != 6 {
+            return Err(EstimError::DimensionMismatch {
+                message: format!("trend state needs 6 values, got {}", state.values.len()),
+            });
+        }
+        let mut rls = self.rls.clone();
+        rls.restore(&state.values[..2], &state.values[2..], updates)?;
+        self.rls = rls;
+        self.t = t;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -200,6 +229,40 @@ mod tests {
         }
         p.reset();
         assert!(!p.is_ready());
+        assert_eq!(p.samples(), 0);
+    }
+
+    #[test]
+    fn state_roundtrip_is_bit_exact() {
+        let mut p = TrendPredictor::paper().unwrap();
+        for k in 0..60 {
+            p.observe(29.0 - 0.1082 * k as f64);
+        }
+        let state = p.save_state();
+        assert_eq!(state.counters[0], 60);
+        let mut q = TrendPredictor::paper().unwrap();
+        q.load_state(&state).unwrap();
+        assert_eq!(p, q);
+        for _ in 0..50 {
+            let a = p.predict_next().unwrap();
+            let b = q.predict_next().unwrap();
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn load_state_rejects_bad_shapes() {
+        let mut p = TrendPredictor::paper().unwrap();
+        let bad = PredictorState {
+            counters: vec![1],
+            values: vec![0.0; 6],
+        };
+        assert!(p.load_state(&bad).is_err());
+        let short = PredictorState {
+            counters: vec![1, 1],
+            values: vec![0.0; 5],
+        };
+        assert!(p.load_state(&short).is_err());
         assert_eq!(p.samples(), 0);
     }
 

@@ -307,6 +307,25 @@ impl Radar {
             &mut frame.down,
             options,
         );
+        self.measurement_from_baseband(ratio, frame)
+    }
+
+    /// Runs the beat-frequency extraction chain over externally supplied
+    /// dechirped baseband sitting in `frame.up` / `frame.down` — the
+    /// DSP-offload entry point for a serving gateway that receives raw sweep
+    /// samples over the wire instead of client-extracted measurements.
+    ///
+    /// With [`ScratchOptions::bit_exact`] the result depends only on the
+    /// samples (never on scratch history), so a client-side
+    /// [`Radar::observe_with_scratch`] extraction and a server-side call
+    /// over the same samples agree bit for bit. `snr` is the link-budget
+    /// ratio of the strongest echo (computed where the powers are known —
+    /// it is carried through, not derived from the samples).
+    pub fn measurement_from_baseband(
+        &self,
+        snr: f64,
+        frame: &mut FrameScratch,
+    ) -> RadarMeasurement {
         let fs = self.config.sample_rate.value();
         let f_up = self.extract_frequency_with_scratch(
             &frame.up,
@@ -331,7 +350,7 @@ impl Radar {
             distance,
             range_rate,
             beats,
-            snr: ratio,
+            snr,
         }
     }
 
@@ -916,6 +935,53 @@ mod tests {
             music <= fft * 1.5 + 0.05,
             "root-MUSIC {music:.3} m vs FFT {fft:.3} m"
         );
+    }
+
+    #[test]
+    fn baseband_offload_matches_inline_extraction() {
+        // A gateway re-running extraction over wire-shipped raw samples must
+        // reproduce the client-side measurement bit for bit.
+        let r = Radar::new(RadarConfig::bosch_lrr2_signal());
+        let t = target_at(90.0, -2.5);
+        let mut rng = SimRng::seed_from(41);
+        let mut scratch = RadarScratch::new(ScratchOptions::bit_exact());
+        let obs = r.observe_with_scratch(
+            true,
+            Some(&t),
+            &ChannelState::clean(),
+            &mut rng,
+            &mut scratch,
+        );
+        let m = obs.measurement.expect("signal-mode measurement");
+        // Ship frame.up / frame.down "over the wire" into a server-side
+        // arena, first warming it on an unrelated frame: with bit-exact
+        // options the arena history must not influence the result.
+        let mut server = FrameScratch::new(ScratchOptions::bit_exact());
+        let mut warm_rng = SimRng::seed_from(99);
+        let warm_t = target_at(40.0, 1.0);
+        let mut warm = RadarScratch::new(ScratchOptions::bit_exact());
+        let _ = r.observe_with_scratch(
+            true,
+            Some(&warm_t),
+            &ChannelState::clean(),
+            &mut warm_rng,
+            &mut warm,
+        );
+        server.up.clone_from(&warm.frame.up);
+        server.down.clone_from(&warm.frame.down);
+        let _ = r.measurement_from_baseband(1.0, &mut server);
+        server.up.clone_from(&scratch.frame.up);
+        server.down.clone_from(&scratch.frame.down);
+        let remote = r.measurement_from_baseband(m.snr, &mut server);
+        assert_eq!(
+            remote.distance.value().to_bits(),
+            m.distance.value().to_bits()
+        );
+        assert_eq!(
+            remote.range_rate.value().to_bits(),
+            m.range_rate.value().to_bits()
+        );
+        assert_eq!(remote.beats, m.beats);
     }
 
     #[test]

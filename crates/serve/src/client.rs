@@ -1,0 +1,195 @@
+//! A blocking gateway client — the reference protocol driver used by the
+//! load generator and the integration tests.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::wire::{
+    self, ErrorCode, ErrorMsg, FrameReader, Hello, Message, Observation, ReadError,
+    SafeMeasurement, SnapshotMsg, VerdictMsg, Welcome,
+};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The server's bytes did not parse.
+    Wire(wire::WireError),
+    /// The server reported a fatal error.
+    Remote(ErrorMsg),
+    /// The server answered with an unexpected message.
+    Protocol(String),
+    /// The server hung up.
+    Eof,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport error: {e}"),
+            ClientError::Wire(e) => write!(f, "wire error: {e}"),
+            ClientError::Remote(e) => write!(f, "server error {:?}: {}", e.code, e.detail),
+            ClientError::Protocol(s) => write!(f, "protocol violation: {s}"),
+            ClientError::Eof => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ReadError> for ClientError {
+    fn from(e: ReadError) -> Self {
+        match e {
+            ReadError::Eof => ClientError::Eof,
+            ReadError::Io(e) => ClientError::Io(e),
+            ReadError::Wire(e) => ClientError::Wire(e),
+        }
+    }
+}
+
+/// A blocking, lock-step gateway session.
+#[derive(Debug)]
+pub struct GatewayClient {
+    stream: TcpStream,
+    reader: FrameReader,
+    encode: Vec<u8>,
+}
+
+impl GatewayClient {
+    /// Connects and performs the fresh-session handshake.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or a server `Error` frame instead of `Welcome`.
+    pub fn connect(addr: impl ToSocketAddrs, hello: Hello) -> Result<(Self, Welcome), ClientError> {
+        let mut client = Self::open(addr)?;
+        client.send(&Message::Hello(hello))?;
+        let welcome = client.expect_welcome()?;
+        Ok((client, welcome))
+    }
+
+    /// Connects and restores a previous session from a client-held
+    /// snapshot; the returned `Welcome` carries the resumed `next_step`.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures, or a server `Error` frame instead of `Welcome`.
+    pub fn connect_resume(
+        addr: impl ToSocketAddrs,
+        mut hello: Hello,
+        snapshot: &SnapshotMsg,
+    ) -> Result<(Self, Welcome), ClientError> {
+        hello.resume = true;
+        let mut client = Self::open(addr)?;
+        client.send(&Message::Hello(hello))?;
+        client.send(&Message::Snapshot(snapshot.clone()))?;
+        let welcome = client.expect_welcome()?;
+        Ok((client, welcome))
+    }
+
+    fn open(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            reader: FrameReader::new(),
+            encode: Vec::new(),
+        })
+    }
+
+    /// Sends one frame.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures.
+    pub fn send(&mut self, msg: &Message) -> Result<(), ClientError> {
+        wire::write_frame(&mut self.stream, msg, &mut self.encode)?;
+        Ok(())
+    }
+
+    /// Reads one frame, advisory backpressure frames included.
+    ///
+    /// # Errors
+    ///
+    /// Transport or decode failures.
+    pub fn recv(&mut self) -> Result<Message, ClientError> {
+        Ok(self.reader.read_from(&mut self.stream)?)
+    }
+
+    /// Reads the next non-advisory frame; fatal server errors become
+    /// [`ClientError::Remote`].
+    ///
+    /// # Errors
+    ///
+    /// Transport/decode failures or a fatal server error.
+    pub fn recv_significant(&mut self) -> Result<Message, ClientError> {
+        loop {
+            match self.recv()? {
+                Message::Error(e) if e.code == ErrorCode::Backpressure => continue,
+                Message::Error(e) => return Err(ClientError::Remote(e)),
+                msg => return Ok(msg),
+            }
+        }
+    }
+
+    /// Lock-step observation: sends one frame and blocks for its
+    /// (verdict, safe measurement) response pair.
+    ///
+    /// # Errors
+    ///
+    /// Transport/decode failures, a fatal server error, or out-of-order
+    /// responses.
+    pub fn observe(
+        &mut self,
+        obs: &Observation,
+    ) -> Result<(VerdictMsg, SafeMeasurement), ClientError> {
+        self.send(&Message::Observation(obs.clone()))?;
+        let verdict = match self.recv_significant()? {
+            Message::Verdict(v) => v,
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "expected Verdict, got {other:?}"
+                )))
+            }
+        };
+        let safe = match self.recv_significant()? {
+            Message::SafeMeasurement(s) => s,
+            other => {
+                return Err(ClientError::Protocol(format!(
+                    "expected SafeMeasurement, got {other:?}"
+                )))
+            }
+        };
+        Ok((verdict, safe))
+    }
+
+    /// Asks the server to export the session state.
+    ///
+    /// # Errors
+    ///
+    /// Transport/decode failures or a fatal server error.
+    pub fn snapshot(&mut self) -> Result<SnapshotMsg, ClientError> {
+        self.send(&Message::SnapshotRequest)?;
+        match self.recv_significant()? {
+            Message::Snapshot(s) => Ok(s),
+            other => Err(ClientError::Protocol(format!(
+                "expected Snapshot, got {other:?}"
+            ))),
+        }
+    }
+
+    fn expect_welcome(&mut self) -> Result<Welcome, ClientError> {
+        match self.recv_significant()? {
+            Message::Welcome(w) => Ok(w),
+            other => Err(ClientError::Protocol(format!(
+                "expected Welcome, got {other:?}"
+            ))),
+        }
+    }
+}

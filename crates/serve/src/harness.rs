@@ -1,0 +1,208 @@
+//! The closed-loop client harness shared by the load generator and the
+//! integration tests: drive one [`VehicleSim`] through the gateway in
+//! lock-step, replaying the exact observation stream `ScenarioPlan` would
+//! feed a local pipeline, and check the gateway's answers byte-for-byte
+//! against a locally driven [`SecurePipeline`].
+//!
+//! This is the subsystem's correctness anchor: the only difference between
+//! the two paths is the transport, so any output divergence — one bit of
+//! one distance at one step — is a gateway bug.
+
+use std::net::SocketAddr;
+use std::time::Instant;
+
+use argus_core::{
+    NoiseDraw, PipelineOutput, PredictorKind, ScenarioPlan, SecurePipeline, TrialScratch,
+};
+use argus_cra::CraDetector;
+use argus_radar::receiver::RadarObservation;
+use argus_sim::time::Step;
+use argus_sim::units::{Meters, MetersPerSecond};
+
+use crate::client::{ClientError, GatewayClient};
+use crate::session::SessionConfig;
+use crate::wire::{
+    ExtractedMeasurement, Hello, Observation, ObservationBody, RawFrame, SafeMeasurement,
+    VerdictMsg,
+};
+
+/// How the harness ships measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// Client-side extraction; ship the measurement values.
+    Extracted,
+    /// Ship the raw baseband; the server re-runs the extraction. Requires a
+    /// signal-mode plan.
+    RawBaseband,
+}
+
+/// What one driven session produced.
+#[derive(Debug, Clone)]
+pub struct DriveReport {
+    /// Frames acknowledged by the gateway.
+    pub frames: u64,
+    /// Steps whose gateway output differed from the local pipeline.
+    pub mismatches: u64,
+    /// Whether the final server snapshot equals the local pipeline's.
+    pub snapshot_matches: bool,
+    /// Per-frame round-trip latencies, seconds, in step order.
+    pub latencies: Vec<f64>,
+}
+
+impl DriveReport {
+    /// True when every step and the final state matched bit-for-bit.
+    pub fn identical(&self) -> bool {
+        self.mismatches == 0 && self.snapshot_matches
+    }
+}
+
+/// Builds the local twin of the pipeline a gateway session runs.
+pub fn local_pipeline(cfg: &SessionConfig, kind: PredictorKind) -> SecurePipeline {
+    let detector = CraDetector::new(cfg.schedule.clone(), cfg.detection_threshold);
+    let predictor = kind.build().expect("built-in predictor configs are valid");
+    SecurePipeline::new(detector, predictor, cfg.dt)
+}
+
+/// Converts one simulator observation into its wire form.
+pub fn wire_observation(
+    step: u64,
+    own_speed: f64,
+    obs: &RadarObservation,
+    draw: Option<NoiseDraw>,
+    raw_baseband: Option<(&[f64], &[f64])>,
+) -> Observation {
+    let body = match (&obs.measurement, raw_baseband) {
+        (None, _) => ObservationBody::Empty,
+        (Some(m), Some((up, down))) => {
+            let d = draw.unwrap_or(NoiseDraw {
+                distance: 0.0,
+                range_rate: 0.0,
+            });
+            ObservationBody::Raw(RawFrame {
+                snr: m.snr,
+                noise_distance: d.distance,
+                noise_range_rate: d.range_rate,
+                up: up.to_vec(),
+                down: down.to_vec(),
+            })
+        }
+        (Some(m), None) => ObservationBody::Extracted(ExtractedMeasurement {
+            distance: m.distance.value(),
+            range_rate: m.range_rate.value(),
+            beat_up: m.beats.up.value(),
+            beat_down: m.beats.down.value(),
+            snr: m.snr,
+        }),
+    };
+    Observation {
+        step,
+        own_speed,
+        received_power: obs.received_power.value(),
+        jammed: obs.jammed,
+        body,
+    }
+}
+
+/// Compares one gateway response pair against the local pipeline output,
+/// bit-for-bit on every float.
+pub fn outputs_match(verdict: &VerdictMsg, safe: &SafeMeasurement, local: &PipelineOutput) -> bool {
+    fn bits(x: Option<f64>) -> Option<u64> {
+        x.map(f64::to_bits)
+    }
+    verdict.verdict == local.verdict
+        && safe.source == local.source
+        && bits(safe.distance) == bits(local.distance.map(|d| d.value()))
+        && safe.relative_speed.to_bits() == local.relative_speed.value().to_bits()
+        && bits(safe.control_distance) == bits(local.control_distance.map(|d| d.value()))
+}
+
+/// Drives one full scenario through the gateway, lock-step, and verifies
+/// byte-identity against a local pipeline at every step and in the final
+/// snapshot.
+///
+/// # Errors
+///
+/// Propagates transport and server errors.
+#[allow(clippy::too_many_arguments)]
+pub fn drive_session(
+    addr: SocketAddr,
+    plan: &ScenarioPlan,
+    kind: PredictorKind,
+    session_cfg: &SessionConfig,
+    vehicle_id: u64,
+    seed: u64,
+    steps: u64,
+    transport: Transport,
+) -> Result<DriveReport, ClientError> {
+    let (mut client, _welcome) = GatewayClient::connect(
+        addr,
+        Hello {
+            vehicle_id,
+            predictor: kind,
+            max_inflight: 0,
+            resume: false,
+        },
+    )?;
+
+    let mut scratch = TrialScratch::for_plan(plan);
+    let mut sim = plan.vehicle_sim(seed);
+    let mut local = local_pipeline(session_cfg, kind);
+    let schedule = session_cfg.schedule.clone();
+
+    let mut report = DriveReport {
+        frames: 0,
+        mismatches: 0,
+        snapshot_matches: false,
+        latencies: Vec::with_capacity(steps as usize),
+    };
+
+    for k_idx in 0..steps {
+        if sim.collided() {
+            break;
+        }
+        let k = Step(k_idx);
+        let tx_on = schedule.tx_on(k);
+        let own_speed = sim.own_speed();
+        let (obs, draw) = sim.observe_traced(k, tx_on, &mut scratch);
+
+        let raw = match transport {
+            Transport::RawBaseband if obs.measurement.is_some() => {
+                // The arena still holds this frame's sweep samples; ship
+                // them interleaved.
+                let frame = &scratch.radar_scratch().frame;
+                let flat = |buf: &[argus_dsp::Complex<f64>]| -> Vec<f64> {
+                    buf.iter().flat_map(|c| [c.re, c.im]).collect()
+                };
+                Some((flat(&frame.up), flat(&frame.down)))
+            }
+            _ => None,
+        };
+        let wire_obs = wire_observation(
+            k_idx,
+            own_speed.value(),
+            &obs,
+            draw,
+            raw.as_ref().map(|(u, d)| (u.as_slice(), d.as_slice())),
+        );
+
+        let t0 = Instant::now();
+        let (verdict, safe) = client.observe(&wire_obs)?;
+        report.latencies.push(t0.elapsed().as_secs_f64());
+        report.frames += 1;
+
+        let local_out = local.process(k, &obs, own_speed);
+        if !outputs_match(&verdict, &safe, &local_out) {
+            report.mismatches += 1;
+        }
+
+        // The plant consumes the *gateway's* answer, like a real deployment.
+        sim.advance(
+            safe.control_distance.map(Meters),
+            MetersPerSecond(safe.relative_speed),
+        );
+    }
+
+    let snap = client.snapshot()?;
+    report.snapshot_matches = snap.state == local.snapshot();
+    Ok(report)
+}

@@ -1,0 +1,68 @@
+//! # argus-serve — the online safe-measurement gateway
+//!
+//! Runs the paper's defense stack ([`SecurePipeline`]) as a network
+//! service: each vehicle opens a TCP session, streams radar observations up
+//! (client-extracted values, or the raw FMCW baseband for server-side DSP
+//! offload), and receives the CRA verdict plus the safe measurement its ACC
+//! controller should consume — exactly the bytes a locally driven pipeline
+//! would produce.
+//!
+//! * [`wire`] — the versioned length-prefixed binary protocol. Pure slice
+//!   codec, typed errors, no `unsafe`, no dependencies beyond the
+//!   workspace's own types.
+//! * [`session`] — one vehicle's pipeline state: predictor negotiated at
+//!   `Hello`, monotonic step validation, snapshot/restore that survives
+//!   reconnects.
+//! * [`server`] — acceptor + sharded workers with per-shard DSP arenas,
+//!   bounded per-session inflight windows with explicit backpressure,
+//!   idle-session eviction and draining shutdown.
+//! * [`client`] — the blocking reference client.
+//! * [`harness`] — the closed-loop drive-and-verify loop used by the load
+//!   generator and the integration tests.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use argus_core::{PredictorKind, ScenarioPlan, ScenarioConfig};
+//! use argus_serve::harness::{drive_session, Transport};
+//! use argus_serve::server::{Gateway, GatewayConfig};
+//!
+//! let config = GatewayConfig::paper();
+//! let gateway = Gateway::bind("127.0.0.1:0", config.clone()).unwrap();
+//!
+//! let plan = ScenarioPlan::new(ScenarioConfig::paper(
+//!     argus_vehicle::LeaderProfile::paper_constant_decel(),
+//!     argus_attack::Adversary::paper_dos(),
+//!     true,
+//! ));
+//! let report = drive_session(
+//!     gateway.local_addr(),
+//!     &plan,
+//!     PredictorKind::RlsTrend,
+//!     &config.session,
+//!     7,    // vehicle id
+//!     42,   // seed
+//!     60,   // steps
+//!     Transport::Extracted,
+//! )
+//! .unwrap();
+//! assert!(report.identical());
+//! gateway.shutdown();
+//! ```
+//!
+//! [`SecurePipeline`]: argus_core::SecurePipeline
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+#![forbid(unsafe_code)]
+
+pub mod client;
+pub mod harness;
+pub mod server;
+pub mod session;
+pub mod wire;
+
+pub use client::{ClientError, GatewayClient};
+pub use server::{Gateway, GatewayConfig};
+pub use session::{Session, SessionConfig, SessionError};
+pub use wire::{ErrorCode, Hello, Message, Observation, SafeMeasurement, VerdictMsg, WireError};

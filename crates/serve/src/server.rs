@@ -1,0 +1,692 @@
+//! The TCP gateway: one acceptor thread, N worker shards.
+//!
+//! Each accepted connection gets a dedicated reader thread that decodes
+//! frames and forwards them to the shard owning the connection
+//! (`conn_id % workers`). A shard worker owns its sessions plus one
+//! bit-exact [`FrameScratch`] arena, one radar model and one encode buffer —
+//! so steady-state serving runs the DSP and response path without heap
+//! allocation, and raw-baseband extraction is bit-identical no matter which
+//! session last used the arena.
+//!
+//! Flow control is a per-session inflight window: the reader blocks once
+//! `max_inflight` observations are queued unprocessed, after sending the
+//! client a single advisory `Backpressure` error per stall — frames are
+//! never dropped. Sessions idle past the eviction deadline are told
+//! (`Evicted`) and disconnected; a client that kept a snapshot resumes on a
+//! fresh connection with byte-identical state. Shutdown drains every queued
+//! frame before closing sockets.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use argus_dsp::{FrameScratch, ScratchOptions};
+use argus_radar::receiver::Radar;
+use argus_radar::RadarConfig;
+
+use crate::session::{Session, SessionConfig, SessionError};
+use crate::wire::{self, ErrorCode, ErrorMsg, FrameReader, Message, ReadError, Welcome, WireError};
+
+/// Gateway tuning plus the session configuration shared by every shard.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Session parameters (schedule, threshold, sample period).
+    pub session: SessionConfig,
+    /// Radar model used for server-side raw-baseband extraction.
+    pub radar: RadarConfig,
+    /// Number of worker shards.
+    pub workers: usize,
+    /// Per-session inflight-observation cap granted when the client asks
+    /// for 0 or more than this.
+    pub max_inflight: u16,
+    /// Idle duration after which a session is evicted.
+    pub idle_timeout: Duration,
+    /// How often each shard sweeps for idle sessions.
+    pub sweep_interval: Duration,
+}
+
+impl GatewayConfig {
+    /// The paper configuration with serving defaults: 4 shards, a 32-frame
+    /// inflight window and a 30 s idle eviction deadline.
+    pub fn paper() -> Self {
+        Self {
+            session: SessionConfig::paper(),
+            radar: RadarConfig::bosch_lrr2_signal(),
+            workers: 4,
+            max_inflight: 32,
+            idle_timeout: Duration::from_secs(30),
+            sweep_interval: Duration::from_secs(1),
+        }
+    }
+}
+
+/// Per-session flow-control window, shared between the connection's reader
+/// thread (increments, blocks at the cap) and its shard worker (decrements).
+#[derive(Debug)]
+struct Inflight {
+    state: Mutex<InflightState>,
+    cv: Condvar,
+}
+
+#[derive(Debug)]
+struct InflightState {
+    queued: u32,
+    /// Set when the shard closes the connection, so a blocked reader wakes
+    /// and exits instead of waiting forever.
+    closed: bool,
+}
+
+impl Inflight {
+    fn new() -> Self {
+        Self {
+            state: Mutex::new(InflightState {
+                queued: 0,
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Counts one queued observation, blocking while the window is full.
+    /// Returns `false` if the connection closed (caller should exit), and
+    /// whether this call hit the cap (so the caller can send one advisory).
+    fn acquire(&self, cap: u32) -> (bool, bool) {
+        let mut st = self.state.lock().expect("inflight lock");
+        let stalled = st.queued >= cap;
+        while st.queued >= cap && !st.closed {
+            st = self.cv.wait(st).expect("inflight wait");
+        }
+        if st.closed {
+            return (false, stalled);
+        }
+        st.queued += 1;
+        (true, stalled)
+    }
+
+    fn release(&self) {
+        let mut st = self.state.lock().expect("inflight lock");
+        st.queued = st.queued.saturating_sub(1);
+        self.cv.notify_all();
+    }
+
+    fn close(&self) {
+        let mut st = self.state.lock().expect("inflight lock");
+        st.closed = true;
+        self.cv.notify_all();
+    }
+}
+
+/// What reader threads forward to shard workers.
+// `Frame` dominates the size; boxing it would put an allocation on the
+// per-frame hot path to shrink a channel slot that is moved, not copied.
+#[allow(clippy::large_enum_variant)]
+enum ShardMsg {
+    /// A new connection owned by this shard.
+    Connected {
+        conn: u64,
+        stream: TcpStream,
+        inflight: Arc<Inflight>,
+        write_lock: Arc<Mutex<()>>,
+    },
+    /// One decoded frame.
+    Frame { conn: u64, msg: Message },
+    /// The connection's bytes stopped parsing.
+    Bad { conn: u64, err: WireError },
+    /// The peer hung up or the transport failed.
+    Disconnected { conn: u64 },
+    /// Drain everything already queued, then exit.
+    Shutdown,
+}
+
+/// One connection as a shard sees it.
+struct Conn {
+    stream: TcpStream,
+    inflight: Arc<Inflight>,
+    /// Serializes writes with the reader thread's backpressure advisories.
+    write_lock: Arc<Mutex<()>>,
+    session: Option<Session>,
+    /// Set after a resume Hello until the snapshot arrives.
+    resume_pending: bool,
+    last_active: Instant,
+}
+
+impl Conn {
+    fn close(&mut self) {
+        self.inflight.close();
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+}
+
+/// A running gateway. Dropping it without [`Gateway::shutdown`] aborts the
+/// acceptor only when the process exits; call `shutdown` for a clean drain.
+#[derive(Debug)]
+pub struct Gateway {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<Vec<JoinHandle<()>>>>,
+    shard_txs: Vec<Sender<ShardMsg>>,
+    shards: Vec<JoinHandle<()>>,
+}
+
+impl Gateway {
+    /// Binds the listener and starts the acceptor and shard workers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors from binding.
+    pub fn bind(addr: impl ToSocketAddrs, config: GatewayConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers = config.workers.max(1);
+
+        let mut shard_txs = Vec::with_capacity(workers);
+        let mut shards = Vec::with_capacity(workers);
+        for shard_id in 0..workers {
+            let (tx, rx) = std::sync::mpsc::channel();
+            shard_txs.push(tx);
+            let cfg = config.clone();
+            shards.push(
+                std::thread::Builder::new()
+                    .name(format!("argus-serve-shard-{shard_id}"))
+                    .spawn(move || shard_main(rx, &cfg))
+                    .expect("spawn shard worker"),
+            );
+        }
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let shard_txs = shard_txs.clone();
+            let max_inflight = config.max_inflight.max(1) as u32;
+            std::thread::Builder::new()
+                .name("argus-serve-acceptor".to_string())
+                .spawn(move || acceptor_main(&listener, &stop, &shard_txs, max_inflight))
+                .expect("spawn acceptor")
+        };
+
+        Ok(Self {
+            local_addr,
+            stop,
+            acceptor: Some(acceptor),
+            shard_txs,
+            shards,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Graceful shutdown: stop accepting, drain every queued frame, close
+    /// every connection, join every thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock `accept` with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        let readers = self
+            .acceptor
+            .take()
+            .map(|h| h.join().expect("acceptor panicked"))
+            .unwrap_or_default();
+        for tx in &self.shard_txs {
+            let _ = tx.send(ShardMsg::Shutdown);
+        }
+        for shard in self.shards.drain(..) {
+            shard.join().expect("shard panicked");
+        }
+        for reader in readers {
+            reader.join().expect("reader panicked");
+        }
+    }
+}
+
+fn acceptor_main(
+    listener: &TcpListener,
+    stop: &AtomicBool,
+    shard_txs: &[Sender<ShardMsg>],
+    server_cap: u32,
+) -> Vec<JoinHandle<()>> {
+    let mut readers = Vec::new();
+    let mut next_conn = 0u64;
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let _ = stream.set_nodelay(true);
+        let conn = next_conn;
+        next_conn += 1;
+        let shard_tx = shard_txs[(conn % shard_txs.len() as u64) as usize].clone();
+        let inflight = Arc::new(Inflight::new());
+        let write_lock = Arc::new(Mutex::new(()));
+
+        let Ok(read_half) = stream.try_clone() else {
+            continue;
+        };
+        if shard_tx
+            .send(ShardMsg::Connected {
+                conn,
+                stream,
+                inflight: Arc::clone(&inflight),
+                write_lock: Arc::clone(&write_lock),
+            })
+            .is_err()
+        {
+            break;
+        }
+        let reader = std::thread::Builder::new()
+            .name(format!("argus-serve-reader-{conn}"))
+            .spawn(move || {
+                reader_main(
+                    conn,
+                    read_half,
+                    &shard_tx,
+                    &inflight,
+                    &write_lock,
+                    server_cap,
+                )
+            })
+            .expect("spawn reader");
+        readers.push(reader);
+    }
+    readers
+}
+
+/// Decodes frames off one socket, enforcing the inflight window before each
+/// observation is queued.
+fn reader_main(
+    conn: u64,
+    mut stream: TcpStream,
+    shard_tx: &Sender<ShardMsg>,
+    inflight: &Inflight,
+    write_lock: &Mutex<()>,
+    server_cap: u32,
+) {
+    let mut reader = FrameReader::new();
+    let mut cap = server_cap;
+    let mut advisory = Vec::new();
+    loop {
+        match reader.read_from(&mut stream) {
+            Ok(msg) => {
+                if let Message::Hello(h) = &msg {
+                    // Negotiate the window: the client may shrink it, never
+                    // grow it past the server cap.
+                    if h.max_inflight > 0 {
+                        cap = u32::from(h.max_inflight).min(server_cap);
+                    }
+                }
+                let is_observation = matches!(msg, Message::Observation(_));
+                if is_observation {
+                    let (alive, stalled) = inflight.acquire(cap);
+                    if stalled {
+                        // One advisory per stall, under the connection's
+                        // write lock so it lands between shard frames.
+                        let _guard = write_lock.lock().expect("write lock");
+                        let _ = wire::write_frame(
+                            &mut (&stream),
+                            &Message::Error(ErrorMsg {
+                                code: ErrorCode::Backpressure,
+                                detail: format!("inflight window of {cap} is full"),
+                            }),
+                            &mut advisory,
+                        );
+                    }
+                    if !alive {
+                        return;
+                    }
+                }
+                if shard_tx.send(ShardMsg::Frame { conn, msg }).is_err() {
+                    return;
+                }
+            }
+            Err(ReadError::Eof) | Err(ReadError::Io(_)) => {
+                let _ = shard_tx.send(ShardMsg::Disconnected { conn });
+                return;
+            }
+            Err(ReadError::Wire(err)) => {
+                let _ = shard_tx.send(ShardMsg::Bad { conn, err });
+                return;
+            }
+        }
+    }
+}
+
+/// Shard-owned steady-state arenas: everything a response needs, reused
+/// across frames and sessions.
+struct ShardScratch {
+    radar: Radar,
+    frame: FrameScratch,
+    encode: Vec<u8>,
+}
+
+fn shard_main(rx: Receiver<ShardMsg>, cfg: &GatewayConfig) {
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut scratch = ShardScratch {
+        radar: Radar::new(cfg.radar),
+        // Bit-exact options: extraction depends only on the samples, so one
+        // arena can serve every session without cross-talk.
+        frame: FrameScratch::new(ScratchOptions::bit_exact()),
+        encode: Vec::new(),
+    };
+    let mut last_sweep = Instant::now();
+    loop {
+        match rx.recv_timeout(cfg.sweep_interval) {
+            Ok(ShardMsg::Shutdown) => break,
+            Ok(msg) => handle_msg(msg, &mut conns, &mut scratch, cfg),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+        if last_sweep.elapsed() >= cfg.sweep_interval {
+            evict_idle(&mut conns, &mut scratch.encode, cfg.idle_timeout);
+            last_sweep = Instant::now();
+        }
+    }
+    // Drain every frame that was queued before the shutdown marker, then
+    // tell the peers and close.
+    while let Ok(msg) = rx.try_recv() {
+        if !matches!(msg, ShardMsg::Shutdown) {
+            handle_msg(msg, &mut conns, &mut scratch, cfg);
+        }
+    }
+    for (_, mut conn) in conns.drain() {
+        let _ = wire::write_frame(
+            &mut (&conn.stream),
+            &Message::Error(ErrorMsg {
+                code: ErrorCode::ShuttingDown,
+                detail: "gateway is shutting down".to_string(),
+            }),
+            &mut scratch.encode,
+        );
+        conn.close();
+    }
+}
+
+fn evict_idle(conns: &mut HashMap<u64, Conn>, encode: &mut Vec<u8>, idle_timeout: Duration) {
+    let evicted: Vec<u64> = conns
+        .iter()
+        .filter(|(_, c)| c.last_active.elapsed() >= idle_timeout)
+        .map(|(&id, _)| id)
+        .collect();
+    for id in evicted {
+        let mut conn = conns.remove(&id).expect("listed above");
+        let _ = wire::write_frame(
+            &mut (&conn.stream),
+            &Message::Error(ErrorMsg {
+                code: ErrorCode::Evicted,
+                detail: "session idle past the eviction deadline".to_string(),
+            }),
+            encode,
+        );
+        conn.close();
+    }
+}
+
+fn handle_msg(
+    msg: ShardMsg,
+    conns: &mut HashMap<u64, Conn>,
+    scratch: &mut ShardScratch,
+    cfg: &GatewayConfig,
+) {
+    match msg {
+        ShardMsg::Connected {
+            conn,
+            stream,
+            inflight,
+            write_lock,
+        } => {
+            conns.insert(
+                conn,
+                Conn {
+                    stream,
+                    inflight,
+                    write_lock,
+                    session: None,
+                    resume_pending: false,
+                    last_active: Instant::now(),
+                },
+            );
+        }
+        ShardMsg::Disconnected { conn } => {
+            if let Some(mut c) = conns.remove(&conn) {
+                c.close();
+            }
+        }
+        // Filtered out by both call sites; nothing to do.
+        ShardMsg::Shutdown => {}
+        ShardMsg::Bad { conn, err } => {
+            if let Some(mut c) = conns.remove(&conn) {
+                let code = match err {
+                    WireError::VersionMismatch { .. } => ErrorCode::Version,
+                    _ => ErrorCode::Malformed,
+                };
+                send(
+                    &mut c,
+                    &error_msg(code, err.to_string()),
+                    &mut scratch.encode,
+                );
+                c.close();
+            }
+        }
+        ShardMsg::Frame { conn, msg } => {
+            let Some(c) = conns.get_mut(&conn) else {
+                return;
+            };
+            c.last_active = Instant::now();
+            if handle_frame(c, msg, scratch, cfg).is_err() {
+                if let Some(mut c) = conns.remove(&conn) {
+                    c.close();
+                }
+            }
+        }
+    }
+}
+
+/// Processes one client frame. `Err(())` closes the connection.
+fn handle_frame(
+    conn: &mut Conn,
+    msg: Message,
+    scratch: &mut ShardScratch,
+    cfg: &GatewayConfig,
+) -> Result<(), ()> {
+    match msg {
+        Message::Hello(hello) => {
+            if conn.session.is_some() {
+                send(
+                    conn,
+                    &error_msg(ErrorCode::Malformed, "duplicate Hello"),
+                    &mut scratch.encode,
+                );
+                return Err(());
+            }
+            let session = match Session::new(&hello, &cfg.session) {
+                Ok(s) => s,
+                Err(e) => {
+                    send(conn, &session_error_msg(&e), &mut scratch.encode);
+                    return Err(());
+                }
+            };
+            conn.session = Some(session);
+            if hello.resume {
+                // Welcome is deferred until the snapshot restores.
+                conn.resume_pending = true;
+                return Ok(());
+            }
+            welcome(conn, scratch, cfg)
+        }
+        Message::Snapshot(snap) => {
+            if !conn.resume_pending {
+                send(
+                    conn,
+                    &error_msg(
+                        ErrorCode::Malformed,
+                        "Snapshot is only valid directly after a resume Hello",
+                    ),
+                    &mut scratch.encode,
+                );
+                return Err(());
+            }
+            let session = conn
+                .session
+                .as_mut()
+                .expect("resume_pending implies session");
+            if let Err(e) = session.restore(&snap) {
+                send(conn, &session_error_msg(&e), &mut scratch.encode);
+                return Err(());
+            }
+            conn.resume_pending = false;
+            welcome(conn, scratch, cfg)
+        }
+        Message::Observation(obs) => {
+            // The reader counted this frame into the inflight window when it
+            // was queued; release as it is processed.
+            conn.inflight.release();
+            let Some(session) = conn.session.as_mut() else {
+                send(
+                    conn,
+                    &error_msg(ErrorCode::BadHandshake, "Observation before Hello"),
+                    &mut scratch.encode,
+                );
+                return Err(());
+            };
+            if conn.resume_pending {
+                send(
+                    conn,
+                    &error_msg(
+                        ErrorCode::BadHandshake,
+                        "Observation before resume Snapshot",
+                    ),
+                    &mut scratch.encode,
+                );
+                return Err(());
+            }
+            match session.observe(&obs, &scratch.radar, &mut scratch.frame) {
+                Ok((verdict, safe)) => {
+                    // Both response frames in one write.
+                    scratch.encode.clear();
+                    wire::encode_into(&Message::Verdict(verdict), &mut scratch.encode);
+                    wire::encode_into(&Message::SafeMeasurement(safe), &mut scratch.encode);
+                    write_all(conn, &scratch.encode)
+                }
+                Err(e) => {
+                    send(conn, &session_error_msg(&e), &mut scratch.encode);
+                    if e.fatal {
+                        Err(())
+                    } else {
+                        Ok(())
+                    }
+                }
+            }
+        }
+        Message::SnapshotRequest => {
+            let Some(session) = conn.session.as_ref() else {
+                send(
+                    conn,
+                    &error_msg(ErrorCode::BadHandshake, "SnapshotRequest before Hello"),
+                    &mut scratch.encode,
+                );
+                return Err(());
+            };
+            let snap = session.snapshot();
+            send(conn, &Message::Snapshot(snap), &mut scratch.encode);
+            Ok(())
+        }
+        Message::Welcome(_)
+        | Message::Verdict(_)
+        | Message::SafeMeasurement(_)
+        | Message::Error(_) => {
+            send(
+                conn,
+                &error_msg(
+                    ErrorCode::Malformed,
+                    "server-to-client message from a client",
+                ),
+                &mut scratch.encode,
+            );
+            Err(())
+        }
+    }
+}
+
+fn welcome(conn: &mut Conn, scratch: &mut ShardScratch, cfg: &GatewayConfig) -> Result<(), ()> {
+    let session = conn.session.as_ref().expect("welcome requires a session");
+    let msg = Message::Welcome(Welcome {
+        vehicle_id: session.vehicle_id(),
+        next_step: session.next_step(),
+        max_inflight: cfg.max_inflight.max(1),
+    });
+    send(conn, &msg, &mut scratch.encode);
+    Ok(())
+}
+
+fn error_msg(code: ErrorCode, detail: impl Into<String>) -> Message {
+    Message::Error(ErrorMsg {
+        code,
+        detail: detail.into(),
+    })
+}
+
+fn session_error_msg(e: &SessionError) -> Message {
+    Message::Error(ErrorMsg {
+        code: e.code,
+        detail: e.detail.clone(),
+    })
+}
+
+fn send(conn: &mut Conn, msg: &Message, encode: &mut Vec<u8>) {
+    // A write failure surfaces as Disconnected via the reader; nothing to
+    // do here.
+    let guard = Arc::clone(&conn.write_lock);
+    let _guard = guard.lock().expect("write lock");
+    let _ = wire::write_frame(&mut (&conn.stream), msg, encode);
+}
+
+fn write_all(conn: &mut Conn, bytes: &[u8]) -> Result<(), ()> {
+    let guard = Arc::clone(&conn.write_lock);
+    let _guard = guard.lock().expect("write lock");
+    (&conn.stream).write_all(bytes).map_err(|_| ())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inflight_blocks_at_cap_and_wakes_on_release() {
+        let inflight = Arc::new(Inflight::new());
+        let (ok, stalled) = inflight.acquire(2);
+        assert!(ok && !stalled);
+        let (ok, stalled) = inflight.acquire(2);
+        assert!(ok && !stalled);
+
+        let blocked = {
+            let inflight = Arc::clone(&inflight);
+            std::thread::spawn(move || inflight.acquire(2))
+        };
+        // The third acquire must stall until a release.
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!blocked.is_finished());
+        inflight.release();
+        let (ok, stalled) = blocked.join().expect("join");
+        assert!(ok && stalled, "stalled acquire reports the stall");
+    }
+
+    #[test]
+    fn inflight_close_unblocks_a_stalled_reader() {
+        let inflight = Arc::new(Inflight::new());
+        assert!(inflight.acquire(1).0);
+        let blocked = {
+            let inflight = Arc::clone(&inflight);
+            std::thread::spawn(move || inflight.acquire(1))
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        inflight.close();
+        let (ok, _) = blocked.join().expect("join");
+        assert!(!ok, "closed window reports dead connection");
+    }
+}

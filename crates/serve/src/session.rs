@@ -1,0 +1,421 @@
+//! Per-vehicle serving sessions.
+//!
+//! A session owns one [`SecurePipeline`] configured at `Hello` time
+//! (predictor kind negotiated per session; schedule, threshold and sample
+//! period fixed by the server). It validates step monotonicity, converts
+//! wire observations back into [`RadarObservation`]s — re-running the DSP
+//! extraction on a shard-owned [`FrameScratch`] arena for raw-baseband
+//! frames — and can export/import its full state as a [`SnapshotMsg`], which
+//! is what lets a client survive eviction and reconnect without losing the
+//! pipeline's learned state.
+
+use argus_core::{PipelineOutput, SecurePipeline};
+use argus_cra::CraDetector;
+use argus_dsp::{Complex, FrameScratch};
+use argus_radar::fmcw::BeatPair;
+use argus_radar::receiver::{Radar, RadarMeasurement, RadarObservation};
+use argus_sim::time::Step;
+use argus_sim::units::{Hertz, Meters, MetersPerSecond, Seconds, Watts};
+
+use crate::wire::{
+    ErrorCode, Hello, Observation, ObservationBody, RawFrame, SafeMeasurement, SnapshotMsg,
+    VerdictMsg,
+};
+
+/// Everything a session needs that is not negotiated per connection: the
+/// CRA schedule and threshold (they must match the client's radar), the
+/// dead-reckoning sample period, and the radar model used to re-extract
+/// raw-baseband frames server-side.
+#[derive(Debug, Clone)]
+pub struct SessionConfig {
+    /// Challenge schedule shared with every client radar.
+    pub schedule: argus_cra::ChallengeSchedule,
+    /// Detection threshold for Algorithm 2's comparator.
+    pub detection_threshold: Watts,
+    /// Sample period for dead reckoning.
+    pub dt: Seconds,
+}
+
+impl SessionConfig {
+    /// The paper's configuration (schedule, LRR2 threshold, 1 s sampling).
+    pub fn paper() -> Self {
+        Self {
+            schedule: argus_cra::ChallengeSchedule::paper(),
+            detection_threshold: argus_radar::RadarConfig::bosch_lrr2().detection_threshold,
+            dt: Seconds(1.0),
+        }
+    }
+}
+
+/// A session-level failure, carrying the wire error code and whether the
+/// connection can survive it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SessionError {
+    /// The code reported to the peer.
+    pub code: ErrorCode,
+    /// Human-readable detail.
+    pub detail: String,
+    /// `false` when the session can continue after reporting the error.
+    pub fatal: bool,
+}
+
+impl SessionError {
+    fn fatal(code: ErrorCode, detail: impl Into<String>) -> Self {
+        Self {
+            code,
+            detail: detail.into(),
+            fatal: true,
+        }
+    }
+
+    fn recoverable(code: ErrorCode, detail: impl Into<String>) -> Self {
+        Self {
+            code,
+            detail: detail.into(),
+            fatal: false,
+        }
+    }
+}
+
+impl std::fmt::Display for SessionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:?}: {}", self.code, self.detail)
+    }
+}
+
+impl std::error::Error for SessionError {}
+
+/// One vehicle's serving state.
+#[derive(Debug)]
+pub struct Session {
+    vehicle_id: u64,
+    pipeline: SecurePipeline,
+    next_step: u64,
+}
+
+impl Session {
+    /// Builds a fresh session from a handshake.
+    pub fn new(hello: &Hello, cfg: &SessionConfig) -> Result<Self, SessionError> {
+        let predictor = hello
+            .predictor
+            .build()
+            .map_err(|e| SessionError::fatal(ErrorCode::UnsupportedPredictor, e.to_string()))?;
+        let detector = CraDetector::new(cfg.schedule.clone(), cfg.detection_threshold);
+        Ok(Self {
+            vehicle_id: hello.vehicle_id,
+            pipeline: SecurePipeline::new(detector, predictor, cfg.dt),
+            next_step: 0,
+        })
+    }
+
+    /// The vehicle label from the handshake.
+    pub fn vehicle_id(&self) -> u64 {
+        self.vehicle_id
+    }
+
+    /// The step the session expects next.
+    pub fn next_step(&self) -> u64 {
+        self.next_step
+    }
+
+    /// Exports the full session state for the client to hold across
+    /// reconnects.
+    pub fn snapshot(&self) -> SnapshotMsg {
+        SnapshotMsg {
+            vehicle_id: self.vehicle_id,
+            next_step: self.next_step,
+            state: self.pipeline.snapshot(),
+        }
+    }
+
+    /// Restores a previously exported state. On failure the session is
+    /// unchanged (the pipeline restore is transactional).
+    pub fn restore(&mut self, snap: &SnapshotMsg) -> Result<(), SessionError> {
+        if snap.vehicle_id != self.vehicle_id {
+            return Err(SessionError::fatal(
+                ErrorCode::BadHandshake,
+                format!(
+                    "snapshot belongs to vehicle {}, session is vehicle {}",
+                    snap.vehicle_id, self.vehicle_id
+                ),
+            ));
+        }
+        self.pipeline
+            .restore(&snap.state)
+            .map_err(|e| SessionError::fatal(ErrorCode::Malformed, e.to_string()))?;
+        self.next_step = snap.next_step;
+        Ok(())
+    }
+
+    /// Processes one wire observation into the (verdict, safe measurement)
+    /// response pair. `radar` and `scratch` are shard-owned: the radar model
+    /// re-extracts raw-baseband frames, and with bit-exact scratch options
+    /// the result is independent of whatever frames other sessions ran
+    /// through the same arena.
+    pub fn observe(
+        &mut self,
+        obs: &Observation,
+        radar: &Radar,
+        scratch: &mut FrameScratch,
+    ) -> Result<(VerdictMsg, SafeMeasurement), SessionError> {
+        if obs.step < self.next_step {
+            return Err(SessionError::recoverable(
+                ErrorCode::BadStep,
+                format!(
+                    "observation step {} is behind the session's next step {}",
+                    obs.step, self.next_step
+                ),
+            ));
+        }
+        let measurement = match &obs.body {
+            ObservationBody::Empty => None,
+            ObservationBody::Extracted(m) => Some(RadarMeasurement {
+                distance: Meters(m.distance),
+                range_rate: MetersPerSecond(m.range_rate),
+                beats: BeatPair {
+                    up: Hertz(m.beat_up),
+                    down: Hertz(m.beat_down),
+                },
+                snr: m.snr,
+            }),
+            ObservationBody::Raw(raw) => Some(self.extract_raw(raw, radar, scratch)?),
+        };
+        let radar_obs = RadarObservation {
+            measurement,
+            received_power: Watts(obs.received_power),
+            jammed: obs.jammed,
+        };
+        let out = self
+            .pipeline
+            .process(Step(obs.step), &radar_obs, MetersPerSecond(obs.own_speed));
+        self.next_step = obs.step + 1;
+        Ok(respond(obs.step, &out))
+    }
+
+    /// Server-side DSP offload: refill the shard arena's sweep buffers from
+    /// the wire samples, rerun the extraction, then apply the client's
+    /// measurement-noise realization — the same two additions the client
+    /// performs, on the same operands, so the result is bit-identical.
+    fn extract_raw(
+        &self,
+        raw: &RawFrame,
+        radar: &Radar,
+        scratch: &mut FrameScratch,
+    ) -> Result<RadarMeasurement, SessionError> {
+        let expected = 2 * radar.config().samples_per_sweep;
+        if raw.up.len() != expected || raw.down.len() != expected {
+            return Err(SessionError::fatal(
+                ErrorCode::Malformed,
+                format!(
+                    "raw frame has {}/{} interleaved samples, radar expects {expected}",
+                    raw.up.len(),
+                    raw.down.len()
+                ),
+            ));
+        }
+        fill_sweep(&mut scratch.up, &raw.up);
+        fill_sweep(&mut scratch.down, &raw.down);
+        let mut m = radar.measurement_from_baseband(raw.snr, scratch);
+        m.distance += Meters(raw.noise_distance);
+        m.range_rate += MetersPerSecond(raw.noise_range_rate);
+        Ok(m)
+    }
+}
+
+/// De-interleaves `re, im, re, im, …` into the arena's complex sweep buffer.
+fn fill_sweep(buf: &mut Vec<Complex<f64>>, interleaved: &[f64]) {
+    buf.clear();
+    buf.extend(
+        interleaved
+            .chunks_exact(2)
+            .map(|pair| Complex::new(pair[0], pair[1])),
+    );
+}
+
+/// Packs one pipeline output into its response frame pair.
+fn respond(step: u64, out: &PipelineOutput) -> (VerdictMsg, SafeMeasurement) {
+    (
+        VerdictMsg {
+            step,
+            verdict: out.verdict,
+        },
+        SafeMeasurement {
+            step,
+            source: out.source,
+            distance: out.distance.map(|d| d.value()),
+            relative_speed: out.relative_speed.value(),
+            control_distance: out.control_distance.map(|d| d.value()),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::ExtractedMeasurement;
+    use argus_core::PredictorKind;
+    use argus_dsp::ScratchOptions;
+
+    fn hello(kind: PredictorKind) -> Hello {
+        Hello {
+            vehicle_id: 11,
+            predictor: kind,
+            max_inflight: 0,
+            resume: false,
+        }
+    }
+
+    fn clean_obs(step: u64, distance: f64) -> Observation {
+        Observation {
+            step,
+            own_speed: 29.0,
+            received_power: 1e-12,
+            jammed: false,
+            body: ObservationBody::Extracted(ExtractedMeasurement {
+                distance,
+                range_rate: -0.2,
+                beat_up: 66_000.0,
+                beat_down: 67_000.0,
+                snr: 100.0,
+            }),
+        }
+    }
+
+    fn harness() -> (Session, Radar, FrameScratch) {
+        let session = Session::new(&hello(PredictorKind::RlsTrend), &SessionConfig::paper())
+            .expect("session builds");
+        let radar = Radar::new(argus_radar::RadarConfig::bosch_lrr2_signal());
+        let scratch = FrameScratch::new(ScratchOptions::bit_exact());
+        (session, radar, scratch)
+    }
+
+    #[test]
+    fn session_matches_direct_pipeline() {
+        let (mut session, radar, mut scratch) = harness();
+        let cfg = SessionConfig::paper();
+        let detector = CraDetector::new(cfg.schedule.clone(), cfg.detection_threshold);
+        let mut direct =
+            SecurePipeline::new(detector, PredictorKind::RlsTrend.build().unwrap(), cfg.dt);
+        for k in 0..40u64 {
+            let challenge = cfg.schedule.is_challenge(Step(k));
+            let obs = if challenge {
+                Observation {
+                    step: k,
+                    own_speed: 29.0,
+                    received_power: 0.0,
+                    jammed: false,
+                    body: ObservationBody::Empty,
+                }
+            } else {
+                clean_obs(k, 100.0 - 0.2 * k as f64)
+            };
+            let (verdict, safe) = session.observe(&obs, &radar, &mut scratch).expect("ok");
+            let radar_obs = RadarObservation {
+                measurement: match &obs.body {
+                    ObservationBody::Empty => None,
+                    ObservationBody::Extracted(m) => Some(RadarMeasurement {
+                        distance: Meters(m.distance),
+                        range_rate: MetersPerSecond(m.range_rate),
+                        beats: BeatPair {
+                            up: Hertz(m.beat_up),
+                            down: Hertz(m.beat_down),
+                        },
+                        snr: m.snr,
+                    }),
+                    ObservationBody::Raw(_) => unreachable!(),
+                },
+                received_power: Watts(obs.received_power),
+                jammed: obs.jammed,
+            };
+            let out = direct.process(Step(k), &radar_obs, MetersPerSecond(obs.own_speed));
+            assert_eq!(verdict.verdict, out.verdict, "step {k}");
+            assert_eq!(safe.distance, out.distance.map(|d| d.value()), "step {k}");
+            assert_eq!(
+                safe.control_distance,
+                out.control_distance.map(|d| d.value()),
+                "step {k}"
+            );
+        }
+        assert_eq!(session.next_step(), 40);
+    }
+
+    #[test]
+    fn stale_step_is_recoverable() {
+        let (mut session, radar, mut scratch) = harness();
+        session
+            .observe(&clean_obs(0, 100.0), &radar, &mut scratch)
+            .expect("first step ok");
+        let err = session
+            .observe(&clean_obs(0, 100.0), &radar, &mut scratch)
+            .expect_err("replayed step rejected");
+        assert_eq!(err.code, ErrorCode::BadStep);
+        assert!(!err.fatal);
+        // The session is intact and accepts the next step.
+        session
+            .observe(&clean_obs(1, 99.8), &radar, &mut scratch)
+            .expect("session survives");
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrips_through_the_wire_codec() {
+        let (mut session, radar, mut scratch) = harness();
+        for k in 0..25u64 {
+            let _ = session.observe(&clean_obs(k, 100.0 - 0.2 * k as f64), &radar, &mut scratch);
+        }
+        let snap = session.snapshot();
+
+        // Through the codec, into a fresh session.
+        let mut buf = Vec::new();
+        crate::wire::encode_into(&crate::wire::Message::Snapshot(snap.clone()), &mut buf);
+        let (decoded, _) = crate::wire::decode_frame(&buf).expect("decodes");
+        let crate::wire::Message::Snapshot(snap2) = decoded else {
+            panic!("wrong message");
+        };
+        assert_eq!(snap, snap2);
+
+        let mut resumed =
+            Session::new(&hello(PredictorKind::RlsTrend), &SessionConfig::paper()).unwrap();
+        resumed.restore(&snap2).expect("restores");
+        assert_eq!(resumed.next_step(), session.next_step());
+
+        // Both continue identically.
+        for k in 25..60u64 {
+            let obs = clean_obs(k, 100.0 - 0.2 * k as f64);
+            let a = session.observe(&obs, &radar, &mut scratch).expect("ok");
+            let b = resumed.observe(&obs, &radar, &mut scratch).expect("ok");
+            assert_eq!(a, b, "step {k}");
+        }
+        assert_eq!(session.snapshot(), resumed.snapshot());
+    }
+
+    #[test]
+    fn restore_rejects_foreign_vehicle() {
+        let (mut session, _, _) = harness();
+        let mut snap = session.snapshot();
+        snap.vehicle_id += 1;
+        let err = session.restore(&snap).expect_err("must reject");
+        assert_eq!(err.code, ErrorCode::BadHandshake);
+    }
+
+    #[test]
+    fn malformed_raw_frame_is_rejected() {
+        let (mut session, radar, mut scratch) = harness();
+        let obs = Observation {
+            step: 0,
+            own_speed: 29.0,
+            received_power: 1e-12,
+            jammed: false,
+            body: ObservationBody::Raw(RawFrame {
+                snr: 10.0,
+                noise_distance: 0.0,
+                noise_range_rate: 0.0,
+                up: vec![1.0; 10],
+                down: vec![1.0; 10],
+            }),
+        };
+        let err = session
+            .observe(&obs, &radar, &mut scratch)
+            .expect_err("short frame rejected");
+        assert_eq!(err.code, ErrorCode::Malformed);
+    }
+}

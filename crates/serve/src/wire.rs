@@ -1,0 +1,1298 @@
+//! The gateway's versioned binary wire protocol.
+//!
+//! Every frame is a fixed 12-byte header followed by a length-prefixed
+//! payload, all little-endian:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic        "ARGS"
+//! 4       2     version      u16, currently 1
+//! 6       1     msg_type     u8 (see the MSG_* constants)
+//! 7       1     flags        u8, reserved — always 0, ignored on decode
+//! 8       4     payload_len  u32, at most MAX_PAYLOAD
+//! 12      ...   payload
+//! ```
+//!
+//! Scalars are fixed-width little-endian; `f64` travels as its IEEE-754 bit
+//! pattern (`to_bits`/`from_bits`), so values — including NaN payloads —
+//! roundtrip bit-exactly. `Option<T>` is a `u8` presence tag followed by the
+//! value; sequences are a `u32` count followed by the elements; strings are
+//! a `u16` byte length followed by UTF-8.
+//!
+//! Decoding is pure slice inspection: every malformed input maps to a typed
+//! [`WireError`], never a panic, and a frame must consume its payload
+//! exactly ([`WireError::TrailingBytes`] otherwise). The codec has no
+//! dependencies beyond `std` and the workspace's own data types, and no
+//! `unsafe`.
+
+use std::io::{Read, Write};
+
+use argus_core::{
+    CheckpointState, DetectorState, MeasurementSource, PipelineSnapshot, PredictorKind,
+    PredictorState,
+};
+use argus_cra::Verdict;
+
+/// Frame magic: `b"ARGS"`.
+pub const MAGIC: [u8; 4] = *b"ARGS";
+/// Protocol version spoken by this build.
+pub const VERSION: u16 = 1;
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 12;
+/// Upper bound on a payload; anything larger is rejected before buffering.
+pub const MAX_PAYLOAD: u32 = 1 << 20;
+
+/// Message-type byte for [`Message::Hello`].
+pub const MSG_HELLO: u8 = 1;
+/// Message-type byte for [`Message::Welcome`].
+pub const MSG_WELCOME: u8 = 2;
+/// Message-type byte for [`Message::Observation`].
+pub const MSG_OBSERVATION: u8 = 3;
+/// Message-type byte for [`Message::Verdict`].
+pub const MSG_VERDICT: u8 = 4;
+/// Message-type byte for [`Message::SafeMeasurement`].
+pub const MSG_SAFE_MEASUREMENT: u8 = 5;
+/// Message-type byte for [`Message::Snapshot`].
+pub const MSG_SNAPSHOT: u8 = 6;
+/// Message-type byte for [`Message::SnapshotRequest`].
+pub const MSG_SNAPSHOT_REQUEST: u8 = 7;
+/// Message-type byte for [`Message::Error`].
+pub const MSG_ERROR: u8 = 8;
+
+/// A structural decoding failure. Every variant is a property of the bytes,
+/// so the peer can be answered with a precise [`ErrorCode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ends before the frame does. `needed` is the total byte
+    /// count required to make progress.
+    Truncated {
+        /// Bytes required to decode further.
+        needed: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// The first four bytes are not [`MAGIC`].
+    BadMagic([u8; 4]),
+    /// The peer speaks a different protocol version.
+    VersionMismatch {
+        /// The version the peer sent.
+        got: u16,
+    },
+    /// The message-type byte is not one of the `MSG_*` constants.
+    UnknownMessage(u8),
+    /// An enum tag inside a payload is out of range.
+    UnknownTag {
+        /// Which field carried the tag.
+        what: &'static str,
+        /// The offending byte.
+        tag: u8,
+    },
+    /// The header declares a payload larger than [`MAX_PAYLOAD`].
+    Oversized {
+        /// Declared payload length.
+        len: u32,
+    },
+    /// The payload contains bytes past the end of the message.
+    TrailingBytes {
+        /// How many bytes were left over.
+        extra: usize,
+    },
+    /// A length-prefixed string is not valid UTF-8.
+    BadString,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated { needed, got } => {
+                write!(f, "truncated frame: need {needed} bytes, have {got}")
+            }
+            WireError::BadMagic(m) => write!(f, "bad magic {m:02x?}"),
+            WireError::VersionMismatch { got } => {
+                write!(
+                    f,
+                    "protocol version mismatch: peer speaks {got}, this build speaks {VERSION}"
+                )
+            }
+            WireError::UnknownMessage(t) => write!(f, "unknown message type {t}"),
+            WireError::UnknownTag { what, tag } => write!(f, "unknown {what} tag {tag}"),
+            WireError::Oversized { len } => {
+                write!(
+                    f,
+                    "payload of {len} bytes exceeds the {MAX_PAYLOAD}-byte cap"
+                )
+            }
+            WireError::TrailingBytes { extra } => {
+                write!(f, "{extra} trailing bytes after message payload")
+            }
+            WireError::BadString => write!(f, "string field is not valid UTF-8"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Typed error codes carried by [`Message::Error`] frames.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The peer's protocol version is not spoken here; fatal.
+    Version,
+    /// The peer sent bytes this codec cannot decode, or a message that is
+    /// invalid in the current protocol state; fatal.
+    Malformed,
+    /// The Hello named a predictor kind this server cannot build; fatal.
+    UnsupportedPredictor,
+    /// A message arrived before the handshake established a session; fatal.
+    BadHandshake,
+    /// An observation's step went backwards; the frame is dropped but the
+    /// session survives.
+    BadStep,
+    /// Advisory: the session's inflight window is full and the server has
+    /// stopped reading until it drains. Not fatal; no response is owed.
+    Backpressure,
+    /// The session sat idle past the server's eviction deadline; the
+    /// connection is closed and server-side state discarded.
+    Evicted,
+    /// The server is draining for shutdown; fatal.
+    ShuttingDown,
+    /// Internal server failure; fatal.
+    Internal,
+}
+
+impl ErrorCode {
+    /// Wire encoding of the code.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::Version => 1,
+            ErrorCode::Malformed => 2,
+            ErrorCode::UnsupportedPredictor => 3,
+            ErrorCode::BadHandshake => 4,
+            ErrorCode::BadStep => 5,
+            ErrorCode::Backpressure => 6,
+            ErrorCode::Evicted => 7,
+            ErrorCode::ShuttingDown => 8,
+            ErrorCode::Internal => 9,
+        }
+    }
+
+    /// Inverse of [`ErrorCode::to_u8`].
+    pub fn from_u8(tag: u8) -> Result<Self, WireError> {
+        Ok(match tag {
+            1 => ErrorCode::Version,
+            2 => ErrorCode::Malformed,
+            3 => ErrorCode::UnsupportedPredictor,
+            4 => ErrorCode::BadHandshake,
+            5 => ErrorCode::BadStep,
+            6 => ErrorCode::Backpressure,
+            7 => ErrorCode::Evicted,
+            8 => ErrorCode::ShuttingDown,
+            9 => ErrorCode::Internal,
+            tag => {
+                return Err(WireError::UnknownTag {
+                    what: "error code",
+                    tag,
+                })
+            }
+        })
+    }
+}
+
+/// Session handshake, client → server, first frame on a connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hello {
+    /// Caller-chosen vehicle label, echoed in snapshots.
+    pub vehicle_id: u64,
+    /// Which estimator free-runs the leader-speed stream during attacks.
+    pub predictor: PredictorKind,
+    /// Requested inflight-observation window; `0` accepts the server
+    /// default. The server replies with the granted value in [`Welcome`].
+    pub max_inflight: u16,
+    /// When set, the client follows up with a [`Message::Snapshot`] to
+    /// restore a previous session before the server sends [`Welcome`].
+    pub resume: bool,
+}
+
+/// Handshake acknowledgement, server → client.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Welcome {
+    /// Echo of the Hello's vehicle label.
+    pub vehicle_id: u64,
+    /// The step the server expects next (0 fresh, the snapshot's step on
+    /// resume).
+    pub next_step: u64,
+    /// Granted inflight-observation window.
+    pub max_inflight: u16,
+}
+
+/// One radar observation, client → server.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// Sample instant; must be ≥ the session's expected next step.
+    pub step: u64,
+    /// Trusted ego (follower) speed, m/s.
+    pub own_speed: f64,
+    /// Total received in-band power, W — the CRA detector's input.
+    pub received_power: f64,
+    /// Whether the receiver was captured by interference.
+    pub jammed: bool,
+    /// The measurement itself, in one of three shapes.
+    pub body: ObservationBody,
+}
+
+/// The measurement part of an [`Observation`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObservationBody {
+    /// No echo above the detection threshold (e.g. a challenge instant).
+    Empty,
+    /// The client ran the DSP chain itself and ships the extracted values.
+    Extracted(ExtractedMeasurement),
+    /// The client ships the raw baseband; the server runs the extraction
+    /// on its own arenas ([DESIGN.md §8](../../../DESIGN.md)).
+    Raw(RawFrame),
+}
+
+/// A client-side extracted radar measurement (post measurement-noise).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExtractedMeasurement {
+    /// Measured distance, m.
+    pub distance: f64,
+    /// Measured range rate, m/s (positive = gap opening).
+    pub range_rate: f64,
+    /// Up-chirp beat frequency, Hz.
+    pub beat_up: f64,
+    /// Down-chirp beat frequency, Hz.
+    pub beat_down: f64,
+    /// Linear SNR of the strongest echo.
+    pub snr: f64,
+}
+
+/// Raw complex baseband of one triangular FMCW frame, plus the scalars the
+/// server cannot reconstruct: the echo SNR (computed from the link budget
+/// client-side) and the additive measurement-noise realization, applied
+/// post-extraction so the result is bit-identical to client-side extraction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RawFrame {
+    /// Linear SNR of the strongest echo.
+    pub snr: f64,
+    /// Additive distance-noise draw, m.
+    pub noise_distance: f64,
+    /// Additive range-rate-noise draw, m/s.
+    pub noise_range_rate: f64,
+    /// Up-sweep samples, interleaved re/im — length `2 · samples_per_sweep`.
+    pub up: Vec<f64>,
+    /// Down-sweep samples, interleaved re/im.
+    pub down: Vec<f64>,
+}
+
+/// Detector verdict for one step, server → client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerdictMsg {
+    /// The observation step this answers.
+    pub step: u64,
+    /// Algorithm 2's verdict.
+    pub verdict: Verdict,
+}
+
+/// The safe measurement for one step, server → client — the pipeline output
+/// the ACC controller consumes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SafeMeasurement {
+    /// The observation step this answers.
+    pub step: u64,
+    /// Where the values came from (radar passthrough vs estimator).
+    pub source: MeasurementSource,
+    /// Distance estimate, m.
+    pub distance: Option<f64>,
+    /// Relative speed estimate, m/s.
+    pub relative_speed: f64,
+    /// Margin-adjusted distance for the controller, m.
+    pub control_distance: Option<f64>,
+}
+
+/// A full serialized session state. Server → client in answer to
+/// [`Message::SnapshotRequest`]; client → server after a resume [`Hello`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotMsg {
+    /// Vehicle label of the session the state belongs to.
+    pub vehicle_id: u64,
+    /// The step the restored session expects next.
+    pub next_step: u64,
+    /// The pipeline state itself.
+    pub state: PipelineSnapshot,
+}
+
+/// An error report. Fatal unless the code says otherwise.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorMsg {
+    /// What went wrong.
+    pub code: ErrorCode,
+    /// Human-readable detail; may be empty.
+    pub detail: String,
+}
+
+/// Any protocol frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Session handshake (client → server).
+    Hello(Hello),
+    /// Handshake acknowledgement (server → client).
+    Welcome(Welcome),
+    /// One radar observation (client → server).
+    Observation(Observation),
+    /// Detector verdict (server → client).
+    Verdict(VerdictMsg),
+    /// Safe measurement (server → client).
+    SafeMeasurement(SafeMeasurement),
+    /// Serialized session state (both directions).
+    Snapshot(SnapshotMsg),
+    /// Ask the server to export the session state (client → server).
+    SnapshotRequest,
+    /// Error report (server → client).
+    Error(ErrorMsg),
+}
+
+impl Message {
+    /// The frame's `msg_type` byte.
+    pub fn msg_type(&self) -> u8 {
+        match self {
+            Message::Hello(_) => MSG_HELLO,
+            Message::Welcome(_) => MSG_WELCOME,
+            Message::Observation(_) => MSG_OBSERVATION,
+            Message::Verdict(_) => MSG_VERDICT,
+            Message::SafeMeasurement(_) => MSG_SAFE_MEASUREMENT,
+            Message::Snapshot(_) => MSG_SNAPSHOT,
+            Message::SnapshotRequest => MSG_SNAPSHOT_REQUEST,
+            Message::Error(_) => MSG_ERROR,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scalar codecs.
+
+fn predictor_kind_to_u8(k: PredictorKind) -> u8 {
+    match k {
+        PredictorKind::RlsTrend => 0,
+        PredictorKind::RlsAr4 => 1,
+        PredictorKind::Holt => 2,
+    }
+}
+
+fn predictor_kind_from_u8(tag: u8) -> Result<PredictorKind, WireError> {
+    Ok(match tag {
+        0 => PredictorKind::RlsTrend,
+        1 => PredictorKind::RlsAr4,
+        2 => PredictorKind::Holt,
+        tag => {
+            return Err(WireError::UnknownTag {
+                what: "predictor kind",
+                tag,
+            })
+        }
+    })
+}
+
+fn verdict_to_u8(v: Verdict) -> u8 {
+    match v {
+        Verdict::NotChallenged {
+            under_attack: false,
+        } => 0,
+        Verdict::NotChallenged { under_attack: true } => 1,
+        Verdict::ChallengePassed => 2,
+        Verdict::AttackDetected => 3,
+    }
+}
+
+fn verdict_from_u8(tag: u8) -> Result<Verdict, WireError> {
+    Ok(match tag {
+        0 => Verdict::NotChallenged {
+            under_attack: false,
+        },
+        1 => Verdict::NotChallenged { under_attack: true },
+        2 => Verdict::ChallengePassed,
+        3 => Verdict::AttackDetected,
+        tag => {
+            return Err(WireError::UnknownTag {
+                what: "verdict",
+                tag,
+            })
+        }
+    })
+}
+
+fn source_to_u8(s: MeasurementSource) -> u8 {
+    match s {
+        MeasurementSource::Radar => 0,
+        MeasurementSource::Estimated => 1,
+        MeasurementSource::Unavailable => 2,
+    }
+}
+
+fn source_from_u8(tag: u8) -> Result<MeasurementSource, WireError> {
+    Ok(match tag {
+        0 => MeasurementSource::Radar,
+        1 => MeasurementSource::Estimated,
+        2 => MeasurementSource::Unavailable,
+        tag => {
+            return Err(WireError::UnknownTag {
+                what: "measurement source",
+                tag,
+            })
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Payload writer: plain pushes into a caller-owned Vec.
+
+fn put_u16(out: &mut Vec<u8>, x: u16) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, x: u32) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, x: u64) {
+    out.extend_from_slice(&x.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, x: f64) {
+    out.extend_from_slice(&x.to_bits().to_le_bytes());
+}
+
+fn put_bool(out: &mut Vec<u8>, x: bool) {
+    out.push(u8::from(x));
+}
+
+fn put_opt_f64(out: &mut Vec<u8>, x: Option<f64>) {
+    match x {
+        Some(v) => {
+            out.push(1);
+            put_f64(out, v);
+        }
+        None => out.push(0),
+    }
+}
+
+fn put_opt_u64(out: &mut Vec<u8>, x: Option<u64>) {
+    match x {
+        Some(v) => {
+            out.push(1);
+            put_u64(out, v);
+        }
+        None => out.push(0),
+    }
+}
+
+fn put_f64s(out: &mut Vec<u8>, xs: &[f64]) {
+    put_u32(out, xs.len() as u32);
+    for &x in xs {
+        put_f64(out, x);
+    }
+}
+
+fn put_u64s(out: &mut Vec<u8>, xs: &[u64]) {
+    put_u32(out, xs.len() as u32);
+    for &x in xs {
+        put_u64(out, x);
+    }
+}
+
+/// Strings are detail text only; anything past the u16 range is clipped at
+/// a char boundary rather than rejected.
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    let mut end = s.len().min(u16::MAX as usize);
+    while !s.is_char_boundary(end) {
+        end -= 1;
+    }
+    put_u16(out, end as u16);
+    out.extend_from_slice(&s.as_bytes()[..end]);
+}
+
+// ---------------------------------------------------------------------------
+// Payload reader: pure slice cursor, typed errors, no panics.
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated {
+            needed: usize::MAX,
+            got: self.buf.len(),
+        })?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated {
+                needed: end,
+                got: self.buf.len(),
+            });
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn bool(&mut self) -> Result<bool, WireError> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            tag => Err(WireError::UnknownTag { what: "bool", tag }),
+        }
+    }
+
+    fn opt_f64(&mut self) -> Result<Option<f64>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.f64()?)),
+            tag => Err(WireError::UnknownTag {
+                what: "option",
+                tag,
+            }),
+        }
+    }
+
+    fn opt_u64(&mut self) -> Result<Option<u64>, WireError> {
+        match self.u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64()?)),
+            tag => Err(WireError::UnknownTag {
+                what: "option",
+                tag,
+            }),
+        }
+    }
+
+    /// Length-checked before allocation: the declared count must fit in the
+    /// remaining bytes, so a hostile length prefix cannot force a huge
+    /// reservation.
+    fn f64s(&mut self) -> Result<Vec<f64>, WireError> {
+        let n = self.u32()? as usize;
+        let needed = n.checked_mul(8).ok_or(WireError::Truncated {
+            needed: usize::MAX,
+            got: self.buf.len(),
+        })?;
+        if self.buf.len() - self.pos < needed {
+            return Err(WireError::Truncated {
+                needed: self.pos + needed,
+                got: self.buf.len(),
+            });
+        }
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    fn u64s(&mut self) -> Result<Vec<u64>, WireError> {
+        let n = self.u32()? as usize;
+        let needed = n.checked_mul(8).ok_or(WireError::Truncated {
+            needed: usize::MAX,
+            got: self.buf.len(),
+        })?;
+        if self.buf.len() - self.pos < needed {
+            return Err(WireError::Truncated {
+                needed: self.pos + needed,
+                got: self.buf.len(),
+            });
+        }
+        (0..n).map(|_| self.u64()).collect()
+    }
+
+    fn str(&mut self) -> Result<String, WireError> {
+        let n = self.u16()? as usize;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadString)
+    }
+
+    fn done(self) -> Result<(), WireError> {
+        if self.pos != self.buf.len() {
+            return Err(WireError::TrailingBytes {
+                extra: self.buf.len() - self.pos,
+            });
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline-state codec (shared by the Snapshot message).
+
+fn put_predictor_state(out: &mut Vec<u8>, s: &PredictorState) {
+    put_u64s(out, &s.counters);
+    put_f64s(out, &s.values);
+}
+
+fn read_predictor_state(r: &mut Reader<'_>) -> Result<PredictorState, WireError> {
+    let counters = r.u64s()?;
+    let values = r.f64s()?;
+    Ok(PredictorState { counters, values })
+}
+
+fn put_snapshot_state(out: &mut Vec<u8>, s: &PipelineSnapshot) {
+    put_bool(out, s.detector.latched);
+    put_opt_u64(out, s.detector.first_detection);
+    put_u64s(out, &s.detector.detections);
+    put_predictor_state(out, &s.predictor);
+    put_opt_f64(out, s.last_distance);
+    put_u64(out, s.estimation_steps);
+    put_u64(out, s.consecutive_estimates);
+    put_bool(out, s.was_attacked);
+    match &s.checkpoint {
+        Some(cp) => {
+            out.push(1);
+            put_predictor_state(out, &cp.predictor);
+            put_opt_f64(out, cp.last_distance);
+        }
+        None => out.push(0),
+    }
+    put_f64s(out, &s.speeds_since_checkpoint);
+}
+
+fn read_snapshot_state(r: &mut Reader<'_>) -> Result<PipelineSnapshot, WireError> {
+    let latched = r.bool()?;
+    let first_detection = r.opt_u64()?;
+    let detections = r.u64s()?;
+    let detector = DetectorState {
+        latched,
+        first_detection,
+        detections,
+    };
+    let predictor = read_predictor_state(r)?;
+    let last_distance = r.opt_f64()?;
+    let estimation_steps = r.u64()?;
+    let consecutive_estimates = r.u64()?;
+    let was_attacked = r.bool()?;
+    let checkpoint = match r.u8()? {
+        0 => None,
+        1 => {
+            let predictor = read_predictor_state(r)?;
+            let last_distance = r.opt_f64()?;
+            Some(CheckpointState {
+                predictor,
+                last_distance,
+            })
+        }
+        tag => {
+            return Err(WireError::UnknownTag {
+                what: "checkpoint",
+                tag,
+            })
+        }
+    };
+    let speeds_since_checkpoint = r.f64s()?;
+    Ok(PipelineSnapshot {
+        detector,
+        predictor,
+        last_distance,
+        estimation_steps,
+        consecutive_estimates,
+        was_attacked,
+        checkpoint,
+        speeds_since_checkpoint,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Frame encode/decode.
+
+fn encode_payload(msg: &Message, out: &mut Vec<u8>) {
+    match msg {
+        Message::Hello(h) => {
+            put_u64(out, h.vehicle_id);
+            out.push(predictor_kind_to_u8(h.predictor));
+            put_u16(out, h.max_inflight);
+            put_bool(out, h.resume);
+        }
+        Message::Welcome(w) => {
+            put_u64(out, w.vehicle_id);
+            put_u64(out, w.next_step);
+            put_u16(out, w.max_inflight);
+        }
+        Message::Observation(o) => {
+            put_u64(out, o.step);
+            put_f64(out, o.own_speed);
+            put_f64(out, o.received_power);
+            put_bool(out, o.jammed);
+            match &o.body {
+                ObservationBody::Empty => out.push(0),
+                ObservationBody::Extracted(m) => {
+                    out.push(1);
+                    put_f64(out, m.distance);
+                    put_f64(out, m.range_rate);
+                    put_f64(out, m.beat_up);
+                    put_f64(out, m.beat_down);
+                    put_f64(out, m.snr);
+                }
+                ObservationBody::Raw(raw) => {
+                    out.push(2);
+                    put_f64(out, raw.snr);
+                    put_f64(out, raw.noise_distance);
+                    put_f64(out, raw.noise_range_rate);
+                    put_f64s(out, &raw.up);
+                    put_f64s(out, &raw.down);
+                }
+            }
+        }
+        Message::Verdict(v) => {
+            put_u64(out, v.step);
+            out.push(verdict_to_u8(v.verdict));
+        }
+        Message::SafeMeasurement(s) => {
+            put_u64(out, s.step);
+            out.push(source_to_u8(s.source));
+            put_opt_f64(out, s.distance);
+            put_f64(out, s.relative_speed);
+            put_opt_f64(out, s.control_distance);
+        }
+        Message::Snapshot(s) => {
+            put_u64(out, s.vehicle_id);
+            put_u64(out, s.next_step);
+            put_snapshot_state(out, &s.state);
+        }
+        Message::SnapshotRequest => {}
+        Message::Error(e) => {
+            out.push(e.code.to_u8());
+            put_str(out, &e.detail);
+        }
+    }
+}
+
+/// Decodes one payload of the given message type. Exposed for streaming
+/// readers that parse the header themselves.
+pub fn decode_payload(msg_type: u8, payload: &[u8]) -> Result<Message, WireError> {
+    let mut r = Reader::new(payload);
+    let msg = match msg_type {
+        MSG_HELLO => Message::Hello(Hello {
+            vehicle_id: r.u64()?,
+            predictor: predictor_kind_from_u8(r.u8()?)?,
+            max_inflight: r.u16()?,
+            resume: r.bool()?,
+        }),
+        MSG_WELCOME => Message::Welcome(Welcome {
+            vehicle_id: r.u64()?,
+            next_step: r.u64()?,
+            max_inflight: r.u16()?,
+        }),
+        MSG_OBSERVATION => {
+            let step = r.u64()?;
+            let own_speed = r.f64()?;
+            let received_power = r.f64()?;
+            let jammed = r.bool()?;
+            let body = match r.u8()? {
+                0 => ObservationBody::Empty,
+                1 => ObservationBody::Extracted(ExtractedMeasurement {
+                    distance: r.f64()?,
+                    range_rate: r.f64()?,
+                    beat_up: r.f64()?,
+                    beat_down: r.f64()?,
+                    snr: r.f64()?,
+                }),
+                2 => ObservationBody::Raw(RawFrame {
+                    snr: r.f64()?,
+                    noise_distance: r.f64()?,
+                    noise_range_rate: r.f64()?,
+                    up: r.f64s()?,
+                    down: r.f64s()?,
+                }),
+                tag => {
+                    return Err(WireError::UnknownTag {
+                        what: "observation body",
+                        tag,
+                    })
+                }
+            };
+            Message::Observation(Observation {
+                step,
+                own_speed,
+                received_power,
+                jammed,
+                body,
+            })
+        }
+        MSG_VERDICT => Message::Verdict(VerdictMsg {
+            step: r.u64()?,
+            verdict: verdict_from_u8(r.u8()?)?,
+        }),
+        MSG_SAFE_MEASUREMENT => Message::SafeMeasurement(SafeMeasurement {
+            step: r.u64()?,
+            source: source_from_u8(r.u8()?)?,
+            distance: r.opt_f64()?,
+            relative_speed: r.f64()?,
+            control_distance: r.opt_f64()?,
+        }),
+        MSG_SNAPSHOT => {
+            let vehicle_id = r.u64()?;
+            let next_step = r.u64()?;
+            let state = read_snapshot_state(&mut r)?;
+            Message::Snapshot(SnapshotMsg {
+                vehicle_id,
+                next_step,
+                state,
+            })
+        }
+        MSG_SNAPSHOT_REQUEST => Message::SnapshotRequest,
+        MSG_ERROR => Message::Error(ErrorMsg {
+            code: ErrorCode::from_u8(r.u8()?)?,
+            detail: r.str()?,
+        }),
+        t => return Err(WireError::UnknownMessage(t)),
+    };
+    r.done()?;
+    Ok(msg)
+}
+
+/// Appends one complete frame (header + payload) for `msg` to `out`.
+/// Appending lets a server batch several frames into one write.
+pub fn encode_into(msg: &Message, out: &mut Vec<u8>) {
+    let start = out.len();
+    out.extend_from_slice(&MAGIC);
+    put_u16(out, VERSION);
+    out.push(msg.msg_type());
+    out.push(0); // flags, reserved
+    put_u32(out, 0); // payload length, patched below
+    encode_payload(msg, out);
+    let len = (out.len() - start - HEADER_LEN) as u32;
+    debug_assert!(len <= MAX_PAYLOAD, "encoded payload exceeds MAX_PAYLOAD");
+    out[start + 8..start + HEADER_LEN].copy_from_slice(&len.to_le_bytes());
+}
+
+/// A validated frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameHeader {
+    /// The `msg_type` byte (validity is checked at payload decode).
+    pub msg_type: u8,
+    /// The reserved flags byte (ignored in version 1).
+    pub flags: u8,
+    /// Declared payload length, ≤ [`MAX_PAYLOAD`].
+    pub payload_len: u32,
+}
+
+/// Parses and validates the fixed 12-byte header at the start of `buf`.
+pub fn parse_header(buf: &[u8]) -> Result<FrameHeader, WireError> {
+    if buf.len() < HEADER_LEN {
+        return Err(WireError::Truncated {
+            needed: HEADER_LEN,
+            got: buf.len(),
+        });
+    }
+    if buf[0..4] != MAGIC {
+        return Err(WireError::BadMagic([buf[0], buf[1], buf[2], buf[3]]));
+    }
+    let version = u16::from_le_bytes([buf[4], buf[5]]);
+    if version != VERSION {
+        return Err(WireError::VersionMismatch { got: version });
+    }
+    let payload_len = u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]);
+    if payload_len > MAX_PAYLOAD {
+        return Err(WireError::Oversized { len: payload_len });
+    }
+    Ok(FrameHeader {
+        msg_type: buf[6],
+        flags: buf[7],
+        payload_len,
+    })
+}
+
+/// Decodes one complete frame from the start of `buf`; returns the message
+/// and the number of bytes consumed.
+pub fn decode_frame(buf: &[u8]) -> Result<(Message, usize), WireError> {
+    let header = parse_header(buf)?;
+    let total = HEADER_LEN + header.payload_len as usize;
+    if buf.len() < total {
+        return Err(WireError::Truncated {
+            needed: total,
+            got: buf.len(),
+        });
+    }
+    let msg = decode_payload(header.msg_type, &buf[HEADER_LEN..total])?;
+    Ok((msg, total))
+}
+
+// ---------------------------------------------------------------------------
+// Blocking stream adapters.
+
+/// Why a streaming read stopped.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed the connection (possibly mid-frame).
+    Eof,
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The bytes did not parse.
+    Wire(WireError),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Eof => write!(f, "connection closed"),
+            ReadError::Io(e) => write!(f, "transport error: {e}"),
+            ReadError::Wire(e) => write!(f, "wire error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl From<std::io::Error> for ReadError {
+    fn from(e: std::io::Error) -> Self {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            ReadError::Eof
+        } else {
+            ReadError::Io(e)
+        }
+    }
+}
+
+impl From<WireError> for ReadError {
+    fn from(e: WireError) -> Self {
+        ReadError::Wire(e)
+    }
+}
+
+/// Reads frames off a blocking byte stream, reusing one payload buffer so
+/// steady-state reads allocate nothing once the high-water payload size has
+/// been seen.
+#[derive(Debug, Default)]
+pub struct FrameReader {
+    payload: Vec<u8>,
+}
+
+impl FrameReader {
+    /// Creates a reader with an empty scratch buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Blocks until one full frame is read and decoded.
+    pub fn read_from<R: Read>(&mut self, r: &mut R) -> Result<Message, ReadError> {
+        let mut header = [0u8; HEADER_LEN];
+        r.read_exact(&mut header)?;
+        let h = parse_header(&header)?;
+        self.payload.resize(h.payload_len as usize, 0);
+        r.read_exact(&mut self.payload)?;
+        Ok(decode_payload(h.msg_type, &self.payload)?)
+    }
+}
+
+/// Encodes `msg` into `scratch` (cleared first) and writes it as one
+/// `write_all`, so concurrent writers interleave only at frame granularity.
+pub fn write_frame<W: Write>(
+    w: &mut W,
+    msg: &Message,
+    scratch: &mut Vec<u8>,
+) -> std::io::Result<()> {
+    scratch.clear();
+    encode_into(msg, scratch);
+    w.write_all(scratch)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_snapshot() -> PipelineSnapshot {
+        PipelineSnapshot {
+            detector: DetectorState {
+                latched: true,
+                first_detection: Some(182),
+                detections: vec![182, 185, 197],
+            },
+            predictor: PredictorState {
+                counters: vec![12, 2],
+                values: vec![1.5, -0.25, 0.125, std::f64::consts::PI, 3.25, 9.0],
+            },
+            last_distance: Some(96.625),
+            estimation_steps: 7,
+            consecutive_estimates: 3,
+            was_attacked: true,
+            checkpoint: Some(CheckpointState {
+                predictor: PredictorState {
+                    counters: vec![10, 2],
+                    values: vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+                },
+                last_distance: None,
+            }),
+            speeds_since_checkpoint: vec![29.0, 28.75, 28.5],
+        }
+    }
+
+    fn sample_messages() -> Vec<Message> {
+        vec![
+            Message::Hello(Hello {
+                vehicle_id: 7,
+                predictor: PredictorKind::RlsAr4,
+                max_inflight: 16,
+                resume: true,
+            }),
+            Message::Welcome(Welcome {
+                vehicle_id: 7,
+                next_step: 120,
+                max_inflight: 16,
+            }),
+            Message::Observation(Observation {
+                step: 42,
+                own_speed: 29.0578,
+                received_power: 1.25e-12,
+                jammed: false,
+                body: ObservationBody::Extracted(ExtractedMeasurement {
+                    distance: 99.875,
+                    range_rate: -0.40625,
+                    beat_up: 66_500.0,
+                    beat_down: 67_000.0,
+                    snr: 215.5,
+                }),
+            }),
+            Message::Observation(Observation {
+                step: 43,
+                own_speed: 29.0,
+                received_power: 0.0,
+                jammed: false,
+                body: ObservationBody::Empty,
+            }),
+            Message::Observation(Observation {
+                step: 44,
+                own_speed: 29.0,
+                received_power: 3.5e-13,
+                jammed: true,
+                body: ObservationBody::Raw(RawFrame {
+                    snr: 12.5,
+                    noise_distance: 0.03125,
+                    noise_range_rate: -0.015625,
+                    up: vec![1.0, -1.0, 0.5, 0.25],
+                    down: vec![0.0, 2.0, -0.5, 0.125],
+                }),
+            }),
+            Message::Verdict(VerdictMsg {
+                step: 42,
+                verdict: Verdict::AttackDetected,
+            }),
+            Message::SafeMeasurement(SafeMeasurement {
+                step: 42,
+                source: MeasurementSource::Estimated,
+                distance: Some(98.5),
+                relative_speed: -0.375,
+                control_distance: Some(96.46),
+            }),
+            Message::SafeMeasurement(SafeMeasurement {
+                step: 0,
+                source: MeasurementSource::Unavailable,
+                distance: None,
+                relative_speed: 0.0,
+                control_distance: None,
+            }),
+            Message::Snapshot(SnapshotMsg {
+                vehicle_id: 7,
+                next_step: 200,
+                state: sample_snapshot(),
+            }),
+            Message::SnapshotRequest,
+            Message::Error(ErrorMsg {
+                code: ErrorCode::BadStep,
+                detail: "step 41 after 42".to_string(),
+            }),
+        ]
+    }
+
+    #[test]
+    fn every_message_roundtrips() {
+        for msg in sample_messages() {
+            let mut buf = Vec::new();
+            encode_into(&msg, &mut buf);
+            let (back, used) = decode_frame(&buf).expect("decodes");
+            assert_eq!(used, buf.len());
+            assert_eq!(back, msg);
+        }
+    }
+
+    #[test]
+    fn frames_concatenate() {
+        let msgs = sample_messages();
+        let mut buf = Vec::new();
+        for m in &msgs {
+            encode_into(m, &mut buf);
+        }
+        let mut off = 0;
+        for m in &msgs {
+            let (back, used) = decode_frame(&buf[off..]).expect("decodes");
+            assert_eq!(&back, m);
+            off += used;
+        }
+        assert_eq!(off, buf.len());
+    }
+
+    #[test]
+    fn nan_payloads_roundtrip_bit_exactly() {
+        let weird = f64::from_bits(0x7ff8_dead_beef_0001);
+        let msg = Message::SafeMeasurement(SafeMeasurement {
+            step: 1,
+            source: MeasurementSource::Radar,
+            distance: Some(weird),
+            relative_speed: f64::NEG_INFINITY,
+            control_distance: Some(-0.0),
+        });
+        let mut buf = Vec::new();
+        encode_into(&msg, &mut buf);
+        let (back, _) = decode_frame(&buf).expect("decodes");
+        let Message::SafeMeasurement(s) = back else {
+            panic!("wrong message");
+        };
+        assert_eq!(s.distance.unwrap().to_bits(), weird.to_bits());
+        assert_eq!(s.relative_speed.to_bits(), f64::NEG_INFINITY.to_bits());
+        assert_eq!(s.control_distance.unwrap().to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        for msg in sample_messages() {
+            let mut buf = Vec::new();
+            encode_into(&msg, &mut buf);
+            for cut in 0..buf.len() {
+                let err = decode_frame(&buf[..cut]).expect_err("prefix must not decode");
+                assert!(
+                    matches!(err, WireError::Truncated { .. }),
+                    "{msg:?} cut at {cut}: {err:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bad_magic_version_type_and_size_are_rejected() {
+        let mut buf = Vec::new();
+        encode_into(&Message::SnapshotRequest, &mut buf);
+
+        let mut bad = buf.clone();
+        bad[0] = b'X';
+        assert!(matches!(decode_frame(&bad), Err(WireError::BadMagic(_))));
+
+        let mut bad = buf.clone();
+        bad[4] = 9;
+        assert_eq!(
+            decode_frame(&bad),
+            Err(WireError::VersionMismatch { got: 9 })
+        );
+
+        let mut bad = buf.clone();
+        bad[6] = 200;
+        assert_eq!(decode_frame(&bad), Err(WireError::UnknownMessage(200)));
+
+        let mut bad = buf.clone();
+        bad[8..12].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        assert_eq!(
+            decode_frame(&bad),
+            Err(WireError::Oversized {
+                len: MAX_PAYLOAD + 1
+            })
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut buf = Vec::new();
+        encode_into(&Message::SnapshotRequest, &mut buf);
+        buf.push(0xAA);
+        buf[8..12].copy_from_slice(&1u32.to_le_bytes());
+        assert_eq!(
+            decode_frame(&buf),
+            Err(WireError::TrailingBytes { extra: 1 })
+        );
+    }
+
+    #[test]
+    fn hostile_sequence_length_cannot_force_allocation() {
+        // An Observation raw body whose up-vector claims u32::MAX elements.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 1);
+        put_f64(&mut payload, 29.0);
+        put_f64(&mut payload, 1e-12);
+        payload.push(0); // jammed = false
+        payload.push(2); // raw body
+        put_f64(&mut payload, 1.0);
+        put_f64(&mut payload, 0.0);
+        put_f64(&mut payload, 0.0);
+        put_u32(&mut payload, u32::MAX); // hostile length, no data
+        let err = decode_payload(MSG_OBSERVATION, &payload).expect_err("must fail");
+        assert!(matches!(err, WireError::Truncated { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn garbage_never_panics() {
+        // Deterministic pseudo-random garbage, plus valid headers over
+        // garbage payloads.
+        let mut state = 0x243F_6A88_85A3_08D3u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for len in 0..200usize {
+            let bytes: Vec<u8> = (0..len).map(|_| next() as u8).collect();
+            let _ = decode_frame(&bytes);
+            for t in 0..=12u8 {
+                let _ = decode_payload(t, &bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn frame_reader_roundtrips_over_a_stream() {
+        let msgs = sample_messages();
+        let mut buf = Vec::new();
+        for m in &msgs {
+            encode_into(m, &mut buf);
+        }
+        let mut cursor = std::io::Cursor::new(buf);
+        let mut reader = FrameReader::new();
+        for m in &msgs {
+            let back = reader.read_from(&mut cursor).expect("reads");
+            assert_eq!(&back, m);
+        }
+        assert!(matches!(reader.read_from(&mut cursor), Err(ReadError::Eof)));
+    }
+
+    #[test]
+    fn long_error_detail_is_clipped_not_rejected() {
+        let msg = Message::Error(ErrorMsg {
+            code: ErrorCode::Internal,
+            detail: "x".repeat(100_000),
+        });
+        let mut buf = Vec::new();
+        encode_into(&msg, &mut buf);
+        let (back, _) = decode_frame(&buf).expect("decodes");
+        let Message::Error(e) = back else {
+            panic!("wrong message");
+        };
+        assert_eq!(e.detail.len(), u16::MAX as usize);
+    }
+}

@@ -1,0 +1,294 @@
+//! Property-based tests for the gateway wire protocol: every message
+//! roundtrips bit-exactly, and no input — truncated, oversized, or plain
+//! garbage — ever panics the decoder; it always gets a typed [`WireError`].
+
+use argus_core::{
+    CheckpointState, DetectorState, MeasurementSource, PipelineSnapshot, PredictorKind,
+    PredictorState,
+};
+use argus_cra::Verdict;
+use argus_serve::wire::{
+    decode_frame, decode_payload, encode_into, ErrorCode, ErrorMsg, ExtractedMeasurement, Hello,
+    Message, Observation, ObservationBody, RawFrame, SafeMeasurement, SnapshotMsg, VerdictMsg,
+    Welcome, WireError, HEADER_LEN, MAX_PAYLOAD, VERSION,
+};
+use proptest::prelude::*;
+
+fn predictor_kinds() -> Vec<PredictorKind> {
+    vec![
+        PredictorKind::RlsTrend,
+        PredictorKind::RlsAr4,
+        PredictorKind::Holt,
+    ]
+}
+
+fn verdicts() -> Vec<Verdict> {
+    vec![
+        Verdict::NotChallenged {
+            under_attack: false,
+        },
+        Verdict::NotChallenged { under_attack: true },
+        Verdict::ChallengePassed,
+        Verdict::AttackDetected,
+    ]
+}
+
+fn sources() -> Vec<MeasurementSource> {
+    vec![
+        MeasurementSource::Radar,
+        MeasurementSource::Estimated,
+        MeasurementSource::Unavailable,
+    ]
+}
+
+fn error_codes() -> Vec<ErrorCode> {
+    vec![
+        ErrorCode::Version,
+        ErrorCode::Malformed,
+        ErrorCode::UnsupportedPredictor,
+        ErrorCode::BadHandshake,
+        ErrorCode::BadStep,
+        ErrorCode::Backpressure,
+        ErrorCode::Evicted,
+        ErrorCode::ShuttingDown,
+        ErrorCode::Internal,
+    ]
+}
+
+/// Encode → decode → compare, bit-exact on floats because the codec ships
+/// IEEE-754 bit patterns.
+fn assert_roundtrip(msg: &Message) {
+    let mut buf = Vec::new();
+    encode_into(msg, &mut buf);
+    let (back, used) = decode_frame(&buf).expect("well-formed frame decodes");
+    assert_eq!(used, buf.len());
+    assert_eq!(&back, msg);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hello_roundtrips(
+        vehicle_id in 0u64..u64::MAX,
+        kind in proptest::sample::select(predictor_kinds()),
+        max_inflight in 0u16..u16::MAX,
+        resume in proptest::bool::ANY,
+    ) {
+        assert_roundtrip(&Message::Hello(Hello {
+            vehicle_id,
+            predictor: kind,
+            max_inflight,
+            resume,
+        }));
+    }
+
+    #[test]
+    fn welcome_roundtrips(
+        vehicle_id in 0u64..u64::MAX,
+        next_step in 0u64..u64::MAX,
+        max_inflight in 1u16..u16::MAX,
+    ) {
+        assert_roundtrip(&Message::Welcome(Welcome {
+            vehicle_id,
+            next_step,
+            max_inflight,
+        }));
+    }
+
+    #[test]
+    fn observation_roundtrips_all_bodies(
+        step in 0u64..1_000_000,
+        own_speed in -100.0f64..100.0,
+        received_power in 0.0f64..1e-9,
+        jammed in proptest::bool::ANY,
+        body_tag in 0usize..3,
+        fields in proptest::collection::vec(-1e6f64..1e6, 5),
+        samples in proptest::collection::vec(-1.0f64..1.0, 0..64),
+    ) {
+        let body = match body_tag {
+            0 => ObservationBody::Empty,
+            1 => ObservationBody::Extracted(ExtractedMeasurement {
+                distance: fields[0],
+                range_rate: fields[1],
+                beat_up: fields[2],
+                beat_down: fields[3],
+                snr: fields[4],
+            }),
+            _ => ObservationBody::Raw(RawFrame {
+                snr: fields[0],
+                noise_distance: fields[1],
+                noise_range_rate: fields[2],
+                up: samples.clone(),
+                down: samples.iter().rev().copied().collect(),
+            }),
+        };
+        assert_roundtrip(&Message::Observation(Observation {
+            step,
+            own_speed,
+            received_power,
+            jammed,
+            body,
+        }));
+    }
+
+    #[test]
+    fn verdict_roundtrips(
+        step in 0u64..u64::MAX,
+        verdict in proptest::sample::select(verdicts()),
+    ) {
+        assert_roundtrip(&Message::Verdict(VerdictMsg { step, verdict }));
+    }
+
+    #[test]
+    fn safe_measurement_roundtrips(
+        step in 0u64..u64::MAX,
+        source in proptest::sample::select(sources()),
+        distance in proptest::option::of(-1e4f64..1e4),
+        relative_speed in -100.0f64..100.0,
+        control_distance in proptest::option::of(-1e4f64..1e4),
+    ) {
+        assert_roundtrip(&Message::SafeMeasurement(SafeMeasurement {
+            step,
+            source,
+            distance,
+            relative_speed,
+            control_distance,
+        }));
+    }
+
+    #[test]
+    fn snapshot_roundtrips(
+        vehicle_id in 0u64..u64::MAX,
+        next_step in 0u64..1_000_000,
+        latched in proptest::bool::ANY,
+        first_detection in proptest::option::of(0u64..1_000_000),
+        detections in proptest::collection::vec(0u64..1_000_000, 0..8),
+        counters in proptest::collection::vec(0u64..1_000, 0..4),
+        values in proptest::collection::vec(-1e3f64..1e3, 0..24),
+        last_distance in proptest::option::of(0.0f64..200.0),
+        estimation_steps in 0u64..1_000_000,
+        consecutive_estimates in 0u64..1_000,
+        was_attacked in proptest::bool::ANY,
+        with_checkpoint in proptest::bool::ANY,
+        speeds in proptest::collection::vec(0.0f64..50.0, 0..16),
+    ) {
+        let predictor = PredictorState {
+            counters: counters.clone(),
+            values: values.clone(),
+        };
+        let checkpoint = if with_checkpoint {
+            Some(CheckpointState {
+                predictor: PredictorState {
+                    counters,
+                    values,
+                },
+                last_distance,
+            })
+        } else {
+            None
+        };
+        assert_roundtrip(&Message::Snapshot(SnapshotMsg {
+            vehicle_id,
+            next_step,
+            state: PipelineSnapshot {
+                detector: DetectorState {
+                    latched,
+                    first_detection,
+                    detections,
+                },
+                predictor,
+                last_distance,
+                estimation_steps,
+                consecutive_estimates,
+                was_attacked,
+                checkpoint,
+                speeds_since_checkpoint: speeds,
+            },
+        }));
+    }
+
+    #[test]
+    fn error_roundtrips(
+        code in proptest::sample::select(error_codes()),
+        detail in proptest::collection::vec(0u32..0x24F, 0..40),
+    ) {
+        let detail: String = detail
+            .into_iter()
+            .filter_map(char::from_u32)
+            .collect();
+        assert_roundtrip(&Message::Error(ErrorMsg { code, detail }));
+        assert_roundtrip(&Message::SnapshotRequest);
+    }
+
+    /// Every proper prefix of a valid frame is `Truncated`, never a panic
+    /// or a bogus success.
+    #[test]
+    fn every_prefix_is_truncated(
+        step in 0u64..1_000_000,
+        samples in proptest::collection::vec(-1.0f64..1.0, 0..32),
+    ) {
+        let msg = Message::Observation(Observation {
+            step,
+            own_speed: 29.0,
+            received_power: 1e-12,
+            jammed: false,
+            body: ObservationBody::Raw(RawFrame {
+                snr: 10.0,
+                noise_distance: 0.0,
+                noise_range_rate: 0.0,
+                up: samples.clone(),
+                down: samples,
+            }),
+        });
+        let mut buf = Vec::new();
+        encode_into(&msg, &mut buf);
+        for cut in 0..buf.len() {
+            let err = decode_frame(&buf[..cut]).expect_err("prefix cannot decode");
+            prop_assert!(matches!(err, WireError::Truncated { .. }), "cut {}: {:?}", cut, err);
+        }
+    }
+
+    /// Arbitrary bytes never panic the frame decoder; they produce a typed
+    /// error or (if they happen to spell a frame) a message.
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(0u8..255, 0..256)) {
+        let _ = decode_frame(&bytes);
+    }
+
+    /// Arbitrary bytes under a valid header never panic any payload
+    /// decoder.
+    #[test]
+    fn garbage_payloads_never_panic(
+        msg_type in 0u8..13,
+        payload in proptest::collection::vec(0u8..255, 0..128),
+    ) {
+        let _ = decode_payload(msg_type, &payload);
+    }
+
+    /// A frame from a different protocol version is rejected as
+    /// `VersionMismatch` — the typed signal the server turns into a clean
+    /// `Error { code: Version }` frame before closing.
+    #[test]
+    fn version_mismatch_is_typed(version in 0u16..u16::MAX) {
+        prop_assume!(version != VERSION);
+        let mut buf = Vec::new();
+        encode_into(&Message::SnapshotRequest, &mut buf);
+        buf[4..6].copy_from_slice(&version.to_le_bytes());
+        prop_assert_eq!(
+            decode_frame(&buf),
+            Err(WireError::VersionMismatch { got: version })
+        );
+    }
+
+    /// Oversized payload declarations are rejected from the header alone.
+    #[test]
+    fn oversized_is_rejected_before_buffering(extra in 1u32..1000) {
+        let len = MAX_PAYLOAD + extra;
+        let mut buf = Vec::new();
+        encode_into(&Message::SnapshotRequest, &mut buf);
+        buf[8..12].copy_from_slice(&len.to_le_bytes());
+        prop_assert_eq!(decode_frame(&buf), Err(WireError::Oversized { len }));
+        prop_assert!(buf.len() < HEADER_LEN + MAX_PAYLOAD as usize);
+    }
+}

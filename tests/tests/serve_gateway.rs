@@ -1,0 +1,300 @@
+//! End-to-end gateway tests over loopback TCP: concurrent sessions under
+//! attack scenarios must be byte-identical to directly driven pipelines,
+//! eviction + snapshot resume must be seamless, raw-baseband offload must
+//! match local extraction, and protocol violations must die cleanly with
+//! typed `Error` frames — never a hang or a corrupted session.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+use argus_core::{PredictorKind, ScenarioConfig, ScenarioPlan, SecurePipeline, TrialScratch};
+use argus_radar::RadarConfig;
+use argus_serve::client::{ClientError, GatewayClient};
+use argus_serve::harness::{
+    drive_session, local_pipeline, outputs_match, wire_observation, Transport,
+};
+use argus_serve::server::{Gateway, GatewayConfig};
+use argus_serve::wire::{self, ErrorCode, FrameReader, Hello, Message, ReadError};
+use argus_sim::time::Step;
+use argus_sim::units::{Meters, MetersPerSecond};
+use argus_vehicle::LeaderProfile;
+
+fn dos_plan() -> ScenarioPlan {
+    ScenarioPlan::new(ScenarioConfig::paper(
+        LeaderProfile::paper_constant_decel(),
+        argus_attack::Adversary::paper_dos(),
+        true,
+    ))
+}
+
+fn delay_plan() -> ScenarioPlan {
+    ScenarioPlan::new(ScenarioConfig::paper(
+        LeaderProfile::paper_constant_decel(),
+        argus_attack::Adversary::paper_delay(),
+        true,
+    ))
+}
+
+fn signal_dos_plan() -> ScenarioPlan {
+    let mut cfg = ScenarioConfig::paper(
+        LeaderProfile::paper_constant_decel(),
+        argus_attack::Adversary::paper_dos(),
+        true,
+    );
+    cfg.radar = RadarConfig::bosch_lrr2_signal();
+    ScenarioPlan::new(cfg)
+}
+
+/// The acceptance bar: 32 concurrent sessions — DoS and delay attacks,
+/// all three predictor kinds — each byte-identical to a local pipeline.
+#[test]
+fn concurrent_sessions_match_direct_pipelines() {
+    let config = GatewayConfig::paper();
+    let gateway = Gateway::bind("127.0.0.1:0", config.clone()).unwrap();
+    let addr = gateway.local_addr();
+    let plans = [dos_plan(), delay_plan()];
+    let kinds = [
+        PredictorKind::RlsTrend,
+        PredictorKind::RlsAr4,
+        PredictorKind::Holt,
+    ];
+
+    let reports: Vec<_> = std::thread::scope(|scope| {
+        // The intermediate collect is what makes the sessions concurrent:
+        // a lazy spawn→join chain would serialize them.
+        #[allow(clippy::needless_collect)]
+        let handles: Vec<_> = (0..32u64)
+            .map(|i| {
+                let plan = &plans[(i % 2) as usize];
+                let kind = kinds[(i % 3) as usize];
+                let session = &config.session;
+                scope.spawn(move || {
+                    drive_session(
+                        addr,
+                        plan,
+                        kind,
+                        session,
+                        i,
+                        1000 + i,
+                        80,
+                        Transport::Extracted,
+                    )
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    gateway.shutdown();
+
+    for (i, report) in reports.iter().enumerate() {
+        let report = report
+            .as_ref()
+            .unwrap_or_else(|e| panic!("session {i}: {e}"));
+        assert!(
+            report.identical(),
+            "session {i}: {} mismatched frames of {}, snapshot match {}",
+            report.mismatches,
+            report.frames,
+            report.snapshot_matches,
+        );
+        assert!(report.frames > 0, "session {i} served no frames");
+    }
+}
+
+/// Shipping the raw FMCW baseband and letting the server run the DSP chain
+/// must reproduce the client-side extraction bit-for-bit.
+#[test]
+fn raw_baseband_offload_matches_local_extraction() {
+    let config = GatewayConfig::paper();
+    let gateway = Gateway::bind("127.0.0.1:0", config.clone()).unwrap();
+    let plan = signal_dos_plan();
+    let report = drive_session(
+        gateway.local_addr(),
+        &plan,
+        PredictorKind::RlsTrend,
+        &config.session,
+        9,
+        77,
+        50,
+        Transport::RawBaseband,
+    )
+    .unwrap();
+    gateway.shutdown();
+    assert!(
+        report.identical(),
+        "raw offload diverged: {} of {} frames, snapshot {}",
+        report.mismatches,
+        report.frames,
+        report.snapshot_matches,
+    );
+}
+
+/// Drives steps `[from, to)` through an open client, comparing every
+/// response against the uninterrupted local pipeline. Returns the mismatch
+/// count.
+#[allow(clippy::too_many_arguments)]
+fn drive_range(
+    client: &mut GatewayClient,
+    sim: &mut argus_core::VehicleSim,
+    scratch: &mut TrialScratch,
+    local: &mut SecurePipeline,
+    cfg: &argus_serve::session::SessionConfig,
+    from: u64,
+    to: u64,
+) -> u64 {
+    let mut mismatches = 0;
+    for k_idx in from..to {
+        if sim.collided() {
+            break;
+        }
+        let k = Step(k_idx);
+        let tx_on = cfg.schedule.tx_on(k);
+        let own_speed = sim.own_speed();
+        let (obs, draw) = sim.observe_traced(k, tx_on, scratch);
+        let wire_obs = wire_observation(k_idx, own_speed.value(), &obs, draw, None);
+        let (verdict, safe) = client.observe(&wire_obs).unwrap();
+        let local_out = local.process(k, &obs, own_speed);
+        if !outputs_match(&verdict, &safe, &local_out) {
+            mismatches += 1;
+        }
+        sim.advance(
+            safe.control_distance.map(Meters),
+            MetersPerSecond(safe.relative_speed),
+        );
+    }
+    mismatches
+}
+
+/// An idle session is evicted with a clean `Error { Evicted }` frame; a
+/// client that kept a snapshot resumes on a new connection and the combined
+/// trajectory is bit-identical to one that was never interrupted.
+#[test]
+fn eviction_then_snapshot_resume_is_bit_identical() {
+    let mut config = GatewayConfig::paper();
+    config.idle_timeout = Duration::from_millis(150);
+    config.sweep_interval = Duration::from_millis(25);
+    let gateway = Gateway::bind("127.0.0.1:0", config.clone()).unwrap();
+    let addr = gateway.local_addr();
+
+    let plan = dos_plan();
+    let kind = PredictorKind::RlsTrend;
+    let hello = Hello {
+        vehicle_id: 5,
+        predictor: kind,
+        max_inflight: 0,
+        resume: false,
+    };
+
+    // One uninterrupted local twin spans the whole horizon.
+    let mut scratch = TrialScratch::for_plan(&plan);
+    let mut sim = plan.vehicle_sim(123);
+    let mut local = local_pipeline(&config.session, kind);
+
+    let (mut client, welcome) = GatewayClient::connect(addr, hello.clone()).unwrap();
+    assert_eq!(welcome.next_step, 0);
+    let first = drive_range(
+        &mut client,
+        &mut sim,
+        &mut scratch,
+        &mut local,
+        &config.session,
+        0,
+        60,
+    );
+    assert_eq!(first, 0, "pre-eviction steps diverged");
+    let snap = client.snapshot().unwrap();
+    assert_eq!(snap.next_step, 60);
+
+    // Go idle past the deadline; the server must evict us with a typed
+    // frame (or, if the race lands on the close, a clean EOF).
+    std::thread::sleep(Duration::from_millis(500));
+    match client.recv() {
+        Ok(Message::Error(e)) => assert_eq!(e.code, ErrorCode::Evicted, "unexpected: {e:?}"),
+        Err(ClientError::Eof) => {}
+        other => panic!("expected eviction, got {other:?}"),
+    }
+
+    // Resume from the client-held snapshot and run to step 120; the local
+    // pipeline never noticed an interruption.
+    let (mut client, welcome) = GatewayClient::connect_resume(addr, hello, &snap).unwrap();
+    assert_eq!(
+        welcome.next_step, 60,
+        "resume must pick up where we left off"
+    );
+    let second = drive_range(
+        &mut client,
+        &mut sim,
+        &mut scratch,
+        &mut local,
+        &config.session,
+        60,
+        120,
+    );
+    assert_eq!(second, 0, "post-resume steps diverged");
+
+    let final_snap = client.snapshot().unwrap();
+    assert_eq!(final_snap.next_step, 120);
+    assert_eq!(
+        final_snap.state,
+        local.snapshot(),
+        "resumed session state diverged from the uninterrupted pipeline"
+    );
+    gateway.shutdown();
+}
+
+fn raw_exchange(addr: std::net::SocketAddr, bytes: &[u8]) -> Result<Message, ReadError> {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    stream.write_all(bytes).unwrap();
+    let mut reader = FrameReader::new();
+    reader.read_from(&mut stream)
+}
+
+/// A frame from a future protocol version gets a clean
+/// `Error { code: Version }` frame back, then the connection closes.
+#[test]
+fn version_mismatch_gets_a_clean_error_frame() {
+    let gateway = Gateway::bind("127.0.0.1:0", GatewayConfig::paper()).unwrap();
+    let mut buf = Vec::new();
+    wire::encode_into(&Message::SnapshotRequest, &mut buf);
+    buf[4..6].copy_from_slice(&99u16.to_le_bytes());
+    match raw_exchange(gateway.local_addr(), &buf) {
+        Ok(Message::Error(e)) => assert_eq!(e.code, ErrorCode::Version),
+        other => panic!("expected Error(Version), got {other:?}"),
+    }
+    gateway.shutdown();
+}
+
+/// Garbage bytes get `Error { Malformed }`; an `Observation` before any
+/// `Hello` gets `Error { BadHandshake }`. Both close the connection.
+#[test]
+fn protocol_violations_die_with_typed_errors() {
+    let gateway = Gateway::bind("127.0.0.1:0", GatewayConfig::paper()).unwrap();
+    let addr = gateway.local_addr();
+
+    match raw_exchange(addr, b"GARBAGE BYTES, NOT A FRAME") {
+        Ok(Message::Error(e)) => assert_eq!(e.code, ErrorCode::Malformed),
+        other => panic!("expected Error(Malformed), got {other:?}"),
+    }
+
+    let mut buf = Vec::new();
+    wire::encode_into(
+        &Message::Observation(wire::Observation {
+            step: 0,
+            own_speed: 29.0,
+            received_power: 1e-12,
+            jammed: false,
+            body: wire::ObservationBody::Empty,
+        }),
+        &mut buf,
+    );
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream.write_all(&buf).unwrap();
+    let mut reader = FrameReader::new();
+    match reader.read_from(&mut stream) {
+        Ok(Message::Error(e)) => assert_eq!(e.code, ErrorCode::BadHandshake),
+        other => panic!("expected Error(BadHandshake), got {other:?}"),
+    }
+    gateway.shutdown();
+}

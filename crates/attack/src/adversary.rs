@@ -5,11 +5,20 @@ use serde::{Deserialize, Serialize};
 
 use argus_radar::receiver::{ChannelState, Radar};
 use argus_radar::target::RadarTarget;
+use argus_sim::rng::SimRng;
 use argus_sim::time::Step;
 
 use crate::delay::DelaySpoofer;
+use crate::drift::DriftSpoofer;
 use crate::jammer::Jammer;
+use crate::phantom::PhantomSpoofer;
+use crate::replay::{ReplayAttacker, ReplayState};
 use crate::schedule::AttackWindow;
+use crate::swarm::GhostSwarmSpoofer;
+
+/// Simulation step period in seconds (the paper's 1 Hz loop), used by the
+/// trajectory-shaped attackers to convert per-second rates to per-step.
+const STEP_DT: f64 = 1.0;
 
 /// The attack technique mounted by the adversary.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -20,6 +29,41 @@ pub enum AttackKind {
     Dos(Jammer),
     /// Delay-injection spoofing (replayed counterfeit echoes).
     DelayInjection(DelaySpoofer),
+    /// Chirp-synchronized phantom target injected into the beat spectrum.
+    PhantomTarget(PhantomSpoofer),
+    /// Slow sequential ramp shaped against the free-running predictor.
+    VelocityDrift(DriftSpoofer),
+    /// Multi-ghost beat-spectrum injection.
+    GhostSwarm(GhostSwarmSpoofer),
+    /// Record-and-replay of the genuine echo scene.
+    Replay(ReplayAttacker),
+}
+
+/// Per-trial mutable attacker state: the attacker's own RNG substream and
+/// any stateful machinery (the replay recording buffer).
+///
+/// Built once per trial by [`Adversary::runtime`] from the trial's
+/// `"attacker"` substream, and threaded through every
+/// [`Adversary::channel_at_with`] call. Keeping the stream here — instead
+/// of inside the (Copy, plan-shared) [`Adversary`] — is what lets one plan
+/// serve every Monte-Carlo seed while per-trial attack realizations still
+/// differ.
+#[derive(Debug, Clone)]
+pub struct AttackRuntime {
+    rng: SimRng,
+    replay: ReplayState,
+}
+
+impl AttackRuntime {
+    /// The attacker's RNG substream (mainly for tests).
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Samples captured so far by a replay attacker (0 for stateless kinds).
+    pub fn replay_recorded(&self) -> usize {
+        self.replay.recorded()
+    }
 }
 
 /// An adversary: an attack plus the window during which it is live.
@@ -80,14 +124,24 @@ impl Adversary {
         !matches!(self.kind, AttackKind::None) && self.window.active(k)
     }
 
+    /// Builds the per-trial mutable attacker state seeded from the trial's
+    /// attacker RNG substream (a fresh replay buffer, never shared across
+    /// trials).
+    pub fn runtime(&self, rng: SimRng) -> AttackRuntime {
+        AttackRuntime {
+            rng,
+            replay: ReplayState::default(),
+        }
+    }
+
     /// Renders the adversary's channel contribution at step `k`.
     ///
-    /// * `tx_on` — whether the victim radar is transmitting this instant
-    ///   (false at CRA challenge instants). A delay spoofer with zero
-    ///   reaction latency mutes when the radar is silent (the §7 evasion);
-    ///   any physical spoofer keeps replaying through the challenge.
-    /// * `target` — ground truth, used for the self-screening jammer's link
-    ///   distance and the spoofer's counterfeit parameters.
+    /// Legacy stateless entry point: valid for the paper's attacks (`None`,
+    /// `Dos`, `DelayInjection` with zero jitter/fade), which draw nothing
+    /// and keep no state — the transient runtime it builds is then
+    /// behaviourally inert. Randomized or stateful scenarios (any non-zero
+    /// jitter, `Replay`) must hold one [`AttackRuntime`] per trial and call
+    /// [`Adversary::channel_at_with`] instead.
     pub fn channel_at(
         &self,
         k: Step,
@@ -95,6 +149,35 @@ impl Adversary {
         target: Option<&RadarTarget>,
         radar: &Radar,
     ) -> ChannelState {
+        let mut rt = self.runtime(SimRng::seed_from(0));
+        self.channel_at_with(k, tx_on, target, radar, &mut rt)
+    }
+
+    /// Renders the adversary's channel contribution at step `k`, advancing
+    /// the per-trial attacker state.
+    ///
+    /// * `tx_on` — whether the victim radar is transmitting this instant
+    ///   (false at CRA challenge instants). A delay spoofer with zero
+    ///   reaction latency mutes when the radar is silent (the §7 evasion);
+    ///   any physical transmitter keeps playing through the challenge.
+    /// * `target` — ground truth, used for the self-screening jammer's link
+    ///   distance and the spoofers' counterfeit parameters.
+    /// * `rt` — the trial's [`AttackRuntime`]; RNG draws and replay
+    ///   recording happen here, deterministically per (seed, step sequence).
+    pub fn channel_at_with(
+        &self,
+        k: Step,
+        tx_on: bool,
+        target: Option<&RadarTarget>,
+        radar: &Radar,
+        rt: &mut AttackRuntime,
+    ) -> ChannelState {
+        // The replay attacker listens *before* its window opens, so its
+        // state update runs ahead of the active-gate.
+        if let AttackKind::Replay(cfg) = &self.kind {
+            rt.replay
+                .maybe_record(cfg, self.window, k, tx_on, target, radar);
+        }
         if !self.active(k) {
             return ChannelState::clean();
         }
@@ -102,7 +185,9 @@ impl Adversary {
             AttackKind::None => ChannelState::clean(),
             AttackKind::Dos(jammer) => {
                 let d = jammer.link_distance(target);
-                ChannelState::jammed(jammer.received_power(radar.config(), d))
+                let fade = jammer.fade_multiplier(&mut rt.rng);
+                let power = jammer.received_power(radar.config(), d);
+                ChannelState::jammed(argus_sim::units::Watts(power.value() * fade))
             }
             AttackKind::DelayInjection(spoofer) => {
                 if spoofer.evades_challenges() && !tx_on {
@@ -111,11 +196,40 @@ impl Adversary {
                 match target {
                     Some(t) => {
                         let true_power = radar.echo_power(t);
-                        ChannelState::spoofed(spoofer.counterfeit(t, true_power))
+                        let mut echo = spoofer.counterfeit(t, true_power);
+                        let jitter = spoofer.jitter_draw(&mut rt.rng);
+                        if jitter != 0.0 {
+                            echo.distance =
+                                argus_sim::units::Meters((echo.distance.value() + jitter).max(0.1));
+                        }
+                        ChannelState::spoofed(echo)
                     }
                     None => ChannelState::clean(),
                 }
             }
+            AttackKind::PhantomTarget(spoofer) => ChannelState::spoofed(spoofer.inject(
+                k,
+                self.window.start(),
+                radar,
+                STEP_DT,
+                &mut rt.rng,
+            )),
+            AttackKind::VelocityDrift(spoofer) => match target {
+                Some(t) => {
+                    let true_power = radar.echo_power(t);
+                    ChannelState::spoofed(spoofer.counterfeit(
+                        k,
+                        self.window.start(),
+                        t,
+                        true_power,
+                        STEP_DT,
+                        &mut rt.rng,
+                    ))
+                }
+                None => ChannelState::clean(),
+            },
+            AttackKind::GhostSwarm(spoofer) => spoofer.inject(k, radar, &mut rt.rng),
+            AttackKind::Replay(cfg) => rt.replay.playback(cfg, self.window, k, &mut rt.rng),
         }
     }
 }
@@ -207,5 +321,109 @@ mod tests {
         let adv = Adversary::paper_dos();
         assert!(matches!(adv.kind(), AttackKind::Dos(_)));
         assert_eq!(adv.window().start(), Step(182));
+    }
+
+    #[test]
+    fn legacy_channel_at_matches_runtime_path_for_paper_attacks() {
+        // The paper's attacks are stateless and draw-free, so the legacy
+        // wrapper and the runtime path must agree bit-for-bit.
+        for adv in [Adversary::paper_dos(), Adversary::paper_delay()] {
+            let mut rt = adv.runtime(argus_sim::rng::SimRng::seed_from(99));
+            for k in [0u64, 100, 181, 182, 200, 300] {
+                for tx_on in [true, false] {
+                    let a = adv.channel_at(Step(k), tx_on, Some(&target()), &radar());
+                    let b = adv.channel_at_with(Step(k), tx_on, Some(&target()), &radar(), &mut rt);
+                    assert_eq!(a, b, "k={k} tx_on={tx_on}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn phantom_persists_through_challenges() {
+        let adv = Adversary::new(
+            AttackKind::PhantomTarget(crate::phantom::PhantomSpoofer::nominal()),
+            AttackWindow::new(Step(150), Step(300)),
+        );
+        let mut rt = adv.runtime(argus_sim::rng::SimRng::seed_from(1));
+        let ch = adv.channel_at_with(Step(175), false, Some(&target()), &radar(), &mut rt);
+        assert_eq!(ch.echoes.len(), 1, "transmitter plays through the silence");
+    }
+
+    #[test]
+    fn phantom_needs_no_true_target() {
+        let adv = Adversary::new(
+            AttackKind::PhantomTarget(crate::phantom::PhantomSpoofer::nominal()),
+            AttackWindow::new(Step(150), Step(300)),
+        );
+        let mut rt = adv.runtime(argus_sim::rng::SimRng::seed_from(1));
+        let ch = adv.channel_at_with(Step(160), true, None, &radar(), &mut rt);
+        assert_eq!(
+            ch.echoes.len(),
+            1,
+            "beat-spectrum injection is reflection-free"
+        );
+    }
+
+    #[test]
+    fn ghost_swarm_renders_multiple_echoes() {
+        let adv = Adversary::new(
+            AttackKind::GhostSwarm(crate::swarm::GhostSwarmSpoofer::nominal()),
+            AttackWindow::new(Step(170), Step(300)),
+        );
+        let mut rt = adv.runtime(argus_sim::rng::SimRng::seed_from(1));
+        let ch = adv.channel_at_with(Step(200), true, Some(&target()), &radar(), &mut rt);
+        assert_eq!(ch.echoes.len(), 4);
+    }
+
+    #[test]
+    fn replay_records_then_plays_back() {
+        let adv = Adversary::new(
+            AttackKind::Replay(crate::replay::ReplayAttacker::nominal()),
+            AttackWindow::new(Step(182), Step(300)),
+        );
+        let mut rt = adv.runtime(argus_sim::rng::SimRng::seed_from(1));
+        // Before the capture window: deaf.
+        let ch = adv.channel_at_with(Step(100), true, Some(&target()), &radar(), &mut rt);
+        assert_eq!(ch, ChannelState::clean());
+        assert_eq!(rt.replay_recorded(), 0);
+        // Capture phase fills the buffer.
+        for k in 162..182u64 {
+            let _ = adv.channel_at_with(Step(k), true, Some(&target()), &radar(), &mut rt);
+        }
+        assert_eq!(rt.replay_recorded(), 20);
+        // Active phase loops the recording — through challenges too.
+        let ch = adv.channel_at_with(Step(182), false, Some(&target()), &radar(), &mut rt);
+        assert_eq!(ch.echoes.len(), 1);
+        assert!(ch.echoes[0].power.value() > radar().echo_power(&target()).value());
+    }
+
+    #[test]
+    fn drift_ramp_is_subtle_then_grows() {
+        let adv = Adversary::new(
+            AttackKind::VelocityDrift(crate::drift::DriftSpoofer::nominal()),
+            AttackWindow::new(Step(150), Step(300)),
+        );
+        let mut rt = adv.runtime(argus_sim::rng::SimRng::seed_from(1));
+        let early = adv.channel_at_with(Step(150), true, Some(&target()), &radar(), &mut rt);
+        let late = adv.channel_at_with(Step(250), true, Some(&target()), &radar(), &mut rt);
+        let true_d = target().distance().value();
+        assert!((early.echoes[0].distance.value() - true_d).abs() < 1.0);
+        assert!((late.echoes[0].distance.value() - true_d) > 30.0);
+    }
+
+    #[test]
+    fn same_runtime_seed_same_realization() {
+        let adv = Adversary::new(
+            AttackKind::GhostSwarm(crate::swarm::GhostSwarmSpoofer::nominal()),
+            AttackWindow::new(Step(170), Step(300)),
+        );
+        let mut a = adv.runtime(argus_sim::rng::SimRng::seed_from(7));
+        let mut b = adv.runtime(argus_sim::rng::SimRng::seed_from(7));
+        for k in 170..220u64 {
+            let ca = adv.channel_at_with(Step(k), true, Some(&target()), &radar(), &mut a);
+            let cb = adv.channel_at_with(Step(k), true, Some(&target()), &radar(), &mut b);
+            assert_eq!(ca, cb, "k={k}");
+        }
     }
 }

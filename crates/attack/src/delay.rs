@@ -31,6 +31,12 @@ pub struct DelaySpoofer {
     /// positive for a physical adversary; `0` models the paper's §7
     /// limitation (an adversary faster than the defender).
     pub reaction_latency: Seconds,
+    /// Half-width (metres) of the per-step uniform timing jitter on the
+    /// replayed delay: real replay hardware re-triggers with clock skew, so
+    /// the injected range wanders by `±jitter_m` around `extra_distance`.
+    /// `0` (the paper's spoofer) renders exactly and draws nothing from the
+    /// attacker RNG.
+    pub jitter_m: f64,
 }
 
 impl DelaySpoofer {
@@ -41,7 +47,25 @@ impl DelaySpoofer {
             extra_distance: Meters(6.0),
             power_advantage: 10.0,
             reaction_latency: Seconds(1e-6),
+            jitter_m: 0.0,
         }
+    }
+
+    /// The per-step range-jitter draw: `0` for a jitter-free spoofer,
+    /// otherwise uniform in `±jitter_m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `jitter_m` is negative or not finite.
+    pub fn jitter_draw(&self, rng: &mut argus_sim::rng::SimRng) -> f64 {
+        assert!(
+            self.jitter_m >= 0.0 && self.jitter_m.is_finite(),
+            "jitter_m must be non-negative and finite"
+        );
+        if self.jitter_m == 0.0 {
+            return 0.0;
+        }
+        rng.uniform(-self.jitter_m, self.jitter_m)
     }
 
     /// The injected physical delay `τ = 2·Δd/c` for a given waveform.

@@ -1,0 +1,163 @@
+//! Velocity-drift spoofing: an optimal-style sequential attack shaped
+//! against the free-running predictor.
+//!
+//! Rather than jamming or jumping the range (both loud), this attacker
+//! replays the genuine echo with a *slowly growing* extra delay and a
+//! kinematically consistent Doppler offset: the apparent gap opens by
+//! `rate` metres per second and the apparent range rate agrees with that
+//! drift. Every individual measurement is plausible and the innovation
+//! sequence stays small — the stealthy ramp of Ma et al. 2020's sequential
+//! attacks against learning-based estimators (PAPERS.md), here aimed at the
+//! paper's RLS/Holt trend predictors, which happily extrapolate a
+//! consistent trend.
+//!
+//! The defense does not catch this by statistics; it catches it physically:
+//! the replay hardware keeps transmitting through CRA challenge instants.
+
+use serde::{Deserialize, Serialize};
+
+use argus_radar::target::{Echo, RadarTarget};
+use argus_sim::rng::SimRng;
+use argus_sim::time::Step;
+use argus_sim::units::{Meters, MetersPerSecond, Watts};
+
+/// A slowly ramping delay-and-Doppler spoofer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftSpoofer {
+    /// Apparent gap growth per second (metres) — the ramp slope. The paper's
+    /// dead-reckoned distance then under-estimates closure by exactly this
+    /// rate while the attack goes undetected.
+    pub rate: f64,
+    /// Cap on the accumulated drift (metres): real spoofing hardware has a
+    /// bounded delay line.
+    pub max_drift: Meters,
+    /// Power of the counterfeit relative to the genuine echo (linear).
+    pub power_advantage: f64,
+    /// Half-width (metres) of the per-step uniform wobble around the exact
+    /// ramp — delay-line quantization. `0` draws nothing.
+    pub wobble_m: f64,
+}
+
+impl DriftSpoofer {
+    /// A nominal stealth ramp: 0.4 m/s of apparent gap opening, capped at
+    /// 40 m, 4× power advantage, 2 cm of delay-line wobble.
+    pub fn nominal() -> Self {
+        Self {
+            rate: 0.4,
+            max_drift: Meters(40.0),
+            power_advantage: 4.0,
+            wobble_m: 0.02,
+        }
+    }
+
+    /// Accumulated drift `elapsed` steps of `dt` seconds after onset
+    /// (the ramp starts from one step's worth, not zero, so the first
+    /// attacked sample is already displaced).
+    pub fn drift_at(&self, elapsed: u64, dt: f64) -> Meters {
+        Meters((self.rate * (elapsed + 1) as f64 * dt).min(self.max_drift.value()))
+    }
+
+    /// `true` while the ramp is still growing at `elapsed` steps after
+    /// onset (the Doppler offset vanishes once the delay line saturates).
+    pub fn ramping(&self, elapsed: u64, dt: f64) -> bool {
+        self.drift_at(elapsed, dt).value() < self.max_drift.value()
+    }
+
+    /// Builds the counterfeit echo at step `k` for the current true target.
+    ///
+    /// Draws one uniform from `rng` when `wobble_m > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate`, `power_advantage` are not strictly positive or the
+    /// wobble is negative/non-finite.
+    pub fn counterfeit(
+        &self,
+        k: Step,
+        onset: Step,
+        target: &RadarTarget,
+        true_echo_power: Watts,
+        dt: f64,
+        rng: &mut SimRng,
+    ) -> Echo {
+        assert!(self.rate > 0.0, "drift rate must be positive");
+        assert!(
+            self.power_advantage > 0.0,
+            "power advantage must be positive"
+        );
+        assert!(
+            self.wobble_m >= 0.0 && self.wobble_m.is_finite(),
+            "wobble must be non-negative and finite"
+        );
+        let elapsed = k.0.saturating_sub(onset.0);
+        let mut d = target.distance().value() + self.drift_at(elapsed, dt).value();
+        if self.wobble_m > 0.0 {
+            d += rng.uniform(-self.wobble_m, self.wobble_m);
+        }
+        // Consistent Doppler: while the ramp grows, the apparent gap opens
+        // `rate` m/s faster than the true one — the trend the RLS predictor
+        // locks onto.
+        let doppler_offset = if self.ramping(elapsed, dt) {
+            self.rate
+        } else {
+            0.0
+        };
+        Echo::new(
+            Meters(d.max(0.1)),
+            MetersPerSecond(target.range_rate().value() + doppler_offset),
+            Watts(true_echo_power.value() * self.power_advantage),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn target() -> RadarTarget {
+        RadarTarget::new(Meters(100.0), MetersPerSecond(-2.0), 10.0)
+    }
+
+    #[test]
+    fn ramp_grows_then_saturates() {
+        let s = DriftSpoofer::nominal();
+        assert!((s.drift_at(0, 1.0).value() - 0.4).abs() < 1e-12);
+        assert!((s.drift_at(9, 1.0).value() - 4.0).abs() < 1e-12);
+        assert_eq!(s.drift_at(1000, 1.0).value(), 40.0);
+        assert!(s.ramping(9, 1.0));
+        assert!(!s.ramping(1000, 1.0));
+    }
+
+    #[test]
+    fn counterfeit_is_kinematically_consistent() {
+        let mut s = DriftSpoofer::nominal();
+        s.wobble_m = 0.0;
+        let mut rng = SimRng::seed_from(1);
+        let a = s.counterfeit(Step(150), Step(150), &target(), Watts(1e-12), 1.0, &mut rng);
+        let b = s.counterfeit(Step(151), Step(150), &target(), Watts(1e-12), 1.0, &mut rng);
+        // Distance grew by rate·dt and the Doppler reports that growth.
+        assert!((b.distance.value() - a.distance.value() - 0.4).abs() < 1e-12);
+        assert!((a.range_rate.value() - (-2.0 + 0.4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wobble_free_draws_nothing() {
+        let mut s = DriftSpoofer::nominal();
+        s.wobble_m = 0.0;
+        let mut rng = SimRng::seed_from(2);
+        let probe = rng.clone().next_f64();
+        let _ = s.counterfeit(Step(160), Step(150), &target(), Watts(1e-12), 1.0, &mut rng);
+        assert_eq!(rng.next_f64(), probe);
+    }
+
+    #[test]
+    fn wobble_stays_bounded() {
+        let s = DriftSpoofer::nominal();
+        let mut rng = SimRng::seed_from(2);
+        for k in 150..250 {
+            let e = s.counterfeit(Step(k), Step(150), &target(), Watts(1e-12), 1.0, &mut rng);
+            let nominal = 100.0 + s.drift_at(k - 150, 1.0).value();
+            assert!((e.distance.value() - nominal).abs() <= s.wobble_m + 1e-12);
+        }
+    }
+}

@@ -41,6 +41,11 @@ pub struct Jammer {
     pub losses: Decibels,
     /// Fallback jammer–victim distance when no target is present.
     pub standoff: Meters,
+    /// Fractional per-step power fade (scintillation) half-width: each
+    /// rendered step multiplies the delivered power by a uniform draw from
+    /// `[1 − fade, 1 + fade]`. `0` (the paper's jammer) renders a perfectly
+    /// steady barrage and draws nothing from the attacker RNG.
+    pub fade: f64,
 }
 
 impl Jammer {
@@ -53,7 +58,25 @@ impl Jammer {
             bandwidth: Hertz::from_mhz(155.0),
             losses: Decibels(0.10),
             standoff: Meters(100.0),
+            fade: 0.0,
         }
+    }
+
+    /// The per-step fade multiplier: `1` for a steady jammer, otherwise a
+    /// uniform draw from `[1 − fade, 1 + fade]` clamped positive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fade` is negative or not finite.
+    pub fn fade_multiplier(&self, rng: &mut argus_sim::rng::SimRng) -> f64 {
+        assert!(
+            self.fade >= 0.0 && self.fade.is_finite(),
+            "fade must be a non-negative finite fraction"
+        );
+        if self.fade == 0.0 {
+            return 1.0;
+        }
+        rng.uniform(1.0 - self.fade, 1.0 + self.fade).max(1e-6)
     }
 
     /// Jammer power delivered into the victim receiver at distance `d`
@@ -166,6 +189,26 @@ mod tests {
         let t = RadarTarget::new(Meters(42.0), argus_sim::units::MetersPerSecond(0.0), 10.0);
         assert_eq!(j.link_distance(Some(&t)).value(), 42.0);
         assert_eq!(j.link_distance(None).value(), 100.0);
+    }
+
+    #[test]
+    fn steady_jammer_draws_nothing() {
+        let j = Jammer::paper();
+        let mut rng = argus_sim::rng::SimRng::seed_from(3);
+        let before = rng.clone().next_f64();
+        assert_eq!(j.fade_multiplier(&mut rng), 1.0);
+        assert_eq!(rng.next_f64(), before, "fade=0 must not consume the RNG");
+    }
+
+    #[test]
+    fn fading_jammer_stays_in_band() {
+        let mut j = Jammer::paper();
+        j.fade = 0.15;
+        let mut rng = argus_sim::rng::SimRng::seed_from(3);
+        for _ in 0..200 {
+            let m = j.fade_multiplier(&mut rng);
+            assert!((0.85..1.15).contains(&m), "multiplier {m}");
+        }
     }
 
     #[test]

@@ -10,19 +10,40 @@
 //! * [`delay`] — delay-injection spoofing: a counterfeit echo with extra
 //!   physical delay that makes the target appear farther away, including the
 //!   attacker's unavoidable reaction latency that CRA exploits (§5.2).
+//! * [`phantom`] — chirp-synchronized phantom-target spoofing straight into
+//!   the beat spectrum (Komissarov & Wool-class; see PAPERS.md).
+//! * [`drift`] — slow sequential delay/Doppler ramp shaped against the
+//!   free-running RLS/Holt predictors (Ma et al.-class).
+//! * [`swarm`] — multi-ghost beat-spectrum injection.
+//! * [`replay`] — record-and-replay of the genuine echo scene (stateful).
 //! * [`schedule`] — attack windows `[k₁, kₙ]` over the simulation timeline.
 //! * [`adversary`] — composition: which attack, when, and how it renders
-//!   into the radar's [`ChannelState`](argus_radar::ChannelState) each step.
+//!   into the radar's [`ChannelState`](argus_radar::ChannelState) each step,
+//!   plus the per-trial [`AttackRuntime`] (attacker RNG substream + replay
+//!   state).
+//! * [`registry`] — the named scenario catalogue
+//!   ([`ScenarioRegistry`]/[`AttackScenario`]) campaigns and golden traces
+//!   sweep.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod adversary;
 pub mod delay;
+pub mod drift;
 pub mod jammer;
+pub mod phantom;
+pub mod registry;
+pub mod replay;
 pub mod schedule;
+pub mod swarm;
 
-pub use adversary::{Adversary, AttackKind};
+pub use adversary::{Adversary, AttackKind, AttackRuntime};
 pub use delay::DelaySpoofer;
+pub use drift::DriftSpoofer;
 pub use jammer::Jammer;
+pub use phantom::PhantomSpoofer;
+pub use registry::{AttackScenario, ScenarioError, ScenarioInfo, ScenarioParams, ScenarioRegistry};
+pub use replay::{ReplayAttacker, ReplayState};
 pub use schedule::AttackWindow;
+pub use swarm::GhostSwarmSpoofer;

@@ -1,0 +1,165 @@
+//! Chirp-synchronized phantom-target spoofing.
+//!
+//! A spoofer that has locked onto the victim's triangular FMCW sweep can
+//! play a *tone pair* directly into the dechirped baseband — no physical
+//! reflection involved. Because Eqns 5–8 are a bijection, the tone pair
+//! `(f_b+, f_b−)` synthesized for any `(d, ṙ)` demodulates as a perfectly
+//! consistent virtual target at those kinematics (the Komissarov & Wool
+//! 2021 / Ordean & Garcia 2022 attack class; see PAPERS.md).
+//!
+//! This module renders the phantom's trajectory: it appears at
+//! `start_distance` at attack onset and closes on the victim at
+//! `closing_speed`, with enough transmit power to out-shine any genuine
+//! echo and capture the strongest-echo tracker. Because the phantom is an
+//! active transmission from hardware with non-zero reaction latency, it
+//! keeps playing through CRA challenge instants — which is exactly how the
+//! defense catches it.
+
+use serde::{Deserialize, Serialize};
+
+use argus_radar::receiver::Radar;
+use argus_radar::target::{Echo, RadarTarget};
+use argus_sim::rng::SimRng;
+use argus_sim::time::Step;
+use argus_sim::units::{Meters, MetersPerSecond, Watts};
+
+/// Floor distance the phantom never crosses (stays a valid radar return).
+const MIN_PHANTOM_DISTANCE: f64 = 2.5;
+
+/// A chirp-synchronized spoofer injecting a phantom target into the beat
+/// spectrum.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhantomSpoofer {
+    /// Apparent distance of the phantom at attack onset.
+    pub start_distance: Meters,
+    /// Speed at which the phantom closes on the victim (positive = gap
+    /// shrinking — the braking-inducing geometry).
+    pub closing_speed: MetersPerSecond,
+    /// Power of the injected tones relative to the genuine echo a reflector
+    /// at the phantom's position would return (linear multiplier).
+    pub power_advantage: f64,
+    /// Half-width (metres) of the per-step uniform jitter on the phantom's
+    /// range — the spoofer's sweep-lock error. `0` draws nothing.
+    pub range_jitter_m: f64,
+}
+
+impl PhantomSpoofer {
+    /// A nominal phantom: materializes 60 m ahead closing at 2 m/s, 10×
+    /// stronger than a genuine return, 25 cm of sweep-lock jitter.
+    pub fn nominal() -> Self {
+        Self {
+            start_distance: Meters(60.0),
+            closing_speed: MetersPerSecond(2.0),
+            power_advantage: 10.0,
+            range_jitter_m: 0.25,
+        }
+    }
+
+    /// The phantom's nominal (jitter-free) distance `elapsed` steps of
+    /// `dt` seconds after onset, floored so it never reaches the receiver.
+    pub fn distance_at(&self, elapsed: u64, dt: f64) -> Meters {
+        let d = self.start_distance.value() - self.closing_speed.value() * elapsed as f64 * dt;
+        Meters(d.max(MIN_PHANTOM_DISTANCE))
+    }
+
+    /// Renders the injected tone pair at step `k` as the virtual [`Echo`]
+    /// the receiver perceives.
+    ///
+    /// The spoofer synthesizes the up/down beat tones for its phantom
+    /// kinematics ([`FmcwWaveform::beat_frequencies`]) and the receiver's
+    /// demodulation maps them back through [`Echo::from_beats`] — the
+    /// beat-spectrum injection path, not a reflection model.
+    ///
+    /// `onset` is the attack-window start; `dt` the step period in seconds.
+    /// Draws one uniform from `rng` when `range_jitter_m > 0`.
+    ///
+    /// [`FmcwWaveform::beat_frequencies`]: argus_radar::fmcw::FmcwWaveform::beat_frequencies
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power_advantage` is not strictly positive or the jitter
+    /// is negative/non-finite.
+    pub fn inject(&self, k: Step, onset: Step, radar: &Radar, dt: f64, rng: &mut SimRng) -> Echo {
+        assert!(
+            self.power_advantage > 0.0,
+            "power advantage must be positive"
+        );
+        assert!(
+            self.range_jitter_m >= 0.0 && self.range_jitter_m.is_finite(),
+            "range jitter must be non-negative and finite"
+        );
+        let elapsed = k.0.saturating_sub(onset.0);
+        let mut d = self.distance_at(elapsed, dt).value();
+        if self.range_jitter_m > 0.0 {
+            d += rng.uniform(-self.range_jitter_m, self.range_jitter_m);
+        }
+        let d = Meters(d.max(MIN_PHANTOM_DISTANCE));
+        let v = MetersPerSecond(-self.closing_speed.value());
+        // Power budget: as strong as a real reflector at the phantom's
+        // position, times the attacker's advantage — enough to capture the
+        // strongest-echo tracker against any true target farther out.
+        let reference = RadarTarget::new(d, v, 10.0);
+        let power = Watts(radar.echo_power(&reference).value() * self.power_advantage);
+        let waveform = radar.config().waveform;
+        Echo::from_beats(&waveform, waveform.beat_frequencies(d, v), power)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argus_radar::RadarConfig;
+
+    fn radar() -> Radar {
+        Radar::new(RadarConfig::bosch_lrr2())
+    }
+
+    #[test]
+    fn phantom_closes_over_time() {
+        let p = PhantomSpoofer::nominal();
+        assert_eq!(p.distance_at(0, 1.0).value(), 60.0);
+        assert_eq!(p.distance_at(10, 1.0).value(), 40.0);
+        // Floored, never reaches the receiver.
+        assert_eq!(p.distance_at(10_000, 1.0).value(), MIN_PHANTOM_DISTANCE);
+    }
+
+    #[test]
+    fn jitter_free_phantom_draws_nothing_and_is_exact() {
+        let mut p = PhantomSpoofer::nominal();
+        p.range_jitter_m = 0.0;
+        let mut rng = SimRng::seed_from(5);
+        let probe = rng.clone().next_f64();
+        let e = p.inject(Step(160), Step(150), &radar(), 1.0, &mut rng);
+        assert_eq!(rng.next_f64(), probe, "jitter=0 must not consume the RNG");
+        assert!((e.distance.value() - 40.0).abs() < 1e-9);
+        assert!((e.range_rate.value() + 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jittered_phantom_stays_near_nominal() {
+        let p = PhantomSpoofer::nominal();
+        let mut rng = SimRng::seed_from(5);
+        for k in 150..200 {
+            let e = p.inject(Step(k), Step(150), &radar(), 1.0, &mut rng);
+            let nominal = p.distance_at(k - 150, 1.0).value();
+            assert!(
+                (e.distance.value() - nominal).abs() <= p.range_jitter_m + 1e-9,
+                "k={k}: {} vs {nominal}",
+                e.distance.value()
+            );
+        }
+    }
+
+    #[test]
+    fn phantom_outpowers_a_farther_true_target() {
+        let p = PhantomSpoofer::nominal();
+        let mut rng = SimRng::seed_from(5);
+        let radar = radar();
+        let e = p.inject(Step(150), Step(150), &radar, 1.0, &mut rng);
+        let true_target = RadarTarget::new(Meters(100.0), MetersPerSecond(-2.0), 10.0);
+        assert!(
+            e.power.value() > radar.echo_power(&true_target).value(),
+            "phantom must capture the strongest-echo tracker"
+        );
+    }
+}

@@ -1,0 +1,560 @@
+//! The adversarial scenario registry.
+//!
+//! A [`ScenarioRegistry`] is a catalogue of named, self-describing attack
+//! scenarios — the DST-style suite every campaign, golden trace, and
+//! gateway test sweeps. Each entry implements [`AttackScenario`]: it can
+//! describe itself ([`ScenarioInfo`]), report sensible defaults
+//! ([`ScenarioParams`]), and build a concrete [`Adversary`] from
+//! parameters. Unknown names come back as a typed
+//! [`ScenarioError::UnknownScenario`] — never a panic — so CLI surfaces can
+//! print the catalogue and exit cleanly.
+//!
+//! Per-trial randomness never lives in the built [`Adversary`] (it is Copy
+//! and shared across a whole campaign axis point); it comes at render time
+//! from the trial's `"attacker"` [`SimRng::substream`] via
+//! [`Adversary::channel_at_with`]. Every registered scenario carries a
+//! small physical jitter so distinct trials see distinct attack
+//! realizations while the same trial replays bit-identically.
+//!
+//! [`SimRng::substream`]: argus_sim::rng::SimRng::substream
+//! [`Adversary::channel_at_with`]: crate::Adversary::channel_at_with
+
+use argus_sim::time::Step;
+use argus_sim::units::{Meters, Seconds, Watts};
+
+use crate::adversary::{Adversary, AttackKind};
+use crate::delay::DelaySpoofer;
+use crate::drift::DriftSpoofer;
+use crate::jammer::Jammer;
+use crate::phantom::PhantomSpoofer;
+use crate::replay::ReplayAttacker;
+use crate::schedule::AttackWindow;
+use crate::swarm::GhostSwarmSpoofer;
+
+/// Parameters every scenario builds from: the attack window plus one
+/// scenario-specific strength knob (its meaning is documented per scenario
+/// in [`ScenarioInfo::strength_meaning`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioParams {
+    /// First attacked step.
+    pub onset: u64,
+    /// Number of attacked steps.
+    pub duration: u64,
+    /// The scenario's strength knob (power scale, injected metres, …).
+    pub strength: f64,
+}
+
+/// Human-readable scenario metadata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScenarioInfo {
+    /// Registry name (stable; part of trial labels and golden-trace ids).
+    pub name: &'static str,
+    /// One-line description of the attack.
+    pub summary: &'static str,
+    /// Threat model: what hardware/knowledge the attacker needs.
+    pub threat: &'static str,
+    /// Which literature attack this reproduces (see PAPERS.md).
+    pub reference: &'static str,
+    /// What the `strength` parameter scales.
+    pub strength_meaning: &'static str,
+}
+
+/// Typed scenario-resolution and parameter errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ScenarioError {
+    /// The requested name is not in the registry.
+    UnknownScenario {
+        /// The name that failed to resolve.
+        name: String,
+        /// Every name the registry does know.
+        known: Vec<&'static str>,
+    },
+    /// The parameters are invalid for this scenario.
+    InvalidParams {
+        /// The scenario rejecting the parameters.
+        scenario: &'static str,
+        /// Why.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::UnknownScenario { name, known } => write!(
+                f,
+                "unknown scenario `{name}` — registered scenarios: {}",
+                known.join(", ")
+            ),
+            ScenarioError::InvalidParams { scenario, reason } => {
+                write!(f, "invalid parameters for scenario `{scenario}`: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// A named, parameterized, self-describing adversarial scenario.
+pub trait AttackScenario: std::fmt::Debug + Sync {
+    /// Stable registry name (lower_snake_case).
+    fn name(&self) -> &'static str;
+
+    /// Human-readable metadata.
+    fn info(&self) -> ScenarioInfo;
+
+    /// The nominal parameters campaigns sweep around.
+    fn default_params(&self) -> ScenarioParams;
+
+    /// Builds the concrete adversary for `params`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::InvalidParams`] when the window is empty or
+    /// the strength is out of the scenario's physical range.
+    fn build(&self, params: &ScenarioParams) -> Result<Adversary, ScenarioError>;
+}
+
+fn validate(name: &'static str, params: &ScenarioParams) -> Result<AttackWindow, ScenarioError> {
+    if params.duration == 0 {
+        return Err(ScenarioError::InvalidParams {
+            scenario: name,
+            reason: "duration must be positive".to_string(),
+        });
+    }
+    if !(params.strength > 0.0 && params.strength.is_finite()) {
+        return Err(ScenarioError::InvalidParams {
+            scenario: name,
+            reason: format!(
+                "strength must be positive and finite, got {}",
+                params.strength
+            ),
+        });
+    }
+    Ok(AttackWindow::new(
+        Step(params.onset),
+        Step(params.onset + params.duration - 1),
+    ))
+}
+
+/// `dos`: the paper's barrage jammer with per-step fading.
+#[derive(Debug)]
+struct DosScenario;
+
+impl AttackScenario for DosScenario {
+    fn name(&self) -> &'static str {
+        "dos"
+    }
+
+    fn info(&self) -> ScenarioInfo {
+        ScenarioInfo {
+            name: self.name(),
+            summary: "barrage jamming floods the radar band; receiver captured",
+            threat: "self-screening transmitter riding on/near the target (Eqns 10-11)",
+            reference: "source paper section 4.2 DoS attack",
+            strength_meaning: "jammer transmit power multiplier vs the 100 mW paper jammer",
+        }
+    }
+
+    fn default_params(&self) -> ScenarioParams {
+        ScenarioParams {
+            onset: 182,
+            duration: 119,
+            strength: 1.0,
+        }
+    }
+
+    fn build(&self, params: &ScenarioParams) -> Result<Adversary, ScenarioError> {
+        let window = validate(self.name(), params)?;
+        let mut jammer = Jammer::paper();
+        jammer.power = Watts(jammer.power.value() * params.strength);
+        jammer.fade = 0.15;
+        Ok(Adversary::new(AttackKind::Dos(jammer), window))
+    }
+}
+
+/// `delay`: the paper's delay-injection spoofer with re-trigger jitter.
+#[derive(Debug)]
+struct DelayScenario;
+
+impl AttackScenario for DelayScenario {
+    fn name(&self) -> &'static str {
+        "delay"
+    }
+
+    fn info(&self) -> ScenarioInfo {
+        ScenarioInfo {
+            name: self.name(),
+            summary: "replayed chirp with extra delay; target appears farther away",
+            threat: "record-and-retransmit hardware with >0 reaction latency (section 4.1)",
+            reference: "source paper section 4.1 delay-injection attack",
+            strength_meaning: "injected apparent range elongation in metres",
+        }
+    }
+
+    fn default_params(&self) -> ScenarioParams {
+        ScenarioParams {
+            onset: 180,
+            duration: 121,
+            strength: 6.0,
+        }
+    }
+
+    fn build(&self, params: &ScenarioParams) -> Result<Adversary, ScenarioError> {
+        let window = validate(self.name(), params)?;
+        let mut spoofer = DelaySpoofer::paper();
+        spoofer.extra_distance = Meters(params.strength);
+        spoofer.reaction_latency = Seconds(1e-6);
+        spoofer.jitter_m = 0.05;
+        Ok(Adversary::new(AttackKind::DelayInjection(spoofer), window))
+    }
+}
+
+/// `phantom_target`: chirp-synchronized beat-spectrum spoofing.
+#[derive(Debug)]
+struct PhantomTargetScenario;
+
+impl AttackScenario for PhantomTargetScenario {
+    fn name(&self) -> &'static str {
+        "phantom_target"
+    }
+
+    fn info(&self) -> ScenarioInfo {
+        ScenarioInfo {
+            name: self.name(),
+            summary: "chirp-locked tone pair injects a closing phantom into the beat spectrum",
+            threat: "spoofer synchronized to the victim's FMCW sweep; no physical reflector",
+            reference: "Komissarov & Wool 2021 / Ordean & Garcia 2022 (PAPERS.md)",
+            strength_meaning: "phantom power advantage vs a genuine reflector at its range",
+        }
+    }
+
+    fn default_params(&self) -> ScenarioParams {
+        ScenarioParams {
+            onset: 150,
+            duration: 151,
+            strength: 10.0,
+        }
+    }
+
+    fn build(&self, params: &ScenarioParams) -> Result<Adversary, ScenarioError> {
+        let window = validate(self.name(), params)?;
+        let mut spoofer = PhantomSpoofer::nominal();
+        spoofer.power_advantage = params.strength;
+        Ok(Adversary::new(AttackKind::PhantomTarget(spoofer), window))
+    }
+}
+
+/// `velocity_drift`: stealthy sequential ramp against the predictors.
+#[derive(Debug)]
+struct VelocityDriftScenario;
+
+impl AttackScenario for VelocityDriftScenario {
+    fn name(&self) -> &'static str {
+        "velocity_drift"
+    }
+
+    fn info(&self) -> ScenarioInfo {
+        ScenarioInfo {
+            name: self.name(),
+            summary: "slowly growing delay with consistent Doppler; rides the RLS/Holt trend",
+            threat: "replay hardware with a programmable delay line and Doppler shifter",
+            reference: "Ma et al. 2020 sequential attacks on learning estimators (PAPERS.md)",
+            strength_meaning: "apparent gap-opening rate in metres per second",
+        }
+    }
+
+    fn default_params(&self) -> ScenarioParams {
+        ScenarioParams {
+            onset: 150,
+            duration: 151,
+            strength: 0.4,
+        }
+    }
+
+    fn build(&self, params: &ScenarioParams) -> Result<Adversary, ScenarioError> {
+        let window = validate(self.name(), params)?;
+        let mut spoofer = DriftSpoofer::nominal();
+        spoofer.rate = params.strength;
+        Ok(Adversary::new(AttackKind::VelocityDrift(spoofer), window))
+    }
+}
+
+/// `ghost_swarm`: multi-target beat-spectrum injection.
+#[derive(Debug)]
+struct GhostSwarmScenario;
+
+impl AttackScenario for GhostSwarmScenario {
+    fn name(&self) -> &'static str {
+        "ghost_swarm"
+    }
+
+    fn info(&self) -> ScenarioInfo {
+        ScenarioInfo {
+            name: self.name(),
+            summary: "several simultaneous ghost targets deny association / capture tracking",
+            threat: "chirp-locked spoofer playing multiple tone pairs per sweep",
+            reference: "multi-ghost variant of Komissarov & Wool 2021 (PAPERS.md)",
+            strength_meaning: "per-ghost power advantage vs a genuine reflector at its range",
+        }
+    }
+
+    fn default_params(&self) -> ScenarioParams {
+        ScenarioParams {
+            onset: 170,
+            duration: 131,
+            strength: 4.0,
+        }
+    }
+
+    fn build(&self, params: &ScenarioParams) -> Result<Adversary, ScenarioError> {
+        let window = validate(self.name(), params)?;
+        let mut spoofer = GhostSwarmSpoofer::nominal();
+        spoofer.power_advantage = params.strength;
+        Ok(Adversary::new(AttackKind::GhostSwarm(spoofer), window))
+    }
+}
+
+/// `replay`: record-and-replay of the genuine echo scene.
+#[derive(Debug)]
+struct ReplayScenario;
+
+impl AttackScenario for ReplayScenario {
+    fn name(&self) -> &'static str {
+        "replay"
+    }
+
+    fn info(&self) -> ScenarioInfo {
+        ScenarioInfo {
+            name: self.name(),
+            summary: "captures the pre-attack echo scene, then loops it amplified",
+            threat: "passive recorder + active re-transmitter with >0 reaction latency",
+            reference: "classic sensor replay, per the source paper's section 4 attacker model",
+            strength_meaning: "replay power advantage vs the recorded echo power",
+        }
+    }
+
+    fn default_params(&self) -> ScenarioParams {
+        ScenarioParams {
+            onset: 182,
+            duration: 119,
+            strength: 10.0,
+        }
+    }
+
+    fn build(&self, params: &ScenarioParams) -> Result<Adversary, ScenarioError> {
+        let window = validate(self.name(), params)?;
+        let mut attacker = ReplayAttacker::nominal();
+        attacker.power_advantage = params.strength;
+        Ok(Adversary::new(AttackKind::Replay(attacker), window))
+    }
+}
+
+/// The built-in scenario catalogue, in registry order.
+static BUILTIN: [&dyn AttackScenario; 6] = [
+    &DosScenario,
+    &DelayScenario,
+    &PhantomTargetScenario,
+    &VelocityDriftScenario,
+    &GhostSwarmScenario,
+    &ReplayScenario,
+];
+
+/// The catalogue of registered adversarial scenarios.
+///
+/// ```
+/// use argus_attack::registry::ScenarioRegistry;
+///
+/// let registry = ScenarioRegistry::builtin();
+/// assert!(registry.names().contains(&"phantom_target"));
+/// let adversary = registry.build_default("dos").unwrap();
+/// assert!(adversary.active(argus_sim::time::Step(200)));
+/// assert!(registry.get("nope").is_err());
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioRegistry {
+    entries: &'static [&'static dyn AttackScenario],
+}
+
+impl ScenarioRegistry {
+    /// The built-in six-scenario registry.
+    pub fn builtin() -> Self {
+        Self { entries: &BUILTIN }
+    }
+
+    /// Registered names, in registry order.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|s| s.name()).collect()
+    }
+
+    /// Iterates the registered scenarios in registry order.
+    pub fn iter(&self) -> impl Iterator<Item = &'static dyn AttackScenario> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Number of registered scenarios.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when the registry is empty (the built-in one never is).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Resolves a scenario by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::UnknownScenario`] listing the known names.
+    pub fn get(&self, name: &str) -> Result<&'static dyn AttackScenario, ScenarioError> {
+        self.iter()
+            .find(|s| s.name() == name)
+            .ok_or_else(|| ScenarioError::UnknownScenario {
+                name: name.to_string(),
+                known: self.names(),
+            })
+    }
+
+    /// Builds a named scenario's adversary from explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ScenarioError::UnknownScenario`] and
+    /// [`ScenarioError::InvalidParams`].
+    pub fn build(&self, name: &str, params: &ScenarioParams) -> Result<Adversary, ScenarioError> {
+        self.get(name)?.build(params)
+    }
+
+    /// Builds a named scenario's adversary at its default parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ScenarioError::UnknownScenario`].
+    pub fn build_default(&self, name: &str) -> Result<Adversary, ScenarioError> {
+        let scenario = self.get(name)?;
+        scenario.build(&scenario.default_params())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_the_six_required_scenarios() {
+        let names = ScenarioRegistry::builtin().names();
+        for required in [
+            "dos",
+            "delay",
+            "phantom_target",
+            "velocity_drift",
+            "ghost_swarm",
+            "replay",
+        ] {
+            assert!(names.contains(&required), "missing `{required}`");
+        }
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn every_scenario_builds_from_name_and_defaults() {
+        let registry = ScenarioRegistry::builtin();
+        for name in registry.names() {
+            let adversary = registry.build_default(name).unwrap();
+            let scenario = registry.get(name).unwrap();
+            let p = scenario.default_params();
+            assert_eq!(adversary.window().start().0, p.onset, "{name}");
+            assert_eq!(
+                adversary.window().end().0,
+                p.onset + p.duration - 1,
+                "{name}"
+            );
+            assert!(adversary.active(Step(p.onset)), "{name}");
+        }
+    }
+
+    #[test]
+    fn metadata_is_non_empty_and_consistent() {
+        for scenario in ScenarioRegistry::builtin().iter() {
+            let info = scenario.info();
+            assert_eq!(info.name, scenario.name());
+            for (field, text) in [
+                ("summary", info.summary),
+                ("threat", info.threat),
+                ("reference", info.reference),
+                ("strength_meaning", info.strength_meaning),
+            ] {
+                assert!(!text.is_empty(), "{}: empty {field}", info.name);
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_a_typed_error_not_a_panic() {
+        let registry = ScenarioRegistry::builtin();
+        match registry.get("time_warp") {
+            Err(ScenarioError::UnknownScenario { name, known }) => {
+                assert_eq!(name, "time_warp");
+                assert_eq!(known.len(), 6);
+            }
+            other => panic!("expected UnknownScenario, got {other:?}"),
+        }
+        let msg = registry.build_default("time_warp").unwrap_err().to_string();
+        assert!(
+            msg.contains("time_warp") && msg.contains("ghost_swarm"),
+            "{msg}"
+        );
+    }
+
+    #[test]
+    fn zero_duration_is_invalid_params() {
+        let registry = ScenarioRegistry::builtin();
+        for name in registry.names() {
+            let mut p = registry.get(name).unwrap().default_params();
+            p.duration = 0;
+            match registry.build(name, &p) {
+                Err(ScenarioError::InvalidParams { scenario, .. }) => assert_eq!(scenario, name),
+                other => panic!("{name}: expected InvalidParams, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn non_positive_strength_is_invalid_params() {
+        let registry = ScenarioRegistry::builtin();
+        for strength in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let mut p = registry.get("dos").unwrap().default_params();
+            p.strength = strength;
+            assert!(
+                matches!(
+                    registry.build("dos", &p),
+                    Err(ScenarioError::InvalidParams { .. })
+                ),
+                "strength {strength}"
+            );
+        }
+    }
+
+    #[test]
+    fn default_paper_scenarios_match_the_paper_windows() {
+        let registry = ScenarioRegistry::builtin();
+        let dos = registry.build_default("dos").unwrap();
+        assert_eq!(dos.window().start(), Step(182));
+        assert_eq!(dos.window().end(), Step(300));
+        let delay = registry.build_default("delay").unwrap();
+        assert_eq!(delay.window().start(), Step(180));
+    }
+
+    #[test]
+    fn strength_reaches_the_underlying_attack() {
+        let registry = ScenarioRegistry::builtin();
+        let mut p = registry.get("delay").unwrap().default_params();
+        p.strength = 12.0;
+        let adv = registry.build("delay", &p).unwrap();
+        match adv.kind() {
+            AttackKind::DelayInjection(s) => assert_eq!(s.extra_distance.value(), 12.0),
+            other => panic!("unexpected kind {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! Record-and-replay spoofing.
+//!
+//! The attacker passively records the victim's echo scene for a while
+//! before the attack window, then re-transmits the recording in a loop:
+//! the victim keeps seeing a stale-but-plausible target (the classic
+//! GPS/radar replay attack, amplified by the replay hardware's transmit
+//! power). Unlike the other spoofers this one is *stateful* — what it
+//! plays depends on what it heard — so its mutable half lives in
+//! [`ReplayState`], owned per-trial by the attack runtime, while
+//! [`ReplayAttacker`] stays plain-old-data configuration.
+//!
+//! A replay transmitter has reaction latency like any other physical
+//! spoofer: it keeps playing through CRA challenge instants and is caught.
+
+use serde::{Deserialize, Serialize};
+
+use argus_radar::receiver::{ChannelState, Radar};
+use argus_radar::target::{Echo, RadarTarget};
+use argus_sim::rng::SimRng;
+use argus_sim::time::Step;
+use argus_sim::units::{Meters, MetersPerSecond, Watts};
+
+use crate::schedule::AttackWindow;
+
+/// Record-and-replay attacker configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ReplayAttacker {
+    /// Steps of echo scene captured immediately before the attack window.
+    pub record_len: u64,
+    /// Replayed power relative to the recorded echo power (linear).
+    pub power_advantage: f64,
+    /// Half-width (metres) of the per-step uniform re-trigger jitter on the
+    /// replayed range. `0` draws nothing.
+    pub timing_jitter_m: f64,
+}
+
+impl ReplayAttacker {
+    /// A nominal replayer: 20-step capture, 10× power, 10 cm of re-trigger
+    /// jitter.
+    pub fn nominal() -> Self {
+        Self {
+            record_len: 20,
+            power_advantage: 10.0,
+            timing_jitter_m: 0.1,
+        }
+    }
+
+    /// First step of the recording window preceding `window`.
+    pub fn record_start(&self, window: AttackWindow) -> Step {
+        Step(window.start().0.saturating_sub(self.record_len))
+    }
+}
+
+/// One captured echo sample (distance, range rate, received power).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct RecordedEcho {
+    distance: f64,
+    range_rate: f64,
+    power: f64,
+}
+
+/// The replay attacker's mutable per-trial state: the recording buffer.
+///
+/// Reset at trial start (a fresh buffer is built per
+/// [`Adversary::runtime`](crate::Adversary::runtime) call), so recordings
+/// never leak across trials.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayState {
+    recording: Vec<RecordedEcho>,
+}
+
+impl ReplayState {
+    /// Number of captured samples so far.
+    pub fn recorded(&self) -> usize {
+        self.recording.len()
+    }
+
+    /// Passive capture phase: during `[window.start − record_len,
+    /// window.start)` the attacker samples the genuine echo scene. It can
+    /// only hear an echo while the victim radar actually transmits
+    /// (`tx_on`) and a target exists.
+    pub(crate) fn maybe_record(
+        &mut self,
+        cfg: &ReplayAttacker,
+        window: AttackWindow,
+        k: Step,
+        tx_on: bool,
+        target: Option<&RadarTarget>,
+        radar: &Radar,
+    ) {
+        if cfg.record_len == 0 || k.0 >= window.start().0 || k.0 < cfg.record_start(window).0 {
+            return;
+        }
+        if !tx_on {
+            return;
+        }
+        if let Some(t) = target {
+            self.recording.push(RecordedEcho {
+                distance: t.distance().value(),
+                range_rate: t.range_rate().value(),
+                power: radar.echo_power(t).value(),
+            });
+        }
+    }
+
+    /// Active phase: loops the recording, amplified and jittered. An
+    /// attacker that captured nothing has nothing to transmit — the channel
+    /// stays clean (and the attack simply fails).
+    ///
+    /// Draws one uniform from `rng` per rendered step when
+    /// `timing_jitter_m > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `power_advantage` is not strictly positive or the jitter
+    /// is negative/non-finite.
+    pub(crate) fn playback(
+        &self,
+        cfg: &ReplayAttacker,
+        window: AttackWindow,
+        k: Step,
+        rng: &mut SimRng,
+    ) -> ChannelState {
+        assert!(
+            cfg.power_advantage > 0.0,
+            "power advantage must be positive"
+        );
+        assert!(
+            cfg.timing_jitter_m >= 0.0 && cfg.timing_jitter_m.is_finite(),
+            "timing jitter must be non-negative and finite"
+        );
+        if self.recording.is_empty() {
+            return ChannelState::clean();
+        }
+        let idx = (k.0.saturating_sub(window.start().0) as usize) % self.recording.len();
+        let sample = self.recording[idx];
+        let mut d = sample.distance;
+        if cfg.timing_jitter_m > 0.0 {
+            d += rng.uniform(-cfg.timing_jitter_m, cfg.timing_jitter_m);
+        }
+        ChannelState::spoofed(Echo::new(
+            Meters(d.max(0.1)),
+            MetersPerSecond(sample.range_rate),
+            Watts(sample.power * cfg.power_advantage),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argus_radar::RadarConfig;
+
+    fn radar() -> Radar {
+        Radar::new(RadarConfig::bosch_lrr2())
+    }
+
+    fn window() -> AttackWindow {
+        AttackWindow::new(Step(182), Step(300))
+    }
+
+    fn record_scene(state: &mut ReplayState, cfg: &ReplayAttacker) {
+        let radar = radar();
+        for k in 0..182u64 {
+            let t = RadarTarget::new(Meters(100.0 - 0.1 * k as f64), MetersPerSecond(-0.1), 10.0);
+            state.maybe_record(cfg, window(), Step(k), true, Some(&t), &radar);
+        }
+    }
+
+    #[test]
+    fn records_only_inside_the_capture_window() {
+        let cfg = ReplayAttacker::nominal();
+        let mut state = ReplayState::default();
+        record_scene(&mut state, &cfg);
+        assert_eq!(state.recorded() as u64, cfg.record_len);
+    }
+
+    #[test]
+    fn deaf_during_challenges() {
+        let cfg = ReplayAttacker::nominal();
+        let mut state = ReplayState::default();
+        let t = RadarTarget::new(Meters(90.0), MetersPerSecond(-1.0), 10.0);
+        state.maybe_record(&cfg, window(), Step(170), false, Some(&t), &radar());
+        assert_eq!(state.recorded(), 0, "no chirp, nothing to record");
+    }
+
+    #[test]
+    fn playback_loops_the_recording() {
+        let mut cfg = ReplayAttacker::nominal();
+        cfg.timing_jitter_m = 0.0;
+        let mut state = ReplayState::default();
+        record_scene(&mut state, &cfg);
+        let mut rng = SimRng::seed_from(1);
+        let a = state.playback(&cfg, window(), Step(182), &mut rng);
+        let b = state.playback(&cfg, window(), Step(182 + cfg.record_len), &mut rng);
+        assert_eq!(a.echoes[0].distance, b.echoes[0].distance, "loop wraps");
+    }
+
+    #[test]
+    fn playback_amplifies() {
+        let mut cfg = ReplayAttacker::nominal();
+        cfg.timing_jitter_m = 0.0;
+        let mut state = ReplayState::default();
+        record_scene(&mut state, &cfg);
+        let ch = state.playback(&cfg, window(), Step(182), &mut SimRng::seed_from(1));
+        let first = RadarTarget::new(Meters(100.0 - 0.1 * 162.0), MetersPerSecond(-0.1), 10.0);
+        let genuine = radar().echo_power(&first).value();
+        assert!((ch.echoes[0].power.value() - genuine * 10.0).abs() < genuine);
+    }
+
+    #[test]
+    fn empty_recording_plays_nothing() {
+        let cfg = ReplayAttacker::nominal();
+        let state = ReplayState::default();
+        let ch = state.playback(&cfg, window(), Step(200), &mut SimRng::seed_from(1));
+        assert_eq!(ch, ChannelState::clean());
+    }
+}

@@ -1,0 +1,166 @@
+//! Ghost-swarm injection: many simultaneous phantom targets.
+//!
+//! A chirp-locked spoofer is not limited to one tone pair — playing several
+//! pairs at once populates the victim's beat spectrum with a whole swarm of
+//! virtual reflectors (the multi-ghost variant of the Komissarov & Wool
+//! 2021 spoofing class, PAPERS.md). Against a strongest-echo tracker the
+//! nearest, hottest ghost captures the measurement; against clustering
+//! trackers the swarm denies association. Either way the scene is garbage.
+//!
+//! Like every physical transmitter modelled here, the swarm keeps playing
+//! through CRA challenge instants and is therefore caught by the detector.
+
+use serde::{Deserialize, Serialize};
+
+use argus_radar::receiver::{ChannelState, Radar};
+use argus_radar::target::{Echo, RadarTarget};
+use argus_sim::rng::SimRng;
+use argus_sim::time::Step;
+use argus_sim::units::{Meters, MetersPerSecond, Watts};
+
+/// Upper bound on the swarm size (keeps the channel render O(1)-ish and a
+/// misconfigured axis from allocating absurd scenes).
+pub const MAX_GHOSTS: u32 = 16;
+
+/// A multi-tone spoofer injecting a swarm of ghost targets.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GhostSwarmSpoofer {
+    /// Number of ghosts injected per step (1…[`MAX_GHOSTS`]).
+    pub count: u32,
+    /// Distance of the nearest ghost.
+    pub nearest: Meters,
+    /// Spacing between consecutive ghosts.
+    pub spacing: Meters,
+    /// Range-rate magnitude alternated ± across the swarm (ghost `i` moves
+    /// at `±speed_spread`), so the scene looks like uncoordinated traffic.
+    pub speed_spread: MetersPerSecond,
+    /// Power of each ghost relative to a genuine reflector at its distance.
+    pub power_advantage: f64,
+    /// Half-width (metres) of the per-step uniform jitter on every ghost's
+    /// range (independent draws). `0` draws nothing.
+    pub jitter_m: f64,
+}
+
+impl GhostSwarmSpoofer {
+    /// A nominal swarm: 4 ghosts from 30 m every 15 m, ±3 m/s, 4× power,
+    /// 30 cm of per-ghost jitter.
+    pub fn nominal() -> Self {
+        Self {
+            count: 4,
+            nearest: Meters(30.0),
+            spacing: Meters(15.0),
+            speed_spread: MetersPerSecond(3.0),
+            power_advantage: 4.0,
+            jitter_m: 0.3,
+        }
+    }
+
+    /// Renders the swarm's channel contribution at step `k` (the step only
+    /// feeds the deterministic jitter draws — the ghost layout is static).
+    ///
+    /// Draws `count` uniforms from `rng` when `jitter_m > 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is outside `1…MAX_GHOSTS`, any geometry parameter
+    /// is non-positive, or the jitter is negative/non-finite.
+    pub fn inject(&self, _k: Step, radar: &Radar, rng: &mut SimRng) -> ChannelState {
+        assert!(
+            self.count >= 1 && self.count <= MAX_GHOSTS,
+            "ghost count must be in 1..={MAX_GHOSTS}"
+        );
+        assert!(
+            self.nearest.value() > 0.0 && self.spacing.value() > 0.0,
+            "swarm geometry must be positive"
+        );
+        assert!(
+            self.power_advantage > 0.0,
+            "power advantage must be positive"
+        );
+        assert!(
+            self.jitter_m >= 0.0 && self.jitter_m.is_finite(),
+            "jitter must be non-negative and finite"
+        );
+        let waveform = radar.config().waveform;
+        let echoes = (0..self.count)
+            .map(|i| {
+                let mut d = self.nearest.value() + f64::from(i) * self.spacing.value();
+                if self.jitter_m > 0.0 {
+                    d += rng.uniform(-self.jitter_m, self.jitter_m);
+                }
+                let d = Meters(d.max(0.1));
+                let sign = if i % 2 == 0 { -1.0 } else { 1.0 };
+                let v = MetersPerSecond(sign * self.speed_spread.value());
+                let reference = RadarTarget::new(d, v, 10.0);
+                let power = Watts(radar.echo_power(&reference).value() * self.power_advantage);
+                Echo::from_beats(&waveform, waveform.beat_frequencies(d, v), power)
+            })
+            .collect();
+        ChannelState {
+            echoes,
+            interference: Watts(0.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argus_radar::RadarConfig;
+
+    fn radar() -> Radar {
+        Radar::new(RadarConfig::bosch_lrr2())
+    }
+
+    #[test]
+    fn swarm_renders_count_ghosts_at_spaced_ranges() {
+        let mut s = GhostSwarmSpoofer::nominal();
+        s.jitter_m = 0.0;
+        let mut rng = SimRng::seed_from(1);
+        let ch = s.inject(Step(200), &radar(), &mut rng);
+        assert_eq!(ch.echoes.len(), 4);
+        for (i, e) in ch.echoes.iter().enumerate() {
+            assert!((e.distance.value() - (30.0 + 15.0 * i as f64)).abs() < 1e-9);
+        }
+        assert_eq!(ch.interference, Watts(0.0));
+    }
+
+    #[test]
+    fn ghost_speeds_alternate() {
+        let mut s = GhostSwarmSpoofer::nominal();
+        s.jitter_m = 0.0;
+        let mut rng = SimRng::seed_from(1);
+        let ch = s.inject(Step(200), &radar(), &mut rng);
+        assert!((ch.echoes[0].range_rate.value() + 3.0).abs() < 1e-9);
+        assert!((ch.echoes[1].range_rate.value() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nearest_ghost_is_hottest() {
+        let mut s = GhostSwarmSpoofer::nominal();
+        s.jitter_m = 0.0;
+        let mut rng = SimRng::seed_from(1);
+        let ch = s.inject(Step(200), &radar(), &mut rng);
+        for pair in ch.echoes.windows(2) {
+            assert!(pair[0].power.value() > pair[1].power.value());
+        }
+    }
+
+    #[test]
+    fn jitter_free_draws_nothing() {
+        let mut s = GhostSwarmSpoofer::nominal();
+        s.jitter_m = 0.0;
+        let mut rng = SimRng::seed_from(9);
+        let probe = rng.clone().next_f64();
+        let _ = s.inject(Step(200), &radar(), &mut rng);
+        assert_eq!(rng.next_f64(), probe);
+    }
+
+    #[test]
+    #[should_panic(expected = "ghost count must be in")]
+    fn oversized_swarm_rejected() {
+        let mut s = GhostSwarmSpoofer::nominal();
+        s.count = MAX_GHOSTS + 1;
+        let _ = s.inject(Step(0), &radar(), &mut SimRng::seed_from(0));
+    }
+}

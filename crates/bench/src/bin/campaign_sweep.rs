@@ -6,15 +6,26 @@
 //! ```sh
 //! cargo run --release -p argus-bench --bin campaign_sweep [threads] [n_seeds]
 //! cargo run --release -p argus-bench --bin campaign_sweep -- --smoke [trials]
+//! cargo run --release -p argus-bench --bin campaign_sweep -- \
+//!     --scenario all [--smoke] [--out FILE]
 //! ```
 //!
 //! Writes the canonical JSON and CSV traces under `target/campaign/` and
 //! exits non-zero if the serial and parallel summaries diverge — for both
 //! the stored and the streaming aggregation paths.
 //!
-//! `--smoke` runs a large streaming-only campaign (default 100 000 trials)
-//! and reports peak RSS, demonstrating that streaming campaign state is
-//! O(labels), not O(trials · horizon).
+//! `--smoke` (alone) runs a large streaming-only campaign (default 100 000
+//! trials) and reports peak RSS, demonstrating that streaming campaign
+//! state is O(labels), not O(trials · horizon).
+//!
+//! `--scenario <name|all>` runs the chaos campaign over the adversarial
+//! scenario registry (plus a benign baseline for `all`): per-scenario
+//! detection/RMSE/collision tables, the same serial-vs-parallel
+//! byte-identity gates, and a JSON metrics artifact (default
+//! `target/campaign/chaos_scenarios.json`, override with `--out`). Unknown
+//! scenario names exit with status 2 and the registry catalogue on stderr.
+//! Combined with `--smoke` the chaos campaign runs a reduced seed count —
+//! the CI tier.
 
 use std::time::Instant;
 
@@ -165,8 +176,125 @@ fn dsp_fast_path_comparison(frames: usize) {
     );
 }
 
+/// The chaos campaign: every requested registry scenario (plus a benign
+/// baseline when sweeping `all`) at the paper's operating point.
+fn chaos_campaign(scenario: &str, n_seeds: u64) -> Result<Campaign, String> {
+    let mut attacks = if scenario == "all" {
+        let mut axes = vec![AttackAxis::Benign];
+        axes.extend(AttackAxis::all_scenarios());
+        axes
+    } else {
+        vec![AttackAxis::scenario(scenario).map_err(|e| e.to_string())?]
+    };
+    attacks.shrink_to_fit();
+    Ok(Campaign::new(
+        "chaos",
+        LeaderProfile::paper_constant_decel(),
+        AxisGrid {
+            attacks,
+            initial_gaps_m: vec![100.0],
+            initial_speeds_mph: vec![65.0],
+            seeds: (1..=n_seeds).collect(),
+        },
+    ))
+}
+
+/// `--scenario` mode: sweep the registry, print per-scenario tables, gate
+/// on serial-vs-parallel byte-identity, and write the metrics artifact.
+fn scenario_sweep(scenario: &str, smoke: bool, out: Option<String>) {
+    let n_seeds = if smoke { 6 } else { 25 };
+    let campaign = match chaos_campaign(scenario, n_seeds) {
+        Ok(c) => c,
+        Err(message) => {
+            eprintln!("campaign_sweep: {message}");
+            std::process::exit(2);
+        }
+    };
+    let threads = resolve_threads(None).max(2);
+    println!(
+        "chaos campaign `--scenario {scenario}`{}: {} trials \
+         ({} attack axes x {} seeds)",
+        if smoke { " (smoke tier)" } else { "" },
+        campaign.len(),
+        campaign.grid.attacks.len(),
+        campaign.grid.seeds.len(),
+    );
+
+    let serial = campaign.run(Some(1));
+    let parallel = campaign.run(Some(threads));
+    let identical =
+        campaign_to_json(&serial).to_canonical() == campaign_to_json(&parallel).to_canonical();
+
+    let stream_serial = campaign.run_streaming(Some(1));
+    let stream_parallel = campaign.run_streaming(Some(threads));
+    let stream_identical = stream_to_json(&stream_serial).to_canonical()
+        == stream_to_json(&stream_parallel).to_canonical();
+
+    println!(
+        "\n{:<28} {:>6} {:>8} {:>8} {:>6} {:>6} {:>10} {:>9} {:>9}",
+        "scenario", "trials", "crash", "detect", "FP", "FN", "min gap p5", "rmse p50", "rmse p95"
+    );
+    for (attack, stats) in parallel.group_stats(|t| CampaignRun::attack_of(t).to_string()) {
+        println!(
+            "{:<28} {:>6} {:>8.3} {:>8.3} {:>6} {:>6} {:>8.2} m {:>9} {:>9}",
+            attack,
+            stats.trials,
+            stats.crash_rate(),
+            stats.detection_rate(),
+            stats.false_positives,
+            stats.false_negatives,
+            stats.min_gap_percentile(5.0).unwrap_or(f64::NAN),
+            stats
+                .rmse_percentile(50.0)
+                .map(|r| format!("{r:.2} m"))
+                .unwrap_or_else(|| "-".to_string()),
+            stats
+                .rmse_percentile(95.0)
+                .map(|r| format!("{r:.2} m"))
+                .unwrap_or_else(|| "-".to_string()),
+        );
+    }
+    println!(
+        "\nstored canonical summaries byte-identical across schedules: {identical}\n\
+         streaming canonical summaries byte-identical across schedules: {stream_identical}"
+    );
+
+    let out_path = out.map(std::path::PathBuf::from).unwrap_or_else(|| {
+        std::path::PathBuf::from("target/campaign").join("chaos_scenarios.json")
+    });
+    if let Some(parent) = out_path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(&out_path, stream_to_json(&stream_parallel).to_pretty()) {
+        Ok(()) => println!("per-scenario metrics artifact: {}", out_path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", out_path.display()),
+    }
+
+    if !identical || !stream_identical {
+        eprintln!("DETERMINISM VIOLATION: serial and parallel summaries differ");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(pos) = raw.iter().position(|a| a == "--scenario") {
+        let Some(scenario) = raw.get(pos + 1).cloned() else {
+            eprintln!(
+                "campaign_sweep: --scenario requires a name or `all` \
+                 (registered: {})",
+                argus_attack::ScenarioRegistry::builtin().names().join(", ")
+            );
+            std::process::exit(2);
+        };
+        let smoke = raw.iter().any(|a| a == "--smoke");
+        let out = raw
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| raw.get(i + 1).cloned());
+        scenario_sweep(&scenario, smoke, out);
+        return;
+    }
     if let Some(pos) = raw.iter().position(|a| a == "--smoke") {
         let trials: u64 = raw
             .get(pos + 1)

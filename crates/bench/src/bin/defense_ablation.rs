@@ -19,7 +19,8 @@ fn attack_axis(exp: &Experiment) -> AttackAxis {
     match exp.adversary().kind() {
         AttackKind::Dos(_) => AttackAxis::paper_dos(),
         AttackKind::DelayInjection(_) => AttackAxis::paper_delay(),
-        AttackKind::None => AttackAxis::Benign,
+        // Figure experiments only use the paper's two attackers.
+        _ => AttackAxis::Benign,
     }
 }
 
@@ -41,7 +42,7 @@ fn main() {
         let attack = match exp.adversary().kind() {
             AttackKind::Dos(_) => "DoS",
             AttackKind::DelayInjection(_) => "delay",
-            AttackKind::None => "none",
+            _ => "none",
         };
         println!(
             "{:<8} {:<11} {:>12.2} m {:>12} {:>12.2} m {:>12}",

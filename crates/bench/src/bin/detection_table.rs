@@ -20,7 +20,8 @@ fn attack_axis(exp: &Experiment) -> AttackAxis {
     match exp.adversary().kind() {
         AttackKind::Dos(_) => AttackAxis::paper_dos(),
         AttackKind::DelayInjection(_) => AttackAxis::paper_delay(),
-        AttackKind::None => AttackAxis::Benign,
+        // Figure experiments only use the paper's two attackers.
+        _ => AttackAxis::Benign,
     }
 }
 

@@ -1,5 +1,6 @@
 //! Campaign parameter axes and their expansion into trial specs.
 
+use argus_attack::registry::{ScenarioError, ScenarioParams, ScenarioRegistry};
 use argus_attack::{Adversary, AttackKind, AttackWindow, DelaySpoofer, Jammer};
 use argus_sim::time::Step;
 use argus_sim::units::{Meters, Watts};
@@ -36,6 +37,23 @@ pub enum AttackAxis {
         /// Injected range elongation in metres.
         extra_distance: f64,
     },
+    /// A registered adversarial scenario
+    /// ([`ScenarioRegistry`](argus_attack::ScenarioRegistry)) at an
+    /// explicit window and strength. Build via [`AttackAxis::scenario`] /
+    /// [`AttackAxis::scenario_with`] so unknown names surface as typed
+    /// errors instead of panics at expansion time.
+    Scenario {
+        /// Registry name (`&'static str` — resolved once, keeps the axis
+        /// `Copy` and the label format stable).
+        name: &'static str,
+        /// First attacked step.
+        onset: u64,
+        /// Number of attacked steps.
+        duration: u64,
+        /// Scenario strength knob (meaning is per scenario; see
+        /// `ScenarioInfo::strength_meaning`).
+        strength: f64,
+    },
 }
 
 impl AttackAxis {
@@ -58,6 +76,54 @@ impl AttackAxis {
         }
     }
 
+    /// Axis point for a registered scenario at its default parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::UnknownScenario`] for names not in the
+    /// registry — callers (e.g. `campaign_sweep --scenario`) surface the
+    /// message and exit non-zero instead of silently substituting an attack.
+    pub fn scenario(name: &str) -> Result<Self, ScenarioError> {
+        let scenario = ScenarioRegistry::builtin().get(name)?;
+        let p = scenario.default_params();
+        Ok(AttackAxis::Scenario {
+            name: scenario.name(),
+            onset: p.onset,
+            duration: p.duration,
+            strength: p.strength,
+        })
+    }
+
+    /// Axis point for a registered scenario at explicit parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::UnknownScenario`] for unregistered names
+    /// and [`ScenarioError::InvalidParams`] when the scenario rejects the
+    /// parameters (validated eagerly, so expansion later cannot panic).
+    pub fn scenario_with(name: &str, params: ScenarioParams) -> Result<Self, ScenarioError> {
+        let scenario = ScenarioRegistry::builtin().get(name)?;
+        // Validate now: Adversary construction at expansion time must be
+        // infallible.
+        scenario.build(&params)?;
+        Ok(AttackAxis::Scenario {
+            name: scenario.name(),
+            onset: params.onset,
+            duration: params.duration,
+            strength: params.strength,
+        })
+    }
+
+    /// One axis point per registered scenario, each at its defaults — the
+    /// `--scenario all` sweep.
+    pub fn all_scenarios() -> Vec<Self> {
+        ScenarioRegistry::builtin()
+            .names()
+            .into_iter()
+            .map(|n| Self::scenario(n).expect("built-in names resolve"))
+            .collect()
+    }
+
     /// Stable text form used in trial labels (and hence trial seeds).
     pub fn label(&self) -> String {
         match self {
@@ -72,6 +138,12 @@ impl AttackAxis {
                 duration,
                 extra_distance,
             } => format!("delay@{onset}+{duration}+{extra_distance}m"),
+            AttackAxis::Scenario {
+                name,
+                onset,
+                duration,
+                strength,
+            } => format!("{name}@{onset}+{duration}s{strength}"),
         }
     }
 
@@ -103,6 +175,21 @@ impl AttackAxis {
                 spoofer.extra_distance = Meters(extra_distance);
                 Adversary::new(AttackKind::DelayInjection(spoofer), window(onset, duration))
             }
+            AttackAxis::Scenario {
+                name,
+                onset,
+                duration,
+                strength,
+            } => ScenarioRegistry::builtin()
+                .build(
+                    name,
+                    &ScenarioParams {
+                        onset,
+                        duration,
+                        strength,
+                    },
+                )
+                .expect("scenario axis points are validated at construction"),
         }
     }
 }
@@ -219,6 +306,52 @@ mod tests {
                 assert!((j.power.value() - 0.25 * Jammer::paper().power.value()).abs() < 1e-12)
             }
             _ => panic!("expected DoS"),
+        }
+    }
+
+    #[test]
+    fn scenario_axis_resolves_builds_and_labels() {
+        let axis = AttackAxis::scenario("phantom_target").unwrap();
+        assert_eq!(axis.label(), "phantom_target@150+151s10");
+        let adv = axis.adversary();
+        assert!(matches!(
+            adv.kind(),
+            argus_attack::AttackKind::PhantomTarget(_)
+        ));
+        assert_eq!(adv.window().start(), Step(150));
+    }
+
+    #[test]
+    fn unknown_scenario_axis_is_a_typed_error() {
+        let err = AttackAxis::scenario("split_brain").unwrap_err();
+        assert!(matches!(err, ScenarioError::UnknownScenario { .. }));
+        assert!(err.to_string().contains("split_brain"));
+    }
+
+    #[test]
+    fn scenario_with_validates_params_eagerly() {
+        let err = AttackAxis::scenario_with(
+            "dos",
+            ScenarioParams {
+                onset: 182,
+                duration: 0,
+                strength: 1.0,
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, ScenarioError::InvalidParams { .. }));
+    }
+
+    #[test]
+    fn all_scenarios_covers_the_registry_with_distinct_labels() {
+        let axes = AttackAxis::all_scenarios();
+        assert_eq!(axes.len(), 6);
+        let mut labels: Vec<String> = axes.iter().map(AttackAxis::label).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 6);
+        for axis in &axes {
+            let _ = axis.adversary(); // must not panic
         }
     }
 

@@ -127,6 +127,11 @@ pub struct VehicleSim<'p> {
     pair: VehiclePair,
     radar_rng: SimRng,
     noise_rng: SimRng,
+    /// Per-trial attacker state: the `"attacker"` RNG substream plus any
+    /// stateful machinery (replay recording). Independent of the radar and
+    /// measurement-noise streams, so adding attacker draws never perturbs
+    /// them.
+    attack: argus_attack::AttackRuntime,
 }
 
 impl VehicleSim<'_> {
@@ -177,11 +182,13 @@ impl VehicleSim<'_> {
         } else {
             None
         };
-        let channel =
-            self.plan
-                .config
-                .adversary
-                .channel_at(k, tx_on, target.as_ref(), &self.plan.radar);
+        let channel = self.plan.config.adversary.channel_at_with(
+            k,
+            tx_on,
+            target.as_ref(),
+            &self.plan.radar,
+            &mut self.attack,
+        );
         let mut obs = self.plan.radar.observe_with_scratch(
             tx_on,
             target.as_ref(),
@@ -309,6 +316,10 @@ impl ScenarioPlan {
             pair: self.pair_proto.clone(),
             radar_rng: root_rng.substream("radar"),
             noise_rng: root_rng.substream("measurement-noise"),
+            attack: self
+                .config
+                .adversary
+                .runtime(root_rng.substream("attacker")),
         }
     }
 
@@ -630,6 +641,55 @@ mod tests {
         assert_eq!(d_used.len(), reference_d_used.len());
         for (i, (a, b)) in d_used.iter().zip(reference_d_used).enumerate() {
             assert_eq!(a.to_bits(), b.to_bits(), "d_used diverged at step {i}");
+        }
+    }
+
+    #[test]
+    fn registry_scenarios_replay_bit_identically_through_the_plan() {
+        // Every registered scenario (including the stateful replay attacker
+        // and every jittered spoofer) must be a pure function of the trial
+        // seed when run through the plan path.
+        let registry = argus_attack::ScenarioRegistry::builtin();
+        for name in registry.names() {
+            let adversary = registry.build_default(name).unwrap();
+            let cfg = ScenarioConfig::paper(LeaderProfile::paper_constant_decel(), adversary, true);
+            let plan = ScenarioPlan::new(cfg);
+            let mut scratch = TrialScratch::for_plan(&plan);
+            let a = plan.run_metrics(11, &mut scratch);
+            let b = plan.run_metrics(11, &mut scratch);
+            assert_eq!(a.min_gap.to_bits(), b.min_gap.to_bits(), "{name}");
+            assert_eq!(a.detection_step, b.detection_step, "{name}");
+            assert_eq!(a.confusion, b.confusion, "{name}");
+            // A different seed yields a different attack realization (every
+            // scenario carries per-trial jitter).
+            let c = plan.run_metrics(12, &mut scratch);
+            assert_ne!(a.min_gap.to_bits(), c.min_gap.to_bits(), "{name}");
+        }
+    }
+
+    #[test]
+    fn registry_scenarios_are_all_detected() {
+        // Every registered attacker is a physical transmitter with >0
+        // reaction latency: the CRA detector must flag each one at the
+        // first challenge instant at or after its onset.
+        let registry = argus_attack::ScenarioRegistry::builtin();
+        for name in registry.names() {
+            let scenario = registry.get(name).unwrap();
+            let onset = scenario.default_params().onset;
+            let adversary = scenario.build(&scenario.default_params()).unwrap();
+            let cfg = ScenarioConfig::paper(LeaderProfile::paper_constant_decel(), adversary, true);
+            let expected = cfg
+                .schedule
+                .next_at_or_after(Step(onset))
+                .expect("paper schedule covers the horizon");
+            let plan = ScenarioPlan::new(cfg);
+            let mut scratch = TrialScratch::for_plan(&plan);
+            let metrics = plan.run_metrics(7, &mut scratch);
+            assert_eq!(
+                metrics.detection_step,
+                Some(expected),
+                "{name}: expected detection at the first challenge >= onset {onset}"
+            );
         }
     }
 

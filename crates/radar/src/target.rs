@@ -9,6 +9,8 @@ use serde::{Deserialize, Serialize};
 
 use argus_sim::units::{Meters, MetersPerSecond, Watts};
 
+use crate::fmcw::{BeatPair, FmcwWaveform};
+
 /// Ground-truth target state as seen from the radar.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RadarTarget {
@@ -78,6 +80,26 @@ impl Echo {
             power,
         }
     }
+
+    /// The beat-spectrum injection hook: the echo a triangular-FMCW receiver
+    /// perceives when an attacker plays the tone pair `beats` into its
+    /// dechirped baseband.
+    ///
+    /// Eqns 5–8 are an exact bijection between `(d, ṙ)` and `(f_b+, f_b−)`,
+    /// so *any* injected tone pair is indistinguishable from a virtual
+    /// reflector at the inverted kinematics — this is how a
+    /// chirp-synchronized spoofer (Komissarov & Wool-style) places a phantom
+    /// target without ever producing a physical reflection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tone pair inverts to a non-positive distance (the
+    /// injected "target" would sit behind the receiver) or `power` is not
+    /// strictly positive.
+    pub fn from_beats(waveform: &FmcwWaveform, beats: BeatPair, power: Watts) -> Self {
+        let (distance, range_rate) = waveform.invert(beats);
+        Self::new(distance, range_rate, power)
+    }
 }
 
 #[cfg(test)]
@@ -97,6 +119,27 @@ mod tests {
         let e = Echo::new(Meters(90.0), MetersPerSecond(1.0), Watts(1e-12));
         assert_eq!(e.distance.value(), 90.0);
         assert_eq!(e.power.value(), 1e-12);
+    }
+
+    #[test]
+    fn from_beats_inverts_the_forward_mapping() {
+        let w = FmcwWaveform::paper();
+        let beats = w.beat_frequencies(Meters(60.0), MetersPerSecond(-2.5));
+        let e = Echo::from_beats(&w, beats, Watts(1e-11));
+        assert!((e.distance.value() - 60.0).abs() < 1e-9);
+        assert!((e.range_rate.value() - (-2.5)).abs() < 1e-9);
+        assert_eq!(e.power.value(), 1e-11);
+    }
+
+    #[test]
+    #[should_panic(expected = "echo distance must be positive")]
+    fn from_beats_rejects_behind_the_receiver() {
+        let w = FmcwWaveform::paper();
+        let beats = crate::fmcw::BeatPair {
+            up: argus_sim::units::Hertz(-100.0),
+            down: argus_sim::units::Hertz(-100.0),
+        };
+        let _ = Echo::from_beats(&w, beats, Watts(1e-11));
     }
 
     #[test]

@@ -1,0 +1,119 @@
+//! Chaos-campaign integration suite: the full adversarial scenario
+//! registry (plus a benign baseline) swept through the campaign runner,
+//! asserting the determinism contract end to end —
+//!
+//! * serial and parallel stored runs produce **byte-identical** canonical
+//!   JSON summaries;
+//! * the streaming aggregation path agrees the same way;
+//! * the whole campaign is stable under re-run (`bit_exact` options);
+//! * every attacked trial is detected at the first CRA challenge at or
+//!   after its onset, and the benign baseline never raises an alarm.
+
+use argus_core::campaign::{
+    campaign_to_json, stream_to_json, AttackAxis, AxisGrid, Campaign, CampaignRun,
+};
+use argus_cra::ChallengeSchedule;
+use argus_sim::time::Step;
+use argus_vehicle::LeaderProfile;
+
+/// Seeds kept small: 7 axes x 3 seeds x 2 schedules is plenty to exercise
+/// the reorder buffer while staying fast in debug builds.
+const SEEDS: u64 = 3;
+
+fn chaos_campaign() -> Campaign {
+    let mut attacks = vec![AttackAxis::Benign];
+    attacks.extend(AttackAxis::all_scenarios());
+    Campaign::new(
+        "chaos-it",
+        LeaderProfile::paper_constant_decel(),
+        AxisGrid {
+            attacks,
+            initial_gaps_m: vec![100.0],
+            initial_speeds_mph: vec![65.0],
+            seeds: (1..=SEEDS).collect(),
+        },
+    )
+}
+
+#[test]
+fn chaos_campaign_serial_vs_parallel_byte_identical() {
+    let campaign = chaos_campaign();
+    let serial = campaign.run(Some(1));
+    let parallel = campaign.run(Some(4));
+    assert_eq!(
+        campaign_to_json(&serial).to_canonical(),
+        campaign_to_json(&parallel).to_canonical(),
+        "stored chaos-campaign summaries must not depend on the schedule"
+    );
+}
+
+#[test]
+fn chaos_campaign_streaming_matches_across_schedules() {
+    let campaign = chaos_campaign();
+    let serial = campaign.run_streaming(Some(1));
+    let parallel = campaign.run_streaming(Some(4));
+    assert_eq!(
+        stream_to_json(&serial).to_canonical(),
+        stream_to_json(&parallel).to_canonical(),
+        "streaming chaos-campaign summaries must not depend on the schedule"
+    );
+    // One accumulator per attack axis: benign + every registered scenario.
+    assert_eq!(serial.groups.len(), 7);
+    assert_eq!(serial.trials, 7 * SEEDS);
+}
+
+#[test]
+fn chaos_campaign_is_stable_under_rerun() {
+    let campaign = chaos_campaign();
+    let first = campaign_to_json(&campaign.run(Some(2))).to_canonical();
+    let second = campaign_to_json(&campaign.run(Some(2))).to_canonical();
+    assert_eq!(
+        first, second,
+        "bit_exact chaos campaign drifted across reruns"
+    );
+}
+
+/// Detection sanity over every trial: physical attackers keep transmitting
+/// through CRA challenges, so each scenario is caught at the first
+/// challenge instant at or after its onset — at every Monte-Carlo seed,
+/// not just the golden one. The benign baseline must stay silent.
+#[test]
+fn chaos_campaign_detects_every_scenario_at_the_expected_challenge() {
+    let schedule = ChallengeSchedule::paper();
+    // Expected detection step per attack label, derived from each axis
+    // point's own onset rather than hard-coded numbers.
+    let expected: Vec<(String, Step)> = AttackAxis::all_scenarios()
+        .into_iter()
+        .map(|axis| {
+            let onset = axis.adversary().window().start();
+            let step = schedule
+                .next_at_or_after(onset)
+                .expect("every built-in onset precedes the last paper challenge");
+            (axis.label(), step)
+        })
+        .collect();
+
+    let run = chaos_campaign().run(Some(2));
+    assert_eq!(run.trials.len() as u64, 7 * SEEDS);
+    for trial in &run.trials {
+        let attack = CampaignRun::attack_of(trial);
+        if attack == "benign" {
+            assert_eq!(
+                trial.metrics.detection_step, None,
+                "false positive in benign trial `{}`",
+                trial.label
+            );
+            continue;
+        }
+        let (_, want) = expected
+            .iter()
+            .find(|(label, _)| label == attack)
+            .unwrap_or_else(|| panic!("unexpected attack label `{attack}`"));
+        assert_eq!(
+            trial.metrics.detection_step,
+            Some(*want),
+            "trial `{}` detected at the wrong challenge",
+            trial.label
+        );
+    }
+}

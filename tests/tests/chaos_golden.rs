@@ -1,0 +1,149 @@
+//! Per-scenario golden traces for the adversarial scenario registry.
+//!
+//! Every scenario registered in [`argus_attack::ScenarioRegistry`] gets
+//! its own golden trace (`tests/golden/scenario_<name>.json`): the
+//! defended paper scenario at the scenario's default parameters and a
+//! pinned seed, encoded with the canonical `argus-golden-v1` format.
+//! The same bootstrap / `ARGUS_GOLDEN=regen` workflow as `golden.rs`
+//! applies; a second run without regen must compare byte-for-byte clean.
+//!
+//! A meta-test pins the registry roster so adding a scenario without a
+//! golden (or orphaning one) fails loudly.
+
+use std::path::PathBuf;
+
+use argus_attack::ScenarioRegistry;
+use argus_core::campaign::{compare_scenario_json, scenario_to_json};
+use argus_core::scenario::{Scenario, ScenarioConfig};
+use argus_vehicle::LeaderProfile;
+
+/// Seed pinned for golden traces (matches `golden.rs`).
+const GOLDEN_SEED: u64 = 7;
+
+/// Relative tolerance for sample comparison (matches `golden.rs`).
+const TOLERANCE: f64 = 1e-9;
+
+fn golden_path(id: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("golden")
+        .join(format!("{id}.json"))
+}
+
+fn regen_requested() -> bool {
+    std::env::var("ARGUS_GOLDEN")
+        .map(|v| v == "regen")
+        .unwrap_or(false)
+}
+
+/// Runs the defended paper scenario under one registry scenario at its
+/// defaults and checks (or bootstraps) its golden trace.
+fn check_scenario_golden(name: &str) {
+    let adversary = ScenarioRegistry::builtin()
+        .build_default(name)
+        .expect("registered scenario builds from defaults");
+    let result = Scenario::new(ScenarioConfig::paper(
+        LeaderProfile::paper_constant_decel(),
+        adversary,
+        true,
+    ))
+    .run(GOLDEN_SEED);
+    let id = format!("scenario_{name}");
+    let current = scenario_to_json(&id, GOLDEN_SEED, &result);
+    let path = golden_path(&id);
+
+    if regen_requested() || !path.exists() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, current.to_pretty()).unwrap();
+        eprintln!(
+            "WARNING: golden trace for `{id}` (re)generated at {} — this run \
+             compared nothing; rerun without ARGUS_GOLDEN=regen to verify",
+            path.display()
+        );
+        return;
+    }
+
+    let golden_text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let diff = compare_scenario_json(&golden_text, &current, TOLERANCE)
+        .unwrap_or_else(|e| panic!("golden file {} is not valid JSON: {e}", path.display()));
+    assert!(
+        diff.matches(),
+        "golden trace drift for `{id}` ({}):\n{}\n\
+         If this change is intentional, regenerate with ARGUS_GOLDEN=regen.",
+        path.display(),
+        diff
+    );
+}
+
+#[test]
+fn golden_scenario_dos() {
+    check_scenario_golden("dos");
+}
+
+#[test]
+fn golden_scenario_delay() {
+    check_scenario_golden("delay");
+}
+
+#[test]
+fn golden_scenario_phantom_target() {
+    check_scenario_golden("phantom_target");
+}
+
+#[test]
+fn golden_scenario_velocity_drift() {
+    check_scenario_golden("velocity_drift");
+}
+
+#[test]
+fn golden_scenario_ghost_swarm() {
+    check_scenario_golden("ghost_swarm");
+}
+
+#[test]
+fn golden_scenario_replay() {
+    check_scenario_golden("replay");
+}
+
+/// Roster pin: the per-scenario golden tests above must cover the registry
+/// exactly. Growing the registry without adding a golden test (or renaming
+/// a scenario and orphaning its trace) fails here, not silently.
+#[test]
+fn golden_tests_cover_the_registry() {
+    let covered = [
+        "dos",
+        "delay",
+        "phantom_target",
+        "velocity_drift",
+        "ghost_swarm",
+        "replay",
+    ];
+    let mut registered = ScenarioRegistry::builtin().names();
+    registered.sort_unstable();
+    let mut expected: Vec<&str> = covered.to_vec();
+    expected.sort_unstable();
+    assert_eq!(
+        registered, expected,
+        "registry roster changed — update the per-scenario golden tests"
+    );
+}
+
+/// Same scenario, same seed, two independent runs in one process: the
+/// canonical encodings must be byte-identical (bit_exact stability — the
+/// precondition for golden traces being meaningful at all).
+#[test]
+fn scenario_reruns_are_byte_identical() {
+    for name in ScenarioRegistry::builtin().names() {
+        let run = |_: ()| {
+            let adversary = ScenarioRegistry::builtin().build_default(name).unwrap();
+            let result = Scenario::new(ScenarioConfig::paper(
+                LeaderProfile::paper_constant_decel(),
+                adversary,
+                true,
+            ))
+            .run(GOLDEN_SEED);
+            scenario_to_json(&format!("scenario_{name}"), GOLDEN_SEED, &result).to_canonical()
+        };
+        assert_eq!(run(()), run(()), "rerun of `{name}` drifted");
+    }
+}

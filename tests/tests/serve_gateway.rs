@@ -102,6 +102,54 @@ fn concurrent_sessions_match_direct_pipelines() {
     }
 }
 
+/// Every scenario in the adversarial registry, one gateway session each:
+/// the served pipeline must be byte-identical to the locally driven one
+/// under chirp-synchronized spoofing, drifting counterfeits, ghost swarms
+/// and replayed echoes alike — not just the paper's two attackers.
+#[test]
+fn registry_scenarios_round_trip_through_the_gateway() {
+    let config = GatewayConfig::paper();
+    let gateway = Gateway::bind("127.0.0.1:0", config.clone()).unwrap();
+    let addr = gateway.local_addr();
+
+    for (i, name) in argus_attack::ScenarioRegistry::builtin()
+        .names()
+        .into_iter()
+        .enumerate()
+    {
+        let adversary = argus_attack::ScenarioRegistry::builtin()
+            .build_default(name)
+            .expect("registered scenario builds from defaults");
+        let plan = ScenarioPlan::new(ScenarioConfig::paper(
+            LeaderProfile::paper_constant_decel(),
+            adversary,
+            true,
+        ));
+        // 220 steps covers every built-in onset (150..182) plus enough
+        // post-onset horizon to exercise detection and safe estimation.
+        let report = drive_session(
+            addr,
+            &plan,
+            PredictorKind::RlsTrend,
+            &config.session,
+            100 + i as u64,
+            7,
+            220,
+            Transport::Extracted,
+        )
+        .unwrap_or_else(|e| panic!("scenario `{name}`: {e}"));
+        assert!(
+            report.identical(),
+            "scenario `{name}`: {} mismatched frames of {}, snapshot match {}",
+            report.mismatches,
+            report.frames,
+            report.snapshot_matches,
+        );
+        assert!(report.frames > 0, "scenario `{name}` served no frames");
+    }
+    gateway.shutdown();
+}
+
 /// Shipping the raw FMCW baseband and letting the server run the DSP chain
 /// must reproduce the client-side extraction bit-for-bit.
 #[test]

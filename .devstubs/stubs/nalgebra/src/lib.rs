@@ -410,6 +410,10 @@ impl<T: Field> DMatrix<T> {
         &self.data
     }
 
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
     pub fn map<U: Field>(&self, mut f: impl FnMut(T) -> U) -> DMatrix<U> {
         DMatrix {
             nrows: self.nrows,

@@ -26,6 +26,89 @@ impl Kernel {
     }
 }
 
+/// One perf gate: a kernel whose speedup must clear a threshold.
+///
+/// The gate tables in `bench_report` are data — adding a kernel to the
+/// enforced set is one row, not new control flow.
+#[derive(Debug, Clone, Copy)]
+pub struct Gate {
+    /// Kernel name the gate applies to (must exist in the suite).
+    pub kernel: &'static str,
+    /// Minimum acceptable baseline-over-fast speedup.
+    pub threshold: f64,
+    /// Enforced gates fail the run (non-zero exit); unenforced rows are
+    /// informational trend lines.
+    pub gated: bool,
+    /// The fast path only engages its vectorized kernels when the `simd`
+    /// cargo feature is on; such gates demote to informational on scalar
+    /// builds instead of failing a configuration that cannot pass.
+    pub needs_simd: bool,
+}
+
+/// Result of evaluating one [`Gate`] against a measured suite.
+#[derive(Debug, Clone, Copy)]
+pub struct GateOutcome {
+    /// The gate definition.
+    pub gate: Gate,
+    /// Measured speedup of the gated kernel.
+    pub speedup: f64,
+    /// Whether the gate is enforced in this build configuration.
+    pub enforced: bool,
+    /// `speedup >= threshold` (reported even when unenforced).
+    pub passed: bool,
+}
+
+/// Evaluates every gate against the measured kernels.
+///
+/// # Panics
+///
+/// Panics if a gate names a kernel missing from the suite — a stale gate
+/// table is a bug, not a soft failure.
+pub fn evaluate_gates(kernels: &[Kernel], gates: &[Gate], simd_enabled: bool) -> Vec<GateOutcome> {
+    gates
+        .iter()
+        .map(|&gate| {
+            let k = kernels
+                .iter()
+                .find(|k| k.name == gate.kernel)
+                .unwrap_or_else(|| panic!("gate references unknown kernel `{}`", gate.kernel));
+            let speedup = k.speedup();
+            let enforced = gate.gated && (!gate.needs_simd || simd_enabled);
+            GateOutcome {
+                gate,
+                speedup,
+                enforced,
+                passed: speedup >= gate.threshold,
+            }
+        })
+        .collect()
+}
+
+/// Prints one line per gate and returns `false` if any enforced gate
+/// failed.
+pub fn report_gates(outcomes: &[GateOutcome]) -> bool {
+    let mut ok = true;
+    for o in outcomes {
+        let status = match (o.enforced, o.passed) {
+            (_, true) => "pass",
+            (true, false) => "FAIL",
+            (false, false) => "miss (informational)",
+        };
+        println!(
+            "gate {:<26} {:>6.2}x >= {:.2}x  {}",
+            o.gate.kernel, o.speedup, o.gate.threshold, status
+        );
+        if o.enforced && !o.passed {
+            eprintln!(
+                "PERF REGRESSION: {} speedup {:.2}x < {:.2}x target",
+                o.gate.kernel, o.speedup, o.gate.threshold
+            );
+            ok = false;
+        }
+    }
+    ok
+}
+
 /// Iteration plan: full by default, ~5× lighter with `--quick`.
 #[derive(Debug, Clone, Copy)]
 pub struct Iters {
@@ -72,6 +155,34 @@ pub fn median_ns(batches: usize, per_batch: usize, mut body: impl FnMut()) -> f6
     samples[samples.len() / 2]
 }
 
+/// Per-body median ns/call over `rounds` interleaved rounds.
+///
+/// Unlike back-to-back [`median_ns`] calls, every round times each body
+/// once in sequence, so slow drift (thermal throttling, competing load)
+/// hits all bodies equally instead of biasing whichever was measured
+/// last — the ratios between the returned medians are what stabilize.
+/// One untimed warm-up round precedes the timed ones.
+pub fn interleaved_medians(rounds: usize, bodies: &mut [&mut dyn FnMut()]) -> Vec<f64> {
+    for body in bodies.iter_mut() {
+        body();
+    }
+    let mut samples: Vec<Vec<f64>> = vec![Vec::with_capacity(rounds); bodies.len()];
+    for _ in 0..rounds {
+        for (body, s) in bodies.iter_mut().zip(samples.iter_mut()) {
+            let t0 = Instant::now();
+            body();
+            s.push(t0.elapsed().as_nanos() as f64);
+        }
+    }
+    samples
+        .into_iter()
+        .map(|mut s| {
+            s.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+            s[s.len() / 2]
+        })
+        .collect()
+}
+
 /// Milliseconds of a [`Duration`], for human-readable timing lines.
 pub fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
@@ -106,8 +217,14 @@ pub fn print_table(title: &str, kernels: &[Kernel]) {
 }
 
 /// The canonical kernel-suite report body shared by the DSP and trial-engine
-/// suites: per-kernel timings plus the gated end-to-end speedup.
-pub fn kernel_report(schema: &str, kernels: &[Kernel], end_to_end_speedup: f64) -> Json {
+/// suites: per-kernel timings, the gate table, plus the headline end-to-end
+/// speedup (kept as a stable top-level key for trend tooling).
+pub fn kernel_report(
+    schema: &str,
+    kernels: &[Kernel],
+    end_to_end_speedup: f64,
+    gates: &[GateOutcome],
+) -> Json {
     Json::Obj(vec![
         ("schema".to_string(), Json::str(schema)),
         (
@@ -122,6 +239,25 @@ pub fn kernel_report(schema: &str, kernels: &[Kernel], end_to_end_speedup: f64) 
                                 ("baseline_ns".to_string(), Json::num(k.baseline_ns)),
                                 ("fast_ns".to_string(), Json::num(k.fast_ns)),
                                 ("speedup".to_string(), Json::num(k.speedup())),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "gates".to_string(),
+            Json::Obj(
+                gates
+                    .iter()
+                    .map(|o| {
+                        (
+                            o.gate.kernel.to_string(),
+                            Json::Obj(vec![
+                                ("threshold".to_string(), Json::num(o.gate.threshold)),
+                                ("speedup".to_string(), Json::num(o.speedup)),
+                                ("enforced".to_string(), Json::Bool(o.enforced)),
+                                ("passed".to_string(), Json::Bool(o.passed)),
                             ]),
                         )
                     })
@@ -170,9 +306,70 @@ mod tests {
             baseline_ns: 100.0,
             fast_ns: 25.0,
         }];
-        let json = kernel_report("argus-bench-test/1", &kernels, 4.0).to_canonical();
+        let gates = [Gate {
+            kernel: "fft",
+            threshold: 2.0,
+            gated: true,
+            needs_simd: false,
+        }];
+        let outcomes = evaluate_gates(&kernels, &gates, true);
+        let json = kernel_report("argus-bench-test/1", &kernels, 4.0, &outcomes).to_canonical();
         assert!(json.contains("argus-bench-test/1"));
         assert!(json.contains("\"fft\""));
         assert!(json.contains("end_to_end_speedup"));
+        assert!(json.contains("\"gates\""));
+        assert!(json.contains("\"enforced\":true"));
+    }
+
+    #[test]
+    fn gates_evaluate_thresholds_and_simd_demotion() {
+        let kernels = vec![
+            Kernel {
+                name: "a",
+                baseline_ns: 100.0,
+                fast_ns: 60.0,
+            },
+            Kernel {
+                name: "b",
+                baseline_ns: 100.0,
+                fast_ns: 20.0,
+            },
+        ];
+        let gates = [
+            Gate {
+                kernel: "a",
+                threshold: 2.0,
+                gated: true,
+                needs_simd: false,
+            },
+            Gate {
+                kernel: "b",
+                threshold: 4.0,
+                gated: true,
+                needs_simd: true,
+            },
+        ];
+        let with_simd = evaluate_gates(&kernels, &gates, true);
+        assert!(with_simd[0].enforced && !with_simd[0].passed);
+        assert!(with_simd[1].enforced && with_simd[1].passed);
+        assert!(!report_gates(&with_simd));
+
+        // Scalar build: the simd-dependent gate demotes to informational,
+        // so only the always-on gate decides the outcome.
+        let scalar = evaluate_gates(&kernels, &gates, false);
+        assert!(scalar[0].enforced);
+        assert!(!scalar[1].enforced);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown kernel")]
+    fn stale_gate_table_panics() {
+        let gates = [Gate {
+            kernel: "missing",
+            threshold: 2.0,
+            gated: true,
+            needs_simd: false,
+        }];
+        evaluate_gates(&[], &gates, true);
     }
 }

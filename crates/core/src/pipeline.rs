@@ -47,7 +47,7 @@ impl PredictorKind {
     ///
     /// Propagates constructor errors (none for the built-in
     /// configurations).
-    pub fn build(self) -> Result<Box<dyn StreamPredictor + Send>, EstimError> {
+    pub fn build(self) -> Result<Box<dyn StreamPredictor + Send + Sync>, EstimError> {
         Ok(match self {
             PredictorKind::RlsTrend => Box::new(TrendPredictor::paper()?),
             PredictorKind::RlsAr4 => Box::new(SensorPredictor::paper()?),
@@ -89,8 +89,17 @@ pub struct PipelineOutput {
 /// Snapshot of the estimation state taken at an authenticated instant.
 #[derive(Debug)]
 struct Checkpoint {
-    predictor: Box<dyn StreamPredictor + Send>,
+    predictor: Box<dyn StreamPredictor + Send + Sync>,
     last_distance: Option<f64>,
+}
+
+impl Clone for Checkpoint {
+    fn clone(&self) -> Self {
+        Self {
+            predictor: self.predictor.clone_box(),
+            last_distance: self.last_distance,
+        }
+    }
 }
 
 /// Plain-old-data export of the rewind checkpoint inside a
@@ -141,7 +150,7 @@ pub struct PipelineSnapshot {
 #[derive(Debug)]
 pub struct SecurePipeline {
     detector: CraDetector,
-    leader_speed_predictor: Box<dyn StreamPredictor + Send>,
+    leader_speed_predictor: Box<dyn StreamPredictor + Send + Sync>,
     last_distance: Option<f64>,
     dt: Seconds,
     estimation_steps: u64,
@@ -149,6 +158,22 @@ pub struct SecurePipeline {
     speeds_since_checkpoint: Vec<f64>,
     was_attacked: bool,
     consecutive_estimates: u64,
+}
+
+impl Clone for SecurePipeline {
+    fn clone(&self) -> Self {
+        Self {
+            detector: self.detector.clone(),
+            leader_speed_predictor: self.leader_speed_predictor.clone_box(),
+            last_distance: self.last_distance,
+            dt: self.dt,
+            estimation_steps: self.estimation_steps,
+            checkpoint: self.checkpoint.clone(),
+            speeds_since_checkpoint: self.speeds_since_checkpoint.clone(),
+            was_attacked: self.was_attacked,
+            consecutive_estimates: self.consecutive_estimates,
+        }
+    }
 }
 
 /// Quadratic growth coefficient of the control-distance safety margin
@@ -170,7 +195,7 @@ impl SecurePipeline {
     /// Panics if `dt` is not strictly positive.
     pub fn new(
         detector: CraDetector,
-        predictor: Box<dyn StreamPredictor + Send>,
+        predictor: Box<dyn StreamPredictor + Send + Sync>,
         dt: Seconds,
     ) -> Self {
         assert!(dt.value() > 0.0, "sample period must be positive");

@@ -24,8 +24,11 @@
 use std::time::Instant;
 
 use argus_cra::detector::{ConfusionMatrix, CraDetector};
-use argus_dsp::scratch::ScratchOptions;
-use argus_radar::receiver::{Radar, RadarObservation, RadarScratch};
+use argus_dsp::batch::FrameBatch;
+use argus_dsp::scratch::{FrameScratch, ScratchOptions};
+use argus_radar::receiver::{
+    PendingObservation, Radar, RadarMeasurement, RadarObservation, RadarScratch,
+};
 use argus_radar::target::RadarTarget;
 use argus_sim::noise::Gaussian;
 use argus_sim::rng::SimRng;
@@ -212,6 +215,77 @@ impl VehicleSim<'_> {
         (obs, draw)
     }
 
+    /// First half of a staged observation: adversary channel, echo
+    /// assembly and (in signal mode) baseband synthesis — everything up to
+    /// beat-frequency extraction. Draws from the radar RNG in exactly the
+    /// order of [`VehicleSim::observe_traced`]; measurement-noise draws are
+    /// deferred to [`VehicleSim::observe_batch_finish`], so splitting an
+    /// observation never perturbs any stream.
+    pub fn observe_batch_begin(
+        &mut self,
+        k: Step,
+        tx_on: bool,
+        scratch: &mut TrialScratch,
+    ) -> PendingObservation {
+        let gap = self.pair.gap();
+        let v_rel = self.pair.relative_speed();
+        let target = if gap.value() > 0.0 {
+            Some(RadarTarget::new(gap, v_rel, LEADER_RCS))
+        } else {
+            None
+        };
+        let channel = self.plan.config.adversary.channel_at_with(
+            k,
+            tx_on,
+            target.as_ref(),
+            &self.plan.radar,
+            &mut self.attack,
+        );
+        self.plan.radar.observe_batch_begin(
+            tx_on,
+            target.as_ref(),
+            &channel,
+            &mut self.radar_rng,
+            &mut scratch.radar,
+        )
+    }
+
+    /// Second half of a staged observation: assembles the final
+    /// [`RadarObservation`] (from the `Ready` payload, or the `Deferred`
+    /// power/jam state plus the batch-extracted `measurement`) and applies
+    /// the Eqn 2 additive measurement noise in the scalar path's exact
+    /// draw order.
+    pub fn observe_batch_finish(
+        &mut self,
+        pending: PendingObservation,
+        measurement: Option<RadarMeasurement>,
+    ) -> (RadarObservation, Option<NoiseDraw>) {
+        let mut obs = match pending {
+            PendingObservation::Ready(obs) => obs,
+            PendingObservation::Deferred {
+                received_power,
+                jammed,
+                ..
+            } => RadarObservation {
+                measurement,
+                received_power,
+                jammed,
+            },
+        };
+        let mut draw = None;
+        if let Some(m) = obs.measurement.as_mut() {
+            let nd = self.plan.d_noise.sample(&mut self.noise_rng);
+            let nv = self.plan.v_noise.sample(&mut self.noise_rng);
+            m.distance += Meters(nd);
+            m.range_rate += MetersPerSecond(nv);
+            draw = Some(NoiseDraw {
+                distance: nd,
+                range_rate: nv,
+            });
+        }
+        (obs, draw)
+    }
+
     /// Advances the plant one step on the controller inputs (the safe
     /// measurement's control distance and relative speed).
     pub fn advance(&mut self, control_distance: Option<Meters>, relative_speed: MetersPerSecond) {
@@ -246,8 +320,10 @@ pub struct ScenarioPlan {
     v_noise: Gaussian,
     /// Validated initial vehicle state; cloned per trial.
     pair_proto: VehiclePair,
-    /// Fresh detector (schedule + threshold checked once); cloned per trial.
-    detector_proto: Option<CraDetector>,
+    /// Fresh defense pipeline (detector schedule + threshold checked and
+    /// predictor config built once); cloned per trial. The prototype is
+    /// never stepped, so a clone is indistinguishable from a fresh build.
+    pipeline_proto: Option<SecurePipeline>,
 }
 
 impl ScenarioPlan {
@@ -281,9 +357,15 @@ impl ScenarioPlan {
             config.initial_speed,
         )
         .expect("scenario initial conditions are valid");
-        let detector_proto = config
-            .defended
-            .then(|| CraDetector::new(config.schedule.clone(), config.radar.detection_threshold));
+        let pipeline_proto = config.defended.then(|| {
+            let detector =
+                CraDetector::new(config.schedule.clone(), config.radar.detection_threshold);
+            let predictor = config
+                .predictor
+                .build()
+                .expect("built-in predictor configs are valid");
+            SecurePipeline::new(detector, predictor, Seconds(1.0))
+        });
         Self {
             config,
             options,
@@ -291,7 +373,7 @@ impl ScenarioPlan {
             d_noise,
             v_noise,
             pair_proto,
-            detector_proto,
+            pipeline_proto,
         }
     }
 
@@ -339,6 +421,176 @@ impl ScenarioPlan {
         }
     }
 
+    /// Runs a group of trials in lockstep, gathering same-step signal-mode
+    /// frames into one vectorized root-MUSIC pass per step
+    /// ([`FrameBatch`]). Seeds beyond the pool size run in successive
+    /// chunks of `pool.len()` trials.
+    ///
+    /// Byte-identical to mapping each seed through [`Self::run_metrics`]:
+    /// every trial keeps its own RNG substreams, scratch arena and pipeline
+    /// state, so batching only reorders work *between* trials — and the
+    /// per-trial streams are independent by construction. With
+    /// [`ScratchOptions::bit_exact`] the frames still batch through the
+    /// staged path, but every kernel runs its scalar code.
+    pub fn run_trials_batched(&self, seeds: &[u64], pool: &mut [TrialScratch]) -> Vec<RunMetrics> {
+        assert!(!pool.is_empty(), "scratch pool must be non-empty");
+        let cfg = &self.config;
+        let mut out = Vec::with_capacity(seeds.len());
+        let mut batch = FrameBatch::new();
+        let mut measurements: Vec<RadarMeasurement> = Vec::new();
+
+        for chunk in seeds.chunks(pool.len()) {
+            let mut lanes: Vec<TrialLane<'_>> = chunk
+                .iter()
+                .zip(pool.iter_mut())
+                .map(|(&seed, scratch)| {
+                    scratch.reset();
+                    TrialLane {
+                        sim: self.vehicle_sim(seed),
+                        pipeline: self.pipeline_proto.clone(),
+                        pending: None,
+                        confusion: ConfusionMatrix::new(),
+                        estimation_time_ns: 0,
+                        estimation_steps: 0,
+                        detection_step: None,
+                        collided: false,
+                        min_gap: f64::MAX,
+                        attack_err_sq: 0.0,
+                        attack_err_n: 0,
+                        done: false,
+                    }
+                })
+                .collect();
+
+            for k_idx in 0..cfg.horizon {
+                let k = Step(k_idx as u64);
+
+                // Begin: per-trial channel + synthesis into its own arena.
+                for (lane, scratch) in lanes.iter_mut().zip(pool.iter_mut()) {
+                    if lane.done {
+                        continue;
+                    }
+                    if lane.sim.collided() {
+                        lane.collided = true;
+                        lane.done = true;
+                        continue;
+                    }
+                    lane.min_gap = lane.min_gap.min(lane.sim.pair().gap().value());
+                    let tx_on = match &lane.pipeline {
+                        Some(p) => p.tx_on(k),
+                        None => true,
+                    };
+                    lane.pending = Some(lane.sim.observe_batch_begin(k, tx_on, scratch));
+                }
+
+                // Extract: gather every deferred frame into one batch pass.
+                measurements.clear();
+                {
+                    let mut jobs: Vec<(f64, &mut FrameScratch)> = Vec::new();
+                    for (lane, scratch) in lanes.iter_mut().zip(pool.iter_mut()) {
+                        if let Some(PendingObservation::Deferred { snr, .. }) = &lane.pending {
+                            jobs.push((*snr, &mut scratch.radar.frame));
+                        }
+                    }
+                    self.radar.measurement_from_baseband_batch(
+                        &mut jobs,
+                        &mut batch,
+                        &mut measurements,
+                    );
+                }
+
+                // Finish: noise draws, defense pipeline, plant advance.
+                let mut next_measurement = measurements.iter().copied();
+                for lane in lanes.iter_mut() {
+                    let Some(pending) = lane.pending.take() else {
+                        continue;
+                    };
+                    let measurement = match &pending {
+                        PendingObservation::Deferred { .. } => Some(
+                            next_measurement
+                                .next()
+                                .expect("one extracted measurement per deferred frame"),
+                        ),
+                        PendingObservation::Ready(_) => None,
+                    };
+                    let (obs, _draw) = lane.sim.observe_batch_finish(pending, measurement);
+                    let gap = lane.sim.pair().gap();
+
+                    let (d_used, d_control, v_used, under_attack) = match lane.pipeline.as_mut() {
+                        Some(p) => {
+                            let own_speed = lane.sim.own_speed();
+                            let t0 = Instant::now();
+                            let out = p.process(k, &obs, own_speed);
+                            let dt_ns = t0.elapsed().as_nanos();
+                            let attacked = out.verdict.under_attack();
+                            if attacked {
+                                lane.estimation_time_ns += dt_ns;
+                                lane.estimation_steps += 1;
+                                if lane.detection_step.is_none() {
+                                    lane.detection_step = p.detector().first_detection();
+                                }
+                            }
+                            if cfg.schedule.is_challenge(k) {
+                                lane.confusion.record(cfg.adversary.active(k), attacked);
+                            }
+                            (
+                                out.distance,
+                                out.control_distance,
+                                out.relative_speed,
+                                attacked,
+                            )
+                        }
+                        None => {
+                            let d = obs.measurement.map(|m| m.distance);
+                            let v = obs
+                                .measurement
+                                .map(|m| MetersPerSecond(m.range_rate.value()))
+                                .unwrap_or(MetersPerSecond(0.0));
+                            (d, d, v, false)
+                        }
+                    };
+
+                    if under_attack {
+                        if let Some(d) = d_used {
+                            lane.attack_err_sq += (d.value() - gap.value()).powi(2);
+                            lane.attack_err_n += 1;
+                        }
+                    }
+
+                    lane.sim.advance(d_control, v_used);
+                }
+            }
+
+            for mut lane in lanes {
+                if lane.sim.collided() {
+                    lane.collided = true;
+                    lane.min_gap = lane.min_gap.min(0.0);
+                }
+                let detection_latency = match (lane.detection_step, &cfg.adversary) {
+                    (Some(det), adv) if adv.active(det) => {
+                        Some(det.0.saturating_sub(adv.window().start().0))
+                    }
+                    _ => None,
+                };
+                out.push(RunMetrics {
+                    min_gap: lane.min_gap,
+                    collided: lane.collided,
+                    detection_step: lane.detection_step,
+                    detection_latency,
+                    estimation_steps: lane.estimation_steps,
+                    estimation_time_ns: lane.estimation_time_ns,
+                    confusion: lane.confusion,
+                    attack_window_distance_rmse: if lane.attack_err_n > 0 {
+                        Some((lane.attack_err_sq / lane.attack_err_n as f64).sqrt())
+                    } else {
+                        None
+                    },
+                });
+            }
+        }
+        out
+    }
+
     /// The closed loop of the paper's Figure 1 — the only implementation.
     fn run_inner(&self, seed: u64, scratch: &mut TrialScratch, record: bool) -> RunMetrics {
         let cfg = &self.config;
@@ -347,13 +599,7 @@ impl ScenarioPlan {
         scratch.reset();
 
         let mut sim = self.vehicle_sim(seed);
-        let mut pipeline = self.detector_proto.as_ref().map(|detector| {
-            let predictor = cfg
-                .predictor
-                .build()
-                .expect("built-in predictor configs are valid");
-            SecurePipeline::new(detector.clone(), predictor, Seconds(1.0))
-        });
+        let mut pipeline = self.pipeline_proto.clone();
 
         let mut confusion = ConfusionMatrix::new();
         let mut estimation_time_ns: u128 = 0;
@@ -470,6 +716,25 @@ impl ScenarioPlan {
             },
         }
     }
+}
+
+/// Mutable per-trial state of one lockstep lane in
+/// [`ScenarioPlan::run_trials_batched`] — exactly the locals of
+/// `run_inner`, held per trial so a whole chunk can advance one step at a
+/// time.
+struct TrialLane<'p> {
+    sim: VehicleSim<'p>,
+    pipeline: Option<SecurePipeline>,
+    pending: Option<PendingObservation>,
+    confusion: ConfusionMatrix,
+    estimation_time_ns: u128,
+    estimation_steps: u64,
+    detection_step: Option<Step>,
+    collided: bool,
+    min_gap: f64,
+    attack_err_sq: f64,
+    attack_err_n: u64,
+    done: bool,
 }
 
 fn raw_series_values(obs: &RadarObservation) -> (f64, f64) {
@@ -699,5 +964,76 @@ mod tests {
         let mut cfg = dos_config();
         cfg.horizon = 0;
         let _ = ScenarioPlan::new(cfg);
+    }
+
+    /// The deterministic subset of [`RunMetrics`] (everything except wall
+    /// clock), bit-cast where floating point is involved.
+    fn metrics_key(m: &RunMetrics) -> impl PartialEq + std::fmt::Debug {
+        (
+            m.min_gap.to_bits(),
+            m.collided,
+            m.detection_step,
+            m.detection_latency,
+            m.estimation_steps,
+            m.confusion,
+            m.attack_window_distance_rmse.map(f64::to_bits),
+        )
+    }
+
+    #[test]
+    fn batched_trials_match_sequential_bit_exactly() {
+        let mut cfg = dos_config();
+        cfg.radar = argus_radar::RadarConfig::bosch_lrr2_signal();
+        cfg.horizon = 40;
+        let plan = ScenarioPlan::with_options(cfg, ScratchOptions::bit_exact());
+
+        // Five seeds over a pool of four exercises the chunk split.
+        let seeds: Vec<u64> = (40..45).collect();
+        let mut pool: Vec<TrialScratch> = (0..4).map(|_| TrialScratch::for_plan(&plan)).collect();
+        let batched = plan.run_trials_batched(&seeds, &mut pool);
+
+        let mut scratch = TrialScratch::for_plan(&plan);
+        for (seed, b) in seeds.iter().zip(&batched) {
+            let s = plan.run_metrics(*seed, &mut scratch);
+            assert_eq!(metrics_key(&s), metrics_key(b), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn batched_trials_match_sequential_under_fast_options() {
+        // Under fast options the lane kernels engage (when the `simd`
+        // feature is on), and they are built to be bit-identical to the
+        // scalar fast path — so batched results must still equal a
+        // sequential fast run exactly.
+        let mut cfg = dos_config();
+        cfg.radar = argus_radar::RadarConfig::bosch_lrr2_signal();
+        cfg.horizon = 40;
+        let plan = ScenarioPlan::with_options(cfg, ScratchOptions::fast());
+
+        let seeds: Vec<u64> = (70..74).collect();
+        let mut pool: Vec<TrialScratch> = (0..4).map(|_| TrialScratch::for_plan(&plan)).collect();
+        let batched = plan.run_trials_batched(&seeds, &mut pool);
+
+        let mut scratch = TrialScratch::for_plan(&plan);
+        for (seed, b) in seeds.iter().zip(&batched) {
+            let s = plan.run_metrics(*seed, &mut scratch);
+            assert_eq!(metrics_key(&s), metrics_key(b), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn batched_trials_handle_analytic_mode_and_small_pool() {
+        // Analytic mode resolves every observation in the begin phase
+        // (nothing defers), and a pool of one degenerates to sequential.
+        let plan = ScenarioPlan::new(dos_config());
+        let seeds = [7u64, 11];
+        let mut pool = [TrialScratch::for_plan(&plan)];
+        let batched = plan.run_trials_batched(&seeds, &mut pool);
+
+        let mut scratch = TrialScratch::for_plan(&plan);
+        for (seed, b) in seeds.iter().zip(&batched) {
+            let s = plan.run_metrics(*seed, &mut scratch);
+            assert_eq!(metrics_key(&s), metrics_key(b), "seed {seed}");
+        }
     }
 }

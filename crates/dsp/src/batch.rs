@@ -1,0 +1,471 @@
+//! Structure-of-arrays batch-of-frames solve engine.
+//!
+//! The per-frame root-MUSIC pipeline spends most of its time in the
+//! Durand–Kerner iteration: a chain of complex multiply/accumulate
+//! operations whose data dependencies are *within* a frame, never across
+//! frames. Four independent frames therefore map perfectly onto the
+//! [`C64x4`] lanes — lane `k` carries frame `k`'s polynomial, and the
+//! mul/add chains (the denominator product over `j ≠ i` and the Horner
+//! evaluation) advance all four frames per instruction.
+//!
+//! [`FrameBatch`] is the container: one flat `f64` arena holding the
+//! deinterleaved re/im planes of the monic coefficients and the root
+//! estimates, lane-major so a [`C64x4::load`] of index `i` picks up the
+//! four frames' `i`-th values in one shot.
+//!
+//! # Bit-identity contract
+//!
+//! [`FrameBatch::solve`] is bit-identical, per lane, to running the scalar
+//! solve stage ([`RootMusic::solve_prepared`]) on each kernel
+//! independently:
+//!
+//! * the vectorized portions are pure mul/add chains evaluated with the
+//!   exact lanes of [`crate::simd`] (same IEEE operations, same order);
+//! * everything involving `norm()` (libm `hypot`), complex division, and
+//!   control-flow comparisons runs scalar per lane, replicating the
+//!   constants and branch structure of the scalar Durand–Kerner verbatim
+//!   (collision perturbation, mid-run shake, residual criterion, final
+//!   acceptance);
+//! * a lane freezes the moment its own convergence criterion fires, so its
+//!   result does not depend on how the other lanes are still moving;
+//! * Gauss–Seidel order is preserved — root `i`'s update reads the
+//!   already-updated roots `j < i` of its own lane, exactly like the
+//!   scalar sweep;
+//! * a lane whose warm start fails falls back to the scalar cold retry,
+//!   matching `Polynomial::roots_into`'s warm-fail → cold semantics.
+//!
+//! The batch path is a *dispatch* choice, not a numerics choice: groups
+//! where lanes are disabled (cargo feature off, `bit_exact` options, or a
+//! degenerate/mixed-degree group) run the scalar solve per kernel.
+
+use nalgebra::Complex;
+
+use crate::polynomial::MAX_ITERS;
+use crate::rootmusic::solve_kernel;
+use crate::scratch::KernelScratch;
+use crate::simd::{lanes_enabled, C64x4, LANES};
+
+/// Structure-of-arrays batch of up to [`LANES`] frames' solve state.
+///
+/// One flat arena holds four deinterleaved planes (coefficient re/im, root
+/// re/im), each lane-major: element `i` of lane `k` lives at `i·LANES + k`.
+/// The arena only ever grows, so a batch reused across steps allocates on
+/// the first solve and never again.
+#[derive(Debug, Default)]
+pub struct FrameBatch {
+    arena: Vec<f64>,
+}
+
+/// Per-lane scalar state for the batched Durand–Kerner run.
+#[derive(Clone, Copy)]
+struct LaneCtl {
+    /// Lane still iterating.
+    active: bool,
+    /// Lane converged (solve succeeded).
+    ok: bool,
+    /// Lane was seeded from warm-start roots.
+    warm: bool,
+    /// Coefficient-magnitude scale of the lane's monic polynomial.
+    scale: f64,
+}
+
+impl FrameBatch {
+    /// Creates an empty batch; the arena is sized on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs the root-MUSIC solve stage for up to [`LANES`] prepared
+    /// kernels, four frames per vector instruction where lanes are enabled.
+    ///
+    /// Each kernel must have been through [`RootMusic::prepare_into`]; on
+    /// return, successful kernels hold their roots (and refreshed warm-root
+    /// history) exactly as if [`RootMusic::solve_prepared`] had run on them
+    /// individually — bit-identical, see the module docs. The returned
+    /// flags mirror the scalar stage's per-kernel `Result`.
+    ///
+    /// [`RootMusic::prepare_into`]: crate::rootmusic::RootMusic::prepare_into
+    /// [`RootMusic::solve_prepared`]: crate::rootmusic::RootMusic::solve_prepared
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than [`LANES`] kernels are passed.
+    pub fn solve(&mut self, kernels: &mut [&mut KernelScratch]) -> [bool; LANES] {
+        assert!(
+            kernels.len() <= LANES,
+            "FrameBatch::solve takes at most {LANES} kernels, got {}",
+            kernels.len()
+        );
+        let mut ok = [false; LANES];
+        let degree = kernels.first().map_or(0, |k| k.poly.degree());
+        let use_lanes = lanes_enabled()
+            && kernels.len() >= 2
+            && degree > 0
+            && kernels.iter().all(|k| k.options.simd_active())
+            && kernels.iter().all(|k| k.poly.degree() == degree);
+        if !use_lanes {
+            for (k, scratch) in kernels.iter_mut().enumerate() {
+                ok[k] = solve_kernel(scratch).is_ok();
+            }
+            return ok;
+        }
+
+        let n = degree;
+        // Arena layout: coeff re | coeff im | root re | root im, lane-major.
+        let coeff_plane = (n + 1) * LANES;
+        let root_plane = n * LANES;
+        let needed = 2 * coeff_plane + 2 * root_plane;
+        if self.arena.len() < needed {
+            self.arena.resize(needed, 0.0);
+        }
+        let (coeff, root) = self.arena.split_at_mut(2 * coeff_plane);
+        let (c_re, c_im) = coeff.split_at_mut(coeff_plane);
+        let (r_re, r_im) = root[..2 * root_plane].split_at_mut(root_plane);
+
+        let mut ctl = [LaneCtl {
+            active: false,
+            ok: false,
+            warm: false,
+            scale: 1.0,
+        }; LANES];
+
+        // Load stage: per-lane monic normalization, scale, and initial
+        // guesses — scalar `Polynomial::roots_into` preamble verbatim.
+        for (k, scratch) in kernels.iter().enumerate() {
+            let coeffs = scratch.poly.coefficients();
+            let lead = coeffs[n];
+            if lead.norm() < 1e-300 {
+                continue; // scalar path errors out; lane stays failed
+            }
+            let mut radius_base = 0.0f64;
+            let mut scale = 1.0f64;
+            for (c, &raw) in coeffs.iter().enumerate() {
+                let monic = raw / lead;
+                c_re[c * LANES + k] = monic.re;
+                c_im[c * LANES + k] = monic.im;
+                scale = scale.max(monic.norm());
+                if c < n {
+                    radius_base = radius_base.max(monic.norm());
+                }
+            }
+            let warm = scratch.options.warm_roots
+                && scratch.has_prev_roots
+                && scratch.prev_roots.len() == n
+                && scratch
+                    .prev_roots
+                    .iter()
+                    .all(|c| c.re.is_finite() && c.im.is_finite());
+            if warm {
+                for (i, &r) in scratch.prev_roots.iter().enumerate() {
+                    r_re[i * LANES + k] = r.re;
+                    r_im[i * LANES + k] = r.im;
+                }
+            } else {
+                let radius = (1.0 + radius_base).min(2.0);
+                for i in 0..n {
+                    let g = Complex::from_polar(radius, 0.4 + 2.4 * i as f64);
+                    r_re[i * LANES + k] = g.re;
+                    r_im[i * LANES + k] = g.im;
+                }
+            }
+            ctl[k] = LaneCtl {
+                active: true,
+                ok: false,
+                warm,
+                scale,
+            };
+        }
+
+        durand_kerner_lanes(n, c_re, c_im, r_re, r_im, &mut ctl, kernels.len());
+
+        // Unload stage: write back converged lanes and refresh their
+        // warm-root history; warm lanes that stalled get the scalar cold
+        // retry (`roots_into(None, …)`), matching the scalar fallback.
+        for (k, scratch) in kernels.iter_mut().enumerate() {
+            if ctl[k].ok {
+                scratch.roots.clear();
+                scratch
+                    .roots
+                    .extend((0..n).map(|i| Complex::new(r_re[i * LANES + k], r_im[i * LANES + k])));
+                if scratch.options.warm_roots {
+                    scratch.prev_roots.clear();
+                    scratch.prev_roots.extend_from_slice(&scratch.roots);
+                    scratch.has_prev_roots = true;
+                }
+                ok[k] = true;
+            } else if ctl[k].warm {
+                ok[k] = scratch.poly.roots_into(None, &mut scratch.roots).is_ok();
+                if ok[k] && scratch.options.warm_roots {
+                    scratch.prev_roots.clear();
+                    scratch.prev_roots.extend_from_slice(&scratch.roots);
+                    scratch.has_prev_roots = true;
+                }
+            }
+        }
+        ok
+    }
+}
+
+/// The lane-batched Durand–Kerner iteration over monic coefficient planes.
+///
+/// Vector lanes carry the denominator product and Horner evaluation; every
+/// norm, division, comparison, and perturbation is the scalar
+/// `durand_kerner` body replicated per lane (see module docs).
+fn durand_kerner_lanes(
+    n: usize,
+    c_re: &[f64],
+    c_im: &[f64],
+    r_re: &mut [f64],
+    r_im: &mut [f64],
+    ctl: &mut [LaneCtl; LANES],
+    lanes_used: usize,
+) {
+    let tol = 1e-13;
+    for iter in 0..MAX_ITERS {
+        if !ctl.iter().any(|c| c.active) {
+            return;
+        }
+        let mut max_step = [0.0f64; LANES];
+        let mut res_conv = [true; LANES];
+        for i in 0..n {
+            let zi = C64x4::load(&r_re[i * LANES..], &r_im[i * LANES..]);
+            let mut denom = C64x4::splat(1.0, 0.0);
+            // Same product, same order, minus the per-step `j != i` branch.
+            for j in (0..i).chain(i + 1..n) {
+                let zj = C64x4::load(&r_re[j * LANES..], &r_im[j * LANES..]);
+                denom = denom * (zi - zj);
+            }
+            let mut acc = C64x4::zero();
+            for c in (0..=n).rev() {
+                let coeff = C64x4::load(&c_re[c * LANES..], &c_im[c * LANES..]);
+                acc = acc * zi + coeff;
+            }
+            for (k, lane) in ctl.iter().enumerate().take(lanes_used) {
+                if !lane.active {
+                    continue;
+                }
+                let d = Complex::new(denom.re.0[k], denom.im.0[k]);
+                if d.norm() < 1e-280 {
+                    // Perturb colliding estimates apart.
+                    r_re[i * LANES + k] += 1e-6 * (i as f64 + 1.0);
+                    r_im[i * LANES + k] += 1e-6;
+                    max_step[k] = f64::MAX;
+                    res_conv[k] = false;
+                    continue;
+                }
+                let p_zi = Complex::new(acc.re.0[k], acc.im.0[k]);
+                let z = Complex::new(zi.re.0[k], zi.im.0[k]);
+                // One missed residual pins the flag for this sweep; the
+                // remaining checks cannot flip it back, so skip them. The
+                // scalar reference evaluates every check, but the skipped
+                // norms feed nothing else — no root bit changes.
+                if res_conv[k] && p_zi.norm() > 1e-13 * lane.scale * (1.0 + z.norm().powi(n as i32))
+                {
+                    res_conv[k] = false;
+                }
+                let delta = p_zi / d;
+                let next = z - delta;
+                r_re[i * LANES + k] = next.re;
+                r_im[i * LANES + k] = next.im;
+                max_step[k] = max_step[k].max(delta.norm());
+            }
+        }
+        for (k, lane) in ctl.iter_mut().enumerate() {
+            if lane.active && (max_step[k] < tol || res_conv[k]) {
+                lane.active = false;
+                lane.ok = true;
+            }
+        }
+        // Occasional shake if wildly stalled (keeps determinism).
+        if iter == MAX_ITERS / 2 {
+            for (k, lane) in ctl.iter().enumerate().take(lanes_used) {
+                if lane.active && max_step[k] > 1.0 {
+                    for idx in 0..n {
+                        let shake = Complex::from_polar(0.01, 1.7 * idx as f64);
+                        r_re[idx * LANES + k] += shake.re;
+                        r_im[idx * LANES + k] += shake.im;
+                    }
+                }
+            }
+        }
+    }
+    // Accept stalled lanes whose residuals are already small relative to
+    // the coefficient scale.
+    for (k, lane) in ctl.iter_mut().enumerate().take(lanes_used) {
+        if !lane.active {
+            continue;
+        }
+        lane.active = false;
+        lane.ok = (0..n).all(|i| {
+            let z = Complex::new(r_re[i * LANES + k], r_im[i * LANES + k]);
+            let mut acc = Complex::new(0.0, 0.0);
+            for c in (0..=n).rev() {
+                acc = acc * z + Complex::new(c_re[c * LANES + k], c_im[c * LANES + k]);
+            }
+            acc.norm() <= 1e-8 * lane.scale * (1.0 + z.norm().powi(n as i32))
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::polynomial::Polynomial;
+    use crate::scratch::ScratchOptions;
+    use proptest::prelude::*;
+
+    fn scratch_with_poly(coeffs: &[Complex<f64>], options: ScratchOptions) -> KernelScratch {
+        let mut s = KernelScratch::new(options);
+        s.poly.set_coefficients(coeffs);
+        s
+    }
+
+    fn near_circle_poly(seed: u64) -> Vec<Complex<f64>> {
+        // Conjugate-reciprocal root pairs near the unit circle, like the
+        // polynomials root-MUSIC produces.
+        let a = 0.3 + 0.05 * seed as f64;
+        let b = 2.0 + 0.07 * seed as f64;
+        let roots: Vec<Complex<f64>> = [a, b]
+            .iter()
+            .flat_map(|&w| {
+                [
+                    Complex::from_polar(0.97, w),
+                    Complex::from_polar(1.0 / 0.97, w),
+                ]
+            })
+            .collect();
+        Polynomial::from_roots(&roots).coefficients().to_vec()
+    }
+
+    fn assert_same_solve(batch_out: &KernelScratch, scalar_out: &KernelScratch) {
+        assert_eq!(batch_out.roots.len(), scalar_out.roots.len());
+        for (b, s) in batch_out.roots.iter().zip(&scalar_out.roots) {
+            assert_eq!(b.re.to_bits(), s.re.to_bits());
+            assert_eq!(b.im.to_bits(), s.im.to_bits());
+        }
+        assert_eq!(batch_out.has_prev_roots, scalar_out.has_prev_roots);
+        assert_eq!(batch_out.prev_roots, scalar_out.prev_roots);
+    }
+
+    #[test]
+    fn lane_solve_bit_identical_to_scalar_cold() {
+        let options = ScratchOptions::fast();
+        let mut batch_scratches: Vec<KernelScratch> = (0..4)
+            .map(|k| scratch_with_poly(&near_circle_poly(k), options))
+            .collect();
+        let mut scalar_scratches = batch_scratches.clone();
+
+        let mut batch = FrameBatch::new();
+        let mut refs: Vec<&mut KernelScratch> = batch_scratches.iter_mut().collect();
+        let ok = batch.solve(&mut refs);
+
+        for (k, scratch) in scalar_scratches.iter_mut().enumerate() {
+            assert_eq!(ok[k], solve_kernel(scratch).is_ok());
+        }
+        for (b, s) in batch_scratches.iter().zip(&scalar_scratches) {
+            assert_same_solve(b, s);
+        }
+    }
+
+    #[test]
+    fn lane_solve_bit_identical_to_scalar_warm() {
+        let options = ScratchOptions::fast();
+        let mut batch_scratches: Vec<KernelScratch> = (0..4)
+            .map(|k| scratch_with_poly(&near_circle_poly(k), options))
+            .collect();
+        // First solve seeds the warm history, second exercises it.
+        let mut batch = FrameBatch::new();
+        let mut refs: Vec<&mut KernelScratch> = batch_scratches.iter_mut().collect();
+        assert!(batch.solve(&mut refs).iter().take(4).all(|&b| b));
+        let mut scalar_scratches = batch_scratches.clone();
+
+        let mut refs: Vec<&mut KernelScratch> = batch_scratches.iter_mut().collect();
+        let ok = batch.solve(&mut refs);
+        for (k, scratch) in scalar_scratches.iter_mut().enumerate() {
+            assert_eq!(ok[k], solve_kernel(scratch).is_ok());
+        }
+        for (b, s) in batch_scratches.iter().zip(&scalar_scratches) {
+            assert_same_solve(b, s);
+        }
+    }
+
+    #[test]
+    fn partial_group_and_bit_exact_fall_back_to_scalar() {
+        // A single-kernel group and a bit_exact group both take the scalar
+        // path and still match the scalar stage exactly.
+        for options in [ScratchOptions::fast(), ScratchOptions::bit_exact()] {
+            let mut a = scratch_with_poly(&near_circle_poly(1), options);
+            let mut b = a.clone();
+            let mut batch = FrameBatch::new();
+            let mut refs: Vec<&mut KernelScratch> = vec![&mut a];
+            let ok = batch.solve(&mut refs);
+            assert!(ok[0]);
+            solve_kernel(&mut b).unwrap();
+            assert_same_solve(&a, &b);
+        }
+    }
+
+    #[test]
+    fn degenerate_lead_lane_fails_like_scalar() {
+        let options = ScratchOptions::fast();
+        let mut good = scratch_with_poly(&near_circle_poly(0), options);
+        let zero_lead = [
+            Complex::new(1.0, 0.0),
+            Complex::new(2.0, 0.0),
+            Complex::new(0.0, 0.0),
+        ];
+        // set_coefficients trims trailing zeros, so force a degree mismatch
+        // instead: a degenerate group falls back to scalar per kernel.
+        let mut short = scratch_with_poly(&zero_lead[..2], options);
+        let mut batch = FrameBatch::new();
+        let mut refs: Vec<&mut KernelScratch> = vec![&mut good, &mut short];
+        let ok = batch.solve(&mut refs);
+        assert!(ok[0]);
+        assert!(ok[1]); // degree-1 scalar solve succeeds
+        assert_eq!(short.roots.len(), 1);
+    }
+
+    proptest! {
+        #[test]
+        fn lane_solve_matches_scalar_on_random_quartets(
+            seeds in (0u64..64, 0u64..64, 0u64..64, 0u64..64),
+            mags in (0.90f64..0.999, 0.90f64..0.999, 0.90f64..0.999, 0.90f64..0.999),
+        ) {
+            let seeds = [seeds.0, seeds.1, seeds.2, seeds.3];
+            let mags = [mags.0, mags.1, mags.2, mags.3];
+            let options = ScratchOptions::fast();
+            let mut batch_scratches: Vec<KernelScratch> = seeds
+                .iter()
+                .zip(mags.iter())
+                .map(|(&s, &mag)| {
+                    let w0 = 0.2 + 0.04 * s as f64;
+                    let roots = [
+                        Complex::from_polar(mag, w0),
+                        Complex::from_polar(1.0 / mag, w0),
+                        Complex::from_polar(mag, w0 + 1.9),
+                        Complex::from_polar(1.0 / mag, w0 + 1.9),
+                    ];
+                    scratch_with_poly(
+                        Polynomial::from_roots(&roots).coefficients(),
+                        options,
+                    )
+                })
+                .collect();
+            let mut scalar_scratches = batch_scratches.clone();
+
+            let mut batch = FrameBatch::new();
+            let mut refs: Vec<&mut KernelScratch> = batch_scratches.iter_mut().collect();
+            let ok = batch.solve(&mut refs);
+            for (k, scratch) in scalar_scratches.iter_mut().enumerate() {
+                prop_assert_eq!(ok[k], solve_kernel(scratch).is_ok());
+            }
+            for (b, s) in batch_scratches.iter().zip(&scalar_scratches) {
+                prop_assert_eq!(b.roots.len(), s.roots.len());
+                for (rb, rs) in b.roots.iter().zip(&s.roots) {
+                    prop_assert_eq!(rb.re.to_bits(), rs.re.to_bits());
+                    prop_assert_eq!(rb.im.to_bits(), rs.im.to_bits());
+                }
+            }
+        }
+    }
+}

@@ -20,6 +20,7 @@
 
 use nalgebra::{Complex, DMatrix};
 
+use crate::simd::{lanes_enabled, C64x4, LANES};
 use crate::DspError;
 
 /// Maximum number of full Jacobi sweeps before reporting non-convergence.
@@ -123,6 +124,7 @@ pub struct EigenWorkspace {
     eig_raw: Vec<f64>,
     order: Vec<usize>,
     last_sweeps: usize,
+    simd: bool,
 }
 
 impl Default for EigenWorkspace {
@@ -145,7 +147,20 @@ impl EigenWorkspace {
             eig_raw: Vec::new(),
             order: Vec::new(),
             last_sweeps: 0,
+            simd: false,
         }
+    }
+
+    /// Enables or disables the vectorized rotation passes (sticky across
+    /// decompositions until changed).
+    ///
+    /// The two contiguous column updates of each Jacobi rotation (`A ← A·U`
+    /// and `V ← V·U`) run four rows per lane; each lane performs the scalar
+    /// operations in the scalar order, so results are bit-identical to the
+    /// scalar passes. The strided row update stays scalar. Also gated on the
+    /// `simd` cargo feature.
+    pub fn set_simd(&mut self, enabled: bool) {
+        self.simd = enabled;
     }
 
     /// Dimension of the last decomposed matrix (0 before first use).
@@ -270,7 +285,7 @@ impl EigenWorkspace {
             }
             for p in 0..n {
                 for q in (p + 1)..n {
-                    rotate(&mut self.a, &mut self.v, p, q);
+                    rotate(&mut self.a, &mut self.v, p, q, self.simd);
                 }
             }
             sweeps += 1;
@@ -371,7 +386,13 @@ fn off_diagonal_norm(a: &DMatrix<Complex<f64>>) -> f64 {
 /// makes the 2×2 pivot real-symmetric, then the classic symmetric Schur
 /// rotation (Golub & Van Loan §8.4) zeroes it. The combined unitary update is
 /// accumulated into the eigenvector matrix.
-fn rotate(a: &mut DMatrix<Complex<f64>>, v: &mut DMatrix<Complex<f64>>, p: usize, q: usize) {
+fn rotate(
+    a: &mut DMatrix<Complex<f64>>,
+    v: &mut DMatrix<Complex<f64>>,
+    p: usize,
+    q: usize,
+    simd: bool,
+) {
     let apq = a[(p, q)];
     let abs = apq.norm();
     if abs == 0.0 {
@@ -400,12 +421,17 @@ fn rotate(a: &mut DMatrix<Complex<f64>>, v: &mut DMatrix<Complex<f64>>, p: usize
     let uqq = phase.conj() * c;
 
     let n = a.nrows();
+    let lanes = simd && lanes_enabled() && n >= LANES;
     // A ← Uᴴ A U: first columns (A ← A·U), then rows (A ← Uᴴ·A).
-    for i in 0..n {
-        let aip = a[(i, p)];
-        let aiq = a[(i, q)];
-        a[(i, p)] = aip * upp + aiq * uqp;
-        a[(i, q)] = aip * upq + aiq * uqq;
+    if lanes {
+        rotate_columns(a.as_mut_slice(), n, p, q, upp, upq, uqp, uqq);
+    } else {
+        for i in 0..n {
+            let aip = a[(i, p)];
+            let aiq = a[(i, q)];
+            a[(i, p)] = aip * upp + aiq * uqp;
+            a[(i, q)] = aip * upq + aiq * uqq;
+        }
     }
     for j in 0..n {
         let apj = a[(p, j)];
@@ -420,11 +446,52 @@ fn rotate(a: &mut DMatrix<Complex<f64>>, v: &mut DMatrix<Complex<f64>>, p: usize
     a[(q, q)] = Complex::new(a[(q, q)].re, 0.0);
 
     // V ← V·U.
-    for i in 0..n {
-        let vip = v[(i, p)];
-        let viq = v[(i, q)];
-        v[(i, p)] = vip * upp + viq * uqp;
-        v[(i, q)] = vip * upq + viq * uqq;
+    if lanes {
+        rotate_columns(v.as_mut_slice(), n, p, q, upp, upq, uqp, uqq);
+    } else {
+        for i in 0..n {
+            let vip = v[(i, p)];
+            let viq = v[(i, q)];
+            v[(i, p)] = vip * upp + viq * uqp;
+            v[(i, q)] = vip * upq + viq * uqq;
+        }
+    }
+}
+
+/// Vectorized `M ← M·U` restricted to columns `p` and `q` of a column-major
+/// `n×n` matrix. Columns are contiguous, so four rows move per lane pass;
+/// per-lane arithmetic is the scalar update verbatim, hence bit-identical.
+#[allow(clippy::too_many_arguments)]
+fn rotate_columns(
+    data: &mut [Complex<f64>],
+    n: usize,
+    p: usize,
+    q: usize,
+    upp: Complex<f64>,
+    upq: Complex<f64>,
+    uqp: Complex<f64>,
+    uqq: Complex<f64>,
+) {
+    debug_assert!(p < q);
+    let (head, tail) = data.split_at_mut(q * n);
+    let colp = &mut head[p * n..p * n + n];
+    let colq = &mut tail[..n];
+    let (upp4, upq4) = (C64x4::splat(upp.re, upp.im), C64x4::splat(upq.re, upq.im));
+    let (uqp4, uqq4) = (C64x4::splat(uqp.re, uqp.im), C64x4::splat(uqq.re, uqq.im));
+    let mut i = 0;
+    while i + LANES <= n {
+        let aip = C64x4::from_complex(&colp[i..i + LANES]);
+        let aiq = C64x4::from_complex(&colq[i..i + LANES]);
+        (aip * upp4 + aiq * uqp4).write_complex(&mut colp[i..i + LANES]);
+        (aip * upq4 + aiq * uqq4).write_complex(&mut colq[i..i + LANES]);
+        i += LANES;
+    }
+    while i < n {
+        let aip = colp[i];
+        let aiq = colq[i];
+        colp[i] = aip * upp + aiq * uqp;
+        colq[i] = aip * upq + aiq * uqq;
+        i += 1;
     }
 }
 
@@ -432,6 +499,50 @@ fn rotate(a: &mut DMatrix<Complex<f64>>, v: &mut DMatrix<Complex<f64>>, p: usize
 mod tests {
     use super::*;
     use nalgebra::DVector;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn simd_rotations_bit_identical_to_scalar(
+            parts in proptest::collection::vec((-1.0f64..1.0, -1.0f64..1.0), 36),
+        ) {
+            // 8×8 Hermitian built from the random upper triangle.
+            let n = 8;
+            let mut h = DMatrix::zeros(n, n);
+            let mut next = parts.iter();
+            for i in 0..n {
+                for j in i..n {
+                    let &(re, im) = next.next().unwrap();
+                    if i == j {
+                        h[(i, i)] = Complex::new(re, 0.0);
+                    } else {
+                        h[(i, j)] = Complex::new(re, im);
+                        h[(j, i)] = Complex::new(re, -im);
+                    }
+                }
+            }
+            let mut scalar_ws = EigenWorkspace::new();
+            let mut simd_ws = EigenWorkspace::new();
+            simd_ws.set_simd(true);
+            scalar_ws.decompose(&h, 1e-6, false).unwrap();
+            simd_ws.decompose(&h, 1e-6, false).unwrap();
+            for (a, b) in scalar_ws
+                .eigenvalues()
+                .iter()
+                .zip(simd_ws.eigenvalues().iter())
+            {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (a, b) in scalar_ws
+                .eigenvectors()
+                .iter()
+                .zip(simd_ws.eigenvectors().iter())
+            {
+                prop_assert_eq!(a.re.to_bits(), b.re.to_bits());
+                prop_assert_eq!(a.im.to_bits(), b.im.to_bits());
+            }
+        }
+    }
 
     fn random_hermitian(n: usize, seed: u64) -> DMatrix<Complex<f64>> {
         // Simple deterministic LCG so tests need no rand dependency here.

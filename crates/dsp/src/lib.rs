@@ -5,6 +5,12 @@
 //! entire path from first principles:
 //!
 //! * [`fft`] — radix-2 iterative FFT/IFFT with an `O(n²)` DFT reference.
+//! * [`fourstep`] — cache-blocked four-step FFT for long transforms
+//!   (`n ≥ 2048`), the fast path behind the spectrum estimators.
+//! * [`simd`] — portable four-wide `f64`/split-complex lanes shared by the
+//!   vectorized kernels.
+//! * [`batch`] — structure-of-arrays batch-of-frames engine that solves
+//!   four root-MUSIC polynomials per vector pass.
 //! * [`window`] — Hann / Hamming / Blackman / rectangular tapers.
 //! * [`spectrum`] — periodogram and FFT-peak frequency estimation (the
 //!   baseline extractor root-MUSIC is compared against).
@@ -43,15 +49,18 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod batch;
 pub mod covariance;
 pub mod eigen;
 pub mod fft;
 pub mod filter;
+pub mod fourstep;
 pub mod music;
 pub mod polynomial;
 pub mod rootmusic;
 pub mod rotator;
 pub mod scratch;
+pub mod simd;
 pub mod spectrum;
 pub mod window;
 
@@ -60,9 +69,11 @@ pub mod window;
 /// raw-baseband path) need no direct linear-algebra dependency.
 pub use nalgebra::Complex;
 
+pub use batch::FrameBatch;
 pub use covariance::SampleCovariance;
 pub use eigen::{EigenWorkspace, HermitianEigen};
 pub use fft::FftPlan;
+pub use fourstep::FourStepFft;
 pub use music::MusicSpectrum;
 pub use polynomial::Polynomial;
 pub use rootmusic::{FrequencyEstimate, RootMusic};
@@ -135,9 +146,11 @@ impl std::error::Error for DspError {}
 
 /// Convenient glob import of the main DSP types.
 pub mod prelude {
+    pub use crate::batch::FrameBatch;
     pub use crate::covariance::SampleCovariance;
     pub use crate::eigen::{EigenWorkspace, HermitianEigen};
     pub use crate::fft::{fft, ifft, FftPlan};
+    pub use crate::fourstep::FourStepFft;
     pub use crate::music::MusicSpectrum;
     pub use crate::polynomial::Polynomial;
     pub use crate::rootmusic::{FrequencyEstimate, RootMusic};

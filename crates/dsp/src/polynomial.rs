@@ -11,7 +11,7 @@ use nalgebra::Complex;
 use crate::DspError;
 
 /// Maximum Durand–Kerner iterations.
-const MAX_ITERS: usize = 500;
+pub(crate) const MAX_ITERS: usize = 500;
 
 /// A polynomial with complex coefficients, stored lowest degree first:
 /// `p(z) = c[0] + c[1] z + … + c[n] zⁿ`.

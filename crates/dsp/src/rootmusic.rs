@@ -202,6 +202,27 @@ impl RootMusic {
         scratch: &mut KernelScratch,
         out: &mut Vec<FrequencyEstimate>,
     ) -> Result<(), DspError> {
+        self.prepare_into(cov, scratch)?;
+        self.solve_prepared(scratch)?;
+        self.select_into(scratch, out)
+    }
+
+    /// Stage 1 of [`RootMusic::estimate_into`]: builds the noise projector
+    /// and loads the root-MUSIC polynomial into `scratch.poly`.
+    ///
+    /// The three stages (`prepare_into` → [`RootMusic::solve_prepared`] →
+    /// [`RootMusic::select_into`]) are exactly the body of `estimate_into`;
+    /// they are public so a batch engine can interleave the solve stage of
+    /// several prepared kernels through one vectorized pass.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`RootMusic::estimate`].
+    pub fn prepare_into(
+        &self,
+        cov: &SampleCovariance,
+        scratch: &mut KernelScratch,
+    ) -> Result<(), DspError> {
         let m = cov.window();
         if self.signal_count >= m {
             return Err(DspError::BadParameter {
@@ -218,6 +239,7 @@ impl RootMusic {
         // m²-cost matvecs, skipping the full Jacobi decomposition. Any
         // failure (no basis yet, spectrum moved, lost rank) falls back to
         // Jacobi, which also reseeds the basis for the next frame.
+        scratch.eigen.set_simd(scratch.options.simd_active());
         let warm_projector = scratch.options.warm_eigen
             && warm_noise_projector(cov.matrix(), self.signal_count, scratch);
         if !warm_projector {
@@ -258,18 +280,33 @@ impl RootMusic {
             scratch.coeffs[m - 1 - l] = d.conj();
         }
         scratch.poly.set_coefficients(&scratch.coeffs);
-        let warm = if scratch.options.warm_roots && scratch.has_prev_roots {
-            Some(scratch.prev_roots.as_slice())
-        } else {
-            None
-        };
-        scratch.poly.roots_into(warm, &mut scratch.roots)?;
-        if scratch.options.warm_roots {
-            scratch.prev_roots.clear();
-            scratch.prev_roots.extend_from_slice(&scratch.roots);
-            scratch.has_prev_roots = true;
-        }
+        Ok(())
+    }
 
+    /// Stage 2 of [`RootMusic::estimate_into`]: roots the prepared
+    /// polynomial (warm-started per the scratch options) into
+    /// `scratch.roots` and refreshes the warm-root history.
+    ///
+    /// # Errors
+    ///
+    /// Propagates root-finding failures.
+    pub fn solve_prepared(&self, scratch: &mut KernelScratch) -> Result<(), DspError> {
+        solve_kernel(scratch)
+    }
+
+    /// Stage 3 of [`RootMusic::estimate_into`]: ranks the solved roots by
+    /// distance from the unit circle, dedups conjugate-reciprocal pairs by
+    /// angle, and writes the strongest `signal_count` estimates into `out`.
+    ///
+    /// # Errors
+    ///
+    /// [`DspError::BadParameter`] when fewer than `signal_count` distinct
+    /// roots are found near the unit circle.
+    pub fn select_into(
+        &self,
+        scratch: &mut KernelScratch,
+        out: &mut Vec<FrequencyEstimate>,
+    ) -> Result<(), DspError> {
         // Rank all roots by distance from the unit circle. (Noiseless data
         // puts the signal roots *exactly* on the circle, where rounding can
         // push them a hair outside — filtering to |z| ≤ 1 would then drop
@@ -327,6 +364,24 @@ impl RootMusic {
         let cov = SampleCovariance::builder(window).build(signal)?;
         self.estimate(&cov)
     }
+}
+
+/// Scalar solve stage: roots the prepared polynomial (warm-started per the
+/// scratch options) and refreshes the warm-root history. Shared between
+/// [`RootMusic::solve_prepared`] and the scalar fallbacks in [`crate::batch`].
+pub(crate) fn solve_kernel(scratch: &mut KernelScratch) -> Result<(), DspError> {
+    let warm = if scratch.options.warm_roots && scratch.has_prev_roots {
+        Some(scratch.prev_roots.as_slice())
+    } else {
+        None
+    };
+    scratch.poly.roots_into(warm, &mut scratch.roots)?;
+    if scratch.options.warm_roots {
+        scratch.prev_roots.clear();
+        scratch.prev_roots.extend_from_slice(&scratch.roots);
+        scratch.has_prev_roots = true;
+    }
+    Ok(())
 }
 
 #[cfg(test)]

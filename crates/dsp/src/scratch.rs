@@ -52,6 +52,15 @@ pub struct ScratchOptions {
     /// Synthesize beat signals with a rotating-phasor recurrence instead of
     /// one `sin`/`cos` pair per sample.
     pub phasor_synthesis: bool,
+    /// Route kernels through the four-lane SIMD paths
+    /// ([`crate::simd`]): blocked FFT, 4-lag covariance accumulation,
+    /// vectorized Jacobi rotations, lane-batched Durand–Kerner and the
+    /// vectorized Box–Muller noise transform. Only takes effect when the
+    /// `simd` cargo feature is enabled; the lag/rotation lanes are
+    /// bit-identical to the scalar loops, while the transcendental lanes
+    /// (noise synthesis, blocked FFT twiddles) stay inside the same
+    /// ≤1e-12 drift budget as the other fast-path options.
+    pub simd_kernels: bool,
 }
 
 impl ScratchOptions {
@@ -63,6 +72,7 @@ impl ScratchOptions {
             incremental_covariance: false,
             warm_roots: false,
             phasor_synthesis: false,
+            simd_kernels: false,
         }
     }
 
@@ -73,7 +83,16 @@ impl ScratchOptions {
             incremental_covariance: true,
             warm_roots: true,
             phasor_synthesis: true,
+            simd_kernels: true,
         }
+    }
+
+    /// `true` when this run should dispatch to the vectorized kernels:
+    /// the per-run flag is set *and* the crate was built with the `simd`
+    /// feature.
+    #[inline]
+    pub fn simd_active(&self) -> bool {
+        self.simd_kernels && crate::simd::lanes_enabled()
     }
 }
 
@@ -222,6 +241,7 @@ mod tests {
         assert_eq!(o, ScratchOptions::bit_exact());
         assert!(!o.warm_eigen && !o.incremental_covariance);
         assert!(!o.warm_roots && !o.phasor_synthesis);
+        assert!(!o.simd_kernels && !o.simd_active());
     }
 
     #[test]
@@ -229,6 +249,8 @@ mod tests {
         let o = ScratchOptions::fast();
         assert!(o.warm_eigen && o.incremental_covariance);
         assert!(o.warm_roots && o.phasor_synthesis);
+        assert!(o.simd_kernels);
+        assert_eq!(o.simd_active(), cfg!(feature = "simd"));
     }
 
     #[test]

@@ -1,0 +1,470 @@
+//! Portable SIMD-style lanes for the batch kernels.
+//!
+//! The hot kernels (FFT column passes, covariance lag accumulation, Jacobi
+//! rotations, Durand–Kerner iteration, Box–Muller noise synthesis) all reduce
+//! to the same shape: four independent `f64` (or split-complex) streams
+//! advancing in lock-step. This module provides [`F64x4`] and [`C64x4`] —
+//! fixed four-wide value types whose element-wise operators compile to a
+//! single vector instruction on any target where LLVM can autovectorize
+//! (SSE2/AVX on x86-64, NEON on aarch64) and to four scalar ops everywhere
+//! else. No intrinsics, no nightly features, no runtime dispatch tables:
+//! the types are plain arrays with `#[inline(always)]` arithmetic, so the
+//! scalar build is the vector build with narrower registers.
+//!
+//! Two classes of helpers live here:
+//!
+//! * **Exact lanes** — [`F64x4`] / [`C64x4`] arithmetic performs the same
+//!   IEEE-754 operations in the same order as the scalar kernels they
+//!   replace (no FMA contraction, no reassociation). A kernel vectorized
+//!   with these lanes is *bit-identical* to its scalar loop; the lanes just
+//!   carry four independent problems at once.
+//! * **Approximate transcendentals** — [`F64x4::ln`] and [`F64x4::sin_cos`]
+//!   are polynomial implementations (≈1 ulp; certified ≤ 4e-15 by tests)
+//!   used only by the `fast` scratch path, whose documented contract already
+//!   allows ≤1e-12 drift. The `bit_exact` path never calls them.
+//!
+//! The `simd` cargo feature (default-on) gates *dispatch*, not compilation:
+//! [`lanes_enabled`] reports whether vectorized kernels should run, and every
+//! call site pairs it with the per-run [`ScratchOptions::simd_kernels`]
+//! flag. With the feature disabled the crate still compiles the lane types
+//! (tests exercise them unconditionally) but all kernels take their scalar
+//! paths, which is what the CI feature matrix pins.
+//!
+//! [`ScratchOptions::simd_kernels`]: crate::scratch::ScratchOptions::simd_kernels
+
+use nalgebra::Complex;
+
+/// Number of lanes in the packed types.
+pub const LANES: usize = 4;
+
+/// `true` when the `simd` cargo feature is enabled and vectorized kernel
+/// dispatch is allowed. Kernels additionally consult the per-run
+/// `ScratchOptions::simd_kernels` flag so the default `bit_exact`
+/// configuration never routes through approximate lanes.
+#[inline(always)]
+pub const fn lanes_enabled() -> bool {
+    cfg!(feature = "simd")
+}
+
+/// Four-wide packed `f64`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[repr(transparent)]
+pub struct F64x4(pub [f64; 4]);
+
+impl F64x4 {
+    /// All four lanes set to `v`.
+    #[inline(always)]
+    pub const fn splat(v: f64) -> Self {
+        F64x4([v, v, v, v])
+    }
+
+    /// All four lanes zero.
+    #[inline(always)]
+    pub const fn zero() -> Self {
+        Self::splat(0.0)
+    }
+
+    /// Load four consecutive values from a slice.
+    ///
+    /// A single four-element bounds check, so the load compiles to one
+    /// unaligned vector move.
+    #[inline(always)]
+    pub fn load(src: &[f64]) -> Self {
+        let a: &[f64; 4] = src[..4].try_into().expect("slice of exactly 4");
+        F64x4(*a)
+    }
+
+    /// Store the four lanes into the first four elements of `dst`.
+    #[inline(always)]
+    pub fn store(self, dst: &mut [f64]) {
+        dst[..4].copy_from_slice(&self.0);
+    }
+
+    /// Sum of all four lanes (left-to-right, matching a scalar accumulator
+    /// that processed the lanes in index order).
+    #[inline(always)]
+    pub fn reduce_sum(self) -> f64 {
+        (self.0[0] + self.0[1]) + (self.0[2] + self.0[3])
+    }
+
+    /// Lane-wise square root.
+    #[inline(always)]
+    pub fn sqrt(self) -> Self {
+        F64x4([
+            self.0[0].sqrt(),
+            self.0[1].sqrt(),
+            self.0[2].sqrt(),
+            self.0[3].sqrt(),
+        ])
+    }
+
+    /// Lane-wise natural logarithm for **normal, positive** inputs.
+    ///
+    /// Implementation: exponent/mantissa split via the IEEE-754 bit pattern
+    /// (`x = m·2^e`, `m ∈ [√½, √2)`), then the atanh series
+    /// `ln m = 2s·(1 + s²/3 + s⁴/5 + …)` with `s = (m−1)/(m+1)`, `|s| ≤
+    /// 0.1716`, truncated after `s¹⁷` (next term ≤ 7e-16 relative), and a
+    /// hi/lo-split `e·ln 2` recombination. Certified against `f64::ln` to
+    /// ≤ 4e-15 relative by unit tests; used only on the `fast` path
+    /// (Box–Muller), never for `bit_exact` golden traces.
+    ///
+    /// Inputs outside `(0, ∞)` normal range produce unspecified (finite or
+    /// non-finite) garbage — callers own the domain.
+    #[inline(always)]
+    pub fn ln(self) -> Self {
+        const LN2_HI: f64 = 6.931_471_803_691_238e-1;
+        const LN2_LO: f64 = 1.908_214_929_270_587_7e-10;
+        const FRAC_1_SQRT_2: f64 = std::f64::consts::FRAC_1_SQRT_2;
+        let mut out = [0.0f64; 4];
+        for (o, &x) in out.iter_mut().zip(self.0.iter()) {
+            let bits = x.to_bits();
+            let mut e = ((bits >> 52) & 0x7ff) as i64 - 1022;
+            // Mantissa rescaled into [0.5, 1).
+            let mut m = f64::from_bits((bits & 0x000f_ffff_ffff_ffff) | (1022u64 << 52));
+            if m < FRAC_1_SQRT_2 {
+                m *= 2.0;
+                e -= 1;
+            }
+            let s = (m - 1.0) / (m + 1.0);
+            let z = s * s;
+            // atanh series: ln m = 2s (1 + z/3 + z²/5 + … + z⁸/17).
+            let p = 1.0
+                + z * (1.0 / 3.0
+                    + z * (1.0 / 5.0
+                        + z * (1.0 / 7.0
+                            + z * (1.0 / 9.0
+                                + z * (1.0 / 11.0
+                                    + z * (1.0 / 13.0 + z * (1.0 / 15.0 + z * (1.0 / 17.0))))))));
+            let ef = e as f64;
+            *o = ef * LN2_HI + (2.0 * s * p + ef * LN2_LO);
+        }
+        F64x4(out)
+    }
+
+    /// Lane-wise simultaneous `(sin θ, cos θ)` for `θ ∈ [0, 4π)`.
+    ///
+    /// Quadrant reduction `θ = q·π/2 + r` with `q = round(θ/(π/2))`,
+    /// `|r| ≤ π/4` (Cody–Waite two-term π/2), then odd/even Taylor kernels
+    /// truncated after `r¹⁷` / `r¹⁶` (next terms ≤ 5e-17). Certified ≤ 4e-15
+    /// absolute against `f64::sin_cos` by unit tests; `fast`-path only, like
+    /// [`F64x4::ln`].
+    #[inline(always)]
+    pub fn sin_cos(self) -> (Self, Self) {
+        const PIO2_HI: f64 = std::f64::consts::FRAC_PI_2;
+        const PIO2_LO: f64 = 6.123_233_995_736_766e-17;
+        let mut sin = [0.0f64; 4];
+        let mut cos = [0.0f64; 4];
+        for i in 0..4 {
+            let theta = self.0[i];
+            let q = (theta * std::f64::consts::FRAC_2_PI).round();
+            let r = (theta - q * PIO2_HI) - q * PIO2_LO;
+            let z = r * r;
+            // sin r = r (1 − z/3! + z²/5! − … ± z⁸/17!)
+            let sp = 1.0
+                + z * (-1.0 / 6.0
+                    + z * (1.0 / 120.0
+                        + z * (-1.0 / 5_040.0
+                            + z * (1.0 / 362_880.0
+                                + z * (-1.0 / 39_916_800.0
+                                    + z * (1.0 / 6_227_020_800.0
+                                        + z * (-1.0 / 1_307_674_368_000.0
+                                            + z * (1.0 / 355_687_428_096_000.0))))))));
+            let sr = r * sp;
+            // cos r = 1 − z/2! + z²/4! − … ± z⁸/16!
+            let cr = 1.0
+                + z * (-1.0 / 2.0
+                    + z * (1.0 / 24.0
+                        + z * (-1.0 / 720.0
+                            + z * (1.0 / 40_320.0
+                                + z * (-1.0 / 3_628_800.0
+                                    + z * (1.0 / 479_001_600.0
+                                        + z * (-1.0 / 87_178_291_200.0
+                                            + z * (1.0 / 20_922_789_888_000.0))))))));
+            match (q as i64).rem_euclid(4) {
+                0 => {
+                    sin[i] = sr;
+                    cos[i] = cr;
+                }
+                1 => {
+                    sin[i] = cr;
+                    cos[i] = -sr;
+                }
+                2 => {
+                    sin[i] = -sr;
+                    cos[i] = -cr;
+                }
+                _ => {
+                    sin[i] = -cr;
+                    cos[i] = sr;
+                }
+            }
+        }
+        (F64x4(sin), F64x4(cos))
+    }
+}
+
+impl std::ops::Add for F64x4 {
+    type Output = F64x4;
+    #[inline(always)]
+    fn add(self, rhs: F64x4) -> F64x4 {
+        F64x4([
+            self.0[0] + rhs.0[0],
+            self.0[1] + rhs.0[1],
+            self.0[2] + rhs.0[2],
+            self.0[3] + rhs.0[3],
+        ])
+    }
+}
+
+impl std::ops::Sub for F64x4 {
+    type Output = F64x4;
+    #[inline(always)]
+    fn sub(self, rhs: F64x4) -> F64x4 {
+        F64x4([
+            self.0[0] - rhs.0[0],
+            self.0[1] - rhs.0[1],
+            self.0[2] - rhs.0[2],
+            self.0[3] - rhs.0[3],
+        ])
+    }
+}
+
+impl std::ops::Mul for F64x4 {
+    type Output = F64x4;
+    #[inline(always)]
+    fn mul(self, rhs: F64x4) -> F64x4 {
+        F64x4([
+            self.0[0] * rhs.0[0],
+            self.0[1] * rhs.0[1],
+            self.0[2] * rhs.0[2],
+            self.0[3] * rhs.0[3],
+        ])
+    }
+}
+
+impl std::ops::Neg for F64x4 {
+    type Output = F64x4;
+    #[inline(always)]
+    fn neg(self) -> F64x4 {
+        F64x4([-self.0[0], -self.0[1], -self.0[2], -self.0[3]])
+    }
+}
+
+/// Four-wide split-complex value: four real parts in one register, four
+/// imaginary parts in another (structure-of-arrays at register granularity).
+///
+/// Multiplication follows `num_complex`'s operand order exactly
+/// (`re = a.re·b.re − a.im·b.im`, `im = a.re·b.im + a.im·b.re`) so a lane
+/// is bit-identical to the scalar `Complex<f64>` product.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct C64x4 {
+    /// Real parts.
+    pub re: F64x4,
+    /// Imaginary parts.
+    pub im: F64x4,
+}
+
+impl C64x4 {
+    /// All lanes zero.
+    #[inline(always)]
+    pub const fn zero() -> Self {
+        C64x4 {
+            re: F64x4::zero(),
+            im: F64x4::zero(),
+        }
+    }
+
+    /// The same complex value in every lane.
+    #[inline(always)]
+    pub const fn splat(re: f64, im: f64) -> Self {
+        C64x4 {
+            re: F64x4::splat(re),
+            im: F64x4::splat(im),
+        }
+    }
+
+    /// Gather four consecutive interleaved `Complex<f64>` values.
+    ///
+    /// Four adjacent complex numbers are eight adjacent `f64`s; the
+    /// re/im split compiles to two loads plus shuffles, so a row of four
+    /// columns still moves through one cache line.
+    #[inline(always)]
+    pub fn from_complex(src: &[Complex<f64>]) -> Self {
+        C64x4 {
+            re: F64x4([src[0].re, src[1].re, src[2].re, src[3].re]),
+            im: F64x4([src[0].im, src[1].im, src[2].im, src[3].im]),
+        }
+    }
+
+    /// Scatter the four lanes into four consecutive interleaved
+    /// `Complex<f64>` slots.
+    #[inline(always)]
+    pub fn write_complex(self, dst: &mut [Complex<f64>]) {
+        for (i, d) in dst.iter_mut().enumerate().take(4) {
+            *d = Complex::new(self.re.0[i], self.im.0[i]);
+        }
+    }
+
+    /// Gather four values from split re/im planes.
+    #[inline(always)]
+    pub fn load(re: &[f64], im: &[f64]) -> Self {
+        C64x4 {
+            re: F64x4::load(re),
+            im: F64x4::load(im),
+        }
+    }
+
+    /// Scatter the four lanes back into split planes.
+    #[inline(always)]
+    pub fn store(self, re: &mut [f64], im: &mut [f64]) {
+        self.re.store(re);
+        self.im.store(im);
+    }
+
+    /// Lane-wise complex conjugate.
+    #[inline(always)]
+    pub fn conj(self) -> Self {
+        C64x4 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Lane-wise squared norm `re² + im²`.
+    #[inline(always)]
+    pub fn norm_sqr(self) -> F64x4 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Lane-wise scale by a packed real factor.
+    #[inline(always)]
+    pub fn scale(self, k: F64x4) -> Self {
+        C64x4 {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+}
+
+impl std::ops::Add for C64x4 {
+    type Output = C64x4;
+    #[inline(always)]
+    fn add(self, rhs: C64x4) -> C64x4 {
+        C64x4 {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
+    }
+}
+
+impl std::ops::Sub for C64x4 {
+    type Output = C64x4;
+    #[inline(always)]
+    fn sub(self, rhs: C64x4) -> C64x4 {
+        C64x4 {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
+    }
+}
+
+impl std::ops::Mul for C64x4 {
+    type Output = C64x4;
+    #[inline(always)]
+    fn mul(self, rhs: C64x4) -> C64x4 {
+        C64x4 {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nalgebra::Complex;
+
+    #[test]
+    fn f64x4_arithmetic_matches_scalar_bitwise() {
+        let a = F64x4([1.5, -2.25, 1e-12, 7.0e100]);
+        let b = F64x4([0.3, 4.0, -1e12, 2.5e-100]);
+        for i in 0..4 {
+            assert_eq!((a + b).0[i].to_bits(), (a.0[i] + b.0[i]).to_bits());
+            assert_eq!((a - b).0[i].to_bits(), (a.0[i] - b.0[i]).to_bits());
+            assert_eq!((a * b).0[i].to_bits(), (a.0[i] * b.0[i]).to_bits());
+            assert_eq!((-a).0[i].to_bits(), (-a.0[i]).to_bits());
+        }
+        let p = F64x4([0.25, 2.0, 1e-12, 7.0e100]);
+        for i in 0..4 {
+            assert_eq!(p.sqrt().0[i].to_bits(), p.0[i].sqrt().to_bits());
+        }
+    }
+
+    #[test]
+    fn c64x4_multiply_matches_num_complex_bitwise() {
+        let a = C64x4 {
+            re: F64x4([0.7, -1.3, 2.0, 1e-8]),
+            im: F64x4([0.1, 5.5, -0.25, 3.0]),
+        };
+        let b = C64x4 {
+            re: F64x4([-0.4, 0.9, 1.75, 2e8]),
+            im: F64x4([1.1, -2.0, 0.5, -7.0]),
+        };
+        let p = a * b;
+        for i in 0..4 {
+            let sa = Complex::new(a.re.0[i], a.im.0[i]);
+            let sb = Complex::new(b.re.0[i], b.im.0[i]);
+            let sp = sa * sb;
+            assert_eq!(p.re.0[i].to_bits(), sp.re.to_bits());
+            assert_eq!(p.im.0[i].to_bits(), sp.im.to_bits());
+        }
+    }
+
+    #[test]
+    fn ln_certified_within_4e15_relative() {
+        // Sweep the Box–Muller domain (0, 1] plus values above 1 for the
+        // general contract, including near-boundary mantissas.
+        let mut worst = 0.0f64;
+        let mut x = 1.0e-16;
+        while x < 8.0 {
+            let got = F64x4::splat(x).ln().0[0];
+            let want = x.ln();
+            let rel = if want == 0.0 {
+                (got - want).abs()
+            } else {
+                ((got - want) / want).abs()
+            };
+            worst = worst.max(rel);
+            x *= 1.000_731;
+        }
+        // ln(1) == 0 exactly.
+        assert_eq!(F64x4::splat(1.0).ln().0[0], 0.0);
+        assert!(worst < 4e-15, "worst relative ln error {worst:e}");
+    }
+
+    #[test]
+    fn sin_cos_certified_within_4e15_absolute() {
+        let mut worst = 0.0f64;
+        let n = 40_000;
+        for k in 0..n {
+            let theta = 4.0 * std::f64::consts::PI * (k as f64 + 0.137) / n as f64;
+            let (s, c) = F64x4::splat(theta).sin_cos();
+            let (ws, wc) = theta.sin_cos();
+            worst = worst.max((s.0[0] - ws).abs()).max((c.0[0] - wc).abs());
+        }
+        assert!(worst < 4e-15, "worst abs sin/cos error {worst:e}");
+    }
+
+    #[test]
+    fn reduce_sum_and_loads() {
+        let buf = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let v = F64x4::load(&buf[1..]);
+        assert_eq!(v.reduce_sum(), (2.0 + 3.0) + (4.0 + 5.0));
+        let mut out = [0.0; 4];
+        v.store(&mut out);
+        assert_eq!(out, [2.0, 3.0, 4.0, 5.0]);
+        let c = C64x4::load(&buf[..4], &buf[1..]);
+        assert_eq!(c.conj().im.0, [-2.0, -3.0, -4.0, -5.0]);
+        assert_eq!(c.norm_sqr().0[0], 1.0 * 1.0 + 2.0 * 2.0);
+    }
+}

@@ -103,7 +103,7 @@ impl StreamPredictor for HoltPredictor {
         self.samples = 0;
     }
 
-    fn clone_box(&self) -> Box<dyn StreamPredictor + Send> {
+    fn clone_box(&self) -> Box<dyn StreamPredictor + Send + Sync> {
         Box::new(*self)
     }
 

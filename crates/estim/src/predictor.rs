@@ -50,7 +50,7 @@ pub trait StreamPredictor: std::fmt::Debug {
     fn reset(&mut self);
 
     /// Snapshots the predictor (used for checkpoint/rewind recovery).
-    fn clone_box(&self) -> Box<dyn StreamPredictor + Send>;
+    fn clone_box(&self) -> Box<dyn StreamPredictor + Send + Sync>;
 
     /// Exports the mutable model state as plain old data.
     fn save_state(&self) -> PredictorState;
@@ -246,7 +246,7 @@ impl StreamPredictor for SensorPredictor {
         SensorPredictor::reset(self);
     }
 
-    fn clone_box(&self) -> Box<dyn StreamPredictor + Send> {
+    fn clone_box(&self) -> Box<dyn StreamPredictor + Send + Sync> {
         Box::new(self.clone())
     }
 

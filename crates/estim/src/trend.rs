@@ -106,7 +106,7 @@ impl StreamPredictor for TrendPredictor {
         self.t = 0;
     }
 
-    fn clone_box(&self) -> Box<dyn StreamPredictor + Send> {
+    fn clone_box(&self) -> Box<dyn StreamPredictor + Send + Sync> {
         Box::new(self.clone())
     }
 

@@ -45,7 +45,8 @@ pub mod target;
 pub use config::{MeasurementMode, RadarConfig};
 pub use fmcw::{BeatPair, FmcwWaveform};
 pub use receiver::{
-    ChannelState, Radar, RadarMeasurement, RadarMultiObservation, RadarObservation, RadarScratch,
+    ChannelState, PendingObservation, Radar, RadarMeasurement, RadarMultiObservation,
+    RadarObservation, RadarScratch,
 };
 pub use target::{Echo, RadarTarget};
 
@@ -54,7 +55,7 @@ pub mod prelude {
     pub use crate::config::{MeasurementMode, RadarConfig};
     pub use crate::fmcw::{BeatPair, FmcwWaveform};
     pub use crate::receiver::{
-        ChannelState, Radar, RadarMeasurement, RadarObservation, RadarScratch,
+        ChannelState, PendingObservation, Radar, RadarMeasurement, RadarObservation, RadarScratch,
     };
     pub use crate::target::{Echo, RadarTarget};
 }

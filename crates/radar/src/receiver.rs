@@ -16,10 +16,12 @@
 use nalgebra::Complex;
 use serde::{Deserialize, Serialize};
 
+use argus_dsp::batch::FrameBatch;
 use argus_dsp::covariance::SampleCovariance;
 use argus_dsp::rootmusic::{FrequencyEstimate, RootMusic};
 use argus_dsp::rotator::PhaseRotator;
 use argus_dsp::scratch::{FrameScratch, KernelScratch, ScratchOptions};
+use argus_dsp::simd::{F64x4, LANES};
 use argus_dsp::spectrum::Periodogram;
 use argus_dsp::window::Window;
 use argus_sim::noise::Gaussian;
@@ -418,10 +420,40 @@ impl Radar {
             }
         }
         // Complex white noise: variance noise_power split across components.
-        let comp = Gaussian::new(0.0, (noise.value() / 2.0).sqrt());
-        for s in out.iter_mut() {
-            let (re, im) = comp.sample_pair(rng);
-            *s += Complex::new(re, im);
+        let sigma = (noise.value() / 2.0).sqrt();
+        if options.simd_active() {
+            // Vectorized Box–Muller: uniforms are drawn scalar in the exact
+            // per-sample order of `Gaussian::sample_pair` (so the RNG stream
+            // position is identical to the scalar loop on every path), then
+            // the ln/sqrt/sin·cos transform runs four samples per lane. The
+            // lanes' approximate transcendentals are certified ≤4e-15,
+            // inside the fast path's ≤1e-12 drift budget.
+            let two_pi = 2.0 * std::f64::consts::PI;
+            let mut chunks = out.chunks_exact_mut(4);
+            for chunk in &mut chunks {
+                let mut u1 = [0.0f64; 4];
+                let mut u2 = [0.0f64; 4];
+                for k in 0..4 {
+                    u1[k] = 1.0 - rng.next_f64();
+                    u2[k] = rng.next_f64();
+                }
+                let r = (F64x4::splat(-2.0) * F64x4(u1).ln()).sqrt();
+                let (sin, cos) = (F64x4::splat(two_pi) * F64x4(u2)).sin_cos();
+                for (k, s) in chunk.iter_mut().enumerate() {
+                    *s += Complex::new(sigma * (r.0[k] * cos.0[k]), sigma * (r.0[k] * sin.0[k]));
+                }
+            }
+            let comp = Gaussian::new(0.0, sigma);
+            for s in chunks.into_remainder() {
+                let (re, im) = comp.sample_pair(rng);
+                *s += Complex::new(re, im);
+            }
+        } else {
+            let comp = Gaussian::new(0.0, sigma);
+            for s in out.iter_mut() {
+                let (re, im) = comp.sample_pair(rng);
+                *s += Complex::new(re, im);
+            }
         }
     }
 
@@ -447,31 +479,22 @@ impl Radar {
         estimates: &mut Vec<FrequencyEstimate>,
     ) -> f64 {
         if self.config.mode == MeasurementMode::FftPeak {
-            return Periodogram::compute(signal, Window::Hann, 4096)
-                .ok()
-                .and_then(|p| p.estimate_frequencies(1, 4).ok())
-                .and_then(|f| f.first().copied())
-                .unwrap_or(0.0);
+            return peak_frequency(signal, 4096);
         }
         let window = self.config.music_window;
         let incremental = kernel.options().incremental_covariance;
         let extracted = SampleCovariance::builder(window)
             .incremental(incremental)
+            .simd(kernel.options().simd_active())
             .build_into(signal, cov)
             .ok()
             .and_then(|()| RootMusic::new(1).estimate_into(cov, kernel, estimates).ok())
             .and_then(|()| estimates.first().copied());
         match extracted {
             Some(e) => e.frequency,
-            None => {
-                // Degenerate covariance (e.g. captured receiver): fall back
-                // to the periodogram peak.
-                Periodogram::compute(signal, Window::Hann, 1024)
-                    .ok()
-                    .and_then(|p| p.estimate_frequencies(1, 4).ok())
-                    .and_then(|f| f.first().copied())
-                    .unwrap_or(0.0)
-            }
+            // Degenerate covariance (e.g. captured receiver): fall back to
+            // the periodogram peak.
+            None => peak_frequency(signal, 1024),
         }
     }
 
@@ -497,6 +520,271 @@ impl Radar {
             snr: snr(interference, noise).max(f64::MIN_POSITIVE),
         }
     }
+
+    /// Begin phase of a staged observation for the batch-of-frames engine.
+    ///
+    /// Replicates [`Radar::observe_with_scratch`] exactly — same branches,
+    /// same RNG draw order — but a signal-mode frame stops after both sweep
+    /// halves are synthesized into `scratch.frame` (which consumes all of
+    /// the observation's radar-RNG draws) and returns
+    /// [`PendingObservation::Deferred`], so the RNG-free extraction can run
+    /// through [`Radar::measurement_from_baseband_batch`] together with
+    /// other trials' frames. Every other path resolves immediately as
+    /// [`PendingObservation::Ready`].
+    pub fn observe_batch_begin(
+        &self,
+        tx_on: bool,
+        target: Option<&RadarTarget>,
+        channel: &ChannelState,
+        rng: &mut SimRng,
+        scratch: &mut RadarScratch,
+    ) -> PendingObservation {
+        let RadarScratch { echoes, frame } = scratch;
+        echoes.clear();
+        if tx_on {
+            if let Some(t) = target {
+                if self.config.in_range(t.distance()) {
+                    echoes.push(Echo::new(t.distance(), t.range_rate(), self.echo_power(t)));
+                }
+            }
+        }
+        echoes.extend(channel.echoes.iter().copied());
+
+        let echo_power: f64 = echoes.iter().map(|e| e.power.value()).sum();
+        let total = Watts(echo_power + channel.interference.value() + self.noise_floor().value());
+        if !total.value().is_finite() {
+            return PendingObservation::Ready(RadarObservation {
+                measurement: None,
+                received_power: Watts(f64::MAX),
+                jammed: true,
+            });
+        }
+        if total.value() <= self.config.detection_threshold.value() {
+            return PendingObservation::Ready(RadarObservation {
+                measurement: None,
+                received_power: total,
+                jammed: false,
+            });
+        }
+        let strongest = echoes.iter().copied().max_by(|a, b| {
+            a.power
+                .value()
+                .partial_cmp(&b.power.value())
+                .expect("finite")
+        });
+        let noise = self.noise_floor();
+        let jammed = match &strongest {
+            Some(e) => channel.interference.value() > e.power.value(),
+            None => channel.interference.value() > 0.0,
+        };
+        match strongest {
+            Some(echo) if !jammed => {
+                let effective_noise = Watts(noise.value() + channel.interference.value());
+                match self.config.mode {
+                    MeasurementMode::Analytic => PendingObservation::Ready(RadarObservation {
+                        measurement: Some(self.measure_analytic(&echo, effective_noise, rng)),
+                        received_power: total,
+                        jammed,
+                    }),
+                    MeasurementMode::Signal | MeasurementMode::FftPeak => {
+                        let strongest_power = echoes
+                            .iter()
+                            .map(|e| e.power.value())
+                            .fold(0.0f64, f64::max);
+                        let ratio = snr(Watts(strongest_power), effective_noise);
+                        let options = frame.kernel.options();
+                        self.synthesize_into(
+                            echoes,
+                            effective_noise,
+                            SweepHalf::Up,
+                            rng,
+                            &mut frame.up,
+                            options,
+                        );
+                        self.synthesize_into(
+                            echoes,
+                            effective_noise,
+                            SweepHalf::Down,
+                            rng,
+                            &mut frame.down,
+                            options,
+                        );
+                        PendingObservation::Deferred {
+                            snr: ratio,
+                            received_power: total,
+                            jammed,
+                        }
+                    }
+                }
+            }
+            _ => PendingObservation::Ready(RadarObservation {
+                measurement: Some(self.garbage_measurement(rng, channel.interference, noise)),
+                received_power: total,
+                jammed,
+            }),
+        }
+    }
+
+    /// Batched extraction over several deferred frames: the
+    /// prepare → solve → select pipeline of
+    /// [`Radar::measurement_from_baseband`] restructured so the
+    /// Durand–Kerner solve stage of up to [`LANES`] prepared kernels runs
+    /// through one vectorized [`FrameBatch`] pass (two kernels per frame:
+    /// up and down sweep halves).
+    ///
+    /// `jobs` carries one `(snr, frame)` pair per deferred observation; one
+    /// [`RadarMeasurement`] per job is appended to `out`, in order. Under
+    /// scalar dispatch (bit-exact options, or the `simd` feature off) every
+    /// stage runs the scalar kernels and the result is byte-identical to
+    /// per-frame [`Radar::measurement_from_baseband`] calls; under
+    /// fast+simd the lane solve itself is bit-identical per lane (see
+    /// [`argus_dsp::batch`]), so the equality still holds.
+    pub fn measurement_from_baseband_batch(
+        &self,
+        jobs: &mut [(f64, &mut FrameScratch)],
+        batch: &mut FrameBatch,
+        out: &mut Vec<RadarMeasurement>,
+    ) {
+        /// Extraction progress of one sweep half.
+        #[derive(Clone, Copy)]
+        enum HalfState {
+            /// Frequency already extracted (FftPeak mode).
+            Done(f64),
+            /// Kernel prepared; index into the gathered kernel list.
+            Prepared(usize),
+            /// Covariance/prepare failed; periodogram fallback.
+            Fallback,
+        }
+
+        let rm = RootMusic::new(1);
+        let window = self.config.music_window;
+        let fft_peak = self.config.mode == MeasurementMode::FftPeak;
+        let mut states: Vec<[HalfState; 2]> = Vec::with_capacity(jobs.len());
+        let mut solved: Vec<bool> = Vec::new();
+        {
+            // Gather stage: prepare every half's kernel (or resolve it
+            // outright), collecting the prepared kernels for the lane solve.
+            let mut kernels: Vec<&mut KernelScratch> = Vec::new();
+            for (_, frame) in jobs.iter_mut() {
+                let FrameScratch {
+                    up,
+                    down,
+                    cov,
+                    kernel,
+                    kernel_down,
+                    ..
+                } = &mut **frame;
+                let mut pair = [HalfState::Fallback; 2];
+                for (h, (signal, k)) in [(&*up, kernel), (&*down, kernel_down)]
+                    .into_iter()
+                    .enumerate()
+                {
+                    pair[h] = if fft_peak {
+                        HalfState::Done(peak_frequency(signal, 4096))
+                    } else {
+                        // The covariance arena is shared between halves:
+                        // prepare captures the polynomial into the kernel,
+                        // so the down half may overwrite it freely.
+                        let prepared = SampleCovariance::builder(window)
+                            .incremental(k.options().incremental_covariance)
+                            .simd(k.options().simd_active())
+                            .build_into(signal, cov)
+                            .ok()
+                            .and_then(|()| rm.prepare_into(cov, k).ok());
+                        match prepared {
+                            Some(()) => {
+                                kernels.push(k);
+                                HalfState::Prepared(kernels.len() - 1)
+                            }
+                            None => HalfState::Fallback,
+                        }
+                    };
+                }
+                states.push(pair);
+            }
+            // Solve stage: four kernels per vectorized pass.
+            solved.resize(kernels.len(), false);
+            for (g, group) in kernels.chunks_mut(LANES).enumerate() {
+                let len = group.len();
+                let ok = batch.solve(group);
+                solved[g * LANES..g * LANES + len].copy_from_slice(&ok[..len]);
+            }
+        }
+        // Select stage: per half, rank/dedup the solved roots (or take the
+        // periodogram fallback) and assemble the measurement — the tail of
+        // `measurement_from_baseband`, verbatim.
+        let fs = self.config.sample_rate.value();
+        for ((job_snr, frame), pair) in jobs.iter_mut().zip(&states) {
+            let FrameScratch {
+                up,
+                down,
+                kernel,
+                kernel_down,
+                estimates,
+                ..
+            } = &mut **frame;
+            let mut freqs = [0.0f64; 2];
+            for (h, (signal, k)) in [(&*up, kernel), (&*down, kernel_down)]
+                .into_iter()
+                .enumerate()
+            {
+                freqs[h] = match pair[h] {
+                    HalfState::Done(f) => f,
+                    HalfState::Prepared(idx) if solved[idx] => rm
+                        .select_into(k, estimates)
+                        .ok()
+                        .and_then(|()| estimates.first().copied())
+                        .map_or_else(|| peak_frequency(signal, 1024), |e| e.frequency),
+                    _ => peak_frequency(signal, 1024),
+                };
+            }
+            let beats = BeatPair {
+                up: Hertz(freqs[0] * fs / (2.0 * std::f64::consts::PI)),
+                down: Hertz(freqs[1] * fs / (2.0 * std::f64::consts::PI)),
+            };
+            let (distance, range_rate) = self.config.waveform.invert(beats);
+            out.push(RadarMeasurement {
+                distance,
+                range_rate,
+                beats,
+                snr: *job_snr,
+            });
+        }
+    }
+}
+
+/// Interpolated periodogram peak — the FftPeak extractor and the degenerate
+/// root-MUSIC fallback.
+fn peak_frequency(signal: &[Complex<f64>], nfft: usize) -> f64 {
+    Periodogram::compute(signal, Window::Hann, nfft)
+        .ok()
+        .and_then(|p| p.estimate_frequencies(1, 4).ok())
+        .and_then(|f| f.first().copied())
+        .unwrap_or(0.0)
+}
+
+/// Result of [`Radar::observe_batch_begin`]: either a fully resolved
+/// observation, or a frame whose baseband sits in the scratch arena with
+/// extraction deferred to [`Radar::measurement_from_baseband_batch`].
+#[derive(Debug, Clone)]
+pub enum PendingObservation {
+    /// Observation resolved entirely in the begin phase (analytic mode,
+    /// no detection, jammed/garbage paths).
+    Ready(RadarObservation),
+    /// Signal-mode frame synthesized into the scratch; pair with the
+    /// measurement produced by the batched extraction to build the final
+    /// [`RadarObservation`].
+    Deferred {
+        /// Link-budget SNR of the strongest echo (carried through to the
+        /// measurement, exactly as in the scalar path).
+        snr: f64,
+        /// Total received in-band power.
+        received_power: Watts,
+        /// Whether interference captured the receiver (always `false` on
+        /// this variant — jammed frames resolve as garbage immediately —
+        /// but carried for fidelity with [`RadarObservation`]).
+        jammed: bool,
+    },
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -1058,5 +1346,131 @@ mod tests {
         let r = radar();
         let mut rng = SimRng::seed_from(26);
         let _ = r.observe_multi(true, &[], &ChannelState::clean(), 0, &mut rng);
+    }
+
+    #[test]
+    fn staged_batch_observation_matches_scalar_bitwise() {
+        // Four simultaneous signal-mode frames through the staged
+        // begin → batched-extraction path must reproduce four sequential
+        // `observe_with_scratch` calls bit for bit — under bit-exact
+        // options (scalar kernels, validates the phase split) AND under
+        // fast options (lane kernels, validates their bit-identity).
+        for options in [ScratchOptions::bit_exact(), ScratchOptions::fast()] {
+            let r = Radar::new(RadarConfig::bosch_lrr2_signal());
+            let specs = [(90.0, -2.5), (60.0, 1.0), (120.0, -6.0), (45.0, 0.5)];
+            let mut scalar_obs = Vec::new();
+            for (i, &(d, v)) in specs.iter().enumerate() {
+                let mut rng = SimRng::seed_from(300 + i as u64);
+                let mut scratch = RadarScratch::new(options);
+                scalar_obs.push(r.observe_with_scratch(
+                    true,
+                    Some(&target_at(d, v)),
+                    &ChannelState::clean(),
+                    &mut rng,
+                    &mut scratch,
+                ));
+            }
+
+            let mut scratches: Vec<RadarScratch> =
+                (0..4).map(|_| RadarScratch::new(options)).collect();
+            let mut pendings = Vec::new();
+            for (i, (&(d, v), scratch)) in specs.iter().zip(scratches.iter_mut()).enumerate() {
+                let mut rng = SimRng::seed_from(300 + i as u64);
+                pendings.push(r.observe_batch_begin(
+                    true,
+                    Some(&target_at(d, v)),
+                    &ChannelState::clean(),
+                    &mut rng,
+                    scratch,
+                ));
+            }
+            let mut jobs: Vec<(f64, &mut FrameScratch)> = pendings
+                .iter()
+                .zip(scratches.iter_mut())
+                .map(|(p, s)| match p {
+                    PendingObservation::Deferred { snr, .. } => (*snr, &mut s.frame),
+                    PendingObservation::Ready(_) => panic!("expected deferred frames"),
+                })
+                .collect();
+            let mut batch = FrameBatch::new();
+            let mut measurements = Vec::new();
+            r.measurement_from_baseband_batch(&mut jobs, &mut batch, &mut measurements);
+
+            for ((pending, batched), scalar) in pendings.iter().zip(&measurements).zip(&scalar_obs)
+            {
+                let expected = scalar.measurement.as_ref().expect("signal measurement");
+                assert_eq!(
+                    batched.distance.value().to_bits(),
+                    expected.distance.value().to_bits()
+                );
+                assert_eq!(
+                    batched.range_rate.value().to_bits(),
+                    expected.range_rate.value().to_bits()
+                );
+                assert_eq!(batched.snr.to_bits(), expected.snr.to_bits());
+                match pending {
+                    PendingObservation::Deferred {
+                        received_power,
+                        jammed,
+                        ..
+                    } => {
+                        assert_eq!(
+                            received_power.value().to_bits(),
+                            scalar.received_power.value().to_bits()
+                        );
+                        assert_eq!(*jammed, scalar.jammed);
+                    }
+                    PendingObservation::Ready(_) => unreachable!(),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_begin_resolves_non_signal_paths_ready() {
+        // Analytic mode, no-detection, and jammed frames must resolve in
+        // the begin phase with the scalar observation, including identical
+        // RNG consumption.
+        let analytic = Radar::new(RadarConfig::bosch_lrr2());
+        let mut rng_a = SimRng::seed_from(7);
+        let mut rng_b = SimRng::seed_from(7);
+        let mut scratch = RadarScratch::new(ScratchOptions::bit_exact());
+        let scalar = analytic.observe(
+            true,
+            Some(&target_at(80.0, -1.0)),
+            &ChannelState::clean(),
+            &mut rng_a,
+        );
+        let staged = analytic.observe_batch_begin(
+            true,
+            Some(&target_at(80.0, -1.0)),
+            &ChannelState::clean(),
+            &mut rng_b,
+            &mut scratch,
+        );
+        match staged {
+            PendingObservation::Ready(obs) => {
+                assert_eq!(obs, scalar);
+                assert_eq!(rng_a.next_f64().to_bits(), rng_b.next_f64().to_bits());
+            }
+            PendingObservation::Deferred { .. } => panic!("analytic mode must resolve eagerly"),
+        }
+
+        let signal = Radar::new(RadarConfig::bosch_lrr2_signal());
+        let mut rng_c = SimRng::seed_from(8);
+        let staged = signal.observe_batch_begin(
+            false,
+            None,
+            &ChannelState::clean(),
+            &mut rng_c,
+            &mut scratch,
+        );
+        assert!(matches!(
+            staged,
+            PendingObservation::Ready(RadarObservation {
+                measurement: None,
+                ..
+            })
+        ));
     }
 }

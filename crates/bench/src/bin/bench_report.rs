@@ -14,11 +14,18 @@
 //!   (plan reuse + rotator + no trace materialization) staying ≥ 2× the
 //!   per-trial `Scenario::run` baseline.
 //!
-//! Exits non-zero if either gate fails, so perf regressions fail loudly in
+//! It also audits the *committed* gateway ramp record `BENCH_serve.json`
+//! (`argus-bench-serve/2`, written by `serve_load --ramp`): schema, byte
+//! identity, every per-step gate, and a ramp that reaches at least 10k
+//! concurrently live sessions. That file is a checked-in artifact, not
+//! re-measured here — the audit keeps it honest and fails CI if someone
+//! commits a failing or truncated ramp.
+//!
+//! Exits non-zero if any gate fails, so perf regressions fail loudly in
 //! CI and sweeps.
 //!
 //! ```sh
-//! cargo run --release -p argus-bench --bin bench_report [--quick] [dsp.json] [sim.json]
+//! cargo run --release -p argus-bench --bin bench_report [--quick] [dsp.json] [sim.json] [serve.json]
 //! ```
 //!
 //! `--quick` cuts iteration counts ~5× for CI; the gates are unchanged.
@@ -360,6 +367,99 @@ const SIM_GATES: &[Gate] = &[
     },
 ];
 
+/// The ramp must demonstrate at least this many concurrently live
+/// sessions in the committed record.
+const SERVE_MIN_RAMP_SESSIONS: u64 = 10_000;
+
+/// Audits the committed `serve_load --ramp` record: parseable, current
+/// schema, bit-identical outputs, every per-step gate green, and a ramp
+/// rung of at least [`SERVE_MIN_RAMP_SESSIONS`] sessions. Returns the
+/// failure reasons (empty = pass).
+fn audit_serve_record(report: &argus_sim::json::Json) -> Vec<String> {
+    let mut failures = Vec::new();
+    match report.get("schema").and_then(|s| s.as_str()) {
+        Some("argus-bench-serve/2") => {}
+        other => failures.push(format!(
+            "schema is {other:?}, want \"argus-bench-serve/2\" (regenerate with serve_load --ramp)"
+        )),
+    }
+    if report
+        .get("identity")
+        .and_then(|i| i.get("identical"))
+        .and_then(|b| b.as_bool())
+        != Some(true)
+    {
+        failures.push("identity.identical is not true: served outputs diverged".into());
+    }
+
+    let steps = report
+        .get("ramp")
+        .and_then(|r| r.as_arr())
+        .unwrap_or_default();
+    if steps.is_empty() {
+        failures.push("ramp section is missing or empty".into());
+    }
+    let mut max_sessions = 0u64;
+    println!("\nGateway ramp record (BENCH_serve.json)");
+    println!(
+        "  {:>10} {:>8} {:>12} {:>14} {:>8}",
+        "sessions", "conns", "p99 (us)", "peak RSS (kB)", "gates"
+    );
+    for step in steps {
+        let sessions = step
+            .get("accepted_sessions")
+            .and_then(|v| v.as_u64())
+            .unwrap_or(0);
+        max_sessions = max_sessions.max(sessions);
+        let passed = step.get("passed").and_then(|b| b.as_bool()) == Some(true);
+        if !passed {
+            failures.push(format!("ramp step at {sessions} sessions has passed=false"));
+        }
+        println!(
+            "  {:>10} {:>8} {:>12.0} {:>14} {:>8}",
+            sessions,
+            step.get("conns").and_then(|v| v.as_u64()).unwrap_or(0),
+            step.get("latency_us")
+                .and_then(|l| l.get("p99"))
+                .and_then(|v| v.as_f64())
+                .unwrap_or(f64::NAN),
+            step.get("peak_rss_kb")
+                .and_then(|v| v.as_u64())
+                .unwrap_or(0),
+            if passed { "PASS" } else { "FAIL" },
+        );
+    }
+    if max_sessions < SERVE_MIN_RAMP_SESSIONS {
+        failures.push(format!(
+            "ramp tops out at {max_sessions} accepted sessions, \
+             want >= {SERVE_MIN_RAMP_SESSIONS}"
+        ));
+    }
+    failures
+}
+
+fn serve_record_ok(path: &str) -> bool {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("SERVE RECORD FAILURE: cannot read {path}: {e}");
+            return false;
+        }
+    };
+    let report = match argus_sim::json::parse(&text) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("SERVE RECORD FAILURE: {path} is not valid JSON: {e}");
+            return false;
+        }
+    };
+    let failures = audit_serve_record(&report);
+    for f in &failures {
+        eprintln!("SERVE RECORD FAILURE: {f}");
+    }
+    failures.is_empty()
+}
+
 fn main() {
     let mut quick = false;
     let mut paths: Vec<String> = Vec::new();
@@ -378,6 +478,10 @@ fn main() {
         .get(1)
         .cloned()
         .unwrap_or_else(|| "BENCH_sim.json".into());
+    let serve_path = paths
+        .get(2)
+        .cloned()
+        .unwrap_or_else(|| "BENCH_serve.json".into());
     let it = Iters { quick };
 
     let simd = argus_dsp::simd::lanes_enabled();
@@ -410,7 +514,8 @@ fn main() {
 
     let dsp_ok = report_gates(&dsp_outcomes);
     let sim_ok = report_gates(&sim_outcomes);
-    if !(dsp_ok && sim_ok) {
+    let serve_ok = serve_record_ok(&serve_path);
+    if !(dsp_ok && sim_ok && serve_ok) {
         std::process::exit(1);
     }
 }

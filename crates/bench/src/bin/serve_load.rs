@@ -1,31 +1,44 @@
 //! Loopback load generator for the argus-serve gateway.
 //!
-//! Boots an in-process [`Gateway`], then replays `ScenarioPlan`-generated
-//! observation streams over TCP from hundreds of concurrent closed-loop
-//! sessions — DoS and delay attacks mixed, predictor kinds rotated, and a
-//! slice of sessions shipping raw FMCW baseband for server-side DSP offload.
-//! Every session verifies the gateway's answers byte-for-byte against a
-//! locally driven `SecurePipeline`, so the throughput numbers are only
-//! reported if the served outputs are bit-identical to direct execution.
+//! Two modes, one correctness bar: every served answer is verified
+//! byte-for-byte against a locally driven `SecurePipeline`, and the
+//! numbers are only meaningful if that identity holds.
 //!
-//! Reports sessions/sec, frames/sec and p50/p99 per-frame round-trip
-//! latency (P² estimators folded in deterministic session order) and writes
-//! `BENCH_serve.json` (`argus-bench-serve/1`) through the shared report
-//! writer. Exits non-zero on any identity mismatch.
+//! * **Fixed fleet** (default): N thread-per-connection closed-loop
+//!   sessions — DoS and delay attacks mixed, predictor kinds rotated, and
+//!   a slice of sessions shipping raw FMCW baseband for server-side DSP
+//!   offload. Writes `argus-bench-serve/1`.
+//! * **Ramp** (`--ramp`): steps the gateway through 1k → 10k → 100k
+//!   *concurrently live* sessions (with `--smoke`: 1k → 10k, the CI
+//!   tier). Sessions are multiplexed over at most 2048 connections via
+//!   `MSG_MUX` framing — loopback runs out of ephemeral ports around
+//!   28k sockets — and every connection's sessions are handshaken before
+//!   any step traffic flows, so "N sessions" means N simultaneously
+//!   registered sessions on the gateway. Per step it records accepted
+//!   sessions, p50/p99 per-frame round-trip latency (P² folds in
+//!   deterministic driver order), peak RSS, and the gateway's own thread
+//!   count (which must stay at shards + acceptor regardless of session
+//!   count — that is the point of the reactor), each behind a gated
+//!   ceiling. Writes `argus-bench-serve/2`.
 //!
 //! ```sh
 //! cargo run --release -p argus-bench --bin serve_load [sessions] [steps] [out.json]
 //! cargo run --release -p argus-bench --bin serve_load -- --smoke
+//! cargo run --release -p argus-bench --bin serve_load -- --ramp [--smoke]
 //! ```
 //!
-//! `--smoke` runs 8 sessions (raw-baseband included) — the CI gate.
+//! Exits 1 on any identity mismatch or gate violation, 2 on a usage error.
 
-use std::time::Instant;
+use std::sync::Barrier;
+use std::time::{Duration, Instant};
 
-use argus_bench::report::write_report;
+use argus_bench::report::{peak_rss_kb, write_report};
 use argus_core::{PredictorKind, ScenarioConfig, ScenarioPlan};
 use argus_radar::RadarConfig;
-use argus_serve::harness::{drive_session, DriveReport, Transport};
+use argus_serve::harness::{
+    drive_session, DriveReport, MuxDriveReport, MuxDriver, MuxSessionSpec, Transport,
+};
+use argus_serve::reactor::raise_nofile_limit;
 use argus_serve::server::{Gateway, GatewayConfig};
 use argus_sim::json::Json;
 use argus_sim::stats::{P2Quantile, RunningStats};
@@ -37,8 +50,51 @@ const PREDICTORS: [PredictorKind; 3] = [
     PredictorKind::Holt,
 ];
 
-/// Every 8th session ships raw baseband instead of extracted values.
+/// Every 8th fixed-mode session ships raw baseband instead of extracted
+/// values.
 const RAW_STRIDE: u64 = 8;
+
+/// Mux connections per ramp step are capped here regardless of the fd
+/// budget: past this point more sockets only burn ports, not find bugs.
+const MAX_RAMP_CONNS: u64 = 2048;
+
+/// Client-side driver threads for the ramp (each owns a contiguous slice
+/// of connections).
+const MAX_RAMP_THREADS: usize = 16;
+
+/// Ramp gate: per-frame p99 round-trip ceiling, microseconds. Loose on
+/// purpose — at 100k sessions on a small box a pipelined batch legally
+/// waits out most of a global round — but it still catches a reactor that
+/// stalls or livelocks under fan-in.
+const RAMP_P99_CEILING_US: f64 = 5_000_000.0;
+
+/// Ramp gate: peak RSS ceiling, kB (VmHWM, so it is cumulative across
+/// steps). 100k sessions cost ~1 GB across both ends of the wire; 8 GB
+/// flags a leak, not normal growth.
+const RAMP_RSS_CEILING_KB: u64 = 8_000_000;
+
+const USAGE: &str = "\
+usage: serve_load [OPTIONS] [sessions] [steps] [out.json]
+
+modes:
+  (default)      fixed fleet: N thread-per-connection sessions, mixed
+                 attacks/predictors/transports  (schema argus-bench-serve/1)
+  --ramp         concurrency ramp over multiplexed connections:
+                 1k -> 10k -> 100k concurrently live sessions
+                 (--smoke: 1k -> 10k)           (schema argus-bench-serve/2)
+
+options:
+  --sessions N   fixed-mode session count       (default 128; 8 with --smoke)
+  --steps N      simulation steps per session   (fixed: 150, smoke 40; ramp: 5)
+  --out PATH     report path                    (default BENCH_serve.json)
+  --smoke        CI tier: smaller fleet / shorter ramp
+  --help         this text";
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("serve_load: {message}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
 
 struct SessionSpec {
     vehicle_id: u64,
@@ -269,23 +325,500 @@ fn report_json(r: &LoadResult, steps: u64, workers: usize) -> Json {
     ])
 }
 
+// ---------------------------------------------------------------------------
+// Ramp mode
+// ---------------------------------------------------------------------------
+
+/// What one rung of the ramp ladder measured.
+struct RampStep {
+    target: u64,
+    accepted: u64,
+    conns: u64,
+    sessions_per_conn: u64,
+    failed_conns: u64,
+    frames: u64,
+    mismatches: u64,
+    snapshot_mismatches: u64,
+    wall_s: f64,
+    latency_p50: P2Quantile,
+    latency_p99: P2Quantile,
+    peak_rss_kb: u64,
+    gateway_threads: u64,
+    workers: usize,
+}
+
+impl RampStep {
+    fn identical(&self) -> bool {
+        self.failed_conns == 0
+            && self.mismatches == 0
+            && self.snapshot_mismatches == 0
+            && self.accepted == self.target
+    }
+
+    fn p99_us(&self) -> f64 {
+        us_q(self.latency_p99.estimate())
+    }
+
+    /// The (name, value, ceiling, passed) gate rows for this step.
+    fn gates(&self) -> Vec<(&'static str, f64, f64, bool)> {
+        let thread_ceiling = (self.workers + 1) as f64;
+        vec![
+            (
+                "p99_us",
+                self.p99_us(),
+                RAMP_P99_CEILING_US,
+                self.p99_us() <= RAMP_P99_CEILING_US,
+            ),
+            (
+                "peak_rss_kb",
+                self.peak_rss_kb as f64,
+                RAMP_RSS_CEILING_KB as f64,
+                self.peak_rss_kb <= RAMP_RSS_CEILING_KB,
+            ),
+            (
+                "gateway_threads",
+                self.gateway_threads as f64,
+                thread_ceiling,
+                (self.gateway_threads as f64) <= thread_ceiling,
+            ),
+        ]
+    }
+
+    fn passed(&self) -> bool {
+        self.identical() && self.frames > 0 && self.gates().iter().all(|g| g.3)
+    }
+}
+
+/// Threads in this process whose comm name marks them as gateway-owned
+/// (`argus-serve-shard-N` / `argus-serve-acceptor`; `/proc` truncates comm
+/// to 15 bytes, so match on the prefix). Returns 0 off Linux — the thread
+/// gate is then vacuous rather than wrong.
+fn count_gateway_threads() -> u64 {
+    let Ok(entries) = std::fs::read_dir("/proc/self/task") else {
+        return 0;
+    };
+    let mut n = 0;
+    for entry in entries.flatten() {
+        if let Ok(comm) = std::fs::read_to_string(entry.path().join("comm")) {
+            if comm.trim_end().starts_with("argus-serve") {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+/// How many mux connections a step of `target` sessions should use: capped
+/// by the fleet limit and by the process fd budget (each loopback
+/// connection burns two descriptors — both ends live here).
+fn ramp_conns(target: u64) -> u64 {
+    let want_conns = target.min(MAX_RAMP_CONNS);
+    let fd_budget = match raise_nofile_limit(want_conns * 2 + 512) {
+        Ok(limit) => limit.saturating_sub(128) / 2,
+        // Couldn't raise the limit: stay conservatively under the
+        // baseline soft limit most systems grant (1024).
+        Err(_) => 256,
+    };
+    want_conns.min(fd_budget).max(1)
+}
+
+/// One rung of the ramp: boot a fresh gateway, handshake every session
+/// across every connection, *then* measure the gateway's thread count,
+/// then drive all sessions through `steps` pipelined rounds and the final
+/// snapshot identity check.
+fn run_ramp_step(target: u64, steps: u64, config: &GatewayConfig, plan: &ScenarioPlan) -> RampStep {
+    let conns = ramp_conns(target);
+    let per_conn = target.div_ceil(conns);
+
+    // Deterministic session layout: global session g lives on connection
+    // g / per_conn as channel (g % per_conn) + 1 (channel 0 is the plain,
+    // non-muxed lane the gateway uses for advisories).
+    let mut conn_specs: Vec<Vec<MuxSessionSpec>> = Vec::new();
+    for g in 0..target {
+        if g % per_conn == 0 {
+            conn_specs.push(Vec::with_capacity(per_conn as usize));
+        }
+        conn_specs
+            .last_mut()
+            .expect("pushed above")
+            .push(MuxSessionSpec {
+                channel: (g % per_conn) as u32 + 1,
+                vehicle_id: g,
+                seed: 0xA5 + g,
+                predictor: PREDICTORS[(g % 3) as usize],
+            });
+    }
+    let conns = conn_specs.len() as u64;
+
+    let gateway = Gateway::bind("127.0.0.1:0", config.clone()).expect("bind loopback gateway");
+    let addr = gateway.local_addr();
+    let session_cfg = config.session.clone();
+
+    let threads = MAX_RAMP_THREADS.min(conn_specs.len()).max(1);
+    let chunk = conn_specs.len().div_ceil(threads);
+    // Two rendezvous: after the first, every session everywhere is
+    // handshaken and live; main measures the gateway's thread census in
+    // that steady state; the second releases step traffic.
+    let barrier = Barrier::new(threads + 1);
+
+    let mut gateway_threads = 0u64;
+    let mut wall_s = 0.0f64;
+    let reports: Vec<Vec<Result<MuxDriveReport, String>>> = std::thread::scope(|scope| {
+        #[allow(clippy::needless_collect)]
+        let handles: Vec<_> = conn_specs
+            .chunks(chunk)
+            .map(|specs_chunk| {
+                let barrier = &barrier;
+                let session_cfg = &session_cfg;
+                scope.spawn(move || {
+                    let mut drivers: Vec<Result<MuxDriver, String>> = specs_chunk
+                        .iter()
+                        .map(|specs| {
+                            MuxDriver::connect(addr, plan, session_cfg, specs)
+                                .map_err(|e| format!("connect/handshake: {e}"))
+                        })
+                        .collect();
+                    barrier.wait();
+                    barrier.wait();
+                    let mut done: Vec<bool> = drivers.iter().map(Result::is_err).collect();
+                    for _ in 0..steps {
+                        for (i, d) in drivers.iter_mut().enumerate() {
+                            if done[i] {
+                                continue;
+                            }
+                            let mut failure = None;
+                            if let Ok(drv) = d.as_mut() {
+                                match drv.run_step() {
+                                    Ok(true) => {}
+                                    Ok(false) => done[i] = true,
+                                    Err(e) => failure = Some(e.to_string()),
+                                }
+                            }
+                            if let Some(e) = failure {
+                                *d = Err(format!("step: {e}"));
+                                done[i] = true;
+                            }
+                        }
+                    }
+                    drivers
+                        .into_iter()
+                        .map(|d| d.and_then(|drv| drv.finish().map_err(|e| format!("finish: {e}"))))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+
+        barrier.wait();
+        gateway_threads = count_gateway_threads();
+        barrier.wait();
+        let t0 = Instant::now();
+        let reports = handles
+            .into_iter()
+            .map(|h| h.join().expect("ramp driver thread panicked"))
+            .collect();
+        wall_s = t0.elapsed().as_secs_f64();
+        reports
+    });
+    gateway.shutdown();
+
+    let mut out = RampStep {
+        target,
+        accepted: 0,
+        conns,
+        sessions_per_conn: per_conn,
+        failed_conns: 0,
+        frames: 0,
+        mismatches: 0,
+        snapshot_mismatches: 0,
+        wall_s,
+        latency_p50: P2Quantile::new(50.0),
+        latency_p99: P2Quantile::new(99.0),
+        peak_rss_kb: peak_rss_kb().unwrap_or(0),
+        gateway_threads,
+        workers: config.workers,
+    };
+    // Fold in (thread, connection) order: deterministic for a given run
+    // regardless of scheduling.
+    for report in reports.iter().flatten() {
+        match report {
+            Ok(r) => {
+                out.accepted += r.sessions;
+                out.frames += r.frames;
+                out.mismatches += r.mismatches;
+                out.snapshot_mismatches += r.snapshot_mismatches;
+                for &l in &r.latencies {
+                    out.latency_p50.push(l);
+                    out.latency_p99.push(l);
+                }
+            }
+            Err(e) => {
+                out.failed_conns += 1;
+                eprintln!("CONNECTION FAILURE at {target} sessions: {e}");
+            }
+        }
+    }
+    out
+}
+
+fn ramp_step_json(s: &RampStep) -> Json {
+    let gates = s
+        .gates()
+        .into_iter()
+        .map(|(name, value, ceiling, passed)| {
+            Json::Obj(vec![
+                ("name".to_string(), Json::str(name)),
+                ("value".to_string(), Json::num(value)),
+                ("ceiling".to_string(), Json::num(ceiling)),
+                ("passed".to_string(), Json::Bool(passed)),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("sessions".to_string(), Json::num(s.target as f64)),
+        (
+            "accepted_sessions".to_string(),
+            Json::num(s.accepted as f64),
+        ),
+        ("conns".to_string(), Json::num(s.conns as f64)),
+        (
+            "sessions_per_conn".to_string(),
+            Json::num(s.sessions_per_conn as f64),
+        ),
+        ("failed_conns".to_string(), Json::num(s.failed_conns as f64)),
+        ("frames".to_string(), Json::num(s.frames as f64)),
+        ("wall_s".to_string(), Json::num(s.wall_s)),
+        (
+            "frames_per_sec".to_string(),
+            Json::num(s.frames as f64 / s.wall_s.max(1e-9)),
+        ),
+        (
+            "latency_us".to_string(),
+            Json::Obj(vec![
+                ("p50".to_string(), Json::num(us_q(s.latency_p50.estimate()))),
+                ("p99".to_string(), Json::num(us_q(s.latency_p99.estimate()))),
+            ]),
+        ),
+        ("peak_rss_kb".to_string(), Json::num(s.peak_rss_kb as f64)),
+        (
+            "gateway_threads".to_string(),
+            Json::num(s.gateway_threads as f64),
+        ),
+        ("gates".to_string(), Json::Arr(gates)),
+        ("passed".to_string(), Json::Bool(s.passed())),
+    ])
+}
+
+fn ramp_report_json(steps: &[RampStep], steps_per_session: u64, smoke: bool) -> Json {
+    let mismatches: u64 = steps.iter().map(|s| s.mismatches).sum();
+    let snapshots: u64 = steps.iter().map(|s| s.snapshot_mismatches).sum();
+    let failed_conns: u64 = steps.iter().map(|s| s.failed_conns).sum();
+    let identical = steps.iter().all(RampStep::identical);
+    Json::Obj(vec![
+        ("schema".to_string(), Json::str("argus-bench-serve/2")),
+        ("mode".to_string(), Json::str("ramp")),
+        ("smoke".to_string(), Json::Bool(smoke)),
+        (
+            "steps_per_session".to_string(),
+            Json::num(steps_per_session as f64),
+        ),
+        (
+            "workers".to_string(),
+            Json::num(steps.first().map_or(0, |s| s.workers) as f64),
+        ),
+        (
+            "ramp".to_string(),
+            Json::Arr(steps.iter().map(ramp_step_json).collect()),
+        ),
+        (
+            "identity".to_string(),
+            Json::Obj(vec![
+                ("failed_conns".to_string(), Json::num(failed_conns as f64)),
+                ("mismatch_frames".to_string(), Json::num(mismatches as f64)),
+                ("snapshot_failures".to_string(), Json::num(snapshots as f64)),
+                ("identical".to_string(), Json::Bool(identical)),
+            ]),
+        ),
+    ])
+}
+
+fn run_ramp(steps_per_session: u64, smoke: bool, path: &str) {
+    let targets: &[u64] = if smoke {
+        &[1_000, 10_000]
+    } else {
+        &[1_000, 10_000, 100_000]
+    };
+
+    let mut config = GatewayConfig::paper();
+    config.workers = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .min(16);
+    // Handshaking 100k sessions takes a while before any of them speaks
+    // again; the ramp is measuring concurrency, not the idle reaper.
+    config.idle_timeout = Duration::from_secs(600);
+
+    println!(
+        "serve_load ramp{}: {:?} concurrent sessions x {steps_per_session} steps, \
+         {} shard workers",
+        if smoke { " [smoke]" } else { "" },
+        targets,
+        config.workers,
+    );
+
+    let plan = ramp_plan();
+    let mut results: Vec<RampStep> = Vec::new();
+    for &target in targets {
+        let s = run_ramp_step(target, steps_per_session, &config, &plan);
+        println!(
+            "{:>7} sessions over {:>4} conns ({} threads in gateway): \
+             {} accepted, {} frames in {:.2} s ({:.0} frames/s), \
+             p50 {:.0} us p99 {:.0} us, peak RSS {} kB — {}",
+            s.target,
+            s.conns,
+            s.gateway_threads,
+            s.accepted,
+            s.frames,
+            s.wall_s,
+            s.frames as f64 / s.wall_s.max(1e-9),
+            us_q(s.latency_p50.estimate()),
+            s.p99_us(),
+            s.peak_rss_kb,
+            if s.passed() { "PASS" } else { "FAIL" },
+        );
+        for (name, value, ceiling, passed) in s.gates() {
+            if !passed {
+                eprintln!(
+                    "GATE FAILURE at {} sessions: {name} = {value:.0} exceeds ceiling {ceiling:.0}",
+                    s.target
+                );
+            }
+        }
+        results.push(s);
+    }
+
+    let report = ramp_report_json(&results, steps_per_session, smoke);
+    write_report(path, &report);
+
+    let identical = results.iter().all(RampStep::identical);
+    let all_passed = results.iter().all(RampStep::passed);
+    println!(
+        "byte-identity vs direct pipelines: {}",
+        if identical { "PASS" } else { "FAIL" }
+    );
+    if !all_passed || !identical {
+        eprintln!("RAMP FAILURE: see gate/identity lines above");
+        std::process::exit(1);
+    }
+}
+
+/// The ramp drives every session off one shared analytic DoS plan: the
+/// mux harness ships extracted measurements, and one plan keeps the
+/// 100k-session memory bill on the sessions themselves, where it belongs.
+fn ramp_plan() -> ScenarioPlan {
+    ScenarioPlan::new(ScenarioConfig::paper(
+        LeaderProfile::paper_constant_decel(),
+        argus_attack::Adversary::paper_dos(),
+        true,
+    ))
+}
+
+struct Cli {
+    smoke: bool,
+    ramp: bool,
+    sessions: Option<u64>,
+    steps: Option<u64>,
+    out: Option<String>,
+}
+
+fn parse_cli() -> Cli {
+    let mut cli = Cli {
+        smoke: false,
+        ramp: false,
+        sessions: None,
+        steps: None,
+        out: None,
+    };
+    let mut positional: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut flag_value = |name: &str| -> String {
+            args.next()
+                .unwrap_or_else(|| usage_error(&format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--smoke" => cli.smoke = true,
+            "--ramp" => cli.ramp = true,
+            "--sessions" => {
+                let v = flag_value("--sessions");
+                cli.sessions = Some(v.parse().unwrap_or_else(|_| {
+                    usage_error(&format!("--sessions needs a positive integer, got `{v}`"))
+                }));
+            }
+            "--steps" => {
+                let v = flag_value("--steps");
+                cli.steps = Some(v.parse().unwrap_or_else(|_| {
+                    usage_error(&format!("--steps needs a positive integer, got `{v}`"))
+                }));
+            }
+            "--out" => cli.out = Some(flag_value("--out")),
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => {
+                usage_error(&format!("unknown flag `{other}`"));
+            }
+            _ => positional.push(arg),
+        }
+    }
+    if positional.len() > 3 {
+        usage_error(&format!(
+            "expected at most 3 positional arguments, got {}",
+            positional.len()
+        ));
+    }
+    // Positional [sessions] [steps] [out.json] stays accepted; explicit
+    // flags win over positionals.
+    if cli.sessions.is_none() {
+        if let Some(v) = positional.first() {
+            cli.sessions = Some(v.parse().unwrap_or_else(|_| {
+                usage_error(&format!("sessions must be a positive integer, got `{v}`"))
+            }));
+        }
+    }
+    if cli.steps.is_none() {
+        if let Some(v) = positional.get(1) {
+            cli.steps = Some(v.parse().unwrap_or_else(|_| {
+                usage_error(&format!("steps must be a positive integer, got `{v}`"))
+            }));
+        }
+    }
+    if cli.out.is_none() {
+        cli.out = positional.get(2).cloned();
+    }
+    if cli.sessions == Some(0) {
+        usage_error("--sessions must be at least 1");
+    }
+    if cli.steps == Some(0) {
+        usage_error("--steps must be at least 1");
+    }
+    if cli.ramp && cli.sessions.is_some() {
+        usage_error("--sessions applies to fixed mode; the ramp ladder is built in");
+    }
+    cli
+}
+
 fn main() {
-    let raw: Vec<String> = std::env::args().skip(1).collect();
-    let smoke = raw.iter().any(|a| a == "--smoke");
-    let positional: Vec<&String> = raw.iter().filter(|a| !a.starts_with("--")).collect();
-    let sessions: u64 = positional
-        .first()
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(if smoke { 8 } else { 128 });
-    let steps: u64 = positional
-        .get(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(if smoke { 40 } else { 150 });
-    let path = positional
-        .get(2)
-        .map(|s| s.as_str())
-        .unwrap_or("BENCH_serve.json")
-        .to_string();
+    let cli = parse_cli();
+    let path = cli.out.clone().unwrap_or_else(|| "BENCH_serve.json".into());
+
+    if cli.ramp {
+        run_ramp(cli.steps.unwrap_or(5), cli.smoke, &path);
+        return;
+    }
+
+    let sessions = cli.sessions.unwrap_or(if cli.smoke { 8 } else { 128 });
+    let steps = cli.steps.unwrap_or(if cli.smoke { 40 } else { 150 });
 
     let mut config = GatewayConfig::paper();
     config.workers = std::thread::available_parallelism()
@@ -298,7 +831,7 @@ fn main() {
          ({} raw-baseband, {} shard workers){}",
         sessions.div_ceil(RAW_STRIDE),
         config.workers,
-        if smoke { " [smoke]" } else { "" },
+        if cli.smoke { " [smoke]" } else { "" },
     );
 
     let result = run_load(sessions, steps, &config);

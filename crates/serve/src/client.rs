@@ -95,7 +95,7 @@ impl GatewayClient {
 
     fn open(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
         let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true)?;
+        crate::net::configure_stream(&stream)?;
         Ok(Self {
             stream,
             reader: FrameReader::new(),

@@ -7,8 +7,15 @@
 //! This is the subsystem's correctness anchor: the only difference between
 //! the two paths is the transport, so any output divergence — one bit of
 //! one distance at one step — is a gateway bug.
+//!
+//! Two drivers live here: [`drive_session`] (one blocking lock-step session
+//! per connection) and [`drive_mux_sessions`] (many sessions multiplexed
+//! over one socket with pipelined batches — the shape the 100k-session ramp
+//! uses, since loopback runs out of ephemeral ports around 28k
+//! connections).
 
-use std::net::SocketAddr;
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpStream};
 use std::time::Instant;
 
 use argus_core::{
@@ -22,8 +29,8 @@ use argus_sim::units::{Meters, MetersPerSecond};
 use crate::client::{ClientError, GatewayClient};
 use crate::session::SessionConfig;
 use crate::wire::{
-    ExtractedMeasurement, Hello, Observation, ObservationBody, RawFrame, SafeMeasurement,
-    VerdictMsg,
+    self, ErrorCode, ExtractedMeasurement, FrameReader, Hello, Message, Observation,
+    ObservationBody, RawFrame, SafeMeasurement, VerdictMsg,
 };
 
 /// How the harness ships measurements.
@@ -205,4 +212,343 @@ pub fn drive_session(
     let snap = client.snapshot()?;
     report.snapshot_matches = snap.state == local.snapshot();
     Ok(report)
+}
+
+/// One session to multiplex over a shared connection.
+#[derive(Debug, Clone, Copy)]
+pub struct MuxSessionSpec {
+    /// Mux channel the session rides on (unique per connection).
+    pub channel: u32,
+    /// Vehicle identity sent in `Hello`.
+    pub vehicle_id: u64,
+    /// Simulator seed.
+    pub seed: u64,
+    /// Predictor the session negotiates.
+    pub predictor: PredictorKind,
+}
+
+/// What one multiplexed connection's worth of sessions produced.
+#[derive(Debug, Clone)]
+pub struct MuxDriveReport {
+    /// Sessions handshaken and driven.
+    pub sessions: u64,
+    /// Observation frames acknowledged across all sessions.
+    pub frames: u64,
+    /// Steps whose gateway output differed from the local pipeline.
+    pub mismatches: u64,
+    /// Sessions whose final server snapshot differed from the local one.
+    pub snapshot_mismatches: u64,
+    /// Per-response latencies, seconds: batch-send instant to
+    /// `SafeMeasurement` receipt, so queueing inside a pipelined batch
+    /// counts against the gateway.
+    pub latencies: Vec<f64>,
+}
+
+impl MuxDriveReport {
+    /// True when every step of every session and every final snapshot
+    /// matched bit-for-bit.
+    pub fn identical(&self) -> bool {
+        self.mismatches == 0 && self.snapshot_mismatches == 0
+    }
+}
+
+/// Per-session driving state for the mux loop.
+struct MuxLane<'a> {
+    spec: MuxSessionSpec,
+    sim: argus_core::VehicleSim<'a>,
+    local: SecurePipeline,
+    /// Still producing observations (false once collided).
+    live: bool,
+    /// The `Verdict` half of a response pair awaiting its
+    /// `SafeMeasurement`.
+    pending_verdict: Option<VerdictMsg>,
+    /// Local output for the step currently in flight.
+    pending_local: Option<PipelineOutput>,
+}
+
+/// Reads the next channel-tagged frame, skipping plain `Backpressure`
+/// advisories and turning other plain/typed errors into `ClientError`s.
+fn next_muxed(reader: &mut FrameReader, stream: &TcpStream) -> Result<(u32, Message), ClientError> {
+    let mut r = stream;
+    loop {
+        let frame = reader.read_any_from(&mut r)?;
+        match (frame.channel, frame.msg) {
+            (None, Message::Error(e)) if e.code == ErrorCode::Backpressure => continue,
+            (None, Message::Error(e)) => return Err(ClientError::Remote(e)),
+            (None, other) => {
+                return Err(ClientError::Protocol(format!(
+                    "expected a muxed frame, got plain {other:?}"
+                )))
+            }
+            (Some(_), Message::Error(e)) => return Err(ClientError::Remote(e)),
+            (Some(c), msg) => return Ok((c, msg)),
+        }
+    }
+}
+
+/// Many closed-loop sessions multiplexed over ONE socket via `MSG_MUX`
+/// framing, driven in pipelined batches with phase control: connect and
+/// handshake first ([`MuxDriver::connect`]), then one batch per call to
+/// [`MuxDriver::run_step`], then [`MuxDriver::finish`] for the snapshot
+/// identity check. The split lets a ramp harness open every connection's
+/// sessions before any of them starts stepping, so "N concurrent sessions"
+/// means N simultaneously-registered sessions on the gateway.
+///
+/// All sessions share `plan` (and one [`TrialScratch`] arena — extraction
+/// is bit-exact and depends only on the samples) but get their own seed and
+/// predictor from their [`MuxSessionSpec`].
+pub struct MuxDriver<'a> {
+    stream: TcpStream,
+    reader: FrameReader,
+    batch: Vec<u8>,
+    scratch: TrialScratch,
+    schedule: argus_cra::ChallengeSchedule,
+    lanes: Vec<MuxLane<'a>>,
+    next_step: u64,
+    report: MuxDriveReport,
+}
+
+impl std::fmt::Debug for MuxDriver<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MuxDriver")
+            .field("lanes", &self.lanes.len())
+            .field("next_step", &self.next_step)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> MuxDriver<'a> {
+    /// Connects one socket and handshakes every session in one pipelined
+    /// batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and server errors.
+    pub fn connect(
+        addr: SocketAddr,
+        plan: &'a ScenarioPlan,
+        session_cfg: &SessionConfig,
+        specs: &[MuxSessionSpec],
+    ) -> Result<Self, ClientError> {
+        let stream = TcpStream::connect(addr)?;
+        crate::net::configure_stream(&stream)?;
+        let mut driver = Self {
+            stream,
+            reader: FrameReader::new(),
+            batch: Vec::new(),
+            scratch: TrialScratch::for_plan(plan),
+            schedule: session_cfg.schedule.clone(),
+            lanes: specs
+                .iter()
+                .map(|&spec| MuxLane {
+                    spec,
+                    sim: plan.vehicle_sim(spec.seed),
+                    local: local_pipeline(session_cfg, spec.predictor),
+                    live: true,
+                    pending_verdict: None,
+                    pending_local: None,
+                })
+                .collect(),
+            next_step: 0,
+            report: MuxDriveReport {
+                sessions: specs.len() as u64,
+                frames: 0,
+                mismatches: 0,
+                snapshot_mismatches: 0,
+                latencies: Vec::new(),
+            },
+        };
+
+        driver.batch.clear();
+        for lane in &driver.lanes {
+            wire::encode_mux_into(
+                lane.spec.channel,
+                &Message::Hello(Hello {
+                    vehicle_id: lane.spec.vehicle_id,
+                    predictor: lane.spec.predictor,
+                    max_inflight: 0,
+                    resume: false,
+                }),
+                &mut driver.batch,
+            );
+        }
+        (&driver.stream).write_all(&driver.batch)?;
+        for _ in 0..driver.lanes.len() {
+            let (channel, msg) = next_muxed(&mut driver.reader, &driver.stream)?;
+            let idx = lane_index(channel, &driver.lanes)?;
+            match msg {
+                Message::Welcome(w) => {
+                    if w.vehicle_id != driver.lanes[idx].spec.vehicle_id {
+                        return Err(ClientError::Protocol(format!(
+                            "channel {channel} welcomed vehicle {} (wanted {})",
+                            w.vehicle_id, driver.lanes[idx].spec.vehicle_id
+                        )));
+                    }
+                }
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "expected Welcome on channel {channel}, got {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(driver)
+    }
+
+    /// Sessions handshaken on this connection.
+    pub fn sessions(&self) -> u64 {
+        self.report.sessions
+    }
+
+    /// Drives one simulation step across every live session: one pipelined
+    /// batch out, every (Verdict, SafeMeasurement) pair verified against
+    /// the local twin on the way back. Returns false when every session
+    /// has collided (the step was a no-op).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and server errors, including responses on mux
+    /// channels that were never opened.
+    pub fn run_step(&mut self) -> Result<bool, ClientError> {
+        let k_idx = self.next_step;
+        self.next_step += 1;
+        let k = Step(k_idx);
+        let tx_on = self.schedule.tx_on(k);
+
+        // Build one pipelined batch: this step's observation for every
+        // live session, and its locally computed twin output.
+        self.batch.clear();
+        let mut in_flight = 0u64;
+        for lane in &mut self.lanes {
+            if !lane.live {
+                continue;
+            }
+            if lane.sim.collided() {
+                lane.live = false;
+                continue;
+            }
+            let own_speed = lane.sim.own_speed();
+            let (obs, draw) = lane.sim.observe_traced(k, tx_on, &mut self.scratch);
+            let wire_obs = wire_observation(k_idx, own_speed.value(), &obs, draw, None);
+            wire::encode_mux_into(
+                lane.spec.channel,
+                &Message::Observation(wire_obs),
+                &mut self.batch,
+            );
+            lane.pending_local = Some(lane.local.process(k, &obs, own_speed));
+            in_flight += 1;
+        }
+        if in_flight == 0 {
+            return Ok(false);
+        }
+
+        let t0 = Instant::now();
+        (&self.stream).write_all(&self.batch)?;
+        // Each observation answers with a (Verdict, SafeMeasurement) pair.
+        let mut outstanding = in_flight * 2;
+        while outstanding > 0 {
+            let (channel, msg) = next_muxed(&mut self.reader, &self.stream)?;
+            let idx = lane_index(channel, &self.lanes)?;
+            let lane = &mut self.lanes[idx];
+            match msg {
+                Message::Verdict(v) => {
+                    if lane.pending_verdict.replace(v).is_some() {
+                        return Err(ClientError::Protocol(format!(
+                            "channel {channel}: two Verdicts for one Observation"
+                        )));
+                    }
+                }
+                Message::SafeMeasurement(safe) => {
+                    let (Some(verdict), Some(local_out)) =
+                        (lane.pending_verdict.take(), lane.pending_local.take())
+                    else {
+                        return Err(ClientError::Protocol(format!(
+                            "channel {channel}: SafeMeasurement without a Verdict"
+                        )));
+                    };
+                    self.report.latencies.push(t0.elapsed().as_secs_f64());
+                    self.report.frames += 1;
+                    if !outputs_match(&verdict, &safe, &local_out) {
+                        self.report.mismatches += 1;
+                    }
+                    // The plant consumes the gateway's answer.
+                    lane.sim.advance(
+                        safe.control_distance.map(Meters),
+                        MetersPerSecond(safe.relative_speed),
+                    );
+                }
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "unexpected response on channel {channel}: {other:?}"
+                    )))
+                }
+            }
+            outstanding -= 1;
+        }
+        Ok(true)
+    }
+
+    /// Final state check — one pipelined snapshot request per session,
+    /// each compared bit-for-bit against its local twin — and the report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transport and server errors.
+    pub fn finish(mut self) -> Result<MuxDriveReport, ClientError> {
+        self.batch.clear();
+        for lane in &self.lanes {
+            wire::encode_mux_into(
+                lane.spec.channel,
+                &Message::SnapshotRequest,
+                &mut self.batch,
+            );
+        }
+        (&self.stream).write_all(&self.batch)?;
+        for _ in 0..self.lanes.len() {
+            let (channel, msg) = next_muxed(&mut self.reader, &self.stream)?;
+            let idx = lane_index(channel, &self.lanes)?;
+            match msg {
+                Message::Snapshot(snap) => {
+                    if snap.state != self.lanes[idx].local.snapshot() {
+                        self.report.snapshot_mismatches += 1;
+                    }
+                }
+                other => {
+                    return Err(ClientError::Protocol(format!(
+                        "expected Snapshot on channel {channel}, got {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(self.report)
+    }
+}
+
+fn lane_index(channel: u32, lanes: &[MuxLane<'_>]) -> Result<usize, ClientError> {
+    lanes
+        .iter()
+        .position(|l| l.spec.channel == channel)
+        .ok_or_else(|| ClientError::Protocol(format!("response on unknown channel {channel}")))
+}
+
+/// One-shot convenience over [`MuxDriver`]: connect, drive `steps`, check
+/// snapshots.
+///
+/// # Errors
+///
+/// Propagates transport and server errors.
+pub fn drive_mux_sessions(
+    addr: SocketAddr,
+    plan: &ScenarioPlan,
+    session_cfg: &SessionConfig,
+    specs: &[MuxSessionSpec],
+    steps: u64,
+) -> Result<MuxDriveReport, ClientError> {
+    let mut driver = MuxDriver::connect(addr, plan, session_cfg, specs)?;
+    for _ in 0..steps {
+        if !driver.run_step()? {
+            break;
+        }
+    }
+    driver.finish()
 }

@@ -8,17 +8,26 @@
 //! would produce.
 //!
 //! * [`wire`] — the versioned length-prefixed binary protocol. Pure slice
-//!   codec, typed errors, no `unsafe`, no dependencies beyond the
+//!   codec with a resumable incremental [`wire::Decoder`] and session
+//!   multiplexing (`MSG_MUX`), typed errors, no dependencies beyond the
 //!   workspace's own types.
 //! * [`session`] — one vehicle's pipeline state: predictor negotiated at
 //!   `Hello`, monotonic step validation, snapshot/restore that survives
 //!   reconnects.
-//! * [`server`] — acceptor + sharded workers with per-shard DSP arenas,
-//!   bounded per-session inflight windows with explicit backpressure,
-//!   idle-session eviction and draining shutdown.
+//! * [`server`] — acceptor + event-driven reactor shards (one epoll/`poll`
+//!   instance and one DSP arena per shard), write-readiness backpressure
+//!   with bounded per-connection outboxes, timer-wheel idle eviction and
+//!   draining shutdown. Thread count is independent of connection count.
+//! * [`reactor`] — the readiness backend: a thin epoll wrapper behind a
+//!   stubbable [`reactor::Poller`] trait, with a portable `poll(2)`
+//!   fallback.
+//! * [`ring`] / [`timer`] — the per-connection byte rings and the hashed
+//!   timer wheel the reactor is built from.
+//! * [`net`] — shared socket-option policy for both ends of the wire.
 //! * [`client`] — the blocking reference client.
-//! * [`harness`] — the closed-loop drive-and-verify loop used by the load
-//!   generator and the integration tests.
+//! * [`harness`] — the closed-loop drive-and-verify loops (lock-step and
+//!   multiplexed ramp) used by the load generator and the integration
+//!   tests.
 //!
 //! # Quickstart
 //!
@@ -54,15 +63,23 @@
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
-#![forbid(unsafe_code)]
+// `unsafe` is denied crate-wide and allowed back in exactly three leaf
+// syscall shims: `reactor`'s epoll and rlimit wrappers and `net`'s
+// `setsockopt`; every other module is unsafe-free.
+#![deny(unsafe_code)]
 
 pub mod client;
 pub mod harness;
+pub mod net;
+pub mod reactor;
+pub mod ring;
 pub mod server;
 pub mod session;
+pub mod timer;
 pub mod wire;
 
 pub use client::{ClientError, GatewayClient};
+pub use reactor::PollerKind;
 pub use server::{Gateway, GatewayConfig};
 pub use session::{Session, SessionConfig, SessionError};
 pub use wire::{ErrorCode, Hello, Message, Observation, SafeMeasurement, VerdictMsg, WireError};

@@ -1,0 +1,690 @@
+//! A thin readiness engine for the gateway: a [`Poller`] trait with a raw
+//! epoll backend on Linux and a portable `poll(2)` fallback, plus the
+//! cross-thread [`Waker`] and the `RLIMIT_NOFILE` helper the ramp bench
+//! uses.
+//!
+//! No async runtime and no external crates: the two backends call the libc
+//! that `std` already links, through a handful of `extern "C"`
+//! declarations confined to this module (the rest of the crate stays
+//! `deny(unsafe_code)`-clean). Both backends are level-triggered and the
+//! reactor drains sockets until `WouldBlock`, so the gateway behaves
+//! identically on either; tests pin [`PollerKind::Poll`] to cover the
+//! fallback leg on any host.
+
+use std::io::{self, Read, Write};
+use std::os::fd::RawFd;
+use std::os::unix::net::UnixStream;
+use std::time::Duration;
+
+/// Which readiness backend to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PollerKind {
+    /// epoll where the platform has it, `poll(2)` elsewhere.
+    Auto,
+    /// Force epoll (Linux only; [`new_poller`] errors elsewhere).
+    Epoll,
+    /// Force the portable `poll(2)` backend.
+    Poll,
+}
+
+/// What a registration wants to hear about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable.
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest — the steady state of a connection whose outbox
+    /// is empty.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Read + write interest — armed while an outbox holds queued bytes.
+    pub const READ_WRITE: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// One readiness report.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// Bytes (or EOF) can be read without blocking.
+    pub readable: bool,
+    /// The socket buffer has room.
+    pub writable: bool,
+    /// Error or hangup; the connection is dead either way.
+    pub hangup: bool,
+}
+
+/// A pluggable readiness backend. Implementations are level-triggered:
+/// an event repeats while its condition holds, so a handler that stops
+/// early is re-notified rather than stalled.
+pub trait Poller: Send + std::fmt::Debug {
+    /// Starts watching `fd` under `token`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend registration failures.
+    fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()>;
+
+    /// Changes what an already-registered `fd` is watched for.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend failures (e.g. the fd is not registered).
+    fn reregister(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()>;
+
+    /// Stops watching `fd`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend failures.
+    fn deregister(&mut self, fd: RawFd) -> io::Result<()>;
+
+    /// Blocks until readiness or `timeout` (forever when `None`), filling
+    /// `events` (cleared first).
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend wait failures; `EINTR` is retried internally.
+    fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()>;
+}
+
+/// Builds the backend for `kind`.
+///
+/// # Errors
+///
+/// [`PollerKind::Epoll`] on a platform without epoll, or backend setup
+/// failures.
+pub fn new_poller(kind: PollerKind) -> io::Result<Box<dyn Poller>> {
+    match kind {
+        #[cfg(target_os = "linux")]
+        PollerKind::Auto | PollerKind::Epoll => Ok(Box::new(epoll::EpollPoller::new()?)),
+        #[cfg(not(target_os = "linux"))]
+        PollerKind::Epoll => Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "epoll is Linux-only; use PollerKind::Auto or Poll",
+        )),
+        #[cfg(not(target_os = "linux"))]
+        PollerKind::Auto => Ok(Box::new(poll::PollPoller::new())),
+        PollerKind::Poll => Ok(Box::new(poll::PollPoller::new())),
+    }
+}
+
+/// Milliseconds for a poll-style timeout: `None` → -1 (forever), rounding
+/// up so a 0.4 ms deadline doesn't spin at 0.
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => d.as_millis().max(1).min(i32::MAX as u128) as i32,
+    }
+}
+
+#[cfg(target_os = "linux")]
+mod epoll {
+    use super::{timeout_ms, Event, Interest, Poller};
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::time::Duration;
+
+    /// Raw syscall surface. `std` links libc, so these resolve without any
+    /// external crate.
+    #[allow(unsafe_code)]
+    mod sys {
+        use std::ffi::c_int;
+        use std::io;
+
+        pub const EPOLL_CLOEXEC: c_int = 0o2000000;
+        pub const EPOLL_CTL_ADD: c_int = 1;
+        pub const EPOLL_CTL_DEL: c_int = 2;
+        pub const EPOLL_CTL_MOD: c_int = 3;
+        pub const EPOLLIN: u32 = 0x001;
+        pub const EPOLLOUT: u32 = 0x004;
+        pub const EPOLLERR: u32 = 0x008;
+        pub const EPOLLHUP: u32 = 0x010;
+        pub const EPOLLRDHUP: u32 = 0x2000;
+        pub const EINTR: c_int = 4;
+
+        /// Mirrors the kernel's `struct epoll_event`; packed on x86-64
+        /// (only there — the padding is real on other architectures).
+        #[repr(C)]
+        #[cfg_attr(target_arch = "x86_64", repr(packed))]
+        #[derive(Clone, Copy)]
+        pub struct EpollEvent {
+            pub events: u32,
+            pub data: u64,
+        }
+
+        extern "C" {
+            fn epoll_create1(flags: c_int) -> c_int;
+            fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+            fn epoll_wait(
+                epfd: c_int,
+                events: *mut EpollEvent,
+                maxevents: c_int,
+                timeout: c_int,
+            ) -> c_int;
+            fn close(fd: c_int) -> c_int;
+        }
+
+        pub fn create() -> io::Result<c_int> {
+            // SAFETY: plain syscall; no pointers involved.
+            let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if fd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(fd)
+        }
+
+        pub fn ctl(
+            epfd: c_int,
+            op: c_int,
+            fd: c_int,
+            mut ev: Option<EpollEvent>,
+        ) -> io::Result<()> {
+            let ptr = ev
+                .as_mut()
+                .map_or(std::ptr::null_mut(), |e| e as *mut EpollEvent);
+            // SAFETY: `ptr` is null (DEL) or points at a live EpollEvent on
+            // this stack frame for the duration of the call.
+            let rc = unsafe { epoll_ctl(epfd, op, fd, ptr) };
+            if rc < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn wait(epfd: c_int, buf: &mut [EpollEvent], timeout: c_int) -> io::Result<usize> {
+            loop {
+                // SAFETY: `buf` is a live, writable slice; the kernel fills
+                // at most `buf.len()` entries.
+                let rc = unsafe { epoll_wait(epfd, buf.as_mut_ptr(), buf.len() as c_int, timeout) };
+                if rc >= 0 {
+                    return Ok(rc as usize);
+                }
+                let err = io::Error::last_os_error();
+                if err.raw_os_error() == Some(EINTR) {
+                    continue;
+                }
+                return Err(err);
+            }
+        }
+
+        pub fn close_fd(fd: c_int) {
+            // SAFETY: we own `fd` (created by `create`), closed exactly once.
+            let _ = unsafe { close(fd) };
+        }
+    }
+
+    fn mask(interest: Interest) -> u32 {
+        let mut m = sys::EPOLLRDHUP;
+        if interest.readable {
+            m |= sys::EPOLLIN;
+        }
+        if interest.writable {
+            m |= sys::EPOLLOUT;
+        }
+        m
+    }
+
+    /// The Linux backend: one epoll instance per reactor shard.
+    #[derive(Debug)]
+    pub struct EpollPoller {
+        epfd: RawFd,
+        buf: Vec<sys::EpollEvent>,
+    }
+
+    impl EpollPoller {
+        pub fn new() -> io::Result<Self> {
+            Ok(Self {
+                epfd: sys::create()?,
+                buf: vec![sys::EpollEvent { events: 0, data: 0 }; 1024],
+            })
+        }
+    }
+
+    impl std::fmt::Debug for sys::EpollEvent {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            let events = self.events;
+            let data = self.data;
+            write!(f, "EpollEvent {{ events: {events:#x}, data: {data} }}")
+        }
+    }
+
+    impl Drop for EpollPoller {
+        fn drop(&mut self) {
+            sys::close_fd(self.epfd);
+        }
+    }
+
+    impl Poller for EpollPoller {
+        fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let ev = sys::EpollEvent {
+                events: mask(interest),
+                data: token,
+            };
+            sys::ctl(self.epfd, sys::EPOLL_CTL_ADD, fd, Some(ev))
+        }
+
+        fn reregister(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let ev = sys::EpollEvent {
+                events: mask(interest),
+                data: token,
+            };
+            sys::ctl(self.epfd, sys::EPOLL_CTL_MOD, fd, Some(ev))
+        }
+
+        fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+            sys::ctl(self.epfd, sys::EPOLL_CTL_DEL, fd, None)
+        }
+
+        fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            events.clear();
+            let n = sys::wait(self.epfd, &mut self.buf, timeout_ms(timeout))?;
+            for ev in &self.buf[..n] {
+                let bits = ev.events;
+                events.push(Event {
+                    token: ev.data,
+                    readable: bits & (sys::EPOLLIN | sys::EPOLLRDHUP) != 0,
+                    writable: bits & sys::EPOLLOUT != 0,
+                    hangup: bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+mod poll {
+    use super::{timeout_ms, Event, Interest, Poller};
+    use std::collections::HashMap;
+    use std::io;
+    use std::os::fd::RawFd;
+    use std::time::Duration;
+
+    /// Raw `poll(2)` surface; see the epoll module for the linking note.
+    #[allow(unsafe_code)]
+    mod sys {
+        use std::ffi::c_int;
+        use std::io;
+
+        pub const POLLIN: i16 = 0x001;
+        pub const POLLOUT: i16 = 0x004;
+        pub const POLLERR: i16 = 0x008;
+        pub const POLLHUP: i16 = 0x010;
+        pub const POLLNVAL: i16 = 0x020;
+        pub const EINTR: c_int = 4;
+
+        /// Mirrors `struct pollfd` (identical layout on every unix).
+        #[repr(C)]
+        #[derive(Debug, Clone, Copy)]
+        pub struct PollFd {
+            pub fd: c_int,
+            pub events: i16,
+            pub revents: i16,
+        }
+
+        // `nfds_t` is `unsigned long` on Linux and `unsigned int` on
+        // macOS/BSD; match the width per platform.
+        #[cfg(any(target_os = "macos", target_os = "freebsd", target_os = "netbsd"))]
+        type Nfds = u32;
+        #[cfg(not(any(target_os = "macos", target_os = "freebsd", target_os = "netbsd")))]
+        type Nfds = usize;
+
+        extern "C" {
+            fn poll(fds: *mut PollFd, nfds: Nfds, timeout: c_int) -> c_int;
+        }
+
+        pub fn wait(fds: &mut [PollFd], timeout: c_int) -> io::Result<usize> {
+            loop {
+                // SAFETY: `fds` is a live, writable slice of `nfds` entries.
+                let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as Nfds, timeout) };
+                if rc >= 0 {
+                    return Ok(rc as usize);
+                }
+                let err = io::Error::last_os_error();
+                if err.raw_os_error() == Some(EINTR) {
+                    continue;
+                }
+                return Err(err);
+            }
+        }
+    }
+
+    fn mask(interest: Interest) -> i16 {
+        let mut m = 0;
+        if interest.readable {
+            m |= sys::POLLIN;
+        }
+        if interest.writable {
+            m |= sys::POLLOUT;
+        }
+        m
+    }
+
+    /// The portable backend: one `pollfd` array rebuilt in place; O(n) per
+    /// wait, which is exactly what `poll(2)` costs anyway.
+    #[derive(Debug)]
+    pub struct PollPoller {
+        fds: Vec<sys::PollFd>,
+        tokens: Vec<u64>,
+        index: HashMap<RawFd, usize>,
+    }
+
+    impl PollPoller {
+        pub fn new() -> Self {
+            Self {
+                fds: Vec::new(),
+                tokens: Vec::new(),
+                index: HashMap::new(),
+            }
+        }
+    }
+
+    impl Poller for PollPoller {
+        fn register(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            if self.index.contains_key(&fd) {
+                return Err(io::Error::new(
+                    io::ErrorKind::AlreadyExists,
+                    "fd already registered",
+                ));
+            }
+            self.index.insert(fd, self.fds.len());
+            self.fds.push(sys::PollFd {
+                fd,
+                events: mask(interest),
+                revents: 0,
+            });
+            self.tokens.push(token);
+            Ok(())
+        }
+
+        fn reregister(&mut self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+            let &i = self
+                .index
+                .get(&fd)
+                .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "fd not registered"))?;
+            self.fds[i].events = mask(interest);
+            self.tokens[i] = token;
+            Ok(())
+        }
+
+        fn deregister(&mut self, fd: RawFd) -> io::Result<()> {
+            let i = self
+                .index
+                .remove(&fd)
+                .ok_or_else(|| io::Error::new(io::ErrorKind::NotFound, "fd not registered"))?;
+            self.fds.swap_remove(i);
+            self.tokens.swap_remove(i);
+            if i < self.fds.len() {
+                self.index.insert(self.fds[i].fd, i);
+            }
+            Ok(())
+        }
+
+        fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            events.clear();
+            for fd in &mut self.fds {
+                fd.revents = 0;
+            }
+            // `poll` with zero fds is a plain sleep, which is exactly the
+            // semantics an empty registration set wants.
+            let n = sys::wait(&mut self.fds, timeout_ms(timeout))?;
+            if n == 0 {
+                return Ok(());
+            }
+            for (fd, &token) in self.fds.iter().zip(&self.tokens) {
+                let re = fd.revents;
+                if re == 0 {
+                    continue;
+                }
+                events.push(Event {
+                    token,
+                    readable: re & sys::POLLIN != 0,
+                    writable: re & sys::POLLOUT != 0,
+                    hangup: re & (sys::POLLERR | sys::POLLHUP | sys::POLLNVAL) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-thread wakeup.
+
+/// The reactor-side half of the wakeup channel: a non-blocking pipe read
+/// end registered in the poller under a reserved token.
+#[derive(Debug)]
+pub struct WakeReceiver {
+    rx: UnixStream,
+}
+
+/// The sender half: any thread calls [`Waker::wake`] to pull the reactor
+/// out of `wait`.
+#[derive(Debug, Clone)]
+pub struct Waker {
+    tx: std::sync::Arc<UnixStream>,
+}
+
+/// Builds a connected waker pair.
+///
+/// # Errors
+///
+/// Propagates socketpair creation failures.
+pub fn waker() -> io::Result<(Waker, WakeReceiver)> {
+    let (tx, rx) = UnixStream::pair()?;
+    tx.set_nonblocking(true)?;
+    rx.set_nonblocking(true)?;
+    Ok((
+        Waker {
+            tx: std::sync::Arc::new(tx),
+        },
+        WakeReceiver { rx },
+    ))
+}
+
+impl Waker {
+    /// Nudges the reactor. A full pipe means a wake is already pending, so
+    /// `WouldBlock` is success; other transport errors only matter if the
+    /// reactor is gone, in which case nobody is listening anyway.
+    pub fn wake(&self) {
+        let _ = (&*self.tx).write(&[1u8]);
+    }
+}
+
+impl WakeReceiver {
+    /// The fd to register in the poller.
+    pub fn raw_fd(&self) -> RawFd {
+        use std::os::fd::AsRawFd;
+        self.rx.as_raw_fd()
+    }
+
+    /// Swallows every pending wake byte so a level-triggered poller goes
+    /// quiet again.
+    pub fn drain(&mut self) {
+        let mut buf = [0u8; 64];
+        while matches!(self.rx.read(&mut buf), Ok(n) if n > 0) {}
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RLIMIT_NOFILE.
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod rlimit_sys {
+    use std::ffi::c_int;
+    use std::io;
+
+    #[cfg(any(target_os = "macos", target_os = "freebsd"))]
+    const RLIMIT_NOFILE: c_int = 8;
+    #[cfg(not(any(target_os = "macos", target_os = "freebsd")))]
+    const RLIMIT_NOFILE: c_int = 7;
+
+    #[repr(C)]
+    struct Rlimit {
+        cur: u64,
+        max: u64,
+    }
+
+    extern "C" {
+        fn getrlimit(resource: c_int, rlim: *mut Rlimit) -> c_int;
+        fn setrlimit(resource: c_int, rlim: *const Rlimit) -> c_int;
+    }
+
+    /// Raises the soft fd limit toward `want` (capped at the hard limit)
+    /// and returns the resulting soft limit.
+    pub fn raise_nofile(want: u64) -> io::Result<u64> {
+        let mut lim = Rlimit { cur: 0, max: 0 };
+        // SAFETY: `lim` is a live struct the kernel fills.
+        if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        if lim.cur >= want {
+            return Ok(lim.cur);
+        }
+        let target = want.min(lim.max);
+        let next = Rlimit {
+            cur: target,
+            max: lim.max,
+        };
+        // SAFETY: `next` is a live struct for the duration of the call.
+        if unsafe { setrlimit(RLIMIT_NOFILE, &next) } != 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(target)
+    }
+}
+
+/// Raises the process's soft `RLIMIT_NOFILE` toward `want` (never past the
+/// hard limit) and returns the soft limit now in force. The 100k ramp calls
+/// this before opening its socket fleet.
+///
+/// # Errors
+///
+/// Propagates `getrlimit`/`setrlimit` failures.
+pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+    #[cfg(unix)]
+    {
+        rlimit_sys::raise_nofile(want)
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = want;
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "rlimit is unix-only",
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn backend_reports_readiness(kind: PollerKind) {
+        let mut poller = new_poller(kind).expect("build poller");
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let client = TcpStream::connect(listener.local_addr().expect("addr")).expect("connect");
+        let (server, _) = listener.accept().expect("accept");
+        server.set_nonblocking(true).expect("nonblocking");
+        use std::os::fd::AsRawFd;
+        poller
+            .register(server.as_raw_fd(), 42, Interest::READ_WRITE)
+            .expect("register");
+
+        let mut events = Vec::new();
+        // Writable immediately (empty socket buffer), not yet readable.
+        poller
+            .wait(&mut events, Some(Duration::from_millis(500)))
+            .expect("wait");
+        let ev = events.iter().find(|e| e.token == 42).expect("event");
+        assert!(ev.writable && !ev.readable, "{ev:?}");
+
+        // After the peer writes, readable too.
+        (&client).write_all(b"ping").expect("client write");
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            poller
+                .wait(&mut events, Some(Duration::from_millis(100)))
+                .expect("wait");
+            if events.iter().any(|e| e.token == 42 && e.readable) {
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "no readable event");
+        }
+
+        // Read interest only: no more writable chatter.
+        poller
+            .reregister(server.as_raw_fd(), 42, Interest::READ)
+            .expect("reregister");
+        poller
+            .wait(&mut events, Some(Duration::from_millis(100)))
+            .expect("wait");
+        assert!(events.iter().all(|e| e.token != 42 || !e.writable));
+
+        poller.deregister(server.as_raw_fd()).expect("deregister");
+        poller
+            .wait(&mut events, Some(Duration::from_millis(50)))
+            .expect("wait");
+        assert!(events.iter().all(|e| e.token != 42));
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn epoll_backend_reports_readiness() {
+        backend_reports_readiness(PollerKind::Epoll);
+    }
+
+    #[test]
+    fn poll_backend_reports_readiness() {
+        backend_reports_readiness(PollerKind::Poll);
+    }
+
+    #[test]
+    fn waker_wakes_a_waiting_poller() {
+        let mut poller = new_poller(PollerKind::Auto).expect("build poller");
+        let (waker, mut rx) = waker().expect("waker pair");
+        poller
+            .register(rx.raw_fd(), u64::MAX, Interest::READ)
+            .expect("register");
+        // Keep one sender half alive past the thread, else its drop reads
+        // as EOF-readiness below.
+        let remote = waker.clone();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            remote.wake();
+            remote.wake(); // coalesces, never errors
+        });
+        let mut events = Vec::new();
+        let t0 = std::time::Instant::now();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .expect("wait");
+        assert!(t0.elapsed() < Duration::from_secs(5), "woke via waker");
+        assert!(events.iter().any(|e| e.token == u64::MAX && e.readable));
+        rx.drain();
+        handle.join().expect("join");
+        // Drained: the next wait times out quietly.
+        poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .expect("wait");
+        assert!(events.iter().all(|e| e.token != u64::MAX));
+    }
+
+    #[test]
+    fn nofile_limit_is_queryable_and_monotone() {
+        let before = raise_nofile_limit(0).expect("query");
+        let after = raise_nofile_limit(before).expect("no-op raise");
+        assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,260 @@
+//! A growable byte ring buffer — the per-connection inbox/outbox storage
+//! for the reactor.
+//!
+//! The ring is a power-of-two array indexed with a wrapping head; contents
+//! are exposed as at most two contiguous slices ([`ByteRing::as_slices`]),
+//! so the reactor can decode frames and issue vectored-style socket writes
+//! without ever compacting. Growth copies the live bytes once into a larger
+//! power-of-two array; steady state (bytes drained as fast as they arrive)
+//! never allocates after the first burst sizes the ring.
+
+use std::io::{Read, Write};
+
+/// Smallest ring allocation; below this the bookkeeping dominates.
+const MIN_CAPACITY: usize = 64;
+
+/// A growable ring of bytes with two-slice access.
+#[derive(Debug)]
+pub struct ByteRing {
+    buf: Box<[u8]>,
+    /// Index of the first live byte.
+    head: usize,
+    /// Number of live bytes.
+    len: usize,
+}
+
+impl Default for ByteRing {
+    fn default() -> Self {
+        Self::with_capacity(MIN_CAPACITY)
+    }
+}
+
+impl ByteRing {
+    /// Creates a ring holding at least `cap` bytes before its first growth.
+    pub fn with_capacity(cap: usize) -> Self {
+        let cap = cap.max(MIN_CAPACITY).next_power_of_two();
+        Self {
+            buf: vec![0u8; cap].into_boxed_slice(),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    /// Live byte count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no bytes are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current allocation size.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn mask(&self) -> usize {
+        self.buf.len() - 1
+    }
+
+    /// The live bytes as (front, back) slices; `back` is empty unless the
+    /// contents wrap.
+    pub fn as_slices(&self) -> (&[u8], &[u8]) {
+        let cap = self.buf.len();
+        let end = self.head + self.len;
+        if end <= cap {
+            (&self.buf[self.head..end], &[][..])
+        } else {
+            (&self.buf[self.head..], &self.buf[..end - cap])
+        }
+    }
+
+    /// Drops the first `n` live bytes.
+    ///
+    /// # Panics
+    ///
+    /// If `n` exceeds [`ByteRing::len`].
+    pub fn consume(&mut self, n: usize) {
+        assert!(n <= self.len, "consume past end of ring");
+        self.head = (self.head + n) & self.mask();
+        self.len -= n;
+        if self.len == 0 {
+            // Re-anchor so the next fill is one contiguous slice.
+            self.head = 0;
+        }
+    }
+
+    /// Grows to hold at least `len + extra` bytes, preserving order.
+    fn reserve(&mut self, extra: usize) {
+        let need = self.len + extra;
+        if need <= self.buf.len() {
+            return;
+        }
+        let new_cap = need.next_power_of_two().max(MIN_CAPACITY);
+        let mut next = vec![0u8; new_cap].into_boxed_slice();
+        let (a, b) = self.as_slices();
+        next[..a.len()].copy_from_slice(a);
+        next[a.len()..a.len() + b.len()].copy_from_slice(b);
+        self.buf = next;
+        self.head = 0;
+    }
+
+    /// Appends `data`, growing if needed.
+    pub fn extend_from_slice(&mut self, data: &[u8]) {
+        self.reserve(data.len());
+        let cap = self.buf.len();
+        let tail = (self.head + self.len) & self.mask();
+        let first = data.len().min(cap - tail);
+        self.buf[tail..tail + first].copy_from_slice(&data[..first]);
+        self.buf[..data.len() - first].copy_from_slice(&data[first..]);
+        self.len += data.len();
+    }
+
+    /// One `read` from `r` into the ring's spare room (growing so at least
+    /// `min_spare` bytes can land). Returns `Ok(0)` only at EOF; a
+    /// `WouldBlock` from a non-blocking source surfaces as the error.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the reader's error, `WouldBlock` included.
+    pub fn read_from<R: Read>(&mut self, r: &mut R, min_spare: usize) -> std::io::Result<usize> {
+        self.reserve(min_spare.max(1));
+        let cap = self.buf.len();
+        let tail = (self.head + self.len) & self.mask();
+        // One contiguous spare slice per call; the next call takes the wrap.
+        let spare_end = if self.head > tail { self.head } else { cap };
+        let n = r.read(&mut self.buf[tail..spare_end])?;
+        self.len += n;
+        Ok(n)
+    }
+
+    /// Writes queued bytes to `w` until the ring empties or the writer
+    /// blocks; returns how many bytes left the ring. A `WouldBlock` is a
+    /// normal stop, not an error.
+    ///
+    /// # Errors
+    ///
+    /// Transport failures other than `WouldBlock`.
+    pub fn write_to<W: Write>(&mut self, w: &mut W) -> std::io::Result<usize> {
+        let mut total = 0;
+        while !self.is_empty() {
+            let (a, _) = self.as_slices();
+            match w.write(a) {
+                Ok(0) => return Err(std::io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.consume(n);
+                    total += n;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain(ring: &mut ByteRing) -> Vec<u8> {
+        let (a, b) = ring.as_slices();
+        let mut out = a.to_vec();
+        out.extend_from_slice(b);
+        let n = out.len();
+        ring.consume(n);
+        out
+    }
+
+    #[test]
+    fn bytes_roundtrip_in_order_across_wraps() {
+        let mut ring = ByteRing::with_capacity(64);
+        let mut expect = Vec::new();
+        let mut next = 0u8;
+        // Push/pop in a pattern that forces the head past the wrap point
+        // many times without growing.
+        for round in 0..50 {
+            let push = 7 + (round % 11);
+            for _ in 0..push {
+                ring.extend_from_slice(&[next]);
+                expect.push(next);
+                next = next.wrapping_add(1);
+            }
+            let pop = 5 + (round % 9);
+            let pop = pop.min(ring.len());
+            let (a, b) = ring.as_slices();
+            let got: Vec<u8> = a.iter().chain(b).copied().take(pop).collect();
+            assert_eq!(got, expect[..pop].to_vec());
+            ring.consume(pop);
+            expect.drain(..pop);
+        }
+        assert_eq!(drain(&mut ring), expect);
+    }
+
+    #[test]
+    fn growth_preserves_wrapped_contents() {
+        let mut ring = ByteRing::with_capacity(64);
+        ring.extend_from_slice(&[0xAA; 48]);
+        ring.consume(40); // head now mid-buffer
+        let tail: Vec<u8> = (0..100).collect();
+        ring.extend_from_slice(&tail); // wraps, then grows
+        let mut expect = vec![0xAA; 8];
+        expect.extend_from_slice(&tail);
+        assert_eq!(drain(&mut ring), expect);
+        assert!(ring.capacity() >= 108);
+    }
+
+    #[test]
+    fn write_to_stops_cleanly_at_would_block() {
+        struct Choked {
+            budget: usize,
+            sunk: Vec<u8>,
+        }
+        impl Write for Choked {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                if self.budget == 0 {
+                    return Err(std::io::ErrorKind::WouldBlock.into());
+                }
+                let n = buf.len().min(self.budget).min(3);
+                self.budget -= n;
+                self.sunk.extend_from_slice(&buf[..n]);
+                Ok(n)
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut ring = ByteRing::default();
+        let payload: Vec<u8> = (0..40).collect();
+        ring.extend_from_slice(&payload);
+        let mut w = Choked {
+            budget: 10,
+            sunk: Vec::new(),
+        };
+        assert_eq!(ring.write_to(&mut w).expect("partial write"), 10);
+        assert_eq!(ring.len(), 30);
+        w.budget = usize::MAX;
+        assert_eq!(ring.write_to(&mut w).expect("rest"), 30);
+        assert!(ring.is_empty());
+        assert_eq!(w.sunk, payload);
+    }
+
+    #[test]
+    fn read_from_fills_and_reports_eof() {
+        let src: Vec<u8> = (0..200).map(|i| i as u8).collect();
+        let mut cursor = std::io::Cursor::new(src.clone());
+        let mut ring = ByteRing::with_capacity(64);
+        let mut got = Vec::new();
+        loop {
+            let n = ring.read_from(&mut cursor, 64).expect("read");
+            if n == 0 {
+                break;
+            }
+            got.extend_from_slice(&drain(&mut ring));
+        }
+        assert_eq!(got, src);
+    }
+}

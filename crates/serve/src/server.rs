@@ -1,27 +1,36 @@
-//! The TCP gateway: one acceptor thread, N worker shards.
+//! The TCP gateway: one acceptor thread, N reactor shards — total thread
+//! count independent of connection count.
 //!
-//! Each accepted connection gets a dedicated reader thread that decodes
-//! frames and forwards them to the shard owning the connection
-//! (`conn_id % workers`). A shard worker owns its sessions plus one
-//! bit-exact [`FrameScratch`] arena, one radar model and one encode buffer —
-//! so steady-state serving runs the DSP and response path without heap
-//! allocation, and raw-baseband extraction is bit-identical no matter which
-//! session last used the arena.
+//! Each shard owns an epoll (or `poll`) instance, a slab of non-blocking
+//! connections, a timer wheel, and one bit-exact [`FrameScratch`] arena +
+//! radar model + encode buffer — so steady-state serving decodes frames,
+//! runs the DSP, and queues responses without heap allocation or
+//! cross-thread handoff. Frames arrive through per-connection inbox rings
+//! and a resumable [`Decoder`] (partial frames across reads are normal);
+//! responses leave through per-connection outbox rings flushed on
+//! write-readiness.
 //!
-//! Flow control is a per-session inflight window: the reader blocks once
-//! `max_inflight` observations are queued unprocessed, after sending the
-//! client a single advisory `Backpressure` error per stall — frames are
-//! never dropped. Sessions idle past the eviction deadline are told
-//! (`Evicted`) and disconnected; a client that kept a snapshot resumes on a
-//! fresh connection with byte-identical state. Shutdown drains every queued
-//! frame before closing sockets.
+//! Flow control is the kernel socket buffer plus a bounded outbox: when a
+//! connection's outbox passes `outbox_cap`, the shard stops reading and
+//! decoding for that connection (one advisory `Backpressure` frame per
+//! stall) and resumes below the low-water mark — frames are never dropped.
+//! Sessions idle past the eviction deadline are told (`Evicted`) and
+//! disconnected once their outbox drains; a client that kept a snapshot
+//! resumes on a fresh connection with byte-identical state. Shutdown
+//! decodes what is buffered, tells every peer (`ShuttingDown`), and drains
+//! outboxes up to `drain_timeout` before closing sockets.
+//!
+//! Many sessions can share one socket via `MSG_MUX` framing: each mux
+//! channel is an independent session (plain frames are channel 0), and a
+//! response is wrapped for exactly the channel its request rode on. Fatal
+//! protocol errors remain connection-scoped; `Evicted`/`ShuttingDown`/
+//! `Backpressure` advisories are connection-scoped and sent plain.
 
 use std::collections::HashMap;
-use std::io::Write;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -29,8 +38,21 @@ use argus_dsp::{FrameScratch, ScratchOptions};
 use argus_radar::receiver::Radar;
 use argus_radar::RadarConfig;
 
-use crate::session::{Session, SessionConfig, SessionError};
-use crate::wire::{self, ErrorCode, ErrorMsg, FrameReader, Message, ReadError, Welcome, WireError};
+use crate::net;
+use crate::reactor::{new_poller, waker, Interest, Poller, PollerKind, WakeReceiver, Waker};
+use crate::ring::ByteRing;
+use crate::session::{Session, SessionConfig};
+use crate::timer::{TimerKind, TimerWheel};
+use crate::wire::{self, DecodedFrame, Decoder, ErrorCode, ErrorMsg, Message, Welcome, WireError};
+
+/// Poller token reserved for the shard's wakeup channel.
+const TOKEN_WAKE: u64 = u64::MAX;
+/// Bytes asked of the kernel per `read` call.
+const READ_CHUNK: usize = 8 * 1024;
+/// Per-connection read budget per readiness event; past this the shard
+/// moves on (level-triggered readiness re-fires), so one firehose peer
+/// cannot starve its shard-mates.
+const MAX_BURST: usize = 128 * 1024;
 
 /// Gateway tuning plus the session configuration shared by every shard.
 #[derive(Debug, Clone)]
@@ -39,20 +61,34 @@ pub struct GatewayConfig {
     pub session: SessionConfig,
     /// Radar model used for server-side raw-baseband extraction.
     pub radar: RadarConfig,
-    /// Number of worker shards.
+    /// Number of reactor shards (one per core is the intended shape).
     pub workers: usize,
-    /// Per-session inflight-observation cap granted when the client asks
-    /// for 0 or more than this.
+    /// Advisory inflight window echoed in `Welcome` for wire
+    /// compatibility; actual flow control is `outbox_cap` + the kernel
+    /// socket buffer.
     pub max_inflight: u16,
     /// Idle duration after which a session is evicted.
     pub idle_timeout: Duration,
-    /// How often each shard sweeps for idle sessions.
+    /// Timer-wheel granularity: eviction and drain deadlines are quantized
+    /// to this.
     pub sweep_interval: Duration,
+    /// Outbox byte count past which the shard stops reading a connection
+    /// (pause threshold, not a hard cap — one response may overshoot).
+    pub outbox_cap: usize,
+    /// How long a closing connection gets to drain its outbox before the
+    /// socket is closed anyway.
+    pub drain_timeout: Duration,
+    /// Readiness backend. `Auto` picks epoll on Linux, `poll` elsewhere.
+    pub poller: PollerKind,
+    /// Kernel send-buffer cap (`SO_SNDBUF`) per accepted socket. `None`
+    /// leaves kernel autotuning alone (the serving default); tests set a
+    /// small value to exercise backpressure deterministically.
+    pub sndbuf: Option<usize>,
 }
 
 impl GatewayConfig {
-    /// The paper configuration with serving defaults: 4 shards, a 32-frame
-    /// inflight window and a 30 s idle eviction deadline.
+    /// The paper configuration with serving defaults: 4 shards, a 256 KiB
+    /// outbox pause threshold and a 30 s idle eviction deadline.
     pub fn paper() -> Self {
         Self {
             session: SessionConfig::paper(),
@@ -61,299 +97,156 @@ impl GatewayConfig {
             max_inflight: 32,
             idle_timeout: Duration::from_secs(30),
             sweep_interval: Duration::from_secs(1),
+            outbox_cap: 256 * 1024,
+            drain_timeout: Duration::from_secs(2),
+            poller: PollerKind::Auto,
+            sndbuf: None,
         }
     }
 }
 
-/// Per-session flow-control window, shared between the connection's reader
-/// thread (increments, blocks at the cap) and its shard worker (decrements).
+/// What the acceptor hands a shard.
 #[derive(Debug)]
-struct Inflight {
-    state: Mutex<InflightState>,
-    cv: Condvar,
-}
-
-#[derive(Debug)]
-struct InflightState {
-    queued: u32,
-    /// Set when the shard closes the connection, so a blocked reader wakes
-    /// and exits instead of waiting forever.
-    closed: bool,
-}
-
-impl Inflight {
-    fn new() -> Self {
-        Self {
-            state: Mutex::new(InflightState {
-                queued: 0,
-                closed: false,
-            }),
-            cv: Condvar::new(),
-        }
-    }
-
-    /// Counts one queued observation, blocking while the window is full.
-    /// Returns `false` if the connection closed (caller should exit), and
-    /// whether this call hit the cap (so the caller can send one advisory).
-    fn acquire(&self, cap: u32) -> (bool, bool) {
-        let mut st = self.state.lock().expect("inflight lock");
-        let stalled = st.queued >= cap;
-        while st.queued >= cap && !st.closed {
-            st = self.cv.wait(st).expect("inflight wait");
-        }
-        if st.closed {
-            return (false, stalled);
-        }
-        st.queued += 1;
-        (true, stalled)
-    }
-
-    fn release(&self) {
-        let mut st = self.state.lock().expect("inflight lock");
-        st.queued = st.queued.saturating_sub(1);
-        self.cv.notify_all();
-    }
-
-    fn close(&self) {
-        let mut st = self.state.lock().expect("inflight lock");
-        st.closed = true;
-        self.cv.notify_all();
-    }
-}
-
-/// What reader threads forward to shard workers.
-// `Frame` dominates the size; boxing it would put an allocation on the
-// per-frame hot path to shrink a channel slot that is moved, not copied.
-#[allow(clippy::large_enum_variant)]
-enum ShardMsg {
-    /// A new connection owned by this shard.
-    Connected {
-        conn: u64,
-        stream: TcpStream,
-        inflight: Arc<Inflight>,
-        write_lock: Arc<Mutex<()>>,
-    },
-    /// One decoded frame.
-    Frame { conn: u64, msg: Message },
-    /// The connection's bytes stopped parsing.
-    Bad { conn: u64, err: WireError },
-    /// The peer hung up or the transport failed.
-    Disconnected { conn: u64 },
-    /// Drain everything already queued, then exit.
+enum ShardCmd {
+    /// A freshly accepted, already non-blocking connection.
+    NewConn(TcpStream),
+    /// Begin the draining shutdown.
     Shutdown,
+}
+
+/// The acceptor's handle to one shard: a command queue plus the waker that
+/// pulls the shard out of `wait`.
+#[derive(Debug, Clone)]
+struct ShardHandle {
+    queue: Arc<Mutex<Vec<ShardCmd>>>,
+    waker: Waker,
+}
+
+impl ShardHandle {
+    fn send(&self, cmd: ShardCmd) {
+        self.queue.lock().expect("shard queue").push(cmd);
+        self.waker.wake();
+    }
+}
+
+/// One mux channel's session state (plain frames are channel 0).
+struct Channel {
+    session: Session,
+    /// Set after a resume Hello until the snapshot arrives.
+    resume_pending: bool,
 }
 
 /// One connection as a shard sees it.
 struct Conn {
     stream: TcpStream,
-    inflight: Arc<Inflight>,
-    /// Serializes writes with the reader thread's backpressure advisories.
-    write_lock: Arc<Mutex<()>>,
-    session: Option<Session>,
-    /// Set after a resume Hello until the snapshot arrives.
-    resume_pending: bool,
+    /// Raw bytes read but not yet decoded (partial frames, or everything
+    /// after a backpressure pause).
+    inbox: ByteRing,
+    /// Encoded responses not yet accepted by the kernel.
+    outbox: ByteRing,
+    decoder: Decoder,
+    channels: HashMap<u32, Channel>,
     last_active: Instant,
+    /// What the poller is currently armed for.
+    interest: Interest,
+    /// Reading/decoding paused by outbox backpressure.
+    paused: bool,
+    /// Backpressure advisory already sent for the current stall.
+    advised: bool,
+    /// Flush the outbox, then close.
+    closing: bool,
 }
 
 impl Conn {
-    fn close(&mut self) {
-        self.inflight.close();
-        let _ = self.stream.shutdown(std::net::Shutdown::Both);
-    }
-}
-
-/// A running gateway. Dropping it without [`Gateway::shutdown`] aborts the
-/// acceptor only when the process exits; call `shutdown` for a clean drain.
-#[derive(Debug)]
-pub struct Gateway {
-    local_addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<Vec<JoinHandle<()>>>>,
-    shard_txs: Vec<Sender<ShardMsg>>,
-    shards: Vec<JoinHandle<()>>,
-}
-
-impl Gateway {
-    /// Binds the listener and starts the acceptor and shard workers.
-    ///
-    /// # Errors
-    ///
-    /// Propagates socket errors from binding.
-    pub fn bind(addr: impl ToSocketAddrs, config: GatewayConfig) -> std::io::Result<Self> {
-        let listener = TcpListener::bind(addr)?;
-        let local_addr = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let workers = config.workers.max(1);
-
-        let mut shard_txs = Vec::with_capacity(workers);
-        let mut shards = Vec::with_capacity(workers);
-        for shard_id in 0..workers {
-            let (tx, rx) = std::sync::mpsc::channel();
-            shard_txs.push(tx);
-            let cfg = config.clone();
-            shards.push(
-                std::thread::Builder::new()
-                    .name(format!("argus-serve-shard-{shard_id}"))
-                    .spawn(move || shard_main(rx, &cfg))
-                    .expect("spawn shard worker"),
-            );
-        }
-
-        let acceptor = {
-            let stop = Arc::clone(&stop);
-            let shard_txs = shard_txs.clone();
-            let max_inflight = config.max_inflight.max(1) as u32;
-            std::thread::Builder::new()
-                .name("argus-serve-acceptor".to_string())
-                .spawn(move || acceptor_main(&listener, &stop, &shard_txs, max_inflight))
-                .expect("spawn acceptor")
-        };
-
-        Ok(Self {
-            local_addr,
-            stop,
-            acceptor: Some(acceptor),
-            shard_txs,
-            shards,
-        })
-    }
-
-    /// The bound address (useful with port 0).
-    pub fn local_addr(&self) -> SocketAddr {
-        self.local_addr
-    }
-
-    /// Graceful shutdown: stop accepting, drain every queued frame, close
-    /// every connection, join every thread.
-    pub fn shutdown(mut self) {
-        self.stop.store(true, Ordering::SeqCst);
-        // Unblock `accept` with a throwaway connection.
-        let _ = TcpStream::connect(self.local_addr);
-        let readers = self
-            .acceptor
-            .take()
-            .map(|h| h.join().expect("acceptor panicked"))
-            .unwrap_or_default();
-        for tx in &self.shard_txs {
-            let _ = tx.send(ShardMsg::Shutdown);
-        }
-        for shard in self.shards.drain(..) {
-            shard.join().expect("shard panicked");
-        }
-        for reader in readers {
-            reader.join().expect("reader panicked");
+    fn new(stream: TcpStream, now: Instant) -> Self {
+        Self {
+            stream,
+            inbox: ByteRing::default(),
+            outbox: ByteRing::default(),
+            decoder: Decoder::new(),
+            channels: HashMap::new(),
+            last_active: now,
+            interest: Interest::READ,
+            paused: false,
+            advised: false,
+            closing: false,
         }
     }
 }
 
-fn acceptor_main(
-    listener: &TcpListener,
-    stop: &AtomicBool,
-    shard_txs: &[Sender<ShardMsg>],
-    server_cap: u32,
-) -> Vec<JoinHandle<()>> {
-    let mut readers = Vec::new();
-    let mut next_conn = 0u64;
-    for stream in listener.incoming() {
-        if stop.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = stream else { continue };
-        let _ = stream.set_nodelay(true);
-        let conn = next_conn;
-        next_conn += 1;
-        let shard_tx = shard_txs[(conn % shard_txs.len() as u64) as usize].clone();
-        let inflight = Arc::new(Inflight::new());
-        let write_lock = Arc::new(Mutex::new(()));
-
-        let Ok(read_half) = stream.try_clone() else {
-            continue;
-        };
-        if shard_tx
-            .send(ShardMsg::Connected {
-                conn,
-                stream,
-                inflight: Arc::clone(&inflight),
-                write_lock: Arc::clone(&write_lock),
-            })
-            .is_err()
-        {
-            break;
-        }
-        let reader = std::thread::Builder::new()
-            .name(format!("argus-serve-reader-{conn}"))
-            .spawn(move || {
-                reader_main(
-                    conn,
-                    read_half,
-                    &shard_tx,
-                    &inflight,
-                    &write_lock,
-                    server_cap,
-                )
-            })
-            .expect("spawn reader");
-        readers.push(reader);
-    }
-    readers
+/// Connection storage with generation-tagged tokens: a token is
+/// `generation << 32 | slot`, so a readiness event for a slot that was
+/// freed and reused is recognized as stale and dropped.
+struct Slab {
+    slots: Vec<Option<Conn>>,
+    gens: Vec<u32>,
+    free: Vec<u32>,
+    live: usize,
 }
 
-/// Decodes frames off one socket, enforcing the inflight window before each
-/// observation is queued.
-fn reader_main(
-    conn: u64,
-    mut stream: TcpStream,
-    shard_tx: &Sender<ShardMsg>,
-    inflight: &Inflight,
-    write_lock: &Mutex<()>,
-    server_cap: u32,
-) {
-    let mut reader = FrameReader::new();
-    let mut cap = server_cap;
-    let mut advisory = Vec::new();
-    loop {
-        match reader.read_from(&mut stream) {
-            Ok(msg) => {
-                if let Message::Hello(h) = &msg {
-                    // Negotiate the window: the client may shrink it, never
-                    // grow it past the server cap.
-                    if h.max_inflight > 0 {
-                        cap = u32::from(h.max_inflight).min(server_cap);
-                    }
-                }
-                let is_observation = matches!(msg, Message::Observation(_));
-                if is_observation {
-                    let (alive, stalled) = inflight.acquire(cap);
-                    if stalled {
-                        // One advisory per stall, under the connection's
-                        // write lock so it lands between shard frames.
-                        let _guard = write_lock.lock().expect("write lock");
-                        let _ = wire::write_frame(
-                            &mut (&stream),
-                            &Message::Error(ErrorMsg {
-                                code: ErrorCode::Backpressure,
-                                detail: format!("inflight window of {cap} is full"),
-                            }),
-                            &mut advisory,
-                        );
-                    }
-                    if !alive {
-                        return;
-                    }
-                }
-                if shard_tx.send(ShardMsg::Frame { conn, msg }).is_err() {
-                    return;
-                }
-            }
-            Err(ReadError::Eof) | Err(ReadError::Io(_)) => {
-                let _ = shard_tx.send(ShardMsg::Disconnected { conn });
-                return;
-            }
-            Err(ReadError::Wire(err)) => {
-                let _ = shard_tx.send(ShardMsg::Bad { conn, err });
-                return;
-            }
+impl Slab {
+    fn new() -> Self {
+        Self {
+            slots: Vec::new(),
+            gens: Vec::new(),
+            free: Vec::new(),
+            live: 0,
         }
+    }
+
+    fn live(&self) -> usize {
+        self.live
+    }
+
+    fn token_of(idx: u32, gen: u32) -> u64 {
+        (u64::from(gen) << 32) | u64::from(idx)
+    }
+
+    fn insert(&mut self, conn: Conn) -> u64 {
+        let idx = self.free.pop().unwrap_or_else(|| {
+            self.slots.push(None);
+            self.gens.push(0);
+            (self.slots.len() - 1) as u32
+        });
+        self.slots[idx as usize] = Some(conn);
+        self.live += 1;
+        Self::token_of(idx, self.gens[idx as usize])
+    }
+
+    fn get_mut(&mut self, token: u64) -> Option<&mut Conn> {
+        let idx = (token & u64::from(u32::MAX)) as usize;
+        let gen = (token >> 32) as u32;
+        if idx >= self.slots.len() || self.gens[idx] != gen {
+            return None;
+        }
+        self.slots[idx].as_mut()
+    }
+
+    fn remove(&mut self, token: u64) -> Option<Conn> {
+        let idx = (token & u64::from(u32::MAX)) as usize;
+        let gen = (token >> 32) as u32;
+        if idx >= self.slots.len() || self.gens[idx] != gen {
+            return None;
+        }
+        let conn = self.slots[idx].take();
+        if conn.is_some() {
+            // Invalidate outstanding tokens/timers for this slot. (A
+            // collision with TOKEN_WAKE would need 2^32 slots in one
+            // shard; slots are bounded by fds long before that.)
+            self.gens[idx] = self.gens[idx].wrapping_add(1);
+            self.free.push(idx as u32);
+            self.live -= 1;
+        }
+        conn
+    }
+
+    fn tokens(&self) -> Vec<u64> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_some())
+            .map(|(i, _)| Self::token_of(i as u32, self.gens[i]))
+            .collect()
     }
 }
 
@@ -365,328 +258,750 @@ struct ShardScratch {
     encode: Vec<u8>,
 }
 
-fn shard_main(rx: Receiver<ShardMsg>, cfg: &GatewayConfig) {
-    let mut conns: HashMap<u64, Conn> = HashMap::new();
-    let mut scratch = ShardScratch {
-        radar: Radar::new(cfg.radar),
-        // Bit-exact options: extraction depends only on the samples, so one
-        // arena can serve every session without cross-talk.
-        frame: FrameScratch::new(ScratchOptions::bit_exact()),
-        encode: Vec::new(),
-    };
-    let mut last_sweep = Instant::now();
-    loop {
-        match rx.recv_timeout(cfg.sweep_interval) {
-            Ok(ShardMsg::Shutdown) => break,
-            Ok(msg) => handle_msg(msg, &mut conns, &mut scratch, cfg),
-            Err(RecvTimeoutError::Timeout) => {}
-            Err(RecvTimeoutError::Disconnected) => break,
-        }
-        if last_sweep.elapsed() >= cfg.sweep_interval {
-            evict_idle(&mut conns, &mut scratch.encode, cfg.idle_timeout);
-            last_sweep = Instant::now();
-        }
-    }
-    // Drain every frame that was queued before the shutdown marker, then
-    // tell the peers and close.
-    while let Ok(msg) = rx.try_recv() {
-        if !matches!(msg, ShardMsg::Shutdown) {
-            handle_msg(msg, &mut conns, &mut scratch, cfg);
-        }
-    }
-    for (_, mut conn) in conns.drain() {
-        let _ = wire::write_frame(
-            &mut (&conn.stream),
-            &Message::Error(ErrorMsg {
-                code: ErrorCode::ShuttingDown,
-                detail: "gateway is shutting down".to_string(),
-            }),
-            &mut scratch.encode,
-        );
-        conn.close();
-    }
+/// A running gateway. Dropping it without [`Gateway::shutdown`] aborts the
+/// acceptor only when the process exits; call `shutdown` for a clean drain.
+#[derive(Debug)]
+pub struct Gateway {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    handles: Vec<ShardHandle>,
+    shards: Vec<JoinHandle<()>>,
 }
 
-fn evict_idle(conns: &mut HashMap<u64, Conn>, encode: &mut Vec<u8>, idle_timeout: Duration) {
-    let evicted: Vec<u64> = conns
-        .iter()
-        .filter(|(_, c)| c.last_active.elapsed() >= idle_timeout)
-        .map(|(&id, _)| id)
-        .collect();
-    for id in evicted {
-        let mut conn = conns.remove(&id).expect("listed above");
-        let _ = wire::write_frame(
-            &mut (&conn.stream),
-            &Message::Error(ErrorMsg {
-                code: ErrorCode::Evicted,
-                detail: "session idle past the eviction deadline".to_string(),
-            }),
-            encode,
-        );
-        conn.close();
-    }
-}
+impl Gateway {
+    /// Binds the listener and starts the acceptor and reactor shards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket-binding and poller-setup failures.
+    pub fn bind(addr: impl ToSocketAddrs, config: GatewayConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers = config.workers.max(1);
 
-fn handle_msg(
-    msg: ShardMsg,
-    conns: &mut HashMap<u64, Conn>,
-    scratch: &mut ShardScratch,
-    cfg: &GatewayConfig,
-) {
-    match msg {
-        ShardMsg::Connected {
-            conn,
-            stream,
-            inflight,
-            write_lock,
-        } => {
-            conns.insert(
-                conn,
-                Conn {
-                    stream,
-                    inflight,
-                    write_lock,
-                    session: None,
-                    resume_pending: false,
-                    last_active: Instant::now(),
-                },
+        let mut handles = Vec::with_capacity(workers);
+        let mut shards = Vec::with_capacity(workers);
+        for shard_id in 0..workers {
+            let poller = new_poller(config.poller)?;
+            let (wake_tx, wake_rx) = waker()?;
+            let queue = Arc::new(Mutex::new(Vec::new()));
+            handles.push(ShardHandle {
+                queue: Arc::clone(&queue),
+                waker: wake_tx,
+            });
+            let cfg = config.clone();
+            shards.push(
+                std::thread::Builder::new()
+                    .name(format!("argus-serve-shard-{shard_id}"))
+                    .spawn(move || shard_main(&cfg, poller, wake_rx, &queue))
+                    .expect("spawn shard worker"),
             );
         }
-        ShardMsg::Disconnected { conn } => {
-            if let Some(mut c) = conns.remove(&conn) {
-                c.close();
-            }
+
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            let handles = handles.clone();
+            let sndbuf = config.sndbuf;
+            std::thread::Builder::new()
+                .name("argus-serve-acceptor".to_string())
+                .spawn(move || acceptor_main(&listener, &stop, &handles, sndbuf))
+                .expect("spawn acceptor")
+        };
+
+        Ok(Self {
+            local_addr,
+            stop,
+            acceptor: Some(acceptor),
+            handles,
+            shards,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Graceful shutdown: stop accepting, decode what is buffered, tell
+    /// every peer, drain outboxes (bounded by `drain_timeout`), close
+    /// every connection, join every thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock `accept` with a throwaway connection.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            acceptor.join().expect("acceptor panicked");
         }
-        // Filtered out by both call sites; nothing to do.
-        ShardMsg::Shutdown => {}
-        ShardMsg::Bad { conn, err } => {
-            if let Some(mut c) = conns.remove(&conn) {
-                let code = match err {
-                    WireError::VersionMismatch { .. } => ErrorCode::Version,
-                    _ => ErrorCode::Malformed,
-                };
-                send(
-                    &mut c,
-                    &error_msg(code, err.to_string()),
-                    &mut scratch.encode,
-                );
-                c.close();
-            }
+        for handle in &self.handles {
+            handle.send(ShardCmd::Shutdown);
         }
-        ShardMsg::Frame { conn, msg } => {
-            let Some(c) = conns.get_mut(&conn) else {
-                return;
-            };
-            c.last_active = Instant::now();
-            if handle_frame(c, msg, scratch, cfg).is_err() {
-                if let Some(mut c) = conns.remove(&conn) {
-                    c.close();
-                }
-            }
+        for shard in self.shards.drain(..) {
+            shard.join().expect("shard panicked");
         }
     }
 }
 
-/// Processes one client frame. `Err(())` closes the connection.
-fn handle_frame(
-    conn: &mut Conn,
-    msg: Message,
-    scratch: &mut ShardScratch,
-    cfg: &GatewayConfig,
-) -> Result<(), ()> {
-    match msg {
-        Message::Hello(hello) => {
-            if conn.session.is_some() {
-                send(
-                    conn,
-                    &error_msg(ErrorCode::Malformed, "duplicate Hello"),
-                    &mut scratch.encode,
-                );
-                return Err(());
+fn acceptor_main(
+    listener: &TcpListener,
+    stop: &AtomicBool,
+    handles: &[ShardHandle],
+    sndbuf: Option<usize>,
+) {
+    let mut next_conn = 0u64;
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        if let Err(e) = net::configure_stream(&stream) {
+            eprintln!("argus-serve: dropping connection, socket options failed: {e}");
+            continue;
+        }
+        if let Some(bytes) = sndbuf {
+            if let Err(e) = net::set_send_buffer(&stream, bytes) {
+                eprintln!("argus-serve: dropping connection, SO_SNDBUF failed: {e}");
+                continue;
             }
-            let session = match Session::new(&hello, &cfg.session) {
-                Ok(s) => s,
-                Err(e) => {
-                    send(conn, &session_error_msg(&e), &mut scratch.encode);
-                    return Err(());
+        }
+        if let Err(e) = stream.set_nonblocking(true) {
+            eprintln!("argus-serve: dropping connection, set_nonblocking failed: {e}");
+            continue;
+        }
+        let shard = (next_conn % handles.len() as u64) as usize;
+        next_conn += 1;
+        handles[shard].send(ShardCmd::NewConn(stream));
+    }
+}
+
+/// One reactor shard's whole mutable world.
+struct Shard<'a> {
+    cfg: &'a GatewayConfig,
+    poller: Box<dyn Poller>,
+    wake_rx: WakeReceiver,
+    queue: &'a Mutex<Vec<ShardCmd>>,
+    slab: Slab,
+    wheel: TimerWheel,
+    scratch: ShardScratch,
+    /// Reused timer-expiry scratch.
+    fired: Vec<(u64, TimerKind)>,
+    draining: bool,
+}
+
+fn shard_main(
+    cfg: &GatewayConfig,
+    poller: Box<dyn Poller>,
+    wake_rx: WakeReceiver,
+    queue: &Mutex<Vec<ShardCmd>>,
+) {
+    let mut shard = Shard {
+        cfg,
+        poller,
+        wake_rx,
+        queue,
+        slab: Slab::new(),
+        wheel: TimerWheel::new(cfg.sweep_interval, Instant::now()),
+        scratch: ShardScratch {
+            radar: Radar::new(cfg.radar),
+            // Bit-exact options: extraction depends only on the samples, so
+            // one arena can serve every session without cross-talk.
+            frame: FrameScratch::new(ScratchOptions::bit_exact()),
+            encode: Vec::new(),
+        },
+        fired: Vec::new(),
+        draining: false,
+    };
+    shard
+        .poller
+        .register(shard.wake_rx.raw_fd(), TOKEN_WAKE, Interest::READ)
+        .expect("register shard waker");
+
+    let mut events = Vec::new();
+    loop {
+        let now = Instant::now();
+        let timeout = shard
+            .wheel
+            .next_deadline(now)
+            .map(|d| d.saturating_duration_since(now));
+        if let Err(e) = shard.poller.wait(&mut events, timeout) {
+            eprintln!("argus-serve: poller wait failed: {e}");
+            continue;
+        }
+        for ev in &events {
+            if ev.token == TOKEN_WAKE {
+                shard.wake_rx.drain();
+                shard.run_commands();
+            } else if ev.hangup {
+                shard.kill(ev.token);
+            } else {
+                if ev.writable {
+                    shard.on_writable(ev.token);
+                }
+                if ev.readable {
+                    shard.on_readable(ev.token);
+                }
+            }
+        }
+        shard.fire_timers();
+        if shard.draining && shard.slab.live() == 0 {
+            break;
+        }
+    }
+}
+
+impl Shard<'_> {
+    fn run_commands(&mut self) {
+        let cmds: Vec<ShardCmd> = {
+            let mut queue = self.queue.lock().expect("shard queue");
+            std::mem::take(&mut *queue)
+        };
+        for cmd in cmds {
+            match cmd {
+                ShardCmd::NewConn(stream) => self.add_conn(stream),
+                ShardCmd::Shutdown => self.begin_drain(),
+            }
+        }
+    }
+
+    fn add_conn(&mut self, stream: TcpStream) {
+        if self.draining {
+            // Too late; the acceptor races shutdown by design.
+            let _ = stream.shutdown(Shutdown::Both);
+            return;
+        }
+        let now = Instant::now();
+        let fd = stream.as_raw_fd();
+        let token = self.slab.insert(Conn::new(stream, now));
+        if self.poller.register(fd, token, Interest::READ).is_err() {
+            self.slab.remove(token);
+            return;
+        }
+        self.wheel
+            .schedule(now + self.cfg.idle_timeout, token, TimerKind::IdleCheck);
+    }
+
+    /// Removes and closes a connection immediately, queued bytes and all.
+    fn kill(&mut self, token: u64) {
+        if let Some(conn) = self.slab.remove(token) {
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+    }
+
+    /// Encodes `msg` (mux-wrapped when `channel` is set) onto the
+    /// connection's outbox.
+    fn queue_msg(&mut self, token: u64, channel: Option<u32>, msg: &Message) {
+        let Some(conn) = self.slab.get_mut(token) else {
+            return;
+        };
+        self.scratch.encode.clear();
+        match channel {
+            None => wire::encode_into(msg, &mut self.scratch.encode),
+            Some(c) => wire::encode_mux_into(c, msg, &mut self.scratch.encode),
+        }
+        conn.outbox.extend_from_slice(&self.scratch.encode);
+    }
+
+    /// Re-arms the poller to match the connection's state: read while not
+    /// paused/closing, write while the outbox holds bytes.
+    fn update_interest(&mut self, token: u64) {
+        let Some(conn) = self.slab.get_mut(token) else {
+            return;
+        };
+        let want = Interest {
+            readable: !conn.paused && !conn.closing,
+            writable: !conn.outbox.is_empty(),
+        };
+        if want != conn.interest {
+            let fd = conn.stream.as_raw_fd();
+            conn.interest = want;
+            let _ = self.poller.reregister(fd, token, want);
+        }
+    }
+
+    /// Writes queued bytes until the kernel blocks; closes a draining
+    /// connection whose outbox just emptied. Returns false when the
+    /// connection died here.
+    fn flush(&mut self, token: u64) -> bool {
+        let Some(conn) = self.slab.get_mut(token) else {
+            return false;
+        };
+        if conn.outbox.write_to(&mut conn.stream).is_err() {
+            self.kill(token);
+            return false;
+        }
+        if conn.outbox.is_empty() && conn.closing {
+            self.kill(token);
+            return false;
+        }
+        self.update_interest(token);
+        true
+    }
+
+    /// Starts the flush-then-close sequence, optionally after one last
+    /// plain advisory frame.
+    fn begin_close(&mut self, token: u64, advisory: Option<&Message>) {
+        if let Some(msg) = advisory {
+            self.queue_msg(token, None, msg);
+        }
+        let now = Instant::now();
+        let Some(conn) = self.slab.get_mut(token) else {
+            return;
+        };
+        if !conn.closing {
+            conn.closing = true;
+            self.wheel.schedule(
+                now + self.cfg.drain_timeout,
+                token,
+                TimerKind::DrainDeadline,
+            );
+        }
+        let _ = self.flush(token);
+    }
+
+    /// A protocol-fatal condition: queue the typed error (wrapped for the
+    /// offending channel) and close the connection. Returns false so frame
+    /// handlers can `return self.fatal(...)`.
+    fn fatal(
+        &mut self,
+        token: u64,
+        channel: Option<u32>,
+        code: ErrorCode,
+        detail: impl Into<String>,
+    ) -> bool {
+        self.queue_msg(
+            token,
+            channel,
+            &Message::Error(ErrorMsg {
+                code,
+                detail: detail.into(),
+            }),
+        );
+        self.begin_close(token, None);
+        false
+    }
+
+    /// The connection's bytes stopped parsing; answer with a typed error
+    /// and close.
+    fn fatal_wire_error(&mut self, token: u64, err: &WireError) {
+        let code = match err {
+            WireError::VersionMismatch { .. } => ErrorCode::Version,
+            _ => ErrorCode::Malformed,
+        };
+        self.fatal(token, None, code, err.to_string());
+    }
+
+    /// Drains the socket in bounded bursts, decoding as bytes land.
+    fn on_readable(&mut self, token: u64) {
+        let mut total = 0usize;
+        loop {
+            let read = {
+                let Some(conn) = self.slab.get_mut(token) else {
+                    return;
+                };
+                if conn.paused || conn.closing {
+                    break;
+                }
+                match conn.inbox.read_from(&mut conn.stream, READ_CHUNK) {
+                    Ok(n) => Ok(n),
+                    Err(ref e) if net::is_would_block(e) => break,
+                    Err(_) => Err(()),
                 }
             };
-            conn.session = Some(session);
-            if hello.resume {
-                // Welcome is deferred until the snapshot restores.
-                conn.resume_pending = true;
-                return Ok(());
+            match read {
+                Ok(0) => {
+                    // Peer EOF: decode what arrived, answer it, then close
+                    // once the outbox drains.
+                    if self.process_inbox(token) {
+                        self.begin_close(token, None);
+                    }
+                    return;
+                }
+                Ok(n) => {
+                    if !self.process_inbox(token) {
+                        return;
+                    }
+                    total += n;
+                    if total >= MAX_BURST {
+                        break;
+                    }
+                }
+                Err(()) => {
+                    self.kill(token);
+                    return;
+                }
             }
-            welcome(conn, scratch, cfg)
         }
-        Message::Snapshot(snap) => {
-            if !conn.resume_pending {
-                send(
-                    conn,
-                    &error_msg(
+        let _ = self.flush(token);
+    }
+
+    /// The kernel made room: flush, and resume a paused connection once
+    /// its outbox falls under the low-water mark (half of `outbox_cap`).
+    fn on_writable(&mut self, token: u64) {
+        if !self.flush(token) {
+            return;
+        }
+        let low_water = self.cfg.outbox_cap / 2;
+        let resumed = match self.slab.get_mut(token) {
+            Some(conn) if conn.paused && conn.outbox.len() <= low_water => {
+                conn.paused = false;
+                conn.advised = false;
+                true
+            }
+            _ => false,
+        };
+        if resumed {
+            // Decode the bytes that were already buffered when the pause
+            // hit; new reads follow via the re-armed read interest.
+            if self.process_inbox(token) {
+                let _ = self.flush(token);
+            }
+        }
+    }
+
+    /// Decodes every complete frame buffered in the inbox, stopping at a
+    /// pause or close. Returns false when the connection died.
+    fn process_inbox(&mut self, token: u64) -> bool {
+        loop {
+            let now = Instant::now();
+            let step = {
+                let Some(conn) = self.slab.get_mut(token) else {
+                    return false;
+                };
+                if conn.paused || conn.closing {
+                    break;
+                }
+                let (front, _) = conn.inbox.as_slices();
+                if front.is_empty() {
+                    break;
+                }
+                match conn.decoder.feed(front) {
+                    Ok((used, frame)) => {
+                        conn.inbox.consume(used);
+                        conn.last_active = now;
+                        Ok(frame)
+                    }
+                    Err(e) => Err(e),
+                }
+            };
+            match step {
+                Ok(None) => continue,
+                Ok(Some(frame)) => {
+                    if !self.handle_frame(token, frame) {
+                        return false;
+                    }
+                    self.maybe_pause(token);
+                }
+                Err(e) => {
+                    self.fatal_wire_error(token, &e);
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Applies outbox backpressure after a frame was handled: if the
+    /// outbox is past the cap even after a flush, stop reading and
+    /// decoding, and tell the client once per stall.
+    fn maybe_pause(&mut self, token: u64) {
+        let over = match self.slab.get_mut(token) {
+            Some(conn) => conn.outbox.len() > self.cfg.outbox_cap,
+            None => return,
+        };
+        if !over || !self.flush(token) {
+            return;
+        }
+        let cap = self.cfg.outbox_cap;
+        let advise = match self.slab.get_mut(token) {
+            Some(conn) if conn.outbox.len() > cap && !conn.closing => {
+                conn.paused = true;
+                let first = !conn.advised;
+                conn.advised = true;
+                first
+            }
+            _ => return,
+        };
+        if advise {
+            self.queue_msg(
+                token,
+                None,
+                &Message::Error(ErrorMsg {
+                    code: ErrorCode::Backpressure,
+                    detail: format!("outbox of {cap} bytes is full; reads paused"),
+                }),
+            );
+        }
+        self.update_interest(token);
+    }
+
+    /// Processes one decoded frame. Returns false when the connection
+    /// died (or began closing) and decoding must stop.
+    fn handle_frame(&mut self, token: u64, frame: DecodedFrame) -> bool {
+        let channel = frame.channel;
+        let key = channel.unwrap_or(0);
+        match frame.msg {
+            Message::Hello(hello) => {
+                let Some(conn) = self.slab.get_mut(token) else {
+                    return false;
+                };
+                if conn.channels.contains_key(&key) {
+                    return self.fatal(token, channel, ErrorCode::Malformed, "duplicate Hello");
+                }
+                match Session::new(&hello, &self.cfg.session) {
+                    Ok(session) => {
+                        let resume = hello.resume;
+                        conn.channels.insert(
+                            key,
+                            Channel {
+                                session,
+                                resume_pending: resume,
+                            },
+                        );
+                        if resume {
+                            // Welcome is deferred until the snapshot
+                            // restores.
+                            return true;
+                        }
+                        self.queue_welcome(token, channel, key);
+                        true
+                    }
+                    Err(e) => self.fatal(token, channel, e.code, e.detail),
+                }
+            }
+            Message::Snapshot(snap) => {
+                let Some(conn) = self.slab.get_mut(token) else {
+                    return false;
+                };
+                let Some(ch) = conn.channels.get_mut(&key) else {
+                    return self.fatal(
+                        token,
+                        channel,
                         ErrorCode::Malformed,
                         "Snapshot is only valid directly after a resume Hello",
-                    ),
-                    &mut scratch.encode,
-                );
-                return Err(());
+                    );
+                };
+                if !ch.resume_pending {
+                    return self.fatal(
+                        token,
+                        channel,
+                        ErrorCode::Malformed,
+                        "Snapshot is only valid directly after a resume Hello",
+                    );
+                }
+                if let Err(e) = ch.session.restore(&snap) {
+                    return self.fatal(token, channel, e.code, e.detail);
+                }
+                ch.resume_pending = false;
+                self.queue_welcome(token, channel, key);
+                true
             }
-            let session = conn
-                .session
-                .as_mut()
-                .expect("resume_pending implies session");
-            if let Err(e) = session.restore(&snap) {
-                send(conn, &session_error_msg(&e), &mut scratch.encode);
-                return Err(());
-            }
-            conn.resume_pending = false;
-            welcome(conn, scratch, cfg)
-        }
-        Message::Observation(obs) => {
-            // The reader counted this frame into the inflight window when it
-            // was queued; release as it is processed.
-            conn.inflight.release();
-            let Some(session) = conn.session.as_mut() else {
-                send(
-                    conn,
-                    &error_msg(ErrorCode::BadHandshake, "Observation before Hello"),
-                    &mut scratch.encode,
-                );
-                return Err(());
-            };
-            if conn.resume_pending {
-                send(
-                    conn,
-                    &error_msg(
+            Message::Observation(obs) => {
+                let Some(conn) = self.slab.get_mut(token) else {
+                    return false;
+                };
+                let Some(ch) = conn.channels.get_mut(&key) else {
+                    return self.fatal(
+                        token,
+                        channel,
+                        ErrorCode::BadHandshake,
+                        "Observation before Hello",
+                    );
+                };
+                if ch.resume_pending {
+                    return self.fatal(
+                        token,
+                        channel,
                         ErrorCode::BadHandshake,
                         "Observation before resume Snapshot",
-                    ),
-                    &mut scratch.encode,
-                );
-                return Err(());
-            }
-            match session.observe(&obs, &scratch.radar, &mut scratch.frame) {
-                Ok((verdict, safe)) => {
-                    // Both response frames in one write.
-                    scratch.encode.clear();
-                    wire::encode_into(&Message::Verdict(verdict), &mut scratch.encode);
-                    wire::encode_into(&Message::SafeMeasurement(safe), &mut scratch.encode);
-                    write_all(conn, &scratch.encode)
+                    );
                 }
-                Err(e) => {
-                    send(conn, &session_error_msg(&e), &mut scratch.encode);
-                    if e.fatal {
-                        Err(())
+                match ch
+                    .session
+                    .observe(&obs, &self.scratch.radar, &mut self.scratch.frame)
+                {
+                    Ok((verdict, safe)) => {
+                        // Both response frames in one outbox append.
+                        self.scratch.encode.clear();
+                        encode_response(
+                            channel,
+                            &Message::Verdict(verdict),
+                            &mut self.scratch.encode,
+                        );
+                        encode_response(
+                            channel,
+                            &Message::SafeMeasurement(safe),
+                            &mut self.scratch.encode,
+                        );
+                        conn.outbox.extend_from_slice(&self.scratch.encode);
+                        true
+                    }
+                    Err(e) => {
+                        if e.fatal {
+                            return self.fatal(token, channel, e.code, e.detail);
+                        }
+                        let msg = Message::Error(ErrorMsg {
+                            code: e.code,
+                            detail: e.detail,
+                        });
+                        self.queue_msg(token, channel, &msg);
+                        true
+                    }
+                }
+            }
+            Message::SnapshotRequest => {
+                let Some(conn) = self.slab.get_mut(token) else {
+                    return false;
+                };
+                let Some(ch) = conn.channels.get(&key) else {
+                    return self.fatal(
+                        token,
+                        channel,
+                        ErrorCode::BadHandshake,
+                        "SnapshotRequest before Hello",
+                    );
+                };
+                let snap = ch.session.snapshot();
+                self.queue_msg(token, channel, &Message::Snapshot(snap));
+                true
+            }
+            Message::Welcome(_)
+            | Message::Verdict(_)
+            | Message::SafeMeasurement(_)
+            | Message::Error(_) => self.fatal(
+                token,
+                channel,
+                ErrorCode::Malformed,
+                "server-to-client message from a client",
+            ),
+        }
+    }
+
+    fn queue_welcome(&mut self, token: u64, channel: Option<u32>, key: u32) {
+        let Some(conn) = self.slab.get_mut(token) else {
+            return;
+        };
+        let Some(ch) = conn.channels.get(&key) else {
+            return;
+        };
+        let msg = Message::Welcome(Welcome {
+            vehicle_id: ch.session.vehicle_id(),
+            next_step: ch.session.next_step(),
+            max_inflight: self.cfg.max_inflight.max(1),
+        });
+        self.queue_msg(token, channel, &msg);
+    }
+
+    fn fire_timers(&mut self) {
+        let now = Instant::now();
+        let mut fired = std::mem::take(&mut self.fired);
+        fired.clear();
+        self.wheel.fire(now, &mut fired);
+        for &(token, kind) in &fired {
+            match kind {
+                TimerKind::IdleCheck => {
+                    let deadline = match self.slab.get_mut(token) {
+                        // Stale token, or already draining its close.
+                        None => continue,
+                        Some(conn) if conn.closing => continue,
+                        Some(conn) => conn.last_active + self.cfg.idle_timeout,
+                    };
+                    if deadline <= now {
+                        self.begin_close(
+                            token,
+                            Some(&Message::Error(ErrorMsg {
+                                code: ErrorCode::Evicted,
+                                detail: "session idle past the eviction deadline".to_string(),
+                            })),
+                        );
                     } else {
-                        Ok(())
+                        self.wheel.schedule(deadline, token, TimerKind::IdleCheck);
+                    }
+                }
+                TimerKind::DrainDeadline => {
+                    let still_closing =
+                        matches!(self.slab.get_mut(token), Some(conn) if conn.closing);
+                    if still_closing {
+                        self.kill(token);
                     }
                 }
             }
         }
-        Message::SnapshotRequest => {
-            let Some(session) = conn.session.as_ref() else {
-                send(
-                    conn,
-                    &error_msg(ErrorCode::BadHandshake, "SnapshotRequest before Hello"),
-                    &mut scratch.encode,
-                );
-                return Err(());
-            };
-            let snap = session.snapshot();
-            send(conn, &Message::Snapshot(snap), &mut scratch.encode);
-            Ok(())
-        }
-        Message::Welcome(_)
-        | Message::Verdict(_)
-        | Message::SafeMeasurement(_)
-        | Message::Error(_) => {
-            send(
-                conn,
-                &error_msg(
-                    ErrorCode::Malformed,
-                    "server-to-client message from a client",
-                ),
-                &mut scratch.encode,
-            );
-            Err(())
+        self.fired = fired;
+    }
+
+    /// Shutdown: decode what every connection already buffered, tell the
+    /// peers, and let the drain deadlines bound the rest.
+    fn begin_drain(&mut self) {
+        self.draining = true;
+        let shutting_down = Message::Error(ErrorMsg {
+            code: ErrorCode::ShuttingDown,
+            detail: "gateway is shutting down".to_string(),
+        });
+        for token in self.slab.tokens() {
+            if !self.process_inbox(token) {
+                continue;
+            }
+            let already_closing = matches!(self.slab.get_mut(token), Some(conn) if conn.closing);
+            if already_closing {
+                continue;
+            }
+            self.begin_close(token, Some(&shutting_down));
         }
     }
 }
 
-fn welcome(conn: &mut Conn, scratch: &mut ShardScratch, cfg: &GatewayConfig) -> Result<(), ()> {
-    let session = conn.session.as_ref().expect("welcome requires a session");
-    let msg = Message::Welcome(Welcome {
-        vehicle_id: session.vehicle_id(),
-        next_step: session.next_step(),
-        max_inflight: cfg.max_inflight.max(1),
-    });
-    send(conn, &msg, &mut scratch.encode);
-    Ok(())
-}
-
-fn error_msg(code: ErrorCode, detail: impl Into<String>) -> Message {
-    Message::Error(ErrorMsg {
-        code,
-        detail: detail.into(),
-    })
-}
-
-fn session_error_msg(e: &SessionError) -> Message {
-    Message::Error(ErrorMsg {
-        code: e.code,
-        detail: e.detail.clone(),
-    })
-}
-
-fn send(conn: &mut Conn, msg: &Message, encode: &mut Vec<u8>) {
-    // A write failure surfaces as Disconnected via the reader; nothing to
-    // do here.
-    let guard = Arc::clone(&conn.write_lock);
-    let _guard = guard.lock().expect("write lock");
-    let _ = wire::write_frame(&mut (&conn.stream), msg, encode);
-}
-
-fn write_all(conn: &mut Conn, bytes: &[u8]) -> Result<(), ()> {
-    let guard = Arc::clone(&conn.write_lock);
-    let _guard = guard.lock().expect("write lock");
-    (&conn.stream).write_all(bytes).map_err(|_| ())
+/// Encodes `msg` plain or mux-wrapped, appending to `buf` (not cleared —
+/// response pairs batch into one outbox append).
+fn encode_response(channel: Option<u32>, msg: &Message, buf: &mut Vec<u8>) {
+    match channel {
+        None => wire::encode_into(msg, buf),
+        Some(c) => wire::encode_mux_into(c, msg, buf),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    #[test]
-    fn inflight_blocks_at_cap_and_wakes_on_release() {
-        let inflight = Arc::new(Inflight::new());
-        let (ok, stalled) = inflight.acquire(2);
-        assert!(ok && !stalled);
-        let (ok, stalled) = inflight.acquire(2);
-        assert!(ok && !stalled);
-
-        let blocked = {
-            let inflight = Arc::clone(&inflight);
-            std::thread::spawn(move || inflight.acquire(2))
-        };
-        // The third acquire must stall until a release.
-        std::thread::sleep(Duration::from_millis(30));
-        assert!(!blocked.is_finished());
-        inflight.release();
-        let (ok, stalled) = blocked.join().expect("join");
-        assert!(ok && stalled, "stalled acquire reports the stall");
+    fn dummy_conn() -> Conn {
+        // A socket nobody reads; only the slab bookkeeping is under test.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let stream = TcpStream::connect(listener.local_addr().expect("addr")).expect("connect");
+        Conn::new(stream, Instant::now())
     }
 
     #[test]
-    fn inflight_close_unblocks_a_stalled_reader() {
-        let inflight = Arc::new(Inflight::new());
-        assert!(inflight.acquire(1).0);
-        let blocked = {
-            let inflight = Arc::clone(&inflight);
-            std::thread::spawn(move || inflight.acquire(1))
-        };
-        std::thread::sleep(Duration::from_millis(30));
-        inflight.close();
-        let (ok, _) = blocked.join().expect("join");
-        assert!(!ok, "closed window reports dead connection");
+    fn slab_tokens_survive_slot_reuse() {
+        let mut slab = Slab::new();
+        let a = slab.insert(dummy_conn());
+        let b = slab.insert(dummy_conn());
+        assert_eq!(slab.live(), 2);
+        assert!(slab.get_mut(a).is_some());
+
+        // Free `a`, reuse its slot for `c`: the stale token must miss.
+        assert!(slab.remove(a).is_some());
+        let c = slab.insert(dummy_conn());
+        assert_ne!(a, c, "generation bump makes a fresh token");
+        assert!(slab.get_mut(a).is_none(), "stale token is rejected");
+        assert!(slab.get_mut(c).is_some());
+        assert!(slab.remove(a).is_none(), "stale remove is a no-op");
+        assert_eq!(slab.live(), 2);
+
+        let mut tokens = slab.tokens();
+        tokens.sort_unstable();
+        let mut expect = vec![b, c];
+        expect.sort_unstable();
+        assert_eq!(tokens, expect);
+    }
+
+    #[test]
+    fn slab_remove_returns_the_connection_once() {
+        let mut slab = Slab::new();
+        let t = slab.insert(dummy_conn());
+        assert!(slab.remove(t).is_some());
+        assert!(slab.remove(t).is_none());
+        assert_eq!(slab.live(), 0);
     }
 }

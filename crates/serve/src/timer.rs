@@ -1,0 +1,205 @@
+//! A hashed timer wheel for the reactor: idle-eviction deadlines, drain
+//! deadlines for closing connections, and the shutdown cutoff all live
+//! here, so the event loop's only time source is "sleep until the next
+//! wheel tick".
+//!
+//! Deadlines are quantized to the wheel granularity (the gateway's
+//! `sweep_interval`), which is exactly the precision the old sweep loop
+//! had. Entries are not cancelled when a connection dies — the reactor
+//! revalidates each fired entry against live state (lazy deletion), so
+//! scheduling and firing are both O(1) amortized with no lookup structure.
+
+use std::time::{Duration, Instant};
+
+/// Number of wheel slots; deadlines further out than `SLOTS` ticks park in
+/// their slot and re-fire on a later revolution.
+const SLOTS: usize = 64;
+
+/// What a timer is for, returned on expiry for the reactor to act on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerKind {
+    /// Re-check a connection's idle deadline (lazy: the reactor compares
+    /// `last_active` and either evicts or re-arms).
+    IdleCheck,
+    /// A closing connection has had long enough to drain its outbox; force
+    /// the close.
+    DrainDeadline,
+}
+
+/// One scheduled timer.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    /// Absolute tick this entry fires on.
+    tick: u64,
+    /// Connection token the timer belongs to.
+    token: u64,
+    kind: TimerKind,
+}
+
+/// The wheel itself.
+#[derive(Debug)]
+pub struct TimerWheel {
+    slots: Vec<Vec<Entry>>,
+    granularity: Duration,
+    epoch: Instant,
+    /// Last tick fully fired.
+    cursor: u64,
+    /// Live entry count (fired entries leave; lazy-dead ones only leave
+    /// when they fire).
+    len: usize,
+}
+
+impl TimerWheel {
+    /// Creates a wheel ticking every `granularity` (floored to 1 ms).
+    pub fn new(granularity: Duration, now: Instant) -> Self {
+        Self {
+            slots: (0..SLOTS).map(|_| Vec::new()).collect(),
+            granularity: granularity.max(Duration::from_millis(1)),
+            epoch: now,
+            cursor: 0,
+            len: 0,
+        }
+    }
+
+    /// Scheduled-entry count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn tick_of(&self, at: Instant) -> u64 {
+        let since = at.saturating_duration_since(self.epoch);
+        // Round up: an entry never fires before its deadline.
+        let g = self.granularity.as_nanos().max(1);
+        (since.as_nanos().div_ceil(g)) as u64
+    }
+
+    /// Schedules `kind` for `token` at (the tick covering) `deadline`.
+    pub fn schedule(&mut self, deadline: Instant, token: u64, kind: TimerKind) {
+        // Fire strictly after the cursor so `fire` can't skip it.
+        let tick = self.tick_of(deadline).max(self.cursor + 1);
+        let slot = (tick % SLOTS as u64) as usize;
+        self.slots[slot].push(Entry { tick, token, kind });
+        self.len += 1;
+    }
+
+    /// When the reactor should wake next: the next tick boundary if
+    /// anything is scheduled, else `None` (sleep until I/O).
+    pub fn next_deadline(&self, now: Instant) -> Option<Instant> {
+        if self.is_empty() {
+            return None;
+        }
+        let next_tick = self.tick_of(now).max(self.cursor) + 1;
+        Some(self.epoch + self.granularity * (next_tick as u32))
+    }
+
+    /// Pops every entry due at or before `now` into `out` (appended).
+    pub fn fire(&mut self, now: Instant, out: &mut Vec<(u64, TimerKind)>) {
+        let now_tick = self.tick_of(now);
+        if now_tick <= self.cursor {
+            return;
+        }
+        if self.is_empty() || now_tick - self.cursor >= SLOTS as u64 {
+            // A full revolution (or an empty wheel): one sweep over every
+            // slot covers it, however long the reactor slept.
+            for slot in &mut self.slots {
+                let mut i = 0;
+                while i < slot.len() {
+                    if slot[i].tick <= now_tick {
+                        let e = slot.swap_remove(i);
+                        self.len -= 1;
+                        out.push((e.token, e.kind));
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            self.cursor = now_tick;
+            return;
+        }
+        while self.cursor < now_tick {
+            self.cursor += 1;
+            let slot = (self.cursor % SLOTS as u64) as usize;
+            let mut i = 0;
+            while i < self.slots[slot].len() {
+                if self.slots[slot][i].tick <= now_tick {
+                    let e = self.slots[slot].swap_remove(i);
+                    self.len -= 1;
+                    out.push((e.token, e.kind));
+                } else {
+                    // A later revolution; leave it parked.
+                    i += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    #[test]
+    fn fires_at_the_deadline_not_before() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(ms(10), t0);
+        wheel.schedule(t0 + ms(35), 7, TimerKind::IdleCheck);
+        let mut fired = Vec::new();
+        wheel.fire(t0 + ms(30), &mut fired);
+        assert!(fired.is_empty(), "must not fire early");
+        wheel.fire(t0 + ms(41), &mut fired);
+        assert_eq!(fired, vec![(7, TimerKind::IdleCheck)]);
+        assert!(wheel.is_empty());
+    }
+
+    #[test]
+    fn entries_more_than_a_revolution_out_stay_parked() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(ms(1), t0);
+        // 200 ticks out: lands in slot (200 % 64) but must survive the
+        // first two revolutions.
+        wheel.schedule(t0 + ms(200), 1, TimerKind::DrainDeadline);
+        wheel.schedule(t0 + ms(8), 2, TimerKind::IdleCheck);
+        let mut fired = Vec::new();
+        wheel.fire(t0 + ms(100), &mut fired);
+        assert_eq!(fired, vec![(2, TimerKind::IdleCheck)]);
+        fired.clear();
+        wheel.fire(t0 + ms(250), &mut fired);
+        assert_eq!(fired, vec![(1, TimerKind::DrainDeadline)]);
+    }
+
+    #[test]
+    fn next_deadline_tracks_the_next_tick() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(ms(10), t0);
+        assert!(wheel.next_deadline(t0).is_none());
+        wheel.schedule(t0 + ms(100), 1, TimerKind::IdleCheck);
+        let next = wheel.next_deadline(t0 + ms(25)).expect("scheduled");
+        assert!(next > t0 + ms(25) && next <= t0 + ms(40));
+    }
+
+    #[test]
+    fn many_tokens_fire_once_each() {
+        let t0 = Instant::now();
+        let mut wheel = TimerWheel::new(ms(5), t0);
+        for token in 0..500u64 {
+            wheel.schedule(t0 + ms(5 + token % 97), token, TimerKind::IdleCheck);
+        }
+        let mut fired = Vec::new();
+        wheel.fire(t0 + ms(300), &mut fired);
+        assert_eq!(fired.len(), 500);
+        let mut tokens: Vec<u64> = fired.iter().map(|&(t, _)| t).collect();
+        tokens.sort_unstable();
+        tokens.dedup();
+        assert_eq!(tokens.len(), 500);
+        assert!(wheel.is_empty());
+    }
+}

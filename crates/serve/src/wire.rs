@@ -24,6 +24,18 @@
 //! exactly ([`WireError::TrailingBytes`] otherwise). The codec has no
 //! dependencies beyond `std` and the workspace's own data types, and no
 //! `unsafe`.
+//!
+//! Two framing layers sit on top of the message codec:
+//!
+//! * **Multiplexing** — a [`MSG_MUX`] frame carries a `u32` channel id
+//!   followed by one complete nested frame, so many sessions share one
+//!   socket (the fd budget of the 100k ramp demands it). Mux is a framing
+//!   concept, not a [`Message`] variant: [`decode_any_frame`] and the
+//!   [`Decoder`] return the channel alongside the inner message, and
+//!   nesting a mux inside a mux is rejected.
+//! * **Incremental decoding** — the resumable [`Decoder`] accepts frames
+//!   split at arbitrary byte boundaries across reads, which is what a
+//!   readiness-driven reactor sees on the wire.
 
 use std::io::{Read, Write};
 
@@ -58,6 +70,11 @@ pub const MSG_SNAPSHOT: u8 = 6;
 pub const MSG_SNAPSHOT_REQUEST: u8 = 7;
 /// Message-type byte for [`Message::Error`].
 pub const MSG_ERROR: u8 = 8;
+/// Frame-type byte for a multiplexed frame: a `u32` channel id followed by
+/// one complete nested frame. A framing-layer concept — there is no
+/// corresponding [`Message`] variant, and [`decode_payload`] rejects it so
+/// a mux can never nest inside a mux.
+pub const MSG_MUX: u8 = 9;
 
 /// A structural decoding failure. Every variant is a property of the bytes,
 /// so the peer can be answered with a precise [`ErrorCode`].
@@ -923,7 +940,9 @@ pub fn parse_header(buf: &[u8]) -> Result<FrameHeader, WireError> {
 }
 
 /// Decodes one complete frame from the start of `buf`; returns the message
-/// and the number of bytes consumed.
+/// and the number of bytes consumed. Plain frames only — a [`MSG_MUX`]
+/// frame is an [`WireError::UnknownMessage`] here; use
+/// [`decode_any_frame`] when multiplexing may be in play.
 pub fn decode_frame(buf: &[u8]) -> Result<(Message, usize), WireError> {
     let header = parse_header(buf)?;
     let total = HEADER_LEN + header.payload_len as usize;
@@ -935,6 +954,146 @@ pub fn decode_frame(buf: &[u8]) -> Result<(Message, usize), WireError> {
     }
     let msg = decode_payload(header.msg_type, &buf[HEADER_LEN..total])?;
     Ok((msg, total))
+}
+
+// ---------------------------------------------------------------------------
+// Multiplexing and incremental decoding.
+
+/// One decoded frame with its framing context: `channel` is `None` for a
+/// plain frame and `Some(id)` when the message arrived inside a
+/// [`MSG_MUX`] wrapper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodedFrame {
+    /// Mux channel the message rode on, if any.
+    pub channel: Option<u32>,
+    /// The message itself.
+    pub msg: Message,
+}
+
+/// Decodes one payload whose type byte may be [`MSG_MUX`]; the shared tail
+/// of [`decode_any_frame`] and [`Decoder::feed`].
+fn decode_framed_payload(msg_type: u8, payload: &[u8]) -> Result<DecodedFrame, WireError> {
+    if msg_type != MSG_MUX {
+        return Ok(DecodedFrame {
+            channel: None,
+            msg: decode_payload(msg_type, payload)?,
+        });
+    }
+    let mut r = Reader::new(payload);
+    let channel = r.u32()?;
+    // One complete nested frame fills the rest of the payload exactly. A
+    // nested mux dies inside `decode_frame` (no Message variant exists).
+    let inner = &payload[4..];
+    let (msg, used) = decode_frame(inner)?;
+    if used != inner.len() {
+        return Err(WireError::TrailingBytes {
+            extra: inner.len() - used,
+        });
+    }
+    Ok(DecodedFrame {
+        channel: Some(channel),
+        msg,
+    })
+}
+
+/// Decodes one complete frame — plain or multiplexed — from the start of
+/// `buf`; returns the frame and the number of bytes consumed.
+///
+/// # Errors
+///
+/// Structural failures, [`WireError::Truncated`] when `buf` holds less
+/// than one frame.
+pub fn decode_any_frame(buf: &[u8]) -> Result<(DecodedFrame, usize), WireError> {
+    let header = parse_header(buf)?;
+    let total = HEADER_LEN + header.payload_len as usize;
+    if buf.len() < total {
+        return Err(WireError::Truncated {
+            needed: total,
+            got: buf.len(),
+        });
+    }
+    let frame = decode_framed_payload(header.msg_type, &buf[HEADER_LEN..total])?;
+    Ok((frame, total))
+}
+
+/// Appends one multiplexed frame — `msg` wrapped for `channel` — to `out`.
+pub fn encode_mux_into(channel: u32, msg: &Message, out: &mut Vec<u8>) {
+    let start = out.len();
+    out.extend_from_slice(&MAGIC);
+    put_u16(out, VERSION);
+    out.push(MSG_MUX);
+    out.push(0); // flags, reserved
+    put_u32(out, 0); // payload length, patched below
+    put_u32(out, channel);
+    encode_into(msg, out);
+    let len = (out.len() - start - HEADER_LEN) as u32;
+    debug_assert!(len <= MAX_PAYLOAD, "mux payload exceeds MAX_PAYLOAD");
+    out[start + 8..start + HEADER_LEN].copy_from_slice(&len.to_le_bytes());
+}
+
+/// A resumable frame decoder: feed it bytes in whatever chunks the socket
+/// delivers — split mid-header, mid-payload, or several frames coalesced
+/// into one read — and it emits each frame exactly when its last byte
+/// arrives. The header array and payload buffer are reused, so steady-state
+/// decoding allocates nothing once the high-water payload size is seen.
+///
+/// After an `Err` the decoder's position in the byte stream is undefined;
+/// the connection it was reading is dead anyway (every decode error is
+/// fatal at the protocol level), so drop both.
+#[derive(Debug, Default)]
+pub struct Decoder {
+    header: [u8; HEADER_LEN],
+    /// Header bytes collected so far (only meaningful before `pending`).
+    header_have: usize,
+    /// Parsed header once complete; `None` while collecting header bytes.
+    pending: Option<FrameHeader>,
+    payload: Vec<u8>,
+}
+
+impl Decoder {
+    /// A decoder positioned at a frame boundary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True when no partial frame is buffered.
+    pub fn is_idle(&self) -> bool {
+        self.header_have == 0 && self.pending.is_none()
+    }
+
+    /// Consumes bytes from the front of `buf`; returns how many were used
+    /// and the frame completed by those bytes, if any. Call again with the
+    /// rest of `buf` (it stops after at most one frame).
+    ///
+    /// # Errors
+    ///
+    /// Structural failures, surfaced at the earliest byte that proves them.
+    pub fn feed(&mut self, buf: &[u8]) -> Result<(usize, Option<DecodedFrame>), WireError> {
+        let mut used = 0;
+        if self.pending.is_none() {
+            let take = (HEADER_LEN - self.header_have).min(buf.len());
+            self.header[self.header_have..self.header_have + take].copy_from_slice(&buf[..take]);
+            self.header_have += take;
+            used += take;
+            if self.header_have < HEADER_LEN {
+                return Ok((used, None));
+            }
+            self.pending = Some(parse_header(&self.header)?);
+            self.payload.clear();
+        }
+        let header = self.pending.expect("set above or on a previous call");
+        let want = header.payload_len as usize - self.payload.len();
+        let take = want.min(buf.len() - used);
+        self.payload.extend_from_slice(&buf[used..used + take]);
+        used += take;
+        if self.payload.len() < header.payload_len as usize {
+            return Ok((used, None));
+        }
+        let frame = decode_framed_payload(header.msg_type, &self.payload)?;
+        self.header_have = 0;
+        self.pending = None;
+        Ok((used, Some(frame)))
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1001,6 +1160,18 @@ impl FrameReader {
         self.payload.resize(h.payload_len as usize, 0);
         r.read_exact(&mut self.payload)?;
         Ok(decode_payload(h.msg_type, &self.payload)?)
+    }
+
+    /// Blocks until one full frame — plain or multiplexed — is read and
+    /// decoded. The mux-session client loop in the ramp harness lives on
+    /// this.
+    pub fn read_any_from<R: Read>(&mut self, r: &mut R) -> Result<DecodedFrame, ReadError> {
+        let mut header = [0u8; HEADER_LEN];
+        r.read_exact(&mut header)?;
+        let h = parse_header(&header)?;
+        self.payload.resize(h.payload_len as usize, 0);
+        r.read_exact(&mut self.payload)?;
+        Ok(decode_framed_payload(h.msg_type, &self.payload)?)
     }
 }
 
@@ -1279,6 +1450,164 @@ mod tests {
             assert_eq!(&back, m);
         }
         assert!(matches!(reader.read_from(&mut cursor), Err(ReadError::Eof)));
+    }
+
+    #[test]
+    fn mux_frames_roundtrip_with_their_channel() {
+        for (i, msg) in sample_messages().into_iter().enumerate() {
+            let channel = (i as u32) * 1000 + 7;
+            let mut buf = Vec::new();
+            encode_mux_into(channel, &msg, &mut buf);
+            let (frame, used) = decode_any_frame(&buf).expect("decodes");
+            assert_eq!(used, buf.len());
+            assert_eq!(frame.channel, Some(channel));
+            assert_eq!(frame.msg, msg);
+        }
+    }
+
+    #[test]
+    fn plain_frames_decode_with_no_channel() {
+        let mut buf = Vec::new();
+        encode_into(&Message::SnapshotRequest, &mut buf);
+        let (frame, _) = decode_any_frame(&buf).expect("decodes");
+        assert_eq!(frame.channel, None);
+        assert_eq!(frame.msg, Message::SnapshotRequest);
+    }
+
+    #[test]
+    fn nested_mux_is_rejected() {
+        // Hand-build mux(mux(SnapshotRequest)): the outer decode must die
+        // on the inner frame's type byte.
+        let mut inner = Vec::new();
+        encode_mux_into(3, &Message::SnapshotRequest, &mut inner);
+        let mut outer = Vec::new();
+        outer.extend_from_slice(&MAGIC);
+        put_u16(&mut outer, VERSION);
+        outer.push(MSG_MUX);
+        outer.push(0);
+        put_u32(&mut outer, (4 + inner.len()) as u32);
+        put_u32(&mut outer, 9);
+        outer.extend_from_slice(&inner);
+        assert_eq!(
+            decode_any_frame(&outer),
+            Err(WireError::UnknownMessage(MSG_MUX))
+        );
+        // And the plain decoder never accepts a mux at all.
+        let mut plain = Vec::new();
+        encode_mux_into(1, &Message::SnapshotRequest, &mut plain);
+        assert_eq!(
+            decode_frame(&plain),
+            Err(WireError::UnknownMessage(MSG_MUX))
+        );
+    }
+
+    #[test]
+    fn mux_with_trailing_bytes_after_inner_frame_is_rejected() {
+        let mut buf = Vec::new();
+        encode_mux_into(5, &Message::SnapshotRequest, &mut buf);
+        // Stretch the outer payload by one byte.
+        buf.push(0xEE);
+        let len = (buf.len() - HEADER_LEN) as u32;
+        buf[8..12].copy_from_slice(&len.to_le_bytes());
+        assert_eq!(
+            decode_any_frame(&buf),
+            Err(WireError::TrailingBytes { extra: 1 })
+        );
+    }
+
+    #[test]
+    fn decoder_handles_byte_by_byte_delivery() {
+        let msgs = sample_messages();
+        let mut stream = Vec::new();
+        for (i, m) in msgs.iter().enumerate() {
+            if i % 2 == 0 {
+                encode_into(m, &mut stream);
+            } else {
+                encode_mux_into(i as u32, m, &mut stream);
+            }
+        }
+        let mut decoder = Decoder::new();
+        let mut got = Vec::new();
+        for &b in &stream {
+            let (used, frame) = decoder.feed(&[b]).expect("byte feeds");
+            assert_eq!(used, 1);
+            if let Some(f) = frame {
+                got.push(f);
+            }
+        }
+        assert!(decoder.is_idle());
+        assert_eq!(got.len(), msgs.len());
+        for (i, (f, m)) in got.iter().zip(&msgs).enumerate() {
+            let want = if i % 2 == 0 { None } else { Some(i as u32) };
+            assert_eq!(f.channel, want);
+            assert_eq!(&f.msg, m);
+        }
+    }
+
+    #[test]
+    fn decoder_handles_coalesced_frames_in_one_buffer() {
+        let msgs = sample_messages();
+        let mut stream = Vec::new();
+        for m in &msgs {
+            encode_into(m, &mut stream);
+        }
+        let mut decoder = Decoder::new();
+        let mut got = Vec::new();
+        let mut off = 0;
+        while off < stream.len() {
+            let (used, frame) = decoder.feed(&stream[off..]).expect("feeds");
+            assert!(used > 0);
+            off += used;
+            // One whole frame per call when the bytes are all there.
+            got.push(frame.expect("complete input completes a frame"));
+        }
+        assert_eq!(got.len(), msgs.len());
+        for (f, m) in got.iter().zip(&msgs) {
+            assert_eq!(&f.msg, m);
+        }
+    }
+
+    #[test]
+    fn decoder_surfaces_errors_at_the_earliest_proving_byte() {
+        // A bad magic byte is provable at header completion, before any
+        // payload arrives.
+        let mut buf = Vec::new();
+        encode_into(&Message::SnapshotRequest, &mut buf);
+        buf[2] = b'X';
+        let mut decoder = Decoder::new();
+        let err = decoder
+            .feed(&buf[..HEADER_LEN])
+            .expect_err("bad magic dies at the header");
+        assert!(matches!(err, WireError::BadMagic(_)));
+
+        // An oversized length dies at the header too — no buffering of a
+        // hostile payload.
+        let mut buf = Vec::new();
+        encode_into(&Message::SnapshotRequest, &mut buf);
+        buf[8..12].copy_from_slice(&(MAX_PAYLOAD + 1).to_le_bytes());
+        let mut decoder = Decoder::new();
+        let err = decoder.feed(&buf).expect_err("oversized dies");
+        assert!(matches!(err, WireError::Oversized { .. }));
+    }
+
+    #[test]
+    fn frame_reader_reads_mux_frames() {
+        let mut buf = Vec::new();
+        let msg = Message::Welcome(Welcome {
+            vehicle_id: 1,
+            next_step: 2,
+            max_inflight: 3,
+        });
+        encode_mux_into(77, &msg, &mut buf);
+        encode_into(&Message::SnapshotRequest, &mut buf);
+        let mut cursor = std::io::Cursor::new(buf);
+        let mut reader = FrameReader::new();
+        let first = reader.read_any_from(&mut cursor).expect("mux frame");
+        assert_eq!(first.channel, Some(77));
+        assert_eq!(first.msg, msg);
+        let second = reader.read_any_from(&mut cursor).expect("plain frame");
+        assert_eq!(second.channel, None);
+        assert_eq!(second.msg, Message::SnapshotRequest);
     }
 
     #[test]

@@ -8,9 +8,10 @@ use argus_core::{
 };
 use argus_cra::Verdict;
 use argus_serve::wire::{
-    decode_frame, decode_payload, encode_into, ErrorCode, ErrorMsg, ExtractedMeasurement, Hello,
-    Message, Observation, ObservationBody, RawFrame, SafeMeasurement, SnapshotMsg, VerdictMsg,
-    Welcome, WireError, HEADER_LEN, MAX_PAYLOAD, VERSION,
+    decode_any_frame, decode_frame, decode_payload, encode_into, encode_mux_into, Decoder,
+    ErrorCode, ErrorMsg, ExtractedMeasurement, Hello, Message, Observation, ObservationBody,
+    RawFrame, SafeMeasurement, SnapshotMsg, VerdictMsg, Welcome, WireError, HEADER_LEN,
+    MAX_PAYLOAD, VERSION,
 };
 use proptest::prelude::*;
 
@@ -291,4 +292,154 @@ proptest! {
         prop_assert_eq!(decode_frame(&buf), Err(WireError::Oversized { len }));
         prop_assert!(buf.len() < HEADER_LEN + MAX_PAYLOAD as usize);
     }
+
+    /// The resumable decoder produces the same frames as the one-shot
+    /// decoder no matter where the byte stream is split — every boundary
+    /// of a plain+mux pair, including mid-header and mid-payload.
+    #[test]
+    fn decoder_split_at_every_boundary_matches_oneshot(
+        step in 0u64..1_000_000,
+        channel in 0u32..u32::MAX,
+        detail in "[ -~]{0,24}",
+    ) {
+        let msgs = sample_stream_messages(step, detail);
+        let (stream, expected) = encode_stream(&msgs, channel);
+        for cut in 0..=stream.len() {
+            let mut dec = Decoder::new();
+            let mut got = Vec::new();
+            drain_decoder(&mut dec, &stream[..cut], &mut got).expect("valid stream");
+            drain_decoder(&mut dec, &stream[cut..], &mut got).expect("valid stream");
+            prop_assert_eq!(&got, &expected, "split at byte {}", cut);
+            prop_assert!(dec.is_idle(), "split at byte {} left state behind", cut);
+        }
+    }
+
+    /// Arbitrary re-chunking — byte-by-byte dribble through coalesced
+    /// many-frame buffers — never changes what the decoder produces.
+    #[test]
+    fn decoder_random_chunking_matches_oneshot(
+        step in 0u64..1_000_000,
+        channel in 0u32..u32::MAX,
+        detail in "[ -~]{0,24}",
+        copies in 1usize..4,
+        chunks in proptest::collection::vec(1usize..23, 1..32),
+    ) {
+        let msgs: Vec<(Option<u32>, Message)> = sample_stream_messages(step, detail)
+            .into_iter()
+            .cycle()
+            .take(copies * 4)
+            .collect();
+        let (stream, expected) = encode_stream(&msgs, channel);
+        let mut dec = Decoder::new();
+        let mut got = Vec::new();
+        let mut offset = 0;
+        let mut i = 0;
+        while offset < stream.len() {
+            let take = chunks[i % chunks.len()].min(stream.len() - offset);
+            i += 1;
+            drain_decoder(&mut dec, &stream[offset..offset + take], &mut got)
+                .expect("valid stream");
+            offset += take;
+        }
+        prop_assert_eq!(&got, &expected);
+        prop_assert!(dec.is_idle());
+    }
+
+    /// Garbage fed in arbitrary chunks never panics the resumable decoder;
+    /// it either yields frames or a typed error.
+    #[test]
+    fn decoder_garbage_never_panics(
+        bytes in proptest::collection::vec(0u8..255, 0..256),
+        chunks in proptest::collection::vec(1usize..17, 1..16),
+    ) {
+        let mut dec = Decoder::new();
+        let mut got = Vec::new();
+        let mut offset = 0;
+        let mut i = 0;
+        while offset < bytes.len() {
+            let take = chunks[i % chunks.len()].min(bytes.len() - offset);
+            i += 1;
+            if drain_decoder(&mut dec, &bytes[offset..offset + take], &mut got).is_err() {
+                break;
+            }
+            offset += take;
+        }
+    }
+}
+
+/// A small plain/mux mix exercising fixed-size and variable-size payloads.
+fn sample_stream_messages(step: u64, detail: String) -> Vec<(Option<u32>, Message)> {
+    vec![
+        (None, Message::SnapshotRequest),
+        (
+            Some(0),
+            Message::Verdict(VerdictMsg {
+                step,
+                verdict: Verdict::ChallengePassed,
+            }),
+        ),
+        (
+            None,
+            Message::Error(ErrorMsg {
+                code: ErrorCode::BadStep,
+                detail,
+            }),
+        ),
+        (
+            Some(1),
+            Message::Observation(Observation {
+                step,
+                own_speed: 29.0,
+                received_power: 1e-12,
+                jammed: false,
+                body: ObservationBody::Empty,
+            }),
+        ),
+    ]
+}
+
+/// Encodes the mix (offsetting mux channels by `channel_base`) and returns
+/// the byte stream plus the (channel, message) sequence the one-shot
+/// decoder extracts from it.
+fn encode_stream(
+    msgs: &[(Option<u32>, Message)],
+    channel_base: u32,
+) -> (Vec<u8>, Vec<(Option<u32>, Message)>) {
+    let mut stream = Vec::new();
+    let mut expected = Vec::new();
+    for (channel, msg) in msgs {
+        let channel = channel.map(|c| c.wrapping_add(channel_base));
+        match channel {
+            None => encode_into(msg, &mut stream),
+            Some(c) => encode_mux_into(c, msg, &mut stream),
+        }
+        expected.push((channel, msg.clone()));
+    }
+    // Cross-check the expectation against the one-shot decoder.
+    let mut offset = 0;
+    for (channel, msg) in &expected {
+        let (frame, used) = decode_any_frame(&stream[offset..]).expect("valid stream");
+        assert_eq!(&frame.channel, channel);
+        assert_eq!(&frame.msg, msg);
+        offset += used;
+    }
+    assert_eq!(offset, stream.len());
+    (stream, expected)
+}
+
+/// Feeds one contiguous chunk to the decoder, collecting every completed
+/// frame.
+fn drain_decoder(
+    dec: &mut Decoder,
+    mut buf: &[u8],
+    out: &mut Vec<(Option<u32>, Message)>,
+) -> Result<(), WireError> {
+    while !buf.is_empty() {
+        let (used, frame) = dec.feed(buf)?;
+        if let Some(f) = frame {
+            out.push((f.channel, f.msg));
+        }
+        buf = &buf[used..];
+    }
+    Ok(())
 }

@@ -12,8 +12,10 @@ use argus_core::{PredictorKind, ScenarioConfig, ScenarioPlan, SecurePipeline, Tr
 use argus_radar::RadarConfig;
 use argus_serve::client::{ClientError, GatewayClient};
 use argus_serve::harness::{
-    drive_session, local_pipeline, outputs_match, wire_observation, Transport,
+    drive_mux_sessions, drive_session, local_pipeline, outputs_match, wire_observation,
+    MuxSessionSpec, Transport,
 };
+use argus_serve::reactor::PollerKind;
 use argus_serve::server::{Gateway, GatewayConfig};
 use argus_serve::wire::{self, ErrorCode, FrameReader, Hello, Message, ReadError};
 use argus_sim::time::Step;
@@ -345,4 +347,157 @@ fn protocol_violations_die_with_typed_errors() {
         other => panic!("expected Error(BadHandshake), got {other:?}"),
     }
     gateway.shutdown();
+}
+
+/// Many sessions multiplexed over ONE socket — mixed predictors, pipelined
+/// batches — must each be byte-identical to a local pipeline, exactly like
+/// one-session-per-connection clients are.
+#[test]
+fn mux_sessions_over_one_socket_match_direct_pipelines() {
+    let config = GatewayConfig::paper();
+    let gateway = Gateway::bind("127.0.0.1:0", config.clone()).unwrap();
+    let kinds = [
+        PredictorKind::RlsTrend,
+        PredictorKind::RlsAr4,
+        PredictorKind::Holt,
+    ];
+    let specs: Vec<MuxSessionSpec> = (0..24u32)
+        .map(|i| MuxSessionSpec {
+            channel: i + 1,
+            vehicle_id: 500 + u64::from(i),
+            seed: 9000 + u64::from(i),
+            predictor: kinds[(i % 3) as usize],
+        })
+        .collect();
+    let plan = dos_plan();
+    let report =
+        drive_mux_sessions(gateway.local_addr(), &plan, &config.session, &specs, 60).unwrap();
+    gateway.shutdown();
+    assert_eq!(report.sessions, 24);
+    assert!(report.frames > 0);
+    assert!(
+        report.identical(),
+        "mux sessions diverged: {} mismatched frames of {}, {} snapshot mismatches",
+        report.mismatches,
+        report.frames,
+        report.snapshot_mismatches,
+    );
+}
+
+/// A client that floods observations without reading must hit the
+/// write-readiness backpressure path: with a tiny outbox cap, once the
+/// kernel socket buffers fill the shard pauses reading (one advisory
+/// `Backpressure` frame per stall), and once the client finally drains,
+/// every response pair arrives in order — no frame dropped, no hang.
+#[test]
+fn slow_reader_gets_backpressure_then_every_response() {
+    let mut config = GatewayConfig::paper();
+    config.outbox_cap = 256; // a couple of response pairs
+    config.sndbuf = Some(4096); // no kernel autotuning absorbing the flood
+    let gateway = Gateway::bind("127.0.0.1:0", config).unwrap();
+
+    let stream = TcpStream::connect(gateway.local_addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut reader = FrameReader::new();
+    let mut enc = Vec::new();
+    wire::write_frame(
+        &mut &stream,
+        &Message::Hello(Hello {
+            vehicle_id: 77,
+            predictor: PredictorKind::RlsTrend,
+            max_inflight: 0,
+            resume: false,
+        }),
+        &mut enc,
+    )
+    .unwrap();
+    match reader.read_from(&mut &stream).unwrap() {
+        Message::Welcome(_) => {}
+        other => panic!("expected Welcome, got {other:?}"),
+    }
+
+    // Flood enough observations that the responses (~650 KB) cannot fit in
+    // the capped server send buffer plus the client's receive buffer: the
+    // shard MUST stall while we sleep. A separate writer thread keeps the
+    // test deadlock-free — it simply blocks until the drain below makes
+    // room.
+    const FLOOD: u64 = 6_000;
+    let writer_stream = stream.try_clone().unwrap();
+    let writer = std::thread::spawn(move || {
+        let mut enc = Vec::new();
+        for step in 0..FLOOD {
+            wire::write_frame(
+                &mut &writer_stream,
+                &Message::Observation(wire::Observation {
+                    step,
+                    own_speed: 29.0,
+                    received_power: 1e-12,
+                    jammed: false,
+                    body: wire::ObservationBody::Empty,
+                }),
+                &mut enc,
+            )
+            .unwrap();
+        }
+    });
+    // Play the slow reader while the flood backs everything up.
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Drain: expect FLOOD (Verdict, SafeMeasurement) pairs in step order,
+    // with at least one Backpressure advisory mixed in.
+    let mut advisories = 0u64;
+    let mut next_step = 0u64;
+    let mut pending_verdict = false;
+    while next_step < FLOOD {
+        match reader.read_from(&mut &stream).unwrap() {
+            Message::Error(e) if e.code == ErrorCode::Backpressure => advisories += 1,
+            Message::Verdict(v) => {
+                assert_eq!(v.step, next_step, "verdict out of order");
+                assert!(!pending_verdict, "two verdicts");
+                pending_verdict = true;
+            }
+            Message::SafeMeasurement(s) => {
+                assert_eq!(s.step, next_step, "safe measurement out of order");
+                assert!(pending_verdict, "pair out of order");
+                pending_verdict = false;
+                next_step += 1;
+            }
+            other => panic!("unexpected frame: {other:?}"),
+        }
+    }
+    writer.join().unwrap();
+    assert!(
+        advisories >= 1,
+        "a 256-byte outbox cap must stall at least once under a 6k-frame flood"
+    );
+    gateway.shutdown();
+}
+
+/// The portable `poll(2)` backend serves a full session bit-identically —
+/// the fallback leg is not a second-class citizen.
+#[test]
+fn poll_backend_round_trips_a_session() {
+    let mut config = GatewayConfig::paper();
+    config.poller = PollerKind::Poll;
+    let gateway = Gateway::bind("127.0.0.1:0", config.clone()).unwrap();
+    let plan = dos_plan();
+    let report = drive_session(
+        gateway.local_addr(),
+        &plan,
+        PredictorKind::RlsTrend,
+        &config.session,
+        11,
+        321,
+        60,
+        Transport::Extracted,
+    )
+    .unwrap();
+    gateway.shutdown();
+    assert!(
+        report.identical(),
+        "poll backend diverged: {} of {} frames, snapshot {}",
+        report.mismatches,
+        report.frames,
+        report.snapshot_matches,
+    );
 }

@@ -26,6 +26,15 @@
 //! scenario names exit with status 2 and the registry catalogue on stderr.
 //! Combined with `--smoke` the chaos campaign runs a reduced seed count —
 //! the CI tier.
+//!
+//! `--fusion` sweeps every registry scenario under all three fusion modes
+//! (`cra_only`, `fused`, `fused_ids`) with identical trial labels, prints
+//! the detection-latency / post-onset-RMSE / collision / safe-mode table,
+//! writes `target/campaign/fusion_metrics.json` (override with `--out`),
+//! and exits non-zero unless fused+IDS detects at or before the CRA-only
+//! baseline **and** strictly reduces post-onset RMSE on every scenario.
+//!
+//! `--list` prints the scenario and flag catalogue and exits 0.
 
 use std::time::Instant;
 
@@ -34,6 +43,7 @@ use argus_core::campaign::{
     campaign_to_csv, campaign_to_json, resolve_threads, stream_to_json, AttackAxis, AxisGrid,
     Campaign, CampaignRun,
 };
+use argus_core::{CampaignStats, FusionMode};
 use argus_dsp::scratch::ScratchOptions;
 use argus_radar::receiver::{ChannelState, Radar, RadarScratch};
 use argus_radar::target::RadarTarget;
@@ -276,8 +286,221 @@ fn scenario_sweep(scenario: &str, smoke: bool, out: Option<String>) {
     }
 }
 
+/// `--fusion` mode: the same chaos campaign under all three fusion modes,
+/// with identical trial labels so every (scenario, seed) pair compares the
+/// same attack realization across defense stacks.
+fn fusion_sweep(smoke: bool, out: Option<String>) {
+    use argus_sim::json::Json;
+
+    let n_seeds = if smoke { 4 } else { 15 };
+    let threads = resolve_threads(None).max(2);
+    let modes = [FusionMode::CraOnly, FusionMode::Fused, FusionMode::FusedIds];
+
+    println!(
+        "fusion sweep{}: {} modes x (benign + registry scenarios) x {} seeds",
+        if smoke { " (smoke tier)" } else { "" },
+        modes.len(),
+        n_seeds,
+    );
+
+    let mut per_mode: Vec<(FusionMode, Vec<(String, CampaignStats)>)> = Vec::new();
+    let mut all_identical = true;
+    for mode in modes {
+        let campaign = chaos_campaign("all", n_seeds)
+            .expect("registry sweep is always valid")
+            .with_fusion(mode);
+        let serial = campaign.run(Some(1));
+        let parallel = campaign.run(Some(threads));
+        let identical =
+            campaign_to_json(&serial).to_canonical() == campaign_to_json(&parallel).to_canonical();
+        all_identical &= identical;
+        println!(
+            "  {:<9} {:>3} trials, serial-vs-parallel byte-identical: {identical}",
+            mode.label(),
+            campaign.len(),
+        );
+        per_mode.push((
+            mode,
+            parallel.group_stats(|t| CampaignRun::attack_of(t).to_string()),
+        ));
+    }
+
+    let scenarios: Vec<String> = per_mode[0].1.iter().map(|(name, _)| name.clone()).collect();
+    let stats_of = |mode_idx: usize, scenario: &str| -> &CampaignStats {
+        per_mode[mode_idx]
+            .1
+            .iter()
+            .find(|(name, _)| name == scenario)
+            .map(|(_, s)| s)
+            .expect("identical grids across modes")
+    };
+
+    let fmt_opt = |x: Option<f64>| match x {
+        Some(v) => format!("{v:.2}"),
+        None => "-".to_string(),
+    };
+    println!(
+        "\n{:<28} {:>8} {:>8} {:>9} {:>10} {:>9} {:>9} {:>7}",
+        "scenario",
+        "cra det",
+        "ids det",
+        "cra rmse",
+        "fused rmse",
+        "ids rmse",
+        "safe-mode",
+        "crash"
+    );
+    let mut violations: Vec<String> = Vec::new();
+    let mut scenario_objs: Vec<(String, Json)> = Vec::new();
+    for scenario in &scenarios {
+        let cra = stats_of(0, scenario);
+        let fused = stats_of(1, scenario);
+        let ids = stats_of(2, scenario);
+        let cra_det = cra.latency_percentile(50.0);
+        let ids_det = ids.latency_percentile(50.0);
+        let cra_rmse = cra.post_onset_rmse_percentile(50.0);
+        let fused_rmse = fused.post_onset_rmse_percentile(50.0);
+        let ids_rmse = ids.post_onset_rmse_percentile(50.0);
+        println!(
+            "{:<28} {:>8} {:>8} {:>7} m {:>8} m {:>7} m {:>9.1} {:>7.3}",
+            scenario,
+            fmt_opt(cra_det),
+            fmt_opt(ids_det),
+            fmt_opt(cra_rmse),
+            fmt_opt(fused_rmse),
+            fmt_opt(ids_rmse),
+            ids.mean_safe_mode_steps(),
+            ids.crash_rate(),
+        );
+
+        if scenario != "benign" {
+            match (cra_det, ids_det) {
+                (Some(c), Some(i)) if i <= c => {}
+                _ => violations.push(format!(
+                    "{scenario}: fused_ids detection p50 {} not <= cra_only {}",
+                    fmt_opt(ids_det),
+                    fmt_opt(cra_det)
+                )),
+            }
+            match (cra_rmse, ids_rmse) {
+                (Some(c), Some(i)) if i < c => {}
+                _ => violations.push(format!(
+                    "{scenario}: fused_ids post-onset RMSE p50 {} not < cra_only {}",
+                    fmt_opt(ids_rmse),
+                    fmt_opt(cra_rmse)
+                )),
+            }
+        }
+
+        let opt_num = |x: Option<f64>| x.map(Json::num).unwrap_or(Json::Null);
+        let mode_obj = |s: &CampaignStats| {
+            Json::Obj(vec![
+                (
+                    "detection_latency_p50".into(),
+                    opt_num(s.latency_percentile(50.0)),
+                ),
+                (
+                    "post_onset_rmse_p50".into(),
+                    opt_num(s.post_onset_rmse_percentile(50.0)),
+                ),
+                ("crash_rate".into(), Json::num(s.crash_rate())),
+                (
+                    "mean_safe_mode_steps".into(),
+                    Json::num(s.mean_safe_mode_steps()),
+                ),
+            ])
+        };
+        scenario_objs.push((
+            scenario.clone(),
+            Json::Obj(vec![
+                ("cra_only".into(), mode_obj(cra)),
+                ("fused".into(), mode_obj(fused)),
+                ("fused_ids".into(), mode_obj(ids)),
+            ]),
+        ));
+    }
+
+    let doc = Json::Obj(vec![
+        ("format".into(), Json::str("argus-fusion-sweep-v1")),
+        ("seeds".into(), Json::num(n_seeds as f64)),
+        ("byte_identical".into(), Json::Bool(all_identical)),
+        (
+            "acceptance_passed".into(),
+            Json::Bool(violations.is_empty()),
+        ),
+        (
+            "violations".into(),
+            Json::Arr(violations.iter().map(Json::str).collect()),
+        ),
+        ("scenarios".into(), Json::Obj(scenario_objs)),
+    ]);
+    let out_path = out
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("target/campaign").join("fusion_metrics.json"));
+    if let Some(parent) = out_path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(&out_path, doc.to_pretty()) {
+        Ok(()) => println!("\nfusion metrics artifact: {}", out_path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", out_path.display()),
+    }
+
+    if !all_identical {
+        eprintln!("DETERMINISM VIOLATION: serial and parallel summaries differ");
+        std::process::exit(1);
+    }
+    if !violations.is_empty() {
+        eprintln!("FUSION ACCEPTANCE FAILED:");
+        for v in &violations {
+            eprintln!("  - {v}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "acceptance: fused_ids detects at-or-before cra_only and strictly \
+         reduces post-onset RMSE on every scenario"
+    );
+}
+
+/// `--list`: the scenario and flag catalogue, exit 0.
+fn print_catalogue() {
+    println!("campaign_sweep — Monte-Carlo campaign harness\n");
+    println!("flags:");
+    println!("  [threads] [n_seeds]                  determinism sweep (default grid)");
+    println!("  --smoke [trials]                     streaming-only smoke, peak-RSS report");
+    println!("  --scenario <name|all> [--smoke] [--out FILE]   chaos campaign over the registry");
+    println!("  --fusion [--smoke] [--out FILE]      fusion-mode comparison sweep + acceptance");
+    println!("  --list                               this catalogue");
+    println!("\nregistered adversarial scenarios:");
+    for s in argus_attack::ScenarioRegistry::builtin().iter() {
+        let p = s.default_params();
+        let i = s.info();
+        println!(
+            "  {:<16} onset {:>3}, duration {:>3}, strength {:>5} — {}",
+            i.name, p.onset, p.duration, p.strength, i.summary
+        );
+    }
+    println!("\nfusion modes:");
+    for mode in [FusionMode::CraOnly, FusionMode::Fused, FusionMode::FusedIds] {
+        println!("  {}", mode.label());
+    }
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.iter().any(|a| a == "--list") {
+        print_catalogue();
+        return;
+    }
+    if raw.iter().any(|a| a == "--fusion") {
+        let smoke = raw.iter().any(|a| a == "--smoke");
+        let out = raw
+            .iter()
+            .position(|a| a == "--out")
+            .and_then(|i| raw.get(i + 1).cloned());
+        fusion_sweep(smoke, out);
+        return;
+    }
     if let Some(pos) = raw.iter().position(|a| a == "--scenario") {
         let Some(scenario) = raw.get(pos + 1).cloned() else {
             eprintln!(

@@ -88,7 +88,41 @@ options:
   --steps N      simulation steps per session   (fixed: 150, smoke 40; ramp: 5)
   --out PATH     report path                    (default BENCH_serve.json)
   --smoke        CI tier: smaller fleet / shorter ramp
+  --list         print the session/flag catalogue and exit
   --help         this text";
+
+/// `--list`: the catalogue of what a fleet is made of — the attack plans
+/// sessions rotate through, the predictor kinds, the transports, and the
+/// fusion modes a `Hello` can negotiate. Mirrors `campaign_sweep --list`.
+fn print_catalogue() {
+    println!("serve_load — loopback gateway load generator");
+    println!();
+    println!("{USAGE}");
+    println!();
+    println!("session attack plans (rotated per vehicle id):");
+    println!("  dos         analytic DoS jamming        (extracted transport)");
+    println!("  delay       analytic delay injection    (extracted transport)");
+    println!("  dos_signal  signal-mode DoS, full FMCW DSP chain (raw transport,");
+    println!("              every {RAW_STRIDE}th session)");
+    println!();
+    println!("predictor kinds (rotated per session):");
+    for kind in PREDICTORS {
+        println!("  {kind:?}");
+    }
+    println!();
+    println!("transports:");
+    println!("  extracted    client-side DSP, ships distance/range-rate");
+    println!("  raw_baseband ships FMCW baseband; server runs the DSP chain");
+    println!();
+    println!("fusion modes negotiable at Hello:");
+    for mode in [
+        argus_core::FusionMode::CraOnly,
+        argus_core::FusionMode::Fused,
+        argus_core::FusionMode::FusedIds,
+    ] {
+        println!("  {}", mode.label());
+    }
+}
 
 fn usage_error(message: &str) -> ! {
     eprintln!("serve_load: {message}");
@@ -761,6 +795,10 @@ fn parse_cli() -> Cli {
                 }));
             }
             "--out" => cli.out = Some(flag_value("--out")),
+            "--list" => {
+                print_catalogue();
+                std::process::exit(0);
+            }
             "--help" | "-h" => {
                 println!("{USAGE}");
                 std::process::exit(0);

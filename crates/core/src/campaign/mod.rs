@@ -39,6 +39,7 @@ pub use trace::{
     campaign_to_csv, campaign_to_json, compare_scenario_json, scenario_to_json, TraceDiff,
 };
 
+use argus_fusion::FusionMode;
 use argus_sim::rng::SimRng;
 use argus_vehicle::leader::LeaderProfile;
 
@@ -57,6 +58,11 @@ pub struct Campaign {
     pub defended: bool,
     /// Attack-window estimator used when defended.
     pub predictor: PredictorKind,
+    /// How much defense machinery runs when defended: the paper's
+    /// single-radar pipeline, or the attack-aware fusion stack. Not part
+    /// of the trial labels, so the same trial label compares the same
+    /// attack realization across fusion modes.
+    pub fusion: FusionMode,
     /// Master seed all trial seeds derive from.
     pub master_seed: u64,
     /// The swept axes.
@@ -72,6 +78,7 @@ impl Campaign {
             profile,
             defended: true,
             predictor: PredictorKind::RlsTrend,
+            fusion: FusionMode::CraOnly,
             master_seed: 7,
             grid,
         }
@@ -86,6 +93,12 @@ impl Campaign {
     /// Same campaign with a different attack-window estimator.
     pub fn with_predictor(mut self, predictor: PredictorKind) -> Self {
         self.predictor = predictor;
+        self
+    }
+
+    /// Same campaign with a different fusion mode.
+    pub fn with_fusion(mut self, fusion: FusionMode) -> Self {
+        self.fusion = fusion;
         self
     }
 
@@ -146,7 +159,8 @@ impl Campaign {
         use argus_sim::units::{Meters, MetersPerSecond};
         let mut cfg =
             ScenarioConfig::paper(self.profile.clone(), attack.adversary(), self.defended)
-                .with_predictor(self.predictor);
+                .with_predictor(self.predictor)
+                .with_fusion(self.fusion);
         cfg.initial_gap = Meters(gap_m);
         cfg.initial_speed = MetersPerSecond::from_mph(speed_mph);
         cfg

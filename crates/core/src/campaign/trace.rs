@@ -68,7 +68,7 @@ fn trial_to_json(t: &super::runner::TrialResult) -> Json {
 /// The deterministic members of [`RunMetrics`] (everything except the
 /// wall-clock `estimation_time_ns`).
 fn metrics_members(m: &RunMetrics) -> Vec<(String, Json)> {
-    vec![
+    let mut members = vec![
         ("min_gap".into(), Json::num(m.min_gap)),
         ("collided".into(), Json::Bool(m.collided)),
         (
@@ -93,7 +93,30 @@ fn metrics_members(m: &RunMetrics) -> Vec<(String, Json)> {
             ]),
         ),
         ("rmse".into(), opt_num(m.attack_window_distance_rmse)),
-    ]
+    ];
+    // Post-onset accuracy and fusion state are emitted only when present,
+    // so pre-fusion (CRA-only benign/undefended) documents keep their
+    // exact key set and fused documents get a strictly larger one.
+    if let Some(p) = m.post_onset_distance_rmse {
+        members.push(("post_onset_rmse".into(), Json::num(p)));
+    }
+    if let Some(f) = &m.fusion {
+        members.push((
+            "fusion".into(),
+            Json::Obj(vec![
+                ("mode".into(), Json::str(f.mode.label())),
+                (
+                    "ids_detection_step".into(),
+                    opt_num(f.ids_detection_step.map(|s| s.0 as f64)),
+                ),
+                (
+                    "safe_mode_steps".into(),
+                    Json::num(f.safe_mode_steps as f64),
+                ),
+            ]),
+        ));
+    }
+    members
 }
 
 fn opt_num(x: Option<f64>) -> Json {

@@ -1,0 +1,926 @@
+//! Attack-aware multi-sensor fusion layered on the paper pipeline.
+//!
+//! [`FusedPipeline`] embeds the full single-radar [`SecurePipeline`] (CRA
+//! challenge–response, rewind, free-run estimation) and extends it with the
+//! `argus-fusion` stack (DESIGN.md §10):
+//!
+//! * the camera-like range channel and the V2V leader-speed channel arrive
+//!   as an [`AuxObservation`] sampled by the plant side
+//!   ([`VehicleSim::observe_aux`](crate::plan::VehicleSim::observe_aux));
+//! * a trend predictor over the **fused** leader speed provides the
+//!   one-step prediction every channel's innovation is measured against;
+//! * per-channel [`ChannelMonitor`]s (χ² window + EWMA + CUSUM on the NIS)
+//!   raise typed [`AlarmEvent`]s; in [`FusionMode::Fused`] they run but
+//!   their alarms are ignored — the innovation gate alone protects the
+//!   estimate — while [`FusionMode::FusedIds`] also drives the
+//!   [`MitigationPolicy`];
+//! * the fused distance/leader-speed are trust-weighted WLS combinations
+//!   over the gated channels; when every channel is gated out the pipeline
+//!   dead-reckons, and when even that is cold it falls back to the
+//!   embedded CRA pipeline's output — the paper's single-radar machinery
+//!   is always the floor, never removed.
+//!
+//! The CRA detector's latch remains authoritative for the attack-window
+//! bookkeeping (estimation steps, confusion at challenge instants), so
+//! fused runs stay comparable to CRA-only runs metric-for-metric.
+
+use argus_estim::predictor::{PredictorState, StreamPredictor};
+use argus_estim::trend::TrendPredictor;
+use argus_estim::EstimError;
+use argus_fusion::fuse::Candidate;
+use argus_fusion::{
+    AlarmEvent, AuxObservation, ChannelId, ChannelMonitor, FusionEstimate, FusionMode,
+    MitigationPolicy, MonitorConfig, MonitorState, PolicyConfig, PolicySnapshot, PolicyState,
+    TrustConfig, TrustScore, WlsFuser,
+};
+use argus_radar::receiver::RadarObservation;
+use argus_sim::time::Step;
+use argus_sim::units::{Meters, MetersPerSecond, Seconds};
+
+use crate::pipeline::{
+    MeasurementSource, PipelineOutput, PipelineSnapshot, SecurePipeline, MARGIN_CAP, MARGIN_QUAD,
+};
+
+/// Tuning of the fusion layer: channel noise levels (for WLS weights and
+/// NIS normalization), the innovation gate, trust dynamics and the
+/// mitigation policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FusionParams {
+    /// Which machinery runs (fusion only, or fusion + IDS + policy).
+    pub mode: FusionMode,
+    /// Radar distance measurement σ (m).
+    pub radar_distance_sigma: f64,
+    /// Radar range-rate measurement σ (m/s).
+    pub radar_speed_sigma: f64,
+    /// Camera range σ (m).
+    pub camera_sigma: f64,
+    /// V2V leader-speed σ (m/s).
+    pub v2v_sigma: f64,
+    /// Extra variance granted to distance innovations for the prediction's
+    /// own error (dead-reckoning anchor + trend extrapolation).
+    pub prediction_gap_var: f64,
+    /// Extra variance granted to speed innovations for the trend error.
+    pub prediction_speed_var: f64,
+    /// The innovation-gated WLS combiner.
+    pub fuser: WlsFuser,
+    /// Trust demotion/recovery dynamics.
+    pub trust: TrustConfig,
+    /// Mitigation state-machine tuning.
+    pub policy: PolicyConfig,
+}
+
+impl FusionParams {
+    /// Reference tuning matching [`argus_fusion::AuxChannels::paper`] and
+    /// the paper scenario's radar noise (DESIGN.md §10).
+    pub fn paper(mode: FusionMode) -> Self {
+        Self {
+            mode,
+            radar_distance_sigma: 0.5,
+            radar_speed_sigma: 0.02,
+            camera_sigma: 1.0,
+            v2v_sigma: 0.1,
+            prediction_gap_var: 0.5,
+            prediction_speed_var: 0.01,
+            fuser: WlsFuser::default(),
+            trust: TrustConfig::default(),
+            policy: PolicyConfig::default(),
+        }
+    }
+}
+
+/// Per-step output of the fused pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedOutput {
+    /// The embedded CRA pipeline's own output this step (latch, challenge
+    /// verdicts, free-run estimate) — the fallback and the bookkeeping
+    /// anchor.
+    pub cra: PipelineOutput,
+    /// Distance served to the controller (`None` = nothing known).
+    pub distance: Option<Meters>,
+    /// Relative speed served to the controller.
+    pub relative_speed: MetersPerSecond,
+    /// Control distance (margin-adjusted while dead-reckoning).
+    pub control_distance: Option<Meters>,
+    /// The distance-fusion result when at least one channel passed the
+    /// gate this step.
+    pub fused: Option<FusionEstimate>,
+    /// IDS alarms raised this step (always empty in [`FusionMode::Fused`]).
+    pub alarms: Vec<AlarmEvent>,
+    /// Mitigation mode after this step (Nominal unless IDS is enabled).
+    pub policy_state: PolicyState,
+    /// Per-channel trust after this step, indexed by [`ChannelId::index`].
+    pub trust: [f64; 3],
+}
+
+/// Plain-old-data export of **all** mutable [`FusedPipeline`] state.
+///
+/// `Default` is the v1 (pre-fusion) shape: a snapshot carrying only a
+/// [`PipelineSnapshot`] restores with every fusion field at its default,
+/// which is exactly how a v1 peer's state enters a fused session.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FusedSnapshot {
+    /// The embedded CRA pipeline's snapshot.
+    pub cra: PipelineSnapshot,
+    /// Fused leader-speed trend predictor state.
+    pub predictor: PredictorState,
+    /// Fused dead-reckoning anchor.
+    pub last_distance: Option<f64>,
+    /// Consecutive steps without a measurement-backed fused distance.
+    pub free_run: u64,
+    /// Monitor states in [`ChannelId::ALL`] order (empty = defaults).
+    pub monitors: Vec<MonitorState>,
+    /// Trust scores in [`ChannelId::ALL`] order (empty = full trust).
+    pub trusts: Vec<f64>,
+    /// Mitigation policy state.
+    pub policy: PolicySnapshot,
+    /// First IDS alarm step, if any.
+    pub ids_detection: Option<u64>,
+}
+
+impl FusedSnapshot {
+    /// Wraps a v1 (CRA-only) snapshot: fusion state at defaults.
+    pub fn from_v1(cra: PipelineSnapshot) -> Self {
+        Self {
+            cra,
+            ..Self::default()
+        }
+    }
+}
+
+/// The attack-aware fused pipeline: CRA + trust-weighted multi-channel
+/// fusion + sequential IDS + mitigation policy.
+#[derive(Debug)]
+pub struct FusedPipeline {
+    cra: SecurePipeline,
+    params: FusionParams,
+    dt: Seconds,
+    predictor: TrendPredictor,
+    last_distance: Option<f64>,
+    free_run: u64,
+    monitors: [ChannelMonitor; 3],
+    trusts: [TrustScore; 3],
+    policy: MitigationPolicy,
+    ids_detection: Option<Step>,
+    d_cands: Vec<Candidate>,
+    v_cands: Vec<Candidate>,
+}
+
+impl Clone for FusedPipeline {
+    fn clone(&self) -> Self {
+        Self {
+            cra: self.cra.clone(),
+            params: self.params,
+            dt: self.dt,
+            predictor: self.predictor.clone(),
+            last_distance: self.last_distance,
+            free_run: self.free_run,
+            monitors: self.monitors.clone(),
+            trusts: self.trusts,
+            policy: self.policy,
+            ids_detection: self.ids_detection,
+            d_cands: Vec::new(),
+            v_cands: Vec::new(),
+        }
+    }
+}
+
+impl FusedPipeline {
+    /// Builds a fused pipeline around an embedded CRA pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not strictly positive or the monitor tuning is
+    /// invalid (the [`FusionParams::paper`] tuning always is valid).
+    pub fn new(cra: SecurePipeline, params: FusionParams, dt: Seconds) -> Self {
+        assert!(dt.value() > 0.0, "sample period must be positive");
+        let monitor = |channel: ChannelId, var: f64| {
+            ChannelMonitor::new(channel, MonitorConfig::paper(var))
+                .expect("fusion monitor tuning is valid")
+        };
+        let radar_var = params.radar_distance_sigma.powi(2) + params.prediction_gap_var;
+        let camera_var = params.camera_sigma.powi(2) + params.prediction_gap_var;
+        let v2v_var = params.v2v_sigma.powi(2) + params.prediction_speed_var;
+        Self {
+            cra,
+            params,
+            dt,
+            predictor: TrendPredictor::paper().expect("paper trend config is valid"),
+            last_distance: None,
+            free_run: 0,
+            monitors: [
+                monitor(ChannelId::Radar, radar_var),
+                monitor(ChannelId::Camera, camera_var),
+                monitor(ChannelId::V2v, v2v_var),
+            ],
+            trusts: [TrustScore::new(); 3],
+            policy: MitigationPolicy::new(params.policy),
+            ids_detection: None,
+            d_cands: Vec::with_capacity(2),
+            v_cands: Vec::with_capacity(2),
+        }
+    }
+
+    /// The paper configuration: [`SecurePipeline::paper`] inside,
+    /// [`FusionParams::paper`] tuning, 1 s sampling.
+    ///
+    /// # Errors
+    ///
+    /// Propagates predictor construction errors.
+    pub fn paper(
+        detector: argus_cra::detector::CraDetector,
+        mode: FusionMode,
+    ) -> Result<Self, EstimError> {
+        Ok(Self::new(
+            SecurePipeline::paper(detector)?,
+            FusionParams::paper(mode),
+            Seconds(1.0),
+        ))
+    }
+
+    /// Whether the radar should transmit at step `k` (CRA modulation).
+    pub fn tx_on(&self, k: Step) -> bool {
+        self.cra.tx_on(k)
+    }
+
+    /// The embedded CRA pipeline.
+    pub fn cra(&self) -> &SecurePipeline {
+        &self.cra
+    }
+
+    /// The fusion mode this pipeline runs in.
+    pub fn mode(&self) -> FusionMode {
+        self.params.mode
+    }
+
+    /// The tuning in use.
+    pub fn params(&self) -> &FusionParams {
+        &self.params
+    }
+
+    /// First step at which a sequential monitor alarmed (`None` until then,
+    /// and always `None` in [`FusionMode::Fused`]).
+    pub fn ids_detection(&self) -> Option<Step> {
+        self.ids_detection
+    }
+
+    /// Total steps the mitigation policy has spent in safe mode.
+    pub fn safe_mode_steps(&self) -> u64 {
+        self.policy.safe_mode_steps()
+    }
+
+    /// Current mitigation mode.
+    pub fn policy_state(&self) -> PolicyState {
+        self.policy.state()
+    }
+
+    /// Current trust score of a channel.
+    pub fn trust(&self, channel: ChannelId) -> f64 {
+        self.trusts[channel.index()].value()
+    }
+
+    /// One-step-ahead leader-speed prediction from the fused trend fit,
+    /// without advancing the fit (the innovation reference).
+    fn peek_speed(&self) -> Option<f64> {
+        if !self.predictor.is_ready() {
+            return None;
+        }
+        let (w0, w1) = self.predictor.weights();
+        Some(w0 + w1 * (self.predictor.samples() as f64 / 100.0))
+    }
+
+    /// Feeds one channel's innovation into its monitor stack. Returns the
+    /// channel's NIS (used for gating) when the channel produced a value.
+    /// Alarms are surfaced only when the IDS is enabled — in plain fusion
+    /// mode the monitors still run (state parity across modes) but their
+    /// events are discarded.
+    fn feed_monitor(
+        &mut self,
+        channel: ChannelId,
+        k: Step,
+        value: Option<f64>,
+        predicted: Option<f64>,
+        alarms: &mut Vec<AlarmEvent>,
+    ) -> Option<f64> {
+        let value = value?;
+        // Before the fused predictor is warm there is no reference: the
+        // innovation is defined as zero, which admits the channel and keeps
+        // the monitor window benign.
+        let innovation = predicted.map_or(0.0, |p| value - p);
+        let events = self.monitors[channel.index()].push(k, innovation);
+        let nis = self.monitors[channel.index()].chi2().last_nis();
+        if self.params.mode.ids_enabled() {
+            alarms.extend(events);
+        }
+        Some(nis)
+    }
+
+    /// Processes one step: the radar observation (through the embedded CRA
+    /// pipeline), the auxiliary channels, and the trusted ego speed.
+    pub fn process(
+        &mut self,
+        k: Step,
+        obs: &RadarObservation,
+        aux: &AuxObservation,
+        own_speed: MetersPerSecond,
+    ) -> FusedOutput {
+        let cra_out = self.cra.process(k, obs, own_speed);
+        let v_f = own_speed.value();
+
+        // One-step references from the fused state (pre-update weights).
+        let v_pred = self.peek_speed();
+        let v_pred_fwd = v_pred.map(|v| v.max(0.0));
+        let d_pred = match (self.last_distance, v_pred_fwd) {
+            (Some(d), Some(v)) => Some(d + (v - v_f) * self.dt.value()),
+            _ => None,
+        };
+
+        // Channel values. Only a *fresh* radar measurement counts as the
+        // radar channel — while the CRA is latched (or bridging a
+        // challenge) the radar contributes nothing to fuse.
+        let radar_fresh = cra_out.source == MeasurementSource::Radar;
+        let radar_d = radar_fresh.then(|| cra_out.distance.map_or(0.0, |d| d.value()));
+        let radar_v_l = radar_fresh.then(|| cra_out.relative_speed.value() + v_f);
+
+        let mut alarms: Vec<AlarmEvent> = Vec::new();
+        let nis_radar = self.feed_monitor(ChannelId::Radar, k, radar_d, d_pred, &mut alarms);
+        let nis_camera =
+            self.feed_monitor(ChannelId::Camera, k, aux.camera_range, d_pred, &mut alarms);
+        let nis_v2v =
+            self.feed_monitor(ChannelId::V2v, k, aux.v2v_leader_speed, v_pred, &mut alarms);
+
+        // Trust dynamics: gated innovations demote geometrically, clean
+        // ones restore linearly.
+        let gate = self.params.fuser.nis_gate;
+        for (channel, nis) in [
+            (ChannelId::Radar, nis_radar),
+            (ChannelId::Camera, nis_camera),
+            (ChannelId::V2v, nis_v2v),
+        ] {
+            if let Some(nis) = nis {
+                if nis > gate {
+                    self.trusts[channel.index()].demote(&self.params.trust);
+                } else {
+                    self.trusts[channel.index()].recover(&self.params.trust);
+                }
+            }
+        }
+
+        // IDS: floor alarmed channels and drive the mitigation policy. The
+        // CRA latch counts as a radar alarm — the paper's detector is one
+        // of the radar channel's alarm sources.
+        let ids = self.params.mode.ids_enabled();
+        if ids {
+            for e in &alarms {
+                self.trusts[e.channel.index()].floor_out(&self.params.trust);
+            }
+            let radar_alarm = cra_out.verdict.under_attack()
+                || alarms.iter().any(|e| e.channel == ChannelId::Radar);
+            let aux_alarm = alarms.iter().any(|e| e.channel != ChannelId::Radar);
+            self.policy.observe(radar_alarm, aux_alarm);
+            if self.ids_detection.is_none() && !alarms.is_empty() {
+                self.ids_detection = Some(k);
+            }
+        }
+
+        // In safe mode the radar is suspect even where the CRA has not
+        // latched yet (spoofed-but-plausible data between challenges):
+        // exclude it from the combination outright.
+        let radar_allowed = !(ids && self.policy.in_safe_mode());
+
+        // Trust/σ²-weighted WLS over the gated channels.
+        self.d_cands.clear();
+        if let (true, Some(value), Some(nis)) = (radar_allowed, radar_d, nis_radar) {
+            self.d_cands.push(Candidate {
+                channel: ChannelId::Radar,
+                value,
+                variance: self.params.radar_distance_sigma.powi(2),
+                trust: self.trusts[ChannelId::Radar.index()].value(),
+                nis,
+            });
+        }
+        if let (Some(value), Some(nis)) = (aux.camera_range, nis_camera) {
+            self.d_cands.push(Candidate {
+                channel: ChannelId::Camera,
+                value,
+                variance: self.params.camera_sigma.powi(2),
+                trust: self.trusts[ChannelId::Camera.index()].value(),
+                nis,
+            });
+        }
+        let fused_d = self.params.fuser.fuse(&self.d_cands);
+
+        self.v_cands.clear();
+        if let (true, Some(value), Some(nis)) = (radar_allowed, radar_v_l, nis_radar) {
+            self.v_cands.push(Candidate {
+                channel: ChannelId::Radar,
+                value,
+                variance: self.params.radar_speed_sigma.powi(2),
+                trust: self.trusts[ChannelId::Radar.index()].value(),
+                nis,
+            });
+        }
+        if let (Some(value), Some(nis)) = (aux.v2v_leader_speed, nis_v2v) {
+            self.v_cands.push(Candidate {
+                channel: ChannelId::V2v,
+                value,
+                variance: self.params.v2v_sigma.powi(2),
+                trust: self.trusts[ChannelId::V2v.index()].value(),
+                nis,
+            });
+        }
+        let fused_v = self.params.fuser.fuse(&self.v_cands);
+
+        // Advance the fused trend fit: train on a measurement-backed fused
+        // speed, free-run otherwise (frozen weights, clock advances).
+        let v_leader = match fused_v {
+            Some(f) => {
+                self.predictor.observe(f.value);
+                Some(f.value.max(0.0))
+            }
+            None => {
+                let _ = self.predictor.predict_next();
+                v_pred_fwd
+            }
+        };
+
+        // Fused distance, dead-reckoned when every channel is gated out.
+        let d_est = match fused_d {
+            Some(f) => {
+                self.free_run = 0;
+                Some(f.value)
+            }
+            None => {
+                self.free_run += 1;
+                d_pred
+            }
+        };
+
+        // When even the fused estimate is cold, the embedded CRA pipeline's
+        // output is the floor — the paper's machinery is never removed.
+        // Likewise when two or more channels alarm at once the fusion
+        // itself is suspect and the CRA pipeline governs.
+        let mut alarmed = [false; 3];
+        for e in &alarms {
+            alarmed[e.channel.index()] = true;
+        }
+        let fusion_compromised = alarmed.iter().filter(|a| **a).count() >= 2;
+
+        let (distance, relative_speed, control_distance) = match d_est {
+            Some(d) if !fusion_compromised => {
+                self.last_distance = Some(d);
+                let rel = v_leader.map_or(cra_out.relative_speed.value(), |v| v - v_f);
+                let margin = if fused_d.is_some() {
+                    0.0
+                } else {
+                    let n = self.free_run as f64;
+                    (MARGIN_QUAD * n * n).min(MARGIN_CAP)
+                };
+                (
+                    Some(Meters(d)),
+                    MetersPerSecond(rel),
+                    Some(Meters(d - margin)),
+                )
+            }
+            _ => {
+                // Keep the fused anchor warm from the CRA estimate so the
+                // fusion can re-engage without a cold restart.
+                if let Some(d) = cra_out.distance {
+                    self.last_distance = Some(d.value());
+                }
+                (
+                    cra_out.distance,
+                    cra_out.relative_speed,
+                    cra_out.control_distance,
+                )
+            }
+        };
+
+        FusedOutput {
+            cra: cra_out,
+            distance,
+            relative_speed,
+            control_distance,
+            fused: fused_d,
+            alarms,
+            policy_state: self.policy.state(),
+            trust: [
+                self.trusts[0].value(),
+                self.trusts[1].value(),
+                self.trusts[2].value(),
+            ],
+        }
+    }
+
+    /// Exports all mutable state as plain old data.
+    pub fn snapshot(&self) -> FusedSnapshot {
+        FusedSnapshot {
+            cra: self.cra.snapshot(),
+            predictor: self.predictor.save_state(),
+            last_distance: self.last_distance,
+            free_run: self.free_run,
+            monitors: self.monitors.iter().map(|m| m.save_state()).collect(),
+            trusts: self.trusts.iter().map(|t| t.value()).collect(),
+            policy: self.policy.save_state(),
+            ids_detection: self.ids_detection.map(|s| s.0),
+        }
+    }
+
+    /// Restores state saved by [`Self::snapshot`] onto a pipeline of the
+    /// same configuration. A default-bodied snapshot (the v1 shape from
+    /// [`FusedSnapshot::from_v1`]) resets every fusion field — forward
+    /// compatibility with pre-fusion peers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates predictor state-shape errors; the fused state may be
+    /// partially reset on error but the CRA state is restored first and
+    /// atomically.
+    pub fn restore(&mut self, snap: &FusedSnapshot) -> Result<(), EstimError> {
+        self.cra.restore(&snap.cra)?;
+        if snap.predictor == PredictorState::default() {
+            self.predictor.reset();
+        } else {
+            self.predictor.load_state(&snap.predictor)?;
+        }
+        self.last_distance = snap.last_distance;
+        self.free_run = snap.free_run;
+        for (i, m) in self.monitors.iter_mut().enumerate() {
+            match snap.monitors.get(i) {
+                Some(state) => m.restore_state(state),
+                None => m.reset(),
+            }
+        }
+        for (i, t) in self.trusts.iter_mut().enumerate() {
+            *t = match snap.trusts.get(i) {
+                Some(&v) => TrustScore::restore(v),
+                None => TrustScore::new(),
+            };
+        }
+        self.policy.restore_state(&snap.policy);
+        self.ids_detection = snap.ids_detection.map(Step);
+        Ok(())
+    }
+
+    /// Restores a v1 (pre-fusion) [`PipelineSnapshot`]: the embedded CRA
+    /// pipeline picks up where the peer left off, fusion state at defaults.
+    ///
+    /// # Errors
+    ///
+    /// Propagates predictor state-shape errors from the CRA restore.
+    pub fn restore_v1(&mut self, snap: &PipelineSnapshot) -> Result<(), EstimError> {
+        self.restore(&FusedSnapshot::from_v1(snap.clone()))
+    }
+
+    /// Clears all mutable state (configuration retained).
+    pub fn reset(&mut self) {
+        self.cra.reset();
+        self.predictor.reset();
+        self.last_distance = None;
+        self.free_run = 0;
+        for m in &mut self.monitors {
+            m.reset();
+        }
+        self.trusts = [TrustScore::new(); 3];
+        self.policy.reset();
+        self.ids_detection = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use argus_cra::challenge::ChallengeSchedule;
+    use argus_cra::detector::CraDetector;
+    use argus_radar::fmcw::BeatPair;
+    use argus_radar::receiver::RadarMeasurement;
+    use argus_sim::units::{Hertz, Watts};
+
+    const V_OWN: MetersPerSecond = MetersPerSecond(20.0);
+
+    fn detector() -> CraDetector {
+        CraDetector::new(ChallengeSchedule::paper(), Watts(1e-14))
+    }
+
+    fn fused(mode: FusionMode) -> FusedPipeline {
+        FusedPipeline::paper(detector(), mode).unwrap()
+    }
+
+    fn clean_obs(d: f64, dv: f64) -> RadarObservation {
+        RadarObservation {
+            measurement: Some(RadarMeasurement {
+                distance: Meters(d),
+                range_rate: MetersPerSecond(dv),
+                beats: BeatPair {
+                    up: Hertz(0.0),
+                    down: Hertz(0.0),
+                },
+                snr: 1000.0,
+            }),
+            received_power: Watts(1e-12),
+            jammed: false,
+        }
+    }
+
+    fn silent_obs() -> RadarObservation {
+        RadarObservation {
+            measurement: None,
+            received_power: Watts(1e-16),
+            jammed: false,
+        }
+    }
+
+    fn hot_obs() -> RadarObservation {
+        RadarObservation {
+            measurement: Some(RadarMeasurement {
+                distance: Meters(400.0),
+                range_rate: MetersPerSecond(120.0),
+                beats: BeatPair {
+                    up: Hertz(0.0),
+                    down: Hertz(0.0),
+                },
+                snr: 0.001,
+            }),
+            received_power: Watts(1e-9),
+            jammed: true,
+        }
+    }
+
+    fn aux(d: f64, v_l: f64) -> AuxObservation {
+        AuxObservation {
+            camera_range: Some(d),
+            v2v_leader_speed: Some(v_l),
+        }
+    }
+
+    /// Truth model: constant gap 100 m, leader at the ego speed.
+    fn feed_clean(p: &mut FusedPipeline, k: u64) -> FusedOutput {
+        let obs = if ChallengeSchedule::paper().is_challenge(Step(k)) {
+            silent_obs()
+        } else {
+            clean_obs(100.0, 0.0)
+        };
+        p.process(Step(k), &obs, &aux(100.0, V_OWN.value()), V_OWN)
+    }
+
+    #[test]
+    fn benign_fusion_tracks_truth_without_alarms() {
+        for mode in [FusionMode::Fused, FusionMode::FusedIds] {
+            let mut p = fused(mode);
+            for k in 0..120 {
+                let out = feed_clean(&mut p, k);
+                assert!(out.alarms.is_empty(), "{mode:?} false alarm at k={k}");
+                assert_eq!(out.policy_state, PolicyState::Nominal, "{mode:?} k={k}");
+                if k > 10 {
+                    let d = out.distance.unwrap().value();
+                    assert!((d - 100.0).abs() < 1.0, "{mode:?} k={k}: fused {d}");
+                    assert!(out.fused.unwrap().channels_used() >= 1);
+                }
+            }
+            assert_eq!(p.ids_detection(), None);
+            assert_eq!(p.safe_mode_steps(), 0);
+            for c in ChannelId::ALL {
+                assert!(p.trust(c) > 0.99, "{mode:?}: trust {c:?} degraded");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_estimate_outweighs_radar_with_camera() {
+        let mut p = fused(FusionMode::Fused);
+        for k in 0..30 {
+            feed_clean(&mut p, k);
+        }
+        // Radar says 100.8, camera says 99.0: the combination must sit
+        // between, nearer the radar (16x weight at σ 0.5 vs 1.0 against
+        // a fresh camera... trust equal, so w_r/w_c = 4).
+        let out = p.process(
+            Step(30),
+            &clean_obs(100.8, 0.0),
+            &aux(99.0, V_OWN.value()),
+            V_OWN,
+        );
+        let d = out.distance.unwrap().value();
+        assert!(d < 100.8 && d > 99.0, "fused {d} not between the channels");
+        assert!((d - 100.44).abs() < 0.2, "fused {d} should lean radar");
+    }
+
+    #[test]
+    fn camera_spoof_is_gated_demoted_and_alarmed() {
+        let mut p = fused(FusionMode::FusedIds);
+        for k in 0..60 {
+            feed_clean(&mut p, k);
+        }
+        assert!(p.trust(ChannelId::Camera) > 0.99);
+        let mut alarmed = false;
+        for k in 60..80 {
+            let obs = if ChallengeSchedule::paper().is_challenge(Step(k)) {
+                silent_obs()
+            } else {
+                clean_obs(100.0, 0.0)
+            };
+            // +9 m camera spoof; radar and V2V stay honest.
+            let out = p.process(Step(k), &obs, &aux(109.0, V_OWN.value()), V_OWN);
+            let d = out.distance.unwrap().value();
+            assert!(
+                (d - 100.0).abs() < 1.5,
+                "spoofed camera leaked into the estimate at k={k}: {d}"
+            );
+            if !out.alarms.is_empty() {
+                assert!(out.alarms.iter().all(|e| e.channel == ChannelId::Camera));
+                alarmed = true;
+            }
+        }
+        assert!(alarmed, "camera spoof never alarmed");
+        assert!(p.trust(ChannelId::Camera) < 0.2, "camera not demoted");
+        assert_eq!(p.policy_state(), PolicyState::Demoted);
+        assert!(p.ids_detection().is_some());
+        // Clean aux again: cooldown then nominal, trust recovers.
+        for k in 80..200 {
+            feed_clean(&mut p, k);
+        }
+        assert_eq!(p.policy_state(), PolicyState::Nominal);
+        assert!(p.trust(ChannelId::Camera) > 0.9, "camera never re-admitted");
+    }
+
+    #[test]
+    fn radar_spoof_between_challenges_triggers_safe_mode() {
+        let mut p = fused(FusionMode::FusedIds);
+        for k in 0..51 {
+            feed_clean(&mut p, k);
+        }
+        // k = 51…: radar spoofed +12 m with ordinary power (the CRA cannot
+        // latch until the next challenge) — the IDS must catch it from the
+        // innovation alone and exclude the radar.
+        let mut safe_mode_seen = false;
+        for k in 51..70 {
+            let out = p.process(
+                Step(k),
+                &clean_obs(112.0, 0.0),
+                &aux(100.0, V_OWN.value()),
+                V_OWN,
+            );
+            assert!(!out.cra.verdict.under_attack(), "no challenge in 51..70");
+            let d = out.distance.unwrap().value();
+            assert!(
+                (d - 100.0).abs() < 1.5,
+                "spoofed radar leaked at k={k}: {d}"
+            );
+            if out.policy_state == PolicyState::SafeMode {
+                safe_mode_seen = true;
+            }
+        }
+        assert!(safe_mode_seen, "radar spoof never escalated to safe mode");
+        assert!(p.safe_mode_steps() > 0);
+        assert!(p.ids_detection().is_some());
+        let det = p.ids_detection().unwrap().0;
+        assert!(det <= 53, "IDS too slow: first alarm at {det}");
+    }
+
+    #[test]
+    fn fused_mode_gates_but_never_alarms() {
+        let mut p = fused(FusionMode::Fused);
+        for k in 0..40 {
+            feed_clean(&mut p, k);
+        }
+        for k in 40..55 {
+            let out = p.process(
+                Step(k),
+                &clean_obs(115.0, 0.0),
+                &aux(100.0, V_OWN.value()),
+                V_OWN,
+            );
+            assert!(out.alarms.is_empty(), "Fused mode must not alarm");
+            assert_eq!(out.policy_state, PolicyState::Nominal);
+            let d = out.distance.unwrap().value();
+            assert!((d - 100.0).abs() < 1.5, "gate failed at k={k}: {d}");
+        }
+        assert_eq!(p.ids_detection(), None);
+        assert_eq!(p.safe_mode_steps(), 0);
+    }
+
+    #[test]
+    fn dos_window_served_from_aux_channels() {
+        let mut p = fused(FusionMode::FusedIds);
+        for k in 0..182 {
+            feed_clean(&mut p, k);
+        }
+        // Jamming from the k = 182 challenge: the CRA latches, the radar
+        // vanishes from the fusion, and the honest camera/V2V carry the
+        // estimate at camera-grade accuracy.
+        for k in 182..240 {
+            let out = p.process(Step(k), &hot_obs(), &aux(100.0, V_OWN.value()), V_OWN);
+            assert!(out.cra.verdict.under_attack(), "k={k}");
+            let d = out.distance.unwrap().value();
+            assert!((d - 100.0).abs() < 1.5, "k={k}: fused {d}");
+            if let Some(f) = out.fused {
+                assert!(!f.uses(ChannelId::Radar), "latched radar fused at k={k}");
+            }
+        }
+        assert!(p.safe_mode_steps() >= 50);
+    }
+
+    #[test]
+    fn aux_dropout_falls_back_to_cra_output() {
+        let mut p = fused(FusionMode::FusedIds);
+        let blind = AuxObservation::default();
+        for k in 0..60 {
+            let obs = if ChallengeSchedule::paper().is_challenge(Step(k)) {
+                silent_obs()
+            } else {
+                clean_obs(100.0, 0.0)
+            };
+            let out = p.process(Step(k), &obs, &blind, V_OWN);
+            // With no aux channels the fused pipeline degrades to exactly
+            // the radar channel (plus dead reckoning at challenges).
+            if k > 10 {
+                let d = out.distance.unwrap().value();
+                assert!((d - 100.0).abs() < 1.0, "k={k}: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_is_bit_identical() {
+        let mut p = fused(FusionMode::FusedIds);
+        for k in 0..70 {
+            feed_clean(&mut p, k);
+        }
+        // Disturb: camera spoof so trust/monitor/policy state is non-trivial.
+        for k in 70..78 {
+            let _ = p.process(
+                Step(k),
+                &clean_obs(100.0, 0.0),
+                &aux(110.0, V_OWN.value()),
+                V_OWN,
+            );
+        }
+        let snap = p.snapshot();
+        let mut q = fused(FusionMode::FusedIds);
+        q.restore(&snap).unwrap();
+        assert_eq!(p.snapshot(), q.snapshot());
+        for k in 78..160 {
+            let a = feed_clean(&mut p, k);
+            let b = feed_clean(&mut q, k);
+            assert_eq!(a, b, "diverged at k={k}");
+        }
+        assert_eq!(p.snapshot(), q.snapshot());
+    }
+
+    #[test]
+    fn v1_snapshot_restores_with_fusion_defaults() {
+        // A CRA-only pipeline ran for a while; its snapshot must drop into
+        // a fused session with fusion state at defaults.
+        let mut cra = SecurePipeline::paper(detector()).unwrap();
+        for k in 0..60u64 {
+            let obs = if ChallengeSchedule::paper().is_challenge(Step(k)) {
+                silent_obs()
+            } else {
+                clean_obs(100.0, 0.0)
+            };
+            let _ = cra.process(Step(k), &obs, V_OWN);
+        }
+        let v1 = cra.snapshot();
+        let mut p = fused(FusionMode::FusedIds);
+        // Dirty the fused state first to prove the restore clears it.
+        for k in 0..30 {
+            let _ = p.process(
+                Step(k),
+                &clean_obs(100.0, 0.0),
+                &aux(112.0, V_OWN.value()),
+                V_OWN,
+            );
+        }
+        p.restore_v1(&v1).unwrap();
+        let snap = p.snapshot();
+        assert_eq!(snap.cra, v1);
+        // Fused predictor back to its freshly-constructed state.
+        assert_eq!(
+            snap.predictor,
+            TrendPredictor::paper().unwrap().save_state()
+        );
+        assert_eq!(snap.trusts, vec![1.0, 1.0, 1.0]);
+        assert_eq!(snap.policy, PolicySnapshot::default());
+        assert_eq!(snap.ids_detection, None);
+        assert!(snap.monitors.iter().all(|m| *m == MonitorState::default()));
+        // And the embedded CRA stream continues exactly.
+        let mut reference = SecurePipeline::paper(detector()).unwrap();
+        reference.restore(&v1).unwrap();
+        for k in 60..100u64 {
+            let obs = clean_obs(100.0, 0.0);
+            let a = p.process(Step(k), &obs, &AuxObservation::default(), V_OWN);
+            let b = reference.process(Step(k), &obs, V_OWN);
+            assert_eq!(a.cra, b, "embedded CRA diverged at k={k}");
+        }
+    }
+
+    #[test]
+    fn reset_matches_fresh() {
+        let mut p = fused(FusionMode::FusedIds);
+        for k in 0..90 {
+            let _ = p.process(Step(k), &hot_obs(), &aux(90.0, 15.0), V_OWN);
+        }
+        p.reset();
+        let fresh = fused(FusionMode::FusedIds);
+        assert_eq!(p.snapshot(), fresh.snapshot());
+    }
+}

@@ -40,6 +40,7 @@
 
 pub mod campaign;
 pub mod experiments;
+pub mod fused;
 pub mod metrics;
 pub mod pipeline;
 pub mod plan;
@@ -50,7 +51,8 @@ pub mod tracker;
 
 pub use campaign::{AttackAxis, AxisGrid, Campaign, CampaignRun, CampaignStream, TrialResult};
 pub use experiments::{Experiment, ExperimentOutcome, FigureSeries};
-pub use metrics::{CampaignStats, RunMetrics, StreamingCampaignStats};
+pub use fused::{FusedOutput, FusedPipeline, FusedSnapshot, FusionParams};
+pub use metrics::{CampaignStats, FusionMetrics, RunMetrics, StreamingCampaignStats};
 pub use pipeline::{
     CheckpointState, MeasurementSource, PipelineOutput, PipelineSnapshot, PredictorKind,
     SecurePipeline,
@@ -61,6 +63,13 @@ pub use plan::{NoiseDraw, ScenarioPlan, TrialScratch, VehicleSim};
 /// codecs can name them without depending on the estimator/detector crates.
 pub use argus_cra::DetectorState;
 pub use argus_estim::PredictorState;
+
+/// Fusion-layer types re-exported so downstream binaries and wire codecs
+/// can name them without depending on `argus-fusion` directly.
+pub use argus_fusion::{
+    AuxAttack, AuxChannels, AuxObservation, ChannelId, FusionMode, MonitorState, PolicySnapshot,
+    PolicyState,
+};
 pub use scenario::{Scenario, ScenarioConfig, ScenarioResult};
 pub use tracker::{MultiTargetTracker, Track, TrackId, TrackerConfig};
 
@@ -70,12 +79,14 @@ pub mod prelude {
         AttackAxis, AxisGrid, Campaign, CampaignRun, CampaignStream, TrialResult,
     };
     pub use crate::experiments::{Experiment, ExperimentOutcome, FigureSeries};
-    pub use crate::metrics::{CampaignStats, RunMetrics, StreamingCampaignStats};
+    pub use crate::fused::{FusedOutput, FusedPipeline, FusedSnapshot, FusionParams};
+    pub use crate::metrics::{CampaignStats, FusionMetrics, RunMetrics, StreamingCampaignStats};
     pub use crate::pipeline::{MeasurementSource, PipelineOutput, SecurePipeline};
     pub use crate::plan::{ScenarioPlan, TrialScratch};
     pub use crate::scenario::{Scenario, ScenarioConfig, ScenarioResult};
     pub use argus_attack::{Adversary, AttackKind};
     pub use argus_cra::{ChallengeSchedule, CraDetector};
+    pub use argus_fusion::{AuxAttack, AuxObservation, FusionMode, PolicyState};
     pub use argus_radar::{MeasurementMode, RadarConfig};
     pub use argus_vehicle::LeaderProfile;
 }

@@ -2,8 +2,22 @@
 //! plus campaign-level aggregation across Monte-Carlo trials.
 
 use argus_cra::detector::ConfusionMatrix;
+use argus_fusion::FusionMode;
 use argus_sim::stats::{percentile, P2Quantile, RunningStats};
 use argus_sim::time::Step;
+
+/// Fusion-layer outcome of one run (present only when the run used a
+/// fused pipeline).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FusionMetrics {
+    /// Which fusion mode the run used.
+    pub mode: FusionMode,
+    /// First step at which a sequential IDS monitor alarmed (`None` in
+    /// plain fused mode or when nothing alarmed).
+    pub ids_detection_step: Option<Step>,
+    /// Total steps the mitigation policy spent in safe mode.
+    pub safe_mode_steps: u64,
+}
 
 /// Outcome metrics of one closed-loop run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -27,6 +41,16 @@ pub struct RunMetrics {
     /// RMSE of the controller-consumed distance against the true gap over
     /// the attack window (`None` when no attack steps ran).
     pub attack_window_distance_rmse: Option<f64>,
+    /// RMSE of the controller-consumed distance against the true gap over
+    /// every step from attack onset to the horizon, *regardless of the
+    /// detector latch* (`None` for benign or undefended runs). Unlike
+    /// [`Self::attack_window_distance_rmse`] this is comparable across
+    /// defenses with different latch behaviour — the `--fusion` sweep's
+    /// primary accuracy metric.
+    pub post_onset_distance_rmse: Option<f64>,
+    /// Fusion-layer outcome (`None` for CRA-only runs, so CRA-only
+    /// metrics are unchanged by the fusion subsystem).
+    pub fusion: Option<FusionMetrics>,
 }
 
 impl RunMetrics {
@@ -73,9 +97,12 @@ pub struct CampaignStats {
     pub false_positives: u64,
     /// Total false negatives across all trials' challenge instants.
     pub false_negatives: u64,
+    /// Total safe-mode steps across trials with fusion metrics.
+    pub safe_mode_steps: u64,
     min_gaps: Vec<f64>,
     latencies: Vec<f64>,
     rmses: Vec<f64>,
+    post_rmses: Vec<f64>,
 }
 
 impl CampaignStats {
@@ -98,6 +125,12 @@ impl CampaignStats {
         if let Some(r) = m.attack_window_distance_rmse {
             self.rmses.push(r);
         }
+        if let Some(r) = m.post_onset_distance_rmse {
+            self.post_rmses.push(r);
+        }
+        if let Some(f) = m.fusion {
+            self.safe_mode_steps += f.safe_mode_steps;
+        }
     }
 
     /// Merges another aggregate into this one (sample concatenation).
@@ -107,9 +140,11 @@ impl CampaignStats {
         self.detected += other.detected;
         self.false_positives += other.false_positives;
         self.false_negatives += other.false_negatives;
+        self.safe_mode_steps += other.safe_mode_steps;
         self.min_gaps.extend_from_slice(&other.min_gaps);
         self.latencies.extend_from_slice(&other.latencies);
         self.rmses.extend_from_slice(&other.rmses);
+        self.post_rmses.extend_from_slice(&other.post_rmses);
     }
 
     /// Fraction of trials that collided.
@@ -137,6 +172,16 @@ impl CampaignStats {
         &self.rmses
     }
 
+    /// Post-onset distance RMSE samples (defended, non-benign trials).
+    pub fn post_onset_rmses(&self) -> &[f64] {
+        &self.post_rmses
+    }
+
+    /// Mean safe-mode steps per trial.
+    pub fn mean_safe_mode_steps(&self) -> f64 {
+        rate(self.safe_mode_steps, self.trials)
+    }
+
     /// Linear-interpolated percentile of the minimum gap (`None` when no
     /// trials were recorded).
     pub fn min_gap_percentile(&self, p: f64) -> Option<f64> {
@@ -151,6 +196,11 @@ impl CampaignStats {
     /// Percentile of attack-window distance RMSE over estimating trials.
     pub fn rmse_percentile(&self, p: f64) -> Option<f64> {
         percentile_of(&self.rmses, p)
+    }
+
+    /// Percentile of post-onset distance RMSE over defended attacked trials.
+    pub fn post_onset_rmse_percentile(&self, p: f64) -> Option<f64> {
+        percentile_of(&self.post_rmses, p)
     }
 }
 
@@ -187,6 +237,10 @@ pub struct StreamingCampaignStats {
     rmse: RunningStats,
     rmse_p50: P2Quantile,
     rmse_p95: P2Quantile,
+    /// Total safe-mode steps across trials with fusion metrics.
+    pub safe_mode_steps: u64,
+    post_rmse: RunningStats,
+    post_rmse_p50: P2Quantile,
 }
 
 impl Default for StreamingCampaignStats {
@@ -213,6 +267,9 @@ impl StreamingCampaignStats {
             rmse: RunningStats::new(),
             rmse_p50: P2Quantile::new(50.0),
             rmse_p95: P2Quantile::new(95.0),
+            safe_mode_steps: 0,
+            post_rmse: RunningStats::new(),
+            post_rmse_p50: P2Quantile::new(50.0),
         }
     }
 
@@ -236,6 +293,13 @@ impl StreamingCampaignStats {
             self.rmse.push(r);
             self.rmse_p50.push(r);
             self.rmse_p95.push(r);
+        }
+        if let Some(r) = m.post_onset_distance_rmse {
+            self.post_rmse.push(r);
+            self.post_rmse_p50.push(r);
+        }
+        if let Some(f) = m.fusion {
+            self.safe_mode_steps += f.safe_mode_steps;
         }
     }
 
@@ -297,6 +361,21 @@ impl StreamingCampaignStats {
     /// P² estimate of the 95th-percentile attack-window RMSE.
     pub fn rmse_p95(&self) -> Option<f64> {
         self.rmse_p95.estimate()
+    }
+
+    /// Welford summary of post-onset distance RMSE.
+    pub fn post_onset_rmse_stats(&self) -> &RunningStats {
+        &self.post_rmse
+    }
+
+    /// P² estimate of the median post-onset distance RMSE.
+    pub fn post_onset_rmse_p50(&self) -> Option<f64> {
+        self.post_rmse_p50.estimate()
+    }
+
+    /// Mean safe-mode steps per trial.
+    pub fn mean_safe_mode_steps(&self) -> f64 {
+        rate(self.safe_mode_steps, self.trials)
     }
 }
 
@@ -374,6 +453,8 @@ mod tests {
             estimation_time_ns: 12_000_000,
             confusion: ConfusionMatrix::new(),
             attack_window_distance_rmse: Some(1.5),
+            post_onset_distance_rmse: Some(1.8),
+            fusion: None,
         }
     }
 

@@ -181,10 +181,10 @@ impl Clone for SecurePipeline {
 /// into a distance error ε·n²/2 after n free-run steps; with the paper
 /// configuration the 2σ slope error is ≈ 1.6 × 10⁻³ m/s per step, so the
 /// margin n²·2σ_slope/2 bounds the drift with ~98 % confidence.
-const MARGIN_QUAD: f64 = 0.0016;
+pub(crate) const MARGIN_QUAD: f64 = 0.0016;
 
 /// Cap on the control-distance safety margin (m).
-const MARGIN_CAP: f64 = 12.0;
+pub(crate) const MARGIN_CAP: f64 = 12.0;
 
 impl SecurePipeline {
     /// Creates a pipeline from a detector, a predictor for the leader-speed

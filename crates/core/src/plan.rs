@@ -23,9 +23,11 @@
 
 use std::time::Instant;
 
+use argus_attack::AttackKind;
 use argus_cra::detector::{ConfusionMatrix, CraDetector};
 use argus_dsp::batch::FrameBatch;
 use argus_dsp::scratch::{FrameScratch, ScratchOptions};
+use argus_fusion::{AuxChannels, AuxObservation, PolicyState};
 use argus_radar::receiver::{
     PendingObservation, Radar, RadarMeasurement, RadarObservation, RadarScratch,
 };
@@ -37,7 +39,8 @@ use argus_sim::trace::{Trace, TraceSet};
 use argus_sim::units::{Meters, MetersPerSecond, Seconds};
 use argus_vehicle::pair::VehiclePair;
 
-use crate::metrics::RunMetrics;
+use crate::fused::{FusedPipeline, FusionParams};
+use crate::metrics::{FusionMetrics, RunMetrics};
 use crate::pipeline::{MeasurementSource, SecurePipeline};
 use crate::scenario::{ScenarioConfig, ScenarioResult};
 
@@ -58,6 +61,16 @@ pub(crate) struct StepRecord {
     received_power: f64,
     under_attack: f64,
     estimated: f64,
+    // Fusion-layer series, recorded (and emitted as traces) only when the
+    // run used a fused pipeline; zero-filled otherwise.
+    d_camera: f64,
+    v_v2v: f64,
+    d_fused: f64,
+    trust_radar: f64,
+    trust_camera: f64,
+    trust_v2v: f64,
+    ids_alarm: f64,
+    safe_mode: f64,
 }
 
 /// Reusable per-worker state for plan-driven trials.
@@ -135,6 +148,10 @@ pub struct VehicleSim<'p> {
     /// measurement-noise streams, so adding attacker draws never perturbs
     /// them.
     attack: argus_attack::AttackRuntime,
+    /// Auxiliary sensor channels (camera + V2V), present only for fused
+    /// runs. Their draws come from dedicated substreams, so CRA-only
+    /// trials remain bit-identical whether or not fusion code exists.
+    aux: Option<AuxChannels>,
 }
 
 impl VehicleSim<'_> {
@@ -291,6 +308,19 @@ impl VehicleSim<'_> {
     pub fn advance(&mut self, control_distance: Option<Meters>, relative_speed: MetersPerSecond) {
         self.pair.advance(control_distance, relative_speed);
     }
+
+    /// Samples the auxiliary channels (camera range, V2V leader speed)
+    /// for step `k` from the current ground truth. Returns an empty
+    /// observation — and consumes no RNG draws — when the scenario is not
+    /// fused, so calling this unconditionally is free for CRA-only runs.
+    pub fn observe_aux(&mut self, k: Step) -> AuxObservation {
+        let gap = self.pair.gap().value();
+        let v_leader = self.pair.leader().velocity.value();
+        match self.aux.as_mut() {
+            Some(channels) => channels.sample(k, gap, v_leader),
+            None => AuxObservation::default(),
+        }
+    }
 }
 
 /// All trial-invariant state of a scenario, precomputed.
@@ -324,6 +354,9 @@ pub struct ScenarioPlan {
     /// predictor config built once); cloned per trial. The prototype is
     /// never stepped, so a clone is indistinguishable from a fresh build.
     pipeline_proto: Option<SecurePipeline>,
+    /// Fused-pipeline prototype wrapping `pipeline_proto`, present only
+    /// when the config selects a fused mode (and the defense is on).
+    fused_proto: Option<FusedPipeline>,
 }
 
 impl ScenarioPlan {
@@ -366,6 +399,12 @@ impl ScenarioPlan {
                 .expect("built-in predictor configs are valid");
             SecurePipeline::new(detector, predictor, Seconds(1.0))
         });
+        let fused_proto = config.fusion_active().then(|| {
+            let cra = pipeline_proto
+                .clone()
+                .expect("fusion_active implies a defended pipeline");
+            FusedPipeline::new(cra, FusionParams::paper(config.fusion), Seconds(1.0))
+        });
         Self {
             config,
             options,
@@ -374,6 +413,7 @@ impl ScenarioPlan {
             v_noise,
             pair_proto,
             pipeline_proto,
+            fused_proto,
         }
     }
 
@@ -402,7 +442,34 @@ impl ScenarioPlan {
                 .config
                 .adversary
                 .runtime(root_rng.substream("attacker")),
+            // Substream derivation never advances the parent, so the aux
+            // channels leave the radar/noise/attacker streams untouched.
+            aux: self.config.fusion_active().then(|| {
+                AuxChannels::paper(
+                    root_rng.substream("camera"),
+                    root_rng.substream("v2v"),
+                    root_rng.substream("attacker").substream("aux"),
+                )
+                .with_attack(self.config.aux_attack)
+            }),
         }
+    }
+
+    /// Builds the per-trial defense instance matching the configuration.
+    fn defense_instance(&self) -> Defense {
+        match (&self.fused_proto, &self.pipeline_proto) {
+            (Some(f), _) => Defense::Fused(f.clone()),
+            (None, Some(p)) => Defense::Cra(p.clone()),
+            (None, None) => Defense::None,
+        }
+    }
+
+    /// Start of the post-onset accuracy window: the attack onset step, for
+    /// defended runs with a real adversary. `None` disables the metric
+    /// (benign or undefended runs).
+    fn post_onset_start(&self) -> Option<u64> {
+        let attacked = !matches!(self.config.adversary.kind(), AttackKind::None);
+        (self.config.defended && attacked).then(|| self.config.adversary.window().start().0)
     }
 
     /// Runs one trial and returns only its metrics — the campaign hot path.
@@ -416,7 +483,7 @@ impl ScenarioPlan {
     pub fn run_traced(&self, seed: u64, scratch: &mut TrialScratch) -> ScenarioResult {
         let metrics = self.run_inner(seed, scratch, true);
         ScenarioResult {
-            traces: build_traces(&scratch.records),
+            traces: build_traces(&scratch.records, self.fused_proto.is_some()),
             metrics,
         }
     }
@@ -435,6 +502,7 @@ impl ScenarioPlan {
     pub fn run_trials_batched(&self, seeds: &[u64], pool: &mut [TrialScratch]) -> Vec<RunMetrics> {
         assert!(!pool.is_empty(), "scratch pool must be non-empty");
         let cfg = &self.config;
+        let post_start = self.post_onset_start();
         let mut out = Vec::with_capacity(seeds.len());
         let mut batch = FrameBatch::new();
         let mut measurements: Vec<RadarMeasurement> = Vec::new();
@@ -447,16 +515,9 @@ impl ScenarioPlan {
                     scratch.reset();
                     TrialLane {
                         sim: self.vehicle_sim(seed),
-                        pipeline: self.pipeline_proto.clone(),
+                        defense: self.defense_instance(),
                         pending: None,
-                        confusion: ConfusionMatrix::new(),
-                        estimation_time_ns: 0,
-                        estimation_steps: 0,
-                        detection_step: None,
-                        collided: false,
-                        min_gap: f64::MAX,
-                        attack_err_sq: 0.0,
-                        attack_err_n: 0,
+                        acc: TrialAccum::new(),
                         done: false,
                     }
                 })
@@ -471,15 +532,12 @@ impl ScenarioPlan {
                         continue;
                     }
                     if lane.sim.collided() {
-                        lane.collided = true;
+                        lane.acc.collided = true;
                         lane.done = true;
                         continue;
                     }
-                    lane.min_gap = lane.min_gap.min(lane.sim.pair().gap().value());
-                    let tx_on = match &lane.pipeline {
-                        Some(p) => p.tx_on(k),
-                        None => true,
-                    };
+                    lane.acc.min_gap = lane.acc.min_gap.min(lane.sim.pair().gap().value());
+                    let tx_on = lane.defense.tx_on(k);
                     lane.pending = Some(lane.sim.observe_batch_begin(k, tx_on, scratch));
                 }
 
@@ -514,78 +572,26 @@ impl ScenarioPlan {
                         PendingObservation::Ready(_) => None,
                     };
                     let (obs, _draw) = lane.sim.observe_batch_finish(pending, measurement);
+                    let aux = lane.sim.observe_aux(k);
                     let gap = lane.sim.pair().gap();
 
-                    let (d_used, d_control, v_used, under_attack) = match lane.pipeline.as_mut() {
-                        Some(p) => {
-                            let own_speed = lane.sim.own_speed();
-                            let t0 = Instant::now();
-                            let out = p.process(k, &obs, own_speed);
-                            let dt_ns = t0.elapsed().as_nanos();
-                            let attacked = out.verdict.under_attack();
-                            if attacked {
-                                lane.estimation_time_ns += dt_ns;
-                                lane.estimation_steps += 1;
-                                if lane.detection_step.is_none() {
-                                    lane.detection_step = p.detector().first_detection();
-                                }
-                            }
-                            if cfg.schedule.is_challenge(k) {
-                                lane.confusion.record(cfg.adversary.active(k), attacked);
-                            }
-                            (
-                                out.distance,
-                                out.control_distance,
-                                out.relative_speed,
-                                attacked,
-                            )
-                        }
-                        None => {
-                            let d = obs.measurement.map(|m| m.distance);
-                            let v = obs
-                                .measurement
-                                .map(|m| MetersPerSecond(m.range_rate.value()))
-                                .unwrap_or(MetersPerSecond(0.0));
-                            (d, d, v, false)
-                        }
-                    };
+                    let own_speed = lane.sim.own_speed();
+                    let out = lane
+                        .defense
+                        .step(cfg, k, &obs, &aux, own_speed, &mut lane.acc);
+                    lane.acc.absorb_errors(&out, gap, k, post_start);
 
-                    if under_attack {
-                        if let Some(d) = d_used {
-                            lane.attack_err_sq += (d.value() - gap.value()).powi(2);
-                            lane.attack_err_n += 1;
-                        }
-                    }
-
-                    lane.sim.advance(d_control, v_used);
+                    lane.sim.advance(out.d_control, out.v_used);
                 }
             }
 
             for mut lane in lanes {
                 if lane.sim.collided() {
-                    lane.collided = true;
-                    lane.min_gap = lane.min_gap.min(0.0);
+                    lane.acc.collided = true;
+                    lane.acc.min_gap = lane.acc.min_gap.min(0.0);
                 }
-                let detection_latency = match (lane.detection_step, &cfg.adversary) {
-                    (Some(det), adv) if adv.active(det) => {
-                        Some(det.0.saturating_sub(adv.window().start().0))
-                    }
-                    _ => None,
-                };
-                out.push(RunMetrics {
-                    min_gap: lane.min_gap,
-                    collided: lane.collided,
-                    detection_step: lane.detection_step,
-                    detection_latency,
-                    estimation_steps: lane.estimation_steps,
-                    estimation_time_ns: lane.estimation_time_ns,
-                    confusion: lane.confusion,
-                    attack_window_distance_rmse: if lane.attack_err_n > 0 {
-                        Some((lane.attack_err_sq / lane.attack_err_n as f64).sqrt())
-                    } else {
-                        None
-                    },
-                });
+                let fusion = lane.defense.fusion_metrics();
+                out.push(lane.acc.into_metrics(cfg, fusion));
             }
         }
         out
@@ -599,77 +605,29 @@ impl ScenarioPlan {
         scratch.reset();
 
         let mut sim = self.vehicle_sim(seed);
-        let mut pipeline = self.pipeline_proto.clone();
-
-        let mut confusion = ConfusionMatrix::new();
-        let mut estimation_time_ns: u128 = 0;
-        let mut estimation_steps: u64 = 0;
-        let mut detection_step: Option<Step> = None;
-        let mut collided = false;
-        let mut min_gap = f64::MAX;
-        let mut attack_err_sq = 0.0;
-        let mut attack_err_n = 0u64;
+        let mut defense = self.defense_instance();
+        let mut acc = TrialAccum::new();
+        let post_start = self.post_onset_start();
 
         for k_idx in 0..cfg.horizon {
             let k = Step(k_idx as u64);
             if sim.collided() {
-                collided = true;
+                acc.collided = true;
                 break;
             }
             let gap = sim.pair().gap();
             let v_rel = sim.pair().relative_speed();
-            min_gap = min_gap.min(gap.value());
+            acc.min_gap = acc.min_gap.min(gap.value());
 
-            let tx_on = match &pipeline {
-                Some(p) => p.tx_on(k),
-                None => true,
-            };
+            let tx_on = defense.tx_on(k);
             let obs = sim.observe(k, tx_on, scratch);
+            let aux = sim.observe_aux(k);
 
             let (d_radar, v_radar) = raw_series_values(&obs);
 
-            let (d_used, d_control, v_used, under_attack, estimated) = match pipeline.as_mut() {
-                Some(p) => {
-                    let own_speed = sim.own_speed();
-                    let t0 = Instant::now();
-                    let out = p.process(k, &obs, own_speed);
-                    let dt_ns = t0.elapsed().as_nanos();
-                    let attacked = out.verdict.under_attack();
-                    if attacked {
-                        estimation_time_ns += dt_ns;
-                        estimation_steps += 1;
-                        if detection_step.is_none() {
-                            detection_step = p.detector().first_detection();
-                        }
-                    }
-                    if cfg.schedule.is_challenge(k) {
-                        confusion.record(cfg.adversary.active(k), attacked);
-                    }
-                    let est = matches!(out.source, MeasurementSource::Estimated);
-                    (
-                        out.distance,
-                        out.control_distance,
-                        out.relative_speed,
-                        attacked,
-                        est,
-                    )
-                }
-                None => {
-                    let d = obs.measurement.map(|m| m.distance);
-                    let v = obs
-                        .measurement
-                        .map(|m| MetersPerSecond(m.range_rate.value()))
-                        .unwrap_or(MetersPerSecond(0.0));
-                    (d, d, v, false, false)
-                }
-            };
-
-            if under_attack {
-                if let Some(d) = d_used {
-                    attack_err_sq += (d.value() - gap.value()).powi(2);
-                    attack_err_n += 1;
-                }
-            }
+            let own_speed = sim.own_speed();
+            let out = defense.step(cfg, k, &obs, &aux, own_speed, &mut acc);
+            acc.absorb_errors(&out, gap, k, post_start);
 
             if record {
                 scratch.records.push(StepRecord {
@@ -677,43 +635,261 @@ impl ScenarioPlan {
                     v_rel_true: v_rel.value(),
                     d_radar,
                     v_radar,
-                    d_used: d_used.map_or(0.0, |d| d.value()),
-                    v_used: v_used.value(),
+                    d_used: out.d_used.map_or(0.0, |d| d.value()),
+                    v_used: out.v_used.value(),
                     v_follower: sim.own_speed().value(),
                     v_leader: sim.pair().leader().velocity.value(),
                     received_power: obs.received_power.value(),
-                    under_attack: f64::from(u8::from(under_attack)),
-                    estimated: f64::from(u8::from(estimated)),
+                    under_attack: f64::from(u8::from(out.under_attack)),
+                    estimated: f64::from(u8::from(out.estimated)),
+                    d_camera: aux.camera_range.unwrap_or(0.0),
+                    v_v2v: aux.v2v_leader_speed.unwrap_or(0.0),
+                    d_fused: out.fused.and_then(|f| f.d_fused).unwrap_or(0.0),
+                    trust_radar: out.fused.map_or(1.0, |f| f.trust[0]),
+                    trust_camera: out.fused.map_or(1.0, |f| f.trust[1]),
+                    trust_v2v: out.fused.map_or(1.0, |f| f.trust[2]),
+                    ids_alarm: f64::from(u8::from(out.fused.is_some_and(|f| f.ids_alarm))),
+                    safe_mode: f64::from(u8::from(out.fused.is_some_and(|f| f.safe_mode))),
                 });
             }
 
-            sim.advance(d_control, v_used);
+            sim.advance(out.d_control, out.v_used);
         }
         if sim.collided() {
-            collided = true;
-            min_gap = min_gap.min(0.0);
+            acc.collided = true;
+            acc.min_gap = acc.min_gap.min(0.0);
         }
 
-        let detection_latency = match (detection_step, &cfg.adversary) {
+        acc.into_metrics(cfg, defense.fusion_metrics())
+    }
+}
+
+/// Which defense stack sits between the radar and the controller:
+/// nothing (undefended baseline), the paper's single-radar CRA pipeline,
+/// or the attack-aware fused pipeline. One enum shared by the sequential
+/// and batched trial paths, so their per-step accounting cannot drift.
+// One `Defense` lives per trial, on the trial's own stack frame; boxing
+// the fused arm would put a pointer chase in every per-step dispatch.
+#[allow(clippy::large_enum_variant)]
+enum Defense {
+    None,
+    Cra(SecurePipeline),
+    Fused(FusedPipeline),
+}
+
+/// Fusion-layer observables of one step, recorded into traces.
+#[derive(Debug, Clone, Copy)]
+struct FusedStepInfo {
+    d_fused: Option<f64>,
+    trust: [f64; 3],
+    ids_alarm: bool,
+    safe_mode: bool,
+}
+
+/// What one defense step hands back to the loop driver.
+struct StepOut {
+    d_used: Option<Meters>,
+    d_control: Option<Meters>,
+    v_used: MetersPerSecond,
+    under_attack: bool,
+    estimated: bool,
+    fused: Option<FusedStepInfo>,
+}
+
+impl Defense {
+    /// CRA modulation decision for step `k` (always transmit undefended).
+    fn tx_on(&self, k: Step) -> bool {
+        match self {
+            Defense::None => true,
+            Defense::Cra(p) => p.tx_on(k),
+            Defense::Fused(p) => p.tx_on(k),
+        }
+    }
+
+    /// Processes one observation through the defense, folding detection,
+    /// confusion and estimation accounting into `acc`. The CRA arm is a
+    /// verbatim transplant of the pre-fusion per-step code, so CRA-only
+    /// trials stay bit-identical.
+    fn step(
+        &mut self,
+        cfg: &ScenarioConfig,
+        k: Step,
+        obs: &RadarObservation,
+        aux: &AuxObservation,
+        own_speed: MetersPerSecond,
+        acc: &mut TrialAccum,
+    ) -> StepOut {
+        match self {
+            Defense::None => {
+                let d = obs.measurement.map(|m| m.distance);
+                let v = obs
+                    .measurement
+                    .map(|m| MetersPerSecond(m.range_rate.value()))
+                    .unwrap_or(MetersPerSecond(0.0));
+                StepOut {
+                    d_used: d,
+                    d_control: d,
+                    v_used: v,
+                    under_attack: false,
+                    estimated: false,
+                    fused: None,
+                }
+            }
+            Defense::Cra(p) => {
+                let t0 = Instant::now();
+                let out = p.process(k, obs, own_speed);
+                let dt_ns = t0.elapsed().as_nanos();
+                let attacked = out.verdict.under_attack();
+                if attacked {
+                    acc.estimation_time_ns += dt_ns;
+                    acc.estimation_steps += 1;
+                    if acc.detection_step.is_none() {
+                        acc.detection_step = p.detector().first_detection();
+                    }
+                }
+                if cfg.schedule.is_challenge(k) {
+                    acc.confusion.record(cfg.adversary.active(k), attacked);
+                }
+                StepOut {
+                    d_used: out.distance,
+                    d_control: out.control_distance,
+                    v_used: out.relative_speed,
+                    under_attack: attacked,
+                    estimated: matches!(out.source, MeasurementSource::Estimated),
+                    fused: None,
+                }
+            }
+            Defense::Fused(p) => {
+                let t0 = Instant::now();
+                let out = p.process(k, obs, aux, own_speed);
+                let dt_ns = t0.elapsed().as_nanos();
+                let attacked = out.cra.verdict.under_attack();
+                if attacked {
+                    acc.estimation_time_ns += dt_ns;
+                    acc.estimation_steps += 1;
+                    if acc.detection_step.is_none() {
+                        acc.detection_step = p.cra().detector().first_detection();
+                    }
+                }
+                if cfg.schedule.is_challenge(k) {
+                    acc.confusion.record(cfg.adversary.active(k), attacked);
+                }
+                // The sequential IDS can fire between challenge instants;
+                // detection is whichever tripped first.
+                if let Some(ids) = p.ids_detection() {
+                    acc.detection_step = Some(match acc.detection_step {
+                        Some(cra) if cra.0 <= ids.0 => cra,
+                        _ => ids,
+                    });
+                }
+                StepOut {
+                    d_used: out.distance,
+                    d_control: out.control_distance,
+                    v_used: out.relative_speed,
+                    under_attack: attacked,
+                    estimated: matches!(out.cra.source, MeasurementSource::Estimated),
+                    fused: Some(FusedStepInfo {
+                        d_fused: out.fused.map(|f| f.value),
+                        trust: out.trust,
+                        ids_alarm: !out.alarms.is_empty(),
+                        safe_mode: out.policy_state == PolicyState::SafeMode,
+                    }),
+                }
+            }
+        }
+    }
+
+    /// Fusion campaign metrics, for fused trials only.
+    fn fusion_metrics(&self) -> Option<FusionMetrics> {
+        match self {
+            Defense::Fused(p) => Some(FusionMetrics {
+                mode: p.mode(),
+                ids_detection_step: p.ids_detection(),
+                safe_mode_steps: p.safe_mode_steps(),
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Per-trial accounting shared by the sequential and batched paths —
+/// exactly the pre-fusion locals of `run_inner`, plus the post-onset
+/// accuracy accumulator.
+struct TrialAccum {
+    confusion: ConfusionMatrix,
+    estimation_time_ns: u128,
+    estimation_steps: u64,
+    detection_step: Option<Step>,
+    collided: bool,
+    min_gap: f64,
+    attack_err_sq: f64,
+    attack_err_n: u64,
+    post_err_sq: f64,
+    post_err_n: u64,
+}
+
+impl TrialAccum {
+    fn new() -> Self {
+        Self {
+            confusion: ConfusionMatrix::new(),
+            estimation_time_ns: 0,
+            estimation_steps: 0,
+            detection_step: None,
+            collided: false,
+            min_gap: f64::MAX,
+            attack_err_sq: 0.0,
+            attack_err_n: 0,
+            post_err_sq: 0.0,
+            post_err_n: 0,
+        }
+    }
+
+    /// Folds this step's distance errors into the attack-window and
+    /// post-onset accumulators.
+    fn absorb_errors(&mut self, out: &StepOut, gap: Meters, k: Step, post_start: Option<u64>) {
+        if out.under_attack {
+            if let Some(d) = out.d_used {
+                self.attack_err_sq += (d.value() - gap.value()).powi(2);
+                self.attack_err_n += 1;
+            }
+        }
+        if let Some(start) = post_start {
+            if k.0 >= start {
+                if let Some(d) = out.d_used {
+                    self.post_err_sq += (d.value() - gap.value()).powi(2);
+                    self.post_err_n += 1;
+                }
+            }
+        }
+    }
+
+    /// Finalizes the trial's metrics.
+    fn into_metrics(self, cfg: &ScenarioConfig, fusion: Option<FusionMetrics>) -> RunMetrics {
+        let detection_latency = match (self.detection_step, &cfg.adversary) {
             (Some(det), adv) if adv.active(det) => {
                 Some(det.0.saturating_sub(adv.window().start().0))
             }
             _ => None,
         };
-
         RunMetrics {
-            min_gap,
-            collided,
-            detection_step,
+            min_gap: self.min_gap,
+            collided: self.collided,
+            detection_step: self.detection_step,
             detection_latency,
-            estimation_steps,
-            estimation_time_ns,
-            confusion,
-            attack_window_distance_rmse: if attack_err_n > 0 {
-                Some((attack_err_sq / attack_err_n as f64).sqrt())
+            estimation_steps: self.estimation_steps,
+            estimation_time_ns: self.estimation_time_ns,
+            confusion: self.confusion,
+            attack_window_distance_rmse: if self.attack_err_n > 0 {
+                Some((self.attack_err_sq / self.attack_err_n as f64).sqrt())
             } else {
                 None
             },
+            post_onset_distance_rmse: if self.post_err_n > 0 {
+                Some((self.post_err_sq / self.post_err_n as f64).sqrt())
+            } else {
+                None
+            },
+            fusion,
         }
     }
 }
@@ -724,16 +900,9 @@ impl ScenarioPlan {
 /// time.
 struct TrialLane<'p> {
     sim: VehicleSim<'p>,
-    pipeline: Option<SecurePipeline>,
+    defense: Defense,
     pending: Option<PendingObservation>,
-    confusion: ConfusionMatrix,
-    estimation_time_ns: u128,
-    estimation_steps: u64,
-    detection_step: Option<Step>,
-    collided: bool,
-    min_gap: f64,
-    attack_err_sq: f64,
-    attack_err_n: u64,
+    acc: TrialAccum,
     done: bool,
 }
 
@@ -747,7 +916,7 @@ fn raw_series_values(obs: &RadarObservation) -> (f64, f64) {
     }
 }
 
-fn build_traces(records: &[StepRecord]) -> TraceSet {
+fn build_traces(records: &[StepRecord], fused: bool) -> TraceSet {
     let tb = TimeBase::new(Seconds(1.0));
     let mut set = TraceSet::new();
     let mut push = |name: &str, f: fn(&StepRecord) -> f64| {
@@ -768,6 +937,16 @@ fn build_traces(records: &[StepRecord]) -> TraceSet {
     push("received_power", |r| r.received_power);
     push("under_attack", |r| r.under_attack);
     push("estimated", |r| r.estimated);
+    if fused {
+        push("d_camera", |r| r.d_camera);
+        push("v_v2v", |r| r.v_v2v);
+        push("d_fused", |r| r.d_fused);
+        push("trust_radar", |r| r.trust_radar);
+        push("trust_camera", |r| r.trust_camera);
+        push("trust_v2v", |r| r.trust_v2v);
+        push("ids_alarm", |r| r.ids_alarm);
+        push("safe_mode", |r| r.safe_mode);
+    }
     set
 }
 
@@ -977,6 +1156,8 @@ mod tests {
             m.estimation_steps,
             m.confusion,
             m.attack_window_distance_rmse.map(f64::to_bits),
+            m.post_onset_distance_rmse.map(f64::to_bits),
+            m.fusion,
         )
     }
 
@@ -1019,6 +1200,138 @@ mod tests {
             let s = plan.run_metrics(*seed, &mut scratch);
             assert_eq!(metrics_key(&s), metrics_key(b), "seed {seed}");
         }
+    }
+
+    #[test]
+    fn fused_batched_trials_match_sequential_bit_exactly() {
+        use argus_fusion::FusionMode;
+        let cfg = dos_config().with_fusion(FusionMode::FusedIds);
+        let plan = ScenarioPlan::new(cfg);
+
+        let seeds: Vec<u64> = (40..45).collect();
+        let mut pool: Vec<TrialScratch> = (0..4).map(|_| TrialScratch::for_plan(&plan)).collect();
+        let batched = plan.run_trials_batched(&seeds, &mut pool);
+
+        let mut scratch = TrialScratch::for_plan(&plan);
+        for (seed, b) in seeds.iter().zip(&batched) {
+            let s = plan.run_metrics(*seed, &mut scratch);
+            assert!(b.fusion.is_some(), "fused trial must carry fusion metrics");
+            assert_eq!(metrics_key(&s), metrics_key(b), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn cra_only_metrics_unchanged_by_fusion_machinery() {
+        // The fusion flag defaults to CraOnly; such runs must keep the
+        // pre-fusion detection results and carry no fusion metrics, while
+        // gaining the post-onset accuracy figure.
+        let plan = ScenarioPlan::new(dos_config());
+        let mut scratch = TrialScratch::for_plan(&plan);
+        let m = plan.run_metrics(7, &mut scratch);
+        assert_eq!(m.detection_step, Some(Step(182)));
+        assert!(m.fusion.is_none());
+        assert!(m.post_onset_distance_rmse.is_some());
+    }
+
+    #[test]
+    fn fused_ids_detects_no_later_and_tracks_tighter_on_registry() {
+        // The PR's acceptance gate, in unit form: under every registry
+        // scenario the fused + IDS stack detects at or before the CRA-only
+        // baseline and strictly reduces post-onset distance RMSE.
+        use argus_fusion::FusionMode;
+        let registry = argus_attack::ScenarioRegistry::builtin();
+        for name in registry.names() {
+            let adversary = registry.build_default(name).unwrap();
+            let base =
+                ScenarioConfig::paper(LeaderProfile::paper_constant_decel(), adversary, true);
+
+            let cra_plan = ScenarioPlan::new(base.clone());
+            let fused_plan = ScenarioPlan::new(base.with_fusion(FusionMode::FusedIds));
+            let mut scratch = TrialScratch::for_plan(&cra_plan);
+            let cra = cra_plan.run_metrics(7, &mut scratch);
+            let fused = fused_plan.run_metrics(7, &mut scratch);
+
+            let cra_det = cra
+                .detection_step
+                .unwrap_or_else(|| panic!("{name}: CRA undetected"));
+            let fused_det = fused
+                .detection_step
+                .unwrap_or_else(|| panic!("{name}: fused undetected"));
+            assert!(
+                fused_det.0 <= cra_det.0,
+                "{name}: fused detection {fused_det:?} later than CRA {cra_det:?}"
+            );
+            let cra_rmse = cra.post_onset_distance_rmse.unwrap();
+            let fused_rmse = fused.post_onset_distance_rmse.unwrap();
+            assert!(
+                fused_rmse < cra_rmse,
+                "{name}: fused post-onset RMSE {fused_rmse} !< CRA {cra_rmse}"
+            );
+            assert!(!fused.collided, "{name}: fused run collided");
+        }
+    }
+
+    #[test]
+    fn fused_traces_present_only_for_fused_runs() {
+        use argus_fusion::FusionMode;
+        let cra = ScenarioPlan::new(dos_config());
+        let fused = ScenarioPlan::new(dos_config().with_fusion(FusionMode::FusedIds));
+        let mut scratch = TrialScratch::for_plan(&cra);
+        let r_cra = cra.run_traced(7, &mut scratch);
+        let r_fused = fused.run_traced(7, &mut scratch);
+        assert!(r_cra.traces.get("d_fused").is_none());
+        for name in [
+            "d_camera",
+            "v_v2v",
+            "d_fused",
+            "trust_radar",
+            "trust_camera",
+            "trust_v2v",
+            "ids_alarm",
+            "safe_mode",
+        ] {
+            assert!(r_fused.traces.get(name).is_some(), "missing trace {name}");
+        }
+        // The IDS trips during the DoS window.
+        assert!(r_fused.series("ids_alarm").iter().any(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn aux_attack_on_camera_is_contained_by_fused_ids() {
+        // A camera-only spoof never touches the radar, so the CRA detector
+        // must stay silent (no challenge false positives) while the IDS
+        // demotes the camera and the run tracks truth.
+        use argus_fusion::{AuxAttack, FusionMode};
+        let cfg = ScenarioConfig::paper(
+            LeaderProfile::paper_constant_decel(),
+            Adversary::benign(),
+            true,
+        )
+        .with_fusion(FusionMode::FusedIds)
+        .with_aux_attack(AuxAttack::CameraBias {
+            onset: 120,
+            duration: 60,
+            bias_m: 15.0,
+        });
+        let plan = ScenarioPlan::new(cfg);
+        let mut scratch = TrialScratch::for_plan(&plan);
+        let r = plan.run_traced(7, &mut scratch);
+        assert_eq!(r.metrics.confusion.false_positives, 0);
+        assert!(!r.metrics.collided);
+        // The camera loses trust during the spoof window.
+        let trust = r.series("trust_camera");
+        let min_trust = trust[120..180].iter().cloned().fold(f64::MAX, f64::min);
+        assert!(min_trust < 0.6, "camera trust never demoted: {min_trust}");
+        // And the fused estimate stays honest.
+        let gap = r.series("gap_true");
+        let d_used = r.series("d_used");
+        let worst = (120..180)
+            .map(|k| (d_used[k] - gap[k]).abs())
+            .fold(0.0f64, f64::max);
+        assert!(
+            worst < 5.0,
+            "fused estimate pulled by camera spoof: {worst}"
+        );
     }
 
     #[test]

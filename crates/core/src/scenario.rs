@@ -7,6 +7,7 @@
 
 use argus_attack::Adversary;
 use argus_cra::challenge::ChallengeSchedule;
+use argus_fusion::{AuxAttack, FusionMode};
 use argus_radar::RadarConfig;
 use argus_sim::trace::TraceSet;
 use argus_sim::units::{Meters, MetersPerSecond};
@@ -36,6 +37,13 @@ pub struct ScenarioConfig {
     pub speed_noise: f64,
     /// Which estimator free-runs during attacks (defense enabled only).
     pub predictor: crate::pipeline::PredictorKind,
+    /// How much machinery sits between the sensors and the controller
+    /// (defense enabled only): the paper's single-radar pipeline, or the
+    /// attack-aware fusion stack with or without the sequential IDS.
+    pub fusion: FusionMode,
+    /// Per-channel attack injection on the auxiliary channels (only
+    /// meaningful when [`Self::fusion`] is a fused mode).
+    pub aux_attack: AuxAttack,
     /// Initial inter-vehicle gap (the paper uses 100 m).
     pub initial_gap: Meters,
     /// Initial speed of both vehicles (the paper starts follower and
@@ -65,6 +73,8 @@ impl ScenarioConfig {
             // what bounds the estimation drift in Figures 2–3.
             speed_noise: 0.02,
             predictor: crate::pipeline::PredictorKind::RlsTrend,
+            fusion: FusionMode::CraOnly,
+            aux_attack: AuxAttack::None,
             initial_gap: Meters(100.0),
             initial_speed: MetersPerSecond::from_mph(65.0),
             set_speed: MetersPerSecond::from_mph(67.0),
@@ -75,6 +85,24 @@ impl ScenarioConfig {
     pub fn with_predictor(mut self, predictor: crate::pipeline::PredictorKind) -> Self {
         self.predictor = predictor;
         self
+    }
+
+    /// Same configuration with a different fusion mode.
+    pub fn with_fusion(mut self, fusion: FusionMode) -> Self {
+        self.fusion = fusion;
+        self
+    }
+
+    /// Same configuration with an auxiliary-channel attack installed.
+    pub fn with_aux_attack(mut self, aux_attack: AuxAttack) -> Self {
+        self.aux_attack = aux_attack;
+        self
+    }
+
+    /// Whether the fused pipeline (rather than the paper's single-radar
+    /// pipeline) runs: requires both the defense switch and a fused mode.
+    pub fn fusion_active(&self) -> bool {
+        self.defended && self.fusion.is_fused()
     }
 }
 

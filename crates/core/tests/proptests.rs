@@ -14,10 +14,11 @@ fn run_metrics() -> impl Strategy<Value = RunMetrics> {
         proptest::option::of(0u64..50),     // detection latency
         0u64..300,                          // estimation steps
         proptest::option::of(0.0f64..50.0), // rmse
+        proptest::option::of(0.0f64..50.0), // post-onset rmse
         proptest::collection::vec((any::<bool>(), any::<bool>()), 0..12),
     )
         .prop_map(
-            |(min_gap, collided, det, latency, steps, rmse, challenges)| {
+            |(min_gap, collided, det, latency, steps, rmse, post_rmse, challenges)| {
                 let mut confusion = ConfusionMatrix::new();
                 for (live, flagged) in challenges {
                     confusion.record(live, flagged);
@@ -31,6 +32,8 @@ fn run_metrics() -> impl Strategy<Value = RunMetrics> {
                     estimation_time_ns: 0,
                     confusion,
                     attack_window_distance_rmse: rmse,
+                    post_onset_distance_rmse: post_rmse,
+                    fusion: None,
                 }
             },
         )

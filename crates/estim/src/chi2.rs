@@ -32,6 +32,7 @@ pub struct ChiSquareDetector {
     threshold: f64,
     residuals: VecDeque<f64>,
     statistic: f64,
+    last_nis: f64,
     alarmed: bool,
     alarms: u64,
 }
@@ -68,6 +69,7 @@ impl ChiSquareDetector {
             threshold,
             residuals: VecDeque::with_capacity(window),
             statistic: 0.0,
+            last_nis: 0.0,
             alarmed: false,
             alarms: 0,
         })
@@ -99,6 +101,7 @@ impl ChiSquareDetector {
     /// Pushes a residual and returns whether the detector is (now) alarmed.
     pub fn push(&mut self, residual: f64) -> bool {
         let term = residual * residual / self.variance;
+        self.last_nis = term;
         self.residuals.push_back(term);
         self.statistic += term;
         if self.residuals.len() > self.window {
@@ -115,6 +118,48 @@ impl ChiSquareDetector {
     /// Current windowed statistic.
     pub fn statistic(&self) -> f64 {
         self.statistic
+    }
+
+    /// The raw normalized innovation squared (`r²/σ²`) of the most recent
+    /// [`ChiSquareDetector::push`] — the per-sample NIS that the windowed
+    /// statistic sums. Sequential monitors (EWMA/CUSUM) consume this
+    /// directly instead of recomputing the normalization.
+    pub fn last_nis(&self) -> f64 {
+        self.last_nis
+    }
+
+    /// The residual variance the NIS normalization divides by.
+    pub fn variance(&self) -> f64 {
+        self.variance
+    }
+
+    /// Contents of the sliding residual window (oldest first), as NIS
+    /// terms — exposed so snapshots can round-trip the detector state.
+    pub fn window_terms(&self) -> impl Iterator<Item = f64> + '_ {
+        self.residuals.iter().copied()
+    }
+
+    /// Restores the sliding window from NIS terms saved by
+    /// [`ChiSquareDetector::window_terms`]. The saved `statistic` is
+    /// restored verbatim rather than re-summed: the live statistic is
+    /// maintained incrementally (add/subtract), so a fresh summation can
+    /// differ in the last ULP and break bit-exact snapshot round-trips.
+    pub fn restore_window(
+        &mut self,
+        terms: &[f64],
+        statistic: f64,
+        last_nis: f64,
+        alarmed: bool,
+        alarms: u64,
+    ) {
+        self.residuals.clear();
+        for &t in terms.iter().rev().take(self.window).rev() {
+            self.residuals.push_back(t);
+        }
+        self.statistic = statistic;
+        self.last_nis = last_nis;
+        self.alarmed = alarmed;
+        self.alarms = alarms;
     }
 
     /// The alarm threshold in use.
@@ -136,6 +181,7 @@ impl ChiSquareDetector {
     pub fn reset(&mut self) {
         self.residuals.clear();
         self.statistic = 0.0;
+        self.last_nis = 0.0;
         self.alarmed = false;
         self.alarms = 0;
     }
@@ -286,6 +332,40 @@ mod tests {
         assert!(!det.alarmed());
         assert_eq!(det.statistic(), 0.0);
         assert_eq!(det.alarm_count(), 0);
+    }
+
+    #[test]
+    fn last_nis_is_the_raw_normalized_term() {
+        let mut det = ChiSquareDetector::new(4, 4.0, 100.0).unwrap();
+        assert_eq!(det.last_nis(), 0.0);
+        det.push(3.0);
+        assert!((det.last_nis() - 9.0 / 4.0).abs() < 1e-15);
+        det.push(-1.0);
+        assert!((det.last_nis() - 0.25).abs() < 1e-15);
+        assert_eq!(det.variance(), 4.0);
+        // The windowed statistic is exactly the sum of the exposed terms.
+        let sum: f64 = det.window_terms().sum();
+        assert!((sum - det.statistic()).abs() < 1e-15);
+        det.reset();
+        assert_eq!(det.last_nis(), 0.0);
+    }
+
+    #[test]
+    fn restore_window_round_trips() {
+        let mut det = ChiSquareDetector::new(3, 1.0, 5.0).unwrap();
+        for r in [1.0, 2.0, 0.5, 1.5] {
+            det.push(r);
+        }
+        let terms: Vec<f64> = det.window_terms().collect();
+        let mut other = ChiSquareDetector::new(3, 1.0, 5.0).unwrap();
+        other.restore_window(
+            &terms,
+            det.statistic(),
+            det.last_nis(),
+            det.alarmed(),
+            det.alarm_count(),
+        );
+        assert_eq!(det, other);
     }
 
     #[test]

@@ -1,0 +1,398 @@
+//! Auxiliary sensor channel models layered on the existing radar.
+//!
+//! Two redundant channels observe the same physical scene as the radar:
+//!
+//! * a **camera-like range channel** — measures the inter-vehicle gap
+//!   directly (monocular depth / bounding-box scale), metre-level noise,
+//!   occasional dropout (occlusion, glare);
+//! * a **V2V-style leader-speed channel** — the leader broadcasts its own
+//!   speed (DSRC/C-V2X BSM), centimetre-per-second noise, packet loss.
+//!
+//! Each channel has independent Gaussian noise, Bernoulli dropout, and
+//! optional per-channel attack injection. All stochastic draws come from
+//! RNG substreams owned by the caller (the trial's `"camera"`, `"v2v"`
+//! and `"attacker"/"aux"` substreams), so enabling fusion never perturbs
+//! the radar, measurement-noise or radar-attack streams of an existing
+//! trial — CRA-only results stay bit-identical.
+//!
+//! Draw-order contract: every [`AuxChannels::sample`] call draws exactly
+//! one Gaussian pair per channel plus one dropout Bernoulli per channel,
+//! whether or not the sample is kept, and the aux attacker draws exactly
+//! one jitter uniform per attacked channel per step while its window is
+//! live. This keeps the streams aligned across modes and horizons.
+
+use argus_sim::noise::Gaussian;
+use argus_sim::rng::SimRng;
+use argus_sim::time::Step;
+
+/// Identifies one sensor channel in the fusion set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ChannelId {
+    /// The CRA-modulated radar (the paper's sensor).
+    Radar,
+    /// Camera-like range channel.
+    Camera,
+    /// V2V-style leader-speed channel.
+    V2v,
+}
+
+impl ChannelId {
+    /// All channels, in fusion order.
+    pub const ALL: [ChannelId; 3] = [ChannelId::Radar, ChannelId::Camera, ChannelId::V2v];
+
+    /// Dense index (radar 0, camera 1, v2v 2).
+    pub fn index(self) -> usize {
+        match self {
+            ChannelId::Radar => 0,
+            ChannelId::Camera => 1,
+            ChannelId::V2v => 2,
+        }
+    }
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ChannelId::Radar => "radar",
+            ChannelId::Camera => "camera",
+            ChannelId::V2v => "v2v",
+        }
+    }
+}
+
+/// Per-channel attack injection on the auxiliary channels.
+///
+/// The registry scenarios attack the radar through the RF channel; these
+/// injections model a compromised *auxiliary* sensor instead (a spoofed
+/// V2V broadcast, an adversarial camera patch), drawn from the trial's
+/// `"attacker"` substream so realizations are per-trial jittered.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum AuxAttack {
+    /// Both auxiliary channels honest.
+    #[default]
+    None,
+    /// Camera range biased by `bias_m` (± per-step jitter) from `onset`
+    /// for `duration` steps.
+    CameraBias {
+        /// First attacked step.
+        onset: u64,
+        /// Number of attacked steps.
+        duration: u64,
+        /// Injected range bias in metres.
+        bias_m: f64,
+    },
+    /// V2V leader speed biased by `bias_mps` (± per-step jitter) from
+    /// `onset` for `duration` steps — a ghost "leader is faster" beacon.
+    V2vBias {
+        /// First attacked step.
+        onset: u64,
+        /// Number of attacked steps.
+        duration: u64,
+        /// Injected speed bias in m/s.
+        bias_mps: f64,
+    },
+}
+
+impl AuxAttack {
+    /// Whether this injection is live at step `k` on the given channel.
+    pub fn active_on(&self, channel: ChannelId, k: Step) -> bool {
+        match *self {
+            AuxAttack::None => false,
+            AuxAttack::CameraBias {
+                onset, duration, ..
+            } => channel == ChannelId::Camera && in_window(k, onset, duration),
+            AuxAttack::V2vBias {
+                onset, duration, ..
+            } => channel == ChannelId::V2v && in_window(k, onset, duration),
+        }
+    }
+}
+
+fn in_window(k: Step, onset: u64, duration: u64) -> bool {
+    k.0 >= onset && k.0 < onset.saturating_add(duration)
+}
+
+/// One step's auxiliary readings. `None` models a dropout (occluded
+/// camera frame, lost V2V packet).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AuxObservation {
+    /// Camera range to the leader (m).
+    pub camera_range: Option<f64>,
+    /// V2V-broadcast leader speed (m/s).
+    pub v2v_leader_speed: Option<f64>,
+}
+
+/// The auxiliary channel set: noise/dropout parameters plus the trial's
+/// RNG substreams.
+#[derive(Debug, Clone)]
+pub struct AuxChannels {
+    /// Camera range noise std-dev (m).
+    pub camera_sigma: f64,
+    /// Camera frame dropout probability per step.
+    pub camera_dropout: f64,
+    /// V2V speed noise std-dev (m/s).
+    pub v2v_sigma: f64,
+    /// V2V packet loss probability per step.
+    pub v2v_dropout: f64,
+    /// Per-channel attack injection.
+    pub attack: AuxAttack,
+    camera_noise: Gaussian,
+    v2v_noise: Gaussian,
+    camera_rng: SimRng,
+    v2v_rng: SimRng,
+    attack_rng: SimRng,
+}
+
+impl AuxChannels {
+    /// Reference configuration: metre-level camera ranging with 2 %
+    /// dropout, centimetre-per-second V2V speed with 5 % packet loss.
+    ///
+    /// `camera_rng` / `v2v_rng` carry the channel's measurement noise and
+    /// dropout draws; `attack_rng` carries the per-step injection jitter
+    /// (derive it from the trial's `"attacker"` substream so the radar
+    /// attack realization is untouched).
+    pub fn paper(camera_rng: SimRng, v2v_rng: SimRng, attack_rng: SimRng) -> Self {
+        Self::new(
+            1.0,
+            0.02,
+            0.1,
+            0.05,
+            AuxAttack::None,
+            camera_rng,
+            v2v_rng,
+            attack_rng,
+        )
+    }
+
+    /// Fully explicit construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics on negative sigmas or dropout probabilities outside `[0, 1]`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        camera_sigma: f64,
+        camera_dropout: f64,
+        v2v_sigma: f64,
+        v2v_dropout: f64,
+        attack: AuxAttack,
+        camera_rng: SimRng,
+        v2v_rng: SimRng,
+        attack_rng: SimRng,
+    ) -> Self {
+        assert!(
+            camera_sigma >= 0.0 && v2v_sigma >= 0.0,
+            "channel noise std-devs must be non-negative"
+        );
+        assert!(
+            (0.0..=1.0).contains(&camera_dropout) && (0.0..=1.0).contains(&v2v_dropout),
+            "dropout probabilities must lie in [0, 1]"
+        );
+        Self {
+            camera_sigma,
+            camera_dropout,
+            v2v_sigma,
+            v2v_dropout,
+            attack,
+            camera_noise: Gaussian::new(0.0, camera_sigma),
+            v2v_noise: Gaussian::new(0.0, v2v_sigma),
+            camera_rng,
+            v2v_rng,
+            attack_rng,
+        }
+    }
+
+    /// Same channel set with a per-channel attack injection installed.
+    pub fn with_attack(mut self, attack: AuxAttack) -> Self {
+        self.attack = attack;
+        self
+    }
+
+    /// Samples both channels for step `k` given the true gap and true
+    /// leader speed.
+    pub fn sample(&mut self, k: Step, true_gap_m: f64, true_leader_speed: f64) -> AuxObservation {
+        // Fixed draw order per channel: noise first, then dropout — drawn
+        // unconditionally so a dropout step consumes the same stream
+        // positions as a delivered one.
+        let camera_noise = self.camera_noise.sample(&mut self.camera_rng);
+        let camera_lost = self.camera_rng.bernoulli(self.camera_dropout);
+        let v2v_noise = self.v2v_noise.sample(&mut self.v2v_rng);
+        let v2v_lost = self.v2v_rng.bernoulli(self.v2v_dropout);
+
+        let mut camera = (!camera_lost && true_gap_m > 0.0).then_some(true_gap_m + camera_noise);
+        let mut v2v = (!v2v_lost).then_some(true_leader_speed + v2v_noise);
+
+        match self.attack {
+            AuxAttack::None => {}
+            AuxAttack::CameraBias { bias_m, .. } if self.attack.active_on(ChannelId::Camera, k) => {
+                let jitter = self.attack_rng.uniform(0.9, 1.1);
+                if let Some(c) = camera.as_mut() {
+                    *c += bias_m * jitter;
+                }
+            }
+            AuxAttack::V2vBias { bias_mps, .. } if self.attack.active_on(ChannelId::V2v, k) => {
+                let jitter = self.attack_rng.uniform(0.9, 1.1);
+                if let Some(v) = v2v.as_mut() {
+                    *v += bias_mps * jitter;
+                }
+            }
+            _ => {}
+        }
+
+        AuxObservation {
+            camera_range: camera,
+            v2v_leader_speed: v2v,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn channels(attack: AuxAttack) -> AuxChannels {
+        let root = SimRng::seed_from(42);
+        AuxChannels::new(
+            1.0,
+            0.02,
+            0.1,
+            0.05,
+            attack,
+            root.substream("camera"),
+            root.substream("v2v"),
+            root.substream("attacker").substream("aux"),
+        )
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let mut a = channels(AuxAttack::None);
+        let mut b = channels(AuxAttack::None);
+        for k in 0..200 {
+            assert_eq!(
+                a.sample(Step(k), 100.0, 29.0),
+                b.sample(Step(k), 100.0, 29.0)
+            );
+        }
+    }
+
+    #[test]
+    fn noise_is_centred_and_scaled() {
+        let mut c = channels(AuxAttack::None);
+        let mut sum = 0.0;
+        let mut sum_sq = 0.0;
+        let mut n = 0usize;
+        for k in 0..5000 {
+            if let Some(r) = c.sample(Step(k), 100.0, 29.0).camera_range {
+                let e = r - 100.0;
+                sum += e;
+                sum_sq += e * e;
+                n += 1;
+            }
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.06, "camera bias {mean}");
+        assert!(
+            (var.sqrt() - 1.0).abs() < 0.05,
+            "camera sigma {}",
+            var.sqrt()
+        );
+    }
+
+    #[test]
+    fn dropout_rates_are_respected() {
+        let mut c = channels(AuxAttack::None);
+        let mut cam_lost = 0;
+        let mut v2v_lost = 0;
+        const N: u64 = 10_000;
+        for k in 0..N {
+            let obs = c.sample(Step(k), 100.0, 29.0);
+            cam_lost += u64::from(obs.camera_range.is_none());
+            v2v_lost += u64::from(obs.v2v_leader_speed.is_none());
+        }
+        let cam_rate = cam_lost as f64 / N as f64;
+        let v2v_rate = v2v_lost as f64 / N as f64;
+        assert!((cam_rate - 0.02).abs() < 0.006, "camera dropout {cam_rate}");
+        assert!((v2v_rate - 0.05).abs() < 0.008, "v2v dropout {v2v_rate}");
+    }
+
+    #[test]
+    fn no_target_means_no_camera_range() {
+        let mut c = channels(AuxAttack::None);
+        let obs = c.sample(Step(0), 0.0, 10.0);
+        assert_eq!(obs.camera_range, None);
+        // V2V is a broadcast: present regardless of the gap.
+        assert!(obs.v2v_leader_speed.is_some() || obs.v2v_leader_speed.is_none());
+    }
+
+    #[test]
+    fn camera_bias_applies_only_inside_its_window() {
+        let attack = AuxAttack::CameraBias {
+            onset: 50,
+            duration: 10,
+            bias_m: 20.0,
+        };
+        let mut attacked = channels(attack);
+        let mut honest = channels(AuxAttack::None);
+        for k in 0..100u64 {
+            let a = attacked.sample(Step(k), 100.0, 29.0);
+            let h = honest.sample(Step(k), 100.0, 29.0);
+            match (a.camera_range, h.camera_range) {
+                (Some(x), Some(y)) if (50..60).contains(&k) => {
+                    let delta = x - y;
+                    assert!(
+                        (18.0..=22.0).contains(&delta),
+                        "bias {delta} outside jittered range at k={k}"
+                    );
+                }
+                (a, h) => assert_eq!(a, h, "outside the window channels must agree (k={k})"),
+            }
+            // V2V must be untouched by a camera attack.
+            assert_eq!(a.v2v_leader_speed, h.v2v_leader_speed, "k={k}");
+        }
+    }
+
+    #[test]
+    fn v2v_bias_applies_only_to_v2v() {
+        let attack = AuxAttack::V2vBias {
+            onset: 10,
+            duration: 5,
+            bias_mps: 3.0,
+        };
+        assert!(attack.active_on(ChannelId::V2v, Step(12)));
+        assert!(!attack.active_on(ChannelId::Camera, Step(12)));
+        assert!(!attack.active_on(ChannelId::V2v, Step(15)));
+        let mut attacked = channels(attack);
+        let obs = (0..12)
+            .map(|k| attacked.sample(Step(k), 100.0, 29.0))
+            .next_back()
+            .unwrap();
+        if let Some(v) = obs.v2v_leader_speed {
+            assert!(v > 30.0, "expected biased speed, got {v}");
+        }
+    }
+
+    #[test]
+    fn channel_ids_are_dense() {
+        for (i, c) in ChannelId::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
+        assert_eq!(ChannelId::Camera.name(), "camera");
+    }
+
+    #[test]
+    #[should_panic(expected = "dropout probabilities")]
+    fn bad_dropout_rejected() {
+        let root = SimRng::seed_from(1);
+        let _ = AuxChannels::new(
+            1.0,
+            1.5,
+            0.1,
+            0.0,
+            AuxAttack::None,
+            root.substream("a"),
+            root.substream("b"),
+            root.substream("c"),
+        );
+    }
+}

@@ -1,0 +1,203 @@
+//! Innovation-gated, trust-weighted least-squares fusion.
+//!
+//! Each available channel contributes an estimate of the same scalar
+//! (gap in metres, or leader speed in m/s) with a known noise variance, a
+//! trust score, and the NIS of its innovation against the predicted
+//! value. Channels whose NIS exceeds the gate are excluded from this
+//! step's combination entirely; the survivors are combined by weighted
+//! least squares with weights `trust / σ²` — the minimum-variance
+//! unbiased combination when trust is 1, degrading gracefully toward
+//! ignoring demoted channels.
+
+use crate::channel::ChannelId;
+
+/// One channel's offer into a fusion step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// Which channel produced the value.
+    pub channel: ChannelId,
+    /// The channel's estimate of the fused quantity.
+    pub value: f64,
+    /// Measurement-noise variance of the estimate (σ², must be positive).
+    pub variance: f64,
+    /// Current trust score in `[0, 1]`.
+    pub trust: f64,
+    /// Normalized innovation squared of this value against the predictor.
+    pub nis: f64,
+}
+
+/// The result of one weighted-least-squares combination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FusionEstimate {
+    /// Fused value.
+    pub value: f64,
+    /// Variance of the fused value (`1 / Σ wᵢ`).
+    pub variance: f64,
+    /// Which channels passed the gate and contributed, indexed by
+    /// [`ChannelId::index`].
+    pub used: [bool; 3],
+}
+
+impl FusionEstimate {
+    /// Number of channels that contributed.
+    pub fn channels_used(&self) -> usize {
+        self.used.iter().filter(|u| **u).count()
+    }
+
+    /// Whether a particular channel contributed.
+    pub fn uses(&self, channel: ChannelId) -> bool {
+        self.used[channel.index()]
+    }
+}
+
+/// Stateless trust-weighted WLS combiner with an NIS admission gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WlsFuser {
+    /// Candidates with NIS above this are excluded from the combination.
+    pub nis_gate: f64,
+}
+
+impl Default for WlsFuser {
+    fn default() -> Self {
+        // χ²₁ tail: P(NIS > 13.0) ≈ 3e-4 for an honest channel, so an
+        // honest channel is gated out roughly once per 10 benign runs
+        // (and recovers the next step); a +6 m bias on a metre-σ channel
+        // (NIS ≈ 36) is gated immediately.
+        Self { nis_gate: 13.0 }
+    }
+}
+
+impl WlsFuser {
+    /// A fuser with an explicit gate.
+    pub fn new(nis_gate: f64) -> Self {
+        Self { nis_gate }
+    }
+
+    /// Combines the candidates that pass the gate.
+    ///
+    /// Returns `None` when every candidate is gated out (or the slice is
+    /// empty) — the caller should fall back to its predictor free-run,
+    /// mirroring the paper pipeline's behaviour when the radar is denied.
+    /// Candidates with non-positive variance or zero trust are skipped.
+    /// Iteration order is the slice order, so the accumulation is
+    /// bit-reproducible for a fixed candidate order.
+    pub fn fuse(&self, candidates: &[Candidate]) -> Option<FusionEstimate> {
+        let mut weight_sum = 0.0;
+        let mut weighted_value = 0.0;
+        let mut used = [false; 3];
+        for c in candidates {
+            let admissible = c.nis <= self.nis_gate && c.variance > 0.0 && c.trust > 0.0;
+            if !admissible {
+                continue;
+            }
+            let w = c.trust / c.variance;
+            weight_sum += w;
+            weighted_value += w * c.value;
+            used[c.channel.index()] = true;
+        }
+        if weight_sum <= 0.0 {
+            return None;
+        }
+        Some(FusionEstimate {
+            value: weighted_value / weight_sum,
+            variance: 1.0 / weight_sum,
+            used,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cand(channel: ChannelId, value: f64, variance: f64, trust: f64, nis: f64) -> Candidate {
+        Candidate {
+            channel,
+            value,
+            variance,
+            trust,
+            nis,
+        }
+    }
+
+    #[test]
+    fn equal_trust_is_inverse_variance_weighting() {
+        let f = WlsFuser::default();
+        let est = f
+            .fuse(&[
+                cand(ChannelId::Radar, 100.0, 0.25, 1.0, 0.1),
+                cand(ChannelId::Camera, 104.0, 1.0, 1.0, 0.1),
+            ])
+            .unwrap();
+        // w_r = 4, w_c = 1 → (4·100 + 1·104)/5 = 100.8, var = 1/5.
+        assert!((est.value - 100.8).abs() < 1e-12);
+        assert!((est.variance - 0.2).abs() < 1e-12);
+        assert_eq!(est.channels_used(), 2);
+    }
+
+    #[test]
+    fn gated_channel_is_excluded() {
+        let f = WlsFuser::default();
+        let est = f
+            .fuse(&[
+                cand(ChannelId::Radar, 100.0, 0.25, 1.0, 0.1),
+                cand(ChannelId::Camera, 140.0, 1.0, 1.0, 1600.0),
+            ])
+            .unwrap();
+        assert_eq!(est.value, 100.0);
+        assert!(est.uses(ChannelId::Radar));
+        assert!(!est.uses(ChannelId::Camera));
+    }
+
+    #[test]
+    fn trust_demotion_pulls_weight_continuously() {
+        let f = WlsFuser::default();
+        let full = f
+            .fuse(&[
+                cand(ChannelId::Radar, 100.0, 1.0, 1.0, 0.0),
+                cand(ChannelId::Camera, 110.0, 1.0, 1.0, 0.0),
+            ])
+            .unwrap();
+        let demoted = f
+            .fuse(&[
+                cand(ChannelId::Radar, 100.0, 1.0, 1.0, 0.0),
+                cand(ChannelId::Camera, 110.0, 1.0, 0.1, 0.0),
+            ])
+            .unwrap();
+        assert!((full.value - 105.0).abs() < 1e-12);
+        assert!(demoted.value < full.value, "demoted channel must pull less");
+        assert!((demoted.value - (100.0 + 0.1 * 110.0 / 1.1 - 100.0 / 11.0)).abs() < 1.0);
+        // Exact: (1·100 + 0.1·110)/1.1 = 1110/11 = 100.909…
+        assert!((demoted.value - 1110.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn all_gated_returns_none() {
+        let f = WlsFuser::default();
+        assert!(f.fuse(&[]).is_none());
+        assert!(f
+            .fuse(&[cand(ChannelId::Radar, 100.0, 0.25, 1.0, 99.0)])
+            .is_none());
+        // Zero trust or bad variance are skipped, not poison.
+        assert!(f
+            .fuse(&[
+                cand(ChannelId::Radar, 100.0, 0.0, 1.0, 0.0),
+                cand(ChannelId::Camera, 100.0, 1.0, 0.0, 0.0),
+            ])
+            .is_none());
+    }
+
+    #[test]
+    fn accumulation_is_order_stable() {
+        let f = WlsFuser::default();
+        let a = [
+            cand(ChannelId::Radar, 100.1, 0.25, 0.9, 0.3),
+            cand(ChannelId::Camera, 99.7, 1.0, 0.7, 0.2),
+            cand(ChannelId::V2v, 100.4, 0.04, 1.0, 0.1),
+        ];
+        let e1 = f.fuse(&a).unwrap();
+        let e2 = f.fuse(&a).unwrap();
+        assert_eq!(e1.value.to_bits(), e2.value.to_bits());
+        assert_eq!(e1.variance.to_bits(), e2.variance.to_bits());
+    }
+}

@@ -1,0 +1,117 @@
+//! # argus-fusion — attack-aware multi-sensor fusion with a sequential IDS
+//!
+//! The paper defends a *single* radar stream with CRA detection and an RLS
+//! free-run. This crate supplies the modern baseline that pipeline is
+//! judged against (ROADMAP item 3, DESIGN.md §10): redundant sensor
+//! channels fused by trust-weighted least squares, guarded by sequential
+//! detectors on the per-channel innovation residuals, with an explicit
+//! detect → mitigate → recover loop.
+//!
+//! * [`channel`] — the auxiliary sensor models layered on the radar: a
+//!   camera-like range channel and a V2V-style leader-speed channel, each
+//!   with independent noise, dropout, and per-channel attack injection.
+//! * [`monitor`] — sequential intrusion detection per channel: EWMA and
+//!   CUSUM monitors fed by the raw NIS that the
+//!   [`ChiSquareDetector`](argus_estim::ChiSquareDetector) already
+//!   computes, with typed [`AlarmEvent`]s.
+//! * [`trust`] — continuous per-channel trust scores: innovation-gated
+//!   demotion, slow re-admission.
+//! * [`fuse`] — the innovation-gated weighted-least-squares fusion step
+//!   over whichever channels are present, weighted by trust over variance.
+//! * [`policy`] — the [`MitigationPolicy`] state machine: trust demotion →
+//!   safe-mode fallback to the single-radar CRA pipeline → cooldown
+//!   re-admission, with time-in-safe-mode as a first-class metric.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod channel;
+pub mod fuse;
+pub mod monitor;
+pub mod policy;
+pub mod trust;
+
+pub use channel::{AuxAttack, AuxChannels, AuxObservation, ChannelId};
+pub use fuse::{Candidate, FusionEstimate, WlsFuser};
+pub use monitor::{AlarmEvent, AlarmKind, ChannelMonitor, MonitorConfig, MonitorState};
+pub use policy::{MitigationPolicy, PolicyConfig, PolicySnapshot, PolicyState};
+pub use trust::{TrustConfig, TrustScore};
+
+/// How much machinery sits between the sensors and the controller.
+///
+/// The campaign sweeps this axis (`campaign_sweep --fusion`) to compare
+/// the paper's pipeline against the fusion stack with and without the
+/// sequential IDS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FusionMode {
+    /// The paper's single-radar CRA + RLS pipeline only.
+    #[default]
+    CraOnly,
+    /// Trust-weighted multi-channel fusion, alarms ignored.
+    Fused,
+    /// Fusion plus the EWMA/CUSUM IDS and the mitigation policy.
+    FusedIds,
+}
+
+impl FusionMode {
+    /// Stable text form (used in campaign tables and artifacts).
+    pub fn label(self) -> &'static str {
+        match self {
+            FusionMode::CraOnly => "cra_only",
+            FusionMode::Fused => "fused",
+            FusionMode::FusedIds => "fused_ids",
+        }
+    }
+
+    /// Wire encoding (one byte).
+    pub fn to_wire(self) -> u8 {
+        match self {
+            FusionMode::CraOnly => 0,
+            FusionMode::Fused => 1,
+            FusionMode::FusedIds => 2,
+        }
+    }
+
+    /// Decodes the wire byte; unknown values fall back to `CraOnly` so a
+    /// v1 (pre-fusion) peer degrades to the paper pipeline, never errors.
+    pub fn from_wire(b: u8) -> Self {
+        match b {
+            1 => FusionMode::Fused,
+            2 => FusionMode::FusedIds,
+            _ => FusionMode::CraOnly,
+        }
+    }
+
+    /// Whether any fusion machinery runs at all.
+    pub fn is_fused(self) -> bool {
+        !matches!(self, FusionMode::CraOnly)
+    }
+
+    /// Whether the sequential IDS and mitigation policy run.
+    pub fn ids_enabled(self) -> bool {
+        matches!(self, FusionMode::FusedIds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_round_trip() {
+        for m in [FusionMode::CraOnly, FusionMode::Fused, FusionMode::FusedIds] {
+            assert_eq!(FusionMode::from_wire(m.to_wire()), m);
+        }
+        assert_eq!(FusionMode::from_wire(255), FusionMode::CraOnly);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        assert_ne!(FusionMode::CraOnly.label(), FusionMode::Fused.label());
+        assert_ne!(FusionMode::Fused.label(), FusionMode::FusedIds.label());
+        assert!(FusionMode::FusedIds.ids_enabled());
+        assert!(!FusionMode::Fused.ids_enabled());
+        assert!(FusionMode::Fused.is_fused());
+        assert!(!FusionMode::CraOnly.is_fused());
+    }
+}

@@ -1,0 +1,304 @@
+//! The detect → mitigate → recover state machine.
+//!
+//! Alarms from the sequential monitors drive four modes:
+//!
+//! ```text
+//!              aux alarm                    radar alarm
+//!   Nominal ─────────────▶ Demoted ───────────────────────▶ SafeMode
+//!      ▲                      │  quiet                          │ quiet
+//!      │                      ▼                                 ▼
+//!      └────────────────── Cooldown ◀───────────────────────────┘
+//!          quiet again        │  any alarm → back to Demoted/SafeMode
+//! ```
+//!
+//! * **Demoted** — an auxiliary channel is suspect; its trust is floored
+//!   and fusion leans on the remaining channels.
+//! * **SafeMode** — the *radar* is suspect (IDS alarm or the CRA latch):
+//!   the fused estimate stops trusting raw radar and the pipeline falls
+//!   back to the paper's single-radar CRA machinery (challenge-response +
+//!   free-run), which is exactly the defence built for that case. Time
+//!   spent here is counted and reported as a campaign metric.
+//! * **Cooldown** — alarms have been quiet for `quiet_steps`; trust is
+//!   allowed to recover. Another quiet interval re-admits to Nominal,
+//!   any alarm drops straight back.
+
+/// Mitigation mode of the fused pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PolicyState {
+    /// All channels healthy; full fusion.
+    #[default]
+    Nominal,
+    /// An auxiliary channel is suspect and demoted.
+    Demoted,
+    /// The radar is suspect; single-radar CRA fallback governs control.
+    SafeMode,
+    /// Alarm-free interval after an episode; trust recovering.
+    Cooldown,
+}
+
+impl PolicyState {
+    /// Stable text form for traces and tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyState::Nominal => "nominal",
+            PolicyState::Demoted => "demoted",
+            PolicyState::SafeMode => "safe_mode",
+            PolicyState::Cooldown => "cooldown",
+        }
+    }
+
+    /// Wire/trace encoding (one byte).
+    pub fn to_wire(self) -> u8 {
+        match self {
+            PolicyState::Nominal => 0,
+            PolicyState::Demoted => 1,
+            PolicyState::SafeMode => 2,
+            PolicyState::Cooldown => 3,
+        }
+    }
+
+    /// Decodes the wire byte; unknown values degrade to `Nominal`.
+    pub fn from_wire(b: u8) -> Self {
+        match b {
+            1 => PolicyState::Demoted,
+            2 => PolicyState::SafeMode,
+            3 => PolicyState::Cooldown,
+            _ => PolicyState::Nominal,
+        }
+    }
+}
+
+/// Tuning of the mitigation policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyConfig {
+    /// Consecutive alarm-free steps required to leave Demoted/SafeMode
+    /// for Cooldown, and again to leave Cooldown for Nominal.
+    pub quiet_steps: u64,
+}
+
+impl Default for PolicyConfig {
+    fn default() -> Self {
+        Self { quiet_steps: 25 }
+    }
+}
+
+/// Plain-old-data export of a [`MitigationPolicy`]'s mutable state.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PolicySnapshot {
+    /// Current mode.
+    pub state: PolicyState,
+    /// Consecutive alarm-free steps observed.
+    pub quiet: u64,
+    /// Total steps spent in [`PolicyState::SafeMode`].
+    pub safe_mode_steps: u64,
+}
+
+/// The mitigation state machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MitigationPolicy {
+    config: PolicyConfig,
+    state: PolicyState,
+    quiet: u64,
+    safe_mode_steps: u64,
+}
+
+impl MitigationPolicy {
+    /// A policy in `Nominal` with the given tuning.
+    pub fn new(config: PolicyConfig) -> Self {
+        Self {
+            config,
+            state: PolicyState::Nominal,
+            quiet: 0,
+            safe_mode_steps: 0,
+        }
+    }
+
+    /// Advances one step given this step's alarm summary and returns the
+    /// new mode. `radar_alarm` covers both the IDS monitors on the radar
+    /// channel and the CRA detector latch; `aux_alarm` covers the camera
+    /// and V2V monitors.
+    pub fn observe(&mut self, radar_alarm: bool, aux_alarm: bool) -> PolicyState {
+        let any = radar_alarm || aux_alarm;
+        if any {
+            self.quiet = 0;
+        } else {
+            self.quiet = self.quiet.saturating_add(1);
+        }
+        self.state = match self.state {
+            PolicyState::Nominal | PolicyState::Cooldown if radar_alarm => PolicyState::SafeMode,
+            PolicyState::Nominal if aux_alarm => PolicyState::Demoted,
+            PolicyState::Cooldown if aux_alarm => PolicyState::Demoted,
+            PolicyState::Demoted if radar_alarm => PolicyState::SafeMode,
+            PolicyState::Demoted | PolicyState::SafeMode
+                if !any && self.quiet >= self.config.quiet_steps =>
+            {
+                // Entering Cooldown restarts the quiet requirement.
+                self.quiet = 0;
+                PolicyState::Cooldown
+            }
+            PolicyState::Cooldown if !any && self.quiet >= self.config.quiet_steps => {
+                self.quiet = 0;
+                PolicyState::Nominal
+            }
+            s => s,
+        };
+        if self.state == PolicyState::SafeMode {
+            self.safe_mode_steps += 1;
+        }
+        self.state
+    }
+
+    /// Current mode.
+    pub fn state(&self) -> PolicyState {
+        self.state
+    }
+
+    /// Whether control is currently governed by the single-radar fallback.
+    pub fn in_safe_mode(&self) -> bool {
+        self.state == PolicyState::SafeMode
+    }
+
+    /// Whether trust recovery is allowed this step (Cooldown or Nominal).
+    pub fn recovery_allowed(&self) -> bool {
+        matches!(self.state, PolicyState::Nominal | PolicyState::Cooldown)
+    }
+
+    /// Total steps spent in SafeMode so far.
+    pub fn safe_mode_steps(&self) -> u64 {
+        self.safe_mode_steps
+    }
+
+    /// The tuning in use.
+    pub fn config(&self) -> &PolicyConfig {
+        &self.config
+    }
+
+    /// Exports mutable state as plain old data.
+    pub fn save_state(&self) -> PolicySnapshot {
+        PolicySnapshot {
+            state: self.state,
+            quiet: self.quiet,
+            safe_mode_steps: self.safe_mode_steps,
+        }
+    }
+
+    /// Restores state saved by [`MitigationPolicy::save_state`].
+    pub fn restore_state(&mut self, s: &PolicySnapshot) {
+        self.state = s.state;
+        self.quiet = s.quiet;
+        self.safe_mode_steps = s.safe_mode_steps;
+    }
+
+    /// Back to Nominal with zeroed counters.
+    pub fn reset(&mut self) {
+        self.state = PolicyState::Nominal;
+        self.quiet = 0;
+        self.safe_mode_steps = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> MitigationPolicy {
+        MitigationPolicy::new(PolicyConfig { quiet_steps: 5 })
+    }
+
+    #[test]
+    fn stays_nominal_without_alarms() {
+        let mut p = policy();
+        for _ in 0..100 {
+            assert_eq!(p.observe(false, false), PolicyState::Nominal);
+        }
+        assert_eq!(p.safe_mode_steps(), 0);
+    }
+
+    #[test]
+    fn aux_alarm_demotes_radar_alarm_escalates() {
+        let mut p = policy();
+        assert_eq!(p.observe(false, true), PolicyState::Demoted);
+        assert_eq!(p.observe(false, false), PolicyState::Demoted);
+        assert_eq!(p.observe(true, false), PolicyState::SafeMode);
+        assert!(p.in_safe_mode());
+        assert_eq!(p.safe_mode_steps(), 1);
+    }
+
+    #[test]
+    fn radar_alarm_goes_straight_to_safe_mode() {
+        let mut p = policy();
+        assert_eq!(p.observe(true, false), PolicyState::SafeMode);
+    }
+
+    #[test]
+    fn full_recovery_cycle() {
+        let mut p = policy();
+        p.observe(true, false);
+        // Alarms persist for a while.
+        for _ in 0..3 {
+            assert_eq!(p.observe(true, false), PolicyState::SafeMode);
+        }
+        // Quiet: 5 steps to Cooldown, 5 more to Nominal.
+        for i in 0..4 {
+            assert_eq!(p.observe(false, false), PolicyState::SafeMode, "i={i}");
+        }
+        assert_eq!(p.observe(false, false), PolicyState::Cooldown);
+        assert!(p.recovery_allowed());
+        for i in 0..4 {
+            assert_eq!(p.observe(false, false), PolicyState::Cooldown, "i={i}");
+        }
+        assert_eq!(p.observe(false, false), PolicyState::Nominal);
+        assert_eq!(p.safe_mode_steps(), 8);
+    }
+
+    #[test]
+    fn alarm_during_cooldown_relapses() {
+        let mut p = policy();
+        p.observe(false, true);
+        for _ in 0..5 {
+            p.observe(false, false);
+        }
+        assert_eq!(p.state(), PolicyState::Cooldown);
+        assert_eq!(p.observe(false, true), PolicyState::Demoted);
+        // And a radar alarm from Cooldown escalates fully.
+        let mut p = policy();
+        p.observe(false, true);
+        for _ in 0..5 {
+            p.observe(false, false);
+        }
+        assert_eq!(p.observe(true, false), PolicyState::SafeMode);
+    }
+
+    #[test]
+    fn save_restore_round_trips() {
+        let mut p = policy();
+        p.observe(true, false);
+        p.observe(false, false);
+        let snap = p.save_state();
+        let mut q = policy();
+        q.restore_state(&snap);
+        assert_eq!(p, q);
+        for k in 0..20 {
+            assert_eq!(
+                p.observe(k % 7 == 0, k % 5 == 0),
+                q.observe(k % 7 == 0, k % 5 == 0)
+            );
+        }
+        p.reset();
+        assert_eq!(p.save_state(), PolicySnapshot::default());
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        for s in [
+            PolicyState::Nominal,
+            PolicyState::Demoted,
+            PolicyState::SafeMode,
+            PolicyState::Cooldown,
+        ] {
+            assert_eq!(PolicyState::from_wire(s.to_wire()), s);
+            assert!(!s.label().is_empty());
+        }
+        assert_eq!(PolicyState::from_wire(200), PolicyState::Nominal);
+    }
+}

@@ -1,0 +1,139 @@
+//! Continuous per-channel trust scores.
+//!
+//! Trust is a multiplier on a channel's fusion weight (`w = trust / σ²`).
+//! A gated innovation (NIS above the gate) demotes the channel
+//! *geometrically* — a few bad samples collapse its influence — while
+//! clean samples restore it *linearly*, so a channel that misbehaved must
+//! prove itself over many steps before regaining full weight. This is the
+//! standard fast-demote / slow-readmit asymmetry: the cost of briefly
+//! under-weighting an honest channel is a slightly noisier fused estimate,
+//! the cost of trusting a spoofed one is a corrupted control input.
+
+/// Tuning of the trust dynamics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrustConfig {
+    /// Multiplier applied on a gated (suspicious) sample, in `(0, 1)`.
+    pub demote_factor: f64,
+    /// Additive recovery per clean sample.
+    pub recover_rate: f64,
+    /// Trust never drops below this floor (keeps the weight finite and
+    /// lets a demoted channel's residuals keep informing the monitors).
+    pub floor: f64,
+}
+
+impl Default for TrustConfig {
+    fn default() -> Self {
+        Self {
+            demote_factor: 0.5,
+            recover_rate: 0.04,
+            floor: 0.05,
+        }
+    }
+}
+
+/// One channel's trust score in `[floor, 1]`, full trust = 1.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrustScore {
+    value: f64,
+}
+
+impl Default for TrustScore {
+    fn default() -> Self {
+        Self { value: 1.0 }
+    }
+}
+
+impl TrustScore {
+    /// Full trust.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current score.
+    pub fn value(self) -> f64 {
+        self.value
+    }
+
+    /// Halve-style demotion after a gated innovation.
+    pub fn demote(&mut self, cfg: &TrustConfig) {
+        self.value = (self.value * cfg.demote_factor).max(cfg.floor);
+    }
+
+    /// Linear recovery after a clean innovation.
+    pub fn recover(&mut self, cfg: &TrustConfig) {
+        self.value = (self.value + cfg.recover_rate).min(1.0);
+    }
+
+    /// Force the score to the floor (mitigation policy demotion).
+    pub fn floor_out(&mut self, cfg: &TrustConfig) {
+        self.value = cfg.floor;
+    }
+
+    /// Restores a persisted score, clamped to `[0, 1]`.
+    pub fn restore(value: f64) -> Self {
+        Self {
+            value: value.clamp(0.0, 1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demotion_is_geometric_and_floored() {
+        let cfg = TrustConfig::default();
+        let mut t = TrustScore::new();
+        t.demote(&cfg);
+        assert!((t.value() - 0.5).abs() < 1e-12);
+        for _ in 0..64 {
+            t.demote(&cfg);
+        }
+        assert_eq!(t.value(), cfg.floor);
+    }
+
+    #[test]
+    fn recovery_is_linear_and_capped() {
+        let cfg = TrustConfig::default();
+        let mut t = TrustScore::restore(0.0);
+        // 0.0 → full trust takes 1/recover_rate clean samples.
+        let mut steps = 0;
+        while t.value() < 1.0 {
+            t.recover(&cfg);
+            steps += 1;
+            assert!(steps < 1000, "never recovered");
+        }
+        assert_eq!(steps, (1.0 / cfg.recover_rate).ceil() as u32);
+        t.recover(&cfg);
+        assert_eq!(t.value(), 1.0, "must cap at 1");
+    }
+
+    #[test]
+    fn demote_then_recover_is_slow_readmission() {
+        let cfg = TrustConfig::default();
+        let mut t = TrustScore::new();
+        // Three bad samples collapse trust...
+        for _ in 0..3 {
+            t.demote(&cfg);
+        }
+        assert!(t.value() <= 0.125 + 1e-12);
+        // ...but climbing back takes an order of magnitude longer.
+        let mut clean = 0;
+        while t.value() < 1.0 {
+            t.recover(&cfg);
+            clean += 1;
+        }
+        assert!(clean > 3 * 3, "readmission must be slower than demotion");
+    }
+
+    #[test]
+    fn restore_clamps() {
+        assert_eq!(TrustScore::restore(7.0).value(), 1.0);
+        assert_eq!(TrustScore::restore(-1.0).value(), 0.0);
+        let cfg = TrustConfig::default();
+        let mut t = TrustScore::new();
+        t.floor_out(&cfg);
+        assert_eq!(t.value(), cfg.floor);
+    }
+}

@@ -19,7 +19,8 @@ use std::net::{SocketAddr, TcpStream};
 use std::time::Instant;
 
 use argus_core::{
-    NoiseDraw, PipelineOutput, PredictorKind, ScenarioPlan, SecurePipeline, TrialScratch,
+    FusionMode, NoiseDraw, PipelineOutput, PredictorKind, ScenarioPlan, SecurePipeline,
+    TrialScratch,
 };
 use argus_cra::CraDetector;
 use argus_radar::receiver::RadarObservation;
@@ -107,6 +108,8 @@ pub fn wire_observation(
         received_power: obs.received_power.value(),
         jammed: obs.jammed,
         body,
+        aux_camera: None,
+        aux_v2v: None,
     }
 }
 
@@ -148,6 +151,7 @@ pub fn drive_session(
             predictor: kind,
             max_inflight: 0,
             resume: false,
+            fusion: FusionMode::CraOnly,
         },
     )?;
 
@@ -368,6 +372,7 @@ impl<'a> MuxDriver<'a> {
                     predictor: lane.spec.predictor,
                     max_inflight: 0,
                     resume: false,
+                    fusion: FusionMode::CraOnly,
                 }),
                 &mut driver.batch,
             );

@@ -1,15 +1,22 @@
 //! Per-vehicle serving sessions.
 //!
-//! A session owns one [`SecurePipeline`] configured at `Hello` time
-//! (predictor kind negotiated per session; schedule, threshold and sample
+//! A session owns one pipeline configured at `Hello` time: the paper's
+//! single-radar [`SecurePipeline`], or — when the handshake negotiates a
+//! [`FusionMode`] — the attack-aware [`FusedPipeline`] (predictor kind and
+//! fusion mode negotiated per session; schedule, threshold and sample
 //! period fixed by the server). It validates step monotonicity, converts
 //! wire observations back into [`RadarObservation`]s — re-running the DSP
 //! extraction on a shard-owned [`FrameScratch`] arena for raw-baseband
 //! frames — and can export/import its full state as a [`SnapshotMsg`], which
 //! is what lets a client survive eviction and reconnect without losing the
-//! pipeline's learned state.
+//! pipeline's learned state. A fused session accepts a v1 (CRA-only)
+//! snapshot and restores with fusion state at defaults, so pre-fusion
+//! clients can upgrade across a reconnect.
 
-use argus_core::{PipelineOutput, SecurePipeline};
+use argus_core::{
+    AuxObservation, FusedOutput, FusedPipeline, FusionMode, FusionParams, MeasurementSource,
+    PipelineOutput, SecurePipeline,
+};
 use argus_cra::CraDetector;
 use argus_dsp::{Complex, FrameScratch};
 use argus_radar::fmcw::BeatPair;
@@ -18,8 +25,8 @@ use argus_sim::time::Step;
 use argus_sim::units::{Hertz, Meters, MetersPerSecond, Seconds, Watts};
 
 use crate::wire::{
-    ErrorCode, Hello, Observation, ObservationBody, RawFrame, SafeMeasurement, SnapshotMsg,
-    VerdictMsg,
+    ErrorCode, FusedState, Hello, Observation, ObservationBody, RawFrame, SafeMeasurement,
+    SnapshotMsg, VerdictMsg,
 };
 
 /// Everything a session needs that is not negotiated per connection: the
@@ -85,11 +92,24 @@ impl std::fmt::Display for SessionError {
 
 impl std::error::Error for SessionError {}
 
+/// The per-session defense stack, negotiated by the `Hello`'s fusion byte.
+// Inline on purpose: the fused arm is ~1 KiB and sits in the per-step
+// hot path of every fused session; boxing it would trade that for a
+// heap indirection on each observation.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug)]
+enum Pipeline {
+    /// The paper's single-radar CRA + RLS pipeline.
+    Secure(SecurePipeline),
+    /// The attack-aware fusion stack wrapped around it.
+    Fused(FusedPipeline),
+}
+
 /// One vehicle's serving state.
 #[derive(Debug)]
 pub struct Session {
     vehicle_id: u64,
-    pipeline: SecurePipeline,
+    pipeline: Pipeline,
     next_step: u64,
 }
 
@@ -101,9 +121,14 @@ impl Session {
             .build()
             .map_err(|e| SessionError::fatal(ErrorCode::UnsupportedPredictor, e.to_string()))?;
         let detector = CraDetector::new(cfg.schedule.clone(), cfg.detection_threshold);
+        let cra = SecurePipeline::new(detector, predictor, cfg.dt);
+        let pipeline = match hello.fusion {
+            FusionMode::CraOnly => Pipeline::Secure(cra),
+            mode => Pipeline::Fused(FusedPipeline::new(cra, FusionParams::paper(mode), cfg.dt)),
+        };
         Ok(Self {
             vehicle_id: hello.vehicle_id,
-            pipeline: SecurePipeline::new(detector, predictor, cfg.dt),
+            pipeline,
             next_step: 0,
         })
     }
@@ -118,18 +143,39 @@ impl Session {
         self.next_step
     }
 
+    /// The fusion mode this session negotiated at `Hello`.
+    pub fn fusion(&self) -> FusionMode {
+        match &self.pipeline {
+            Pipeline::Secure(_) => FusionMode::CraOnly,
+            Pipeline::Fused(p) => p.mode(),
+        }
+    }
+
     /// Exports the full session state for the client to hold across
     /// reconnects.
     pub fn snapshot(&self) -> SnapshotMsg {
+        let (state, fused) = match &self.pipeline {
+            Pipeline::Secure(p) => (p.snapshot(), None),
+            Pipeline::Fused(p) => {
+                let s = p.snapshot();
+                let fused = FusedState::from_snapshot(&s);
+                (s.cra, Some(fused))
+            }
+        };
         SnapshotMsg {
             vehicle_id: self.vehicle_id,
             next_step: self.next_step,
-            state: self.pipeline.snapshot(),
+            state,
+            fused,
         }
     }
 
     /// Restores a previously exported state. On failure the session is
     /// unchanged (the pipeline restore is transactional).
+    ///
+    /// A fused session accepts a snapshot without a fusion tail — the v1
+    /// shape — and resets its fusion state to defaults; a CRA-only session
+    /// rejects a fused snapshot because it cannot honor the extra state.
     pub fn restore(&mut self, snap: &SnapshotMsg) -> Result<(), SessionError> {
         if snap.vehicle_id != self.vehicle_id {
             return Err(SessionError::fatal(
@@ -140,9 +186,22 @@ impl Session {
                 ),
             ));
         }
-        self.pipeline
-            .restore(&snap.state)
-            .map_err(|e| SessionError::fatal(ErrorCode::Malformed, e.to_string()))?;
+        fn malformed(e: impl std::fmt::Display) -> SessionError {
+            SessionError::fatal(ErrorCode::Malformed, e.to_string())
+        }
+        match (&mut self.pipeline, &snap.fused) {
+            (Pipeline::Secure(p), None) => p.restore(&snap.state).map_err(malformed)?,
+            (Pipeline::Secure(_), Some(_)) => {
+                return Err(SessionError::fatal(
+                    ErrorCode::BadHandshake,
+                    "snapshot carries fusion state but the session negotiated cra_only",
+                ));
+            }
+            (Pipeline::Fused(p), Some(f)) => p
+                .restore(&f.clone().into_snapshot(snap.state.clone()))
+                .map_err(malformed)?,
+            (Pipeline::Fused(p), None) => p.restore_v1(&snap.state).map_err(malformed)?,
+        }
         self.next_step = snap.next_step;
         Ok(())
     }
@@ -185,11 +244,27 @@ impl Session {
             received_power: Watts(obs.received_power),
             jammed: obs.jammed,
         };
-        let out = self
-            .pipeline
-            .process(Step(obs.step), &radar_obs, MetersPerSecond(obs.own_speed));
+        let response = match &mut self.pipeline {
+            Pipeline::Secure(p) => {
+                let out = p.process(Step(obs.step), &radar_obs, MetersPerSecond(obs.own_speed));
+                respond(obs.step, &out)
+            }
+            Pipeline::Fused(p) => {
+                let aux = AuxObservation {
+                    camera_range: obs.aux_camera,
+                    v2v_leader_speed: obs.aux_v2v,
+                };
+                let out = p.process(
+                    Step(obs.step),
+                    &radar_obs,
+                    &aux,
+                    MetersPerSecond(obs.own_speed),
+                );
+                respond_fused(obs.step, &out)
+            }
+        };
         self.next_step = obs.step + 1;
-        Ok(respond(obs.step, &out))
+        Ok(response)
     }
 
     /// Server-side DSP offload: refill the shard arena's sweep buffers from
@@ -232,6 +307,34 @@ fn fill_sweep(buf: &mut Vec<Complex<f64>>, interleaved: &[f64]) {
     );
 }
 
+/// Packs one fused-pipeline output into its response frame pair. The CRA
+/// verdict stays authoritative; the served values are the fused ones. The
+/// source tag reports `Radar` when the distance is measurement-backed
+/// (at least one channel passed the fusion gate this step), `Estimated`
+/// when it is dead-reckoned or CRA-fallback, `Unavailable` when cold.
+pub fn respond_fused(step: u64, out: &FusedOutput) -> (VerdictMsg, SafeMeasurement) {
+    let source = if out.distance.is_none() {
+        MeasurementSource::Unavailable
+    } else if out.fused.is_some() {
+        MeasurementSource::Radar
+    } else {
+        MeasurementSource::Estimated
+    };
+    (
+        VerdictMsg {
+            step,
+            verdict: out.cra.verdict,
+        },
+        SafeMeasurement {
+            step,
+            source,
+            distance: out.distance.map(|d| d.value()),
+            relative_speed: out.relative_speed.value(),
+            control_distance: out.control_distance.map(|d| d.value()),
+        },
+    )
+}
+
 /// Packs one pipeline output into its response frame pair.
 fn respond(step: u64, out: &PipelineOutput) -> (VerdictMsg, SafeMeasurement) {
     (
@@ -262,6 +365,14 @@ mod tests {
             predictor: kind,
             max_inflight: 0,
             resume: false,
+            fusion: FusionMode::CraOnly,
+        }
+    }
+
+    fn fused_hello(mode: FusionMode) -> Hello {
+        Hello {
+            fusion: mode,
+            ..hello(PredictorKind::RlsTrend)
         }
     }
 
@@ -278,6 +389,18 @@ mod tests {
                 beat_down: 67_000.0,
                 snr: 100.0,
             }),
+            aux_camera: None,
+            aux_v2v: None,
+        }
+    }
+
+    /// A fused observation: honest camera/V2V channels tracking the same
+    /// truth as the radar (leader at ego speed minus 0.2 m/s).
+    fn fused_obs(step: u64, distance: f64) -> Observation {
+        Observation {
+            aux_camera: Some(distance + 0.25),
+            aux_v2v: Some(29.0 - 0.2),
+            ..clean_obs(step, distance)
         }
     }
 
@@ -305,6 +428,8 @@ mod tests {
                     received_power: 0.0,
                     jammed: false,
                     body: ObservationBody::Empty,
+                    aux_camera: None,
+                    aux_v2v: None,
                 }
             } else {
                 clean_obs(k, 100.0 - 0.2 * k as f64)
@@ -412,10 +537,163 @@ mod tests {
                 up: vec![1.0; 10],
                 down: vec![1.0; 10],
             }),
+            aux_camera: None,
+            aux_v2v: None,
         };
         let err = session
             .observe(&obs, &radar, &mut scratch)
             .expect_err("short frame rejected");
         assert_eq!(err.code, ErrorCode::Malformed);
+    }
+
+    /// Builds the local twin of a fused gateway session.
+    fn local_fused(mode: FusionMode) -> FusedPipeline {
+        let cfg = SessionConfig::paper();
+        let detector = CraDetector::new(cfg.schedule.clone(), cfg.detection_threshold);
+        let cra = SecurePipeline::new(detector, PredictorKind::RlsTrend.build().unwrap(), cfg.dt);
+        FusedPipeline::new(cra, FusionParams::paper(mode), cfg.dt)
+    }
+
+    #[test]
+    fn fused_session_matches_direct_fused_pipeline() {
+        for mode in [FusionMode::Fused, FusionMode::FusedIds] {
+            let mut session =
+                Session::new(&fused_hello(mode), &SessionConfig::paper()).expect("builds");
+            assert_eq!(session.fusion(), mode);
+            let radar = Radar::new(argus_radar::RadarConfig::bosch_lrr2_signal());
+            let mut scratch = FrameScratch::new(argus_dsp::ScratchOptions::bit_exact());
+            let mut direct = local_fused(mode);
+            let schedule = SessionConfig::paper().schedule;
+            for k in 0..60u64 {
+                let d = 100.0 - 0.2 * k as f64;
+                let mut obs = fused_obs(k, d);
+                if schedule.is_challenge(Step(k)) {
+                    obs.received_power = 0.0;
+                    obs.body = ObservationBody::Empty;
+                }
+                let (verdict, safe) = session.observe(&obs, &radar, &mut scratch).expect("ok");
+                let radar_obs = RadarObservation {
+                    measurement: match &obs.body {
+                        ObservationBody::Empty => None,
+                        ObservationBody::Extracted(m) => Some(RadarMeasurement {
+                            distance: Meters(m.distance),
+                            range_rate: MetersPerSecond(m.range_rate),
+                            beats: BeatPair {
+                                up: Hertz(m.beat_up),
+                                down: Hertz(m.beat_down),
+                            },
+                            snr: m.snr,
+                        }),
+                        ObservationBody::Raw(_) => unreachable!(),
+                    },
+                    received_power: Watts(obs.received_power),
+                    jammed: obs.jammed,
+                };
+                let aux = AuxObservation {
+                    camera_range: obs.aux_camera,
+                    v2v_leader_speed: obs.aux_v2v,
+                };
+                let out = direct.process(Step(k), &radar_obs, &aux, MetersPerSecond(29.0));
+                let (want_verdict, want_safe) = respond_fused(k, &out);
+                assert_eq!(verdict, want_verdict, "{mode:?} step {k}");
+                assert_eq!(safe, want_safe, "{mode:?} step {k}");
+            }
+            // The session snapshot equals the direct pipeline's, split at
+            // the wire boundary.
+            let snap = session.snapshot();
+            let direct_snap = direct.snapshot();
+            assert_eq!(snap.state, direct_snap.cra);
+            assert_eq!(snap.fused, Some(FusedState::from_snapshot(&direct_snap)));
+        }
+    }
+
+    #[test]
+    fn fused_snapshot_restore_roundtrips_through_the_wire_codec() {
+        let cfg = SessionConfig::paper();
+        let mut session = Session::new(&fused_hello(FusionMode::FusedIds), &cfg).expect("builds");
+        let radar = Radar::new(argus_radar::RadarConfig::bosch_lrr2_signal());
+        let mut scratch = FrameScratch::new(argus_dsp::ScratchOptions::bit_exact());
+        for k in 0..30u64 {
+            // A camera bias in 20..30 so monitor/trust/policy state is
+            // non-trivial at the snapshot point.
+            let mut obs = fused_obs(k, 100.0 - 0.2 * k as f64);
+            if k >= 20 {
+                obs.aux_camera = obs.aux_camera.map(|d| d + 12.0);
+            }
+            let _ = session.observe(&obs, &radar, &mut scratch);
+        }
+        let snap = session.snapshot();
+        assert!(
+            snap.fused.is_some(),
+            "fused session must export fusion state"
+        );
+
+        // Through the codec, into a fresh fused session.
+        let mut buf = Vec::new();
+        crate::wire::encode_into(&crate::wire::Message::Snapshot(snap.clone()), &mut buf);
+        let (decoded, _) = crate::wire::decode_frame(&buf).expect("decodes");
+        let crate::wire::Message::Snapshot(snap2) = decoded else {
+            panic!("wrong message");
+        };
+        assert_eq!(snap, snap2);
+
+        let mut resumed = Session::new(&fused_hello(FusionMode::FusedIds), &cfg).unwrap();
+        resumed.restore(&snap2).expect("restores");
+        assert_eq!(resumed.next_step(), session.next_step());
+
+        // Both continue identically through the recovery.
+        for k in 30..90u64 {
+            let obs = fused_obs(k, 100.0 - 0.2 * k as f64);
+            let a = session.observe(&obs, &radar, &mut scratch).expect("ok");
+            let b = resumed.observe(&obs, &radar, &mut scratch).expect("ok");
+            assert_eq!(a, b, "step {k}");
+        }
+        assert_eq!(session.snapshot(), resumed.snapshot());
+    }
+
+    #[test]
+    fn v1_snapshot_restores_into_fused_session_with_fusion_defaults() {
+        let cfg = SessionConfig::paper();
+        // A CRA-only session runs for a while and snapshots (v1 shape).
+        let (mut old, radar, mut scratch) = harness();
+        for k in 0..25u64 {
+            let _ = old.observe(&clean_obs(k, 100.0 - 0.2 * k as f64), &radar, &mut scratch);
+        }
+        let v1 = old.snapshot();
+        assert_eq!(v1.fused, None);
+
+        // It drops into a fused session: CRA state carried over, fusion
+        // state at defaults.
+        let mut upgraded = Session::new(&fused_hello(FusionMode::FusedIds), &cfg).unwrap();
+        upgraded.restore(&v1).expect("v1 snapshot restores");
+        assert_eq!(upgraded.next_step(), v1.next_step);
+        let snap = upgraded.snapshot();
+        assert_eq!(snap.state, v1.state);
+        let fused = snap.fused.expect("fused session exports fusion state");
+        assert_eq!(fused.trusts, vec![1.0, 1.0, 1.0]);
+        assert_eq!(fused.policy, argus_core::PolicySnapshot::default());
+        assert_eq!(fused.ids_detection, None);
+        assert!(fused
+            .monitors
+            .iter()
+            .all(|m| *m == argus_core::MonitorState::default()));
+    }
+
+    #[test]
+    fn cra_session_rejects_fused_snapshot() {
+        let cfg = SessionConfig::paper();
+        let mut fused_session =
+            Session::new(&fused_hello(FusionMode::Fused), &cfg).expect("builds");
+        let radar = Radar::new(argus_radar::RadarConfig::bosch_lrr2_signal());
+        let mut scratch = FrameScratch::new(argus_dsp::ScratchOptions::bit_exact());
+        for k in 0..10u64 {
+            let _ = fused_session.observe(&fused_obs(k, 100.0), &radar, &mut scratch);
+        }
+        let snap = fused_session.snapshot();
+        assert!(snap.fused.is_some());
+
+        let (mut cra_session, _, _) = harness();
+        let err = cra_session.restore(&snap).expect_err("must reject");
+        assert_eq!(err.code, ErrorCode::BadHandshake);
     }
 }

@@ -36,12 +36,28 @@
 //! * **Incremental decoding** — the resumable [`Decoder`] accepts frames
 //!   split at arbitrary byte boundaries across reads, which is what a
 //!   readiness-driven reactor sees on the wire.
+//!
+//! # Fusion extensions
+//!
+//! Version 1 frames grew three **optional tails** for the attack-aware
+//! fusion stack (DESIGN.md §10). Each tail is appended only when it
+//! carries non-default content and is decoded only when payload bytes
+//! remain, so a pre-fusion peer's frames decode unchanged (fields at
+//! their defaults) and non-fused frames are byte-identical to the
+//! pre-fusion encoding:
+//!
+//! * [`Hello`] — one trailing [`FusionMode`] byte (absent = `CraOnly`);
+//! * [`Observation`] — two trailing `Option<f64>`s: camera range and
+//!   V2V leader speed (absent = both dropped out);
+//! * [`SnapshotMsg`] — a trailing [`FusedState`] blob (absent = a v1
+//!   CRA-only snapshot, which restores into a fused session with fusion
+//!   state at defaults).
 
 use std::io::{Read, Write};
 
 use argus_core::{
-    CheckpointState, DetectorState, MeasurementSource, PipelineSnapshot, PredictorKind,
-    PredictorState,
+    CheckpointState, DetectorState, FusedSnapshot, FusionMode, MeasurementSource, MonitorState,
+    PipelineSnapshot, PolicySnapshot, PolicyState, PredictorKind, PredictorState,
 };
 use argus_cra::Verdict;
 
@@ -227,6 +243,10 @@ pub struct Hello {
     /// When set, the client follows up with a [`Message::Snapshot`] to
     /// restore a previous session before the server sends [`Welcome`].
     pub resume: bool,
+    /// How much defense machinery the session runs: the paper's
+    /// single-radar pipeline or the fused stack. Encoded as an optional
+    /// trailing byte — a pre-fusion Hello decodes as `CraOnly`.
+    pub fusion: FusionMode,
 }
 
 /// Handshake acknowledgement, server → client.
@@ -254,6 +274,12 @@ pub struct Observation {
     pub jammed: bool,
     /// The measurement itself, in one of three shapes.
     pub body: ObservationBody,
+    /// Camera range to the leader, m (`None` = frame dropped). Part of the
+    /// optional aux tail — absent on the wire when both aux fields are
+    /// `None`, so non-fused observations encode exactly as before.
+    pub aux_camera: Option<f64>,
+    /// V2V-broadcast leader speed, m/s (`None` = packet lost).
+    pub aux_v2v: Option<f64>,
 }
 
 /// The measurement part of an [`Observation`].
@@ -334,8 +360,66 @@ pub struct SnapshotMsg {
     pub vehicle_id: u64,
     /// The step the restored session expects next.
     pub next_step: u64,
-    /// The pipeline state itself.
+    /// The embedded CRA pipeline's state — the whole state of a
+    /// single-radar session.
     pub state: PipelineSnapshot,
+    /// Fusion-layer state of a fused session, appended as an optional
+    /// tail. `None` is the v1 shape: it restores into a fused session
+    /// with every fusion field at its default
+    /// ([`FusedSnapshot::from_v1`] semantics).
+    pub fused: Option<FusedState>,
+}
+
+/// The fusion-layer half of a fused session's state: everything in a
+/// [`FusedSnapshot`] except the embedded CRA snapshot, which travels as
+/// [`SnapshotMsg::state`] so the wire never duplicates it.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FusedState {
+    /// Fused leader-speed trend predictor state.
+    pub predictor: PredictorState,
+    /// Fused dead-reckoning anchor.
+    pub last_distance: Option<f64>,
+    /// Consecutive steps without a measurement-backed fused distance.
+    pub free_run: u64,
+    /// Per-channel monitor states in `ChannelId::ALL` order.
+    pub monitors: Vec<MonitorState>,
+    /// Per-channel trust scores in `ChannelId::ALL` order.
+    pub trusts: Vec<f64>,
+    /// Mitigation policy state.
+    pub policy: PolicySnapshot,
+    /// First IDS alarm step, if any.
+    pub ids_detection: Option<u64>,
+}
+
+impl FusedState {
+    /// Splits a [`FusedSnapshot`] into its wire form (the CRA half is
+    /// carried separately as [`SnapshotMsg::state`]).
+    pub fn from_snapshot(s: &FusedSnapshot) -> Self {
+        Self {
+            predictor: s.predictor.clone(),
+            last_distance: s.last_distance,
+            free_run: s.free_run,
+            monitors: s.monitors.clone(),
+            trusts: s.trusts.clone(),
+            policy: s.policy,
+            ids_detection: s.ids_detection,
+        }
+    }
+
+    /// Rejoins the wire halves into the [`FusedSnapshot`] the pipeline
+    /// restores from.
+    pub fn into_snapshot(self, cra: PipelineSnapshot) -> FusedSnapshot {
+        FusedSnapshot {
+            cra,
+            predictor: self.predictor,
+            last_distance: self.last_distance,
+            free_run: self.free_run,
+            monitors: self.monitors,
+            trusts: self.trusts,
+            policy: self.policy,
+            ids_detection: self.ids_detection,
+        }
+    }
 }
 
 /// An error report. Fatal unless the code says otherwise.
@@ -348,6 +432,10 @@ pub struct ErrorMsg {
 }
 
 /// Any protocol frame.
+// `Snapshot` dwarfs the other frames now that it can carry a fused-state
+// blob, but a `Message` is decoded, handled, and dropped within one
+// frame turn — it is never stored in bulk, so the size skew is harmless.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Message {
     /// Session handshake (client → server).
@@ -407,6 +495,29 @@ fn predictor_kind_from_u8(tag: u8) -> Result<PredictorKind, WireError> {
             })
         }
     })
+}
+
+fn fusion_mode_from_u8(tag: u8) -> Result<FusionMode, WireError> {
+    // Strict on the wire: `FusionMode::from_wire` degrades unknown bytes
+    // to `CraOnly`, but a codec must surface malformed input, not launder
+    // it into a mode the peer never asked for.
+    match tag {
+        0..=2 => Ok(FusionMode::from_wire(tag)),
+        tag => Err(WireError::UnknownTag {
+            what: "fusion mode",
+            tag,
+        }),
+    }
+}
+
+fn policy_state_from_u8(tag: u8) -> Result<PolicyState, WireError> {
+    match tag {
+        0..=3 => Ok(PolicyState::from_wire(tag)),
+        tag => Err(WireError::UnknownTag {
+            what: "policy state",
+            tag,
+        }),
+    }
 }
 
 fn verdict_to_u8(v: Verdict) -> u8 {
@@ -650,6 +761,12 @@ impl<'a> Reader<'a> {
         String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadString)
     }
 
+    /// Whether any payload bytes remain — the presence test for the
+    /// optional fusion tails.
+    fn has_remaining(&self) -> bool {
+        self.pos < self.buf.len()
+    }
+
     fn done(self) -> Result<(), WireError> {
         if self.pos != self.buf.len() {
             return Err(WireError::TrailingBytes {
@@ -739,6 +856,92 @@ fn read_snapshot_state(r: &mut Reader<'_>) -> Result<PipelineSnapshot, WireError
 }
 
 // ---------------------------------------------------------------------------
+// Fusion-state codec (the Snapshot message's optional tail).
+
+fn put_monitor_state(out: &mut Vec<u8>, s: &MonitorState) {
+    put_f64s(out, &s.chi2_terms);
+    put_f64(out, s.chi2_statistic);
+    put_f64(out, s.last_nis);
+    put_bool(out, s.chi2_alarmed);
+    put_u64(out, s.chi2_alarms);
+    put_f64(out, s.ewma);
+    put_f64(out, s.cusum);
+    put_u64(out, s.samples);
+}
+
+fn read_monitor_state(r: &mut Reader<'_>) -> Result<MonitorState, WireError> {
+    Ok(MonitorState {
+        chi2_terms: r.f64s()?,
+        chi2_statistic: r.f64()?,
+        last_nis: r.f64()?,
+        chi2_alarmed: r.bool()?,
+        chi2_alarms: r.u64()?,
+        ewma: r.f64()?,
+        cusum: r.f64()?,
+        samples: r.u64()?,
+    })
+}
+
+/// Smallest possible encoded [`MonitorState`]: empty-terms length prefix,
+/// five `f64`s, one bool, two `u64`s. Used to length-check a hostile
+/// monitor count before any allocation.
+const MONITOR_STATE_MIN_LEN: usize = 4 + 8 * 5 + 1 + 8 * 2;
+
+fn put_fused_state(out: &mut Vec<u8>, s: &FusedState) {
+    put_predictor_state(out, &s.predictor);
+    put_opt_f64(out, s.last_distance);
+    put_u64(out, s.free_run);
+    put_u32(out, s.monitors.len() as u32);
+    for m in &s.monitors {
+        put_monitor_state(out, m);
+    }
+    put_f64s(out, &s.trusts);
+    out.push(s.policy.state.to_wire());
+    put_u64(out, s.policy.quiet);
+    put_u64(out, s.policy.safe_mode_steps);
+    put_opt_u64(out, s.ids_detection);
+}
+
+fn read_fused_state(r: &mut Reader<'_>) -> Result<FusedState, WireError> {
+    let predictor = read_predictor_state(r)?;
+    let last_distance = r.opt_f64()?;
+    let free_run = r.u64()?;
+    let n = r.u32()? as usize;
+    let needed = n
+        .checked_mul(MONITOR_STATE_MIN_LEN)
+        .ok_or(WireError::Truncated {
+            needed: usize::MAX,
+            got: r.buf.len(),
+        })?;
+    if r.buf.len() - r.pos < needed {
+        return Err(WireError::Truncated {
+            needed: r.pos + needed,
+            got: r.buf.len(),
+        });
+    }
+    let mut monitors = Vec::with_capacity(n);
+    for _ in 0..n {
+        monitors.push(read_monitor_state(r)?);
+    }
+    let trusts = r.f64s()?;
+    let policy = PolicySnapshot {
+        state: policy_state_from_u8(r.u8()?)?,
+        quiet: r.u64()?,
+        safe_mode_steps: r.u64()?,
+    };
+    let ids_detection = r.opt_u64()?;
+    Ok(FusedState {
+        predictor,
+        last_distance,
+        free_run,
+        monitors,
+        trusts,
+        policy,
+        ids_detection,
+    })
+}
+
+// ---------------------------------------------------------------------------
 // Frame encode/decode.
 
 fn encode_payload(msg: &Message, out: &mut Vec<u8>) {
@@ -748,6 +951,11 @@ fn encode_payload(msg: &Message, out: &mut Vec<u8>) {
             out.push(predictor_kind_to_u8(h.predictor));
             put_u16(out, h.max_inflight);
             put_bool(out, h.resume);
+            // Optional tail: a CraOnly Hello stays byte-identical to the
+            // pre-fusion encoding.
+            if h.fusion != FusionMode::CraOnly {
+                out.push(h.fusion.to_wire());
+            }
         }
         Message::Welcome(w) => {
             put_u64(out, w.vehicle_id);
@@ -778,6 +986,13 @@ fn encode_payload(msg: &Message, out: &mut Vec<u8>) {
                     put_f64s(out, &raw.down);
                 }
             }
+            // Optional aux tail: both fields travel together, and a
+            // fully-dropped-out (or non-fused) observation encodes exactly
+            // as a pre-fusion one.
+            if o.aux_camera.is_some() || o.aux_v2v.is_some() {
+                put_opt_f64(out, o.aux_camera);
+                put_opt_f64(out, o.aux_v2v);
+            }
         }
         Message::Verdict(v) => {
             put_u64(out, v.step);
@@ -794,6 +1009,10 @@ fn encode_payload(msg: &Message, out: &mut Vec<u8>) {
             put_u64(out, s.vehicle_id);
             put_u64(out, s.next_step);
             put_snapshot_state(out, &s.state);
+            // Optional tail: a CRA-only snapshot keeps the v1 encoding.
+            if let Some(fused) = &s.fused {
+                put_fused_state(out, fused);
+            }
         }
         Message::SnapshotRequest => {}
         Message::Error(e) => {
@@ -808,12 +1027,24 @@ fn encode_payload(msg: &Message, out: &mut Vec<u8>) {
 pub fn decode_payload(msg_type: u8, payload: &[u8]) -> Result<Message, WireError> {
     let mut r = Reader::new(payload);
     let msg = match msg_type {
-        MSG_HELLO => Message::Hello(Hello {
-            vehicle_id: r.u64()?,
-            predictor: predictor_kind_from_u8(r.u8()?)?,
-            max_inflight: r.u16()?,
-            resume: r.bool()?,
-        }),
+        MSG_HELLO => {
+            let vehicle_id = r.u64()?;
+            let predictor = predictor_kind_from_u8(r.u8()?)?;
+            let max_inflight = r.u16()?;
+            let resume = r.bool()?;
+            let fusion = if r.has_remaining() {
+                fusion_mode_from_u8(r.u8()?)?
+            } else {
+                FusionMode::CraOnly
+            };
+            Message::Hello(Hello {
+                vehicle_id,
+                predictor,
+                max_inflight,
+                resume,
+                fusion,
+            })
+        }
         MSG_WELCOME => Message::Welcome(Welcome {
             vehicle_id: r.u64()?,
             next_step: r.u64()?,
@@ -847,12 +1078,19 @@ pub fn decode_payload(msg_type: u8, payload: &[u8]) -> Result<Message, WireError
                     })
                 }
             };
+            let (aux_camera, aux_v2v) = if r.has_remaining() {
+                (r.opt_f64()?, r.opt_f64()?)
+            } else {
+                (None, None)
+            };
             Message::Observation(Observation {
                 step,
                 own_speed,
                 received_power,
                 jammed,
                 body,
+                aux_camera,
+                aux_v2v,
             })
         }
         MSG_VERDICT => Message::Verdict(VerdictMsg {
@@ -870,10 +1108,16 @@ pub fn decode_payload(msg_type: u8, payload: &[u8]) -> Result<Message, WireError
             let vehicle_id = r.u64()?;
             let next_step = r.u64()?;
             let state = read_snapshot_state(&mut r)?;
+            let fused = if r.has_remaining() {
+                Some(read_fused_state(&mut r)?)
+            } else {
+                None
+            };
             Message::Snapshot(SnapshotMsg {
                 vehicle_id,
                 next_step,
                 state,
+                fused,
             })
         }
         MSG_SNAPSHOT_REQUEST => Message::SnapshotRequest,
@@ -1217,6 +1461,47 @@ mod tests {
         }
     }
 
+    fn sample_fused_state() -> FusedState {
+        FusedState {
+            predictor: PredictorState {
+                counters: vec![31, 1],
+                values: vec![19.5, -0.125, 0.0625],
+            },
+            last_distance: Some(98.25),
+            free_run: 2,
+            monitors: vec![
+                MonitorState {
+                    chi2_terms: vec![0.25, 1.5, 0.125],
+                    chi2_statistic: 1.875,
+                    last_nis: 0.125,
+                    chi2_alarmed: false,
+                    chi2_alarms: 0,
+                    ewma: 0.375,
+                    cusum: 0.0,
+                    samples: 31,
+                },
+                MonitorState {
+                    chi2_terms: vec![44.0, 51.5],
+                    chi2_statistic: 95.5,
+                    last_nis: 51.5,
+                    chi2_alarmed: true,
+                    chi2_alarms: 3,
+                    ewma: 7.25,
+                    cusum: 96.5,
+                    samples: 31,
+                },
+                MonitorState::default(),
+            ],
+            trusts: vec![1.0, 0.05, 0.875],
+            policy: PolicySnapshot {
+                state: PolicyState::Demoted,
+                quiet: 4,
+                safe_mode_steps: 11,
+            },
+            ids_detection: Some(67),
+        }
+    }
+
     fn sample_messages() -> Vec<Message> {
         vec![
             Message::Hello(Hello {
@@ -1224,6 +1509,14 @@ mod tests {
                 predictor: PredictorKind::RlsAr4,
                 max_inflight: 16,
                 resume: true,
+                fusion: FusionMode::CraOnly,
+            }),
+            Message::Hello(Hello {
+                vehicle_id: 8,
+                predictor: PredictorKind::RlsTrend,
+                max_inflight: 0,
+                resume: false,
+                fusion: FusionMode::FusedIds,
             }),
             Message::Welcome(Welcome {
                 vehicle_id: 7,
@@ -1242,6 +1535,8 @@ mod tests {
                     beat_down: 67_000.0,
                     snr: 215.5,
                 }),
+                aux_camera: None,
+                aux_v2v: None,
             }),
             Message::Observation(Observation {
                 step: 43,
@@ -1249,6 +1544,17 @@ mod tests {
                 received_power: 0.0,
                 jammed: false,
                 body: ObservationBody::Empty,
+                aux_camera: Some(100.5),
+                aux_v2v: Some(28.625),
+            }),
+            Message::Observation(Observation {
+                step: 45,
+                own_speed: 29.0,
+                received_power: 0.0,
+                jammed: false,
+                body: ObservationBody::Empty,
+                aux_camera: None,
+                aux_v2v: Some(28.5),
             }),
             Message::Observation(Observation {
                 step: 44,
@@ -1262,6 +1568,8 @@ mod tests {
                     up: vec![1.0, -1.0, 0.5, 0.25],
                     down: vec![0.0, 2.0, -0.5, 0.125],
                 }),
+                aux_camera: None,
+                aux_v2v: None,
             }),
             Message::Verdict(VerdictMsg {
                 step: 42,
@@ -1285,6 +1593,13 @@ mod tests {
                 vehicle_id: 7,
                 next_step: 200,
                 state: sample_snapshot(),
+                fused: None,
+            }),
+            Message::Snapshot(SnapshotMsg {
+                vehicle_id: 8,
+                next_step: 90,
+                state: sample_snapshot(),
+                fused: Some(sample_fused_state()),
             }),
             Message::SnapshotRequest,
             Message::Error(ErrorMsg {
@@ -1413,6 +1728,104 @@ mod tests {
         put_f64(&mut payload, 0.0);
         put_u32(&mut payload, u32::MAX); // hostile length, no data
         let err = decode_payload(MSG_OBSERVATION, &payload).expect_err("must fail");
+        assert!(matches!(err, WireError::Truncated { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn v1_hello_without_fusion_byte_decodes_as_cra_only() {
+        // Hand-build the exact pre-fusion Hello payload.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 7);
+        payload.push(predictor_kind_to_u8(PredictorKind::Holt));
+        put_u16(&mut payload, 4);
+        payload.push(1); // resume
+        let Message::Hello(h) = decode_payload(MSG_HELLO, &payload).expect("v1 decodes") else {
+            panic!("wrong message");
+        };
+        assert_eq!(h.fusion, FusionMode::CraOnly);
+        assert!(h.resume);
+        // And a CraOnly Hello encodes back to exactly those bytes.
+        let mut again = Vec::new();
+        encode_payload(&Message::Hello(h), &mut again);
+        assert_eq!(again, payload);
+    }
+
+    #[test]
+    fn unknown_fusion_mode_byte_is_rejected() {
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 7);
+        payload.push(predictor_kind_to_u8(PredictorKind::RlsTrend));
+        put_u16(&mut payload, 0);
+        payload.push(0);
+        payload.push(9); // fusion tail with an out-of-range mode
+        assert_eq!(
+            decode_payload(MSG_HELLO, &payload),
+            Err(WireError::UnknownTag {
+                what: "fusion mode",
+                tag: 9
+            })
+        );
+    }
+
+    #[test]
+    fn v1_snapshot_without_fused_tail_decodes_with_fusion_defaults() {
+        // Hand-build the exact pre-fusion Snapshot payload.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 7);
+        put_u64(&mut payload, 200);
+        put_snapshot_state(&mut payload, &sample_snapshot());
+        let Message::Snapshot(s) = decode_payload(MSG_SNAPSHOT, &payload).expect("v1 decodes")
+        else {
+            panic!("wrong message");
+        };
+        assert_eq!(s.state, sample_snapshot());
+        assert_eq!(s.fused, None);
+        // A CRA-only snapshot encodes back to exactly those bytes.
+        let mut again = Vec::new();
+        encode_payload(&Message::Snapshot(s), &mut again);
+        assert_eq!(again, payload);
+    }
+
+    #[test]
+    fn non_fused_observation_encoding_is_byte_identical_to_v1() {
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 43);
+        put_f64(&mut payload, 29.0);
+        put_f64(&mut payload, 0.0);
+        payload.push(0); // jammed
+        payload.push(0); // empty body
+        let Message::Observation(o) =
+            decode_payload(MSG_OBSERVATION, &payload).expect("v1 decodes")
+        else {
+            panic!("wrong message");
+        };
+        assert_eq!((o.aux_camera, o.aux_v2v), (None, None));
+        let mut again = Vec::new();
+        encode_payload(&Message::Observation(o), &mut again);
+        assert_eq!(again, payload);
+    }
+
+    #[test]
+    fn fused_state_round_trips_through_snapshot_conversions() {
+        let fused = sample_fused_state();
+        let snap = fused.clone().into_snapshot(sample_snapshot());
+        assert_eq!(FusedState::from_snapshot(&snap), fused);
+        assert_eq!(snap.cra, sample_snapshot());
+    }
+
+    #[test]
+    fn hostile_monitor_count_cannot_force_allocation() {
+        // A fused snapshot tail whose monitor vector claims u32::MAX
+        // entries with no data behind them.
+        let mut payload = Vec::new();
+        put_u64(&mut payload, 8);
+        put_u64(&mut payload, 90);
+        put_snapshot_state(&mut payload, &sample_snapshot());
+        put_predictor_state(&mut payload, &PredictorState::default());
+        put_opt_f64(&mut payload, None);
+        put_u64(&mut payload, 0);
+        put_u32(&mut payload, u32::MAX); // hostile monitor count
+        let err = decode_payload(MSG_SNAPSHOT, &payload).expect_err("must fail");
         assert!(matches!(err, WireError::Truncated { .. }), "{err:?}");
     }
 

@@ -3,15 +3,15 @@
 //! garbage — ever panics the decoder; it always gets a typed [`WireError`].
 
 use argus_core::{
-    CheckpointState, DetectorState, MeasurementSource, PipelineSnapshot, PredictorKind,
-    PredictorState,
+    CheckpointState, DetectorState, FusionMode, MeasurementSource, MonitorState, PipelineSnapshot,
+    PolicySnapshot, PolicyState, PredictorKind, PredictorState,
 };
 use argus_cra::Verdict;
 use argus_serve::wire::{
     decode_any_frame, decode_frame, decode_payload, encode_into, encode_mux_into, Decoder,
-    ErrorCode, ErrorMsg, ExtractedMeasurement, Hello, Message, Observation, ObservationBody,
-    RawFrame, SafeMeasurement, SnapshotMsg, VerdictMsg, Welcome, WireError, HEADER_LEN,
-    MAX_PAYLOAD, VERSION,
+    ErrorCode, ErrorMsg, ExtractedMeasurement, FusedState, Hello, Message, Observation,
+    ObservationBody, RawFrame, SafeMeasurement, SnapshotMsg, VerdictMsg, Welcome, WireError,
+    HEADER_LEN, MAX_PAYLOAD, VERSION,
 };
 use proptest::prelude::*;
 
@@ -20,6 +20,19 @@ fn predictor_kinds() -> Vec<PredictorKind> {
         PredictorKind::RlsTrend,
         PredictorKind::RlsAr4,
         PredictorKind::Holt,
+    ]
+}
+
+fn fusion_modes() -> Vec<FusionMode> {
+    vec![FusionMode::CraOnly, FusionMode::Fused, FusionMode::FusedIds]
+}
+
+fn policy_states() -> Vec<PolicyState> {
+    vec![
+        PolicyState::Nominal,
+        PolicyState::Demoted,
+        PolicyState::SafeMode,
+        PolicyState::Cooldown,
     ]
 }
 
@@ -75,12 +88,14 @@ proptest! {
         kind in proptest::sample::select(predictor_kinds()),
         max_inflight in 0u16..u16::MAX,
         resume in proptest::bool::ANY,
+        fusion in proptest::sample::select(fusion_modes()),
     ) {
         assert_roundtrip(&Message::Hello(Hello {
             vehicle_id,
             predictor: kind,
             max_inflight,
             resume,
+            fusion,
         }));
     }
 
@@ -106,6 +121,8 @@ proptest! {
         body_tag in 0usize..3,
         fields in proptest::collection::vec(-1e6f64..1e6, 5),
         samples in proptest::collection::vec(-1.0f64..1.0, 0..64),
+        aux_camera in proptest::option::of(-1e4f64..1e4),
+        aux_v2v in proptest::option::of(-200.0f64..200.0),
     ) {
         let body = match body_tag {
             0 => ObservationBody::Empty,
@@ -130,6 +147,8 @@ proptest! {
             received_power,
             jammed,
             body,
+            aux_camera,
+            aux_v2v,
         }));
     }
 
@@ -173,6 +192,11 @@ proptest! {
         was_attacked in proptest::bool::ANY,
         with_checkpoint in proptest::bool::ANY,
         speeds in proptest::collection::vec(0.0f64..50.0, 0..16),
+        with_fused in proptest::bool::ANY,
+        policy_state in proptest::sample::select(policy_states()),
+        monitor_count in 0usize..4,
+        trusts in proptest::collection::vec(0.0f64..1.0, 3),
+        ids_detection in proptest::option::of(0u64..1_000_000),
     ) {
         let predictor = PredictorState {
             counters: counters.clone(),
@@ -181,10 +205,42 @@ proptest! {
         let checkpoint = if with_checkpoint {
             Some(CheckpointState {
                 predictor: PredictorState {
-                    counters,
-                    values,
+                    counters: counters.clone(),
+                    values: values.clone(),
                 },
                 last_distance,
+            })
+        } else {
+            None
+        };
+        let fused = if with_fused {
+            let monitors = (0..monitor_count)
+                .map(|i| MonitorState {
+                    chi2_terms: values.clone(),
+                    chi2_statistic: values.iter().sum(),
+                    last_nis: i as f64 * 0.75,
+                    chi2_alarmed: i % 2 == 1,
+                    chi2_alarms: i as u64,
+                    ewma: 1.5 + i as f64,
+                    cusum: 0.25 * i as f64,
+                    samples: estimation_steps,
+                })
+                .collect();
+            Some(FusedState {
+                predictor: PredictorState {
+                    counters: counters.clone(),
+                    values: values.clone(),
+                },
+                last_distance,
+                free_run: consecutive_estimates,
+                monitors,
+                trusts: trusts.clone(),
+                policy: PolicySnapshot {
+                    state: policy_state,
+                    quiet: estimation_steps % 17,
+                    safe_mode_steps: estimation_steps % 113,
+                },
+                ids_detection,
             })
         } else {
             None
@@ -206,6 +262,7 @@ proptest! {
                 checkpoint,
                 speeds_since_checkpoint: speeds,
             },
+            fused,
         }));
     }
 
@@ -228,6 +285,7 @@ proptest! {
     fn every_prefix_is_truncated(
         step in 0u64..1_000_000,
         samples in proptest::collection::vec(-1.0f64..1.0, 0..32),
+        aux in proptest::option::of(-1e3f64..1e3),
     ) {
         let msg = Message::Observation(Observation {
             step,
@@ -241,6 +299,8 @@ proptest! {
                 up: samples.clone(),
                 down: samples,
             }),
+            aux_camera: aux,
+            aux_v2v: aux.map(|v| v + 1.25),
         });
         let mut buf = Vec::new();
         encode_into(&msg, &mut buf);
@@ -393,6 +453,8 @@ fn sample_stream_messages(step: u64, detail: String) -> Vec<(Option<u32>, Messag
                 received_power: 1e-12,
                 jammed: false,
                 body: ObservationBody::Empty,
+                aux_camera: None,
+                aux_v2v: None,
             }),
         ),
     ]

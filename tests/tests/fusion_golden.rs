@@ -1,0 +1,159 @@
+//! Per-scenario golden traces for the attack-aware fusion stack.
+//!
+//! Every scenario registered in [`argus_attack::ScenarioRegistry`] gets a
+//! fused golden trace (`tests/golden/fusion_<name>.json`): the defended
+//! paper scenario at the scenario's default parameters and a pinned seed,
+//! run through the full fusion pipeline (`FusionMode::FusedIds` — WLS
+//! fusion plus the sequential IDS and mitigation policy), encoded with the
+//! canonical `argus-golden-v1` format. The same bootstrap /
+//! `ARGUS_GOLDEN=regen` workflow as `golden.rs` and `chaos_golden.rs`
+//! applies; a second run without regen must compare byte-for-byte clean.
+//!
+//! A meta-test pins the registry roster so adding a scenario without a
+//! fused golden (or orphaning one) fails loudly.
+
+use std::path::PathBuf;
+
+use argus_attack::ScenarioRegistry;
+use argus_core::campaign::{compare_scenario_json, scenario_to_json};
+use argus_core::scenario::{Scenario, ScenarioConfig, ScenarioResult};
+use argus_core::FusionMode;
+use argus_vehicle::LeaderProfile;
+
+/// Seed pinned for golden traces (matches `golden.rs` / `chaos_golden.rs`).
+const GOLDEN_SEED: u64 = 7;
+
+/// Relative tolerance for sample comparison (matches `golden.rs`).
+const TOLERANCE: f64 = 1e-9;
+
+fn golden_path(id: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("golden")
+        .join(format!("{id}.json"))
+}
+
+fn regen_requested() -> bool {
+    std::env::var("ARGUS_GOLDEN")
+        .map(|v| v == "regen")
+        .unwrap_or(false)
+}
+
+fn run_fused_scenario(name: &str) -> ScenarioResult {
+    let adversary = ScenarioRegistry::builtin()
+        .build_default(name)
+        .expect("registered scenario builds from defaults");
+    Scenario::new(
+        ScenarioConfig::paper(LeaderProfile::paper_constant_decel(), adversary, true)
+            .with_fusion(FusionMode::FusedIds),
+    )
+    .run(GOLDEN_SEED)
+}
+
+/// Runs the defended paper scenario through the fused-IDS stack under one
+/// registry scenario at its defaults and checks (or bootstraps) its golden
+/// trace.
+fn check_fusion_golden(name: &str) {
+    let result = run_fused_scenario(name);
+    assert!(
+        result.metrics.fusion.is_some(),
+        "fused run of `{name}` must carry fusion metrics"
+    );
+    let id = format!("fusion_{name}");
+    let current = scenario_to_json(&id, GOLDEN_SEED, &result);
+    let path = golden_path(&id);
+
+    if regen_requested() || !path.exists() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, current.to_pretty()).unwrap();
+        eprintln!(
+            "WARNING: golden trace for `{id}` (re)generated at {} — this run \
+             compared nothing; rerun without ARGUS_GOLDEN=regen to verify",
+            path.display()
+        );
+        return;
+    }
+
+    let golden_text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let diff = compare_scenario_json(&golden_text, &current, TOLERANCE)
+        .unwrap_or_else(|e| panic!("golden file {} is not valid JSON: {e}", path.display()));
+    assert!(
+        diff.matches(),
+        "golden trace drift for `{id}` ({}):\n{}\n\
+         If this change is intentional, regenerate with ARGUS_GOLDEN=regen.",
+        path.display(),
+        diff
+    );
+}
+
+#[test]
+fn fusion_golden_dos() {
+    check_fusion_golden("dos");
+}
+
+#[test]
+fn fusion_golden_delay() {
+    check_fusion_golden("delay");
+}
+
+#[test]
+fn fusion_golden_phantom_target() {
+    check_fusion_golden("phantom_target");
+}
+
+#[test]
+fn fusion_golden_velocity_drift() {
+    check_fusion_golden("velocity_drift");
+}
+
+#[test]
+fn fusion_golden_ghost_swarm() {
+    check_fusion_golden("ghost_swarm");
+}
+
+#[test]
+fn fusion_golden_replay() {
+    check_fusion_golden("replay");
+}
+
+/// Roster pin: the per-scenario fused golden tests above must cover the
+/// registry exactly, the same way `chaos_golden.rs` pins the CRA-only
+/// goldens. Growing the registry without a fused golden fails here.
+#[test]
+fn fusion_golden_tests_cover_the_registry() {
+    let covered = [
+        "dos",
+        "delay",
+        "phantom_target",
+        "velocity_drift",
+        "ghost_swarm",
+        "replay",
+    ];
+    let mut registered = ScenarioRegistry::builtin().names();
+    registered.sort_unstable();
+    let mut expected: Vec<&str> = covered.to_vec();
+    expected.sort_unstable();
+    assert_eq!(
+        registered, expected,
+        "registry roster changed — update the per-scenario fusion golden tests"
+    );
+}
+
+/// Same fused scenario, same seed, two independent runs in one process:
+/// the canonical encodings must be byte-identical — fusion must not import
+/// any nondeterminism (the precondition for fused golden traces being
+/// meaningful at all).
+#[test]
+fn fused_reruns_are_byte_identical() {
+    for name in ScenarioRegistry::builtin().names() {
+        let run = |_: ()| {
+            scenario_to_json(
+                &format!("fusion_{name}"),
+                GOLDEN_SEED,
+                &run_fused_scenario(name),
+            )
+            .to_canonical()
+        };
+        assert_eq!(run(()), run(()), "fused rerun of `{name}` drifted");
+    }
+}

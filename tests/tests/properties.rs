@@ -3,6 +3,7 @@
 //! noise realization.
 
 use argus_attack::{Adversary, AttackKind, AttackWindow, DelaySpoofer, Jammer};
+use argus_core::{AuxObservation, FusedOutput, FusedPipeline, FusionMode};
 use argus_cra::{ChallengeSchedule, CraDetector, Lfsr};
 use argus_radar::prelude::*;
 use argus_sim::prelude::*;
@@ -158,4 +159,82 @@ proptest! {
         prop_assert!((m.distance.value() - d).abs() < 2.0, "d error too large");
         prop_assert!((m.range_rate.value() - v).abs() < 2.0, "v error too large");
     }
+
+    /// Snapshot/restore of the fused pipeline is lossless at ANY split
+    /// point, under ANY camera-bias attack realization, in both fused
+    /// modes: the restored pipeline's immediate re-snapshot is identical,
+    /// its per-step outputs match the uninterrupted twin exactly, and the
+    /// final snapshots agree — the invariant gateway reconnects lean on.
+    #[test]
+    fn fused_snapshot_restore_is_lossless_at_any_split(
+        split in 1u64..100,
+        extra in 10u64..60,
+        seed in 0u64..100_000,
+        bias in 0.0f64..30.0,
+        onset in 20u64..90,
+        ids in proptest::bool::ANY,
+    ) {
+        let mode = if ids {
+            FusionMode::FusedIds
+        } else {
+            FusionMode::Fused
+        };
+        let mk = || {
+            FusedPipeline::paper(
+                CraDetector::new(ChallengeSchedule::paper(), Watts(1e-14)),
+                mode,
+            )
+            .expect("paper fused pipeline builds")
+        };
+        let mut uninterrupted = mk();
+        for k in 0..split {
+            fused_step(&mut uninterrupted, k, seed, onset, bias);
+        }
+        let snap = uninterrupted.snapshot();
+        let mut restored = mk();
+        restored.restore(&snap).expect("snapshot restores");
+        prop_assert_eq!(restored.snapshot(), snap, "re-snapshot drifted");
+        for k in split..split + extra {
+            let a = fused_step(&mut uninterrupted, k, seed, onset, bias);
+            let b = fused_step(&mut restored, k, seed, onset, bias);
+            prop_assert_eq!(&a, &b, "restored pipeline diverged at k={}", k);
+        }
+        prop_assert_eq!(uninterrupted.snapshot(), restored.snapshot());
+    }
+}
+
+/// One deterministic step of the fused-snapshot property's closed world:
+/// a near-constant 100 m gap with seed-jittered radar returns, radar
+/// silence at challenge instants, and a camera that turns hostile (fixed
+/// bias) at `onset`.
+fn fused_step(p: &mut FusedPipeline, k: u64, seed: u64, onset: u64, bias: f64) -> FusedOutput {
+    let jitter =
+        ((seed.wrapping_mul(2_654_435_761).wrapping_add(k * 97) % 1000) as f64 - 500.0) * 1e-4;
+    let obs = if ChallengeSchedule::paper().is_challenge(Step(k)) {
+        argus_radar::receiver::RadarObservation {
+            measurement: None,
+            received_power: Watts(1e-16),
+            jammed: false,
+        }
+    } else {
+        argus_radar::receiver::RadarObservation {
+            measurement: Some(argus_radar::receiver::RadarMeasurement {
+                distance: Meters(100.0 + jitter),
+                range_rate: MetersPerSecond(jitter),
+                beats: argus_radar::fmcw::BeatPair {
+                    up: argus_sim::units::Hertz(0.0),
+                    down: argus_sim::units::Hertz(0.0),
+                },
+                snr: 1000.0,
+            }),
+            received_power: Watts(1e-12),
+            jammed: false,
+        }
+    };
+    let camera = 100.0 + 0.5 * jitter + if k >= onset { bias } else { 0.0 };
+    let aux = AuxObservation {
+        camera_range: Some(camera),
+        v2v_leader_speed: Some(20.0),
+    };
+    p.process(Step(k), &obs, &aux, MetersPerSecond(20.0))
 }

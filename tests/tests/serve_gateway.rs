@@ -8,7 +8,10 @@ use std::io::Write;
 use std::net::TcpStream;
 use std::time::Duration;
 
-use argus_core::{PredictorKind, ScenarioConfig, ScenarioPlan, SecurePipeline, TrialScratch};
+use argus_core::{
+    AuxObservation, FusedPipeline, FusionMode, FusionParams, PredictorKind, ScenarioConfig,
+    ScenarioPlan, SecurePipeline, TrialScratch,
+};
 use argus_radar::RadarConfig;
 use argus_serve::client::{ClientError, GatewayClient};
 use argus_serve::harness::{
@@ -234,6 +237,7 @@ fn eviction_then_snapshot_resume_is_bit_identical() {
         predictor: kind,
         max_inflight: 0,
         resume: false,
+        fusion: argus_core::FusionMode::CraOnly,
     };
 
     // One uninterrupted local twin spans the whole horizon.
@@ -293,6 +297,134 @@ fn eviction_then_snapshot_resume_is_bit_identical() {
     gateway.shutdown();
 }
 
+/// Drives steps `[from, to)` of a fused session through an open client,
+/// comparing every response pair against a directly driven
+/// [`FusedPipeline`] fed the same radar + aux observations. Returns the
+/// mismatch count.
+#[allow(clippy::too_many_arguments)]
+fn drive_range_fused(
+    client: &mut GatewayClient,
+    sim: &mut argus_core::VehicleSim,
+    scratch: &mut TrialScratch,
+    local: &mut FusedPipeline,
+    cfg: &argus_serve::session::SessionConfig,
+    from: u64,
+    to: u64,
+) -> u64 {
+    let mut mismatches = 0;
+    for k_idx in from..to {
+        if sim.collided() {
+            break;
+        }
+        let k = Step(k_idx);
+        let tx_on = cfg.schedule.tx_on(k);
+        let own_speed = sim.own_speed();
+        let (obs, draw) = sim.observe_traced(k, tx_on, scratch);
+        // Deterministic client-side aux channels: a camera tracking the
+        // nominal gap and a V2V leader-speed report. Both ends see the
+        // exact same values, so byte-identity is the whole story.
+        let aux = AuxObservation {
+            camera_range: Some(100.0 - 0.05 * k_idx as f64),
+            v2v_leader_speed: Some(28.8),
+        };
+        let mut wire_obs = wire_observation(k_idx, own_speed.value(), &obs, draw, None);
+        wire_obs.aux_camera = aux.camera_range;
+        wire_obs.aux_v2v = aux.v2v_leader_speed;
+        let (verdict, safe) = client.observe(&wire_obs).unwrap();
+        let local_out = local.process(k, &obs, &aux, own_speed);
+        let (want_verdict, want_safe) = argus_serve::session::respond_fused(k_idx, &local_out);
+        if verdict != want_verdict || safe != want_safe {
+            mismatches += 1;
+        }
+        sim.advance(
+            safe.control_distance.map(Meters),
+            MetersPerSecond(safe.relative_speed),
+        );
+    }
+    mismatches
+}
+
+/// A fused-IDS session negotiated at `Hello` over real TCP is
+/// byte-identical to a directly driven [`FusedPipeline`], and a client
+/// that reconnects from a snapshot — fusion state and all — continues
+/// bit-identically to a session that was never interrupted.
+#[test]
+fn fused_session_negotiates_at_hello_and_survives_reconnect() {
+    let config = GatewayConfig::paper();
+    let gateway = Gateway::bind("127.0.0.1:0", config.clone()).unwrap();
+    let addr = gateway.local_addr();
+
+    let plan = dos_plan();
+    let kind = PredictorKind::RlsTrend;
+    let hello = Hello {
+        vehicle_id: 6,
+        predictor: kind,
+        max_inflight: 0,
+        resume: false,
+        fusion: FusionMode::FusedIds,
+    };
+
+    // One uninterrupted local fused twin spans the whole horizon.
+    let mut scratch = TrialScratch::for_plan(&plan);
+    let mut sim = plan.vehicle_sim(321);
+    let mut local = FusedPipeline::new(
+        local_pipeline(&config.session, kind),
+        FusionParams::paper(FusionMode::FusedIds),
+        config.session.dt,
+    );
+
+    let (mut client, welcome) = GatewayClient::connect(addr, hello.clone()).unwrap();
+    assert_eq!(welcome.next_step, 0);
+    let first = drive_range_fused(
+        &mut client,
+        &mut sim,
+        &mut scratch,
+        &mut local,
+        &config.session,
+        0,
+        60,
+    );
+    assert_eq!(first, 0, "pre-reconnect fused steps diverged");
+    let snap = client.snapshot().unwrap();
+    assert_eq!(snap.next_step, 60);
+    assert!(
+        snap.fused.is_some(),
+        "fused session snapshot must carry the fusion tail"
+    );
+    drop(client);
+
+    // Reconnect from the client-held snapshot and run through the DoS
+    // onset; the local pipeline never noticed an interruption.
+    let (mut client, welcome) = GatewayClient::connect_resume(addr, hello, &snap).unwrap();
+    assert_eq!(
+        welcome.next_step, 60,
+        "fused resume must pick up where we left off"
+    );
+    let second = drive_range_fused(
+        &mut client,
+        &mut sim,
+        &mut scratch,
+        &mut local,
+        &config.session,
+        60,
+        220,
+    );
+    assert_eq!(second, 0, "post-reconnect fused steps diverged");
+
+    let final_snap = client.snapshot().unwrap();
+    let local_snap = local.snapshot();
+    assert_eq!(
+        final_snap.state, local_snap.cra,
+        "resumed fused session CRA state diverged"
+    );
+    assert_eq!(
+        final_snap.fused,
+        Some(wire::FusedState::from_snapshot(&local_snap)),
+        "resumed fused session fusion state diverged"
+    );
+    gateway.shutdown();
+}
+
 fn raw_exchange(addr: std::net::SocketAddr, bytes: &[u8]) -> Result<Message, ReadError> {
     let mut stream = TcpStream::connect(addr).unwrap();
     stream.set_nodelay(true).unwrap();
@@ -336,6 +468,8 @@ fn protocol_violations_die_with_typed_errors() {
             received_power: 1e-12,
             jammed: false,
             body: wire::ObservationBody::Empty,
+            aux_camera: None,
+            aux_v2v: None,
         }),
         &mut buf,
     );
@@ -407,6 +541,7 @@ fn slow_reader_gets_backpressure_then_every_response() {
             predictor: PredictorKind::RlsTrend,
             max_inflight: 0,
             resume: false,
+            fusion: argus_core::FusionMode::CraOnly,
         }),
         &mut enc,
     )
@@ -434,6 +569,8 @@ fn slow_reader_gets_backpressure_then_every_response() {
                     received_power: 1e-12,
                     jammed: false,
                     body: wire::ObservationBody::Empty,
+                    aux_camera: None,
+                    aux_v2v: None,
                 }),
                 &mut enc,
             )
